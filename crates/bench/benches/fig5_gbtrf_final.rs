@@ -1,0 +1,56 @@
+//! Figure 5 / Table 1 bench: the final dispatched GBTRF (fused below the
+//! cutoff, sliding window above) against the multicore CPU baseline, both
+//! executing real numerics on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbatch_core::batch::{InfoArray, PivotBatch};
+use gbatch_cpu::{cpu_gbtrf_batch, CpuSpec};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::dispatch::{dgbtrf_batch, GbsvOptions};
+use gbatch_workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig5(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let cpu = CpuSpec::xeon_gold_6140();
+    let batch = 32;
+    for (kl, ku) in [(2usize, 3usize), (10, 7)] {
+        let mut group = c.benchmark_group(format!("fig5_final_gbtrf_kl{kl}_ku{ku}"));
+        for n in [64usize, 512] {
+            let mut rng = StdRng::seed_from_u64((n + kl) as u64);
+            let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
+            group.bench_with_input(BenchmarkId::new("gpu_dispatch", n), &n, |bench, _| {
+                bench.iter_batched(
+                    || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    |(mut a, mut piv, mut info)| {
+                        dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default())
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+            group.bench_with_input(BenchmarkId::new("cpu_baseline", n), &n, |bench, _| {
+                bench.iter_batched(
+                    || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    |(mut a, mut piv, mut info)| cpu_gbtrf_batch(&cpu, &mut a, &mut piv, &mut info),
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 8 / Table 2 bench: the final GBSV with a single right-hand side,
+//! GPU dispatch vs the CPU baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbatch_core::batch::{InfoArray, PivotBatch, RhsBatch};
+use gbatch_cpu::{cpu_gbsv_batch, CpuSpec};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::dispatch::{dgbsv_batch, GbsvOptions};
+use gbatch_workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig8(c: &mut Criterion) {
+    let cpu = CpuSpec::xeon_gold_6140();
+    let batch = 32;
+    for (kl, ku) in [(2usize, 3usize), (10, 7)] {
+        let mut group = c.benchmark_group(format!("fig8_gbsv_1rhs_kl{kl}_ku{ku}"));
+        for n in [64usize, 512] {
+            let mut rng = StdRng::seed_from_u64((n * kl) as u64);
+            let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
+            let b0 =
+                RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.11).cos()).unwrap();
+            for dev in [DeviceSpec::h100_pcie(), DeviceSpec::mi250x_gcd()] {
+                let tag = if dev.name.contains("H100") { "h100" } else { "mi250x" };
+                let d = dev.clone();
+                group.bench_with_input(BenchmarkId::new(tag, n), &n, |bench, _| {
+                    bench.iter_batched(
+                        || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                        |(mut a, mut b, mut piv, mut info)| {
+                            dgbsv_batch(&d, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
+                                .unwrap()
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                });
+            }
+            group.bench_with_input(BenchmarkId::new("cpu", n), &n, |bench, _| {
+                bench.iter_batched(
+                    || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    |(mut a, mut b, mut piv, mut info)| {
+                        cpu_gbsv_batch(&cpu, &mut a, &mut piv, &mut b, &mut info)
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_fig8);
+criterion_main!(benches);

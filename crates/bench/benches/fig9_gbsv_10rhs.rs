@@ -1,0 +1,61 @@
+//! Figure 9 / Table 3 bench: the final GBSV with ten right-hand sides.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbatch_core::batch::{InfoArray, PivotBatch, RhsBatch};
+use gbatch_cpu::{cpu_gbsv_batch, CpuSpec};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::dispatch::{dgbsv_batch, GbsvOptions};
+use gbatch_workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig9(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let cpu = CpuSpec::xeon_gold_6140();
+    let batch = 24;
+    let nrhs = 10;
+    for (kl, ku) in [(2usize, 3usize), (10, 7)] {
+        let mut group = c.benchmark_group(format!("fig9_gbsv_10rhs_kl{kl}_ku{ku}"));
+        for n in [64usize, 256] {
+            let mut rng = StdRng::seed_from_u64((n + ku) as u64);
+            let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
+            let b0 = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+                ((id + i * 2 + c * 3) as f64 * 0.07).sin()
+            })
+            .unwrap();
+            group.bench_with_input(BenchmarkId::new("gpu_dispatch", n), &n, |bench, _| {
+                bench.iter_batched(
+                    || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    |(mut a, mut b, mut piv, mut info)| {
+                        dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
+                            .unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+            group.bench_with_input(BenchmarkId::new("cpu_baseline", n), &n, |bench, _| {
+                bench.iter_batched(
+                    || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    |(mut a, mut b, mut piv, mut info)| {
+                        cpu_gbsv_batch(&cpu, &mut a, &mut piv, &mut b, &mut info)
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_fig9);
+criterion_main!(benches);

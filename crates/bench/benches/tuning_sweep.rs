@@ -1,0 +1,51 @@
+//! §5.3 bench: cost of the offline tuning machinery itself — per-band sweep
+//! and table lookup (the paper's "post-processing phase").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_tuning::{sweep_band, sweep_device, SweepConfig, TuningTable};
+
+fn bench_tuning(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let cfg = SweepConfig::default();
+
+    let mut group = c.benchmark_group("tuning_sweep");
+    for (kl, ku) in [(2usize, 3usize), (10, 7), (32, 32)] {
+        group.bench_with_input(
+            BenchmarkId::new("single_band", format!("{kl}_{ku}")),
+            &(kl, ku),
+            |bench, &(kl, ku)| {
+                bench.iter(|| sweep_band(&dev, &cfg, kl, ku).unwrap());
+            },
+        );
+    }
+    group.bench_function("grid_8x8", |bench| {
+        let small = SweepConfig { max_band: 8, ..SweepConfig::default() };
+        bench.iter(|| sweep_device(&dev, &small));
+    });
+    group.finish();
+
+    // Lookup path (hot in dispatch-heavy applications).
+    let mut table = TuningTable::new("bench", 512, 1000);
+    for kl in 0..=16usize {
+        for ku in 0..=16usize {
+            table.insert(kl, ku, gbatch_tuning::TuneEntry { nb: 8, threads: 64, predicted_ms: 1.0 });
+        }
+    }
+    c.bench_function("tuning_lookup_nearest", |bench| {
+        bench.iter(|| table.lookup(24, 19).unwrap());
+    });
+}
+
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_tuning);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro [fig1|fig3|fig5|table1|fig7|fig8|table2|fig9|table3|tuning|bandwidth|extensions|all]
+//! ```
+//!
+//! Times printed for the GPUs come from the simulator's analytic model;
+//! CPU times from the calibrated Skylake model. Every measurement executes
+//! the numerics for real and asserts residual correctness first.
+
+use gbatch_bench::experiments as exp;
+use gbatch_bench::Platforms;
+use std::io::Write;
+
+fn print_figures(out: &mut impl Write, figs: &[gbatch_bench::report::Figure]) {
+    for f in figs {
+        writeln!(out, "{}", f.to_table()).unwrap();
+    }
+}
+
+fn print_speedups(out: &mut impl Write, title: &str, rows: &[(String, gbatch_bench::SpeedupSummary)]) {
+    writeln!(out, "## {title}").unwrap();
+    for (label, s) in rows {
+        writeln!(out, "  {label}\n      {s}").unwrap();
+    }
+    writeln!(out).unwrap();
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    eprintln!("building platforms (tuning sweep)...");
+    let p = Platforms::tuned(12);
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("bandwidth") {
+        writeln!(out, "## Section 8: sustained bandwidth probe (large dgemv)").unwrap();
+        for (name, bw) in exp::bandwidth(&p) {
+            writeln!(out, "  {name}: {:.2} TB/s", bw / 1e12).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    if run("fig1") {
+        eprintln!("running fig1...");
+        print_figures(&mut out, &exp::fig1(&p));
+    }
+    if run("fig3") {
+        eprintln!("running fig3...");
+        print_figures(&mut out, &exp::fig3(&p));
+    }
+    if run("fig5") || run("table1") {
+        eprintln!("running fig5/table1...");
+        let figs = exp::fig5(&p);
+        if run("fig5") {
+            print_figures(&mut out, &figs);
+        }
+        if run("table1") {
+            print_speedups(&mut out, "Table 1: batch GBTRF speedup vs CPU", &exp::table1(&p));
+        }
+    }
+    if run("fig7") {
+        eprintln!("running fig7...");
+        print_figures(&mut out, &exp::fig7(&p));
+    }
+    if run("fig8") || run("table2") {
+        eprintln!("running fig8/table2...");
+        let figs = exp::fig8(&p);
+        if run("fig8") {
+            print_figures(&mut out, &figs);
+        }
+        if run("table2") {
+            print_speedups(
+                &mut out,
+                "Table 2: GBSV speedup vs CPU (1 RHS)",
+                &exp::table_gbsv(&p, 1),
+            );
+        }
+    }
+    if run("fig9") || run("table3") {
+        eprintln!("running fig9/table3...");
+        let figs = exp::fig9(&p);
+        if run("fig9") {
+            print_figures(&mut out, &figs);
+        }
+        if run("table3") {
+            print_speedups(
+                &mut out,
+                "Table 3: GBSV speedup vs CPU (10 RHS)",
+                &exp::table_gbsv(&p, 10),
+            );
+        }
+    }
+    if run("extensions") {
+        eprintln!("running extensions...");
+        writeln!(out, "## Extensions beyond the paper (see EXPERIMENTS.md)").unwrap();
+        writeln!(out, "{}", exp::extensions(&p)).unwrap();
+    }
+    if run("tuning") {
+        writeln!(out, "## Section 5.3: tuning sweep (best nb/threads per band)").unwrap();
+        writeln!(out, "{}", exp::tuning_sweep(&p)).unwrap();
+    }
+}

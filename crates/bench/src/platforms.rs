@@ -1,0 +1,71 @@
+//! The three evaluation platforms of the paper, bundled with their tuning
+//! tables.
+
+use gbatch_cpu::CpuSpec;
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_tuning::{sweep_device, SweepConfig, TuningTable};
+
+/// The paper's platform trio: H100-PCIe, MI250x (one GCD), Xeon 6140.
+#[derive(Debug, Clone)]
+pub struct Platforms {
+    /// NVIDIA H100-PCIe descriptor.
+    pub h100: DeviceSpec,
+    /// AMD MI250x single-GCD descriptor.
+    pub mi250x: DeviceSpec,
+    /// Intel Xeon Gold 6140 descriptor.
+    pub cpu: CpuSpec,
+    /// Tuning table from the H100 sweep.
+    pub h100_tuning: TuningTable,
+    /// Tuning table from the MI250x sweep.
+    pub mi250x_tuning: TuningTable,
+}
+
+impl Platforms {
+    /// Build the trio, running the model-cost tuning sweeps for the band
+    /// shapes of interest (fast: pure arithmetic, no numerics).
+    pub fn tuned(max_band: usize) -> Self {
+        let h100 = DeviceSpec::h100_pcie();
+        let mi250x = DeviceSpec::mi250x_gcd();
+        let cfg = SweepConfig { max_band, ..Default::default() };
+        let h100_tuning = sweep_device(&h100, &cfg);
+        let mi250x_tuning = sweep_device(&mi250x, &cfg);
+        Platforms { h100, mi250x, cpu: CpuSpec::xeon_gold_6140(), h100_tuning, mi250x_tuning }
+    }
+
+    /// The two GPUs with their tables, iterable.
+    pub fn gpus(&self) -> [(&DeviceSpec, &TuningTable); 2] {
+        [(&self.h100, &self.h100_tuning), (&self.mi250x, &self.mi250x_tuning)]
+    }
+
+    /// Tuned window parameters for a device (falls back to nearest band).
+    pub fn window_params(
+        &self,
+        dev: &DeviceSpec,
+        kl: usize,
+        ku: usize,
+    ) -> Option<gbatch_kernels::window::WindowParams> {
+        let table = if dev.name == self.h100.name {
+            &self.h100_tuning
+        } else {
+            &self.mi250x_tuning
+        };
+        table
+            .lookup(kl, ku)
+            .map(|e| gbatch_kernels::window::WindowParams { nb: e.nb, threads: e.threads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_platforms_cover_paper_bands() {
+        let p = Platforms::tuned(10);
+        assert!(p.window_params(&p.h100, 2, 3).is_some());
+        assert!(p.window_params(&p.mi250x, 10, 7).is_some());
+        // Out-of-grid shapes fall back to the nearest tuned one.
+        assert!(p.window_params(&p.h100, 30, 30).is_some());
+        assert_eq!(p.gpus().len(), 2);
+    }
+}

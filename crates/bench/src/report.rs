@@ -1,0 +1,211 @@
+//! Result containers and plain-text/JSON formatting for the experiment
+//! runners.
+
+use serde::{Deserialize, Serialize};
+
+/// One line series of a figure: label + `(x, milliseconds)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label, e.g. `"H100 GPU"`.
+    pub label: String,
+    /// `(matrix size, time ms)` points; `None` marks a failed run (the
+    /// paper's fused kernel "failing to run" on large matrices).
+    pub points: Vec<(usize, Option<f64>)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a successful measurement.
+    pub fn push(&mut self, x: usize, ms: f64) {
+        self.points.push((x, Some(ms)));
+    }
+
+    /// Append a failed run.
+    pub fn push_fail(&mut self, x: usize) {
+        self.points.push((x, None));
+    }
+
+    /// Time at a given x, if present and successful.
+    pub fn at(&self, x: usize) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).and_then(|(_, v)| *v)
+    }
+}
+
+/// The paper's speedup-summary rows (Tables 1-3): min/max/avg of
+/// `baseline / candidate` over the common sweep points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSummary {
+    /// Minimum speedup across the sweep.
+    pub min: f64,
+    /// Maximum speedup across the sweep.
+    pub max: f64,
+    /// Arithmetic mean speedup across the sweep.
+    pub avg: f64,
+}
+
+impl SpeedupSummary {
+    /// Summarize `baseline / candidate` over the points both series share.
+    pub fn from_series(baseline: &Series, candidate: &Series) -> Option<SpeedupSummary> {
+        let mut ratios = Vec::new();
+        for &(x, base) in &baseline.points {
+            if let (Some(b), Some(c)) = (base, candidate.at(x)) {
+                if c > 0.0 {
+                    ratios.push(b / c);
+                }
+            }
+        }
+        if ratios.is_empty() {
+            return None;
+        }
+        let (mut lo, mut hi, mut sum) = (f64::MAX, f64::MIN, 0.0);
+        for &r in &ratios {
+            lo = lo.min(r);
+            hi = hi.max(r);
+            sum += r;
+        }
+        Some(SpeedupSummary { min: lo, max: hi, avg: sum / ratios.len() as f64 })
+    }
+}
+
+impl std::fmt::Display for SpeedupSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "min {:.2}x | max {:.2}x | avg {:.2}x", self.min, self.max, self.avg)
+    }
+}
+
+/// A complete figure: title plus its series, printable as an aligned table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure title (e.g. `"Figure 5: final GBTRF, (kl,ku)=(2,3)"`).
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Unit of the series values (e.g. `"ms"` or `"GF/s"`).
+    pub unit: String,
+    /// Data series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// New figure with values in milliseconds.
+    pub fn new(title: impl Into<String>, xlabel: impl Into<String>) -> Self {
+        Self::with_unit(title, xlabel, "ms")
+    }
+
+    /// New figure with an explicit value unit.
+    pub fn with_unit(
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        unit: impl Into<String>,
+    ) -> Self {
+        Figure { title: title.into(), xlabel: xlabel.into(), unit: unit.into(), series: Vec::new() }
+    }
+
+    /// All x values across the series, sorted and deduplicated.
+    pub fn xs(&self) -> Vec<usize> {
+        let mut xs: Vec<usize> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    }
+
+    /// Render as an aligned plain-text table (the repro binary's output).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        out.push_str(&format!("{:>8}", self.xlabel));
+        for s in &self.series {
+            out.push_str(&format!(" {:>18}", s.label));
+        }
+        out.push('\n');
+        for x in self.xs() {
+            out.push_str(&format!("{x:>8}"));
+            for s in &self.series {
+                match s.at(x) {
+                    Some(v) => out.push_str(&format!(" {v:>15.4} {u}", u = self.unit)),
+                    None => {
+                        if s.points.iter().any(|(px, v)| *px == x && v.is_none()) {
+                            out.push_str(&format!(" {:>18}", "FAIL"));
+                        } else {
+                            out.push_str(&format!(" {:>18}", "-"));
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let mut f = Figure::new("test", "n");
+        let mut a = Series::new("gpu");
+        a.push(32, 1.0);
+        a.push(64, 2.0);
+        a.push_fail(128);
+        let mut b = Series::new("cpu");
+        b.push(32, 3.0);
+        b.push(64, 5.0);
+        b.push(128, 9.0);
+        f.series.push(a);
+        f.series.push(b);
+        f
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = fig();
+        assert_eq!(f.series[0].at(64), Some(2.0));
+        assert_eq!(f.series[0].at(128), None);
+        assert_eq!(f.series[0].at(999), None);
+    }
+
+    #[test]
+    fn speedup_summary_over_common_points() {
+        let f = fig();
+        let s = SpeedupSummary::from_series(&f.series[1], &f.series[0]).unwrap();
+        // Ratios: 3.0 and 2.5 (the failed 128 point is excluded).
+        assert!((s.min - 2.5).abs() < 1e-12);
+        assert!((s.max - 3.0).abs() < 1e-12);
+        assert!((s.avg - 2.75).abs() < 1e-12);
+        assert!(s.to_string().contains("avg 2.75x"));
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        let a = Series::new("a");
+        let b = Series::new("b");
+        assert!(SpeedupSummary::from_series(&a, &b).is_none());
+    }
+
+    #[test]
+    fn table_renders_fail_and_values() {
+        let t = fig().to_table();
+        assert!(t.contains("FAIL"));
+        assert!(t.contains("1.0000 ms"));
+        assert!(t.contains("## test"));
+    }
+
+    #[test]
+    fn xs_sorted_unique() {
+        assert_eq!(fig().xs(), vec![32, 64, 128]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = fig();
+        let s = serde_json::to_string(&f).unwrap();
+        let back: Figure = serde_json::from_str(&s).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,332 @@
+//! Owned band matrices and borrowed views.
+
+use crate::error::{BandError, Result};
+use crate::layout::{BandLayout, BandStorage};
+
+/// An owned band matrix in LAPACK band storage (column-major `ldab x n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandMatrix {
+    layout: BandLayout,
+    data: Vec<f64>,
+}
+
+impl BandMatrix {
+    /// Zero band matrix in factor storage (ready for `gbtrf`).
+    pub fn zeros_factor(m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
+        let layout = BandLayout::factor(m, n, kl, ku)?;
+        Ok(BandMatrix { data: vec![0.0; layout.len()], layout })
+    }
+
+    /// Zero band matrix in pure storage.
+    pub fn zeros_pure(m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
+        let layout = BandLayout::pure(m, n, kl, ku)?;
+        Ok(BandMatrix { data: vec![0.0; layout.len()], layout })
+    }
+
+    /// Wrap an existing band array. `data.len()` must equal `layout.len()`.
+    pub fn from_parts(layout: BandLayout, data: Vec<f64>) -> Result<Self> {
+        if data.len() != layout.len() {
+            return Err(BandError::BufferTooSmall {
+                arg: "data",
+                len: data.len(),
+                required: layout.len(),
+            });
+        }
+        Ok(BandMatrix { layout, data })
+    }
+
+    /// Build a band matrix (factor storage) from a dense column-major
+    /// `m x n` matrix, keeping only the structural band.
+    pub fn from_dense(m: usize, n: usize, kl: usize, ku: usize, dense: &[f64]) -> Result<Self> {
+        if dense.len() < m * n {
+            return Err(BandError::BufferTooSmall { arg: "dense", len: dense.len(), required: m * n });
+        }
+        let mut bm = Self::zeros_factor(m, n, kl, ku)?;
+        for j in 0..n {
+            let (s, e) = bm.layout.col_rows(j);
+            for i in s..e {
+                let v = dense[i + j * m];
+                bm.set(i, j, v);
+            }
+        }
+        Ok(bm)
+    }
+
+    /// Expand to a dense column-major `m x n` matrix (structural band only;
+    /// fill-in rows are ignored).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let l = &self.layout;
+        let mut dense = vec![0.0; l.m * l.n];
+        for j in 0..l.n {
+            let (s, e) = l.col_rows(j);
+            for i in s..e {
+                dense[i + j * l.m] = self.get(i, j);
+            }
+        }
+        dense
+    }
+
+    /// Expand to dense including the fill-in region (for inspecting factors).
+    pub fn to_dense_filled(&self) -> Vec<f64> {
+        let l = &self.layout;
+        let mut dense = vec![0.0; l.m * l.n];
+        for j in 0..l.n {
+            let (s, e) = l.col_rows_filled(j);
+            for i in s..e {
+                dense[i + j * l.m] = self.get(i, j);
+            }
+        }
+        dense
+    }
+
+    /// The layout descriptor.
+    #[inline]
+    pub fn layout(&self) -> BandLayout {
+        self.layout
+    }
+
+    /// Full-matrix element `(i, j)`; zero outside the representable band.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.layout.idx_full(i, j) {
+            Some(k) => self.data[k],
+            None => 0.0,
+        }
+    }
+
+    /// Set full-matrix element `(i, j)`. Panics (debug) / ignores (release is
+    /// not allowed — it panics too) when outside the representable band.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let k = self
+            .layout
+            .idx_full(i, j)
+            .unwrap_or_else(|| panic!("element ({i}, {j}) outside representable band"));
+        self.data[k] = v;
+    }
+
+    /// Raw band array (column-major `ldab x n`).
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw band array.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the raw band array.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrowed read-only view.
+    pub fn as_ref(&self) -> BandMatrixRef<'_> {
+        BandMatrixRef { layout: self.layout, data: &self.data }
+    }
+
+    /// Borrowed mutable view.
+    pub fn as_mut(&mut self) -> BandMatrixMut<'_> {
+        BandMatrixMut { layout: self.layout, data: &mut self.data }
+    }
+
+    /// Infinity norm of the (structural) band matrix.
+    pub fn norm_inf(&self) -> f64 {
+        let l = &self.layout;
+        let mut row_sums = vec![0.0f64; l.m];
+        for j in 0..l.n {
+            let (s, e) = l.col_rows(j);
+            for i in s..e {
+                row_sums[i] += self.get(i, j).abs();
+            }
+        }
+        row_sums.into_iter().fold(0.0, f64::max)
+    }
+
+    /// One norm (max column sum) of the structural band matrix.
+    pub fn norm_one(&self) -> f64 {
+        let l = &self.layout;
+        let mut best = 0.0f64;
+        for j in 0..l.n {
+            let (s, e) = l.col_rows(j);
+            let sum: f64 = (s..e).map(|i| self.get(i, j).abs()).sum();
+            best = best.max(sum);
+        }
+        best
+    }
+
+    /// Convert pure storage into factor storage (adds the `kl` fill rows).
+    pub fn into_factor_storage(self) -> Result<Self> {
+        match self.layout.storage() {
+            BandStorage::Factor => Ok(self),
+            BandStorage::Pure => {
+                let l = self.layout;
+                let mut out = BandMatrix::zeros_factor(l.m, l.n, l.kl, l.ku)?;
+                for j in 0..l.n {
+                    let (s, e) = l.col_rows(j);
+                    for i in s..e {
+                        out.set(i, j, self.get(i, j));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Read-only borrowed band matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct BandMatrixRef<'a> {
+    /// Layout descriptor.
+    pub layout: BandLayout,
+    /// Band array.
+    pub data: &'a [f64],
+}
+
+impl<'a> BandMatrixRef<'a> {
+    /// Full-matrix element `(i, j)`; zero outside the representable band.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.layout.idx_full(i, j) {
+            Some(k) => self.data[k],
+            None => 0.0,
+        }
+    }
+
+    /// Clone into an owned matrix.
+    pub fn to_owned(&self) -> BandMatrix {
+        BandMatrix { layout: self.layout, data: self.data.to_vec() }
+    }
+}
+
+/// Mutable borrowed band matrix.
+#[derive(Debug)]
+pub struct BandMatrixMut<'a> {
+    /// Layout descriptor.
+    pub layout: BandLayout,
+    /// Band array.
+    pub data: &'a mut [f64],
+}
+
+impl<'a> BandMatrixMut<'a> {
+    /// Full-matrix element `(i, j)`; zero outside the representable band.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self.layout.idx_full(i, j) {
+            Some(k) => self.data[k],
+            None => 0.0,
+        }
+    }
+
+    /// Set full-matrix element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let k = self
+            .layout
+            .idx_full(i, j)
+            .unwrap_or_else(|| panic!("element ({i}, {j}) outside representable band"));
+        self.data[k] = v;
+    }
+
+    /// Downgrade to a read-only view.
+    pub fn as_ref(&self) -> BandMatrixRef<'_> {
+        BandMatrixRef { layout: self.layout, data: self.data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tridiag(n: usize) -> BandMatrix {
+        let mut a = BandMatrix::zeros_factor(n, n, 1, 1).unwrap();
+        for j in 0..n {
+            a.set(j, j, 2.0);
+            if j > 0 {
+                a.set(j - 1, j, -1.0);
+            }
+            if j + 1 < n {
+                a.set(j + 1, j, -1.0);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = BandMatrix::zeros_factor(5, 5, 2, 1).unwrap();
+        a.set(3, 2, 7.5);
+        assert_eq!(a.get(3, 2), 7.5);
+        assert_eq!(a.get(0, 4), 0.0); // outside band reads as zero
+    }
+
+    #[test]
+    #[should_panic(expected = "outside representable band")]
+    fn set_outside_band_panics() {
+        let mut a = BandMatrix::zeros_factor(5, 5, 1, 1).unwrap();
+        a.set(4, 0, 1.0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let n = 6;
+        let a = tridiag(n);
+        let d = a.to_dense();
+        let b = BandMatrix::from_dense(n, n, 1, 1, &d).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_dense_truncates_outside_band() {
+        // A dense matrix with entries everywhere, banded to tridiagonal:
+        let n = 4;
+        let dense: Vec<f64> = (0..n * n).map(|k| k as f64 + 1.0).collect();
+        let b = BandMatrix::from_dense(n, n, 1, 1, &dense).unwrap();
+        assert_eq!(b.get(3, 0), 0.0);
+        assert_eq!(b.get(0, 3), 0.0);
+        assert_eq!(b.get(1, 0), dense[1]);
+    }
+
+    #[test]
+    fn norms_match_dense_definition() {
+        let a = tridiag(5);
+        // Row sums: first/last 3, middle 4.
+        assert_eq!(a.norm_inf(), 4.0);
+        assert_eq!(a.norm_one(), 4.0);
+    }
+
+    #[test]
+    fn pure_to_factor_conversion_preserves_entries() {
+        let mut p = BandMatrix::zeros_pure(4, 4, 1, 1).unwrap();
+        p.set(0, 0, 1.0);
+        p.set(1, 0, 2.0);
+        p.set(0, 1, 3.0);
+        let f = p.clone().into_factor_storage().unwrap();
+        assert_eq!(f.layout().storage(), BandStorage::Factor);
+        assert_eq!(f.get(0, 0), 1.0);
+        assert_eq!(f.get(1, 0), 2.0);
+        assert_eq!(f.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn from_parts_validates_length() {
+        let l = BandLayout::factor(3, 3, 1, 1).unwrap();
+        assert!(BandMatrix::from_parts(l, vec![0.0; 3]).is_err());
+        assert!(BandMatrix::from_parts(l, vec![0.0; l.len()]).is_ok());
+    }
+
+    #[test]
+    fn views_see_same_data() {
+        let mut a = tridiag(4);
+        {
+            let mut v = a.as_mut();
+            v.set(2, 2, 9.0);
+            assert_eq!(v.get(2, 2), 9.0);
+        }
+        assert_eq!(a.get(2, 2), 9.0);
+        assert_eq!(a.as_ref().get(2, 2), 9.0);
+        assert_eq!(a.as_ref().to_owned().get(2, 2), 9.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! Uniform batches of band matrices, pivots, right-hand sides and info codes.
+//!
+//! The paper's batch interface (Section 4) passes arrays of device pointers
+//! (`double** A_array`, `int** pv_array`, `double** B_array`) plus an `info`
+//! array. In safe Rust the same shape is expressed as contiguous storage with
+//! per-matrix sub-slices; `BandBatch::chunks_mut` yields exactly the view a
+//! `double**` entry would point at.
+
+use crate::band::{BandMatrixMut, BandMatrixRef};
+use crate::error::{BandError, Result};
+use crate::layout::BandLayout;
+
+/// A uniform batch of band matrices (same `m, n, kl, ku, ldab`), stored
+/// contiguously matrix-after-matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandBatch {
+    layout: BandLayout,
+    batch: usize,
+    data: Vec<f64>,
+}
+
+impl BandBatch {
+    /// Zero-initialized batch in factor storage.
+    pub fn zeros(batch: usize, m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
+        let layout = BandLayout::factor(m, n, kl, ku)?;
+        if batch == 0 {
+            return Err(BandError::BadDimension { arg: "batch", constraint: "batch > 0" });
+        }
+        Ok(BandBatch { batch, data: vec![0.0; layout.len() * batch], layout })
+    }
+
+    /// Build a batch from a closure producing each matrix's band data.
+    pub fn from_fn(
+        batch: usize,
+        m: usize,
+        n: usize,
+        kl: usize,
+        ku: usize,
+        mut fill: impl FnMut(usize, &mut BandMatrixMut<'_>),
+    ) -> Result<Self> {
+        let mut b = Self::zeros(batch, m, n, kl, ku)?;
+        let layout = b.layout;
+        for (id, chunk) in b.data.chunks_mut(layout.len()).enumerate() {
+            let mut view = BandMatrixMut { layout, data: chunk };
+            fill(id, &mut view);
+        }
+        Ok(b)
+    }
+
+    /// Layout shared by every matrix in the batch.
+    #[inline]
+    pub fn layout(&self) -> BandLayout {
+        self.layout
+    }
+
+    /// Number of matrices.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Stride in `f64` elements between consecutive matrices.
+    #[inline]
+    pub fn matrix_stride(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Read-only view of matrix `id`.
+    pub fn matrix(&self, id: usize) -> BandMatrixRef<'_> {
+        assert!(id < self.batch, "matrix id {id} out of range (< {})", self.batch);
+        let s = self.matrix_stride();
+        BandMatrixRef { layout: self.layout, data: &self.data[id * s..(id + 1) * s] }
+    }
+
+    /// Mutable view of matrix `id`.
+    pub fn matrix_mut(&mut self, id: usize) -> BandMatrixMut<'_> {
+        assert!(id < self.batch, "matrix id {id} out of range (< {})", self.batch);
+        let s = self.matrix_stride();
+        let layout = self.layout;
+        BandMatrixMut { layout, data: &mut self.data[id * s..(id + 1) * s] }
+    }
+
+    /// Iterator over per-matrix band arrays (the `double**` view).
+    pub fn chunks(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.layout.len())
+    }
+
+    /// Mutable iterator over per-matrix band arrays.
+    pub fn chunks_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        let s = self.layout.len();
+        self.data.chunks_mut(s)
+    }
+
+    /// Whole contiguous storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Whole contiguous storage, mutable.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total bytes of the batch payload (used by the timing models).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Batch of pivot vectors (0-based indices), `min(m, n)` entries per matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PivotBatch {
+    per_matrix: usize,
+    batch: usize,
+    data: Vec<i32>,
+}
+
+impl PivotBatch {
+    /// Pivot storage for `batch` factorizations of `m x n` matrices.
+    pub fn new(batch: usize, m: usize, n: usize) -> Self {
+        let per_matrix = m.min(n);
+        PivotBatch { per_matrix, batch, data: vec![0; per_matrix * batch] }
+    }
+
+    /// Pivot count per matrix.
+    #[inline]
+    pub fn per_matrix(&self) -> usize {
+        self.per_matrix
+    }
+
+    /// Number of matrices.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Pivot vector of matrix `id`.
+    pub fn pivots(&self, id: usize) -> &[i32] {
+        &self.data[id * self.per_matrix..(id + 1) * self.per_matrix]
+    }
+
+    /// Mutable pivot vector of matrix `id`.
+    pub fn pivots_mut(&mut self, id: usize) -> &mut [i32] {
+        &mut self.data[id * self.per_matrix..(id + 1) * self.per_matrix]
+    }
+
+    /// Mutable iterator over per-matrix pivot vectors.
+    pub fn chunks_mut(&mut self) -> impl Iterator<Item = &mut [i32]> {
+        let s = self.per_matrix;
+        self.data.chunks_mut(s)
+    }
+
+    /// Convert every pivot to LAPACK's 1-based convention (new vector).
+    pub fn to_lapack_one_based(&self) -> Vec<i32> {
+        self.data.iter().map(|&p| p + 1).collect()
+    }
+}
+
+/// Per-matrix return codes, LAPACK convention: `0` = success, `j > 0` = the
+/// `j`-th (1-based) pivot was exactly zero — the factorization finished but
+/// `U` is singular and a solve would divide by zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfoArray {
+    data: Vec<i32>,
+}
+
+impl InfoArray {
+    /// All-success info array for `batch` problems.
+    pub fn new(batch: usize) -> Self {
+        InfoArray { data: vec![0; batch] }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Info code of matrix `id`.
+    #[inline]
+    pub fn get(&self, id: usize) -> i32 {
+        self.data[id]
+    }
+
+    /// Set info code of matrix `id`.
+    #[inline]
+    pub fn set(&mut self, id: usize, info: i32) {
+        self.data[id] = info;
+    }
+
+    /// Raw slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Mutable raw slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
+    /// True when every problem factored without a zero pivot.
+    pub fn all_ok(&self) -> bool {
+        self.data.iter().all(|&i| i == 0)
+    }
+
+    /// Ids of the problems that hit a zero pivot.
+    pub fn failures(&self) -> Vec<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &i)| (i != 0).then_some(id))
+            .collect()
+    }
+}
+
+/// Batch of right-hand-side / solution blocks: each matrix gets an
+/// `ldb x nrhs` column-major block (`ldb >= n`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RhsBatch {
+    n: usize,
+    nrhs: usize,
+    ldb: usize,
+    batch: usize,
+    data: Vec<f64>,
+}
+
+impl RhsBatch {
+    /// Zero RHS batch with minimal `ldb = n`.
+    pub fn zeros(batch: usize, n: usize, nrhs: usize) -> Result<Self> {
+        Self::zeros_with_ldb(batch, n, nrhs, n)
+    }
+
+    /// Zero RHS batch with explicit leading dimension.
+    pub fn zeros_with_ldb(batch: usize, n: usize, nrhs: usize, ldb: usize) -> Result<Self> {
+        if n == 0 || nrhs == 0 || batch == 0 {
+            return Err(BandError::BadDimension {
+                arg: "n/nrhs/batch",
+                constraint: "all of n, nrhs, batch > 0",
+            });
+        }
+        if ldb < n {
+            return Err(BandError::BadDimension { arg: "ldb", constraint: "ldb >= n" });
+        }
+        Ok(RhsBatch { n, nrhs, ldb, batch, data: vec![0.0; ldb * nrhs * batch] })
+    }
+
+    /// Fill from a closure `value(matrix_id, row, rhs_col)`.
+    pub fn from_fn(
+        batch: usize,
+        n: usize,
+        nrhs: usize,
+        mut value: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Result<Self> {
+        let mut b = Self::zeros(batch, n, nrhs)?;
+        for id in 0..batch {
+            for col in 0..nrhs {
+                for row in 0..n {
+                    let v = value(id, row, col);
+                    b.block_mut(id)[col * n + row] = v;
+                }
+            }
+        }
+        Ok(b)
+    }
+
+    /// System order.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of right-hand sides per matrix.
+    #[inline]
+    pub fn nrhs(&self) -> usize {
+        self.nrhs
+    }
+
+    /// Leading dimension of each block.
+    #[inline]
+    pub fn ldb(&self) -> usize {
+        self.ldb
+    }
+
+    /// Number of matrices.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Stride between matrices in `f64` elements.
+    #[inline]
+    pub fn block_stride(&self) -> usize {
+        self.ldb * self.nrhs
+    }
+
+    /// RHS block of matrix `id` (`ldb x nrhs`, column-major).
+    pub fn block(&self, id: usize) -> &[f64] {
+        let s = self.block_stride();
+        &self.data[id * s..(id + 1) * s]
+    }
+
+    /// Mutable RHS block of matrix `id`.
+    pub fn block_mut(&mut self, id: usize) -> &mut [f64] {
+        let s = self.block_stride();
+        &mut self.data[id * s..(id + 1) * s]
+    }
+
+    /// Mutable iterator over per-matrix blocks.
+    pub fn blocks_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        let s = self.block_stride();
+        self.data.chunks_mut(s)
+    }
+
+    /// Read iterator over per-matrix blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.block_stride())
+    }
+
+    /// Element `(row, rhs_col)` of matrix `id`.
+    #[inline]
+    pub fn get(&self, id: usize, row: usize, col: usize) -> f64 {
+        self.block(id)[col * self.ldb + row]
+    }
+
+    /// Whole contiguous storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Whole contiguous storage, mutable.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total payload bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_batch_isolation() {
+        let mut b = BandBatch::zeros(3, 4, 4, 1, 1).unwrap();
+        b.matrix_mut(1).set(2, 2, 5.0);
+        assert_eq!(b.matrix(0).get(2, 2), 0.0);
+        assert_eq!(b.matrix(1).get(2, 2), 5.0);
+        assert_eq!(b.matrix(2).get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn band_batch_from_fn_assigns_ids() {
+        let b = BandBatch::from_fn(4, 3, 3, 1, 1, |id, m| {
+            for j in 0..3 {
+                m.set(j, j, id as f64 + 1.0);
+            }
+        })
+        .unwrap();
+        for id in 0..4 {
+            assert_eq!(b.matrix(id).get(1, 1), id as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn band_batch_chunk_stride() {
+        let b = BandBatch::zeros(2, 5, 5, 2, 1).unwrap();
+        assert_eq!(b.matrix_stride(), b.layout().len());
+        assert_eq!(b.chunks().count(), 2);
+        assert_eq!(b.bytes(), 2 * b.layout().len() * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn band_batch_bad_id_panics() {
+        let b = BandBatch::zeros(2, 3, 3, 1, 1).unwrap();
+        let _ = b.matrix(2);
+    }
+
+    #[test]
+    fn pivot_batch_layout() {
+        let mut p = PivotBatch::new(3, 5, 4);
+        assert_eq!(p.per_matrix(), 4);
+        p.pivots_mut(2)[3] = 7;
+        assert_eq!(p.pivots(2)[3], 7);
+        assert_eq!(p.pivots(0)[3], 0);
+        let one_based = p.to_lapack_one_based();
+        assert_eq!(one_based[2 * 4 + 3], 8);
+        assert_eq!(p.batch(), 3);
+    }
+
+    #[test]
+    fn info_array_failure_reporting() {
+        let mut info = InfoArray::new(4);
+        assert!(info.all_ok());
+        info.set(2, 3);
+        assert!(!info.all_ok());
+        assert_eq!(info.failures(), vec![2]);
+        assert_eq!(info.get(2), 3);
+        assert_eq!(info.len(), 4);
+    }
+
+    #[test]
+    fn rhs_batch_indexing() {
+        let mut r = RhsBatch::zeros(2, 3, 2).unwrap();
+        r.block_mut(1)[1 * 3 + 2] = 9.0; // matrix 1, rhs col 1, row 2
+        assert_eq!(r.get(1, 2, 1), 9.0);
+        assert_eq!(r.get(0, 2, 1), 0.0);
+        assert_eq!(r.block_stride(), 6);
+        assert_eq!(r.bytes(), 2 * 6 * 8);
+    }
+
+    #[test]
+    fn rhs_from_fn() {
+        let r = RhsBatch::from_fn(2, 3, 2, |id, row, col| (id * 100 + col * 10 + row) as f64).unwrap();
+        assert_eq!(r.get(1, 2, 1), 112.0);
+        assert_eq!(r.get(0, 0, 0), 0.0);
+        assert_eq!(r.get(0, 1, 1), 11.0);
+    }
+
+    #[test]
+    fn rhs_validates_ldb() {
+        assert!(RhsBatch::zeros_with_ldb(1, 4, 1, 3).is_err());
+        assert!(RhsBatch::zeros_with_ldb(1, 4, 1, 6).is_ok());
+    }
+}

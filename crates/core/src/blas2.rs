@@ -1,0 +1,183 @@
+//! BLAS-2 helpers: band matrix–vector product (`dgbmv`-style) and dense
+//! rank-1 update, used by solves, residual checks and workloads.
+
+use crate::band::BandMatrixRef;
+
+/// `y = alpha * A * x + beta * y` for a band matrix in either storage
+/// flavour (uses the *structural* band only, so it is valid on unfactored
+/// matrices). `x.len() == n`, `y.len() == m`.
+pub fn gbmv(alpha: f64, a: BandMatrixRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    let l = a.layout;
+    debug_assert_eq!(x.len(), l.n);
+    debug_assert_eq!(y.len(), l.m);
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for j in 0..l.n {
+        let xj = alpha * x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        let (s, e) = l.col_rows(j);
+        for i in s..e {
+            y[i] += a.get(i, j) * xj;
+        }
+    }
+}
+
+/// `y = alpha * A^T * x + beta * y` for a band matrix (structural band).
+/// `x.len() == m`, `y.len() == n`.
+pub fn gbmv_t(alpha: f64, a: BandMatrixRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    let l = a.layout;
+    debug_assert_eq!(x.len(), l.m);
+    debug_assert_eq!(y.len(), l.n);
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for j in 0..l.n {
+        let (s, e) = l.col_rows(j);
+        let mut acc = 0.0;
+        for i in s..e {
+            acc += a.get(i, j) * x[i];
+        }
+        y[j] += alpha * acc;
+    }
+}
+
+/// Dense column-major rank-1 update: `A += alpha * x * y^T`,
+/// `A` is `m x n` with leading dimension `lda`.
+pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
+    debug_assert!(x.len() >= m && y.len() >= n && a.len() >= lda * n);
+    for j in 0..n {
+        let yj = alpha * y[j];
+        if yj == 0.0 {
+            continue;
+        }
+        let col = &mut a[j * lda..j * lda + m];
+        for (ai, &xi) in col.iter_mut().zip(&x[..m]) {
+            *ai += xi * yj;
+        }
+    }
+}
+
+/// Dense column-major `y = alpha * A * x + beta * y` (`A` is `m x n`).
+#[allow(clippy::too_many_arguments)] // BLAS signature fidelity
+pub fn gemv(
+    m: usize,
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    debug_assert!(a.len() >= lda * n && x.len() >= n && y.len() >= m);
+    if beta == 0.0 {
+        y[..m].fill(0.0);
+    } else if beta != 1.0 {
+        for v in y[..m].iter_mut() {
+            *v *= beta;
+        }
+    }
+    for j in 0..n {
+        let xj = alpha * x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        let col = &a[j * lda..j * lda + m];
+        for (yi, &aij) in y[..m].iter_mut().zip(col) {
+            *yi += aij * xj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::BandMatrix;
+
+    fn sample_band() -> BandMatrix {
+        // 4x4, kl=1, ku=1:
+        // [2 1 0 0]
+        // [1 2 1 0]
+        // [0 1 2 1]
+        // [0 0 1 2]
+        let mut a = BandMatrix::zeros_factor(4, 4, 1, 1).unwrap();
+        for j in 0..4 {
+            a.set(j, j, 2.0);
+            if j > 0 {
+                a.set(j - 1, j, 1.0);
+                a.set(j, j - 1, 1.0);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn gbmv_matches_dense() {
+        let a = sample_band();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 4];
+        gbmv(1.0, a.as_ref(), &x, 0.0, &mut y);
+        assert_eq!(y, [4.0, 8.0, 12.0, 11.0]);
+    }
+
+    #[test]
+    fn gbmv_alpha_beta() {
+        let a = sample_band();
+        let x = [1.0; 4];
+        let mut y = [10.0; 4];
+        gbmv(2.0, a.as_ref(), &x, 0.5, &mut y);
+        // A*ones = [3,4,4,3]; y = 0.5*10 + 2*A*x
+        assert_eq!(y, [11.0, 13.0, 13.0, 11.0]);
+    }
+
+    #[test]
+    fn gbmv_t_matches_transpose() {
+        // Non-symmetric band: kl=1, ku=0 lower bidiagonal.
+        let mut a = BandMatrix::zeros_factor(3, 3, 1, 0).unwrap();
+        a.set(0, 0, 1.0);
+        a.set(1, 0, 4.0);
+        a.set(1, 1, 2.0);
+        a.set(2, 1, 5.0);
+        a.set(2, 2, 3.0);
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [0.0; 3];
+        gbmv_t(1.0, a.as_ref(), &x, 0.0, &mut y);
+        assert_eq!(y, [5.0, 7.0, 3.0]);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        // 2x2 identity += [1,2]*[3,4]^T
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        ger(2, 2, 1.0, &[1.0, 2.0], &[3.0, 4.0], &mut a, 2);
+        assert_eq!(a, vec![4.0, 6.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn gemv_dense() {
+        // A = [[1,3],[2,4]] col-major [1,2,3,4]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0, 0.0];
+        gemv(2, 2, 1.0, &a, 2, &[1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn gemv_beta_scaling_without_alpha_contribution() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![2.0, 2.0];
+        gemv(2, 2, 0.0, &a, 2, &[1.0, 1.0], 3.0, &mut y);
+        assert_eq!(y, vec![6.0, 6.0]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Small dense LAPACK-style routines (column-major), used as test oracles
+//! for the band solver and as the workload of the Figure 1 motivation
+//! experiment (batched `dgemm`/`dgemv`).
+
+use crate::blas1::iamax;
+
+/// Unblocked dense LU with partial pivoting (`DGETF2` semantics).
+/// `a` is `m x n` column-major with leading dimension `lda`; `ipiv` gets
+/// `min(m, n)` 0-based pivot rows. Returns LAPACK info (0 or 1-based index
+/// of the first zero pivot).
+pub fn getrf(m: usize, n: usize, a: &mut [f64], lda: usize, ipiv: &mut [i32]) -> i32 {
+    debug_assert!(a.len() >= lda * n && lda >= m);
+    debug_assert!(ipiv.len() >= m.min(n));
+    let mut info = 0i32;
+    for j in 0..m.min(n) {
+        // Pivot search in column j, rows j..m.
+        let col = &a[j * lda + j..j * lda + m];
+        let jp = j + iamax(col);
+        ipiv[j] = jp as i32;
+        if a[j * lda + jp] != 0.0 {
+            if jp != j {
+                // Swap rows j and jp across all n columns.
+                for c in 0..n {
+                    a.swap(c * lda + j, c * lda + jp);
+                }
+            }
+            if j + 1 < m {
+                let piv = a[j * lda + j];
+                let inv = 1.0 / piv;
+                for i in (j + 1)..m {
+                    a[j * lda + i] *= inv;
+                }
+                // Trailing update.
+                for c in (j + 1)..n {
+                    let u = a[c * lda + j];
+                    if u == 0.0 {
+                        continue;
+                    }
+                    for i in (j + 1)..m {
+                        a[c * lda + i] -= a[j * lda + i] * u;
+                    }
+                }
+            }
+        } else if info == 0 {
+            info = (j + 1) as i32;
+        }
+    }
+    info
+}
+
+/// Dense triangular solve from an LU factorization (`DGETRS`, no transpose).
+/// `b` is `n x nrhs` column-major with leading dimension `ldb`.
+pub fn getrs(
+    n: usize,
+    nrhs: usize,
+    lu: &[f64],
+    lda: usize,
+    ipiv: &[i32],
+    b: &mut [f64],
+    ldb: usize,
+) {
+    debug_assert!(lu.len() >= lda * n && b.len() >= ldb * nrhs && ldb >= n);
+    // Apply P: forward swaps.
+    for j in 0..n {
+        let p = ipiv[j] as usize;
+        if p != j {
+            for c in 0..nrhs {
+                b.swap(c * ldb + j, c * ldb + p);
+            }
+        }
+    }
+    // Solve L y = Pb (unit lower).
+    for c in 0..nrhs {
+        for j in 0..n {
+            let bj = b[c * ldb + j];
+            if bj == 0.0 {
+                continue;
+            }
+            for i in (j + 1)..n {
+                b[c * ldb + i] -= lu[j * lda + i] * bj;
+            }
+        }
+        // Solve U x = y (non-unit upper).
+        for j in (0..n).rev() {
+            let bj = b[c * ldb + j] / lu[j * lda + j];
+            b[c * ldb + j] = bj;
+            if bj != 0.0 {
+                for i in 0..j {
+                    b[c * ldb + i] -= lu[j * lda + i] * bj;
+                }
+            }
+        }
+    }
+}
+
+/// Dense column-major matrix multiply `C = alpha * A * B + beta * C`
+/// (`A` is `m x k`, `B` is `k x n`, `C` is `m x n`).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(a.len() >= lda * k && b.len() >= ldb * n && c.len() >= ldc * n);
+    for jc in 0..n {
+        let ccol = &mut c[jc * ldc..jc * ldc + m];
+        if beta == 0.0 {
+            ccol.fill(0.0);
+        } else if beta != 1.0 {
+            for v in ccol.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for p in 0..k {
+            let bv = alpha * b[jc * ldb + p];
+            if bv == 0.0 {
+                continue;
+            }
+            let acol = &a[p * lda..p * lda + m];
+            for (cv, &av) in ccol.iter_mut().zip(acol) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Infinity norm of a dense `m x n` column-major matrix.
+pub fn norm_inf(m: usize, n: usize, a: &[f64], lda: usize) -> f64 {
+    let mut row = vec![0.0f64; m];
+    for j in 0..n {
+        for i in 0..m {
+            row[i] += a[j * lda + i].abs();
+        }
+    }
+    row.into_iter().fold(0.0, f64::max)
+}
+
+/// Reconstruct `P * L * U` from a dense LU factorization, as a dense matrix
+/// (test helper; `m x n`).
+pub fn reconstruct_plu(m: usize, n: usize, lu: &[f64], lda: usize, ipiv: &[i32]) -> Vec<f64> {
+    let kmin = m.min(n);
+    // Build L (m x kmin) and U (kmin x n).
+    let mut l = vec![0.0; m * kmin];
+    let mut u = vec![0.0; kmin * n];
+    for j in 0..kmin {
+        l[j * m + j] = 1.0;
+        for i in (j + 1)..m {
+            l[j * m + i] = lu[j * lda + i];
+        }
+    }
+    for j in 0..n {
+        for i in 0..=j.min(kmin - 1) {
+            u[j * kmin + i] = lu[j * lda + i];
+        }
+    }
+    let mut prod = vec![0.0; m * n];
+    gemm(m, n, kmin, 1.0, &l, m, &u, kmin, 0.0, &mut prod, m);
+    // Apply row swaps in reverse to undo P^-1: rows were swapped forward
+    // during factorization, so reconstruct by applying them backwards.
+    for j in (0..kmin).rev() {
+        let p = ipiv[j] as usize;
+        if p != j {
+            for c in 0..n {
+                prod.swap(c * m + j, c * m + p);
+            }
+        }
+    }
+    prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(m: usize, n: usize, seed: f64) -> Vec<f64> {
+        let mut v = seed;
+        (0..m * n)
+            .map(|_| {
+                v = (v * 1.9 + 0.37).fract();
+                v - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn getrf_reconstructs_matrix() {
+        for (m, n) in [(5, 5), (6, 4), (4, 6)] {
+            let a = sample(m, n, 0.21);
+            let mut lu = a.clone();
+            let mut ipiv = vec![0i32; m.min(n)];
+            let info = getrf(m, n, &mut lu, m, &mut ipiv);
+            assert_eq!(info, 0);
+            let plu = reconstruct_plu(m, n, &lu, m, &ipiv);
+            for k in 0..m * n {
+                assert!((plu[k] - a[k]).abs() < 1e-12, "PLU != A at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn getrs_solves() {
+        let n = 7;
+        let a = sample(n, n, 0.77);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let mut b = vec![0.0; n];
+        crate::blas2::gemv(n, n, 1.0, &a, n, &x_true, 0.0, &mut b);
+        let mut lu = a.clone();
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(getrf(n, n, &mut lu, n, &mut ipiv), 0);
+        getrs(n, 1, &lu, n, &ipiv, &mut b, n);
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-9, "x[{i}] = {} != {}", b[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn getrs_multiple_rhs() {
+        let n = 5;
+        let nrhs = 3;
+        let a = sample(n, n, 0.13);
+        let xs = sample(n, nrhs, 0.5);
+        let mut b = vec![0.0; n * nrhs];
+        gemm(n, nrhs, n, 1.0, &a, n, &xs, n, 0.0, &mut b, n);
+        let mut lu = a.clone();
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(getrf(n, n, &mut lu, n, &mut ipiv), 0);
+        getrs(n, nrhs, &lu, n, &ipiv, &mut b, n);
+        for k in 0..n * nrhs {
+            assert!((b[k] - xs[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn getrf_singular_info() {
+        // Second column is 2x first -> rank deficient; zero pivot at step 2.
+        let n = 3;
+        let mut a = vec![1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 1.0, 0.0, 1.0];
+        let mut ipiv = vec![0i32; n];
+        let info = getrf(n, n, &mut a, n, &mut ipiv);
+        assert_eq!(info, 2);
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let n = 4;
+        let a = sample(n, n, 0.4);
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut c = vec![0.0; n * n];
+        gemm(n, n, n, 1.0, &a, n, &eye, n, 0.0, &mut c, n);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn norm_inf_matches_manual() {
+        // [[1, -2], [3, 4]] col-major: [1, 3, -2, 4]; row sums 3 and 7.
+        let a = vec![1.0, 3.0, -2.0, 4.0];
+        assert_eq!(norm_inf(2, 2, &a, 2), 7.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! ASCII rendering of the band storage scheme — the paper's Figure 2 as a
+//! function, used by docs, examples and debugging sessions.
+//!
+//! For the paper's example (`9 x 9`, `kl = 2`, `ku = 3`) the column-major
+//! view marks in-band entries `*` and the band view adds the `+` fill rows
+//! exactly like the figure.
+
+use crate::layout::BandLayout;
+
+/// Render the full-matrix view: `*` in-band, `.` outside.
+pub fn dense_view(l: &BandLayout) -> String {
+    let mut out = String::new();
+    for i in 0..l.m {
+        for j in 0..l.n {
+            out.push(if l.in_band(i, j) { '*' } else { '.' });
+            if j + 1 < l.n {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the band-storage view (`ldab x n`): `+` for fill rows, `*` for
+/// stored band entries, `.` for positions outside the matrix (the
+/// triangular corners of the band array).
+pub fn band_view(l: &BandLayout) -> String {
+    let mut out = String::new();
+    for r in 0..l.ldab {
+        for j in 0..l.n {
+            // Band row r of column j maps to full row i = r - row_offset + j.
+            let i = r as isize - l.row_offset as isize + j as isize;
+            let c = if r < l.row_offset - l.ku {
+                // Fill rows reserved for pivoting fill-in (factor storage).
+                if i >= 0 { '+' } else { '.' }
+            } else if i >= 0 && (i as usize) < l.m && l.in_band(i as usize, j) {
+                '*'
+            } else {
+                '.'
+            };
+            out.push(c);
+            if j + 1 < l.n {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_dense_view() {
+        // The paper's example: 9x9, kl = 2, ku = 3.
+        let l = BandLayout::factor(9, 9, 2, 3).unwrap();
+        let v = dense_view(&l);
+        let lines: Vec<&str> = v.lines().collect();
+        assert_eq!(lines.len(), 9);
+        // Row 0: diagonal + 3 superdiagonals.
+        assert_eq!(lines[0], "* * * * . . . . .");
+        // Row 4: full band width (2 below, 3 above).
+        assert_eq!(lines[4], ". . * * * * * * .");
+        // Last row: 2 subdiagonals + diagonal.
+        assert_eq!(lines[8], ". . . . . . * * *");
+    }
+
+    #[test]
+    fn figure2_band_view() {
+        let l = BandLayout::factor(9, 9, 2, 3).unwrap();
+        let v = band_view(&l);
+        let lines: Vec<&str> = v.lines().collect();
+        assert_eq!(lines.len(), 8); // ldab = 2*2 + 3 + 1
+        // Top kl = 2 rows are fill ('+'), except the leading triangle.
+        assert!(lines[0].contains('+'));
+        assert!(!lines[0].contains('*'));
+        assert!(lines[1].contains('+'));
+        // The diagonal row (row kl + ku = 5) is all '*'.
+        assert_eq!(lines[5], "* * * * * * * * *");
+        // First super-diagonal row (row 4): starts with '.', then '*'s.
+        assert!(lines[4].starts_with(". *"));
+        // Last sub-diagonal row (row 7): ends with dots (kl = 2 shorter).
+        assert!(lines[7].ends_with(". ."));
+    }
+
+    #[test]
+    fn fill_rows_absent_in_pure_storage() {
+        let l = BandLayout::pure(6, 6, 1, 1).unwrap();
+        let v = band_view(&l);
+        assert!(!v.contains('+'), "pure storage has no fill rows:\n{v}");
+        assert_eq!(v.lines().count(), 3);
+    }
+
+    #[test]
+    fn views_agree_on_band_population() {
+        // Count of '*' must match nnz in both views.
+        let l = BandLayout::factor(7, 7, 2, 1).unwrap();
+        let stars = |s: &str| s.chars().filter(|&c| c == '*').count();
+        assert_eq!(stars(&dense_view(&l)), l.nnz());
+        assert_eq!(stars(&band_view(&l)), l.nnz());
+    }
+}

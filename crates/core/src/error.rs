@@ -1,0 +1,109 @@
+//! Error types for band routines.
+//!
+//! Argument errors map to LAPACK's `info < 0` convention; numerical
+//! singularity during factorization is *not* an error in LAPACK (the
+//! factorization completes with a zero pivot recorded), so it is reported
+//! through the `info`/[`crate::batch::InfoArray`] channel instead.
+
+use std::fmt;
+
+/// Errors raised by the safe, high-level band API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BandError {
+    /// A dimension argument is invalid (negative sizes cannot be expressed
+    /// in Rust, but inconsistent `m`/`n`/`kl`/`ku` combinations can).
+    BadDimension {
+        /// Name of the offending argument.
+        arg: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The leading dimension of the band array is too small for the
+    /// requested operation (`ldab >= 2*kl + ku + 1` for factorization,
+    /// `ldab >= kl + ku + 1` for matrix-only storage).
+    LdabTooSmall {
+        /// Provided leading dimension.
+        ldab: usize,
+        /// Minimum required leading dimension.
+        required: usize,
+    },
+    /// A buffer passed to a routine is shorter than the layout requires.
+    BufferTooSmall {
+        /// Name of the buffer.
+        arg: &'static str,
+        /// Provided length.
+        len: usize,
+        /// Required length.
+        required: usize,
+    },
+    /// Batch-uniformity violation: two batch containers disagree on the
+    /// number of problems.
+    BatchMismatch {
+        /// Expected batch count.
+        expected: usize,
+        /// Found batch count.
+        found: usize,
+    },
+    /// An index (matrix id, column, right-hand side) is out of range.
+    IndexOutOfRange {
+        /// Name of the index.
+        arg: &'static str,
+        /// Provided value.
+        index: usize,
+        /// Exclusive upper bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for BandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BandError::BadDimension { arg, constraint } => {
+                write!(f, "invalid dimension `{arg}`: requires {constraint}")
+            }
+            BandError::LdabTooSmall { ldab, required } => {
+                write!(f, "ldab = {ldab} too small, need at least {required}")
+            }
+            BandError::BufferTooSmall { arg, len, required } => {
+                write!(f, "buffer `{arg}` has length {len}, need {required}")
+            }
+            BandError::BatchMismatch { expected, found } => {
+                write!(f, "batch size mismatch: expected {expected}, found {found}")
+            }
+            BandError::IndexOutOfRange { arg, index, bound } => {
+                write!(f, "index `{arg}` = {index} out of range (< {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BandError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BandError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BandError::LdabTooSmall { ldab: 3, required: 8 };
+        assert_eq!(e.to_string(), "ldab = 3 too small, need at least 8");
+        let e = BandError::BadDimension { arg: "kl", constraint: "kl < m" };
+        assert!(e.to_string().contains("kl"));
+        let e = BandError::BatchMismatch { expected: 4, found: 2 };
+        assert!(e.to_string().contains("expected 4"));
+        let e = BandError::IndexOutOfRange { arg: "j", index: 9, bound: 9 };
+        assert!(e.to_string().contains("out of range"));
+        let e = BandError::BufferTooSmall { arg: "ab", len: 1, required: 2 };
+        assert!(e.to_string().contains("`ab`"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = BandError::BatchMismatch { expected: 1, found: 2 };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Band-matrix equilibration (`DGBEQU` semantics).
+//!
+//! Computes row and column scalings `R`, `C` such that the scaled matrix
+//! `diag(R) * A * diag(C)` has rows and columns with infinity norms near 1.
+//! The PELE workload (paper §2.1) spans "a large range of condition
+//! numbers"; equilibration is the standard LAPACK remedy applied before a
+//! `GBTRF`-based solve.
+
+use crate::band::BandMatrixRef;
+
+/// Result of an equilibration computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibration {
+    /// Row scale factors (`m` entries).
+    pub r: Vec<f64>,
+    /// Column scale factors (`n` entries).
+    pub c: Vec<f64>,
+    /// Ratio of smallest to largest row norm (LAPACK `ROWCND`).
+    pub rowcnd: f64,
+    /// Ratio of smallest to largest column norm (LAPACK `COLCND`).
+    pub colcnd: f64,
+    /// Largest absolute element of `A` (LAPACK `AMAX`).
+    pub amax: f64,
+}
+
+impl Equilibration {
+    /// LAPACK's heuristic: row scaling is worth applying when
+    /// `rowcnd < 0.1` (`DGESVX` family threshold).
+    pub fn should_scale_rows(&self) -> bool {
+        self.rowcnd < 0.1
+    }
+
+    /// Column scaling is worth applying when `colcnd < 0.1`.
+    pub fn should_scale_cols(&self) -> bool {
+        self.colcnd < 0.1
+    }
+}
+
+/// Compute equilibration factors for a band matrix (`DGBEQU`).
+///
+/// Returns LAPACK-style info through `Result`: `Err(i)` with 1-based `i`
+/// when row `i` (for `i <= m`) or column `i - m` is exactly zero.
+pub fn gbequ(a: BandMatrixRef<'_>) -> Result<Equilibration, usize> {
+    let l = a.layout;
+    let (m, n) = (l.m, l.n);
+    let mut r = vec![0.0f64; m];
+    let mut c = vec![0.0f64; n];
+    let mut amax = 0.0f64;
+
+    // Row norms.
+    for j in 0..n {
+        let (s, e) = l.col_rows(j);
+        for i in s..e {
+            let v = a.get(i, j).abs();
+            r[i] = r[i].max(v);
+            amax = amax.max(v);
+        }
+    }
+    for (i, v) in r.iter().enumerate() {
+        if *v == 0.0 {
+            return Err(i + 1);
+        }
+    }
+    let (rmin, rmax) = r.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let rowcnd = rmin / rmax;
+    for v in r.iter_mut() {
+        *v = 1.0 / *v;
+    }
+
+    // Column norms of the row-scaled matrix.
+    for j in 0..n {
+        let (s, e) = l.col_rows(j);
+        for i in s..e {
+            c[j] = c[j].max(a.get(i, j).abs() * r[i]);
+        }
+    }
+    for (j, v) in c.iter().enumerate() {
+        if *v == 0.0 {
+            return Err(m + j + 1);
+        }
+    }
+    let (cmin, cmax) = c.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let colcnd = cmin / cmax;
+    for v in c.iter_mut() {
+        *v = 1.0 / *v;
+    }
+
+    Ok(Equilibration { r, c, rowcnd, colcnd, amax })
+}
+
+/// Apply scalings in place: `A <- diag(R) * A * diag(C)`.
+pub fn apply_equilibration(a: &mut crate::band::BandMatrixMut<'_>, eq: &Equilibration) {
+    let l = a.layout;
+    for j in 0..l.n {
+        let (s, e) = l.col_rows(j);
+        for i in s..e {
+            let v = a.get(i, j);
+            a.set(i, j, v * eq.r[i] * eq.c[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::BandMatrix;
+
+    fn badly_scaled() -> BandMatrix {
+        // Rows scaled by widely varying powers of ten.
+        let n = 6;
+        let mut a = BandMatrix::zeros_factor(n, n, 1, 1).unwrap();
+        for j in 0..n {
+            let scale = 10f64.powi(j as i32 * 2 - 5);
+            a.set(j, j, 2.0 * scale);
+            if j > 0 {
+                a.set(j, j - 1, -1.0 * scale);
+                a.set(j - 1, j, -0.5 * 10f64.powi((j as i32 - 1) * 2 - 5));
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn equilibrated_matrix_has_unit_norms() {
+        let a = badly_scaled();
+        let eq = gbequ(a.as_ref()).unwrap();
+        assert!(eq.should_scale_rows(), "rowcnd {:.2e}", eq.rowcnd);
+        let mut b = a.clone();
+        apply_equilibration(&mut b.as_mut(), &eq);
+        // Every row/column inf-norm of the scaled matrix is in (0.1, 1].
+        let l = b.layout();
+        let mut row = vec![0.0f64; l.m];
+        let mut col = vec![0.0f64; l.n];
+        for j in 0..l.n {
+            let (s, e) = l.col_rows(j);
+            for i in s..e {
+                let v = b.get(i, j).abs();
+                row[i] = row[i].max(v);
+                col[j] = col[j].max(v);
+            }
+        }
+        for &v in row.iter().chain(col.iter()) {
+            assert!(v > 0.09 && v <= 1.0 + 1e-12, "norm {v}");
+        }
+    }
+
+    #[test]
+    fn well_scaled_matrix_needs_nothing() {
+        let n = 5;
+        let mut a = BandMatrix::zeros_factor(n, n, 1, 1).unwrap();
+        for j in 0..n {
+            a.set(j, j, 1.0);
+            if j > 0 {
+                a.set(j, j - 1, 0.5);
+            }
+        }
+        let eq = gbequ(a.as_ref()).unwrap();
+        assert!(!eq.should_scale_rows());
+        assert!(!eq.should_scale_cols());
+        assert_eq!(eq.amax, 1.0);
+    }
+
+    #[test]
+    fn zero_row_detected() {
+        let n = 4;
+        let mut a = BandMatrix::zeros_factor(n, n, 1, 1).unwrap();
+        for j in 0..n {
+            if j != 2 {
+                a.set(j, j, 1.0);
+            }
+        }
+        // Row 2 entirely zero (its in-band entries are (2,1),(2,2),(2,3)).
+        let err = gbequ(a.as_ref()).unwrap_err();
+        assert_eq!(err, 3, "1-based zero-row index");
+    }
+
+    #[test]
+    fn equilibration_improves_conditioning_of_solve() {
+        // Solve with and without equilibration; the equilibrated route must
+        // not be worse in backward error.
+        let a = badly_scaled();
+        let n = a.layout().n;
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut b = vec![0.0; n];
+        crate::blas2::gbmv(1.0, a.as_ref(), &x_true, 0.0, &mut b);
+
+        let eq = gbequ(a.as_ref()).unwrap();
+        let mut a_eq = a.clone();
+        apply_equilibration(&mut a_eq.as_mut(), &eq);
+        // Scaled system: (R A C) y = R b, x = C y.
+        let mut b_eq: Vec<f64> = b.iter().zip(&eq.r).map(|(v, r)| v * r).collect();
+        let l = a.layout();
+        let mut ab = a_eq.data().to_vec();
+        let mut piv = vec![0i32; n];
+        assert_eq!(crate::gbsv::gbsv(&l, &mut ab, &mut piv, &mut b_eq, n, 1), 0);
+        let x: Vec<f64> = b_eq.iter().zip(&eq.c).map(|(y, c)| y * c).collect();
+        let berr = crate::residual::backward_error(a.as_ref(), &x, &b);
+        assert!(berr < 1e-12, "equilibrated backward error {berr:.2e}");
+    }
+}

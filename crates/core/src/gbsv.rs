@@ -1,0 +1,108 @@
+//! Band factorize-and-solve driver (`DGBSV` semantics, paper Section 7):
+//! `gbtrf` followed by `gbtrs`.
+
+use crate::gbtrf::gbtrf;
+use crate::gbtrs::{gbtrs, Transpose};
+use crate::layout::BandLayout;
+
+/// Solve `A x = b` for a band matrix: factorize in place, then solve.
+///
+/// * `ab` — band array in factor storage; overwritten with the factors.
+/// * `ipiv` — `n` pivot indices (0-based) on exit.
+/// * `b` — `ldb x nrhs` column-major RHS block; overwritten with `x`.
+///
+/// Returns the LAPACK info code from the factorization. When `info != 0`
+/// the triangular solve is **not** performed (exactly like `DGBSV`) and `b`
+/// is left as the (pivoted) input.
+pub fn gbsv(
+    l: &BandLayout,
+    ab: &mut [f64],
+    ipiv: &mut [i32],
+    b: &mut [f64],
+    ldb: usize,
+    nrhs: usize,
+) -> i32 {
+    debug_assert_eq!(l.m, l.n, "gbsv requires a square system");
+    let info = gbtrf(l, ab, ipiv);
+    if info == 0 {
+        gbtrs(Transpose::No, l, ab, ipiv, b, ldb, nrhs);
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::BandMatrix;
+    use crate::blas2::gbmv;
+    use crate::residual::backward_error;
+
+    fn random_band(n: usize, kl: usize, ku: usize, seed: f64) -> BandMatrix {
+        let mut a = BandMatrix::zeros_factor(n, n, kl, ku).unwrap();
+        let mut v = seed;
+        for j in 0..n {
+            let (s, e) = a.layout().col_rows(j);
+            for i in s..e {
+                v = (v * 1.3 + 0.241).fract();
+                a.set(i, j, v - 0.5 + if i == j { 2.0 } else { 0.0 });
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn gbsv_solves_with_small_backward_error() {
+        for (n, kl, ku) in [(9, 2, 3), (50, 2, 3), (50, 10, 7), (128, 1, 1)] {
+            let a = random_band(n, kl, ku, 0.05 + kl as f64 * 0.01);
+            let l = a.layout();
+            let mut b = vec![0.0; n];
+            let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+            gbmv(1.0, a.as_ref(), &x_true, 0.0, &mut b);
+            let b0 = b.clone();
+            let mut ab = a.data().to_vec();
+            let mut ipiv = vec![0i32; n];
+            assert_eq!(gbsv(&l, &mut ab, &mut ipiv, &mut b, n, 1), 0);
+            let berr = backward_error(a.as_ref(), &b, &b0);
+            assert!(berr < 1e-12, "n={n} kl={kl} ku={ku}: backward error {berr}");
+        }
+    }
+
+    #[test]
+    fn gbsv_singular_skips_solve() {
+        // Zero matrix: info = 1 and b unchanged (no pivoting happened since
+        // every column is zero -> jp = 0 -> no swaps).
+        let n = 5;
+        let a = BandMatrix::zeros_factor(n, n, 1, 1).unwrap();
+        let l = a.layout();
+        let mut ab = a.data().to_vec();
+        let mut ipiv = vec![0i32; n];
+        let mut b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let info = gbsv(&l, &mut ab, &mut ipiv, &mut b, n, 1);
+        assert_eq!(info, 1);
+        assert_eq!(b, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn gbsv_multi_rhs() {
+        let n = 30;
+        let a = random_band(n, 3, 2, 0.33);
+        let l = a.layout();
+        let nrhs = 10; // the paper's Figure 9 setting
+        let mut xs = vec![0.0; n * nrhs];
+        for (k, v) in xs.iter_mut().enumerate() {
+            *v = ((k as f64) * 0.11).cos();
+        }
+        let mut b = vec![0.0; n * nrhs];
+        for c in 0..nrhs {
+            let mut y = vec![0.0; n];
+            gbmv(1.0, a.as_ref(), &xs[c * n..(c + 1) * n], 0.0, &mut y);
+            b[c * n..(c + 1) * n].copy_from_slice(&y);
+        }
+        let mut ab = a.data().to_vec();
+        let mut ipiv = vec![0i32; n];
+        assert_eq!(gbsv(&l, &mut ab, &mut ipiv, &mut b, n, nrhs), 0);
+        for k in 0..n * nrhs {
+            assert!((b[k] - xs[k]).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Binary persistence for band batches.
+//!
+//! Applications like the paper's PELE integration (§2.3: "ReactEval can
+//! also be initialized with an input file with states produced by
+//! PeleLM(eX)") exchange batches through files. This module provides a
+//! small self-describing little-endian binary format:
+//!
+//! ```text
+//! magic  "GBB1"          4 bytes
+//! batch  u64             number of matrices
+//! m, n, kl, ku, ldab     u64 each (uniform layout)
+//! data   f64 * ldab*n*batch
+//! ```
+//!
+//! No external dependencies: the format is explicit `to_le_bytes` writes,
+//! so files are portable across platforms and stable across versions.
+
+use crate::batch::BandBatch;
+use crate::error::{BandError, Result};
+use crate::layout::{BandLayout, BandStorage};
+use std::io::{self, Read, Write};
+
+/// Format magic for uniform band batches.
+pub const MAGIC: &[u8; 4] = b"GBB1";
+
+fn io_err(e: io::Error) -> BandError {
+    // Map I/O failures onto the crate error type without adding a variant
+    // for every io::ErrorKind: the message carries the detail.
+    let _ = e;
+    BandError::BadDimension { arg: "io", constraint: "readable/writable stream" }
+}
+
+/// Serialize a batch to a writer.
+pub fn write_batch(w: &mut impl Write, b: &BandBatch) -> Result<()> {
+    let l = b.layout();
+    w.write_all(MAGIC).map_err(io_err)?;
+    for v in [b.batch() as u64, l.m as u64, l.n as u64, l.kl as u64, l.ku as u64, l.ldab as u64] {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    for &x in b.data() {
+        w.write_all(&x.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Deserialize a batch from a reader, validating the header.
+pub fn read_batch(r: &mut impl Read) -> Result<BandBatch> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(BandError::BadDimension { arg: "magic", constraint: "file must start with GBB1" });
+    }
+    let mut u64buf = [0u8; 8];
+    let mut next = |r: &mut dyn Read| -> Result<u64> {
+        r.read_exact(&mut u64buf).map_err(io_err)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let batch = next(r)? as usize;
+    let m = next(r)? as usize;
+    let n = next(r)? as usize;
+    let kl = next(r)? as usize;
+    let ku = next(r)? as usize;
+    let ldab = next(r)? as usize;
+    let layout = BandLayout::with_ldab(m, n, kl, ku, ldab, BandStorage::Factor)?;
+    if batch == 0 {
+        return Err(BandError::BadDimension { arg: "batch", constraint: "batch > 0" });
+    }
+    let total = layout
+        .len()
+        .checked_mul(batch)
+        .ok_or(BandError::BadDimension { arg: "batch", constraint: "size overflow" })?;
+    let mut out = BandBatch::zeros(batch, m, n, kl, ku)?;
+    debug_assert_eq!(out.data().len(), total);
+    let mut f64buf = [0u8; 8];
+    for v in out.data_mut() {
+        r.read_exact(&mut f64buf).map_err(io_err)?;
+        *v = f64::from_le_bytes(f64buf);
+    }
+    Ok(out)
+}
+
+/// Write a batch to a file path.
+pub fn save_batch(path: &std::path::Path, b: &BandBatch) -> Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+    write_batch(&mut f, b)?;
+    f.flush().map_err(io_err)
+}
+
+/// Read a batch from a file path.
+pub fn load_batch(path: &std::path::Path) -> Result<BandBatch> {
+    let mut f = io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
+    read_batch(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BandBatch {
+        let mut v = 0.77f64;
+        BandBatch::from_fn(5, 12, 12, 2, 3, |id, m| {
+            for j in 0..12 {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 1.9 + 0.123).fract();
+                    m.set(i, j, v - 0.5 + id as f64);
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let b = sample();
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &b).unwrap();
+        let back = read_batch(&mut buf.as_slice()).unwrap();
+        assert_eq!(b, back, "bit-exact roundtrip");
+        // Header size + payload size.
+        assert_eq!(buf.len(), 4 + 6 * 8 + b.data().len() * 8);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let b = sample();
+        let path = std::env::temp_dir().join("gbatch_io_test.gbb");
+        save_batch(&path, &b).unwrap();
+        let back = load_batch(&path).unwrap();
+        assert_eq!(b, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        assert!(read_batch(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(read_batch(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_header() {
+        let mut buf = Vec::new();
+        write_batch(&mut buf, &sample()).unwrap();
+        // Zero the batch count.
+        for k in 4..12 {
+            buf[k] = 0;
+        }
+        assert!(read_batch(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Symmetric positive-definite band Cholesky (`DPBTF2`/`DPBTRS`/`DPBSV`
+//! semantics, lower storage).
+//!
+//! The XGC/WDMApp systems of paper §2.2 come from an elliptic (collision)
+//! operator: symmetric positive definite. A Cholesky factorization does
+//! half the work of the LU path, needs **no pivoting** (so no fill-in rows
+//! and no `ju` bookkeeping), and its band storage is just `kd + 1` rows.
+//! This module provides the sequential routines; the batched GPU kernel
+//! lives in `gbatch-kernels::pbtrf`.
+//!
+//! Lower band storage: `A(i, j)` for `j <= i <= j + kd` lives at
+//! `AB[i - j, j]` of a column-major `(kd + 1) x n` array.
+
+/// Geometry of an SPD band matrix in lower band storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbLayout {
+    /// Matrix order.
+    pub n: usize,
+    /// Number of sub-diagonals.
+    pub kd: usize,
+    /// Leading dimension (`>= kd + 1`).
+    pub ldab: usize,
+}
+
+impl PbLayout {
+    /// Minimal layout for order `n`, bandwidth `kd`.
+    pub fn new(n: usize, kd: usize) -> Self {
+        assert!(n > 0 && kd < n, "require 0 < n and kd < n");
+        PbLayout { n, kd, ldab: kd + 1 }
+    }
+
+    /// Elements of the band array.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ldab * self.n
+    }
+
+    /// True when the layout holds no elements (never for valid layouts).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of element `(i, j)` with `j <= i <= j + kd`.
+    #[inline(always)]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i >= j && i - j <= self.kd);
+        j * self.ldab + (i - j)
+    }
+}
+
+/// Unblocked band Cholesky, lower storage (`DPBTF2('L')`). Overwrites `ab`
+/// with `L` (diagonal in row 0). Returns 0 on success or the 1-based index
+/// of the first non-positive pivot (matrix not positive definite); like
+/// LAPACK, the factorization stops there.
+pub fn pbtf2(l: &PbLayout, ab: &mut [f64]) -> i32 {
+    let (n, kd) = (l.n, l.kd);
+    for j in 0..n {
+        let ajj = ab[l.idx(j, j)];
+        if ajj <= 0.0 {
+            return (j + 1) as i32;
+        }
+        let ajj = ajj.sqrt();
+        ab[l.idx(j, j)] = ajj;
+        let kn = kd.min(n - 1 - j);
+        if kn > 0 {
+            let base = l.idx(j, j);
+            for k in 1..=kn {
+                ab[base + k] /= ajj;
+            }
+            // Symmetric rank-1 update of the trailing kn x kn block (lower
+            // triangle only).
+            for c in 1..=kn {
+                let xc = ab[base + c];
+                if xc == 0.0 {
+                    continue;
+                }
+                let col = l.idx(j + c, j + c);
+                for r in c..=kn {
+                    ab[col + (r - c)] -= ab[base + r] * xc;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Band triangular solves from a Cholesky factorization
+/// (`DPBTRS('L')`): `L L^T x = b`, `b` is `n x nrhs` column-major
+/// (`ldb >= n`), overwritten with `x`.
+pub fn pbtrs(l: &PbLayout, ab: &[f64], b: &mut [f64], ldb: usize, nrhs: usize) {
+    let (n, kd) = (l.n, l.kd);
+    debug_assert!(ldb >= n);
+    for c in 0..nrhs {
+        // Forward: L y = b.
+        for j in 0..n {
+            let yj = b[c * ldb + j] / ab[l.idx(j, j)];
+            b[c * ldb + j] = yj;
+            if yj != 0.0 {
+                let kn = kd.min(n - 1 - j);
+                let base = l.idx(j, j);
+                for k in 1..=kn {
+                    b[c * ldb + j + k] -= ab[base + k] * yj;
+                }
+            }
+        }
+        // Backward: L^T x = y.
+        for j in (0..n).rev() {
+            let kn = kd.min(n - 1 - j);
+            let base = l.idx(j, j);
+            let mut acc = b[c * ldb + j];
+            for k in 1..=kn {
+                acc -= ab[base + k] * b[c * ldb + j + k];
+            }
+            b[c * ldb + j] = acc / ab[base];
+        }
+    }
+}
+
+/// Driver: factorize and solve (`DPBSV('L')`). Returns the `pbtf2` info;
+/// the solve is skipped when the matrix is not positive definite.
+pub fn pbsv(l: &PbLayout, ab: &mut [f64], b: &mut [f64], ldb: usize, nrhs: usize) -> i32 {
+    let info = pbtf2(l, ab);
+    if info == 0 {
+        pbtrs(l, ab, b, ldb, nrhs);
+    }
+    info
+}
+
+/// SPD band matvec `y = A x` from lower storage (uses symmetry).
+pub fn pbmv(l: &PbLayout, ab: &[f64], x: &[f64], y: &mut [f64]) {
+    let (n, kd) = (l.n, l.kd);
+    debug_assert!(x.len() >= n && y.len() >= n);
+    y[..n].fill(0.0);
+    for j in 0..n {
+        let kn = kd.min(n - 1 - j);
+        let base = l.idx(j, j);
+        y[j] += ab[base] * x[j];
+        for k in 1..=kn {
+            let v = ab[base + k];
+            y[j + k] += v * x[j];
+            y[j] += v * x[j + k];
+        }
+    }
+}
+
+/// Convert lower SPD band storage to the general `gbtrf` factor storage
+/// (for cross-validation against the LU path).
+pub fn pb_to_general(l: &PbLayout, ab: &[f64]) -> crate::band::BandMatrix {
+    let mut g = crate::band::BandMatrix::zeros_factor(l.n, l.n, l.kd, l.kd).expect("dims");
+    for j in 0..l.n {
+        let kn = l.kd.min(l.n - 1 - j);
+        let base = l.idx(j, j);
+        g.set(j, j, ab[base]);
+        for k in 1..=kn {
+            g.set(j + k, j, ab[base + k]);
+            g.set(j, j + k, ab[base + k]);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SPD band: diagonally dominant symmetric.
+    fn spd(n: usize, kd: usize, seed: f64) -> (PbLayout, Vec<f64>) {
+        let l = PbLayout::new(n, kd);
+        let mut ab = vec![0.0; l.len()];
+        let mut v = seed;
+        for j in 0..n {
+            let kn = kd.min(n - 1 - j);
+            let mut sum = 0.0;
+            for k in 1..=kn {
+                v = (v * 2.3 + 0.19).fract();
+                let w = v - 0.5;
+                ab[l.idx(j + k, j)] = w;
+                sum += w.abs();
+            }
+            // Diagonal dominant over both halves of the symmetric row.
+            ab[l.idx(j, j)] = 2.0 * (sum + 1.0) + kd as f64;
+        }
+        (l, ab)
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let (l, a0) = spd(12, 3, 0.37);
+        let mut ab = a0.clone();
+        assert_eq!(pbtf2(&l, &mut ab), 0);
+        // Rebuild A = L L^T and compare the lower band.
+        let n = l.n;
+        for j in 0..n {
+            for i in j..(j + l.kd + 1).min(n) {
+                // (L L^T)(i, j) = sum_k L(i, k) L(j, k), k <= min(i, j) = j.
+                let mut s = 0.0;
+                for k in j.saturating_sub(l.kd)..=j {
+                    if i >= k && i - k <= l.kd {
+                        s += ab[l.idx(i, k)] * ab[l.idx(j, k)];
+                    }
+                }
+                let want = a0[l.idx(i, j)];
+                assert!((s - want).abs() < 1e-12 * want.abs().max(1.0), "({i},{j}): {s} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn pbsv_solves() {
+        let (l, a0) = spd(30, 4, 0.71);
+        let x_true: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut b = vec![0.0; 30];
+        pbmv(&l, &a0, &x_true, &mut b);
+        let mut ab = a0.clone();
+        assert_eq!(pbsv(&l, &mut ab, &mut b, 30, 1), 0);
+        for i in 0..30 {
+            assert!((b[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn agrees_with_lu_path() {
+        // Same SPD matrix through gbsv must give the same solution.
+        let (l, a0) = spd(20, 2, 0.53);
+        let g = pb_to_general(&l, &a0);
+        let x_true: Vec<f64> = (0..20).map(|i| 1.0 - (i % 4) as f64).collect();
+        let mut b = vec![0.0; 20];
+        pbmv(&l, &a0, &x_true, &mut b);
+        let mut b_lu = b.clone();
+        let gl = g.layout();
+        let mut gab = g.data().to_vec();
+        let mut piv = vec![0i32; 20];
+        assert_eq!(crate::gbsv::gbsv(&gl, &mut gab, &mut piv, &mut b_lu, 20, 1), 0);
+        let mut ab = a0.clone();
+        let mut b_ch = b.clone();
+        assert_eq!(pbsv(&l, &mut ab, &mut b_ch, 20, 1), 0);
+        for i in 0..20 {
+            assert!((b_ch[i] - b_lu[i]).abs() < 1e-11, "row {i}: {} vs {}", b_ch[i], b_lu[i]);
+        }
+    }
+
+    #[test]
+    fn not_positive_definite_detected() {
+        let l = PbLayout::new(5, 1);
+        let mut ab = vec![0.0; l.len()];
+        for j in 0..5 {
+            ab[l.idx(j, j)] = 1.0;
+        }
+        ab[l.idx(3, 3)] = -2.0; // indefinite
+        assert_eq!(pbtf2(&l, &mut ab), 4);
+    }
+
+    #[test]
+    fn multiple_rhs() {
+        let (l, a0) = spd(16, 3, 0.11);
+        let nrhs = 4;
+        let mut xs = vec![0.0; 16 * nrhs];
+        for (k, v) in xs.iter_mut().enumerate() {
+            *v = ((k * 7 % 13) as f64) - 6.0;
+        }
+        let mut b = vec![0.0; 16 * nrhs];
+        for c in 0..nrhs {
+            let mut y = vec![0.0; 16];
+            pbmv(&l, &a0, &xs[c * 16..(c + 1) * 16], &mut y);
+            b[c * 16..(c + 1) * 16].copy_from_slice(&y);
+        }
+        let mut ab = a0.clone();
+        assert_eq!(pbsv(&l, &mut ab, &mut b, 16, nrhs), 0);
+        for k in 0..16 * nrhs {
+            assert!((b[k] - xs[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn diagonal_case() {
+        let l = PbLayout::new(4, 0);
+        let mut ab = vec![4.0, 9.0, 16.0, 25.0];
+        assert_eq!(pbtf2(&l, &mut ab), 0);
+        assert_eq!(ab, vec![2.0, 3.0, 4.0, 5.0]);
+        let mut b = vec![4.0, 9.0, 16.0, 25.0];
+        pbtrs(&l, &ab, &mut b, 4, 1);
+        assert_eq!(b, vec![1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Non-uniform (variable) batches: per-matrix sizes **and** bandwidths.
+//!
+//! The paper lists this as future work ("adding support for non-uniform
+//! batches of different sizes and/or different bandwidths", Section 9);
+//! these containers provide the storage side: each matrix carries its own
+//! [`BandLayout`], packed back to back in one contiguous buffer, with
+//! per-matrix pivot vectors and RHS blocks laid out the same way.
+
+use crate::band::{BandMatrixMut, BandMatrixRef};
+use crate::error::{BandError, Result};
+use crate::layout::BandLayout;
+
+/// A batch of band matrices with heterogeneous layouts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarBandBatch {
+    layouts: Vec<BandLayout>,
+    offsets: Vec<usize>, // per-matrix start in `data`; last entry = total
+    data: Vec<f64>,
+}
+
+impl VarBandBatch {
+    /// Zero-initialized batch from per-matrix layouts.
+    pub fn zeros(layouts: Vec<BandLayout>) -> Result<Self> {
+        if layouts.is_empty() {
+            return Err(BandError::BadDimension { arg: "layouts", constraint: "at least one" });
+        }
+        let mut offsets = Vec::with_capacity(layouts.len() + 1);
+        let mut total = 0usize;
+        for l in &layouts {
+            offsets.push(total);
+            total += l.len();
+        }
+        offsets.push(total);
+        Ok(VarBandBatch { layouts, offsets, data: vec![0.0; total] })
+    }
+
+    /// Build from layouts plus a fill closure per matrix.
+    pub fn from_fn(
+        layouts: Vec<BandLayout>,
+        mut fill: impl FnMut(usize, &mut BandMatrixMut<'_>),
+    ) -> Result<Self> {
+        let mut b = Self::zeros(layouts)?;
+        for id in 0..b.batch() {
+            let mut m = b.matrix_mut(id);
+            fill(id, &mut m);
+        }
+        Ok(b)
+    }
+
+    /// Number of matrices.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Layout of matrix `id`.
+    #[inline]
+    pub fn layout(&self, id: usize) -> BandLayout {
+        self.layouts[id]
+    }
+
+    /// All layouts.
+    #[inline]
+    pub fn layouts(&self) -> &[BandLayout] {
+        &self.layouts
+    }
+
+    /// Read-only view of matrix `id`.
+    pub fn matrix(&self, id: usize) -> BandMatrixRef<'_> {
+        let (s, e) = (self.offsets[id], self.offsets[id + 1]);
+        BandMatrixRef { layout: self.layouts[id], data: &self.data[s..e] }
+    }
+
+    /// Mutable view of matrix `id`.
+    pub fn matrix_mut(&mut self, id: usize) -> BandMatrixMut<'_> {
+        let (s, e) = (self.offsets[id], self.offsets[id + 1]);
+        BandMatrixMut { layout: self.layouts[id], data: &mut self.data[s..e] }
+    }
+
+    /// Iterate over `(layout, band array)` pairs mutably — the non-uniform
+    /// analogue of the `double**` batch view.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (BandLayout, &mut [f64])> {
+        // Split the buffer along the offsets.
+        let mut rest: &mut [f64] = &mut self.data;
+        let mut out = Vec::with_capacity(self.layouts.len());
+        let mut consumed = 0usize;
+        for (id, l) in self.layouts.iter().enumerate() {
+            let start = self.offsets[id] - consumed;
+            debug_assert_eq!(start, 0);
+            let (chunk, tail) = rest.split_at_mut(l.len());
+            consumed += l.len();
+            out.push((*l, chunk));
+            rest = tail;
+        }
+        out.into_iter()
+    }
+
+    /// Largest matrix order in the batch.
+    pub fn max_n(&self) -> usize {
+        self.layouts.iter().map(|l| l.n).max().unwrap_or(0)
+    }
+
+    /// Largest `kl` in the batch.
+    pub fn max_kl(&self) -> usize {
+        self.layouts.iter().map(|l| l.kl).max().unwrap_or(0)
+    }
+}
+
+/// Per-matrix pivot vectors for a non-uniform batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarPivots {
+    offsets: Vec<usize>,
+    data: Vec<i32>,
+}
+
+impl VarPivots {
+    /// Pivot storage matching a [`VarBandBatch`].
+    pub fn for_batch(b: &VarBandBatch) -> Self {
+        let mut offsets = Vec::with_capacity(b.batch() + 1);
+        let mut total = 0usize;
+        for l in b.layouts() {
+            offsets.push(total);
+            total += l.m.min(l.n);
+        }
+        offsets.push(total);
+        VarPivots { offsets, data: vec![0; total] }
+    }
+
+    /// Pivot vector of matrix `id`.
+    pub fn pivots(&self, id: usize) -> &[i32] {
+        &self.data[self.offsets[id]..self.offsets[id + 1]]
+    }
+
+    /// Mutable pivot vector of matrix `id`.
+    pub fn pivots_mut(&mut self, id: usize) -> &mut [i32] {
+        let (s, e) = (self.offsets[id], self.offsets[id + 1]);
+        &mut self.data[s..e]
+    }
+
+    /// Mutable iterator over per-matrix pivot vectors.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut [i32]> {
+        let offsets = self.offsets.clone();
+        let mut rest: &mut [i32] = &mut self.data;
+        let mut out = Vec::with_capacity(offsets.len() - 1);
+        for w in offsets.windows(2) {
+            let (chunk, tail) = rest.split_at_mut(w[1] - w[0]);
+            out.push(chunk);
+            rest = tail;
+        }
+        out.into_iter()
+    }
+}
+
+/// Per-matrix RHS blocks (`n_i x nrhs`, column-major, `ldb = n_i`) for a
+/// non-uniform batch; `nrhs` is shared across the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarRhs {
+    ns: Vec<usize>,
+    offsets: Vec<usize>,
+    nrhs: usize,
+    data: Vec<f64>,
+}
+
+impl VarRhs {
+    /// Zero RHS blocks matching a batch.
+    pub fn zeros(b: &VarBandBatch, nrhs: usize) -> Result<Self> {
+        if nrhs == 0 {
+            return Err(BandError::BadDimension { arg: "nrhs", constraint: "nrhs > 0" });
+        }
+        let ns: Vec<usize> = b.layouts().iter().map(|l| l.n).collect();
+        let mut offsets = Vec::with_capacity(ns.len() + 1);
+        let mut total = 0usize;
+        for &n in &ns {
+            offsets.push(total);
+            total += n * nrhs;
+        }
+        offsets.push(total);
+        Ok(VarRhs { ns, offsets, nrhs, data: vec![0.0; total] })
+    }
+
+    /// Fill from a closure `value(id, row, col)`.
+    pub fn from_fn(
+        b: &VarBandBatch,
+        nrhs: usize,
+        mut value: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Result<Self> {
+        let mut r = Self::zeros(b, nrhs)?;
+        for id in 0..r.ns.len() {
+            let n = r.ns[id];
+            for c in 0..nrhs {
+                for i in 0..n {
+                    let v = value(id, i, c);
+                    r.block_mut(id)[c * n + i] = v;
+                }
+            }
+        }
+        Ok(r)
+    }
+
+    /// Number of right-hand sides (shared).
+    #[inline]
+    pub fn nrhs(&self) -> usize {
+        self.nrhs
+    }
+
+    /// Order of system `id`.
+    #[inline]
+    pub fn n(&self, id: usize) -> usize {
+        self.ns[id]
+    }
+
+    /// RHS block of matrix `id` (`n_i x nrhs`).
+    pub fn block(&self, id: usize) -> &[f64] {
+        &self.data[self.offsets[id]..self.offsets[id + 1]]
+    }
+
+    /// Mutable RHS block of matrix `id`.
+    pub fn block_mut(&mut self, id: usize) -> &mut [f64] {
+        let (s, e) = (self.offsets[id], self.offsets[id + 1]);
+        &mut self.data[s..e]
+    }
+
+    /// Mutable iterator over `(n_i, block)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut [f64])> {
+        let ns = self.ns.clone();
+        let offsets = self.offsets.clone();
+        let mut rest: &mut [f64] = &mut self.data;
+        let mut out = Vec::with_capacity(ns.len());
+        for (id, &n) in ns.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(offsets[id + 1] - offsets[id]);
+            out.push((n, chunk));
+            rest = tail;
+        }
+        out.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_layouts() -> Vec<BandLayout> {
+        vec![
+            BandLayout::factor(8, 8, 1, 1).unwrap(),
+            BandLayout::factor(20, 20, 2, 3).unwrap(),
+            BandLayout::factor(5, 5, 0, 2).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn per_matrix_layouts_and_isolation() {
+        let mut b = VarBandBatch::zeros(mixed_layouts()).unwrap();
+        assert_eq!(b.batch(), 3);
+        assert_eq!(b.layout(1).kl, 2);
+        b.matrix_mut(1).set(3, 2, 7.0);
+        assert_eq!(b.matrix(1).get(3, 2), 7.0);
+        assert_eq!(b.matrix(0).get(3, 2), 0.0);
+        assert_eq!(b.max_n(), 20);
+        assert_eq!(b.max_kl(), 2);
+    }
+
+    #[test]
+    fn from_fn_sees_correct_layout() {
+        let b = VarBandBatch::from_fn(mixed_layouts(), |id, m| {
+            let n = m.layout.n;
+            for j in 0..n {
+                m.set(j, j, (id + 1) as f64);
+            }
+        })
+        .unwrap();
+        assert_eq!(b.matrix(0).get(7, 7), 1.0);
+        assert_eq!(b.matrix(1).get(19, 19), 2.0);
+        assert_eq!(b.matrix(2).get(4, 4), 3.0);
+    }
+
+    #[test]
+    fn iter_mut_yields_disjoint_chunks() {
+        let mut b = VarBandBatch::zeros(mixed_layouts()).unwrap();
+        for (l, chunk) in b.iter_mut() {
+            assert_eq!(chunk.len(), l.len());
+            chunk[0] = l.n as f64;
+        }
+        assert_eq!(b.matrix(0).data[0], 8.0);
+        assert_eq!(b.matrix(1).data[0], 20.0);
+    }
+
+    #[test]
+    fn pivots_follow_matrix_sizes() {
+        let b = VarBandBatch::zeros(mixed_layouts()).unwrap();
+        let mut p = VarPivots::for_batch(&b);
+        assert_eq!(p.pivots(0).len(), 8);
+        assert_eq!(p.pivots(1).len(), 20);
+        assert_eq!(p.pivots(2).len(), 5);
+        p.pivots_mut(2)[4] = 9;
+        assert_eq!(p.pivots(2)[4], 9);
+        assert_eq!(p.iter_mut().count(), 3);
+    }
+
+    #[test]
+    fn rhs_blocks_follow_matrix_sizes() {
+        let b = VarBandBatch::zeros(mixed_layouts()).unwrap();
+        let r = VarRhs::from_fn(&b, 2, |id, i, c| (id * 100 + c * 10 + i) as f64).unwrap();
+        assert_eq!(r.block(0).len(), 16);
+        assert_eq!(r.block(1).len(), 40);
+        assert_eq!(r.n(1), 20);
+        assert_eq!(r.block(1)[1 * 20 + 5], 115.0);
+        assert_eq!(r.nrhs(), 2);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert!(VarBandBatch::zeros(vec![]).is_err());
+    }
+}

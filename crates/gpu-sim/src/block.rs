@@ -1,0 +1,183 @@
+//! Block execution context handed to kernel programs.
+//!
+//! A block program is ordinary Rust operating on its problem data plus a
+//! [`BlockContext`]; the context supplies simulated shared memory and the
+//! counter-recording API. Thread-level parallelism inside the block is
+//! *modeled*, not executed: `par_work(items, cost)` accounts
+//! `ceil(items / threads) * cost` cycles on the block's critical path, the
+//! same arithmetic a SIMT machine performs when `threads` lanes stripe over
+//! `items` elements.
+
+use crate::counters::KernelCounters;
+use crate::shared::SharedMem;
+
+/// Per-block execution state.
+#[derive(Debug)]
+pub struct BlockContext {
+    /// Grid-wide block id (one block per batch problem in this workspace).
+    pub block_id: usize,
+    /// Threads in the block (from the launch configuration).
+    pub threads: u32,
+    /// Shared-memory lanes serviced per cycle (device LDS width); the
+    /// effective parallelism of `smem_work` is `min(threads, lds_lanes)`.
+    pub lds_lanes: u32,
+    /// Simulated shared memory, sized by the launch configuration.
+    pub smem: SharedMem,
+    counters: KernelCounters,
+}
+
+impl BlockContext {
+    /// New context for block `block_id` (LDS width defaults to the thread
+    /// count; the engine sets the device value).
+    pub fn new(block_id: usize, threads: u32, smem_bytes: usize) -> Self {
+        Self::with_lds_lanes(block_id, threads, smem_bytes, threads)
+    }
+
+    /// New context with an explicit LDS lane width.
+    pub fn with_lds_lanes(block_id: usize, threads: u32, smem_bytes: usize, lds_lanes: u32) -> Self {
+        BlockContext {
+            block_id,
+            threads,
+            lds_lanes: lds_lanes.max(1),
+            smem: SharedMem::with_bytes(smem_bytes),
+            counters: KernelCounters::default(),
+        }
+    }
+
+    /// Reuse this context for another block (workers recycle arenas).
+    pub fn reset_for(&mut self, block_id: usize) {
+        self.block_id = block_id;
+        self.smem.reset();
+        self.counters = KernelCounters::default();
+    }
+
+    /// Record a coalesced global-memory read of `bytes` bytes.
+    #[inline]
+    pub fn gld(&mut self, bytes: usize) {
+        self.counters.global_read += bytes as u64;
+    }
+
+    /// Record a coalesced global-memory write of `bytes` bytes.
+    #[inline]
+    pub fn gst(&mut self, bytes: usize) {
+        self.counters.global_write += bytes as u64;
+    }
+
+    /// Record data-parallel ALU work: `items` independent operations
+    /// striped over the block's threads, each costing `flops_per_item`
+    /// flops. Adds `items / threads` dependent cycles (fractional — the
+    /// issue-latency floor is carried by the sync/trip counters).
+    #[inline]
+    pub fn par_work(&mut self, items: usize, flops_per_item: usize) {
+        if items == 0 {
+            return;
+        }
+        self.counters.flops += (items * flops_per_item) as u64;
+        self.counters.cycles += items as f64 / self.threads as f64;
+    }
+
+    /// Record data-parallel work whose operands live in shared memory (the
+    /// factorization's column operations, window shifts, RHS caches).
+    /// Accumulates `items / threads` shared-element groups, priced by the
+    /// device's `work_scale` at timing time.
+    #[inline]
+    pub fn smem_work(&mut self, items: usize, flops_per_item: usize) {
+        if items == 0 {
+            return;
+        }
+        self.counters.flops += (items * flops_per_item) as u64;
+        let lanes = self.threads.min(self.lds_lanes) as f64;
+        self.counters.smem_elems += items as f64 / lanes;
+    }
+
+    /// Record one dependent shared-memory round trip on the critical path
+    /// (e.g. reading the pivot value every other thread must wait for).
+    #[inline]
+    pub fn smem_trip(&mut self) {
+        self.counters.smem_trips += 1;
+    }
+
+    /// Record a block-wide barrier.
+    #[inline]
+    pub fn sync(&mut self) {
+        self.counters.syncs += 1;
+    }
+
+    /// Record raw critical-path cycles (sequential scalar work).
+    #[inline]
+    pub fn seq_cycles(&mut self, cycles: f64) {
+        self.counters.cycles += cycles;
+    }
+
+    /// Counters recorded so far.
+    #[inline]
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_traffic() {
+        let mut ctx = BlockContext::new(3, 32, 1024);
+        ctx.gld(256);
+        ctx.gst(128);
+        let c = ctx.counters();
+        assert_eq!(c.global_read, 256);
+        assert_eq!(c.global_write, 128);
+        assert_eq!(ctx.block_id, 3);
+    }
+
+    #[test]
+    fn par_work_stripes_over_threads() {
+        let mut ctx = BlockContext::new(0, 8, 0);
+        ctx.par_work(20, 2); // 20/8 = 2.5 cycles, 40 flops
+        let c = ctx.counters();
+        assert_eq!(c.flops, 40);
+        assert_eq!(c.cycles, 2.5);
+        ctx.par_work(0, 100); // no-op
+        assert_eq!(ctx.counters().cycles, 2.5);
+    }
+
+    #[test]
+    fn smem_work_capped_by_lds_lanes() {
+        let mut ctx = BlockContext::with_lds_lanes(0, 64, 0, 8);
+        ctx.smem_work(32, 1);
+        let c = ctx.counters();
+        // 64 threads but only 8 LDS lanes: 32 / 8 = 4 element groups.
+        assert_eq!(c.smem_elems, 4.0);
+        assert_eq!(c.flops, 32);
+        // Fewer threads than lanes: divisor is the thread count.
+        let mut ctx = BlockContext::with_lds_lanes(0, 4, 0, 8);
+        ctx.smem_work(32, 0);
+        assert_eq!(ctx.counters().smem_elems, 8.0);
+    }
+
+    #[test]
+    fn sync_and_trips() {
+        let mut ctx = BlockContext::new(0, 8, 0);
+        ctx.sync();
+        ctx.sync();
+        ctx.smem_trip();
+        ctx.seq_cycles(12.5);
+        let c = ctx.counters();
+        assert_eq!(c.syncs, 2);
+        assert_eq!(c.smem_trips, 1);
+        assert_eq!(c.cycles, 12.5);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ctx = BlockContext::new(0, 8, 64);
+        ctx.gld(100);
+        let off = ctx.smem.alloc(4);
+        ctx.smem.slice_mut(off, 4)[0] = 9.0;
+        ctx.reset_for(7);
+        assert_eq!(ctx.block_id, 7);
+        assert_eq!(ctx.counters(), KernelCounters::default());
+        assert_eq!(ctx.smem.used(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Execution counters recorded by block programs.
+//!
+//! The timing model consumes these instead of instrumenting every slice
+//! access: a block program explicitly records the traffic and dependent
+//! work it performs. Counters are plain data and merge associatively, so
+//! blocks can execute in any order (or in parallel) and produce identical
+//! aggregates.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts for one block, or the aggregate of a whole launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// Bytes read from global memory.
+    pub global_read: u64,
+    /// Bytes written to global memory.
+    pub global_write: u64,
+    /// Floating-point operations (adds + muls; an FMA counts as 2).
+    pub flops: u64,
+    /// Shared-memory round trips on the *critical path* (dependent
+    /// accesses, e.g. one per column step of a factorization).
+    pub smem_trips: u64,
+    /// Block-wide barriers executed.
+    pub syncs: u64,
+    /// Dependent-work cycles accumulated on the block's critical path
+    /// (pure-ALU parallel work of `w` items across `t` threads adds
+    /// `w / t` cycles).
+    pub cycles: f64,
+    /// Shared-memory element groups touched on the critical path:
+    /// `items / threads` per recorded operation. Priced by the device's
+    /// `work_scale` (LDS/shared throughput) in the timing model.
+    pub smem_elems: f64,
+}
+
+impl KernelCounters {
+    /// Total global traffic in bytes.
+    #[inline]
+    pub fn global_bytes(&self) -> u64 {
+        self.global_read + self.global_write
+    }
+
+    /// Merge another block's counters into an aggregate: traffic and flops
+    /// add; `cycles`/`smem_trips`/`syncs` take the max because co-resident
+    /// blocks overlap (the wave's critical path is its slowest block).
+    pub fn merge_wave(&mut self, other: &KernelCounters) {
+        self.global_read += other.global_read;
+        self.global_write += other.global_write;
+        self.flops += other.flops;
+        self.smem_trips = self.smem_trips.max(other.smem_trips);
+        self.syncs = self.syncs.max(other.syncs);
+        self.cycles = self.cycles.max(other.cycles);
+        self.smem_elems = self.smem_elems.max(other.smem_elems);
+    }
+
+    /// Latency cycles contributed by syncs and shared-memory trips on the
+    /// critical path of one block, given device latencies.
+    pub fn latency_cycles(&self, smem_latency: f64, sync_cycles: f64) -> f64 {
+        self.cycles + self.smem_trips as f64 * smem_latency + self.syncs as f64 * sync_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let c = KernelCounters::default();
+        assert_eq!(c.global_bytes(), 0);
+        assert_eq!(c.latency_cycles(20.0, 30.0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_traffic_and_maxes_latency() {
+        let mut a = KernelCounters {
+            global_read: 100,
+            global_write: 50,
+            flops: 10,
+            smem_trips: 5,
+            syncs: 2,
+            cycles: 1000.0,
+            smem_elems: 4.0,
+        };
+        let b = KernelCounters {
+            global_read: 10,
+            global_write: 5,
+            flops: 1,
+            smem_trips: 9,
+            syncs: 1,
+            cycles: 500.0,
+            smem_elems: 9.0,
+        };
+        a.merge_wave(&b);
+        assert_eq!(a.global_read, 110);
+        assert_eq!(a.global_write, 55);
+        assert_eq!(a.flops, 11);
+        assert_eq!(a.smem_trips, 9);
+        assert_eq!(a.syncs, 2);
+        assert_eq!(a.cycles, 1000.0);
+        assert_eq!(a.smem_elems, 9.0);
+    }
+
+    #[test]
+    fn latency_cycles_formula() {
+        let c = KernelCounters { smem_trips: 3, syncs: 2, cycles: 100.0, ..Default::default() };
+        assert_eq!(c.latency_cycles(10.0, 5.0), 100.0 + 30.0 + 10.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared-memory arena for block programs.
+//!
+//! A block program receives a [`SharedMem`] whose capacity equals the
+//! `smem_bytes` of its launch configuration; attempts to allocate past the
+//! capacity panic, mirroring how a real kernel simply cannot address more
+//! shared memory than it requested. The engine validates the *request*
+//! against the device limit before any block runs (see
+//! [`crate::engine::launch`]), so a panic here is a kernel authoring bug,
+//! not a simulated hardware failure.
+
+/// A bump-allocated `f64` arena standing in for GPU shared memory.
+#[derive(Debug)]
+pub struct SharedMem {
+    buf: Vec<f64>,
+    used: usize,
+}
+
+impl SharedMem {
+    /// Arena with capacity for `bytes` bytes (rounded down to whole `f64`s).
+    pub fn with_bytes(bytes: usize) -> Self {
+        SharedMem { buf: vec![0.0; bytes / std::mem::size_of::<f64>()], used: 0 }
+    }
+
+    /// Capacity in `f64` elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Elements currently allocated.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Allocate `len` elements; returns the arena offset.
+    ///
+    /// # Panics
+    /// When the request exceeds the block's declared shared memory — a
+    /// kernel bug (the declared size is validated by the engine).
+    pub fn alloc(&mut self, len: usize) -> usize {
+        assert!(
+            self.used + len <= self.buf.len(),
+            "shared-memory overflow: {} + {} > {} f64s — kernel requested too little smem",
+            self.used,
+            len,
+            self.buf.len()
+        );
+        let off = self.used;
+        self.used += len;
+        off
+    }
+
+    /// Reset all allocations (used when a worker reuses the arena for the
+    /// next block) and zero the buffer, matching the "fresh" state a new
+    /// block observes.
+    pub fn reset(&mut self) {
+        self.used = 0;
+        self.buf.fill(0.0);
+    }
+
+    /// View of an allocation.
+    #[inline]
+    pub fn slice(&self, off: usize, len: usize) -> &[f64] {
+        &self.buf[off..off + len]
+    }
+
+    /// Mutable view of an allocation.
+    #[inline]
+    pub fn slice_mut(&mut self, off: usize, len: usize) -> &mut [f64] {
+        &mut self.buf[off..off + len]
+    }
+
+    /// Two disjoint mutable views (e.g. the paper's factor window and RHS
+    /// cache living side by side).
+    pub fn slice2_mut(
+        &mut self,
+        off1: usize,
+        len1: usize,
+        off2: usize,
+        len2: usize,
+    ) -> (&mut [f64], &mut [f64]) {
+        assert!(off1 + len1 <= off2 || off2 + len2 <= off1, "overlapping shared slices");
+        if off1 < off2 {
+            let (a, b) = self.buf.split_at_mut(off2);
+            (&mut a[off1..off1 + len1], &mut b[..len2])
+        } else {
+            let (a, b) = self.buf.split_at_mut(off1);
+            let first = &mut b[..len1];
+            (first, &mut a[off2..off2 + len2])
+        }
+    }
+
+    /// Raw access to the whole arena (kernels that manage their own
+    /// sub-allocation).
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_use() {
+        let mut s = SharedMem::with_bytes(64); // 8 f64
+        assert_eq!(s.capacity(), 8);
+        let a = s.alloc(3);
+        let b = s.alloc(5);
+        assert_eq!((a, b), (0, 3));
+        s.slice_mut(a, 3)[2] = 7.0;
+        assert_eq!(s.slice(a, 3)[2], 7.0);
+        assert_eq!(s.used(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-memory overflow")]
+    fn overflow_panics() {
+        let mut s = SharedMem::with_bytes(16);
+        s.alloc(3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = SharedMem::with_bytes(64);
+        let a = s.alloc(8);
+        s.slice_mut(a, 8).fill(5.0);
+        s.reset();
+        assert_eq!(s.used(), 0);
+        let a = s.alloc(8);
+        assert!(s.slice(a, 8).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn disjoint_slices() {
+        let mut s = SharedMem::with_bytes(10 * 8);
+        let a = s.alloc(4);
+        let b = s.alloc(6);
+        let (x, y) = s.slice2_mut(a, 4, b, 6);
+        x[0] = 1.0;
+        y[5] = 2.0;
+        assert_eq!(s.slice(a, 4)[0], 1.0);
+        assert_eq!(s.slice(b, 6)[5], 2.0);
+        // Reverse order also works.
+        let (y2, x2) = s.slice2_mut(b, 6, a, 4);
+        assert_eq!(y2[5], 2.0);
+        assert_eq!(x2[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_slices_panic() {
+        let mut s = SharedMem::with_bytes(10 * 8);
+        let _ = s.alloc(10);
+        let _ = s.slice2_mut(0, 6, 4, 4);
+    }
+}

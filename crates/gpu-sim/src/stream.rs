@@ -1,0 +1,150 @@
+//! Concurrent-stream execution model (the paper's Figure 1 baseline).
+//!
+//! The alternative to a dedicated batch kernel is launching one kernel per
+//! matrix, spread over `S` streams. Two effects make this lose for small
+//! problems, both modeled here:
+//!
+//! 1. **Dispatch serialization** — the host enqueues launches one at a
+//!    time; each enqueue costs a fixed overhead, so `N` launches pay
+//!    `N * dispatch` on the host timeline no matter how parallel the device
+//!    is.
+//! 2. **Single-problem occupancy** — a kernel operating on one small matrix
+//!    occupies one block; even with `S` kernels co-resident the device runs
+//!    at `S` blocks total instead of thousands, far below bandwidth
+//!    saturation.
+
+use crate::counters::KernelCounters;
+use crate::device::DeviceSpec;
+use crate::engine::LaunchConfig;
+use crate::occupancy::Occupancy;
+use crate::timing::{effective_bandwidth, SimTime};
+
+/// Host-side cost of enqueueing one kernel launch (seconds). Streams do not
+/// parallelize this; it is the dominant term for tiny kernels.
+pub const DISPATCH_OVERHEAD_S: f64 = 2.5e-6;
+
+/// Execution time of `n_kernels` identical single-problem kernels spread
+/// round-robin over `n_streams` streams.
+///
+/// `per_block` holds the counters of one kernel's single block. Device-side,
+/// `n_streams` blocks run concurrently (assuming each kernel is one block —
+/// true for all the batch-of-small-problems workloads in this crate), so the
+/// effective bandwidth is evaluated at that tiny residency. Host-side, all
+/// dispatches serialize. The result is the max of the two timelines — the
+/// standard pipeline bound.
+pub fn simulate_streams(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    n_kernels: usize,
+    n_streams: usize,
+    per_block: &KernelCounters,
+) -> SimTime {
+    assert!(n_streams > 0, "need at least one stream");
+    if n_kernels == 0 {
+        return SimTime::ZERO;
+    }
+    // Device residency: n_streams blocks spread over the device; at most
+    // one block of each kernel is resident (grid = 1 per kernel).
+    let blocks_conc = n_streams.min(n_kernels) as u32;
+    let warps_per_block = dev.warps_per_block(cfg.threads);
+    // Spread across SMs: warps per SM is tiny.
+    let warps_per_sm = (blocks_conc * warps_per_block).div_ceil(dev.sms).max(1);
+    let occ = Occupancy {
+        blocks_per_sm: blocks_conc.div_ceil(dev.sms).max(1),
+        concurrent_blocks: blocks_conc,
+        warps_per_sm,
+        limiter: crate::occupancy::Limiter::BlockCap,
+    };
+    let eff_bw = effective_bandwidth(dev, &occ);
+
+    // One kernel's device time: launch overhead + max(mem, latency,
+    // flop throughput). The single resident block owns one SM's fp64
+    // lanes — the same throughput correction the batched estimate applies.
+    let mem = per_block.global_bytes() as f64 / eff_bw;
+    let lat = (per_block.cycles
+        + per_block.smem_elems * dev.work_scale
+        + per_block.smem_trips as f64 * dev.smem_latency_cycles
+        + per_block.syncs as f64 * dev.sync_cycles)
+        / dev.clock_hz;
+    let flop_time = per_block.flops as f64 / dev.fp64_lanes_per_sm as f64 / 2.0 / dev.clock_hz;
+    let kernel_time = dev.launch_overhead_s + mem.max(lat).max(flop_time);
+
+    // Device timeline: ceil(N / S) rounds of S concurrent kernels.
+    let rounds = n_kernels.div_ceil(n_streams);
+    let device_time = rounds as f64 * kernel_time;
+
+    // Host timeline: serialized dispatches.
+    let host_time = n_kernels as f64 * DISPATCH_OVERHEAD_S;
+
+    SimTime(device_time.max(host_time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{launch, LaunchConfig};
+
+    fn small_kernel_counters() -> KernelCounters {
+        KernelCounters {
+            global_read: 32 * 32 * 8,
+            global_write: 32 * 32 * 8,
+            flops: 2 * 32 * 32 * 32,
+            cycles: 3000.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batch_beats_streams_for_small_problems() {
+        // The Figure 1 effect: one batched launch vs 500 streamed launches.
+        let dev = DeviceSpec::h100_pcie();
+        let cfg = LaunchConfig::new(32, 16 * 1024);
+        let batch = 500;
+        let c = small_kernel_counters();
+
+        let mut problems = vec![(); batch];
+        let batched = launch(&dev, &cfg, &mut problems, |_, ctx| {
+            ctx.gld(32 * 32 * 8);
+            ctx.gst(32 * 32 * 8);
+            ctx.par_work(32 * 32, 2 * 32);
+            ctx.seq_cycles(3000.0);
+        })
+        .unwrap()
+        .time;
+
+        let streamed = simulate_streams(&dev, &cfg, batch, 16, &c);
+        let speedup = streamed.secs() / batched.secs();
+        assert!(speedup > 4.0, "expected a large batch advantage, got {speedup:.2}x");
+    }
+
+    #[test]
+    fn more_streams_help_until_host_bound() {
+        let dev = DeviceSpec::h100_pcie();
+        let cfg = LaunchConfig::new(32, 1024);
+        let c = small_kernel_counters();
+        let t1 = simulate_streams(&dev, &cfg, 200, 1, &c);
+        let t16 = simulate_streams(&dev, &cfg, 200, 16, &c);
+        assert!(t16.secs() < t1.secs());
+        // Host dispatch floor: no stream count can beat it.
+        let t4096 = simulate_streams(&dev, &cfg, 200, 4096, &c);
+        assert!(t4096.secs() >= 200.0 * DISPATCH_OVERHEAD_S - 1e-12);
+    }
+
+    #[test]
+    fn zero_kernels_is_free() {
+        let dev = DeviceSpec::test_device();
+        let cfg = LaunchConfig::new(8, 0);
+        assert_eq!(
+            simulate_streams(&dev, &cfg, 0, 16, &KernelCounters::default()).secs(),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_panics() {
+        let dev = DeviceSpec::test_device();
+        let cfg = LaunchConfig::new(8, 0);
+        let _ = simulate_streams(&dev, &cfg, 1, 0, &KernelCounters::default());
+    }
+}

@@ -1,0 +1,241 @@
+//! Analytic wave-based timing model.
+//!
+//! A launch of `grid` blocks at residency `occ` executes in
+//! `waves = ceil(grid / occ.concurrent_blocks)` rounds. Each wave costs the
+//! maximum of:
+//!
+//! - **memory time** — the wave's global traffic divided by the *effective*
+//!   bandwidth. Below `saturation_warps` resident warps per SM the device is
+//!   latency-bound and bandwidth scales linearly with occupancy; this is the
+//!   mechanism behind the paper's staircase (Fig. 3) and the stream-vs-batch
+//!   gap (Fig. 1);
+//! - **compute/latency time** — the slowest block's critical path: recorded
+//!   cycles plus shared-memory trips and barrier costs, at the device clock,
+//!   with a throughput correction when co-resident blocks oversubscribe the
+//!   SM's fp64 lanes.
+//!
+//! The model's absolute scale is synthetic (documented in EXPERIMENTS.md);
+//! its *structure* — what depends on occupancy, traffic and critical path —
+//! mirrors the paper's analysis, which is what the reproduction relies on.
+
+use crate::counters::KernelCounters;
+use crate::device::DeviceSpec;
+use crate::occupancy::{waves, Occupancy};
+use serde::{Deserialize, Serialize};
+
+/// A simulated duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Milliseconds (the unit of every figure in the paper).
+    #[inline]
+    pub fn ms(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Microseconds.
+    #[inline]
+    pub fn us(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+/// Effective global bandwidth at a given residency: full bandwidth once
+/// `saturation_warps` warps are resident per SM, linear below that
+/// (latency-bound regime).
+pub fn effective_bandwidth(dev: &DeviceSpec, occ: &Occupancy) -> f64 {
+    let frac = (occ.warps_per_sm as f64 / dev.saturation_warps as f64).min(1.0);
+    dev.mem_bw * frac
+}
+
+/// Per-wave aggregate: total traffic of the wave's blocks plus the critical
+/// path of its slowest block (for uniform batches every block is the same,
+/// so the launch aggregate divided into waves is exact).
+pub fn estimate(
+    dev: &DeviceSpec,
+    occ: &Occupancy,
+    grid: usize,
+    per_block: &KernelCounters,
+) -> SimTime {
+    if grid == 0 {
+        return SimTime(dev.launch_overhead_s);
+    }
+    let n_waves = waves(grid, occ);
+    // Memory: traffic of a full wave at effective bandwidth. The last
+    // (possibly partial) wave is costed like a full one only for the blocks
+    // it actually has.
+    let eff_bw = effective_bandwidth(dev, occ);
+    let total_bytes = per_block.global_bytes() as f64 * grid as f64;
+    let mem_time = total_bytes / eff_bw;
+
+    // Compute/latency: each wave pays the slowest block's critical path.
+    let latency_cycles = per_block.cycles
+        + per_block.smem_elems * dev.work_scale
+        + per_block.smem_trips as f64 * dev.smem_latency_cycles
+        + per_block.syncs as f64 * dev.sync_cycles;
+    // fp64 throughput correction: co-resident blocks share the SM's lanes.
+    let lane_cycles_per_sm =
+        per_block.flops as f64 * occ.blocks_per_sm as f64 / dev.fp64_lanes_per_sm as f64;
+    let wave_cycles = latency_cycles.max(lane_cycles_per_sm / 2.0);
+    let compute_time = n_waves as f64 * wave_cycles / dev.clock_hz;
+
+    SimTime(dev.launch_overhead_s + mem_time.max(compute_time))
+}
+
+/// Convenience: estimate from an aggregate where the caller already summed
+/// per-block traffic over the whole grid and kept per-block critical path
+/// (what [`crate::engine::launch`] produces).
+pub fn estimate_aggregate(
+    dev: &DeviceSpec,
+    occ: &Occupancy,
+    grid: usize,
+    total: &KernelCounters,
+) -> SimTime {
+    if grid == 0 {
+        return SimTime(dev.launch_overhead_s);
+    }
+    let n_waves = waves(grid, occ);
+    let eff_bw = effective_bandwidth(dev, occ);
+    let mem_time = total.global_bytes() as f64 / eff_bw;
+    let latency_cycles = total.cycles
+        + total.smem_elems * dev.work_scale
+        + total.smem_trips as f64 * dev.smem_latency_cycles
+        + total.syncs as f64 * dev.sync_cycles;
+    let flops_per_block = total.flops as f64 / grid as f64;
+    let lane_cycles_per_sm =
+        flops_per_block * occ.blocks_per_sm as f64 / dev.fp64_lanes_per_sm as f64;
+    let wave_cycles = latency_cycles.max(lane_cycles_per_sm / 2.0);
+    let compute_time = n_waves as f64 * wave_cycles / dev.clock_hz;
+    SimTime(dev.launch_overhead_s + mem_time.max(compute_time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::occupancy;
+
+    fn block_counters() -> KernelCounters {
+        KernelCounters {
+            global_read: 4096,
+            global_write: 4096,
+            flops: 10_000,
+            smem_trips: 50,
+            syncs: 10,
+            cycles: 2_000.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn doubling_waves_roughly_doubles_time() {
+        let dev = DeviceSpec::test_device();
+        let occ = occupancy(&dev, 8, 8192).unwrap(); // 8 concurrent blocks
+        let c = block_counters();
+        let t1 = estimate(&dev, &occ, 8, &c);
+        let t2 = estimate(&dev, &occ, 16, &c);
+        let ratio = (t2.secs() - dev.launch_overhead_s) / (t1.secs() - dev.launch_overhead_s);
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn occupancy_drop_creates_staircase() {
+        // Same work per block, but shared memory crossing the half-capacity
+        // boundary halves residency -> latency-dominated time doubles.
+        let dev = DeviceSpec::test_device();
+        let grid = 64;
+        let c = block_counters();
+        let occ2 = occupancy(&dev, 8, dev.smem_per_sm / 2).unwrap();
+        let occ1 = occupancy(&dev, 8, dev.smem_per_sm / 2 + 64).unwrap();
+        assert_eq!(occ2.blocks_per_sm, 2);
+        assert_eq!(occ1.blocks_per_sm, 1);
+        let t2 = estimate(&dev, &occ2, grid, &c);
+        let t1 = estimate(&dev, &occ1, grid, &c);
+        assert!(
+            t1.secs() > 1.7 * t2.secs() - dev.launch_overhead_s,
+            "staircase missing: {} vs {}",
+            t1.secs(),
+            t2.secs()
+        );
+    }
+
+    #[test]
+    fn low_occupancy_degrades_bandwidth() {
+        let dev = DeviceSpec::test_device(); // saturation_warps = 4, warp 8
+        let occ_low = occupancy(&dev, 8, dev.smem_per_sm).unwrap(); // 1 block/SM, 1 warp
+        let occ_high = occupancy(&dev, 32, dev.smem_per_sm / 8).unwrap(); // 4 warps/SM
+        assert!(effective_bandwidth(&dev, &occ_low) < effective_bandwidth(&dev, &occ_high));
+        assert_eq!(effective_bandwidth(&dev, &occ_high), dev.mem_bw);
+        assert!((effective_bandwidth(&dev, &occ_low) - dev.mem_bw * 0.25).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_grid_costs_launch_overhead() {
+        let dev = DeviceSpec::test_device();
+        let occ = occupancy(&dev, 8, 0).unwrap();
+        let t = estimate(&dev, &occ, 0, &KernelCounters::default());
+        assert_eq!(t.secs(), dev.launch_overhead_s);
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let a = SimTime(1e-3) + SimTime(2e-3);
+        assert!((a.ms() - 3.0).abs() < 1e-12);
+        assert!((a.us() - 3000.0).abs() < 1e-9);
+        let s: SimTime = [SimTime(1.0), SimTime(2.0)].into_iter().sum();
+        assert_eq!(s.secs(), 3.0);
+        let mut m = SimTime::ZERO;
+        m += SimTime(0.5);
+        assert_eq!(m.secs(), 0.5);
+    }
+
+    #[test]
+    fn aggregate_matches_per_block_for_uniform_grid() {
+        let dev = DeviceSpec::test_device();
+        let occ = occupancy(&dev, 8, 4096).unwrap();
+        let c = block_counters();
+        let grid = 40;
+        let mut agg = KernelCounters::default();
+        for _ in 0..grid {
+            let mut b = c;
+            b.global_read *= 1; // per-block
+            agg.global_read += b.global_read;
+            agg.global_write += b.global_write;
+            agg.flops += b.flops;
+            agg.smem_trips = agg.smem_trips.max(b.smem_trips);
+            agg.syncs = agg.syncs.max(b.syncs);
+            agg.cycles = agg.cycles.max(b.cycles);
+        }
+        let t1 = estimate(&dev, &occ, grid, &c);
+        let t2 = estimate_aggregate(&dev, &occ, grid, &agg);
+        assert!((t1.secs() - t2.secs()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,326 @@
+//! Analytic cost prediction (dry-run counters) for the factorization
+//! kernels.
+//!
+//! The offline tuner (paper §5.3: "a benchmark sweep ... fed to a
+//! post-processing phase that extracts the best tuning parameters") needs
+//! kernel costs for hundreds of `(kl, ku, nb, threads)` combinations; this
+//! module predicts the per-block counters *without executing numerics*,
+//! assuming worst-case pivoting (`jp = kl`, so every column updates the
+//! full `kv + 1`-column window). Global traffic predictions are exact;
+//! critical-path cycles are an upper bound on what the executing kernels
+//! record.
+
+use gbatch_core::layout::BandLayout;
+use gbatch_gpu_sim::{DeviceSpec, KernelCounters, LaunchConfig};
+
+#[inline]
+fn frac(a: usize, t: usize) -> f64 {
+    a as f64 / t as f64
+}
+
+/// Worst-case per-column factorization cost, matching the recording calls
+/// of [`crate::step::smem_column_step`] one for one.
+fn column_cost(l: &BandLayout, j: usize, threads: usize, c: &mut KernelCounters) {
+    let n = l.n;
+    let kv = l.kv();
+    let km = l.km(j);
+    // SET_FILLIN
+    if j + kv < n {
+        c.smem_elems += frac(l.kl, threads);
+    }
+    // IAMAX + winner broadcast + barrier
+    c.smem_elems += frac(km + 1, threads);
+    c.smem_trips += 1;
+    c.syncs += 1;
+    // Worst-case update reach.
+    let ju = (j + kv).min(n - 1);
+    let w = ju - j;
+    // SWAP (assume a pivot interchange every column)
+    if km > 0 {
+        c.smem_elems += frac(w + 1, threads);
+    }
+    c.syncs += 1;
+    if km > 0 {
+        // SCAL
+        c.smem_elems += frac(km, threads);
+        c.flops += km as u64;
+        c.smem_trips += 1;
+        // RANK-1 UPDATE
+        if w > 0 {
+            c.smem_elems += frac(w * km, threads);
+            c.flops += (2 * w * km) as u64;
+        }
+        c.syncs += 1;
+    }
+}
+
+/// Predicted per-block counters of the fully fused kernel (§5.2).
+/// `lanes` is the effective shared-memory parallelism:
+/// `min(threads, device.lds_lanes)`.
+pub fn predict_fused(l: &BandLayout, lanes: u32) -> KernelCounters {
+    let t = lanes as usize;
+    let mut c = KernelCounters::default();
+    let bytes = l.len() * 8;
+    c.global_read += bytes as u64;
+    c.syncs += 1;
+    for j in 0..l.m.min(l.n) {
+        column_cost(l, j, t, &mut c);
+    }
+    c.global_write += (bytes + l.m.min(l.n) * 4) as u64;
+    c.syncs += 1;
+    c
+}
+
+/// Predicted per-block counters of the sliding-window kernel (§5.3).
+/// `lanes` is the effective shared-memory parallelism:
+/// `min(threads, device.lds_lanes)`.
+pub fn predict_window(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
+    let t = lanes as usize;
+    let ldab = l.ldab;
+    let n = l.n;
+    let kmin = l.m.min(n);
+    let wcols = crate::window::window_cols(l.kl, l.ku, nb).min(n);
+    let mut c = KernelCounters::default();
+
+    // Initial load.
+    let mut loaded_end = wcols.min(n);
+    c.global_read += (loaded_end * ldab * 8) as u64;
+    c.syncs += 1;
+
+    let mut j0 = 0usize;
+    while j0 < kmin {
+        let jb = nb.min(kmin - j0);
+        for j in j0..j0 + jb {
+            column_cost(l, j, t, &mut c);
+        }
+        // Store the factored block.
+        c.global_write += (jb * ldab * 8) as u64;
+        c.syncs += 1;
+        let next_j0 = j0 + jb;
+        if next_j0 >= kmin {
+            if loaded_end > next_j0 {
+                c.global_write += ((loaded_end - next_j0) * ldab * 8) as u64;
+            }
+            break;
+        }
+        // Shift + tail load.
+        let keep = loaded_end - next_j0;
+        c.smem_elems += frac(keep * ldab, t);
+        c.syncs += 1;
+        let new_end = (next_j0 + wcols).min(n);
+        if new_end > loaded_end {
+            c.global_read += ((new_end - loaded_end) * ldab * 8) as u64;
+            loaded_end = new_end;
+        }
+        c.syncs += 1;
+        j0 = next_j0;
+    }
+    c.global_write += (kmin * 4) as u64; // pivots
+    c
+}
+
+/// Predicted per-block counters of the blocked forward+backward solve
+/// (`gbtrs_batch_blocked`), single launch pair combined. `lanes` is
+/// `min(threads, device.lds_lanes)`.
+pub fn predict_gbtrs_blocked(
+    l: &BandLayout,
+    nb: usize,
+    nrhs: usize,
+    lanes: u32,
+) -> KernelCounters {
+    let t = lanes as usize;
+    let n = l.n;
+    let kv = l.kv();
+    let kl = l.kl;
+    let mut c = KernelCounters::default();
+
+    // ---- forward sweep (skipped when kl == 0) ----
+    if kl > 0 && n > 1 {
+        let cache_rows = (nb + kl).min(n);
+        c.global_read += (cache_rows.min(n) * nrhs * 8) as u64;
+        c.syncs += 1;
+        let mut j0 = 0usize;
+        let mut loaded = cache_rows.min(n);
+        while j0 < n {
+            let jb = nb.min(n - j0);
+            for j in j0..j0 + jb {
+                if j >= n - 1 {
+                    break;
+                }
+                let lm = kl.min(n - 1 - j);
+                c.smem_elems += frac(nrhs, t); // pivot swap (worst case)
+                if lm > 0 {
+                    c.global_read += (lm * 8) as u64;
+                    c.smem_elems += frac(nrhs * lm, t);
+                    c.flops += (2 * nrhs * lm) as u64;
+                }
+                c.syncs += 1;
+            }
+            c.global_write += (jb * nrhs * 8) as u64;
+            let next_j0 = j0 + jb;
+            if next_j0 >= n {
+                break;
+            }
+            let keep = loaded - next_j0;
+            c.smem_elems += frac(keep * nrhs, t);
+            let new_end = (next_j0 + cache_rows).min(n);
+            if new_end > loaded {
+                c.global_read += ((new_end - loaded) * nrhs * 8) as u64;
+                loaded = new_end;
+            }
+            c.syncs += 1;
+            j0 = next_j0;
+        }
+    }
+
+    // ---- backward sweep ----
+    let cache_rows = (nb + kv).min(n);
+    c.global_read += (cache_rows.min(n) * nrhs * 8) as u64;
+    c.syncs += 1;
+    let mut j1 = n;
+    while j1 > 0 {
+        let jb = nb.min(j1);
+        let j0 = j1 - jb;
+        for j in (j0..j1).rev() {
+            let reach = kv.min(j);
+            c.global_read += ((reach + 1) * 8) as u64;
+            c.smem_elems += frac(nrhs * (reach + 1), t);
+            c.flops += (2 * nrhs * (reach + 1)) as u64;
+            c.syncs += 1;
+        }
+        c.global_write += (jb * nrhs * 8) as u64;
+        if j0 == 0 {
+            break;
+        }
+        let keep = jb.min(cache_rows);
+        c.smem_elems += frac(keep * nrhs, t);
+        c.global_read += (nb.min(j0) * nrhs * 8) as u64;
+        c.syncs += 1;
+        j1 = j0;
+    }
+    c
+}
+
+/// Predicted modeled time of a batched launch of either factorization
+/// kernel: validates the configuration and prices the launch exactly as the
+/// engine would. Returns `None` when the launch cannot run (shared memory).
+pub fn predict_time(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    batch: usize,
+    per_block: &KernelCounters,
+) -> Option<gbatch_gpu_sim::SimTime> {
+    let occ = gbatch_gpu_sim::engine::validate(dev, cfg).ok()?;
+    Some(gbatch_gpu_sim::timing::estimate(dev, &occ, batch, per_block))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch};
+    use gbatch_gpu_sim::DeviceSpec;
+
+    fn random_batch(batch: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
+        let mut v = 0.37f64;
+        BandBatch::from_fn(batch, n, n, kl, ku, |_, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 2.2 + 0.111).fract();
+                    m.set(i, j, v - 0.5);
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fused_traffic_prediction_is_exact() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku, batch) = (32usize, 2usize, 3usize, 4usize);
+        let mut a = random_batch(batch, n, kl, ku);
+        let l = a.layout();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = crate::fused::gbtrf_batch_fused(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut info,
+            crate::fused::FusedParams { threads: 32 },
+        )
+        .unwrap();
+        let pred = predict_fused(&l, 32);
+        assert_eq!(rep.counters.global_read, pred.global_read * batch as u64);
+        assert_eq!(rep.counters.global_write, pred.global_write * batch as u64);
+    }
+
+    #[test]
+    fn window_traffic_prediction_is_exact() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku, nb, batch) = (48usize, 2usize, 3usize, 8usize, 3usize);
+        let mut a = random_batch(batch, n, kl, ku);
+        let l = a.layout();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = crate::window::gbtrf_batch_window(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut info,
+            crate::window::WindowParams { nb, threads: 32 },
+        )
+        .unwrap();
+        let pred = predict_window(&l, nb, 32);
+        assert_eq!(rep.counters.global_read, pred.global_read * batch as u64);
+        assert_eq!(rep.counters.global_write, pred.global_write * batch as u64);
+    }
+
+    #[test]
+    fn predicted_cycles_upper_bound_actual() {
+        // Worst-case pivoting assumption => predicted critical path must be
+        // at least the recorded one, and not absurdly larger.
+        let dev = DeviceSpec::h100_pcie();
+        for (n, kl, ku) in [(32usize, 2usize, 3usize), (48, 10, 7)] {
+            let batch = 3;
+            let mut a = random_batch(batch, n, kl, ku);
+            let l = a.layout();
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            let rep = crate::fused::gbtrf_batch_fused(
+                &dev,
+                &mut a,
+                &mut piv,
+                &mut info,
+                crate::fused::FusedParams { threads: 32 },
+            )
+            .unwrap();
+            let pred = predict_fused(&l, 32.min(dev.lds_lanes));
+            assert!(pred.smem_elems >= rep.counters.smem_elems, "prediction must upper-bound");
+            assert!(pred.smem_elems <= 3.0 * rep.counters.smem_elems, "prediction too loose");
+            assert!(pred.syncs >= rep.counters.syncs);
+        }
+    }
+
+    #[test]
+    fn predict_time_rejects_impossible_configs() {
+        let dev = DeviceSpec::mi250x_gcd();
+        let c = KernelCounters::default();
+        let bad = LaunchConfig::new(32, dev.max_smem_per_block + 1);
+        assert!(predict_time(&dev, &bad, 10, &c).is_none());
+        let ok = LaunchConfig::new(32, 1024);
+        assert!(predict_time(&dev, &ok, 10, &c).is_some());
+    }
+
+    #[test]
+    fn window_cost_grows_linearly_with_n() {
+        let l1 = BandLayout::factor(256, 256, 2, 3).unwrap();
+        let l2 = BandLayout::factor(512, 512, 2, 3).unwrap();
+        let c1 = predict_window(&l1, 8, 32);
+        let c2 = predict_window(&l2, 8, 32);
+        let r = c2.smem_elems / c1.smem_elems;
+        assert!((r - 2.0).abs() < 0.15, "smem work should scale ~linearly, got {r:.2}");
+        let rt = c2.global_bytes() as f64 / c1.global_bytes() as f64;
+        assert!((rt - 2.0).abs() < 0.15, "traffic should scale ~linearly, got {rt:.2}");
+    }
+}

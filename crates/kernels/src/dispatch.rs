@@ -1,0 +1,458 @@
+//! The batched band routines' user interface (paper Section 4) and the
+//! kernel-selection logic of §5.4 ("The Complete Picture").
+//!
+//! Selection policy, exactly as the paper describes:
+//!
+//! - **fused** for very small matrices (`n <= 64` by default): no window
+//!   shifting, no extra synchronization;
+//! - **sliding window** for everything else ("in most cases the sliding
+//!   window approach is selected, since it covers a very wide range of band
+//!   sizes regardless of the matrix size");
+//! - **reference** as the safety net when even one window column set cannot
+//!   fit in shared memory;
+//! - for the driver, the fused factor+solve kernel handles `n <= 64`,
+//!   `nrhs == 1` (§7).
+//!
+//! The C-style interface of the paper (`dgbtrf_batch`, `dgbtrs_batch`,
+//! `dgbsv_batch` over `double**` pointer arrays) maps to the batch
+//! containers of `gbatch_core`; the `info` array and per-matrix pivot
+//! vectors are preserved verbatim.
+
+use crate::fused::{fused_smem_bytes, gbtrf_batch_fused, FusedParams};
+use crate::gbsv_fused::{gbsv_batch_fused, gbsv_smem_bytes, FUSED_GBSV_MAX_N};
+use crate::gbtrs_blocked::{gbtrs_batch_blocked, SolveParams};
+use crate::gbtrs_cols::gbtrs_batch_cols;
+use crate::gbtrs_trans::gbtrs_batch_blocked_trans;
+use crate::reference::gbtrf_batch_reference;
+use crate::window::{gbtrf_batch_window, window_smem_bytes, WindowParams};
+use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
+use gbatch_core::gbtrs::Transpose;
+use gbatch_core::layout::BandLayout;
+use gbatch_gpu_sim::engine::validate;
+use gbatch_gpu_sim::{DeviceSpec, LaunchConfig, LaunchError, SimTime};
+
+/// Factorization algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorAlgo {
+    /// §5.4 policy: fused below the cutoff, window otherwise, reference as
+    /// the safety net.
+    #[default]
+    Auto,
+    /// Force the fully fused kernel (§5.2).
+    Fused,
+    /// Force the sliding-window kernel (§5.3).
+    Window,
+    /// Force the fork–join reference (§5.1).
+    Reference,
+}
+
+/// Which kernel the dispatcher actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenAlgo {
+    /// Fully fused factorization.
+    Fused,
+    /// Sliding-window factorization.
+    Window,
+    /// Fork–join reference factorization.
+    Reference,
+    /// Single-kernel factorize-and-solve (`GBSV` only).
+    FusedGbsv,
+    /// Band-specialized register-file kernel (§8.1 emulation, opt-in).
+    Specialized,
+}
+
+/// Options for the batched routines. `Default` reproduces the paper's
+/// published configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GbsvOptions {
+    /// Factorization algorithm (default: auto).
+    pub algo: FactorAlgo,
+    /// Matrix-order cutoff for the fused kernels (default 64, §5.4/§7).
+    pub fused_cutoff: Option<usize>,
+    /// Sliding-window tuning parameters (default: [`WindowParams::auto`];
+    /// the `gbatch-tuning` crate produces better values per band shape).
+    pub window: Option<WindowParams>,
+    /// Fused-kernel thread count (default: [`FusedParams::auto`]).
+    pub fused_threads: Option<u32>,
+    /// Blocked-solve tuning parameters (default: [`SolveParams::auto`]).
+    pub solve: Option<SolveParams>,
+    /// Allow the single-kernel fused GBSV for small single-RHS systems
+    /// (default true; disable for the Figure 7 "standard" baseline).
+    pub allow_fused_gbsv: Option<bool>,
+    /// Prefer the band-specialized register-file kernels (the §8.1
+    /// JIT-emulation of [`crate::specialized`]) when an instantiation for
+    /// the batch's band shape exists (default false: the paper's published
+    /// design does not include them).
+    pub prefer_specialized: Option<bool>,
+}
+
+impl GbsvOptions {
+    fn cutoff(&self) -> usize {
+        self.fused_cutoff.unwrap_or(FUSED_GBSV_MAX_N)
+    }
+}
+
+/// Outcome of a batched routine: which kernel ran and what it cost.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Kernel design the dispatcher selected.
+    pub algo: ChosenAlgo,
+    /// Total modeled time (all launches).
+    pub time: SimTime,
+    /// Number of kernel launches issued.
+    pub launches: usize,
+}
+
+/// Batched band LU factorization (`dgbtrf_batch`, paper Section 4).
+pub fn dgbtrf_batch(
+    dev: &DeviceSpec,
+    a: &mut BandBatch,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    let l = a.layout();
+    let fused_params = opts
+        .fused_threads
+        .map(|threads| FusedParams { threads })
+        .unwrap_or_else(|| FusedParams::auto(dev, l.kl));
+    let window_params = opts.window.unwrap_or_else(|| WindowParams::auto(dev, l.kl));
+
+    // Opt-in: the specialized register-file kernels (paper §8.1).
+    if opts.prefer_specialized.unwrap_or(false) {
+        if let Some(res) =
+            crate::specialized::specialized_gbtrf(dev, a, piv, info, fused_params.threads)
+        {
+            let rep = res?;
+            return Ok(BatchReport { algo: ChosenAlgo::Specialized, time: rep.time, launches: 1 });
+        }
+    }
+
+    let algo = match opts.algo {
+        FactorAlgo::Fused => ChosenAlgo::Fused,
+        FactorAlgo::Window => ChosenAlgo::Window,
+        FactorAlgo::Reference => ChosenAlgo::Reference,
+        FactorAlgo::Auto => {
+            let fused_fits = validate(
+                dev,
+                &LaunchConfig::new(fused_params.threads, fused_smem_bytes(l.ldab, l.n) as u32),
+            )
+            .is_ok();
+            let window_fits = validate(
+                dev,
+                &LaunchConfig::new(
+                    window_params.threads,
+                    window_smem_bytes(&l, window_params.nb) as u32,
+                ),
+            )
+            .is_ok();
+            if l.n.max(l.m) <= opts.cutoff() && fused_fits {
+                ChosenAlgo::Fused
+            } else if window_fits {
+                ChosenAlgo::Window
+            } else if fused_fits {
+                ChosenAlgo::Fused
+            } else {
+                ChosenAlgo::Reference
+            }
+        }
+    };
+
+    match algo {
+        ChosenAlgo::Fused => {
+            let rep = gbtrf_batch_fused(dev, a, piv, info, fused_params)?;
+            Ok(BatchReport { algo, time: rep.time, launches: 1 })
+        }
+        ChosenAlgo::Window => {
+            let rep = gbtrf_batch_window(dev, a, piv, info, window_params)?;
+            Ok(BatchReport { algo, time: rep.time, launches: 1 })
+        }
+        ChosenAlgo::Reference | ChosenAlgo::FusedGbsv | ChosenAlgo::Specialized => {
+            let rep = gbtrf_batch_reference(dev, a, piv, info)?;
+            Ok(BatchReport { algo: ChosenAlgo::Reference, time: rep.time, launches: rep.launches })
+        }
+    }
+}
+
+/// Batched band triangular solve (`dgbtrs_batch`, paper Section 4), with
+/// the interface's `transpose_t transA` argument. Uses the blocked
+/// kernels, falling back to the column-wise reference when the RHS cache
+/// cannot fit in shared memory (no-transpose only; the transpose path's
+/// cache is never larger).
+pub fn dgbtrs_batch(
+    dev: &DeviceSpec,
+    trans: Transpose,
+    l: &BandLayout,
+    factors: &[f64],
+    piv: &PivotBatch,
+    rhs: &mut RhsBatch,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    let params = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
+    match trans {
+        Transpose::No => match gbtrs_batch_blocked(dev, l, factors, piv, rhs, params) {
+            Ok(rep) => {
+                let launches = 1 + rep.forward.is_some() as usize;
+                Ok(BatchReport { algo: ChosenAlgo::Window, time: rep.time(), launches })
+            }
+            Err(LaunchError::SharedMemExceeded { .. }) => {
+                let rep = gbtrs_batch_cols(dev, l, factors, piv, rhs)?;
+                Ok(BatchReport {
+                    algo: ChosenAlgo::Reference,
+                    time: rep.time,
+                    launches: rep.launches,
+                })
+            }
+            Err(e) => Err(e),
+        },
+        Transpose::Yes => {
+            let rep = gbtrs_batch_blocked_trans(dev, l, factors, piv, rhs, params)?;
+            let launches = 1 + rep.lt.is_some() as usize;
+            Ok(BatchReport { algo: ChosenAlgo::Window, time: rep.time(), launches })
+        }
+    }
+}
+
+/// Batched band factorize-and-solve (`dgbsv_batch`, paper Section 4 and
+/// Section 7): a single fused kernel for small single-RHS systems,
+/// otherwise `dgbtrf_batch` followed by `dgbtrs_batch`.
+pub fn dgbsv_batch(
+    dev: &DeviceSpec,
+    a: &mut BandBatch,
+    piv: &mut PivotBatch,
+    rhs: &mut RhsBatch,
+    info: &mut InfoArray,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    let l = a.layout();
+    assert_eq!(l.m, l.n, "dgbsv_batch requires square systems");
+    let allow_fused = opts.allow_fused_gbsv.unwrap_or(true);
+    let threads = opts
+        .fused_threads
+        .unwrap_or_else(|| FusedParams::auto(dev, l.kl).threads);
+    let fused_ok = allow_fused
+        && l.n <= opts.cutoff()
+        && rhs.nrhs() == 1
+        && validate(dev, &LaunchConfig::new(threads, gbsv_smem_bytes(&l, rhs.nrhs()) as u32))
+            .is_ok();
+    if fused_ok {
+        let rep = gbsv_batch_fused(dev, a, piv, rhs, info, threads)?;
+        return Ok(BatchReport { algo: ChosenAlgo::FusedGbsv, time: rep.time, launches: 1 });
+    }
+    let f = dgbtrf_batch(dev, a, piv, info, opts)?;
+    if !info.all_ok() {
+        // LAPACK semantics: no solve when any factorization is singular?
+        // DGBSV is per-system; we solve only the healthy systems. The
+        // triangular kernels would divide by zero on singular ones, so we
+        // filter them out by solving everything and restoring the RHS of
+        // failed systems afterwards.
+        let saved: Vec<(usize, Vec<f64>)> = info
+            .failures()
+            .into_iter()
+            .map(|id| (id, rhs.block(id).to_vec()))
+            .collect();
+        let s = dgbtrs_batch_skip_singular(dev, &l, a.data(), piv, rhs, info, opts)?;
+        for (id, data) in saved {
+            rhs.block_mut(id).copy_from_slice(&data);
+        }
+        return Ok(BatchReport {
+            algo: f.algo,
+            time: f.time + s.time,
+            launches: f.launches + s.launches,
+        });
+    }
+    let s = dgbtrs_batch(dev, Transpose::No, &l, a.data(), piv, rhs, opts)?;
+    Ok(BatchReport { algo: f.algo, time: f.time + s.time, launches: f.launches + s.launches })
+}
+
+/// Solve pass that tolerates singular factorizations by replacing their
+/// divisions with no-ops (the RHS of failed systems is restored by the
+/// caller anyway). Implementation: temporarily patch zero diagonals to 1.
+fn dgbtrs_batch_skip_singular(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    factors: &[f64],
+    piv: &PivotBatch,
+    rhs: &mut RhsBatch,
+    info: &InfoArray,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    let mut patched = factors.to_vec();
+    let stride = l.len();
+    let kv = l.kv();
+    for id in info.failures() {
+        let ab = &mut patched[id * stride..(id + 1) * stride];
+        for j in 0..l.n {
+            if ab[l.idx(kv, j)] == 0.0 {
+                ab[l.idx(kv, j)] = 1.0;
+            }
+        }
+    }
+    dgbtrs_batch(dev, Transpose::No, l, &patched, piv, rhs, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::residual::backward_error;
+
+    fn random_system(
+        batch: usize,
+        n: usize,
+        kl: usize,
+        ku: usize,
+        nrhs: usize,
+    ) -> (BandBatch, RhsBatch) {
+        let mut v = 0.53f64;
+        let a = BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 2.6 + 0.077 + id as f64 * 1e-4).fract();
+                    m.set(i, j, v - 0.5 + if i == j { 2.0 } else { 0.0 });
+                }
+            }
+        })
+        .unwrap();
+        let b =
+            RhsBatch::from_fn(batch, n, nrhs, |id, i, c| ((id + c * 3 + i) as f64 * 0.41).sin())
+                .unwrap();
+        (a, b)
+    }
+
+    fn solve_and_check(n: usize, kl: usize, ku: usize, nrhs: usize, opts: &GbsvOptions) -> ChosenAlgo {
+        let dev = DeviceSpec::h100_pcie();
+        let batch = 5;
+        let (mut a, mut b) = random_system(batch, n, kl, ku, nrhs);
+        let orig_a = a.clone();
+        let orig_b = b.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, opts).unwrap();
+        assert!(info.all_ok());
+        for id in 0..batch {
+            for c in 0..nrhs {
+                let x = &b.block(id)[c * n..c * n + n];
+                let rhs0 = &orig_b.block(id)[c * n..c * n + n];
+                let berr = backward_error(orig_a.matrix(id), x, rhs0);
+                assert!(berr < 1e-11, "n={n} kl={kl} ku={ku} id={id} c={c}: berr {berr:.2e}");
+            }
+        }
+        rep.algo
+    }
+
+    #[test]
+    fn auto_uses_fused_gbsv_for_small_single_rhs() {
+        let algo = solve_and_check(32, 2, 3, 1, &GbsvOptions::default());
+        assert_eq!(algo, ChosenAlgo::FusedGbsv);
+    }
+
+    #[test]
+    fn auto_uses_window_for_large_matrices() {
+        let algo = solve_and_check(200, 2, 3, 1, &GbsvOptions::default());
+        assert_eq!(algo, ChosenAlgo::Window);
+    }
+
+    #[test]
+    fn multi_rhs_uses_separate_factor_and_solve() {
+        let algo = solve_and_check(32, 2, 3, 4, &GbsvOptions::default());
+        assert_ne!(algo, ChosenAlgo::FusedGbsv);
+    }
+
+    #[test]
+    fn forcing_algorithms_works() {
+        for (force, expect) in [
+            (FactorAlgo::Fused, ChosenAlgo::Fused),
+            (FactorAlgo::Window, ChosenAlgo::Window),
+            (FactorAlgo::Reference, ChosenAlgo::Reference),
+        ] {
+            let opts = GbsvOptions { algo: force, allow_fused_gbsv: Some(false), ..Default::default() };
+            let algo = solve_and_check(48, 2, 3, 1, &opts);
+            assert_eq!(algo, expect);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_bitwise() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku, batch) = (40usize, 3usize, 2usize, 3usize);
+        let (a0, _) = random_system(batch, n, kl, ku, 1);
+        let mut results = Vec::new();
+        for force in [FactorAlgo::Fused, FactorAlgo::Window, FactorAlgo::Reference] {
+            let mut a = a0.clone();
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            let opts = GbsvOptions { algo: force, ..Default::default() };
+            dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
+            results.push((a, piv));
+        }
+        for k in 1..results.len() {
+            assert_eq!(results[0].0.data(), results[k].0.data(), "factors differ");
+            assert_eq!(results[0].1, results[k].1, "pivots differ");
+        }
+    }
+
+    #[test]
+    fn mi250x_falls_back_to_window_when_fused_cannot_fit() {
+        // n = 2000 with (2, 3): fused needs 2000 * 8 * 8 B = 125 KB — over
+        // the MI250x 64 KB LDS, but the window still runs.
+        let dev = DeviceSpec::mi250x_gcd();
+        let (n, kl, ku, batch) = (2000usize, 2usize, 3usize, 2usize);
+        let (mut a, _) = random_system(batch, n, kl, ku, 1);
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+        assert_eq!(rep.algo, ChosenAlgo::Window);
+        assert!(info.all_ok());
+    }
+
+    #[test]
+    fn reference_picked_when_nothing_fits() {
+        // A pathological band so wide no window fits the 64 KB LDS:
+        // kl = ku = 500 -> ldab = 1501, window cols >= kv + 2 = 1002 ->
+        // far beyond LDS. Auto must fall back to the reference kernels.
+        let dev = DeviceSpec::mi250x_gcd();
+        let (n, kl, ku) = (1200usize, 500usize, 500usize);
+        let mut v = 0.3f64;
+        let mut a = BandBatch::from_fn(2, n, n, kl, ku, |_, m| {
+            // Sparse fill for speed: diagonal plus a few bands.
+            for j in 0..n {
+                v = (v * 1.1 + 0.21).fract();
+                m.set(j, j, 3.0 + v);
+                if j + 200 < n {
+                    m.set(j + 200, j, v - 0.5);
+                }
+                if j >= 300 {
+                    m.set(j - 300, j, v - 0.25);
+                }
+            }
+        })
+        .unwrap();
+        let mut piv = PivotBatch::new(2, n, n);
+        let mut info = InfoArray::new(2);
+        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+        assert_eq!(rep.algo, ChosenAlgo::Reference);
+        assert!(info.all_ok());
+    }
+
+    #[test]
+    fn singular_systems_leave_rhs_untouched_and_flagged() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, batch) = (100usize, 3usize); // > cutoff: separate factor+solve
+        let (mut a, mut b) = random_system(batch, n, 1, 1, 1);
+        {
+            // Make system 1 singular: zero its entire first column.
+            let mut m = a.matrix_mut(1);
+            m.set(0, 0, 0.0);
+            m.set(1, 0, 0.0);
+        }
+        let b_orig = b.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default()).unwrap();
+        assert_eq!(info.get(1), 1);
+        assert_eq!(b.block(1), b_orig.block(1), "failed system's RHS preserved");
+        assert_eq!(info.get(0), 0);
+        assert_ne!(b.block(0), b_orig.block(0), "healthy systems are solved");
+    }
+}

@@ -1,0 +1,261 @@
+//! Fully fused batched factorize-and-solve (paper Section 7).
+//!
+//! For small systems a single kernel performs the band LU on the augmented
+//! system `[A|B]` in shared memory: applying each column's pivot swap and
+//! rank-1 update to `B` as soon as the column is factored implicitly
+//! performs the forward triangular solve; the backward solve then runs in
+//! shared memory as well, and each matrix plus its RHS moves through global
+//! memory exactly once. Following the paper's empirical cutoff, the
+//! dispatch layer enables this kernel for systems of order 64 or less with
+//! a single right-hand side; the kernel itself supports any `nrhs`.
+//!
+//! Numerically identical (bit-for-bit) to the separate factorization and
+//! solve, because the forward updates use exactly the values the separate
+//! `GBTRS` would read.
+
+use crate::step::{smem_bytes_for_cols, smem_column_step, smem_fillin_prologue, SmemBand};
+use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
+use gbatch_core::gbtf2::ColumnStepState;
+use gbatch_core::layout::BandLayout;
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport};
+
+/// System-order cutoff below which the dispatch layer uses this kernel
+/// ("we enable the fused kernel for systems of order 64 or less, and for a
+/// single right hand side" — paper §7).
+pub const FUSED_GBSV_MAX_N: usize = 64;
+
+/// Shared bytes for the augmented system `[A|B]`.
+pub fn gbsv_smem_bytes(l: &BandLayout, nrhs: usize) -> usize {
+    smem_bytes_for_cols(l.ldab, l.n) + l.n * nrhs * 8
+}
+
+/// Batched fused `GBSV`: factorizes every matrix (factors and pivots are
+/// returned, like `DGBSV`) and overwrites `rhs` with the solutions.
+/// Matrices with a zero pivot get their `info` code set and their RHS is
+/// left in the partially-updated state (the solve is not completed), like
+/// LAPACK.
+pub fn gbsv_batch_fused(
+    dev: &DeviceSpec,
+    a: &mut BandBatch,
+    piv: &mut PivotBatch,
+    rhs: &mut RhsBatch,
+    info: &mut InfoArray,
+    threads: u32,
+) -> Result<LaunchReport, LaunchError> {
+    let l = a.layout();
+    assert_eq!(l.m, l.n, "gbsv requires square systems");
+    let n = l.n;
+    let batch = a.batch();
+    assert_eq!(piv.batch(), batch);
+    assert_eq!(rhs.batch(), batch);
+    assert_eq!(rhs.n(), n);
+    assert_eq!(info.len(), batch);
+    let nrhs = rhs.nrhs();
+    let ldb = rhs.ldb();
+    let kv = l.kv();
+    let kl = l.kl;
+
+    let smem = gbsv_smem_bytes(&l, nrhs);
+    let cfg = LaunchConfig::new(threads.max((kl + 1) as u32), smem as u32);
+
+    struct Problem<'a> {
+        ab: &'a mut [f64],
+        piv: &'a mut [i32],
+        b: &'a mut [f64],
+        info: &'a mut i32,
+    }
+    let mut problems: Vec<Problem<'_>> = a
+        .chunks_mut()
+        .zip(piv.chunks_mut())
+        .zip(rhs.blocks_mut())
+        .zip(info.as_mut_slice().iter_mut())
+        .map(|(((ab, piv), b), info)| Problem { ab, piv, b, info })
+        .collect();
+
+    launch(dev, &cfg, &mut problems, |p, ctx| {
+        let band_len = l.len();
+        let rhs_len = n * nrhs;
+        let a_off = ctx.smem.alloc(band_len);
+        let b_off = ctx.smem.alloc(rhs_len);
+
+        // Load the augmented system.
+        let mut band = p.ab.to_vec();
+        let mut bx = vec![0.0f64; rhs_len];
+        for c in 0..nrhs {
+            bx[c * n..(c + 1) * n].copy_from_slice(&p.b[c * ldb..c * ldb + n]);
+        }
+        ctx.gld((band_len + rhs_len) * 8);
+        ctx.sync();
+
+        // Factorize, forward-solving B on the fly.
+        let mut st = ColumnStepState::default();
+        {
+            let mut w = SmemBand { data: &mut band, ldab: l.ldab, col0: 0, width: n };
+            smem_fillin_prologue(&l, &mut w, ctx);
+            for j in 0..n {
+                smem_column_step(&l, &mut w, p.piv, j, &mut st, ctx);
+                if st.info != 0 && st.info as usize == j + 1 {
+                    continue; // zero pivot: no forward update from this column
+                }
+                if j < n - 1 && kl > 0 {
+                    // Forward step on B: swap + rank-1 with the multipliers.
+                    let pr = p.piv[j] as usize;
+                    if pr != j {
+                        for c in 0..nrhs {
+                            bx.swap(c * n + pr, c * n + j);
+                        }
+                        ctx.smem_work(nrhs, 0);
+                    }
+                    let lm = kl.min(n - 1 - j);
+                    if lm > 0 {
+                        let base = w.idx(kv, j);
+                        for c in 0..nrhs {
+                            let bj = bx[c * n + j];
+                            if bj == 0.0 {
+                                continue;
+                            }
+                            for i in 1..=lm {
+                                bx[c * n + j + i] -= w.data[base + i] * bj;
+                            }
+                        }
+                        ctx.smem_work(nrhs * lm, 2);
+                    }
+                    ctx.sync();
+                }
+            }
+        }
+        *p.info = st.info;
+
+        // Backward solve in shared memory (skipped on singular systems,
+        // like DGBSV).
+        if st.info == 0 {
+            for c in 0..nrhs {
+                for j in (0..n).rev() {
+                    let bj = bx[c * n + j] / band[j * l.ldab + kv];
+                    bx[c * n + j] = bj;
+                    if bj != 0.0 {
+                        let reach = kv.min(j);
+                        for i in 1..=reach {
+                            bx[c * n + j - i] -= band[j * l.ldab + kv - i] * bj;
+                        }
+                    }
+                }
+            }
+            ctx.smem_work(nrhs * n * (kv + 1), 2);
+            ctx.seq_cycles(n as f64); // the column recurrence is sequential
+            ctx.sync();
+        }
+
+        // Write everything back: factors, pivots, solution.
+        p.ab.copy_from_slice(&band);
+        for c in 0..nrhs {
+            p.b[c * ldb..c * ldb + n].copy_from_slice(&bx[c * n..(c + 1) * n]);
+        }
+        ctx.gst((band_len + rhs_len) * 8 + n * 4);
+        ctx.sync();
+
+        // Arena bookkeeping.
+        ctx.smem.slice_mut(a_off, band_len).copy_from_slice(&band);
+        ctx.smem.slice_mut(b_off, rhs_len).copy_from_slice(&bx);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::gbsv::gbsv;
+
+    fn random_batch(batch: usize, n: usize, kl: usize, ku: usize) -> (BandBatch, RhsBatch) {
+        let mut v = 0.71f64;
+        let a = BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 3.3 + 0.019 + id as f64 * 7e-4).fract();
+                    m.set(i, j, v - 0.5);
+                }
+            }
+        })
+        .unwrap();
+        let b = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.37).sin()).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn matches_separate_factor_and_solve_bitwise() {
+        let dev = DeviceSpec::h100_pcie();
+        for (n, kl, ku) in [(8, 2, 3), (32, 2, 3), (64, 10, 7), (16, 1, 0), (16, 0, 2)] {
+            let batch = 4;
+            let (mut a, mut b) = random_batch(batch, n, kl, ku);
+            let expected: Vec<(Vec<f64>, Vec<i32>, Vec<f64>, i32)> = (0..batch)
+                .map(|id| {
+                    let mut ab = a.matrix(id).data.to_vec();
+                    let mut p = vec![0i32; n];
+                    let mut x = b.block(id).to_vec();
+                    let info = gbsv(&a.layout(), &mut ab, &mut p, &mut x, n, 1);
+                    (ab, p, x, info)
+                })
+                .collect();
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info, 32).unwrap();
+            for id in 0..batch {
+                assert_eq!(a.matrix(id).data, &expected[id].0[..], "factors n={n} kl={kl} ku={ku}");
+                assert_eq!(piv.pivots(id), &expected[id].1[..]);
+                assert_eq!(b.block(id), &expected[id].2[..], "solution n={n} kl={kl} ku={ku}");
+                assert_eq!(info.get(id), expected[id].3);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_rhs_supported() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku, nrhs, batch) = (24, 2, 3, 5, 3);
+        let (mut a, _) = random_batch(batch, n, kl, ku);
+        let mut b = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            ((id * 3 + c * 11 + i) as f64 * 0.21).cos()
+        })
+        .unwrap();
+        let expected: Vec<Vec<f64>> = (0..batch)
+            .map(|id| {
+                let mut ab = a.matrix(id).data.to_vec();
+                let mut p = vec![0i32; n];
+                let mut x = b.block(id).to_vec();
+                assert_eq!(gbsv(&a.layout(), &mut ab, &mut p, &mut x, n, nrhs), 0);
+                x
+            })
+            .collect();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info, 32).unwrap();
+        assert!(info.all_ok());
+        for id in 0..batch {
+            assert_eq!(b.block(id), &expected[id][..]);
+        }
+    }
+
+    #[test]
+    fn singular_system_skips_backward_solve() {
+        let dev = DeviceSpec::h100_pcie();
+        let n = 8;
+        let (mut a, mut b) = random_batch(2, n, 1, 1);
+        {
+            let mut m = a.matrix_mut(0);
+            m.set(0, 0, 0.0);
+            m.set(1, 0, 0.0);
+        }
+        let mut piv = PivotBatch::new(2, n, n);
+        let mut info = InfoArray::new(2);
+        gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info, 32).unwrap();
+        assert_eq!(info.get(0), 1);
+        assert_eq!(info.get(1), 0);
+    }
+
+    #[test]
+    fn smem_footprint_includes_rhs() {
+        let l = BandLayout::factor(64, 64, 2, 3).unwrap();
+        assert_eq!(gbsv_smem_bytes(&l, 1), l.ldab * 64 * 8 + 64 * 8);
+        assert_eq!(gbsv_smem_bytes(&l, 10), l.ldab * 64 * 8 + 64 * 10 * 8);
+    }
+}

@@ -1,0 +1,407 @@
+//! Blocked batched band triangular solves (paper §6, Figure 6).
+//!
+//! One kernel per direction. At each iteration `nb` columns of the factor
+//! are processed while a window of the RHS lives in shared memory:
+//!
+//! - **forward**: the solver caches `nb + kl` RHS rows — enough for all the
+//!   pivot swaps (`ipiv[j] <= j + kl`) and rank-1 updates of the `nb`
+//!   columns of `L`; finished rows are written back and the remainder is
+//!   shifted up;
+//! - **backward**: starts from the *last* `nb` columns of `U` with the
+//!   bottom RHS rows cached; each iteration solves `nb` rows, updating up
+//!   to `kv = kl + ku` rows above them (`nb + kv` cached), writes the
+//!   solved rows back and shifts the remainder down.
+//!
+//! Numerically identical (bit-for-bit) to `gbatch_core::gbtrs::gbtrs`.
+
+use gbatch_core::batch::{PivotBatch, RhsBatch};
+use gbatch_core::layout::BandLayout;
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, SimTime};
+
+/// Tunables for the blocked solve kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveParams {
+    /// Factor columns processed per window iteration.
+    pub nb: usize,
+    /// Threads per block (per matrix).
+    pub threads: u32,
+}
+
+impl SolveParams {
+    /// Defaults mirroring [`crate::window::WindowParams::auto`].
+    pub fn auto(dev: &DeviceSpec, kl: usize) -> Self {
+        let min = (kl + 1) as u32;
+        SolveParams { nb: 8, threads: min.div_ceil(dev.warp_size) * dev.warp_size }
+    }
+}
+
+/// Shared bytes for the forward RHS cache.
+pub fn forward_smem_bytes(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
+    (nb + l.kl).min(l.n) * nrhs * 8
+}
+
+/// Shared bytes for the backward RHS cache.
+pub fn backward_smem_bytes(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
+    (nb + l.kv()).min(l.n) * nrhs * 8
+}
+
+/// Combined report for the two blocked-solve launches.
+#[derive(Debug, Clone)]
+pub struct BlockedSolveReport {
+    /// Forward launch (absent when `kl == 0`: `L` is the identity).
+    pub forward: Option<LaunchReport>,
+    /// Backward launch.
+    pub backward: LaunchReport,
+}
+
+impl BlockedSolveReport {
+    /// Total modeled time.
+    pub fn time(&self) -> SimTime {
+        let f = self.forward.as_ref().map(|r| r.time).unwrap_or(SimTime::ZERO);
+        f + self.backward.time
+    }
+}
+
+struct Prob<'a> {
+    id: usize,
+    b: &'a mut [f64],
+}
+
+/// Batched blocked `GBTRS` (no transpose). `factors` holds the batch of
+/// factored band arrays contiguously; `rhs` is overwritten with solutions.
+pub fn gbtrs_batch_blocked(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    factors: &[f64],
+    piv: &PivotBatch,
+    rhs: &mut RhsBatch,
+    params: SolveParams,
+) -> Result<BlockedSolveReport, LaunchError> {
+    let n = l.n;
+    assert_eq!(l.m, n, "gbtrs requires square factors");
+    let batch = rhs.batch();
+    assert_eq!(piv.batch(), batch);
+    let stride = l.len();
+    assert_eq!(factors.len(), stride * batch);
+    assert!(params.nb > 0);
+    let nrhs = rhs.nrhs();
+    let ldb = rhs.ldb();
+    let kv = l.kv();
+    let kl = l.kl;
+    let nb = params.nb;
+    let threads = params.threads.max((kl + 1) as u32);
+
+    // ---------------- forward ----------------
+    let forward = if kl > 0 && n > 1 {
+        let cfg = LaunchConfig::new(threads, forward_smem_bytes(l, nb, nrhs) as u32);
+        let cache_rows = (nb + kl).min(n);
+        let mut probs: Vec<Prob<'_>> =
+            rhs.blocks_mut().enumerate().map(|(id, b)| Prob { id, b }).collect();
+        let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
+            let ab = &factors[p.id * stride..(p.id + 1) * stride];
+            let ipiv = piv.pivots(p.id);
+            let off = ctx.smem.alloc(cache_rows * nrhs);
+            let mut cache = vec![0.0f64; cache_rows * nrhs];
+            // Initial fill: rows [0, loaded).
+            let mut loaded = cache_rows.min(n);
+            for c in 0..nrhs {
+                for r in 0..loaded {
+                    cache[c * cache_rows + r] = p.b[c * ldb + r];
+                }
+            }
+            ctx.gld(loaded * nrhs * 8);
+            ctx.sync();
+
+            let mut j0 = 0usize;
+            while j0 < n {
+                let jb = nb.min(n - j0);
+                for j in j0..j0 + jb {
+                    if j >= n - 1 {
+                        break; // the last row is never a forward pivot row
+                    }
+                    let pr = ipiv[j] as usize;
+                    let (lj, lp) = (j - j0, pr - j0);
+                    debug_assert!(lp < cache_rows, "pivot outside cache");
+                    if pr != j {
+                        for c in 0..nrhs {
+                            cache.swap(c * cache_rows + lj, c * cache_rows + lp);
+                        }
+                        ctx.smem_work(nrhs, 0);
+                    }
+                    let lm = kl.min(n - 1 - j);
+                    if lm > 0 {
+                        let base = l.idx(kv, j);
+                        ctx.gld(lm * 8); // the multiplier column (register file)
+                        for c in 0..nrhs {
+                            let bj = cache[c * cache_rows + lj];
+                            if bj == 0.0 {
+                                continue;
+                            }
+                            for i in 1..=lm {
+                                cache[c * cache_rows + lj + i] -= ab[base + i] * bj;
+                            }
+                        }
+                        ctx.smem_work(nrhs * lm, 2);
+                    }
+                    ctx.sync();
+                }
+                // Write the finished top jb rows back.
+                for c in 0..nrhs {
+                    for r in 0..jb {
+                        p.b[c * ldb + j0 + r] = cache[c * cache_rows + r];
+                    }
+                }
+                ctx.gst(jb * nrhs * 8);
+                let next_j0 = j0 + jb;
+                if next_j0 >= n {
+                    break;
+                }
+                // Shift the remaining rows up and load the next rows.
+                let keep = loaded - next_j0;
+                for c in 0..nrhs {
+                    let colbase = c * cache_rows;
+                    cache.copy_within(colbase + jb..colbase + jb + keep, colbase);
+                }
+                ctx.smem_work(keep * nrhs, 0);
+                let new_end = (next_j0 + cache_rows).min(n);
+                if new_end > loaded {
+                    for c in 0..nrhs {
+                        for r in loaded..new_end {
+                            cache[c * cache_rows + (r - next_j0)] = p.b[c * ldb + r];
+                        }
+                    }
+                    ctx.gld((new_end - loaded) * nrhs * 8);
+                    loaded = new_end;
+                }
+                ctx.sync();
+                j0 = next_j0;
+            }
+            // Arena bookkeeping (capacity was validated at launch).
+            let arena = ctx.smem.slice_mut(off, cache_rows * nrhs);
+            arena.copy_from_slice(&cache);
+        })?;
+        Some(rep)
+    } else {
+        None
+    };
+
+    // ---------------- backward ----------------
+    let cfg = LaunchConfig::new(threads, backward_smem_bytes(l, nb, nrhs) as u32);
+    let cache_rows = (nb + kv).min(n);
+    let mut probs: Vec<Prob<'_>> =
+        rhs.blocks_mut().enumerate().map(|(id, b)| Prob { id, b }).collect();
+    let backward = launch(dev, &cfg, &mut probs, |p, ctx| {
+        let ab = &factors[p.id * stride..(p.id + 1) * stride];
+        let off = ctx.smem.alloc(cache_rows * nrhs);
+        let mut cache = vec![0.0f64; cache_rows * nrhs];
+        // Cache covers global rows [lo, lo + cache_rows_eff); start at the
+        // bottom of the RHS.
+        let mut lo = n.saturating_sub(cache_rows);
+        let have = n - lo;
+        for c in 0..nrhs {
+            for r in 0..have {
+                cache[c * cache_rows + r] = p.b[c * ldb + lo + r];
+            }
+        }
+        ctx.gld(have * nrhs * 8);
+        ctx.sync();
+
+        // Blocks of rows [j0, j0 + jb), processed last-first.
+        let mut j1 = n; // exclusive end of the current block
+        while j1 > 0 {
+            let jb = nb.min(j1);
+            let j0 = j1 - jb;
+            debug_assert!(j0 >= lo, "block escapes the cache");
+            for j in (j0..j1).rev() {
+                let diag = ab[l.idx(kv, j)];
+                ctx.gld((kv.min(j) + 1) * 8); // U column (register file)
+                let lj = j - lo;
+                for c in 0..nrhs {
+                    let bj = cache[c * cache_rows + lj] / diag;
+                    cache[c * cache_rows + lj] = bj;
+                    if bj != 0.0 {
+                        let reach = kv.min(j);
+                        for i in 1..=reach {
+                            cache[c * cache_rows + lj - i] -= ab[l.idx(kv - i, j)] * bj;
+                        }
+                    }
+                }
+                ctx.smem_work(nrhs * (kv.min(j) + 1), 2);
+                ctx.sync();
+            }
+            // Write the solved bottom jb rows back.
+            for c in 0..nrhs {
+                for r in 0..jb {
+                    p.b[c * ldb + j0 + r] = cache[c * cache_rows + (j0 - lo) + r];
+                }
+            }
+            ctx.gst(jb * nrhs * 8);
+            if j0 == 0 {
+                break;
+            }
+            // Shift the remaining rows down to the bottom of the cache and
+            // load the rows the next block needs: the new window ends at
+            // `j0` (everything above is solved) and spans `cache_rows` rows.
+            let new_lo = j0.saturating_sub(cache_rows);
+            // Rows still needed: [new_lo, j0). Move existing [lo, j0) to the
+            // tail of the new window, then load [new_lo, lo).
+            let keep = j0 - lo;
+            let shift_to = lo - new_lo; // how far down the kept rows move
+            if keep > 0 && shift_to > 0 {
+                for c in 0..nrhs {
+                    let colbase = c * cache_rows;
+                    // Move within the column: src [0, keep) -> dst [shift_to, shift_to + keep).
+                    for r in (0..keep).rev() {
+                        cache[colbase + shift_to + r] = cache[colbase + r];
+                    }
+                }
+                ctx.smem_work(keep * nrhs, 0);
+            }
+            if lo > new_lo {
+                for c in 0..nrhs {
+                    for r in new_lo..lo {
+                        cache[c * cache_rows + (r - new_lo)] = p.b[c * ldb + r];
+                    }
+                }
+                ctx.gld((lo - new_lo) * nrhs * 8);
+            }
+            lo = new_lo;
+            ctx.sync();
+            j1 = j0;
+        }
+        let arena = ctx.smem.slice_mut(off, cache_rows * nrhs);
+        arena.copy_from_slice(&cache);
+    })?;
+
+    Ok(BlockedSolveReport { forward, backward })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::batch::{BandBatch, InfoArray};
+    use gbatch_core::gbtrs::{gbtrs, Transpose};
+
+    fn factored(batch: usize, n: usize, kl: usize, ku: usize) -> (BandBatch, PivotBatch) {
+        let mut v = 0.13f64;
+        let mut fac = BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 2.7 + 0.093 + id as f64 * 5e-4).fract();
+                    m.set(i, j, v - 0.5 + if i == j { 1.0 } else { 0.0 });
+                }
+            }
+        })
+        .unwrap();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let dev = DeviceSpec::h100_pcie();
+        crate::fused::gbtrf_batch_fused(
+            &dev,
+            &mut fac,
+            &mut piv,
+            &mut info,
+            crate::fused::FusedParams::auto(&dev, kl),
+        )
+        .unwrap();
+        assert!(info.all_ok());
+        (fac, piv)
+    }
+
+    fn check(n: usize, kl: usize, ku: usize, nrhs: usize, nb: usize) {
+        let dev = DeviceSpec::h100_pcie();
+        let batch = 3;
+        let (fac, piv) = factored(batch, n, kl, ku);
+        let l = fac.layout();
+        let mut rhs = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            ((id * 17 + c * 5 + i) as f64 * 0.29).cos()
+        })
+        .unwrap();
+        let mut expect = rhs.clone();
+        for id in 0..batch {
+            gbtrs(
+                Transpose::No,
+                &l,
+                fac.matrix(id).data,
+                piv.pivots(id),
+                expect.block_mut(id),
+                n,
+                nrhs,
+            );
+        }
+        let params = SolveParams { nb, threads: 32 };
+        gbtrs_batch_blocked(&dev, &l, fac.data(), &piv, &mut rhs, params).unwrap();
+        assert_eq!(rhs.data(), expect.data(), "n={n} kl={kl} ku={ku} nrhs={nrhs} nb={nb}");
+    }
+
+    #[test]
+    fn matches_core_gbtrs_bitwise() {
+        for nb in [1, 2, 4, 8, 32] {
+            check(20, 2, 3, 1, nb);
+        }
+        check(20, 10, 7, 1, 8);
+        check(20, 2, 3, 10, 8); // the paper's ten-RHS configuration
+        check(33, 1, 1, 3, 5);
+        check(8, 0, 3, 2, 4); // kl = 0: no forward pass at all
+        check(8, 3, 0, 2, 4);
+        check(64, 2, 3, 1, 64); // nb >= n: single iteration
+        check(3, 2, 2, 1, 2); // kv >= n: full-width reach
+    }
+
+    #[test]
+    fn forward_skipped_for_upper_triangular() {
+        let dev = DeviceSpec::h100_pcie();
+        let (fac, piv) = factored(2, 12, 0, 3);
+        let l = fac.layout();
+        let mut rhs = RhsBatch::from_fn(2, 12, 1, |_, i, _| i as f64).unwrap();
+        let rep = gbtrs_batch_blocked(
+            &dev,
+            &l,
+            fac.data(),
+            &piv,
+            &mut rhs,
+            SolveParams { nb: 4, threads: 32 },
+        )
+        .unwrap();
+        assert!(rep.forward.is_none());
+        assert!(rep.time().secs() > 0.0);
+    }
+
+    #[test]
+    fn smem_sizes_follow_paper_formulas() {
+        let l = BandLayout::factor(100, 100, 10, 7).unwrap();
+        // forward: (nb + kl) elements per RHS; backward: (nb + kv).
+        assert_eq!(forward_smem_bytes(&l, 8, 1), (8 + 10) * 8);
+        assert_eq!(backward_smem_bytes(&l, 8, 1), (8 + 17) * 8);
+        assert_eq!(forward_smem_bytes(&l, 8, 10), (8 + 10) * 10 * 8);
+    }
+
+    #[test]
+    fn blocked_beats_columnwise_in_modeled_time() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku) = (128usize, 2usize, 3usize);
+        let batch = 200;
+        let (fac, piv) = factored(batch, n, kl, ku);
+        let l = fac.layout();
+        let mut r1 = RhsBatch::from_fn(batch, n, 1, |_, i, _| i as f64).unwrap();
+        let mut r2 = r1.clone();
+        let blocked = gbtrs_batch_blocked(
+            &dev,
+            &l,
+            fac.data(),
+            &piv,
+            &mut r1,
+            SolveParams { nb: 8, threads: 32 },
+        )
+        .unwrap();
+        let cols = crate::gbtrs_cols::gbtrs_batch_cols(&dev, &l, fac.data(), &piv, &mut r2).unwrap();
+        assert_eq!(r1.data(), r2.data(), "both designs agree numerically");
+        assert!(
+            cols.time.secs() > 3.0 * blocked.time().secs(),
+            "columnwise {:.3} ms should dwarf blocked {:.3} ms",
+            cols.time.ms(),
+            blocked.time().ms()
+        );
+    }
+}

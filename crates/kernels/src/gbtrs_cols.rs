@@ -1,0 +1,199 @@
+//! Column-wise batched band triangular solve — the reference GBTRS of
+//! paper §6.
+//!
+//! The lower factor is applied by re-playing the pivots progressively on
+//! the RHS: "for each column j in the lower factor, two GPU kernels perform
+//! a pair of (row swap, rank-1 updates) operations on the RHS matrix". The
+//! upper factor is solved with a column-wise backward kernel, one column
+//! per launch. Launch overhead therefore scales with `3n` — the blocked
+//! variant in [`crate::gbtrs_blocked`] exists to fix exactly that.
+
+use gbatch_core::batch::{PivotBatch, RhsBatch};
+use gbatch_core::layout::BandLayout;
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, SimTime};
+
+/// Result of the multi-launch column-wise solve.
+#[derive(Debug, Clone)]
+pub struct ColsReport {
+    /// Total modeled time over all launches.
+    pub time: SimTime,
+    /// Number of kernel launches issued.
+    pub launches: usize,
+}
+
+/// Batched column-wise `GBTRS` (no-transpose): `factors` is the batch of
+/// factored band arrays (from any of the factorization kernels), `rhs` is
+/// overwritten with the solutions.
+pub fn gbtrs_batch_cols(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    factors: &[f64],
+    piv: &PivotBatch,
+    rhs: &mut RhsBatch,
+) -> Result<ColsReport, LaunchError> {
+    let n = l.n;
+    assert_eq!(l.m, n, "gbtrs requires square factors");
+    let batch = rhs.batch();
+    assert_eq!(piv.batch(), batch);
+    let stride = l.len();
+    assert_eq!(factors.len(), stride * batch, "factor batch length");
+    let nrhs = rhs.nrhs();
+    let ldb = rhs.ldb();
+    let kv = l.kv();
+    let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
+    let cfg = LaunchConfig::new(threads, 0);
+
+    let mut time = SimTime::ZERO;
+    let mut launches = 0usize;
+
+    // Forward: pivots + rank-1 updates, two launches per column.
+    if l.kl > 0 {
+        for j in 0..n.saturating_sub(1) {
+            // Launch 1: row swap on the RHS block.
+            {
+                let mut probs: Vec<(usize, &mut [f64])> =
+                    rhs.blocks_mut().enumerate().collect();
+                let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
+                    let p = piv.pivots(*id)[j] as usize;
+                    if p != j {
+                        for c in 0..nrhs {
+                            b.swap(c * ldb + p, c * ldb + j);
+                        }
+                        ctx.gld(2 * nrhs * 8);
+                        ctx.gst(2 * nrhs * 8);
+                    }
+                    ctx.par_work(nrhs, 0);
+                })?;
+                time += rep.time;
+                launches += 1;
+            }
+            // Launch 2: rank-1 update with the stored multipliers.
+            {
+                let lm = l.kl.min(n - 1 - j);
+                let mut probs: Vec<(usize, &mut [f64])> =
+                    rhs.blocks_mut().enumerate().collect();
+                let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
+                    let ab = &factors[*id * stride..(*id + 1) * stride];
+                    let base = l.idx(kv, j);
+                    for c in 0..nrhs {
+                        let bj = b[c * ldb + j];
+                        if bj == 0.0 {
+                            continue;
+                        }
+                        for i in 1..=lm {
+                            b[c * ldb + j + i] -= ab[base + i] * bj;
+                        }
+                    }
+                    ctx.gld((lm + nrhs * (lm + 1)) * 8);
+                    ctx.gst(nrhs * lm * 8);
+                    ctx.par_work(nrhs * lm, 2);
+                })?;
+                time += rep.time;
+                launches += 1;
+            }
+        }
+    }
+
+    // Backward: one launch per column, right-looking column updates.
+    for j in (0..n).rev() {
+        let mut probs: Vec<(usize, &mut [f64])> = rhs.blocks_mut().enumerate().collect();
+        let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
+            let ab = &factors[*id * stride..(*id + 1) * stride];
+            let reach = kv.min(j);
+            for c in 0..nrhs {
+                let bj = b[c * ldb + j] / ab[l.idx(kv, j)];
+                b[c * ldb + j] = bj;
+                if bj != 0.0 {
+                    for i in 1..=reach {
+                        b[c * ldb + j - i] -= ab[l.idx(kv - i, j)] * bj;
+                    }
+                }
+            }
+            ctx.gld((reach + 1 + nrhs * (reach + 1)) * 8);
+            ctx.gst(nrhs * (reach + 1) * 8);
+            ctx.par_work(nrhs * (reach + 1), 2);
+        })?;
+        time += rep.time;
+        launches += 1;
+    }
+
+    Ok(ColsReport { time, launches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::batch::{BandBatch, InfoArray};
+    use gbatch_core::gbtrs::{gbtrs, Transpose};
+
+    fn factored_batch(
+        batch: usize,
+        n: usize,
+        kl: usize,
+        ku: usize,
+    ) -> (BandBatch, BandBatch, PivotBatch) {
+        let mut v = 0.91f64;
+        let orig = BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 1.7 + 0.037 + id as f64 * 1e-3).fract();
+                    m.set(i, j, v - 0.5 + if i == j { 1.5 } else { 0.0 });
+                }
+            }
+        })
+        .unwrap();
+        let mut fac = orig.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let dev = DeviceSpec::h100_pcie();
+        crate::fused::gbtrf_batch_fused(
+            &dev,
+            &mut fac,
+            &mut piv,
+            &mut info,
+            crate::fused::FusedParams::auto(&dev, kl),
+        )
+        .unwrap();
+        assert!(info.all_ok());
+        (orig, fac, piv)
+    }
+
+    #[test]
+    fn matches_core_gbtrs_bitwise() {
+        let dev = DeviceSpec::h100_pcie();
+        for (n, kl, ku, nrhs) in [(12, 2, 3, 1), (20, 10, 7, 3), (9, 1, 0, 2), (9, 0, 2, 1)] {
+            let batch = 3;
+            let (_orig, fac, piv) = factored_batch(batch, n, kl, ku);
+            let l = fac.layout();
+            let mut rhs = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+                ((id * 31 + c * 7 + i) as f64 * 0.13).sin()
+            })
+            .unwrap();
+            let mut expect = rhs.clone();
+            for id in 0..batch {
+                gbtrs(
+                    Transpose::No,
+                    &l,
+                    fac.matrix(id).data,
+                    piv.pivots(id),
+                    expect.block_mut(id),
+                    n,
+                    nrhs,
+                );
+            }
+            gbtrs_batch_cols(&dev, &l, fac.data(), &piv, &mut rhs).unwrap();
+            assert_eq!(rhs.data(), expect.data(), "n={n} kl={kl} ku={ku} nrhs={nrhs}");
+        }
+    }
+
+    #[test]
+    fn launch_count_scales_with_columns() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku) = (16usize, 2usize, 3usize);
+        let (_o, fac, piv) = factored_batch(2, n, kl, ku);
+        let mut rhs = RhsBatch::zeros(2, n, 1).unwrap();
+        let rep = gbtrs_batch_cols(&dev, &fac.layout(), fac.data(), &piv, &mut rhs).unwrap();
+        assert_eq!(rep.launches, 2 * (n - 1) + n);
+    }
+}

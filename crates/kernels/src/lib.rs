@@ -1,0 +1,67 @@
+//! # gbatch-kernels
+//!
+//! GPU-style batched band LU kernels, ported from the paper onto the
+//! simulated GPU substrate of `gbatch-gpu-sim`:
+//!
+//! - [`mod@reference`] — the fork–join reference implementation (§5.1): the
+//!   host drives the column loop and launches per-column building-block
+//!   kernels; numerically identical to `gbatch_core::gbtf2`, and slow by
+//!   design (launch overhead × columns).
+//! - [`fused`] — the fully fused factorization (§5.2): each matrix is
+//!   loaded into shared memory once, factorized column-by-column, and
+//!   written back; fails for matrices exceeding the shared-memory capacity
+//!   and shows the occupancy staircase.
+//! - [`window`] — the sliding-window factorization (§5.3): caches only
+//!   `(nb + kv + 1)` columns, shifting the window in shared memory between
+//!   iterations; constant footprint in the matrix size.
+//! - [`gbtrs_cols`] / [`gbtrs_blocked`] / [`gbtrs_trans`] — the band
+//!   triangular solves (§6), column-wise and blocked (RHS cache shifted
+//!   through shared memory), plus the transpose path of the Section 4
+//!   interface (`transpose_t transA`).
+//! - [`gbsv_fused`] — the single-kernel factorize-and-solve on the
+//!   augmented system `[A|B]` for small matrices (§7).
+//! - [`dispatch`] — the paper's user interface (Section 4): `dgbtrf_batch`,
+//!   `dgbtrs_batch`, `dgbsv_batch`, with the §5.4 selection logic (fused
+//!   below the size cutoff, sliding window otherwise, reference as the
+//!   safety net).
+//! - [`vbatch`] — non-uniform batches (per-matrix sizes and bandwidths),
+//!   the paper's stated future work (Section 9).
+//! - [`specialized`] — compile-time band-specialized register-file kernels,
+//!   emulating the paper's §8.1 JIT-compilation proposal.
+//! - [`pbtrf`] — batched SPD band Cholesky (fused + window), extending the
+//!   design space to the symmetric systems of §2.2.
+//! - [`tridiag`] — parallel cyclic reduction for tridiagonal batches: the
+//!   `O(log n)` critical-path counterpoint to §8's "not enough parallelism
+//!   within a single problem".
+//! - [`gemm`] / [`gemv`] — simple batched dense kernels used by the
+//!   Figure 1 motivation experiment.
+//! - [`cost`] — analytic counter prediction (dry-run cost model) used by
+//!   the offline tuner.
+//!
+//! Every kernel *really computes*: the numerics of each design are tested
+//! bit-for-bit (where the operation order is identical) against the
+//! sequential LAPACK-style reference.
+
+// LAPACK-style numerical kernels are clearest with explicit indexed
+// loops over band rows/columns; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cost;
+pub mod dispatch;
+pub mod fused;
+pub mod gbsv_fused;
+pub mod gbtrs_blocked;
+pub mod gbtrs_cols;
+pub mod gbtrs_trans;
+pub mod gemm;
+pub mod gemv;
+pub mod mixed;
+pub mod pbtrf;
+pub mod reference;
+pub mod specialized;
+pub mod step;
+pub mod tridiag;
+pub mod vbatch;
+pub mod window;
+
+pub use dispatch::{dgbsv_batch, dgbtrf_batch, dgbtrs_batch, BatchReport, GbsvOptions};

@@ -1,0 +1,229 @@
+//! Reference batched band LU: the fork–join design of paper §5.1.
+//!
+//! "The CPU manages the factorization loop, and launches the corresponding
+//! GPU kernels at each iteration." Each column step issues two batched
+//! kernels operating directly on global memory:
+//!
+//! 1. *pivot kernel* — fill-in zeroing, `IAMAX`, pivot recording, and the
+//!    right-looking row swap;
+//! 2. *update kernel* — `SCAL` of the multipliers and the rank-1 trailing
+//!    update.
+//!
+//! With `min(m, n)` columns this costs `2 * min(m, n)` kernel launches —
+//! the launch overhead alone dwarfs the arithmetic for thin bands, which is
+//! why the paper calls this design "slower than a multicore CPU solution in
+//! most cases". It is numerically identical to `gbatch_core::gbtf2` and is
+//! kept as the safety net of the dispatch layer (§5.4).
+
+use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch};
+use gbatch_core::gbtf2::{
+    pivot_search, rank_one_update, scal_step, set_fillin_prologue, set_fillin_step, swap_step,
+    ColumnStepState,
+};
+use gbatch_core::layout::update_bound;
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError};
+
+/// Aggregate result of the multi-launch reference factorization.
+#[derive(Debug, Clone)]
+pub struct ReferenceReport {
+    /// Modeled total time (sum over every launch, including overheads).
+    pub time: gbatch_gpu_sim::SimTime,
+    /// Number of kernel launches issued.
+    pub launches: usize,
+}
+
+/// Batched reference factorization (numerics identical to `gbtf2`).
+pub fn gbtrf_batch_reference(
+    dev: &DeviceSpec,
+    a: &mut BandBatch,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+) -> Result<ReferenceReport, LaunchError> {
+    let l = a.layout();
+    let batch = a.batch();
+    assert_eq!(piv.batch(), batch);
+    assert_eq!(info.len(), batch);
+    let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
+    let cfg = LaunchConfig::new(threads, 0);
+
+    // Host-side prologue (LAPACK zeroes these columns before the loop; on
+    // the GPU this is one extra batched kernel).
+    struct Prob<'a> {
+        ab: &'a mut [f64],
+        piv: &'a mut [i32],
+        st: &'a mut ColumnStepState,
+    }
+    let mut states = vec![ColumnStepState::default(); batch];
+    let mut time = gbatch_gpu_sim::SimTime::ZERO;
+    let mut launches = 0usize;
+
+    {
+        let mut probs: Vec<&mut [f64]> = a.chunks_mut().collect();
+        let rep = launch(dev, &cfg, &mut probs, |ab, ctx| {
+            set_fillin_prologue(&l, ab);
+            let elems = l.kl.saturating_mul(l.kv().min(l.n).saturating_sub(l.ku + 1));
+            ctx.gst(elems * 8);
+            ctx.par_work(elems, 0);
+        })?;
+        time += rep.time;
+        launches += 1;
+    }
+
+    let kmin = l.m.min(l.n);
+    for j in 0..kmin {
+        // Kernel 1: fill-in, IAMAX, pivot write, swap-to-the-right.
+        {
+            let mut probs: Vec<Prob<'_>> = a
+                .chunks_mut()
+                .zip(piv.chunks_mut())
+                .zip(states.iter_mut())
+                .map(|((ab, piv), st)| Prob { ab, piv, st })
+                .collect();
+            let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
+                set_fillin_step(&l, p.ab, j);
+                let km = l.km(j);
+                ctx.gld((km + 1) * 8);
+                let jp = pivot_search(&l, p.ab, j);
+                ctx.par_work(km + 1, 0);
+                p.piv[j] = (j + jp) as i32;
+                ctx.gst(4);
+                let pv = p.ab[l.idx(l.kv() + jp, j)];
+                if pv != 0.0 {
+                    p.st.ju = update_bound(p.st.ju.max(j), j, l.ku, jp, l.n);
+                    if jp != 0 {
+                        swap_step(&l, p.ab, j, jp, p.st.ju);
+                        let cols = p.st.ju - j + 1;
+                        ctx.gld(2 * cols * 8);
+                        ctx.gst(2 * cols * 8);
+                        ctx.par_work(cols, 0);
+                    }
+                } else if p.st.info == 0 {
+                    p.st.info = (j + 1) as i32;
+                }
+            })?;
+            time += rep.time;
+            launches += 1;
+        }
+        // Kernel 2: SCAL + rank-1 update.
+        {
+            let mut probs: Vec<Prob<'_>> = a
+                .chunks_mut()
+                .zip(piv.chunks_mut())
+                .zip(states.iter_mut())
+                .map(|((ab, piv), st)| Prob { ab, piv, st })
+                .collect();
+            let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
+                let km = l.km(j);
+                let pv = p.ab[l.idx(l.kv(), j)];
+                // A zero pivot was recorded by kernel 1; skip like LAPACK.
+                if pv == 0.0 || km == 0 {
+                    return;
+                }
+                scal_step(&l, p.ab, j);
+                ctx.gld((km + 1) * 8);
+                ctx.gst(km * 8);
+                ctx.par_work(km, 1);
+                let ju = p.st.ju;
+                if ju > j {
+                    rank_one_update(&l, p.ab, j, ju);
+                    let cols = ju - j;
+                    ctx.gld((cols * (km + 1) + km) * 8);
+                    ctx.gst(cols * km * 8);
+                    ctx.par_work(cols * km, 2);
+                }
+            })?;
+            time += rep.time;
+            launches += 1;
+        }
+    }
+    for (id, st) in states.iter().enumerate() {
+        info.set(id, st.info);
+    }
+    Ok(ReferenceReport { time, launches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::gbtf2::gbtf2;
+
+    fn random_batch(batch: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
+        let mut v = 0.47f64;
+        BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 3.1 + 0.013 + id as f64 * 2e-4).fract();
+                    m.set(i, j, v - 0.5);
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_reference_bitwise() {
+        let dev = DeviceSpec::h100_pcie();
+        for (n, kl, ku) in [(16, 2, 3), (24, 10, 7), (12, 0, 2), (12, 2, 0)] {
+            let batch = 3;
+            let mut a = random_batch(batch, n, kl, ku);
+            let expected: Vec<(Vec<f64>, Vec<i32>, i32)> = (0..batch)
+                .map(|id| {
+                    let mut ab = a.matrix(id).data.to_vec();
+                    let mut p = vec![0i32; n];
+                    let info = gbtf2(&a.layout(), &mut ab, &mut p);
+                    (ab, p, info)
+                })
+                .collect();
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            gbtrf_batch_reference(&dev, &mut a, &mut piv, &mut info).unwrap();
+            for id in 0..batch {
+                assert_eq!(a.matrix(id).data, &expected[id].0[..], "factors n={n}");
+                assert_eq!(piv.pivots(id), &expected[id].1[..]);
+                assert_eq!(info.get(id), expected[id].2);
+            }
+        }
+    }
+
+    #[test]
+    fn launch_count_is_two_per_column_plus_prologue() {
+        let dev = DeviceSpec::h100_pcie();
+        let n = 20;
+        let mut a = random_batch(2, n, 1, 1);
+        let mut piv = PivotBatch::new(2, n, n);
+        let mut info = InfoArray::new(2);
+        let rep = gbtrf_batch_reference(&dev, &mut a, &mut piv, &mut info).unwrap();
+        assert_eq!(rep.launches, 2 * n + 1);
+        // Launch overhead must dominate: at least launches * overhead.
+        assert!(rep.time.secs() >= rep.launches as f64 * dev.launch_overhead_s);
+    }
+
+    #[test]
+    fn reference_is_much_slower_than_fused() {
+        let dev = DeviceSpec::h100_pcie();
+        let n = 64;
+        let batch = 500;
+        let mut a1 = random_batch(batch, n, 2, 3);
+        let mut a2 = a1.clone();
+        let mut p1 = PivotBatch::new(batch, n, n);
+        let mut p2 = PivotBatch::new(batch, n, n);
+        let mut i1 = InfoArray::new(batch);
+        let mut i2 = InfoArray::new(batch);
+        let slow = gbtrf_batch_reference(&dev, &mut a1, &mut p1, &mut i1).unwrap();
+        let fast = crate::fused::gbtrf_batch_fused(
+            &dev,
+            &mut a2,
+            &mut p2,
+            &mut i2,
+            crate::fused::FusedParams::auto(&dev, 2),
+        )
+        .unwrap();
+        assert!(
+            slow.time.secs() > 5.0 * fast.time.secs(),
+            "fork-join {:.3} ms should dwarf fused {:.3} ms",
+            slow.time.ms(),
+            fast.time.ms()
+        );
+    }
+}

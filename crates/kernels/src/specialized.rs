@@ -1,0 +1,348 @@
+//! Band-structure-specialized kernels — the paper's §8.1 discussion made
+//! concrete.
+//!
+//! The paper observes that caching the matrix in the *register file* needs
+//! `(kl, ku)` known at compile time ("efficient indexing and avoid
+//! spilling"), that compiling all `KL x KU` instances is impractical, and
+//! that JIT compilation (nvrtc/hiprtc) could build "a more optimized
+//! kernel for a specific band structure" on demand. Rust's monomorphization
+//! plays the role of the JIT here: [`gbtrf_batch_registers`] is generic
+//! over `const KL: usize, const KU: usize`, so its inner loops have
+//! compile-time bounds (genuinely unrolled by LLVM), and its working set
+//! is a register block rather than shared memory — modeled as ALU-rate
+//! work with a single cross-lane broadcast per column instead of
+//! LDS-rate work plus three barriers.
+//!
+//! A small registry ([`specialized_gbtrf`]) instantiates the band shapes
+//! the applications of Section 2 actually use, mirroring how a JIT cache
+//! holds a handful of hot specializations; unknown shapes return `None`
+//! and callers fall back to the generic sliding-window kernel.
+//!
+//! Numerics: identical to `gbtf2` for inputs whose fill rows are zero
+//! (which [`gbatch_core::batch::BandBatch`] guarantees by construction) —
+//! this kernel zeroes fill rows eagerly at column load, whereas LAPACK
+//! zeroes them lazily at the owning step; both see the same values at
+//! every arithmetic operation.
+
+use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch};
+use gbatch_core::layout::update_bound;
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport};
+
+/// Register budget per block, in `f64` values: covers a
+/// `(kv + 1) x ldab` working window up to `(kl, ku) = (10, 7)`
+/// (18 x 28 = 504 values).
+pub const REG_BUDGET: usize = 512;
+
+/// Register-blocked, band-specialized fused factorization.
+///
+/// Requires `a.layout() == (KL, KU)` and a working window within
+/// [`REG_BUDGET`]. See the module docs for the numerics contract.
+pub fn gbtrf_batch_registers<const KL: usize, const KU: usize>(
+    dev: &DeviceSpec,
+    a: &mut BandBatch,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+    threads: u32,
+) -> Result<LaunchReport, LaunchError> {
+    let l = a.layout();
+    assert_eq!(l.kl, KL, "layout kl must match the specialization");
+    assert_eq!(l.ku, KU, "layout ku must match the specialization");
+    let kv = KL + KU;
+    let ldab = 2 * KL + KU + 1;
+    debug_assert_eq!(l.ldab, ldab);
+    let n = l.n;
+    let kmin = l.m.min(n);
+    let reg_cols = (kv + 1).min(n);
+    assert!(
+        reg_cols * ldab <= REG_BUDGET,
+        "band ({KL}, {KU}) exceeds the register budget — use the window kernel"
+    );
+    // Declare the register pressure: the window's f64 values (2 x 32-bit
+    // registers each) are striped across the block's threads — exactly the
+    // occupancy cost a real register-blocked kernel pays (§8.1's
+    // "avoid spilling" trade-off).
+    let t = threads.max((KL + 1) as u32);
+    let regs_per_thread = ((reg_cols * ldab * 2) as u32).div_ceil(t) + 32;
+    let cfg = LaunchConfig::with_registers(t, 0, regs_per_thread);
+
+    struct Problem<'a> {
+        ab: &'a mut [f64],
+        piv: &'a mut [i32],
+        info: &'a mut i32,
+    }
+    let mut problems: Vec<Problem<'_>> = a
+        .chunks_mut()
+        .zip(piv.chunks_mut())
+        .zip(info.as_mut_slice().iter_mut())
+        .map(|((ab, piv), info)| Problem { ab, piv, info })
+        .collect();
+
+    launch(dev, &cfg, &mut problems, |p, ctx| {
+        let mut reg = [0.0f64; REG_BUDGET];
+
+        // The register window holds global columns [col0, col0 + resident).
+        // Steady state: col0 == j at the start of step j.
+        let mut col0 = 0usize;
+        let mut resident = 0usize;
+        let load_col = |reg: &mut [f64], dst_local: usize, c: usize,
+                            p_ab: &[f64], ctx: &mut gbatch_gpu_sim::BlockContext| {
+            let dst = dst_local * ldab;
+            reg[dst..dst + ldab].copy_from_slice(&p_ab[c * ldab..(c + 1) * ldab]);
+            // Eager fill-row zeroing (see module docs).
+            for r in 0..KL {
+                reg[dst + r] = 0.0;
+            }
+            ctx.gld(ldab * 8);
+        };
+        while resident < reg_cols {
+            load_col(&mut reg, resident, resident, p.ab, ctx);
+            resident += 1;
+        }
+
+        let mut ju = 0usize;
+        let mut infoc = 0i32;
+        for j in 0..kmin {
+            debug_assert_eq!(col0, j, "window must start at the pivot column");
+            let km = KL.min(l.m - j - 1);
+            let base = kv; // local column 0, diagonal row
+
+            // IAMAX, unrolled to the compile-time bound KL + 1.
+            let mut jp = 0usize;
+            let mut best = -1.0f64;
+            for k in 0..=KL {
+                if k <= km {
+                    let v = reg[base + k].abs();
+                    if v > best {
+                        best = v;
+                        jp = k;
+                    }
+                }
+            }
+            ctx.par_work(KL + 1, 0);
+            ctx.smem_trip(); // single cross-lane broadcast of the winner
+
+            p.piv[j] = (j + jp) as i32;
+            let pivv = reg[base + jp];
+            if pivv != 0.0 {
+                ju = update_bound(ju.max(j), j, KU, jp, n);
+                debug_assert!(ju < col0 + resident, "update escapes the register window");
+                // SWAP (register shuffle along the row).
+                if jp != 0 {
+                    for (k, c) in (j..=ju).enumerate() {
+                        let lc = c - col0;
+                        reg.swap(lc * ldab + kv + jp - k, lc * ldab + kv - k);
+                    }
+                    ctx.par_work(ju - j + 1, 0);
+                }
+                if km > 0 {
+                    // SCAL, compile-time trip count.
+                    let inv = 1.0 / reg[base];
+                    for k in 1..=KL {
+                        if k <= km {
+                            reg[base + k] *= inv;
+                        }
+                    }
+                    ctx.par_work(KL, 1);
+                    // RANK-1 update, compile-time trip counts.
+                    if ju > j {
+                        for c in 1..=(KL + KU) {
+                            if c <= ju - j {
+                                let lc = c; // local: column j is local 0
+                                let u = reg[lc * ldab + kv - c];
+                                if u != 0.0 {
+                                    for i in 1..=KL {
+                                        if i <= km {
+                                            reg[lc * ldab + kv - c + i] -= reg[base + i] * u;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        ctx.par_work((ju - j) * km, 2);
+                    }
+                }
+            } else if infoc == 0 {
+                infoc = (j + 1) as i32;
+            }
+
+            // Retire column j to global memory and slide by one.
+            p.ab[j * ldab..(j + 1) * ldab].copy_from_slice(&reg[..ldab]);
+            ctx.gst(ldab * 8);
+            reg.copy_within(ldab..resident * ldab, 0);
+            col0 += 1;
+            resident -= 1;
+            // Stream the next column in, if any.
+            let next_global = col0 + resident;
+            if next_global < n && resident < reg_cols {
+                load_col(&mut reg, resident, next_global, p.ab, ctx);
+                resident += 1;
+            }
+        }
+        // Flush trailing updated columns (wide-matrix case, n > m).
+        for lc in 0..resident {
+            let c = col0 + lc;
+            if c < n {
+                p.ab[c * ldab..(c + 1) * ldab].copy_from_slice(&reg[lc * ldab..(lc + 1) * ldab]);
+            }
+        }
+        if resident > 0 {
+            ctx.gst(resident * ldab * 8);
+        }
+        ctx.gst(kmin * 4);
+        *p.info = infoc;
+    })
+}
+
+/// The "JIT cache": specializations for the band shapes of Section 2 and
+/// the evaluation. Returns `None` for shapes without a compiled instance.
+pub fn specialized_gbtrf(
+    dev: &DeviceSpec,
+    a: &mut BandBatch,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+    threads: u32,
+) -> Option<Result<LaunchReport, LaunchError>> {
+    let l = a.layout();
+    match (l.kl, l.ku) {
+        (1, 1) => Some(gbtrf_batch_registers::<1, 1>(dev, a, piv, info, threads)),
+        (2, 2) => Some(gbtrf_batch_registers::<2, 2>(dev, a, piv, info, threads)),
+        (2, 3) => Some(gbtrf_batch_registers::<2, 3>(dev, a, piv, info, threads)),
+        (3, 3) => Some(gbtrf_batch_registers::<3, 3>(dev, a, piv, info, threads)),
+        (10, 7) => Some(gbtrf_batch_registers::<10, 7>(dev, a, piv, info, threads)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::gbtf2::gbtf2;
+
+    fn random_batch(batch: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
+        let mut v = 0.73f64;
+        BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 2.1 + 0.067 + id as f64 * 2e-4).fract();
+                    m.set(i, j, v - 0.5);
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    fn check<const KL: usize, const KU: usize>(n: usize) {
+        let dev = DeviceSpec::h100_pcie();
+        let batch = 4;
+        let mut a = random_batch(batch, n, KL, KU);
+        let expected: Vec<(Vec<f64>, Vec<i32>, i32)> = (0..batch)
+            .map(|id| {
+                let mut ab = a.matrix(id).data.to_vec();
+                let mut p = vec![0i32; n];
+                let info = gbtf2(&a.layout(), &mut ab, &mut p);
+                (ab, p, info)
+            })
+            .collect();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        gbtrf_batch_registers::<KL, KU>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
+        for id in 0..batch {
+            assert_eq!(piv.pivots(id), &expected[id].1[..], "pivots KL={KL} KU={KU} n={n}");
+            assert_eq!(info.get(id), expected[id].2);
+            assert_eq!(a.matrix(id).data, &expected[id].0[..], "factors KL={KL} KU={KU} n={n}");
+        }
+    }
+
+    #[test]
+    fn specialized_matches_gbtf2_bitwise() {
+        check::<1, 1>(24);
+        check::<2, 3>(40);
+        check::<2, 2>(17);
+        check::<3, 3>(9);
+        check::<10, 7>(48);
+        check::<2, 3>(6); // n <= kv + 1: window never slides
+        check::<1, 1>(2);
+    }
+
+    #[test]
+    fn registry_covers_paper_shapes_and_rejects_others() {
+        let dev = DeviceSpec::h100_pcie();
+        let mut a = random_batch(2, 16, 2, 3);
+        let mut piv = PivotBatch::new(2, 16, 16);
+        let mut info = InfoArray::new(2);
+        assert!(specialized_gbtrf(&dev, &mut a, &mut piv, &mut info, 32).is_some());
+        assert!(info.all_ok());
+        let mut a = random_batch(2, 16, 5, 6);
+        let mut piv = PivotBatch::new(2, 16, 16);
+        let mut info = InfoArray::new(2);
+        assert!(specialized_gbtrf(&dev, &mut a, &mut piv, &mut info, 32).is_none());
+    }
+
+    #[test]
+    fn specialization_is_faster_in_modeled_time() {
+        // The register-file variant avoids LDS-rate work and barriers; the
+        // model must price it below the generic window kernel (the paper's
+        // expected JIT payoff).
+        let dev = DeviceSpec::mi250x_gcd();
+        let (batch, n) = (200, 256);
+        let mut a1 = random_batch(batch, n, 2, 3);
+        let mut a2 = a1.clone();
+        let mut p1 = PivotBatch::new(batch, n, n);
+        let mut p2 = PivotBatch::new(batch, n, n);
+        let mut i1 = InfoArray::new(batch);
+        let mut i2 = InfoArray::new(batch);
+        let spec = gbtrf_batch_registers::<2, 3>(&dev, &mut a1, &mut p1, &mut i1, 64).unwrap();
+        let generic = crate::window::gbtrf_batch_window(
+            &dev,
+            &mut a2,
+            &mut p2,
+            &mut i2,
+            crate::window::WindowParams { nb: 8, threads: 64 },
+        )
+        .unwrap();
+        assert_eq!(a1.data(), a2.data(), "same numerics");
+        assert!(
+            spec.time.secs() < generic.time.secs(),
+            "specialized {:.3e}s should beat generic {:.3e}s",
+            spec.time.secs(),
+            generic.time.secs()
+        );
+    }
+
+    #[test]
+    fn register_pressure_shows_in_occupancy() {
+        // The wide (10,7) specialization carries a big register window; its
+        // occupancy must be register-limited but still positive.
+        let dev = DeviceSpec::h100_pcie();
+        let mut a = random_batch(2, 32, 10, 7);
+        let mut piv = PivotBatch::new(2, 32, 32);
+        let mut info = InfoArray::new(2);
+        let rep = gbtrf_batch_registers::<10, 7>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
+        assert!(rep.occupancy.blocks_per_sm >= 1);
+        assert_eq!(
+            rep.occupancy.limiter,
+            gbatch_gpu_sim::occupancy::Limiter::Registers,
+            "the register file must be the binding resource"
+        );
+    }
+
+    #[test]
+    fn singular_input_flagged() {
+        let dev = DeviceSpec::h100_pcie();
+        let n = 12;
+        let mut a = random_batch(2, n, 1, 1);
+        {
+            let mut m = a.matrix_mut(0);
+            let (s, e) = m.layout.col_rows(3);
+            for i in s..e {
+                m.set(i, 3, 0.0);
+            }
+        }
+        let mut piv = PivotBatch::new(2, n, n);
+        let mut info = InfoArray::new(2);
+        gbtrf_batch_registers::<1, 1>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
+        assert_eq!(info.get(0), 4);
+        assert_eq!(info.get(1), 0);
+    }
+}

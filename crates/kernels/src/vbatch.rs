@@ -1,0 +1,303 @@
+//! Non-uniform batched factorization and solve — the paper's future work
+//! ("support for non-uniform batches of different sizes and/or different
+//! bandwidths", Section 9), built from the same sliding-window column step
+//! as the uniform kernels.
+//!
+//! One block still owns one matrix; each block runs the window algorithm
+//! against **its own** layout. The launch configuration must satisfy the
+//! worst block: threads covering the largest `kl + 1`, shared memory
+//! covering the largest per-matrix window — exactly how a real non-uniform
+//! kernel would size its dynamic shared memory. The timing model's
+//! critical path is the slowest block of a wave, which is the right
+//! first-order cost for skewed batches.
+
+use crate::step::{smem_column_step, smem_fillin_prologue, SmemBand};
+use crate::window::{window_cols, window_smem_bytes, WindowParams};
+use gbatch_core::batch::InfoArray;
+use gbatch_core::gbtf2::ColumnStepState;
+use gbatch_core::gbtrs::{gbtrs, Transpose};
+use gbatch_core::layout::BandLayout;
+use gbatch_core::vbatch::{VarBandBatch, VarPivots, VarRhs};
+use gbatch_gpu_sim::{launch, BlockContext, DeviceSpec, LaunchConfig, LaunchError, LaunchReport};
+
+/// Launch configuration for a non-uniform batch: worst-case threads and
+/// shared memory over the batch.
+pub fn vbatch_config(dev: &DeviceSpec, a: &VarBandBatch, nb: usize) -> LaunchConfig {
+    let max_kl = a.max_kl();
+    let threads = WindowParams::auto(dev, max_kl).threads;
+    let smem = a
+        .layouts()
+        .iter()
+        .map(|l| window_smem_bytes(l, nb))
+        .max()
+        .unwrap_or(0);
+    LaunchConfig::new(threads, smem as u32)
+}
+
+fn window_body_var(
+    l: &BandLayout,
+    nb: usize,
+    ab: &mut [f64],
+    piv: &mut [i32],
+    info: &mut i32,
+    ctx: &mut BlockContext,
+) {
+    let ldab = l.ldab;
+    let n = l.n;
+    let kmin = l.m.min(n);
+    let wcols = window_cols(l.kl, l.ku, nb).min(n);
+    let wlen = wcols * ldab;
+    let off = ctx.smem.alloc(wlen);
+    let mut buf = vec![0.0f64; wlen];
+
+    let mut loaded_end = wcols.min(n);
+    for c in 0..loaded_end {
+        buf[c * ldab..(c + 1) * ldab].copy_from_slice(&ab[c * ldab..(c + 1) * ldab]);
+    }
+    ctx.gld(loaded_end * ldab * 8);
+    ctx.sync();
+    {
+        let mut w = SmemBand { data: &mut buf, ldab, col0: 0, width: loaded_end };
+        smem_fillin_prologue(l, &mut w, ctx);
+    }
+
+    let mut st = ColumnStepState::default();
+    let mut j0 = 0usize;
+    while j0 < kmin {
+        let jb = nb.min(kmin - j0);
+        {
+            let mut w = SmemBand { data: &mut buf, ldab, col0: j0, width: loaded_end - j0 };
+            for j in j0..j0 + jb {
+                smem_column_step(l, &mut w, piv, j, &mut st, ctx);
+            }
+        }
+        for (k, c) in (j0..j0 + jb).enumerate() {
+            ab[c * ldab..(c + 1) * ldab].copy_from_slice(&buf[k * ldab..(k + 1) * ldab]);
+        }
+        ctx.gst(jb * ldab * 8);
+        ctx.sync();
+
+        let next_j0 = j0 + jb;
+        if next_j0 >= kmin {
+            if loaded_end > next_j0 {
+                for (k, c) in (next_j0..loaded_end).enumerate() {
+                    ab[c * ldab..(c + 1) * ldab]
+                        .copy_from_slice(&buf[(jb + k) * ldab..(jb + k + 1) * ldab]);
+                }
+                ctx.gst((loaded_end - next_j0) * ldab * 8);
+            }
+            break;
+        }
+        let resident = loaded_end - j0;
+        let keep = resident - jb;
+        buf.copy_within(jb * ldab..resident * ldab, 0);
+        ctx.smem_work(keep * ldab, 0);
+        ctx.sync();
+        let new_end = (next_j0 + wcols).min(n);
+        if new_end > loaded_end {
+            for (k, c) in (loaded_end..new_end).enumerate() {
+                let dst = (loaded_end - next_j0 + k) * ldab;
+                buf[dst..dst + ldab].copy_from_slice(&ab[c * ldab..(c + 1) * ldab]);
+            }
+            ctx.gld((new_end - loaded_end) * ldab * 8);
+            loaded_end = new_end;
+        }
+        ctx.sync();
+        j0 = next_j0;
+    }
+    *info = st.info;
+    ctx.gst(kmin * std::mem::size_of::<i32>());
+    let arena = ctx.smem.slice_mut(off, wlen);
+    arena.copy_from_slice(&buf);
+}
+
+/// Non-uniform batched band LU factorization (sliding window per block).
+pub fn dgbtrf_vbatch(
+    dev: &DeviceSpec,
+    a: &mut VarBandBatch,
+    piv: &mut VarPivots,
+    info: &mut InfoArray,
+    nb: usize,
+) -> Result<LaunchReport, LaunchError> {
+    assert!(nb > 0);
+    assert_eq!(info.len(), a.batch());
+    let cfg = vbatch_config(dev, a, nb);
+    struct Prob<'a> {
+        l: BandLayout,
+        ab: &'a mut [f64],
+        piv: &'a mut [i32],
+        info: &'a mut i32,
+    }
+    let mut probs: Vec<Prob<'_>> = a
+        .iter_mut()
+        .zip(piv.iter_mut())
+        .zip(info.as_mut_slice().iter_mut())
+        .map(|(((l, ab), piv), info)| Prob { l, ab, piv, info })
+        .collect();
+    launch(dev, &cfg, &mut probs, |p, ctx| {
+        window_body_var(&p.l, nb, p.ab, p.piv, p.info, ctx)
+    })
+}
+
+/// Non-uniform batched factorize-and-solve: window factorization followed
+/// by an in-block triangular solve per matrix (the solve reuses the
+/// sequential kernels on global memory with the RHS staged through shared
+/// memory-sized chunks; for the small heterogeneous systems this targets,
+/// the whole RHS fits).
+pub fn dgbsv_vbatch(
+    dev: &DeviceSpec,
+    a: &mut VarBandBatch,
+    piv: &mut VarPivots,
+    rhs: &mut VarRhs,
+    info: &mut InfoArray,
+    nb: usize,
+) -> Result<LaunchReport, LaunchError> {
+    let nrhs = rhs.nrhs();
+    let mut cfg = vbatch_config(dev, a, nb);
+    // Extra shared space for the largest RHS block.
+    let max_rhs = a.layouts().iter().map(|l| l.n * nrhs * 8).max().unwrap_or(0);
+    cfg.smem_bytes += max_rhs as u32;
+    struct Prob<'a> {
+        l: BandLayout,
+        ab: &'a mut [f64],
+        piv: &'a mut [i32],
+        b: &'a mut [f64],
+        info: &'a mut i32,
+    }
+    let mut probs: Vec<Prob<'_>> = a
+        .iter_mut()
+        .zip(piv.iter_mut())
+        .zip(rhs.iter_mut())
+        .zip(info.as_mut_slice().iter_mut())
+        .map(|((((l, ab), piv), (_, b)), info)| Prob { l, ab, piv, b, info })
+        .collect();
+    launch(dev, &cfg, &mut probs, |p, ctx| {
+        window_body_var(&p.l, nb, p.ab, p.piv, p.info, ctx);
+        if *p.info == 0 {
+            let n = p.l.n;
+            // Stage the RHS through shared memory, solve, write back.
+            let off = ctx.smem.alloc(n * nrhs);
+            ctx.smem.slice_mut(off, n * nrhs).copy_from_slice(p.b);
+            ctx.gld(n * nrhs * 8);
+            gbtrs(Transpose::No, &p.l, p.ab, p.piv, p.b, n, nrhs);
+            ctx.gld(p.l.len() * 8); // factors re-read by the solve
+            ctx.smem_work(n * nrhs * (p.l.kv() + p.l.kl + 2), 2);
+            ctx.gst(n * nrhs * 8);
+            ctx.sync();
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::gbtf2::gbtf2;
+    use gbatch_core::residual::backward_error;
+
+    fn mixed_batch() -> VarBandBatch {
+        let layouts = vec![
+            BandLayout::factor(12, 12, 1, 1).unwrap(),
+            BandLayout::factor(40, 40, 2, 3).unwrap(),
+            BandLayout::factor(25, 25, 10, 7).unwrap(),
+            BandLayout::factor(7, 7, 0, 2).unwrap(),
+            BandLayout::factor(64, 64, 3, 0).unwrap(),
+        ];
+        let mut v = 0.57f64;
+        VarBandBatch::from_fn(layouts, |_, m| {
+            let n = m.layout.n;
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 2.7 + 0.031).fract();
+                    m.set(i, j, v - 0.5 + if i == j { 1.5 } else { 0.0 });
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn vbatch_factorization_matches_per_matrix_gbtf2() {
+        let dev = DeviceSpec::h100_pcie();
+        let mut a = mixed_batch();
+        let orig = a.clone();
+        let mut piv = VarPivots::for_batch(&a);
+        let mut info = InfoArray::new(a.batch());
+        let rep = dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, 8).unwrap();
+        assert!(info.all_ok());
+        assert_eq!(rep.grid, 5);
+        for id in 0..a.batch() {
+            let l = orig.layout(id);
+            let mut expect = orig.matrix(id).data.to_vec();
+            let mut p = vec![0i32; l.m.min(l.n)];
+            let i = gbtf2(&l, &mut expect, &mut p);
+            assert_eq!(info.get(id), i);
+            assert_eq!(piv.pivots(id), &p[..], "pivots of matrix {id}");
+            assert_eq!(a.matrix(id).data, &expect[..], "factors of matrix {id}");
+        }
+    }
+
+    #[test]
+    fn vbatch_solve_end_to_end() {
+        let dev = DeviceSpec::mi250x_gcd();
+        let mut a = mixed_batch();
+        let orig = a.clone();
+        let rhs0 = VarRhs::from_fn(&a, 2, |id, i, c| ((id * 7 + i + c * 3) as f64 * 0.19).sin())
+            .unwrap();
+        let mut rhs = rhs0.clone();
+        let mut piv = VarPivots::for_batch(&a);
+        let mut info = InfoArray::new(a.batch());
+        dgbsv_vbatch(&dev, &mut a, &mut piv, &mut rhs, &mut info, 8).unwrap();
+        assert!(info.all_ok());
+        for id in 0..a.batch() {
+            let n = orig.layout(id).n;
+            for c in 0..2 {
+                let x = &rhs.block(id)[c * n..(c + 1) * n];
+                let b = &rhs0.block(id)[c * n..(c + 1) * n];
+                let berr = backward_error(orig.matrix(id), x, b);
+                assert!(berr < 1e-11, "matrix {id} rhs {c}: berr {berr:.2e}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_covers_worst_matrix() {
+        let dev = DeviceSpec::h100_pcie();
+        let a = mixed_batch();
+        let cfg = vbatch_config(&dev, &a, 8);
+        // threads must cover max kl + 1 = 11 -> one warp of 32.
+        assert!(cfg.threads >= 11);
+        // smem must cover the widest band's window: (10,7) -> ldab 28.
+        let widest = BandLayout::factor(25, 25, 10, 7).unwrap();
+        assert!(cfg.smem_bytes as usize >= window_smem_bytes(&widest, 8));
+    }
+
+    #[test]
+    fn skewed_sizes_price_by_the_slowest_block() {
+        // A batch with one big matrix should cost at least as much as the
+        // big matrix alone.
+        let dev = DeviceSpec::h100_pcie();
+        let make = |layouts: Vec<BandLayout>| -> f64 {
+            let mut v = 0.41f64;
+            let mut a = VarBandBatch::from_fn(layouts, |_, m| {
+                let n = m.layout.n;
+                for j in 0..n {
+                    let (s, e) = m.layout.col_rows(j);
+                    for i in s..e {
+                        v = (v * 1.9 + 0.077).fract();
+                        m.set(i, j, v - 0.5 + if i == j { 2.0 } else { 0.0 });
+                    }
+                }
+            })
+            .unwrap();
+            let mut piv = VarPivots::for_batch(&a);
+            let mut info = InfoArray::new(a.batch());
+            dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, 8).unwrap().time.secs()
+        };
+        let big = BandLayout::factor(512, 512, 2, 3).unwrap();
+        let small = BandLayout::factor(16, 16, 2, 3).unwrap();
+        let t_big_alone = make(vec![big]);
+        let t_mixed = make(vec![small, big, small, small]);
+        assert!(t_mixed >= t_big_alone * 0.95, "{t_mixed} vs {t_big_alone}");
+    }
+}

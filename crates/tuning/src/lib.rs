@@ -1,0 +1,20 @@
+//! # gbatch-tuning
+//!
+//! The offline tuning framework of paper §5.3: "we have conducted a
+//! benchmark sweep for square matrices up to 1024, for any kl/ku in the
+//! range \[0:32\]. The results of the benchmark sweep are then fed to a
+//! post-processing phase that extracts the best tuning parameters for a
+//! given band pattern. Separate test sweeps have been conducted for the
+//! H100 GPU and the AMD MI250x GPU."
+//!
+//! Here the sweep evaluates the *model cost* of every `(nb, threads)`
+//! candidate through `gbatch_kernels::cost` (exact traffic, worst-case
+//! critical path), which makes the 33 x 33 band sweep cheap enough to run
+//! in tests. Results persist as JSON ([`table::TuningTable`]) and feed the
+//! dispatch layer's `WindowParams`.
+
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{sweep_band, sweep_device, SweepConfig};
+pub use table::{TuneEntry, TuningTable};

@@ -1,0 +1,133 @@
+//! Persistent tuning tables: best `(nb, threads)` per `(kl, ku)` per
+//! device.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One tuned configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuneEntry {
+    /// Window block size.
+    pub nb: usize,
+    /// Threads per matrix.
+    pub threads: u32,
+    /// Predicted batch-1000 time at the calibration size, milliseconds.
+    pub predicted_ms: f64,
+}
+
+/// Best window parameters per band shape for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningTable {
+    /// Device the sweep ran on.
+    pub device: String,
+    /// Calibration matrix size used by the sweep.
+    pub calibrated_n: usize,
+    /// Calibration batch size.
+    pub calibrated_batch: usize,
+    entries: BTreeMap<String, TuneEntry>,
+}
+
+fn key(kl: usize, ku: usize) -> String {
+    format!("{kl}:{ku}")
+}
+
+impl TuningTable {
+    /// Empty table for a device.
+    pub fn new(device: impl Into<String>, calibrated_n: usize, calibrated_batch: usize) -> Self {
+        TuningTable {
+            device: device.into(),
+            calibrated_n,
+            calibrated_batch,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Record the winner for a band shape.
+    pub fn insert(&mut self, kl: usize, ku: usize, entry: TuneEntry) {
+        self.entries.insert(key(kl, ku), entry);
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, kl: usize, ku: usize) -> Option<TuneEntry> {
+        self.entries.get(&key(kl, ku)).copied()
+    }
+
+    /// Lookup with nearest-neighbour fallback (Manhattan distance in
+    /// `(kl, ku)`), used when an application asks for a band shape outside
+    /// the sweep range.
+    pub fn lookup(&self, kl: usize, ku: usize) -> Option<TuneEntry> {
+        if let Some(e) = self.get(kl, ku) {
+            return Some(e);
+        }
+        self.entries
+            .iter()
+            .min_by_key(|(k, _)| {
+                let mut it = k.split(':');
+                let tkl: isize = it.next().unwrap().parse().unwrap();
+                let tku: isize = it.next().unwrap().parse().unwrap();
+                (tkl - kl as isize).abs() + (tku - ku as isize).abs()
+            })
+            .map(|(_, e)| *e)
+    }
+
+    /// Number of tuned band shapes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no shapes are tuned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TuningTable {
+        let mut t = TuningTable::new("TestGPU", 512, 1000);
+        t.insert(2, 3, TuneEntry { nb: 8, threads: 32, predicted_ms: 0.5 });
+        t.insert(10, 7, TuneEntry { nb: 16, threads: 64, predicted_ms: 1.5 });
+        t
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let t = sample();
+        assert_eq!(t.get(2, 3).unwrap().nb, 8);
+        assert!(t.get(5, 5).is_none());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn nearest_fallback() {
+        let t = sample();
+        // (3, 3) is closer to (2, 3) than to (10, 7).
+        assert_eq!(t.lookup(3, 3).unwrap().nb, 8);
+        // (12, 8) is closer to (10, 7).
+        assert_eq!(t.lookup(12, 8).unwrap().nb, 16);
+        let empty = TuningTable::new("X", 512, 1000);
+        assert!(empty.lookup(1, 1).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = sample();
+        let s = t.to_json();
+        let back = TuningTable::from_json(&s).unwrap();
+        assert_eq!(t, back);
+        assert!(s.contains("TestGPU"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # gbatch-workloads
+//!
+//! Synthetic application workloads exercising the batched band solver,
+//! matching the descriptions of the paper's Section 2:
+//!
+//! - [`random`] — uniform random band batches (the paper's benchmark
+//!   inputs for every figure), with optional diagonal dominance and
+//!   condition-number control;
+//! - [`pele`] — PELE-suite chemical-kinetics-like batches: orders ≤ 150
+//!   (many ≤ 50), ~90 % in-band density, a wide spread of condition
+//!   numbers (§2.1);
+//! - [`xgc`] — WDMApp/XGC-like batches: 512 systems of order 193 from a
+//!   Q3-finite-element-like 1-D band stencil (§2.2);
+//! - [`sundials`] — SUNDIALS ReactEval-like batches: BDF Newton matrices
+//!   `I − γJ` with banded Jacobians of a 1-D multi-species
+//!   reaction–diffusion method-of-lines system initialized from a
+//!   sinusoidal temperature profile (§2.3);
+//! - [`rhs`] — right-hand-side builders (manufactured solutions).
+//!
+//! ```
+//! use gbatch_workloads::{pele_batch, pele::PeleConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let batch = pele_batch(&mut rng, 32, &PeleConfig::default());
+//! assert_eq!(batch.batch(), 32);
+//! assert_eq!(batch.layout().n, 50); // paper: "many are sized 50 or less"
+//! ```
+
+// Generators mirror the numerical kernels' indexed-loop style.
+#![allow(clippy::needless_range_loop)]
+
+pub mod pele;
+pub mod random;
+pub mod rhs;
+pub mod sundials;
+pub mod xgc;
+
+pub use pele::pele_batch;
+pub use random::{random_band_batch, BandDistribution};
+pub use rhs::{manufactured_rhs, rhs_for_solutions};
+pub use sundials::{react_eval_batch, ReactEvalConfig};
+pub use xgc::{xgc_batch, XgcConfig};

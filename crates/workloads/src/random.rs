@@ -1,0 +1,145 @@
+//! Random band batches — the benchmark inputs of every figure in the paper
+//! ("batches of 1,000 matrices in double precision").
+
+use gbatch_core::batch::BandBatch;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// How the random entries are shaped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandDistribution {
+    /// Entries uniform in `[-1, 1]`; partial pivoting will interchange rows
+    /// frequently (the paper's general case — the operation count "depends
+    /// on the pivoting pattern").
+    Uniform,
+    /// Column-diagonally-dominant: diagonal set to the column's absolute
+    /// off-diagonal sum plus the given margin. Column dominance is
+    /// preserved by Gaussian elimination, so partial pivoting never
+    /// interchanges — the best-case update width.
+    DiagonallyDominant {
+        /// Extra dominance margin added to each diagonal entry.
+        margin: f64,
+    },
+    /// Uniform entries with the diagonal of matrix `i` scaled by
+    /// `decay^i`, producing a batch whose condition numbers span several
+    /// orders of magnitude (the PELE scenario's "large range of condition
+    /// numbers").
+    ConditionSpread {
+        /// Per-matrix diagonal decay factor in `(0, 1]`.
+        decay: f64,
+    },
+}
+
+/// Generate a uniform batch of `batch` random `n x n` band matrices with
+/// bandwidths `(kl, ku)` in factor storage.
+pub fn random_band_batch(
+    rng: &mut impl Rng,
+    batch: usize,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    dist: BandDistribution,
+) -> BandBatch {
+    let uni = Uniform::new_inclusive(-1.0f64, 1.0);
+    BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+        let layout = m.layout;
+        for j in 0..n {
+            let (s, e) = layout.col_rows(j);
+            for i in s..e {
+                m.set(i, j, uni.sample(rng));
+            }
+        }
+        match dist {
+            BandDistribution::Uniform => {}
+            BandDistribution::DiagonallyDominant { margin } => {
+                for j in 0..n {
+                    let (s, e) = layout.col_rows(j);
+                    let sum: f64 =
+                        (s..e).filter(|&i| i != j).map(|i| m.get(i, j).abs()).sum();
+                    m.set(j, j, sum + margin);
+                }
+            }
+            BandDistribution::ConditionSpread { decay } => {
+                let scale = decay.powi(id as i32);
+                for j in 0..n {
+                    let d = m.get(j, j);
+                    m.set(j, j, (d.abs() + 0.5) * scale * d.signum().max(-1.0));
+                }
+            }
+        }
+    })
+    .expect("valid batch dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::batch::{InfoArray, PivotBatch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_fills_whole_band() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = random_band_batch(&mut rng, 3, 16, 2, 3, BandDistribution::Uniform);
+        let m = b.matrix(1);
+        let l = b.layout();
+        let mut nonzero = 0;
+        for j in 0..16 {
+            let (s, e) = l.col_rows(j);
+            for i in s..e {
+                if m.get(i, j) != 0.0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        assert_eq!(nonzero, l.nnz(), "every band entry drawn");
+    }
+
+    #[test]
+    fn dominant_matrices_never_pivot() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut b = random_band_batch(
+            &mut rng,
+            4,
+            24,
+            2,
+            3,
+            BandDistribution::DiagonallyDominant { margin: 0.1 },
+        );
+        let l = b.layout();
+        let mut piv = PivotBatch::new(4, 24, 24);
+        let mut info = InfoArray::new(4);
+        for (id, (ab, pv)) in b.chunks_mut().zip(piv.chunks_mut()).enumerate() {
+            let i = gbatch_core::gbtf2::gbtf2(&l, ab, pv);
+            info.set(id, i);
+        }
+        assert!(info.all_ok());
+        for id in 0..4 {
+            for (j, &p) in piv.pivots(id).iter().enumerate() {
+                assert_eq!(p as usize, j, "dominant matrix must not interchange");
+            }
+        }
+    }
+
+    #[test]
+    fn condition_spread_scales_diagonals() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let b =
+            random_band_batch(&mut rng, 6, 10, 1, 1, BandDistribution::ConditionSpread { decay: 0.5 });
+        // Diagonal magnitude must decay across the batch on average.
+        let avg = |id: usize| -> f64 {
+            (0..10).map(|j| b.matrix(id).get(j, j).abs()).sum::<f64>() / 10.0
+        };
+        assert!(avg(0) > 4.0 * avg(5), "decay 0.5^5 = 1/32 expected: {} vs {}", avg(0), avg(5));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = random_band_batch(&mut r1, 2, 8, 1, 2, BandDistribution::Uniform);
+        let b = random_band_batch(&mut r2, 2, 8, 1, 2, BandDistribution::Uniform);
+        assert_eq!(a.data(), b.data());
+    }
+}

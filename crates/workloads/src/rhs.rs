@@ -1,0 +1,78 @@
+//! Right-hand-side builders.
+
+use gbatch_core::batch::{BandBatch, RhsBatch};
+use gbatch_core::blas2::gbmv;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Random RHS batch with entries uniform in `[-1, 1]`.
+pub fn manufactured_rhs(rng: &mut impl Rng, batch: usize, n: usize, nrhs: usize) -> RhsBatch {
+    let uni = Uniform::new_inclusive(-1.0f64, 1.0);
+    let mut b = RhsBatch::zeros(batch, n, nrhs).expect("valid rhs dims");
+    for v in b.data_mut() {
+        *v = uni.sample(rng);
+    }
+    b
+}
+
+/// Build `B = A * X` for known solutions `X` (manufactured-solution
+/// testing): returns `(x, b)` where both are `RhsBatch`-shaped and
+/// `solving A x = b` must recover `x`.
+pub fn rhs_for_solutions(
+    a: &BandBatch,
+    make_x: impl Fn(usize, usize, usize) -> f64,
+    nrhs: usize,
+) -> (RhsBatch, RhsBatch) {
+    let l = a.layout();
+    let n = l.n;
+    let batch = a.batch();
+    let x = RhsBatch::from_fn(batch, n, nrhs, make_x).expect("dims");
+    let mut b = RhsBatch::zeros(batch, n, nrhs).expect("dims");
+    for id in 0..batch {
+        for c in 0..nrhs {
+            let xs = &x.block(id)[c * n..(c + 1) * n];
+            let mut y = vec![0.0; n];
+            gbmv(1.0, a.matrix(id), xs, 0.0, &mut y);
+            b.block_mut(id)[c * n..(c + 1) * n].copy_from_slice(&y);
+        }
+    }
+    (x, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_band_batch, BandDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn manufactured_rhs_shape() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let b = manufactured_rhs(&mut rng, 3, 10, 2);
+        assert_eq!(b.batch(), 3);
+        assert_eq!(b.n(), 10);
+        assert_eq!(b.nrhs(), 2);
+        assert!(b.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn solutions_round_trip() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_band_batch(&mut rng, 2, 12, 2, 1, BandDistribution::DiagonallyDominant {
+            margin: 1.0,
+        });
+        let (x, b) = rhs_for_solutions(&a, |id, i, c| (id + i + c) as f64, 2);
+        // Solve and compare.
+        let l = a.layout();
+        for id in 0..2 {
+            let mut ab = a.matrix(id).data.to_vec();
+            let mut piv = vec![0i32; 12];
+            let mut sol = b.block(id).to_vec();
+            assert_eq!(gbatch_core::gbsv::gbsv(&l, &mut ab, &mut piv, &mut sol, 12, 2), 0);
+            for (got, want) in sol.iter().zip(x.block(id)) {
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! SUNDIALS ReactEval-like batches (paper §2.3).
+//!
+//! ReactEval advances the reaction equations of a Pele problem from "a
+//! sinusoidal temperature profile". Each AMR cell contributes one small
+//! stiff ODE system (species mass fractions + temperature); an implicit BDF
+//! step solves `(I - gamma * J) dx = r` per cell, where `J` is the local
+//! chemistry Jacobian. With a method-of-lines layout the per-cell Newton
+//! matrices assemble into band matrices whose bandwidth is the species
+//! count (species couple within a cell and to neighbouring cells through
+//! transport). "Changing both the size of the ODE and the size of batch"
+//! maps to `species`/`cells_per_system` and `batch`.
+
+use gbatch_core::batch::BandBatch;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Configuration of the ReactEval-like generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReactEvalConfig {
+    /// Chemical species per cell (sets the bandwidth).
+    pub species: usize,
+    /// Grid cells chained into one system (sets `n = species * cells`).
+    pub cells_per_system: usize,
+    /// BDF step scaling `gamma = h * beta` applied to the Jacobian.
+    pub gamma: f64,
+    /// Stiffness spread of the reaction rates, in decades.
+    pub stiffness_decades: f64,
+}
+
+impl Default for ReactEvalConfig {
+    fn default() -> Self {
+        ReactEvalConfig { species: 9, cells_per_system: 8, gamma: 1e-2, stiffness_decades: 4.0 }
+    }
+}
+
+impl ReactEvalConfig {
+    /// System order `n = species * cells_per_system`.
+    pub fn n(&self) -> usize {
+        self.species * self.cells_per_system
+    }
+
+    /// Bandwidth: species couple within a cell and to one neighbour cell.
+    pub fn bandwidth(&self) -> usize {
+        self.species
+    }
+}
+
+/// Generate a batch of ReactEval-like Newton matrices `I - gamma * J`,
+/// with per-cell initial states taken from a sinusoidal temperature
+/// profile across the batch (cell `id` sits at phase `2*pi*id/batch`).
+pub fn react_eval_batch(rng: &mut impl Rng, batch: usize, cfg: &ReactEvalConfig) -> BandBatch {
+    let n = cfg.n();
+    let k = cfg.bandwidth();
+    let uni = Uniform::new_inclusive(-1.0f64, 1.0);
+    let decades = cfg.stiffness_decades.max(0.0);
+    let log_u = (decades > 0.0).then(|| Uniform::new(-decades, 0.0f64));
+    BandBatch::from_fn(batch, n, n, k, k, |id, m| {
+        // Sinusoidal initial temperature: hotter cells react faster, i.e.
+        // larger |J| entries (stiffer Newton systems).
+        let temp = 1.0 + 0.5 * (2.0 * std::f64::consts::PI * id as f64 / batch.max(1) as f64).sin();
+        for j in 0..n {
+            let (s, e) = m.layout.col_rows(j);
+            let mut off_sum = 0.0;
+            for i in s..e {
+                if i == j {
+                    continue;
+                }
+                // Reaction rates span several decades (stiff chemistry).
+                let stiff = log_u.as_ref().map(|u| 10f64.powf(u.sample(rng))).unwrap_or(1.0);
+                let rate = temp * stiff * uni.sample(rng);
+                let v = -cfg.gamma * rate;
+                m.set(i, j, v);
+                off_sum += v.abs();
+            }
+            // I - gamma * J_jj with J_jj < 0 (species consumption): the
+            // diagonal stays >= 1 and dominates for reasonable gamma.
+            let stiff = log_u.as_ref().map(|u| 10f64.powf(u.sample(rng))).unwrap_or(1.0);
+            let jjj = -temp * stiff * (1.0 + uni.sample(rng).abs());
+            m.set(j, j, 1.0 - cfg.gamma * jjj + off_sum * 0.01);
+        }
+    })
+    .expect("valid batch dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::batch::{InfoArray, PivotBatch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dimensions_follow_configuration() {
+        let cfg = ReactEvalConfig { species: 5, cells_per_system: 4, ..Default::default() };
+        assert_eq!(cfg.n(), 20);
+        assert_eq!(cfg.bandwidth(), 5);
+        let mut rng = StdRng::seed_from_u64(31);
+        let b = react_eval_batch(&mut rng, 3, &cfg);
+        assert_eq!(b.layout().n, 20);
+        assert_eq!(b.layout().kl, 5);
+    }
+
+    #[test]
+    fn newton_matrices_are_nonsingular() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfg = ReactEvalConfig::default();
+        let mut b = react_eval_batch(&mut rng, 64, &cfg);
+        let l = b.layout();
+        let mut piv = PivotBatch::new(64, cfg.n(), cfg.n());
+        let mut info = InfoArray::new(64);
+        for (id, (ab, pv)) in b.chunks_mut().zip(piv.chunks_mut()).enumerate() {
+            info.set(id, gbatch_core::gbtf2::gbtf2(&l, ab, pv));
+        }
+        assert!(info.all_ok());
+    }
+
+    #[test]
+    fn diagonal_close_to_identity_for_small_gamma() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let cfg = ReactEvalConfig { gamma: 1e-6, ..Default::default() };
+        let b = react_eval_batch(&mut rng, 4, &cfg);
+        for j in 0..cfg.n() {
+            let d = b.matrix(0).get(j, j);
+            assert!((d - 1.0).abs() < 0.05, "diagonal {d} should be near 1");
+        }
+    }
+
+    #[test]
+    fn sinusoidal_profile_varies_across_batch() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let cfg = ReactEvalConfig { gamma: 0.5, stiffness_decades: 0.0, ..Default::default() };
+        let batch = 32;
+        let b = react_eval_batch(&mut rng, batch, &cfg);
+        // Off-diagonal magnitude should track the temperature profile:
+        // compare a "hot" system (quarter phase) to a "cold" one.
+        let mag = |id: usize| -> f64 {
+            let m = b.matrix(id);
+            let l = b.layout();
+            let mut s = 0.0;
+            for j in 0..cfg.n() {
+                let (a, e) = l.col_rows(j);
+                for i in a..e {
+                    if i != j {
+                        s += m.get(i, j).abs();
+                    }
+                }
+            }
+            s
+        };
+        let hot = mag(batch / 4); // sin = 1 -> temp 1.5
+        let cold = mag(3 * batch / 4); // sin = -1 -> temp 0.5
+        assert!(hot > 1.5 * cold, "hot {hot:.2} vs cold {cold:.2}");
+    }
+}

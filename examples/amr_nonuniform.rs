@@ -1,0 +1,138 @@
+//! Non-uniform batches and band-specialized kernels — the paper's future
+//! work (Section 9: "support for non-uniform batches of different sizes
+//! and/or different bandwidths") and its §8.1 JIT proposal, both
+//! implemented in this reproduction.
+//!
+//! Scenario: an AMR hierarchy (as in the Pele/AMReX applications of §2.3)
+//! produces reaction systems of *different sizes per refinement level* —
+//! coarse patches yield small systems, fine patches larger ones — all
+//! wanting one batched solve.
+//!
+//! ```text
+//! cargo run --release --example amr_nonuniform
+//! ```
+
+use gbatch::core::layout::BandLayout;
+use gbatch::core::residual::backward_error;
+use gbatch::core::vbatch::{VarBandBatch, VarPivots, VarRhs};
+use gbatch::core::{InfoArray, PivotBatch};
+use gbatch::gpu_sim::DeviceSpec;
+use gbatch::kernels::specialized::specialized_gbtrf;
+use gbatch::kernels::vbatch::{dgbsv_vbatch, dgbtrf_vbatch};
+use gbatch::workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let dev = DeviceSpec::h100_pcie();
+
+    // --- Part 1: non-uniform batch across three AMR levels -------------
+    // Level 0: 9-species cells (n = 36, band 9); level 1: refined patches
+    // (n = 72); level 2: deep refinement with extra transport coupling
+    // (n = 144, wider band).
+    let mut layouts = Vec::new();
+    for _ in 0..64 {
+        layouts.push(BandLayout::factor(36, 36, 9, 9).unwrap());
+    }
+    for _ in 0..32 {
+        layouts.push(BandLayout::factor(72, 72, 9, 9).unwrap());
+    }
+    for _ in 0..16 {
+        layouts.push(BandLayout::factor(144, 144, 12, 12).unwrap());
+    }
+    let mut a = VarBandBatch::from_fn(layouts, |_, m| {
+        let n = m.layout.n;
+        for j in 0..n {
+            let (s, e) = m.layout.col_rows(j);
+            let mut row_sum = 0.0;
+            for i in s..e {
+                if i != j {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    m.set(i, j, v);
+                    row_sum += v.abs();
+                }
+            }
+            m.set(j, j, row_sum + 1.0);
+        }
+    })
+    .expect("valid layouts");
+    let orig = a.clone();
+
+    let rhs0 = VarRhs::from_fn(&a, 1, |id, i, _| ((id + i) as f64 * 0.13).sin()).unwrap();
+    let mut rhs = rhs0.clone();
+    let mut piv = VarPivots::for_batch(&a);
+    let mut info = InfoArray::new(a.batch());
+    let rep = dgbsv_vbatch(&dev, &mut a, &mut piv, &mut rhs, &mut info, 8).expect("launch");
+    assert!(info.all_ok());
+    let worst = (0..orig.batch())
+        .map(|id| backward_error(orig.matrix(id), rhs.block(id), rhs0.block(id)))
+        .fold(0.0f64, f64::max);
+    println!(
+        "non-uniform batch: {} systems (n = 36/72/144, bands 9/9/12) in ONE launch",
+        orig.batch()
+    );
+    println!("  modeled time {:.4} ms, worst backward error {worst:.2e}", rep.time.ms());
+
+    // Compare against three separate uniform launches (what you'd do
+    // without non-uniform support): three launch overheads instead of one.
+    let mut t_separate = 0.0;
+    for (count, n, k) in [(64usize, 36usize, 9usize), (32, 72, 9), (16, 144, 12)] {
+        let mut rng2 = StdRng::seed_from_u64(n as u64);
+        let mut ua = random_band_batch(&mut rng2, count, n, k, k, BandDistribution::DiagonallyDominant { margin: 1.0 });
+        let mut upiv = PivotBatch::new(count, n, n);
+        let mut uinfo = InfoArray::new(count);
+        let r = gbatch::kernels::dispatch::dgbtrf_batch(
+            &dev,
+            &mut ua,
+            &mut upiv,
+            &mut uinfo,
+            &gbatch::kernels::dispatch::GbsvOptions::default(),
+        )
+        .unwrap();
+        t_separate += r.time.ms();
+    }
+    let mut a2 = orig.clone();
+    let mut piv2 = VarPivots::for_batch(&a2);
+    let mut info2 = InfoArray::new(a2.batch());
+    let t_joint = dgbtrf_vbatch(&dev, &mut a2, &mut piv2, &mut info2, 8).unwrap().time.ms();
+    println!("  factorization: joint {t_joint:.4} ms vs three uniform launches {t_separate:.4} ms");
+
+    // --- Part 2: band-specialized ("JIT") kernels -----------------------
+    // The (2,3) shape from the paper's evaluation has a compiled
+    // register-file instance; compare it to the generic window kernel.
+    let (batch, n, kl, ku) = (512usize, 128usize, 2usize, 3usize);
+    let mut rng3 = StdRng::seed_from_u64(7);
+    let base = random_band_batch(&mut rng3, batch, n, kl, ku, BandDistribution::Uniform);
+
+    let mut a_spec = base.clone();
+    let mut p_spec = PivotBatch::new(batch, n, n);
+    let mut i_spec = InfoArray::new(batch);
+    let t_spec = specialized_gbtrf(&dev, &mut a_spec, &mut p_spec, &mut i_spec, 32)
+        .expect("(2,3) has a compiled instance")
+        .expect("launch")
+        .time
+        .ms();
+
+    let mut a_gen = base.clone();
+    let mut p_gen = PivotBatch::new(batch, n, n);
+    let mut i_gen = InfoArray::new(batch);
+    let t_gen = gbatch::kernels::window::gbtrf_batch_window(
+        &dev,
+        &mut a_gen,
+        &mut p_gen,
+        &mut i_gen,
+        gbatch::kernels::window::WindowParams::auto(&dev, kl),
+    )
+    .unwrap()
+    .time
+    .ms();
+
+    assert_eq!(a_spec.data(), a_gen.data(), "identical numerics");
+    println!("specialized (2,3) register kernel: {t_spec:.4} ms vs generic window {t_gen:.4} ms");
+    println!(
+        "  -> {:.2}x from band specialization (the paper's §8.1 JIT payoff)",
+        t_gen / t_spec
+    );
+    println!("done.");
+}

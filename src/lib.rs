@@ -1,0 +1,54 @@
+//! # gbatch — batched banded LU factorization and solve
+//!
+//! Facade crate for the `gbatch` workspace, a full reproduction of
+//! *"GPU-based LU Factorization and Solve on Batches of Matrices with Band
+//! Structure"* (Abdelfattah, Tomov, Luszczek, Anzt, Dongarra — SC-W 2023).
+//!
+//! The workspace implements the paper's three batched routines —
+//! `dgbtrf_batch`, `dgbtrs_batch`, `dgbsv_batch` — in three GPU kernel
+//! designs (reference fork–join, fully fused, sliding window) on top of a
+//! software-simulated GPU, plus the multicore CPU baseline, the offline
+//! tuner and a benchmark harness regenerating every figure and table of the
+//! paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gbatch::core::{BandBatch, PivotBatch, InfoArray, RhsBatch};
+//! use gbatch::gpu_sim::DeviceSpec;
+//! use gbatch::kernels::dispatch::{dgbsv_batch, GbsvOptions};
+//!
+//! // A batch of 8 tridiagonal systems of order 16.
+//! let (n, kl, ku, batch) = (16, 1, 1, 8);
+//! let mut a = BandBatch::from_fn(batch, n, n, kl, ku, |_, m| {
+//!     for j in 0..n {
+//!         m.set(j, j, 4.0);
+//!         if j > 0 { m.set(j - 1, j, -1.0); m.set(j, j - 1, -1.0); }
+//!     }
+//! }).unwrap();
+//! let mut b = RhsBatch::from_fn(batch, n, 1, |_, i, _| i as f64).unwrap();
+//! let mut piv = PivotBatch::new(batch, n, n);
+//! let mut info = InfoArray::new(batch);
+//!
+//! let dev = DeviceSpec::h100_pcie();
+//! let report = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info,
+//!                          &GbsvOptions::default()).unwrap();
+//! assert!(info.all_ok());
+//! println!("simulated time: {:.3} ms", report.time.ms());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+/// Band storage, sequential LAPACK-style routines, batch containers.
+pub use gbatch_core as core;
+/// Multicore CPU baseline (the paper's "mkl + openmp" stand-in).
+pub use gbatch_cpu as cpu;
+/// Software-simulated GPU substrate.
+pub use gbatch_gpu_sim as gpu_sim;
+/// GPU kernel designs and the batched user interface.
+pub use gbatch_kernels as kernels;
+/// Offline tuning sweep for (nb, threads).
+pub use gbatch_tuning as tuning;
+/// Synthetic application workloads (PELE, XGC, SUNDIALS, random bands).
+pub use gbatch_workloads as workloads;

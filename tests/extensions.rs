@@ -1,0 +1,313 @@
+//! Integration tests for the beyond-the-paper extensions, combining them
+//! with the application workloads.
+
+use gbatch::core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
+use gbatch::core::layout::BandLayout;
+use gbatch::core::residual::backward_error;
+use gbatch::core::vbatch::{VarBandBatch, VarPivots, VarRhs};
+use gbatch::gpu_sim::multi::DeviceGroup;
+use gbatch::gpu_sim::DeviceSpec;
+use gbatch::kernels::mixed::{msgbsv_batch_fused, MixedStatus};
+use gbatch::kernels::pbtrf::{pbsv_batch_fused, PbBatch};
+use gbatch::kernels::tridiag::{pcr_solve_batch, TridiagBatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// XGC-like SPD systems through the Cholesky path, residual-certified.
+#[test]
+fn xgc_systems_through_cholesky() {
+    let dev = DeviceSpec::h100_pcie();
+    let (batch, n, kd) = (32usize, 193usize, 3usize);
+    // Symmetrized XGC-style stencil, diagonally dominant.
+    let a0 = PbBatch::from_fn(batch, n, kd, |id, l, ab| {
+        let phase = id as f64 * 0.37;
+        for j in 0..n {
+            let coeff = 1.0 + 0.5 * ((j as f64 * 0.05 + phase).sin());
+            let mut sum = 0.0;
+            for k in 1..=kd.min(n - 1 - j) {
+                let w = -coeff / (k * k) as f64;
+                ab[l.idx(j + k, j)] = w;
+                sum += w.abs();
+            }
+            ab[l.idx(j, j)] = 2.0 * sum + 2.0 * coeff;
+        }
+    });
+    let mut xs = vec![0.0; batch * n];
+    for (k, v) in xs.iter_mut().enumerate() {
+        *v = ((k % 23) as f64) * 0.1 - 1.0;
+    }
+    let mut rhs = vec![0.0; batch * n];
+    for id in 0..batch {
+        let mut y = vec![0.0; n];
+        gbatch::core::pb::pbmv(&a0.layout(), a0.matrix(id), &xs[id * n..(id + 1) * n], &mut y);
+        rhs[id * n..(id + 1) * n].copy_from_slice(&y);
+    }
+    let mut a = a0.clone();
+    let mut info = InfoArray::new(batch);
+    pbsv_batch_fused(&dev, &mut a, &mut rhs, 1, &mut info, 32).unwrap();
+    assert!(info.all_ok());
+    for k in 0..batch * n {
+        assert!((rhs[k] - xs[k]).abs() < 1e-9);
+    }
+}
+
+/// SUNDIALS-like single-species tridiagonal systems through PCR, checked
+/// against the pivoted LU path.
+#[test]
+fn sundials_tridiagonal_through_pcr() {
+    let dev = DeviceSpec::mi250x_gcd();
+    let (batch, n) = (64usize, 72usize);
+    // I - gamma*J with weak coupling: diagonally dominant tridiagonal.
+    let gamma = 0.02;
+    let a = TridiagBatch::from_fn(
+        batch,
+        n,
+        |id, i| -gamma * ((id + i) as f64 * 0.29).sin(),
+        |id, i| 1.0 + gamma * (2.0 + ((id * 3 + i) as f64 * 0.11).cos()),
+        |id, i| -gamma * ((id * 7 + i) as f64 * 0.17).cos(),
+    );
+    for id in 0..batch {
+        assert!(a.is_diagonally_dominant(id));
+    }
+    let mut rhs = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.13).sin())
+        .unwrap();
+    let rhs0 = rhs.clone();
+    pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
+    // Residual check through the tridiagonal matvec.
+    for id in 0..batch {
+        let mut y = vec![0.0; n];
+        a.matvec(id, rhs.block(id), &mut y);
+        for i in 0..n {
+            assert!((y[i] - rhs0.block(id)[i]).abs() < 1e-11, "id={id} row {i}");
+        }
+    }
+}
+
+/// Mixed precision on a PELE-like dominant batch: everything converges,
+/// everything certified.
+#[test]
+fn pele_like_batch_through_mixed_precision() {
+    let dev = DeviceSpec::h100_pcie();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (batch, n, klu) = (24usize, 50usize, 4usize);
+    let a = gbatch::workloads::random::random_band_batch(
+        &mut rng,
+        batch,
+        n,
+        klu,
+        klu,
+        gbatch::workloads::random::BandDistribution::DiagonallyDominant { margin: 0.5 },
+    );
+    let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.21).cos())
+        .unwrap();
+    let mut b = b0.clone();
+    let mut piv = PivotBatch::new(batch, n, n);
+    let mut info = InfoArray::new(batch);
+    let (_, status) = msgbsv_batch_fused(&dev, &a, &mut piv, &mut b, &mut info, 32).unwrap();
+    for id in 0..batch {
+        assert!(matches!(status[id], MixedStatus::Converged(_)));
+        let berr = backward_error(a.matrix(id), b.block(id), b0.block(id));
+        assert!(berr < 1e-13, "id {id}: berr {berr:.2e}");
+    }
+}
+
+/// Non-uniform AMR-style batch split across the two GCDs of a full
+/// MI250x: partitions solve independently and all solutions certify.
+#[test]
+fn nonuniform_batch_on_multi_gcd() {
+    let group = DeviceGroup::mi250x_full();
+    let layouts: Vec<BandLayout> = (0..30)
+        .map(|k| {
+            let n = 24 + (k % 3) * 24;
+            BandLayout::factor(n, n, 2, 2).unwrap()
+        })
+        .collect();
+    let mut v = 0.83f64;
+    let a0 = VarBandBatch::from_fn(layouts, |_, m| {
+        let n = m.layout.n;
+        for j in 0..n {
+            let (s, e) = m.layout.col_rows(j);
+            for i in s..e {
+                v = (v * 2.3 + 0.041).fract();
+                m.set(i, j, v - 0.5 + if i == j { 2.0 } else { 0.0 });
+            }
+        }
+    })
+    .unwrap();
+    let rhs0 = VarRhs::from_fn(&a0, 1, |id, i, _| ((id + i) as f64 * 0.19).sin()).unwrap();
+
+    // Split: each device gets a contiguous id range; solve per partition.
+    let batch = a0.batch();
+    let mut solved: Vec<Option<Vec<f64>>> = vec![None; batch];
+    let makespan = group
+        .run_split::<gbatch::gpu_sim::LaunchError>(batch, |dev, lo, hi| {
+            // Build the partition as its own VarBandBatch.
+            let part_layouts: Vec<BandLayout> = (lo..hi).map(|id| a0.layout(id)).collect();
+            let mut pa = VarBandBatch::from_fn(part_layouts, |k, m| {
+                let src = a0.matrix(lo + k);
+                let n = m.layout.n;
+                for j in 0..n {
+                    let (s, e) = m.layout.col_rows(j);
+                    for i in s..e {
+                        m.set(i, j, src.get(i, j));
+                    }
+                }
+            })
+            .unwrap();
+            let mut prhs = VarRhs::from_fn(&pa, 1, |k, i, _| rhs0.block(lo + k)[i]).unwrap();
+            let mut piv = VarPivots::for_batch(&pa);
+            let mut info = InfoArray::new(pa.batch());
+            let rep = gbatch::kernels::vbatch::dgbsv_vbatch(dev, &mut pa, &mut piv, &mut prhs, &mut info, 4)?;
+            assert!(info.all_ok());
+            for k in 0..pa.batch() {
+                solved[lo + k] = Some(prhs.block(k).to_vec());
+            }
+            Ok(rep.time)
+        })
+        .unwrap();
+    assert!(makespan.secs() > 0.0);
+    for id in 0..batch {
+        let x = solved[id].as_ref().expect("every system solved");
+        let berr = backward_error(a0.matrix(id), x, rhs0.block(id));
+        assert!(berr < 1e-11, "id {id}: {berr:.2e}");
+    }
+}
+
+/// The specialized registry and generic dispatch agree on the XGC
+/// single-species band (3,3).
+#[test]
+fn specialized_on_xgc_band_shape() {
+    let dev = DeviceSpec::h100_pcie();
+    let mut rng = StdRng::seed_from_u64(11);
+    let (batch, n) = (16usize, 193usize);
+    let a0 = gbatch::workloads::random::random_band_batch(
+        &mut rng,
+        batch,
+        n,
+        3,
+        3,
+        gbatch::workloads::random::BandDistribution::Uniform,
+    );
+    let mut a1 = a0.clone();
+    let mut p1 = PivotBatch::new(batch, n, n);
+    let mut i1 = InfoArray::new(batch);
+    gbatch::kernels::specialized::specialized_gbtrf(&dev, &mut a1, &mut p1, &mut i1, 32)
+        .expect("(3,3) is compiled")
+        .unwrap();
+    let mut a2 = a0.clone();
+    let mut p2 = PivotBatch::new(batch, n, n);
+    let mut i2 = InfoArray::new(batch);
+    gbatch::kernels::dispatch::dgbtrf_batch(
+        &dev,
+        &mut a2,
+        &mut p2,
+        &mut i2,
+        &gbatch::kernels::dispatch::GbsvOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(a1.data(), a2.data());
+    assert_eq!(p1, p2);
+    let _ = BandBatch::zeros(1, 2, 2, 1, 1).unwrap();
+}
+
+/// RHS blocks with padding (`ldb > n`) flow through the blocked GPU
+/// solvers untouched outside the live rows.
+#[test]
+fn gpu_solvers_respect_ldb_padding() {
+    use gbatch::core::gbtrs::Transpose;
+    let dev = DeviceSpec::h100_pcie();
+    let (batch, n, kl, ku) = (4usize, 20usize, 2usize, 3usize);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut a = gbatch::workloads::random::random_band_batch(
+        &mut rng,
+        batch,
+        n,
+        kl,
+        ku,
+        gbatch::workloads::random::BandDistribution::DiagonallyDominant { margin: 1.0 },
+    );
+    let mut piv = PivotBatch::new(batch, n, n);
+    let mut info = InfoArray::new(batch);
+    gbatch::kernels::dispatch::dgbtrf_batch(
+        &dev,
+        &mut a,
+        &mut piv,
+        &mut info,
+        &gbatch::kernels::dispatch::GbsvOptions::default(),
+    )
+    .unwrap();
+    assert!(info.all_ok());
+
+    let ldb = n + 5;
+    let mut rhs = RhsBatch::zeros_with_ldb(batch, n, 2, ldb).unwrap();
+    for id in 0..batch {
+        for c in 0..2 {
+            for i in 0..n {
+                rhs.block_mut(id)[c * ldb + i] = ((id + c + i) as f64 * 0.23).sin();
+            }
+            for i in n..ldb {
+                rhs.block_mut(id)[c * ldb + i] = 999.0; // sentinel padding
+            }
+        }
+    }
+    let l = a.layout();
+    for trans in [Transpose::No, Transpose::Yes] {
+        let mut b = rhs.clone();
+        gbatch::kernels::dispatch::dgbtrs_batch(
+            &dev,
+            trans,
+            &l,
+            a.data(),
+            &piv,
+            &mut b,
+            &gbatch::kernels::dispatch::GbsvOptions::default(),
+        )
+        .unwrap();
+        for id in 0..batch {
+            for c in 0..2 {
+                for i in n..ldb {
+                    assert_eq!(
+                        b.block(id)[c * ldb + i],
+                        999.0,
+                        "padding clobbered ({trans:?}, id {id}, col {c}, row {i})"
+                    );
+                }
+                // Solution agrees with the sequential reference.
+                let mut expect = vec![0.0; n];
+                expect.copy_from_slice(&rhs.block(id)[c * ldb..c * ldb + n]);
+                gbatch::core::gbtrs::gbtrs(
+                    trans,
+                    &l,
+                    a.matrix(id).data,
+                    piv.pivots(id),
+                    &mut expect,
+                    n,
+                    1,
+                );
+                for i in 0..n {
+                    assert_eq!(b.block(id)[c * ldb + i], expect[i]);
+                }
+            }
+        }
+    }
+}
+
+/// Partial waves: a grid one block larger than the device's concurrency
+/// costs a full extra wave in the model.
+#[test]
+fn partial_wave_pricing() {
+    use gbatch::gpu_sim::{engine::validate, launch, LaunchConfig};
+    let dev = DeviceSpec::h100_pcie();
+    let cfg = LaunchConfig::new(64, 128 * 1024); // 1 block/SM -> 114 concurrent
+    let occ = validate(&dev, &cfg).unwrap();
+    assert_eq!(occ.concurrent_blocks, dev.sms);
+    let body = |_: &mut (), ctx: &mut gbatch::gpu_sim::BlockContext| {
+        ctx.seq_cycles(100_000.0);
+    };
+    let mut exact = vec![(); dev.sms as usize];
+    let t1 = launch(&dev, &cfg, &mut exact, body).unwrap().time;
+    let mut spill = vec![(); dev.sms as usize + 1];
+    let t2 = launch(&dev, &cfg, &mut spill, body).unwrap().time;
+    let ratio = (t2.secs() - dev.launch_overhead_s) / (t1.secs() - dev.launch_overhead_s);
+    assert!((ratio - 2.0).abs() < 0.05, "one extra block = one extra wave: {ratio:.3}");
+}

@@ -1,0 +1,127 @@
+//! End-to-end regression tests for the paper's headline *shapes* — the
+//! success criteria of this reproduction (see EXPERIMENTS.md). Each test
+//! pins one qualitative claim of the paper against the measurement
+//! pipeline used by the `repro` binary.
+
+use gbatch_bench::experiments::{gbsv_gpu_ms, gbsv_cpu_ms, gbtrf_cpu_ms, gbtrf_gpu_ms};
+use gbatch_bench::Platforms;
+use gbatch::kernels::dispatch::FactorAlgo;
+
+fn platforms() -> Platforms {
+    Platforms::tuned(12)
+}
+
+/// Figure 3: the fused kernel's staircase — on the MI250x the modeled time
+/// jumps superlinearly when the occupancy steps down, and the kernel
+/// eventually fails outright for (10,7).
+#[test]
+fn fused_staircase_and_failure() {
+    let p = platforms();
+    // (2,3) on MI250x: 96 -> 128 crosses an occupancy boundary (see
+    // results/repro_all.txt): superlinear jump.
+    let t96 = gbtrf_gpu_ms(&p.mi250x, 96, 2, 3, FactorAlgo::Fused, None).unwrap();
+    let t128 = gbtrf_gpu_ms(&p.mi250x, 128, 2, 3, FactorAlgo::Fused, None).unwrap();
+    let jump = t128 / t96;
+    let size_ratio = 128.0 / 96.0;
+    assert!(jump > 1.5 * size_ratio, "staircase jump missing: {jump:.2}x for {size_ratio:.2}x");
+    // (10,7): fails beyond the 64 KB LDS, succeeds on the H100.
+    assert!(gbtrf_gpu_ms(&p.mi250x, 512, 10, 7, FactorAlgo::Fused, None).is_none());
+    assert!(gbtrf_gpu_ms(&p.h100, 512, 10, 7, FactorAlgo::Fused, None).is_some());
+}
+
+/// Figure 5 / Table 1: the final dispatched GBTRF beats the CPU on the
+/// H100 for both bands; the MI250x is near-parity at (10,7) — and the
+/// H100/MI250x gap exceeds their 1.47x bandwidth ratio (§8's argument).
+#[test]
+fn final_gbtrf_orderings() {
+    let p = platforms();
+    let n = 512;
+    for (kl, ku, h_min, mi_lo, mi_hi) in
+        [(2usize, 3usize, 2.0, 1.4, 3.0), (10, 7, 2.5, 0.7, 1.8)]
+    {
+        let params_h = p.window_params(&p.h100, kl, ku);
+        let params_m = p.window_params(&p.mi250x, kl, ku);
+        let cpu = gbtrf_cpu_ms(&p.cpu, n, kl, ku);
+        let h = gbtrf_gpu_ms(&p.h100, n, kl, ku, FactorAlgo::Window, params_h).unwrap();
+        let m = gbtrf_gpu_ms(&p.mi250x, n, kl, ku, FactorAlgo::Window, params_m).unwrap();
+        assert!(cpu / h > h_min, "H100 speedup {:.2} at ({kl},{ku})", cpu / h);
+        let mi_speedup = cpu / m;
+        assert!(
+            (mi_lo..mi_hi).contains(&mi_speedup),
+            "MI250x speedup {mi_speedup:.2} outside [{mi_lo}, {mi_hi}] at ({kl},{ku})"
+        );
+        // H100 vs MI250x gap above the bandwidth ratio at the wide band.
+        if kl == 10 {
+            assert!(m / h > 1.47, "gap {:.2} should exceed the 1.47x bandwidth ratio", m / h);
+        }
+    }
+}
+
+/// Figure 7's crossover: the fused GBSV wins for small systems; the
+/// standard factor+solve wins on the MI250x once the system outgrows the
+/// cutoff region (the basis of the paper's `n <= 64` rule). Uses the
+/// repro binary's own figure runner so pricing is consistent.
+#[test]
+fn fused_gbsv_crossover_on_mi250x() {
+    let p = platforms();
+    let figs = gbatch_bench::experiments::fig7(&p);
+    let fig23 = &figs[0]; // (kl, ku) = (2, 3)
+    let fused_mi = fig23
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("Fused - MI250x"))
+        .expect("series");
+    let std_mi = fig23
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("Std - MI250x"))
+        .expect("series");
+    // Small: fused wins; large: standard wins (the crossover).
+    assert!(fused_mi.at(32).unwrap() < std_mi.at(32).unwrap(), "fused must win at n=32");
+    assert!(std_mi.at(160).unwrap() < fused_mi.at(160).unwrap(), "standard must win at n=160");
+    // On the H100 the fused driver still wins at 64 (the cutoff choice).
+    let fused_h = fig23
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("Fused - H100"))
+        .expect("series");
+    let std_h = fig23
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("Std - H100"))
+        .expect("series");
+    assert!(fused_h.at(64).unwrap() < std_h.at(64).unwrap());
+}
+
+/// Figure 9 / Table 3's MKL effect: ten right-hand sides roughly double
+/// the CPU's time while the GPU grows far less — so the GPU speedup
+/// *increases* with nrhs for the thin band.
+#[test]
+fn ten_rhs_helps_the_gpu() {
+    let p = platforms();
+    let n = 256;
+    let cpu1 = gbsv_cpu_ms(&p.cpu, n, 2, 3, 1);
+    let cpu10 = gbsv_cpu_ms(&p.cpu, n, 2, 3, 10);
+    let cpu_growth = cpu10 / cpu1;
+    assert!((1.7..2.6).contains(&cpu_growth), "paper: ~2.18x, got {cpu_growth:.2}x");
+    let params = p.window_params(&p.h100, 2, 3);
+    let h1 = gbsv_gpu_ms(&p.h100, n, 2, 3, 1, params, true).unwrap();
+    let h10 = gbsv_gpu_ms(&p.h100, n, 2, 3, 10, params, true).unwrap();
+    let gpu_growth = h10 / h1;
+    assert!(gpu_growth < cpu_growth, "GPU growth {gpu_growth:.2} must undercut CPU {cpu_growth:.2}");
+    assert!(cpu10 / h10 > cpu1 / h1, "speedup must increase with nrhs");
+}
+
+/// §8's bandwidth probe: the ratio is 1.47x by construction, and the gap
+/// in actual solver performance exceeds it (shared memory, not bandwidth).
+#[test]
+fn bandwidth_ratio_vs_solver_gap() {
+    let p = platforms();
+    let bw_ratio = p.h100.mem_bw / p.mi250x.mem_bw;
+    assert!((bw_ratio - 1.47).abs() < 0.02);
+    let params_h = p.window_params(&p.h100, 10, 7);
+    let params_m = p.window_params(&p.mi250x, 10, 7);
+    let h = gbsv_gpu_ms(&p.h100, 512, 10, 7, 1, params_h, true).unwrap();
+    let m = gbsv_gpu_ms(&p.mi250x, 512, 10, 7, 1, params_m, true).unwrap();
+    assert!(m / h > bw_ratio, "solver gap {:.2} must exceed bandwidth ratio {bw_ratio:.2}", m / h);
+}
