@@ -18,12 +18,22 @@ fn ablation_window_shift(c: &mut Criterion) {
     let (batch, n, kl, ku) = (24usize, 256usize, 2usize, 3usize);
     let mut rng = StdRng::seed_from_u64(1);
     let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
-    let params = WindowParams { nb: 8, threads: 32 };
+    let params = WindowParams {
+        nb: 8,
+        threads: 32,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("ablation_window_shift");
     group.bench_function("in_kernel_shift", |bench| {
         bench.iter_batched(
-            || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            || {
+                (
+                    a0.clone(),
+                    PivotBatch::new(batch, n, n),
+                    InfoArray::new(batch),
+                )
+            },
             |(mut a, mut piv, mut info)| {
                 gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, params).unwrap()
             },
@@ -32,7 +42,13 @@ fn ablation_window_shift(c: &mut Criterion) {
     });
     group.bench_function("relaunch_per_step", |bench| {
         bench.iter_batched(
-            || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            || {
+                (
+                    a0.clone(),
+                    PivotBatch::new(batch, n, n),
+                    InfoArray::new(batch),
+                )
+            },
             |(mut a, mut piv, mut info)| {
                 gbtrf_batch_window_relaunch(&dev, &mut a, &mut piv, &mut info, params).unwrap()
             },
@@ -70,10 +86,20 @@ fn ablation_gbsv_cutoff(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
         let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| (id + i) as f64 * 0.01).unwrap();
-        let opts = GbsvOptions { fused_cutoff: Some(cutoff), ..Default::default() };
+        let opts = GbsvOptions {
+            fused_cutoff: Some(cutoff),
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |bench, _| {
             bench.iter_batched(
-                || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                || {
+                    (
+                        a0.clone(),
+                        b0.clone(),
+                        PivotBatch::new(batch, n, n),
+                        InfoArray::new(batch),
+                    )
+                },
                 |(mut a, mut b, mut piv, mut info)| {
                     dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &opts).unwrap()
                 },
@@ -114,7 +140,6 @@ fn ablation_cpu_blocked(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

@@ -24,19 +24,43 @@ fn bench_specialized(c: &mut Criterion) {
     let mut group = c.benchmark_group("ext_specialized_vs_window");
     group.bench_function("specialized_2_3", |b| {
         b.iter_batched(
-            || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            || {
+                (
+                    a0.clone(),
+                    PivotBatch::new(batch, n, n),
+                    InfoArray::new(batch),
+                )
+            },
             |(mut a, mut piv, mut info)| {
-                specialized_gbtrf(&dev, &mut a, &mut piv, &mut info, 32).unwrap().unwrap()
+                specialized_gbtrf(&dev, &mut a, &mut piv, &mut info, 32)
+                    .unwrap()
+                    .unwrap()
             },
             criterion::BatchSize::LargeInput,
         );
     });
     group.bench_function("window_2_3", |b| {
         b.iter_batched(
-            || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            || {
+                (
+                    a0.clone(),
+                    PivotBatch::new(batch, n, n),
+                    InfoArray::new(batch),
+                )
+            },
             |(mut a, mut piv, mut info)| {
-                gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, WindowParams { nb: 8, threads: 32 })
-                    .unwrap()
+                gbtrf_batch_window(
+                    &dev,
+                    &mut a,
+                    &mut piv,
+                    &mut info,
+                    WindowParams {
+                        nb: 8,
+                        threads: 32,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
             },
             criterion::BatchSize::LargeInput,
         );
@@ -48,13 +72,24 @@ fn bench_mixed(c: &mut Criterion) {
     let dev = DeviceSpec::mi250x_gcd();
     let (batch, n) = (24usize, 96usize);
     let mut rng = StdRng::seed_from_u64(2);
-    let a = random_band_batch(&mut rng, batch, n, 2, 3, BandDistribution::DiagonallyDominant {
-        margin: 1.0,
-    });
+    let a = random_band_batch(
+        &mut rng,
+        batch,
+        n,
+        2,
+        3,
+        BandDistribution::DiagonallyDominant { margin: 1.0 },
+    );
     let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.21).sin()).unwrap();
     c.bench_function("ext_mixed_precision_gbsv", |bench| {
         bench.iter_batched(
-            || (b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+            || {
+                (
+                    b0.clone(),
+                    PivotBatch::new(batch, n, n),
+                    InfoArray::new(batch),
+                )
+            },
             |(mut b, mut piv, mut info)| {
                 msgbsv_batch_fused(&dev, &a, &mut piv, &mut b, &mut info, 32).unwrap()
             },
@@ -112,7 +147,13 @@ fn bench_vbatch(c: &mut Criterion) {
     for nb in [4usize, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(nb), &nb, |bench, &nb| {
             bench.iter_batched(
-                || (a0.clone(), VarPivots::for_batch(&a0), InfoArray::new(a0.batch())),
+                || {
+                    (
+                        a0.clone(),
+                        VarPivots::for_batch(&a0),
+                        InfoArray::new(a0.batch()),
+                    )
+                },
                 |(mut a, mut piv, mut info)| {
                     dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, nb).unwrap()
                 },
@@ -122,7 +163,6 @@ fn bench_vbatch(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

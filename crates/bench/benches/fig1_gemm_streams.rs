@@ -46,7 +46,6 @@ fn bench_fig1(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.
 fn quick() -> Criterion {

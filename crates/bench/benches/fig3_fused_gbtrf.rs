@@ -20,10 +20,22 @@ fn bench_fig3(c: &mut Criterion) {
             group.throughput(Throughput::Elements((batch * n) as u64));
             group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
                 bench.iter_batched(
-                    || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    || {
+                        (
+                            a0.clone(),
+                            PivotBatch::new(batch, n, n),
+                            InfoArray::new(batch),
+                        )
+                    },
                     |(mut a, mut piv, mut info)| {
-                        gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl))
-                            .unwrap()
+                        gbtrf_batch_fused(
+                            &dev,
+                            &mut a,
+                            &mut piv,
+                            &mut info,
+                            FusedParams::auto(&dev, kl),
+                        )
+                        .unwrap()
                     },
                     criterion::BatchSize::LargeInput,
                 );
@@ -32,7 +44,6 @@ fn bench_fig3(c: &mut Criterion) {
         group.finish();
     }
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

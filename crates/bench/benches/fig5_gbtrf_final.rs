@@ -22,7 +22,13 @@ fn bench_fig5(c: &mut Criterion) {
             let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
             group.bench_with_input(BenchmarkId::new("gpu_dispatch", n), &n, |bench, _| {
                 bench.iter_batched(
-                    || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    || {
+                        (
+                            a0.clone(),
+                            PivotBatch::new(batch, n, n),
+                            InfoArray::new(batch),
+                        )
+                    },
                     |(mut a, mut piv, mut info)| {
                         dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default())
                             .unwrap()
@@ -32,7 +38,13 @@ fn bench_fig5(c: &mut Criterion) {
             });
             group.bench_with_input(BenchmarkId::new("cpu_baseline", n), &n, |bench, _| {
                 bench.iter_batched(
-                    || (a0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    || {
+                        (
+                            a0.clone(),
+                            PivotBatch::new(batch, n, n),
+                            InfoArray::new(batch),
+                        )
+                    },
                     |(mut a, mut piv, mut info)| cpu_gbtrf_batch(&cpu, &mut a, &mut piv, &mut info),
                     criterion::BatchSize::LargeInput,
                 );
@@ -41,7 +53,6 @@ fn bench_fig5(c: &mut Criterion) {
         group.finish();
     }
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

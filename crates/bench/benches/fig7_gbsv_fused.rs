@@ -22,19 +22,43 @@ fn bench_fig7(c: &mut Criterion) {
         let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.29).sin()).unwrap();
         group.bench_with_input(BenchmarkId::new("fused", n), &n, |bench, _| {
             bench.iter_batched(
-                || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                || {
+                    (
+                        a0.clone(),
+                        b0.clone(),
+                        PivotBatch::new(batch, n, n),
+                        InfoArray::new(batch),
+                    )
+                },
                 |(mut a, mut b, mut piv, mut info)| {
-                    gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info,
-                        FusedParams::auto(&dev, kl).threads)
+                    gbsv_batch_fused(
+                        &dev,
+                        &mut a,
+                        &mut piv,
+                        &mut b,
+                        &mut info,
+                        FusedParams::auto(&dev, kl).threads,
+                        gbatch_gpu_sim::ParallelPolicy::Serial,
+                    )
                     .unwrap()
                 },
                 criterion::BatchSize::LargeInput,
             );
         });
         group.bench_with_input(BenchmarkId::new("standard", n), &n, |bench, _| {
-            let opts = GbsvOptions { allow_fused_gbsv: Some(false), ..Default::default() };
+            let opts = GbsvOptions {
+                allow_fused_gbsv: Some(false),
+                ..Default::default()
+            };
             bench.iter_batched(
-                || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                || {
+                    (
+                        a0.clone(),
+                        b0.clone(),
+                        PivotBatch::new(batch, n, n),
+                        InfoArray::new(batch),
+                    )
+                },
                 |(mut a, mut b, mut piv, mut info)| {
                     dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &opts).unwrap()
                 },
@@ -44,7 +68,6 @@ fn bench_fig7(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

@@ -18,17 +18,35 @@ fn bench_fig8(c: &mut Criterion) {
         for n in [64usize, 512] {
             let mut rng = StdRng::seed_from_u64((n * kl) as u64);
             let a0 = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
-            let b0 =
-                RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.11).cos()).unwrap();
+            let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.11).cos())
+                .unwrap();
             for dev in [DeviceSpec::h100_pcie(), DeviceSpec::mi250x_gcd()] {
-                let tag = if dev.name.contains("H100") { "h100" } else { "mi250x" };
+                let tag = if dev.name.contains("H100") {
+                    "h100"
+                } else {
+                    "mi250x"
+                };
                 let d = dev.clone();
                 group.bench_with_input(BenchmarkId::new(tag, n), &n, |bench, _| {
                     bench.iter_batched(
-                        || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                        || {
+                            (
+                                a0.clone(),
+                                b0.clone(),
+                                PivotBatch::new(batch, n, n),
+                                InfoArray::new(batch),
+                            )
+                        },
                         |(mut a, mut b, mut piv, mut info)| {
-                            dgbsv_batch(&d, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
-                                .unwrap()
+                            dgbsv_batch(
+                                &d,
+                                &mut a,
+                                &mut piv,
+                                &mut b,
+                                &mut info,
+                                &GbsvOptions::default(),
+                            )
+                            .unwrap()
                         },
                         criterion::BatchSize::LargeInput,
                     );
@@ -36,7 +54,14 @@ fn bench_fig8(c: &mut Criterion) {
             }
             group.bench_with_input(BenchmarkId::new("cpu", n), &n, |bench, _| {
                 bench.iter_batched(
-                    || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    || {
+                        (
+                            a0.clone(),
+                            b0.clone(),
+                            PivotBatch::new(batch, n, n),
+                            InfoArray::new(batch),
+                        )
+                    },
                     |(mut a, mut b, mut piv, mut info)| {
                         cpu_gbsv_batch(&cpu, &mut a, &mut piv, &mut b, &mut info)
                     },
@@ -47,7 +72,6 @@ fn bench_fig8(c: &mut Criterion) {
         group.finish();
     }
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

@@ -25,17 +25,38 @@ fn bench_fig9(c: &mut Criterion) {
             .unwrap();
             group.bench_with_input(BenchmarkId::new("gpu_dispatch", n), &n, |bench, _| {
                 bench.iter_batched(
-                    || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    || {
+                        (
+                            a0.clone(),
+                            b0.clone(),
+                            PivotBatch::new(batch, n, n),
+                            InfoArray::new(batch),
+                        )
+                    },
                     |(mut a, mut b, mut piv, mut info)| {
-                        dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
-                            .unwrap()
+                        dgbsv_batch(
+                            &dev,
+                            &mut a,
+                            &mut piv,
+                            &mut b,
+                            &mut info,
+                            &GbsvOptions::default(),
+                        )
+                        .unwrap()
                     },
                     criterion::BatchSize::LargeInput,
                 );
             });
             group.bench_with_input(BenchmarkId::new("cpu_baseline", n), &n, |bench, _| {
                 bench.iter_batched(
-                    || (a0.clone(), b0.clone(), PivotBatch::new(batch, n, n), InfoArray::new(batch)),
+                    || {
+                        (
+                            a0.clone(),
+                            b0.clone(),
+                            PivotBatch::new(batch, n, n),
+                            InfoArray::new(batch),
+                        )
+                    },
                     |(mut a, mut b, mut piv, mut info)| {
                         cpu_gbsv_batch(&cpu, &mut a, &mut piv, &mut b, &mut info)
                     },
@@ -46,7 +67,6 @@ fn bench_fig9(c: &mut Criterion) {
         group.finish();
     }
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

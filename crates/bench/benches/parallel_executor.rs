@@ -1,0 +1,116 @@
+//! Serial vs parallel host execution of the simulated engine.
+//!
+//! The work-stealing executor (`gbatch_gpu_sim::executor`) fans the
+//! per-matrix blocks of a launch across OS threads; modeled `SimTime` and
+//! every counter stay bitwise-identical, so the only thing this bench can
+//! (and should) show is host wall-clock. The acceptance configuration is
+//! the paper's mid-size band: `batch = 256, n = 256, kl = ku = 8`.
+//!
+//! Wall-clock speedup obviously depends on the machine: on a 4-core host
+//! `threads(4)` is expected to run the factorization >= 2x faster than
+//! serial; on a single-core container (CI) the parallel policies only add
+//! scheduling overhead and the bench degrades to a determinism smoke test.
+//! The summary line printed at the end reports the measured ratio next to
+//! `std::thread::available_parallelism` so the number can be judged.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbatch_core::batch::{InfoArray, PivotBatch};
+use gbatch_gpu_sim::{DeviceSpec, ParallelPolicy};
+use gbatch_kernels::window::{gbtrf_batch_window, WindowParams};
+use gbatch_workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 256;
+const N: usize = 256;
+const KL: usize = 8;
+const KU: usize = 8;
+
+fn policies() -> Vec<(&'static str, ParallelPolicy)> {
+    vec![
+        ("serial", ParallelPolicy::Serial),
+        ("threads2", ParallelPolicy::threads(2)),
+        ("threads4", ParallelPolicy::threads(4)),
+        ("auto", ParallelPolicy::Auto),
+    ]
+}
+
+fn bench_factor_policies(c: &mut Criterion) {
+    let dev = DeviceSpec::h100_pcie();
+    let mut rng = StdRng::seed_from_u64(42);
+    let a0 = random_band_batch(&mut rng, BATCH, N, KL, KU, BandDistribution::Uniform);
+
+    let mut group = c.benchmark_group("parallel_executor_gbtrf");
+    for (name, policy) in policies() {
+        let params = WindowParams::auto(&dev, KL).with_parallel(policy);
+        group.bench_with_input(
+            BenchmarkId::new("window", name),
+            &params,
+            |bench, params| {
+                bench.iter_batched(
+                    || {
+                        (
+                            a0.clone(),
+                            PivotBatch::new(BATCH, N, N),
+                            InfoArray::new(BATCH),
+                        )
+                    },
+                    |(mut a, mut piv, mut info)| {
+                        gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, *params).unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    // One-shot summary: measured wall-clock per policy, the serial/parallel
+    // ratio, and a bitwise cross-check of the results while we are at it.
+    let serial = run_once(&dev, &a0, ParallelPolicy::Serial);
+    let mut lines = Vec::new();
+    for (name, policy) in policies().into_iter().skip(1) {
+        let par = run_once(&dev, &a0, policy);
+        assert_eq!(
+            serial.1, par.1,
+            "{name}: factors must be bitwise-identical to serial"
+        );
+        assert_eq!(
+            serial.2, par.2,
+            "{name}: modeled SimTime must be bitwise-identical"
+        );
+        lines.push(format!(
+            "{name} {:.1} ms ({:.2}x)",
+            par.0 * 1e3,
+            serial.0 / par.0
+        ));
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    eprintln!(
+        "[parallel_executor wall-clock] host cores {cores}; serial {:.1} ms; {}",
+        serial.0 * 1e3,
+        lines.join("; ")
+    );
+}
+
+fn run_once(
+    dev: &DeviceSpec,
+    a0: &gbatch_core::batch::BandBatch,
+    policy: ParallelPolicy,
+) -> (f64, Vec<f64>, u64) {
+    let mut a = a0.clone();
+    let mut piv = PivotBatch::new(BATCH, N, N);
+    let mut info = InfoArray::new(BATCH);
+    let params = WindowParams::auto(dev, KL).with_parallel(policy);
+    let t0 = Instant::now();
+    let rep = gbtrf_batch_window(dev, &mut a, &mut piv, &mut info, params).unwrap();
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, a.data().to_vec(), rep.time.secs().to_bits())
+}
+
+criterion_group!(benches, bench_factor_policies);
+criterion_main!(benches);

@@ -20,7 +20,10 @@ fn bench_tuning(c: &mut Criterion) {
         );
     }
     group.bench_function("grid_8x8", |bench| {
-        let small = SweepConfig { max_band: 8, ..SweepConfig::default() };
+        let small = SweepConfig {
+            max_band: 8,
+            ..SweepConfig::default()
+        };
         bench.iter(|| sweep_device(&dev, &small));
     });
     group.finish();
@@ -29,14 +32,21 @@ fn bench_tuning(c: &mut Criterion) {
     let mut table = TuningTable::new("bench", 512, 1000);
     for kl in 0..=16usize {
         for ku in 0..=16usize {
-            table.insert(kl, ku, gbatch_tuning::TuneEntry { nb: 8, threads: 64, predicted_ms: 1.0 });
+            table.insert(
+                kl,
+                ku,
+                gbatch_tuning::TuneEntry {
+                    nb: 8,
+                    threads: 64,
+                    predicted_ms: 1.0,
+                },
+            );
         }
     }
     c.bench_function("tuning_lookup_nearest", |bench| {
         bench.iter(|| table.lookup(24, 19).unwrap());
     });
 }
-
 
 /// Bounded-time criterion config: the numerics are deterministic and the
 /// host box is a single core, so small samples suffice.

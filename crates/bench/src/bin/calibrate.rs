@@ -19,12 +19,19 @@ const SIZES: [usize; 4] = [128, 256, 512, 1024];
 
 fn avg_speedup(dev: &DeviceSpec, cpu: &CpuSpec, kl: usize, ku: usize) -> f64 {
     let cfg = SweepConfig::default();
-    let params = sweep_band(dev, &cfg, kl, ku)
-        .map(|e| WindowParams { nb: e.nb, threads: e.threads });
+    let params = sweep_band(dev, &cfg, kl, ku).map(|e| WindowParams {
+        nb: e.nb,
+        threads: e.threads,
+        ..Default::default()
+    });
     let mut acc = 0.0;
     let mut count = 0;
     for &n in &SIZES {
-        let algo = if n <= 64 { FactorAlgo::Fused } else { FactorAlgo::Window };
+        let algo = if n <= 64 {
+            FactorAlgo::Fused
+        } else {
+            FactorAlgo::Window
+        };
         if let Some(g) = gbtrf_gpu_ms(dev, n, kl, ku, algo, params) {
             acc += gbtrf_cpu_ms(cpu, n, kl, ku) / g;
             count += 1;
@@ -36,7 +43,9 @@ fn avg_speedup(dev: &DeviceSpec, cpu: &CpuSpec, kl: usize, ku: usize) -> f64 {
 fn fit(base: &DeviceSpec, cpu: &CpuSpec, target23: f64, target107: f64) -> (f64, f64, f64) {
     let mut best = (1.0, 1.0, f64::MAX);
     for lat_scale in [2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5] {
-        for work in [100.0, 120.0, 140.0, 150.0, 160.0, 175.0, 190.0, 200.0, 220.0] {
+        for work in [
+            100.0, 120.0, 140.0, 150.0, 160.0, 175.0, 190.0, 200.0, 220.0,
+        ] {
             let mut dev = base.clone();
             dev.sync_cycles *= lat_scale;
             dev.smem_latency_cycles *= lat_scale;
@@ -60,8 +69,14 @@ fn main() {
     let cpu = CpuSpec::xeon_gold_6140();
     println!("fitting H100 (targets 3.07x / 3.56x)...");
     let h = fit(&DeviceSpec::h100_pcie(), &cpu, 3.07, 3.56);
-    println!("H100 best: lat_scale {:.2}, work_scale {:.1}, err {:.4}", h.0, h.1, h.2);
+    println!(
+        "H100 best: lat_scale {:.2}, work_scale {:.1}, err {:.4}",
+        h.0, h.1, h.2
+    );
     println!("fitting MI250x (targets 1.88x / 1.16x)...");
     let m = fit(&DeviceSpec::mi250x_gcd(), &cpu, 1.88, 1.16);
-    println!("MI250x best: lat_scale {:.2}, work_scale {:.1}, err {:.4}", m.0, m.1, m.2);
+    println!(
+        "MI250x best: lat_scale {:.2}, work_scale {:.1}, err {:.4}",
+        m.0, m.1, m.2
+    );
 }

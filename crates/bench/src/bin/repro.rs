@@ -19,7 +19,11 @@ fn print_figures(out: &mut impl Write, figs: &[gbatch_bench::report::Figure]) {
     }
 }
 
-fn print_speedups(out: &mut impl Write, title: &str, rows: &[(String, gbatch_bench::SpeedupSummary)]) {
+fn print_speedups(
+    out: &mut impl Write,
+    title: &str,
+    rows: &[(String, gbatch_bench::SpeedupSummary)],
+) {
     writeln!(out, "## {title}").unwrap();
     for (label, s) in rows {
         writeln!(out, "  {label}\n      {s}").unwrap();
@@ -59,7 +63,11 @@ fn main() {
             print_figures(&mut out, &figs);
         }
         if run("table1") {
-            print_speedups(&mut out, "Table 1: batch GBTRF speedup vs CPU", &exp::table1(&p));
+            print_speedups(
+                &mut out,
+                "Table 1: batch GBTRF speedup vs CPU",
+                &exp::table1(&p),
+            );
         }
     }
     if run("fig7") {
@@ -100,7 +108,11 @@ fn main() {
         writeln!(out, "{}", exp::extensions(&p)).unwrap();
     }
     if run("tuning") {
-        writeln!(out, "## Section 5.3: tuning sweep (best nb/threads per band)").unwrap();
+        writeln!(
+            out,
+            "## Section 5.3: tuning sweep (best nb/threads per band)"
+        )
+        .unwrap();
         writeln!(out, "{}", exp::tuning_sweep(&p)).unwrap();
     }
 }

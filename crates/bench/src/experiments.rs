@@ -77,7 +77,11 @@ pub fn gbtrf_gpu_ms(
     let l = a.layout();
     let mut piv = PivotBatch::new(EXEC_BATCH, n, n);
     let mut info = InfoArray::new(EXEC_BATCH);
-    let opts = GbsvOptions { algo, window, ..Default::default() };
+    let opts = GbsvOptions {
+        algo,
+        window,
+        ..Default::default()
+    };
 
     // Validate the forced algorithm can launch before running.
     let (cfg, time_cfg) = match algo {
@@ -127,8 +131,14 @@ pub fn gbtrf_gpu_ms(
         // BatchReport; recompute via a direct launch report. For
         // single-kernel paths the dispatcher's launch is the whole cost, so
         // we re-measure through the underlying kernel for exact counters.
-        let mut a2 =
-            random_band_batch(&mut seeded(n, kl, ku, 1), EXEC_BATCH, n, kl, ku, BandDistribution::Uniform);
+        let mut a2 = random_band_batch(
+            &mut seeded(n, kl, ku, 1),
+            EXEC_BATCH,
+            n,
+            kl,
+            ku,
+            BandDistribution::Uniform,
+        );
         let mut piv2 = PivotBatch::new(EXEC_BATCH, n, n);
         let mut info2 = InfoArray::new(EXEC_BATCH);
         let raw = match algo {
@@ -157,7 +167,14 @@ pub fn gbtrf_gpu_ms(
 /// on the exec batch for validation).
 pub fn gbtrf_cpu_ms(cpu: &CpuSpec, n: usize, kl: usize, ku: usize) -> f64 {
     let mut rng = seeded(n, kl, ku, 2);
-    let mut a = random_band_batch(&mut rng, EXEC_BATCH.min(16), n, kl, ku, BandDistribution::Uniform);
+    let mut a = random_band_batch(
+        &mut rng,
+        EXEC_BATCH.min(16),
+        n,
+        kl,
+        ku,
+        BandDistribution::Uniform,
+    );
     let mut piv = PivotBatch::new(a.batch(), n, n);
     let mut info = InfoArray::new(a.batch());
     cpu_gbtrf_batch(cpu, &mut a, &mut piv, &mut info);
@@ -199,7 +216,10 @@ pub fn gbsv_gpu_ms(
             let x = &b.block(id)[c * n..c * n + n];
             let r0 = &b0.block(id)[c * n..c * n + n];
             let berr = backward_error(orig.matrix(id), x, r0);
-            assert!(berr < 1e-10, "gbsv berr {berr:.2e} (n={n} kl={kl} ku={ku} nrhs={nrhs})");
+            assert!(
+                berr < 1e-10,
+                "gbsv berr {berr:.2e} (n={n} kl={kl} ku={ku} nrhs={nrhs})"
+            );
         }
     }
     // The dispatcher's modeled time is for EXEC_BATCH; scale the traffic
@@ -257,7 +277,10 @@ pub fn fig1(p: &Platforms) -> Vec<Figure> {
         let mut streamed = Series::new(format!("streamed-{kernel} (16)"));
         for &n in &sizes {
             let (cfg, per_block) = if kernel == "dgemm" {
-                (LaunchConfig::new(256, gemm_smem_bytes() as u32), gemm_block_counters(n, 256))
+                (
+                    LaunchConfig::new(256, gemm_smem_bytes() as u32),
+                    gemm_block_counters(n, 256),
+                )
             } else {
                 (LaunchConfig::new(128, 0), gemv_block_counters(n, 128))
             };
@@ -265,9 +288,15 @@ pub fn fig1(p: &Platforms) -> Vec<Figure> {
             let t_batch = gbatch_gpu_sim::timing::estimate(dev, &occ, batch, &per_block);
             let t_stream = simulate_streams(dev, &cfg, batch, 16, &per_block);
             let (gb, gs) = if kernel == "dgemm" {
-                (gemm_gflops(n, batch, t_batch.secs()), gemm_gflops(n, batch, t_stream.secs()))
+                (
+                    gemm_gflops(n, batch, t_batch.secs()),
+                    gemm_gflops(n, batch, t_stream.secs()),
+                )
             } else {
-                (gemv_gflops(n, batch, t_batch.secs()), gemv_gflops(n, batch, t_stream.secs()))
+                (
+                    gemv_gflops(n, batch, t_batch.secs()),
+                    gemv_gflops(n, batch, t_stream.secs()),
+                )
             };
             batched.push(n, gb);
             streamed.push(n, gs);
@@ -327,7 +356,11 @@ pub fn fig5(p: &Platforms) -> Vec<Figure> {
                 let mut s = Series::new(dev.name.clone());
                 for &n in &PAPER_SIZES {
                     // §5.4: fused for small sizes, window otherwise.
-                    let algo = if n <= 64 { FactorAlgo::Fused } else { FactorAlgo::Window };
+                    let algo = if n <= 64 {
+                        FactorAlgo::Fused
+                    } else {
+                        FactorAlgo::Window
+                    };
                     match gbtrf_gpu_ms(dev, n, kl, ku, algo, params) {
                         Some(ms) => s.push(n, ms),
                         None => s.push_fail(n),
@@ -368,15 +401,25 @@ pub fn fig7(p: &Platforms) -> Vec<Figure> {
                     // whole figure range (the paper plots both well past
                     // the production cutoff of 64).
                     let mut rng = seeded(n, kl, ku, 31);
-                    let mut a =
-                        random_band_batch(&mut rng, EXEC_BATCH, n, kl, ku, BandDistribution::Uniform);
-                    let mut b =
-                        gbatch_workloads::rhs::manufactured_rhs(&mut rng, EXEC_BATCH, n, 1);
+                    let mut a = random_band_batch(
+                        &mut rng,
+                        EXEC_BATCH,
+                        n,
+                        kl,
+                        ku,
+                        BandDistribution::Uniform,
+                    );
+                    let mut b = gbatch_workloads::rhs::manufactured_rhs(&mut rng, EXEC_BATCH, n, 1);
                     let mut piv = PivotBatch::new(EXEC_BATCH, n, n);
                     let mut info = InfoArray::new(EXEC_BATCH);
                     match gbatch_kernels::gbsv_fused::gbsv_batch_fused(
-                        dev, &mut a, &mut piv, &mut b, &mut info,
+                        dev,
+                        &mut a,
+                        &mut piv,
+                        &mut b,
+                        &mut info,
                         FusedParams::auto(dev, kl).threads,
+                        gbatch_gpu_sim::ParallelPolicy::Serial,
                     ) {
                         Ok(rep) => {
                             let cfg = LaunchConfig::new(
@@ -467,7 +510,10 @@ pub fn bandwidth(p: &Platforms) -> Vec<(String, f64)> {
 pub fn tuning_sweep(p: &Platforms) -> String {
     let mut out = String::new();
     for (dev, table) in p.gpus() {
-        out.push_str(&format!("# {} — calibrated n={}, batch={}\n", dev.name, 512, 1000));
+        out.push_str(&format!(
+            "# {} — calibrated n={}, batch={}\n",
+            dev.name, 512, 1000
+        ));
         for &(kl, ku) in &[(2, 3), (10, 7), (0, 0), (1, 1), (4, 4), (8, 8)] {
             if let Some(e) = table.lookup(kl, ku) {
                 out.push_str(&format!(
@@ -478,7 +524,12 @@ pub fn tuning_sweep(p: &Platforms) -> String {
         }
         // Solve-kernel tuning (Section 9's "more robust tuning framework").
         let cfg = gbatch_tuning::SweepConfig::default();
-        for &(kl, ku, nrhs) in &[(2usize, 3usize, 1usize), (2, 3, 10), (10, 7, 1), (10, 7, 10)] {
+        for &(kl, ku, nrhs) in &[
+            (2usize, 3usize, 1usize),
+            (2, 3, 10),
+            (10, 7, 1),
+            (10, 7, 10),
+        ] {
             if let Some(e) = gbatch_tuning::sweep::sweep_solve_band(dev, &cfg, kl, ku, nrhs) {
                 out.push_str(&format!(
                     "  gbtrs (kl={kl:>2}, ku={ku:>2}, nrhs={nrhs:>2}) -> nb={:>3}, threads={:>3}, predicted {:.4} ms\n",
@@ -499,22 +550,29 @@ pub fn extensions(p: &Platforms) -> String {
     let mut out = String::new();
 
     // 1. Specialized register kernels vs the generic window (both GPUs).
-    out.push_str("# Band-specialized (JIT-style) kernels vs generic window, (kl,ku)=(2,3), n=256\n");
+    out.push_str(
+        "# Band-specialized (JIT-style) kernels vs generic window, (kl,ku)=(2,3), n=256\n",
+    );
     for (dev, _) in p.gpus() {
         let mut rng = seeded(256, 2, 3, 41);
         let a0 = random_band_batch(&mut rng, EXEC_BATCH, 256, 2, 3, BandDistribution::Uniform);
         let mut a1 = a0.clone();
         let mut p1 = PivotBatch::new(EXEC_BATCH, 256, 256);
         let mut i1 = InfoArray::new(EXEC_BATCH);
-        let spec = gbatch_kernels::specialized::specialized_gbtrf(dev, &mut a1, &mut p1, &mut i1, 32)
-            .expect("compiled shape")
-            .expect("launch");
+        let spec =
+            gbatch_kernels::specialized::specialized_gbtrf(dev, &mut a1, &mut p1, &mut i1, 32)
+                .expect("compiled shape")
+                .expect("launch");
         let mut a2 = a0.clone();
         let mut p2 = PivotBatch::new(EXEC_BATCH, 256, 256);
         let mut i2 = InfoArray::new(EXEC_BATCH);
         let gen = gbatch_kernels::window::gbtrf_batch_window(
-            dev, &mut a2, &mut p2, &mut i2,
-            p.window_params(dev, 2, 3).unwrap_or_else(|| WindowParams::auto(dev, 2)),
+            dev,
+            &mut a2,
+            &mut p2,
+            &mut i2,
+            p.window_params(dev, 2, 3)
+                .unwrap_or_else(|| WindowParams::auto(dev, 2)),
         )
         .expect("launch");
         assert_eq!(a1.data(), a2.data());
@@ -531,8 +589,14 @@ pub fn extensions(p: &Platforms) -> String {
     out.push_str("# Mixed-precision GBSV (f32 factor + f64 refinement), (2,3), n=96, 1 RHS\n");
     for (dev, _) in p.gpus() {
         let mut rng = seeded(96, 2, 3, 43);
-        let a = random_band_batch(&mut rng, EXEC_BATCH, 96, 2, 3,
-            BandDistribution::DiagonallyDominant { margin: 1.0 });
+        let a = random_band_batch(
+            &mut rng,
+            EXEC_BATCH,
+            96,
+            2,
+            3,
+            BandDistribution::DiagonallyDominant { margin: 1.0 },
+        );
         let b0 = gbatch_workloads::rhs::manufactured_rhs(&mut rng, EXEC_BATCH, 96, 1);
         let mut b = b0.clone();
         let mut piv = PivotBatch::new(EXEC_BATCH, 96, 96);
@@ -548,9 +612,15 @@ pub fn extensions(p: &Platforms) -> String {
         let mut b64 = b0.clone();
         let mut piv64 = PivotBatch::new(EXEC_BATCH, 96, 96);
         let mut info64 = InfoArray::new(EXEC_BATCH);
-        let frep = dgbsv_batch(dev, &mut a64, &mut piv64, &mut b64, &mut info64,
-            &GbsvOptions::default())
-            .expect("launch");
+        let frep = dgbsv_batch(
+            dev,
+            &mut a64,
+            &mut piv64,
+            &mut b64,
+            &mut info64,
+            &GbsvOptions::default(),
+        )
+        .expect("launch");
         out.push_str(&format!(
             "  {:<26} mixed {:.4} ms ({} of {} converged) vs f64 fused {:.4} ms\n",
             dev.name,
@@ -597,8 +667,12 @@ pub fn extensions(p: &Platforms) -> String {
         let mut piv = PivotBatch::new(EXEC_BATCH, 192, 192);
         let mut ginfo = InfoArray::new(EXEC_BATCH);
         let lu = gbatch_kernels::window::gbtrf_batch_window(
-            dev, &mut g, &mut piv, &mut ginfo,
-            p.window_params(dev, 9, 9).unwrap_or_else(|| WindowParams::auto(dev, 9)),
+            dev,
+            &mut g,
+            &mut piv,
+            &mut ginfo,
+            p.window_params(dev, 9, 9)
+                .unwrap_or_else(|| WindowParams::auto(dev, 9)),
         )
         .expect("launch");
         out.push_str(&format!(
@@ -671,8 +745,13 @@ pub fn extensions(p: &Platforms) -> String {
         let mut piv = PivotBatch::new(EXEC_BATCH, n, n);
         let mut info = InfoArray::new(EXEC_BATCH);
         let rep = gbatch_kernels::gbsv_fused::gbsv_batch_fused(
-            dev, &mut a, &mut piv, &mut b, &mut info,
+            dev,
+            &mut a,
+            &mut piv,
+            &mut b,
+            &mut info,
             FusedParams::auto(dev, 2).threads,
+            gbatch_gpu_sim::ParallelPolicy::Serial,
         )
         .expect("launch");
         let l = a.layout();
@@ -680,8 +759,7 @@ pub fn extensions(p: &Platforms) -> String {
             FusedParams::auto(dev, 2).threads,
             gbatch_kernels::gbsv_fused::gbsv_smem_bytes(&l, 1) as u32,
         );
-        let batched =
-            reprice(dev, &cfg, &rep.counters, EXEC_BATCH, PAPER_BATCH).expect("price");
+        let batched = reprice(dev, &cfg, &rep.counters, EXEC_BATCH, PAPER_BATCH).expect("price");
         // Per-kernel counters = aggregate / grid (uniform batch).
         let per_block = KernelCounters {
             global_read: rep.counters.global_read / EXEC_BATCH as u64,
@@ -824,6 +902,9 @@ mod tests {
         let p = platforms();
         let bw = bandwidth(&p);
         let ratio = bw[0].1 / bw[1].1;
-        assert!((ratio - 1.47).abs() < 0.12, "H100/MI250x bandwidth ratio {ratio:.2}");
+        assert!(
+            (ratio - 1.47).abs() < 0.12,
+            "H100/MI250x bandwidth ratio {ratio:.2}"
+        );
     }
 }

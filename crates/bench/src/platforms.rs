@@ -26,15 +26,27 @@ impl Platforms {
     pub fn tuned(max_band: usize) -> Self {
         let h100 = DeviceSpec::h100_pcie();
         let mi250x = DeviceSpec::mi250x_gcd();
-        let cfg = SweepConfig { max_band, ..Default::default() };
+        let cfg = SweepConfig {
+            max_band,
+            ..Default::default()
+        };
         let h100_tuning = sweep_device(&h100, &cfg);
         let mi250x_tuning = sweep_device(&mi250x, &cfg);
-        Platforms { h100, mi250x, cpu: CpuSpec::xeon_gold_6140(), h100_tuning, mi250x_tuning }
+        Platforms {
+            h100,
+            mi250x,
+            cpu: CpuSpec::xeon_gold_6140(),
+            h100_tuning,
+            mi250x_tuning,
+        }
     }
 
     /// The two GPUs with their tables, iterable.
     pub fn gpus(&self) -> [(&DeviceSpec, &TuningTable); 2] {
-        [(&self.h100, &self.h100_tuning), (&self.mi250x, &self.mi250x_tuning)]
+        [
+            (&self.h100, &self.h100_tuning),
+            (&self.mi250x, &self.mi250x_tuning),
+        ]
     }
 
     /// Tuned window parameters for a device (falls back to nearest band).
@@ -51,7 +63,11 @@ impl Platforms {
         };
         table
             .lookup(kl, ku)
-            .map(|e| gbatch_kernels::window::WindowParams { nb: e.nb, threads: e.threads })
+            .map(|e| gbatch_kernels::window::WindowParams {
+                nb: e.nb,
+                threads: e.threads,
+                ..Default::default()
+            })
     }
 }
 

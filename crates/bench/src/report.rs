@@ -16,7 +16,10 @@ pub struct Series {
 impl Series {
     /// New empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a successful measurement.
@@ -31,7 +34,10 @@ impl Series {
 
     /// Time at a given x, if present and successful.
     pub fn at(&self, x: usize) -> Option<f64> {
-        self.points.iter().find(|(px, _)| *px == x).and_then(|(_, v)| *v)
+        self.points
+            .iter()
+            .find(|(px, _)| *px == x)
+            .and_then(|(_, v)| *v)
     }
 }
 
@@ -67,13 +73,21 @@ impl SpeedupSummary {
             hi = hi.max(r);
             sum += r;
         }
-        Some(SpeedupSummary { min: lo, max: hi, avg: sum / ratios.len() as f64 })
+        Some(SpeedupSummary {
+            min: lo,
+            max: hi,
+            avg: sum / ratios.len() as f64,
+        })
     }
 }
 
 impl std::fmt::Display for SpeedupSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "min {:.2}x | max {:.2}x | avg {:.2}x", self.min, self.max, self.avg)
+        write!(
+            f,
+            "min {:.2}x | max {:.2}x | avg {:.2}x",
+            self.min, self.max, self.avg
+        )
     }
 }
 
@@ -102,13 +116,21 @@ impl Figure {
         xlabel: impl Into<String>,
         unit: impl Into<String>,
     ) -> Self {
-        Figure { title: title.into(), xlabel: xlabel.into(), unit: unit.into(), series: Vec::new() }
+        Figure {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            unit: unit.into(),
+            series: Vec::new(),
+        }
     }
 
     /// All x values across the series, sorted and deduplicated.
     pub fn xs(&self) -> Vec<usize> {
-        let mut xs: Vec<usize> =
-            self.series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        let mut xs: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
         xs.sort_unstable();
         xs.dedup();
         xs

@@ -14,13 +14,19 @@ impl BandMatrix {
     /// Zero band matrix in factor storage (ready for `gbtrf`).
     pub fn zeros_factor(m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
         let layout = BandLayout::factor(m, n, kl, ku)?;
-        Ok(BandMatrix { data: vec![0.0; layout.len()], layout })
+        Ok(BandMatrix {
+            data: vec![0.0; layout.len()],
+            layout,
+        })
     }
 
     /// Zero band matrix in pure storage.
     pub fn zeros_pure(m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
         let layout = BandLayout::pure(m, n, kl, ku)?;
-        Ok(BandMatrix { data: vec![0.0; layout.len()], layout })
+        Ok(BandMatrix {
+            data: vec![0.0; layout.len()],
+            layout,
+        })
     }
 
     /// Wrap an existing band array. `data.len()` must equal `layout.len()`.
@@ -39,7 +45,11 @@ impl BandMatrix {
     /// `m x n` matrix, keeping only the structural band.
     pub fn from_dense(m: usize, n: usize, kl: usize, ku: usize, dense: &[f64]) -> Result<Self> {
         if dense.len() < m * n {
-            return Err(BandError::BufferTooSmall { arg: "dense", len: dense.len(), required: m * n });
+            return Err(BandError::BufferTooSmall {
+                arg: "dense",
+                len: dense.len(),
+                required: m * n,
+            });
         }
         let mut bm = Self::zeros_factor(m, n, kl, ku)?;
         for j in 0..n {
@@ -124,12 +134,18 @@ impl BandMatrix {
 
     /// Borrowed read-only view.
     pub fn as_ref(&self) -> BandMatrixRef<'_> {
-        BandMatrixRef { layout: self.layout, data: &self.data }
+        BandMatrixRef {
+            layout: self.layout,
+            data: &self.data,
+        }
     }
 
     /// Borrowed mutable view.
     pub fn as_mut(&mut self) -> BandMatrixMut<'_> {
-        BandMatrixMut { layout: self.layout, data: &mut self.data }
+        BandMatrixMut {
+            layout: self.layout,
+            data: &mut self.data,
+        }
     }
 
     /// Infinity norm of the (structural) band matrix.
@@ -197,7 +213,10 @@ impl<'a> BandMatrixRef<'a> {
 
     /// Clone into an owned matrix.
     pub fn to_owned(&self) -> BandMatrix {
-        BandMatrix { layout: self.layout, data: self.data.to_vec() }
+        BandMatrix {
+            layout: self.layout,
+            data: self.data.to_vec(),
+        }
     }
 }
 
@@ -232,7 +251,10 @@ impl<'a> BandMatrixMut<'a> {
 
     /// Downgrade to a read-only view.
     pub fn as_ref(&self) -> BandMatrixRef<'_> {
-        BandMatrixRef { layout: self.layout, data: self.data }
+        BandMatrixRef {
+            layout: self.layout,
+            data: self.data,
+        }
     }
 }
 

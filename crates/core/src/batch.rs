@@ -24,9 +24,16 @@ impl BandBatch {
     pub fn zeros(batch: usize, m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
         let layout = BandLayout::factor(m, n, kl, ku)?;
         if batch == 0 {
-            return Err(BandError::BadDimension { arg: "batch", constraint: "batch > 0" });
+            return Err(BandError::BadDimension {
+                arg: "batch",
+                constraint: "batch > 0",
+            });
         }
-        Ok(BandBatch { batch, data: vec![0.0; layout.len() * batch], layout })
+        Ok(BandBatch {
+            batch,
+            data: vec![0.0; layout.len() * batch],
+            layout,
+        })
     }
 
     /// Build a batch from a closure producing each matrix's band data.
@@ -41,7 +48,10 @@ impl BandBatch {
         let mut b = Self::zeros(batch, m, n, kl, ku)?;
         let layout = b.layout;
         for (id, chunk) in b.data.chunks_mut(layout.len()).enumerate() {
-            let mut view = BandMatrixMut { layout, data: chunk };
+            let mut view = BandMatrixMut {
+                layout,
+                data: chunk,
+            };
             fill(id, &mut view);
         }
         Ok(b)
@@ -67,17 +77,31 @@ impl BandBatch {
 
     /// Read-only view of matrix `id`.
     pub fn matrix(&self, id: usize) -> BandMatrixRef<'_> {
-        assert!(id < self.batch, "matrix id {id} out of range (< {})", self.batch);
+        assert!(
+            id < self.batch,
+            "matrix id {id} out of range (< {})",
+            self.batch
+        );
         let s = self.matrix_stride();
-        BandMatrixRef { layout: self.layout, data: &self.data[id * s..(id + 1) * s] }
+        BandMatrixRef {
+            layout: self.layout,
+            data: &self.data[id * s..(id + 1) * s],
+        }
     }
 
     /// Mutable view of matrix `id`.
     pub fn matrix_mut(&mut self, id: usize) -> BandMatrixMut<'_> {
-        assert!(id < self.batch, "matrix id {id} out of range (< {})", self.batch);
+        assert!(
+            id < self.batch,
+            "matrix id {id} out of range (< {})",
+            self.batch
+        );
         let s = self.matrix_stride();
         let layout = self.layout;
-        BandMatrixMut { layout, data: &mut self.data[id * s..(id + 1) * s] }
+        BandMatrixMut {
+            layout,
+            data: &mut self.data[id * s..(id + 1) * s],
+        }
     }
 
     /// Iterator over per-matrix band arrays (the `double**` view).
@@ -122,7 +146,11 @@ impl PivotBatch {
     /// Pivot storage for `batch` factorizations of `m x n` matrices.
     pub fn new(batch: usize, m: usize, n: usize) -> Self {
         let per_matrix = m.min(n);
-        PivotBatch { per_matrix, batch, data: vec![0; per_matrix * batch] }
+        PivotBatch {
+            per_matrix,
+            batch,
+            data: vec![0; per_matrix * batch],
+        }
     }
 
     /// Pivot count per matrix.
@@ -170,7 +198,9 @@ pub struct InfoArray {
 impl InfoArray {
     /// All-success info array for `batch` problems.
     pub fn new(batch: usize) -> Self {
-        InfoArray { data: vec![0; batch] }
+        InfoArray {
+            data: vec![0; batch],
+        }
     }
 
     /// Number of entries.
@@ -250,9 +280,18 @@ impl RhsBatch {
             });
         }
         if ldb < n {
-            return Err(BandError::BadDimension { arg: "ldb", constraint: "ldb >= n" });
+            return Err(BandError::BadDimension {
+                arg: "ldb",
+                constraint: "ldb >= n",
+            });
         }
-        Ok(RhsBatch { n, nrhs, ldb, batch, data: vec![0.0; ldb * nrhs * batch] })
+        Ok(RhsBatch {
+            n,
+            nrhs,
+            ldb,
+            batch,
+            data: vec![0.0; ldb * nrhs * batch],
+        })
     }
 
     /// Fill from a closure `value(matrix_id, row, rhs_col)`.
@@ -417,6 +456,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // col * stride + row, spelled out
     fn rhs_batch_indexing() {
         let mut r = RhsBatch::zeros(2, 3, 2).unwrap();
         r.block_mut(1)[1 * 3 + 2] = 9.0; // matrix 1, rhs col 1, row 2
@@ -428,7 +468,8 @@ mod tests {
 
     #[test]
     fn rhs_from_fn() {
-        let r = RhsBatch::from_fn(2, 3, 2, |id, row, col| (id * 100 + col * 10 + row) as f64).unwrap();
+        let r =
+            RhsBatch::from_fn(2, 3, 2, |id, row, col| (id * 100 + col * 10 + row) as f64).unwrap();
         assert_eq!(r.get(1, 2, 1), 112.0);
         assert_eq!(r.get(0, 0, 0), 0.0);
         assert_eq!(r.get(0, 1, 1), 11.0);

@@ -217,7 +217,12 @@ mod tests {
         assert_eq!(getrf(n, n, &mut lu, n, &mut ipiv), 0);
         getrs(n, 1, &lu, n, &ipiv, &mut b, n);
         for i in 0..n {
-            assert!((b[i] - x_true[i]).abs() < 1e-9, "x[{i}] = {} != {}", b[i], x_true[i]);
+            assert!(
+                (b[i] - x_true[i]).abs() < 1e-9,
+                "x[{i}] = {} != {}",
+                b[i],
+                x_true[i]
+            );
         }
     }
 

@@ -33,7 +33,11 @@ pub fn band_view(l: &BandLayout) -> String {
             let i = r as isize - l.row_offset as isize + j as isize;
             let c = if r < l.row_offset - l.ku {
                 // Fill rows reserved for pivoting fill-in (factor storage).
-                if i >= 0 { '+' } else { '.' }
+                if i >= 0 {
+                    '+'
+                } else {
+                    '.'
+                }
             } else if i >= 0 && (i as usize) < l.m && l.in_band(i as usize, j) {
                 '*'
             } else {
@@ -74,7 +78,7 @@ mod tests {
         let v = band_view(&l);
         let lines: Vec<&str> = v.lines().collect();
         assert_eq!(lines.len(), 8); // ldab = 2*2 + 3 + 1
-        // Top kl = 2 rows are fill ('+'), except the leading triangle.
+                                    // Top kl = 2 rows are fill ('+'), except the leading triangle.
         assert!(lines[0].contains('+'));
         assert!(!lines[0].contains('*'));
         assert!(lines[1].contains('+'));

@@ -88,21 +88,41 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = BandError::LdabTooSmall { ldab: 3, required: 8 };
+        let e = BandError::LdabTooSmall {
+            ldab: 3,
+            required: 8,
+        };
         assert_eq!(e.to_string(), "ldab = 3 too small, need at least 8");
-        let e = BandError::BadDimension { arg: "kl", constraint: "kl < m" };
+        let e = BandError::BadDimension {
+            arg: "kl",
+            constraint: "kl < m",
+        };
         assert!(e.to_string().contains("kl"));
-        let e = BandError::BatchMismatch { expected: 4, found: 2 };
+        let e = BandError::BatchMismatch {
+            expected: 4,
+            found: 2,
+        };
         assert!(e.to_string().contains("expected 4"));
-        let e = BandError::IndexOutOfRange { arg: "j", index: 9, bound: 9 };
+        let e = BandError::IndexOutOfRange {
+            arg: "j",
+            index: 9,
+            bound: 9,
+        };
         assert!(e.to_string().contains("out of range"));
-        let e = BandError::BufferTooSmall { arg: "ab", len: 1, required: 2 };
+        let e = BandError::BufferTooSmall {
+            arg: "ab",
+            len: 1,
+            required: 2,
+        };
         assert!(e.to_string().contains("`ab`"));
     }
 
     #[test]
     fn errors_are_comparable_and_cloneable() {
-        let a = BandError::BatchMismatch { expected: 1, found: 2 };
+        let a = BandError::BatchMismatch {
+            expected: 1,
+            found: 2,
+        };
         let b = a.clone();
         assert_eq!(a, b);
     }

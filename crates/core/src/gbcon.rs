@@ -152,7 +152,10 @@ mod tests {
         }
         let (ab, piv) = factored(&a);
         let rcond = gbcon(a.as_ref(), &a.layout(), &ab, &piv);
-        assert!(rcond < 1e-4, "graded matrix must look ill-conditioned: {rcond:.2e}");
+        assert!(
+            rcond < 1e-4,
+            "graded matrix must look ill-conditioned: {rcond:.2e}"
+        );
         assert!(rcond > 1e-12, "but not singular: {rcond:.2e}");
     }
 
@@ -208,7 +211,10 @@ mod tests {
             exact = exact.max(e.iter().map(|x| x.abs()).sum());
         }
         let est = inverse_norm1_estimate(&l, &ab, &piv);
-        assert!(est <= exact * (1.0 + 1e-12), "estimate must lower-bound: {est} vs {exact}");
+        assert!(
+            est <= exact * (1.0 + 1e-12),
+            "estimate must lower-bound: {est} vs {exact}"
+        );
         assert!(est >= exact * 0.3, "estimate within 3.3x: {est} vs {exact}");
     }
 }

@@ -61,7 +61,9 @@ pub fn gbequ(a: BandMatrixRef<'_>) -> Result<Equilibration, usize> {
             return Err(i + 1);
         }
     }
-    let (rmin, rmax) = r.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (rmin, rmax) = r
+        .iter()
+        .fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let rowcnd = rmin / rmax;
     for v in r.iter_mut() {
         *v = 1.0 / *v;
@@ -79,13 +81,21 @@ pub fn gbequ(a: BandMatrixRef<'_>) -> Result<Equilibration, usize> {
             return Err(m + j + 1);
         }
     }
-    let (cmin, cmax) = c.iter().fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (cmin, cmax) = c
+        .iter()
+        .fold((f64::MAX, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let colcnd = cmin / cmax;
     for v in c.iter_mut() {
         *v = 1.0 / *v;
     }
 
-    Ok(Equilibration { r, c, rowcnd, colcnd, amax })
+    Ok(Equilibration {
+        r,
+        c,
+        rowcnd,
+        colcnd,
+        amax,
+    })
 }
 
 /// Apply scalings in place: `A <- diag(R) * A * diag(C)`.
@@ -113,7 +123,7 @@ mod tests {
             let scale = 10f64.powi(j as i32 * 2 - 5);
             a.set(j, j, 2.0 * scale);
             if j > 0 {
-                a.set(j, j - 1, -1.0 * scale);
+                a.set(j, j - 1, -scale);
                 a.set(j - 1, j, -0.5 * 10f64.powi((j as i32 - 1) * 2 - 5));
             }
         }

@@ -154,7 +154,12 @@ mod tests {
         }
         let before = componentwise_berr(a.as_ref(), &x, &b);
         let res = gbrfs(a.as_ref(), &l, &ab, &piv, &b, &mut x);
-        assert!(res.berr < before / 100.0, "berr {:.2e} -> {:.2e}", before, res.berr);
+        assert!(
+            res.berr < before / 100.0,
+            "berr {:.2e} -> {:.2e}",
+            before,
+            res.berr
+        );
         assert!(res.iterations >= 1);
     }
 

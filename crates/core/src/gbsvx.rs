@@ -125,7 +125,10 @@ pub fn gbsvx_checked(a: &BandMatrix, b0: &[f64], nrhs: usize) -> (GbsvxResult, V
     if res.info == 0 {
         for c in 0..nrhs {
             let e = crate::residual::backward_error(
-                BandMatrixRef { layout: a.layout(), data: a.data() },
+                BandMatrixRef {
+                    layout: a.layout(),
+                    data: a.data(),
+                },
                 &x[c * n..(c + 1) * n],
                 &b0[c * n..(c + 1) * n],
             );
@@ -163,9 +166,16 @@ mod tests {
         gbmv(1.0, a.as_ref(), &x_true, 0.0, &mut b);
         let (res, _x, worst) = gbsvx_checked(&a, &b, 1);
         assert_eq!(res.info, 0);
-        assert!(res.equilibrated, "9 decades of grading must trigger equilibration");
+        assert!(
+            res.equilibrated,
+            "9 decades of grading must trigger equilibration"
+        );
         assert!(worst < 1e-12, "backward error {worst:.2e}");
-        assert!(res.berr[0] <= 16.0 * f64::EPSILON, "componentwise berr {:.2e}", res.berr[0]);
+        assert!(
+            res.berr[0] <= 16.0 * f64::EPSILON,
+            "componentwise berr {:.2e}",
+            res.berr[0]
+        );
         // The equilibrated matrix is well conditioned even though A is not.
         assert!(res.rcond > 1e-4, "rcond {:.2e}", res.rcond);
     }

@@ -194,7 +194,11 @@ mod tests {
         let l = a.layout();
         // Build b = A x_true (or A^T x_true).
         let xs: Vec<Vec<f64>> = (0..nrhs)
-            .map(|c| (0..n).map(|i| ((i + 1) as f64 * 0.37 + c as f64).sin()).collect())
+            .map(|c| {
+                (0..n)
+                    .map(|i| ((i + 1) as f64 * 0.37 + c as f64).sin())
+                    .collect()
+            })
             .collect();
         let mut b = vec![0.0; n * nrhs];
         for (c, x) in xs.iter().enumerate() {
@@ -212,7 +216,10 @@ mod tests {
         for (c, x) in xs.iter().enumerate() {
             for i in 0..n {
                 let err = (b[c * n + i] - x[i]).abs();
-                assert!(err < 1e-8, "n={n} kl={kl} ku={ku} rhs={c} row {i}: err {err}");
+                assert!(
+                    err < 1e-8,
+                    "n={n} kl={kl} ku={ku} rhs={c} row {i}: err {err}"
+                );
             }
         }
     }
@@ -261,9 +268,20 @@ mod tests {
         let mut b_single = b_multi.clone();
         gbtrs(Transpose::No, &l, &ab, &ipiv, &mut b_multi, n, nrhs);
         for c in 0..nrhs {
-            gbtrs(Transpose::No, &l, &ab, &ipiv, &mut b_single[c * n..(c + 1) * n], n, 1);
+            gbtrs(
+                Transpose::No,
+                &l,
+                &ab,
+                &ipiv,
+                &mut b_single[c * n..(c + 1) * n],
+                n,
+                1,
+            );
         }
-        assert_eq!(b_multi, b_single, "multi-RHS must equal column-by-column solves");
+        assert_eq!(
+            b_multi, b_single,
+            "multi-RHS must equal column-by-column solves"
+        );
     }
 
     #[test]

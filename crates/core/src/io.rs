@@ -27,14 +27,24 @@ fn io_err(e: io::Error) -> BandError {
     // Map I/O failures onto the crate error type without adding a variant
     // for every io::ErrorKind: the message carries the detail.
     let _ = e;
-    BandError::BadDimension { arg: "io", constraint: "readable/writable stream" }
+    BandError::BadDimension {
+        arg: "io",
+        constraint: "readable/writable stream",
+    }
 }
 
 /// Serialize a batch to a writer.
 pub fn write_batch(w: &mut impl Write, b: &BandBatch) -> Result<()> {
     let l = b.layout();
     w.write_all(MAGIC).map_err(io_err)?;
-    for v in [b.batch() as u64, l.m as u64, l.n as u64, l.kl as u64, l.ku as u64, l.ldab as u64] {
+    for v in [
+        b.batch() as u64,
+        l.m as u64,
+        l.n as u64,
+        l.kl as u64,
+        l.ku as u64,
+        l.ldab as u64,
+    ] {
         w.write_all(&v.to_le_bytes()).map_err(io_err)?;
     }
     for &x in b.data() {
@@ -48,7 +58,10 @@ pub fn read_batch(r: &mut impl Read) -> Result<BandBatch> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic).map_err(io_err)?;
     if &magic != MAGIC {
-        return Err(BandError::BadDimension { arg: "magic", constraint: "file must start with GBB1" });
+        return Err(BandError::BadDimension {
+            arg: "magic",
+            constraint: "file must start with GBB1",
+        });
     }
     let mut u64buf = [0u8; 8];
     let mut next = |r: &mut dyn Read| -> Result<u64> {
@@ -63,12 +76,18 @@ pub fn read_batch(r: &mut impl Read) -> Result<BandBatch> {
     let ldab = next(r)? as usize;
     let layout = BandLayout::with_ldab(m, n, kl, ku, ldab, BandStorage::Factor)?;
     if batch == 0 {
-        return Err(BandError::BadDimension { arg: "batch", constraint: "batch > 0" });
+        return Err(BandError::BadDimension {
+            arg: "batch",
+            constraint: "batch > 0",
+        });
     }
     let total = layout
         .len()
         .checked_mul(batch)
-        .ok_or(BandError::BadDimension { arg: "batch", constraint: "size overflow" })?;
+        .ok_or(BandError::BadDimension {
+            arg: "batch",
+            constraint: "size overflow",
+        })?;
     let mut out = BandBatch::zeros(batch, m, n, kl, ku)?;
     debug_assert_eq!(out.data().len(), total);
     let mut f64buf = [0u8; 8];

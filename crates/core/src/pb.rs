@@ -26,7 +26,11 @@ impl PbLayout {
     /// Minimal layout for order `n`, bandwidth `kd`.
     pub fn new(n: usize, kd: usize) -> Self {
         assert!(n > 0 && kd < n, "require 0 < n and kd < n");
-        PbLayout { n, kd, ldab: kd + 1 }
+        PbLayout {
+            n,
+            kd,
+            ldab: kd + 1,
+        }
     }
 
     /// Elements of the band array.
@@ -201,7 +205,10 @@ mod tests {
                     }
                 }
                 let want = a0[l.idx(i, j)];
-                assert!((s - want).abs() < 1e-12 * want.abs().max(1.0), "({i},{j}): {s} vs {want}");
+                assert!(
+                    (s - want).abs() < 1e-12 * want.abs().max(1.0),
+                    "({i},{j}): {s} vs {want}"
+                );
             }
         }
     }
@@ -231,12 +238,20 @@ mod tests {
         let gl = g.layout();
         let mut gab = g.data().to_vec();
         let mut piv = vec![0i32; 20];
-        assert_eq!(crate::gbsv::gbsv(&gl, &mut gab, &mut piv, &mut b_lu, 20, 1), 0);
+        assert_eq!(
+            crate::gbsv::gbsv(&gl, &mut gab, &mut piv, &mut b_lu, 20, 1),
+            0
+        );
         let mut ab = a0.clone();
         let mut b_ch = b.clone();
         assert_eq!(pbsv(&l, &mut ab, &mut b_ch, 20, 1), 0);
         for i in 0..20 {
-            assert!((b_ch[i] - b_lu[i]).abs() < 1e-11, "row {i}: {} vs {}", b_ch[i], b_lu[i]);
+            assert!(
+                (b_ch[i] - b_lu[i]).abs() < 1e-11,
+                "row {i}: {} vs {}",
+                b_ch[i],
+                b_lu[i]
+            );
         }
     }
 

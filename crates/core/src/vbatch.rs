@@ -22,7 +22,10 @@ impl VarBandBatch {
     /// Zero-initialized batch from per-matrix layouts.
     pub fn zeros(layouts: Vec<BandLayout>) -> Result<Self> {
         if layouts.is_empty() {
-            return Err(BandError::BadDimension { arg: "layouts", constraint: "at least one" });
+            return Err(BandError::BadDimension {
+                arg: "layouts",
+                constraint: "at least one",
+            });
         }
         let mut offsets = Vec::with_capacity(layouts.len() + 1);
         let mut total = 0usize;
@@ -31,7 +34,11 @@ impl VarBandBatch {
             total += l.len();
         }
         offsets.push(total);
-        Ok(VarBandBatch { layouts, offsets, data: vec![0.0; total] })
+        Ok(VarBandBatch {
+            layouts,
+            offsets,
+            data: vec![0.0; total],
+        })
     }
 
     /// Build from layouts plus a fill closure per matrix.
@@ -68,13 +75,19 @@ impl VarBandBatch {
     /// Read-only view of matrix `id`.
     pub fn matrix(&self, id: usize) -> BandMatrixRef<'_> {
         let (s, e) = (self.offsets[id], self.offsets[id + 1]);
-        BandMatrixRef { layout: self.layouts[id], data: &self.data[s..e] }
+        BandMatrixRef {
+            layout: self.layouts[id],
+            data: &self.data[s..e],
+        }
     }
 
     /// Mutable view of matrix `id`.
     pub fn matrix_mut(&mut self, id: usize) -> BandMatrixMut<'_> {
         let (s, e) = (self.offsets[id], self.offsets[id + 1]);
-        BandMatrixMut { layout: self.layouts[id], data: &mut self.data[s..e] }
+        BandMatrixMut {
+            layout: self.layouts[id],
+            data: &mut self.data[s..e],
+        }
     }
 
     /// Iterate over `(layout, band array)` pairs mutably — the non-uniform
@@ -123,7 +136,10 @@ impl VarPivots {
             total += l.m.min(l.n);
         }
         offsets.push(total);
-        VarPivots { offsets, data: vec![0; total] }
+        VarPivots {
+            offsets,
+            data: vec![0; total],
+        }
     }
 
     /// Pivot vector of matrix `id`.
@@ -165,7 +181,10 @@ impl VarRhs {
     /// Zero RHS blocks matching a batch.
     pub fn zeros(b: &VarBandBatch, nrhs: usize) -> Result<Self> {
         if nrhs == 0 {
-            return Err(BandError::BadDimension { arg: "nrhs", constraint: "nrhs > 0" });
+            return Err(BandError::BadDimension {
+                arg: "nrhs",
+                constraint: "nrhs > 0",
+            });
         }
         let ns: Vec<usize> = b.layouts().iter().map(|l| l.n).collect();
         let mut offsets = Vec::with_capacity(ns.len() + 1);
@@ -175,7 +194,12 @@ impl VarRhs {
             total += n * nrhs;
         }
         offsets.push(total);
-        Ok(VarRhs { ns, offsets, nrhs, data: vec![0.0; total] })
+        Ok(VarRhs {
+            ns,
+            offsets,
+            nrhs,
+            data: vec![0.0; total],
+        })
     }
 
     /// Fill from a closure `value(id, row, col)`.
@@ -303,7 +327,7 @@ mod tests {
         assert_eq!(r.block(0).len(), 16);
         assert_eq!(r.block(1).len(), 40);
         assert_eq!(r.n(1), 20);
-        assert_eq!(r.block(1)[1 * 20 + 5], 115.0);
+        assert_eq!(r.block(1)[20 + 5], 115.0); // rhs col 1, row 5
         assert_eq!(r.nrhs(), 2);
     }
 

@@ -37,7 +37,11 @@ pub fn cpu_gbsvx_batch(
         .chunks_mut(n * nrhs)
         .zip(results.iter_mut())
         .enumerate()
-        .map(|(id, (b, out))| Task { mat: a.matrix(id).to_owned(), b, out })
+        .map(|(id, (b, out))| Task {
+            mat: a.matrix(id).to_owned(),
+            b,
+            out,
+        })
         .collect();
     if threads <= 1 {
         for t in tasks.iter_mut() {
@@ -65,7 +69,13 @@ pub fn cpu_gbsvx_batch(
         model_time_s: cpu.batch_time(batch, flops, bytes),
         wall_time_s: start.elapsed().as_secs_f64(),
     };
-    (results.into_iter().map(|r| r.expect("all solved")).collect(), report)
+    (
+        results
+            .into_iter()
+            .map(|r| r.expect("all solved"))
+            .collect(),
+        report,
+    )
 }
 
 #[cfg(test)]
@@ -114,12 +124,14 @@ mod tests {
             assert_eq!(r.info, 0, "system {id}");
             // Deeply graded systems must have been equilibrated.
             if id % 5 >= 3 {
-                assert!(r.equilibrated, "system {id} (8+ decades) should equilibrate");
+                assert!(
+                    r.equilibrated,
+                    "system {id} (8+ decades) should equilibrate"
+                );
             }
             for c in 0..nrhs {
                 let off = id * n * nrhs + c * n;
-                let berr =
-                    backward_error(a.matrix(id), &rhs[off..off + n], &rhs0[off..off + n]);
+                let berr = backward_error(a.matrix(id), &rhs[off..off + n], &rhs0[off..off + n]);
                 assert!(berr < 1e-12, "system {id} rhs {c}: berr {berr:.2e}");
             }
         }

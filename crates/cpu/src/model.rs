@@ -74,9 +74,8 @@ impl CpuSpec {
             return 0.0;
         }
         let per_core_bw = self.core_bw.min(self.total_bw / self.cores as f64);
-        let per_matrix =
-            (bytes / per_core_bw).max(flops / (self.flops_per_cycle * self.clock_hz))
-                + self.per_matrix_s;
+        let per_matrix = (bytes / per_core_bw).max(flops / (self.flops_per_cycle * self.clock_hz))
+            + self.per_matrix_s;
         let tasks_per_core = (batch as f64 / self.cores as f64).ceil();
         self.fork_join_s + tasks_per_core * per_matrix
     }
@@ -136,7 +135,10 @@ mod tests {
         let cpu = CpuSpec::test_cpu();
         let t1 = cpu.batch_time(4, 1e6, 1e4);
         let t2 = cpu.batch_time(8, 1e6, 1e4);
-        assert!(t2 > t1 * 1.8 - cpu.fork_join_s, "doubling tasks ~doubles time");
+        assert!(
+            t2 > t1 * 1.8 - cpu.fork_join_s,
+            "doubling tasks ~doubles time"
+        );
         assert_eq!(cpu.batch_time(0, 1e9, 1e9), 0.0);
     }
 

@@ -164,8 +164,8 @@ mod tests {
             }
         })
         .unwrap();
-        let b = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 7 + i) as f64 * 0.19).sin())
-            .unwrap();
+        let b =
+            RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 7 + i) as f64 * 0.19).sin()).unwrap();
         (a, b)
     }
 
@@ -193,13 +193,19 @@ mod tests {
         let mut a_par = a0.clone();
         let mut piv_par = PivotBatch::new(batch, n, n);
         let mut info_par = InfoArray::new(batch);
-        let many = CpuSpec { cores: 8, ..CpuSpec::test_cpu() };
+        let many = CpuSpec {
+            cores: 8,
+            ..CpuSpec::test_cpu()
+        };
         cpu_gbtrf_batch(&many, &mut a_par, &mut piv_par, &mut info_par);
 
         let mut a_seq = a0.clone();
         let mut piv_seq = PivotBatch::new(batch, n, n);
         let mut info_seq = InfoArray::new(batch);
-        let one = CpuSpec { cores: 1, ..CpuSpec::test_cpu() };
+        let one = CpuSpec {
+            cores: 1,
+            ..CpuSpec::test_cpu()
+        };
         cpu_gbtrf_batch(&one, &mut a_seq, &mut piv_seq, &mut info_seq);
 
         assert_eq!(a_par.data(), a_seq.data());
@@ -236,7 +242,10 @@ mod tests {
         assert!(t2 > t1);
         let s1 = cpu.batch_time(1000, gbtrs_flops(&l, 1), gbtrs_bytes(&l, 1));
         let s10 = cpu.batch_time(1000, gbtrs_flops(&l, 10), gbtrs_bytes(&l, 10));
-        assert!(s10 > 1.8 * s1, "10 RHS should cost much more: {s1} vs {s10}");
+        assert!(
+            s10 > 1.8 * s1,
+            "10 RHS should cost much more: {s1} vs {s10}"
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ impl BlockContext {
     }
 
     /// New context with an explicit LDS lane width.
-    pub fn with_lds_lanes(block_id: usize, threads: u32, smem_bytes: usize, lds_lanes: u32) -> Self {
+    pub fn with_lds_lanes(
+        block_id: usize,
+        threads: u32,
+        smem_bytes: usize,
+        lds_lanes: u32,
+    ) -> Self {
         BlockContext {
             block_id,
             threads,
@@ -42,6 +47,16 @@ impl BlockContext {
             smem: SharedMem::with_bytes(smem_bytes),
             counters: KernelCounters::default(),
         }
+    }
+
+    /// Fresh context with this context's geometry (thread count, arena
+    /// size, LDS width) but pristine state. Executor workers fork one
+    /// prototype each so every thread owns a private arena; a forked
+    /// context is indistinguishable from a `reset_for` one, which is
+    /// what keeps parallel block results identical to serial.
+    pub fn fork_worker(&self) -> BlockContext {
+        let smem_bytes = self.smem.capacity() * std::mem::size_of::<f64>();
+        BlockContext::with_lds_lanes(0, self.threads, smem_bytes, self.lds_lanes)
     }
 
     /// Reuse this context for another block (workers recycle arenas).
@@ -167,6 +182,19 @@ mod tests {
         assert_eq!(c.syncs, 2);
         assert_eq!(c.smem_trips, 1);
         assert_eq!(c.cycles, 12.5);
+    }
+
+    #[test]
+    fn fork_worker_copies_geometry_not_state() {
+        let mut ctx = BlockContext::with_lds_lanes(5, 16, 256, 8);
+        ctx.gld(64);
+        ctx.smem.alloc(4);
+        let fresh = ctx.fork_worker();
+        assert_eq!(fresh.threads, 16);
+        assert_eq!(fresh.lds_lanes, 8);
+        assert_eq!(fresh.smem.capacity(), ctx.smem.capacity());
+        assert_eq!(fresh.smem.used(), 0);
+        assert_eq!(fresh.counters(), KernelCounters::default());
     }
 
     #[test]

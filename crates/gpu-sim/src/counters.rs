@@ -102,7 +102,12 @@ mod tests {
 
     #[test]
     fn latency_cycles_formula() {
-        let c = KernelCounters { smem_trips: 3, syncs: 2, cycles: 100.0, ..Default::default() };
+        let c = KernelCounters {
+            smem_trips: 3,
+            syncs: 2,
+            cycles: 100.0,
+            ..Default::default()
+        };
         assert_eq!(c.latency_cycles(10.0, 5.0), 100.0 + 30.0 + 10.0);
     }
 }

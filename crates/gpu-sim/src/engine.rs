@@ -14,12 +14,14 @@
 use crate::block::BlockContext;
 use crate::counters::KernelCounters;
 use crate::device::DeviceSpec;
+use crate::executor::{execute_blocks, ParallelPolicy};
 use crate::occupancy::{occupancy_with_regs, Occupancy};
 use crate::timing::{estimate_aggregate, SimTime};
 
-/// Launch configuration: threads per block, dynamic shared memory, and
-/// (for register-blocked kernels) registers per thread. The grid size is
-/// implied by the problem slice length.
+/// Launch configuration: threads per block, dynamic shared memory,
+/// (for register-blocked kernels) registers per thread, and the host
+/// scheduling policy. The grid size is implied by the problem slice
+/// length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchConfig {
     /// Threads per block.
@@ -29,17 +31,37 @@ pub struct LaunchConfig {
     /// 32-bit registers per thread (0 = compiler default, no explicit
     /// pressure; occupancy then ignores the register file).
     pub regs_per_thread: u32,
+    /// How blocks are scheduled onto host threads. Purely a host-side
+    /// throughput knob: results and modeled time are bitwise-identical
+    /// for every policy (see [`crate::executor`]).
+    pub parallel: ParallelPolicy,
 }
 
 impl LaunchConfig {
     /// Convenience constructor (no explicit register pressure).
     pub fn new(threads: u32, smem_bytes: u32) -> Self {
-        LaunchConfig { threads, smem_bytes, regs_per_thread: 0 }
+        LaunchConfig {
+            threads,
+            smem_bytes,
+            regs_per_thread: 0,
+            parallel: ParallelPolicy::Serial,
+        }
     }
 
     /// Constructor with explicit register pressure.
     pub fn with_registers(threads: u32, smem_bytes: u32, regs_per_thread: u32) -> Self {
-        LaunchConfig { threads, smem_bytes, regs_per_thread }
+        LaunchConfig {
+            threads,
+            smem_bytes,
+            regs_per_thread,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
+
+    /// Builder: set the host scheduling policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 }
 
@@ -68,7 +90,10 @@ impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LaunchError::SharedMemExceeded { requested, limit } => {
-                write!(f, "shared memory request {requested} B exceeds device limit {limit} B")
+                write!(
+                    f,
+                    "shared memory request {requested} B exceeds device limit {limit} B"
+                )
             }
             LaunchError::BadThreadCount { requested, limit } => {
                 write!(f, "thread count {requested} invalid (device limit {limit})")
@@ -110,7 +135,10 @@ pub fn validate(dev: &DeviceSpec, cfg: &LaunchConfig) -> Result<Occupancy, Launc
         });
     }
     occupancy_with_regs(dev, cfg.threads, cfg.smem_bytes, cfg.regs_per_thread).ok_or(
-        LaunchError::BadThreadCount { requested: cfg.threads, limit: dev.max_threads_per_sm },
+        LaunchError::BadThreadCount {
+            requested: cfg.threads,
+            limit: dev.max_threads_per_sm,
+        },
     )
 }
 
@@ -131,22 +159,14 @@ where
 {
     let occ = validate(dev, cfg)?;
     let grid = problems.len();
-    let mut agg = KernelCounters::default();
-    let mut ctx = BlockContext::with_lds_lanes(0, cfg.threads, cfg.smem_bytes as usize, dev.lds_lanes);
-    for (block_id, p) in problems.iter_mut().enumerate() {
-        ctx.reset_for(block_id);
-        body(p, &mut ctx);
-        let c = ctx.counters();
-        agg.global_read += c.global_read;
-        agg.global_write += c.global_write;
-        agg.flops += c.flops;
-        agg.smem_trips = agg.smem_trips.max(c.smem_trips);
-        agg.syncs = agg.syncs.max(c.syncs);
-        agg.cycles = agg.cycles.max(c.cycles);
-        agg.smem_elems = agg.smem_elems.max(c.smem_elems);
-    }
+    let agg = execute_blocks(dev, cfg, problems, &body);
     let time = estimate_aggregate(dev, &occ, grid, &agg);
-    Ok(LaunchReport { occupancy: occ, counters: agg, time, grid })
+    Ok(LaunchReport {
+        occupancy: occ,
+        counters: agg,
+        time,
+        grid,
+    })
 }
 
 /// Launch variant for kernels that only need per-block ids (no problem
@@ -215,8 +235,7 @@ mod tests {
     fn rejects_bad_threads() {
         let dev = DeviceSpec::test_device();
         let mut data = vec![0u8; 1];
-        let err =
-            launch(&dev, &LaunchConfig::new(0, 0), &mut data, |_, _| {}).unwrap_err();
+        let err = launch(&dev, &LaunchConfig::new(0, 0), &mut data, |_, _| {}).unwrap_err();
         assert!(matches!(err, LaunchError::BadThreadCount { .. }));
         let err = launch(
             &dev,

@@ -1,0 +1,357 @@
+//! Deterministic work-stealing parallel block executor.
+//!
+//! The engine's block programs are independent by construction (one grid
+//! block per batch problem, disjoint `&mut` problem access), and
+//! [`KernelCounters`] merge associatively and commutatively (sums and
+//! maxes). Those two facts let this module fan blocks out across OS
+//! threads while guaranteeing results that are **bitwise-identical** to
+//! the serial path:
+//!
+//! - each block's numerics touch only its own problem and a private
+//!   shared-memory arena, so per-block outputs (factors, pivots, `info`)
+//!   cannot depend on scheduling;
+//! - per-block counters are merged into per-chunk partials in ascending
+//!   block order, and chunk partials are merged in ascending chunk order
+//!   after the join — a stable reduction tree whose every operation
+//!   (u64 `+`, u64/f64 `max`) is order-insensitive anyway.
+//!
+//! Work distribution is deque-based stealing: contiguous block chunks are
+//! seeded round-robin onto per-worker LIFO deques; an idle worker first
+//! drains its own deque, then steals (FIFO) from siblings, so load
+//! imbalance from variable per-matrix cost self-corrects.
+//!
+//! Failure isolation: a panicking block program (numerical `assert!`,
+//! index bug) is caught per block. Sibling blocks still run to
+//! completion — their problem entries keep their results — and the
+//! lowest-block-id panic is re-raised after the join, in both the serial
+//! and the parallel paths, so the two are observationally equivalent.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+use parking_lot::Mutex;
+
+use crate::block::BlockContext;
+use crate::counters::KernelCounters;
+use crate::device::DeviceSpec;
+use crate::engine::LaunchConfig;
+
+/// How the engine schedules a launch's blocks onto host threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParallelPolicy {
+    /// Run every block on the calling thread, in block-id order.
+    #[default]
+    Serial,
+    /// Work-stealing pool of exactly `n` workers (`n = 0` and `n = 1`
+    /// both mean serial).
+    Threads(usize),
+    /// Work-stealing pool sized to the host's available parallelism.
+    Auto,
+}
+
+impl ParallelPolicy {
+    /// Pool of `n` worker threads.
+    pub fn threads(n: usize) -> Self {
+        ParallelPolicy::Threads(n)
+    }
+
+    /// Number of workers this policy resolves to on this host.
+    pub fn workers(self) -> usize {
+        match self {
+            ParallelPolicy::Serial => 1,
+            ParallelPolicy::Threads(n) => n.max(1),
+            ParallelPolicy::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Whether this policy executes blocks on more than one thread.
+    pub fn is_parallel(self) -> bool {
+        self.workers() > 1
+    }
+}
+
+/// Chunk length giving each worker several steals' worth of slack.
+fn chunk_len(grid: usize, workers: usize) -> usize {
+    grid.div_ceil(workers.saturating_mul(4).max(1)).max(1)
+}
+
+/// Shareable base pointer for handing disjoint chunks of the problem
+/// slice to workers. Safety argument lives at the use sites: every chunk
+/// `[lo, hi)` is delivered to exactly one worker (deque exactly-once
+/// semantics), and chunks never overlap.
+struct ProblemsPtr<P>(*mut P);
+
+unsafe impl<P: Send> Send for ProblemsPtr<P> {}
+unsafe impl<P: Send> Sync for ProblemsPtr<P> {}
+
+/// A caught block panic, keyed by block id for deterministic re-raise.
+type BlockPanic = (usize, Box<dyn Any + Send>);
+
+/// Run `body` for blocks `[lo, hi)` over `slice`, merging counters into
+/// `partial` in ascending block order and capturing panics. The single
+/// code path both executors share — serial vs. parallel differ only in
+/// who calls it with which chunks.
+fn run_chunk<P, F>(
+    ctx: &mut BlockContext,
+    slice: &mut [P],
+    lo: usize,
+    partial: &mut KernelCounters,
+    panics: &mut Vec<BlockPanic>,
+    body: &F,
+) where
+    F: Fn(&mut P, &mut BlockContext) + Sync,
+{
+    for (off, p) in slice.iter_mut().enumerate() {
+        let block_id = lo + off;
+        ctx.reset_for(block_id);
+        match catch_unwind(AssertUnwindSafe(|| body(p, ctx))) {
+            Ok(()) => partial.merge_wave(&ctx.counters()),
+            Err(payload) => panics.push((block_id, payload)),
+        }
+    }
+}
+
+/// Re-raise the earliest (lowest block id) captured panic, if any.
+fn resume_first(mut panics: Vec<BlockPanic>) {
+    if !panics.is_empty() {
+        panics.sort_by_key(|(id, _)| *id);
+        resume_unwind(panics.swap_remove(0).1);
+    }
+}
+
+/// Execute every block once under `cfg.parallel` and return the
+/// aggregate counters. Panics from block programs are re-raised (lowest
+/// block id first) only after every block has run.
+pub(crate) fn execute_blocks<P, F>(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    problems: &mut [P],
+    body: &F,
+) -> KernelCounters
+where
+    P: Send,
+    F: Fn(&mut P, &mut BlockContext) + Sync,
+{
+    let grid = problems.len();
+    if grid == 0 {
+        return KernelCounters::default();
+    }
+    let workers = cfg.parallel.workers().min(grid);
+    if workers <= 1 {
+        let mut ctx =
+            BlockContext::with_lds_lanes(0, cfg.threads, cfg.smem_bytes as usize, dev.lds_lanes);
+        let mut agg = KernelCounters::default();
+        let mut panics = Vec::new();
+        run_chunk(&mut ctx, problems, 0, &mut agg, &mut panics, body);
+        resume_first(panics);
+        return agg;
+    }
+    execute_parallel(dev, cfg, problems, body, workers)
+}
+
+fn execute_parallel<P, F>(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    problems: &mut [P],
+    body: &F,
+    workers: usize,
+) -> KernelCounters
+where
+    P: Send,
+    F: Fn(&mut P, &mut BlockContext) + Sync,
+{
+    let grid = problems.len();
+    let chunk = chunk_len(grid, workers);
+    let n_chunks = grid.div_ceil(chunk);
+
+    // Seed chunk ids round-robin across per-worker LIFO deques.
+    let deques: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<usize>> = deques.iter().map(Worker::stealer).collect();
+    for c in 0..n_chunks {
+        deques[c % workers].push(c);
+    }
+
+    let base = ProblemsPtr(problems.as_mut_ptr());
+    let results: Mutex<Vec<(usize, KernelCounters)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let panics: Mutex<Vec<BlockPanic>> = Mutex::new(Vec::new());
+    let proto =
+        BlockContext::with_lds_lanes(0, cfg.threads, cfg.smem_bytes as usize, dev.lds_lanes);
+
+    let scope_result = crossbeam::thread::scope(|s| {
+        for own in deques {
+            let stealers = &stealers;
+            let base = &base;
+            let results = &results;
+            let panics = &panics;
+            let proto = &proto;
+            s.spawn(move |_| {
+                let mut ctx = proto.fork_worker();
+                'work: loop {
+                    // Own deque first (LIFO), then steal FIFO from
+                    // siblings; exactly-once delivery is the deque's
+                    // contract, so each chunk runs on one worker.
+                    let next = own.pop().or_else(|| loop {
+                        let mut retry = false;
+                        for st in stealers.iter() {
+                            match st.steal() {
+                                Steal::Success(c) => return Some(c),
+                                Steal::Retry => retry = true,
+                                Steal::Empty => {}
+                            }
+                        }
+                        if !retry {
+                            return None;
+                        }
+                    });
+                    let Some(c) = next else { break 'work };
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(grid);
+                    // SAFETY: chunk `c` is held by exactly this worker;
+                    // chunk ranges `[lo, hi)` partition `[0, grid)`.
+                    let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+                    let mut partial = KernelCounters::default();
+                    let mut local_panics = Vec::new();
+                    run_chunk(&mut ctx, slice, lo, &mut partial, &mut local_panics, body);
+                    results.lock().push((c, partial));
+                    if !local_panics.is_empty() {
+                        panics.lock().append(&mut local_panics);
+                    }
+                }
+            });
+        }
+    });
+    // Workers catch block panics themselves; a scope error would mean an
+    // executor bug, not a kernel failure.
+    scope_result.expect("executor worker crashed outside a block program");
+
+    // Stable reduction: chunk partials merged in ascending chunk order.
+    let mut partials = results.into_inner();
+    partials.sort_by_key(|(c, _)| *c);
+    let mut agg = KernelCounters::default();
+    for (_, partial) in &partials {
+        agg.merge_wave(partial);
+    }
+    resume_first(panics.into_inner());
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{launch, LaunchConfig};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::test_device()
+    }
+
+    fn body(p: &mut f64, ctx: &mut BlockContext) {
+        ctx.gld(8);
+        *p = (*p + 1.0) * 1.5;
+        ctx.par_work(3, 2);
+        ctx.smem_work(5, 1);
+        ctx.smem_trip();
+        ctx.sync();
+        ctx.gst(8);
+    }
+
+    #[test]
+    fn policy_resolution() {
+        assert_eq!(ParallelPolicy::Serial.workers(), 1);
+        assert_eq!(ParallelPolicy::threads(0).workers(), 1);
+        assert_eq!(ParallelPolicy::threads(6).workers(), 6);
+        assert!(ParallelPolicy::Auto.workers() >= 1);
+        assert!(!ParallelPolicy::Serial.is_parallel());
+        assert!(ParallelPolicy::threads(2).is_parallel());
+        assert_eq!(ParallelPolicy::default(), ParallelPolicy::Serial);
+    }
+
+    #[test]
+    fn chunking_covers_grid() {
+        for grid in [1usize, 2, 7, 64, 1000] {
+            for workers in [1usize, 2, 3, 8] {
+                let chunk = chunk_len(grid, workers);
+                let n_chunks = grid.div_ceil(chunk);
+                assert!((n_chunks - 1) * chunk < grid);
+                assert!(n_chunks * chunk >= grid);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        for &grid in &[1usize, 5, 37, 256] {
+            let init: Vec<f64> = (0..grid).map(|k| k as f64 * 0.25).collect();
+            let serial_cfg = LaunchConfig::new(8, 1024);
+            let mut serial_data = init.clone();
+            let serial = launch(&dev(), &serial_cfg, &mut serial_data, body).unwrap();
+            for workers in [2usize, 3, 8] {
+                let cfg = serial_cfg.with_parallel(ParallelPolicy::threads(workers));
+                let mut data = init.clone();
+                let rep = launch(&dev(), &cfg, &mut data, body).unwrap();
+                assert_eq!(data, serial_data, "grid={grid} workers={workers}");
+                assert_eq!(rep.counters, serial.counters);
+                assert_eq!(rep.time.secs().to_bits(), serial.time.secs().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_block_does_not_poison_siblings() {
+        for policy in [ParallelPolicy::Serial, ParallelPolicy::threads(4)] {
+            let cfg = LaunchConfig::new(8, 0).with_parallel(policy);
+            let mut data: Vec<usize> = (0..64).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let _ = launch(&dev(), &cfg, &mut data, |p, _| {
+                    if *p == 17 {
+                        panic!("injected failure in block 17");
+                    }
+                    *p += 1000;
+                });
+            }));
+            let err = caught.expect_err("panic must propagate");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(msg.contains("block 17"), "policy {policy:?}: got {msg:?}");
+            // Every sibling completed despite the failure.
+            for (i, v) in data.iter().enumerate() {
+                if i == 17 {
+                    assert_eq!(*v, 17);
+                } else {
+                    assert_eq!(*v, i + 1000, "sibling {i} corrupted under {policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn earliest_panic_wins_deterministically() {
+        for policy in [ParallelPolicy::Serial, ParallelPolicy::threads(8)] {
+            let cfg = LaunchConfig::new(8, 0).with_parallel(policy);
+            let mut data: Vec<usize> = (0..128).collect();
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _ = launch(&dev(), &cfg, &mut data, |p, _| {
+                    if *p % 10 == 3 {
+                        panic!("boom at {}", *p);
+                    }
+                });
+            }))
+            .expect_err("panic must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap().to_string());
+            assert_eq!(msg, "boom at 3", "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn auto_policy_runs() {
+        let cfg = LaunchConfig::new(8, 256).with_parallel(ParallelPolicy::Auto);
+        let mut data = vec![1.0f64; 100];
+        let rep = launch(&dev(), &cfg, &mut data, body).unwrap();
+        assert_eq!(rep.grid, 100);
+        assert!(data.iter().all(|&v| v == 3.0));
+    }
+}

@@ -15,6 +15,10 @@
 //!   grid, with a real [`shared::SharedMem`] arena enforcing hardware
 //!   limits; kernels really compute on the batch data, so numerics are
 //!   bit-real.
+//! - [`executor::ParallelPolicy`] — host-side scheduling of block
+//!   programs: serial, a fixed work-stealing thread pool, or auto-sized.
+//!   Aggregates and modeled time are bitwise-identical across policies
+//!   (counters merge associatively; the reduction order is stable).
 //! - [`counters::KernelCounters`] — per-block counts of global traffic,
 //!   flops, shared-memory round trips, syncs and dependent cycles,
 //!   accumulated by the block program through [`block::BlockContext`].
@@ -61,6 +65,7 @@ pub mod block;
 pub mod counters;
 pub mod device;
 pub mod engine;
+pub mod executor;
 pub mod multi;
 pub mod occupancy;
 pub mod shared;
@@ -71,5 +76,6 @@ pub use block::BlockContext;
 pub use counters::KernelCounters;
 pub use device::{DeviceSpec, Vendor};
 pub use engine::{launch, LaunchConfig, LaunchError, LaunchReport};
+pub use executor::ParallelPolicy;
 pub use occupancy::Occupancy;
 pub use timing::SimTime;

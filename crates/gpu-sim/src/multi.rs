@@ -41,8 +41,10 @@ impl DeviceGroup {
     pub fn partition(&self, batch: usize) -> Vec<usize> {
         let weights: Vec<f64> = self.devices.iter().map(|d| d.mem_bw).collect();
         let total: f64 = weights.iter().sum();
-        let mut parts: Vec<usize> =
-            weights.iter().map(|w| ((w / total) * batch as f64).floor() as usize).collect();
+        let mut parts: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * batch as f64).floor() as usize)
+            .collect();
         let mut assigned: usize = parts.iter().sum();
         // Distribute the remainder round-robin.
         let len = parts.len();
@@ -131,7 +133,10 @@ mod tests {
             })
             .unwrap();
         let ratio = single.secs() / split.secs();
-        assert!((1.7..2.3).contains(&ratio), "expected ~2x from 2 GCDs, got {ratio:.2}x");
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "expected ~2x from 2 GCDs, got {ratio:.2}x"
+        );
         let _ = KernelCounters::default();
     }
 }

@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn register_pressure_limits_occupancy() {
         let dev = DeviceSpec::h100_pcie(); // 65536 regs/SM
-        // 64 threads x 256 regs = 16384 regs/block -> 4 blocks/SM.
+                                           // 64 threads x 256 regs = 16384 regs/block -> 4 blocks/SM.
         let occ = occupancy_with_regs(&dev, 64, 0, 256).unwrap();
         assert_eq!(occ.blocks_per_sm, 4);
         assert_eq!(occ.limiter, Limiter::Registers);

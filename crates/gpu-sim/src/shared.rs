@@ -18,7 +18,10 @@ pub struct SharedMem {
 impl SharedMem {
     /// Arena with capacity for `bytes` bytes (rounded down to whole `f64`s).
     pub fn with_bytes(bytes: usize) -> Self {
-        SharedMem { buf: vec![0.0; bytes / std::mem::size_of::<f64>()], used: 0 }
+        SharedMem {
+            buf: vec![0.0; bytes / std::mem::size_of::<f64>()],
+            used: 0,
+        }
     }
 
     /// Capacity in `f64` elements.
@@ -80,7 +83,10 @@ impl SharedMem {
         off2: usize,
         len2: usize,
     ) -> (&mut [f64], &mut [f64]) {
-        assert!(off1 + len1 <= off2 || off2 + len2 <= off1, "overlapping shared slices");
+        assert!(
+            off1 + len1 <= off2 || off2 + len2 <= off1,
+            "overlapping shared slices"
+        );
         if off1 < off2 {
             let (a, b) = self.buf.split_at_mut(off2);
             (&mut a[off1..off1 + len1], &mut b[..len2])

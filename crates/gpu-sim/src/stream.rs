@@ -16,6 +16,7 @@
 use crate::counters::KernelCounters;
 use crate::device::DeviceSpec;
 use crate::engine::LaunchConfig;
+use crate::executor::ParallelPolicy;
 use crate::occupancy::Occupancy;
 use crate::timing::{effective_bandwidth, SimTime};
 
@@ -38,6 +39,30 @@ pub fn simulate_streams(
     n_kernels: usize,
     n_streams: usize,
     per_block: &KernelCounters,
+) -> SimTime {
+    simulate_streams_with_policy(
+        dev,
+        cfg,
+        n_kernels,
+        n_streams,
+        per_block,
+        ParallelPolicy::Serial,
+    )
+}
+
+/// [`simulate_streams`] with the host's enqueue loop spread over the
+/// worker threads of `host_policy` (each host thread feeds its own
+/// stream subset, the standard multi-threaded-dispatch mitigation).
+/// Device-side time is unchanged; only the serialized-dispatch floor
+/// divides by the worker count. `ParallelPolicy::Serial` reproduces
+/// [`simulate_streams`] exactly.
+pub fn simulate_streams_with_policy(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    n_kernels: usize,
+    n_streams: usize,
+    per_block: &KernelCounters,
+    host_policy: ParallelPolicy,
 ) -> SimTime {
     assert!(n_streams > 0, "need at least one stream");
     if n_kernels == 0 {
@@ -73,8 +98,11 @@ pub fn simulate_streams(
     let rounds = n_kernels.div_ceil(n_streams);
     let device_time = rounds as f64 * kernel_time;
 
-    // Host timeline: serialized dispatches.
-    let host_time = n_kernels as f64 * DISPATCH_OVERHEAD_S;
+    // Host timeline: dispatches serialize per host thread; extra host
+    // threads (never more than one per stream) each drive a disjoint
+    // stream subset.
+    let host_threads = host_policy.workers().min(n_streams).max(1);
+    let host_time = n_kernels.div_ceil(host_threads) as f64 * DISPATCH_OVERHEAD_S;
 
     SimTime(device_time.max(host_time))
 }
@@ -114,7 +142,10 @@ mod tests {
 
         let streamed = simulate_streams(&dev, &cfg, batch, 16, &c);
         let speedup = streamed.secs() / batched.secs();
-        assert!(speedup > 4.0, "expected a large batch advantage, got {speedup:.2}x");
+        assert!(
+            speedup > 4.0,
+            "expected a large batch advantage, got {speedup:.2}x"
+        );
     }
 
     #[test]
@@ -138,6 +169,29 @@ mod tests {
             simulate_streams(&dev, &cfg, 0, 16, &KernelCounters::default()).secs(),
             0.0
         );
+    }
+
+    #[test]
+    fn parallel_host_dispatch_lifts_the_floor() {
+        let dev = DeviceSpec::h100_pcie();
+        let cfg = LaunchConfig::new(32, 1024);
+        let c = small_kernel_counters();
+        // Serial host: 200 dispatches serialize fully.
+        let serial = simulate_streams_with_policy(&dev, &cfg, 200, 16, &c, ParallelPolicy::Serial);
+        assert_eq!(
+            serial.secs(),
+            simulate_streams(&dev, &cfg, 200, 16, &c).secs()
+        );
+        // Four host threads: the dispatch floor divides by 4 (the device
+        // timeline may now dominate, so only the floor claim is exact).
+        let quad =
+            simulate_streams_with_policy(&dev, &cfg, 200, 16, &c, ParallelPolicy::threads(4));
+        assert!(quad.secs() <= serial.secs());
+        assert!(quad.secs() >= 50.0 * DISPATCH_OVERHEAD_S - 1e-12);
+        // Host threads are capped by the stream count.
+        let capped =
+            simulate_streams_with_policy(&dev, &cfg, 200, 2, &c, ParallelPolicy::threads(64));
+        assert!(capped.secs() >= 100.0 * DISPATCH_OVERHEAD_S - 1e-12);
     }
 
     #[test]

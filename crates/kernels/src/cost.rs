@@ -122,12 +122,7 @@ pub fn predict_window(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
 /// Predicted per-block counters of the blocked forward+backward solve
 /// (`gbtrs_batch_blocked`), single launch pair combined. `lanes` is
 /// `min(threads, device.lds_lanes)`.
-pub fn predict_gbtrs_blocked(
-    l: &BandLayout,
-    nb: usize,
-    nrhs: usize,
-    lanes: u32,
-) -> KernelCounters {
+pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32) -> KernelCounters {
     let t = lanes as usize;
     let n = l.n;
     let kv = l.kv();
@@ -211,7 +206,9 @@ pub fn predict_time(
     per_block: &KernelCounters,
 ) -> Option<gbatch_gpu_sim::SimTime> {
     let occ = gbatch_gpu_sim::engine::validate(dev, cfg).ok()?;
-    Some(gbatch_gpu_sim::timing::estimate(dev, &occ, batch, per_block))
+    Some(gbatch_gpu_sim::timing::estimate(
+        dev, &occ, batch, per_block,
+    ))
 }
 
 #[cfg(test)]
@@ -247,7 +244,10 @@ mod tests {
             &mut a,
             &mut piv,
             &mut info,
-            crate::fused::FusedParams { threads: 32 },
+            crate::fused::FusedParams {
+                threads: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
         let pred = predict_fused(&l, 32);
@@ -268,7 +268,11 @@ mod tests {
             &mut a,
             &mut piv,
             &mut info,
-            crate::window::WindowParams { nb, threads: 32 },
+            crate::window::WindowParams {
+                nb,
+                threads: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
         let pred = predict_window(&l, nb, 32);
@@ -292,12 +296,21 @@ mod tests {
                 &mut a,
                 &mut piv,
                 &mut info,
-                crate::fused::FusedParams { threads: 32 },
+                crate::fused::FusedParams {
+                    threads: 32,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let pred = predict_fused(&l, 32.min(dev.lds_lanes));
-            assert!(pred.smem_elems >= rep.counters.smem_elems, "prediction must upper-bound");
-            assert!(pred.smem_elems <= 3.0 * rep.counters.smem_elems, "prediction too loose");
+            assert!(
+                pred.smem_elems >= rep.counters.smem_elems,
+                "prediction must upper-bound"
+            );
+            assert!(
+                pred.smem_elems <= 3.0 * rep.counters.smem_elems,
+                "prediction too loose"
+            );
             assert!(pred.syncs >= rep.counters.syncs);
         }
     }
@@ -319,8 +332,14 @@ mod tests {
         let c1 = predict_window(&l1, 8, 32);
         let c2 = predict_window(&l2, 8, 32);
         let r = c2.smem_elems / c1.smem_elems;
-        assert!((r - 2.0).abs() < 0.15, "smem work should scale ~linearly, got {r:.2}");
+        assert!(
+            (r - 2.0).abs() < 0.15,
+            "smem work should scale ~linearly, got {r:.2}"
+        );
         let rt = c2.global_bytes() as f64 / c1.global_bytes() as f64;
-        assert!((rt - 2.0).abs() < 0.15, "traffic should scale ~linearly, got {rt:.2}");
+        assert!(
+            (rt - 2.0).abs() < 0.15,
+            "traffic should scale ~linearly, got {rt:.2}"
+        );
     }
 }

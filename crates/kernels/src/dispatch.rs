@@ -29,7 +29,7 @@ use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch_core::gbtrs::Transpose;
 use gbatch_core::layout::BandLayout;
 use gbatch_gpu_sim::engine::validate;
-use gbatch_gpu_sim::{DeviceSpec, LaunchConfig, LaunchError, SimTime};
+use gbatch_gpu_sim::{DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy, SimTime};
 
 /// Factorization algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,11 +84,20 @@ pub struct GbsvOptions {
     /// the batch's band shape exists (default false: the paper's published
     /// design does not include them).
     pub prefer_specialized: Option<bool>,
+    /// Host-side scheduling of the per-matrix blocks inside the simulated
+    /// engine (default: serial). Results are bitwise-identical for every
+    /// policy; `Some(_)` overrides the policy carried by explicit
+    /// `window`/`solve` parameter structs.
+    pub parallel: Option<ParallelPolicy>,
 }
 
 impl GbsvOptions {
     fn cutoff(&self) -> usize {
         self.fused_cutoff.unwrap_or(FUSED_GBSV_MAX_N)
+    }
+
+    fn parallel_policy(&self) -> ParallelPolicy {
+        self.parallel.unwrap_or_default()
     }
 }
 
@@ -112,11 +121,18 @@ pub fn dgbtrf_batch(
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
     let l = a.layout();
-    let fused_params = opts
+    let mut fused_params = opts
         .fused_threads
-        .map(|threads| FusedParams { threads })
+        .map(|threads| FusedParams {
+            threads,
+            ..Default::default()
+        })
         .unwrap_or_else(|| FusedParams::auto(dev, l.kl));
-    let window_params = opts.window.unwrap_or_else(|| WindowParams::auto(dev, l.kl));
+    let mut window_params = opts.window.unwrap_or_else(|| WindowParams::auto(dev, l.kl));
+    if let Some(p) = opts.parallel {
+        fused_params = fused_params.with_parallel(p);
+        window_params = window_params.with_parallel(p);
+    }
 
     // Opt-in: the specialized register-file kernels (paper §8.1).
     if opts.prefer_specialized.unwrap_or(false) {
@@ -124,7 +140,11 @@ pub fn dgbtrf_batch(
             crate::specialized::specialized_gbtrf(dev, a, piv, info, fused_params.threads)
         {
             let rep = res?;
-            return Ok(BatchReport { algo: ChosenAlgo::Specialized, time: rep.time, launches: 1 });
+            return Ok(BatchReport {
+                algo: ChosenAlgo::Specialized,
+                time: rep.time,
+                launches: 1,
+            });
         }
     }
 
@@ -161,15 +181,27 @@ pub fn dgbtrf_batch(
     match algo {
         ChosenAlgo::Fused => {
             let rep = gbtrf_batch_fused(dev, a, piv, info, fused_params)?;
-            Ok(BatchReport { algo, time: rep.time, launches: 1 })
+            Ok(BatchReport {
+                algo,
+                time: rep.time,
+                launches: 1,
+            })
         }
         ChosenAlgo::Window => {
             let rep = gbtrf_batch_window(dev, a, piv, info, window_params)?;
-            Ok(BatchReport { algo, time: rep.time, launches: 1 })
+            Ok(BatchReport {
+                algo,
+                time: rep.time,
+                launches: 1,
+            })
         }
         ChosenAlgo::Reference | ChosenAlgo::FusedGbsv | ChosenAlgo::Specialized => {
-            let rep = gbtrf_batch_reference(dev, a, piv, info)?;
-            Ok(BatchReport { algo: ChosenAlgo::Reference, time: rep.time, launches: rep.launches })
+            let rep = gbtrf_batch_reference(dev, a, piv, info, opts.parallel_policy())?;
+            Ok(BatchReport {
+                algo: ChosenAlgo::Reference,
+                time: rep.time,
+                launches: rep.launches,
+            })
         }
     }
 }
@@ -188,15 +220,22 @@ pub fn dgbtrs_batch(
     rhs: &mut RhsBatch,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
-    let params = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
+    let mut params = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
+    if let Some(p) = opts.parallel {
+        params = params.with_parallel(p);
+    }
     match trans {
         Transpose::No => match gbtrs_batch_blocked(dev, l, factors, piv, rhs, params) {
             Ok(rep) => {
                 let launches = 1 + rep.forward.is_some() as usize;
-                Ok(BatchReport { algo: ChosenAlgo::Window, time: rep.time(), launches })
+                Ok(BatchReport {
+                    algo: ChosenAlgo::Window,
+                    time: rep.time(),
+                    launches,
+                })
             }
             Err(LaunchError::SharedMemExceeded { .. }) => {
-                let rep = gbtrs_batch_cols(dev, l, factors, piv, rhs)?;
+                let rep = gbtrs_batch_cols(dev, l, factors, piv, rhs, opts.parallel_policy())?;
                 Ok(BatchReport {
                     algo: ChosenAlgo::Reference,
                     time: rep.time,
@@ -208,7 +247,11 @@ pub fn dgbtrs_batch(
         Transpose::Yes => {
             let rep = gbtrs_batch_blocked_trans(dev, l, factors, piv, rhs, params)?;
             let launches = 1 + rep.lt.is_some() as usize;
-            Ok(BatchReport { algo: ChosenAlgo::Window, time: rep.time(), launches })
+            Ok(BatchReport {
+                algo: ChosenAlgo::Window,
+                time: rep.time(),
+                launches,
+            })
         }
     }
 }
@@ -233,11 +276,18 @@ pub fn dgbsv_batch(
     let fused_ok = allow_fused
         && l.n <= opts.cutoff()
         && rhs.nrhs() == 1
-        && validate(dev, &LaunchConfig::new(threads, gbsv_smem_bytes(&l, rhs.nrhs()) as u32))
-            .is_ok();
+        && validate(
+            dev,
+            &LaunchConfig::new(threads, gbsv_smem_bytes(&l, rhs.nrhs()) as u32),
+        )
+        .is_ok();
     if fused_ok {
-        let rep = gbsv_batch_fused(dev, a, piv, rhs, info, threads)?;
-        return Ok(BatchReport { algo: ChosenAlgo::FusedGbsv, time: rep.time, launches: 1 });
+        let rep = gbsv_batch_fused(dev, a, piv, rhs, info, threads, opts.parallel_policy())?;
+        return Ok(BatchReport {
+            algo: ChosenAlgo::FusedGbsv,
+            time: rep.time,
+            launches: 1,
+        });
     }
     let f = dgbtrf_batch(dev, a, piv, info, opts)?;
     if !info.all_ok() {
@@ -262,7 +312,11 @@ pub fn dgbsv_batch(
         });
     }
     let s = dgbtrs_batch(dev, Transpose::No, &l, a.data(), piv, rhs, opts)?;
-    Ok(BatchReport { algo: f.algo, time: f.time + s.time, launches: f.launches + s.launches })
+    Ok(BatchReport {
+        algo: f.algo,
+        time: f.time + s.time,
+        launches: f.launches + s.launches,
+    })
 }
 
 /// Solve pass that tolerates singular factorizations by replacing their
@@ -314,13 +368,20 @@ mod tests {
             }
         })
         .unwrap();
-        let b =
-            RhsBatch::from_fn(batch, n, nrhs, |id, i, c| ((id + c * 3 + i) as f64 * 0.41).sin())
-                .unwrap();
+        let b = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            ((id + c * 3 + i) as f64 * 0.41).sin()
+        })
+        .unwrap();
         (a, b)
     }
 
-    fn solve_and_check(n: usize, kl: usize, ku: usize, nrhs: usize, opts: &GbsvOptions) -> ChosenAlgo {
+    fn solve_and_check(
+        n: usize,
+        kl: usize,
+        ku: usize,
+        nrhs: usize,
+        opts: &GbsvOptions,
+    ) -> ChosenAlgo {
         let dev = DeviceSpec::h100_pcie();
         let batch = 5;
         let (mut a, mut b) = random_system(batch, n, kl, ku, nrhs);
@@ -335,7 +396,14 @@ mod tests {
                 let x = &b.block(id)[c * n..c * n + n];
                 let rhs0 = &orig_b.block(id)[c * n..c * n + n];
                 let berr = backward_error(orig_a.matrix(id), x, rhs0);
-                assert!(berr < 1e-11, "n={n} kl={kl} ku={ku} id={id} c={c}: berr {berr:.2e}");
+                // Strict on purpose: these diagonally-dominant systems are
+                // well-conditioned and the kernels are bitwise-equal to
+                // sequential gbtf2/gbtrs, so 1e-11 has margin; loosen only
+                // if the test matrices change.
+                assert!(
+                    berr < 1e-11,
+                    "n={n} kl={kl} ku={ku} id={id} c={c}: berr {berr:.2e}"
+                );
             }
         }
         rep.algo
@@ -366,7 +434,11 @@ mod tests {
             (FactorAlgo::Window, ChosenAlgo::Window),
             (FactorAlgo::Reference, ChosenAlgo::Reference),
         ] {
-            let opts = GbsvOptions { algo: force, allow_fused_gbsv: Some(false), ..Default::default() };
+            let opts = GbsvOptions {
+                algo: force,
+                allow_fused_gbsv: Some(false),
+                ..Default::default()
+            };
             let algo = solve_and_check(48, 2, 3, 1, &opts);
             assert_eq!(algo, expect);
         }
@@ -382,7 +454,10 @@ mod tests {
             let mut a = a0.clone();
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            let opts = GbsvOptions { algo: force, ..Default::default() };
+            let opts = GbsvOptions {
+                algo: force,
+                ..Default::default()
+            };
             dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
             results.push((a, piv));
         }
@@ -449,7 +524,15 @@ mod tests {
         let b_orig = b.clone();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default()).unwrap();
+        dgbsv_batch(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut b,
+            &mut info,
+            &GbsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(info.get(1), 1);
         assert_eq!(b.block(1), b_orig.block(1), "failed system's RHS preserved");
         assert_eq!(info.get(0), 0);

@@ -12,7 +12,7 @@
 use crate::step::{smem_bytes_for_cols, smem_column_step, smem_fillin_prologue, SmemBand};
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch};
 use gbatch_core::gbtf2::ColumnStepState;
-use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport};
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy};
 
 /// Tunable parameters of the fused kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +20,18 @@ pub struct FusedParams {
     /// Threads per block (per matrix). Minimum `kl + 1` (the paper's
     /// constraint: the longest column has `kl + 1` pivot candidates).
     pub threads: u32,
+    /// Host scheduling of the per-matrix blocks (results are
+    /// bitwise-identical for every policy).
+    pub parallel: ParallelPolicy,
+}
+
+impl Default for FusedParams {
+    fn default() -> Self {
+        FusedParams {
+            threads: 32,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
 }
 
 impl FusedParams {
@@ -27,7 +39,16 @@ impl FusedParams {
     pub fn auto(dev: &DeviceSpec, kl: usize) -> Self {
         let min = (kl + 1) as u32;
         let warp = dev.warp_size;
-        FusedParams { threads: min.div_ceil(warp) * warp }
+        FusedParams {
+            threads: min.div_ceil(warp) * warp,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
+
+    /// Builder: set the host scheduling policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 }
 
@@ -53,7 +74,8 @@ pub fn gbtrf_batch_fused(
     assert_eq!(piv.batch(), a.batch(), "pivot batch mismatch");
     assert_eq!(info.len(), a.batch(), "info batch mismatch");
     let smem = fused_smem_bytes(l.ldab, l.n);
-    let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32);
+    let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
+        .with_parallel(params.parallel);
 
     struct Problem<'a> {
         ab: &'a mut [f64],
@@ -80,7 +102,12 @@ pub fn gbtrf_batch_fused(
         // recording costs; take the buffer out, factor, and put it back.
         let mut local = ctx.smem.slice(off, l.len()).to_vec();
         {
-            let mut w = SmemBand { data: &mut local, ldab: l.ldab, col0: 0, width: l.n };
+            let mut w = SmemBand {
+                data: &mut local,
+                ldab: l.ldab,
+                col0: 0,
+                width: l.n,
+            };
             let mut st = ColumnStepState::default();
             smem_fillin_prologue(&l, &mut w, ctx);
             for j in 0..l.m.min(l.n) {
@@ -135,11 +162,21 @@ mod tests {
 
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            let rep = gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl))
-                .unwrap();
+            let rep = gbtrf_batch_fused(
+                &dev,
+                &mut a,
+                &mut piv,
+                &mut info,
+                FusedParams::auto(&dev, kl),
+            )
+            .unwrap();
             assert_eq!(rep.grid, batch);
             for id in 0..batch {
-                assert_eq!(a.matrix(id).data, &expected[id].0[..], "factors (n={n},kl={kl},ku={ku})");
+                assert_eq!(
+                    a.matrix(id).data,
+                    &expected[id].0[..],
+                    "factors (n={n},kl={kl},ku={ku})"
+                );
                 assert_eq!(piv.pivots(id), &expected[id].1[..], "pivots");
                 assert_eq!(info.get(id), expected[id].2, "info");
             }
@@ -174,9 +211,14 @@ mod tests {
             let mut a = random_batch(batch, n, kl, ku);
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            let rep =
-                gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl))
-                    .unwrap();
+            let rep = gbtrf_batch_fused(
+                &dev,
+                &mut a,
+                &mut piv,
+                &mut info,
+                FusedParams::auto(&dev, kl),
+            )
+            .unwrap();
             times.push((n, rep.time.secs(), rep.occupancy.blocks_per_sm));
         }
         let (n1, t1, o1) = times[0];
@@ -213,7 +255,14 @@ mod tests {
         }
         let mut piv = PivotBatch::new(3, n, n);
         let mut info = InfoArray::new(3);
-        gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, 1)).unwrap();
+        gbtrf_batch_fused(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut info,
+            FusedParams::auto(&dev, 1),
+        )
+        .unwrap();
         assert_eq!(info.get(0), 0);
         assert_eq!(info.get(1), 1);
         assert_eq!(info.get(2), 0);

@@ -17,7 +17,7 @@ use crate::step::{smem_bytes_for_cols, smem_column_step, smem_fillin_prologue, S
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch_core::gbtf2::ColumnStepState;
 use gbatch_core::layout::BandLayout;
-use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport};
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy};
 
 /// System-order cutoff below which the dispatch layer uses this kernel
 /// ("we enable the fused kernel for systems of order 64 or less, and for a
@@ -33,7 +33,8 @@ pub fn gbsv_smem_bytes(l: &BandLayout, nrhs: usize) -> usize {
 /// returned, like `DGBSV`) and overwrites `rhs` with the solutions.
 /// Matrices with a zero pivot get their `info` code set and their RHS is
 /// left in the partially-updated state (the solve is not completed), like
-/// LAPACK.
+/// LAPACK. `parallel` selects the host-side scheduling of the per-matrix
+/// blocks (results are bitwise-identical for every policy).
 pub fn gbsv_batch_fused(
     dev: &DeviceSpec,
     a: &mut BandBatch,
@@ -41,6 +42,7 @@ pub fn gbsv_batch_fused(
     rhs: &mut RhsBatch,
     info: &mut InfoArray,
     threads: u32,
+    parallel: ParallelPolicy,
 ) -> Result<LaunchReport, LaunchError> {
     let l = a.layout();
     assert_eq!(l.m, l.n, "gbsv requires square systems");
@@ -56,7 +58,7 @@ pub fn gbsv_batch_fused(
     let kl = l.kl;
 
     let smem = gbsv_smem_bytes(&l, nrhs);
-    let cfg = LaunchConfig::new(threads.max((kl + 1) as u32), smem as u32);
+    let cfg = LaunchConfig::new(threads.max((kl + 1) as u32), smem as u32).with_parallel(parallel);
 
     struct Problem<'a> {
         ab: &'a mut [f64],
@@ -90,7 +92,12 @@ pub fn gbsv_batch_fused(
         // Factorize, forward-solving B on the fly.
         let mut st = ColumnStepState::default();
         {
-            let mut w = SmemBand { data: &mut band, ldab: l.ldab, col0: 0, width: n };
+            let mut w = SmemBand {
+                data: &mut band,
+                ldab: l.ldab,
+                col0: 0,
+                width: n,
+            };
             smem_fillin_prologue(&l, &mut w, ctx);
             for j in 0..n {
                 smem_column_step(&l, &mut w, p.piv, j, &mut st, ctx);
@@ -182,6 +189,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn matches_separate_factor_and_solve_bitwise() {
         let dev = DeviceSpec::h100_pcie();
         for (n, kl, ku) in [(8, 2, 3), (32, 2, 3), (64, 10, 7), (16, 1, 0), (16, 0, 2)] {
@@ -198,11 +206,28 @@ mod tests {
                 .collect();
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info, 32).unwrap();
+            gbsv_batch_fused(
+                &dev,
+                &mut a,
+                &mut piv,
+                &mut b,
+                &mut info,
+                32,
+                ParallelPolicy::Serial,
+            )
+            .unwrap();
             for id in 0..batch {
-                assert_eq!(a.matrix(id).data, &expected[id].0[..], "factors n={n} kl={kl} ku={ku}");
+                assert_eq!(
+                    a.matrix(id).data,
+                    &expected[id].0[..],
+                    "factors n={n} kl={kl} ku={ku}"
+                );
                 assert_eq!(piv.pivots(id), &expected[id].1[..]);
-                assert_eq!(b.block(id), &expected[id].2[..], "solution n={n} kl={kl} ku={ku}");
+                assert_eq!(
+                    b.block(id),
+                    &expected[id].2[..],
+                    "solution n={n} kl={kl} ku={ku}"
+                );
                 assert_eq!(info.get(id), expected[id].3);
             }
         }
@@ -228,7 +253,16 @@ mod tests {
             .collect();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info, 32).unwrap();
+        gbsv_batch_fused(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut b,
+            &mut info,
+            32,
+            ParallelPolicy::Serial,
+        )
+        .unwrap();
         assert!(info.all_ok());
         for id in 0..batch {
             assert_eq!(b.block(id), &expected[id][..]);
@@ -247,7 +281,16 @@ mod tests {
         }
         let mut piv = PivotBatch::new(2, n, n);
         let mut info = InfoArray::new(2);
-        gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info, 32).unwrap();
+        gbsv_batch_fused(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut b,
+            &mut info,
+            32,
+            ParallelPolicy::Serial,
+        )
+        .unwrap();
         assert_eq!(info.get(0), 1);
         assert_eq!(info.get(1), 0);
     }

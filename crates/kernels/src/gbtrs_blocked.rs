@@ -16,7 +16,9 @@
 
 use gbatch_core::batch::{PivotBatch, RhsBatch};
 use gbatch_core::layout::BandLayout;
-use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, SimTime};
+use gbatch_gpu_sim::{
+    launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy, SimTime,
+};
 
 /// Tunables for the blocked solve kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,13 +27,36 @@ pub struct SolveParams {
     pub nb: usize,
     /// Threads per block (per matrix).
     pub threads: u32,
+    /// Host scheduling of the per-matrix blocks (results are
+    /// bitwise-identical for every policy).
+    pub parallel: ParallelPolicy,
+}
+
+impl Default for SolveParams {
+    fn default() -> Self {
+        SolveParams {
+            nb: 8,
+            threads: 32,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
 }
 
 impl SolveParams {
     /// Defaults mirroring [`crate::window::WindowParams::auto`].
     pub fn auto(dev: &DeviceSpec, kl: usize) -> Self {
         let min = (kl + 1) as u32;
-        SolveParams { nb: 8, threads: min.div_ceil(dev.warp_size) * dev.warp_size }
+        SolveParams {
+            nb: 8,
+            threads: min.div_ceil(dev.warp_size) * dev.warp_size,
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set the host scheduling policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 }
 
@@ -57,7 +82,11 @@ pub struct BlockedSolveReport {
 impl BlockedSolveReport {
     /// Total modeled time.
     pub fn time(&self) -> SimTime {
-        let f = self.forward.as_ref().map(|r| r.time).unwrap_or(SimTime::ZERO);
+        let f = self
+            .forward
+            .as_ref()
+            .map(|r| r.time)
+            .unwrap_or(SimTime::ZERO);
         f + self.backward.time
     }
 }
@@ -93,10 +122,14 @@ pub fn gbtrs_batch_blocked(
 
     // ---------------- forward ----------------
     let forward = if kl > 0 && n > 1 {
-        let cfg = LaunchConfig::new(threads, forward_smem_bytes(l, nb, nrhs) as u32);
+        let cfg = LaunchConfig::new(threads, forward_smem_bytes(l, nb, nrhs) as u32)
+            .with_parallel(params.parallel);
         let cache_rows = (nb + kl).min(n);
-        let mut probs: Vec<Prob<'_>> =
-            rhs.blocks_mut().enumerate().map(|(id, b)| Prob { id, b }).collect();
+        let mut probs: Vec<Prob<'_>> = rhs
+            .blocks_mut()
+            .enumerate()
+            .map(|(id, b)| Prob { id, b })
+            .collect();
         let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
             let ab = &factors[p.id * stride..(p.id + 1) * stride];
             let ipiv = piv.pivots(p.id);
@@ -186,10 +219,14 @@ pub fn gbtrs_batch_blocked(
     };
 
     // ---------------- backward ----------------
-    let cfg = LaunchConfig::new(threads, backward_smem_bytes(l, nb, nrhs) as u32);
+    let cfg = LaunchConfig::new(threads, backward_smem_bytes(l, nb, nrhs) as u32)
+        .with_parallel(params.parallel);
     let cache_rows = (nb + kv).min(n);
-    let mut probs: Vec<Prob<'_>> =
-        rhs.blocks_mut().enumerate().map(|(id, b)| Prob { id, b }).collect();
+    let mut probs: Vec<Prob<'_>> = rhs
+        .blocks_mut()
+        .enumerate()
+        .map(|(id, b)| Prob { id, b })
+        .collect();
     let backward = launch(dev, &cfg, &mut probs, |p, ctx| {
         let ab = &factors[p.id * stride..(p.id + 1) * stride];
         let off = ctx.smem.alloc(cache_rows * nrhs);
@@ -330,9 +367,17 @@ mod tests {
                 nrhs,
             );
         }
-        let params = SolveParams { nb, threads: 32 };
+        let params = SolveParams {
+            nb,
+            threads: 32,
+            ..Default::default()
+        };
         gbtrs_batch_blocked(&dev, &l, fac.data(), &piv, &mut rhs, params).unwrap();
-        assert_eq!(rhs.data(), expect.data(), "n={n} kl={kl} ku={ku} nrhs={nrhs} nb={nb}");
+        assert_eq!(
+            rhs.data(),
+            expect.data(),
+            "n={n} kl={kl} ku={ku} nrhs={nrhs} nb={nb}"
+        );
     }
 
     #[test]
@@ -361,7 +406,11 @@ mod tests {
             fac.data(),
             &piv,
             &mut rhs,
-            SolveParams { nb: 4, threads: 32 },
+            SolveParams {
+                nb: 4,
+                threads: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(rep.forward.is_none());
@@ -392,10 +441,22 @@ mod tests {
             fac.data(),
             &piv,
             &mut r1,
-            SolveParams { nb: 8, threads: 32 },
+            SolveParams {
+                nb: 8,
+                threads: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let cols = crate::gbtrs_cols::gbtrs_batch_cols(&dev, &l, fac.data(), &piv, &mut r2).unwrap();
+        let cols = crate::gbtrs_cols::gbtrs_batch_cols(
+            &dev,
+            &l,
+            fac.data(),
+            &piv,
+            &mut r2,
+            ParallelPolicy::Serial,
+        )
+        .unwrap();
         assert_eq!(r1.data(), r2.data(), "both designs agree numerically");
         assert!(
             cols.time.secs() > 3.0 * blocked.time().secs(),

@@ -10,7 +10,7 @@
 
 use gbatch_core::batch::{PivotBatch, RhsBatch};
 use gbatch_core::layout::BandLayout;
-use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, SimTime};
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy, SimTime};
 
 /// Result of the multi-launch column-wise solve.
 #[derive(Debug, Clone)]
@@ -23,13 +23,16 @@ pub struct ColsReport {
 
 /// Batched column-wise `GBTRS` (no-transpose): `factors` is the batch of
 /// factored band arrays (from any of the factorization kernels), `rhs` is
-/// overwritten with the solutions.
+/// overwritten with the solutions. `parallel` selects the host-side
+/// scheduling of the per-matrix blocks inside every launch (results are
+/// bitwise-identical for every policy).
 pub fn gbtrs_batch_cols(
     dev: &DeviceSpec,
     l: &BandLayout,
     factors: &[f64],
     piv: &PivotBatch,
     rhs: &mut RhsBatch,
+    parallel: ParallelPolicy,
 ) -> Result<ColsReport, LaunchError> {
     let n = l.n;
     assert_eq!(l.m, n, "gbtrs requires square factors");
@@ -41,7 +44,7 @@ pub fn gbtrs_batch_cols(
     let ldb = rhs.ldb();
     let kv = l.kv();
     let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
-    let cfg = LaunchConfig::new(threads, 0);
+    let cfg = LaunchConfig::new(threads, 0).with_parallel(parallel);
 
     let mut time = SimTime::ZERO;
     let mut launches = 0usize;
@@ -51,8 +54,7 @@ pub fn gbtrs_batch_cols(
         for j in 0..n.saturating_sub(1) {
             // Launch 1: row swap on the RHS block.
             {
-                let mut probs: Vec<(usize, &mut [f64])> =
-                    rhs.blocks_mut().enumerate().collect();
+                let mut probs: Vec<(usize, &mut [f64])> = rhs.blocks_mut().enumerate().collect();
                 let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
                     let p = piv.pivots(*id)[j] as usize;
                     if p != j {
@@ -70,8 +72,7 @@ pub fn gbtrs_batch_cols(
             // Launch 2: rank-1 update with the stored multipliers.
             {
                 let lm = l.kl.min(n - 1 - j);
-                let mut probs: Vec<(usize, &mut [f64])> =
-                    rhs.blocks_mut().enumerate().collect();
+                let mut probs: Vec<(usize, &mut [f64])> = rhs.blocks_mut().enumerate().collect();
                 let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
                     let ab = &factors[*id * stride..(*id + 1) * stride];
                     let base = l.idx(kv, j);
@@ -182,8 +183,12 @@ mod tests {
                     nrhs,
                 );
             }
-            gbtrs_batch_cols(&dev, &l, fac.data(), &piv, &mut rhs).unwrap();
-            assert_eq!(rhs.data(), expect.data(), "n={n} kl={kl} ku={ku} nrhs={nrhs}");
+            gbtrs_batch_cols(&dev, &l, fac.data(), &piv, &mut rhs, ParallelPolicy::Serial).unwrap();
+            assert_eq!(
+                rhs.data(),
+                expect.data(),
+                "n={n} kl={kl} ku={ku} nrhs={nrhs}"
+            );
         }
     }
 
@@ -193,7 +198,15 @@ mod tests {
         let (n, kl, ku) = (16usize, 2usize, 3usize);
         let (_o, fac, piv) = factored_batch(2, n, kl, ku);
         let mut rhs = RhsBatch::zeros(2, n, 1).unwrap();
-        let rep = gbtrs_batch_cols(&dev, &fac.layout(), fac.data(), &piv, &mut rhs).unwrap();
+        let rep = gbtrs_batch_cols(
+            &dev,
+            &fac.layout(),
+            fac.data(),
+            &piv,
+            &mut rhs,
+            ParallelPolicy::Serial,
+        )
+        .unwrap();
         assert_eq!(rep.launches, 2 * (n - 1) + n);
     }
 }

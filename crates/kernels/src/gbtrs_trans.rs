@@ -80,10 +80,14 @@ pub fn gbtrs_batch_blocked_trans(
 
     // ---------------- U^T sweep (ascending) ----------------
     let ut = {
-        let cfg = LaunchConfig::new(threads, ut_smem_bytes(l, nb, nrhs) as u32);
+        let cfg = LaunchConfig::new(threads, ut_smem_bytes(l, nb, nrhs) as u32)
+            .with_parallel(params.parallel);
         let cache_rows = (nb + kv).min(n);
-        let mut probs: Vec<Prob<'_>> =
-            rhs.blocks_mut().enumerate().map(|(id, b)| Prob { id, b }).collect();
+        let mut probs: Vec<Prob<'_>> = rhs
+            .blocks_mut()
+            .enumerate()
+            .map(|(id, b)| Prob { id, b })
+            .collect();
         launch(dev, &cfg, &mut probs, |p, ctx| {
             let ab = &factors[p.id * stride..(p.id + 1) * stride];
             let off = ctx.smem.alloc(cache_rows * nrhs);
@@ -162,10 +166,14 @@ pub fn gbtrs_batch_blocked_trans(
 
     // ---------------- L^T sweep (descending) ----------------
     let lt = if kl > 0 && n > 1 {
-        let cfg = LaunchConfig::new(threads, lt_smem_bytes(l, nb, nrhs) as u32);
+        let cfg = LaunchConfig::new(threads, lt_smem_bytes(l, nb, nrhs) as u32)
+            .with_parallel(params.parallel);
         let cache_rows = (nb + kl).min(n);
-        let mut probs: Vec<Prob<'_>> =
-            rhs.blocks_mut().enumerate().map(|(id, b)| Prob { id, b }).collect();
+        let mut probs: Vec<Prob<'_>> = rhs
+            .blocks_mut()
+            .enumerate()
+            .map(|(id, b)| Prob { id, b })
+            .collect();
         let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
             let ab = &factors[p.id * stride..(p.id + 1) * stride];
             let ipiv = piv.pivots(p.id);
@@ -337,9 +345,17 @@ mod tests {
                 nrhs,
             );
         }
-        let params = SolveParams { nb, threads: 32 };
+        let params = SolveParams {
+            nb,
+            threads: 32,
+            ..Default::default()
+        };
         gbtrs_batch_blocked_trans(&dev, &l, fac.data(), &piv, &mut rhs, params).unwrap();
-        assert_eq!(rhs.data(), expect.data(), "n={n} kl={kl} ku={ku} nrhs={nrhs} nb={nb}");
+        assert_eq!(
+            rhs.data(),
+            expect.data(),
+            "n={n} kl={kl} ku={ku} nrhs={nrhs} nb={nb}"
+        );
     }
 
     #[test]
@@ -400,7 +416,11 @@ mod tests {
             fac.data(),
             &piv,
             &mut rhs,
-            SolveParams { nb: 8, threads: 32 },
+            SolveParams {
+                nb: 8,
+                threads: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
         for id in 0..2 {

@@ -60,7 +60,11 @@ pub fn gemm_batch(
     let mut probs: Vec<Prob<'_>> = c
         .chunks_mut(len)
         .enumerate()
-        .map(|(id, cc)| Prob { a: &a[id * len..(id + 1) * len], b: &b[id * len..(id + 1) * len], c: cc })
+        .map(|(id, cc)| Prob {
+            a: &a[id * len..(id + 1) * len],
+            b: &b[id * len..(id + 1) * len],
+            c: cc,
+        })
         .collect();
 
     launch(dev, &cfg, &mut probs, |p, ctx| {
@@ -109,10 +113,17 @@ mod tests {
         for id in 0..batch {
             let mut expect = vec![0.0; n * n];
             dense::gemm(
-                n, n, n, 1.0,
-                &a[id * n * n..(id + 1) * n * n], n,
-                &b[id * n * n..(id + 1) * n * n], n,
-                0.0, &mut expect, n,
+                n,
+                n,
+                n,
+                1.0,
+                &a[id * n * n..(id + 1) * n * n],
+                n,
+                &b[id * n * n..(id + 1) * n * n],
+                n,
+                0.0,
+                &mut expect,
+                n,
             );
             assert_eq!(&c[id * n * n..(id + 1) * n * n], &expect[..]);
         }
@@ -137,7 +148,11 @@ mod tests {
             let streamed = simulate_streams(&dev, &cfg, batch, 16, &per_block);
             gaps.push(streamed.secs() / batched.secs());
         }
-        assert!(gaps[0] > 5.0, "small-size gap should be large, got {:.1}x", gaps[0]);
+        assert!(
+            gaps[0] > 5.0,
+            "small-size gap should be large, got {:.1}x",
+            gaps[0]
+        );
         assert!(gaps[1] < gaps[0], "gap must shrink with size: {gaps:?}");
     }
 

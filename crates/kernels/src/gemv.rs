@@ -48,7 +48,11 @@ pub fn gemv_batch(
     let mut probs: Vec<Prob<'_>> = y
         .chunks_mut(n)
         .enumerate()
-        .map(|(id, yy)| Prob { a: &a[id * len..(id + 1) * len], x: &x[id * n..(id + 1) * n], y: yy })
+        .map(|(id, yy)| Prob {
+            a: &a[id * len..(id + 1) * len],
+            x: &x[id * n..(id + 1) * n],
+            y: yy,
+        })
         .collect();
 
     launch(dev, &cfg, &mut probs, |p, ctx| {
@@ -111,7 +115,16 @@ mod tests {
         gemv_batch(&dev, n, &a, &x, &mut y, 64).unwrap();
         for id in 0..batch {
             let mut expect = vec![0.0; n];
-            blas2::gemv(n, n, 1.0, &a[id * n * n..(id + 1) * n * n], n, &x[id * n..(id + 1) * n], 0.0, &mut expect);
+            blas2::gemv(
+                n,
+                n,
+                1.0,
+                &a[id * n * n..(id + 1) * n * n],
+                n,
+                &x[id * n..(id + 1) * n],
+                0.0,
+                &mut expect,
+            );
             assert_eq!(&y[id * n..(id + 1) * n], &expect[..]);
         }
     }
@@ -123,10 +136,19 @@ mod tests {
         let bw_h = measure_sustained_bandwidth(&h, 16384).unwrap();
         let bw_m = measure_sustained_bandwidth(&m, 16384).unwrap();
         // Large gemv saturates: within 10% of the descriptor numbers.
-        assert!((bw_h / 1.92e12 - 1.0).abs() < 0.1, "H100 sustained {bw_h:.3e}");
-        assert!((bw_m / 1.31e12 - 1.0).abs() < 0.1, "MI250x sustained {bw_m:.3e}");
+        assert!(
+            (bw_h / 1.92e12 - 1.0).abs() < 0.1,
+            "H100 sustained {bw_h:.3e}"
+        );
+        assert!(
+            (bw_m / 1.31e12 - 1.0).abs() < 0.1,
+            "MI250x sustained {bw_m:.3e}"
+        );
         let ratio = bw_h / bw_m;
-        assert!((ratio - 1.47).abs() < 0.1, "paper quotes 1.47x, got {ratio:.2}x");
+        assert!(
+            (ratio - 1.47).abs() < 0.1,
+            "paper quotes 1.47x, got {ratio:.2}x"
+        );
     }
 
     #[test]

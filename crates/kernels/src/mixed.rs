@@ -49,13 +49,20 @@ pub fn msgbsv_batch_fused(
     let l = a.layout();
     let n = l.n;
     assert_eq!(l.m, n);
-    assert_eq!(rhs.nrhs(), 1, "mixed kernel currently targets single-RHS batches");
+    assert_eq!(
+        rhs.nrhs(),
+        1,
+        "mixed kernel currently targets single-RHS batches"
+    );
     let batch = a.batch();
     assert_eq!(piv.batch(), batch);
     assert_eq!(rhs.batch(), batch);
     assert_eq!(info.len(), batch);
 
-    let cfg = LaunchConfig::new(threads.max((l.kl + 1) as u32), mixed_smem_bytes(&l, 1) as u32);
+    let cfg = LaunchConfig::new(
+        threads.max((l.kl + 1) as u32),
+        mixed_smem_bytes(&l, 1) as u32,
+    );
     let tol = (n as f64).sqrt() * f64::EPSILON;
 
     struct Prob<'a> {
@@ -94,7 +101,10 @@ pub fn msgbsv_batch_fused(
         // Cost: same column structure as the fused kernel but f32 LDS
         // traffic (half the bytes per element -> half the element groups).
         let pred = crate::cost::predict_fused(&l, ctx.threads.min(ctx.lds_lanes));
-        ctx.smem_work((pred.smem_elems * ctx.threads.min(ctx.lds_lanes) as f64 / 2.0) as usize, 0);
+        ctx.smem_work(
+            (pred.smem_elems * ctx.threads.min(ctx.lds_lanes) as f64 / 2.0) as usize,
+            0,
+        );
         for _ in 0..(2 * n) {
             ctx.sync();
         }
@@ -181,9 +191,14 @@ mod tests {
 
     fn system(batch: usize, n: usize, kl: usize, ku: usize) -> (BandBatch, RhsBatch) {
         let mut rng = StdRng::seed_from_u64(99);
-        let a = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::DiagonallyDominant {
-            margin: 1.0,
-        });
+        let a = random_band_batch(
+            &mut rng,
+            batch,
+            n,
+            kl,
+            ku,
+            BandDistribution::DiagonallyDominant { margin: 1.0 },
+        );
         let b = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.29).sin()).unwrap();
         (a, b)
     }
@@ -198,7 +213,11 @@ mod tests {
         let mut info = InfoArray::new(batch);
         let (_, status) = msgbsv_batch_fused(&dev, &a, &mut piv, &mut b, &mut info, 32).unwrap();
         for id in 0..batch {
-            assert!(matches!(status[id], MixedStatus::Converged(_)), "system {id}: {:?}", status[id]);
+            assert!(
+                matches!(status[id], MixedStatus::Converged(_)),
+                "system {id}: {:?}",
+                status[id]
+            );
             let berr = backward_error(a.matrix(id), b.block(id), b0.block(id));
             assert!(berr < 1e-13, "system {id}: berr {berr:.2e}");
         }
@@ -222,7 +241,9 @@ mod tests {
         let n = 512;
         let l = gbatch_core::layout::BandLayout::factor(n, n, 2, 3).unwrap();
         let occ64 = gbatch_gpu_sim::occupancy::occupancy(
-            &dev, 64, crate::gbsv_fused::gbsv_smem_bytes(&l, 1) as u32,
+            &dev,
+            64,
+            crate::gbsv_fused::gbsv_smem_bytes(&l, 1) as u32,
         )
         .unwrap();
         let occ32 =

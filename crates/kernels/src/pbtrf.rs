@@ -38,7 +38,11 @@ impl PbBatch {
         for (id, chunk) in data.chunks_mut(layout.len()).enumerate() {
             fill(id, &layout, chunk);
         }
-        PbBatch { layout, batch, data }
+        PbBatch {
+            layout,
+            batch,
+            data,
+        }
     }
 
     /// Shared layout.
@@ -128,7 +132,10 @@ pub fn pbtrf_batch_fused(
 ) -> Result<LaunchReport, LaunchError> {
     let l = a.layout();
     assert_eq!(info.len(), a.batch());
-    let cfg = LaunchConfig::new(threads.max((l.kd + 1) as u32), pb_fused_smem_bytes(&l) as u32);
+    let cfg = LaunchConfig::new(
+        threads.max((l.kd + 1) as u32),
+        pb_fused_smem_bytes(&l) as u32,
+    );
     struct Prob<'a> {
         ab: &'a mut [f64],
         info: &'a mut i32,
@@ -173,7 +180,10 @@ pub fn pbtrf_batch_window(
     assert_eq!(info.len(), a.batch());
     let (n, kd, ldab) = (l.n, l.kd, l.ldab);
     let wcols = (nb + kd).min(n);
-    let cfg = LaunchConfig::new(threads.max((kd + 1) as u32), pb_window_smem_bytes(&l, nb) as u32);
+    let cfg = LaunchConfig::new(
+        threads.max((kd + 1) as u32),
+        pb_window_smem_bytes(&l, nb) as u32,
+    );
     struct Prob<'a> {
         ab: &'a mut [f64],
         info: &'a mut i32,
@@ -319,7 +329,11 @@ mod tests {
                 assert_eq!(i1.get(id), expected[id].1);
                 assert_eq!(i2.get(id), expected[id].1);
                 assert_eq!(a1.matrix(id), &expected[id].0[..], "fused n={n} kd={kd}");
-                assert_eq!(a2.matrix(id), &expected[id].0[..], "window n={n} kd={kd} nb={nb}");
+                assert_eq!(
+                    a2.matrix(id),
+                    &expected[id].0[..],
+                    "window n={n} kd={kd} nb={nb}"
+                );
             }
         }
     }
@@ -384,7 +398,11 @@ mod tests {
             &mut g,
             &mut piv,
             &mut ginfo,
-            crate::window::WindowParams { nb: 8, threads: 32 },
+            crate::window::WindowParams {
+                nb: 8,
+                threads: 32,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(

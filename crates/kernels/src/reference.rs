@@ -21,7 +21,7 @@ use gbatch_core::gbtf2::{
     ColumnStepState,
 };
 use gbatch_core::layout::update_bound;
-use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError};
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy};
 
 /// Aggregate result of the multi-launch reference factorization.
 #[derive(Debug, Clone)]
@@ -33,18 +33,22 @@ pub struct ReferenceReport {
 }
 
 /// Batched reference factorization (numerics identical to `gbtf2`).
+///
+/// `parallel` selects the host-side scheduling of the per-matrix blocks
+/// inside every launch; results are bitwise-identical for every policy.
 pub fn gbtrf_batch_reference(
     dev: &DeviceSpec,
     a: &mut BandBatch,
     piv: &mut PivotBatch,
     info: &mut InfoArray,
+    parallel: ParallelPolicy,
 ) -> Result<ReferenceReport, LaunchError> {
     let l = a.layout();
     let batch = a.batch();
     assert_eq!(piv.batch(), batch);
     assert_eq!(info.len(), batch);
     let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
-    let cfg = LaunchConfig::new(threads, 0);
+    let cfg = LaunchConfig::new(threads, 0).with_parallel(parallel);
 
     // Host-side prologue (LAPACK zeroes these columns before the loop; on
     // the GPU this is one extra batched kernel).
@@ -61,7 +65,8 @@ pub fn gbtrf_batch_reference(
         let mut probs: Vec<&mut [f64]> = a.chunks_mut().collect();
         let rep = launch(dev, &cfg, &mut probs, |ab, ctx| {
             set_fillin_prologue(&l, ab);
-            let elems = l.kl.saturating_mul(l.kv().min(l.n).saturating_sub(l.ku + 1));
+            let elems =
+                l.kl.saturating_mul(l.kv().min(l.n).saturating_sub(l.ku + 1));
             ctx.gst(elems * 8);
             ctx.par_work(elems, 0);
         })?;
@@ -177,7 +182,8 @@ mod tests {
                 .collect();
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            gbtrf_batch_reference(&dev, &mut a, &mut piv, &mut info).unwrap();
+            gbtrf_batch_reference(&dev, &mut a, &mut piv, &mut info, ParallelPolicy::Serial)
+                .unwrap();
             for id in 0..batch {
                 assert_eq!(a.matrix(id).data, &expected[id].0[..], "factors n={n}");
                 assert_eq!(piv.pivots(id), &expected[id].1[..]);
@@ -193,7 +199,8 @@ mod tests {
         let mut a = random_batch(2, n, 1, 1);
         let mut piv = PivotBatch::new(2, n, n);
         let mut info = InfoArray::new(2);
-        let rep = gbtrf_batch_reference(&dev, &mut a, &mut piv, &mut info).unwrap();
+        let rep = gbtrf_batch_reference(&dev, &mut a, &mut piv, &mut info, ParallelPolicy::Serial)
+            .unwrap();
         assert_eq!(rep.launches, 2 * n + 1);
         // Launch overhead must dominate: at least launches * overhead.
         assert!(rep.time.secs() >= rep.launches as f64 * dev.launch_overhead_s);
@@ -210,7 +217,8 @@ mod tests {
         let mut p2 = PivotBatch::new(batch, n, n);
         let mut i1 = InfoArray::new(batch);
         let mut i2 = InfoArray::new(batch);
-        let slow = gbtrf_batch_reference(&dev, &mut a1, &mut p1, &mut i1).unwrap();
+        let slow =
+            gbtrf_batch_reference(&dev, &mut a1, &mut p1, &mut i1, ParallelPolicy::Serial).unwrap();
         let fast = crate::fused::gbtrf_batch_fused(
             &dev,
             &mut a2,

@@ -84,8 +84,11 @@ pub fn gbtrf_batch_registers<const KL: usize, const KU: usize>(
         // Steady state: col0 == j at the start of step j.
         let mut col0 = 0usize;
         let mut resident = 0usize;
-        let load_col = |reg: &mut [f64], dst_local: usize, c: usize,
-                            p_ab: &[f64], ctx: &mut gbatch_gpu_sim::BlockContext| {
+        let load_col = |reg: &mut [f64],
+                        dst_local: usize,
+                        c: usize,
+                        p_ab: &[f64],
+                        ctx: &mut gbatch_gpu_sim::BlockContext| {
             let dst = dst_local * ldab;
             reg[dst..dst + ldab].copy_from_slice(&p_ab[c * ldab..(c + 1) * ldab]);
             // Eager fill-row zeroing (see module docs).
@@ -248,9 +251,17 @@ mod tests {
         let mut info = InfoArray::new(batch);
         gbtrf_batch_registers::<KL, KU>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
         for id in 0..batch {
-            assert_eq!(piv.pivots(id), &expected[id].1[..], "pivots KL={KL} KU={KU} n={n}");
+            assert_eq!(
+                piv.pivots(id),
+                &expected[id].1[..],
+                "pivots KL={KL} KU={KU} n={n}"
+            );
             assert_eq!(info.get(id), expected[id].2);
-            assert_eq!(a.matrix(id).data, &expected[id].0[..], "factors KL={KL} KU={KU} n={n}");
+            assert_eq!(
+                a.matrix(id).data,
+                &expected[id].0[..],
+                "factors KL={KL} KU={KU} n={n}"
+            );
         }
     }
 
@@ -298,7 +309,11 @@ mod tests {
             &mut a2,
             &mut p2,
             &mut i2,
-            crate::window::WindowParams { nb: 8, threads: 64 },
+            crate::window::WindowParams {
+                nb: 8,
+                threads: 64,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(a1.data(), a2.data(), "same numerics");

@@ -32,7 +32,10 @@ impl<'a> SmemBand<'a> {
     /// Flat index of band row `r` of *global* column `c`.
     #[inline(always)]
     pub fn idx(&self, r: usize, c: usize) -> usize {
-        debug_assert!(c >= self.col0 && c < self.col0 + self.width, "col {c} outside window");
+        debug_assert!(
+            c >= self.col0 && c < self.col0 + self.width,
+            "col {c} outside window"
+        );
         debug_assert!(r < self.ldab);
         (c - self.col0) * self.ldab + r
     }
@@ -120,7 +123,10 @@ pub fn smem_column_step(
     if piv != 0.0 {
         state.ju = update_bound(state.ju.max(j), j, l.ku, jp, l.n);
         let ju = state.ju;
-        debug_assert!(ju < w.col0 + w.width, "update bound {ju} escapes the window");
+        debug_assert!(
+            ju < w.col0 + w.width,
+            "update bound {ju} escapes the window"
+        );
 
         // SWAP to the right only (row swap walks band rows upward).
         if jp != 0 {
@@ -202,7 +208,12 @@ mod tests {
             let info1 = gbtf2(&l, &mut expect, &mut p1);
 
             let mut buf = a.data().to_vec();
-            let mut w = SmemBand { data: &mut buf, ldab: l.ldab, col0: 0, width: n };
+            let mut w = SmemBand {
+                data: &mut buf,
+                ldab: l.ldab,
+                col0: 0,
+                width: n,
+            };
             let mut ctx = BlockContext::new(0, 4, 0);
             let mut p2 = vec![0i32; n];
             let mut st = ColumnStepState::default();
@@ -222,7 +233,12 @@ mod tests {
         let a = random_band(n, 2, 1, 0.5);
         let l = a.layout();
         let mut buf = a.data().to_vec();
-        let mut w = SmemBand { data: &mut buf, ldab: l.ldab, col0: 0, width: n };
+        let mut w = SmemBand {
+            data: &mut buf,
+            ldab: l.ldab,
+            col0: 0,
+            width: n,
+        };
         let mut ctx = BlockContext::new(0, 4, 0);
         let mut p = vec![0i32; n];
         let mut st = ColumnStepState::default();
@@ -230,7 +246,10 @@ mod tests {
             smem_column_step(&l, &mut w, &mut p, j, &mut st, &mut ctx);
         }
         let c = ctx.counters();
-        assert!(c.smem_elems > 0.0, "factorization work is shared-memory work");
+        assert!(
+            c.smem_elems > 0.0,
+            "factorization work is shared-memory work"
+        );
         assert!(c.syncs >= 2 * n as u64, "at least two barriers per column");
         assert!(c.flops > 0);
     }
@@ -238,10 +257,15 @@ mod tests {
     #[test]
     fn smem_band_offset_addressing() {
         let mut buf = vec![0.0; 4 * 3]; // ldab 4, width 3, col0 = 5
-        let mut w = SmemBand { data: &mut buf, ldab: 4, col0: 5, width: 3 };
+        let mut w = SmemBand {
+            data: &mut buf,
+            ldab: 4,
+            col0: 5,
+            width: 3,
+        };
         w.set(2, 6, 9.0); // local col 1
         assert_eq!(w.get(2, 6), 9.0);
-        assert_eq!(w.data[1 * 4 + 2], 9.0);
+        assert_eq!(w.data[4 + 2], 9.0); // col 1, row 2 of the window
         assert_eq!(w.idx(0, 5), 0);
         assert_eq!(w.idx(3, 7), 2 * 4 + 3);
     }

@@ -55,7 +55,13 @@ impl TridiagBatch {
                 }
             }
         }
-        TridiagBatch { n, batch, lower, diag, upper }
+        TridiagBatch {
+            n,
+            batch,
+            lower,
+            diag,
+            upper,
+        }
     }
 
     /// System order.
@@ -71,8 +77,11 @@ impl TridiagBatch {
     /// `y = A x` for system `id` (test/residual helper).
     pub fn matvec(&self, id: usize, x: &[f64], y: &mut [f64]) {
         let n = self.n;
-        let (lo, d, up) =
-            (&self.lower[id * n..], &self.diag[id * n..], &self.upper[id * n..]);
+        let (lo, d, up) = (
+            &self.lower[id * n..],
+            &self.diag[id * n..],
+            &self.upper[id * n..],
+        );
         for i in 0..n {
             let mut acc = d[i] * x[i];
             if i > 0 {
@@ -246,8 +255,8 @@ mod tests {
         let dev = DeviceSpec::h100_pcie();
         let (batch, n) = (3usize, 64usize);
         let a = dominant(batch, n);
-        let mut rhs = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.17).cos())
-            .unwrap();
+        let mut rhs =
+            RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.17).cos()).unwrap();
         let rhs0 = rhs.clone();
         pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
 
@@ -292,8 +301,8 @@ mod tests {
         let dev = DeviceSpec::h100_pcie();
         let (batch, n) = (100usize, 1024usize);
         let a = dominant(batch, n);
-        let mut rhs = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.11).sin())
-            .unwrap();
+        let mut rhs =
+            RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.11).sin()).unwrap();
         let pcr = pcr_solve_batch(&dev, &a, &mut rhs, 256).unwrap();
 
         let mut g = BandBatch::from_fn(batch, n, n, 1, 1, |id, m| {

@@ -57,7 +57,12 @@ fn window_body_var(
     ctx.gld(loaded_end * ldab * 8);
     ctx.sync();
     {
-        let mut w = SmemBand { data: &mut buf, ldab, col0: 0, width: loaded_end };
+        let mut w = SmemBand {
+            data: &mut buf,
+            ldab,
+            col0: 0,
+            width: loaded_end,
+        };
         smem_fillin_prologue(l, &mut w, ctx);
     }
 
@@ -66,7 +71,12 @@ fn window_body_var(
     while j0 < kmin {
         let jb = nb.min(kmin - j0);
         {
-            let mut w = SmemBand { data: &mut buf, ldab, col0: j0, width: loaded_end - j0 };
+            let mut w = SmemBand {
+                data: &mut buf,
+                ldab,
+                col0: j0,
+                width: loaded_end - j0,
+            };
             for j in j0..j0 + jb {
                 smem_column_step(l, &mut w, piv, j, &mut st, ctx);
             }
@@ -155,7 +165,12 @@ pub fn dgbsv_vbatch(
     let nrhs = rhs.nrhs();
     let mut cfg = vbatch_config(dev, a, nb);
     // Extra shared space for the largest RHS block.
-    let max_rhs = a.layouts().iter().map(|l| l.n * nrhs * 8).max().unwrap_or(0);
+    let max_rhs = a
+        .layouts()
+        .iter()
+        .map(|l| l.n * nrhs * 8)
+        .max()
+        .unwrap_or(0);
     cfg.smem_bytes += max_rhs as u32;
     struct Prob<'a> {
         l: BandLayout,
@@ -169,7 +184,13 @@ pub fn dgbsv_vbatch(
         .zip(piv.iter_mut())
         .zip(rhs.iter_mut())
         .zip(info.as_mut_slice().iter_mut())
-        .map(|((((l, ab), piv), (_, b)), info)| Prob { l, ab, piv, b, info })
+        .map(|((((l, ab), piv), (_, b)), info)| Prob {
+            l,
+            ab,
+            piv,
+            b,
+            info,
+        })
         .collect();
     launch(dev, &cfg, &mut probs, |p, ctx| {
         window_body_var(&p.l, nb, p.ab, p.piv, p.info, ctx);
@@ -242,8 +263,8 @@ mod tests {
         let dev = DeviceSpec::mi250x_gcd();
         let mut a = mixed_batch();
         let orig = a.clone();
-        let rhs0 = VarRhs::from_fn(&a, 2, |id, i, c| ((id * 7 + i + c * 3) as f64 * 0.19).sin())
-            .unwrap();
+        let rhs0 =
+            VarRhs::from_fn(&a, 2, |id, i, c| ((id * 7 + i + c * 3) as f64 * 0.19).sin()).unwrap();
         let mut rhs = rhs0.clone();
         let mut piv = VarPivots::for_batch(&a);
         let mut info = InfoArray::new(a.batch());
@@ -292,7 +313,10 @@ mod tests {
             .unwrap();
             let mut piv = VarPivots::for_batch(&a);
             let mut info = InfoArray::new(a.batch());
-            dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, 8).unwrap().time.secs()
+            dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, 8)
+                .unwrap()
+                .time
+                .secs()
         };
         let big = BandLayout::factor(512, 512, 2, 3).unwrap();
         let small = BandLayout::factor(16, 16, 2, 3).unwrap();

@@ -20,7 +20,9 @@ use crate::step::{smem_bytes_for_cols, smem_column_step, smem_fillin_prologue, S
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch};
 use gbatch_core::gbtf2::ColumnStepState;
 use gbatch_core::layout::BandLayout;
-use gbatch_gpu_sim::{launch, BlockContext, DeviceSpec, LaunchConfig, LaunchError, LaunchReport};
+use gbatch_gpu_sim::{
+    launch, BlockContext, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy,
+};
 
 /// Tunable parameters of the sliding-window kernel: the paper's two tuning
 /// knobs (§5.3).
@@ -30,6 +32,19 @@ pub struct WindowParams {
     pub nb: usize,
     /// Threads per block (per matrix); minimum `kl + 1`.
     pub threads: u32,
+    /// Host scheduling of the per-matrix blocks (results are
+    /// bitwise-identical for every policy).
+    pub parallel: ParallelPolicy,
+}
+
+impl Default for WindowParams {
+    fn default() -> Self {
+        WindowParams {
+            nb: 8,
+            threads: 32,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
 }
 
 impl WindowParams {
@@ -38,7 +53,17 @@ impl WindowParams {
     pub fn auto(dev: &DeviceSpec, kl: usize) -> Self {
         let min = (kl + 1) as u32;
         let warp = dev.warp_size;
-        WindowParams { nb: 8, threads: min.div_ceil(warp) * warp }
+        WindowParams {
+            nb: 8,
+            threads: min.div_ceil(warp) * warp,
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set the host scheduling policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 }
 
@@ -129,7 +154,12 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
     load_cols(l, p.ab, &mut buf, 0, 0, loaded_end, ctx);
     ctx.sync();
     {
-        let mut w = SmemBand { data: &mut buf, ldab, col0: 0, width: loaded_end };
+        let mut w = SmemBand {
+            data: &mut buf,
+            ldab,
+            col0: 0,
+            width: loaded_end,
+        };
         smem_fillin_prologue(l, &mut w, ctx);
     }
 
@@ -138,7 +168,12 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
     while j0 < kmin {
         let jb = nb.min(kmin - j0);
         {
-            let mut w = SmemBand { data: &mut buf, ldab, col0: j0, width: loaded_end - j0 };
+            let mut w = SmemBand {
+                data: &mut buf,
+                ldab,
+                col0: j0,
+                width: loaded_end - j0,
+            };
             for j in j0..j0 + jb {
                 smem_column_step(l, &mut w, p.piv, j, &mut st, ctx);
             }
@@ -169,7 +204,15 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
         // Load the next columns into the tail of the window.
         let new_end = (next_j0 + wcols).min(n);
         if new_end > loaded_end {
-            load_cols(l, p.ab, &mut buf, loaded_end - next_j0, loaded_end, new_end, ctx);
+            load_cols(
+                l,
+                p.ab,
+                &mut buf,
+                loaded_end - next_j0,
+                loaded_end,
+                new_end,
+                ctx,
+            );
             loaded_end = new_end;
         }
         ctx.sync();
@@ -197,9 +240,12 @@ pub fn gbtrf_batch_window(
     assert_eq!(piv.batch(), a.batch());
     assert_eq!(info.len(), a.batch());
     let smem = window_smem_bytes(&l, params.nb);
-    let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32);
+    let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
+        .with_parallel(params.parallel);
     let mut problems = make_problems(a, piv, info);
-    launch(dev, &cfg, &mut problems, |p, ctx| window_body(&l, params.nb, p, ctx))
+    launch(dev, &cfg, &mut problems, |p, ctx| {
+        window_body(&l, params.nb, p, ctx)
+    })
 }
 
 /// Ablation variant: one kernel launch per window iteration, reloading the
@@ -217,7 +263,8 @@ pub fn gbtrf_batch_window_relaunch(
     assert!(params.nb > 0);
     let batch = a.batch();
     let smem = window_smem_bytes(&l, params.nb);
-    let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32);
+    let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
+        .with_parallel(params.parallel);
     let kmin = l.m.min(l.n);
     let n_iters = kmin.div_ceil(params.nb);
     let mut reports = Vec::with_capacity(n_iters);
@@ -250,7 +297,12 @@ pub fn gbtrf_batch_window_relaunch(
             load_cols(&l, p.ab, &mut buf, 0, j0, loaded_end, ctx);
             ctx.sync();
             {
-                let mut w = SmemBand { data: &mut buf, ldab, col0: j0, width: loaded_end - j0 };
+                let mut w = SmemBand {
+                    data: &mut buf,
+                    ldab,
+                    col0: j0,
+                    width: loaded_end - j0,
+                };
                 if j0 == 0 {
                     smem_fillin_prologue(&l, &mut w, ctx);
                 }
@@ -308,10 +360,18 @@ mod tests {
             .collect();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        let params = WindowParams { nb, threads: 32 };
+        let params = WindowParams {
+            nb,
+            threads: 32,
+            ..Default::default()
+        };
         gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, params).unwrap();
         for id in 0..batch {
-            assert_eq!(piv.pivots(id), &expected[id].1[..], "pivots n={n} kl={kl} ku={ku} nb={nb}");
+            assert_eq!(
+                piv.pivots(id),
+                &expected[id].1[..],
+                "pivots n={n} kl={kl} ku={ku} nb={nb}"
+            );
             assert_eq!(info.get(id), expected[id].2, "info");
             assert_eq!(
                 a.matrix(id).data,
@@ -355,14 +415,28 @@ mod tests {
         let orig = a.clone();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, WindowParams::auto(&dev, kl))
-            .unwrap();
+        gbtrf_batch_window(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut info,
+            WindowParams::auto(&dev, kl),
+        )
+        .unwrap();
         assert!(info.all_ok());
         for id in 0..batch {
             let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
             let mut b = vec![0.0; n];
             gbatch_core::blas2::gbmv(1.0, orig.matrix(id), &x_true, 0.0, &mut b);
-            gbtrs(Transpose::No, &a.layout(), a.matrix(id).data, piv.pivots(id), &mut b, n, 1);
+            gbtrs(
+                Transpose::No,
+                &a.layout(),
+                a.matrix(id).data,
+                piv.pivots(id),
+                &mut b,
+                n,
+                1,
+            );
             for i in 0..n {
                 assert!((b[i] - x_true[i]).abs() < 1e-8);
             }
@@ -381,7 +455,11 @@ mod tests {
         let mut p2 = PivotBatch::new(batch, n, n);
         let mut i1 = InfoArray::new(batch);
         let mut i2 = InfoArray::new(batch);
-        let params = WindowParams { nb, threads: 32 };
+        let params = WindowParams {
+            nb,
+            threads: 32,
+            ..Default::default()
+        };
         let single = gbtrf_batch_window(&dev, &mut a1, &mut p1, &mut i1, params).unwrap();
         let multi = gbtrf_batch_window_relaunch(&dev, &mut a2, &mut p2, &mut i2, params).unwrap();
         // Numerics identical.
@@ -407,9 +485,22 @@ mod tests {
         let mut a = random_batch(batch, n, 2, 3);
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        let rep =
-            gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, WindowParams { nb: 8, threads: 64 })
-                .unwrap();
-        assert!(rep.occupancy.blocks_per_sm >= 8, "got {}", rep.occupancy.blocks_per_sm);
+        let rep = gbtrf_batch_window(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut info,
+            WindowParams {
+                nb: 8,
+                threads: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            rep.occupancy.blocks_per_sm >= 8,
+            "got {}",
+            rep.occupancy.blocks_per_sm
+        );
     }
 }

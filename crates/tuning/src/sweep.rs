@@ -57,8 +57,15 @@ pub fn sweep_band(dev: &DeviceSpec, cfg: &SweepConfig, kl: usize, ku: usize) -> 
             let Some(time) = predict_time(dev, &lcfg, cfg.batch, &per_block) else {
                 continue;
             };
-            let entry = TuneEntry { nb, threads, predicted_ms: time.ms() };
-            if best.map(|b| entry.predicted_ms < b.predicted_ms).unwrap_or(true) {
+            let entry = TuneEntry {
+                nb,
+                threads,
+                predicted_ms: time.ms(),
+            };
+            if best
+                .map(|b| entry.predicted_ms < b.predicted_ms)
+                .unwrap_or(true)
+            {
                 best = Some(entry);
             }
         }
@@ -92,8 +99,15 @@ pub fn sweep_solve_band(
             let Some(time) = predict_time(dev, &lcfg, cfg.batch, &per_block) else {
                 continue;
             };
-            let entry = TuneEntry { nb, threads, predicted_ms: time.ms() };
-            if best.map(|b| entry.predicted_ms < b.predicted_ms).unwrap_or(true) {
+            let entry = TuneEntry {
+                nb,
+                threads,
+                predicted_ms: time.ms(),
+            };
+            if best
+                .map(|b| entry.predicted_ms < b.predicted_ms)
+                .unwrap_or(true)
+            {
                 best = Some(entry);
             }
         }

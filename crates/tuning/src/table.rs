@@ -97,8 +97,24 @@ mod tests {
 
     fn sample() -> TuningTable {
         let mut t = TuningTable::new("TestGPU", 512, 1000);
-        t.insert(2, 3, TuneEntry { nb: 8, threads: 32, predicted_ms: 0.5 });
-        t.insert(10, 7, TuneEntry { nb: 16, threads: 64, predicted_ms: 1.5 });
+        t.insert(
+            2,
+            3,
+            TuneEntry {
+                nb: 8,
+                threads: 32,
+                predicted_ms: 0.5,
+            },
+        );
+        t.insert(
+            10,
+            7,
+            TuneEntry {
+                nb: 16,
+                threads: 64,
+                predicted_ms: 1.5,
+            },
+        );
         t
     }
 

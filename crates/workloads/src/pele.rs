@@ -35,7 +35,13 @@ pub struct PeleConfig {
 
 impl Default for PeleConfig {
     fn default() -> Self {
-        PeleConfig { n: 50, kl: 4, ku: 4, density: 0.9, spread_decades: 6.0 }
+        PeleConfig {
+            n: 50,
+            kl: 4,
+            ku: 4,
+            density: 0.9,
+            spread_decades: 6.0,
+        }
     }
 }
 
@@ -61,7 +67,11 @@ pub fn pele_batch(rng: &mut impl Rng, batch: usize, cfg: &PeleConfig) -> BandBat
         // Diagonal: dominance floor (the 1/dt shift of an implicit
         // integrator) times the conditioning scale.
         for j in 0..cfg.n {
-            m.set(j, j, (row_sums[j] + 1.0) * diag_scale.max(1e-8) + diag_scale);
+            m.set(
+                j,
+                j,
+                (row_sums[j] + 1.0) * diag_scale.max(1e-8) + diag_scale,
+            );
         }
     })
     .expect("valid batch dimensions")
@@ -77,7 +87,13 @@ mod tests {
     #[test]
     fn density_is_respected() {
         let mut rng = StdRng::seed_from_u64(11);
-        let cfg = PeleConfig { n: 100, kl: 6, ku: 6, density: 0.9, spread_decades: 3.0 };
+        let cfg = PeleConfig {
+            n: 100,
+            kl: 6,
+            ku: 6,
+            density: 0.9,
+            spread_decades: 3.0,
+        };
         let b = pele_batch(&mut rng, 10, &cfg);
         let l = b.layout();
         let mut total = 0usize;
@@ -97,7 +113,10 @@ mod tests {
             }
         }
         let density = nonzero as f64 / total as f64;
-        assert!((density - 0.9).abs() < 0.03, "measured density {density:.3}");
+        assert!(
+            (density - 0.9).abs() < 0.03,
+            "measured density {density:.3}"
+        );
     }
 
     #[test]
@@ -117,13 +136,23 @@ mod tests {
     #[test]
     fn conditioning_spreads_across_batch() {
         let mut rng = StdRng::seed_from_u64(13);
-        let cfg = PeleConfig { spread_decades: 6.0, ..PeleConfig::default() };
+        let cfg = PeleConfig {
+            spread_decades: 6.0,
+            ..PeleConfig::default()
+        };
         let b = pele_batch(&mut rng, 64, &cfg);
         // Diagonal magnitudes across the batch must span > 3 decades.
         let mags: Vec<f64> = (0..64)
-            .map(|id| (0..cfg.n).map(|j| b.matrix(id).get(j, j).abs()).sum::<f64>() / cfg.n as f64)
+            .map(|id| {
+                (0..cfg.n)
+                    .map(|j| b.matrix(id).get(j, j).abs())
+                    .sum::<f64>()
+                    / cfg.n as f64
+            })
             .collect();
-        let (lo, hi) = mags.iter().fold((f64::MAX, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
+        let (lo, hi) = mags
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(l, h), &v| (l.min(v), h.max(v)));
         assert!(hi / lo > 1e3, "spread {:.1e}", hi / lo);
     }
 

@@ -54,8 +54,7 @@ pub fn random_band_batch(
             BandDistribution::DiagonallyDominant { margin } => {
                 for j in 0..n {
                     let (s, e) = layout.col_rows(j);
-                    let sum: f64 =
-                        (s..e).filter(|&i| i != j).map(|i| m.get(i, j).abs()).sum();
+                    let sum: f64 = (s..e).filter(|&i| i != j).map(|i| m.get(i, j).abs()).sum();
                     m.set(j, j, sum + margin);
                 }
             }
@@ -125,13 +124,24 @@ mod tests {
     #[test]
     fn condition_spread_scales_diagonals() {
         let mut rng = StdRng::seed_from_u64(9);
-        let b =
-            random_band_batch(&mut rng, 6, 10, 1, 1, BandDistribution::ConditionSpread { decay: 0.5 });
+        let b = random_band_batch(
+            &mut rng,
+            6,
+            10,
+            1,
+            1,
+            BandDistribution::ConditionSpread { decay: 0.5 },
+        );
         // Diagonal magnitude must decay across the batch on average.
         let avg = |id: usize| -> f64 {
             (0..10).map(|j| b.matrix(id).get(j, j).abs()).sum::<f64>() / 10.0
         };
-        assert!(avg(0) > 4.0 * avg(5), "decay 0.5^5 = 1/32 expected: {} vs {}", avg(0), avg(5));
+        assert!(
+            avg(0) > 4.0 * avg(5),
+            "decay 0.5^5 = 1/32 expected: {} vs {}",
+            avg(0),
+            avg(5)
+        );
     }
 
     #[test]

@@ -59,9 +59,14 @@ mod tests {
     #[test]
     fn solutions_round_trip() {
         let mut rng = StdRng::seed_from_u64(42);
-        let a = random_band_batch(&mut rng, 2, 12, 2, 1, BandDistribution::DiagonallyDominant {
-            margin: 1.0,
-        });
+        let a = random_band_batch(
+            &mut rng,
+            2,
+            12,
+            2,
+            1,
+            BandDistribution::DiagonallyDominant { margin: 1.0 },
+        );
         let (x, b) = rhs_for_solutions(&a, |id, i, c| (id + i + c) as f64, 2);
         // Solve and compare.
         let l = a.layout();
@@ -69,7 +74,10 @@ mod tests {
             let mut ab = a.matrix(id).data.to_vec();
             let mut piv = vec![0i32; 12];
             let mut sol = b.block(id).to_vec();
-            assert_eq!(gbatch_core::gbsv::gbsv(&l, &mut ab, &mut piv, &mut sol, 12, 2), 0);
+            assert_eq!(
+                gbatch_core::gbsv::gbsv(&l, &mut ab, &mut piv, &mut sol, 12, 2),
+                0
+            );
             for (got, want) in sol.iter().zip(x.block(id)) {
                 assert!((got - want).abs() < 1e-9);
             }

@@ -29,7 +29,12 @@ pub struct ReactEvalConfig {
 
 impl Default for ReactEvalConfig {
     fn default() -> Self {
-        ReactEvalConfig { species: 9, cells_per_system: 8, gamma: 1e-2, stiffness_decades: 4.0 }
+        ReactEvalConfig {
+            species: 9,
+            cells_per_system: 8,
+            gamma: 1e-2,
+            stiffness_decades: 4.0,
+        }
     }
 }
 
@@ -66,7 +71,10 @@ pub fn react_eval_batch(rng: &mut impl Rng, batch: usize, cfg: &ReactEvalConfig)
                     continue;
                 }
                 // Reaction rates span several decades (stiff chemistry).
-                let stiff = log_u.as_ref().map(|u| 10f64.powf(u.sample(rng))).unwrap_or(1.0);
+                let stiff = log_u
+                    .as_ref()
+                    .map(|u| 10f64.powf(u.sample(rng)))
+                    .unwrap_or(1.0);
                 let rate = temp * stiff * uni.sample(rng);
                 let v = -cfg.gamma * rate;
                 m.set(i, j, v);
@@ -74,7 +82,10 @@ pub fn react_eval_batch(rng: &mut impl Rng, batch: usize, cfg: &ReactEvalConfig)
             }
             // I - gamma * J_jj with J_jj < 0 (species consumption): the
             // diagonal stays >= 1 and dominates for reasonable gamma.
-            let stiff = log_u.as_ref().map(|u| 10f64.powf(u.sample(rng))).unwrap_or(1.0);
+            let stiff = log_u
+                .as_ref()
+                .map(|u| 10f64.powf(u.sample(rng)))
+                .unwrap_or(1.0);
             let jjj = -temp * stiff * (1.0 + uni.sample(rng).abs());
             m.set(j, j, 1.0 - cfg.gamma * jjj + off_sum * 0.01);
         }
@@ -91,7 +102,11 @@ mod tests {
 
     #[test]
     fn dimensions_follow_configuration() {
-        let cfg = ReactEvalConfig { species: 5, cells_per_system: 4, ..Default::default() };
+        let cfg = ReactEvalConfig {
+            species: 5,
+            cells_per_system: 4,
+            ..Default::default()
+        };
         assert_eq!(cfg.n(), 20);
         assert_eq!(cfg.bandwidth(), 5);
         let mut rng = StdRng::seed_from_u64(31);
@@ -117,7 +132,10 @@ mod tests {
     #[test]
     fn diagonal_close_to_identity_for_small_gamma() {
         let mut rng = StdRng::seed_from_u64(33);
-        let cfg = ReactEvalConfig { gamma: 1e-6, ..Default::default() };
+        let cfg = ReactEvalConfig {
+            gamma: 1e-6,
+            ..Default::default()
+        };
         let b = react_eval_batch(&mut rng, 4, &cfg);
         for j in 0..cfg.n() {
             let d = b.matrix(0).get(j, j);
@@ -128,7 +146,11 @@ mod tests {
     #[test]
     fn sinusoidal_profile_varies_across_batch() {
         let mut rng = StdRng::seed_from_u64(34);
-        let cfg = ReactEvalConfig { gamma: 0.5, stiffness_decades: 0.0, ..Default::default() };
+        let cfg = ReactEvalConfig {
+            gamma: 0.5,
+            stiffness_decades: 0.0,
+            ..Default::default()
+        };
         let batch = 32;
         let b = react_eval_batch(&mut rng, batch, &cfg);
         // Off-diagonal magnitude should track the temperature profile:

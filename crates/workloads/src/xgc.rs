@@ -32,7 +32,12 @@ pub struct XgcConfig {
 
 impl Default for XgcConfig {
     fn default() -> Self {
-        XgcConfig { n: 193, degree: 3, species: 1, variation: 0.2 }
+        XgcConfig {
+            n: 193,
+            degree: 3,
+            species: 1,
+            variation: 0.2,
+        }
     }
 }
 
@@ -94,7 +99,10 @@ mod tests {
 
     #[test]
     fn multi_species_widens_band() {
-        let cfg = XgcConfig { species: 10, ..Default::default() };
+        let cfg = XgcConfig {
+            species: 10,
+            ..Default::default()
+        };
         assert_eq!(cfg.bandwidth(), 30);
         let mut rng = StdRng::seed_from_u64(21);
         let b = xgc_batch(&mut rng, 2, &cfg);

@@ -72,14 +72,24 @@ fn main() {
         "non-uniform batch: {} systems (n = 36/72/144, bands 9/9/12) in ONE launch",
         orig.batch()
     );
-    println!("  modeled time {:.4} ms, worst backward error {worst:.2e}", rep.time.ms());
+    println!(
+        "  modeled time {:.4} ms, worst backward error {worst:.2e}",
+        rep.time.ms()
+    );
 
     // Compare against three separate uniform launches (what you'd do
     // without non-uniform support): three launch overheads instead of one.
     let mut t_separate = 0.0;
     for (count, n, k) in [(64usize, 36usize, 9usize), (32, 72, 9), (16, 144, 12)] {
         let mut rng2 = StdRng::seed_from_u64(n as u64);
-        let mut ua = random_band_batch(&mut rng2, count, n, k, k, BandDistribution::DiagonallyDominant { margin: 1.0 });
+        let mut ua = random_band_batch(
+            &mut rng2,
+            count,
+            n,
+            k,
+            k,
+            BandDistribution::DiagonallyDominant { margin: 1.0 },
+        );
         let mut upiv = PivotBatch::new(count, n, n);
         let mut uinfo = InfoArray::new(count);
         let r = gbatch::kernels::dispatch::dgbtrf_batch(
@@ -95,7 +105,10 @@ fn main() {
     let mut a2 = orig.clone();
     let mut piv2 = VarPivots::for_batch(&a2);
     let mut info2 = InfoArray::new(a2.batch());
-    let t_joint = dgbtrf_vbatch(&dev, &mut a2, &mut piv2, &mut info2, 8).unwrap().time.ms();
+    let t_joint = dgbtrf_vbatch(&dev, &mut a2, &mut piv2, &mut info2, 8)
+        .unwrap()
+        .time
+        .ms();
     println!("  factorization: joint {t_joint:.4} ms vs three uniform launches {t_separate:.4} ms");
 
     // --- Part 2: band-specialized ("JIT") kernels -----------------------

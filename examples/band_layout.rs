@@ -13,8 +13,15 @@ use gbatch::core::BandMatrix;
 fn main() {
     // The exact example of the paper's Figure 2: 9 x 9, kl = 2, ku = 3.
     let l = BandLayout::factor(9, 9, 2, 3).unwrap();
-    println!("column-major view (9 x 9, kl = 2, ku = 3):\n{}", dense_view(&l));
-    println!("band storage ({} x 9; '+' rows reserved for fill-in):\n{}", l.ldab, band_view(&l));
+    println!(
+        "column-major view (9 x 9, kl = 2, ku = 3):\n{}",
+        dense_view(&l)
+    );
+    println!(
+        "band storage ({} x 9; '+' rows reserved for fill-in):\n{}",
+        l.ldab,
+        band_view(&l)
+    );
 
     // Build a matrix that *forces* pivoting, factorize, and show where the
     // fill-in landed.

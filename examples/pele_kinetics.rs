@@ -6,8 +6,8 @@
 //! cargo run --release --example pele_kinetics
 //! ```
 
-use gbatch::core::{InfoArray, PivotBatch, RhsBatch};
 use gbatch::core::residual::backward_error;
+use gbatch::core::{InfoArray, PivotBatch, RhsBatch};
 use gbatch::cpu::{cpu_gbsv_batch, CpuSpec};
 use gbatch::gpu_sim::DeviceSpec;
 use gbatch::kernels::dispatch::{dgbsv_batch, GbsvOptions};
@@ -20,20 +20,38 @@ fn main() {
     // The paper: "typical matrix sizes in batches do not exceed 150 but
     // many are sized 50 or less", ~90% in-band density, conditioning
     // spanning many decades.
-    let cfg = PeleConfig { n: 50, kl: 4, ku: 4, density: 0.9, spread_decades: 6.0 };
+    let cfg = PeleConfig {
+        n: 50,
+        kl: 4,
+        ku: 4,
+        density: 0.9,
+        spread_decades: 6.0,
+    };
     let batch = 2048;
     let a0 = pele_batch(&mut rng, batch, &cfg);
-    let b0 = RhsBatch::from_fn(batch, cfg.n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.21).cos())
-        .expect("dims");
+    let b0 = RhsBatch::from_fn(batch, cfg.n, 1, |id, i, _| {
+        ((id * 3 + i) as f64 * 0.21).cos()
+    })
+    .expect("dims");
 
-    println!("PELE-like batch: {batch} systems, n = {}, (kl, ku) = ({}, {})", cfg.n, cfg.kl, cfg.ku);
+    println!(
+        "PELE-like batch: {batch} systems, n = {}, (kl, ku) = ({}, {})",
+        cfg.n, cfg.kl, cfg.ku
+    );
 
     for dev in [DeviceSpec::h100_pcie(), DeviceSpec::mi250x_gcd()] {
         let (mut a, mut b) = (a0.clone(), b0.clone());
         let mut piv = PivotBatch::new(batch, cfg.n, cfg.n);
         let mut info = InfoArray::new(batch);
-        let rep = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
-            .expect("launch");
+        let rep = dgbsv_batch(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut b,
+            &mut info,
+            &GbsvOptions::default(),
+        )
+        .expect("launch");
         let failures = info.failures();
         let worst = (0..batch)
             .filter(|id| !failures.contains(id))
@@ -55,7 +73,11 @@ fn main() {
     let mut piv = PivotBatch::new(batch, cfg.n, cfg.n);
     let mut info = InfoArray::new(batch);
     let rep = cpu_gbsv_batch(&cpu, &mut a, &mut piv, &mut b, &mut info);
-    println!("  {:<26} {:.4} ms (modeled, 18 cores)", cpu.name, rep.model_time_s * 1e3);
+    println!(
+        "  {:<26} {:.4} ms (modeled, 18 cores)",
+        cpu.name,
+        rep.model_time_s * 1e3
+    );
 
     // Conditioning sanity: even the worst-conditioned systems solve with a
     // small *backward* error (forward error is governed by conditioning —

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gbatch::core::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch::core::residual::backward_error;
+use gbatch::core::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch::gpu_sim::DeviceSpec;
 use gbatch::kernels::dispatch::{dgbsv_batch, GbsvOptions};
 
@@ -44,20 +44,33 @@ fn main() {
     let (mut a, mut b) = (a, b);
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    let report = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
-        .expect("launch fits the device");
+    let report = dgbsv_batch(
+        &dev,
+        &mut a,
+        &mut piv,
+        &mut b,
+        &mut info,
+        &GbsvOptions::default(),
+    )
+    .expect("launch fits the device");
 
     assert!(info.all_ok(), "no singular systems in this batch");
 
     // 5. Certify the answers: normwise backward error per system.
     let worst = (0..batch)
         .map(|id| backward_error(orig_a.matrix(id), b.block(id), orig_b.block(id)))
-        .fold(0.0f64, f64::max)
-        ;
+        .fold(0.0f64, f64::max);
     println!("batch           : {batch} systems, n = {n}, (kl, ku) = ({kl}, {ku})");
     println!("kernel selected : {:?}", report.algo);
-    println!("modeled time    : {:.4} ms on {}", report.time.ms(), dev.name);
-    println!("worst backward error: {worst:.3e} (machine eps = {:.3e})", f64::EPSILON);
+    println!(
+        "modeled time    : {:.4} ms on {}",
+        report.time.ms(),
+        dev.name
+    );
+    println!(
+        "worst backward error: {worst:.3e} (machine eps = {:.3e})",
+        f64::EPSILON
+    );
     assert!(worst < 1e-13, "solutions are numerically certified");
     println!("OK");
 }

@@ -31,7 +31,12 @@ impl Chemistry {
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(77);
-    let cfg = ReactEvalConfig { species: 9, cells_per_system: 8, gamma: 0.05, stiffness_decades: 2.0 };
+    let cfg = ReactEvalConfig {
+        species: 9,
+        cells_per_system: 8,
+        gamma: 0.05,
+        stiffness_decades: 2.0,
+    };
     let n = cfg.n();
     let batch = 512;
     let steps = 20;
@@ -62,7 +67,9 @@ fn main() {
     let mut y: Vec<Vec<f64>> = (0..batch)
         .map(|id| {
             let phase = 2.0 * std::f64::consts::PI * id as f64 / batch as f64;
-            (0..n).map(|i| 1.0 + 0.5 * (phase + i as f64 * 0.1).sin()).collect()
+            (0..n)
+                .map(|i| 1.0 + 0.5 * (phase + i as f64 * 0.1).sin())
+                .collect()
         })
         .collect();
 
@@ -75,36 +82,49 @@ fn main() {
         // one Newton iteration is exact).
         let mut a = m0.clone();
         let mut b = RhsBatch::zeros(batch, n, 1).expect("dims");
-        for id in 0..batch {
-            b.block_mut(id).copy_from_slice(&y[id]);
+        for (id, yi) in y.iter().enumerate() {
+            b.block_mut(id).copy_from_slice(yi);
         }
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        let rep = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
-            .expect("launch");
+        let rep = dgbsv_batch(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut b,
+            &mut info,
+            &GbsvOptions::default(),
+        )
+        .expect("launch");
         assert!(info.all_ok());
         total_ms += rep.time.ms();
 
         // Check the Newton residual: y_new - h*f(y_new) - y_old = 0.
-        for id in 0..batch.min(8) {
+        for (id, yi) in y.iter().enumerate().take(batch.min(8)) {
             let y_new = b.block(id);
             let mut f = vec![0.0; n];
             chem.rate(id, y_new, &mut f);
             let r = (0..n)
-                .map(|i| (y_new[i] - h * f[i] - y[id][i]).abs())
+                .map(|i| (y_new[i] - h * f[i] - yi[i]).abs())
                 .fold(0.0f64, f64::max);
             max_newton_residual = max_newton_residual.max(r);
         }
 
-        for id in 0..batch {
-            y[id].copy_from_slice(b.block(id));
+        for (id, yi) in y.iter_mut().enumerate() {
+            yi.copy_from_slice(b.block(id));
         }
     }
 
     // Stability check: the decaying chemistry must not blow up.
     let max_state = y.iter().flatten().fold(0.0f64, |m, &v| m.max(v.abs()));
-    println!("ReactEval-like run: {batch} systems, n = {n}, band = {}", cfg.bandwidth());
-    println!("  {steps} implicit steps, modeled solver time {total_ms:.3} ms on {}", dev.name);
+    println!(
+        "ReactEval-like run: {batch} systems, n = {n}, band = {}",
+        cfg.bandwidth()
+    );
+    println!(
+        "  {steps} implicit steps, modeled solver time {total_ms:.3} ms on {}",
+        dev.name
+    );
     println!("  max Newton residual {max_newton_residual:.2e}, max |y| {max_state:.3}");
     assert!(max_newton_residual < 1e-10, "implicit steps solved exactly");
     assert!(max_state < 10.0, "integration stable");

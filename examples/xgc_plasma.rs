@@ -6,8 +6,8 @@
 //! cargo run --release --example xgc_plasma
 //! ```
 
-use gbatch::core::{InfoArray, PivotBatch, RhsBatch};
 use gbatch::core::residual::backward_error;
+use gbatch::core::{InfoArray, PivotBatch, RhsBatch};
 use gbatch::gpu_sim::DeviceSpec;
 use gbatch::kernels::dispatch::{dgbsv_batch, GbsvOptions};
 use gbatch::workloads::xgc::{xgc_batch, XgcConfig};
@@ -26,8 +26,15 @@ fn run(dev: &DeviceSpec, cfg: &XgcConfig, batch: usize, nrhs: usize) {
     let (mut a, mut b) = (a0.clone(), b0.clone());
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    let rep = dgbsv_batch(dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
-        .expect("launch");
+    let rep = dgbsv_batch(
+        dev,
+        &mut a,
+        &mut piv,
+        &mut b,
+        &mut info,
+        &GbsvOptions::default(),
+    )
+    .expect("launch");
     assert!(info.all_ok(), "FEM systems are well conditioned");
     let worst = (0..batch)
         .map(|id| {
@@ -71,7 +78,10 @@ fn main() {
     // WDMApp milestone") — exactly where the MI250x's small LDS hurts.
     println!("multi-species (wider bands):");
     for species in [2usize, 5, 10] {
-        let cfg = XgcConfig { species, ..XgcConfig::default() };
+        let cfg = XgcConfig {
+            species,
+            ..XgcConfig::default()
+        };
         for dev in [DeviceSpec::h100_pcie(), DeviceSpec::mi250x_gcd()] {
             run(&dev, &cfg, 128, 1);
         }

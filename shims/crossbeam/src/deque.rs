@@ -1,0 +1,207 @@
+//! Work-stealing deques with the crossbeam-deque API shape.
+//!
+//! Mutex-based implementation: an owner [`Worker`] pushes and pops at
+//! the back (LIFO — cache-warm work first), [`Stealer`]s take from the
+//! front (FIFO — oldest work migrates). Every item is delivered exactly
+//! once, which is the property the simulated-GPU executor's determinism
+//! proof needs; lock-freedom is only a performance concern and is not
+//! required at simulation scale.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// Transient contention; try again. (Never produced by this shim —
+    /// the mutex always resolves — but kept for API compatibility.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// `Some(item)` on success.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True when the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// Owner end of a work-stealing deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// New LIFO worker queue (the only flavor the executor uses).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// New FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        // Pop side is chosen per call in this shim; construction is
+        // identical.
+        Self::new_lifo()
+    }
+
+    /// Push work onto the owner end.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Pop the most recently pushed item (owner side, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    /// True when no work is queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Create a stealer handle for other workers.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// Thief end of a work-stealing deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest queued item (FIFO side).
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True when no work is queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// Shared FIFO injector queue (global submission side).
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push work into the global queue.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True when no work is queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn every_item_delivered_exactly_once_under_contention() {
+        const N: usize = 10_000;
+        let inj = Injector::new();
+        for i in 0..N {
+            inj.push(i);
+        }
+        let seen = Mutex::new(HashSet::new());
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                sc.spawn(|| loop {
+                    match inj.steal() {
+                        Steal::Success(v) => {
+                            assert!(lock(&seen).insert(v), "duplicate delivery of {v}");
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), N);
+    }
+}

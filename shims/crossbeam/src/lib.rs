@@ -1,0 +1,12 @@
+//! Offline shim for `crossbeam` 0.8 (see `shims/README.md`).
+//!
+//! Provides scoped threads (over `std::thread::scope`) and the
+//! work-stealing deque types (`deque::{Worker, Stealer, Injector}`)
+//! used by the simulated-GPU parallel executor. The deques are
+//! mutex-based rather than lock-free — functionally identical
+//! (exactly-once delivery, LIFO owner pops, FIFO steals), which is what
+//! the executor's determinism argument relies on; only the contention
+//! profile differs from upstream crossbeam.
+
+pub mod deque;
+pub mod thread;

@@ -1,0 +1,254 @@
+//! Distributions: `Uniform` over the numeric types this workspace
+//! samples, plus the `Standard` unit distribution.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Map 64 random bits to a `f64` uniform in `[0, 1)` (53-bit mantissa).
+#[inline]
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable from an `Rng` given distribution parameters.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution of a type: `f64`/`f32` in `[0, 1)`, full
+/// range for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform distribution over an interval of `T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T: SampleUniform> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over the half-open `[lo, hi)`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(
+            T::valid_range(&lo, &hi, false),
+            "Uniform::new requires lo < hi"
+        );
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed `[lo, hi]`.
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        assert!(
+            T::valid_range(&lo, &hi, true),
+            "Uniform::new_inclusive requires lo <= hi"
+        );
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(&self.lo, &self.hi, self.inclusive, rng)
+    }
+}
+
+/// Types that support uniform interval sampling.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Check interval validity.
+    fn valid_range(lo: &Self, hi: &Self, inclusive: bool) -> bool {
+        if inclusive {
+            lo <= hi
+        } else {
+            lo < hi
+        }
+    }
+
+    /// Draw uniformly from the interval.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: &Self,
+        hi: &Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: &Self,
+        hi: &Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        // The closed/open distinction is measure-zero for floats; both
+        // use lo + u*(hi - lo) like upstream rand.
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: &Self,
+        hi: &Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
+    }
+}
+
+/// Unbiased integer sampling from `[0, span]` by rejection on the top
+/// multiple of `span + 1`.
+fn uniform_u64_closed<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let m = span + 1;
+    let zone = u64::MAX - (u64::MAX % m);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % m;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: &Self,
+                hi: &Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let hi_closed = if inclusive { *hi } else { *hi - 1 };
+                let span = (hi_closed as i128 - *lo as i128) as u64;
+                let off = uniform_u64_closed(span, rng);
+                ((*lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range-argument support for `Rng::gen_range`.
+pub mod uniform {
+    pub use super::SampleUniform;
+    use super::*;
+
+    /// Ranges acceptable to `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(
+                T::valid_range(&self.start, &self.end, false),
+                "gen_range requires a non-empty range"
+            );
+            T::sample_uniform(&self.start, &self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(
+                T::valid_range(&lo, &hi, true),
+                "gen_range requires a non-empty range"
+            );
+            T::sample_uniform(&lo, &hi, true, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_f64_stays_in_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = Uniform::new_inclusive(-1.0f64, 1.0);
+        for _ in 0..1000 {
+            let v = u.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_int_covers_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v: usize = rng.gen_range(0..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v: i32 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_f64() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline shim for `serde` 1 (see `shims/README.md`).
+//!
+//! Instead of serde's visitor-based data model, this shim serializes
+//! through a small JSON-shaped [`Content`] tree; the companion
+//! `serde_json` shim renders and parses it. The derive macros (from the
+//! `serde_derive` shim) cover the shapes this workspace uses: structs
+//! with named fields, newtype structs, and unit-variant enums.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped intermediate value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// View as an object's key/value list.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as an array.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view widened to `f64` (exact for integers < 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::UInt(v) => Some(v as f64),
+            Content::Int(v) => Some(v as f64),
+            Content::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Integer view as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::UInt(v) => Some(v),
+            Content::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Integer view as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the [`Content`] tree.
+pub trait Serialize {
+    /// Convert to the intermediate tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the intermediate tree.
+    fn deserialize_content(c: &Content) -> Result<Self, String>;
+}
+
+/// Fetch + deserialize a named field from an object (derive helper).
+pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, String> {
+    let c = map
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{name}`"))?;
+    T::deserialize_content(c).map_err(|e| format!("field `{name}`: {e}"))
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err("expected bool".into()),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_u64().ok_or_else(|| "expected unsigned integer".to_string())?;
+                <$t>::try_from(v).map_err(|_| "integer out of range".to_string())
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::UInt(v as u64) } else { Content::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_i64().ok_or_else(|| "expected integer".to_string())?;
+                <$t>::try_from(v).map_err(|_| "integer out of range".to_string())
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_f64().ok_or_else(|| "expected number".to_string())
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| "expected number".to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| "expected string".to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_seq()
+            .ok_or_else(|| "expected array".to_string())?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let s = c.as_seq().ok_or_else(|| "expected tuple array".to_string())?;
+                let expected = [$($n),+].len();
+                if s.len() != expected {
+                    return Err(format!("expected {expected}-tuple, got {} items", s.len()));
+                }
+                Ok(($($t::deserialize_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_map()
+            .ok_or_else(|| "expected object".to_string())?
+            .iter()
+            .map(|(k, v)| V::deserialize_content(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        // Deterministic output: sort keys like a BTreeMap.
+        let mut pairs: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_content()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_map()
+            .ok_or_else(|| "expected object".to_string())?
+            .iter()
+            .map(|(k, v)| V::deserialize_content(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize_content(&7u32.serialize_content()), Ok(7));
+        assert_eq!(
+            i32::deserialize_content(&(-7i32).serialize_content()),
+            Ok(-7)
+        );
+        assert_eq!(
+            f64::deserialize_content(&1.5f64.serialize_content()),
+            Ok(1.5)
+        );
+        assert_eq!(
+            String::deserialize_content(&"hi".to_string().serialize_content()),
+            Ok("hi".to_string())
+        );
+        let v: Vec<(usize, Option<f64>)> = vec![(1, Some(2.0)), (3, None)];
+        assert_eq!(
+            Vec::<(usize, Option<f64>)>::deserialize_content(&v.serialize_content()),
+            Ok(v)
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` offline): supports the
+//! type shapes this workspace derives on —
+//!
+//! - structs with named fields (any visibility, `#[...]` attributes),
+//! - tuple structs (newtypes serialize transparently, wider ones as
+//!   arrays),
+//! - enums whose variants all carry no data (serialized as the variant
+//!   name string).
+//!
+//! Anything else (generics, data-carrying enum variants) produces a
+//! `compile_error!` pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute (`#` already consumed: expect a bracket group).
+fn skip_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Bracket {
+            iter.next();
+        }
+    }
+}
+
+/// Parse the derive input into a [`Shape`].
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Header: attributes / visibility / `struct` | `enum` keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Optional `pub(...)` restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => {}
+            None => return Err("unexpected end of derive input".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics (type `{name}`); \
+                 implement Serialize/Deserialize manually"
+            ));
+        }
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break Some(g),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if kind == "struct" {
+                    let arity = count_tuple_fields(g.stream());
+                    return Ok(Shape::Tuple { name, arity });
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Ok(Shape::Unit { name });
+            }
+            Some(_) => {}
+            None => return Ok(Shape::Unit { name }),
+        }
+    };
+    let body = body.unwrap();
+    if kind == "struct" {
+        Ok(Shape::Named {
+            name,
+            fields: named_fields(body.stream())?,
+        })
+    } else {
+        Ok(Shape::Enum {
+            name,
+            variants: enum_variants(body.stream())?,
+        })
+    }
+}
+
+/// Count comma-separated fields of a tuple struct (angle-depth aware).
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Extract field names from a named-fields body.
+fn named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => {
+                    return Err(format!("unexpected token `{other}` in struct body"));
+                }
+                None => break None,
+            }
+        };
+        let Some(field) = field else { break };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        // Consume the type up to a top-level comma.
+        let mut depth = 0i32;
+        for t in iter.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Extract variant names from an enum body; reject payload variants.
+fn enum_variants(ts: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+            Some(TokenTree::Ident(id)) => {
+                let v = id.to_string();
+                match iter.peek() {
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "serde shim derive supports only unit enum variants \
+                             (variant `{v}` carries data)"
+                        ));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Explicit discriminant: consume `= expr` up to `,`.
+                        iter.next();
+                        for t in iter.by_ref() {
+                            if let TokenTree::Punct(p) = &t {
+                                if p.as_char() == ',' {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        iter.next(); // trailing comma, if any
+                    }
+                }
+                variants.push(v);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+            None => break,
+        }
+    }
+    Ok(variants)
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match shape {
+        Shape::Named { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize_content(&self) -> ::serde::Content {{
+                        ::serde::Content::Map(::std::vec![{}])
+                    }}
+                }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize_content(&self) -> ::serde::Content {{
+                    ::serde::Serialize::serialize_content(&self.0)
+                }}
+            }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::serialize_content(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize_content(&self) -> ::serde::Content {{
+                        ::serde::Content::Seq(::std::vec![{}])
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize_content(&self) -> ::serde::Content {{
+                    ::serde::Content::Null
+                }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Content::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize_content(&self) -> ::serde::Content {{
+                        match self {{ {} }}
+                    }}
+                }}",
+                arms.join(", ")
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match shape {
+        Shape::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, {f:?})?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize_content(
+                        c: &::serde::Content,
+                    ) -> ::std::result::Result<Self, ::std::string::String> {{
+                        let m = c.as_map().ok_or_else(|| {{
+                            ::std::string::String::from(concat!(\"expected object for \", stringify!({name})))
+                        }})?;
+                        ::std::result::Result::Ok({name} {{ {} }})
+                    }}
+                }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn deserialize_content(
+                    c: &::serde::Content,
+                ) -> ::std::result::Result<Self, ::std::string::String> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_content(c)?))
+                }}
+            }}"
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize_content(
+                        c: &::serde::Content,
+                    ) -> ::std::result::Result<Self, ::std::string::String> {{
+                        let s = c.as_seq().ok_or_else(|| {{
+                            ::std::string::String::from(\"expected array\")
+                        }})?;
+                        if s.len() != {arity} {{
+                            return ::std::result::Result::Err(
+                                ::std::string::String::from(\"wrong tuple arity\"));
+                        }}
+                        ::std::result::Result::Ok({name}({}))
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn deserialize_content(
+                    _c: &::serde::Content,
+                ) -> ::std::result::Result<Self, ::std::string::String> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn deserialize_content(
+                        c: &::serde::Content,
+                    ) -> ::std::result::Result<Self, ::std::string::String> {{
+                        match c.as_str() {{
+                            {}
+                            other => ::std::result::Result::Err(::std::format!(
+                                \"unknown variant {{other:?}} for {name}\")),
+                        }}
+                    }}
+                }}",
+                arms.join("\n")
+            )
+        }
+    };
+    src.parse().unwrap()
+}

@@ -39,7 +39,12 @@ fn xgc_systems_through_cholesky() {
     let mut rhs = vec![0.0; batch * n];
     for id in 0..batch {
         let mut y = vec![0.0; n];
-        gbatch::core::pb::pbmv(&a0.layout(), a0.matrix(id), &xs[id * n..(id + 1) * n], &mut y);
+        gbatch::core::pb::pbmv(
+            &a0.layout(),
+            a0.matrix(id),
+            &xs[id * n..(id + 1) * n],
+            &mut y,
+        );
         rhs[id * n..(id + 1) * n].copy_from_slice(&y);
     }
     let mut a = a0.clone();
@@ -69,16 +74,16 @@ fn sundials_tridiagonal_through_pcr() {
     for id in 0..batch {
         assert!(a.is_diagonally_dominant(id));
     }
-    let mut rhs = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.13).sin())
-        .unwrap();
+    let mut rhs =
+        RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.13).sin()).unwrap();
     let rhs0 = rhs.clone();
     pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
     // Residual check through the tridiagonal matvec.
     for id in 0..batch {
         let mut y = vec![0.0; n];
         a.matvec(id, rhs.block(id), &mut y);
-        for i in 0..n {
-            assert!((y[i] - rhs0.block(id)[i]).abs() < 1e-11, "id={id} row {i}");
+        for (i, (yi, r0)) in y.iter().zip(rhs0.block(id)).enumerate() {
+            assert!((yi - r0).abs() < 1e-11, "id={id} row {i}");
         }
     }
 }
@@ -98,14 +103,13 @@ fn pele_like_batch_through_mixed_precision() {
         klu,
         gbatch::workloads::random::BandDistribution::DiagonallyDominant { margin: 0.5 },
     );
-    let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.21).cos())
-        .unwrap();
+    let b0 = RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.21).cos()).unwrap();
     let mut b = b0.clone();
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
     let (_, status) = msgbsv_batch_fused(&dev, &a, &mut piv, &mut b, &mut info, 32).unwrap();
-    for id in 0..batch {
-        assert!(matches!(status[id], MixedStatus::Converged(_)));
+    for (id, st) in status.iter().enumerate().take(batch) {
+        assert!(matches!(st, MixedStatus::Converged(_)));
         let berr = backward_error(a.matrix(id), b.block(id), b0.block(id));
         assert!(berr < 1e-13, "id {id}: berr {berr:.2e}");
     }
@@ -157,7 +161,9 @@ fn nonuniform_batch_on_multi_gcd() {
             let mut prhs = VarRhs::from_fn(&pa, 1, |k, i, _| rhs0.block(lo + k)[i]).unwrap();
             let mut piv = VarPivots::for_batch(&pa);
             let mut info = InfoArray::new(pa.batch());
-            let rep = gbatch::kernels::vbatch::dgbsv_vbatch(dev, &mut pa, &mut piv, &mut prhs, &mut info, 4)?;
+            let rep = gbatch::kernels::vbatch::dgbsv_vbatch(
+                dev, &mut pa, &mut piv, &mut prhs, &mut info, 4,
+            )?;
             assert!(info.all_ok());
             for k in 0..pa.batch() {
                 solved[lo + k] = Some(prhs.block(k).to_vec());
@@ -166,8 +172,8 @@ fn nonuniform_batch_on_multi_gcd() {
         })
         .unwrap();
     assert!(makespan.secs() > 0.0);
-    for id in 0..batch {
-        let x = solved[id].as_ref().expect("every system solved");
+    for (id, sol) in solved.iter().enumerate().take(batch) {
+        let x = sol.as_ref().expect("every system solved");
         let berr = backward_error(a0.matrix(id), x, rhs0.block(id));
         assert!(berr < 1e-11, "id {id}: {berr:.2e}");
     }
@@ -284,9 +290,7 @@ fn gpu_solvers_respect_ldb_padding() {
                     n,
                     1,
                 );
-                for i in 0..n {
-                    assert_eq!(b.block(id)[c * ldb + i], expect[i]);
-                }
+                assert_eq!(&b.block(id)[c * ldb..c * ldb + n], &expect[..n]);
             }
         }
     }
@@ -309,5 +313,8 @@ fn partial_wave_pricing() {
     let mut spill = vec![(); dev.sms as usize + 1];
     let t2 = launch(&dev, &cfg, &mut spill, body).unwrap().time;
     let ratio = (t2.secs() - dev.launch_overhead_s) / (t1.secs() - dev.launch_overhead_s);
-    assert!((ratio - 2.0).abs() < 0.05, "one extra block = one extra wave: {ratio:.3}");
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "one extra block = one extra wave: {ratio:.3}"
+    );
 }

@@ -2,9 +2,9 @@
 //! dispatch fallbacks, and degenerate inputs.
 
 use gbatch::core::{BandBatch, InfoArray, PivotBatch, RhsBatch};
-use gbatch::gpu_sim::{DeviceSpec, LaunchConfig, LaunchError};
+use gbatch::gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy};
 use gbatch::kernels::dispatch::{dgbsv_batch, dgbtrf_batch, ChosenAlgo, FactorAlgo, GbsvOptions};
-use gbatch::kernels::fused::{fused_smem_bytes, gbtrf_batch_fused, FusedParams};
+use gbatch::kernels::fused::{gbtrf_batch_fused, FusedParams};
 
 fn healthy_batch(batch: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
     let mut v = 0.41f64;
@@ -41,7 +41,14 @@ fn mixed_singular_batch_reports_exact_columns() {
     }
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl)).unwrap();
+    gbtrf_batch_fused(
+        &dev,
+        &mut a,
+        &mut piv,
+        &mut info,
+        FusedParams::auto(&dev, kl),
+    )
+    .unwrap();
     assert_eq!(info.failures(), vec![2, 7]);
     assert_eq!(info.get(2), 5);
     assert_eq!(info.get(7), 5);
@@ -71,7 +78,15 @@ fn dgbsv_mixed_batch_preserves_failed_rhs() {
     let mut b = b0.clone();
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default()).unwrap();
+    dgbsv_batch(
+        &dev,
+        &mut a,
+        &mut piv,
+        &mut b,
+        &mut info,
+        &GbsvOptions::default(),
+    )
+    .unwrap();
     assert_eq!(info.failures(), vec![3]);
     assert_eq!(info.get(3), 1);
     assert_eq!(b.block(3), b0.block(3), "failed RHS untouched");
@@ -92,8 +107,14 @@ fn fused_overflow_is_a_clean_error_and_dispatch_recovers() {
     let mut info = InfoArray::new(batch);
 
     let before = a.data().to_vec();
-    let err = gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl))
-        .unwrap_err();
+    let err = gbtrf_batch_fused(
+        &dev,
+        &mut a,
+        &mut piv,
+        &mut info,
+        FusedParams::auto(&dev, kl),
+    )
+    .unwrap_err();
     assert!(matches!(err, LaunchError::SharedMemExceeded { .. }));
     assert_eq!(a.data(), &before[..], "failed launch must not touch data");
 
@@ -111,7 +132,10 @@ fn forcing_impossible_algorithm_errors() {
     let mut a = healthy_batch(batch, n, 2, 3);
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    let opts = GbsvOptions { algo: FactorAlgo::Fused, ..Default::default() };
+    let opts = GbsvOptions {
+        algo: FactorAlgo::Fused,
+        ..Default::default()
+    };
     let err = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap_err();
     assert!(matches!(err, LaunchError::SharedMemExceeded { .. }));
 }
@@ -127,7 +151,15 @@ fn degenerate_shapes_work() {
         let mut b = b0.clone();
         let mut piv = PivotBatch::new(4, n, n);
         let mut info = InfoArray::new(4);
-        dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default()).unwrap();
+        dgbsv_batch(
+            &dev,
+            &mut a,
+            &mut piv,
+            &mut b,
+            &mut info,
+            &GbsvOptions::default(),
+        )
+        .unwrap();
         assert!(info.all_ok(), "n={n} kl={kl} ku={ku}");
         for id in 0..4 {
             let berr = gbatch::core::residual::backward_error(
@@ -136,6 +168,85 @@ fn degenerate_shapes_work() {
                 b0.block(id),
             );
             assert!(berr < 1e-12, "n={n} kl={kl} ku={ku} id={id}: {berr:.2e}");
+        }
+    }
+}
+
+/// Mixed singular/healthy batch under the parallel executor: the 1-based
+/// info columns and every factor bit must match the serial run — failure
+/// isolation is per matrix, regardless of which worker hits the singular
+/// block.
+#[test]
+fn parallel_mixed_singular_batch_matches_serial_info() {
+    let dev = DeviceSpec::h100_pcie();
+    let (batch, n, kl, ku) = (24, 30, 2, 1);
+    let a0 = {
+        let mut a = healthy_batch(batch, n, kl, ku);
+        // Structurally zero column 4 of a scattered set of systems.
+        for id in [2usize, 7, 11, 23] {
+            let mut m = a.matrix_mut(id);
+            let (s, e) = m.layout.col_rows(4);
+            for i in s..e {
+                m.set(i, 4, 0.0);
+            }
+        }
+        a
+    };
+
+    let run = |params: FusedParams| {
+        let mut a = a0.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, params).unwrap();
+        (a, piv, info)
+    };
+    let base = FusedParams::auto(&dev, kl);
+    let serial = run(base);
+    assert_eq!(serial.2.failures(), vec![2, 7, 11, 23]);
+    for id in [2usize, 7, 11, 23] {
+        assert_eq!(serial.2.get(id), 5, "1-based singular column");
+    }
+    let par = run(base.with_parallel(ParallelPolicy::threads(4)));
+    assert_eq!(serial.0.data(), par.0.data(), "factors");
+    assert_eq!(serial.1, par.1, "pivots");
+    assert_eq!(serial.2, par.2, "info codes");
+}
+
+/// A panicking block must be caught by the executor without corrupting its
+/// siblings: every other block completes its work, and the propagated
+/// panic is the one from the lowest block id in both serial and parallel
+/// runs (observational equivalence).
+#[test]
+fn panicking_block_does_not_corrupt_siblings() {
+    let dev = DeviceSpec::h100_pcie();
+    let cfg_for = |policy: ParallelPolicy| LaunchConfig::new(32, 0).with_parallel(policy);
+    for policy in [ParallelPolicy::Serial, ParallelPolicy::threads(4)] {
+        let mut data: Vec<u64> = (0..64).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            launch(&dev, &cfg_for(policy), &mut data, |v, ctx| {
+                if *v == 13 || *v == 40 {
+                    panic!("injected failure in block {}", *v);
+                }
+                *v += 1000;
+                ctx.gst(8);
+            })
+        }))
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().unwrap();
+        assert_eq!(
+            msg, "injected failure in block 13",
+            "{policy:?}: lowest block id's panic must win"
+        );
+        for (i, v) in data.iter().enumerate() {
+            if i == 13 || i == 40 {
+                assert_eq!(*v, i as u64, "{policy:?}: panicked block left as-is");
+            } else {
+                assert_eq!(
+                    *v,
+                    i as u64 + 1000,
+                    "{policy:?}: sibling block {i} completed"
+                );
+            }
         }
     }
 }

@@ -1,10 +1,10 @@
 //! Cross-crate integration tests: workloads -> kernels/CPU -> residuals.
 
+use gbatch::core::gbtrs::Transpose;
 use gbatch::core::residual::backward_error;
 use gbatch::core::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch::cpu::{cpu_gbsv_batch, CpuSpec};
 use gbatch::gpu_sim::DeviceSpec;
-use gbatch::core::gbtrs::Transpose;
 use gbatch::kernels::dispatch::{dgbsv_batch, dgbtrf_batch, dgbtrs_batch, FactorAlgo, GbsvOptions};
 use gbatch::tuning::{sweep_band, SweepConfig};
 use gbatch::workloads::random::{random_band_batch, BandDistribution};
@@ -14,8 +14,10 @@ use rand::SeedableRng;
 fn system(batch: usize, n: usize, kl: usize, ku: usize, nrhs: usize) -> (BandBatch, RhsBatch) {
     let mut rng = StdRng::seed_from_u64((n * 31 + kl * 7 + ku * 3 + nrhs) as u64);
     let a = random_band_batch(&mut rng, batch, n, kl, ku, BandDistribution::Uniform);
-    let b = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| ((id + i * 3 + c * 5) as f64 * 0.17).sin())
-        .unwrap();
+    let b = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+        ((id + i * 3 + c * 5) as f64 * 0.17).sin()
+    })
+    .unwrap();
     (a, b)
 }
 
@@ -32,8 +34,15 @@ fn all_platforms_solve_paper_configurations() {
                 let (mut a, mut b) = (a0.clone(), b0.clone());
                 let mut piv = PivotBatch::new(batch, n, n);
                 let mut info = InfoArray::new(batch);
-                dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default())
-                    .unwrap();
+                dgbsv_batch(
+                    &dev,
+                    &mut a,
+                    &mut piv,
+                    &mut b,
+                    &mut info,
+                    &GbsvOptions::default(),
+                )
+                .unwrap();
                 assert!(info.all_ok());
                 for id in 0..batch {
                     for c in 0..nrhs {
@@ -72,7 +81,10 @@ fn gpu_and_cpu_agree_bitwise() {
     let mut ig = InfoArray::new(batch);
     // Separate factor+solve (disable the fused driver so both sides run
     // the same decomposition-then-substitution sequence).
-    let opts = GbsvOptions { allow_fused_gbsv: Some(false), ..Default::default() };
+    let opts = GbsvOptions {
+        allow_fused_gbsv: Some(false),
+        ..Default::default()
+    };
     dgbsv_batch(&dev, &mut ag, &mut pg, &mut bg, &mut ig, &opts).unwrap();
 
     let cpu = CpuSpec::xeon_gold_6140();
@@ -105,8 +117,16 @@ fn factor_once_solve_many() {
         })
         .unwrap();
         let b0 = b.clone();
-        dgbtrs_batch(&dev, Transpose::No, &l, a.data(), &piv, &mut b, &GbsvOptions::default())
-            .unwrap();
+        dgbtrs_batch(
+            &dev,
+            Transpose::No,
+            &l,
+            a.data(),
+            &piv,
+            &mut b,
+            &GbsvOptions::default(),
+        )
+        .unwrap();
         for id in 0..batch {
             for c in 0..2 {
                 let x = &b.block(id)[c * n..(c + 1) * n];
@@ -124,7 +144,11 @@ fn tuned_parameters_help_or_match() {
     let dev = DeviceSpec::mi250x_gcd();
     let (kl, ku) = (10usize, 7usize);
     let entry = sweep_band(&dev, &SweepConfig::default(), kl, ku).unwrap();
-    let tuned = gbatch::kernels::window::WindowParams { nb: entry.nb, threads: entry.threads };
+    let tuned = gbatch::kernels::window::WindowParams {
+        nb: entry.nb,
+        threads: entry.threads,
+        ..Default::default()
+    };
     let auto = gbatch::kernels::window::WindowParams::auto(&dev, kl);
 
     let (batch, n) = (32, 256);
@@ -134,8 +158,9 @@ fn tuned_parameters_help_or_match() {
         let mut a = a0.clone();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        let rep = gbatch::kernels::window::gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, params)
-            .unwrap();
+        let rep =
+            gbatch::kernels::window::gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, params)
+                .unwrap();
         assert!(info.all_ok());
         times.push(rep.time.secs());
     }
@@ -154,8 +179,13 @@ fn workload_generators_run_through_every_algorithm() {
     let mut rng = StdRng::seed_from_u64(5);
     let dev = DeviceSpec::h100_pcie();
 
-    let pele = gbatch::workloads::pele_batch(&mut rng, 12, &gbatch::workloads::pele::PeleConfig::default());
-    let xgc = gbatch::workloads::xgc_batch(&mut rng, 12, &gbatch::workloads::xgc::XgcConfig::default());
+    let pele = gbatch::workloads::pele_batch(
+        &mut rng,
+        12,
+        &gbatch::workloads::pele::PeleConfig::default(),
+    );
+    let xgc =
+        gbatch::workloads::xgc_batch(&mut rng, 12, &gbatch::workloads::xgc::XgcConfig::default());
     let react = gbatch::workloads::react_eval_batch(
         &mut rng,
         12,
@@ -170,7 +200,10 @@ fn workload_generators_run_through_every_algorithm() {
             let mut a = a0.clone();
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            let opts = GbsvOptions { algo, ..Default::default() };
+            let opts = GbsvOptions {
+                algo,
+                ..Default::default()
+            };
             dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
             assert!(info.all_ok());
             match &reference {

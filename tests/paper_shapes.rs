@@ -3,9 +3,9 @@
 //! pins one qualitative claim of the paper against the measurement
 //! pipeline used by the `repro` binary.
 
-use gbatch_bench::experiments::{gbsv_gpu_ms, gbsv_cpu_ms, gbtrf_cpu_ms, gbtrf_gpu_ms};
-use gbatch_bench::Platforms;
 use gbatch::kernels::dispatch::FactorAlgo;
+use gbatch_bench::experiments::{gbsv_cpu_ms, gbsv_gpu_ms, gbtrf_cpu_ms, gbtrf_gpu_ms};
+use gbatch_bench::Platforms;
 
 fn platforms() -> Platforms {
     Platforms::tuned(12)
@@ -23,7 +23,10 @@ fn fused_staircase_and_failure() {
     let t128 = gbtrf_gpu_ms(&p.mi250x, 128, 2, 3, FactorAlgo::Fused, None).unwrap();
     let jump = t128 / t96;
     let size_ratio = 128.0 / 96.0;
-    assert!(jump > 1.5 * size_ratio, "staircase jump missing: {jump:.2}x for {size_ratio:.2}x");
+    assert!(
+        jump > 1.5 * size_ratio,
+        "staircase jump missing: {jump:.2}x for {size_ratio:.2}x"
+    );
     // (10,7): fails beyond the 64 KB LDS, succeeds on the H100.
     assert!(gbtrf_gpu_ms(&p.mi250x, 512, 10, 7, FactorAlgo::Fused, None).is_none());
     assert!(gbtrf_gpu_ms(&p.h100, 512, 10, 7, FactorAlgo::Fused, None).is_some());
@@ -36,15 +39,17 @@ fn fused_staircase_and_failure() {
 fn final_gbtrf_orderings() {
     let p = platforms();
     let n = 512;
-    for (kl, ku, h_min, mi_lo, mi_hi) in
-        [(2usize, 3usize, 2.0, 1.4, 3.0), (10, 7, 2.5, 0.7, 1.8)]
-    {
+    for (kl, ku, h_min, mi_lo, mi_hi) in [(2usize, 3usize, 2.0, 1.4, 3.0), (10, 7, 2.5, 0.7, 1.8)] {
         let params_h = p.window_params(&p.h100, kl, ku);
         let params_m = p.window_params(&p.mi250x, kl, ku);
         let cpu = gbtrf_cpu_ms(&p.cpu, n, kl, ku);
         let h = gbtrf_gpu_ms(&p.h100, n, kl, ku, FactorAlgo::Window, params_h).unwrap();
         let m = gbtrf_gpu_ms(&p.mi250x, n, kl, ku, FactorAlgo::Window, params_m).unwrap();
-        assert!(cpu / h > h_min, "H100 speedup {:.2} at ({kl},{ku})", cpu / h);
+        assert!(
+            cpu / h > h_min,
+            "H100 speedup {:.2} at ({kl},{ku})",
+            cpu / h
+        );
         let mi_speedup = cpu / m;
         assert!(
             (mi_lo..mi_hi).contains(&mi_speedup),
@@ -52,7 +57,11 @@ fn final_gbtrf_orderings() {
         );
         // H100 vs MI250x gap above the bandwidth ratio at the wide band.
         if kl == 10 {
-            assert!(m / h > 1.47, "gap {:.2} should exceed the 1.47x bandwidth ratio", m / h);
+            assert!(
+                m / h > 1.47,
+                "gap {:.2} should exceed the 1.47x bandwidth ratio",
+                m / h
+            );
         }
     }
 }
@@ -77,8 +86,14 @@ fn fused_gbsv_crossover_on_mi250x() {
         .find(|s| s.label.starts_with("Std - MI250x"))
         .expect("series");
     // Small: fused wins; large: standard wins (the crossover).
-    assert!(fused_mi.at(32).unwrap() < std_mi.at(32).unwrap(), "fused must win at n=32");
-    assert!(std_mi.at(160).unwrap() < fused_mi.at(160).unwrap(), "standard must win at n=160");
+    assert!(
+        fused_mi.at(32).unwrap() < std_mi.at(32).unwrap(),
+        "fused must win at n=32"
+    );
+    assert!(
+        std_mi.at(160).unwrap() < fused_mi.at(160).unwrap(),
+        "standard must win at n=160"
+    );
     // On the H100 the fused driver still wins at 64 (the cutoff choice).
     let fused_h = fig23
         .series
@@ -103,12 +118,18 @@ fn ten_rhs_helps_the_gpu() {
     let cpu1 = gbsv_cpu_ms(&p.cpu, n, 2, 3, 1);
     let cpu10 = gbsv_cpu_ms(&p.cpu, n, 2, 3, 10);
     let cpu_growth = cpu10 / cpu1;
-    assert!((1.7..2.6).contains(&cpu_growth), "paper: ~2.18x, got {cpu_growth:.2}x");
+    assert!(
+        (1.7..2.6).contains(&cpu_growth),
+        "paper: ~2.18x, got {cpu_growth:.2}x"
+    );
     let params = p.window_params(&p.h100, 2, 3);
     let h1 = gbsv_gpu_ms(&p.h100, n, 2, 3, 1, params, true).unwrap();
     let h10 = gbsv_gpu_ms(&p.h100, n, 2, 3, 10, params, true).unwrap();
     let gpu_growth = h10 / h1;
-    assert!(gpu_growth < cpu_growth, "GPU growth {gpu_growth:.2} must undercut CPU {cpu_growth:.2}");
+    assert!(
+        gpu_growth < cpu_growth,
+        "GPU growth {gpu_growth:.2} must undercut CPU {cpu_growth:.2}"
+    );
     assert!(cpu10 / h10 > cpu1 / h1, "speedup must increase with nrhs");
 }
 
@@ -123,5 +144,9 @@ fn bandwidth_ratio_vs_solver_gap() {
     let params_m = p.window_params(&p.mi250x, 10, 7);
     let h = gbsv_gpu_ms(&p.h100, 512, 10, 7, 1, params_h, true).unwrap();
     let m = gbsv_gpu_ms(&p.mi250x, 512, 10, 7, 1, params_m, true).unwrap();
-    assert!(m / h > bw_ratio, "solver gap {:.2} must exceed bandwidth ratio {bw_ratio:.2}", m / h);
+    assert!(
+        m / h > bw_ratio,
+        "solver gap {:.2} must exceed bandwidth ratio {bw_ratio:.2}",
+        m / h
+    );
 }
