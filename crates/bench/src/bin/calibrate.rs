@@ -79,4 +79,38 @@ fn main() {
         "MI250x best: lat_scale {:.2}, work_scale {:.1}, err {:.4}",
         m.0, m.1, m.2
     );
+
+    println!("calibrating layout crossover (CrossoverModel scales)...");
+    let cal = gbatch_bench::calibrate_layout();
+    for p in &cal.points {
+        println!(
+            "  {} n {} (kl,ku)=({},{}) batch {}: column {:.4} ms, \
+             interleaved {:.4} ms (model {:.4} ms) -> {} (auto: {}, regret {:.3})",
+            p.device,
+            p.n,
+            p.kl,
+            p.ku,
+            p.batch,
+            p.column_ms,
+            p.interleaved_ms,
+            p.predicted_interleaved_ms,
+            p.measured_winner,
+            p.auto_pick,
+            p.auto_regret,
+        );
+    }
+    println!(
+        "layout fit: interleaved_scale {:.6}, column_scale {:.6}, \
+         winner agreement {:.0}%, max auto regret {:.3}",
+        cal.interleaved_scale,
+        cal.column_scale,
+        cal.agreement * 100.0,
+        cal.max_auto_regret
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/layout_calibration.json"
+    );
+    std::fs::write(path, cal.to_json() + "\n").expect("write calibration table");
+    println!("wrote {path}");
 }

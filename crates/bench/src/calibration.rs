@@ -1,0 +1,227 @@
+//! Layout-crossover calibration: fit the [`CrossoverModel`] scale
+//! constants from *executed* dispatch runs and persist the table the
+//! dispatch decision documents (`results/layout_calibration.json`).
+//!
+//! The simulated engine prices every launch through the same analytic
+//! machinery the model uses, so the fitted scales land at unity — the
+//! point of the table is (a) to prove that on the calibration grid, (b) to
+//! record the measured crossover batch sizes for the docs, and (c) to give
+//! a real-hardware port a place to drop measured constants.
+
+use gbatch_core::batch::{InfoArray, PivotBatch};
+use gbatch_core::{BandBatch, BandLayout};
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::cost::CrossoverModel;
+use gbatch_kernels::dispatch::{dgbtrf_batch, GbsvOptions, MatrixLayout};
+use gbatch_kernels::interleaved::InterleavedParams;
+use serde::{Deserialize, Serialize};
+
+/// One grid point of the calibration run: measured (executed, modeled)
+/// time per forced layout next to the model's prediction and verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationPoint {
+    /// Device name (`h100_pcie` / `mi250x_gcd` spec label).
+    pub device: String,
+    /// Matrix order.
+    pub n: usize,
+    /// Sub-diagonals.
+    pub kl: usize,
+    /// Super-diagonals.
+    pub ku: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Executed column-major dispatch time (ms).
+    pub column_ms: f64,
+    /// Executed interleaved dispatch time (ms), conversion included.
+    pub interleaved_ms: f64,
+    /// Model-predicted interleaved time (ms), conversion included.
+    pub predicted_interleaved_ms: f64,
+    /// Layout the executed times favour.
+    pub measured_winner: String,
+    /// Layout `MatrixLayout::Auto` actually picked.
+    pub auto_pick: String,
+    /// Executed time of the auto pick divided by the best executed time
+    /// (the ISSUE bound: never above 1.10 on this grid).
+    pub auto_regret: f64,
+}
+
+/// The persisted calibration table: fitted scales + the grid evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutCalibration {
+    /// Fitted multiplier on the predicted interleaved time (geometric mean
+    /// of executed / predicted over the grid).
+    pub interleaved_scale: f64,
+    /// Fitted multiplier on the predicted column-major time.
+    pub column_scale: f64,
+    /// Fraction of grid points where the model's winner matches the
+    /// executed winner.
+    pub agreement: f64,
+    /// Largest `auto_regret` across the grid.
+    pub max_auto_regret: f64,
+    /// Per-point evidence.
+    pub points: Vec<CalibrationPoint>,
+}
+
+impl LayoutCalibration {
+    /// The [`CrossoverModel`] this table fits.
+    pub fn model(&self) -> CrossoverModel {
+        CrossoverModel {
+            interleaved_scale: self.interleaved_scale,
+            column_scale: self.column_scale,
+            include_conversion: true,
+        }
+    }
+
+    /// Serialize to pretty JSON (the `results/layout_calibration.json`
+    /// format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("calibration serializes")
+    }
+
+    /// Parse the persisted table.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// The calibration grid: small-n/large-batch (interleaved territory),
+/// mid-size bands (column territory), and band shapes near the measured
+/// crossover.
+const GRID: [(usize, usize, usize, usize); 6] = [
+    (16, 1, 2, 2048),
+    (24, 1, 1, 64),
+    (96, 2, 3, 40),
+    (200, 6, 6, 16),
+    (256, 8, 8, 256),
+    (96, 40, 40, 8),
+];
+
+fn deterministic_batch(batch: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
+    let mut v = 0.29f64;
+    BandBatch::from_fn(batch, n, n, kl, ku, |_, m| {
+        for j in 0..n {
+            let (s, e) = m.layout.col_rows(j);
+            for i in s..e {
+                v = (v * 1.93 + 0.17).fract();
+                m.set(i, j, v - 0.5 + if i == j { 2.5 } else { 0.0 });
+            }
+        }
+    })
+    .expect("non-empty calibration batch")
+}
+
+fn run_ms(dev: &DeviceSpec, a0: &BandBatch, layout: MatrixLayout) -> (f64, MatrixLayout) {
+    let l = a0.layout();
+    let mut a = a0.clone();
+    let mut piv = PivotBatch::new(a0.batch(), l.m, l.n);
+    let mut info = InfoArray::new(a0.batch());
+    let opts = GbsvOptions {
+        layout,
+        ..Default::default()
+    };
+    let rep = dgbtrf_batch(dev, &mut a, &mut piv, &mut info, &opts).expect("calibration launch");
+    let picked = if rep.algo == gbatch_kernels::dispatch::ChosenAlgo::Interleaved {
+        MatrixLayout::Interleaved
+    } else {
+        MatrixLayout::ColumnMajor
+    };
+    (rep.time.secs() * 1e3, picked)
+}
+
+fn predicted_interleaved_ms(dev: &DeviceSpec, l: &BandLayout, batch: usize) -> f64 {
+    let params = InterleavedParams::auto(dev, l, 0);
+    CrossoverModel::default()
+        .interleaved_time(dev, l, batch, 0, &params)
+        .map(|t| t.secs() * 1e3)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Run the calibration grid on both paper devices and fit the scales.
+pub fn calibrate_layout() -> LayoutCalibration {
+    let devices = [DeviceSpec::h100_pcie(), DeviceSpec::mi250x_gcd()];
+    let mut points = Vec::new();
+    let mut log_ratio_sum = 0.0;
+    let mut log_ratio_count = 0usize;
+    let mut agree = 0usize;
+    let mut max_auto_regret: f64 = 0.0;
+    for dev in &devices {
+        for &(n, kl, ku, batch) in &GRID {
+            let a0 = deterministic_batch(batch, n, kl, ku);
+            let (column_ms, _) = run_ms(dev, &a0, MatrixLayout::ColumnMajor);
+            let (interleaved_ms, _) = run_ms(dev, &a0, MatrixLayout::Interleaved);
+            let (auto_ms, auto_pick) = run_ms(dev, &a0, MatrixLayout::Auto);
+            let predicted = predicted_interleaved_ms(dev, &a0.layout(), batch);
+            if predicted.is_finite() && interleaved_ms > 0.0 {
+                log_ratio_sum += (interleaved_ms / predicted).ln();
+                log_ratio_count += 1;
+            }
+            let measured_winner = if interleaved_ms < column_ms {
+                MatrixLayout::Interleaved
+            } else {
+                MatrixLayout::ColumnMajor
+            };
+            if measured_winner == auto_pick {
+                agree += 1;
+            }
+            let best_ms = column_ms.min(interleaved_ms);
+            let auto_regret = auto_ms / best_ms;
+            max_auto_regret = max_auto_regret.max(auto_regret);
+            points.push(CalibrationPoint {
+                device: dev.name.to_string(),
+                n,
+                kl,
+                ku,
+                batch,
+                column_ms,
+                interleaved_ms,
+                predicted_interleaved_ms: predicted,
+                measured_winner: format!("{measured_winner:?}"),
+                auto_pick: format!("{auto_pick:?}"),
+                auto_regret,
+            });
+        }
+    }
+    let interleaved_scale = if log_ratio_count > 0 {
+        (log_ratio_sum / log_ratio_count as f64).exp()
+    } else {
+        1.0
+    };
+    LayoutCalibration {
+        interleaved_scale,
+        column_scale: 1.0,
+        agreement: agree as f64 / points.len() as f64,
+        max_auto_regret,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The simulated engine executes exactly what the model predicts, so
+    /// the fit must land at unity, the model must agree with the measured
+    /// winner everywhere, and auto must never lose by more than the ISSUE
+    /// bound (10%) on the calibration grid.
+    #[test]
+    fn calibration_fits_unity_and_auto_is_never_much_slower() {
+        let cal = calibrate_layout();
+        assert!(
+            (cal.interleaved_scale - 1.0).abs() < 1e-9,
+            "interleaved_scale {} must be unity on the simulated engine",
+            cal.interleaved_scale
+        );
+        assert!(
+            (cal.agreement - 1.0).abs() < f64::EPSILON,
+            "model/measurement winner disagreement: {:#?}",
+            cal.points
+        );
+        assert!(
+            cal.max_auto_regret <= 1.10,
+            "auto picked a layout more than 10% slower: {:#?}",
+            cal.points
+        );
+        let round: LayoutCalibration = LayoutCalibration::from_json(&cal.to_json()).unwrap();
+        assert_eq!(round, cal, "JSON round-trip");
+    }
+}

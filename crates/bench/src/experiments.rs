@@ -15,7 +15,7 @@ use gbatch_cpu::{cpu_gbsv_batch, cpu_gbtrf_batch, CpuSpec};
 use gbatch_gpu_sim::stream::simulate_streams;
 use gbatch_gpu_sim::timing::estimate_aggregate;
 use gbatch_gpu_sim::{DeviceSpec, KernelCounters, LaunchConfig};
-use gbatch_kernels::dispatch::{dgbsv_batch, dgbtrf_batch, FactorAlgo, GbsvOptions};
+use gbatch_kernels::dispatch::{dgbsv_batch, dgbtrf_batch, FactorAlgo, GbsvOptions, MatrixLayout};
 use gbatch_kernels::fused::{fused_smem_bytes, gbtrf_batch_fused, FusedParams};
 use gbatch_kernels::gemm::{gemm_block_counters, gemm_gflops, gemm_smem_bytes};
 use gbatch_kernels::gemv::{gemv_block_counters, gemv_gflops, measure_sustained_bandwidth};
@@ -77,9 +77,12 @@ pub fn gbtrf_gpu_ms(
     let l = a.layout();
     let mut piv = PivotBatch::new(EXEC_BATCH, n, n);
     let mut info = InfoArray::new(EXEC_BATCH);
+    // The paper experiments measure the column-major designs; the layout
+    // dimension has its own bench (`benches/interleaved_layout.rs`).
     let opts = GbsvOptions {
         algo,
         window,
+        layout: MatrixLayout::ColumnMajor,
         ..Default::default()
     };
 
@@ -207,6 +210,8 @@ pub fn gbsv_gpu_ms(
     let opts = GbsvOptions {
         window,
         allow_fused_gbsv: Some(allow_fused_gbsv),
+        // Paper pipeline: column-major designs only (see above).
+        layout: MatrixLayout::ColumnMajor,
         ..Default::default()
     };
     let rep = dgbsv_batch(dev, &mut a, &mut piv, &mut b, &mut info, &opts).ok()?;

@@ -19,9 +19,11 @@
 //! CPU times from the calibrated Skylake model; numerics execute for real
 //! and every run asserts residual correctness before reporting times.
 
+pub mod calibration;
 pub mod experiments;
 pub mod platforms;
 pub mod report;
 
+pub use calibration::{calibrate_layout, LayoutCalibration};
 pub use platforms::Platforms;
 pub use report::{Series, SpeedupSummary};

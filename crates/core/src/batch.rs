@@ -36,6 +36,24 @@ impl BandBatch {
         })
     }
 
+    /// Zero-initialized batch with an explicit layout (any storage
+    /// flavour, any valid `ldab`) — the general constructor behind
+    /// layout-conversion code such as
+    /// [`crate::interleaved::InterleavedBandBatch::to_batch`].
+    pub fn zeros_with_layout(layout: BandLayout, batch: usize) -> Result<Self> {
+        if batch == 0 {
+            return Err(BandError::BadDimension {
+                arg: "batch",
+                constraint: "batch > 0",
+            });
+        }
+        Ok(BandBatch {
+            batch,
+            data: vec![0.0; layout.len() * batch],
+            layout,
+        })
+    }
+
     /// Build a batch from a closure producing each matrix's band data.
     pub fn from_fn(
         batch: usize,
@@ -59,23 +77,27 @@ impl BandBatch {
 
     /// Layout shared by every matrix in the batch.
     #[inline]
+    #[must_use]
     pub fn layout(&self) -> BandLayout {
         self.layout
     }
 
     /// Number of matrices.
     #[inline]
+    #[must_use]
     pub fn batch(&self) -> usize {
         self.batch
     }
 
     /// Stride in `f64` elements between consecutive matrices.
     #[inline]
+    #[must_use]
     pub fn matrix_stride(&self) -> usize {
         self.layout.len()
     }
 
     /// Read-only view of matrix `id`.
+    #[must_use]
     pub fn matrix(&self, id: usize) -> BandMatrixRef<'_> {
         assert!(
             id < self.batch,
@@ -117,6 +139,7 @@ impl BandBatch {
 
     /// Whole contiguous storage.
     #[inline]
+    #[must_use]
     pub fn data(&self) -> &[f64] {
         &self.data
     }
@@ -129,6 +152,7 @@ impl BandBatch {
 
     /// Total bytes of the batch payload (used by the timing models).
     #[inline]
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f64>()
     }
@@ -155,17 +179,20 @@ impl PivotBatch {
 
     /// Pivot count per matrix.
     #[inline]
+    #[must_use]
     pub fn per_matrix(&self) -> usize {
         self.per_matrix
     }
 
     /// Number of matrices.
     #[inline]
+    #[must_use]
     pub fn batch(&self) -> usize {
         self.batch
     }
 
     /// Pivot vector of matrix `id`.
+    #[must_use]
     pub fn pivots(&self, id: usize) -> &[i32] {
         &self.data[id * self.per_matrix..(id + 1) * self.per_matrix]
     }
@@ -181,15 +208,66 @@ impl PivotBatch {
         self.data.chunks_mut(s)
     }
 
-    /// Convert every pivot to LAPACK's 1-based convention (new vector).
+    /// All pivots as one flat slice, matrix-after-matrix (`per_matrix`
+    /// entries per matrix). The kernel layer splits this into contiguous
+    /// per-chunk sub-slices for parallel execution.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// All pivots as one flat mutable slice, matrix-after-matrix.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
+    /// Convert every pivot to LAPACK's 1-based convention, flattened
+    /// matrix-after-matrix like [`PivotBatch::as_slice`].
+    ///
+    /// This workspace stores pivots **0-based**: `pivots(id)[j] = j + jp`
+    /// means rows `j` and `j + jp` of matrix `id` were swapped at column
+    /// step `j`. LAPACK's `IPIV` is 1-based, so the conversion is `p + 1`
+    /// entry-wise and the exact inverse is
+    /// [`PivotBatch::set_from_lapack_one_based`] (`p - 1`): the two form a
+    /// lossless round trip for every valid pivot value, including the
+    /// identity pivot `ipiv[j] = j` (which LAPACK reports as `j + 1`).
+    /// [`InfoArray`] needs no such conversion — its codes already use the
+    /// LAPACK convention verbatim (`0` = success, `j > 0` = first zero
+    /// pivot at 1-based column `j`) and round-trip unchanged.
+    #[must_use]
     pub fn to_lapack_one_based(&self) -> Vec<i32> {
         self.data.iter().map(|&p| p + 1).collect()
+    }
+
+    /// Overwrite all pivots from a flat LAPACK 1-based vector — the inverse
+    /// of [`PivotBatch::to_lapack_one_based`].
+    ///
+    /// # Panics
+    /// Panics when `one_based` does not hold exactly
+    /// `per_matrix * batch` entries.
+    pub fn set_from_lapack_one_based(&mut self, one_based: &[i32]) {
+        assert_eq!(
+            one_based.len(),
+            self.data.len(),
+            "pivot vector length mismatch"
+        );
+        for (dst, &p) in self.data.iter_mut().zip(one_based) {
+            *dst = p - 1;
+        }
     }
 }
 
 /// Per-matrix return codes, LAPACK convention: `0` = success, `j > 0` = the
 /// `j`-th (1-based) pivot was exactly zero — the factorization finished but
 /// `U` is singular and a solve would divide by zero.
+///
+/// Unlike [`PivotBatch`] (0-based internally, converted through
+/// [`PivotBatch::to_lapack_one_based`]), info codes are stored in the
+/// LAPACK convention directly: `as_slice` *is* the `info` array a
+/// `dgbtrf_batch` C interface would return, no conversion, and therefore
+/// round-trips unchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InfoArray {
     data: Vec<i32>,
@@ -205,18 +283,21 @@ impl InfoArray {
 
     /// Number of entries.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
     /// True when empty.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
     /// Info code of matrix `id`.
     #[inline]
+    #[must_use]
     pub fn get(&self, id: usize) -> i32 {
         self.data[id]
     }
@@ -229,6 +310,7 @@ impl InfoArray {
 
     /// Raw slice.
     #[inline]
+    #[must_use]
     pub fn as_slice(&self) -> &[i32] {
         &self.data
     }
@@ -240,11 +322,13 @@ impl InfoArray {
     }
 
     /// True when every problem factored without a zero pivot.
+    #[must_use]
     pub fn all_ok(&self) -> bool {
         self.data.iter().all(|&i| i == 0)
     }
 
     /// Ids of the problems that hit a zero pivot.
+    #[must_use]
     pub fn failures(&self) -> Vec<usize> {
         self.data
             .iter()
@@ -315,35 +399,41 @@ impl RhsBatch {
 
     /// System order.
     #[inline]
+    #[must_use]
     pub fn n(&self) -> usize {
         self.n
     }
 
     /// Number of right-hand sides per matrix.
     #[inline]
+    #[must_use]
     pub fn nrhs(&self) -> usize {
         self.nrhs
     }
 
     /// Leading dimension of each block.
     #[inline]
+    #[must_use]
     pub fn ldb(&self) -> usize {
         self.ldb
     }
 
     /// Number of matrices.
     #[inline]
+    #[must_use]
     pub fn batch(&self) -> usize {
         self.batch
     }
 
     /// Stride between matrices in `f64` elements.
     #[inline]
+    #[must_use]
     pub fn block_stride(&self) -> usize {
         self.ldb * self.nrhs
     }
 
     /// RHS block of matrix `id` (`ldb x nrhs`, column-major).
+    #[must_use]
     pub fn block(&self, id: usize) -> &[f64] {
         let s = self.block_stride();
         &self.data[id * s..(id + 1) * s]
@@ -368,12 +458,14 @@ impl RhsBatch {
 
     /// Element `(row, rhs_col)` of matrix `id`.
     #[inline]
+    #[must_use]
     pub fn get(&self, id: usize, row: usize, col: usize) -> f64 {
         self.block(id)[col * self.ldb + row]
     }
 
     /// Whole contiguous storage.
     #[inline]
+    #[must_use]
     pub fn data(&self) -> &[f64] {
         &self.data
     }
@@ -386,6 +478,7 @@ impl RhsBatch {
 
     /// Total payload bytes.
     #[inline]
+    #[must_use]
     pub fn bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f64>()
     }
@@ -442,6 +535,41 @@ mod tests {
         let one_based = p.to_lapack_one_based();
         assert_eq!(one_based[2 * 4 + 3], 8);
         assert_eq!(p.batch(), 3);
+    }
+
+    #[test]
+    fn pivot_lapack_round_trip() {
+        let mut p = PivotBatch::new(2, 4, 4);
+        for id in 0..2 {
+            for j in 0..4 {
+                p.pivots_mut(id)[j] = (j + (id + j) % 2) as i32; // j or j+1
+            }
+        }
+        let one_based = p.to_lapack_one_based();
+        assert!(one_based.iter().all(|&v| v >= 1), "1-based values");
+        let mut back = PivotBatch::new(2, 4, 4);
+        back.set_from_lapack_one_based(&one_based);
+        assert_eq!(p, back, "0-based -> 1-based -> 0-based is lossless");
+        assert_eq!(p.as_slice().len(), 8);
+        p.as_mut_slice()[0] = 3;
+        assert_eq!(p.pivots(0)[0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pivot_lapack_round_trip_checks_length() {
+        let mut p = PivotBatch::new(2, 4, 4);
+        p.set_from_lapack_one_based(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn band_batch_zeros_with_layout() {
+        use crate::layout::BandStorage;
+        let l = BandLayout::with_ldab(6, 6, 1, 1, 5, BandStorage::Factor).unwrap();
+        let b = BandBatch::zeros_with_layout(l, 3).unwrap();
+        assert_eq!(b.layout(), l);
+        assert_eq!(b.data().len(), l.len() * 3);
+        assert!(BandBatch::zeros_with_layout(l, 0).is_err());
     }
 
     #[test]

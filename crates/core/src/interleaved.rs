@@ -1,0 +1,275 @@
+//! Interleaved (batch-major) band storage.
+//!
+//! The column-major [`BandBatch`] keeps each matrix's `ldab x n` panel
+//! contiguous, so the hot inner loops of a batched factorization stride
+//! within one small matrix. The interleaved layout transposes the batch to
+//! batch-major order: band element `(r, j)` of *every* matrix in the batch
+//! is adjacent in memory, turning the per-column primitives (IAMAX, SWAP,
+//! SCAL, rank-1 update, triangular-solve updates) into contiguous sweeps
+//! over the batch index — the coalesced/vectorizable access pattern of
+//! "Efficient Interleaved Batch Matrix Solvers" (Gloster et al.,
+//! arXiv:1909.04539).
+//!
+//! Storage order: flat element index `e = j * ldab + r` (identical to
+//! [`BandLayout::idx`]), and the value of matrix `b` lives at
+//! `data[e * batch + b]`. Equivalently the array is `[ldab][n][batch]` with
+//! the batch index innermost. Both `Factor` and `Pure` layout flavours are
+//! supported, including padded `ldab`, and conversion to/from [`BandBatch`]
+//! is lossless: it is a pure transpose of the same `ldab * n * batch`
+//! elements.
+
+use crate::batch::BandBatch;
+use crate::error::{BandError, Result};
+use crate::layout::BandLayout;
+
+/// A uniform batch of band matrices in batch-major (interleaved) storage.
+///
+/// Same geometry as [`BandBatch`] (`m, n, kl, ku, ldab` shared by every
+/// matrix), different element order: the batch lane of each band element is
+/// contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterleavedBandBatch {
+    layout: BandLayout,
+    batch: usize,
+    data: Vec<f64>,
+}
+
+impl InterleavedBandBatch {
+    /// Zero-initialized interleaved batch in factor storage.
+    pub fn zeros(batch: usize, m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
+        let layout = BandLayout::factor(m, n, kl, ku)?;
+        Self::zeros_with_layout(layout, batch)
+    }
+
+    /// Zero-initialized interleaved batch with an explicit layout (any
+    /// flavour, any valid `ldab`).
+    pub fn zeros_with_layout(layout: BandLayout, batch: usize) -> Result<Self> {
+        if batch == 0 {
+            return Err(BandError::BadDimension {
+                arg: "batch",
+                constraint: "batch > 0",
+            });
+        }
+        Ok(InterleavedBandBatch {
+            layout,
+            batch,
+            data: vec![0.0; layout.len() * batch],
+        })
+    }
+
+    /// Transpose a column-major batch into interleaved storage (lossless:
+    /// every one of the `ldab * n * batch` stored elements is carried over,
+    /// fill/padding rows included).
+    #[must_use = "returns the interleaved copy; the source is unchanged"]
+    pub fn from_batch(src: &BandBatch) -> Self {
+        let layout = src.layout();
+        let batch = src.batch();
+        let len = layout.len();
+        let mut data = vec![0.0; len * batch];
+        // Read each matrix contiguously, scatter with stride `batch`.
+        for (b, m) in src.chunks().enumerate() {
+            for (e, &v) in m.iter().enumerate() {
+                data[e * batch + b] = v;
+            }
+        }
+        InterleavedBandBatch {
+            layout,
+            batch,
+            data,
+        }
+    }
+
+    /// Transpose back to a column-major [`BandBatch`] (exact inverse of
+    /// [`InterleavedBandBatch::from_batch`]).
+    #[must_use = "returns the column-major copy; the source is unchanged"]
+    pub fn to_batch(&self) -> BandBatch {
+        let len = self.layout.len();
+        let mut out = BandBatch::zeros_with_layout(self.layout, self.batch)
+            .expect("layout/batch already validated");
+        for (b, m) in out.chunks_mut().enumerate() {
+            for (e, v) in m.iter_mut().enumerate() {
+                *v = self.data[e * self.batch + b];
+            }
+        }
+        debug_assert_eq!(out.matrix_stride(), len);
+        out
+    }
+
+    /// Layout shared by every matrix in the batch.
+    #[inline]
+    #[must_use]
+    pub fn layout(&self) -> BandLayout {
+        self.layout
+    }
+
+    /// Number of matrices (= lane count).
+    #[inline]
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Flat *element* index of band element `(band_row, j)`; the batch lane
+    /// of that element occupies `data[idx * batch .. (idx + 1) * batch]`.
+    #[inline(always)]
+    #[must_use]
+    pub fn lane_index(&self, band_row: usize, j: usize) -> usize {
+        self.layout.idx(band_row, j)
+    }
+
+    /// Contiguous batch lane of band element `(band_row, j)`: entry `b` is
+    /// the value of matrix `b`.
+    #[inline]
+    #[must_use]
+    pub fn lanes(&self, band_row: usize, j: usize) -> &[f64] {
+        let e = self.lane_index(band_row, j);
+        &self.data[e * self.batch..(e + 1) * self.batch]
+    }
+
+    /// Mutable batch lane of band element `(band_row, j)`.
+    #[inline]
+    pub fn lanes_mut(&mut self, band_row: usize, j: usize) -> &mut [f64] {
+        let e = self.lane_index(band_row, j);
+        &mut self.data[e * self.batch..(e + 1) * self.batch]
+    }
+
+    /// Band element `(band_row, j)` of matrix `id`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, id: usize, band_row: usize, j: usize) -> f64 {
+        self.lanes(band_row, j)[id]
+    }
+
+    /// Set band element `(band_row, j)` of matrix `id`.
+    #[inline]
+    pub fn set(&mut self, id: usize, band_row: usize, j: usize, v: f64) {
+        let b = self.batch;
+        let e = self.lane_index(band_row, j);
+        self.data[e * b + id] = v;
+    }
+
+    /// Whole contiguous storage (batch index innermost).
+    #[inline]
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Whole contiguous storage, mutable.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total bytes of the batch payload (used by the timing models).
+    #[inline]
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::BandStorage;
+
+    fn sample_batch(batch: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
+        let mut v = 0.17f64;
+        BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 2.3 + 0.011 + id as f64 * 1e-3).fract();
+                    m.set(i, j, v - 0.5);
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        for (batch, n, kl, ku) in [(1, 6, 1, 1), (4, 9, 2, 3), (7, 12, 10, 7), (3, 5, 0, 2)] {
+            let a = sample_batch(batch, n, kl, ku);
+            let i = InterleavedBandBatch::from_batch(&a);
+            let back = i.to_batch();
+            assert_eq!(a, back, "batch={batch} n={n} kl={kl} ku={ku}");
+        }
+    }
+
+    #[test]
+    fn lane_addressing_matches_column_major() {
+        let a = sample_batch(5, 9, 2, 3);
+        let l = a.layout();
+        let i = InterleavedBandBatch::from_batch(&a);
+        for b in 0..5 {
+            for j in 0..l.n {
+                for r in 0..l.ldab {
+                    assert_eq!(i.get(b, r, j), a.matrix(b).data[l.idx(r, j)]);
+                    assert_eq!(i.lanes(r, j)[b], a.matrix(b).data[l.idx(r, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_are_contiguous_in_storage() {
+        let a = sample_batch(4, 6, 1, 2);
+        let i = InterleavedBandBatch::from_batch(&a);
+        let l = i.layout();
+        let e = l.idx(2, 3);
+        assert_eq!(i.lanes(2, 3), &i.data()[e * 4..e * 4 + 4]);
+        assert_eq!(i.lane_index(2, 3), e);
+    }
+
+    #[test]
+    fn mutation_through_lanes_round_trips() {
+        let a = sample_batch(3, 5, 1, 1);
+        let mut i = InterleavedBandBatch::from_batch(&a);
+        i.lanes_mut(2, 2)[1] = 42.0;
+        i.set(2, 3, 4, -7.0);
+        let back = i.to_batch();
+        assert_eq!(back.matrix(1).data[back.layout().idx(2, 2)], 42.0);
+        assert_eq!(back.matrix(2).data[back.layout().idx(3, 4)], -7.0);
+        assert_eq!(i.get(1, 2, 2), 42.0);
+    }
+
+    #[test]
+    fn pure_and_padded_layouts_round_trip() {
+        // Pure storage.
+        let lp = BandLayout::pure(8, 8, 2, 1).unwrap();
+        let mut a = BandBatch::zeros_with_layout(lp, 3).unwrap();
+        for (b, m) in a.chunks_mut().enumerate() {
+            for (e, v) in m.iter_mut().enumerate() {
+                *v = (b * 100 + e) as f64;
+            }
+        }
+        let i = InterleavedBandBatch::from_batch(&a);
+        assert_eq!(i.layout().storage(), BandStorage::Pure);
+        assert_eq!(i.to_batch(), a);
+
+        // Factor storage with padded ldab.
+        let lf = BandLayout::with_ldab(8, 8, 2, 1, 9, BandStorage::Factor).unwrap();
+        let mut a = BandBatch::zeros_with_layout(lf, 2).unwrap();
+        for (b, m) in a.chunks_mut().enumerate() {
+            for (e, v) in m.iter_mut().enumerate() {
+                *v = (b * 1000 + e) as f64 * 0.5;
+            }
+        }
+        let i = InterleavedBandBatch::from_batch(&a);
+        assert_eq!(i.layout().ldab, 9);
+        assert_eq!(i.to_batch(), a);
+    }
+
+    #[test]
+    fn zeros_constructors() {
+        let i = InterleavedBandBatch::zeros(4, 6, 6, 1, 2).unwrap();
+        assert_eq!(i.batch(), 4);
+        assert_eq!(i.layout().ldab, 5); // 2*kl + ku + 1
+        assert_eq!(i.data().len(), i.layout().len() * 4);
+        assert_eq!(i.bytes(), i.data().len() * 8);
+        assert!(i.data().iter().all(|&v| v == 0.0));
+        assert!(InterleavedBandBatch::zeros(0, 6, 6, 1, 2).is_err());
+    }
+}

@@ -70,6 +70,7 @@ pub mod gbsvx;
 pub mod gbtf2;
 pub mod gbtrf;
 pub mod gbtrs;
+pub mod interleaved;
 pub mod io;
 pub mod layout;
 pub mod mixed;
@@ -80,6 +81,7 @@ pub mod vbatch;
 pub use band::{BandMatrix, BandMatrixMut, BandMatrixRef};
 pub use batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 pub use error::{BandError, Result};
+pub use interleaved::InterleavedBandBatch;
 pub use layout::BandLayout;
 
 /// Machine epsilon for `f64`, used in residual bounds.

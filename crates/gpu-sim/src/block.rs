@@ -27,6 +27,12 @@ pub struct BlockContext {
 }
 
 impl BlockContext {
+    /// `f64` lanes per hardware vector assumed by [`BlockContext::vec_work`]
+    /// when counting lane sweeps (8 = a 512-bit vector of doubles; the GPU
+    /// analogue is a quarter-warp memory transaction). Purely a reporting
+    /// granularity — timing uses the striped cycle count, not the width.
+    pub const SIMD_WIDTH: u32 = 8;
+
     /// New context for block `block_id` (LDS width defaults to the thread
     /// count; the engine sets the device value).
     pub fn new(block_id: usize, threads: u32, smem_bytes: usize) -> Self {
@@ -105,6 +111,27 @@ impl BlockContext {
         self.counters.smem_elems += items as f64 / lanes;
     }
 
+    /// Record a vectorized sweep over a contiguous batch lane of `lanes`
+    /// elements (the batch-innermost loops of the interleaved kernels),
+    /// each element costing `flops_per_item` flops.
+    ///
+    /// Accounts the same `items / threads` critical-path cycles as
+    /// [`BlockContext::par_work`] (the lanes stripe over the block's
+    /// threads), plus the lane-width bookkeeping: the sweep issues
+    /// `ceil(lanes / SIMD_WIDTH)` vectors of [`BlockContext::SIMD_WIDTH`]
+    /// slots, so [`KernelCounters::lane_utilization`] exposes how full
+    /// those vectors were.
+    #[inline]
+    pub fn vec_work(&mut self, lanes: usize, flops_per_item: usize) {
+        if lanes == 0 {
+            return;
+        }
+        self.counters.flops += (lanes * flops_per_item) as u64;
+        self.counters.cycles += lanes as f64 / self.threads as f64;
+        self.counters.lane_sweeps += lanes.div_ceil(Self::SIMD_WIDTH as usize) as u64;
+        self.counters.lane_elems += lanes as u64;
+    }
+
     /// Record one dependent shared-memory round trip on the critical path
     /// (e.g. reading the pivot value every other thread must wait for).
     #[inline]
@@ -169,6 +196,24 @@ mod tests {
         let mut ctx = BlockContext::with_lds_lanes(0, 4, 0, 8);
         ctx.smem_work(32, 0);
         assert_eq!(ctx.counters().smem_elems, 8.0);
+    }
+
+    #[test]
+    fn vec_work_counts_lane_sweeps() {
+        let mut ctx = BlockContext::new(0, 16, 0);
+        // 20 lanes, width 8: 3 vectors (8 + 8 + 4), 20/16 = 1.25 cycles.
+        ctx.vec_work(20, 2);
+        let c = ctx.counters();
+        assert_eq!(c.lane_sweeps, 3);
+        assert_eq!(c.lane_elems, 20);
+        assert_eq!(c.flops, 40);
+        assert_eq!(c.cycles, 1.25);
+        assert_eq!(
+            c.lane_utilization(BlockContext::SIMD_WIDTH),
+            Some(20.0 / 24.0)
+        );
+        ctx.vec_work(0, 5); // no-op
+        assert_eq!(ctx.counters().lane_sweeps, 3);
     }
 
     #[test]

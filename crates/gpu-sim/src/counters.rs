@@ -30,6 +30,13 @@ pub struct KernelCounters {
     /// `items / threads` per recorded operation. Priced by the device's
     /// `work_scale` (LDS/shared throughput) in the timing model.
     pub smem_elems: f64,
+    /// Vectorized batch-lane sweeps issued (the chunked batch-innermost
+    /// loops of the interleaved kernels): each recorded sweep contributes
+    /// `ceil(lanes / vector width)` hardware vectors. Sums across blocks.
+    pub lane_sweeps: u64,
+    /// Total lane elements processed by those sweeps. Sums across blocks;
+    /// [`KernelCounters::lane_utilization`] derives the vector utilization.
+    pub lane_elems: u64,
 }
 
 impl KernelCounters {
@@ -50,6 +57,21 @@ impl KernelCounters {
         self.syncs = self.syncs.max(other.syncs);
         self.cycles = self.cycles.max(other.cycles);
         self.smem_elems = self.smem_elems.max(other.smem_elems);
+        self.lane_sweeps += other.lane_sweeps;
+        self.lane_elems += other.lane_elems;
+    }
+
+    /// Fraction of vector slots filled by the recorded lane sweeps, given
+    /// the vector width the sweeps were recorded with
+    /// ([`crate::block::BlockContext::SIMD_WIDTH`] for the block API):
+    /// `1.0` means every sweep filled whole vectors, lower values mean
+    /// remainder (masked) slots. Returns `None` when no sweeps were
+    /// recorded.
+    pub fn lane_utilization(&self, width: u32) -> Option<f64> {
+        if self.lane_sweeps == 0 {
+            return None;
+        }
+        Some(self.lane_elems as f64 / (self.lane_sweeps as f64 * width.max(1) as f64))
     }
 
     /// Latency cycles contributed by syncs and shared-memory trips on the
@@ -80,6 +102,7 @@ mod tests {
             syncs: 2,
             cycles: 1000.0,
             smem_elems: 4.0,
+            ..Default::default()
         };
         let b = KernelCounters {
             global_read: 10,
@@ -89,6 +112,7 @@ mod tests {
             syncs: 1,
             cycles: 500.0,
             smem_elems: 9.0,
+            ..Default::default()
         };
         a.merge_wave(&b);
         assert_eq!(a.global_read, 110);
@@ -98,6 +122,35 @@ mod tests {
         assert_eq!(a.syncs, 2);
         assert_eq!(a.cycles, 1000.0);
         assert_eq!(a.smem_elems, 9.0);
+    }
+
+    #[test]
+    fn merge_sums_lane_sweeps() {
+        let mut a = KernelCounters {
+            lane_sweeps: 4,
+            lane_elems: 30,
+            ..Default::default()
+        };
+        let b = KernelCounters {
+            lane_sweeps: 2,
+            lane_elems: 16,
+            ..Default::default()
+        };
+        a.merge_wave(&b);
+        assert_eq!(a.lane_sweeps, 6);
+        assert_eq!(a.lane_elems, 46);
+    }
+
+    #[test]
+    fn lane_utilization_ratio() {
+        let c = KernelCounters {
+            lane_sweeps: 4,
+            lane_elems: 30,
+            ..Default::default()
+        };
+        // 4 sweeps of width 8 offer 32 slots; 30 filled.
+        assert_eq!(c.lane_utilization(8), Some(30.0 / 32.0));
+        assert_eq!(KernelCounters::default().lane_utilization(8), None);
     }
 
     #[test]

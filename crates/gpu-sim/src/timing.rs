@@ -103,8 +103,11 @@ pub fn estimate(
         + per_block.smem_trips as f64 * dev.smem_latency_cycles
         + per_block.syncs as f64 * dev.sync_cycles;
     // fp64 throughput correction: co-resident blocks share the SM's lanes.
+    // A grid smaller than one full wave leaves SMs partially filled, so the
+    // sharing factor is capped by the blocks actually resident on an SM.
+    let resident = (occ.blocks_per_sm as usize).min(grid.div_ceil(dev.sms as usize));
     let lane_cycles_per_sm =
-        per_block.flops as f64 * occ.blocks_per_sm as f64 / dev.fp64_lanes_per_sm as f64;
+        per_block.flops as f64 * resident as f64 / dev.fp64_lanes_per_sm as f64;
     let wave_cycles = latency_cycles.max(lane_cycles_per_sm / 2.0);
     let compute_time = n_waves as f64 * wave_cycles / dev.clock_hz;
 
@@ -131,8 +134,8 @@ pub fn estimate_aggregate(
         + total.smem_trips as f64 * dev.smem_latency_cycles
         + total.syncs as f64 * dev.sync_cycles;
     let flops_per_block = total.flops as f64 / grid as f64;
-    let lane_cycles_per_sm =
-        flops_per_block * occ.blocks_per_sm as f64 / dev.fp64_lanes_per_sm as f64;
+    let resident = (occ.blocks_per_sm as usize).min(grid.div_ceil(dev.sms as usize));
+    let lane_cycles_per_sm = flops_per_block * resident as f64 / dev.fp64_lanes_per_sm as f64;
     let wave_cycles = latency_cycles.max(lane_cycles_per_sm / 2.0);
     let compute_time = n_waves as f64 * wave_cycles / dev.clock_hz;
     SimTime(dev.launch_overhead_s + mem_time.max(compute_time))

@@ -10,8 +10,9 @@
 //! critical-path cycles are an upper bound on what the executing kernels
 //! record.
 
+use crate::interleaved::InterleavedParams;
 use gbatch_core::layout::BandLayout;
-use gbatch_gpu_sim::{DeviceSpec, KernelCounters, LaunchConfig};
+use gbatch_gpu_sim::{BlockContext, DeviceSpec, KernelCounters, LaunchConfig, SimTime};
 
 #[inline]
 fn frac(a: usize, t: usize) -> f64 {
@@ -196,6 +197,295 @@ pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32)
     c
 }
 
+/// Mirror of [`BlockContext::vec_work`] recording into a plain counter
+/// struct (the interleaved kernels are barrier-free, so their whole
+/// critical path is vector-sweep cycles).
+fn vec(c: &mut KernelCounters, lanes: usize, flops_per_item: usize, threads: u32) {
+    if lanes == 0 {
+        return;
+    }
+    c.flops += (lanes * flops_per_item) as u64;
+    c.cycles += lanes as f64 / threads as f64;
+    c.lane_sweeps += lanes.div_ceil(BlockContext::SIMD_WIDTH as usize) as u64;
+    c.lane_elems += lanes as u64;
+}
+
+/// Predicted per-block counters of the interleaved factorization
+/// ([`crate::interleaved::gbtrf_batch_interleaved`]) for a chunk of
+/// `lanes` batch lanes in the given traffic mode (`windowed = true` for
+/// [`crate::interleaved::LaneTrafficMode::Windowed`]). The kernel's
+/// recording is *structural* (mask-independent), so this prediction is
+/// **exact**, not a bound.
+pub fn predict_interleaved_factor(
+    l: &BandLayout,
+    lanes: usize,
+    threads: u32,
+    windowed: bool,
+) -> KernelCounters {
+    let mut c = KernelCounters::default();
+    let kv = l.kv();
+    let (n, kl) = (l.n, l.kl);
+    if windowed {
+        // Stream the band panel in.
+        c.global_read += (l.len() * lanes * 8) as u64;
+        vec(&mut c, l.len() * lanes, 0, threads);
+    }
+    // Prologue fill.
+    let mut fill_items = 0usize;
+    for j in (l.ku + 1)..kv.min(n) {
+        fill_items += kl.saturating_sub(kv - j);
+    }
+    vec(&mut c, fill_items * lanes, 0, threads);
+    if !windowed {
+        c.global_write += (fill_items * lanes * 8) as u64;
+    }
+    for j in 0..l.m.min(n) {
+        let km = l.km(j);
+        let w = kv.min(n - 1 - j);
+        if j + kv < n {
+            vec(&mut c, kl * lanes, 0, threads); // fill-in column
+            if !windowed {
+                c.global_write += (kl * lanes * 8) as u64;
+            }
+        }
+        // IAMAX + pivot store.
+        vec(&mut c, (km + 1) * lanes, 0, threads);
+        if !windowed {
+            c.global_read += ((km + 1) * lanes * 8) as u64;
+        }
+        c.global_write += (lanes * 4) as u64;
+        if !windowed {
+            c.global_read += (lanes * 8) as u64; // pivot value re-read
+        }
+        // SWAP sweep.
+        vec(&mut c, (w + 1) * lanes, 0, threads);
+        if !windowed {
+            c.global_read += (2 * (w + 1) * lanes * 8) as u64;
+            c.global_write += (2 * (w + 1) * lanes * 8) as u64;
+        }
+        if km > 0 {
+            vec(&mut c, km * lanes, 1, threads); // SCAL
+            if !windowed {
+                c.global_read += (km * lanes * 8) as u64;
+                c.global_write += (km * lanes * 8) as u64;
+            }
+            vec(&mut c, w * lanes, 0, threads); // u-row loads
+            vec(&mut c, w * km * lanes, 2, threads); // RANK-1
+            if !windowed {
+                c.global_read += (w * (1 + 2 * km) * lanes * 8) as u64;
+                c.global_write += (w * km * lanes * 8) as u64;
+            }
+        }
+    }
+    if windowed {
+        // Stream the factored panel out.
+        c.global_write += (l.len() * lanes * 8) as u64;
+        vec(&mut c, l.len() * lanes, 0, threads);
+    }
+    c.global_write += (lanes * 4) as u64; // info codes
+    c
+}
+
+/// Predicted per-block counters of the interleaved solve
+/// ([`crate::interleaved::gbtrs_batch_interleaved`]) for a chunk of
+/// `lanes` batch lanes in the given traffic mode. Exact, like the factor
+/// prediction.
+pub fn predict_interleaved_solve(
+    l: &BandLayout,
+    nrhs: usize,
+    lanes: usize,
+    threads: u32,
+    windowed: bool,
+) -> KernelCounters {
+    let mut c = KernelCounters::default();
+    let kv = l.kv();
+    let (n, kl) = (l.n, l.kl);
+    if windowed {
+        // Transposing gather of the RHS blocks into the resident scratch.
+        c.global_read += (n * nrhs * lanes * 8) as u64;
+        vec(&mut c, n * nrhs * lanes, 0, threads);
+    }
+    if kl > 0 {
+        for j in 0..n - 1 {
+            let lm = kl.min(n - 1 - j);
+            c.global_read += (lanes * 4) as u64; // pivot row
+            vec(&mut c, nrhs * lanes, 0, threads);
+            if !windowed {
+                c.global_read += (2 * nrhs * lanes * 8) as u64; // swap rows
+                c.global_write += (2 * nrhs * lanes * 8) as u64;
+            }
+            if lm > 0 {
+                c.global_read += (lm * lanes * 8) as u64; // L multipliers
+                vec(&mut c, lm * nrhs * lanes, 2, threads);
+                if !windowed {
+                    c.global_read += ((1 + lm) * nrhs * lanes * 8) as u64;
+                    c.global_write += (lm * nrhs * lanes * 8) as u64;
+                }
+            }
+        }
+    }
+    for _c_rhs in 0..nrhs {
+        for j in (0..n).rev() {
+            let reach = kv.min(j);
+            c.global_read += (lanes * 8) as u64; // diagonal of U
+            vec(&mut c, lanes, 1, threads);
+            if !windowed {
+                c.global_read += (lanes * 8) as u64; // x[j] RMW
+                c.global_write += (lanes * 8) as u64;
+            }
+            if reach > 0 {
+                c.global_read += (reach * lanes * 8) as u64; // U column
+                vec(&mut c, reach * lanes, 2, threads);
+                if !windowed {
+                    c.global_read += (reach * lanes * 8) as u64; // dst RMW
+                    c.global_write += (reach * lanes * 8) as u64;
+                }
+            }
+        }
+    }
+    if windowed {
+        // Scatter back.
+        c.global_write += (n * nrhs * lanes * 8) as u64;
+        vec(&mut c, n * nrhs * lanes, 0, threads);
+    }
+    c
+}
+
+/// Predicted per-block counters of one layout-conversion pass
+/// ([`crate::interleaved::interleave_launch`] /
+/// [`crate::interleaved::deinterleave_launch`]) over `lanes` lanes.
+pub fn predict_interleave_pass(l: &BandLayout, lanes: usize, threads: u32) -> KernelCounters {
+    let mut c = KernelCounters::default();
+    let elems = l.len();
+    c.global_read += (elems * lanes * 8) as u64;
+    c.global_write += (elems * lanes * 8) as u64;
+    vec(&mut c, elems * lanes, 0, threads);
+    c
+}
+
+/// Aggregate a per-chunk prediction over the lane chunks of a whole batch
+/// (the grid has `ceil(batch / lanes_per_block)` blocks; the last one may
+/// be partial) and price the launch exactly as the engine would.
+pub fn predict_interleaved_time(
+    dev: &DeviceSpec,
+    batch: usize,
+    params: &InterleavedParams,
+    smem_bytes: u32,
+    per_chunk: impl Fn(usize) -> KernelCounters,
+) -> Option<SimTime> {
+    let lpb = params.lanes_clamped(batch);
+    let cfg = LaunchConfig::new(params.threads, smem_bytes);
+    let occ = gbatch_gpu_sim::engine::validate(dev, &cfg).ok()?;
+    let grid = batch.div_ceil(lpb);
+    let full = per_chunk(lpb);
+    let mut total = KernelCounters::default();
+    for _ in 0..batch / lpb {
+        total.merge_wave(&full);
+    }
+    let rem = batch % lpb;
+    if rem > 0 {
+        total.merge_wave(&per_chunk(rem));
+    }
+    Some(gbatch_gpu_sim::timing::estimate_aggregate(
+        dev, &occ, grid, &total,
+    ))
+}
+
+/// Fitted constants of the layout crossover model (§5.4 extended with a
+/// storage-layout dimension). Both layouts are priced through the same
+/// analytic launch model; the scales absorb whatever the byte-count model
+/// underprices on a given machine (e.g. the strided conversion gathers)
+/// and are refreshed by `bench/src/bin/calibrate.rs` from measured
+/// crossovers, persisted in `results/layout_calibration.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossoverModel {
+    /// Multiplier on the predicted interleaved time (factor + solve).
+    pub interleaved_scale: f64,
+    /// Multiplier on the predicted column-major time.
+    pub column_scale: f64,
+    /// Price the pack/unpack conversion passes into the interleaved side
+    /// (true for the dispatch path, which must accept and return
+    /// column-major storage).
+    pub include_conversion: bool,
+}
+
+impl Default for CrossoverModel {
+    /// Constants fitted from the shipped calibration run
+    /// (`results/layout_calibration.json`): the analytic model prices both
+    /// layouts through the same machinery, so the fitted scales are unity.
+    fn default() -> Self {
+        CrossoverModel {
+            interleaved_scale: 1.0,
+            column_scale: 1.0,
+            include_conversion: true,
+        }
+    }
+}
+
+impl CrossoverModel {
+    /// Predicted cost of factoring (and, with `nrhs > 0`, solving) the
+    /// batch in interleaved layout, including the conversion passes when
+    /// the model says so. `None` when the configuration cannot launch.
+    pub fn interleaved_time(
+        &self,
+        dev: &DeviceSpec,
+        l: &BandLayout,
+        batch: usize,
+        nrhs: usize,
+        params: &InterleavedParams,
+    ) -> Option<SimTime> {
+        use crate::interleaved::{factor_mode, solve_mode, LaneTrafficMode};
+        let t = params.threads;
+        let lpb = params.lanes_clamped(batch);
+        let fwin = factor_mode(dev, l, lpb) == LaneTrafficMode::Windowed;
+        let fsmem = if fwin {
+            u32::try_from(crate::interleaved::factor_smem_bytes(l, lpb)).ok()?
+        } else {
+            0
+        };
+        let mut total = predict_interleaved_time(dev, batch, params, fsmem, |lanes| {
+            predict_interleaved_factor(l, lanes, t, fwin)
+        })?;
+        if nrhs > 0 {
+            let swin = solve_mode(dev, l, nrhs, lpb) == LaneTrafficMode::Windowed;
+            let ssmem = if swin {
+                u32::try_from(crate::interleaved::solve_smem_bytes(l, nrhs, lpb)).ok()?
+            } else {
+                0
+            };
+            total += predict_interleaved_time(dev, batch, params, ssmem, |lanes| {
+                predict_interleaved_solve(l, nrhs, lanes, t, swin)
+            })?;
+        }
+        if self.include_conversion {
+            let pass = predict_interleaved_time(dev, batch, params, 0, |lanes| {
+                predict_interleave_pass(l, lanes, t)
+            })?;
+            total += pass; // pack
+            total += pass; // unpack factors
+        }
+        Some(SimTime(total.secs() * self.interleaved_scale))
+    }
+
+    /// Decide whether the interleaved layout wins against a column-major
+    /// price the caller computed with the dispatch's own algorithm choice.
+    pub fn interleaved_wins(&self, interleaved: SimTime, column_major: SimTime) -> bool {
+        interleaved.secs() < column_major.secs() * self.column_scale
+    }
+}
+
+/// Lower bound on the §5.1 fork–join reference factorization:
+/// `2 * min(m, n) + 1` launch overheads plus one once-through pass over
+/// the band panels at full bandwidth. The real path is data-dependent and
+/// strictly slower (per-column traffic, partial-bandwidth launches), so a
+/// floor is all the layout decision needs — it only ever compares a
+/// candidate *against* this path, and beating the floor beats the path.
+pub fn predict_reference_floor(dev: &DeviceSpec, l: &BandLayout, batch: usize) -> SimTime {
+    let launches = 2 * l.m.min(l.n) + 1;
+    let bytes = (2 * l.len() * batch * 8) as f64;
+    SimTime(launches as f64 * dev.launch_overhead_s + bytes / dev.mem_bw)
+}
+
 /// Predicted modeled time of a batched launch of either factorization
 /// kernel: validates the configuration and prices the launch exactly as the
 /// engine would. Returns `None` when the launch cannot run (shared memory).
@@ -313,6 +603,224 @@ mod tests {
             );
             assert!(pred.syncs >= rep.counters.syncs);
         }
+    }
+
+    #[test]
+    fn interleaved_predictions_are_exact() {
+        // The interleaved kernels record structurally (mask-independent),
+        // so the analytic model must reproduce the launch report *exactly*
+        // — counters and modeled time — even with a partial tail chunk.
+        use crate::interleaved::{
+            gbtrf_batch_interleaved, gbtrs_batch_interleaved, interleave_launch, InterleavedParams,
+        };
+        use gbatch_core::batch::RhsBatch;
+        use gbatch_core::interleaved::InterleavedBandBatch;
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku, batch, nrhs) = (20usize, 2usize, 3usize, 11usize, 2usize);
+        let a = random_batch(batch, n, kl, ku);
+        let l = a.layout();
+        let params = InterleavedParams {
+            lanes_per_block: 4, // chunks of 4, 4, 3
+            threads: 32,
+            ..Default::default()
+        };
+        let t = params.threads;
+
+        let (mut ia, conv_rep) = interleave_launch(&dev, &a, params).unwrap();
+        let conv_time = predict_interleaved_time(&dev, batch, &params, 0, |lanes| {
+            predict_interleave_pass(&l, lanes, t)
+        })
+        .unwrap();
+        assert_eq!(conv_time, conv_rep.time, "conversion time exact");
+
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+        let mut agg = KernelCounters::default();
+        for lanes in [4usize, 4, 3] {
+            agg.merge_wave(&predict_interleaved_factor(&l, lanes, t, true));
+        }
+        assert_eq!(agg, rep.counters, "factor counters exact");
+        let fsmem = crate::interleaved::factor_smem_bytes(&l, 4) as u32;
+        let time = predict_interleaved_time(&dev, batch, &params, fsmem, |lanes| {
+            predict_interleaved_factor(&l, lanes, t, true)
+        })
+        .unwrap();
+        assert_eq!(time, rep.time, "factor time exact");
+
+        let mut rhs = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            (id + i * 3 + c) as f64 * 0.01 + 0.5
+        })
+        .unwrap();
+        let srep = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params).unwrap();
+        let mut sagg = KernelCounters::default();
+        for lanes in [4usize, 4, 3] {
+            sagg.merge_wave(&predict_interleaved_solve(&l, nrhs, lanes, t, true));
+        }
+        assert_eq!(sagg, srep.counters, "solve counters exact");
+
+        // Sanity on the exported batch type (prediction path does not
+        // depend on the data): a fresh conversion agrees with from_batch.
+        assert_eq!(InterleavedBandBatch::from_batch(&a).layout(), ia.layout());
+    }
+
+    #[test]
+    fn streaming_predictions_are_exact() {
+        // Same exactness claim for the streaming traffic mode: a band too
+        // wide for the test device's 16 KiB shared memory drops both
+        // kernels to per-primitive DRAM traffic, and the model follows.
+        use crate::interleaved::{
+            factor_mode, gbtrf_batch_interleaved, gbtrs_batch_interleaved, solve_mode,
+            InterleavedParams, LaneTrafficMode,
+        };
+        use gbatch_core::batch::RhsBatch;
+        use gbatch_core::interleaved::InterleavedBandBatch;
+        let dev = DeviceSpec::test_device();
+        let (n, kl, ku, batch, nrhs) = (64usize, 12usize, 12usize, 6usize, 16usize);
+        let a = random_batch(batch, n, kl, ku);
+        let l = a.layout();
+        let params = InterleavedParams {
+            lanes_per_block: 4, // chunks of 4, 2
+            threads: 32,
+            ..Default::default()
+        };
+        let t = params.threads;
+        assert_eq!(factor_mode(&dev, &l, 4), LaneTrafficMode::Streaming);
+        assert_eq!(solve_mode(&dev, &l, nrhs, 4), LaneTrafficMode::Streaming);
+
+        let mut ia = InterleavedBandBatch::from_batch(&a);
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+        let mut agg = KernelCounters::default();
+        for lanes in [4usize, 2] {
+            agg.merge_wave(&predict_interleaved_factor(&l, lanes, t, false));
+        }
+        assert_eq!(agg, rep.counters, "streaming factor counters exact");
+        let time = predict_interleaved_time(&dev, batch, &params, 0, |lanes| {
+            predict_interleaved_factor(&l, lanes, t, false)
+        })
+        .unwrap();
+        assert_eq!(time, rep.time, "streaming factor time exact");
+
+        let mut rhs = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            (id + i * 3 + c) as f64 * 0.01 + 0.5
+        })
+        .unwrap();
+        let srep = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params).unwrap();
+        let mut sagg = KernelCounters::default();
+        for lanes in [4usize, 2] {
+            sagg.merge_wave(&predict_interleaved_solve(&l, nrhs, lanes, t, false));
+        }
+        assert_eq!(sagg, srep.counters, "streaming solve counters exact");
+    }
+
+    #[test]
+    fn crossover_has_three_regimes() {
+        // The layout dimension of the §5.4 selection logic has three
+        // regimes on the calibration grid:
+        //
+        // 1. small n, large batch, *native* interleaved storage: the fused
+        //    kernel pays 3 barriers per column, the interleaved kernel pays
+        //    none — interleaved wins (this is the Gloster et al. regime the
+        //    bench measures on native layouts);
+        // 2. mid-size bands, column-major API: the pack/unpack conversion
+        //    (~3x the once-through traffic plus two extra launches) hands
+        //    the win back to the sliding window;
+        // 3. very wide bands: no column-major kernel fits shared memory, so
+        //    the column path is the 2n+1-launch reference fallback, and
+        //    streaming interleaved wins *despite* paying the conversion.
+        let dev = DeviceSpec::h100_pcie();
+
+        // Regime 1: native layouts, no conversion priced.
+        let native = CrossoverModel {
+            include_conversion: false,
+            ..Default::default()
+        };
+        let small = BandLayout::factor(16, 16, 1, 1).unwrap();
+        let params = InterleavedParams::auto(&dev, &small, 0);
+        let fused_cfg = LaunchConfig::new(32, (small.len() * 8) as u32);
+        let column = predict_time(&dev, &fused_cfg, 10_000, &predict_fused(&small, 32)).unwrap();
+        let inter = native
+            .interleaved_time(&dev, &small, 10_000, 0, &params)
+            .unwrap();
+        assert!(
+            native.interleaved_wins(inter, column),
+            "batch=10000 n=16 tridiagonal (native): interleaved {:.1}us should beat fused {:.1}us",
+            inter.us(),
+            column.us()
+        );
+
+        // Regime 2: conversion included, mid-size band at large batch —
+        // the sliding window wins. Its per-block barrier/LDS latency is
+        // paid once per occupancy wave, so it amortizes across a full
+        // device, while the interleaved side keeps paying the ~3x
+        // conversion traffic per matrix.
+        let model = CrossoverModel::default();
+        let big = BandLayout::factor(512, 512, 8, 8).unwrap();
+        let params_big = InterleavedParams::auto(&dev, &big, 0);
+        let wide_cfg = LaunchConfig::new(128, crate::window::window_smem_bytes(&big, 16) as u32);
+        let column_big =
+            predict_time(&dev, &wide_cfg, 4000, &predict_window(&big, 16, 128)).unwrap();
+        let inter_big = model
+            .interleaved_time(&dev, &big, 4000, 0, &params_big)
+            .unwrap();
+        assert!(
+            !model.interleaved_wins(inter_big, column_big),
+            "batch=4000 n=512 kl=ku=8: window {:.1}us should beat interleaved {:.1}us",
+            column_big.us(),
+            inter_big.us()
+        );
+        // ... and regime 2 also holds at the small-n point: through the
+        // column-major API the conversion eats the native win there.
+        let inter_conv = model
+            .interleaved_time(&dev, &small, 10_000, 0, &params)
+            .unwrap();
+        assert!(
+            !model.interleaved_wins(inter_conv, column),
+            "batch=10000 n=16 with conversion: fused {:.1}us should beat interleaved {:.1}us",
+            column.us(),
+            inter_conv.us()
+        );
+
+        // Regime 3: band too wide for any column-major kernel (fused and
+        // window both exceed shared memory), so the column side is the
+        // reference fallback paying 2n+1 launch overheads — which never
+        // amortize over a small batch. Streaming interleaved (one launch)
+        // wins despite the conversion and its ~3x per-primitive traffic.
+        let huge = BandLayout::factor(512, 512, 200, 200).unwrap();
+        let fused_huge = LaunchConfig::new(
+            128,
+            crate::fused::fused_smem_bytes(huge.ldab, huge.n) as u32,
+        );
+        assert!(gbatch_gpu_sim::engine::validate(&dev, &fused_huge).is_err());
+        let window_huge = LaunchConfig::new(128, crate::window::window_smem_bytes(&huge, 1) as u32);
+        assert!(gbatch_gpu_sim::engine::validate(&dev, &window_huge).is_err());
+        let params_huge = InterleavedParams::auto(&dev, &huge, 0);
+        let inter_huge = model
+            .interleaved_time(&dev, &huge, 4, 0, &params_huge)
+            .unwrap();
+        let reference_floor = predict_reference_floor(&dev, &huge, 4);
+        assert!(
+            model.interleaved_wins(inter_huge, reference_floor),
+            "batch=4 n=512 kl=ku=200: streaming interleaved {:.1}us should beat the \
+             reference floor {:.1}us",
+            inter_huge.us(),
+            reference_floor.us()
+        );
+        // At large batch the traffic term takes over and the ranking flips
+        // back — the crossover model sees both sides of the regime.
+        let inter_many = model
+            .interleaved_time(&dev, &huge, 256, 0, &params_huge)
+            .unwrap();
+        let floor_many = predict_reference_floor(&dev, &huge, 256);
+        assert!(
+            !model.interleaved_wins(inter_many, floor_many),
+            "batch=256 n=512 kl=ku=200: the reference floor {:.1}us should beat \
+             streaming interleaved {:.1}us",
+            floor_many.us(),
+            inter_many.us()
+        );
     }
 
     #[test]

@@ -17,12 +17,27 @@
 //! `dgbsv_batch` over `double**` pointer arrays) maps to the batch
 //! containers of `gbatch_core`; the `info` array and per-matrix pivot
 //! vectors are preserved verbatim.
+//!
+//! On top of the paper's algorithm dimension this dispatcher adds a
+//! **storage-layout** dimension ([`MatrixLayout`]): the batch-major
+//! interleaved kernels of [`crate::interleaved`] are priced against the
+//! column-major choice by [`CrossoverModel`] — both sides through the same
+//! analytic launch model — and selected when they win *including* the
+//! pack/unpack conversion passes the column-major API forces on them.
 
+use crate::cost::{
+    predict_fused, predict_gbtrs_blocked, predict_reference_floor, predict_time, predict_window,
+    CrossoverModel,
+};
 use crate::fused::{fused_smem_bytes, gbtrf_batch_fused, FusedParams};
 use crate::gbsv_fused::{gbsv_batch_fused, gbsv_smem_bytes, FUSED_GBSV_MAX_N};
 use crate::gbtrs_blocked::{gbtrs_batch_blocked, SolveParams};
 use crate::gbtrs_cols::gbtrs_batch_cols;
 use crate::gbtrs_trans::gbtrs_batch_blocked_trans;
+use crate::interleaved::{
+    deinterleave_launch, gbtrf_batch_interleaved, gbtrs_batch_interleaved, interleave_launch,
+    InterleavedParams,
+};
 use crate::reference::gbtrf_batch_reference;
 use crate::window::{gbtrf_batch_window, window_smem_bytes, WindowParams};
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
@@ -59,6 +74,24 @@ pub enum ChosenAlgo {
     FusedGbsv,
     /// Band-specialized register-file kernel (§8.1 emulation, opt-in).
     Specialized,
+    /// Batch-major interleaved kernels behind pack/unpack conversion
+    /// passes ([`crate::interleaved`]).
+    Interleaved,
+}
+
+/// Storage-layout selection for the batched routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixLayout {
+    /// Price both layouts with the [`CrossoverModel`] and pick the
+    /// predicted winner (conversion passes included on the interleaved
+    /// side — the API accepts and returns column-major storage).
+    #[default]
+    Auto,
+    /// Keep the paper's column-major kernels (§5.1–§5.3).
+    ColumnMajor,
+    /// Force the batch-major interleaved kernels (pack, factor/solve,
+    /// unpack).
+    Interleaved,
 }
 
 /// Options for the batched routines. `Default` reproduces the paper's
@@ -87,8 +120,19 @@ pub struct GbsvOptions {
     /// Host-side scheduling of the per-matrix blocks inside the simulated
     /// engine (default: serial). Results are bitwise-identical for every
     /// policy; `Some(_)` overrides the policy carried by explicit
-    /// `window`/`solve` parameter structs.
+    /// `window`/`solve`/`interleaved` parameter structs.
     pub parallel: Option<ParallelPolicy>,
+    /// Storage layout (default: [`MatrixLayout::Auto`]). The layout
+    /// dimension is independent of `algo`: forcing a column-major `algo`
+    /// pins the layout to column-major under `Auto`, while forcing
+    /// [`MatrixLayout::Interleaved`] overrides `algo` entirely.
+    pub layout: MatrixLayout,
+    /// Crossover-model constants for the `Auto` layout decision (default:
+    /// the calibrated constants of [`CrossoverModel::default`], refreshed
+    /// by `bench/src/bin/calibrate.rs`).
+    pub crossover: Option<CrossoverModel>,
+    /// Interleaved-kernel geometry (default: [`InterleavedParams::auto`]).
+    pub interleaved: Option<InterleavedParams>,
 }
 
 impl GbsvOptions {
@@ -98,6 +142,119 @@ impl GbsvOptions {
 
     fn parallel_policy(&self) -> ParallelPolicy {
         self.parallel.unwrap_or_default()
+    }
+
+    fn interleaved_params(
+        &self,
+        dev: &DeviceSpec,
+        l: &BandLayout,
+        nrhs: usize,
+    ) -> InterleavedParams {
+        let mut p = self
+            .interleaved
+            .unwrap_or_else(|| InterleavedParams::auto(dev, l, nrhs));
+        if let Some(pol) = self.parallel {
+            p = p.with_parallel(pol);
+        }
+        p
+    }
+}
+
+/// Decide the storage layout for a factor (`nrhs == 0`) or factor+solve
+/// (`nrhs > 0`) call.
+///
+/// The column-major side is priced by mirroring the §5.4 algorithm choice
+/// exactly (fused below the cutoff, window otherwise); when no column-major
+/// factorization fits shared memory the price is
+/// [`predict_reference_floor`] — a *lower bound* on the fork–join fallback
+/// — so the interleaved layout only takes over when it certainly beats the
+/// column path. A blocked solve that cannot be priced is likewise folded in
+/// as a per-column-launch floor. Both floors bias the decision toward
+/// column-major, never toward a slower interleaved pick.
+fn choose_layout(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    batch: usize,
+    nrhs: usize,
+    opts: &GbsvOptions,
+    fused_params: &FusedParams,
+    window_params: &WindowParams,
+) -> MatrixLayout {
+    match opts.layout {
+        MatrixLayout::ColumnMajor => return MatrixLayout::ColumnMajor,
+        MatrixLayout::Interleaved => return MatrixLayout::Interleaved,
+        MatrixLayout::Auto => {}
+    }
+    // Forcing a column-major algorithm pins the layout; the interleaved
+    // kernels also require LAPACK factor storage.
+    if opts.algo != FactorAlgo::Auto || l.row_offset != l.kv() || batch == 0 {
+        return MatrixLayout::ColumnMajor;
+    }
+    let iparams = opts.interleaved_params(dev, l, nrhs);
+    let model = opts.crossover.unwrap_or_default();
+    let Some(inter) = model.interleaved_time(dev, l, batch, nrhs, &iparams) else {
+        return MatrixLayout::ColumnMajor;
+    };
+    let fused_cfg = LaunchConfig::new(fused_params.threads, fused_smem_bytes(l.ldab, l.n) as u32);
+    let window_cfg = LaunchConfig::new(
+        window_params.threads,
+        window_smem_bytes(l, window_params.nb) as u32,
+    );
+    let fused_fits = validate(dev, &fused_cfg).is_ok();
+    let window_fits = validate(dev, &window_cfg).is_ok();
+    let factor_time = if l.n.max(l.m) <= opts.cutoff() && fused_fits {
+        predict_time(
+            dev,
+            &fused_cfg,
+            batch,
+            &predict_fused(l, fused_params.threads),
+        )
+    } else if window_fits {
+        predict_time(
+            dev,
+            &window_cfg,
+            batch,
+            &predict_window(l, window_params.nb, window_params.threads),
+        )
+    } else if fused_fits {
+        predict_time(
+            dev,
+            &fused_cfg,
+            batch,
+            &predict_fused(l, fused_params.threads),
+        )
+    } else {
+        Some(predict_reference_floor(dev, l, batch))
+    };
+    let Some(mut column) = factor_time else {
+        return MatrixLayout::ColumnMajor;
+    };
+    if nrhs > 0 {
+        let sp = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
+        let smem = crate::gbtrs_blocked::forward_smem_bytes(l, sp.nb, nrhs)
+            .max(crate::gbtrs_blocked::backward_smem_bytes(l, sp.nb, nrhs));
+        let scfg = LaunchConfig::new(sp.threads, smem as u32);
+        match predict_time(
+            dev,
+            &scfg,
+            batch,
+            &predict_gbtrs_blocked(l, sp.nb, nrhs, sp.threads),
+        ) {
+            Some(t) => column += t,
+            // Blocked solve cannot launch: the column path falls back to
+            // the per-column solve kernels (~2n launches). Fold in their
+            // launch-overhead floor plus a once-through pass over factors
+            // and RHS.
+            None => {
+                let bytes = ((l.len() + 2 * l.n * nrhs) * batch * 8) as f64;
+                column += SimTime(2.0 * l.n as f64 * dev.launch_overhead_s + bytes / dev.mem_bw);
+            }
+        }
+    }
+    if model.interleaved_wins(inter, column) {
+        MatrixLayout::Interleaved
+    } else {
+        MatrixLayout::ColumnMajor
     }
 }
 
@@ -148,6 +305,21 @@ pub fn dgbtrf_batch(
         }
     }
 
+    // Layout dimension: pack, factor batch-major, unpack the factors.
+    let layout = choose_layout(dev, &l, a.batch(), 0, opts, &fused_params, &window_params);
+    if layout == MatrixLayout::Interleaved {
+        let iparams = opts.interleaved_params(dev, &l, 0);
+        let (mut ia, pack) = interleave_launch(dev, a, iparams)?;
+        let f = gbtrf_batch_interleaved(dev, &mut ia, piv, info, iparams)?;
+        let (fa, unpack) = deinterleave_launch(dev, &ia, iparams)?;
+        a.data_mut().copy_from_slice(fa.data());
+        return Ok(BatchReport {
+            algo: ChosenAlgo::Interleaved,
+            time: pack.time + f.time + unpack.time,
+            launches: 3,
+        });
+    }
+
     let algo = match opts.algo {
         FactorAlgo::Fused => ChosenAlgo::Fused,
         FactorAlgo::Window => ChosenAlgo::Window,
@@ -195,7 +367,10 @@ pub fn dgbtrf_batch(
                 launches: 1,
             })
         }
-        ChosenAlgo::Reference | ChosenAlgo::FusedGbsv | ChosenAlgo::Specialized => {
+        ChosenAlgo::Reference
+        | ChosenAlgo::FusedGbsv
+        | ChosenAlgo::Specialized
+        | ChosenAlgo::Interleaved => {
             let rep = gbtrf_batch_reference(dev, a, piv, info, opts.parallel_policy())?;
             Ok(BatchReport {
                 algo: ChosenAlgo::Reference,
@@ -289,6 +464,50 @@ pub fn dgbsv_batch(
             launches: 1,
         });
     }
+
+    // Layout dimension, priced over the whole factor+solve call. The
+    // native interleaved solve masks singular lanes itself (their RHS
+    // blocks stay untouched), so no save/restore pass is needed.
+    let mut fused_params = opts
+        .fused_threads
+        .map(|threads| FusedParams {
+            threads,
+            ..Default::default()
+        })
+        .unwrap_or_else(|| FusedParams::auto(dev, l.kl));
+    let mut window_params = opts.window.unwrap_or_else(|| WindowParams::auto(dev, l.kl));
+    if let Some(p) = opts.parallel {
+        fused_params = fused_params.with_parallel(p);
+        window_params = window_params.with_parallel(p);
+    }
+    let layout = choose_layout(
+        dev,
+        &l,
+        a.batch(),
+        rhs.nrhs(),
+        opts,
+        &fused_params,
+        &window_params,
+    );
+    if layout == MatrixLayout::Interleaved {
+        let iparams = opts.interleaved_params(dev, &l, rhs.nrhs());
+        let (mut ia, pack) = interleave_launch(dev, a, iparams)?;
+        let f = gbtrf_batch_interleaved(dev, &mut ia, piv, info, iparams)?;
+        let s = gbtrs_batch_interleaved(dev, &ia, piv, rhs, info, iparams)?;
+        let (fa, unpack) = deinterleave_launch(dev, &ia, iparams)?;
+        a.data_mut().copy_from_slice(fa.data());
+        return Ok(BatchReport {
+            algo: ChosenAlgo::Interleaved,
+            time: pack.time + f.time + s.time + unpack.time,
+            launches: 4,
+        });
+    }
+    // The factor call below re-runs the layout decision with nrhs = 0;
+    // pin it to the choice made here so factor and solve stay one plan.
+    let opts = &GbsvOptions {
+        layout: MatrixLayout::ColumnMajor,
+        ..*opts
+    };
     let f = dgbtrf_batch(dev, a, piv, info, opts)?;
     if !info.all_ok() {
         // LAPACK semantics: no solve when any factorization is singular?
@@ -417,7 +636,14 @@ mod tests {
 
     #[test]
     fn auto_uses_window_for_large_matrices() {
-        let algo = solve_and_check(200, 2, 3, 1, &GbsvOptions::default());
+        // Pin the layout: this test exercises the §5.4 *algorithm* choice
+        // among the column-major kernels (at batch = 5 the layout
+        // dimension would pick interleaved).
+        let opts = GbsvOptions {
+            layout: MatrixLayout::ColumnMajor,
+            ..Default::default()
+        };
+        let algo = solve_and_check(200, 2, 3, 1, &opts);
         assert_eq!(algo, ChosenAlgo::Window);
     }
 
@@ -476,7 +702,11 @@ mod tests {
         let (mut a, _) = random_system(batch, n, kl, ku, 1);
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+        let opts = GbsvOptions {
+            layout: MatrixLayout::ColumnMajor,
+            ..Default::default()
+        };
+        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
         assert_eq!(rep.algo, ChosenAlgo::Window);
         assert!(info.all_ok());
     }
@@ -505,9 +735,178 @@ mod tests {
         .unwrap();
         let mut piv = PivotBatch::new(2, n, n);
         let mut info = InfoArray::new(2);
-        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+        // Pin the layout: with `Auto` the streaming interleaved kernels
+        // take this regime over (see
+        // `auto_layout_picks_interleaved_when_nothing_column_major_fits`).
+        let opts = GbsvOptions {
+            layout: MatrixLayout::ColumnMajor,
+            ..Default::default()
+        };
+        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
         assert_eq!(rep.algo, ChosenAlgo::Reference);
         assert!(info.all_ok());
+    }
+
+    #[test]
+    fn forced_interleaved_layout_matches_column_major_bitwise() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku, batch, nrhs) = (48usize, 3usize, 2usize, 6usize, 2usize);
+        let (a0, b0) = random_system(batch, n, kl, ku, nrhs);
+
+        let mut a_col = a0.clone();
+        let mut b_col = b0.clone();
+        let mut piv_col = PivotBatch::new(batch, n, n);
+        let mut info_col = InfoArray::new(batch);
+        let col_opts = GbsvOptions {
+            layout: MatrixLayout::ColumnMajor,
+            allow_fused_gbsv: Some(false),
+            ..Default::default()
+        };
+        dgbsv_batch(
+            &dev,
+            &mut a_col,
+            &mut piv_col,
+            &mut b_col,
+            &mut info_col,
+            &col_opts,
+        )
+        .unwrap();
+
+        let mut a_int = a0.clone();
+        let mut b_int = b0.clone();
+        let mut piv_int = PivotBatch::new(batch, n, n);
+        let mut info_int = InfoArray::new(batch);
+        let int_opts = GbsvOptions {
+            layout: MatrixLayout::Interleaved,
+            allow_fused_gbsv: Some(false),
+            ..Default::default()
+        };
+        let rep = dgbsv_batch(
+            &dev,
+            &mut a_int,
+            &mut piv_int,
+            &mut b_int,
+            &mut info_int,
+            &int_opts,
+        )
+        .unwrap();
+        assert_eq!(rep.algo, ChosenAlgo::Interleaved);
+        assert_eq!(rep.launches, 4);
+        assert_eq!(a_col.data(), a_int.data(), "factors differ across layouts");
+        assert_eq!(piv_col, piv_int, "pivots differ across layouts");
+        assert_eq!(
+            b_col.data(),
+            b_int.data(),
+            "solutions differ across layouts"
+        );
+        assert!(info_int.all_ok());
+
+        // Factor-only entry point round-trips the same way.
+        let mut a_f = a0.clone();
+        let mut piv_f = PivotBatch::new(batch, n, n);
+        let mut info_f = InfoArray::new(batch);
+        let rep = dgbtrf_batch(&dev, &mut a_f, &mut piv_f, &mut info_f, &int_opts).unwrap();
+        assert_eq!(rep.algo, ChosenAlgo::Interleaved);
+        assert_eq!(rep.launches, 3);
+        assert_eq!(a_col.data(), a_f.data());
+        assert_eq!(piv_col, piv_f);
+    }
+
+    #[test]
+    fn auto_layout_picks_interleaved_when_nothing_column_major_fits() {
+        // kl = ku = 40 at n = 96 on the MI250x: the fused kernel needs
+        // 93 KB and a one-column window 79 KB — both over the 64 KB LDS,
+        // so the column path is the 2n+1-launch reference fallback. At a
+        // small batch the streaming interleaved kernels win despite the
+        // pack/unpack conversion.
+        let dev = DeviceSpec::mi250x_gcd();
+        let (n, kl, ku, batch) = (96usize, 40usize, 40usize, 8usize);
+        let (a0, _) = random_system(batch, n, kl, ku, 1);
+
+        let mut a = a0.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+        assert_eq!(rep.algo, ChosenAlgo::Interleaved);
+        assert!(info.all_ok());
+
+        // Bitwise-identical to the reference path it displaced.
+        let mut a_ref = a0.clone();
+        let mut piv_ref = PivotBatch::new(batch, n, n);
+        let mut info_ref = InfoArray::new(batch);
+        let opts = GbsvOptions {
+            algo: FactorAlgo::Reference,
+            ..Default::default()
+        };
+        dgbtrf_batch(&dev, &mut a_ref, &mut piv_ref, &mut info_ref, &opts).unwrap();
+        assert_eq!(a.data(), a_ref.data());
+        assert_eq!(piv, piv_ref);
+    }
+
+    #[test]
+    fn auto_layout_never_picks_a_much_slower_layout() {
+        // Acceptance gate for the crossover model: on a grid spanning all
+        // three regimes, run both forced layouts and the auto decision;
+        // the auto pick's executed time must be within 10% of the faster
+        // forced side.
+        let grid: &[(DeviceSpec, usize, usize, usize, usize)] = &[
+            (DeviceSpec::h100_pcie(), 24, 1, 1, 64),
+            (DeviceSpec::h100_pcie(), 96, 2, 3, 40),
+            (DeviceSpec::h100_pcie(), 200, 6, 6, 16),
+            (DeviceSpec::mi250x_gcd(), 96, 40, 40, 8),
+            (DeviceSpec::mi250x_gcd(), 64, 3, 2, 48),
+        ];
+        for (dev, n, kl, ku, batch) in grid {
+            let (a0, _) = random_system(*batch, *n, *kl, *ku, 1);
+            let mut times = Vec::new();
+            for layout in [
+                MatrixLayout::Auto,
+                MatrixLayout::ColumnMajor,
+                MatrixLayout::Interleaved,
+            ] {
+                let mut a = a0.clone();
+                let mut piv = PivotBatch::new(*batch, *n, *n);
+                let mut info = InfoArray::new(*batch);
+                let opts = GbsvOptions {
+                    layout,
+                    ..Default::default()
+                };
+                let rep = dgbtrf_batch(dev, &mut a, &mut piv, &mut info, &opts).unwrap();
+                times.push(rep.time.secs());
+            }
+            let (auto, best) = (times[0], times[1].min(times[2]));
+            assert!(
+                auto <= best * 1.10,
+                "n={n} kl={kl} ku={ku} batch={batch}: auto layout {:.1}us vs best forced {:.1}us",
+                auto * 1e6,
+                best * 1e6
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_dgbsv_masks_singular_systems_natively() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, batch) = (100usize, 4usize);
+        let (mut a, mut b) = random_system(batch, n, 1, 1, 1);
+        {
+            let mut m = a.matrix_mut(2);
+            m.set(0, 0, 0.0);
+            m.set(1, 0, 0.0);
+        }
+        let b_orig = b.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let opts = GbsvOptions {
+            layout: MatrixLayout::Interleaved,
+            ..Default::default()
+        };
+        let rep = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &opts).unwrap();
+        assert_eq!(rep.algo, ChosenAlgo::Interleaved);
+        assert_eq!(info.get(2), 1);
+        assert_eq!(b.block(2), b_orig.block(2), "failed system's RHS preserved");
+        assert_eq!(info.get(0), 0);
+        assert_ne!(b.block(0), b_orig.block(0), "healthy systems are solved");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub fn gemm_block_counters(n: usize, threads: u32) -> KernelCounters {
         syncs: 2 * tiles as u64,
         cycles: (flops as f64 / threads as f64).max(1.0),
         smem_elems: (2 * n * n) as f64 / threads as f64,
+        ..Default::default()
     }
 }
 

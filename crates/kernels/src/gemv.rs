@@ -19,6 +19,7 @@ pub fn gemv_block_counters(n: usize, threads: u32) -> KernelCounters {
         syncs: 1,
         cycles: (flops as f64 / threads as f64).max(1.0),
         smem_elems: 0.0,
+        ..Default::default()
     }
 }
 

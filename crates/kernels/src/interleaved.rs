@@ -1,0 +1,1132 @@
+//! Interleaved (batch-major) band LU kernels: `GBTRF`/`GBTRS` whose inner
+//! loops sweep the *batch* index over contiguous lanes.
+//!
+//! The column-major designs (§5.1–§5.3) parallelize across matrices only at
+//! block granularity; inside one matrix the column-step primitives stride
+//! within a small `ldab x n` panel. With the batch transposed to
+//! [`InterleavedBandBatch`] order, every primitive — IAMAX, SWAP, SCAL, the
+//! rank-1 update, the triangular-solve updates — becomes a sweep over a
+//! contiguous lane of `batch` doubles: the coalesced/auto-vectorizable
+//! access pattern of "Efficient Interleaved Batch Matrix Solvers" (Gloster
+//! et al., arXiv:1909.04539). One simulated block owns a contiguous chunk
+//! of lanes, so the whole batch needs only `ceil(batch / lanes_per_block)`
+//! blocks, no shared memory, and **no barriers**: lanes never communicate.
+//!
+//! Numerics: each lane executes exactly the scalar operation sequence of
+//! [`gbatch_core::gbtf2`] / [`gbatch_core::gbtrs::gbtrs`], with per-lane
+//! masks standing in for SIMT divergence — lanes whose pivot is zero skip
+//! the masked ops of that column (recording `info`, like LAPACK) without
+//! disturbing sibling lanes, and the `u == 0` column skip of
+//! `rank_one_update` is replicated per lane. Factors, pivots and solutions
+//! are therefore **bitwise identical** to the sequential reference on every
+//! lane, singular or not.
+//!
+//! Memory model — two traffic modes, chosen per launch from the device's
+//! shared-memory capacity ([`LaneTrafficMode`]):
+//!
+//! - **Windowed**: the factorization's active window spans at most
+//!   `kv + 2` columns (fill-in injection at `j + kv`, swap/update reach
+//!   `j + kv`), so the block keeps that window of its lanes resident in
+//!   shared memory — lane-private, hence still barrier-free — and each
+//!   band element streams through DRAM exactly once in and once out, like
+//!   the fused kernel. The window footprint
+//!   ([`factor_smem_bytes`]/[`solve_smem_bytes`]) is the launch's
+//!   shared-memory request: it prices occupancy honestly and makes wide
+//!   bands clamp `lanes_per_block` down.
+//! - **Streaming**: when even one lane's window exceeds the block limit
+//!   (very wide bands), the kernel runs with *zero* shared memory and
+//!   every primitive touches DRAM directly — roughly 3× the once-through
+//!   traffic, but still one launch with no barriers. This is precisely the
+//!   regime where the column-major designs have already fallen off their
+//!   own shared-memory cliff onto the per-column `reference` path (one
+//!   launch overhead *per column*), which the streaming mode undercuts —
+//!   the wide-band corner of the layout crossover.
+//!
+//! Cost recording is *structural* (mask-independent): a SIMT machine pays
+//! a masked sweep at the worst lane's reach, so every column records the
+//! worst-case `w = min(kl + ku, n - 1 - j)` sweep width regardless of the
+//! data. Recorded counters are therefore exactly predictable by
+//! [`crate::cost::predict_interleaved_factor`] /
+//! [`crate::cost::predict_interleaved_solve`], which the layout-dispatch
+//! crossover model relies on.
+
+use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
+use gbatch_core::interleaved::InterleavedBandBatch;
+use gbatch_core::layout::update_bound;
+use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy};
+
+const F64: usize = std::mem::size_of::<f64>();
+const I32: usize = std::mem::size_of::<i32>();
+
+/// Tunable parameters of the interleaved kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavedParams {
+    /// Batch lanes per simulated block (= per executor work item). The
+    /// grid has `ceil(batch / lanes_per_block)` blocks; within a block the
+    /// lane sweeps stripe over the threads.
+    pub lanes_per_block: usize,
+    /// Threads per block.
+    pub threads: u32,
+    /// Host scheduling of the lane-chunk blocks (results are
+    /// bitwise-identical for every policy).
+    pub parallel: ParallelPolicy,
+}
+
+impl Default for InterleavedParams {
+    fn default() -> Self {
+        InterleavedParams {
+            lanes_per_block: 256,
+            threads: 256,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
+}
+
+/// Shared-memory footprint of the factor kernel's resident lane window:
+/// `kv + 2` columns (capped at `n`) of `ldab` band rows for `lanes` lanes.
+pub fn factor_smem_bytes(l: &gbatch_core::BandLayout, lanes: usize) -> usize {
+    (l.kv() + 2).min(l.n) * l.ldab * lanes * F64
+}
+
+/// Shared-memory footprint of the solve kernel's resident RHS scratch:
+/// the chunk's full `n x nrhs` solution panel.
+pub fn solve_smem_bytes(l: &gbatch_core::BandLayout, nrhs: usize, lanes: usize) -> usize {
+    l.n * nrhs * lanes * F64
+}
+
+/// DRAM traffic mode of an interleaved kernel launch (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneTrafficMode {
+    /// Lane window resident in shared memory; each band element streams
+    /// through DRAM once in, once out.
+    Windowed,
+    /// Window exceeds the block's shared-memory limit: zero shared memory,
+    /// every primitive reads/writes DRAM directly.
+    Streaming,
+}
+
+/// Mode [`gbtrf_batch_interleaved`] will run in on `dev` with `lanes`
+/// lanes per block.
+pub fn factor_mode(dev: &DeviceSpec, l: &gbatch_core::BandLayout, lanes: usize) -> LaneTrafficMode {
+    if factor_smem_bytes(l, lanes) <= dev.max_smem_per_block as usize {
+        LaneTrafficMode::Windowed
+    } else {
+        LaneTrafficMode::Streaming
+    }
+}
+
+/// Mode [`gbtrs_batch_interleaved`] will run in on `dev` with `lanes`
+/// lanes per block.
+pub fn solve_mode(
+    dev: &DeviceSpec,
+    l: &gbatch_core::BandLayout,
+    nrhs: usize,
+    lanes: usize,
+) -> LaneTrafficMode {
+    if solve_smem_bytes(l, nrhs, lanes) <= dev.max_smem_per_block as usize {
+        LaneTrafficMode::Windowed
+    } else {
+        LaneTrafficMode::Streaming
+    }
+}
+
+impl InterleavedParams {
+    /// Lane-chunk geometry fitted to the device: as many lanes per block
+    /// as the resident window allows (factor window, and the solve scratch
+    /// when `nrhs > 0`), capped at one lane per thread. Wide bands shrink
+    /// the chunk; when even one lane's window exceeds the block's
+    /// shared-memory limit the kernels run in [`LaneTrafficMode::Streaming`]
+    /// and the chunk goes back to one lane per thread (no window to fit).
+    pub fn auto(dev: &DeviceSpec, l: &gbatch_core::BandLayout, nrhs: usize) -> Self {
+        let threads = 256u32.min(dev.max_threads_per_block).max(dev.warp_size);
+        let cap = dev.max_smem_per_block as usize;
+        // Only windows that *can* fit one lane constrain the chunk: a
+        // kernel whose single-lane window already exceeds the block limit
+        // runs in streaming mode whatever the lane count, so its footprint
+        // must not drag the sibling kernel out of windowed mode.
+        let per_lane = [factor_smem_bytes(l, 1), solve_smem_bytes(l, nrhs, 1)]
+            .into_iter()
+            .filter(|&b| b > 0 && b <= cap)
+            .max();
+        let lanes = match per_lane {
+            Some(b) => (cap / b).clamp(1, threads as usize),
+            None => threads as usize,
+        };
+        InterleavedParams {
+            lanes_per_block: lanes,
+            threads,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
+
+    /// Builder: set the host scheduling policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    pub(crate) fn lanes_clamped(&self, batch: usize) -> usize {
+        self.lanes_per_block.max(1).min(batch)
+    }
+}
+
+/// Contiguous `(lo, lanes)` chunks covering `batch` lanes.
+fn lane_chunks(batch: usize, lanes_per_block: usize) -> Vec<(usize, usize)> {
+    (0..batch)
+        .step_by(lanes_per_block)
+        .map(|lo| (lo, lanes_per_block.min(batch - lo)))
+        .collect()
+}
+
+/// Strided mutable view of one lane chunk of an interleaved array.
+///
+/// The interleaved storage is `[elem][batch]` with the batch index
+/// innermost; a chunk owns lanes `lo .. lo + lanes` of **every** element
+/// index. Because chunks partition the batch into disjoint lane ranges,
+/// the per-element slices of two different chunks never overlap, so the
+/// parallel executor can run chunks on different workers — the same
+/// disjointness argument as `ProblemsPtr` in `gbatch_gpu_sim::executor`,
+/// applied per element index instead of per problem index.
+struct LaneView {
+    base: *mut f64,
+    batch: usize,
+    lo: usize,
+    lanes: usize,
+    elems: usize,
+}
+
+// SAFETY: a `LaneView` only ever dereferences `base` inside its own
+// `[lo, lo + lanes)` lane range (asserted below); views handed to different
+// executor workers cover disjoint ranges, so sending one to another thread
+// cannot race with its siblings.
+unsafe impl Send for LaneView {}
+
+impl LaneView {
+    #[inline(always)]
+    fn offset(&self, e: usize, b: usize) -> usize {
+        debug_assert!(
+            e < self.elems,
+            "element {e} out of range (< {})",
+            self.elems
+        );
+        debug_assert!(b < self.lanes, "lane {b} out of range (< {})", self.lanes);
+        e * self.batch + self.lo + b
+    }
+
+    /// Lane slice of element `e`, immutable.
+    #[inline(always)]
+    fn row(&self, e: usize) -> &[f64] {
+        let off = self.offset(e, 0);
+        // SAFETY: `[off, off + lanes)` lies inside this chunk's lane range
+        // of element `e`; no other chunk touches it (struct invariant) and
+        // `&self` prevents simultaneous mutation through this view.
+        unsafe { std::slice::from_raw_parts(self.base.add(off), self.lanes) }
+    }
+
+    /// Lane slice of element `e`, mutable.
+    #[inline(always)]
+    fn row_mut(&mut self, e: usize) -> &mut [f64] {
+        let off = self.offset(e, 0);
+        // SAFETY: as in `row`, plus `&mut self` serializes mutable access
+        // within the chunk.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(off), self.lanes) }
+    }
+
+    /// Element `e`, lane `b` (lane index local to the chunk).
+    #[inline(always)]
+    fn get(&self, e: usize, b: usize) -> f64 {
+        let off = self.offset(e, b);
+        // SAFETY: single in-range element of this chunk's lane range.
+        unsafe { *self.base.add(off) }
+    }
+
+    /// Store element `e`, lane `b`.
+    #[inline(always)]
+    fn set(&mut self, e: usize, b: usize, v: f64) {
+        let off = self.offset(e, b);
+        // SAFETY: single in-range element of this chunk's lane range.
+        unsafe { *self.base.add(off) = v }
+    }
+}
+
+/// Batched band LU factorization on interleaved storage.
+///
+/// Factors every lane of `a` in place (LAPACK factor storage), filling
+/// `piv` and `info` exactly like [`gbatch_core::gbtf2::gbtf2`] would per
+/// matrix — bitwise-identical pivots, factors and info codes, under every
+/// [`ParallelPolicy`].
+pub fn gbtrf_batch_interleaved(
+    dev: &DeviceSpec,
+    a: &mut InterleavedBandBatch,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+    params: InterleavedParams,
+) -> Result<LaunchReport, LaunchError> {
+    let l = a.layout();
+    let batch = a.batch();
+    assert_eq!(piv.batch(), batch, "pivot batch mismatch");
+    assert_eq!(info.len(), batch, "info batch mismatch");
+    assert_eq!(
+        l.row_offset,
+        l.kv(),
+        "interleaved gbtrf requires factor storage"
+    );
+    let per = l.m.min(l.n);
+    assert_eq!(piv.per_matrix(), per, "pivot length mismatch");
+    let lpb = params.lanes_clamped(batch);
+    let windowed = factor_mode(dev, &l, lpb) == LaneTrafficMode::Windowed;
+    let smem = if windowed {
+        u32::try_from(factor_smem_bytes(&l, lpb)).unwrap_or(u32::MAX)
+    } else {
+        0
+    };
+    let cfg = LaunchConfig::new(params.threads, smem).with_parallel(params.parallel);
+
+    struct Chunk<'a> {
+        view: LaneView,
+        piv: &'a mut [i32],
+        info: &'a mut [i32],
+    }
+
+    let elems = l.len();
+    let base = a.data_mut().as_mut_ptr();
+    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+        .into_iter()
+        .zip(piv.as_mut_slice().chunks_mut(per * lpb))
+        .zip(info.as_mut_slice().chunks_mut(lpb))
+        .map(|(((lo, lanes), piv), info)| Chunk {
+            view: LaneView {
+                base,
+                batch,
+                lo,
+                lanes,
+                elems,
+            },
+            piv,
+            info,
+        })
+        .collect();
+
+    launch(dev, &cfg, &mut chunks, |p, ctx| {
+        let kv = l.kv();
+        let (n, kl) = (l.n, l.kl);
+        let lanes = p.view.lanes;
+
+        // Windowed mode streams the chunk's band panel in once; the
+        // `kv + 2`-column working window stays block-resident (the
+        // launch's shared-memory footprint), so the column sweeps below
+        // touch no DRAM. Streaming mode skips the panel stream and pays
+        // DRAM per primitive instead.
+        if windowed {
+            ctx.gld(l.len() * lanes * F64);
+            ctx.vec_work(l.len() * lanes, 0);
+        }
+
+        // DGBTF2 prologue: zero the partially-reachable fill rows.
+        let mut fill_items = 0usize;
+        for j in (l.ku + 1)..kv.min(n) {
+            for r in (kv - j)..kl {
+                p.view.row_mut(l.idx(r, j)).fill(0.0);
+                fill_items += 1;
+            }
+        }
+        ctx.vec_work(fill_items * lanes, 0);
+        if !windowed {
+            ctx.gst(fill_items * lanes * F64);
+        }
+
+        // Per-lane factorization state.
+        let mut ju = vec![0usize; lanes];
+        let mut jp = vec![0usize; lanes];
+        let mut best = vec![0.0f64; lanes];
+        let mut pivval = vec![0.0f64; lanes];
+        let mut inv = vec![0.0f64; lanes];
+        let mut lane_info = vec![0i32; lanes];
+        let mut mult = vec![0.0f64; kl * lanes];
+        let mut uvec = vec![0.0f64; lanes];
+        let mut fixed = vec![0.0f64; lanes];
+
+        for j in 0..per {
+            let km = l.km(j);
+            let w = kv.min(n - 1 - j); // structural worst-case reach
+
+            // SET_FILLIN for the incoming column.
+            if j + kv < n {
+                for r in 0..kl {
+                    p.view.row_mut(l.idx(r, j + kv)).fill(0.0);
+                }
+                ctx.vec_work(kl * lanes, 0);
+                if !windowed {
+                    ctx.gst(kl * lanes * F64);
+                }
+            }
+
+            // IAMAX, k-outer / lane-inner: per lane this is the exact
+            // first-max scan of `gbtf2::pivot_search` (strict `>` keeps
+            // the earliest maximum).
+            for b in 0..lanes {
+                best[b] = -1.0;
+                jp[b] = 0;
+            }
+            for k in 0..=km {
+                let row = p.view.row(l.idx(kv + k, j));
+                for b in 0..lanes {
+                    let v = row[b].abs();
+                    if v > best[b] {
+                        best[b] = v;
+                        jp[b] = k;
+                    }
+                }
+            }
+            ctx.vec_work((km + 1) * lanes, 0);
+            if !windowed {
+                ctx.gld((km + 1) * lanes * F64);
+            }
+
+            // Pivot gather + bookkeeping (singular lanes record info and
+            // drop out of this column's masked ops only).
+            for b in 0..lanes {
+                pivval[b] = p.view.get(l.idx(kv + jp[b], j), b);
+                p.piv[b * per + j] = (j + jp[b]) as i32;
+                if pivval[b] != 0.0 {
+                    ju[b] = update_bound(ju[b].max(j), j, l.ku, jp[b], n);
+                } else if lane_info[b] == 0 {
+                    lane_info[b] = (j + 1) as i32;
+                }
+            }
+            ctx.gst(lanes * I32);
+            if !windowed {
+                ctx.gld(lanes * F64); // pivot value re-read
+            }
+
+            // SWAP to the right: structural sweep over w + 1 columns;
+            // lanes with jp == 0, a zero pivot, or a shorter per-lane
+            // reach are masked (and, as on a SIMT machine, still paid
+            // for by the sweep).
+            for k in 0..=w {
+                let e_lo = l.idx(kv - k, j + k);
+                fixed.copy_from_slice(p.view.row(e_lo));
+                for b in 0..lanes {
+                    if pivval[b] != 0.0 && jp[b] != 0 && k <= ju[b] - j {
+                        let e_hi = l.idx(kv + jp[b] - k, j + k);
+                        p.view.set(e_lo, b, p.view.get(e_hi, b));
+                        p.view.set(e_hi, b, fixed[b]);
+                    }
+                }
+            }
+            ctx.vec_work((w + 1) * lanes, 0);
+            if !windowed {
+                // Both swap rows of each column: read-modify-write.
+                ctx.gld(2 * (w + 1) * lanes * F64);
+                ctx.gst(2 * (w + 1) * lanes * F64);
+            }
+
+            if km > 0 {
+                // SCAL by the reciprocal pivot (masked per lane).
+                for b in 0..lanes {
+                    inv[b] = if pivval[b] != 0.0 {
+                        1.0 / pivval[b]
+                    } else {
+                        0.0
+                    };
+                }
+                for k in 1..=km {
+                    let row = p.view.row_mut(l.idx(kv + k, j));
+                    for b in 0..lanes {
+                        if pivval[b] != 0.0 {
+                            row[b] *= inv[b];
+                        }
+                    }
+                }
+                ctx.vec_work(km * lanes, 1);
+                if !windowed {
+                    ctx.gld(km * lanes * F64);
+                    ctx.gst(km * lanes * F64);
+                }
+
+                // Snapshot the multipliers once; every update column
+                // reuses them (they are not modified below).
+                for k in 1..=km {
+                    mult[(k - 1) * lanes..k * lanes].copy_from_slice(p.view.row(l.idx(kv + k, j)));
+                }
+
+                // RANK_ONE_UPDATE over the structural reach; per-lane
+                // masks apply the true reach `ju[b] - j` and gbtf2's
+                // `u == 0` column skip (needed for bitwise identity:
+                // `x - 0.0 * m` is not always a no-op, e.g. for -0.0).
+                for c in 1..=w {
+                    uvec.copy_from_slice(p.view.row(l.idx(kv - c, j + c)));
+                    for i in 1..=km {
+                        let dst = p.view.row_mut(l.idx(kv - c + i, j + c));
+                        for b in 0..lanes {
+                            let u = uvec[b];
+                            if pivval[b] != 0.0 && u != 0.0 && c <= ju[b] - j {
+                                dst[b] -= mult[(i - 1) * lanes + b] * u;
+                            }
+                        }
+                    }
+                }
+                ctx.vec_work(w * lanes, 0);
+                ctx.vec_work(w * km * lanes, 2);
+                if !windowed {
+                    // Per update column: u row + multiplier re-read + dst
+                    // read-modify-write (no register cache of `mult` in
+                    // streaming mode — `km` can exceed any register file).
+                    ctx.gld(w * (1 + 2 * km) * lanes * F64);
+                    ctx.gst(w * km * lanes * F64);
+                }
+            }
+        }
+
+        // Windowed mode streams the factored panel back out.
+        if windowed {
+            ctx.gst(l.len() * lanes * F64);
+            ctx.vec_work(l.len() * lanes, 0);
+        }
+        p.info.copy_from_slice(&lane_info);
+        ctx.gst(lanes * I32);
+    })
+}
+
+/// Batched band triangular solve (`A x = b`, no transpose) on interleaved
+/// factors.
+///
+/// Lanes whose `info` code is non-zero (singular factorization) are masked
+/// out entirely: their RHS blocks are left untouched, siblings are solved
+/// normally — no divide-by-zero, no caller-side RHS restore needed. On
+/// every healthy lane the solution is bitwise-identical to
+/// [`gbatch_core::gbtrs::gbtrs`].
+pub fn gbtrs_batch_interleaved(
+    dev: &DeviceSpec,
+    a: &InterleavedBandBatch,
+    piv: &PivotBatch,
+    rhs: &mut RhsBatch,
+    info: &InfoArray,
+    params: InterleavedParams,
+) -> Result<LaunchReport, LaunchError> {
+    let l = a.layout();
+    let batch = a.batch();
+    assert_eq!(l.m, l.n, "interleaved gbtrs requires square factorizations");
+    assert_eq!(piv.batch(), batch, "pivot batch mismatch");
+    assert_eq!(rhs.batch(), batch, "rhs batch mismatch");
+    assert_eq!(info.len(), batch, "info batch mismatch");
+    assert_eq!(rhs.n(), l.n, "rhs order mismatch");
+    let n = l.n;
+    let per = n;
+    let (ldb, nrhs, bs) = (rhs.ldb(), rhs.nrhs(), rhs.block_stride());
+    let lpb = params.lanes_clamped(batch);
+    let windowed = solve_mode(dev, &l, nrhs, lpb) == LaneTrafficMode::Windowed;
+    let smem = if windowed {
+        u32::try_from(solve_smem_bytes(&l, nrhs, lpb)).unwrap_or(u32::MAX)
+    } else {
+        0
+    };
+    let cfg = LaunchConfig::new(params.threads, smem).with_parallel(params.parallel);
+    let fac = a.data();
+
+    struct Chunk<'a> {
+        lo: usize,
+        lanes: usize,
+        piv: &'a [i32],
+        info: &'a [i32],
+        rhs: &'a mut [f64],
+    }
+
+    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+        .into_iter()
+        .zip(rhs.data_mut().chunks_mut(bs * lpb))
+        .zip(piv.as_slice().chunks(per * lpb))
+        .zip(info.as_slice().chunks(lpb))
+        .map(|((((lo, lanes), rhs), piv), info)| Chunk {
+            lo,
+            lanes,
+            piv,
+            info,
+            rhs,
+        })
+        .collect();
+
+    launch(dev, &cfg, &mut chunks, |p, ctx| {
+        let kv = l.kv();
+        let kl = l.kl;
+        let (lo, lanes) = (p.lo, p.lanes);
+        // Read-only lane slice of factor element `e` for this chunk.
+        let frow = |e: usize| &fac[e * batch + lo..e * batch + lo + lanes];
+        let active: Vec<bool> = p.info.iter().map(|&i| i == 0).collect();
+
+        // Gather the chunk's RHS blocks into a batch-major scratch
+        // `x[(c * n + i) * lanes + b]` (the transposing load a native
+        // interleaved RHS layout would not need). In windowed mode the
+        // scratch is the launch's shared-memory footprint and the sweeps
+        // below touch DRAM only for the factor panel; in streaming mode
+        // the scratch models in-place global updates, so every sweep pays
+        // its RHS traffic too.
+        let mut x = vec![0.0f64; n * nrhs * lanes];
+        for b in 0..lanes {
+            let blk = &p.rhs[b * bs..(b + 1) * bs];
+            for c in 0..nrhs {
+                for i in 0..n {
+                    x[(c * n + i) * lanes + b] = blk[c * ldb + i];
+                }
+            }
+        }
+        if windowed {
+            ctx.gld(n * nrhs * lanes * F64);
+            ctx.vec_work(n * nrhs * lanes, 0);
+        }
+
+        // Forward elimination with progressive pivoting (`forward_step`
+        // per column, lane-innermost).
+        if kl > 0 {
+            for j in 0..n - 1 {
+                let lm = kl.min(n - 1 - j);
+                for c in 0..nrhs {
+                    for b in 0..lanes {
+                        let pvt = p.piv[b * per + j] as usize;
+                        if active[b] && pvt != j {
+                            x.swap((c * n + pvt) * lanes + b, (c * n + j) * lanes + b);
+                        }
+                    }
+                }
+                ctx.gld(lanes * I32); // pivot row
+                ctx.vec_work(nrhs * lanes, 0);
+                if !windowed {
+                    // Structural swap: both RHS rows, read-modify-write.
+                    ctx.gld(2 * nrhs * lanes * F64);
+                    ctx.gst(2 * nrhs * lanes * F64);
+                }
+                if lm > 0 {
+                    for c in 0..nrhs {
+                        for i in 1..=lm {
+                            let m = frow(l.idx(kv + i, j));
+                            for b in 0..lanes {
+                                let bj = x[(c * n + j) * lanes + b];
+                                if active[b] && bj != 0.0 {
+                                    x[(c * n + j + i) * lanes + b] -= m[b] * bj;
+                                }
+                            }
+                        }
+                    }
+                    ctx.gld(lm * lanes * F64); // L multipliers of column j
+                    ctx.vec_work(lm * nrhs * lanes, 2);
+                    if !windowed {
+                        // `b[j]` re-read plus the `lm` updated rows.
+                        ctx.gld((1 + lm) * nrhs * lanes * F64);
+                        ctx.gst(lm * nrhs * lanes * F64);
+                    }
+                }
+            }
+        }
+
+        // Backward substitution on the banded U (`backward_solve`,
+        // lane-innermost).
+        for c in 0..nrhs {
+            for j in (0..n).rev() {
+                let reach = kv.min(j);
+                let diag = frow(l.idx(kv, j));
+                let jrow = (c * n + j) * lanes;
+                for b in 0..lanes {
+                    if active[b] {
+                        x[jrow + b] /= diag[b];
+                    }
+                }
+                ctx.gld(lanes * F64); // diagonal of U
+                ctx.vec_work(lanes, 1);
+                if !windowed {
+                    // `x[j]` read-modify-write by the division.
+                    ctx.gld(lanes * F64);
+                    ctx.gst(lanes * F64);
+                }
+                if reach > 0 {
+                    for i in 1..=reach {
+                        let u = frow(l.idx(kv - i, j));
+                        for b in 0..lanes {
+                            let bj = x[jrow + b];
+                            if active[b] && bj != 0.0 {
+                                x[(c * n + j - i) * lanes + b] -= u[b] * bj;
+                            }
+                        }
+                    }
+                    ctx.gld(reach * lanes * F64); // U column above the diagonal
+                    ctx.vec_work(reach * lanes, 2);
+                    if !windowed {
+                        // The `reach` updated rows, read-modify-write.
+                        ctx.gld(reach * lanes * F64);
+                        ctx.gst(reach * lanes * F64);
+                    }
+                }
+            }
+        }
+
+        // Scatter solutions back; masked (singular) lanes keep their
+        // original RHS. The store sweep is structural: masked lanes still
+        // occupy their transaction slots. (Streaming mode updated the
+        // global RHS in place — no final scatter to pay.)
+        for b in 0..lanes {
+            if !active[b] {
+                continue;
+            }
+            let blk = &mut p.rhs[b * bs..(b + 1) * bs];
+            for c in 0..nrhs {
+                for i in 0..n {
+                    blk[c * ldb + i] = x[(c * n + i) * lanes + b];
+                }
+            }
+        }
+        if windowed {
+            ctx.gst(n * nrhs * lanes * F64);
+            ctx.vec_work(n * nrhs * lanes, 0);
+        }
+    })
+}
+
+/// Transpose a column-major batch into interleaved storage as a modeled
+/// kernel launch (the pack pass a dispatch-level layout switch pays).
+pub fn interleave_launch(
+    dev: &DeviceSpec,
+    src: &BandBatch,
+    params: InterleavedParams,
+) -> Result<(InterleavedBandBatch, LaunchReport), LaunchError> {
+    let l = src.layout();
+    let batch = src.batch();
+    let elems = l.len();
+    let mut dst =
+        InterleavedBandBatch::zeros_with_layout(l, batch).expect("source batch is non-empty");
+    let lpb = params.lanes_clamped(batch);
+    let cfg = LaunchConfig::new(params.threads, 0).with_parallel(params.parallel);
+
+    struct Chunk<'a> {
+        view: LaneView,
+        src: &'a [f64],
+    }
+
+    let base = dst.data_mut().as_mut_ptr();
+    let src_data = src.data();
+    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+        .into_iter()
+        .map(|(lo, lanes)| Chunk {
+            view: LaneView {
+                base,
+                batch,
+                lo,
+                lanes,
+                elems,
+            },
+            src: &src_data[lo * elems..(lo + lanes) * elems],
+        })
+        .collect();
+
+    let rep = launch(dev, &cfg, &mut chunks, |p, ctx| {
+        let lanes = p.view.lanes;
+        for (b, m) in p.src.chunks(elems).enumerate() {
+            for (e, &v) in m.iter().enumerate() {
+                p.view.set(e, b, v);
+            }
+        }
+        ctx.gld(elems * lanes * F64);
+        ctx.gst(elems * lanes * F64);
+        ctx.vec_work(elems * lanes, 0);
+    })?;
+    Ok((dst, rep))
+}
+
+/// Transpose interleaved storage back to a column-major batch as a modeled
+/// kernel launch (the unpack pass of a dispatch-level layout switch).
+pub fn deinterleave_launch(
+    dev: &DeviceSpec,
+    src: &InterleavedBandBatch,
+    params: InterleavedParams,
+) -> Result<(BandBatch, LaunchReport), LaunchError> {
+    let l = src.layout();
+    let batch = src.batch();
+    let elems = l.len();
+    let mut dst = BandBatch::zeros_with_layout(l, batch).expect("source batch is non-empty");
+    let lpb = params.lanes_clamped(batch);
+    let cfg = LaunchConfig::new(params.threads, 0).with_parallel(params.parallel);
+    let src_data = src.data();
+
+    struct Chunk<'a> {
+        lo: usize,
+        dst: &'a mut [f64],
+    }
+
+    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+        .into_iter()
+        .zip(dst.data_mut().chunks_mut(elems * lpb))
+        .map(|((lo, _lanes), dst)| Chunk { lo, dst })
+        .collect();
+
+    let rep = launch(dev, &cfg, &mut chunks, |p, ctx| {
+        let lanes = p.dst.len() / elems;
+        for (bi, m) in p.dst.chunks_mut(elems).enumerate() {
+            let b = p.lo + bi;
+            for (e, v) in m.iter_mut().enumerate() {
+                *v = src_data[e * batch + b];
+            }
+        }
+        ctx.gld(elems * lanes * F64);
+        ctx.gst(elems * lanes * F64);
+        ctx.vec_work(elems * lanes, 0);
+    })?;
+    Ok((dst, rep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::gbtf2::gbtf2;
+    use gbatch_core::gbtrs::{gbtrs, Transpose};
+
+    fn random_batch(batch: usize, m: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
+        let mut v = 0.29f64;
+        BandBatch::from_fn(batch, m, n, kl, ku, |id, mat| {
+            for j in 0..n {
+                let (s, e) = mat.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 2.1 + 0.063 + id as f64 * 1e-4).fract();
+                    mat.set(i, j, v - 0.5);
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    fn gbtf2_oracle(a: &BandBatch) -> (Vec<Vec<f64>>, Vec<Vec<i32>>, Vec<i32>) {
+        let l = a.layout();
+        let per = l.m.min(l.n);
+        let mut fs = Vec::new();
+        let mut ps = Vec::new();
+        let mut is = Vec::new();
+        for id in 0..a.batch() {
+            let mut ab = a.matrix(id).data.to_vec();
+            let mut p = vec![0i32; per];
+            is.push(gbtf2(&l, &mut ab, &mut p));
+            fs.push(ab);
+            ps.push(p);
+        }
+        (fs, ps, is)
+    }
+
+    fn factor_interleaved(
+        a: &BandBatch,
+        params: InterleavedParams,
+    ) -> (InterleavedBandBatch, PivotBatch, InfoArray, LaunchReport) {
+        let dev = DeviceSpec::h100_pcie();
+        let l = a.layout();
+        let mut ia = InterleavedBandBatch::from_batch(a);
+        let mut piv = PivotBatch::new(a.batch(), l.m, l.n);
+        let mut info = InfoArray::new(a.batch());
+        let rep = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+        (ia, piv, info, rep)
+    }
+
+    #[test]
+    fn factor_matches_gbtf2_bitwise() {
+        for (m, n, kl, ku) in [
+            (9, 9, 2, 3),
+            (32, 32, 2, 3),
+            (24, 24, 10, 7),
+            (16, 16, 0, 3),
+            (16, 16, 3, 0),
+            (12, 12, 1, 1),
+            (9, 6, 1, 2),
+            (6, 9, 2, 1),
+        ] {
+            let batch = 7;
+            let a = random_batch(batch, m, n, kl, ku);
+            let (fs, ps, is) = gbtf2_oracle(&a);
+            let (ia, piv, info, rep) = factor_interleaved(&a, InterleavedParams::default());
+            assert_eq!(rep.grid, 1, "7 lanes fit one chunk");
+            let back = ia.to_batch();
+            for id in 0..batch {
+                assert_eq!(back.matrix(id).data, &fs[id][..], "factors m={m} n={n}");
+                assert_eq!(piv.pivots(id), &ps[id][..], "pivots m={m} n={n}");
+                assert_eq!(info.get(id), is[id], "info m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_handles_mixed_singular_batch() {
+        let n = 12;
+        let mut a = random_batch(6, n, n, 2, 1);
+        // Lane 2: zero the whole first pivot-candidate column.
+        {
+            let mut m = a.matrix_mut(2);
+            for i in 0..=2usize {
+                m.set(i, 0, 0.0);
+            }
+        }
+        // Lane 4: zero column 5's candidates to hit a mid-factorization
+        // singularity.
+        {
+            let mut m = a.matrix_mut(4);
+            for i in 5..=(5 + 2usize).min(n - 1) {
+                m.set(i, 5, 0.0);
+            }
+        }
+        let (fs, ps, is) = gbtf2_oracle(&a);
+        assert!(is.iter().any(|&i| i != 0), "test setup produces failures");
+        let (ia, piv, info, _) = factor_interleaved(&a, InterleavedParams::default());
+        let back = ia.to_batch();
+        for id in 0..6 {
+            assert_eq!(info.get(id), is[id], "info lane {id}");
+            assert_eq!(back.matrix(id).data, &fs[id][..], "factors lane {id}");
+            assert_eq!(piv.pivots(id), &ps[id][..], "pivots lane {id}");
+        }
+    }
+
+    #[test]
+    fn chunking_and_parallel_policies_are_bitwise_identical() {
+        let (batch, n, kl, ku) = (37usize, 16usize, 2usize, 3usize);
+        let a = random_batch(batch, n, n, kl, ku);
+        let baseline = factor_interleaved(
+            &a,
+            InterleavedParams {
+                lanes_per_block: 8,
+                ..Default::default()
+            },
+        );
+        for (lpb, policy) in [
+            (8, ParallelPolicy::threads(2)),
+            (8, ParallelPolicy::threads(8)),
+            (5, ParallelPolicy::Serial),
+            (37, ParallelPolicy::threads(4)),
+            (64, ParallelPolicy::Serial),
+        ] {
+            let params = InterleavedParams {
+                lanes_per_block: lpb,
+                parallel: policy,
+                ..Default::default()
+            };
+            let (ia, piv, info, _) = factor_interleaved(&a, params);
+            assert_eq!(ia, baseline.0, "factors lpb={lpb} policy={policy:?}");
+            assert_eq!(piv, baseline.1, "pivots lpb={lpb}");
+            assert_eq!(info, baseline.2, "info lpb={lpb}");
+        }
+        // Same chunk geometry => identical counters for any policy.
+        let serial = factor_interleaved(
+            &a,
+            InterleavedParams {
+                lanes_per_block: 8,
+                ..Default::default()
+            },
+        );
+        let threaded = factor_interleaved(
+            &a,
+            InterleavedParams {
+                lanes_per_block: 8,
+                parallel: ParallelPolicy::threads(8),
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.3.counters, threaded.3.counters);
+    }
+
+    #[test]
+    fn solve_matches_gbtrs_bitwise() {
+        for (n, kl, ku, nrhs) in [(12, 2, 3, 1), (20, 1, 1, 3), (16, 10, 7, 2), (9, 0, 2, 1)] {
+            let dev = DeviceSpec::h100_pcie();
+            let batch = 9;
+            let a = random_batch(batch, n, n, kl, ku);
+            let rhs0 = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+                ((id * 31 + c * 7 + i) as f64 * 0.57).sin()
+            })
+            .unwrap();
+            let (fs, ps, is) = gbtf2_oracle(&a);
+            let (ia, piv, info, _) = factor_interleaved(&a, InterleavedParams::default());
+            let mut rhs = rhs0.clone();
+            gbtrs_batch_interleaved(
+                &dev,
+                &ia,
+                &piv,
+                &mut rhs,
+                &info,
+                InterleavedParams::default(),
+            )
+            .unwrap();
+            let l = a.layout();
+            for id in 0..batch {
+                assert_eq!(is[id], 0);
+                let mut expect = rhs0.block(id).to_vec();
+                gbtrs(Transpose::No, &l, &fs[id], &ps[id], &mut expect, n, nrhs);
+                assert_eq!(
+                    rhs.block(id),
+                    &expect[..],
+                    "solution n={n} kl={kl} ku={ku} id={id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_masks_singular_lanes() {
+        let dev = DeviceSpec::h100_pcie();
+        let n = 10;
+        let batch = 5;
+        let mut a = random_batch(batch, n, n, 1, 1);
+        {
+            let mut m = a.matrix_mut(3);
+            m.set(0, 0, 0.0);
+            m.set(1, 0, 0.0);
+        }
+        let (fs, ps, is) = gbtf2_oracle(&a);
+        let (ia, piv, info, _) = factor_interleaved(&a, InterleavedParams::default());
+        assert_eq!(info.get(3), is[3]);
+        assert_ne!(info.get(3), 0);
+        let rhs0 = RhsBatch::from_fn(batch, n, 2, |id, i, c| (id + i + c) as f64 * 0.1).unwrap();
+        let mut rhs = rhs0.clone();
+        gbtrs_batch_interleaved(
+            &dev,
+            &ia,
+            &piv,
+            &mut rhs,
+            &info,
+            InterleavedParams {
+                lanes_per_block: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let l = a.layout();
+        for id in 0..batch {
+            if id == 3 {
+                assert_eq!(rhs.block(id), rhs0.block(id), "singular lane untouched");
+            } else {
+                let mut expect = rhs0.block(id).to_vec();
+                gbtrs(Transpose::No, &l, &fs[id], &ps[id], &mut expect, n, 2);
+                assert_eq!(rhs.block(id), &expect[..], "healthy lane {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_launches_round_trip() {
+        let dev = DeviceSpec::h100_pcie();
+        let a = random_batch(11, 9, 9, 2, 3);
+        let params = InterleavedParams {
+            lanes_per_block: 4,
+            ..Default::default()
+        };
+        let (ia, rep_in) = interleave_launch(&dev, &a, params).unwrap();
+        assert_eq!(ia, InterleavedBandBatch::from_batch(&a));
+        let bytes = (a.layout().len() * 11 * F64) as u64;
+        assert_eq!(rep_in.counters.global_read, bytes);
+        assert_eq!(rep_in.counters.global_write, bytes);
+        let (back, rep_out) = deinterleave_launch(&dev, &ia, params).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(rep_out.counters.global_bytes(), 2 * bytes);
+    }
+
+    #[test]
+    fn records_lane_utilization() {
+        let (batch, n) = (64usize, 12usize);
+        let a = random_batch(batch, n, n, 2, 1);
+        let (_, _, _, rep) = factor_interleaved(
+            &a,
+            InterleavedParams {
+                lanes_per_block: 64,
+                ..Default::default()
+            },
+        );
+        let c = rep.counters;
+        assert!(c.lane_sweeps > 0, "lane sweeps recorded");
+        // 64-lane chunks divide the width-8 vectors exactly.
+        assert_eq!(c.lane_utilization(8), Some(1.0));
+        assert_eq!(c.syncs, 0, "interleaved kernel needs no barriers");
+        assert_eq!(c.smem_trips, 0, "no shared-memory round trips");
+    }
+
+    #[test]
+    fn auto_params_respect_device_limits() {
+        let dev = DeviceSpec::h100_pcie();
+        // Narrow band: the window is tiny, one lane per thread.
+        let tri = gbatch_core::BandLayout::factor(64, 64, 1, 1).unwrap();
+        let p = InterleavedParams::auto(&dev, &tri, 0);
+        assert!(p.threads <= dev.max_threads_per_block);
+        assert_eq!(p.lanes_per_block, p.threads as usize);
+        // Wide band: the resident window clamps the chunk well below the
+        // thread count.
+        let wide = gbatch_core::BandLayout::factor(512, 512, 24, 24).unwrap();
+        let pw = InterleavedParams::auto(&dev, &wide, 0);
+        assert!(pw.lanes_per_block < p.lanes_per_block);
+        assert_eq!(
+            pw.lanes_per_block,
+            dev.max_smem_per_block as usize / factor_smem_bytes(&wide, 1)
+        );
+        // A large solve scratch tightens the clamp further…
+        let ps = InterleavedParams::auto(&dev, &wide, 32);
+        assert!(solve_smem_bytes(&wide, 32, 1) <= dev.max_smem_per_block as usize);
+        assert!(ps.lanes_per_block < pw.lanes_per_block);
+        // …but one that cannot fit even a single lane streams regardless
+        // and must not shrink the factor's windowed chunk.
+        assert!(solve_smem_bytes(&wide, 128, 1) > dev.max_smem_per_block as usize);
+        let px = InterleavedParams::auto(&dev, &wide, 128);
+        assert_eq!(px.lanes_per_block, pw.lanes_per_block);
+        // Absurd bandwidth: even one lane's window exceeds the block limit,
+        // so the kernels will run in streaming mode — the chunk goes back
+        // to one lane per thread.
+        let huge = gbatch_core::BandLayout::factor(4096, 4096, 512, 512).unwrap();
+        assert!(factor_smem_bytes(&huge, 1) > dev.max_smem_per_block as usize);
+        let ph = InterleavedParams::auto(&dev, &huge, 0);
+        assert_eq!(ph.lanes_per_block, ph.threads as usize);
+        assert_eq!(factor_mode(&dev, &tri, 256), LaneTrafficMode::Windowed);
+        assert_eq!(
+            factor_mode(&dev, &huge, ph.lanes_per_block),
+            LaneTrafficMode::Streaming
+        );
+        assert_eq!(lane_chunks(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(lane_chunks(4, 8), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn oversized_window_streams_with_identical_numerics() {
+        let dev = DeviceSpec::test_device(); // 16 KiB shared memory
+        let n = 128;
+        let batch = 4;
+        let a = random_batch(batch, n, n, 40, 40);
+        let l = a.layout();
+        let mut ia = InterleavedBandBatch::from_batch(&a);
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let params = InterleavedParams {
+            lanes_per_block: 4,
+            threads: dev.max_threads_per_block,
+            ..Default::default()
+        };
+        // The resident window does not fit, so the launch drops to
+        // streaming mode: zero shared memory, per-primitive DRAM traffic,
+        // same numerics.
+        assert!(factor_smem_bytes(&l, 4) > dev.max_smem_per_block as usize);
+        assert_eq!(factor_mode(&dev, &l, 4), LaneTrafficMode::Streaming);
+        let rep = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params)
+            .expect("streaming mode must not require shared memory");
+        // More traffic than the once-through windowed stream…
+        let once_through = 2 * l.len() * batch * std::mem::size_of::<f64>();
+        assert!(rep.counters.global_bytes() as usize > once_through);
+        // …but bitwise-identical factors, pivots and info codes.
+        let (fs, ps, is) = gbtf2_oracle(&a);
+        let out = ia.to_batch();
+        for id in 0..batch {
+            assert_eq!(out.matrix(id).data, &fs[id][..]);
+            assert_eq!(piv.pivots(id), &ps[id][..]);
+            assert_eq!(info.get(id), is[id]);
+        }
+        // The solve scratch does not fit either: the solve streams too and
+        // still matches the reference bitwise.
+        let nrhs = 33;
+        assert_eq!(solve_mode(&dev, &l, nrhs, 4), LaneTrafficMode::Streaming);
+        let rhs0 = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            ((id * 31 + c * 7 + i) as f64 * 0.137).sin()
+        })
+        .unwrap();
+        let mut rhs = rhs0.clone();
+        gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params)
+            .expect("streaming solve must not require shared memory");
+        for id in 0..batch {
+            let mut expect = rhs0.block(id).to_vec();
+            gbtrs(Transpose::No, &l, &fs[id], &ps[id], &mut expect, n, nrhs);
+            assert_eq!(rhs.block(id), &expect[..]);
+        }
+    }
+}

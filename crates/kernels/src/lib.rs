@@ -33,6 +33,11 @@
 //! - [`tridiag`] — parallel cyclic reduction for tridiagonal batches: the
 //!   `O(log n)` critical-path counterpoint to §8's "not enough parallelism
 //!   within a single problem".
+//! - [`mod@interleaved`] — batch-major (interleaved) GBTRF/GBTRS whose
+//!   column-step primitives sweep contiguous batch lanes innermost: no
+//!   shared memory, no barriers, bitwise-identical numerics per lane, and
+//!   the coalesced access pattern of Gloster et al. (arXiv:1909.04539);
+//!   the layout dimension of the dispatch crossover model.
 //! - [`gemm`] / [`gemv`] — simple batched dense kernels used by the
 //!   Figure 1 motivation experiment.
 //! - [`cost`] — analytic counter prediction (dry-run cost model) used by
@@ -55,6 +60,7 @@ pub mod gbtrs_cols;
 pub mod gbtrs_trans;
 pub mod gemm;
 pub mod gemv;
+pub mod interleaved;
 pub mod mixed;
 pub mod pbtrf;
 pub mod reference;
@@ -64,4 +70,6 @@ pub mod tridiag;
 pub mod vbatch;
 pub mod window;
 
-pub use dispatch::{dgbsv_batch, dgbtrf_batch, dgbtrs_batch, BatchReport, GbsvOptions};
+pub use dispatch::{
+    dgbsv_batch, dgbtrf_batch, dgbtrs_batch, BatchReport, ChosenAlgo, GbsvOptions, MatrixLayout,
+};

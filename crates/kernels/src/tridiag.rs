@@ -320,13 +320,19 @@ mod tests {
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
         let mut b2 = rhs.clone();
+        // Pin the column-major layout: the claim is about the O(n)
+        // sequential-column designs (the batch-major interleaved LU has no
+        // per-column barriers and is itself competitive with PCR here).
         let lu = crate::dispatch::dgbsv_batch(
             &dev,
             &mut g,
             &mut piv,
             &mut b2,
             &mut info,
-            &crate::dispatch::GbsvOptions::default(),
+            &crate::dispatch::GbsvOptions {
+                layout: crate::dispatch::MatrixLayout::ColumnMajor,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
