@@ -82,7 +82,7 @@ pub use band::{BandMatrix, BandMatrixMut, BandMatrixRef};
 pub use batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 pub use error::{BandError, Result};
 pub use interleaved::InterleavedBandBatch;
-pub use layout::BandLayout;
+pub use layout::{BandLayout, RowClass};
 
 /// Machine epsilon for `f64`, used in residual bounds.
 pub const EPS: f64 = f64::EPSILON;

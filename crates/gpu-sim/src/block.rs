@@ -62,13 +62,17 @@ impl BlockContext {
     /// what keeps parallel block results identical to serial.
     pub fn fork_worker(&self) -> BlockContext {
         let smem_bytes = self.smem.capacity() * std::mem::size_of::<f64>();
-        BlockContext::with_lds_lanes(0, self.threads, smem_bytes, self.lds_lanes)
+        let mut ctx = BlockContext::with_lds_lanes(0, self.threads, smem_bytes, self.lds_lanes);
+        ctx.smem.set_label(self.smem.label());
+        ctx.smem.set_hazard_mode(self.smem.hazard_mode());
+        ctx
     }
 
     /// Reuse this context for another block (workers recycle arenas).
     pub fn reset_for(&mut self, block_id: usize) {
         self.block_id = block_id;
         self.smem.reset();
+        self.smem.assign_block(block_id);
         self.counters = KernelCounters::default();
     }
 
@@ -139,10 +143,15 @@ impl BlockContext {
         self.counters.smem_trips += 1;
     }
 
-    /// Record a block-wide barrier.
+    /// Record a block-wide barrier. Also advances the hazard tracker's
+    /// access epoch: tagged shared accesses on opposite sides of a `sync`
+    /// are ordered and can never conflict.
     #[inline]
     pub fn sync(&mut self) {
         self.counters.syncs += 1;
+        if let Some(t) = self.smem.tracker() {
+            t.advance_epoch();
+        }
     }
 
     /// Record raw critical-path cycles (sequential scalar work).
@@ -151,10 +160,13 @@ impl BlockContext {
         self.counters.cycles += cycles;
     }
 
-    /// Counters recorded so far.
+    /// Counters recorded so far (including any hazards the shared-memory
+    /// tracker detected for this block).
     #[inline]
     pub fn counters(&self) -> KernelCounters {
-        self.counters
+        let mut c = self.counters;
+        c.hazards = self.smem.hazard_count();
+        c
     }
 }
 
@@ -240,6 +252,30 @@ mod tests {
         assert_eq!(fresh.smem.capacity(), ctx.smem.capacity());
         assert_eq!(fresh.smem.used(), 0);
         assert_eq!(fresh.counters(), KernelCounters::default());
+    }
+
+    #[test]
+    fn sync_advances_hazard_epoch_and_fork_inherits_mode() {
+        use crate::hazard::HazardMode;
+        let mut ctx = BlockContext::new(0, 8, 64);
+        ctx.smem.set_label("probe");
+        ctx.smem.set_hazard_mode(HazardMode::Record);
+        assert_eq!(ctx.smem.tracker().unwrap().epoch(), 0);
+        ctx.sync();
+        ctx.sync();
+        assert_eq!(ctx.smem.tracker().unwrap().epoch(), 2);
+        // Cross-epoch accesses by different lanes: ordered, no hazard.
+        ctx.smem.tracker().unwrap().write(0, 1);
+        ctx.sync();
+        ctx.smem.tracker().unwrap().read(1, 1);
+        assert_eq!(ctx.counters().hazards, 0);
+        // Same-epoch accesses conflict and surface through counters().
+        ctx.smem.tracker().unwrap().write(2, 1);
+        assert_eq!(ctx.counters().hazards, 1);
+        let fresh = ctx.fork_worker();
+        assert_eq!(fresh.smem.hazard_mode(), HazardMode::Record);
+        assert_eq!(fresh.smem.label(), "probe");
+        assert_eq!(fresh.smem.hazard_count(), 0);
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct KernelCounters {
     /// Total lane elements processed by those sweeps. Sums across blocks;
     /// [`KernelCounters::lane_utilization`] derives the vector utilization.
     pub lane_elems: u64,
+    /// Shared-memory hazards detected by the sync-epoch tracker (zero
+    /// unless the launch ran with [`crate::hazard::HazardMode::Record`];
+    /// `Enforce` aborts the offending block instead). Sums across blocks.
+    pub hazards: u64,
 }
 
 impl KernelCounters {
@@ -59,6 +63,7 @@ impl KernelCounters {
         self.smem_elems = self.smem_elems.max(other.smem_elems);
         self.lane_sweeps += other.lane_sweeps;
         self.lane_elems += other.lane_elems;
+        self.hazards += other.hazards;
     }
 
     /// Fraction of vector slots filled by the recorded lane sweeps, given
@@ -129,16 +134,21 @@ mod tests {
         let mut a = KernelCounters {
             lane_sweeps: 4,
             lane_elems: 30,
+            hazards: 1,
             ..Default::default()
         };
         let b = KernelCounters {
             lane_sweeps: 2,
             lane_elems: 16,
+            hazards: 3,
             ..Default::default()
         };
         a.merge_wave(&b);
         assert_eq!(a.lane_sweeps, 6);
         assert_eq!(a.lane_elems, 46);
+        // Hazards are a correctness tally, not a timing quantity: they sum
+        // so a grid-wide count of zero proves every block was clean.
+        assert_eq!(a.hazards, 4);
     }
 
     #[test]

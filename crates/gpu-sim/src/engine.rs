@@ -15,6 +15,7 @@ use crate::block::BlockContext;
 use crate::counters::KernelCounters;
 use crate::device::DeviceSpec;
 use crate::executor::{execute_blocks, ParallelPolicy};
+use crate::hazard::{global_mode, HazardMode, HazardReport};
 use crate::occupancy::{occupancy_with_regs, Occupancy};
 use crate::timing::{estimate_aggregate, SimTime};
 
@@ -35,6 +36,14 @@ pub struct LaunchConfig {
     /// throughput knob: results and modeled time are bitwise-identical
     /// for every policy (see [`crate::executor`]).
     pub parallel: ParallelPolicy,
+    /// Shared-memory hazard checking for this launch (see
+    /// [`crate::hazard`]). Defaults to the process-wide mode
+    /// ([`crate::hazard::global_mode`]), which is `Off` unless a test
+    /// profile opts in.
+    pub hazard: HazardMode,
+    /// Kernel label attached to diagnostics (shared-memory overflow
+    /// panics, hazard reports) so failures in a batch run are attributable.
+    pub label: &'static str,
 }
 
 impl LaunchConfig {
@@ -45,22 +54,34 @@ impl LaunchConfig {
             smem_bytes,
             regs_per_thread: 0,
             parallel: ParallelPolicy::Serial,
+            hazard: global_mode(),
+            label: "kernel",
         }
     }
 
     /// Constructor with explicit register pressure.
     pub fn with_registers(threads: u32, smem_bytes: u32, regs_per_thread: u32) -> Self {
         LaunchConfig {
-            threads,
-            smem_bytes,
             regs_per_thread,
-            parallel: ParallelPolicy::Serial,
+            ..LaunchConfig::new(threads, smem_bytes)
         }
     }
 
     /// Builder: set the host scheduling policy.
     pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Builder: set the hazard-checking mode for this launch.
+    pub fn with_hazard(mut self, hazard: HazardMode) -> Self {
+        self.hazard = hazard;
+        self
+    }
+
+    /// Builder: label the launch for diagnostics.
+    pub fn with_label(mut self, label: &'static str) -> Self {
+        self.label = label;
         self
     }
 }
@@ -117,6 +138,11 @@ pub struct LaunchReport {
     pub time: SimTime,
     /// Number of blocks executed.
     pub grid: usize,
+    /// Per-block hazard reports from blocks where the tracker detected
+    /// conflicts, sorted by block id. Empty in [`HazardMode::Off`] (no
+    /// tracking) and in `Enforce` mode (the first conflict aborts the
+    /// block instead of reporting).
+    pub hazards: Vec<HazardReport>,
 }
 
 /// Validate a configuration without running anything (used by dispatch
@@ -159,13 +185,14 @@ where
 {
     let occ = validate(dev, cfg)?;
     let grid = problems.len();
-    let agg = execute_blocks(dev, cfg, problems, &body);
+    let (agg, hazards) = execute_blocks(dev, cfg, problems, &body);
     let time = estimate_aggregate(dev, &occ, grid, &agg);
     Ok(LaunchReport {
         occupancy: occ,
         counters: agg,
         time,
         grid,
+        hazards,
     })
 }
 

@@ -36,6 +36,7 @@ use crate::block::BlockContext;
 use crate::counters::KernelCounters;
 use crate::device::DeviceSpec;
 use crate::engine::LaunchConfig;
+use crate::hazard::HazardReport;
 
 /// How the engine schedules a launch's blocks onto host threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -79,12 +80,31 @@ fn chunk_len(grid: usize, workers: usize) -> usize {
 }
 
 /// Shareable base pointer for handing disjoint chunks of the problem
-/// slice to workers. Safety argument lives at the use sites: every chunk
-/// `[lo, hi)` is delivered to exactly one worker (deque exactly-once
-/// semantics), and chunks never overlap.
+/// slice to workers.
+///
+/// Invariants that make the `unsafe impl`s below sound (upheld by
+/// [`execute_parallel`], the only user):
+///
+/// 1. The pointer comes from a live `&mut [P]` that outlives the
+///    crossbeam scope, so it stays valid for the workers' lifetime.
+/// 2. Chunk ids are delivered exactly once (crossbeam deque contract),
+///    and chunk `c` maps to the half-open range
+///    `[c * chunk, min((c + 1) * chunk, grid))`; distinct chunk ids give
+///    disjoint ranges, so no element is ever aliased by two workers.
+/// 3. The owning `&mut [P]` is not touched while the scope runs; the
+///    borrow checker enforces this because `execute_parallel` holds the
+///    exclusive borrow across the scope join.
 struct ProblemsPtr<P>(*mut P);
 
+// SAFETY: `ProblemsPtr` is only a capability to *derive* disjoint
+// `&mut [P]` chunks (invariant 2 above); sending it to a worker moves
+// `P` values across threads, hence the `P: Send` bound. No worker holds
+// a `&P` into another worker's chunk, so no `P: Sync` requirement
+// arises.
 unsafe impl<P: Send> Send for ProblemsPtr<P> {}
+// SAFETY: workers share `&ProblemsPtr` but only read the raw pointer out
+// of it; aliasing of the pointed-to data is prevented by the disjoint
+// chunk ranges (invariant 2), exactly as for `Send`.
 unsafe impl<P: Send> Sync for ProblemsPtr<P> {}
 
 /// A caught block panic, keyed by block id for deterministic re-raise.
@@ -99,6 +119,7 @@ fn run_chunk<P, F>(
     slice: &mut [P],
     lo: usize,
     partial: &mut KernelCounters,
+    hazards: &mut Vec<HazardReport>,
     panics: &mut Vec<BlockPanic>,
     body: &F,
 ) where
@@ -111,6 +132,11 @@ fn run_chunk<P, F>(
             Ok(()) => partial.merge_wave(&ctx.counters()),
             Err(payload) => panics.push((block_id, payload)),
         }
+        if let Some(rep) = ctx.smem.tracker().and_then(|t| t.take_report()) {
+            if rep.total_hazards > 0 {
+                hazards.push(rep);
+            }
+        }
     }
 }
 
@@ -122,32 +148,52 @@ fn resume_first(mut panics: Vec<BlockPanic>) {
     }
 }
 
+/// Context matching the launch configuration: device LDS width, kernel
+/// label, and hazard tracking mode.
+fn context_for(dev: &DeviceSpec, cfg: &LaunchConfig) -> BlockContext {
+    let mut ctx =
+        BlockContext::with_lds_lanes(0, cfg.threads, cfg.smem_bytes as usize, dev.lds_lanes);
+    ctx.smem.set_label(cfg.label);
+    ctx.smem.set_hazard_mode(cfg.hazard);
+    ctx
+}
+
 /// Execute every block once under `cfg.parallel` and return the
-/// aggregate counters. Panics from block programs are re-raised (lowest
-/// block id first) only after every block has run.
+/// aggregate counters plus the per-block hazard reports (blocks with
+/// detected conflicts only, ascending block id). Panics from block
+/// programs are re-raised (lowest block id first) only after every block
+/// has run.
 pub(crate) fn execute_blocks<P, F>(
     dev: &DeviceSpec,
     cfg: &LaunchConfig,
     problems: &mut [P],
     body: &F,
-) -> KernelCounters
+) -> (KernelCounters, Vec<HazardReport>)
 where
     P: Send,
     F: Fn(&mut P, &mut BlockContext) + Sync,
 {
     let grid = problems.len();
     if grid == 0 {
-        return KernelCounters::default();
+        return (KernelCounters::default(), Vec::new());
     }
     let workers = cfg.parallel.workers().min(grid);
     if workers <= 1 {
-        let mut ctx =
-            BlockContext::with_lds_lanes(0, cfg.threads, cfg.smem_bytes as usize, dev.lds_lanes);
+        let mut ctx = context_for(dev, cfg);
         let mut agg = KernelCounters::default();
+        let mut hazards = Vec::new();
         let mut panics = Vec::new();
-        run_chunk(&mut ctx, problems, 0, &mut agg, &mut panics, body);
+        run_chunk(
+            &mut ctx,
+            problems,
+            0,
+            &mut agg,
+            &mut hazards,
+            &mut panics,
+            body,
+        );
         resume_first(panics);
-        return agg;
+        return (agg, hazards);
     }
     execute_parallel(dev, cfg, problems, body, workers)
 }
@@ -158,7 +204,7 @@ fn execute_parallel<P, F>(
     problems: &mut [P],
     body: &F,
     workers: usize,
-) -> KernelCounters
+) -> (KernelCounters, Vec<HazardReport>)
 where
     P: Send,
     F: Fn(&mut P, &mut BlockContext) + Sync,
@@ -175,10 +221,10 @@ where
     }
 
     let base = ProblemsPtr(problems.as_mut_ptr());
-    let results: Mutex<Vec<(usize, KernelCounters)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    type ChunkResult = (usize, KernelCounters, Vec<HazardReport>);
+    let results: Mutex<Vec<ChunkResult>> = Mutex::new(Vec::with_capacity(n_chunks));
     let panics: Mutex<Vec<BlockPanic>> = Mutex::new(Vec::new());
-    let proto =
-        BlockContext::with_lds_lanes(0, cfg.threads, cfg.smem_bytes as usize, dev.lds_lanes);
+    let proto = context_for(dev, cfg);
 
     let scope_result = crossbeam::thread::scope(|s| {
         for own in deques {
@@ -209,13 +255,27 @@ where
                     let Some(c) = next else { break 'work };
                     let lo = c * chunk;
                     let hi = (lo + chunk).min(grid);
-                    // SAFETY: chunk `c` is held by exactly this worker;
-                    // chunk ranges `[lo, hi)` partition `[0, grid)`.
+                    // SAFETY: upholds the `ProblemsPtr` invariants — the
+                    // deque delivered chunk `c` to exactly this worker,
+                    // the ranges `[c*chunk, (c+1)*chunk)` partition
+                    // `[0, grid)` (so no two workers' slices overlap),
+                    // `hi <= grid` keeps the slice in bounds of the
+                    // original `&mut [P]`, and that borrow is held (not
+                    // used) by the caller across the scope join.
                     let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
                     let mut partial = KernelCounters::default();
+                    let mut local_hazards = Vec::new();
                     let mut local_panics = Vec::new();
-                    run_chunk(&mut ctx, slice, lo, &mut partial, &mut local_panics, body);
-                    results.lock().push((c, partial));
+                    run_chunk(
+                        &mut ctx,
+                        slice,
+                        lo,
+                        &mut partial,
+                        &mut local_hazards,
+                        &mut local_panics,
+                        body,
+                    );
+                    results.lock().push((c, partial, local_hazards));
                     if !local_panics.is_empty() {
                         panics.lock().append(&mut local_panics);
                     }
@@ -228,14 +288,18 @@ where
     scope_result.expect("executor worker crashed outside a block program");
 
     // Stable reduction: chunk partials merged in ascending chunk order.
+    // Chunks are contiguous ascending block ranges, so concatenating the
+    // per-chunk hazard reports in the same order sorts them by block id.
     let mut partials = results.into_inner();
-    partials.sort_by_key(|(c, _)| *c);
+    partials.sort_by_key(|(c, _, _)| *c);
     let mut agg = KernelCounters::default();
-    for (_, partial) in &partials {
-        agg.merge_wave(partial);
+    let mut hazards = Vec::new();
+    for (_, partial, mut chunk_hazards) in partials {
+        agg.merge_wave(&partial);
+        hazards.append(&mut chunk_hazards);
     }
     resume_first(panics.into_inner());
-    agg
+    (agg, hazards)
 }
 
 #[cfg(test)]
@@ -353,5 +417,123 @@ mod tests {
         let rep = launch(&dev(), &cfg, &mut data, body).unwrap();
         assert_eq!(rep.grid, 100);
         assert!(data.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn record_mode_reports_identically_across_policies() {
+        use crate::hazard::{HazardKind, HazardMode};
+        // Blocks 10 and 40 race (two lanes touch offset 0 in epoch 0);
+        // every other block syncs between the accesses.
+        let racy = |p: &mut usize, ctx: &mut BlockContext| {
+            let racing = *p == 10 || *p == 40;
+            if let Some(t) = ctx.smem.tracker() {
+                t.write(0, 0);
+            }
+            if !racing {
+                ctx.sync();
+            }
+            if let Some(t) = ctx.smem.tracker() {
+                t.read(1, 0);
+            }
+        };
+        for policy in [ParallelPolicy::Serial, ParallelPolicy::threads(4)] {
+            let cfg = LaunchConfig::new(8, 256)
+                .with_parallel(policy)
+                .with_hazard(HazardMode::Record)
+                .with_label("racy_fixture");
+            let mut data: Vec<usize> = (0..64).collect();
+            let rep = launch(&dev(), &cfg, &mut data, racy).unwrap();
+            assert_eq!(rep.counters.hazards, 2, "policy {policy:?}");
+            let blocks: Vec<usize> = rep.hazards.iter().map(|h| h.block_id).collect();
+            assert_eq!(blocks, vec![10, 40], "policy {policy:?}");
+            for h in &rep.hazards {
+                assert_eq!(h.label, "racy_fixture");
+                assert_eq!(h.total_hazards, 1);
+                assert_eq!(h.hazards[0].kind, HazardKind::Raw);
+                assert_eq!(h.hazards[0].offset, 0);
+                assert_eq!(h.hazards[0].epoch, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn off_mode_collects_nothing() {
+        let cfg = LaunchConfig::new(8, 256);
+        let mut data = vec![1.0f64; 16];
+        let rep = launch(&dev(), &cfg, &mut data, body).unwrap();
+        assert_eq!(rep.counters.hazards, 0);
+        assert!(rep.hazards.is_empty());
+    }
+
+    #[test]
+    fn enforce_mode_aborts_lowest_racing_block() {
+        use crate::hazard::HazardMode;
+        for policy in [ParallelPolicy::Serial, ParallelPolicy::threads(4)] {
+            let cfg = LaunchConfig::new(8, 256)
+                .with_parallel(policy)
+                .with_hazard(HazardMode::Enforce)
+                .with_label("enforced_fixture");
+            let mut data: Vec<usize> = (0..64).collect();
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _ = launch(&dev(), &cfg, &mut data, |p, ctx| {
+                    if *p == 23 || *p == 50 {
+                        let t = ctx.smem.tracker().unwrap();
+                        t.write(0, 7);
+                        t.read(1, 7);
+                    }
+                });
+            }))
+            .expect_err("enforce must abort the racing block");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap().to_string());
+            assert!(
+                msg.contains("`enforced_fixture` block 23"),
+                "policy {policy:?}: {msg}"
+            );
+            assert!(msg.contains("offset 7"), "policy {policy:?}: {msg}");
+        }
+    }
+
+    // Pointer-aliasing tests sized for Miri (`cargo miri test -p
+    // gbatch-gpu-sim executor`): tiny grids, every policy branch, all
+    // chunk/steal machinery exercised. The interesting property is that
+    // the `ProblemsPtr` chunk derivation never creates overlapping `&mut`
+    // slices — Miri's borrow tracking verifies exactly that.
+    mod miri_sized {
+        use super::*;
+
+        #[test]
+        fn parallel_chunks_never_alias() {
+            for &grid in &[1usize, 3, 7] {
+                let cfg = LaunchConfig::new(4, 128).with_parallel(ParallelPolicy::threads(3));
+                let mut data: Vec<u64> = (0..grid as u64).collect();
+                let rep = launch(&dev(), &cfg, &mut data, |p, ctx| {
+                    *p = p.wrapping_mul(3) + 1;
+                    ctx.gld(8);
+                })
+                .unwrap();
+                assert_eq!(rep.grid, grid);
+                for (i, &v) in data.iter().enumerate() {
+                    assert_eq!(v, (i as u64) * 3 + 1);
+                }
+            }
+        }
+
+        #[test]
+        fn panic_capture_is_miri_clean() {
+            let cfg = LaunchConfig::new(4, 0).with_parallel(ParallelPolicy::threads(2));
+            let mut data: Vec<usize> = (0..4).collect();
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _ = launch(&dev(), &cfg, &mut data, |p, _| {
+                    if *p == 2 {
+                        panic!("miri fixture panic");
+                    }
+                });
+            }))
+            .expect_err("panic must propagate");
+            drop(err);
+        }
     }
 }

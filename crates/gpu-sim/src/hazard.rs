@@ -1,0 +1,552 @@
+//! Sync-epoch shared-memory hazard detection.
+//!
+//! The simulated engine executes each block program on one host thread, so
+//! a kernel that would race on real hardware still produces right answers
+//! here — the deterministic executor serializes what a SIMT machine runs
+//! concurrently. This module closes that gap: every shared-memory access a
+//! kernel records is tagged with the *simulated lane* that would perform it
+//! and the current *barrier epoch* (advanced by
+//! [`crate::block::BlockContext::sync`]). Two accesses to the same shared
+//! offset by **distinct lanes within one epoch**, at least one of them a
+//! write, have no ordering on real hardware — a RAW, WAR or WAW hazard.
+//!
+//! Modes ([`HazardMode`], selectable per launch through
+//! [`crate::engine::LaunchConfig::with_hazard`] or process-wide through
+//! [`set_global_mode`] / the `GBATCH_HAZARD` environment variable):
+//!
+//! - `Off` — no tracking, no overhead beyond one branch per phase.
+//! - `Record` — conflicts are collected into per-block [`HazardReport`]s
+//!   surfaced on the launch report; the aggregate count rides on
+//!   [`crate::counters::KernelCounters::hazards`].
+//! - `Enforce` — the first conflict aborts the block with a located
+//!   `(epoch, lane, offset)` diagnostic. Sibling blocks still complete
+//!   (the executor's panic isolation), and the lowest-block-id failure is
+//!   re-raised deterministically.
+//!
+//! Lane attribution follows the kernels' thread mapping: data-parallel
+//! sweeps stripe elements over the block's threads (element `base + k` is
+//! touched by lane `k % threads`), values every thread needs are broadcast
+//! reads ([`HazardTracker::broadcast_read`], marked as touched by *all*
+//! lanes), and per-owner phases (e.g. one RHS column per thread) use
+//! [`HazardTracker::range_read`] / [`HazardTracker::range_write`] with a
+//! single owning lane.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Sentinel lane meaning "every lane of the block" (broadcast accesses).
+pub const ALL_LANES: u32 = u32::MAX;
+
+/// How a launch treats shared-memory hazards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HazardMode {
+    /// No tracking (production default; no measurable overhead).
+    #[default]
+    Off,
+    /// Track accesses and collect conflicts into [`HazardReport`]s.
+    Record,
+    /// Track accesses and abort the block on the first conflict.
+    Enforce,
+}
+
+impl HazardMode {
+    /// Whether this mode needs an access tracker at all.
+    #[inline]
+    pub fn is_on(self) -> bool {
+        self != HazardMode::Off
+    }
+
+    /// Parse a mode name (`off` / `record` / `enforce`), case-insensitive.
+    pub fn parse(s: &str) -> Option<HazardMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(HazardMode::Off),
+            "record" => Some(HazardMode::Record),
+            "enforce" | "1" => Some(HazardMode::Enforce),
+            _ => None,
+        }
+    }
+}
+
+/// Process-wide default mode: 0 = Off, 1 = Record, 2 = Enforce, 255 = unset
+/// (initialize from `GBATCH_HAZARD` on first use).
+static GLOBAL_MODE: AtomicU8 = AtomicU8::new(255);
+
+fn encode(mode: HazardMode) -> u8 {
+    match mode {
+        HazardMode::Off => 0,
+        HazardMode::Record => 1,
+        HazardMode::Enforce => 2,
+    }
+}
+
+/// Set the process-wide default hazard mode picked up by
+/// [`crate::engine::LaunchConfig::new`] (individual launches can still
+/// override it with `with_hazard`). Test profiles use this to run entire
+/// kernel grids in `Enforce` mode without threading a flag through every
+/// entry point.
+pub fn set_global_mode(mode: HazardMode) {
+    GLOBAL_MODE.store(encode(mode), Ordering::Relaxed);
+}
+
+/// The process-wide default hazard mode: the last [`set_global_mode`]
+/// value, else `GBATCH_HAZARD` (`off`/`record`/`enforce`), else `Off`.
+pub fn global_mode() -> HazardMode {
+    match GLOBAL_MODE.load(Ordering::Relaxed) {
+        0 => HazardMode::Off,
+        1 => HazardMode::Record,
+        2 => HazardMode::Enforce,
+        _ => {
+            let mode = std::env::var("GBATCH_HAZARD")
+                .ok()
+                .and_then(|v| HazardMode::parse(&v))
+                .unwrap_or(HazardMode::Off);
+            GLOBAL_MODE.store(encode(mode), Ordering::Relaxed);
+            mode
+        }
+    }
+}
+
+/// Conflict class of a detected hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Read-after-write: a lane read a value another lane wrote in the
+    /// same epoch.
+    Raw,
+    /// Write-after-read: a lane overwrote a value another lane read in the
+    /// same epoch.
+    War,
+    /// Write-after-write: two lanes wrote the same offset in one epoch.
+    Waw,
+}
+
+impl std::fmt::Display for HazardKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HazardKind::Raw => "RAW",
+            HazardKind::War => "WAR",
+            HazardKind::Waw => "WAW",
+        })
+    }
+}
+
+fn lane_str(lane: u32) -> String {
+    if lane == ALL_LANES {
+        "*".to_string()
+    } else {
+        lane.to_string()
+    }
+}
+
+/// One detected conflict, located by shared offset, barrier epoch and the
+/// two lanes involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hazard {
+    /// Conflict class.
+    pub kind: HazardKind,
+    /// Shared-memory offset (in `f64` elements) of the conflicting cell.
+    pub offset: usize,
+    /// Barrier epoch both accesses fell into.
+    pub epoch: u64,
+    /// Lane of the earlier access ([`ALL_LANES`] = broadcast).
+    pub first_lane: u32,
+    /// Lane of the later, conflicting access ([`ALL_LANES`] = broadcast).
+    pub second_lane: u32,
+}
+
+impl std::fmt::Display for Hazard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hazard at shared offset {} in epoch {}: lane {} then lane {} \
+             with no barrier between them",
+            self.kind,
+            self.offset,
+            self.epoch,
+            lane_str(self.first_lane),
+            lane_str(self.second_lane),
+        )
+    }
+}
+
+/// Per-block summary of a tracked launch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HazardReport {
+    /// Block (grid) id the report belongs to.
+    pub block_id: usize,
+    /// Kernel label of the launch.
+    pub label: &'static str,
+    /// Barrier epochs the block ran through (`syncs + 1` once any access
+    /// was tracked).
+    pub epochs: u64,
+    /// Tagged shared reads.
+    pub reads: u64,
+    /// Tagged shared writes.
+    pub writes: u64,
+    /// Detected conflicts, in detection order (capped at
+    /// [`HazardTracker::MAX_RECORDED`]; `total_hazards` keeps counting).
+    pub hazards: Vec<Hazard>,
+    /// Total conflicts detected, including any beyond the recording cap.
+    pub total_hazards: u64,
+}
+
+/// Last tagged accesses of one shared cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    /// Lane and epoch of the last write.
+    write: Option<(u32, u64)>,
+    /// Lane, epoch and "several distinct lanes" flag of the last read(s).
+    read: Option<(u32, u64, bool)>,
+}
+
+/// Whether accesses by `a` and `b` can come from different physical lanes.
+#[inline]
+fn lanes_differ(a: u32, b: u32) -> bool {
+    a != b || a == ALL_LANES
+}
+
+/// The per-block access tracker (owned by [`crate::shared::SharedMem`]).
+#[derive(Debug)]
+pub struct HazardTracker {
+    mode: HazardMode,
+    block_id: usize,
+    label: &'static str,
+    epoch: u64,
+    touched: bool,
+    cells: Vec<Cell>,
+    hazards: Vec<Hazard>,
+    total_hazards: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl HazardTracker {
+    /// Recorded-conflict cap per block; the total count keeps running.
+    pub const MAX_RECORDED: usize = 64;
+
+    /// Tracker for `mode` (`mode.is_on()` must hold).
+    pub fn new(mode: HazardMode) -> Self {
+        debug_assert!(mode.is_on());
+        HazardTracker {
+            mode,
+            block_id: 0,
+            label: "kernel",
+            epoch: 0,
+            touched: false,
+            cells: Vec::new(),
+            hazards: Vec::new(),
+            total_hazards: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Reset for a new block (workers recycle trackers with arenas).
+    pub fn reset_for(&mut self, block_id: usize, label: &'static str) {
+        self.block_id = block_id;
+        self.label = label;
+        self.epoch = 0;
+        self.touched = false;
+        self.cells.clear();
+        self.hazards.clear();
+        self.total_hazards = 0;
+        self.reads = 0;
+        self.writes = 0;
+    }
+
+    /// The tracking mode.
+    #[inline]
+    pub fn mode(&self) -> HazardMode {
+        self.mode
+    }
+
+    /// Current barrier epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Conflicts detected so far.
+    #[inline]
+    pub fn total_hazards(&self) -> u64 {
+        self.total_hazards
+    }
+
+    /// Advance the barrier epoch (called by `BlockContext::sync`).
+    #[inline]
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn cell(&mut self, off: usize) -> &mut Cell {
+        if off >= self.cells.len() {
+            self.cells.resize(off + 1, Cell::default());
+        }
+        &mut self.cells[off]
+    }
+
+    fn conflict(&mut self, kind: HazardKind, offset: usize, first: u32, second: u32) {
+        self.total_hazards += 1;
+        let hazard = Hazard {
+            kind,
+            offset,
+            epoch: self.epoch,
+            first_lane: first,
+            second_lane: second,
+        };
+        if self.mode == HazardMode::Enforce {
+            panic!(
+                "shared-memory hazard in `{}` block {}: {hazard}",
+                self.label, self.block_id
+            );
+        }
+        if self.hazards.len() < Self::MAX_RECORDED {
+            self.hazards.push(hazard);
+        }
+    }
+
+    /// Tag a read of shared offset `off` by `lane`.
+    pub fn read(&mut self, lane: u32, off: usize) {
+        self.touched = true;
+        self.reads += 1;
+        let epoch = self.epoch;
+        let cell = self.cell(off);
+        if let Some((wl, we)) = cell.write {
+            if we == epoch && lanes_differ(wl, lane) {
+                self.conflict(HazardKind::Raw, off, wl, lane);
+            }
+        }
+        let cell = self.cell(off);
+        cell.read = match cell.read {
+            Some((rl, re, multi)) if re == epoch => Some((rl, re, multi || lanes_differ(rl, lane))),
+            _ => Some((lane, epoch, lane == ALL_LANES)),
+        };
+    }
+
+    /// Tag a write of shared offset `off` by `lane`.
+    pub fn write(&mut self, lane: u32, off: usize) {
+        self.touched = true;
+        self.writes += 1;
+        let epoch = self.epoch;
+        let cell = *self.cell(off);
+        if let Some((wl, we)) = cell.write {
+            if we == epoch && lanes_differ(wl, lane) {
+                self.conflict(HazardKind::Waw, off, wl, lane);
+            }
+        }
+        if let Some((rl, re, multi)) = cell.read {
+            if re == epoch && (multi || lanes_differ(rl, lane)) {
+                self.conflict(HazardKind::War, off, rl, lane);
+            }
+        }
+        self.cell(off).write = Some((lane, epoch));
+    }
+
+    /// Tag a read every lane performs (e.g. the pivot value).
+    #[inline]
+    pub fn broadcast_read(&mut self, off: usize) {
+        self.read(ALL_LANES, off);
+    }
+
+    /// Tag a striped sweep read: element `base + k` by lane `k % threads`.
+    pub fn striped_read(&mut self, base: usize, len: usize, threads: u32) {
+        let t = threads.max(1);
+        for k in 0..len {
+            self.read(k as u32 % t, base + k);
+        }
+    }
+
+    /// Tag a striped sweep write: element `base + k` by lane `k % threads`.
+    pub fn striped_write(&mut self, base: usize, len: usize, threads: u32) {
+        let t = threads.max(1);
+        for k in 0..len {
+            self.write(k as u32 % t, base + k);
+        }
+    }
+
+    /// Tag a contiguous read of `len` elements, all by one owning lane.
+    pub fn range_read(&mut self, lane: u32, base: usize, len: usize) {
+        for k in 0..len {
+            self.read(lane, base + k);
+        }
+    }
+
+    /// Tag a contiguous write of `len` elements, all by one owning lane.
+    pub fn range_write(&mut self, lane: u32, base: usize, len: usize) {
+        for k in 0..len {
+            self.write(lane, base + k);
+        }
+    }
+
+    /// Detach the block's report (Record mode; `None` when nothing was
+    /// tracked). The tracker stays usable for the next block after
+    /// [`HazardTracker::reset_for`].
+    pub fn take_report(&mut self) -> Option<HazardReport> {
+        if !self.touched {
+            return None;
+        }
+        Some(HazardReport {
+            block_id: self.block_id,
+            label: self.label,
+            epochs: self.epoch + 1,
+            reads: self.reads,
+            writes: self.writes,
+            hazards: std::mem::take(&mut self.hazards),
+            total_hazards: self.total_hazards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HazardTracker {
+        HazardTracker::new(HazardMode::Record)
+    }
+
+    #[test]
+    fn mode_parsing_and_global_default() {
+        assert_eq!(HazardMode::parse("record"), Some(HazardMode::Record));
+        assert_eq!(HazardMode::parse("ENFORCE"), Some(HazardMode::Enforce));
+        assert_eq!(HazardMode::parse("off"), Some(HazardMode::Off));
+        assert_eq!(HazardMode::parse("bogus"), None);
+        assert!(!HazardMode::Off.is_on());
+        assert!(HazardMode::Record.is_on());
+    }
+
+    #[test]
+    fn same_lane_never_conflicts() {
+        let mut t = tracker();
+        t.write(3, 10);
+        t.read(3, 10);
+        t.write(3, 10);
+        assert_eq!(t.total_hazards(), 0);
+    }
+
+    #[test]
+    fn raw_between_lanes_in_one_epoch() {
+        let mut t = tracker();
+        t.write(0, 5);
+        t.read(1, 5);
+        assert_eq!(t.total_hazards(), 1);
+        let rep = t.take_report().unwrap();
+        assert_eq!(rep.hazards[0].kind, HazardKind::Raw);
+        assert_eq!(rep.hazards[0].offset, 5);
+        assert_eq!(rep.hazards[0].epoch, 0);
+        assert_eq!(
+            (rep.hazards[0].first_lane, rep.hazards[0].second_lane),
+            (0, 1)
+        );
+    }
+
+    #[test]
+    fn barrier_separates_epochs() {
+        let mut t = tracker();
+        t.write(0, 5);
+        t.advance_epoch();
+        t.read(1, 5); // RAW candidate, but the write is one epoch older: ordered.
+        t.write(2, 5); // WAR against the read above — same epoch, distinct lanes.
+        t.advance_epoch();
+        t.write(1, 5); // WAW candidate, but the write is one epoch older: ordered.
+        assert_eq!(t.total_hazards(), 1, "only the same-epoch read/write pair");
+        let rep = t.take_report().unwrap();
+        assert_eq!(rep.hazards[0].kind, HazardKind::War);
+        assert_eq!(rep.hazards[0].epoch, 1);
+        assert_eq!(rep.epochs, 3);
+    }
+
+    #[test]
+    fn war_and_waw_detection() {
+        let mut t = tracker();
+        t.read(0, 7);
+        t.write(1, 7); // WAR
+        t.write(2, 7); // WAW (and WAR against the stale read state)
+        let rep = t.take_report().unwrap();
+        assert!(rep.hazards.iter().any(|h| h.kind == HazardKind::War));
+        assert!(rep.hazards.iter().any(|h| h.kind == HazardKind::Waw));
+    }
+
+    #[test]
+    fn broadcast_read_conflicts_with_any_writer() {
+        let mut t = tracker();
+        t.broadcast_read(3);
+        t.write(0, 3);
+        assert_eq!(t.take_report().unwrap().hazards[0].kind, HazardKind::War);
+        // And the other direction: write, then everyone reads.
+        let mut t = tracker();
+        t.write(0, 3);
+        t.broadcast_read(3);
+        assert_eq!(t.take_report().unwrap().hazards[0].kind, HazardKind::Raw);
+    }
+
+    #[test]
+    fn striped_sweeps_are_self_consistent() {
+        let mut t = tracker();
+        // A write sweep then a read sweep with the same striping touches
+        // every element with the same lane: race-free without a barrier.
+        t.striped_write(0, 20, 8);
+        t.striped_read(0, 20, 8);
+        assert_eq!(t.total_hazards(), 0);
+        // A shifted read sweep breaks the lane alignment.
+        t.striped_read(1, 20, 8);
+        assert!(t.total_hazards() > 0);
+    }
+
+    #[test]
+    fn owner_ranges_do_not_conflict() {
+        let mut t = tracker();
+        t.range_write(0, 0, 8);
+        t.range_read(0, 0, 8);
+        t.range_write(1, 8, 8);
+        assert_eq!(t.total_hazards(), 0);
+        t.range_read(1, 0, 4); // lane 1 reads lane 0's cells
+        assert_eq!(t.total_hazards(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAW hazard at shared offset 5 in epoch 2")]
+    fn enforce_panics_with_location() {
+        let mut t = HazardTracker::new(HazardMode::Enforce);
+        t.reset_for(9, "fixture");
+        t.advance_epoch();
+        t.advance_epoch();
+        t.write(0, 5);
+        t.read(1, 5);
+    }
+
+    #[test]
+    fn report_counts_and_cap() {
+        let mut t = tracker();
+        for off in 0..(HazardTracker::MAX_RECORDED + 10) {
+            t.write(0, off);
+            t.read(1, off);
+        }
+        let rep = t.take_report().unwrap();
+        assert_eq!(rep.hazards.len(), HazardTracker::MAX_RECORDED);
+        assert_eq!(rep.total_hazards, (HazardTracker::MAX_RECORDED + 10) as u64);
+        assert_eq!(rep.writes, (HazardTracker::MAX_RECORDED + 10) as u64);
+    }
+
+    #[test]
+    fn untouched_tracker_yields_no_report() {
+        let mut t = tracker();
+        assert!(t.take_report().is_none());
+        t.advance_epoch();
+        assert!(t.take_report().is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let h = Hazard {
+            kind: HazardKind::War,
+            offset: 12,
+            epoch: 4,
+            first_lane: ALL_LANES,
+            second_lane: 2,
+        };
+        let s = h.to_string();
+        assert!(s.contains("WAR hazard at shared offset 12 in epoch 4"));
+        assert!(s.contains("lane *"));
+        assert!(s.contains("lane 2"));
+    }
+}

@@ -66,6 +66,7 @@ pub mod counters;
 pub mod device;
 pub mod engine;
 pub mod executor;
+pub mod hazard;
 pub mod multi;
 pub mod occupancy;
 pub mod shared;
@@ -77,5 +78,6 @@ pub use counters::KernelCounters;
 pub use device::{DeviceSpec, Vendor};
 pub use engine::{launch, LaunchConfig, LaunchError, LaunchReport};
 pub use executor::ParallelPolicy;
+pub use hazard::{Hazard, HazardKind, HazardMode, HazardReport};
 pub use occupancy::Occupancy;
 pub use timing::SimTime;

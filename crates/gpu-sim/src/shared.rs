@@ -8,11 +8,21 @@
 //! [`crate::engine::launch`]), so a panic here is a kernel authoring bug,
 //! not a simulated hardware failure.
 
+use crate::hazard::{HazardMode, HazardTracker};
+
 /// A bump-allocated `f64` arena standing in for GPU shared memory.
 #[derive(Debug)]
 pub struct SharedMem {
     buf: Vec<f64>,
     used: usize,
+    /// Kernel label of the owning launch; attributes overflow panics and
+    /// hazard diagnostics to the kernel that caused them.
+    label: &'static str,
+    /// Block id of the owning block (set by `BlockContext::reset_for`).
+    block_id: usize,
+    /// Access tracker; `None` in [`HazardMode::Off`] so untracked launches
+    /// pay one pointer-null branch per instrumented phase and nothing else.
+    tracker: Option<Box<HazardTracker>>,
 }
 
 impl SharedMem {
@@ -21,6 +31,65 @@ impl SharedMem {
         SharedMem {
             buf: vec![0.0; bytes / std::mem::size_of::<f64>()],
             used: 0,
+            label: "kernel",
+            block_id: 0,
+            tracker: None,
+        }
+    }
+
+    /// Label the arena with the owning kernel (set by the executor from the
+    /// launch configuration).
+    pub fn set_label(&mut self, label: &'static str) {
+        self.label = label;
+        if let Some(t) = self.tracker.as_deref_mut() {
+            t.reset_for(self.block_id, label);
+        }
+    }
+
+    /// The owning kernel's label.
+    #[inline]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Install (or remove) hazard tracking for subsequent blocks.
+    pub fn set_hazard_mode(&mut self, mode: HazardMode) {
+        if mode.is_on() {
+            let mut t = HazardTracker::new(mode);
+            t.reset_for(self.block_id, self.label);
+            self.tracker = Some(Box::new(t));
+        } else {
+            self.tracker = None;
+        }
+    }
+
+    /// The active hazard mode.
+    #[inline]
+    pub fn hazard_mode(&self) -> HazardMode {
+        self.tracker
+            .as_deref()
+            .map_or(HazardMode::Off, |t| t.mode())
+    }
+
+    /// The access tracker, when hazard tracking is on. Kernels guard each
+    /// instrumented phase with `if let Some(t) = ctx.smem.tracker()` so the
+    /// `Off` path stays branch-cheap.
+    #[inline]
+    pub fn tracker(&mut self) -> Option<&mut HazardTracker> {
+        self.tracker.as_deref_mut()
+    }
+
+    /// Conflicts detected so far in the current block.
+    #[inline]
+    pub fn hazard_count(&self) -> u64 {
+        self.tracker.as_deref().map_or(0, |t| t.total_hazards())
+    }
+
+    /// Reassign the arena to block `block_id` (resets tracker state).
+    pub(crate) fn assign_block(&mut self, block_id: usize) {
+        self.block_id = block_id;
+        if let Some(t) = self.tracker.as_deref_mut() {
+            t.reset_for(block_id, self.label);
         }
     }
 
@@ -44,7 +113,9 @@ impl SharedMem {
     pub fn alloc(&mut self, len: usize) -> usize {
         assert!(
             self.used + len <= self.buf.len(),
-            "shared-memory overflow: {} + {} > {} f64s — kernel requested too little smem",
+            "shared-memory overflow in `{}` block {}: {} + {} > {} f64s — kernel requested too little smem",
+            self.label,
+            self.block_id,
             self.used,
             len,
             self.buf.len()
@@ -122,10 +193,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shared-memory overflow")]
-    fn overflow_panics() {
+    #[should_panic(expected = "shared-memory overflow in `gbtrf_fused` block 11")]
+    fn overflow_panic_names_kernel_and_block() {
         let mut s = SharedMem::with_bytes(16);
+        s.set_label("gbtrf_fused");
+        s.assign_block(11);
         s.alloc(3);
+    }
+
+    #[test]
+    fn tracker_lifecycle() {
+        let mut s = SharedMem::with_bytes(64);
+        assert_eq!(s.hazard_mode(), HazardMode::Off);
+        assert!(s.tracker().is_none());
+        s.set_hazard_mode(HazardMode::Record);
+        assert_eq!(s.hazard_mode(), HazardMode::Record);
+        let t = s.tracker().unwrap();
+        t.write(0, 2);
+        t.read(1, 2);
+        assert_eq!(s.hazard_count(), 1);
+        // Reassigning the arena to a new block clears tracked state.
+        s.assign_block(3);
+        assert_eq!(s.hazard_count(), 0);
+        s.set_hazard_mode(HazardMode::Off);
+        assert!(s.tracker().is_none());
     }
 
     #[test]

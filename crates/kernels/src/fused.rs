@@ -75,7 +75,8 @@ pub fn gbtrf_batch_fused(
     assert_eq!(info.len(), a.batch(), "info batch mismatch");
     let smem = fused_smem_bytes(l.ldab, l.n);
     let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
-        .with_parallel(params.parallel);
+        .with_parallel(params.parallel)
+        .with_label("gbtrf_fused");
 
     struct Problem<'a> {
         ab: &'a mut [f64],
@@ -95,6 +96,9 @@ pub fn gbtrf_batch_fused(
         // Load the whole band matrix to shared memory (one coalesced pass).
         let off = ctx.smem.alloc(l.len());
         ctx.smem.slice_mut(off, l.len()).copy_from_slice(p.ab);
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_write(off, l.len(), ctx.threads);
+        }
         ctx.gld(bytes);
         ctx.sync();
 
@@ -107,6 +111,7 @@ pub fn gbtrf_batch_fused(
                 ldab: l.ldab,
                 col0: 0,
                 width: l.n,
+                provenance: Some(l),
             };
             let mut st = ColumnStepState::default();
             smem_fillin_prologue(&l, &mut w, ctx);
@@ -119,6 +124,9 @@ pub fn gbtrf_batch_fused(
 
         // Write the factors (and pivots) back to global memory.
         p.ab.copy_from_slice(ctx.smem.slice(off, l.len()));
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_read(off, l.len(), ctx.threads);
+        }
         ctx.gst(bytes);
         ctx.gst(l.m.min(l.n) * std::mem::size_of::<i32>());
         ctx.sync();

@@ -58,7 +58,9 @@ pub fn gbsv_batch_fused(
     let kl = l.kl;
 
     let smem = gbsv_smem_bytes(&l, nrhs);
-    let cfg = LaunchConfig::new(threads.max((kl + 1) as u32), smem as u32).with_parallel(parallel);
+    let cfg = LaunchConfig::new(threads.max((kl + 1) as u32), smem as u32)
+        .with_parallel(parallel)
+        .with_label("gbsv_fused");
 
     struct Problem<'a> {
         ab: &'a mut [f64],
@@ -86,6 +88,10 @@ pub fn gbsv_batch_fused(
         for c in 0..nrhs {
             bx[c * n..(c + 1) * n].copy_from_slice(&p.b[c * ldb..c * ldb + n]);
         }
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_write(a_off, band_len, ctx.threads);
+            t.striped_write(b_off, rhs_len, ctx.threads);
+        }
         ctx.gld((band_len + rhs_len) * 8);
         ctx.sync();
 
@@ -97,6 +103,7 @@ pub fn gbsv_batch_fused(
                 ldab: l.ldab,
                 col0: 0,
                 width: n,
+                provenance: Some(l),
             };
             smem_fillin_prologue(&l, &mut w, ctx);
             for j in 0..n {
@@ -108,14 +115,44 @@ pub fn gbsv_batch_fused(
                     // Forward step on B: swap + rank-1 with the multipliers.
                     let pr = p.piv[j] as usize;
                     if pr != j {
+                        if let Some(t) = ctx.smem.tracker() {
+                            // RHS column c is swapped entirely by lane c.
+                            for c in 0..nrhs {
+                                let lane = (c % ctx.threads as usize) as u32;
+                                t.read(lane, b_off + c * n + pr);
+                                t.read(lane, b_off + c * n + j);
+                                t.write(lane, b_off + c * n + pr);
+                                t.write(lane, b_off + c * n + j);
+                            }
+                        }
                         for c in 0..nrhs {
                             bx.swap(c * n + pr, c * n + j);
                         }
                         ctx.smem_work(nrhs, 0);
+                        // The rank-1 update below broadcast-reads b[j],
+                        // which the swap just wrote from another lane — on
+                        // hardware the swap must drain first. `pr != j` is
+                        // uniform across the block (one matrix per block),
+                        // so the conditional barrier is legal.
+                        ctx.sync();
                     }
                     let lm = kl.min(n - 1 - j);
                     if lm > 0 {
                         let base = w.idx(kv, j);
+                        if let Some(t) = ctx.smem.tracker() {
+                            for c in 0..nrhs {
+                                // Every row lane needs the pivot RHS value;
+                                // row j + i is updated by lane (i - 1) —
+                                // the lane that scaled multiplier i, so the
+                                // multiplier read stays lane-local.
+                                t.broadcast_read(b_off + c * n + j);
+                                if bx[c * n + j] != 0.0 {
+                                    t.striped_read(a_off + base + 1, lm, ctx.threads);
+                                    t.striped_read(b_off + c * n + j + 1, lm, ctx.threads);
+                                    t.striped_write(b_off + c * n + j + 1, lm, ctx.threads);
+                                }
+                            }
+                        }
                         for c in 0..nrhs {
                             let bj = bx[c * n + j];
                             if bj == 0.0 {
@@ -136,6 +173,18 @@ pub fn gbsv_batch_fused(
         // Backward solve in shared memory (skipped on singular systems,
         // like DGBSV).
         if st.info == 0 {
+            if let Some(t) = ctx.smem.tracker() {
+                // The backward recurrence is sequential in j but parallel
+                // over right-hand sides: lane c owns RHS column c outright
+                // (its reads and writes never cross lanes), and the factor
+                // columns are shared read-only.
+                for c in 0..nrhs {
+                    let lane = (c % ctx.threads as usize) as u32;
+                    t.range_read(lane, b_off + c * n, n);
+                    t.range_write(lane, b_off + c * n, n);
+                    t.range_read(lane, a_off, band_len);
+                }
+            }
             for c in 0..nrhs {
                 for j in (0..n).rev() {
                     let bj = bx[c * n + j] / band[j * l.ldab + kv];
@@ -157,6 +206,10 @@ pub fn gbsv_batch_fused(
         p.ab.copy_from_slice(&band);
         for c in 0..nrhs {
             p.b[c * ldb..c * ldb + n].copy_from_slice(&bx[c * n..(c + 1) * n]);
+        }
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_read(a_off, band_len, ctx.threads);
+            t.striped_read(b_off, rhs_len, ctx.threads);
         }
         ctx.gst((band_len + rhs_len) * 8 + n * 4);
         ctx.sync();

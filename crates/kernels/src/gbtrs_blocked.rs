@@ -120,10 +120,17 @@ pub fn gbtrs_batch_blocked(
     let nb = params.nb;
     let threads = params.threads.max((kl + 1) as u32);
 
+    // Hazard-model lane attribution for both solve directions: lane
+    // `c % threads` owns RHS column `c` outright (cache column `c` is a
+    // disjoint shared region, and the factor columns stay in registers),
+    // so the solver is race-free with only the per-iteration barriers.
+    let owner = move |c: usize| (c % threads as usize) as u32;
+
     // ---------------- forward ----------------
     let forward = if kl > 0 && n > 1 {
         let cfg = LaunchConfig::new(threads, forward_smem_bytes(l, nb, nrhs) as u32)
-            .with_parallel(params.parallel);
+            .with_parallel(params.parallel)
+            .with_label("gbtrs_forward");
         let cache_rows = (nb + kl).min(n);
         let mut probs: Vec<Prob<'_>> = rhs
             .blocks_mut()
@@ -142,6 +149,11 @@ pub fn gbtrs_batch_blocked(
                     cache[c * cache_rows + r] = p.b[c * ldb + r];
                 }
             }
+            if let Some(t) = ctx.smem.tracker() {
+                for c in 0..nrhs {
+                    t.range_write(owner(c), off + c * cache_rows, loaded);
+                }
+            }
             ctx.gld(loaded * nrhs * 8);
             ctx.sync();
 
@@ -156,6 +168,15 @@ pub fn gbtrs_batch_blocked(
                     let (lj, lp) = (j - j0, pr - j0);
                     debug_assert!(lp < cache_rows, "pivot outside cache");
                     if pr != j {
+                        if let Some(t) = ctx.smem.tracker() {
+                            for c in 0..nrhs {
+                                let (lane, colbase) = (owner(c), off + c * cache_rows);
+                                t.read(lane, colbase + lj);
+                                t.read(lane, colbase + lp);
+                                t.write(lane, colbase + lj);
+                                t.write(lane, colbase + lp);
+                            }
+                        }
                         for c in 0..nrhs {
                             cache.swap(c * cache_rows + lj, c * cache_rows + lp);
                         }
@@ -165,6 +186,19 @@ pub fn gbtrs_batch_blocked(
                     if lm > 0 {
                         let base = l.idx(kv, j);
                         ctx.gld(lm * 8); // the multiplier column (register file)
+                        if let Some(t) = ctx.smem.tracker() {
+                            // The swap above and this update touch the cache
+                            // through the same owning lane, so no extra
+                            // barrier is needed between them.
+                            for c in 0..nrhs {
+                                let (lane, colbase) = (owner(c), off + c * cache_rows);
+                                t.read(lane, colbase + lj);
+                                if cache[c * cache_rows + lj] != 0.0 {
+                                    t.range_read(lane, colbase + lj + 1, lm);
+                                    t.range_write(lane, colbase + lj + 1, lm);
+                                }
+                            }
+                        }
                         for c in 0..nrhs {
                             let bj = cache[c * cache_rows + lj];
                             if bj == 0.0 {
@@ -179,6 +213,11 @@ pub fn gbtrs_batch_blocked(
                     ctx.sync();
                 }
                 // Write the finished top jb rows back.
+                if let Some(t) = ctx.smem.tracker() {
+                    for c in 0..nrhs {
+                        t.range_read(owner(c), off + c * cache_rows, jb);
+                    }
+                }
                 for c in 0..nrhs {
                     for r in 0..jb {
                         p.b[c * ldb + j0 + r] = cache[c * cache_rows + r];
@@ -191,6 +230,17 @@ pub fn gbtrs_batch_blocked(
                 }
                 // Shift the remaining rows up and load the next rows.
                 let keep = loaded - next_j0;
+                if let Some(t) = ctx.smem.tracker() {
+                    // The shift ranges overlap, but the owning lane both
+                    // reads and writes its own column, so the in-place move
+                    // is ordered within that thread — no barrier required
+                    // (unlike the cross-lane striped shift in `window`).
+                    for c in 0..nrhs {
+                        let (lane, colbase) = (owner(c), off + c * cache_rows);
+                        t.range_read(lane, colbase + jb, keep);
+                        t.range_write(lane, colbase, keep);
+                    }
+                }
                 for c in 0..nrhs {
                     let colbase = c * cache_rows;
                     cache.copy_within(colbase + jb..colbase + jb + keep, colbase);
@@ -198,6 +248,15 @@ pub fn gbtrs_batch_blocked(
                 ctx.smem_work(keep * nrhs, 0);
                 let new_end = (next_j0 + cache_rows).min(n);
                 if new_end > loaded {
+                    if let Some(t) = ctx.smem.tracker() {
+                        for c in 0..nrhs {
+                            t.range_write(
+                                owner(c),
+                                off + c * cache_rows + (loaded - next_j0),
+                                new_end - loaded,
+                            );
+                        }
+                    }
                     for c in 0..nrhs {
                         for r in loaded..new_end {
                             cache[c * cache_rows + (r - next_j0)] = p.b[c * ldb + r];
@@ -220,7 +279,8 @@ pub fn gbtrs_batch_blocked(
 
     // ---------------- backward ----------------
     let cfg = LaunchConfig::new(threads, backward_smem_bytes(l, nb, nrhs) as u32)
-        .with_parallel(params.parallel);
+        .with_parallel(params.parallel)
+        .with_label("gbtrs_backward");
     let cache_rows = (nb + kv).min(n);
     let mut probs: Vec<Prob<'_>> = rhs
         .blocks_mut()
@@ -240,6 +300,11 @@ pub fn gbtrs_batch_blocked(
                 cache[c * cache_rows + r] = p.b[c * ldb + lo + r];
             }
         }
+        if let Some(t) = ctx.smem.tracker() {
+            for c in 0..nrhs {
+                t.range_write(owner(c), off + c * cache_rows, have);
+            }
+        }
         ctx.gld(have * nrhs * 8);
         ctx.sync();
 
@@ -253,6 +318,20 @@ pub fn gbtrs_batch_blocked(
                 let diag = ab[l.idx(kv, j)];
                 ctx.gld((kv.min(j) + 1) * 8); // U column (register file)
                 let lj = j - lo;
+                if let Some(t) = ctx.smem.tracker() {
+                    // Division result and the axpy into the rows above both
+                    // stay inside the owning lane's column.
+                    let reach = kv.min(j);
+                    for c in 0..nrhs {
+                        let (lane, colbase) = (owner(c), off + c * cache_rows);
+                        t.read(lane, colbase + lj);
+                        t.write(lane, colbase + lj);
+                        if cache[c * cache_rows + lj] != 0.0 && reach > 0 {
+                            t.range_read(lane, colbase + lj - reach, reach);
+                            t.range_write(lane, colbase + lj - reach, reach);
+                        }
+                    }
+                }
                 for c in 0..nrhs {
                     let bj = cache[c * cache_rows + lj] / diag;
                     cache[c * cache_rows + lj] = bj;
@@ -267,6 +346,11 @@ pub fn gbtrs_batch_blocked(
                 ctx.sync();
             }
             // Write the solved bottom jb rows back.
+            if let Some(t) = ctx.smem.tracker() {
+                for c in 0..nrhs {
+                    t.range_read(owner(c), off + c * cache_rows + (j0 - lo), jb);
+                }
+            }
             for c in 0..nrhs {
                 for r in 0..jb {
                     p.b[c * ldb + j0 + r] = cache[c * cache_rows + (j0 - lo) + r];
@@ -285,6 +369,14 @@ pub fn gbtrs_batch_blocked(
             let keep = j0 - lo;
             let shift_to = lo - new_lo; // how far down the kept rows move
             if keep > 0 && shift_to > 0 {
+                if let Some(t) = ctx.smem.tracker() {
+                    // In-place downward move, ordered within the owning lane.
+                    for c in 0..nrhs {
+                        let (lane, colbase) = (owner(c), off + c * cache_rows);
+                        t.range_read(lane, colbase, keep);
+                        t.range_write(lane, colbase + shift_to, keep);
+                    }
+                }
                 for c in 0..nrhs {
                     let colbase = c * cache_rows;
                     // Move within the column: src [0, keep) -> dst [shift_to, shift_to + keep).
@@ -295,6 +387,11 @@ pub fn gbtrs_batch_blocked(
                 ctx.smem_work(keep * nrhs, 0);
             }
             if lo > new_lo {
+                if let Some(t) = ctx.smem.tracker() {
+                    for c in 0..nrhs {
+                        t.range_write(owner(c), off + c * cache_rows, lo - new_lo);
+                    }
+                }
                 for c in 0..nrhs {
                     for r in new_lo..lo {
                         cache[c * cache_rows + (r - new_lo)] = p.b[c * ldb + r];

@@ -44,7 +44,9 @@ pub fn gbtrs_batch_cols(
     let ldb = rhs.ldb();
     let kv = l.kv();
     let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
-    let cfg = LaunchConfig::new(threads, 0).with_parallel(parallel);
+    let cfg = LaunchConfig::new(threads, 0)
+        .with_parallel(parallel)
+        .with_label("gbtrs_cols");
 
     let mut time = SimTime::ZERO;
     let mut launches = 0usize;

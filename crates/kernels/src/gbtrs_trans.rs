@@ -81,7 +81,8 @@ pub fn gbtrs_batch_blocked_trans(
     // ---------------- U^T sweep (ascending) ----------------
     let ut = {
         let cfg = LaunchConfig::new(threads, ut_smem_bytes(l, nb, nrhs) as u32)
-            .with_parallel(params.parallel);
+            .with_parallel(params.parallel)
+            .with_label("gbtrs_trans_ut");
         let cache_rows = (nb + kv).min(n);
         let mut probs: Vec<Prob<'_>> = rhs
             .blocks_mut()
@@ -167,7 +168,8 @@ pub fn gbtrs_batch_blocked_trans(
     // ---------------- L^T sweep (descending) ----------------
     let lt = if kl > 0 && n > 1 {
         let cfg = LaunchConfig::new(threads, lt_smem_bytes(l, nb, nrhs) as u32)
-            .with_parallel(params.parallel);
+            .with_parallel(params.parallel)
+            .with_label("gbtrs_trans_lt");
         let cache_rows = (nb + kl).min(n);
         let mut probs: Vec<Prob<'_>> = rhs
             .blocks_mut()

@@ -50,7 +50,7 @@ pub fn gemm_batch(
     let batch = a.len() / len;
     assert_eq!(b.len(), batch * len);
     assert_eq!(c.len(), batch * len);
-    let cfg = LaunchConfig::new(threads, gemm_smem_bytes() as u32);
+    let cfg = LaunchConfig::new(threads, gemm_smem_bytes() as u32).with_label("gemm");
     let model = gemm_block_counters(n, threads);
 
     struct Prob<'a> {

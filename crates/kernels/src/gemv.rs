@@ -38,7 +38,7 @@ pub fn gemv_batch(
     let batch = a.len() / len;
     assert_eq!(x.len(), batch * n);
     assert_eq!(y.len(), batch * n);
-    let cfg = LaunchConfig::new(threads, 0);
+    let cfg = LaunchConfig::new(threads, 0).with_label("gemv");
     let model = gemv_block_counters(n, threads);
 
     struct Prob<'a> {

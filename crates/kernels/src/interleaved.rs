@@ -187,6 +187,17 @@ fn lane_chunks(batch: usize, lanes_per_block: usize) -> Vec<(usize, usize)> {
 /// parallel executor can run chunks on different workers — the same
 /// disjointness argument as `ProblemsPtr` in `gbatch_gpu_sim::executor`,
 /// applied per element index instead of per problem index.
+///
+/// Invariants every constructor must uphold (and the accessors rely on):
+///
+/// 1. `base` points at the first element of a live `[f64]` allocation of at
+///    least `elems * batch` elements, obtained from a `&mut` borrow that
+///    outlives every view into it (the launch holds the borrow of the
+///    `InterleavedBandBatch` until all workers join).
+/// 2. `lo + lanes <= batch`, so `offset(e, b) < elems * batch` for every
+///    in-range `(e, b)` — no access leaves the allocation.
+/// 3. Concurrently live views cover pairwise-disjoint `[lo, lo + lanes)`
+///    ranges: no element offset is reachable from two views at once.
 struct LaneView {
     base: *mut f64,
     batch: usize,
@@ -280,7 +291,9 @@ pub fn gbtrf_batch_interleaved(
     } else {
         0
     };
-    let cfg = LaunchConfig::new(params.threads, smem).with_parallel(params.parallel);
+    let cfg = LaunchConfig::new(params.threads, smem)
+        .with_parallel(params.parallel)
+        .with_label("gbtrf_interleaved");
 
     struct Chunk<'a> {
         view: LaneView,
@@ -521,7 +534,9 @@ pub fn gbtrs_batch_interleaved(
     } else {
         0
     };
-    let cfg = LaunchConfig::new(params.threads, smem).with_parallel(params.parallel);
+    let cfg = LaunchConfig::new(params.threads, smem)
+        .with_parallel(params.parallel)
+        .with_label("gbtrs_interleaved");
     let fac = a.data();
 
     struct Chunk<'a> {
@@ -693,7 +708,9 @@ pub fn interleave_launch(
     let mut dst =
         InterleavedBandBatch::zeros_with_layout(l, batch).expect("source batch is non-empty");
     let lpb = params.lanes_clamped(batch);
-    let cfg = LaunchConfig::new(params.threads, 0).with_parallel(params.parallel);
+    let cfg = LaunchConfig::new(params.threads, 0)
+        .with_parallel(params.parallel)
+        .with_label("interleave");
 
     struct Chunk<'a> {
         view: LaneView,
@@ -742,7 +759,9 @@ pub fn deinterleave_launch(
     let elems = l.len();
     let mut dst = BandBatch::zeros_with_layout(l, batch).expect("source batch is non-empty");
     let lpb = params.lanes_clamped(batch);
-    let cfg = LaunchConfig::new(params.threads, 0).with_parallel(params.parallel);
+    let cfg = LaunchConfig::new(params.threads, 0)
+        .with_parallel(params.parallel)
+        .with_label("deinterleave");
     let src_data = src.data();
 
     struct Chunk<'a> {
@@ -1127,6 +1146,87 @@ mod tests {
             let mut expect = rhs0.block(id).to_vec();
             gbtrs(Transpose::No, &l, &fs[id], &ps[id], &mut expect, n, nrhs);
             assert_eq!(rhs.block(id), &expect[..]);
+        }
+    }
+
+    /// Miri-sized exercises of the `LaneView` pointer plumbing: tiny shapes
+    /// so `cargo miri test -p gbatch-kernels interleaved::tests::miri_sized`
+    /// finishes quickly while still driving every `unsafe` accessor
+    /// (`row`/`row_mut`/`get`/`set`) across worker threads.
+    mod miri_sized {
+        use super::super::*;
+        use gbatch_core::gbtf2::gbtf2;
+        use gbatch_core::BandBatch;
+
+        #[test]
+        fn lane_views_partition_without_aliasing() {
+            // 5 lanes split into chunks of 2 => ranges [0,2), [2,4), [4,5):
+            // every element of the interleaved array is written through
+            // exactly one view, concurrently under the threaded policy.
+            let dev = DeviceSpec::h100_pcie();
+            let (n, kl, ku, batch) = (4usize, 1usize, 1usize, 5usize);
+            let mut seed = 0.37f64;
+            let aos = BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+                for j in 0..n {
+                    let (s, e) = m.layout.col_rows(j);
+                    for i in s..e {
+                        seed = (seed * 1.7 + 0.11 + id as f64 * 1e-3).fract();
+                        m.set(i, j, seed - 0.5 + if i == j { 1.0 } else { 0.0 });
+                    }
+                }
+            })
+            .unwrap();
+            let expected: Vec<(Vec<f64>, Vec<i32>, i32)> = (0..batch)
+                .map(|id| {
+                    let mut ab = aos.matrix(id).data.to_vec();
+                    let mut p = vec![0i32; n];
+                    let info = gbtf2(&aos.layout(), &mut ab, &mut p);
+                    (ab, p, info)
+                })
+                .collect();
+
+            let mut ia = InterleavedBandBatch::from_batch(&aos);
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            let params = InterleavedParams {
+                lanes_per_block: 2,
+                parallel: ParallelPolicy::threads(3),
+                ..Default::default()
+            };
+            gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+            let back = ia.to_batch();
+            for id in 0..batch {
+                assert_eq!(back.matrix(id).data, &expected[id].0[..]);
+                assert_eq!(piv.pivots(id), &expected[id].1[..]);
+                assert_eq!(info.get(id), expected[id].2);
+            }
+        }
+
+        #[test]
+        fn lane_view_single_lane_chunks() {
+            // Degenerate chunking (one lane per view) maximizes the number
+            // of simultaneously live views over one allocation.
+            let dev = DeviceSpec::h100_pcie();
+            let (n, batch) = (3usize, 4usize);
+            let aos = BandBatch::from_fn(batch, n, n, 1, 1, |id, m| {
+                for j in 0..n {
+                    let (s, e) = m.layout.col_rows(j);
+                    for i in s..e {
+                        m.set(i, j, 1.0 + (id + i + 2 * j) as f64 * 0.25);
+                    }
+                }
+            })
+            .unwrap();
+            let mut ia = InterleavedBandBatch::from_batch(&aos);
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            let params = InterleavedParams {
+                lanes_per_block: 1,
+                parallel: ParallelPolicy::threads(2),
+                ..Default::default()
+            };
+            gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+            assert!(info.all_ok());
         }
     }
 }

@@ -62,7 +62,8 @@ pub fn msgbsv_batch_fused(
     let cfg = LaunchConfig::new(
         threads.max((l.kl + 1) as u32),
         mixed_smem_bytes(&l, 1) as u32,
-    );
+    )
+    .with_label("msgbsv_fused");
     let tol = (n as f64).sqrt() * f64::EPSILON;
 
     struct Prob<'a> {

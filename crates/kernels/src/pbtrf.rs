@@ -135,7 +135,8 @@ pub fn pbtrf_batch_fused(
     let cfg = LaunchConfig::new(
         threads.max((l.kd + 1) as u32),
         pb_fused_smem_bytes(&l) as u32,
-    );
+    )
+    .with_label("pbtrf_fused");
     struct Prob<'a> {
         ab: &'a mut [f64],
         info: &'a mut i32,
@@ -183,7 +184,8 @@ pub fn pbtrf_batch_window(
     let cfg = LaunchConfig::new(
         threads.max((kd + 1) as u32),
         pb_window_smem_bytes(&l, nb) as u32,
-    );
+    )
+    .with_label("pbtrf_window");
     struct Prob<'a> {
         ab: &'a mut [f64],
         info: &'a mut i32,
@@ -249,7 +251,8 @@ pub fn pbsv_batch_fused(
     assert_eq!(rhs.len(), batch * n * nrhs);
     assert_eq!(info.len(), batch);
     let smem = pb_fused_smem_bytes(&l) + n * nrhs * 8;
-    let cfg = LaunchConfig::new(threads.max((l.kd + 1) as u32), smem as u32);
+    let cfg =
+        LaunchConfig::new(threads.max((l.kd + 1) as u32), smem as u32).with_label("pbsv_fused");
     struct Prob<'a> {
         ab: &'a mut [f64],
         b: &'a mut [f64],

@@ -48,7 +48,9 @@ pub fn gbtrf_batch_reference(
     assert_eq!(piv.batch(), batch);
     assert_eq!(info.len(), batch);
     let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
-    let cfg = LaunchConfig::new(threads, 0).with_parallel(parallel);
+    let cfg = LaunchConfig::new(threads, 0)
+        .with_parallel(parallel)
+        .with_label("gbtrf_reference");
 
     // Host-side prologue (LAPACK zeroes these columns before the loop; on
     // the GPU this is one extra batched kernel).

@@ -9,7 +9,7 @@
 //! `gbatch_core::gbtf2` so the factors are bit-for-bit identical.
 
 use gbatch_core::gbtf2::ColumnStepState;
-use gbatch_core::layout::{update_bound, BandLayout};
+use gbatch_core::layout::{update_bound, BandLayout, RowClass};
 use gbatch_gpu_sim::BlockContext;
 
 /// A window of band columns resident in shared memory.
@@ -26,6 +26,11 @@ pub struct SmemBand<'a> {
     pub col0: usize,
     /// Number of columns resident.
     pub width: usize,
+    /// Band geometry for provenance checking: when set, debug/`verify`
+    /// builds classify every `idx` access against the layout and panic on
+    /// touches outside the band + fill-in region. `None` disables the check
+    /// (synthetic buffers without band semantics).
+    pub provenance: Option<BandLayout>,
 }
 
 impl<'a> SmemBand<'a> {
@@ -37,6 +42,17 @@ impl<'a> SmemBand<'a> {
             "col {c} outside window"
         );
         debug_assert!(r < self.ldab);
+        if cfg!(any(debug_assertions, feature = "verify")) {
+            if let Some(l) = &self.provenance {
+                if l.classify(r, c) == RowClass::OutOfRange {
+                    panic!(
+                        "out-of-range band access in shared window: band_row {r}, \
+                         column {c} (kl={}, ku={}, ldab={}, m={}, n={})",
+                        l.kl, l.ku, l.ldab, l.m, l.n
+                    );
+                }
+            }
+        }
         (c - self.col0) * self.ldab + r
     }
 
@@ -60,10 +76,14 @@ impl<'a> SmemBand<'a> {
 pub fn smem_fillin_prologue(l: &BandLayout, w: &mut SmemBand<'_>, ctx: &mut BlockContext) {
     let kv = l.kv();
     let hi = kv.min(l.n);
+    let threads = ctx.threads;
     let mut items = 0usize;
     for j in (l.ku + 1)..hi {
         if j < w.col0 || j >= w.col0 + w.width {
             continue;
+        }
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_write(w.idx(kv - j, j), l.kl - (kv - j), threads);
         }
         for i in (kv - j)..l.kl {
             w.set(i, j, 0.0);
@@ -79,6 +99,11 @@ pub fn smem_fillin_prologue(l: &BandLayout, w: &mut SmemBand<'_>, ctx: &mut Bloc
 pub fn smem_fillin_step(l: &BandLayout, w: &mut SmemBand<'_>, j: usize, ctx: &mut BlockContext) {
     let kv = l.kv();
     if j + kv < l.n && j + kv >= w.col0 && j + kv < w.col0 + w.width {
+        if l.kl > 0 {
+            if let Some(t) = ctx.smem.tracker() {
+                t.striped_write(w.idx(0, j + kv), l.kl, ctx.threads);
+            }
+        }
         for i in 0..l.kl {
             w.set(i, j + kv, 0.0);
         }
@@ -99,6 +124,7 @@ pub fn smem_column_step(
 ) -> usize {
     let kv = l.kv();
     let km = l.km(j);
+    let threads = ctx.threads;
 
     smem_fillin_step(l, w, j, ctx);
 
@@ -113,6 +139,13 @@ pub fn smem_column_step(
             best = a;
             jp = k;
         }
+    }
+    if let Some(t) = ctx.smem.tracker() {
+        // Candidates stripe over lanes; the reduction then hands the
+        // winning value to every lane (a broadcast read) *before* the
+        // barrier — which is why SWAP may overwrite it afterwards.
+        t.striped_read(base, km + 1, threads);
+        t.broadcast_read(base + jp);
     }
     ctx.smem_work(km + 1, 0);
     ctx.smem_trip();
@@ -130,6 +163,19 @@ pub fn smem_column_step(
 
         // SWAP to the right only (row swap walks band rows upward).
         if jp != 0 {
+            if let Some(t) = ctx.smem.tracker() {
+                // Column c = j + k is swapped entirely by lane k: both
+                // elements read then written by the same lane.
+                for (k, c) in (j..=ju).enumerate() {
+                    let lane = (k % threads as usize) as u32;
+                    let i1 = w.idx(kv + jp - k, c);
+                    let i2 = w.idx(kv - k, c);
+                    t.read(lane, i1);
+                    t.read(lane, i2);
+                    t.write(lane, i1);
+                    t.write(lane, i2);
+                }
+            }
             for (k, c) in (j..=ju).enumerate() {
                 let i1 = w.idx(kv + jp - k, c);
                 let i2 = w.idx(kv - k, c);
@@ -141,6 +187,16 @@ pub fn smem_column_step(
 
         if km > 0 {
             // SCAL by the reciprocal pivot.
+            if let Some(t) = ctx.smem.tracker() {
+                // Every lane needs the reciprocal (broadcast); element
+                // base + k is scaled in place by lane (k - 1) % threads —
+                // the same lane that consumes it as a multiplier in the
+                // rank-one update below, so SCAL and GER legally share
+                // one epoch.
+                t.broadcast_read(base);
+                t.striped_read(base + 1, km, threads);
+                t.striped_write(base + 1, km, threads);
+            }
             let inv = 1.0 / w.data[base];
             for k in 1..=km {
                 w.data[base + k] *= inv;
@@ -150,13 +206,25 @@ pub fn smem_column_step(
 
             // RANK_ONE_UPDATE over columns j+1 ..= ju.
             if ju > j {
+                let src = w.idx(kv, j);
+                if let Some(t) = ctx.smem.tracker() {
+                    for c in 1..=(ju - j) {
+                        let dst = w.idx(kv - c, j + c);
+                        // The row-j multiplier u is read by every lane.
+                        t.broadcast_read(dst);
+                        if w.data[dst] != 0.0 {
+                            t.striped_read(src + 1, km, threads);
+                            t.striped_read(dst + 1, km, threads);
+                            t.striped_write(dst + 1, km, threads);
+                        }
+                    }
+                }
                 for c in 1..=(ju - j) {
                     let u = w.get(kv - c, j + c);
                     if u == 0.0 {
                         continue;
                     }
                     let dst = w.idx(kv - c, j + c);
-                    let src = w.idx(kv, j);
                     for i in 1..=km {
                         w.data[dst + i] -= w.data[src + i] * u;
                     }
@@ -213,6 +281,7 @@ mod tests {
                 ldab: l.ldab,
                 col0: 0,
                 width: n,
+                provenance: Some(l),
             };
             let mut ctx = BlockContext::new(0, 4, 0);
             let mut p2 = vec![0i32; n];
@@ -238,6 +307,7 @@ mod tests {
             ldab: l.ldab,
             col0: 0,
             width: n,
+            provenance: Some(l),
         };
         let mut ctx = BlockContext::new(0, 4, 0);
         let mut p = vec![0i32; n];
@@ -262,6 +332,7 @@ mod tests {
             ldab: 4,
             col0: 5,
             width: 3,
+            provenance: None,
         };
         w.set(2, 6, 9.0); // local col 1
         assert_eq!(w.get(2, 6), 9.0);
@@ -273,5 +344,39 @@ mod tests {
     #[test]
     fn smem_bytes_helper() {
         assert_eq!(smem_bytes_for_cols(8, 10), 640);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "verify"))]
+    #[should_panic(expected = "out-of-range band access in shared window: band_row 7, column 8")]
+    fn provenance_rejects_out_of_band_write() {
+        // 9x9, kl = 2, ku = 3: band row 7 of column 8 would be full-matrix
+        // row 10 — past the bottom of the matrix.
+        let l = BandLayout::factor(9, 9, 2, 3).unwrap();
+        let mut buf = vec![0.0; l.len()];
+        let mut w = SmemBand {
+            data: &mut buf,
+            ldab: l.ldab,
+            col0: 0,
+            width: l.n,
+            provenance: Some(l),
+        };
+        w.set(7, 8, 1.0);
+    }
+
+    #[test]
+    fn provenance_allows_fillin_touches() {
+        let l = BandLayout::factor(9, 9, 2, 3).unwrap();
+        let mut buf = vec![0.0; l.len()];
+        let mut w = SmemBand {
+            data: &mut buf,
+            ldab: l.ldab,
+            col0: 0,
+            width: l.n,
+            provenance: Some(l),
+        };
+        // (0, 5) is pivoting fill-in — legal for gbtrf-family kernels.
+        w.set(0, 5, 3.5);
+        assert_eq!(w.get(0, 5), 3.5);
     }
 }

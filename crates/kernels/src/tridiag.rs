@@ -129,7 +129,7 @@ pub fn pcr_solve_batch(
     assert_eq!(rhs.batch(), batch);
     assert_eq!(rhs.n(), n);
     assert_eq!(rhs.nrhs(), 1, "PCR kernel targets single-RHS batches");
-    let cfg = LaunchConfig::new(threads, pcr_smem_bytes(n) as u32);
+    let cfg = LaunchConfig::new(threads, pcr_smem_bytes(n) as u32).with_label("pcr_solve");
 
     struct Prob<'a> {
         lo: &'a [f64],

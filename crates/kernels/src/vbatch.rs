@@ -31,7 +31,7 @@ pub fn vbatch_config(dev: &DeviceSpec, a: &VarBandBatch, nb: usize) -> LaunchCon
         .map(|l| window_smem_bytes(l, nb))
         .max()
         .unwrap_or(0);
-    LaunchConfig::new(threads, smem as u32)
+    LaunchConfig::new(threads, smem as u32).with_label("gbtrf_vbatch")
 }
 
 fn window_body_var(
@@ -62,6 +62,7 @@ fn window_body_var(
             ldab,
             col0: 0,
             width: loaded_end,
+            provenance: Some(*l),
         };
         smem_fillin_prologue(l, &mut w, ctx);
     }
@@ -76,6 +77,7 @@ fn window_body_var(
                 ldab,
                 col0: j0,
                 width: loaded_end - j0,
+                provenance: Some(*l),
             };
             for j in j0..j0 + jb {
                 smem_column_step(l, &mut w, piv, j, &mut st, ctx);

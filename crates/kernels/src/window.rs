@@ -113,6 +113,9 @@ fn load_cols(
         buf[dst..dst + ldab].copy_from_slice(&ab[c * ldab..(c + 1) * ldab]);
     }
     let elems = (c1 - c0) * ldab;
+    if let Some(t) = ctx.smem.tracker() {
+        t.striped_write(dst_local * ldab, elems, ctx.threads);
+    }
     ctx.gld(elems * std::mem::size_of::<f64>());
 }
 
@@ -132,6 +135,9 @@ fn store_cols(
         ab[c * ldab..(c + 1) * ldab].copy_from_slice(&buf[src..src + ldab]);
     }
     let elems = (c1 - c0) * ldab;
+    if let Some(t) = ctx.smem.tracker() {
+        t.striped_read(src_local * ldab, elems, ctx.threads);
+    }
     ctx.gst(elems * std::mem::size_of::<f64>());
 }
 
@@ -159,6 +165,7 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
             ldab,
             col0: 0,
             width: loaded_end,
+            provenance: Some(*l),
         };
         smem_fillin_prologue(l, &mut w, ctx);
     }
@@ -173,6 +180,7 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
                 ldab,
                 col0: j0,
                 width: loaded_end - j0,
+                provenance: Some(*l),
             };
             for j in j0..j0 + jb {
                 smem_column_step(l, &mut w, p.piv, j, &mut st, ctx);
@@ -197,7 +205,19 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
         // §5.3: cheaper than relaunching and reloading the overlap).
         let resident = loaded_end - j0;
         let keep = resident - jb;
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_read(jb * ldab, keep * ldab, ctx.threads);
+        }
+        if keep > jb {
+            // Source and destination ranges overlap: each lane reads its
+            // elements into registers, a barrier drains the reads, then
+            // the lanes write — a single-epoch in-place shift would race.
+            ctx.sync();
+        }
         buf.copy_within(jb * ldab..resident * ldab, 0);
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_write(0, keep * ldab, ctx.threads);
+        }
         ctx.smem_work(keep * ldab, 0); // in-shared shift: LDS traffic
         ctx.sync();
 
@@ -241,7 +261,8 @@ pub fn gbtrf_batch_window(
     assert_eq!(info.len(), a.batch());
     let smem = window_smem_bytes(&l, params.nb);
     let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
-        .with_parallel(params.parallel);
+        .with_parallel(params.parallel)
+        .with_label("gbtrf_window");
     let mut problems = make_problems(a, piv, info);
     launch(dev, &cfg, &mut problems, |p, ctx| {
         window_body(&l, params.nb, p, ctx)
@@ -264,7 +285,8 @@ pub fn gbtrf_batch_window_relaunch(
     let batch = a.batch();
     let smem = window_smem_bytes(&l, params.nb);
     let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
-        .with_parallel(params.parallel);
+        .with_parallel(params.parallel)
+        .with_label("gbtrf_window_relaunch");
     let kmin = l.m.min(l.n);
     let n_iters = kmin.div_ceil(params.nb);
     let mut reports = Vec::with_capacity(n_iters);
@@ -302,6 +324,7 @@ pub fn gbtrf_batch_window_relaunch(
                     ldab,
                     col0: j0,
                     width: loaded_end - j0,
+                    provenance: Some(l),
                 };
                 if j0 == 0 {
                     smem_fillin_prologue(&l, &mut w, ctx);
