@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [fig1|fig3|fig5|table1|fig7|fig8|table2|fig9|table3|tuning|bandwidth|extensions|all]
+//! repro [fig1|fig3|fig5|table1|fig7|fig8|table2|fig9|table3|tuning|bandwidth|extensions|multigcd|all]
 //! ```
 //!
 //! Times printed for the GPUs come from the simulator's analytic model;
@@ -106,6 +106,15 @@ fn main() {
         eprintln!("running extensions...");
         writeln!(out, "## Extensions beyond the paper (see EXPERIMENTS.md)").unwrap();
         writeln!(out, "{}", exp::extensions(&p)).unwrap();
+    }
+    if run("multigcd") || run("extensions") {
+        eprintln!("running multi-GCD batch sweep...");
+        let fig = exp::multi_gcd(&p);
+        writeln!(out, "{}", fig.to_table()).unwrap();
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/multi_gcd.json");
+        let json = serde_json::to_string_pretty(&fig).unwrap();
+        std::fs::write(path, json + "\n").unwrap();
+        eprintln!("wrote {path}");
     }
     if run("tuning") {
         writeln!(

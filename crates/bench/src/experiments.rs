@@ -829,6 +829,85 @@ pub fn extensions(p: &Platforms) -> String {
     out
 }
 
+/// Multi-GCD scaling figure: the full MI250x (both GCDs, split via
+/// [`DeviceGroup::partition`](gbatch_gpu_sim::multi::DeviceGroup)) against
+/// a single GCD on batched GBSV over the XGC-like shape, across a batch
+/// sweep. Numerics execute for real at every point (each partition runs
+/// its own `dgbsv_batch` dispatch) and are residual-checked; serialized to
+/// `results/multi_gcd.json` by the `repro` binary.
+pub fn multi_gcd(p: &Platforms) -> Figure {
+    use gbatch_gpu_sim::multi::DeviceGroup;
+    let (n, kl, ku, nrhs) = (192usize, 9usize, 9usize, 1usize);
+    let mut fig = Figure::new(
+        "Extension: full MI250x (2 GCDs) vs single GCD, GBSV (9,9), n=192, 1 RHS",
+        "batch",
+    );
+    let mut single = Series::new("MI250x single GCD");
+    let mut dual = Series::new("MI250x 2 GCDs (split batch)");
+    let group = DeviceGroup::mi250x_full();
+    let opts = GbsvOptions {
+        window: p.window_params(&p.mi250x, kl, ku),
+        ..Default::default()
+    };
+    for &batch in &[500usize, 1000, 2000, 4000, 8000] {
+        let mut rng = seeded(n, kl, ku, nrhs);
+        let a0 = random_band_batch(
+            &mut rng,
+            batch,
+            n,
+            kl,
+            ku,
+            BandDistribution::DiagonallyDominant { margin: 1.0 },
+        );
+        let b0 = gbatch_workloads::rhs::manufactured_rhs(&mut rng, batch, n, nrhs);
+
+        // Single GCD: one dispatch over the whole batch.
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let t1 = dgbsv_batch(&p.mi250x, &mut a, &mut piv, &mut b, &mut info, &opts)
+            .expect("launch")
+            .time;
+        assert!(info.all_ok(), "diagonally dominant batch factorizes");
+        let berr = backward_error(a0.matrix(0), b.block(0), b0.block(0));
+        assert!(berr < 1e-12, "residual check: berr {berr:e}");
+
+        // Both GCDs: the bandwidth-proportional split, one dispatch per
+        // partition, makespan of the group.
+        let stride = a0.matrix_stride();
+        let t2 = group
+            .run_split(batch, |dev, lo, hi| {
+                let count = hi - lo;
+                let mut pa = BandBatch::zeros_with_layout(a0.layout(), count).unwrap();
+                pa.data_mut()
+                    .copy_from_slice(&a0.data()[lo * stride..hi * stride]);
+                let mut pb = RhsBatch::zeros(count, n, nrhs).unwrap();
+                pb.data_mut()
+                    .copy_from_slice(&b0.data()[lo * b0.block_stride()..hi * b0.block_stride()]);
+                let mut ppiv = PivotBatch::new(count, n, n);
+                let mut pinfo = InfoArray::new(count);
+                let rep = dgbsv_batch(dev, &mut pa, &mut ppiv, &mut pb, &mut pinfo, &opts)?;
+                assert!(pinfo.all_ok());
+                // The split must reproduce the single-GCD solution
+                // bitwise: identical kernels on identical lanes.
+                assert_eq!(
+                    pb.data(),
+                    &b.data()[lo * b.block_stride()..hi * b.block_stride()],
+                    "partition [{lo}, {hi}) diverged from the unsplit solve"
+                );
+                Ok::<_, gbatch_gpu_sim::LaunchError>(rep.time)
+            })
+            .expect("launch");
+
+        single.push(batch, t1.ms());
+        dual.push(batch, t2.ms());
+    }
+    fig.series.push(single);
+    fig.series.push(dual);
+    fig
+}
+
 /// Turn GPU-vs-CPU figures into the paper's speedup tables. The CPU series
 /// must be the last series of each figure.
 fn speedup_table(figs: Vec<Figure>) -> Vec<(String, SpeedupSummary)> {
@@ -900,6 +979,23 @@ mod tests {
                 f.title
             );
         }
+    }
+
+    #[test]
+    fn multi_gcd_splits_agree_and_scale() {
+        let p = platforms();
+        let fig = multi_gcd(&p);
+        assert_eq!(fig.series.len(), 2);
+        let single = &fig.series[0];
+        let dual = &fig.series[1];
+        for x in fig.xs() {
+            let (t1, t2) = (single.at(x).unwrap(), dual.at(x).unwrap());
+            assert!(t2 < t1, "batch {x}: 2 GCDs ({t2} ms) vs 1 ({t1} ms)");
+        }
+        // At the largest batch the split should approach 2x.
+        let big = *fig.xs().last().unwrap();
+        let speedup = single.at(big).unwrap() / dual.at(big).unwrap();
+        assert!(speedup > 1.6, "large-batch multi-GCD speedup {speedup:.2}x");
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod layout;
 pub mod mixed;
 pub mod pb;
 pub mod residual;
+pub mod shape;
 pub mod vbatch;
 
 pub use band::{BandMatrix, BandMatrixMut, BandMatrixRef};
@@ -83,6 +84,7 @@ pub use batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 pub use error::{BandError, Result};
 pub use interleaved::InterleavedBandBatch;
 pub use layout::{BandLayout, RowClass};
+pub use shape::ShapeKey;
 
 /// Machine epsilon for `f64`, used in residual bounds.
 pub const EPS: f64 = f64::EPSILON;

@@ -127,6 +127,7 @@ impl std::error::Error for LaunchError {}
 
 /// Result of a successful launch.
 #[derive(Debug, Clone)]
+#[must_use = "carries the modeled time, counters, and hazard reports"]
 pub struct LaunchReport {
     /// Residency achieved.
     pub occupancy: Occupancy,
@@ -236,7 +237,7 @@ mod tests {
         let dev = DeviceSpec::test_device();
         let cfg = LaunchConfig::new(8, 1024);
         let mut data = vec![0.0f64; 5];
-        launch(&dev, &cfg, &mut data, |p, ctx| {
+        let _ = launch(&dev, &cfg, &mut data, |p, ctx| {
             let off = ctx.smem.alloc(4);
             let s = ctx.smem.slice_mut(off, 4);
             // Fresh arena every block: must read zeros.

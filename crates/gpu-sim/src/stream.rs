@@ -169,6 +169,60 @@ mod tests {
             simulate_streams(&dev, &cfg, 0, 16, &KernelCounters::default()).secs(),
             0.0
         );
+        // The parallel-host variant must agree, for every policy.
+        for policy in [
+            ParallelPolicy::Serial,
+            ParallelPolicy::threads(4),
+            ParallelPolicy::Auto,
+        ] {
+            assert_eq!(
+                simulate_streams_with_policy(&dev, &cfg, 0, 16, &KernelCounters::default(), policy)
+                    .secs(),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn excess_streams_cap_at_kernel_count() {
+        // n_streams > n_kernels: only n_kernels blocks can ever be
+        // co-resident, so 64 streams over 3 kernels must price exactly
+        // like 3 streams over 3 kernels — idle streams contribute nothing.
+        let dev = DeviceSpec::h100_pcie();
+        let cfg = LaunchConfig::new(32, 1024);
+        let c = small_kernel_counters();
+        let wide = simulate_streams(&dev, &cfg, 3, 64, &c);
+        let exact = simulate_streams(&dev, &cfg, 3, 3, &c);
+        assert_eq!(wide.secs(), exact.secs());
+        // And a single kernel on many streams is one round of one kernel.
+        let one = simulate_streams(&dev, &cfg, 1, 4096, &c);
+        let solo = simulate_streams(&dev, &cfg, 1, 1, &c);
+        assert_eq!(one.secs(), solo.secs());
+    }
+
+    #[test]
+    fn single_stream_degenerates_to_serialized_dispatch_bound() {
+        // One stream: the device timeline is n_kernels fully serialized
+        // kernel executions, so the result is exactly
+        // max(n * kernel_time, n * dispatch) — never less than either
+        // serialized floor, and equal to n times the single-kernel run.
+        let dev = DeviceSpec::h100_pcie();
+        let cfg = LaunchConfig::new(32, 1024);
+        let c = small_kernel_counters();
+        let n = 200usize;
+        let serial = simulate_streams(&dev, &cfg, n, 1, &c);
+        let single = simulate_streams(&dev, &cfg, 1, 1, &c);
+        assert!(serial.secs() >= n as f64 * DISPATCH_OVERHEAD_S - 1e-12);
+        assert!(serial.secs() >= n as f64 * single.secs() - 1e-9);
+        let expected = (n as f64 * single.secs()).max(n as f64 * DISPATCH_OVERHEAD_S);
+        assert!(
+            (serial.secs() - expected).abs() < 1e-12,
+            "serialized bound: {} vs {}",
+            serial.secs(),
+            expected
+        );
+        // Monotonicity: a second stream can only help.
+        assert!(simulate_streams(&dev, &cfg, n, 2, &c).secs() <= serial.secs());
     }
 
     #[test]

@@ -258,8 +258,10 @@ fn choose_layout(
     }
 }
 
-/// Outcome of a batched routine: which kernel ran and what it cost.
+/// Outcome of a batched routine: which kernel ran, what it cost, and which
+/// lanes (if any) hit a zero pivot.
 #[derive(Debug, Clone)]
+#[must_use = "carries per-lane singularity and modeled cost"]
 pub struct BatchReport {
     /// Kernel design the dispatcher selected.
     pub algo: ChosenAlgo,
@@ -267,6 +269,29 @@ pub struct BatchReport {
     pub time: SimTime,
     /// Number of kernel launches issued.
     pub launches: usize,
+    /// Problem ids whose factorization hit a zero pivot, ascending — the
+    /// same lanes `info` flags, surfaced on the report so callers get
+    /// per-problem granularity without re-scanning the `info` array. A
+    /// singular lane is *not* a batch failure: its batchmates factor and
+    /// solve normally (every kernel family masks singular lanes), so the
+    /// routine still returns `Ok`. Solve-only entries
+    /// ([`dgbtrs_batch`]) report the lanes the caller's `info` already
+    /// flagged as skipped, or empty when all factors were healthy.
+    pub singular: Vec<usize>,
+}
+
+impl BatchReport {
+    /// True when every lane factored without a zero pivot.
+    #[must_use]
+    pub fn all_lanes_ok(&self) -> bool {
+        self.singular.is_empty()
+    }
+
+    /// Number of lanes flagged singular.
+    #[must_use]
+    pub fn singular_lanes(&self) -> usize {
+        self.singular.len()
+    }
 }
 
 /// Batched band LU factorization (`dgbtrf_batch`, paper Section 4).
@@ -301,6 +326,7 @@ pub fn dgbtrf_batch(
                 algo: ChosenAlgo::Specialized,
                 time: rep.time,
                 launches: 1,
+                singular: info.failures(),
             });
         }
     }
@@ -317,6 +343,7 @@ pub fn dgbtrf_batch(
             algo: ChosenAlgo::Interleaved,
             time: pack.time + f.time + unpack.time,
             launches: 3,
+            singular: info.failures(),
         });
     }
 
@@ -357,6 +384,7 @@ pub fn dgbtrf_batch(
                 algo,
                 time: rep.time,
                 launches: 1,
+                singular: info.failures(),
             })
         }
         ChosenAlgo::Window => {
@@ -365,6 +393,7 @@ pub fn dgbtrf_batch(
                 algo,
                 time: rep.time,
                 launches: 1,
+                singular: info.failures(),
             })
         }
         ChosenAlgo::Reference
@@ -376,6 +405,7 @@ pub fn dgbtrf_batch(
                 algo: ChosenAlgo::Reference,
                 time: rep.time,
                 launches: rep.launches,
+                singular: info.failures(),
             })
         }
     }
@@ -407,6 +437,7 @@ pub fn dgbtrs_batch(
                     algo: ChosenAlgo::Window,
                     time: rep.time(),
                     launches,
+                    singular: Vec::new(),
                 })
             }
             Err(LaunchError::SharedMemExceeded { .. }) => {
@@ -415,6 +446,7 @@ pub fn dgbtrs_batch(
                     algo: ChosenAlgo::Reference,
                     time: rep.time,
                     launches: rep.launches,
+                    singular: Vec::new(),
                 })
             }
             Err(e) => Err(e),
@@ -426,6 +458,7 @@ pub fn dgbtrs_batch(
                 algo: ChosenAlgo::Window,
                 time: rep.time(),
                 launches,
+                singular: Vec::new(),
             })
         }
     }
@@ -457,11 +490,27 @@ pub fn dgbsv_batch(
         )
         .is_ok();
     if fused_ok {
+        // The fused kernel eliminates the RHS in lockstep with the
+        // factorization, so a lane that hits a zero pivot mid-sweep has
+        // already scrambled part of its RHS. Snapshot the (cheap,
+        // host-side) RHS payload and restore failed lanes so the
+        // dispatcher's contract is uniform across every path: a singular
+        // lane is flagged in `info`/`singular` and its RHS is returned
+        // untouched.
+        let saved = rhs.data().to_vec();
         let rep = gbsv_batch_fused(dev, a, piv, rhs, info, threads, opts.parallel_policy())?;
+        if !info.all_ok() {
+            let stride = rhs.block_stride();
+            for id in info.failures() {
+                rhs.block_mut(id)
+                    .copy_from_slice(&saved[id * stride..(id + 1) * stride]);
+            }
+        }
         return Ok(BatchReport {
             algo: ChosenAlgo::FusedGbsv,
             time: rep.time,
             launches: 1,
+            singular: info.failures(),
         });
     }
 
@@ -500,6 +549,7 @@ pub fn dgbsv_batch(
             algo: ChosenAlgo::Interleaved,
             time: pack.time + f.time + s.time + unpack.time,
             launches: 4,
+            singular: info.failures(),
         });
     }
     // The factor call below re-runs the layout decision with nrhs = 0;
@@ -528,6 +578,7 @@ pub fn dgbsv_batch(
             algo: f.algo,
             time: f.time + s.time,
             launches: f.launches + s.launches,
+            singular: info.failures(),
         });
     }
     let s = dgbtrs_batch(dev, Transpose::No, &l, a.data(), piv, rhs, opts)?;
@@ -535,6 +586,7 @@ pub fn dgbsv_batch(
         algo: f.algo,
         time: f.time + s.time,
         launches: f.launches + s.launches,
+        singular: Vec::new(),
     })
 }
 
@@ -684,7 +736,7 @@ mod tests {
                 algo: force,
                 ..Default::default()
             };
-            dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
+            let _ = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
             results.push((a, piv));
         }
         for k in 1..results.len() {
@@ -762,7 +814,7 @@ mod tests {
             allow_fused_gbsv: Some(false),
             ..Default::default()
         };
-        dgbsv_batch(
+        let _ = dgbsv_batch(
             &dev,
             &mut a_col,
             &mut piv_col,
@@ -838,7 +890,7 @@ mod tests {
             algo: FactorAlgo::Reference,
             ..Default::default()
         };
-        dgbtrf_batch(&dev, &mut a_ref, &mut piv_ref, &mut info_ref, &opts).unwrap();
+        let _ = dgbtrf_batch(&dev, &mut a_ref, &mut piv_ref, &mut info_ref, &opts).unwrap();
         assert_eq!(a.data(), a_ref.data());
         assert_eq!(piv, piv_ref);
     }
@@ -910,6 +962,79 @@ mod tests {
     }
 
     #[test]
+    fn one_singular_lane_in_a_batch_of_64_is_isolated() {
+        // Error-granularity regression: a single poisoned matrix must be
+        // reported per-lane (info + report.singular) while its 63
+        // batchmates factor and solve normally — not as one coarse batch
+        // failure. Exercised across the §5.4 regimes: fused-GBSV (n=32),
+        // separate factor+solve (n=100), and the forced interleaved path.
+        let dev = DeviceSpec::h100_pcie();
+        let batch = 64usize;
+        let poisoned = 17usize;
+        for (n, opts) in [
+            (32usize, GbsvOptions::default()),
+            (100, GbsvOptions::default()),
+            (
+                100,
+                GbsvOptions {
+                    layout: MatrixLayout::Interleaved,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let (mut a, mut b) = random_system(batch, n, 2, 3, 1);
+            {
+                // Zero the entire first column of one matrix: the first
+                // pivot search finds no nonzero, info = 1.
+                let mut m = a.matrix_mut(poisoned);
+                for i in 0..=2usize {
+                    m.set(i, 0, 0.0);
+                }
+            }
+            let orig_a = a.clone();
+            let orig_b = b.clone();
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            let rep = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &opts)
+                .expect("one singular lane must not fail the batch");
+            assert_eq!(rep.singular, vec![poisoned], "n={n}");
+            assert_eq!(rep.singular_lanes(), 1);
+            assert!(!rep.all_lanes_ok());
+            assert_eq!(info.failures(), vec![poisoned]);
+            assert_eq!(info.get(poisoned), 1, "first zero pivot at column 1");
+            assert_eq!(
+                b.block(poisoned),
+                orig_b.block(poisoned),
+                "poisoned lane's RHS preserved (n={n})"
+            );
+            for id in (0..batch).filter(|&id| id != poisoned) {
+                assert_eq!(info.get(id), 0);
+                let x = &b.block(id)[..n];
+                let berr = backward_error(orig_a.matrix(id), x, &orig_b.block(id)[..n]);
+                assert!(berr < 1e-11, "n={n} lane {id}: berr {berr:.2e}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_report_surfaces_singular_lanes() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, batch) = (48usize, 8usize);
+        let (mut a, _) = random_system(batch, n, 2, 3, 1);
+        for id in [2usize, 5] {
+            let mut m = a.matrix_mut(id);
+            for i in 0..=2usize {
+                m.set(i, 0, 0.0);
+            }
+        }
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let rep = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+        assert_eq!(rep.singular, vec![2, 5]);
+        assert_eq!(info.failures(), vec![2, 5]);
+    }
+
+    #[test]
     fn singular_systems_leave_rhs_untouched_and_flagged() {
         let dev = DeviceSpec::h100_pcie();
         let (n, batch) = (100usize, 3usize); // > cutoff: separate factor+solve
@@ -923,7 +1048,7 @@ mod tests {
         let b_orig = b.clone();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        dgbsv_batch(
+        let _ = dgbsv_batch(
             &dev,
             &mut a,
             &mut piv,

@@ -263,7 +263,7 @@ mod tests {
         }
         let mut piv = PivotBatch::new(3, n, n);
         let mut info = InfoArray::new(3);
-        gbtrf_batch_fused(
+        let _ = gbtrf_batch_fused(
             &dev,
             &mut a,
             &mut piv,

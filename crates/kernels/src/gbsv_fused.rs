@@ -259,7 +259,7 @@ mod tests {
                 .collect();
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            gbsv_batch_fused(
+            let _ = gbsv_batch_fused(
                 &dev,
                 &mut a,
                 &mut piv,
@@ -306,7 +306,7 @@ mod tests {
             .collect();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        gbsv_batch_fused(
+        let _ = gbsv_batch_fused(
             &dev,
             &mut a,
             &mut piv,
@@ -334,7 +334,7 @@ mod tests {
         }
         let mut piv = PivotBatch::new(2, n, n);
         let mut info = InfoArray::new(2);
-        gbsv_batch_fused(
+        let _ = gbsv_batch_fused(
             &dev,
             &mut a,
             &mut piv,

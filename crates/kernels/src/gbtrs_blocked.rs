@@ -431,7 +431,7 @@ mod tests {
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
         let dev = DeviceSpec::h100_pcie();
-        crate::fused::gbtrf_batch_fused(
+        let _ = crate::fused::gbtrf_batch_fused(
             &dev,
             &mut fac,
             &mut piv,

@@ -314,7 +314,7 @@ mod tests {
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
         let dev = DeviceSpec::h100_pcie();
-        crate::fused::gbtrf_batch_fused(
+        let _ = crate::fused::gbtrf_batch_fused(
             &dev,
             &mut fac,
             &mut piv,
@@ -397,7 +397,7 @@ mod tests {
         let mut fac = orig.clone();
         let mut piv = PivotBatch::new(2, n, n);
         let mut info = InfoArray::new(2);
-        crate::fused::gbtrf_batch_fused(
+        let _ = crate::fused::gbtrf_batch_fused(
             &dev,
             &mut fac,
             &mut piv,

@@ -110,7 +110,7 @@ mod tests {
         let a = fill(n * n * batch, 0.1);
         let b = fill(n * n * batch, 0.2);
         let mut c = vec![0.0; n * n * batch];
-        gemm_batch(&dev, n, &a, &b, &mut c, 64).unwrap();
+        let _ = gemm_batch(&dev, n, &a, &b, &mut c, 64).unwrap();
         for id in 0..batch {
             let mut expect = vec![0.0; n * n];
             dense::gemm(

@@ -113,7 +113,7 @@ mod tests {
         let a = fill(n * n * batch, 0.6);
         let x = fill(n * batch, 0.8);
         let mut y = vec![0.0; n * batch];
-        gemv_batch(&dev, n, &a, &x, &mut y, 64).unwrap();
+        let _ = gemv_batch(&dev, n, &a, &x, &mut y, 64).unwrap();
         for id in 0..batch {
             let mut expect = vec![0.0; n];
             blas2::gemv(

@@ -955,7 +955,7 @@ mod tests {
             let (fs, ps, is) = gbtf2_oracle(&a);
             let (ia, piv, info, _) = factor_interleaved(&a, InterleavedParams::default());
             let mut rhs = rhs0.clone();
-            gbtrs_batch_interleaved(
+            let _ = gbtrs_batch_interleaved(
                 &dev,
                 &ia,
                 &piv,
@@ -995,7 +995,7 @@ mod tests {
         assert_ne!(info.get(3), 0);
         let rhs0 = RhsBatch::from_fn(batch, n, 2, |id, i, c| (id + i + c) as f64 * 0.1).unwrap();
         let mut rhs = rhs0.clone();
-        gbtrs_batch_interleaved(
+        let _ = gbtrs_batch_interleaved(
             &dev,
             &ia,
             &piv,
@@ -1140,7 +1140,7 @@ mod tests {
         })
         .unwrap();
         let mut rhs = rhs0.clone();
-        gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params)
+        let _ = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params)
             .expect("streaming solve must not require shared memory");
         for id in 0..batch {
             let mut expect = rhs0.block(id).to_vec();
@@ -1193,7 +1193,7 @@ mod tests {
                 parallel: ParallelPolicy::threads(3),
                 ..Default::default()
             };
-            gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+            let _ = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
             let back = ia.to_batch();
             for id in 0..batch {
                 assert_eq!(back.matrix(id).data, &expected[id].0[..]);
@@ -1225,7 +1225,7 @@ mod tests {
                 parallel: ParallelPolicy::threads(2),
                 ..Default::default()
             };
-            gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+            let _ = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
             assert!(info.all_ok());
         }
     }

@@ -324,10 +324,10 @@ mod tests {
                 .collect();
             let mut a1 = a0.clone();
             let mut i1 = InfoArray::new(3);
-            pbtrf_batch_fused(&dev, &mut a1, &mut i1, 32).unwrap();
+            let _ = pbtrf_batch_fused(&dev, &mut a1, &mut i1, 32).unwrap();
             let mut a2 = a0.clone();
             let mut i2 = InfoArray::new(3);
-            pbtrf_batch_window(&dev, &mut a2, &mut i2, nb, 32).unwrap();
+            let _ = pbtrf_batch_window(&dev, &mut a2, &mut i2, nb, 32).unwrap();
             for id in 0..3 {
                 assert_eq!(i1.get(id), expected[id].1);
                 assert_eq!(i2.get(id), expected[id].1);
@@ -361,7 +361,7 @@ mod tests {
         }
         let mut a = a0.clone();
         let mut info = InfoArray::new(batch);
-        pbsv_batch_fused(&dev, &mut a, &mut rhs, nrhs, &mut info, 32).unwrap();
+        let _ = pbsv_batch_fused(&dev, &mut a, &mut rhs, nrhs, &mut info, 32).unwrap();
         assert!(info.all_ok());
         for k in 0..batch * n * nrhs {
             assert!((rhs[k] - xs[k]).abs() < 1e-9, "element {k}");
@@ -426,7 +426,7 @@ mod tests {
             chunk[l.idx(5, 5)] = -1.0;
         }
         let mut info = InfoArray::new(2);
-        pbtrf_batch_fused(&dev, &mut a, &mut info, 32).unwrap();
+        let _ = pbtrf_batch_fused(&dev, &mut a, &mut info, 32).unwrap();
         assert_eq!(info.get(0), 0);
         assert_eq!(info.get(1), 6);
     }

@@ -249,7 +249,7 @@ mod tests {
             .collect();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        gbtrf_batch_registers::<KL, KU>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
+        let _ = gbtrf_batch_registers::<KL, KU>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
         for id in 0..batch {
             assert_eq!(
                 piv.pivots(id),
@@ -356,7 +356,7 @@ mod tests {
         }
         let mut piv = PivotBatch::new(2, n, n);
         let mut info = InfoArray::new(2);
-        gbtrf_batch_registers::<1, 1>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
+        let _ = gbtrf_batch_registers::<1, 1>(&dev, &mut a, &mut piv, &mut info, 32).unwrap();
         assert_eq!(info.get(0), 4);
         assert_eq!(info.get(1), 0);
     }

@@ -240,7 +240,7 @@ mod tests {
                 a.matvec(id, &x_true, &mut y);
                 rhs.block_mut(id).copy_from_slice(&y);
             }
-            pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
+            let _ = pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
             for id in 0..batch {
                 for i in 0..n {
                     let err = (rhs.block(id)[i] - x_true[i]).abs();
@@ -258,7 +258,7 @@ mod tests {
         let mut rhs =
             RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.17).cos()).unwrap();
         let rhs0 = rhs.clone();
-        pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
+        let _ = pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
 
         // Same systems through the pivoted band LU.
         let mut g = BandBatch::from_fn(batch, n, n, 1, 1, |id, m| {
@@ -276,7 +276,7 @@ mod tests {
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
         let mut b2 = rhs0.clone();
-        crate::dispatch::dgbsv_batch(
+        let _ = crate::dispatch::dgbsv_batch(
             &dev,
             &mut g,
             &mut piv,

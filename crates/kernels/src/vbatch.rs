@@ -270,7 +270,7 @@ mod tests {
         let mut rhs = rhs0.clone();
         let mut piv = VarPivots::for_batch(&a);
         let mut info = InfoArray::new(a.batch());
-        dgbsv_vbatch(&dev, &mut a, &mut piv, &mut rhs, &mut info, 8).unwrap();
+        let _ = dgbsv_vbatch(&dev, &mut a, &mut piv, &mut rhs, &mut info, 8).unwrap();
         assert!(info.all_ok());
         for id in 0..a.batch() {
             let n = orig.layout(id).n;

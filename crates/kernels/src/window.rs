@@ -388,7 +388,7 @@ mod tests {
             threads: 32,
             ..Default::default()
         };
-        gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, params).unwrap();
+        let _ = gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info, params).unwrap();
         for id in 0..batch {
             assert_eq!(
                 piv.pivots(id),
@@ -438,7 +438,7 @@ mod tests {
         let orig = a.clone();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        gbtrf_batch_window(
+        let _ = gbtrf_batch_window(
             &dev,
             &mut a,
             &mut piv,

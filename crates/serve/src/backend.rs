@@ -1,0 +1,373 @@
+//! Solve backends: where a flushed batch actually runs.
+//!
+//! The server routes each flush to one of two engines:
+//!
+//! - [`GpuBackend`] — the simulated-GPU batch path: the flush is split
+//!   across a [`DeviceGroup`] (one partition per device, e.g. the two GCDs
+//!   of an MI250x) and each partition runs one `dgbsv_batch` dispatch.
+//!   Service time is the group makespan, so the server's busy-tracking
+//!   sees the same launch-overhead economics as the paper's Figure 1.
+//! - [`CpuBackend`] — the multicore spill-over path (`cpu_gbsv_batch`),
+//!   used for batches too small or too stale to be worth a device launch.
+//!
+//! Both are behind the [`SolveBackend`] trait so tests can inject faulting
+//! doubles to exercise the server's bisect-retry logic.
+
+use gbatch_core::{BandBatch, InfoArray, PivotBatch, RhsBatch, ShapeKey};
+use gbatch_cpu::{cpu_gbsv_batch, CpuSpec};
+use gbatch_gpu_sim::engine::LaunchError;
+use gbatch_gpu_sim::multi::DeviceGroup;
+use gbatch_gpu_sim::ParallelPolicy;
+use gbatch_kernels::dispatch::GbsvOptions;
+use gbatch_kernels::window::WindowParams;
+use gbatch_tuning::TuningTable;
+
+use crate::request::SolveRequest;
+
+/// Which engine a batch ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Simulated-GPU batch dispatch.
+    Gpu,
+    /// Multicore CPU spill-over.
+    Cpu,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Gpu => write!(f, "gpu"),
+            BackendKind::Cpu => write!(f, "cpu"),
+        }
+    }
+}
+
+/// A batch-level backend failure (the whole dispatch, not one lane —
+/// singular lanes are per-lane data, reported through
+/// [`BatchSolution::info`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The simulated device refused the launch.
+    Launch(LaunchError),
+    /// An injected fault (test doubles) or other backend-specific failure.
+    Fault(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Launch(e) => write!(f, "launch rejected: {e}"),
+            BackendError::Fault(why) => write!(f, "backend fault: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Result of one backend batch: per-request solutions and LAPACK `info`
+/// codes (aligned with the request slice), plus the modeled busy time.
+#[derive(Debug, Clone)]
+pub struct BatchSolution {
+    /// Per-request solution vectors; a singular lane's entry is its
+    /// untouched right-hand side.
+    pub x: Vec<Vec<f64>>,
+    /// Per-request LAPACK `info` (0 = solved, `j > 0` = first zero pivot
+    /// at 1-based column `j`).
+    pub info: Vec<i32>,
+    /// Modeled backend busy time for the batch, in seconds.
+    pub service_s: f64,
+}
+
+/// A batch solver the server can route flushes to.
+pub trait SolveBackend {
+    /// Which engine this is (stamped on responses).
+    fn kind(&self) -> BackendKind;
+
+    /// Solve every request of one same-shape batch. Implementations must
+    /// be deterministic: identical inputs produce bitwise-identical
+    /// solutions and service times.
+    fn solve(&self, shape: &ShapeKey, reqs: &[SolveRequest])
+        -> Result<BatchSolution, BackendError>;
+}
+
+/// Copy the requests' payloads into freshly-allocated batch containers.
+fn assemble(
+    shape: &ShapeKey,
+    reqs: &[SolveRequest],
+) -> Result<(BandBatch, PivotBatch, RhsBatch, InfoArray), BackendError> {
+    let l = shape
+        .layout()
+        .map_err(|e| BackendError::Fault(format!("invalid shape {shape}: {e}")))?;
+    let batch = reqs.len();
+    let mut a = BandBatch::zeros_with_layout(l, batch)
+        .map_err(|e| BackendError::Fault(format!("band allocation failed: {e}")))?;
+    let mut rhs = RhsBatch::zeros(batch, l.n, shape.nrhs)
+        .map_err(|e| BackendError::Fault(format!("rhs allocation failed: {e}")))?;
+    let stride = a.matrix_stride();
+    for (k, r) in reqs.iter().enumerate() {
+        a.data_mut()[k * stride..(k + 1) * stride].copy_from_slice(&r.ab);
+        rhs.block_mut(k).copy_from_slice(&r.rhs);
+    }
+    let piv = PivotBatch::new(batch, l.m, l.n);
+    let info = InfoArray::new(batch);
+    Ok((a, piv, rhs, info))
+}
+
+/// Simulated-GPU backend: one `dgbsv_batch` dispatch per device partition.
+pub struct GpuBackend {
+    group: DeviceGroup,
+    parallel: ParallelPolicy,
+    tuning: Option<TuningTable>,
+}
+
+impl GpuBackend {
+    /// Backend over a device group. `parallel` is the host scheduling of
+    /// the simulated engine's per-matrix blocks — a throughput knob whose
+    /// results are bitwise-identical for every policy.
+    #[must_use]
+    pub fn new(group: DeviceGroup, parallel: ParallelPolicy) -> Self {
+        GpuBackend {
+            group,
+            parallel,
+            tuning: None,
+        }
+    }
+
+    /// Builder: consult a tuning table for window parameters per shape.
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: TuningTable) -> Self {
+        self.tuning = Some(tuning);
+        self
+    }
+
+    /// The device group this backend dispatches to.
+    #[must_use]
+    pub fn group(&self) -> &DeviceGroup {
+        &self.group
+    }
+
+    fn options(&self, shape: &ShapeKey) -> GbsvOptions {
+        let mut opts = GbsvOptions {
+            parallel: Some(self.parallel),
+            ..Default::default()
+        };
+        if let Some(entry) = self.tuning.as_ref().and_then(|t| t.lookup_shape(shape)) {
+            opts.window = Some(WindowParams {
+                nb: entry.nb,
+                threads: entry.threads,
+                parallel: self.parallel,
+            });
+        }
+        opts
+    }
+}
+
+impl SolveBackend for GpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Gpu
+    }
+
+    fn solve(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<BatchSolution, BackendError> {
+        let batch = reqs.len();
+        let mut x = vec![Vec::new(); batch];
+        let mut info_out = vec![0i32; batch];
+        let opts = self.options(shape);
+        let time = self.group.run_split(batch, |dev, lo, hi| {
+            let part = &reqs[lo..hi];
+            let (mut a, mut piv, mut rhs, mut info) = assemble(shape, part)?;
+            let rep = gbatch_kernels::dispatch::dgbsv_batch(
+                dev, &mut a, &mut piv, &mut rhs, &mut info, &opts,
+            )
+            .map_err(BackendError::Launch)?;
+            for k in 0..part.len() {
+                x[lo + k] = rhs.block(k).to_vec();
+                info_out[lo + k] = info.get(k);
+            }
+            Ok(rep.time)
+        })?;
+        Ok(BatchSolution {
+            x,
+            info: info_out,
+            service_s: time.secs(),
+        })
+    }
+}
+
+/// Multicore CPU spill-over backend.
+pub struct CpuBackend {
+    cpu: CpuSpec,
+}
+
+impl CpuBackend {
+    /// Backend over one CPU descriptor.
+    #[must_use]
+    pub fn new(cpu: CpuSpec) -> Self {
+        CpuBackend { cpu }
+    }
+
+    /// The CPU descriptor this backend models.
+    #[must_use]
+    pub fn spec(&self) -> &CpuSpec {
+        &self.cpu
+    }
+}
+
+impl SolveBackend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn solve(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<BatchSolution, BackendError> {
+        let (mut a, mut piv, mut rhs, mut info) = assemble(shape, reqs)?;
+        let rep = cpu_gbsv_batch(&self.cpu, &mut a, &mut piv, &mut rhs, &mut info);
+        let mut x = Vec::with_capacity(reqs.len());
+        let mut info_out = Vec::with_capacity(reqs.len());
+        for (k, r) in reqs.iter().enumerate() {
+            // Uniform contract with the GPU dispatcher: a singular lane
+            // returns its right-hand side untouched.
+            if info.get(k) > 0 {
+                x.push(r.rhs.clone());
+            } else {
+                x.push(rhs.block(k).to_vec());
+            }
+            info_out.push(info.get(k));
+        }
+        Ok(BatchSolution {
+            x,
+            info: info_out,
+            service_s: rep.model_time_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::gbtf2::gbtf2;
+
+    fn healthy_request(id: u64, shape: ShapeKey, seed: f64) -> SolveRequest {
+        let l = shape.layout().unwrap();
+        let mut ab = vec![0.0; shape.ab_len()];
+        {
+            let mut m = gbatch_core::BandMatrixMut {
+                layout: l,
+                data: &mut ab,
+            };
+            for j in 0..l.n {
+                let (s, e) = l.col_rows(j);
+                for i in s..e {
+                    m.set(i, j, ((i * 7 + j * 3) % 5) as f64 * 0.1 + seed);
+                }
+                let sum: f64 = (s..e).filter(|&i| i != j).map(|i| m.get(i, j).abs()).sum();
+                m.set(j, j, sum + 1.0);
+            }
+        }
+        SolveRequest {
+            id,
+            shape,
+            ab,
+            rhs: vec![1.0; shape.rhs_len()],
+            submitted_s: 0.0,
+            deadline_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn gpu_and_cpu_backends_agree_on_residuals() {
+        let shape = ShapeKey::gbsv(40, 3, 2, 1);
+        let l = shape.layout().unwrap();
+        let reqs: Vec<_> = (0..12)
+            .map(|i| healthy_request(i, shape, 0.01 * i as f64))
+            .collect();
+        let gpu = GpuBackend::new(DeviceGroup::mi250x_full(), ParallelPolicy::Serial);
+        let cpu = CpuBackend::new(CpuSpec::xeon_gold_6140());
+        let gs = gpu.solve(&shape, &reqs).unwrap();
+        let cs = cpu.solve(&shape, &reqs).unwrap();
+        assert_eq!(gs.info, vec![0; 12]);
+        assert_eq!(cs.info, vec![0; 12]);
+        assert!(gs.service_s > 0.0 && cs.service_s > 0.0);
+        for (k, r) in reqs.iter().enumerate() {
+            for x in [&gs.x[k], &cs.x[k]] {
+                // ‖Ax − b‖∞ small for both backends.
+                let m = gbatch_core::BandMatrixRef {
+                    layout: l,
+                    data: &r.ab,
+                };
+                let mut worst: f64 = 0.0;
+                for i in 0..l.n {
+                    let lo = i.saturating_sub(l.kl);
+                    let hi = (i + l.ku + 1).min(l.n);
+                    let ax: f64 = x[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, xj)| m.get(i, lo + k) * xj)
+                        .sum();
+                    worst = worst.max((ax - r.rhs[i]).abs());
+                }
+                assert!(worst < 1e-10, "lane {k}: residual {worst:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_lane_returns_rhs_untouched_on_both_backends() {
+        let shape = ShapeKey::gbsv(24, 2, 2, 1);
+        let l = shape.layout().unwrap();
+        let mut reqs: Vec<_> = (0..6)
+            .map(|i| healthy_request(i, shape, 0.02 * i as f64))
+            .collect();
+        // Poison lane 4: zero its first column.
+        {
+            let req = &mut reqs[4];
+            let mut m = gbatch_core::BandMatrixMut {
+                layout: l,
+                data: &mut req.ab,
+            };
+            let (s, e) = l.col_rows(0);
+            for i in s..e {
+                m.set(i, 0, 0.0);
+            }
+            let mut ab = req.ab.clone();
+            let mut piv = vec![0i32; l.n];
+            assert_eq!(gbtf2(&l, &mut ab, &mut piv), 1);
+        }
+        let gpu = GpuBackend::new(DeviceGroup::mi250x_full(), ParallelPolicy::Serial);
+        let cpu = CpuBackend::new(CpuSpec::xeon_gold_6140());
+        for backend in [&gpu as &dyn SolveBackend, &cpu as &dyn SolveBackend] {
+            let sol = backend.solve(&shape, &reqs).unwrap();
+            assert_eq!(sol.info[4], 1, "{} backend info", backend.kind());
+            assert_eq!(sol.x[4], reqs[4].rhs, "{} backend rhs", backend.kind());
+            for k in [0, 1, 2, 3, 5] {
+                assert_eq!(sol.info[k], 0);
+                assert_ne!(sol.x[k], reqs[k].rhs, "healthy lane {k} solved");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_backend_is_deterministic_across_parallel_policies() {
+        let shape = ShapeKey::gbsv(80, 4, 4, 1);
+        let reqs: Vec<_> = (0..20)
+            .map(|i| healthy_request(i, shape, 0.005 * i as f64))
+            .collect();
+        let base = GpuBackend::new(DeviceGroup::mi250x_full(), ParallelPolicy::Serial)
+            .solve(&shape, &reqs)
+            .unwrap();
+        for workers in [2, 8] {
+            let alt = GpuBackend::new(DeviceGroup::mi250x_full(), ParallelPolicy::threads(workers))
+                .solve(&shape, &reqs)
+                .unwrap();
+            assert_eq!(alt.x, base.x, "{workers}-worker solutions differ");
+            assert_eq!(alt.info, base.info);
+            assert_eq!(alt.service_s, base.service_s);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Shape-bucketed admission queue.
+//!
+//! Requests that can share one `dgbsv_batch` dispatch must agree on the
+//! full geometry — order, bandwidths, right-hand-side count, storage — so
+//! the queue is a map from [`ShapeKey`] to a FIFO bucket. The map is a
+//! `BTreeMap` on purpose: `ShapeKey` is `Ord`, so every iteration order
+//! (and therefore every tie-break between buckets with equal deadlines) is
+//! deterministic.
+//!
+//! Capacity is bounded *globally* (total pending requests across all
+//! buckets), which is the backpressure contract a caller can reason about:
+//! a full service refuses work no matter which shape it is.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use gbatch_core::ShapeKey;
+
+use crate::request::SolveRequest;
+
+/// One FIFO bucket of same-shape requests.
+#[derive(Debug, Default)]
+pub struct Bucket {
+    reqs: VecDeque<SolveRequest>,
+}
+
+impl Bucket {
+    /// Requests currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Whether the bucket is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// Deadline of the oldest (front) request, if any. FIFO admission and
+    /// a uniform per-request budget make the front request the most
+    /// urgent one; with mixed budgets this is still the flush trigger the
+    /// paper's serving analogues use (head-of-line deadline).
+    #[must_use]
+    pub fn oldest_deadline_s(&self) -> Option<f64> {
+        self.reqs.front().map(|r| r.deadline_s)
+    }
+
+    fn push(&mut self, req: SolveRequest) {
+        self.reqs.push_back(req);
+    }
+
+    fn take_all(&mut self) -> Vec<SolveRequest> {
+        self.reqs.drain(..).collect()
+    }
+}
+
+/// The full admission queue: shape-keyed buckets under one global bound.
+#[derive(Debug)]
+pub struct BucketMap {
+    buckets: BTreeMap<ShapeKey, Bucket>,
+    capacity: usize,
+    pending: usize,
+}
+
+impl BucketMap {
+    /// Empty queue with the given total capacity.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BucketMap {
+            buckets: BTreeMap::new(),
+            capacity,
+            pending: 0,
+        }
+    }
+
+    /// Total pending requests across all buckets.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Configured global capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether no request is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Number of non-empty buckets.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.values().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Queue depth of one shape's bucket.
+    #[must_use]
+    pub fn depth(&self, key: &ShapeKey) -> usize {
+        self.buckets.get(key).map_or(0, Bucket::len)
+    }
+
+    /// Enqueue a request. Returns the new depth of its bucket, or hands
+    /// the request back when the global capacity is reached (backpressure
+    /// — the queue is untouched in that case).
+    pub fn push(&mut self, req: SolveRequest) -> Result<usize, SolveRequest> {
+        if self.pending >= self.capacity {
+            return Err(req);
+        }
+        let bucket = self.buckets.entry(req.shape).or_default();
+        bucket.push(req);
+        self.pending += 1;
+        Ok(bucket.len())
+    }
+
+    /// Remove and return every request of one bucket, in FIFO order.
+    pub fn take(&mut self, key: &ShapeKey) -> Vec<SolveRequest> {
+        let Some(bucket) = self.buckets.get_mut(key) else {
+            return Vec::new();
+        };
+        let reqs = bucket.take_all();
+        self.pending -= reqs.len();
+        reqs
+    }
+
+    /// The most urgent bucket: smallest head-of-line deadline over all
+    /// non-empty buckets, ties broken by `ShapeKey` order (the `BTreeMap`
+    /// iteration order — strictly deterministic).
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<(f64, ShapeKey)> {
+        let mut best: Option<(f64, ShapeKey)> = None;
+        for (key, bucket) in &self.buckets {
+            if let Some(dl) = bucket.oldest_deadline_s() {
+                if best.is_none_or(|(b, _)| dl < b) {
+                    best = Some((dl, *key));
+                }
+            }
+        }
+        best
+    }
+
+    /// Keys of all non-empty buckets, in deterministic (`Ord`) order.
+    #[must_use]
+    pub fn occupied_keys(&self) -> Vec<ShapeKey> {
+        self.buckets
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, shape: ShapeKey, at: f64, dl: f64) -> SolveRequest {
+        SolveRequest {
+            id,
+            shape,
+            ab: vec![0.0; shape.ab_len()],
+            rhs: vec![0.0; shape.rhs_len()],
+            submitted_s: at,
+            deadline_s: dl,
+        }
+    }
+
+    #[test]
+    fn fifo_within_bucket_and_capacity_bound() {
+        let s = ShapeKey::gbsv(8, 1, 1, 1);
+        let mut q = BucketMap::new(3);
+        assert_eq!(q.push(req(0, s, 0.0, 1.0)).unwrap(), 1);
+        assert_eq!(q.push(req(1, s, 0.1, 1.1)).unwrap(), 2);
+        assert_eq!(q.push(req(2, s, 0.2, 1.2)).unwrap(), 3);
+        // Full: the fourth request bounces back intact.
+        let bounced = q.push(req(3, s, 0.3, 1.3)).unwrap_err();
+        assert_eq!(bounced.id, 3);
+        assert_eq!(q.pending(), 3);
+        let drained = q.take(&s);
+        assert_eq!(drained.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert!(q.is_empty());
+        // Capacity freed: admission resumes.
+        assert_eq!(q.push(req(3, s, 0.3, 1.3)).unwrap(), 1);
+    }
+
+    #[test]
+    fn next_deadline_prefers_urgency_then_key_order() {
+        let a = ShapeKey::gbsv(8, 1, 1, 1);
+        let b = ShapeKey::gbsv(16, 2, 2, 1);
+        let mut q = BucketMap::new(16);
+        q.push(req(0, b, 0.0, 0.5)).unwrap();
+        q.push(req(1, a, 0.0, 0.7)).unwrap();
+        assert_eq!(q.next_deadline(), Some((0.5, b)));
+        // Equal head deadlines: the smaller ShapeKey wins the tie.
+        let mut q = BucketMap::new(16);
+        q.push(req(0, b, 0.0, 0.5)).unwrap();
+        q.push(req(1, a, 0.0, 0.5)).unwrap();
+        assert_eq!(q.next_deadline(), Some((0.5, a.min(b))));
+    }
+
+    #[test]
+    fn buckets_partition_by_shape() {
+        let a = ShapeKey::gbsv(8, 1, 1, 1);
+        let b = ShapeKey::gbsv(8, 1, 1, 2);
+        let mut q = BucketMap::new(16);
+        q.push(req(0, a, 0.0, 1.0)).unwrap();
+        q.push(req(1, b, 0.0, 1.0)).unwrap();
+        q.push(req(2, a, 0.0, 1.0)).unwrap();
+        assert_eq!(q.depth(&a), 2);
+        assert_eq!(q.depth(&b), 1);
+        assert_eq!(q.bucket_count(), 2);
+        assert_eq!(q.occupied_keys(), vec![a.min(b), a.max(b)]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Service metrics: live counters plus the exported [`ServeReport`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::backend::BackendKind;
+use crate::policy::FlushReason;
+
+/// Live counters the server mutates as it runs. [`Metrics::report`]
+/// freezes them into the serializable [`ServeReport`].
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub submitted: u64,
+    pub rejected: u64,
+    pub solved: u64,
+    pub singular: u64,
+    pub timed_out: u64,
+    pub failed: u64,
+    pub flush_size: u64,
+    pub flush_deadline: u64,
+    pub flush_drain: u64,
+    pub spills: u64,
+    pub bisect_retries: u64,
+    pub fallback_singletons: u64,
+    pub deadline_misses: u64,
+    pub max_queue_depth: usize,
+    pub gpu_busy_s: f64,
+    pub cpu_busy_s: f64,
+    pub gpu_requests: u64,
+    pub cpu_requests: u64,
+    pub batch_hist: BTreeMap<usize, u64>,
+    pub latencies_s: Vec<f64>,
+}
+
+impl Metrics {
+    pub(crate) fn note_flush(&mut self, reason: FlushReason, batch: usize) {
+        match reason {
+            FlushReason::SizeReached => self.flush_size += 1,
+            FlushReason::DeadlineExpired => self.flush_deadline += 1,
+            FlushReason::Drain => self.flush_drain += 1,
+        }
+        *self.batch_hist.entry(batch).or_insert(0) += 1;
+    }
+
+    pub(crate) fn note_served(&mut self, kind: BackendKind) {
+        match kind {
+            BackendKind::Gpu => self.gpu_requests += 1,
+            BackendKind::Cpu => self.cpu_requests += 1,
+        }
+    }
+
+    pub(crate) fn report(&self) -> ServeReport {
+        let mut sorted = self.latencies_s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let quantile = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            // Nearest-rank on the sorted sample.
+            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx]
+        };
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        ServeReport {
+            submitted: self.submitted,
+            rejected: self.rejected,
+            completed: self.solved + self.singular + self.timed_out + self.failed,
+            solved: self.solved,
+            singular: self.singular,
+            timed_out: self.timed_out,
+            failed: self.failed,
+            flush_size: self.flush_size,
+            flush_deadline: self.flush_deadline,
+            flush_drain: self.flush_drain,
+            spills: self.spills,
+            bisect_retries: self.bisect_retries,
+            fallback_singletons: self.fallback_singletons,
+            deadline_misses: self.deadline_misses,
+            max_queue_depth: self.max_queue_depth,
+            gpu_busy_s: self.gpu_busy_s,
+            cpu_busy_s: self.cpu_busy_s,
+            gpu_requests: self.gpu_requests,
+            cpu_requests: self.cpu_requests,
+            batch_hist: self.batch_hist.iter().map(|(&k, &v)| (k, v)).collect(),
+            p50_latency_s: quantile(0.50),
+            p99_latency_s: quantile(0.99),
+            max_latency_s: sorted.last().copied().unwrap_or(0.0),
+            mean_latency_s: mean,
+        }
+    }
+}
+
+/// Frozen, serializable snapshot of a service run. Everything is counted
+/// on the virtual clock, so two runs over the same traffic produce equal
+/// reports regardless of host parallelism (`PartialEq` is exact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests offered to `submit` (admitted or rejected).
+    pub submitted: u64,
+    /// Requests refused with backpressure (`QueueFull`).
+    pub rejected: u64,
+    /// Responses emitted (every admitted request produces exactly one).
+    pub completed: u64,
+    /// Responses with a solution.
+    pub solved: u64,
+    /// Responses flagged exactly singular.
+    pub singular: u64,
+    /// Responses dropped by the per-request timeout.
+    pub timed_out: u64,
+    /// Responses refused by both backends (faulting doubles only).
+    pub failed: u64,
+    /// Flushes triggered by reaching the target batch size.
+    pub flush_size: u64,
+    /// Flushes triggered by a head-of-line deadline.
+    pub flush_deadline: u64,
+    /// Flushes triggered by draining the service.
+    pub flush_drain: u64,
+    /// Flushes routed to the CPU backend (small or stale buckets, or a
+    /// saturated device).
+    pub spills: u64,
+    /// Batch-level backend failures recovered by bisection (each split
+    /// counts once).
+    pub bisect_retries: u64,
+    /// Requests rescued one-by-one on the fallback backend after
+    /// bisection isolated them.
+    pub fallback_singletons: u64,
+    /// Responses completed after their deadline.
+    pub deadline_misses: u64,
+    /// Peak total queue depth observed at admission.
+    pub max_queue_depth: usize,
+    /// Total modeled GPU busy time, seconds.
+    pub gpu_busy_s: f64,
+    /// Total modeled CPU busy time, seconds.
+    pub cpu_busy_s: f64,
+    /// Requests answered by the GPU backend.
+    pub gpu_requests: u64,
+    /// Requests answered by the CPU backend.
+    pub cpu_requests: u64,
+    /// Histogram of flushed batch sizes: `(size, count)`, ascending.
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Median end-to-end latency, seconds (0 when nothing completed).
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub p99_latency_s: f64,
+    /// Worst end-to-end latency, seconds.
+    pub max_latency_s: f64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_s: f64,
+}
+
+impl ServeReport {
+    /// Total flushes across all trigger reasons.
+    #[must_use]
+    pub fn flushes(&self) -> u64 {
+        self.flush_size + self.flush_deadline + self.flush_drain
+    }
+
+    /// Mean flushed batch size (0 when nothing flushed).
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        let (reqs, flushes) = self
+            .batch_hist
+            .iter()
+            .fold((0u64, 0u64), |(r, f), &(size, count)| {
+                (r + size as u64 * count, f + count)
+            });
+        if flushes == 0 {
+            0.0
+        } else {
+            reqs as f64 / flushes as f64
+        }
+    }
+
+    /// Whether every admitted request was answered.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.submitted - self.rejected == self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_means() {
+        let m = Metrics {
+            latencies_s: (1..=100).map(|i| i as f64 * 1e-3).collect(),
+            solved: 100,
+            submitted: 100,
+            ..Default::default()
+        };
+        let r = m.report();
+        assert!((r.p50_latency_s - 0.051).abs() < 1e-12);
+        assert!((r.p99_latency_s - 0.099).abs() < 1e-12);
+        assert!((r.max_latency_s - 0.100).abs() < 1e-12);
+        assert!((r.mean_latency_s - 0.0505).abs() < 1e-12);
+        assert!(r.is_conserved());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut m = Metrics {
+            submitted: 7,
+            solved: 5,
+            singular: 2,
+            latencies_s: vec![1e-3, 2e-3],
+            ..Default::default()
+        };
+        m.note_flush(FlushReason::SizeReached, 4);
+        m.note_flush(FlushReason::DeadlineExpired, 3);
+        let r = m.report();
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: ServeReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.flushes(), 2);
+        assert!((back.mean_batch() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_quiet() {
+        let r = Metrics::default().report();
+        assert_eq!(r.p50_latency_s, 0.0);
+        assert_eq!(r.max_latency_s, 0.0);
+        assert_eq!(r.mean_batch(), 0.0);
+        assert_eq!(r.flushes(), 0);
+        assert!(r.is_conserved());
+    }
+}

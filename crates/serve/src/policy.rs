@@ -1,0 +1,178 @@
+//! Flush policy: when a bucket stops waiting and becomes a dispatch.
+//!
+//! Dynamic batching trades latency for amortization. Each queued bucket
+//! waits for more same-shape arrivals so one `dgbsv_batch` launch covers
+//! them all; it stops waiting when either
+//!
+//! 1. the bucket reaches the **target batch size** (the launch overhead is
+//!    amortized well enough that waiting longer buys nothing), or
+//! 2. the **head-of-line deadline** is about to expire (waiting longer
+//!    would break the oldest request's budget), or
+//! 3. the service is **drained** (shutdown flushes everything).
+//!
+//! The target size is not arbitrary: a flush pays the simulated device's
+//! kernel launch overhead plus the host's serialized dispatch cost (the
+//! same [`DISPATCH_OVERHEAD_S`] constant that prices the paper's Figure 1
+//! streams baseline), so [`FlushPolicy::suggested_target_batch`] picks the
+//! smallest batch for which that per-flush cost is a bounded fraction of
+//! the batch's own memory traffic.
+
+use gbatch_core::ShapeKey;
+use gbatch_gpu_sim::device::DeviceSpec;
+use gbatch_gpu_sim::stream::DISPATCH_OVERHEAD_S;
+
+/// Why a bucket was flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushReason {
+    /// The bucket reached the target batch size.
+    SizeReached,
+    /// The head-of-line request's deadline budget was about to expire.
+    DeadlineExpired,
+    /// The service was drained.
+    Drain,
+}
+
+impl std::fmt::Display for FlushReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlushReason::SizeReached => write!(f, "size"),
+            FlushReason::DeadlineExpired => write!(f, "deadline"),
+            FlushReason::Drain => write!(f, "drain"),
+        }
+    }
+}
+
+/// Tunable flush behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushPolicy {
+    /// Flush a bucket as soon as it holds this many requests.
+    pub target_batch: usize,
+    /// Deadline and drain flushes smaller than this spill to the CPU
+    /// backend: a sub-critical batch cannot amortize a device launch, and
+    /// the multicore solver answers small batches with less added queueing.
+    pub min_gpu_batch: usize,
+    /// A deadline flush whose device start would lag the flush instant by
+    /// more than this (the device is busy with earlier flushes — the
+    /// engine is saturated) spills to the CPU backend instead of queueing
+    /// behind the backlog.
+    pub spill_slack_s: f64,
+    /// Flush a bucket this long *before* its head-of-line deadline, so the
+    /// solve has budget left to actually run.
+    pub flush_margin_s: f64,
+    /// Per-request timeout: a request whose batch would *start* later than
+    /// `deadline + timeout_slack_s` is dropped with
+    /// [`SolveStatus::TimedOut`](crate::SolveStatus::TimedOut) instead of
+    /// being solved uselessly late. `INFINITY` (the default) disables the
+    /// drop: late answers are still answers, and the deadline-miss counter
+    /// records the damage.
+    pub timeout_slack_s: f64,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy {
+            target_batch: 64,
+            min_gpu_batch: 8,
+            spill_slack_s: 0.0,
+            flush_margin_s: 1.0e-3,
+            timeout_slack_s: f64::INFINITY,
+        }
+    }
+}
+
+impl FlushPolicy {
+    /// Builder: set the target batch size.
+    #[must_use]
+    pub fn with_target_batch(mut self, target_batch: usize) -> Self {
+        assert!(target_batch > 0, "target batch must be positive");
+        self.target_batch = target_batch;
+        self
+    }
+
+    /// Builder: set the minimum GPU-worthy batch.
+    #[must_use]
+    pub fn with_min_gpu_batch(mut self, min_gpu_batch: usize) -> Self {
+        self.min_gpu_batch = min_gpu_batch;
+        self
+    }
+
+    /// Builder: set the saturation spill slack.
+    #[must_use]
+    pub fn with_spill_slack_s(mut self, spill_slack_s: f64) -> Self {
+        self.spill_slack_s = spill_slack_s;
+        self
+    }
+
+    /// Builder: set the deadline flush margin.
+    #[must_use]
+    pub fn with_flush_margin_s(mut self, flush_margin_s: f64) -> Self {
+        self.flush_margin_s = flush_margin_s;
+        self
+    }
+
+    /// Builder: set the per-request timeout slack.
+    #[must_use]
+    pub fn with_timeout_slack_s(mut self, timeout_slack_s: f64) -> Self {
+        self.timeout_slack_s = timeout_slack_s;
+        self
+    }
+
+    /// Smallest batch size for which the per-flush launch cost (device
+    /// kernel launch overhead + one serialized host dispatch) is at most
+    /// `overhead_fraction` of the batch's own memory traffic on `dev`.
+    ///
+    /// The traffic estimate is the solve's unavoidable streaming volume —
+    /// read the band payload, read and write the right-hand side — which
+    /// is the right first-order scale for these memory-bound kernels. The
+    /// result is clamped to `[1, 1024]`.
+    ///
+    /// # Panics
+    /// Panics when `overhead_fraction` is not in `(0, 1]`.
+    #[must_use]
+    pub fn suggested_target_batch(
+        dev: &DeviceSpec,
+        key: &ShapeKey,
+        overhead_fraction: f64,
+    ) -> usize {
+        assert!(
+            overhead_fraction > 0.0 && overhead_fraction <= 1.0,
+            "overhead fraction must be in (0, 1]"
+        );
+        let bytes = ((key.ab_len() + 2 * key.rhs_len()) * 8) as f64;
+        let per_req_s = bytes / dev.mem_bw;
+        let launch_s = dev.launch_overhead_s + DISPATCH_OVERHEAD_S;
+        let target = (launch_s / (overhead_fraction * per_req_s)).ceil();
+        (target as usize).clamp(1, 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggested_target_shrinks_with_request_size() {
+        let dev = DeviceSpec::h100_pcie();
+        let tiny = ShapeKey::gbsv(32, 1, 1, 1);
+        let big = ShapeKey::gbsv(512, 30, 30, 4);
+        let t_tiny = FlushPolicy::suggested_target_batch(&dev, &tiny, 0.1);
+        let t_big = FlushPolicy::suggested_target_batch(&dev, &big, 0.1);
+        assert!(
+            t_tiny > t_big,
+            "smaller requests need more batching: {t_tiny} vs {t_big}"
+        );
+        assert!(t_tiny > 1);
+        // Looser overhead budgets tolerate smaller batches.
+        let loose = FlushPolicy::suggested_target_batch(&dev, &tiny, 1.0);
+        assert!(loose <= t_tiny);
+    }
+
+    #[test]
+    fn suggested_target_is_clamped() {
+        let dev = DeviceSpec::test_device();
+        let huge = ShapeKey::gbsv(4096, 200, 200, 16);
+        assert!(FlushPolicy::suggested_target_batch(&dev, &huge, 1.0) >= 1);
+        let tiny = ShapeKey::gbsv(2, 0, 0, 1);
+        assert!(FlushPolicy::suggested_target_batch(&dev, &tiny, 1e-9) <= 1024);
+    }
+}

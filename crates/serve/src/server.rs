@@ -1,0 +1,767 @@
+//! The dynamic-batching server: a virtual-time discrete-event engine.
+//!
+//! The server runs on a **virtual clock** driven by the caller: `submit`
+//! carries each request's arrival time, `advance` moves the clock, and all
+//! service times come from the simulated backends' cost models. Nothing
+//! here depends on wall-clock time or thread scheduling, so a traffic
+//! trace replays to bitwise-identical responses and reports no matter how
+//! many host worker threads the backends use — the serving-layer analogue
+//! of the kernel determinism guarantee the rest of the workspace carries.
+//!
+//! Event model per flush:
+//!
+//! 1. a bucket trigger fires (size, deadline-minus-margin, or drain);
+//! 2. the flush routes to the GPU unless it is small/stale or the device
+//!    is saturated (busy past the spill slack), in which case it spills to
+//!    the CPU backend;
+//! 3. requests that could not start before `deadline + timeout slack` are
+//!    answered `TimedOut` without being solved;
+//! 4. the batch runs; a batch-level backend failure is bisected until the
+//!    poisoned half is isolated, and stubborn singletons retry on the
+//!    other backend;
+//! 5. the routed backend's busy horizon moves forward by the modeled
+//!    service time; every response completes at the new horizon.
+
+use gbatch_core::ShapeKey;
+use gbatch_cpu::CpuSpec;
+use gbatch_gpu_sim::multi::DeviceGroup;
+use gbatch_gpu_sim::ParallelPolicy;
+
+use crate::backend::{BackendKind, CpuBackend, GpuBackend, SolveBackend};
+use crate::bucket::BucketMap;
+use crate::metrics::{Metrics, ServeReport};
+use crate::policy::{FlushPolicy, FlushReason};
+use crate::request::{AdmitError, SolveRequest, SolveResponse, SolveStatus};
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Bounded admission capacity: total pending requests across all
+    /// buckets. Admission beyond it is refused with
+    /// [`AdmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Flush policy.
+    pub policy: FlushPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 4096,
+            policy: FlushPolicy::default(),
+        }
+    }
+}
+
+/// Outcome of one request inside a flush, aligned with the batch order.
+struct Outcome {
+    x: Vec<f64>,
+    info: i32,
+    kind: BackendKind,
+    failed: bool,
+}
+
+/// The dynamic-batching solve server.
+pub struct Server {
+    cfg: ServerConfig,
+    buckets: BucketMap,
+    gpu: Box<dyn SolveBackend>,
+    cpu: Box<dyn SolveBackend>,
+    clock_s: f64,
+    gpu_free_s: f64,
+    cpu_free_s: f64,
+    responses: Vec<SolveResponse>,
+    metrics: Metrics,
+}
+
+impl Server {
+    /// Server over explicit backends. `gpu` is the primary route; `cpu`
+    /// receives spilled flushes and singleton retries.
+    #[must_use]
+    pub fn new(cfg: ServerConfig, gpu: Box<dyn SolveBackend>, cpu: Box<dyn SolveBackend>) -> Self {
+        Server {
+            buckets: BucketMap::new(cfg.queue_capacity),
+            cfg,
+            gpu,
+            cpu,
+            clock_s: 0.0,
+            gpu_free_s: 0.0,
+            cpu_free_s: 0.0,
+            responses: Vec::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Convenience constructor over the simulated substrate: a device
+    /// group for the batch path and a CPU descriptor for spill-over.
+    /// `parallel` schedules the simulated engines' host-side block loops
+    /// (results are bitwise-identical for every policy).
+    #[must_use]
+    pub fn simulated(
+        group: DeviceGroup,
+        cpu: CpuSpec,
+        parallel: ParallelPolicy,
+        cfg: ServerConfig,
+    ) -> Self {
+        Server::new(
+            cfg,
+            Box::new(GpuBackend::new(group, parallel)),
+            Box::new(CpuBackend::new(cpu)),
+        )
+    }
+
+    /// The virtual clock, seconds.
+    #[must_use]
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Requests currently queued.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buckets.pending()
+    }
+
+    /// Responses accumulated since the last [`Server::take_responses`].
+    #[must_use]
+    pub fn ready(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Submit one request at its `submitted_s` instant. The clock advances
+    /// to that instant first (firing any deadline flushes due before it),
+    /// then the request is validated and enqueued; a bucket reaching the
+    /// target size flushes immediately.
+    pub fn submit(&mut self, req: SolveRequest) -> Result<(), AdmitError> {
+        if req.submitted_s < self.clock_s {
+            return Err(AdmitError::NonMonotonicTime {
+                now_s: req.submitted_s,
+                clock_s: self.clock_s,
+            });
+        }
+        self.advance(req.submitted_s);
+        self.metrics.submitted += 1;
+
+        // Validate the shape and payload before touching the queue.
+        if req.shape.nrhs == 0 {
+            self.metrics.rejected += 1;
+            return Err(AdmitError::UnsupportedShape(
+                "nrhs must be at least 1".into(),
+            ));
+        }
+        if let Err(e) = req.shape.layout() {
+            self.metrics.rejected += 1;
+            return Err(AdmitError::UnsupportedShape(e.to_string()));
+        }
+        let (want_ab, want_rhs) = (req.shape.ab_len(), req.shape.rhs_len());
+        if req.ab.len() != want_ab || req.rhs.len() != want_rhs {
+            self.metrics.rejected += 1;
+            return Err(AdmitError::BadPayload {
+                expected_ab: want_ab,
+                got_ab: req.ab.len(),
+                expected_rhs: want_rhs,
+                got_rhs: req.rhs.len(),
+            });
+        }
+
+        let shape = req.shape;
+        match self.buckets.push(req) {
+            Err(_) => {
+                self.metrics.rejected += 1;
+                Err(AdmitError::QueueFull {
+                    capacity: self.buckets.capacity(),
+                })
+            }
+            Ok(depth) => {
+                self.metrics.max_queue_depth =
+                    self.metrics.max_queue_depth.max(self.buckets.pending());
+                if depth >= self.cfg.policy.target_batch {
+                    let t = self.clock_s;
+                    self.flush(&shape, t, FlushReason::SizeReached);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Advance the virtual clock to `now_s`, firing every deadline flush
+    /// whose trigger instant (head-of-line deadline minus the flush
+    /// margin) falls at or before it, in trigger order.
+    pub fn advance(&mut self, now_s: f64) {
+        let margin = self.cfg.policy.flush_margin_s;
+        while let Some((deadline, key)) = self.buckets.next_deadline() {
+            let trigger = deadline - margin;
+            if trigger > now_s {
+                break;
+            }
+            // The flush happens at its trigger instant (it may be in the
+            // past relative to `now_s` — events replay in order), but the
+            // clock never runs backwards.
+            let t = trigger.max(self.clock_s);
+            self.flush(&key, t, FlushReason::DeadlineExpired);
+            self.clock_s = self.clock_s.max(t);
+        }
+        self.clock_s = self.clock_s.max(now_s);
+    }
+
+    /// Flush every remaining bucket at the current clock (deterministic
+    /// `ShapeKey` order) — the shutdown path.
+    pub fn drain(&mut self) {
+        let t = self.clock_s;
+        for key in self.buckets.occupied_keys() {
+            self.flush(&key, t, FlushReason::Drain);
+        }
+    }
+
+    /// Take every response produced so far, in completion order.
+    pub fn take_responses(&mut self) -> Vec<SolveResponse> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Freeze the metrics into a serializable report.
+    #[must_use]
+    pub fn report(&self) -> ServeReport {
+        self.metrics.report()
+    }
+
+    fn flush(&mut self, key: &ShapeKey, t: f64, reason: FlushReason) {
+        let reqs = self.buckets.take(key);
+        let batch = reqs.len();
+        if batch == 0 {
+            return;
+        }
+        self.metrics.note_flush(reason, batch);
+
+        // Route: size-triggered flushes earned the device; deadline and
+        // drain flushes spill when too small for a launch or when the
+        // device is saturated past the slack.
+        let gpu_start = self.gpu_free_s.max(t);
+        let spill = match reason {
+            FlushReason::SizeReached => false,
+            FlushReason::DeadlineExpired | FlushReason::Drain => {
+                batch < self.cfg.policy.min_gpu_batch
+                    || gpu_start > t + self.cfg.policy.spill_slack_s
+            }
+        };
+        if spill {
+            self.metrics.spills += 1;
+        }
+        let start = if spill {
+            self.cpu_free_s.max(t)
+        } else {
+            gpu_start
+        };
+
+        // Per-request timeout: answer hopeless requests without solving.
+        let slack = self.cfg.policy.timeout_slack_s;
+        let (live, dead): (Vec<_>, Vec<_>) = reqs
+            .into_iter()
+            .partition(|r| start <= r.deadline_s + slack);
+        for r in dead {
+            self.metrics.timed_out += 1;
+            self.push_response(
+                r,
+                SolveStatus::TimedOut,
+                None,
+                t,
+                batch,
+                reason,
+                if spill {
+                    BackendKind::Cpu
+                } else {
+                    BackendKind::Gpu
+                },
+            );
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Execute, bisecting batch-level failures.
+        let (primary, fallback): (&dyn SolveBackend, &dyn SolveBackend) = if spill {
+            (self.cpu.as_ref(), self.cpu.as_ref())
+        } else {
+            (self.gpu.as_ref(), self.cpu.as_ref())
+        };
+        let mut service_s = 0.0;
+        let outcomes = run_with_bisect(
+            primary,
+            fallback,
+            key,
+            &live,
+            &mut self.metrics,
+            &mut service_s,
+        );
+
+        // One busy-horizon step per flush: the host blocks on the flush's
+        // whole retry sequence, so every response completes together.
+        let end = start + service_s;
+        if spill {
+            self.cpu_free_s = end;
+            self.metrics.cpu_busy_s += service_s;
+        } else {
+            self.gpu_free_s = end;
+            self.metrics.gpu_busy_s += service_s;
+        }
+
+        for (r, o) in live.into_iter().zip(outcomes) {
+            let status = if o.failed {
+                self.metrics.failed += 1;
+                SolveStatus::Failed
+            } else if o.info > 0 {
+                self.metrics.singular += 1;
+                SolveStatus::Singular { column: o.info }
+            } else {
+                self.metrics.solved += 1;
+                SolveStatus::Solved
+            };
+            self.metrics.note_served(o.kind);
+            self.push_response(r, status, Some(o.x), end, batch, reason, o.kind);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_response(
+        &mut self,
+        req: SolveRequest,
+        status: SolveStatus,
+        x: Option<Vec<f64>>,
+        completed_s: f64,
+        batch_size: usize,
+        reason: FlushReason,
+        backend: BackendKind,
+    ) {
+        if completed_s > req.deadline_s {
+            self.metrics.deadline_misses += 1;
+        }
+        self.metrics.latencies_s.push(completed_s - req.submitted_s);
+        self.responses.push(SolveResponse {
+            id: req.id,
+            shape: req.shape,
+            status,
+            x: x.unwrap_or(req.rhs),
+            submitted_s: req.submitted_s,
+            deadline_s: req.deadline_s,
+            completed_s,
+            batch_size,
+            reason,
+            backend,
+        });
+    }
+}
+
+/// Solve `reqs` on `primary`; on a batch-level failure bisect the batch
+/// (the classic poisoned-batch retry) and rescue stubborn singletons on
+/// `fallback`. Returns per-request outcomes aligned with `reqs` and
+/// accumulates the modeled service time of every attempt into
+/// `service_s`.
+fn run_with_bisect(
+    primary: &dyn SolveBackend,
+    fallback: &dyn SolveBackend,
+    shape: &ShapeKey,
+    reqs: &[SolveRequest],
+    metrics: &mut Metrics,
+    service_s: &mut f64,
+) -> Vec<Outcome> {
+    let n = reqs.len();
+    let mut out: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
+    // LIFO with the right half pushed first, so ranges resolve
+    // left-to-right — a fixed, data-independent order.
+    let mut stack = vec![(0usize, n)];
+    while let Some((lo, hi)) = stack.pop() {
+        match primary.solve(shape, &reqs[lo..hi]) {
+            Ok(sol) => {
+                *service_s += sol.service_s;
+                for (k, (x, info)) in sol.x.into_iter().zip(sol.info).enumerate() {
+                    out[lo + k] = Some(Outcome {
+                        x,
+                        info,
+                        kind: primary.kind(),
+                        failed: false,
+                    });
+                }
+            }
+            Err(_) if hi - lo > 1 => {
+                metrics.bisect_retries += 1;
+                let mid = lo + (hi - lo) / 2;
+                stack.push((mid, hi));
+                stack.push((lo, mid));
+            }
+            Err(_) => {
+                // A single stubborn request: retry on the fallback.
+                metrics.fallback_singletons += 1;
+                match fallback.solve(shape, &reqs[lo..hi]) {
+                    Ok(sol) => {
+                        *service_s += sol.service_s;
+                        out[lo] = Some(Outcome {
+                            x: sol.x.into_iter().next().expect("singleton solution"),
+                            info: sol.info[0],
+                            kind: fallback.kind(),
+                            failed: false,
+                        });
+                    }
+                    Err(_) => {
+                        out[lo] = Some(Outcome {
+                            x: reqs[lo].rhs.clone(),
+                            info: 0,
+                            kind: fallback.kind(),
+                            failed: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter()
+        .map(|o| o.expect("every request resolved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendError, BatchSolution};
+    use gbatch_core::ShapeKey;
+
+    fn req(id: u64, shape: ShapeKey, at: f64, dl: f64) -> SolveRequest {
+        let l = shape.layout().unwrap();
+        let mut ab = vec![0.0; shape.ab_len()];
+        {
+            let mut m = gbatch_core::BandMatrixMut {
+                layout: l,
+                data: &mut ab,
+            };
+            for j in 0..l.n {
+                m.set(j, j, 4.0 + id as f64 * 0.01);
+                let (s, e) = l.col_rows(j);
+                for i in s..e {
+                    if i != j {
+                        m.set(i, j, 0.5);
+                    }
+                }
+            }
+        }
+        SolveRequest {
+            id,
+            shape,
+            ab,
+            rhs: vec![1.0; shape.rhs_len()],
+            submitted_s: at,
+            deadline_s: dl,
+        }
+    }
+
+    fn sim_server(cfg: ServerConfig) -> Server {
+        Server::simulated(
+            DeviceGroup::mi250x_full(),
+            CpuSpec::xeon_gold_6140(),
+            ParallelPolicy::Serial,
+            cfg,
+        )
+    }
+
+    #[test]
+    fn size_trigger_flushes_exactly_at_target() {
+        let shape = ShapeKey::gbsv(32, 2, 2, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 64,
+            policy: FlushPolicy::default().with_target_batch(4),
+        };
+        let mut s = sim_server(cfg);
+        for i in 0..3u64 {
+            s.submit(req(i, shape, i as f64 * 1e-5, 1.0)).unwrap();
+            assert_eq!(s.ready(), 0, "no flush before the target");
+        }
+        s.submit(req(3, shape, 3e-5, 1.0)).unwrap();
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 4);
+        assert!(resp.iter().all(|r| r.reason == FlushReason::SizeReached));
+        assert!(resp.iter().all(|r| r.backend == BackendKind::Gpu));
+        assert!(resp.iter().all(|r| r.status == SolveStatus::Solved));
+        assert!(resp.iter().all(|r| r.batch_size == 4));
+        let rep = s.report();
+        assert_eq!(rep.flush_size, 1);
+        assert!(rep.is_conserved());
+    }
+
+    #[test]
+    fn deadline_trigger_fires_with_margin_and_small_buckets_spill() {
+        let shape = ShapeKey::gbsv(32, 2, 2, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 64,
+            policy: FlushPolicy::default()
+                .with_target_batch(100)
+                .with_min_gpu_batch(8)
+                .with_flush_margin_s(1e-3),
+        };
+        let mut s = sim_server(cfg);
+        s.submit(req(0, shape, 0.0, 0.010)).unwrap();
+        s.submit(req(1, shape, 0.001, 0.011)).unwrap();
+        s.advance(0.008);
+        assert_eq!(s.ready(), 0, "trigger is deadline - margin = 0.009");
+        s.advance(0.0095);
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 2, "one deadline flush takes the whole bucket");
+        assert!(resp
+            .iter()
+            .all(|r| r.reason == FlushReason::DeadlineExpired));
+        // 2 < min_gpu_batch: spilled to the CPU.
+        assert!(resp.iter().all(|r| r.backend == BackendKind::Cpu));
+        assert!(resp.iter().all(|r| !r.missed_deadline()));
+        let rep = s.report();
+        assert_eq!(rep.flush_deadline, 1);
+        assert_eq!(rep.spills, 1);
+        assert_eq!(rep.cpu_requests, 2);
+    }
+
+    #[test]
+    fn queue_full_backpressure_is_typed_and_recoverable() {
+        let shape = ShapeKey::gbsv(16, 1, 1, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 2,
+            policy: FlushPolicy::default().with_target_batch(100),
+        };
+        let mut s = sim_server(cfg);
+        s.submit(req(0, shape, 0.0, 1.0)).unwrap();
+        s.submit(req(1, shape, 0.0, 1.0)).unwrap();
+        let err = s.submit(req(2, shape, 0.0, 1.0)).unwrap_err();
+        assert_eq!(err, AdmitError::QueueFull { capacity: 2 });
+        // Drain frees capacity; admission resumes.
+        s.drain();
+        assert_eq!(s.take_responses().len(), 2);
+        s.submit(req(2, shape, 0.1, 1.1)).unwrap();
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.report().rejected, 1);
+    }
+
+    #[test]
+    fn bad_payload_and_unsupported_shape_are_rejected() {
+        let shape = ShapeKey::gbsv(16, 1, 1, 1);
+        let mut s = sim_server(ServerConfig::default());
+        let mut r = req(0, shape, 0.0, 1.0);
+        r.ab.pop();
+        assert!(matches!(
+            s.submit(r).unwrap_err(),
+            AdmitError::BadPayload { .. }
+        ));
+        let mut r = req(1, shape, 0.0, 1.0);
+        r.shape.nrhs = 0;
+        assert!(matches!(
+            s.submit(r).unwrap_err(),
+            AdmitError::UnsupportedShape(_)
+        ));
+        // Clock only moves forward.
+        s.advance(5.0);
+        let r = req(2, shape, 1.0, 2.0);
+        assert!(matches!(
+            s.submit(r).unwrap_err(),
+            AdmitError::NonMonotonicTime { .. }
+        ));
+        assert!(s.report().is_conserved());
+    }
+
+    #[test]
+    fn per_request_timeout_drops_hopeless_requests() {
+        let shape = ShapeKey::gbsv(16, 1, 1, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 64,
+            policy: FlushPolicy::default()
+                .with_target_batch(100)
+                .with_timeout_slack_s(0.0)
+                .with_flush_margin_s(0.0),
+        };
+        let mut s = sim_server(cfg);
+        s.submit(req(0, shape, 0.0, 0.5)).unwrap();
+        // Drain long after the deadline: the flush starts at clock 2.0,
+        // past deadline + slack, so the request times out unsolved.
+        s.advance(2.0);
+        // (The deadline flush already fired at t = 0.5 during advance —
+        // with zero margin its start equals the deadline, which is allowed.
+        // Submit a second hopeless request and drain late to hit the path.)
+        s.submit(req(1, shape, 2.0, 2.1)).unwrap();
+        s.advance(4.0);
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 2);
+        // First request: flushed at its deadline instant, start == deadline,
+        // allowed to run (late by margin 0 only).
+        assert_eq!(resp[0].status, SolveStatus::Solved);
+        // Second request: trigger fired at 2.1 during the second advance,
+        // start == 2.1 > deadline? No — start == max(2.1, cpu_free) ==
+        // 2.1 == deadline + 0, allowed. Timeout needs a *busy* backend, so
+        // assert the non-timeout here and exercise the drop below.
+        assert_eq!(resp[1].status, SolveStatus::Solved);
+
+        // Now force a drop: drain at a clock far past the deadline.
+        s.submit(req(2, shape, 5.0, 5.1)).unwrap();
+        s.advance(10.0);
+        // advance fired the deadline flush at 5.1 (on time). Use a fresh
+        // request left only to drain:
+        s.take_responses();
+        s.submit(req(3, shape, 10.0, 10.05)).unwrap();
+        s.clock_s = 20.0; // jump the clock directly (test-only)
+        s.drain();
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].status, SolveStatus::TimedOut);
+        assert_eq!(resp[0].x, vec![1.0; shape.rhs_len()], "rhs untouched");
+        assert_eq!(s.report().timed_out, 1);
+        assert!(s.report().is_conserved());
+    }
+
+    #[test]
+    fn singular_requests_are_flagged_not_fatal() {
+        let shape = ShapeKey::gbsv(24, 2, 2, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 64,
+            policy: FlushPolicy::default().with_target_batch(4),
+        };
+        let mut s = sim_server(cfg);
+        for i in 0..4u64 {
+            let mut r = req(i, shape, i as f64 * 1e-6, 1.0);
+            if i == 2 {
+                let l = shape.layout().unwrap();
+                let mut m = gbatch_core::BandMatrixMut {
+                    layout: l,
+                    data: &mut r.ab,
+                };
+                let (lo, hi) = l.col_rows(0);
+                for row in lo..hi {
+                    m.set(row, 0, 0.0);
+                }
+            }
+            s.submit(r).unwrap();
+        }
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 4);
+        for r in &resp {
+            if r.id == 2 {
+                assert_eq!(r.status, SolveStatus::Singular { column: 1 });
+                assert_eq!(r.x, vec![1.0; shape.rhs_len()], "rhs untouched");
+            } else {
+                assert_eq!(r.status, SolveStatus::Solved);
+            }
+        }
+        let rep = s.report();
+        assert_eq!(rep.singular, 1);
+        assert_eq!(rep.solved, 3);
+    }
+
+    /// A backend that refuses any batch containing a poisoned id, to
+    /// exercise bisect isolation.
+    struct Poisoned {
+        bad: u64,
+    }
+    impl SolveBackend for Poisoned {
+        fn kind(&self) -> BackendKind {
+            BackendKind::Gpu
+        }
+        fn solve(
+            &self,
+            _shape: &ShapeKey,
+            reqs: &[SolveRequest],
+        ) -> Result<BatchSolution, BackendError> {
+            if reqs.iter().any(|r| r.id == self.bad) {
+                return Err(BackendError::Fault("poisoned batch".into()));
+            }
+            Ok(BatchSolution {
+                x: reqs.iter().map(|r| vec![r.id as f64]).collect(),
+                info: vec![0; reqs.len()],
+                service_s: 1e-6 * reqs.len() as f64,
+            })
+        }
+    }
+
+    #[test]
+    fn bisect_isolates_a_poisoned_request_and_rescues_it_on_cpu() {
+        let shape = ShapeKey::gbsv(4, 1, 1, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 64,
+            policy: FlushPolicy::default().with_target_batch(8),
+        };
+        let mut s = Server::new(
+            cfg,
+            Box::new(Poisoned { bad: 5 }),
+            Box::new(CpuBackend::new(CpuSpec::xeon_gold_6140())),
+        );
+        for i in 0..8u64 {
+            s.submit(req(i, shape, i as f64 * 1e-6, 1.0)).unwrap();
+        }
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 8);
+        for r in &resp {
+            assert_eq!(r.status, SolveStatus::Solved);
+            if r.id == 5 {
+                assert_eq!(r.backend, BackendKind::Cpu, "rescued singleton");
+            } else {
+                assert_eq!(r.backend, BackendKind::Gpu);
+                assert_eq!(r.x, vec![r.id as f64]);
+            }
+        }
+        let rep = s.report();
+        assert!(rep.bisect_retries >= 1, "at least one split happened");
+        assert_eq!(rep.fallback_singletons, 1);
+        assert_eq!(rep.failed, 0);
+        assert!(rep.is_conserved());
+    }
+
+    /// A backend that always fails, to reach the Failed terminal status.
+    struct AlwaysDown;
+    impl SolveBackend for AlwaysDown {
+        fn kind(&self) -> BackendKind {
+            BackendKind::Gpu
+        }
+        fn solve(
+            &self,
+            _shape: &ShapeKey,
+            _reqs: &[SolveRequest],
+        ) -> Result<BatchSolution, BackendError> {
+            Err(BackendError::Fault("down".into()))
+        }
+    }
+
+    #[test]
+    fn double_failure_yields_failed_status_with_rhs_back() {
+        let shape = ShapeKey::gbsv(4, 1, 1, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 8,
+            policy: FlushPolicy::default().with_target_batch(2),
+        };
+        let mut s = Server::new(cfg, Box::new(AlwaysDown), Box::new(AlwaysDown));
+        s.submit(req(0, shape, 0.0, 1.0)).unwrap();
+        s.submit(req(1, shape, 1e-6, 1.0)).unwrap();
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 2);
+        for r in &resp {
+            assert_eq!(r.status, SolveStatus::Failed);
+            assert_eq!(r.x, vec![1.0; shape.rhs_len()]);
+        }
+        assert_eq!(s.report().failed, 2);
+        assert!(s.report().is_conserved());
+    }
+
+    #[test]
+    fn saturation_spills_deadline_flushes_to_cpu() {
+        let shape = ShapeKey::gbsv(32, 2, 2, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 256,
+            policy: FlushPolicy::default()
+                .with_target_batch(100)
+                .with_min_gpu_batch(1)
+                .with_spill_slack_s(0.0),
+        };
+        let mut s = sim_server(cfg);
+        // Occupy the GPU far into the future.
+        s.gpu_free_s = 100.0;
+        for i in 0..10u64 {
+            s.submit(req(i, shape, i as f64 * 1e-6, 0.01)).unwrap();
+        }
+        s.advance(1.0);
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 10);
+        assert!(
+            resp.iter().all(|r| r.backend == BackendKind::Cpu),
+            "saturated device: flush spills even above min_gpu_batch"
+        );
+        assert_eq!(s.report().spills, 1);
+    }
+}

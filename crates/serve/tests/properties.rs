@@ -1,0 +1,176 @@
+//! Property tests over the serving layer's structural invariants:
+//! shape-bucket conservation and FIFO order, admission backpressure, and
+//! bisect-retry isolation under arbitrary poison patterns.
+
+use gbatch_core::ShapeKey;
+use gbatch_serve::{
+    BackendError, BackendKind, BatchSolution, BucketMap, FlushPolicy, Server, ServerConfig,
+    SolveBackend, SolveRequest, SolveStatus,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small pool of distinct shapes (the bucket keys).
+fn shape_pool() -> Vec<ShapeKey> {
+    vec![
+        ShapeKey::gbsv(8, 1, 1, 1),
+        ShapeKey::gbsv(16, 2, 2, 1),
+        ShapeKey::gbsv(16, 2, 2, 2),
+        ShapeKey::gbsv(24, 3, 1, 1),
+    ]
+}
+
+fn request(id: u64, shape: ShapeKey, at: f64, dl: f64) -> SolveRequest {
+    SolveRequest {
+        id,
+        shape,
+        ab: vec![0.0; shape.ab_len()],
+        rhs: vec![0.0; shape.rhs_len()],
+        submitted_s: at,
+        deadline_s: dl,
+    }
+}
+
+/// A deterministic mock backend: echoes request ids, refuses any batch
+/// containing a poisoned id.
+struct Mock {
+    poisoned: Vec<u64>,
+    kind: BackendKind,
+}
+
+impl SolveBackend for Mock {
+    fn kind(&self) -> BackendKind {
+        self.kind
+    }
+    fn solve(
+        &self,
+        _shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<BatchSolution, BackendError> {
+        if reqs.iter().any(|r| self.poisoned.contains(&r.id)) {
+            return Err(BackendError::Fault("poisoned".into()));
+        }
+        Ok(BatchSolution {
+            x: reqs.iter().map(|r| vec![r.id as f64]).collect(),
+            info: vec![0; reqs.len()],
+            service_s: 1e-6 * reqs.len() as f64,
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every pushed request is taken exactly once, in FIFO order per
+    /// bucket, and the global capacity is never exceeded.
+    #[test]
+    fn bucket_conservation_and_fifo(
+        picks in proptest::collection::vec(0usize..4, 1..120),
+        capacity in 1usize..96,
+    ) {
+        let shapes = shape_pool();
+        let mut q = BucketMap::new(capacity);
+        let mut admitted: Vec<(u64, ShapeKey)> = Vec::new();
+        let mut bounced = 0usize;
+        for (id, &p) in picks.iter().enumerate() {
+            let shape = shapes[p];
+            match q.push(request(id as u64, shape, id as f64, id as f64 + 1.0)) {
+                Ok(depth) => {
+                    prop_assert!(depth <= q.pending());
+                    admitted.push((id as u64, shape));
+                }
+                Err(r) => {
+                    prop_assert_eq!(r.id, id as u64, "bounced request intact");
+                    bounced += 1;
+                }
+            }
+            prop_assert!(q.pending() <= capacity, "capacity respected");
+        }
+        prop_assert_eq!(admitted.len() + bounced, picks.len());
+        // Drain every bucket; ids must come back FIFO and exactly once.
+        let mut drained: Vec<(u64, ShapeKey)> = Vec::new();
+        for key in q.occupied_keys() {
+            let reqs = q.take(&key);
+            let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&ids, &sorted, "FIFO per bucket == ascending ids");
+            drained.extend(reqs.iter().map(|r| (r.id, r.shape)));
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.pending(), 0);
+        drained.sort_by_key(|&(id, _)| id);
+        admitted.sort_by_key(|&(id, _)| id);
+        prop_assert_eq!(drained, admitted, "no loss, no duplication");
+    }
+
+    /// The urgency scan returns the globally smallest head-of-line
+    /// deadline.
+    #[test]
+    fn next_deadline_is_global_minimum(
+        entries in proptest::collection::vec((0usize..4, 0.0f64..100.0), 1..60),
+    ) {
+        let shapes = shape_pool();
+        let mut q = BucketMap::new(1024);
+        // Track the earliest deadline pushed into each bucket's *front*:
+        // FIFO order means the first push per shape is the head.
+        let mut head: std::collections::BTreeMap<ShapeKey, f64> = Default::default();
+        for (id, &(p, dl)) in entries.iter().enumerate() {
+            let shape = shapes[p];
+            q.push(request(id as u64, shape, 0.0, dl)).unwrap();
+            head.entry(shape).or_insert(dl);
+        }
+        let (got_dl, _) = q.next_deadline().unwrap();
+        let want = head.values().fold(f64::INFINITY, |a, &b| a.min(b));
+        prop_assert_eq!(got_dl, want);
+    }
+
+    /// Bisect retry: whatever subset of a flushed batch is poisoned, the
+    /// server answers every request exactly once — poisoned ids land on
+    /// the fallback backend, healthy ids keep their primary results.
+    #[test]
+    fn bisect_isolates_arbitrary_poison_patterns(
+        batch in 2usize..24,
+        poison_bits in proptest::collection::vec(0u8..2, 24),
+    ) {
+        let shape = ShapeKey::gbsv(8, 1, 1, 1);
+        let poisoned: Vec<u64> = (0..batch as u64)
+            .filter(|&i| poison_bits[i as usize] == 1)
+            .collect();
+        let cfg = ServerConfig {
+            queue_capacity: 64,
+            policy: FlushPolicy::default().with_target_batch(batch),
+        };
+        let mut server = Server::new(
+            cfg,
+            Box::new(Mock { poisoned: poisoned.clone(), kind: BackendKind::Gpu }),
+            Box::new(Mock { poisoned: Vec::new(), kind: BackendKind::Cpu }),
+        );
+        for i in 0..batch as u64 {
+            server
+                .submit(request(i, shape, i as f64 * 1e-6, 1.0))
+                .unwrap();
+        }
+        let resp = server.take_responses();
+        prop_assert_eq!(resp.len(), batch, "every request answered");
+        let mut ids: Vec<u64> = resp.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..batch as u64).collect::<Vec<_>>(), "once each");
+        for r in &resp {
+            prop_assert_eq!(r.status, SolveStatus::Solved);
+            prop_assert_eq!(&r.x, &vec![r.id as f64], "payload routed correctly");
+            if poisoned.contains(&r.id) {
+                prop_assert_eq!(r.backend, BackendKind::Cpu, "poisoned -> fallback");
+            } else {
+                prop_assert_eq!(r.backend, BackendKind::Gpu, "healthy -> primary");
+            }
+        }
+        let report = server.report();
+        prop_assert!(report.is_conserved());
+        prop_assert_eq!(report.fallback_singletons, poisoned.len() as u64);
+        if poisoned.is_empty() {
+            prop_assert_eq!(report.bisect_retries, 0);
+        } else {
+            prop_assert!(report.bisect_retries >= 1);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Persistent tuning tables: best `(nb, threads)` per `(kl, ku)` per
 //! device.
 
+use gbatch_core::ShapeKey;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -70,6 +71,16 @@ impl TuningTable {
             .map(|(_, e)| *e)
     }
 
+    /// Lookup by the workspace-wide [`ShapeKey`] — the same key type the
+    /// serving layer buckets admission on, so the tuner and the server can
+    /// never disagree about which problems share a configuration. Tuning
+    /// entries are swept per band shape (`kl`, `ku`); the key's `n`/`nrhs`
+    /// fields do not narrow the match.
+    #[must_use]
+    pub fn lookup_shape(&self, key: &ShapeKey) -> Option<TuneEntry> {
+        self.lookup(key.kl, key.ku)
+    }
+
     /// Number of tuned band shapes.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -136,6 +147,16 @@ mod tests {
         assert_eq!(t.lookup(12, 8).unwrap().nb, 16);
         let empty = TuningTable::new("X", 512, 1000);
         assert!(empty.lookup(1, 1).is_none());
+    }
+
+    #[test]
+    fn shape_key_lookup_matches_band_lookup() {
+        let t = sample();
+        let k = ShapeKey::gbsv(512, 2, 3, 1);
+        assert_eq!(t.lookup_shape(&k), t.lookup(2, 3));
+        // Nearest-neighbour fallback flows through too.
+        let far = ShapeKey::gbsv(64, 12, 8, 4);
+        assert_eq!(t.lookup_shape(&far), t.lookup(12, 8));
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   `I − γJ` with banded Jacobians of a 1-D multi-species
 //!   reaction–diffusion method-of-lines system initialized from a
 //!   sinusoidal temperature profile (§2.3);
-//! - [`rhs`] — right-hand-side builders (manufactured solutions).
+//! - [`rhs`] — right-hand-side builders (manufactured solutions);
+//! - [`traffic`] — open-loop Poisson request streams for the serving
+//!   layer (weighted shape mix, per-request deadlines, optional singular
+//!   poisoning).
 //!
 //! ```
 //! use gbatch_workloads::{pele_batch, pele::PeleConfig};
@@ -34,10 +37,12 @@ pub mod pele;
 pub mod random;
 pub mod rhs;
 pub mod sundials;
+pub mod traffic;
 pub mod xgc;
 
 pub use pele::pele_batch;
 pub use random::{random_band_batch, BandDistribution};
 pub use rhs::{manufactured_rhs, rhs_for_solutions};
 pub use sundials::{react_eval_batch, ReactEvalConfig};
+pub use traffic::{poisson_traffic, Arrival, ShapeMix, TrafficConfig};
 pub use xgc::{xgc_batch, XgcConfig};

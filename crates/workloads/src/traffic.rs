@@ -1,0 +1,267 @@
+//! Open-loop request traffic for the serving layer.
+//!
+//! The paper's consumers do not hand the library a ready-made batch: PELE
+//! integrates thousands of independent cells, XGC regenerates its band
+//! systems every timestep, SUNDIALS re-factors per Newton iteration. A
+//! serving layer sees that as a *stream* of individual `(AB, B)` requests
+//! arriving at some rate with mixed shapes. This module generates such a
+//! stream: Poisson (exponential inter-arrival) arrivals, a weighted shape
+//! mix, diagonally-dominant payloads (optionally poisoned with exactly
+//! singular systems to exercise per-lane failure isolation), and a
+//! per-request deadline budget.
+//!
+//! Open-loop means arrival times are fixed up front and never react to
+//! service latency — the standard worst-case admission model for a server
+//! (a closed loop would self-throttle and hide overload behavior).
+//! Everything is deterministic given the RNG seed.
+
+use gbatch_core::band::BandMatrixMut;
+use gbatch_core::ShapeKey;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// One entry of the traffic's shape mix.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeMix {
+    /// The request geometry.
+    pub shape: ShapeKey,
+    /// Relative weight (need not be normalized; must be positive).
+    pub weight: f64,
+}
+
+/// Traffic-stream configuration.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Mean arrival rate over the whole mix, in requests per second.
+    pub rate_hz: f64,
+    /// Deadline budget granted to every request, in seconds from its
+    /// arrival — the serving layer must answer (or spill) within it.
+    pub deadline_s: f64,
+    /// Weighted shape mix; arrivals draw shapes independently.
+    pub mix: Vec<ShapeMix>,
+    /// When `Some(k)`, every `k`-th request (1-based count, so request
+    /// ids `k-1, 2k-1, ...`) gets an exactly singular matrix (first
+    /// column zeroed) to exercise per-lane failure isolation downstream.
+    pub poison_every: Option<usize>,
+}
+
+impl TrafficConfig {
+    /// A Section-2-flavoured four-bucket mix: PELE-like small kinetics
+    /// systems, an XGC-like finite-element stencil, SUNDIALS-like BDF
+    /// matrices, and a tridiagonal stream — all factor storage, 1 RHS.
+    pub fn section2_mix(rate_hz: f64, deadline_s: f64) -> Self {
+        TrafficConfig {
+            rate_hz,
+            deadline_s,
+            mix: vec![
+                // PELE: "many are sized 50 or less", moderate band.
+                ShapeMix {
+                    shape: ShapeKey::gbsv(50, 4, 4, 1),
+                    weight: 4.0,
+                },
+                // XGC: order 193, Q3 stencil => kl = ku = 9.
+                ShapeMix {
+                    shape: ShapeKey::gbsv(193, 9, 9, 1),
+                    weight: 2.0,
+                },
+                // SUNDIALS ReactEval-like: order 128, (2, 3) band.
+                ShapeMix {
+                    shape: ShapeKey::gbsv(128, 2, 3, 1),
+                    weight: 2.0,
+                },
+                // Tridiagonal stream (ADI-style sweeps).
+                ShapeMix {
+                    shape: ShapeKey::gbsv(64, 1, 1, 1),
+                    weight: 1.0,
+                },
+            ],
+            poison_every: None,
+        }
+    }
+}
+
+/// One request of the stream: arrival time, geometry, payload, deadline.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Sequence number (0-based, unique per stream).
+    pub id: u64,
+    /// Arrival time in seconds from stream start.
+    pub at_s: f64,
+    /// Request geometry.
+    pub shape: ShapeKey,
+    /// Absolute response deadline in stream time (`at_s + budget`).
+    pub deadline_s: f64,
+    /// Band payload in the shape's minimal-`ldab` storage.
+    pub ab: Vec<f64>,
+    /// Right-hand-side payload (`n * nrhs`, column-major).
+    pub rhs: Vec<f64>,
+}
+
+/// Generate `n` Poisson arrivals. Deterministic for a given seed: shape
+/// draws, inter-arrival gaps, and payload entries all come from `rng` in a
+/// fixed order.
+///
+/// # Panics
+/// Panics when the mix is empty, a weight is not positive, or the rate is
+/// not positive.
+pub fn poisson_traffic(rng: &mut impl Rng, n: usize, cfg: &TrafficConfig) -> Vec<Arrival> {
+    assert!(!cfg.mix.is_empty(), "traffic mix must not be empty");
+    assert!(cfg.rate_hz > 0.0, "arrival rate must be positive");
+    assert!(
+        cfg.mix.iter().all(|m| m.weight > 0.0),
+        "mix weights must be positive"
+    );
+    let total_w: f64 = cfg.mix.iter().map(|m| m.weight).sum();
+    let uni = Uniform::new(0.0f64, 1.0);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        // Exponential inter-arrival gap: -ln(1 - U) / rate, U in [0, 1).
+        let u = uni.sample(rng);
+        t += -(1.0 - u).ln() / cfg.rate_hz;
+        // Weighted shape draw.
+        let mut pick = uni.sample(rng) * total_w;
+        let mut shape = cfg.mix[0].shape;
+        for m in &cfg.mix {
+            if pick < m.weight {
+                shape = m.shape;
+                break;
+            }
+            pick -= m.weight;
+        }
+        let poisoned = cfg
+            .poison_every
+            .is_some_and(|k| k > 0 && (id + 1) % k as u64 == 0);
+        let (ab, rhs) = request_payload(rng, &shape, poisoned);
+        out.push(Arrival {
+            id,
+            at_s: t,
+            shape,
+            deadline_s: t + cfg.deadline_s,
+            ab,
+            rhs,
+        });
+    }
+    out
+}
+
+/// Build one request's payload: a diagonally-dominant band matrix in the
+/// shape's minimal storage plus a bounded random RHS. `poisoned` zeroes
+/// the whole first column, making the system exactly singular at the
+/// first pivot step.
+pub fn request_payload(
+    rng: &mut impl Rng,
+    shape: &ShapeKey,
+    poisoned: bool,
+) -> (Vec<f64>, Vec<f64>) {
+    let l = shape.layout().expect("shape keys describe valid layouts");
+    let uni = Uniform::new_inclusive(-1.0f64, 1.0);
+    let mut ab = vec![0.0f64; l.len()];
+    {
+        let mut m = BandMatrixMut {
+            layout: l,
+            data: &mut ab,
+        };
+        for j in 0..l.n {
+            let (s, e) = l.col_rows(j);
+            for i in s..e {
+                m.set(i, j, uni.sample(rng));
+            }
+            let sum: f64 = (s..e).filter(|&i| i != j).map(|i| m.get(i, j).abs()).sum();
+            m.set(j, j, sum + 1.0);
+        }
+        if poisoned {
+            let (s, e) = l.col_rows(0);
+            for i in s..e {
+                m.set(i, 0, 0.0);
+            }
+        }
+    }
+    let rhs: Vec<f64> = (0..shape.rhs_len()).map(|_| uni.sample(rng)).collect();
+    (ab, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = TrafficConfig::section2_mix(1e4, 0.05);
+        let a = poisson_traffic(&mut StdRng::seed_from_u64(5), 200, &cfg);
+        let b = poisson_traffic(&mut StdRng::seed_from_u64(5), 200, &cfg);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.at_s, y.at_s);
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.ab, y.ab);
+            assert_eq!(x.rhs, y.rhs);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_rate_is_plausible() {
+        let cfg = TrafficConfig::section2_mix(1e4, 0.05);
+        let a = poisson_traffic(&mut StdRng::seed_from_u64(7), 4000, &cfg);
+        for w in a.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s, "arrival times must be sorted");
+        }
+        let span = a.last().unwrap().at_s - a[0].at_s;
+        let rate = 3999.0 / span;
+        assert!(
+            (0.8..1.25).contains(&(rate / 1e4)),
+            "empirical rate {rate:.0} Hz vs configured 10000 Hz"
+        );
+        // Deadlines carry the configured budget.
+        assert!(a
+            .iter()
+            .all(|r| (r.deadline_s - r.at_s - 0.05).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mix_covers_every_shape() {
+        let cfg = TrafficConfig::section2_mix(1e3, 0.1);
+        let a = poisson_traffic(&mut StdRng::seed_from_u64(11), 2000, &cfg);
+        for m in &cfg.mix {
+            let count = a.iter().filter(|r| r.shape == m.shape).count();
+            assert!(count > 0, "shape {} never drawn", m.shape);
+        }
+        // Weights are respected roughly: the heaviest bucket dominates.
+        let pele = a.iter().filter(|r| r.shape.n == 50).count();
+        assert!(pele > 2000 * 3 / 10, "weight-4 of 9 bucket got {pele}");
+    }
+
+    #[test]
+    fn payload_solves_and_poison_is_singular() {
+        let shape = ShapeKey::gbsv(32, 2, 3, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut ab, _rhs) = request_payload(&mut rng, &shape, false);
+        let l = shape.layout().unwrap();
+        let mut piv = vec![0i32; 32];
+        assert_eq!(gbatch_core::gbtf2::gbtf2(&l, &mut ab, &mut piv), 0);
+
+        let (mut bad, _) = request_payload(&mut rng, &shape, true);
+        assert_eq!(gbatch_core::gbtf2::gbtf2(&l, &mut bad, &mut piv), 1);
+    }
+
+    #[test]
+    fn poison_every_marks_exact_ids() {
+        let mut cfg = TrafficConfig::section2_mix(1e4, 0.05);
+        cfg.poison_every = Some(50);
+        let a = poisson_traffic(&mut StdRng::seed_from_u64(13), 200, &cfg);
+        for r in &a {
+            let l = r.shape.layout().unwrap();
+            let mut ab = r.ab.clone();
+            let mut piv = vec![0i32; l.n];
+            let info = gbatch_core::gbtf2::gbtf2(&l, &mut ab, &mut piv);
+            if (r.id + 1) % 50 == 0 {
+                assert_eq!(info, 1, "request {} should be poisoned", r.id);
+            } else {
+                assert_eq!(info, 0, "request {} should be healthy", r.id);
+            }
+        }
+    }
+}

@@ -48,6 +48,9 @@ pub use gbatch_cpu as cpu;
 pub use gbatch_gpu_sim as gpu_sim;
 /// GPU kernel designs and the batched user interface.
 pub use gbatch_kernels as kernels;
+/// Dynamic-batching solve service (shape-bucketed admission, deadlines,
+/// CPU spill-over).
+pub use gbatch_serve as serve;
 /// Offline tuning sweep for (nb, threads).
 pub use gbatch_tuning as tuning;
 /// Synthetic application workloads (PELE, XGC, SUNDIALS, random bands).

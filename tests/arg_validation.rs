@@ -121,7 +121,7 @@ fn minimal_valid_arguments_reach_the_kernels() {
     let mut piv = PivotBatch::new(1, 1, 1);
     let mut rhs = RhsBatch::from_fn(1, 1, 1, |_, _, _| 6.0).unwrap();
     let mut info = InfoArray::new(1);
-    dgbsv_batch(
+    let _ = dgbsv_batch(
         &dev,
         &mut a,
         &mut piv,
@@ -135,6 +135,6 @@ fn minimal_valid_arguments_reach_the_kernels() {
 
     // And the factor-only path on a fresh batch.
     let mut a = BandBatch::from_fn(1, 1, 1, 0, 0, |_, m| m.set(0, 0, 2.0)).unwrap();
-    dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+    let _ = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
     assert!(info.all_ok());
 }

@@ -49,7 +49,7 @@ fn xgc_systems_through_cholesky() {
     }
     let mut a = a0.clone();
     let mut info = InfoArray::new(batch);
-    pbsv_batch_fused(&dev, &mut a, &mut rhs, 1, &mut info, 32).unwrap();
+    let _ = pbsv_batch_fused(&dev, &mut a, &mut rhs, 1, &mut info, 32).unwrap();
     assert!(info.all_ok());
     for k in 0..batch * n {
         assert!((rhs[k] - xs[k]).abs() < 1e-9);
@@ -77,7 +77,7 @@ fn sundials_tridiagonal_through_pcr() {
     let mut rhs =
         RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id + i) as f64 * 0.13).sin()).unwrap();
     let rhs0 = rhs.clone();
-    pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
+    let _ = pcr_solve_batch(&dev, &a, &mut rhs, 64).unwrap();
     // Residual check through the tridiagonal matvec.
     for id in 0..batch {
         let mut y = vec![0.0; n];
@@ -197,13 +197,13 @@ fn specialized_on_xgc_band_shape() {
     let mut a1 = a0.clone();
     let mut p1 = PivotBatch::new(batch, n, n);
     let mut i1 = InfoArray::new(batch);
-    gbatch::kernels::specialized::specialized_gbtrf(&dev, &mut a1, &mut p1, &mut i1, 32)
+    let _ = gbatch::kernels::specialized::specialized_gbtrf(&dev, &mut a1, &mut p1, &mut i1, 32)
         .expect("(3,3) is compiled")
         .unwrap();
     let mut a2 = a0.clone();
     let mut p2 = PivotBatch::new(batch, n, n);
     let mut i2 = InfoArray::new(batch);
-    gbatch::kernels::dispatch::dgbtrf_batch(
+    let _ = gbatch::kernels::dispatch::dgbtrf_batch(
         &dev,
         &mut a2,
         &mut p2,
@@ -234,7 +234,7 @@ fn gpu_solvers_respect_ldb_padding() {
     );
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    gbatch::kernels::dispatch::dgbtrf_batch(
+    let _ = gbatch::kernels::dispatch::dgbtrf_batch(
         &dev,
         &mut a,
         &mut piv,
@@ -259,7 +259,7 @@ fn gpu_solvers_respect_ldb_padding() {
     let l = a.layout();
     for trans in [Transpose::No, Transpose::Yes] {
         let mut b = rhs.clone();
-        gbatch::kernels::dispatch::dgbtrs_batch(
+        let _ = gbatch::kernels::dispatch::dgbtrs_batch(
             &dev,
             trans,
             &l,

@@ -43,7 +43,7 @@ fn mixed_singular_batch_reports_exact_columns() {
     }
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    gbtrf_batch_fused(
+    let _ = gbtrf_batch_fused(
         &dev,
         &mut a,
         &mut piv,
@@ -80,7 +80,7 @@ fn dgbsv_mixed_batch_preserves_failed_rhs() {
     let mut b = b0.clone();
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    dgbsv_batch(
+    let _ = dgbsv_batch(
         &dev,
         &mut a,
         &mut piv,
@@ -160,7 +160,7 @@ fn degenerate_shapes_work() {
         let mut b = b0.clone();
         let mut piv = PivotBatch::new(4, n, n);
         let mut info = InfoArray::new(4);
-        dgbsv_batch(
+        let _ = dgbsv_batch(
             &dev,
             &mut a,
             &mut piv,
@@ -206,7 +206,7 @@ fn parallel_mixed_singular_batch_matches_serial_info() {
         let mut a = a0.clone();
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, params).unwrap();
+        let _ = gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, params).unwrap();
         (a, piv, info)
     };
     let base = FusedParams::auto(&dev, kl);

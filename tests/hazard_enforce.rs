@@ -132,7 +132,7 @@ fn enforce_solve_kernels_run_hazard_free() {
         let mut a = band_batch(BATCH, N, kl, ku);
         let mut piv = PivotBatch::new(BATCH, N, N);
         let mut info = InfoArray::new(BATCH);
-        dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+        let _ = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
         assert!(info.all_ok());
         let l = a.layout();
 
@@ -170,7 +170,7 @@ fn enforce_solve_kernels_run_hazard_free() {
                         parallel: Some(policy),
                         ..GbsvOptions::default()
                     };
-                    dgbtrs_batch(&dev, trans, &l, a.data(), &piv, &mut rhs, &opts).unwrap();
+                    let _ = dgbtrs_batch(&dev, trans, &l, a.data(), &piv, &mut rhs, &opts).unwrap();
                     assert!(rhs.data().iter().all(|v| v.is_finite()));
                 }
             }
@@ -213,11 +213,11 @@ fn enforce_interleaved_kernels_run_hazard_free() {
                 threads: 2,
                 parallel: policy,
             };
-            gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+            let _ = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
             assert!(info.all_ok(), "igbtrf ({kl},{ku}) {policy:?}");
             for nrhs in [1usize, 10] {
                 let mut rhs = rhs_batch(BATCH, N, nrhs);
-                gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params).unwrap();
+                let _ = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params).unwrap();
                 assert!(rhs.data().iter().all(|v| v.is_finite()));
             }
         }
@@ -241,7 +241,8 @@ fn enforce_dispatch_grid_both_layouts() {
                         layout,
                         ..GbsvOptions::default()
                     };
-                    dgbsv_batch(&dev, &mut a, &mut piv, &mut rhs, &mut info, &opts).unwrap();
+                    let _ =
+                        dgbsv_batch(&dev, &mut a, &mut piv, &mut rhs, &mut info, &opts).unwrap();
                     assert!(
                         info.all_ok(),
                         "dgbsv ({kl},{ku}) nrhs {nrhs} {layout:?} {policy:?}"
@@ -361,7 +362,7 @@ fn out_of_band_row_write_panics_with_exact_indices() {
     // Positive control: a fill-in touch (row 0 of column 5 maps into the
     // workspace rows LU pivoting legitimately fills) passes the gate.
     let mut data = vec![0usize; 1];
-    launch(&dev(), &cfg, &mut data, |_, ctx| {
+    let _ = launch(&dev(), &cfg, &mut data, |_, ctx| {
         let off = ctx.smem.alloc(len);
         let mut w = SmemBand {
             data: ctx.smem.slice_mut(off, len),

@@ -34,7 +34,7 @@ fn all_platforms_solve_paper_configurations() {
                 let (mut a, mut b) = (a0.clone(), b0.clone());
                 let mut piv = PivotBatch::new(batch, n, n);
                 let mut info = InfoArray::new(batch);
-                dgbsv_batch(
+                let _ = dgbsv_batch(
                     &dev,
                     &mut a,
                     &mut piv,
@@ -85,7 +85,7 @@ fn gpu_and_cpu_agree_bitwise() {
         allow_fused_gbsv: Some(false),
         ..Default::default()
     };
-    dgbsv_batch(&dev, &mut ag, &mut pg, &mut bg, &mut ig, &opts).unwrap();
+    let _ = dgbsv_batch(&dev, &mut ag, &mut pg, &mut bg, &mut ig, &opts).unwrap();
 
     let cpu = CpuSpec::xeon_gold_6140();
     let (mut ac, mut bc) = (a0.clone(), b0.clone());
@@ -108,7 +108,7 @@ fn factor_once_solve_many() {
     let mut a = a0.clone();
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
+    let _ = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &GbsvOptions::default()).unwrap();
     assert!(info.all_ok());
     let l = a.layout();
     for round in 0..3 {
@@ -117,7 +117,7 @@ fn factor_once_solve_many() {
         })
         .unwrap();
         let b0 = b.clone();
-        dgbtrs_batch(
+        let _ = dgbtrs_batch(
             &dev,
             Transpose::No,
             &l,
@@ -204,7 +204,7 @@ fn workload_generators_run_through_every_algorithm() {
                 algo,
                 ..Default::default()
             };
-            dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
+            let _ = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
             assert!(info.all_ok());
             match &reference {
                 None => reference = Some((a.data().to_vec(), piv)),

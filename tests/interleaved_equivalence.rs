@@ -119,7 +119,7 @@ proptest! {
             lanes_per_block: lanes,
             ..InterleavedParams::auto(&dev, &a0.layout(), 0)
         };
-        gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+        let _ = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
         let back = ia.to_batch();
         for id in 0..batch {
             prop_assert_eq!(back.matrix(id).data, &fs[id][..], "factors, lane {}", id);
@@ -153,7 +153,7 @@ fn mixed_singular_batch_is_bitwise_identical_under_all_policies() {
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
             let params = InterleavedParams::auto(&dev, &a0.layout(), 0).with_parallel(policy);
-            gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+            let _ = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
             let back = ia.to_batch();
             for id in 0..batch {
                 assert_eq!(
@@ -197,9 +197,9 @@ fn interleaved_solve_matches_gbtrs_and_masks_singular_lanes() {
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
         let params = InterleavedParams::auto(&dev, &l, nrhs).with_parallel(policy);
-        gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
+        let _ = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
         let mut b = b0.clone();
-        gbtrs_batch_interleaved(&dev, &ia, &piv, &mut b, &info, params).unwrap();
+        let _ = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut b, &info, params).unwrap();
         for id in 0..batch {
             if is[id] == 0 {
                 assert_eq!(

@@ -157,7 +157,7 @@ fn all_solve_paths_are_policy_invariant() {
     let mut fac = random_batch(batch, n, kl, ku);
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    gbtrf_batch_fused(
+    let _ = gbtrf_batch_fused(
         &dev,
         &mut fac,
         &mut piv,
@@ -315,7 +315,7 @@ fn solve_respects_transpose_sanity() {
     let mut fac = random_batch(batch, n, kl, ku);
     let mut piv = PivotBatch::new(batch, n, n);
     let mut info = InfoArray::new(batch);
-    gbtrf_batch_fused(
+    let _ = gbtrf_batch_fused(
         &dev,
         &mut fac,
         &mut piv,

@@ -73,12 +73,12 @@ proptest! {
         let mut a1 = a0.clone();
         let mut p1 = PivotBatch::new(batch, n, n);
         let mut i1 = InfoArray::new(batch);
-        gbtrf_batch_fused(&dev, &mut a1, &mut p1, &mut i1, FusedParams::auto(&dev, kl)).unwrap();
+        let _ = gbtrf_batch_fused(&dev, &mut a1, &mut p1, &mut i1, FusedParams::auto(&dev, kl)).unwrap();
 
         let mut a2 = a0.clone();
         let mut p2 = PivotBatch::new(batch, n, n);
         let mut i2 = InfoArray::new(batch);
-        gbtrf_batch_window(&dev, &mut a2, &mut p2, &mut i2, WindowParams { nb, threads: 32, ..Default::default() })
+        let _ = gbtrf_batch_window(&dev, &mut a2, &mut p2, &mut i2, WindowParams { nb, threads: 32, ..Default::default() })
             .unwrap();
 
         prop_assert_eq!(a1.data(), a2.data());
@@ -114,7 +114,7 @@ proptest! {
             let mut a = a0.clone();
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info,
+            let _ = gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info,
                               FusedParams::auto(&dev, kl).with_parallel(policy)).unwrap();
             runs.push(("fused", a, piv, info));
         }
@@ -122,7 +122,7 @@ proptest! {
             let mut a = a0.clone();
             let mut piv = PivotBatch::new(batch, n, n);
             let mut info = InfoArray::new(batch);
-            gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info,
+            let _ = gbtrf_batch_window(&dev, &mut a, &mut piv, &mut info,
                                WindowParams { nb, threads: 32, parallel: policy }).unwrap();
             runs.push(("window", a, piv, info));
         }
@@ -160,7 +160,7 @@ proptest! {
         let (mut a, mut b) = (a0.clone(), b0.clone());
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default()).unwrap();
+        let _ = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &GbsvOptions::default()).unwrap();
         for id in 0..batch {
             if info.get(id) != 0 { continue; }
             for c in 0..nrhs {
@@ -186,7 +186,7 @@ proptest! {
         let mut a = a0.clone();
         let mut piv = PivotBatch::new(1, n, n);
         let mut info = InfoArray::new(1);
-        gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl)).unwrap();
+        let _ = gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, FusedParams::auto(&dev, kl)).unwrap();
         for (j, &p) in piv.pivots(0).iter().enumerate() {
             let p = p as usize;
             prop_assert!(p >= j, "pivot row below the diagonal step");
@@ -251,7 +251,7 @@ proptest! {
         let mut fac = fill_batch(batch, n, kl, ku, &vals);
         let mut piv = PivotBatch::new(batch, n, n);
         let mut info = InfoArray::new(batch);
-        gbtrf_batch_fused(&dev, &mut fac, &mut piv, &mut info, FusedParams::auto(&dev, kl)).unwrap();
+        let _ = gbtrf_batch_fused(&dev, &mut fac, &mut piv, &mut info, FusedParams::auto(&dev, kl)).unwrap();
         prop_assume!(info.all_ok());
         let l = fac.layout();
         let mut rhs = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
@@ -295,7 +295,7 @@ proptest! {
         let dev = DeviceSpec::h100_pcie();
         let mut piv = VarPivots::for_batch(&a);
         let mut info = InfoArray::new(a.batch());
-        gbatch::kernels::vbatch::dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, 4).unwrap();
+        let _ = gbatch::kernels::vbatch::dgbtrf_vbatch(&dev, &mut a, &mut piv, &mut info, 4).unwrap();
         for id in 0..a.batch() {
             let l = orig.layout(id);
             let mut expect = orig.matrix(id).data.to_vec();
@@ -321,12 +321,12 @@ proptest! {
         let mut a1 = a0.clone();
         let mut p1 = PivotBatch::new(2, n, n);
         let mut i1 = InfoArray::new(2);
-        gbatch::kernels::specialized::specialized_gbtrf(&dev, &mut a1, &mut p1, &mut i1, 32)
+        let _ = gbatch::kernels::specialized::specialized_gbtrf(&dev, &mut a1, &mut p1, &mut i1, 32)
             .expect("compiled shape").unwrap();
         let mut a2 = a0.clone();
         let mut p2 = PivotBatch::new(2, n, n);
         let mut i2 = InfoArray::new(2);
-        gbtrf_batch_fused(&dev, &mut a2, &mut p2, &mut i2, FusedParams::auto(&dev, kl)).unwrap();
+        let _ = gbtrf_batch_fused(&dev, &mut a2, &mut p2, &mut i2, FusedParams::auto(&dev, kl)).unwrap();
         prop_assert_eq!(a1.data(), a2.data());
         prop_assert_eq!(p1, p2);
         prop_assert_eq!(i1, i2);
