@@ -1,0 +1,264 @@
+//! Precision bench: `f32` versus `f64` instantiations of the fused and
+//! window kernels at the paper's shapes.
+//!
+//! The shared-memory capacity is the binding resource of §8: halving the
+//! element width halves every per-block footprint, so the occupancy of the
+//! smem-limited kernels roughly doubles. Criterion measures the host
+//! wall-clock of the two dispatched drivers (`sgbsv_batch` vs
+//! `dgbsv_batch`); the deterministic summary records, per grid point and
+//! per precision, the fused/window smem bytes per block, the modeled
+//! occupancy, and the modeled driver time into `results/precision.json`,
+//! and asserts the acceptance criterion: at `n = 512`, `kl = ku = 8`,
+//! `batch = 1000`, the `f32` window occupancy is at least 1.5x the `f64`
+//! one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
+use gbatch_gpu_sim::occupancy::occupancy;
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::dispatch::{dgbsv_batch, sgbsv_batch, GbsvOptions};
+use gbatch_kernels::fused::fused_smem_bytes;
+use gbatch_kernels::window::{window_smem_bytes, WindowParams};
+use gbatch_workloads::random::{random_band_batch, BandDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(batch, n, kl, ku)` grid: the acceptance shape plus the paper's two
+/// headline bandwidths at the same order.
+const GRID: [(usize, usize, usize, usize); 3] =
+    [(1000, 512, 8, 8), (1000, 512, 2, 3), (1000, 512, 10, 7)];
+
+/// The acceptance configuration (ISSUE): n = 512, kl = ku = 8, batch = 1000.
+const ACCEPT: (usize, usize, usize, usize) = GRID[0];
+
+/// Narrow an `f64` batch into `f32` storage element-wise.
+fn narrow(a: &BandBatch) -> BandBatch<f32> {
+    let mut out = BandBatch::<f32>::zeros_with_layout(a.layout(), a.batch()).unwrap();
+    for (dst, &src) in out.data_mut().iter_mut().zip(a.data()) {
+        *dst = src as f32;
+    }
+    out
+}
+
+fn rhs64(batch: usize, n: usize) -> RhsBatch {
+    RhsBatch::from_fn(batch, n, 1, |id, i, _| ((id * 3 + i) as f64 * 0.17).sin()).unwrap()
+}
+
+fn rhs32(batch: usize, n: usize) -> RhsBatch<f32> {
+    RhsBatch::<f32>::from_fn(batch, n, 1, |id, i, _| {
+        (((id * 3 + i) as f64 * 0.17).sin()) as f32
+    })
+    .unwrap()
+}
+
+/// Modeled `SimTime` (ms) of the dispatched f64 driver.
+fn dgbsv_ms(dev: &DeviceSpec, a0: &BandBatch, b0: &RhsBatch) -> f64 {
+    let (mut a, mut b) = (a0.clone(), b0.clone());
+    let mut piv = PivotBatch::new(a0.batch(), a0.layout().m, a0.layout().n);
+    let mut info = InfoArray::new(a0.batch());
+    let rep = dgbsv_batch(
+        dev,
+        &mut a,
+        &mut piv,
+        &mut b,
+        &mut info,
+        &GbsvOptions::default(),
+    )
+    .unwrap();
+    rep.time.secs() * 1e3
+}
+
+/// Modeled `SimTime` (ms) of the dispatched f32 driver.
+fn sgbsv_ms(dev: &DeviceSpec, a0: &BandBatch<f32>, b0: &RhsBatch<f32>) -> f64 {
+    let (mut a, mut b) = (a0.clone(), b0.clone());
+    let mut piv = PivotBatch::new(a0.batch(), a0.layout().m, a0.layout().n);
+    let mut info = InfoArray::new(a0.batch());
+    let rep = sgbsv_batch(
+        dev,
+        &mut a,
+        &mut piv,
+        &mut b,
+        &mut info,
+        &GbsvOptions::default(),
+    )
+    .unwrap();
+    rep.time.secs() * 1e3
+}
+
+/// Per-precision modeled capacity facts at one grid point.
+#[derive(serde::Serialize)]
+struct PrecisionCapacity {
+    fused_smem_bytes_per_block: usize,
+    window_smem_bytes_per_block: usize,
+    window_nb: usize,
+    threads: u32,
+    /// `None` when the fused footprint exceeds the device's smem per
+    /// block (the f64 case at the acceptance shape).
+    fused_occupancy_blocks_per_sm: Option<u32>,
+    window_occupancy_blocks_per_sm: Option<u32>,
+    modeled_gbsv_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct PrecisionEntry {
+    batch: usize,
+    n: usize,
+    kl: usize,
+    ku: usize,
+    f64: PrecisionCapacity,
+    f32: PrecisionCapacity,
+    window_occupancy_ratio_f32_over_f64: Option<f64>,
+}
+
+#[derive(serde::Serialize)]
+struct PrecisionReport {
+    title: String,
+    device: String,
+    entries: Vec<PrecisionEntry>,
+}
+
+fn capacity(
+    dev: &DeviceSpec,
+    kl: usize,
+    fused_bytes: usize,
+    window_bytes: usize,
+    modeled_ms: f64,
+) -> PrecisionCapacity {
+    let params = WindowParams::auto(dev, kl);
+    PrecisionCapacity {
+        fused_smem_bytes_per_block: fused_bytes,
+        window_smem_bytes_per_block: window_bytes,
+        window_nb: params.nb,
+        threads: params.threads,
+        fused_occupancy_blocks_per_sm: occupancy(dev, params.threads, fused_bytes as u32)
+            .map(|o| o.blocks_per_sm),
+        window_occupancy_blocks_per_sm: occupancy(dev, params.threads, window_bytes as u32)
+            .map(|o| o.blocks_per_sm),
+        modeled_gbsv_ms: modeled_ms,
+    }
+}
+
+fn bench_precision(c: &mut Criterion) {
+    let dev = DeviceSpec::mi250x_gcd();
+    let mut group = c.benchmark_group("precision_gbsv");
+    // Criterion wall-clock at a reduced batch so each sample stays cheap;
+    // the modeled summary below runs the full acceptance batch.
+    let bench_batch = 64usize;
+    for &(_, n, kl, ku) in &GRID {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a64 = random_band_batch(
+            &mut rng,
+            bench_batch,
+            n,
+            kl,
+            ku,
+            BandDistribution::DiagonallyDominant { margin: 1.0 },
+        );
+        let a32 = narrow(&a64);
+        let (b64, b32) = (rhs64(bench_batch, n), rhs32(bench_batch, n));
+        let label = format!("n{n}_kl{kl}_ku{ku}");
+        group.bench_with_input(BenchmarkId::new("f64", &label), &(), |bench, ()| {
+            bench.iter(|| dgbsv_ms(&dev, &a64, &b64));
+        });
+        group.bench_with_input(BenchmarkId::new("f32", &label), &(), |bench, ()| {
+            bench.iter(|| sgbsv_ms(&dev, &a32, &b32));
+        });
+    }
+    group.finish();
+
+    summarize(&dev);
+}
+
+/// Deterministic modeled summary: record `results/precision.json` and
+/// enforce the acceptance criterion.
+fn summarize(dev: &DeviceSpec) {
+    let mut entries = Vec::new();
+    let mut accept_ratio: Option<f64> = None;
+    for &(batch, n, kl, ku) in &GRID {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a64 = random_band_batch(
+            &mut rng,
+            batch,
+            n,
+            kl,
+            ku,
+            BandDistribution::DiagonallyDominant { margin: 1.0 },
+        );
+        let a32 = narrow(&a64);
+        let l = a64.layout();
+        let params = WindowParams::auto(dev, kl);
+
+        let ms64 = dgbsv_ms(dev, &a64, &rhs64(batch, n));
+        let ms32 = sgbsv_ms(dev, &a32, &rhs32(batch, n));
+        let f64cap = capacity(
+            dev,
+            kl,
+            fused_smem_bytes::<f64>(l.ldab, l.n),
+            window_smem_bytes::<f64>(&l, params.nb),
+            ms64,
+        );
+        let f32cap = capacity(
+            dev,
+            kl,
+            fused_smem_bytes::<f32>(l.ldab, l.n),
+            window_smem_bytes::<f32>(&l, params.nb),
+            ms32,
+        );
+        let occ64 = f64cap.window_occupancy_blocks_per_sm;
+        let occ32 = f32cap.window_occupancy_blocks_per_sm;
+        let ratio = match (occ32, occ64) {
+            (Some(a), Some(b)) if b > 0 => Some(f64::from(a) / f64::from(b)),
+            _ => None,
+        };
+        eprintln!(
+            "[precision] batch {batch} n {n} (kl,ku)=({kl},{ku}): \
+             f64 {ms64:.4} ms (occ {occ64:?}), f32 {ms32:.4} ms (occ {occ32:?}), \
+             window occupancy ratio {ratio:?}"
+        );
+        if (batch, n, kl, ku) == ACCEPT {
+            accept_ratio = ratio;
+        }
+        entries.push(PrecisionEntry {
+            batch,
+            n,
+            kl,
+            ku,
+            f64: f64cap,
+            f32: f32cap,
+            window_occupancy_ratio_f32_over_f64: ratio,
+        });
+    }
+
+    let doc = PrecisionReport {
+        title: format!(
+            "f32 vs f64 fused/window capacity and modeled GBSV time, {}",
+            dev.name
+        ),
+        device: dev.name.to_string(),
+        entries,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/precision.json");
+    let json = serde_json::to_string_pretty(&doc).unwrap();
+    std::fs::write(path, json + "\n").unwrap();
+    eprintln!("[precision] wrote {path}");
+
+    let ratio = accept_ratio.expect("acceptance config must yield a valid occupancy ratio");
+    assert!(
+        ratio >= 1.5,
+        "acceptance at (batch,n,kl,ku)={ACCEPT:?}: f32 window occupancy must be \
+         >= 1.5x the f64 one, got {ratio:.2}x"
+    );
+    eprintln!("[precision] acceptance at {ACCEPT:?}: occupancy ratio {ratio:.2}x >= 1.5x");
+}
+
+/// Bounded-time criterion config: the numerics are deterministic and the
+/// host box is a single core, so small samples suffice.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_precision);
+criterion_main!(benches);

@@ -90,14 +90,14 @@ pub fn gbtrf_gpu_ms(
     let (cfg, time_cfg) = match algo {
         FactorAlgo::Fused => {
             let p = FusedParams::auto(dev, kl);
-            let c = LaunchConfig::new(p.threads, fused_smem_bytes(l.ldab, n) as u32);
+            let c = LaunchConfig::new(p.threads, fused_smem_bytes::<f64>(l.ldab, n) as u32);
             (c, c)
         }
         _ => {
             let p = window.unwrap_or_else(|| WindowParams::auto(dev, kl));
             let c = LaunchConfig::new(
                 p.threads,
-                gbatch_kernels::window::window_smem_bytes(&l, p.nb) as u32,
+                gbatch_kernels::window::window_smem_bytes::<f64>(&l, p.nb) as u32,
             );
             (c, c)
         }
@@ -429,7 +429,8 @@ pub fn fig7(p: &Platforms) -> Vec<Figure> {
                         Ok(rep) => {
                             let cfg = LaunchConfig::new(
                                 FusedParams::auto(dev, kl).threads.max((kl + 1) as u32),
-                                gbatch_kernels::gbsv_fused::gbsv_smem_bytes(&a.layout(), 1) as u32,
+                                gbatch_kernels::gbsv_fused::gbsv_smem_bytes::<f64>(&a.layout(), 1)
+                                    as u32,
                             );
                             match reprice(dev, &cfg, &rep.counters, EXEC_BATCH, PAPER_BATCH) {
                                 Some(ms) => fused.push(n, ms),
@@ -762,7 +763,7 @@ pub fn extensions(p: &Platforms) -> String {
         let l = a.layout();
         let cfg = LaunchConfig::new(
             FusedParams::auto(dev, 2).threads,
-            gbatch_kernels::gbsv_fused::gbsv_smem_bytes(&l, 1) as u32,
+            gbatch_kernels::gbsv_fused::gbsv_smem_bytes::<f64>(&l, 1) as u32,
         );
         let batched = reprice(dev, &cfg, &rep.counters, EXEC_BATCH, PAPER_BATCH).expect("price");
         // Per-kernel counters = aggregate / grid (uniform batch).
@@ -793,7 +794,7 @@ pub fn extensions(p: &Platforms) -> String {
         let l = BandLayout::factor(512, 512, 10, 7).unwrap();
         let cfg = LaunchConfig::new(
             params.threads,
-            gbatch_kernels::window::window_smem_bytes(&l, params.nb) as u32,
+            gbatch_kernels::window::window_smem_bytes::<f64>(&l, params.nb) as u32,
         );
         // Measure one partition's counters once and re-price per grid size.
         let mut rng = seeded(512, 10, 7, 3);

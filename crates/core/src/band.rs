@@ -2,20 +2,22 @@
 
 use crate::error::{BandError, Result};
 use crate::layout::{BandLayout, BandStorage};
+use crate::scalar::Scalar;
 
 /// An owned band matrix in LAPACK band storage (column-major `ldab x n`).
+/// Generic over the element [`Scalar`]; defaults to the paper's `f64`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BandMatrix {
+pub struct BandMatrix<S: Scalar = f64> {
     layout: BandLayout,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl BandMatrix {
+impl<S: Scalar> BandMatrix<S> {
     /// Zero band matrix in factor storage (ready for `gbtrf`).
     pub fn zeros_factor(m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
         let layout = BandLayout::factor(m, n, kl, ku)?;
         Ok(BandMatrix {
-            data: vec![0.0; layout.len()],
+            data: vec![S::ZERO; layout.len()],
             layout,
         })
     }
@@ -24,13 +26,13 @@ impl BandMatrix {
     pub fn zeros_pure(m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
         let layout = BandLayout::pure(m, n, kl, ku)?;
         Ok(BandMatrix {
-            data: vec![0.0; layout.len()],
+            data: vec![S::ZERO; layout.len()],
             layout,
         })
     }
 
     /// Wrap an existing band array. `data.len()` must equal `layout.len()`.
-    pub fn from_parts(layout: BandLayout, data: Vec<f64>) -> Result<Self> {
+    pub fn from_parts(layout: BandLayout, data: Vec<S>) -> Result<Self> {
         if data.len() != layout.len() {
             return Err(BandError::BufferTooSmall {
                 arg: "data",
@@ -43,7 +45,7 @@ impl BandMatrix {
 
     /// Build a band matrix (factor storage) from a dense column-major
     /// `m x n` matrix, keeping only the structural band.
-    pub fn from_dense(m: usize, n: usize, kl: usize, ku: usize, dense: &[f64]) -> Result<Self> {
+    pub fn from_dense(m: usize, n: usize, kl: usize, ku: usize, dense: &[S]) -> Result<Self> {
         if dense.len() < m * n {
             return Err(BandError::BufferTooSmall {
                 arg: "dense",
@@ -64,9 +66,9 @@ impl BandMatrix {
 
     /// Expand to a dense column-major `m x n` matrix (structural band only;
     /// fill-in rows are ignored).
-    pub fn to_dense(&self) -> Vec<f64> {
+    pub fn to_dense(&self) -> Vec<S> {
         let l = &self.layout;
-        let mut dense = vec![0.0; l.m * l.n];
+        let mut dense = vec![S::ZERO; l.m * l.n];
         for j in 0..l.n {
             let (s, e) = l.col_rows(j);
             for i in s..e {
@@ -77,9 +79,9 @@ impl BandMatrix {
     }
 
     /// Expand to dense including the fill-in region (for inspecting factors).
-    pub fn to_dense_filled(&self) -> Vec<f64> {
+    pub fn to_dense_filled(&self) -> Vec<S> {
         let l = &self.layout;
-        let mut dense = vec![0.0; l.m * l.n];
+        let mut dense = vec![S::ZERO; l.m * l.n];
         for j in 0..l.n {
             let (s, e) = l.col_rows_filled(j);
             for i in s..e {
@@ -97,17 +99,17 @@ impl BandMatrix {
 
     /// Full-matrix element `(i, j)`; zero outside the representable band.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         match self.layout.idx_full(i, j) {
             Some(k) => self.data[k],
-            None => 0.0,
+            None => S::ZERO,
         }
     }
 
     /// Set full-matrix element `(i, j)`. Panics (debug) / ignores (release is
     /// not allowed — it panics too) when outside the representable band.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
         let k = self
             .layout
             .idx_full(i, j)
@@ -117,23 +119,23 @@ impl BandMatrix {
 
     /// Raw band array (column-major `ldab x n`).
     #[inline]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable raw band array.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Consume into the raw band array.
-    pub fn into_data(self) -> Vec<f64> {
+    pub fn into_data(self) -> Vec<S> {
         self.data
     }
 
     /// Borrowed read-only view.
-    pub fn as_ref(&self) -> BandMatrixRef<'_> {
+    pub fn as_ref(&self) -> BandMatrixRef<'_, S> {
         BandMatrixRef {
             layout: self.layout,
             data: &self.data,
@@ -141,7 +143,7 @@ impl BandMatrix {
     }
 
     /// Borrowed mutable view.
-    pub fn as_mut(&mut self) -> BandMatrixMut<'_> {
+    pub fn as_mut(&mut self) -> BandMatrixMut<'_, S> {
         BandMatrixMut {
             layout: self.layout,
             data: &mut self.data,
@@ -149,25 +151,28 @@ impl BandMatrix {
     }
 
     /// Infinity norm of the (structural) band matrix.
-    pub fn norm_inf(&self) -> f64 {
+    pub fn norm_inf(&self) -> S {
         let l = &self.layout;
-        let mut row_sums = vec![0.0f64; l.m];
+        let mut row_sums = vec![S::ZERO; l.m];
         for j in 0..l.n {
             let (s, e) = l.col_rows(j);
             for i in s..e {
                 row_sums[i] += self.get(i, j).abs();
             }
         }
-        row_sums.into_iter().fold(0.0, f64::max)
+        row_sums.into_iter().fold(S::ZERO, S::max)
     }
 
     /// One norm (max column sum) of the structural band matrix.
-    pub fn norm_one(&self) -> f64 {
+    pub fn norm_one(&self) -> S {
         let l = &self.layout;
-        let mut best = 0.0f64;
+        let mut best = S::ZERO;
         for j in 0..l.n {
             let (s, e) = l.col_rows(j);
-            let sum: f64 = (s..e).map(|i| self.get(i, j).abs()).sum();
+            let mut sum = S::ZERO;
+            for i in s..e {
+                sum += self.get(i, j).abs();
+            }
             best = best.max(sum);
         }
         best
@@ -194,25 +199,25 @@ impl BandMatrix {
 
 /// Read-only borrowed band matrix.
 #[derive(Debug, Clone, Copy)]
-pub struct BandMatrixRef<'a> {
+pub struct BandMatrixRef<'a, S: Scalar = f64> {
     /// Layout descriptor.
     pub layout: BandLayout,
     /// Band array.
-    pub data: &'a [f64],
+    pub data: &'a [S],
 }
 
-impl<'a> BandMatrixRef<'a> {
+impl<'a, S: Scalar> BandMatrixRef<'a, S> {
     /// Full-matrix element `(i, j)`; zero outside the representable band.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         match self.layout.idx_full(i, j) {
             Some(k) => self.data[k],
-            None => 0.0,
+            None => S::ZERO,
         }
     }
 
     /// Clone into an owned matrix.
-    pub fn to_owned(&self) -> BandMatrix {
+    pub fn to_owned(&self) -> BandMatrix<S> {
         BandMatrix {
             layout: self.layout,
             data: self.data.to_vec(),
@@ -222,26 +227,26 @@ impl<'a> BandMatrixRef<'a> {
 
 /// Mutable borrowed band matrix.
 #[derive(Debug)]
-pub struct BandMatrixMut<'a> {
+pub struct BandMatrixMut<'a, S: Scalar = f64> {
     /// Layout descriptor.
     pub layout: BandLayout,
     /// Band array.
-    pub data: &'a mut [f64],
+    pub data: &'a mut [S],
 }
 
-impl<'a> BandMatrixMut<'a> {
+impl<'a, S: Scalar> BandMatrixMut<'a, S> {
     /// Full-matrix element `(i, j)`; zero outside the representable band.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         match self.layout.idx_full(i, j) {
             Some(k) => self.data[k],
-            None => 0.0,
+            None => S::ZERO,
         }
     }
 
     /// Set full-matrix element `(i, j)`.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
         let k = self
             .layout
             .idx_full(i, j)
@@ -250,7 +255,7 @@ impl<'a> BandMatrixMut<'a> {
     }
 
     /// Downgrade to a read-only view.
-    pub fn as_ref(&self) -> BandMatrixRef<'_> {
+    pub fn as_ref(&self) -> BandMatrixRef<'_, S> {
         BandMatrixRef {
             layout: self.layout,
             data: self.data,

@@ -9,17 +9,19 @@
 use crate::band::{BandMatrixMut, BandMatrixRef};
 use crate::error::{BandError, Result};
 use crate::layout::BandLayout;
+use crate::scalar::Scalar;
 
 /// A uniform batch of band matrices (same `m, n, kl, ku, ldab`), stored
-/// contiguously matrix-after-matrix.
+/// contiguously matrix-after-matrix. Generic over the element [`Scalar`];
+/// defaults to the paper's `f64`.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BandBatch {
+pub struct BandBatch<S: Scalar = f64> {
     layout: BandLayout,
     batch: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl BandBatch {
+impl<S: Scalar> BandBatch<S> {
     /// Zero-initialized batch in factor storage.
     pub fn zeros(batch: usize, m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
         let layout = BandLayout::factor(m, n, kl, ku)?;
@@ -31,7 +33,7 @@ impl BandBatch {
         }
         Ok(BandBatch {
             batch,
-            data: vec![0.0; layout.len() * batch],
+            data: vec![S::ZERO; layout.len() * batch],
             layout,
         })
     }
@@ -49,7 +51,7 @@ impl BandBatch {
         }
         Ok(BandBatch {
             batch,
-            data: vec![0.0; layout.len() * batch],
+            data: vec![S::ZERO; layout.len() * batch],
             layout,
         })
     }
@@ -61,7 +63,7 @@ impl BandBatch {
         n: usize,
         kl: usize,
         ku: usize,
-        mut fill: impl FnMut(usize, &mut BandMatrixMut<'_>),
+        mut fill: impl FnMut(usize, &mut BandMatrixMut<'_, S>),
     ) -> Result<Self> {
         let mut b = Self::zeros(batch, m, n, kl, ku)?;
         let layout = b.layout;
@@ -98,7 +100,7 @@ impl BandBatch {
 
     /// Read-only view of matrix `id`.
     #[must_use]
-    pub fn matrix(&self, id: usize) -> BandMatrixRef<'_> {
+    pub fn matrix(&self, id: usize) -> BandMatrixRef<'_, S> {
         assert!(
             id < self.batch,
             "matrix id {id} out of range (< {})",
@@ -112,7 +114,7 @@ impl BandBatch {
     }
 
     /// Mutable view of matrix `id`.
-    pub fn matrix_mut(&mut self, id: usize) -> BandMatrixMut<'_> {
+    pub fn matrix_mut(&mut self, id: usize) -> BandMatrixMut<'_, S> {
         assert!(
             id < self.batch,
             "matrix id {id} out of range (< {})",
@@ -127,12 +129,12 @@ impl BandBatch {
     }
 
     /// Iterator over per-matrix band arrays (the `double**` view).
-    pub fn chunks(&self) -> impl Iterator<Item = &[f64]> {
+    pub fn chunks(&self) -> impl Iterator<Item = &[S]> {
         self.data.chunks(self.layout.len())
     }
 
     /// Mutable iterator over per-matrix band arrays.
-    pub fn chunks_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+    pub fn chunks_mut(&mut self) -> impl Iterator<Item = &mut [S]> {
         let s = self.layout.len();
         self.data.chunks_mut(s)
     }
@@ -140,13 +142,13 @@ impl BandBatch {
     /// Whole contiguous storage.
     #[inline]
     #[must_use]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Whole contiguous storage, mutable.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
@@ -154,7 +156,7 @@ impl BandBatch {
     #[inline]
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f64>()
+        self.data.len() * S::BYTES
     }
 }
 
@@ -341,15 +343,15 @@ impl InfoArray {
 /// Batch of right-hand-side / solution blocks: each matrix gets an
 /// `ldb x nrhs` column-major block (`ldb >= n`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct RhsBatch {
+pub struct RhsBatch<S: Scalar = f64> {
     n: usize,
     nrhs: usize,
     ldb: usize,
     batch: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl RhsBatch {
+impl<S: Scalar> RhsBatch<S> {
     /// Zero RHS batch with minimal `ldb = n`.
     pub fn zeros(batch: usize, n: usize, nrhs: usize) -> Result<Self> {
         Self::zeros_with_ldb(batch, n, nrhs, n)
@@ -374,7 +376,7 @@ impl RhsBatch {
             nrhs,
             ldb,
             batch,
-            data: vec![0.0; ldb * nrhs * batch],
+            data: vec![S::ZERO; ldb * nrhs * batch],
         })
     }
 
@@ -383,7 +385,7 @@ impl RhsBatch {
         batch: usize,
         n: usize,
         nrhs: usize,
-        mut value: impl FnMut(usize, usize, usize) -> f64,
+        mut value: impl FnMut(usize, usize, usize) -> S,
     ) -> Result<Self> {
         let mut b = Self::zeros(batch, n, nrhs)?;
         for id in 0..batch {
@@ -434,45 +436,45 @@ impl RhsBatch {
 
     /// RHS block of matrix `id` (`ldb x nrhs`, column-major).
     #[must_use]
-    pub fn block(&self, id: usize) -> &[f64] {
+    pub fn block(&self, id: usize) -> &[S] {
         let s = self.block_stride();
         &self.data[id * s..(id + 1) * s]
     }
 
     /// Mutable RHS block of matrix `id`.
-    pub fn block_mut(&mut self, id: usize) -> &mut [f64] {
+    pub fn block_mut(&mut self, id: usize) -> &mut [S] {
         let s = self.block_stride();
         &mut self.data[id * s..(id + 1) * s]
     }
 
     /// Mutable iterator over per-matrix blocks.
-    pub fn blocks_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+    pub fn blocks_mut(&mut self) -> impl Iterator<Item = &mut [S]> {
         let s = self.block_stride();
         self.data.chunks_mut(s)
     }
 
     /// Read iterator over per-matrix blocks.
-    pub fn blocks(&self) -> impl Iterator<Item = &[f64]> {
+    pub fn blocks(&self) -> impl Iterator<Item = &[S]> {
         self.data.chunks(self.block_stride())
     }
 
     /// Element `(row, rhs_col)` of matrix `id`.
     #[inline]
     #[must_use]
-    pub fn get(&self, id: usize, row: usize, col: usize) -> f64 {
+    pub fn get(&self, id: usize, row: usize, col: usize) -> S {
         self.block(id)[col * self.ldb + row]
     }
 
     /// Whole contiguous storage.
     #[inline]
     #[must_use]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Whole contiguous storage, mutable.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
@@ -480,7 +482,7 @@ impl RhsBatch {
     #[inline]
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f64>()
+        self.data.len() * S::BYTES
     }
 }
 
@@ -512,7 +514,7 @@ mod tests {
 
     #[test]
     fn band_batch_chunk_stride() {
-        let b = BandBatch::zeros(2, 5, 5, 2, 1).unwrap();
+        let b = BandBatch::<f64>::zeros(2, 5, 5, 2, 1).unwrap();
         assert_eq!(b.matrix_stride(), b.layout().len());
         assert_eq!(b.chunks().count(), 2);
         assert_eq!(b.bytes(), 2 * b.layout().len() * 8);
@@ -521,7 +523,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn band_batch_bad_id_panics() {
-        let b = BandBatch::zeros(2, 3, 3, 1, 1).unwrap();
+        let b = BandBatch::<f64>::zeros(2, 3, 3, 1, 1).unwrap();
         let _ = b.matrix(2);
     }
 
@@ -566,10 +568,10 @@ mod tests {
     fn band_batch_zeros_with_layout() {
         use crate::layout::BandStorage;
         let l = BandLayout::with_ldab(6, 6, 1, 1, 5, BandStorage::Factor).unwrap();
-        let b = BandBatch::zeros_with_layout(l, 3).unwrap();
+        let b = BandBatch::<f64>::zeros_with_layout(l, 3).unwrap();
         assert_eq!(b.layout(), l);
         assert_eq!(b.data().len(), l.len() * 3);
-        assert!(BandBatch::zeros_with_layout(l, 0).is_err());
+        assert!(BandBatch::<f64>::zeros_with_layout(l, 0).is_err());
     }
 
     #[test]
@@ -605,7 +607,7 @@ mod tests {
 
     #[test]
     fn rhs_validates_ldb() {
-        assert!(RhsBatch::zeros_with_ldb(1, 4, 1, 3).is_err());
-        assert!(RhsBatch::zeros_with_ldb(1, 4, 1, 6).is_ok());
+        assert!(RhsBatch::<f64>::zeros_with_ldb(1, 4, 1, 3).is_err());
+        assert!(RhsBatch::<f64>::zeros_with_ldb(1, 4, 1, 6).is_ok());
     }
 }

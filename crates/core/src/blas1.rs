@@ -4,14 +4,20 @@
 //! The strided variants mirror how LAPACK's `dgbtf2` walks *rows* of the band
 //! array with stride `ldab - 1` (moving one column right moves one band row
 //! up).
+//!
+//! Every routine is generic over the element [`Scalar`] (`f32`/`f64`); the
+//! `f64` instantiations compile to the exact operation sequence of the
+//! original concrete code.
+
+use crate::scalar::Scalar;
 
 /// Index of the element with the largest absolute value (`idamax`), 0-based.
 /// Ties resolve to the first occurrence, like the reference BLAS.
 /// Returns 0 for an empty slice.
 #[inline]
-pub fn iamax(x: &[f64]) -> usize {
+pub fn iamax<S: Scalar>(x: &[S]) -> usize {
     let mut best = 0usize;
-    let mut best_val = f64::MIN;
+    let mut best_val = S::MIN;
     for (k, &v) in x.iter().enumerate() {
         let a = v.abs();
         if a > best_val {
@@ -28,9 +34,9 @@ pub fn iamax(x: &[f64]) -> usize {
 
 /// Strided `idamax` over `n` elements starting at `off` with stride `inc`.
 #[inline]
-pub fn iamax_strided(x: &[f64], off: usize, inc: usize, n: usize) -> usize {
+pub fn iamax_strided<S: Scalar>(x: &[S], off: usize, inc: usize, n: usize) -> usize {
     let mut best = 0usize;
-    let mut best_val = -1.0f64;
+    let mut best_val = S::from_f64(-1.0);
     for k in 0..n {
         let a = x[off + k * inc].abs();
         if a > best_val {
@@ -43,7 +49,7 @@ pub fn iamax_strided(x: &[f64], off: usize, inc: usize, n: usize) -> usize {
 
 /// `x *= alpha` (`dscal`).
 #[inline]
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
     for v in x {
         *v *= alpha;
     }
@@ -51,7 +57,7 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 
 /// `y += alpha * x` (`daxpy`); slices must have equal length.
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
@@ -60,9 +66,13 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 
 /// Dot product (`ddot`).
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    let mut acc = S::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
 }
 
 /// Swap two equally-strided element sequences inside one buffer (`dswap`
@@ -72,7 +82,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// `off1`/`off2` are starting flat indices; the sequences must not overlap.
 #[inline]
-pub fn swap_strided(x: &mut [f64], off1: usize, off2: usize, inc: usize, n: usize) {
+pub fn swap_strided<S: Scalar>(x: &mut [S], off1: usize, off2: usize, inc: usize, n: usize) {
     debug_assert_ne!(off1, off2, "swap of a sequence with itself");
     for k in 0..n {
         x.swap(off1 + k * inc, off2 + k * inc);
@@ -81,14 +91,18 @@ pub fn swap_strided(x: &mut [f64], off1: usize, off2: usize, inc: usize, n: usiz
 
 /// Infinity norm of a vector.
 #[inline]
-pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+pub fn norm_inf<S: Scalar>(x: &[S]) -> S {
+    x.iter().fold(S::ZERO, |m, &v| m.max(v.abs()))
 }
 
 /// Euclidean norm of a vector (naive; fine for test/diagnostic use).
 #[inline]
-pub fn norm2(x: &[f64]) -> f64 {
-    x.iter().map(|&v| v * v).sum::<f64>().sqrt()
+pub fn norm2<S: Scalar>(x: &[S]) -> S {
+    let mut acc = S::ZERO;
+    for &v in x {
+        acc += v * v;
+    }
+    acc.sqrt()
 }
 
 #[cfg(test)]
@@ -100,7 +114,7 @@ mod tests {
         assert_eq!(iamax(&[1.0, -5.0, 3.0]), 1);
         assert_eq!(iamax(&[-2.0, 2.0]), 0, "ties resolve to first");
         assert_eq!(iamax(&[0.0]), 0);
-        assert_eq!(iamax(&[]), 0);
+        assert_eq!(iamax::<f64>(&[]), 0);
     }
 
     #[test]
@@ -123,7 +137,7 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
-        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
     }
 
     #[test]
@@ -141,6 +155,6 @@ mod tests {
     fn norms() {
         assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
         assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
-        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(norm_inf::<f64>(&[]), 0.0);
     }
 }

@@ -2,24 +2,25 @@
 //! rank-1 update, used by solves, residual checks and workloads.
 
 use crate::band::BandMatrixRef;
+use crate::scalar::Scalar;
 
 /// `y = alpha * A * x + beta * y` for a band matrix in either storage
 /// flavour (uses the *structural* band only, so it is valid on unfactored
 /// matrices). `x.len() == n`, `y.len() == m`.
-pub fn gbmv(alpha: f64, a: BandMatrixRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gbmv<S: Scalar>(alpha: S, a: BandMatrixRef<'_, S>, x: &[S], beta: S, y: &mut [S]) {
     let l = a.layout;
     debug_assert_eq!(x.len(), l.n);
     debug_assert_eq!(y.len(), l.m);
-    if beta == 0.0 {
-        y.fill(0.0);
-    } else if beta != 1.0 {
+    if beta == S::ZERO {
+        y.fill(S::ZERO);
+    } else if beta != S::ONE {
         for v in y.iter_mut() {
             *v *= beta;
         }
     }
     for j in 0..l.n {
         let xj = alpha * x[j];
-        if xj == 0.0 {
+        if xj == S::ZERO {
             continue;
         }
         let (s, e) = l.col_rows(j);
@@ -31,20 +32,20 @@ pub fn gbmv(alpha: f64, a: BandMatrixRef<'_>, x: &[f64], beta: f64, y: &mut [f64
 
 /// `y = alpha * A^T * x + beta * y` for a band matrix (structural band).
 /// `x.len() == m`, `y.len() == n`.
-pub fn gbmv_t(alpha: f64, a: BandMatrixRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gbmv_t<S: Scalar>(alpha: S, a: BandMatrixRef<'_, S>, x: &[S], beta: S, y: &mut [S]) {
     let l = a.layout;
     debug_assert_eq!(x.len(), l.m);
     debug_assert_eq!(y.len(), l.n);
-    if beta == 0.0 {
-        y.fill(0.0);
-    } else if beta != 1.0 {
+    if beta == S::ZERO {
+        y.fill(S::ZERO);
+    } else if beta != S::ONE {
         for v in y.iter_mut() {
             *v *= beta;
         }
     }
     for j in 0..l.n {
         let (s, e) = l.col_rows(j);
-        let mut acc = 0.0;
+        let mut acc = S::ZERO;
         for i in s..e {
             acc += a.get(i, j) * x[i];
         }
@@ -54,11 +55,11 @@ pub fn gbmv_t(alpha: f64, a: BandMatrixRef<'_>, x: &[f64], beta: f64, y: &mut [f
 
 /// Dense column-major rank-1 update: `A += alpha * x * y^T`,
 /// `A` is `m x n` with leading dimension `lda`.
-pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], lda: usize) {
+pub fn ger<S: Scalar>(m: usize, n: usize, alpha: S, x: &[S], y: &[S], a: &mut [S], lda: usize) {
     debug_assert!(x.len() >= m && y.len() >= n && a.len() >= lda * n);
     for j in 0..n {
         let yj = alpha * y[j];
-        if yj == 0.0 {
+        if yj == S::ZERO {
             continue;
         }
         let col = &mut a[j * lda..j * lda + m];
@@ -70,27 +71,27 @@ pub fn ger(m: usize, n: usize, alpha: f64, x: &[f64], y: &[f64], a: &mut [f64], 
 
 /// Dense column-major `y = alpha * A * x + beta * y` (`A` is `m x n`).
 #[allow(clippy::too_many_arguments)] // BLAS signature fidelity
-pub fn gemv(
+pub fn gemv<S: Scalar>(
     m: usize,
     n: usize,
-    alpha: f64,
-    a: &[f64],
+    alpha: S,
+    a: &[S],
     lda: usize,
-    x: &[f64],
-    beta: f64,
-    y: &mut [f64],
+    x: &[S],
+    beta: S,
+    y: &mut [S],
 ) {
     debug_assert!(a.len() >= lda * n && x.len() >= n && y.len() >= m);
-    if beta == 0.0 {
-        y[..m].fill(0.0);
-    } else if beta != 1.0 {
+    if beta == S::ZERO {
+        y[..m].fill(S::ZERO);
+    } else if beta != S::ONE {
         for v in y[..m].iter_mut() {
             *v *= beta;
         }
     }
     for j in 0..n {
         let xj = alpha * x[j];
-        if xj == 0.0 {
+        if xj == S::ZERO {
             continue;
         }
         let col = &a[j * lda..j * lda + m];

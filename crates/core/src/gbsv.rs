@@ -4,6 +4,7 @@
 use crate::gbtrf::gbtrf;
 use crate::gbtrs::{gbtrs, Transpose};
 use crate::layout::BandLayout;
+use crate::scalar::Scalar;
 
 /// Solve `A x = b` for a band matrix: factorize in place, then solve.
 ///
@@ -14,11 +15,11 @@ use crate::layout::BandLayout;
 /// Returns the LAPACK info code from the factorization. When `info != 0`
 /// the triangular solve is **not** performed (exactly like `DGBSV`) and `b`
 /// is left as the (pivoted) input.
-pub fn gbsv(
+pub fn gbsv<S: Scalar>(
     l: &BandLayout,
-    ab: &mut [f64],
+    ab: &mut [S],
     ipiv: &mut [i32],
-    b: &mut [f64],
+    b: &mut [S],
     ldb: usize,
     nrhs: usize,
 ) -> i32 {

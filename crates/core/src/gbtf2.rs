@@ -10,6 +10,7 @@
 //! `j + jp` were swapped at step `j`.
 
 use crate::layout::{update_bound, BandLayout};
+use crate::scalar::Scalar;
 
 /// State carried across column steps of the factorization.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,12 +24,12 @@ pub struct ColumnStepState {
 /// Zero the fill-in rows of the columns that become reachable before the
 /// main loop starts: LAPACK `DGBTF2` prologue (columns `ku+1 .. min(kv, n)`
 /// 0-based, band rows `kv - j .. kl`).
-pub fn set_fillin_prologue(l: &BandLayout, ab: &mut [f64]) {
+pub fn set_fillin_prologue<S: Scalar>(l: &BandLayout, ab: &mut [S]) {
     let kv = l.kv();
     let hi = kv.min(l.n);
     for j in (l.ku + 1)..hi {
         for i in (kv - j)..l.kl {
-            ab[l.idx(i, j)] = 0.0;
+            ab[l.idx(i, j)] = S::ZERO;
         }
     }
 }
@@ -36,11 +37,11 @@ pub fn set_fillin_prologue(l: &BandLayout, ab: &mut [f64]) {
 /// `SET_FILLIN` for the main loop: when column `j + kv` enters the window,
 /// zero its `kl` fill rows.
 #[inline]
-pub fn set_fillin_step(l: &BandLayout, ab: &mut [f64], j: usize) {
+pub fn set_fillin_step<S: Scalar>(l: &BandLayout, ab: &mut [S], j: usize) {
     let kv = l.kv();
     if j + kv < l.n {
         for i in 0..l.kl {
-            ab[l.idx(i, j + kv)] = 0.0;
+            ab[l.idx(i, j + kv)] = S::ZERO;
         }
     }
 }
@@ -48,12 +49,12 @@ pub fn set_fillin_step(l: &BandLayout, ab: &mut [f64], j: usize) {
 /// `IAMAX` over the pivot candidates of column `j`: the diagonal plus the
 /// `km` sub-diagonal entries. Returns the 0-based offset `jp` (`0..=km`).
 #[inline]
-pub fn pivot_search(l: &BandLayout, ab: &[f64], j: usize) -> usize {
+pub fn pivot_search<S: Scalar>(l: &BandLayout, ab: &[S], j: usize) -> usize {
     let kv = l.kv();
     let km = l.km(j);
     let base = l.idx(kv, j);
     let mut jp = 0usize;
-    let mut best = -1.0f64;
+    let mut best = S::from_f64(-1.0);
     for k in 0..=km {
         let a = ab[base + k].abs();
         if a > best {
@@ -68,7 +69,7 @@ pub fn pivot_search(l: &BandLayout, ab: &[f64], j: usize) -> usize {
 /// `j ..= ju` ("swap to the right only", paper §5.1 — the part of row `j`
 /// left of the diagonal belongs to `L` and stays in place).
 #[inline]
-pub fn swap_step(l: &BandLayout, ab: &mut [f64], j: usize, jp: usize, ju: usize) {
+pub fn swap_step<S: Scalar>(l: &BandLayout, ab: &mut [S], j: usize, jp: usize, ju: usize) {
     if jp == 0 {
         return;
     }
@@ -81,12 +82,12 @@ pub fn swap_step(l: &BandLayout, ab: &mut [f64], j: usize, jp: usize, ju: usize)
 /// `SCAL`: divide the `km` sub-diagonal entries of column `j` by the pivot,
 /// forming the multipliers of `L`.
 #[inline]
-pub fn scal_step(l: &BandLayout, ab: &mut [f64], j: usize) {
+pub fn scal_step<S: Scalar>(l: &BandLayout, ab: &mut [S], j: usize) {
     let kv = l.kv();
     let km = l.km(j);
     let piv = ab[l.idx(kv, j)];
-    debug_assert!(piv != 0.0);
-    let inv = 1.0 / piv;
+    debug_assert!(piv != S::ZERO);
+    let inv = S::ONE / piv;
     let base = l.idx(kv, j);
     for k in 1..=km {
         ab[base + k] *= inv;
@@ -97,7 +98,7 @@ pub fn scal_step(l: &BandLayout, ab: &mut [f64], j: usize) {
 /// where `l_j` are the multipliers and `u_j` is row `j` of `U` (walked with
 /// stride `ldab - 1` in band storage).
 #[inline]
-pub fn rank_one_update(l: &BandLayout, ab: &mut [f64], j: usize, ju: usize) {
+pub fn rank_one_update<S: Scalar>(l: &BandLayout, ab: &mut [S], j: usize, ju: usize) {
     let kv = l.kv();
     let km = l.km(j);
     if km == 0 || ju <= j {
@@ -105,7 +106,7 @@ pub fn rank_one_update(l: &BandLayout, ab: &mut [f64], j: usize, ju: usize) {
     }
     for c in 1..=(ju - j) {
         let u = ab[l.idx(kv - c, j + c)];
-        if u == 0.0 {
+        if u == S::ZERO {
             continue;
         }
         let src = l.idx(kv, j);
@@ -119,9 +120,9 @@ pub fn rank_one_update(l: &BandLayout, ab: &mut [f64], j: usize, ju: usize) {
 /// One full column step of the factorization (used by both the sequential
 /// reference below and the simulated-GPU reference implementation).
 /// Returns the pivot offset `jp` chosen at this step.
-pub fn column_step(
+pub fn column_step<S: Scalar>(
     l: &BandLayout,
-    ab: &mut [f64],
+    ab: &mut [S],
     ipiv: &mut [i32],
     j: usize,
     state: &mut ColumnStepState,
@@ -130,7 +131,7 @@ pub fn column_step(
     set_fillin_step(l, ab, j);
     let jp = pivot_search(l, ab, j);
     ipiv[j] = (j + jp) as i32;
-    if ab[l.idx(kv + jp, j)] != 0.0 {
+    if ab[l.idx(kv + jp, j)] != S::ZERO {
         state.ju = update_bound(state.ju.max(j), j, l.ku, jp, l.n);
         swap_step(l, ab, j, jp, state.ju);
         if l.km(j) > 0 {
@@ -151,7 +152,7 @@ pub fn column_step(
 ///
 /// Returns the LAPACK info code: `0` on success, `j > 0` if `U[j-1][j-1]`
 /// is exactly zero (factorization completed; solves will divide by zero).
-pub fn gbtf2(l: &BandLayout, ab: &mut [f64], ipiv: &mut [i32]) -> i32 {
+pub fn gbtf2<S: Scalar>(l: &BandLayout, ab: &mut [S], ipiv: &mut [i32]) -> i32 {
     debug_assert!(ab.len() >= l.len(), "band array too short");
     debug_assert!(ipiv.len() >= l.m.min(l.n), "pivot array too short");
     debug_assert!(l.row_offset == l.kv(), "gbtf2 requires factor storage");

@@ -10,6 +10,7 @@
 
 use crate::gbtf2::{column_step, set_fillin_prologue, ColumnStepState};
 use crate::layout::BandLayout;
+use crate::scalar::Scalar;
 
 /// Block-size crossover mirroring LAPACK: bands narrower than this run the
 /// unblocked code.
@@ -20,7 +21,7 @@ pub const GBTRF_NB: usize = 32;
 ///
 /// Returns the LAPACK info code (0, or 1-based index of the first zero
 /// pivot).
-pub fn gbtrf(l: &BandLayout, ab: &mut [f64], ipiv: &mut [i32]) -> i32 {
+pub fn gbtrf<S: Scalar>(l: &BandLayout, ab: &mut [S], ipiv: &mut [i32]) -> i32 {
     if l.kl < GBTRF_NB && l.ku < GBTRF_NB {
         crate::gbtf2::gbtf2(l, ab, ipiv)
     } else {
@@ -33,7 +34,7 @@ pub fn gbtrf(l: &BandLayout, ab: &mut [f64], ipiv: &mut [i32]) -> i32 {
 /// factors are bit-for-bit identical to `gbtf2`. The blocking exists to
 /// model cache-friendly panel traversal on the CPU baseline (the sliding
 /// window of the paper's GPU kernel is the same idea in shared memory).
-pub fn gbtrf_blocked(l: &BandLayout, ab: &mut [f64], ipiv: &mut [i32], nb: usize) -> i32 {
+pub fn gbtrf_blocked<S: Scalar>(l: &BandLayout, ab: &mut [S], ipiv: &mut [i32], nb: usize) -> i32 {
     debug_assert!(nb > 0);
     set_fillin_prologue(l, ab);
     let kmin = l.m.min(l.n);

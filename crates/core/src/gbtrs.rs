@@ -10,6 +10,7 @@
 //! factorization is `kv = kl + ku`.
 
 use crate::layout::BandLayout;
+use crate::scalar::Scalar;
 
 /// Which system to solve: `A x = b` or `A^T x = b`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,12 +25,12 @@ pub enum Transpose {
 /// RHS block and eliminate with the stored multipliers (the paper's
 /// per-column kernel pair). `b` is `ldb x nrhs` column-major.
 #[inline]
-pub fn forward_step(
+pub fn forward_step<S: Scalar>(
     l: &BandLayout,
-    ab: &[f64],
+    ab: &[S],
     ipiv: &[i32],
     j: usize,
-    b: &mut [f64],
+    b: &mut [S],
     ldb: usize,
     nrhs: usize,
 ) {
@@ -46,7 +47,7 @@ pub fn forward_step(
         let base = l.idx(kv, j);
         for c in 0..nrhs {
             let bj = b[c * ldb + j];
-            if bj == 0.0 {
+            if bj == S::ZERO {
                 continue;
             }
             for i in 1..=lm {
@@ -59,14 +60,14 @@ pub fn forward_step(
 /// Backward substitution on the banded `U` factor (upper bandwidth `kv`),
 /// one RHS column at a time (`DTBSV('U','N','N')` semantics).
 #[inline]
-pub fn backward_solve(l: &BandLayout, ab: &[f64], b: &mut [f64], ldb: usize, nrhs: usize) {
+pub fn backward_solve<S: Scalar>(l: &BandLayout, ab: &[S], b: &mut [S], ldb: usize, nrhs: usize) {
     let n = l.n;
     let kv = l.kv();
     for c in 0..nrhs {
         for j in (0..n).rev() {
             let bj = b[c * ldb + j] / ab[l.idx(kv, j)];
             b[c * ldb + j] = bj;
-            if bj != 0.0 {
+            if bj != S::ZERO {
                 let reach = kv.min(j);
                 for i in 1..=reach {
                     b[c * ldb + j - i] -= ab[l.idx(kv - i, j)] * bj;
@@ -79,7 +80,7 @@ pub fn backward_solve(l: &BandLayout, ab: &[f64], b: &mut [f64], ldb: usize, nrh
 /// Forward substitution on the banded `U^T` factor (`DTBSV('U','T','N')`),
 /// used by the transpose solve.
 #[inline]
-pub fn forward_solve_ut(l: &BandLayout, ab: &[f64], b: &mut [f64], ldb: usize, nrhs: usize) {
+pub fn forward_solve_ut<S: Scalar>(l: &BandLayout, ab: &[S], b: &mut [S], ldb: usize, nrhs: usize) {
     let n = l.n;
     let kv = l.kv();
     for c in 0..nrhs {
@@ -98,11 +99,11 @@ pub fn forward_solve_ut(l: &BandLayout, ab: &[f64], b: &mut [f64], ldb: usize, n
 /// Backward pass of the transpose solve: apply `L^T` eliminations and the
 /// pivots in reverse order.
 #[inline]
-pub fn backward_lt(
+pub fn backward_lt<S: Scalar>(
     l: &BandLayout,
-    ab: &[f64],
+    ab: &[S],
     ipiv: &[i32],
-    b: &mut [f64],
+    b: &mut [S],
     ldb: usize,
     nrhs: usize,
 ) {
@@ -117,7 +118,7 @@ pub fn backward_lt(
         let base = l.idx(kv, j);
         for c in 0..nrhs {
             // b[j] -= l_j^T * b[j+1 .. j+lm]
-            let mut acc = 0.0;
+            let mut acc = S::ZERO;
             for i in 1..=lm {
                 acc += ab[base + i] * b[c * ldb + j + i];
             }
@@ -137,12 +138,12 @@ pub fn backward_lt(
 /// [`crate::gbtrf::gbtrf`]. Requires a square system (`l.m == l.n`).
 ///
 /// `b` (`ldb x nrhs`, column-major, `ldb >= n`) is overwritten with `x`.
-pub fn gbtrs(
+pub fn gbtrs<S: Scalar>(
     trans: Transpose,
     l: &BandLayout,
-    ab: &[f64],
+    ab: &[S],
     ipiv: &[i32],
-    b: &mut [f64],
+    b: &mut [S],
     ldb: usize,
     nrhs: usize,
 ) {

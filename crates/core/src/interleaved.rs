@@ -21,6 +21,7 @@
 use crate::batch::BandBatch;
 use crate::error::{BandError, Result};
 use crate::layout::BandLayout;
+use crate::scalar::Scalar;
 
 /// A uniform batch of band matrices in batch-major (interleaved) storage.
 ///
@@ -28,13 +29,13 @@ use crate::layout::BandLayout;
 /// matrix), different element order: the batch lane of each band element is
 /// contiguous.
 #[derive(Debug, Clone, PartialEq)]
-pub struct InterleavedBandBatch {
+pub struct InterleavedBandBatch<S: Scalar = f64> {
     layout: BandLayout,
     batch: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl InterleavedBandBatch {
+impl<S: Scalar> InterleavedBandBatch<S> {
     /// Zero-initialized interleaved batch in factor storage.
     pub fn zeros(batch: usize, m: usize, n: usize, kl: usize, ku: usize) -> Result<Self> {
         let layout = BandLayout::factor(m, n, kl, ku)?;
@@ -53,7 +54,7 @@ impl InterleavedBandBatch {
         Ok(InterleavedBandBatch {
             layout,
             batch,
-            data: vec![0.0; layout.len() * batch],
+            data: vec![S::ZERO; layout.len() * batch],
         })
     }
 
@@ -61,11 +62,11 @@ impl InterleavedBandBatch {
     /// every one of the `ldab * n * batch` stored elements is carried over,
     /// fill/padding rows included).
     #[must_use = "returns the interleaved copy; the source is unchanged"]
-    pub fn from_batch(src: &BandBatch) -> Self {
+    pub fn from_batch(src: &BandBatch<S>) -> Self {
         let layout = src.layout();
         let batch = src.batch();
         let len = layout.len();
-        let mut data = vec![0.0; len * batch];
+        let mut data = vec![S::ZERO; len * batch];
         // Read each matrix contiguously, scatter with stride `batch`.
         for (b, m) in src.chunks().enumerate() {
             for (e, &v) in m.iter().enumerate() {
@@ -82,7 +83,7 @@ impl InterleavedBandBatch {
     /// Transpose back to a column-major [`BandBatch`] (exact inverse of
     /// [`InterleavedBandBatch::from_batch`]).
     #[must_use = "returns the column-major copy; the source is unchanged"]
-    pub fn to_batch(&self) -> BandBatch {
+    pub fn to_batch(&self) -> BandBatch<S> {
         let len = self.layout.len();
         let mut out = BandBatch::zeros_with_layout(self.layout, self.batch)
             .expect("layout/batch already validated");
@@ -121,14 +122,14 @@ impl InterleavedBandBatch {
     /// the value of matrix `b`.
     #[inline]
     #[must_use]
-    pub fn lanes(&self, band_row: usize, j: usize) -> &[f64] {
+    pub fn lanes(&self, band_row: usize, j: usize) -> &[S] {
         let e = self.lane_index(band_row, j);
         &self.data[e * self.batch..(e + 1) * self.batch]
     }
 
     /// Mutable batch lane of band element `(band_row, j)`.
     #[inline]
-    pub fn lanes_mut(&mut self, band_row: usize, j: usize) -> &mut [f64] {
+    pub fn lanes_mut(&mut self, band_row: usize, j: usize) -> &mut [S] {
         let e = self.lane_index(band_row, j);
         &mut self.data[e * self.batch..(e + 1) * self.batch]
     }
@@ -136,13 +137,13 @@ impl InterleavedBandBatch {
     /// Band element `(band_row, j)` of matrix `id`.
     #[inline]
     #[must_use]
-    pub fn get(&self, id: usize, band_row: usize, j: usize) -> f64 {
+    pub fn get(&self, id: usize, band_row: usize, j: usize) -> S {
         self.lanes(band_row, j)[id]
     }
 
     /// Set band element `(band_row, j)` of matrix `id`.
     #[inline]
-    pub fn set(&mut self, id: usize, band_row: usize, j: usize, v: f64) {
+    pub fn set(&mut self, id: usize, band_row: usize, j: usize, v: S) {
         let b = self.batch;
         let e = self.lane_index(band_row, j);
         self.data[e * b + id] = v;
@@ -151,13 +152,13 @@ impl InterleavedBandBatch {
     /// Whole contiguous storage (batch index innermost).
     #[inline]
     #[must_use]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Whole contiguous storage, mutable.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
@@ -165,7 +166,7 @@ impl InterleavedBandBatch {
     #[inline]
     #[must_use]
     pub fn bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f64>()
+        self.data.len() * S::BYTES
     }
 }
 
@@ -264,12 +265,12 @@ mod tests {
 
     #[test]
     fn zeros_constructors() {
-        let i = InterleavedBandBatch::zeros(4, 6, 6, 1, 2).unwrap();
+        let i = InterleavedBandBatch::<f64>::zeros(4, 6, 6, 1, 2).unwrap();
         assert_eq!(i.batch(), 4);
         assert_eq!(i.layout().ldab, 5); // 2*kl + ku + 1
         assert_eq!(i.data().len(), i.layout().len() * 4);
         assert_eq!(i.bytes(), i.data().len() * 8);
         assert!(i.data().iter().all(|&v| v == 0.0));
-        assert!(InterleavedBandBatch::zeros(0, 6, 6, 1, 2).is_err());
+        assert!(InterleavedBandBatch::<f64>::zeros(0, 6, 6, 1, 2).is_err());
     }
 }

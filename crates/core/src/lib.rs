@@ -26,16 +26,18 @@
 //! - [`residual`] — backward-error measurement used by every test and
 //!   example to certify solutions.
 //!
-//! All routines operate on `f64` (the paper evaluates double precision
-//! exclusively) and use 0-based pivot indices; conversions to LAPACK's
-//! 1-based convention are provided where fidelity matters.
+//! Containers and routines are generic over the element [`scalar::Scalar`]
+//! (`f32` or `f64`), defaulting to `f64` — the precision the paper
+//! evaluates. The `f64` instantiations are bitwise-identical to the
+//! original concrete code. Pivot indices are 0-based; conversions to
+//! LAPACK's 1-based convention are provided where fidelity matters.
 //!
 //! ```
 //! use gbatch_core::{BandMatrix, gbsv::gbsv};
 //!
 //! // Solve a diagonally dominant tridiagonal system.
 //! let n = 8;
-//! let mut a = BandMatrix::zeros_factor(n, n, 1, 1).unwrap();
+//! let mut a = BandMatrix::<f64>::zeros_factor(n, n, 1, 1).unwrap();
 //! for j in 0..n {
 //!     a.set(j, j, 4.0);
 //!     if j > 0 { a.set(j - 1, j, -1.0); a.set(j, j - 1, -1.0); }
@@ -76,6 +78,7 @@ pub mod layout;
 pub mod mixed;
 pub mod pb;
 pub mod residual;
+pub mod scalar;
 pub mod shape;
 pub mod vbatch;
 
@@ -84,6 +87,7 @@ pub use batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 pub use error::{BandError, Result};
 pub use interleaved::InterleavedBandBatch;
 pub use layout::{BandLayout, RowClass};
+pub use scalar::{Precision, Scalar};
 pub use shape::ShapeKey;
 
 /// Machine epsilon for `f64`, used in residual bounds.

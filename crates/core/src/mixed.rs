@@ -8,10 +8,17 @@
 //! `kappa(A) << 1/eps_f32 ~ 1e7`. For worse-conditioned systems the driver
 //! detects stagnation and falls back to a full `f64` solve, so the result
 //! is never worse than the plain path.
+//!
+//! The low-precision leg runs on the *generic* LU stack instantiated at
+//! `f32` ([`crate::gbtf2::gbtf2`] / [`crate::gbtrs::gbtrs`]); the
+//! hand-rolled `gbtf2_f32`/`gbtrs_f32` clones this module used to carry are
+//! gone — the test module pins the generic path bitwise against their exact
+//! original operation sequence.
 
 use crate::band::BandMatrixRef;
 use crate::blas2::gbmv;
-use crate::layout::BandLayout;
+use crate::gbtf2::gbtf2;
+use crate::gbtrs::{gbtrs, Transpose};
 
 /// Maximum refinement sweeps before declaring failure (LAPACK's `DSGESV`
 /// uses 30).
@@ -30,102 +37,6 @@ pub enum MixedOutcome {
     Singular(i32),
 }
 
-/// `f32` unblocked band LU (same algorithm as [`crate::gbtf2::gbtf2`]).
-pub fn gbtf2_f32(l: &BandLayout, ab: &mut [f32], ipiv: &mut [i32]) -> i32 {
-    let (m, n, kl, ku) = (l.m, l.n, l.kl, l.ku);
-    let kv = kl + ku;
-    let ldab = l.ldab;
-    let idx = |r: usize, c: usize| c * ldab + r;
-    // Prologue fill zeroing.
-    for j in (ku + 1)..kv.min(n) {
-        for i in (kv - j)..kl {
-            ab[idx(i, j)] = 0.0;
-        }
-    }
-    let mut ju = 0usize;
-    let mut info = 0i32;
-    for j in 0..m.min(n) {
-        if j + kv < n {
-            for i in 0..kl {
-                ab[idx(i, j + kv)] = 0.0;
-            }
-        }
-        let km = kl.min(m - j - 1);
-        let base = idx(kv, j);
-        let mut jp = 0usize;
-        let mut best = -1.0f32;
-        for k in 0..=km {
-            let a = ab[base + k].abs();
-            if a > best {
-                best = a;
-                jp = k;
-            }
-        }
-        ipiv[j] = (j + jp) as i32;
-        if ab[base + jp] != 0.0 {
-            ju = ju.max((j + ku + jp).min(n - 1));
-            if jp != 0 {
-                for (k, c) in (j..=ju).enumerate() {
-                    ab.swap(idx(kv + jp - k, c), idx(kv - k, c));
-                }
-            }
-            if km > 0 {
-                let inv = 1.0 / ab[base];
-                for k in 1..=km {
-                    ab[base + k] *= inv;
-                }
-                for c in 1..=(ju.saturating_sub(j)) {
-                    let u = ab[idx(kv - c, j + c)];
-                    if u == 0.0 {
-                        continue;
-                    }
-                    let dst = idx(kv - c, j + c);
-                    for i in 1..=km {
-                        ab[dst + i] -= ab[base + i] * u;
-                    }
-                }
-            }
-        } else if info == 0 {
-            info = (j + 1) as i32;
-        }
-    }
-    info
-}
-
-/// `f32` band triangular solve (no transpose), single RHS.
-pub fn gbtrs_f32(l: &BandLayout, ab: &[f32], ipiv: &[i32], b: &mut [f32]) {
-    let n = l.n;
-    let kv = l.kv();
-    let ldab = l.ldab;
-    let idx = |r: usize, c: usize| c * ldab + r;
-    if l.kl > 0 {
-        for j in 0..n.saturating_sub(1) {
-            let lm = l.kl.min(n - 1 - j);
-            let p = ipiv[j] as usize;
-            if p != j {
-                b.swap(p, j);
-            }
-            let bj = b[j];
-            if bj != 0.0 {
-                let base = idx(kv, j);
-                for i in 1..=lm {
-                    b[j + i] -= ab[base + i] * bj;
-                }
-            }
-        }
-    }
-    for j in (0..n).rev() {
-        let bj = b[j] / ab[idx(kv, j)];
-        b[j] = bj;
-        if bj != 0.0 {
-            let reach = kv.min(j);
-            for i in 1..=reach {
-                b[j - i] -= ab[idx(kv - i, j)] * bj;
-            }
-        }
-    }
-}
-
 /// Mixed-precision solve of `A x = b` (single RHS): returns the outcome and
 /// leaves the solution in `x`.
 ///
@@ -137,10 +48,10 @@ pub fn msgbsv(a: BandMatrixRef<'_>, b: &[f64], x: &mut [f64]) -> MixedOutcome {
     debug_assert_eq!(b.len(), n);
     debug_assert_eq!(x.len(), n);
 
-    // f32 copy + factorization.
+    // f32 copy + factorization through the generic kernel.
     let mut ab32: Vec<f32> = a.data.iter().map(|&v| v as f32).collect();
     let mut ipiv = vec![0i32; n];
-    let info = gbtf2_f32(&l, &mut ab32, &mut ipiv);
+    let info = gbtf2::<f32>(&l, &mut ab32, &mut ipiv);
     if info != 0 {
         // An f32 underflow can create spurious zero pivots; try full f64.
         return f64_fallback(a, b, x);
@@ -148,9 +59,9 @@ pub fn msgbsv(a: BandMatrixRef<'_>, b: &[f64], x: &mut [f64]) -> MixedOutcome {
 
     // Initial solve in f32.
     let mut b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
-    gbtrs_f32(&l, &ab32, &ipiv, &mut b32);
+    gbtrs::<f32>(Transpose::No, &l, &ab32, &ipiv, &mut b32, n, 1);
     for (xi, &v) in x.iter_mut().zip(&b32) {
-        *xi = v as f64;
+        *xi = f64::from(v);
     }
 
     let anorm = {
@@ -184,9 +95,9 @@ pub fn msgbsv(a: BandMatrixRef<'_>, b: &[f64], x: &mut [f64]) -> MixedOutcome {
         prev_res = rnorm;
         // Correction in f32.
         let mut r32: Vec<f32> = r.iter().map(|&v| v as f32).collect();
-        gbtrs_f32(&l, &ab32, &ipiv, &mut r32);
+        gbtrs::<f32>(Transpose::No, &l, &ab32, &ipiv, &mut r32, n, 1);
         for (xi, &d) in x.iter_mut().zip(&r32) {
-            *xi += d as f64;
+            *xi += f64::from(d);
         }
     }
     f64_fallback(a, b, x)
@@ -210,7 +121,106 @@ fn f64_fallback(a: BandMatrixRef<'_>, b: &[f64], x: &mut [f64]) -> MixedOutcome 
 mod tests {
     use super::*;
     use crate::band::BandMatrix;
+    use crate::layout::BandLayout;
     use crate::residual::backward_error;
+
+    /// The hand-rolled `f32` band LU this module shipped before the stack
+    /// went precision-generic — kept verbatim as the bitwise oracle for the
+    /// generic `gbtf2::<f32>` path.
+    fn legacy_gbtf2_f32(l: &BandLayout, ab: &mut [f32], ipiv: &mut [i32]) -> i32 {
+        let (m, n, kl, ku) = (l.m, l.n, l.kl, l.ku);
+        let kv = kl + ku;
+        let ldab = l.ldab;
+        let idx = |r: usize, c: usize| c * ldab + r;
+        for j in (ku + 1)..kv.min(n) {
+            for i in (kv - j)..kl {
+                ab[idx(i, j)] = 0.0;
+            }
+        }
+        let mut ju = 0usize;
+        let mut info = 0i32;
+        for j in 0..m.min(n) {
+            if j + kv < n {
+                for i in 0..kl {
+                    ab[idx(i, j + kv)] = 0.0;
+                }
+            }
+            let km = kl.min(m - j - 1);
+            let base = idx(kv, j);
+            let mut jp = 0usize;
+            let mut best = -1.0f32;
+            for k in 0..=km {
+                let a = ab[base + k].abs();
+                if a > best {
+                    best = a;
+                    jp = k;
+                }
+            }
+            ipiv[j] = (j + jp) as i32;
+            if ab[base + jp] != 0.0 {
+                ju = ju.max((j + ku + jp).min(n - 1));
+                if jp != 0 {
+                    for (k, c) in (j..=ju).enumerate() {
+                        ab.swap(idx(kv + jp - k, c), idx(kv - k, c));
+                    }
+                }
+                if km > 0 {
+                    let inv = 1.0 / ab[base];
+                    for k in 1..=km {
+                        ab[base + k] *= inv;
+                    }
+                    for c in 1..=(ju.saturating_sub(j)) {
+                        let u = ab[idx(kv - c, j + c)];
+                        if u == 0.0 {
+                            continue;
+                        }
+                        let dst = idx(kv - c, j + c);
+                        for i in 1..=km {
+                            ab[dst + i] -= ab[base + i] * u;
+                        }
+                    }
+                }
+            } else if info == 0 {
+                info = (j + 1) as i32;
+            }
+        }
+        info
+    }
+
+    /// The hand-rolled single-RHS `f32` triangular solve, kept verbatim as
+    /// the bitwise oracle for the generic `gbtrs::<f32>` path.
+    fn legacy_gbtrs_f32(l: &BandLayout, ab: &[f32], ipiv: &[i32], b: &mut [f32]) {
+        let n = l.n;
+        let kv = l.kv();
+        let ldab = l.ldab;
+        let idx = |r: usize, c: usize| c * ldab + r;
+        if l.kl > 0 {
+            for j in 0..n.saturating_sub(1) {
+                let lm = l.kl.min(n - 1 - j);
+                let p = ipiv[j] as usize;
+                if p != j {
+                    b.swap(p, j);
+                }
+                let bj = b[j];
+                if bj != 0.0 {
+                    let base = idx(kv, j);
+                    for i in 1..=lm {
+                        b[j + i] -= ab[base + i] * bj;
+                    }
+                }
+            }
+        }
+        for j in (0..n).rev() {
+            let bj = b[j] / ab[idx(kv, j)];
+            b[j] = bj;
+            if bj != 0.0 {
+                let reach = kv.min(j);
+                for i in 1..=reach {
+                    b[j - i] -= ab[idx(kv - i, j)] * bj;
+                }
+            }
+        }
+    }
 
     fn band(n: usize, kl: usize, ku: usize, seed: f64, dominance: f64) -> BandMatrix {
         let mut a = BandMatrix::zeros_factor(n, n, kl, ku).unwrap();
@@ -223,6 +233,57 @@ mod tests {
             }
         }
         a
+    }
+
+    /// The satellite pin: the generic `f32` instantiation must reproduce the
+    /// deleted hand-rolled `gbtf2_f32`/`gbtrs_f32` bit for bit — factors,
+    /// pivots, info, and solutions.
+    #[test]
+    fn generic_f32_path_matches_legacy_duplicates_bitwise() {
+        for (n, kl, ku, seed, dom) in [
+            (20, 2, 1, 0.13, 0.0),
+            (33, 2, 3, 0.29, 1.5),
+            (48, 10, 7, 0.41, 0.0),
+            (16, 1, 0, 0.55, 2.0),
+            (16, 0, 2, 0.67, 2.0),
+        ] {
+            let a = band(n, kl, ku, seed, dom);
+            let l = a.layout();
+            let ab32: Vec<f32> = a.data().iter().map(|&v| v as f32).collect();
+
+            let mut ab_legacy = ab32.clone();
+            let mut p_legacy = vec![0i32; n];
+            let info_legacy = legacy_gbtf2_f32(&l, &mut ab_legacy, &mut p_legacy);
+
+            let mut ab_generic = ab32.clone();
+            let mut p_generic = vec![0i32; n];
+            let info_generic = gbtf2::<f32>(&l, &mut ab_generic, &mut p_generic);
+
+            assert_eq!(info_legacy, info_generic, "n={n} kl={kl} ku={ku}");
+            assert_eq!(p_legacy, p_generic, "n={n} kl={kl} ku={ku}");
+            let legacy_bits: Vec<u32> = ab_legacy.iter().map(|v| v.to_bits()).collect();
+            let generic_bits: Vec<u32> = ab_generic.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(legacy_bits, generic_bits, "n={n} kl={kl} ku={ku}");
+
+            if info_legacy == 0 {
+                let b0: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.37).sin()).collect();
+                let mut b_legacy = b0.clone();
+                legacy_gbtrs_f32(&l, &ab_legacy, &p_legacy, &mut b_legacy);
+                let mut b_generic = b0;
+                gbtrs::<f32>(
+                    Transpose::No,
+                    &l,
+                    &ab_generic,
+                    &p_generic,
+                    &mut b_generic,
+                    n,
+                    1,
+                );
+                let lb: Vec<u32> = b_legacy.iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u32> = b_generic.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(lb, gb, "solve n={n} kl={kl} ku={ku}");
+            }
+        }
     }
 
     #[test]
@@ -244,7 +305,7 @@ mod tests {
         crate::gbtf2::gbtf2(&l, &mut ab64, &mut p64);
         let mut ab32: Vec<f32> = a.data().iter().map(|&x| x as f32).collect();
         let mut p32 = vec![0i32; n];
-        gbtf2_f32(&l, &mut ab32, &mut p32);
+        gbtf2::<f32>(&l, &mut ab32, &mut p32);
         assert_eq!(p64, p32);
     }
 

@@ -1,0 +1,236 @@
+//! Scalar abstraction for the precision-generic numeric stack.
+//!
+//! Every container and routine in the band-LU stack is generic over a
+//! [`Scalar`] — today `f32` or `f64`. The trait is **sealed**: the numeric
+//! guarantees documented across the workspace (LAPACK-faithful pivoting,
+//! bitwise reproducibility under every `ParallelPolicy`) are only
+//! established for these two IEEE types, so downstream crates cannot add
+//! implementations.
+//!
+//! The design constraint that shaped this trait is bitwise stability of the
+//! pre-existing `f64` paths: every generic routine must compile to the exact
+//! operation sequence the concrete `f64` code used, so the trait exposes
+//! primitive arithmetic (via supertrait operators), `abs`, and constants —
+//! never fused or reassociated helpers like `mul_add`.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod private {
+    /// Seal: only `f32` and `f64` may implement [`super::Scalar`].
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Runtime tag for a [`Scalar`] type — the identity the serve layer buckets
+/// on and the cost model prices with.
+///
+/// Orders `F32 < F64` so shape keys carrying a precision still iterate
+/// deterministically in ordered maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+}
+
+impl Precision {
+    /// Bytes per element (`4` or `8`) — the factor every shared-memory
+    /// footprint formula scales by.
+    #[inline]
+    #[must_use]
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+
+    /// Simulated FLOP throughput class relative to fp64: GPUs in this
+    /// workspace issue fp32 on twice the lanes per SM (H100: 128 fp32 vs 64
+    /// fp64 cores; CDNA2 similar for vector ops).
+    #[inline]
+    #[must_use]
+    pub fn flop_lane_multiplier(self) -> u32 {
+        match self {
+            Precision::F32 => 2,
+            Precision::F64 => 1,
+        }
+    }
+
+    /// Short lowercase name (`"f32"` / `"f64"`), used in shape-key display
+    /// and artifact files.
+    #[inline]
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F64 => "f64",
+        }
+    }
+}
+
+impl Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// IEEE floating-point element type of the band-LU stack (`f32` or `f64`).
+///
+/// The supertrait operators give generic code access to the primitive
+/// `+ - * /` and comparisons only; anything that could change the rounding
+/// sequence (FMA, pairwise sums) is deliberately absent.
+pub trait Scalar:
+    private::Sealed
+    + Copy
+    + Default
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of this precision.
+    const EPSILON: Self;
+    /// Most negative finite value (the `iamax` initial best).
+    const MIN: Self;
+    /// Bytes per element — `size_of::<Self>()` as a const.
+    const BYTES: usize;
+    /// Runtime precision tag.
+    const PRECISION: Precision;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// IEEE maximum (as `f32::max`/`f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// Lossy cast from `f64` (round-to-nearest; identity for `f64`).
+    fn from_f64(v: f64) -> Self;
+    /// Lossless widening to `f64` (identity for `f64`).
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const MIN: Self = f32::MIN;
+    const BYTES: usize = 4;
+    const PRECISION: Precision = Precision::F32;
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        self.max(other)
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const MIN: Self = f64::MIN;
+    const BYTES: usize = 8;
+    const PRECISION: Precision = Precision::F64;
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        self.abs()
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        self.sqrt()
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        self.max(other)
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(<f64 as Scalar>::EPSILON, f64::EPSILON);
+        assert_eq!(<f32 as Scalar>::EPSILON, f32::EPSILON);
+        assert_eq!(f64::BYTES, std::mem::size_of::<f64>());
+        assert_eq!(f32::BYTES, std::mem::size_of::<f32>());
+    }
+
+    #[test]
+    fn precision_tags() {
+        assert_eq!(<f32 as Scalar>::PRECISION, Precision::F32);
+        assert_eq!(<f64 as Scalar>::PRECISION, Precision::F64);
+        assert_eq!(Precision::F32.elem_bytes(), 4);
+        assert_eq!(Precision::F64.elem_bytes(), 8);
+        assert_eq!(Precision::F32.flop_lane_multiplier(), 2);
+        assert_eq!(Precision::F64.flop_lane_multiplier(), 1);
+    }
+
+    #[test]
+    fn precision_orders_below_f64() {
+        assert!(Precision::F32 < Precision::F64);
+        assert_eq!(Precision::F32.to_string(), "f32");
+        assert_eq!(Precision::F64.to_string(), "f64");
+    }
+
+    #[test]
+    fn casts_round_trip_f32_exactly() {
+        for v in [0.0f32, -0.0, 1.5, -3.25e7, f32::MIN, f32::MAX] {
+            assert_eq!(<f32 as Scalar>::from_f64(v.to_f64()), v);
+        }
+    }
+
+    #[test]
+    fn generic_arithmetic_matches_concrete() {
+        fn recip<S: Scalar>(x: S) -> S {
+            S::ONE / x
+        }
+        assert_eq!(recip(4.0f64).to_bits(), (1.0f64 / 4.0).to_bits());
+        assert_eq!(recip(3.0f32).to_bits(), (1.0f32 / 3.0).to_bits());
+    }
+}

@@ -7,13 +7,15 @@
 //! storage flavour. [`ShapeKey`] makes that identity one shared type so a
 //! request bucketed by the server looks up the *same* key the tuner swept.
 //!
-//! Keys order lexicographically (`n`, `kl`, `ku`, `nrhs`, storage), so a
-//! `BTreeMap<ShapeKey, _>` iterates buckets in a deterministic,
-//! human-readable order — the serving layer relies on this for
-//! reproducible flush schedules.
+//! Keys order lexicographically (`n`, `kl`, `ku`, `nrhs`, storage,
+//! precision), so a `BTreeMap<ShapeKey, _>` iterates buckets in a
+//! deterministic, human-readable order — the serving layer relies on this
+//! for reproducible flush schedules. The element precision is part of the
+//! key: `f32` and `f64` traffic of the same geometry bucket separately.
 
 use crate::error::Result;
 use crate::layout::{BandLayout, BandStorage};
+use crate::scalar::Precision;
 
 /// Geometry identity of one batched solve: every problem sharing a key can
 /// ride in the same uniform batch ([`crate::batch::BandBatch`] requires
@@ -32,6 +34,10 @@ pub struct ShapeKey {
     /// Band storage flavour ([`BandStorage::Factor`] for anything headed
     /// into `gbtrf`/`gbsv`).
     pub storage: BandStorage,
+    /// Element precision of the payload (`f64` for the paper's default
+    /// double-precision traffic). Last field so pre-existing keys keep
+    /// their lexicographic order.
+    pub precision: Precision,
 }
 
 impl ShapeKey {
@@ -44,7 +50,23 @@ impl ShapeKey {
             ku,
             nrhs,
             storage: BandStorage::Factor,
+            precision: Precision::F64,
         }
+    }
+
+    /// Key for a single-precision factor-storage solve shape — the
+    /// `sgbsv_batch` counterpart of [`ShapeKey::gbsv`].
+    pub fn sgbsv(n: usize, kl: usize, ku: usize, nrhs: usize) -> Self {
+        ShapeKey {
+            precision: Precision::F32,
+            ..Self::gbsv(n, kl, ku, nrhs)
+        }
+    }
+
+    /// The same key tagged with another element precision.
+    #[must_use]
+    pub fn with_precision(self, precision: Precision) -> Self {
+        ShapeKey { precision, ..self }
     }
 
     /// Key of an existing layout plus an RHS count. The storage flavour is
@@ -62,6 +84,7 @@ impl ShapeKey {
             ku: l.ku,
             nrhs,
             storage,
+            precision: Precision::F64,
         }
     }
 
@@ -77,14 +100,14 @@ impl ShapeKey {
         )
     }
 
-    /// `f64` element count of one matrix's band array under this key.
+    /// Element count of one matrix's band array under this key.
     #[must_use]
     pub fn ab_len(&self) -> usize {
         BandLayout::required_ldab(self.kl, self.ku, self.storage) * self.n
     }
 
-    /// `f64` element count of one system's RHS block (`n * nrhs`,
-    /// minimal `ldb`).
+    /// Element count of one system's RHS block (`n * nrhs`, minimal
+    /// `ldb`).
     #[must_use]
     pub fn rhs_len(&self) -> usize {
         self.n * self.nrhs
@@ -94,9 +117,15 @@ impl ShapeKey {
     /// geometry, same storage flavour, minimal `ldab`).
     #[must_use]
     pub fn matches(&self, l: &BandLayout, nrhs: usize) -> bool {
-        *self == ShapeKey::of_layout(l, nrhs)
+        *self == ShapeKey::of_layout(l, nrhs).with_precision(self.precision)
             && l.ldab == BandLayout::required_ldab(self.kl, self.ku, self.storage)
             && l.m == l.n
+    }
+
+    /// Bytes per element of this key's payloads.
+    #[must_use]
+    pub fn elem_bytes(&self) -> usize {
+        self.precision.elem_bytes()
     }
 }
 
@@ -110,7 +139,13 @@ impl std::fmt::Display for ShapeKey {
             f,
             "n{}/kl{}/ku{}/rhs{}/{s}",
             self.n, self.kl, self.ku, self.nrhs
-        )
+        )?;
+        // f64 keys keep the pre-existing compact display; only the new
+        // f32 traffic is tagged.
+        if self.precision == Precision::F32 {
+            write!(f, "/f32")?;
+        }
+        Ok(())
     }
 }
 
@@ -152,5 +187,20 @@ mod tests {
             ShapeKey::gbsv(64, 2, 3, 1).to_string(),
             "n64/kl2/ku3/rhs1/factor"
         );
+    }
+
+    #[test]
+    fn precision_separates_keys() {
+        let d = ShapeKey::gbsv(64, 2, 3, 1);
+        let s = ShapeKey::sgbsv(64, 2, 3, 1);
+        assert_ne!(d, s);
+        assert!(s < d, "f32 sorts before f64 of the same geometry");
+        assert_eq!(s.to_string(), "n64/kl2/ku3/rhs1/factor/f32");
+        assert_eq!(s.elem_bytes(), 4);
+        assert_eq!(d.elem_bytes(), 8);
+        assert_eq!(d.with_precision(Precision::F32), s);
+        // Geometry helpers are precision-agnostic.
+        assert_eq!(s.ab_len(), d.ab_len());
+        assert!(s.matches(&s.layout().unwrap(), 1));
     }
 }

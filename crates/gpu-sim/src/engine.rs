@@ -17,7 +17,7 @@ use crate::device::DeviceSpec;
 use crate::executor::{execute_blocks, ParallelPolicy};
 use crate::hazard::{global_mode, HazardMode, HazardReport};
 use crate::occupancy::{occupancy_with_regs, Occupancy};
-use crate::timing::{estimate_aggregate, SimTime};
+use crate::timing::{estimate_aggregate_with_precision, FlopPrecision, SimTime};
 
 /// Launch configuration: threads per block, dynamic shared memory,
 /// (for register-blocked kernels) registers per thread, and the host
@@ -44,6 +44,10 @@ pub struct LaunchConfig {
     /// Kernel label attached to diagnostics (shared-memory overflow
     /// panics, hazard reports) so failures in a batch run are attributable.
     pub label: &'static str,
+    /// Floating-point throughput class priced by the timing model.
+    /// Defaults to fp64 (the paper's evaluation precision); fp32 launches
+    /// run on twice the lanes per SM.
+    pub precision: FlopPrecision,
 }
 
 impl LaunchConfig {
@@ -56,6 +60,7 @@ impl LaunchConfig {
             parallel: ParallelPolicy::Serial,
             hazard: global_mode(),
             label: "kernel",
+            precision: FlopPrecision::Fp64,
         }
     }
 
@@ -82,6 +87,12 @@ impl LaunchConfig {
     /// Builder: label the launch for diagnostics.
     pub fn with_label(mut self, label: &'static str) -> Self {
         self.label = label;
+        self
+    }
+
+    /// Builder: set the floating-point throughput class.
+    pub fn with_precision(mut self, precision: FlopPrecision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -187,7 +198,7 @@ where
     let occ = validate(dev, cfg)?;
     let grid = problems.len();
     let (agg, hazards) = execute_blocks(dev, cfg, problems, &body);
-    let time = estimate_aggregate(dev, &occ, grid, &agg);
+    let time = estimate_aggregate_with_precision(dev, &occ, grid, &agg, cfg.precision);
     Ok(LaunchReport {
         occupancy: occ,
         counters: agg,

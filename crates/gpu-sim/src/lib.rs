@@ -80,4 +80,4 @@ pub use engine::{launch, LaunchConfig, LaunchError, LaunchReport};
 pub use executor::ParallelPolicy;
 pub use hazard::{Hazard, HazardKind, HazardMode, HazardReport};
 pub use occupancy::Occupancy;
-pub use timing::SimTime;
+pub use timing::{FlopPrecision, SimTime};

@@ -29,7 +29,11 @@ impl SharedMem {
     /// Arena with capacity for `bytes` bytes (rounded down to whole `f64`s).
     pub fn with_bytes(bytes: usize) -> Self {
         SharedMem {
-            buf: vec![0.0; bytes / std::mem::size_of::<f64>()],
+            // Round up to whole grains: an f32 kernel's byte request need
+            // not be 8-byte aligned, and truncating would under-provision
+            // the last partial grain. f64 requests are always multiples of
+            // 8, so their capacity is unchanged.
+            buf: vec![0.0; bytes.div_ceil(std::mem::size_of::<f64>())],
             used: 0,
             label: "kernel",
             block_id: 0,
@@ -125,6 +129,27 @@ impl SharedMem {
         off
     }
 
+    /// Allocate `len` scalar elements of `elem_bytes` bytes each; returns
+    /// the offset in *scalar-element* units.
+    ///
+    /// The arena itself stays `f64`-grained: the request is rounded up to
+    /// whole 8-byte grains, so distinct allocations remain disjoint at
+    /// grain granularity (which is what the hazard tracker keys on). For
+    /// `elem_bytes == 8` this is exactly [`SharedMem::alloc`].
+    ///
+    /// # Panics
+    /// When `elem_bytes` does not divide the 8-byte grain, or on overflow
+    /// (see [`SharedMem::alloc`]).
+    pub fn alloc_scalar(&mut self, len: usize, elem_bytes: usize) -> usize {
+        assert!(
+            elem_bytes > 0 && 8 % elem_bytes == 0,
+            "elem_bytes {elem_bytes} must divide the 8-byte arena grain"
+        );
+        let grains = (len * elem_bytes).div_ceil(8);
+        let grain_off = self.alloc(grains);
+        grain_off * (8 / elem_bytes)
+    }
+
     /// Reset all allocations (used when a worker reuses the arena for the
     /// next block) and zero the buffer, matching the "fresh" state a new
     /// block observes.
@@ -199,6 +224,31 @@ mod tests {
         s.set_label("gbtrf_fused");
         s.assign_block(11);
         s.alloc(3);
+    }
+
+    #[test]
+    fn alloc_scalar_grains() {
+        let mut s = SharedMem::with_bytes(64); // 8 grains
+                                               // f64: identical to alloc.
+        let a = s.alloc_scalar(3, 8);
+        assert_eq!(a, 0);
+        assert_eq!(s.used(), 3);
+        // f32: 5 elements = 20 bytes = 3 grains, offset in f32 units.
+        let b = s.alloc_scalar(5, 4);
+        assert_eq!(b, 3 * 2);
+        assert_eq!(s.used(), 6);
+        // Packing: a 1-element f32 request still consumes a whole grain,
+        // keeping allocations grain-disjoint for the hazard tracker.
+        let c = s.alloc_scalar(1, 4);
+        assert_eq!(c, 6 * 2);
+        assert_eq!(s.used(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn alloc_scalar_rejects_odd_widths() {
+        let mut s = SharedMem::with_bytes(64);
+        let _ = s.alloc_scalar(1, 3);
     }
 
     #[test]

@@ -23,6 +23,33 @@ use crate::device::DeviceSpec;
 use crate::occupancy::{waves, Occupancy};
 use serde::{Deserialize, Serialize};
 
+/// Floating-point throughput class of a launch.
+///
+/// The device spec records fp64 lanes per SM; fp32 issues on a wider lane
+/// group (H100: 128 fp32 vs 64 fp64 cores per SM), which the timing model
+/// expresses as an integer lane multiplier. `Fp64` has multiplier 1, so the
+/// fp64 cost is bit-for-bit what the pre-precision model produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FlopPrecision {
+    /// 32-bit lanes: twice the fp64 lane count.
+    Fp32,
+    /// 64-bit lanes (the default; matches the paper's evaluation).
+    #[default]
+    Fp64,
+}
+
+impl FlopPrecision {
+    /// Lane-count multiplier relative to the device's fp64 lanes.
+    #[inline]
+    #[must_use]
+    pub fn lane_multiplier(self) -> u32 {
+        match self {
+            FlopPrecision::Fp32 => 2,
+            FlopPrecision::Fp64 => 1,
+        }
+    }
+}
+
 /// A simulated duration in seconds.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 pub struct SimTime(pub f64);
@@ -86,6 +113,20 @@ pub fn estimate(
     grid: usize,
     per_block: &KernelCounters,
 ) -> SimTime {
+    estimate_with_precision(dev, occ, grid, per_block, FlopPrecision::Fp64)
+}
+
+/// [`estimate`] with an explicit throughput class. fp32 launches divide the
+/// flop cost over `lane_multiplier()` times the fp64 lanes; the `Fp64` path
+/// is bitwise-identical to [`estimate`] (multiplier 1 is an exact integer
+/// no-op on the divisor).
+pub fn estimate_with_precision(
+    dev: &DeviceSpec,
+    occ: &Occupancy,
+    grid: usize,
+    per_block: &KernelCounters,
+    precision: FlopPrecision,
+) -> SimTime {
     if grid == 0 {
         return SimTime(dev.launch_overhead_s);
     }
@@ -102,12 +143,12 @@ pub fn estimate(
         + per_block.smem_elems * dev.work_scale
         + per_block.smem_trips as f64 * dev.smem_latency_cycles
         + per_block.syncs as f64 * dev.sync_cycles;
-    // fp64 throughput correction: co-resident blocks share the SM's lanes.
+    // Throughput correction: co-resident blocks share the SM's lanes.
     // A grid smaller than one full wave leaves SMs partially filled, so the
     // sharing factor is capped by the blocks actually resident on an SM.
     let resident = (occ.blocks_per_sm as usize).min(grid.div_ceil(dev.sms as usize));
-    let lane_cycles_per_sm =
-        per_block.flops as f64 * resident as f64 / dev.fp64_lanes_per_sm as f64;
+    let lanes = dev.fp64_lanes_per_sm * precision.lane_multiplier();
+    let lane_cycles_per_sm = per_block.flops as f64 * resident as f64 / lanes as f64;
     let wave_cycles = latency_cycles.max(lane_cycles_per_sm / 2.0);
     let compute_time = n_waves as f64 * wave_cycles / dev.clock_hz;
 
@@ -123,6 +164,18 @@ pub fn estimate_aggregate(
     grid: usize,
     total: &KernelCounters,
 ) -> SimTime {
+    estimate_aggregate_with_precision(dev, occ, grid, total, FlopPrecision::Fp64)
+}
+
+/// [`estimate_aggregate`] with an explicit throughput class (see
+/// [`estimate_with_precision`] for the lane-multiplier semantics).
+pub fn estimate_aggregate_with_precision(
+    dev: &DeviceSpec,
+    occ: &Occupancy,
+    grid: usize,
+    total: &KernelCounters,
+    precision: FlopPrecision,
+) -> SimTime {
     if grid == 0 {
         return SimTime(dev.launch_overhead_s);
     }
@@ -135,7 +188,8 @@ pub fn estimate_aggregate(
         + total.syncs as f64 * dev.sync_cycles;
     let flops_per_block = total.flops as f64 / grid as f64;
     let resident = (occ.blocks_per_sm as usize).min(grid.div_ceil(dev.sms as usize));
-    let lane_cycles_per_sm = flops_per_block * resident as f64 / dev.fp64_lanes_per_sm as f64;
+    let lanes = dev.fp64_lanes_per_sm * precision.lane_multiplier();
+    let lane_cycles_per_sm = flops_per_block * resident as f64 / lanes as f64;
     let wave_cycles = latency_cycles.max(lane_cycles_per_sm / 2.0);
     let compute_time = n_waves as f64 * wave_cycles / dev.clock_hz;
     SimTime(dev.launch_overhead_s + mem_time.max(compute_time))
@@ -218,6 +272,21 @@ mod tests {
         let mut m = SimTime::ZERO;
         m += SimTime(0.5);
         assert_eq!(m.secs(), 0.5);
+    }
+
+    #[test]
+    fn fp32_lane_class_never_slower_and_fp64_is_identity() {
+        let dev = DeviceSpec::test_device();
+        let occ = occupancy(&dev, 8, 4096).unwrap();
+        let mut c = block_counters();
+        c.flops = 10_000_000; // force the flop-throughput term to dominate
+        let t64 = estimate_with_precision(&dev, &occ, 64, &c, FlopPrecision::Fp64);
+        let t32 = estimate_with_precision(&dev, &occ, 64, &c, FlopPrecision::Fp32);
+        assert!(t32.secs() <= t64.secs());
+        assert!(t32.secs() < t64.secs(), "flop-bound launch must speed up");
+        // Fp64 wrapper is the exact legacy model.
+        let legacy = estimate(&dev, &occ, 64, &c);
+        assert_eq!(t64.secs().to_bits(), legacy.secs().to_bits());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::interleaved::InterleavedParams;
 use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{BlockContext, DeviceSpec, KernelCounters, LaunchConfig, SimTime};
 
 #[inline]
@@ -58,10 +59,10 @@ fn column_cost(l: &BandLayout, j: usize, threads: usize, c: &mut KernelCounters)
 /// Predicted per-block counters of the fully fused kernel (§5.2).
 /// `lanes` is the effective shared-memory parallelism:
 /// `min(threads, device.lds_lanes)`.
-pub fn predict_fused(l: &BandLayout, lanes: u32) -> KernelCounters {
+pub fn predict_fused<S: Scalar>(l: &BandLayout, lanes: u32) -> KernelCounters {
     let t = lanes as usize;
     let mut c = KernelCounters::default();
-    let bytes = l.len() * 8;
+    let bytes = l.len() * S::BYTES;
     c.global_read += bytes as u64;
     c.syncs += 1;
     for j in 0..l.m.min(l.n) {
@@ -75,7 +76,7 @@ pub fn predict_fused(l: &BandLayout, lanes: u32) -> KernelCounters {
 /// Predicted per-block counters of the sliding-window kernel (§5.3).
 /// `lanes` is the effective shared-memory parallelism:
 /// `min(threads, device.lds_lanes)`.
-pub fn predict_window(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
+pub fn predict_window<S: Scalar>(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
     let t = lanes as usize;
     let ldab = l.ldab;
     let n = l.n;
@@ -85,7 +86,7 @@ pub fn predict_window(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
 
     // Initial load.
     let mut loaded_end = wcols.min(n);
-    c.global_read += (loaded_end * ldab * 8) as u64;
+    c.global_read += (loaded_end * ldab * S::BYTES) as u64;
     c.syncs += 1;
 
     let mut j0 = 0usize;
@@ -95,12 +96,12 @@ pub fn predict_window(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
             column_cost(l, j, t, &mut c);
         }
         // Store the factored block.
-        c.global_write += (jb * ldab * 8) as u64;
+        c.global_write += (jb * ldab * S::BYTES) as u64;
         c.syncs += 1;
         let next_j0 = j0 + jb;
         if next_j0 >= kmin {
             if loaded_end > next_j0 {
-                c.global_write += ((loaded_end - next_j0) * ldab * 8) as u64;
+                c.global_write += ((loaded_end - next_j0) * ldab * S::BYTES) as u64;
             }
             break;
         }
@@ -110,7 +111,7 @@ pub fn predict_window(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
         c.syncs += 1;
         let new_end = (next_j0 + wcols).min(n);
         if new_end > loaded_end {
-            c.global_read += ((new_end - loaded_end) * ldab * 8) as u64;
+            c.global_read += ((new_end - loaded_end) * ldab * S::BYTES) as u64;
             loaded_end = new_end;
         }
         c.syncs += 1;
@@ -123,7 +124,12 @@ pub fn predict_window(l: &BandLayout, nb: usize, lanes: u32) -> KernelCounters {
 /// Predicted per-block counters of the blocked forward+backward solve
 /// (`gbtrs_batch_blocked`), single launch pair combined. `lanes` is
 /// `min(threads, device.lds_lanes)`.
-pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32) -> KernelCounters {
+pub fn predict_gbtrs_blocked<S: Scalar>(
+    l: &BandLayout,
+    nb: usize,
+    nrhs: usize,
+    lanes: u32,
+) -> KernelCounters {
     let t = lanes as usize;
     let n = l.n;
     let kv = l.kv();
@@ -133,7 +139,7 @@ pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32)
     // ---- forward sweep (skipped when kl == 0) ----
     if kl > 0 && n > 1 {
         let cache_rows = (nb + kl).min(n);
-        c.global_read += (cache_rows.min(n) * nrhs * 8) as u64;
+        c.global_read += (cache_rows.min(n) * nrhs * S::BYTES) as u64;
         c.syncs += 1;
         let mut j0 = 0usize;
         let mut loaded = cache_rows.min(n);
@@ -146,13 +152,13 @@ pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32)
                 let lm = kl.min(n - 1 - j);
                 c.smem_elems += frac(nrhs, t); // pivot swap (worst case)
                 if lm > 0 {
-                    c.global_read += (lm * 8) as u64;
+                    c.global_read += (lm * S::BYTES) as u64;
                     c.smem_elems += frac(nrhs * lm, t);
                     c.flops += (2 * nrhs * lm) as u64;
                 }
                 c.syncs += 1;
             }
-            c.global_write += (jb * nrhs * 8) as u64;
+            c.global_write += (jb * nrhs * S::BYTES) as u64;
             let next_j0 = j0 + jb;
             if next_j0 >= n {
                 break;
@@ -161,7 +167,7 @@ pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32)
             c.smem_elems += frac(keep * nrhs, t);
             let new_end = (next_j0 + cache_rows).min(n);
             if new_end > loaded {
-                c.global_read += ((new_end - loaded) * nrhs * 8) as u64;
+                c.global_read += ((new_end - loaded) * nrhs * S::BYTES) as u64;
                 loaded = new_end;
             }
             c.syncs += 1;
@@ -171,7 +177,7 @@ pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32)
 
     // ---- backward sweep ----
     let cache_rows = (nb + kv).min(n);
-    c.global_read += (cache_rows.min(n) * nrhs * 8) as u64;
+    c.global_read += (cache_rows.min(n) * nrhs * S::BYTES) as u64;
     c.syncs += 1;
     let mut j1 = n;
     while j1 > 0 {
@@ -179,18 +185,18 @@ pub fn predict_gbtrs_blocked(l: &BandLayout, nb: usize, nrhs: usize, lanes: u32)
         let j0 = j1 - jb;
         for j in (j0..j1).rev() {
             let reach = kv.min(j);
-            c.global_read += ((reach + 1) * 8) as u64;
+            c.global_read += ((reach + 1) * S::BYTES) as u64;
             c.smem_elems += frac(nrhs * (reach + 1), t);
             c.flops += (2 * nrhs * (reach + 1)) as u64;
             c.syncs += 1;
         }
-        c.global_write += (jb * nrhs * 8) as u64;
+        c.global_write += (jb * nrhs * S::BYTES) as u64;
         if j0 == 0 {
             break;
         }
         let keep = jb.min(cache_rows);
         c.smem_elems += frac(keep * nrhs, t);
-        c.global_read += (nb.min(j0) * nrhs * 8) as u64;
+        c.global_read += (nb.min(j0) * nrhs * S::BYTES) as u64;
         c.syncs += 1;
         j1 = j0;
     }
@@ -216,7 +222,7 @@ fn vec(c: &mut KernelCounters, lanes: usize, flops_per_item: usize, threads: u32
 /// [`crate::interleaved::LaneTrafficMode::Windowed`]). The kernel's
 /// recording is *structural* (mask-independent), so this prediction is
 /// **exact**, not a bound.
-pub fn predict_interleaved_factor(
+pub fn predict_interleaved_factor<S: Scalar>(
     l: &BandLayout,
     lanes: usize,
     threads: u32,
@@ -227,7 +233,7 @@ pub fn predict_interleaved_factor(
     let (n, kl) = (l.n, l.kl);
     if windowed {
         // Stream the band panel in.
-        c.global_read += (l.len() * lanes * 8) as u64;
+        c.global_read += (l.len() * lanes * S::BYTES) as u64;
         vec(&mut c, l.len() * lanes, 0, threads);
     }
     // Prologue fill.
@@ -237,7 +243,7 @@ pub fn predict_interleaved_factor(
     }
     vec(&mut c, fill_items * lanes, 0, threads);
     if !windowed {
-        c.global_write += (fill_items * lanes * 8) as u64;
+        c.global_write += (fill_items * lanes * S::BYTES) as u64;
     }
     for j in 0..l.m.min(n) {
         let km = l.km(j);
@@ -245,41 +251,41 @@ pub fn predict_interleaved_factor(
         if j + kv < n {
             vec(&mut c, kl * lanes, 0, threads); // fill-in column
             if !windowed {
-                c.global_write += (kl * lanes * 8) as u64;
+                c.global_write += (kl * lanes * S::BYTES) as u64;
             }
         }
         // IAMAX + pivot store.
         vec(&mut c, (km + 1) * lanes, 0, threads);
         if !windowed {
-            c.global_read += ((km + 1) * lanes * 8) as u64;
+            c.global_read += ((km + 1) * lanes * S::BYTES) as u64;
         }
         c.global_write += (lanes * 4) as u64;
         if !windowed {
-            c.global_read += (lanes * 8) as u64; // pivot value re-read
+            c.global_read += (lanes * S::BYTES) as u64; // pivot value re-read
         }
         // SWAP sweep.
         vec(&mut c, (w + 1) * lanes, 0, threads);
         if !windowed {
-            c.global_read += (2 * (w + 1) * lanes * 8) as u64;
-            c.global_write += (2 * (w + 1) * lanes * 8) as u64;
+            c.global_read += (2 * (w + 1) * lanes * S::BYTES) as u64;
+            c.global_write += (2 * (w + 1) * lanes * S::BYTES) as u64;
         }
         if km > 0 {
             vec(&mut c, km * lanes, 1, threads); // SCAL
             if !windowed {
-                c.global_read += (km * lanes * 8) as u64;
-                c.global_write += (km * lanes * 8) as u64;
+                c.global_read += (km * lanes * S::BYTES) as u64;
+                c.global_write += (km * lanes * S::BYTES) as u64;
             }
             vec(&mut c, w * lanes, 0, threads); // u-row loads
             vec(&mut c, w * km * lanes, 2, threads); // RANK-1
             if !windowed {
-                c.global_read += (w * (1 + 2 * km) * lanes * 8) as u64;
-                c.global_write += (w * km * lanes * 8) as u64;
+                c.global_read += (w * (1 + 2 * km) * lanes * S::BYTES) as u64;
+                c.global_write += (w * km * lanes * S::BYTES) as u64;
             }
         }
     }
     if windowed {
         // Stream the factored panel out.
-        c.global_write += (l.len() * lanes * 8) as u64;
+        c.global_write += (l.len() * lanes * S::BYTES) as u64;
         vec(&mut c, l.len() * lanes, 0, threads);
     }
     c.global_write += (lanes * 4) as u64; // info codes
@@ -290,7 +296,7 @@ pub fn predict_interleaved_factor(
 /// ([`crate::interleaved::gbtrs_batch_interleaved`]) for a chunk of
 /// `lanes` batch lanes in the given traffic mode. Exact, like the factor
 /// prediction.
-pub fn predict_interleaved_solve(
+pub fn predict_interleaved_solve<S: Scalar>(
     l: &BandLayout,
     nrhs: usize,
     lanes: usize,
@@ -302,7 +308,7 @@ pub fn predict_interleaved_solve(
     let (n, kl) = (l.n, l.kl);
     if windowed {
         // Transposing gather of the RHS blocks into the resident scratch.
-        c.global_read += (n * nrhs * lanes * 8) as u64;
+        c.global_read += (n * nrhs * lanes * S::BYTES) as u64;
         vec(&mut c, n * nrhs * lanes, 0, threads);
     }
     if kl > 0 {
@@ -311,15 +317,15 @@ pub fn predict_interleaved_solve(
             c.global_read += (lanes * 4) as u64; // pivot row
             vec(&mut c, nrhs * lanes, 0, threads);
             if !windowed {
-                c.global_read += (2 * nrhs * lanes * 8) as u64; // swap rows
-                c.global_write += (2 * nrhs * lanes * 8) as u64;
+                c.global_read += (2 * nrhs * lanes * S::BYTES) as u64; // swap rows
+                c.global_write += (2 * nrhs * lanes * S::BYTES) as u64;
             }
             if lm > 0 {
-                c.global_read += (lm * lanes * 8) as u64; // L multipliers
+                c.global_read += (lm * lanes * S::BYTES) as u64; // L multipliers
                 vec(&mut c, lm * nrhs * lanes, 2, threads);
                 if !windowed {
-                    c.global_read += ((1 + lm) * nrhs * lanes * 8) as u64;
-                    c.global_write += (lm * nrhs * lanes * 8) as u64;
+                    c.global_read += ((1 + lm) * nrhs * lanes * S::BYTES) as u64;
+                    c.global_write += (lm * nrhs * lanes * S::BYTES) as u64;
                 }
             }
         }
@@ -327,25 +333,25 @@ pub fn predict_interleaved_solve(
     for _c_rhs in 0..nrhs {
         for j in (0..n).rev() {
             let reach = kv.min(j);
-            c.global_read += (lanes * 8) as u64; // diagonal of U
+            c.global_read += (lanes * S::BYTES) as u64; // diagonal of U
             vec(&mut c, lanes, 1, threads);
             if !windowed {
-                c.global_read += (lanes * 8) as u64; // x[j] RMW
-                c.global_write += (lanes * 8) as u64;
+                c.global_read += (lanes * S::BYTES) as u64; // x[j] RMW
+                c.global_write += (lanes * S::BYTES) as u64;
             }
             if reach > 0 {
-                c.global_read += (reach * lanes * 8) as u64; // U column
+                c.global_read += (reach * lanes * S::BYTES) as u64; // U column
                 vec(&mut c, reach * lanes, 2, threads);
                 if !windowed {
-                    c.global_read += (reach * lanes * 8) as u64; // dst RMW
-                    c.global_write += (reach * lanes * 8) as u64;
+                    c.global_read += (reach * lanes * S::BYTES) as u64; // dst RMW
+                    c.global_write += (reach * lanes * S::BYTES) as u64;
                 }
             }
         }
     }
     if windowed {
         // Scatter back.
-        c.global_write += (n * nrhs * lanes * 8) as u64;
+        c.global_write += (n * nrhs * lanes * S::BYTES) as u64;
         vec(&mut c, n * nrhs * lanes, 0, threads);
     }
     c
@@ -354,11 +360,15 @@ pub fn predict_interleaved_solve(
 /// Predicted per-block counters of one layout-conversion pass
 /// ([`crate::interleaved::interleave_launch`] /
 /// [`crate::interleaved::deinterleave_launch`]) over `lanes` lanes.
-pub fn predict_interleave_pass(l: &BandLayout, lanes: usize, threads: u32) -> KernelCounters {
+pub fn predict_interleave_pass<S: Scalar>(
+    l: &BandLayout,
+    lanes: usize,
+    threads: u32,
+) -> KernelCounters {
     let mut c = KernelCounters::default();
     let elems = l.len();
-    c.global_read += (elems * lanes * 8) as u64;
-    c.global_write += (elems * lanes * 8) as u64;
+    c.global_read += (elems * lanes * S::BYTES) as u64;
+    c.global_write += (elems * lanes * S::BYTES) as u64;
     vec(&mut c, elems * lanes, 0, threads);
     c
 }
@@ -366,7 +376,7 @@ pub fn predict_interleave_pass(l: &BandLayout, lanes: usize, threads: u32) -> Ke
 /// Aggregate a per-chunk prediction over the lane chunks of a whole batch
 /// (the grid has `ceil(batch / lanes_per_block)` blocks; the last one may
 /// be partial) and price the launch exactly as the engine would.
-pub fn predict_interleaved_time(
+pub fn predict_interleaved_time<S: Scalar>(
     dev: &DeviceSpec,
     batch: usize,
     params: &InterleavedParams,
@@ -386,8 +396,12 @@ pub fn predict_interleaved_time(
     if rem > 0 {
         total.merge_wave(&per_chunk(rem));
     }
-    Some(gbatch_gpu_sim::timing::estimate_aggregate(
-        dev, &occ, grid, &total,
+    Some(gbatch_gpu_sim::timing::estimate_aggregate_with_precision(
+        dev,
+        &occ,
+        grid,
+        &total,
+        crate::flop_class::<S>(),
     ))
 }
 
@@ -426,7 +440,7 @@ impl CrossoverModel {
     /// Predicted cost of factoring (and, with `nrhs > 0`, solving) the
     /// batch in interleaved layout, including the conversion passes when
     /// the model says so. `None` when the configuration cannot launch.
-    pub fn interleaved_time(
+    pub fn interleaved_time<S: Scalar>(
         &self,
         dev: &DeviceSpec,
         l: &BandLayout,
@@ -437,29 +451,29 @@ impl CrossoverModel {
         use crate::interleaved::{factor_mode, solve_mode, LaneTrafficMode};
         let t = params.threads;
         let lpb = params.lanes_clamped(batch);
-        let fwin = factor_mode(dev, l, lpb) == LaneTrafficMode::Windowed;
+        let fwin = factor_mode::<S>(dev, l, lpb) == LaneTrafficMode::Windowed;
         let fsmem = if fwin {
-            u32::try_from(crate::interleaved::factor_smem_bytes(l, lpb)).ok()?
+            u32::try_from(crate::interleaved::factor_smem_bytes::<S>(l, lpb)).ok()?
         } else {
             0
         };
-        let mut total = predict_interleaved_time(dev, batch, params, fsmem, |lanes| {
-            predict_interleaved_factor(l, lanes, t, fwin)
+        let mut total = predict_interleaved_time::<S>(dev, batch, params, fsmem, |lanes| {
+            predict_interleaved_factor::<S>(l, lanes, t, fwin)
         })?;
         if nrhs > 0 {
-            let swin = solve_mode(dev, l, nrhs, lpb) == LaneTrafficMode::Windowed;
+            let swin = solve_mode::<S>(dev, l, nrhs, lpb) == LaneTrafficMode::Windowed;
             let ssmem = if swin {
-                u32::try_from(crate::interleaved::solve_smem_bytes(l, nrhs, lpb)).ok()?
+                u32::try_from(crate::interleaved::solve_smem_bytes::<S>(l, nrhs, lpb)).ok()?
             } else {
                 0
             };
-            total += predict_interleaved_time(dev, batch, params, ssmem, |lanes| {
-                predict_interleaved_solve(l, nrhs, lanes, t, swin)
+            total += predict_interleaved_time::<S>(dev, batch, params, ssmem, |lanes| {
+                predict_interleaved_solve::<S>(l, nrhs, lanes, t, swin)
             })?;
         }
         if self.include_conversion {
-            let pass = predict_interleaved_time(dev, batch, params, 0, |lanes| {
-                predict_interleave_pass(l, lanes, t)
+            let pass = predict_interleaved_time::<S>(dev, batch, params, 0, |lanes| {
+                predict_interleave_pass::<S>(l, lanes, t)
             })?;
             total += pass; // pack
             total += pass; // unpack factors
@@ -480,9 +494,13 @@ impl CrossoverModel {
 /// strictly slower (per-column traffic, partial-bandwidth launches), so a
 /// floor is all the layout decision needs — it only ever compares a
 /// candidate *against* this path, and beating the floor beats the path.
-pub fn predict_reference_floor(dev: &DeviceSpec, l: &BandLayout, batch: usize) -> SimTime {
+pub fn predict_reference_floor<S: Scalar>(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    batch: usize,
+) -> SimTime {
     let launches = 2 * l.m.min(l.n) + 1;
-    let bytes = (2 * l.len() * batch * 8) as f64;
+    let bytes = (2 * l.len() * batch * S::BYTES) as f64;
     SimTime(launches as f64 * dev.launch_overhead_s + bytes / dev.mem_bw)
 }
 
@@ -496,8 +514,12 @@ pub fn predict_time(
     per_block: &KernelCounters,
 ) -> Option<gbatch_gpu_sim::SimTime> {
     let occ = gbatch_gpu_sim::engine::validate(dev, cfg).ok()?;
-    Some(gbatch_gpu_sim::timing::estimate(
-        dev, &occ, batch, per_block,
+    Some(gbatch_gpu_sim::timing::estimate_with_precision(
+        dev,
+        &occ,
+        batch,
+        per_block,
+        cfg.precision,
     ))
 }
 
@@ -540,7 +562,7 @@ mod tests {
             },
         )
         .unwrap();
-        let pred = predict_fused(&l, 32);
+        let pred = predict_fused::<f64>(&l, 32);
         assert_eq!(rep.counters.global_read, pred.global_read * batch as u64);
         assert_eq!(rep.counters.global_write, pred.global_write * batch as u64);
     }
@@ -565,7 +587,7 @@ mod tests {
             },
         )
         .unwrap();
-        let pred = predict_window(&l, nb, 32);
+        let pred = predict_window::<f64>(&l, nb, 32);
         assert_eq!(rep.counters.global_read, pred.global_read * batch as u64);
         assert_eq!(rep.counters.global_write, pred.global_write * batch as u64);
     }
@@ -592,7 +614,7 @@ mod tests {
                 },
             )
             .unwrap();
-            let pred = predict_fused(&l, 32.min(dev.lds_lanes));
+            let pred = predict_fused::<f64>(&l, 32.min(dev.lds_lanes));
             assert!(
                 pred.smem_elems >= rep.counters.smem_elems,
                 "prediction must upper-bound"
@@ -627,8 +649,8 @@ mod tests {
         let t = params.threads;
 
         let (mut ia, conv_rep) = interleave_launch(&dev, &a, params).unwrap();
-        let conv_time = predict_interleaved_time(&dev, batch, &params, 0, |lanes| {
-            predict_interleave_pass(&l, lanes, t)
+        let conv_time = predict_interleaved_time::<f64>(&dev, batch, &params, 0, |lanes| {
+            predict_interleave_pass::<f64>(&l, lanes, t)
         })
         .unwrap();
         assert_eq!(conv_time, conv_rep.time, "conversion time exact");
@@ -638,12 +660,12 @@ mod tests {
         let rep = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
         let mut agg = KernelCounters::default();
         for lanes in [4usize, 4, 3] {
-            agg.merge_wave(&predict_interleaved_factor(&l, lanes, t, true));
+            agg.merge_wave(&predict_interleaved_factor::<f64>(&l, lanes, t, true));
         }
         assert_eq!(agg, rep.counters, "factor counters exact");
-        let fsmem = crate::interleaved::factor_smem_bytes(&l, 4) as u32;
-        let time = predict_interleaved_time(&dev, batch, &params, fsmem, |lanes| {
-            predict_interleaved_factor(&l, lanes, t, true)
+        let fsmem = crate::interleaved::factor_smem_bytes::<f64>(&l, 4) as u32;
+        let time = predict_interleaved_time::<f64>(&dev, batch, &params, fsmem, |lanes| {
+            predict_interleaved_factor::<f64>(&l, lanes, t, true)
         })
         .unwrap();
         assert_eq!(time, rep.time, "factor time exact");
@@ -655,7 +677,7 @@ mod tests {
         let srep = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params).unwrap();
         let mut sagg = KernelCounters::default();
         for lanes in [4usize, 4, 3] {
-            sagg.merge_wave(&predict_interleaved_solve(&l, nrhs, lanes, t, true));
+            sagg.merge_wave(&predict_interleaved_solve::<f64>(&l, nrhs, lanes, t, true));
         }
         assert_eq!(sagg, srep.counters, "solve counters exact");
 
@@ -685,8 +707,11 @@ mod tests {
             ..Default::default()
         };
         let t = params.threads;
-        assert_eq!(factor_mode(&dev, &l, 4), LaneTrafficMode::Streaming);
-        assert_eq!(solve_mode(&dev, &l, nrhs, 4), LaneTrafficMode::Streaming);
+        assert_eq!(factor_mode::<f64>(&dev, &l, 4), LaneTrafficMode::Streaming);
+        assert_eq!(
+            solve_mode::<f64>(&dev, &l, nrhs, 4),
+            LaneTrafficMode::Streaming
+        );
 
         let mut ia = InterleavedBandBatch::from_batch(&a);
         let mut piv = PivotBatch::new(batch, n, n);
@@ -694,11 +719,11 @@ mod tests {
         let rep = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params).unwrap();
         let mut agg = KernelCounters::default();
         for lanes in [4usize, 2] {
-            agg.merge_wave(&predict_interleaved_factor(&l, lanes, t, false));
+            agg.merge_wave(&predict_interleaved_factor::<f64>(&l, lanes, t, false));
         }
         assert_eq!(agg, rep.counters, "streaming factor counters exact");
-        let time = predict_interleaved_time(&dev, batch, &params, 0, |lanes| {
-            predict_interleaved_factor(&l, lanes, t, false)
+        let time = predict_interleaved_time::<f64>(&dev, batch, &params, 0, |lanes| {
+            predict_interleaved_factor::<f64>(&l, lanes, t, false)
         })
         .unwrap();
         assert_eq!(time, rep.time, "streaming factor time exact");
@@ -710,7 +735,7 @@ mod tests {
         let srep = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params).unwrap();
         let mut sagg = KernelCounters::default();
         for lanes in [4usize, 2] {
-            sagg.merge_wave(&predict_interleaved_solve(&l, nrhs, lanes, t, false));
+            sagg.merge_wave(&predict_interleaved_solve::<f64>(&l, nrhs, lanes, t, false));
         }
         assert_eq!(sagg, srep.counters, "streaming solve counters exact");
     }
@@ -740,9 +765,10 @@ mod tests {
         let small = BandLayout::factor(16, 16, 1, 1).unwrap();
         let params = InterleavedParams::auto(&dev, &small, 0);
         let fused_cfg = LaunchConfig::new(32, (small.len() * 8) as u32);
-        let column = predict_time(&dev, &fused_cfg, 10_000, &predict_fused(&small, 32)).unwrap();
+        let column =
+            predict_time(&dev, &fused_cfg, 10_000, &predict_fused::<f64>(&small, 32)).unwrap();
         let inter = native
-            .interleaved_time(&dev, &small, 10_000, 0, &params)
+            .interleaved_time::<f64>(&dev, &small, 10_000, 0, &params)
             .unwrap();
         assert!(
             native.interleaved_wins(inter, column),
@@ -759,11 +785,14 @@ mod tests {
         let model = CrossoverModel::default();
         let big = BandLayout::factor(512, 512, 8, 8).unwrap();
         let params_big = InterleavedParams::auto(&dev, &big, 0);
-        let wide_cfg = LaunchConfig::new(128, crate::window::window_smem_bytes(&big, 16) as u32);
+        let wide_cfg = LaunchConfig::new(
+            128,
+            crate::window::window_smem_bytes::<f64>(&big, 16) as u32,
+        );
         let column_big =
-            predict_time(&dev, &wide_cfg, 4000, &predict_window(&big, 16, 128)).unwrap();
+            predict_time(&dev, &wide_cfg, 4000, &predict_window::<f64>(&big, 16, 128)).unwrap();
         let inter_big = model
-            .interleaved_time(&dev, &big, 4000, 0, &params_big)
+            .interleaved_time::<f64>(&dev, &big, 4000, 0, &params_big)
             .unwrap();
         assert!(
             !model.interleaved_wins(inter_big, column_big),
@@ -774,7 +803,7 @@ mod tests {
         // ... and regime 2 also holds at the small-n point: through the
         // column-major API the conversion eats the native win there.
         let inter_conv = model
-            .interleaved_time(&dev, &small, 10_000, 0, &params)
+            .interleaved_time::<f64>(&dev, &small, 10_000, 0, &params)
             .unwrap();
         assert!(
             !model.interleaved_wins(inter_conv, column),
@@ -791,16 +820,19 @@ mod tests {
         let huge = BandLayout::factor(512, 512, 200, 200).unwrap();
         let fused_huge = LaunchConfig::new(
             128,
-            crate::fused::fused_smem_bytes(huge.ldab, huge.n) as u32,
+            crate::fused::fused_smem_bytes::<f64>(huge.ldab, huge.n) as u32,
         );
         assert!(gbatch_gpu_sim::engine::validate(&dev, &fused_huge).is_err());
-        let window_huge = LaunchConfig::new(128, crate::window::window_smem_bytes(&huge, 1) as u32);
+        let window_huge = LaunchConfig::new(
+            128,
+            crate::window::window_smem_bytes::<f64>(&huge, 1) as u32,
+        );
         assert!(gbatch_gpu_sim::engine::validate(&dev, &window_huge).is_err());
         let params_huge = InterleavedParams::auto(&dev, &huge, 0);
         let inter_huge = model
-            .interleaved_time(&dev, &huge, 4, 0, &params_huge)
+            .interleaved_time::<f64>(&dev, &huge, 4, 0, &params_huge)
             .unwrap();
-        let reference_floor = predict_reference_floor(&dev, &huge, 4);
+        let reference_floor = predict_reference_floor::<f64>(&dev, &huge, 4);
         assert!(
             model.interleaved_wins(inter_huge, reference_floor),
             "batch=4 n=512 kl=ku=200: streaming interleaved {:.1}us should beat the \
@@ -811,9 +843,9 @@ mod tests {
         // At large batch the traffic term takes over and the ranking flips
         // back — the crossover model sees both sides of the regime.
         let inter_many = model
-            .interleaved_time(&dev, &huge, 256, 0, &params_huge)
+            .interleaved_time::<f64>(&dev, &huge, 256, 0, &params_huge)
             .unwrap();
-        let floor_many = predict_reference_floor(&dev, &huge, 256);
+        let floor_many = predict_reference_floor::<f64>(&dev, &huge, 256);
         assert!(
             !model.interleaved_wins(inter_many, floor_many),
             "batch=256 n=512 kl=ku=200: the reference floor {:.1}us should beat \
@@ -837,8 +869,8 @@ mod tests {
     fn window_cost_grows_linearly_with_n() {
         let l1 = BandLayout::factor(256, 256, 2, 3).unwrap();
         let l2 = BandLayout::factor(512, 512, 2, 3).unwrap();
-        let c1 = predict_window(&l1, 8, 32);
-        let c2 = predict_window(&l2, 8, 32);
+        let c1 = predict_window::<f64>(&l1, 8, 32);
+        let c2 = predict_window::<f64>(&l2, 8, 32);
         let r = c2.smem_elems / c1.smem_elems;
         assert!(
             (r - 2.0).abs() < 0.15,

@@ -43,6 +43,7 @@ use crate::window::{gbtrf_batch_window, window_smem_bytes, WindowParams};
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch_core::gbtrs::Transpose;
 use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::engine::validate;
 use gbatch_gpu_sim::{DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy, SimTime};
 
@@ -171,7 +172,7 @@ impl GbsvOptions {
 /// column path. A blocked solve that cannot be priced is likewise folded in
 /// as a per-column-launch floor. Both floors bias the decision toward
 /// column-major, never toward a slower interleaved pick.
-fn choose_layout(
+fn choose_layout<S: Scalar>(
     dev: &DeviceSpec,
     l: &BandLayout,
     batch: usize,
@@ -192,14 +193,19 @@ fn choose_layout(
     }
     let iparams = opts.interleaved_params(dev, l, nrhs);
     let model = opts.crossover.unwrap_or_default();
-    let Some(inter) = model.interleaved_time(dev, l, batch, nrhs, &iparams) else {
+    let Some(inter) = model.interleaved_time::<S>(dev, l, batch, nrhs, &iparams) else {
         return MatrixLayout::ColumnMajor;
     };
-    let fused_cfg = LaunchConfig::new(fused_params.threads, fused_smem_bytes(l.ldab, l.n) as u32);
+    let fused_cfg = LaunchConfig::new(
+        fused_params.threads,
+        fused_smem_bytes::<S>(l.ldab, l.n) as u32,
+    )
+    .with_precision(crate::flop_class::<S>());
     let window_cfg = LaunchConfig::new(
         window_params.threads,
-        window_smem_bytes(l, window_params.nb) as u32,
-    );
+        window_smem_bytes::<S>(l, window_params.nb) as u32,
+    )
+    .with_precision(crate::flop_class::<S>());
     let fused_fits = validate(dev, &fused_cfg).is_ok();
     let window_fits = validate(dev, &window_cfg).is_ok();
     let factor_time = if l.n.max(l.m) <= opts.cutoff() && fused_fits {
@@ -207,38 +213,40 @@ fn choose_layout(
             dev,
             &fused_cfg,
             batch,
-            &predict_fused(l, fused_params.threads),
+            &predict_fused::<S>(l, fused_params.threads),
         )
     } else if window_fits {
         predict_time(
             dev,
             &window_cfg,
             batch,
-            &predict_window(l, window_params.nb, window_params.threads),
+            &predict_window::<S>(l, window_params.nb, window_params.threads),
         )
     } else if fused_fits {
         predict_time(
             dev,
             &fused_cfg,
             batch,
-            &predict_fused(l, fused_params.threads),
+            &predict_fused::<S>(l, fused_params.threads),
         )
     } else {
-        Some(predict_reference_floor(dev, l, batch))
+        Some(predict_reference_floor::<S>(dev, l, batch))
     };
     let Some(mut column) = factor_time else {
         return MatrixLayout::ColumnMajor;
     };
     if nrhs > 0 {
         let sp = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
-        let smem = crate::gbtrs_blocked::forward_smem_bytes(l, sp.nb, nrhs)
-            .max(crate::gbtrs_blocked::backward_smem_bytes(l, sp.nb, nrhs));
-        let scfg = LaunchConfig::new(sp.threads, smem as u32);
+        let smem = crate::gbtrs_blocked::forward_smem_bytes::<S>(l, sp.nb, nrhs).max(
+            crate::gbtrs_blocked::backward_smem_bytes::<S>(l, sp.nb, nrhs),
+        );
+        let scfg =
+            LaunchConfig::new(sp.threads, smem as u32).with_precision(crate::flop_class::<S>());
         match predict_time(
             dev,
             &scfg,
             batch,
-            &predict_gbtrs_blocked(l, sp.nb, nrhs, sp.threads),
+            &predict_gbtrs_blocked::<S>(l, sp.nb, nrhs, sp.threads),
         ) {
             Some(t) => column += t,
             // Blocked solve cannot launch: the column path falls back to
@@ -246,7 +254,7 @@ fn choose_layout(
             // launch-overhead floor plus a once-through pass over factors
             // and RHS.
             None => {
-                let bytes = ((l.len() + 2 * l.n * nrhs) * batch * 8) as f64;
+                let bytes = ((l.len() + 2 * l.n * nrhs) * batch * S::BYTES) as f64;
                 column += SimTime(2.0 * l.n as f64 * dev.launch_overhead_s + bytes / dev.mem_bw);
             }
         }
@@ -302,6 +310,31 @@ pub fn dgbtrf_batch(
     info: &mut InfoArray,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
+    gbtrf_batch::<f64>(dev, a, piv, info, opts)
+}
+
+/// Single-precision batched band LU factorization (`sgbtrf_batch`): the
+/// same §5.4 selection logic instantiated over `f32` — halved shared
+/// footprints shift every fit test and crossover.
+pub fn sgbtrf_batch(
+    dev: &DeviceSpec,
+    a: &mut BandBatch<f32>,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    gbtrf_batch::<f32>(dev, a, piv, info, opts)
+}
+
+/// Precision-generic batched band LU factorization; `dgbtrf_batch` /
+/// `sgbtrf_batch` are its two instantiations.
+pub fn gbtrf_batch<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &mut BandBatch<S>,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
     let l = a.layout();
     let mut fused_params = opts
         .fused_threads
@@ -316,23 +349,27 @@ pub fn dgbtrf_batch(
         window_params = window_params.with_parallel(p);
     }
 
-    // Opt-in: the specialized register-file kernels (paper §8.1).
+    // Opt-in: the specialized register-file kernels (paper §8.1). Their
+    // shape registry is instantiated for `f64` only, so other precisions
+    // fall through to the generic selection below.
     if opts.prefer_specialized.unwrap_or(false) {
-        if let Some(res) =
-            crate::specialized::specialized_gbtrf(dev, a, piv, info, fused_params.threads)
-        {
-            let rep = res?;
-            return Ok(BatchReport {
-                algo: ChosenAlgo::Specialized,
-                time: rep.time,
-                launches: 1,
-                singular: info.failures(),
-            });
+        if let Some(a64) = (a as &mut dyn std::any::Any).downcast_mut::<BandBatch<f64>>() {
+            if let Some(res) =
+                crate::specialized::specialized_gbtrf(dev, a64, piv, info, fused_params.threads)
+            {
+                let rep = res?;
+                return Ok(BatchReport {
+                    algo: ChosenAlgo::Specialized,
+                    time: rep.time,
+                    launches: 1,
+                    singular: info.failures(),
+                });
+            }
         }
     }
 
     // Layout dimension: pack, factor batch-major, unpack the factors.
-    let layout = choose_layout(dev, &l, a.batch(), 0, opts, &fused_params, &window_params);
+    let layout = choose_layout::<S>(dev, &l, a.batch(), 0, opts, &fused_params, &window_params);
     if layout == MatrixLayout::Interleaved {
         let iparams = opts.interleaved_params(dev, &l, 0);
         let (mut ia, pack) = interleave_launch(dev, a, iparams)?;
@@ -354,14 +391,17 @@ pub fn dgbtrf_batch(
         FactorAlgo::Auto => {
             let fused_fits = validate(
                 dev,
-                &LaunchConfig::new(fused_params.threads, fused_smem_bytes(l.ldab, l.n) as u32),
+                &LaunchConfig::new(
+                    fused_params.threads,
+                    fused_smem_bytes::<S>(l.ldab, l.n) as u32,
+                ),
             )
             .is_ok();
             let window_fits = validate(
                 dev,
                 &LaunchConfig::new(
                     window_params.threads,
-                    window_smem_bytes(&l, window_params.nb) as u32,
+                    window_smem_bytes::<S>(&l, window_params.nb) as u32,
                 ),
             )
             .is_ok();
@@ -425,6 +465,33 @@ pub fn dgbtrs_batch(
     rhs: &mut RhsBatch,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
+    gbtrs_batch::<f64>(dev, trans, l, factors, piv, rhs, opts)
+}
+
+/// Single-precision batched band triangular solve (`sgbtrs_batch`).
+pub fn sgbtrs_batch(
+    dev: &DeviceSpec,
+    trans: Transpose,
+    l: &BandLayout,
+    factors: &[f32],
+    piv: &PivotBatch,
+    rhs: &mut RhsBatch<f32>,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    gbtrs_batch::<f32>(dev, trans, l, factors, piv, rhs, opts)
+}
+
+/// Precision-generic batched band triangular solve; `dgbtrs_batch` /
+/// `sgbtrs_batch` are its two instantiations.
+pub fn gbtrs_batch<S: Scalar>(
+    dev: &DeviceSpec,
+    trans: Transpose,
+    l: &BandLayout,
+    factors: &[S],
+    piv: &PivotBatch,
+    rhs: &mut RhsBatch<S>,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
     let mut params = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
     if let Some(p) = opts.parallel {
         params = params.with_parallel(p);
@@ -475,6 +542,33 @@ pub fn dgbsv_batch(
     info: &mut InfoArray,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
+    gbsv_batch::<f64>(dev, a, piv, rhs, info, opts)
+}
+
+/// Single-precision batched band factorize-and-solve (`sgbsv_batch`): the
+/// f32 working set halves every shared-memory footprint, so the fused and
+/// window kernels stay resident to roughly twice the bandwidth (§8).
+pub fn sgbsv_batch(
+    dev: &DeviceSpec,
+    a: &mut BandBatch<f32>,
+    piv: &mut PivotBatch,
+    rhs: &mut RhsBatch<f32>,
+    info: &mut InfoArray,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    gbsv_batch::<f32>(dev, a, piv, rhs, info, opts)
+}
+
+/// Precision-generic batched band factorize-and-solve; `dgbsv_batch` /
+/// `sgbsv_batch` are its two instantiations.
+pub fn gbsv_batch<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &mut BandBatch<S>,
+    piv: &mut PivotBatch,
+    rhs: &mut RhsBatch<S>,
+    info: &mut InfoArray,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
     let l = a.layout();
     assert_eq!(l.m, l.n, "dgbsv_batch requires square systems");
     let allow_fused = opts.allow_fused_gbsv.unwrap_or(true);
@@ -486,7 +580,7 @@ pub fn dgbsv_batch(
         && rhs.nrhs() == 1
         && validate(
             dev,
-            &LaunchConfig::new(threads, gbsv_smem_bytes(&l, rhs.nrhs()) as u32),
+            &LaunchConfig::new(threads, gbsv_smem_bytes::<S>(&l, rhs.nrhs()) as u32),
         )
         .is_ok();
     if fused_ok {
@@ -529,7 +623,7 @@ pub fn dgbsv_batch(
         fused_params = fused_params.with_parallel(p);
         window_params = window_params.with_parallel(p);
     }
-    let layout = choose_layout(
+    let layout = choose_layout::<S>(
         dev,
         &l,
         a.batch(),
@@ -558,19 +652,19 @@ pub fn dgbsv_batch(
         layout: MatrixLayout::ColumnMajor,
         ..*opts
     };
-    let f = dgbtrf_batch(dev, a, piv, info, opts)?;
+    let f = gbtrf_batch::<S>(dev, a, piv, info, opts)?;
     if !info.all_ok() {
         // LAPACK semantics: no solve when any factorization is singular?
         // DGBSV is per-system; we solve only the healthy systems. The
         // triangular kernels would divide by zero on singular ones, so we
         // filter them out by solving everything and restoring the RHS of
         // failed systems afterwards.
-        let saved: Vec<(usize, Vec<f64>)> = info
+        let saved: Vec<(usize, Vec<S>)> = info
             .failures()
             .into_iter()
             .map(|id| (id, rhs.block(id).to_vec()))
             .collect();
-        let s = dgbtrs_batch_skip_singular(dev, &l, a.data(), piv, rhs, info, opts)?;
+        let s = gbtrs_batch_skip_singular::<S>(dev, &l, a.data(), piv, rhs, info, opts)?;
         for (id, data) in saved {
             rhs.block_mut(id).copy_from_slice(&data);
         }
@@ -581,7 +675,7 @@ pub fn dgbsv_batch(
             singular: info.failures(),
         });
     }
-    let s = dgbtrs_batch(dev, Transpose::No, &l, a.data(), piv, rhs, opts)?;
+    let s = gbtrs_batch::<S>(dev, Transpose::No, &l, a.data(), piv, rhs, opts)?;
     Ok(BatchReport {
         algo: f.algo,
         time: f.time + s.time,
@@ -593,12 +687,12 @@ pub fn dgbsv_batch(
 /// Solve pass that tolerates singular factorizations by replacing their
 /// divisions with no-ops (the RHS of failed systems is restored by the
 /// caller anyway). Implementation: temporarily patch zero diagonals to 1.
-fn dgbtrs_batch_skip_singular(
+fn gbtrs_batch_skip_singular<S: Scalar>(
     dev: &DeviceSpec,
     l: &BandLayout,
-    factors: &[f64],
+    factors: &[S],
     piv: &PivotBatch,
-    rhs: &mut RhsBatch,
+    rhs: &mut RhsBatch<S>,
     info: &InfoArray,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
@@ -608,12 +702,12 @@ fn dgbtrs_batch_skip_singular(
     for id in info.failures() {
         let ab = &mut patched[id * stride..(id + 1) * stride];
         for j in 0..l.n {
-            if ab[l.idx(kv, j)] == 0.0 {
-                ab[l.idx(kv, j)] = 1.0;
+            if ab[l.idx(kv, j)] == S::ZERO {
+                ab[l.idx(kv, j)] = S::ONE;
             }
         }
     }
-    dgbtrs_batch(dev, Transpose::No, l, &patched, piv, rhs, opts)
+    gbtrs_batch::<S>(dev, Transpose::No, l, &patched, piv, rhs, opts)
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 //! One kernel launch factors the whole batch: each block loads its entire
 //! band matrix into shared memory, factors it column by column, and writes
 //! it back — optimal global traffic (each matrix moves exactly once in each
-//! direction). The shared-memory footprint is `ldab * n * 8` bytes and
+//! direction). The shared-memory footprint is `ldab * n * size_of::<S>()`
+//! bytes (half as large for `f32` as for `f64`) and
 //! therefore **grows with the matrix size**: occupancy decreases in steps
 //! (the Fig. 3 staircase) and the launch eventually fails when one matrix
 //! no longer fits — which is precisely what motivates the sliding-window
@@ -12,6 +13,7 @@
 use crate::step::{smem_bytes_for_cols, smem_column_step, smem_fillin_prologue, SmemBand};
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch};
 use gbatch_core::gbtf2::ColumnStepState;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy};
 
 /// Tunable parameters of the fused kernel.
@@ -52,9 +54,10 @@ impl FusedParams {
     }
 }
 
-/// Shared-memory bytes the fused kernel needs for one matrix.
-pub fn fused_smem_bytes(ldab: usize, n: usize) -> usize {
-    smem_bytes_for_cols(ldab, n)
+/// Shared-memory bytes the fused kernel needs for one matrix of `S`
+/// elements.
+pub fn fused_smem_bytes<S: Scalar>(ldab: usize, n: usize) -> usize {
+    smem_bytes_for_cols::<S>(ldab, n)
 }
 
 /// Batched fully fused band LU factorization.
@@ -63,9 +66,9 @@ pub fn fused_smem_bytes(ldab: usize, n: usize) -> usize {
 /// `piv` and `info`. Fails with [`LaunchError::SharedMemExceeded`] when one
 /// matrix does not fit in shared memory — callers (the §5.4 dispatch layer)
 /// fall back to the sliding-window kernel.
-pub fn gbtrf_batch_fused(
+pub fn gbtrf_batch_fused<S: Scalar>(
     dev: &DeviceSpec,
-    a: &mut BandBatch,
+    a: &mut BandBatch<S>,
     piv: &mut PivotBatch,
     info: &mut InfoArray,
     params: FusedParams,
@@ -73,18 +76,19 @@ pub fn gbtrf_batch_fused(
     let l = a.layout();
     assert_eq!(piv.batch(), a.batch(), "pivot batch mismatch");
     assert_eq!(info.len(), a.batch(), "info batch mismatch");
-    let smem = fused_smem_bytes(l.ldab, l.n);
+    let smem = fused_smem_bytes::<S>(l.ldab, l.n);
     let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
         .with_parallel(params.parallel)
-        .with_label("gbtrf_fused");
+        .with_label("gbtrf_fused")
+        .with_precision(crate::flop_class::<S>());
 
-    struct Problem<'a> {
-        ab: &'a mut [f64],
+    struct Problem<'a, S> {
+        ab: &'a mut [S],
         piv: &'a mut [i32],
         info: &'a mut i32,
     }
 
-    let mut problems: Vec<Problem<'_>> = a
+    let mut problems: Vec<Problem<'_, S>> = a
         .chunks_mut()
         .zip(piv.chunks_mut())
         .zip(info.as_mut_slice().iter_mut())
@@ -92,19 +96,19 @@ pub fn gbtrf_batch_fused(
         .collect();
 
     launch(dev, &cfg, &mut problems, |p, ctx| {
-        let bytes = l.len() * std::mem::size_of::<f64>();
+        let bytes = l.len() * S::BYTES;
         // Load the whole band matrix to shared memory (one coalesced pass).
-        let off = ctx.smem.alloc(l.len());
-        ctx.smem.slice_mut(off, l.len()).copy_from_slice(p.ab);
+        // The arena stays f64-grained; the scalar allocation reserves the
+        // same capacity the launch declared, the tracker sees the striped
+        // store, and the block factors a working copy of the band.
+        let off = ctx.smem.alloc_scalar(l.len(), S::BYTES);
+        let mut local: Vec<S> = p.ab.to_vec();
         if let Some(t) = ctx.smem.tracker() {
             t.striped_write(off, l.len(), ctx.threads);
         }
         ctx.gld(bytes);
         ctx.sync();
 
-        // `SmemBand` needs `&mut` into the arena while the context keeps
-        // recording costs; take the buffer out, factor, and put it back.
-        let mut local = ctx.smem.slice(off, l.len()).to_vec();
         {
             let mut w = SmemBand {
                 data: &mut local,
@@ -120,10 +124,9 @@ pub fn gbtrf_batch_fused(
             }
             *p.info = st.info;
         }
-        ctx.smem.slice_mut(off, l.len()).copy_from_slice(&local);
 
         // Write the factors (and pivots) back to global memory.
-        p.ab.copy_from_slice(ctx.smem.slice(off, l.len()));
+        p.ab.copy_from_slice(&local);
         if let Some(t) = ctx.smem.tracker() {
             t.striped_read(off, l.len(), ctx.threads);
         }
@@ -199,7 +202,7 @@ mod tests {
         let mi = DeviceSpec::mi250x_gcd();
         let h100 = DeviceSpec::h100_pcie();
         let n_fail = 1056; // 8 * 1056 * 8 = 67.6 KB > 64 KB
-        let smem = fused_smem_bytes(8, n_fail) as u32;
+        let smem = fused_smem_bytes::<f64>(8, n_fail) as u32;
         assert!(validate(&mi, &LaunchConfig::new(32, smem)).is_err());
         assert!(validate(&h100, &LaunchConfig::new(32, smem)).is_ok());
     }

@@ -17,6 +17,7 @@ use crate::step::{smem_bytes_for_cols, smem_column_step, smem_fillin_prologue, S
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch_core::gbtf2::ColumnStepState;
 use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy};
 
 /// System-order cutoff below which the dispatch layer uses this kernel
@@ -24,9 +25,16 @@ use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport
 /// single right hand side" — paper §7).
 pub const FUSED_GBSV_MAX_N: usize = 64;
 
-/// Shared bytes for the augmented system `[A|B]`.
-pub fn gbsv_smem_bytes(l: &BandLayout, nrhs: usize) -> usize {
-    smem_bytes_for_cols(l.ldab, l.n) + l.n * nrhs * 8
+/// Shared bytes for the augmented system `[A|B]` in `S` elements.
+///
+/// The band and RHS are two distinct allocations, and the simulated arena
+/// hands out whole 8-byte grains per allocation — so each component is
+/// aligned up to the grain here. For `f64` both terms are already
+/// grain-multiples and the formula is unchanged.
+pub fn gbsv_smem_bytes<S: Scalar>(l: &BandLayout, nrhs: usize) -> usize {
+    let grain = std::mem::size_of::<f64>();
+    smem_bytes_for_cols::<S>(l.ldab, l.n).div_ceil(grain) * grain
+        + (l.n * nrhs * S::BYTES).div_ceil(grain) * grain
 }
 
 /// Batched fused `GBSV`: factorizes every matrix (factors and pivots are
@@ -35,11 +43,11 @@ pub fn gbsv_smem_bytes(l: &BandLayout, nrhs: usize) -> usize {
 /// left in the partially-updated state (the solve is not completed), like
 /// LAPACK. `parallel` selects the host-side scheduling of the per-matrix
 /// blocks (results are bitwise-identical for every policy).
-pub fn gbsv_batch_fused(
+pub fn gbsv_batch_fused<S: Scalar>(
     dev: &DeviceSpec,
-    a: &mut BandBatch,
+    a: &mut BandBatch<S>,
     piv: &mut PivotBatch,
-    rhs: &mut RhsBatch,
+    rhs: &mut RhsBatch<S>,
     info: &mut InfoArray,
     threads: u32,
     parallel: ParallelPolicy,
@@ -57,18 +65,19 @@ pub fn gbsv_batch_fused(
     let kv = l.kv();
     let kl = l.kl;
 
-    let smem = gbsv_smem_bytes(&l, nrhs);
+    let smem = gbsv_smem_bytes::<S>(&l, nrhs);
     let cfg = LaunchConfig::new(threads.max((kl + 1) as u32), smem as u32)
         .with_parallel(parallel)
-        .with_label("gbsv_fused");
+        .with_label("gbsv_fused")
+        .with_precision(crate::flop_class::<S>());
 
-    struct Problem<'a> {
-        ab: &'a mut [f64],
+    struct Problem<'a, S> {
+        ab: &'a mut [S],
         piv: &'a mut [i32],
-        b: &'a mut [f64],
+        b: &'a mut [S],
         info: &'a mut i32,
     }
-    let mut problems: Vec<Problem<'_>> = a
+    let mut problems: Vec<Problem<'_, S>> = a
         .chunks_mut()
         .zip(piv.chunks_mut())
         .zip(rhs.blocks_mut())
@@ -79,12 +88,12 @@ pub fn gbsv_batch_fused(
     launch(dev, &cfg, &mut problems, |p, ctx| {
         let band_len = l.len();
         let rhs_len = n * nrhs;
-        let a_off = ctx.smem.alloc(band_len);
-        let b_off = ctx.smem.alloc(rhs_len);
+        let a_off = ctx.smem.alloc_scalar(band_len, S::BYTES);
+        let b_off = ctx.smem.alloc_scalar(rhs_len, S::BYTES);
 
         // Load the augmented system.
         let mut band = p.ab.to_vec();
-        let mut bx = vec![0.0f64; rhs_len];
+        let mut bx = vec![S::ZERO; rhs_len];
         for c in 0..nrhs {
             bx[c * n..(c + 1) * n].copy_from_slice(&p.b[c * ldb..c * ldb + n]);
         }
@@ -92,7 +101,7 @@ pub fn gbsv_batch_fused(
             t.striped_write(a_off, band_len, ctx.threads);
             t.striped_write(b_off, rhs_len, ctx.threads);
         }
-        ctx.gld((band_len + rhs_len) * 8);
+        ctx.gld((band_len + rhs_len) * S::BYTES);
         ctx.sync();
 
         // Factorize, forward-solving B on the fly.
@@ -146,7 +155,7 @@ pub fn gbsv_batch_fused(
                                 // the lane that scaled multiplier i, so the
                                 // multiplier read stays lane-local.
                                 t.broadcast_read(b_off + c * n + j);
-                                if bx[c * n + j] != 0.0 {
+                                if bx[c * n + j] != S::ZERO {
                                     t.striped_read(a_off + base + 1, lm, ctx.threads);
                                     t.striped_read(b_off + c * n + j + 1, lm, ctx.threads);
                                     t.striped_write(b_off + c * n + j + 1, lm, ctx.threads);
@@ -155,7 +164,7 @@ pub fn gbsv_batch_fused(
                         }
                         for c in 0..nrhs {
                             let bj = bx[c * n + j];
-                            if bj == 0.0 {
+                            if bj == S::ZERO {
                                 continue;
                             }
                             for i in 1..=lm {
@@ -189,7 +198,7 @@ pub fn gbsv_batch_fused(
                 for j in (0..n).rev() {
                     let bj = bx[c * n + j] / band[j * l.ldab + kv];
                     bx[c * n + j] = bj;
-                    if bj != 0.0 {
+                    if bj != S::ZERO {
                         let reach = kv.min(j);
                         for i in 1..=reach {
                             bx[c * n + j - i] -= band[j * l.ldab + kv - i] * bj;
@@ -211,12 +220,8 @@ pub fn gbsv_batch_fused(
             t.striped_read(a_off, band_len, ctx.threads);
             t.striped_read(b_off, rhs_len, ctx.threads);
         }
-        ctx.gst((band_len + rhs_len) * 8 + n * 4);
+        ctx.gst((band_len + rhs_len) * S::BYTES + n * 4);
         ctx.sync();
-
-        // Arena bookkeeping.
-        ctx.smem.slice_mut(a_off, band_len).copy_from_slice(&band);
-        ctx.smem.slice_mut(b_off, rhs_len).copy_from_slice(&bx);
     })
 }
 
@@ -351,7 +356,15 @@ mod tests {
     #[test]
     fn smem_footprint_includes_rhs() {
         let l = BandLayout::factor(64, 64, 2, 3).unwrap();
-        assert_eq!(gbsv_smem_bytes(&l, 1), l.ldab * 64 * 8 + 64 * 8);
-        assert_eq!(gbsv_smem_bytes(&l, 10), l.ldab * 64 * 8 + 64 * 10 * 8);
+        assert_eq!(gbsv_smem_bytes::<f64>(&l, 1), l.ldab * 64 * 8 + 64 * 8);
+        assert_eq!(
+            gbsv_smem_bytes::<f64>(&l, 10),
+            l.ldab * 64 * 8 + 64 * 10 * 8
+        );
+        assert_eq!(
+            gbsv_smem_bytes::<f32>(&l, 1),
+            gbsv_smem_bytes::<f64>(&l, 1) / 2,
+            "f32 halves the augmented footprint"
+        );
     }
 }

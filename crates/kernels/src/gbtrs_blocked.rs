@@ -16,6 +16,7 @@
 
 use gbatch_core::batch::{PivotBatch, RhsBatch};
 use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{
     launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy, SimTime,
 };
@@ -60,14 +61,14 @@ impl SolveParams {
     }
 }
 
-/// Shared bytes for the forward RHS cache.
-pub fn forward_smem_bytes(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
-    (nb + l.kl).min(l.n) * nrhs * 8
+/// Shared bytes for the forward RHS cache (`S` elements).
+pub fn forward_smem_bytes<S: Scalar>(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
+    (nb + l.kl).min(l.n) * nrhs * S::BYTES
 }
 
-/// Shared bytes for the backward RHS cache.
-pub fn backward_smem_bytes(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
-    (nb + l.kv()).min(l.n) * nrhs * 8
+/// Shared bytes for the backward RHS cache (`S` elements).
+pub fn backward_smem_bytes<S: Scalar>(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
+    (nb + l.kv()).min(l.n) * nrhs * S::BYTES
 }
 
 /// Combined report for the two blocked-solve launches.
@@ -91,19 +92,19 @@ impl BlockedSolveReport {
     }
 }
 
-struct Prob<'a> {
+struct Prob<'a, S> {
     id: usize,
-    b: &'a mut [f64],
+    b: &'a mut [S],
 }
 
 /// Batched blocked `GBTRS` (no transpose). `factors` holds the batch of
 /// factored band arrays contiguously; `rhs` is overwritten with solutions.
-pub fn gbtrs_batch_blocked(
+pub fn gbtrs_batch_blocked<S: Scalar>(
     dev: &DeviceSpec,
     l: &BandLayout,
-    factors: &[f64],
+    factors: &[S],
     piv: &PivotBatch,
-    rhs: &mut RhsBatch,
+    rhs: &mut RhsBatch<S>,
     params: SolveParams,
 ) -> Result<BlockedSolveReport, LaunchError> {
     let n = l.n;
@@ -128,11 +129,12 @@ pub fn gbtrs_batch_blocked(
 
     // ---------------- forward ----------------
     let forward = if kl > 0 && n > 1 {
-        let cfg = LaunchConfig::new(threads, forward_smem_bytes(l, nb, nrhs) as u32)
+        let cfg = LaunchConfig::new(threads, forward_smem_bytes::<S>(l, nb, nrhs) as u32)
             .with_parallel(params.parallel)
-            .with_label("gbtrs_forward");
+            .with_label("gbtrs_forward")
+            .with_precision(crate::flop_class::<S>());
         let cache_rows = (nb + kl).min(n);
-        let mut probs: Vec<Prob<'_>> = rhs
+        let mut probs: Vec<Prob<'_, S>> = rhs
             .blocks_mut()
             .enumerate()
             .map(|(id, b)| Prob { id, b })
@@ -140,8 +142,8 @@ pub fn gbtrs_batch_blocked(
         let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
             let ab = &factors[p.id * stride..(p.id + 1) * stride];
             let ipiv = piv.pivots(p.id);
-            let off = ctx.smem.alloc(cache_rows * nrhs);
-            let mut cache = vec![0.0f64; cache_rows * nrhs];
+            let off = ctx.smem.alloc_scalar(cache_rows * nrhs, S::BYTES);
+            let mut cache = vec![S::ZERO; cache_rows * nrhs];
             // Initial fill: rows [0, loaded).
             let mut loaded = cache_rows.min(n);
             for c in 0..nrhs {
@@ -154,7 +156,7 @@ pub fn gbtrs_batch_blocked(
                     t.range_write(owner(c), off + c * cache_rows, loaded);
                 }
             }
-            ctx.gld(loaded * nrhs * 8);
+            ctx.gld(loaded * nrhs * S::BYTES);
             ctx.sync();
 
             let mut j0 = 0usize;
@@ -185,7 +187,7 @@ pub fn gbtrs_batch_blocked(
                     let lm = kl.min(n - 1 - j);
                     if lm > 0 {
                         let base = l.idx(kv, j);
-                        ctx.gld(lm * 8); // the multiplier column (register file)
+                        ctx.gld(lm * S::BYTES); // the multiplier column (register file)
                         if let Some(t) = ctx.smem.tracker() {
                             // The swap above and this update touch the cache
                             // through the same owning lane, so no extra
@@ -193,7 +195,7 @@ pub fn gbtrs_batch_blocked(
                             for c in 0..nrhs {
                                 let (lane, colbase) = (owner(c), off + c * cache_rows);
                                 t.read(lane, colbase + lj);
-                                if cache[c * cache_rows + lj] != 0.0 {
+                                if cache[c * cache_rows + lj] != S::ZERO {
                                     t.range_read(lane, colbase + lj + 1, lm);
                                     t.range_write(lane, colbase + lj + 1, lm);
                                 }
@@ -201,7 +203,7 @@ pub fn gbtrs_batch_blocked(
                         }
                         for c in 0..nrhs {
                             let bj = cache[c * cache_rows + lj];
-                            if bj == 0.0 {
+                            if bj == S::ZERO {
                                 continue;
                             }
                             for i in 1..=lm {
@@ -223,7 +225,7 @@ pub fn gbtrs_batch_blocked(
                         p.b[c * ldb + j0 + r] = cache[c * cache_rows + r];
                     }
                 }
-                ctx.gst(jb * nrhs * 8);
+                ctx.gst(jb * nrhs * S::BYTES);
                 let next_j0 = j0 + jb;
                 if next_j0 >= n {
                     break;
@@ -262,15 +264,12 @@ pub fn gbtrs_batch_blocked(
                             cache[c * cache_rows + (r - next_j0)] = p.b[c * ldb + r];
                         }
                     }
-                    ctx.gld((new_end - loaded) * nrhs * 8);
+                    ctx.gld((new_end - loaded) * nrhs * S::BYTES);
                     loaded = new_end;
                 }
                 ctx.sync();
                 j0 = next_j0;
             }
-            // Arena bookkeeping (capacity was validated at launch).
-            let arena = ctx.smem.slice_mut(off, cache_rows * nrhs);
-            arena.copy_from_slice(&cache);
         })?;
         Some(rep)
     } else {
@@ -278,19 +277,20 @@ pub fn gbtrs_batch_blocked(
     };
 
     // ---------------- backward ----------------
-    let cfg = LaunchConfig::new(threads, backward_smem_bytes(l, nb, nrhs) as u32)
+    let cfg = LaunchConfig::new(threads, backward_smem_bytes::<S>(l, nb, nrhs) as u32)
         .with_parallel(params.parallel)
-        .with_label("gbtrs_backward");
+        .with_label("gbtrs_backward")
+        .with_precision(crate::flop_class::<S>());
     let cache_rows = (nb + kv).min(n);
-    let mut probs: Vec<Prob<'_>> = rhs
+    let mut probs: Vec<Prob<'_, S>> = rhs
         .blocks_mut()
         .enumerate()
         .map(|(id, b)| Prob { id, b })
         .collect();
     let backward = launch(dev, &cfg, &mut probs, |p, ctx| {
         let ab = &factors[p.id * stride..(p.id + 1) * stride];
-        let off = ctx.smem.alloc(cache_rows * nrhs);
-        let mut cache = vec![0.0f64; cache_rows * nrhs];
+        let off = ctx.smem.alloc_scalar(cache_rows * nrhs, S::BYTES);
+        let mut cache = vec![S::ZERO; cache_rows * nrhs];
         // Cache covers global rows [lo, lo + cache_rows_eff); start at the
         // bottom of the RHS.
         let mut lo = n.saturating_sub(cache_rows);
@@ -305,7 +305,7 @@ pub fn gbtrs_batch_blocked(
                 t.range_write(owner(c), off + c * cache_rows, have);
             }
         }
-        ctx.gld(have * nrhs * 8);
+        ctx.gld(have * nrhs * S::BYTES);
         ctx.sync();
 
         // Blocks of rows [j0, j0 + jb), processed last-first.
@@ -316,7 +316,7 @@ pub fn gbtrs_batch_blocked(
             debug_assert!(j0 >= lo, "block escapes the cache");
             for j in (j0..j1).rev() {
                 let diag = ab[l.idx(kv, j)];
-                ctx.gld((kv.min(j) + 1) * 8); // U column (register file)
+                ctx.gld((kv.min(j) + 1) * S::BYTES); // U column (register file)
                 let lj = j - lo;
                 if let Some(t) = ctx.smem.tracker() {
                     // Division result and the axpy into the rows above both
@@ -326,7 +326,7 @@ pub fn gbtrs_batch_blocked(
                         let (lane, colbase) = (owner(c), off + c * cache_rows);
                         t.read(lane, colbase + lj);
                         t.write(lane, colbase + lj);
-                        if cache[c * cache_rows + lj] != 0.0 && reach > 0 {
+                        if cache[c * cache_rows + lj] != S::ZERO && reach > 0 {
                             t.range_read(lane, colbase + lj - reach, reach);
                             t.range_write(lane, colbase + lj - reach, reach);
                         }
@@ -335,7 +335,7 @@ pub fn gbtrs_batch_blocked(
                 for c in 0..nrhs {
                     let bj = cache[c * cache_rows + lj] / diag;
                     cache[c * cache_rows + lj] = bj;
-                    if bj != 0.0 {
+                    if bj != S::ZERO {
                         let reach = kv.min(j);
                         for i in 1..=reach {
                             cache[c * cache_rows + lj - i] -= ab[l.idx(kv - i, j)] * bj;
@@ -356,7 +356,7 @@ pub fn gbtrs_batch_blocked(
                     p.b[c * ldb + j0 + r] = cache[c * cache_rows + (j0 - lo) + r];
                 }
             }
-            ctx.gst(jb * nrhs * 8);
+            ctx.gst(jb * nrhs * S::BYTES);
             if j0 == 0 {
                 break;
             }
@@ -397,14 +397,12 @@ pub fn gbtrs_batch_blocked(
                         cache[c * cache_rows + (r - new_lo)] = p.b[c * ldb + r];
                     }
                 }
-                ctx.gld((lo - new_lo) * nrhs * 8);
+                ctx.gld((lo - new_lo) * nrhs * S::BYTES);
             }
             lo = new_lo;
             ctx.sync();
             j1 = j0;
         }
-        let arena = ctx.smem.slice_mut(off, cache_rows * nrhs);
-        arena.copy_from_slice(&cache);
     })?;
 
     Ok(BlockedSolveReport { forward, backward })
@@ -518,9 +516,10 @@ mod tests {
     fn smem_sizes_follow_paper_formulas() {
         let l = BandLayout::factor(100, 100, 10, 7).unwrap();
         // forward: (nb + kl) elements per RHS; backward: (nb + kv).
-        assert_eq!(forward_smem_bytes(&l, 8, 1), (8 + 10) * 8);
-        assert_eq!(backward_smem_bytes(&l, 8, 1), (8 + 17) * 8);
-        assert_eq!(forward_smem_bytes(&l, 8, 10), (8 + 10) * 10 * 8);
+        assert_eq!(forward_smem_bytes::<f64>(&l, 8, 1), (8 + 10) * 8);
+        assert_eq!(backward_smem_bytes::<f64>(&l, 8, 1), (8 + 17) * 8);
+        assert_eq!(backward_smem_bytes::<f32>(&l, 8, 1), (8 + 17) * 4);
+        assert_eq!(forward_smem_bytes::<f64>(&l, 8, 10), (8 + 10) * 10 * 8);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use gbatch_core::batch::{PivotBatch, RhsBatch};
 use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy, SimTime};
 
 /// Result of the multi-launch column-wise solve.
@@ -26,12 +27,12 @@ pub struct ColsReport {
 /// overwritten with the solutions. `parallel` selects the host-side
 /// scheduling of the per-matrix blocks inside every launch (results are
 /// bitwise-identical for every policy).
-pub fn gbtrs_batch_cols(
+pub fn gbtrs_batch_cols<S: Scalar>(
     dev: &DeviceSpec,
     l: &BandLayout,
-    factors: &[f64],
+    factors: &[S],
     piv: &PivotBatch,
-    rhs: &mut RhsBatch,
+    rhs: &mut RhsBatch<S>,
     parallel: ParallelPolicy,
 ) -> Result<ColsReport, LaunchError> {
     let n = l.n;
@@ -46,7 +47,8 @@ pub fn gbtrs_batch_cols(
     let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
     let cfg = LaunchConfig::new(threads, 0)
         .with_parallel(parallel)
-        .with_label("gbtrs_cols");
+        .with_label("gbtrs_cols")
+        .with_precision(crate::flop_class::<S>());
 
     let mut time = SimTime::ZERO;
     let mut launches = 0usize;
@@ -56,15 +58,15 @@ pub fn gbtrs_batch_cols(
         for j in 0..n.saturating_sub(1) {
             // Launch 1: row swap on the RHS block.
             {
-                let mut probs: Vec<(usize, &mut [f64])> = rhs.blocks_mut().enumerate().collect();
+                let mut probs: Vec<(usize, &mut [S])> = rhs.blocks_mut().enumerate().collect();
                 let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
                     let p = piv.pivots(*id)[j] as usize;
                     if p != j {
                         for c in 0..nrhs {
                             b.swap(c * ldb + p, c * ldb + j);
                         }
-                        ctx.gld(2 * nrhs * 8);
-                        ctx.gst(2 * nrhs * 8);
+                        ctx.gld(2 * nrhs * S::BYTES);
+                        ctx.gst(2 * nrhs * S::BYTES);
                     }
                     ctx.par_work(nrhs, 0);
                 })?;
@@ -74,21 +76,21 @@ pub fn gbtrs_batch_cols(
             // Launch 2: rank-1 update with the stored multipliers.
             {
                 let lm = l.kl.min(n - 1 - j);
-                let mut probs: Vec<(usize, &mut [f64])> = rhs.blocks_mut().enumerate().collect();
+                let mut probs: Vec<(usize, &mut [S])> = rhs.blocks_mut().enumerate().collect();
                 let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
                     let ab = &factors[*id * stride..(*id + 1) * stride];
                     let base = l.idx(kv, j);
                     for c in 0..nrhs {
                         let bj = b[c * ldb + j];
-                        if bj == 0.0 {
+                        if bj == S::ZERO {
                             continue;
                         }
                         for i in 1..=lm {
                             b[c * ldb + j + i] -= ab[base + i] * bj;
                         }
                     }
-                    ctx.gld((lm + nrhs * (lm + 1)) * 8);
-                    ctx.gst(nrhs * lm * 8);
+                    ctx.gld((lm + nrhs * (lm + 1)) * S::BYTES);
+                    ctx.gst(nrhs * lm * S::BYTES);
                     ctx.par_work(nrhs * lm, 2);
                 })?;
                 time += rep.time;
@@ -99,21 +101,21 @@ pub fn gbtrs_batch_cols(
 
     // Backward: one launch per column, right-looking column updates.
     for j in (0..n).rev() {
-        let mut probs: Vec<(usize, &mut [f64])> = rhs.blocks_mut().enumerate().collect();
+        let mut probs: Vec<(usize, &mut [S])> = rhs.blocks_mut().enumerate().collect();
         let rep = launch(dev, &cfg, &mut probs, |(id, b), ctx| {
             let ab = &factors[*id * stride..(*id + 1) * stride];
             let reach = kv.min(j);
             for c in 0..nrhs {
                 let bj = b[c * ldb + j] / ab[l.idx(kv, j)];
                 b[c * ldb + j] = bj;
-                if bj != 0.0 {
+                if bj != S::ZERO {
                     for i in 1..=reach {
                         b[c * ldb + j - i] -= ab[l.idx(kv - i, j)] * bj;
                     }
                 }
             }
-            ctx.gld((reach + 1 + nrhs * (reach + 1)) * 8);
-            ctx.gst(nrhs * (reach + 1) * 8);
+            ctx.gld((reach + 1 + nrhs * (reach + 1)) * S::BYTES);
+            ctx.gst(nrhs * (reach + 1) * S::BYTES);
             ctx.par_work(nrhs * (reach + 1), 2);
         })?;
         time += rep.time;
@@ -199,7 +201,7 @@ mod tests {
         let dev = DeviceSpec::h100_pcie();
         let (n, kl, ku) = (16usize, 2usize, 3usize);
         let (_o, fac, piv) = factored_batch(2, n, kl, ku);
-        let mut rhs = RhsBatch::zeros(2, n, 1).unwrap();
+        let mut rhs = RhsBatch::<f64>::zeros(2, n, 1).unwrap();
         let rep = gbtrs_batch_cols(
             &dev,
             &fac.layout(),

@@ -20,18 +20,19 @@
 
 use gbatch_core::batch::{PivotBatch, RhsBatch};
 use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, SimTime};
 
 use crate::gbtrs_blocked::SolveParams;
 
-/// Shared bytes for the `U^T` sweep cache.
-pub fn ut_smem_bytes(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
-    (nb + l.kv()).min(l.n) * nrhs * 8
+/// Shared bytes for the `U^T` sweep cache (`S` elements).
+pub fn ut_smem_bytes<S: Scalar>(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
+    (nb + l.kv()).min(l.n) * nrhs * S::BYTES
 }
 
-/// Shared bytes for the `L^T` sweep cache.
-pub fn lt_smem_bytes(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
-    (nb + l.kl).min(l.n) * nrhs * 8
+/// Shared bytes for the `L^T` sweep cache (`S` elements).
+pub fn lt_smem_bytes<S: Scalar>(l: &BandLayout, nb: usize, nrhs: usize) -> usize {
+    (nb + l.kl).min(l.n) * nrhs * S::BYTES
 }
 
 /// Report for the two transpose-solve launches.
@@ -50,18 +51,18 @@ impl TransSolveReport {
     }
 }
 
-struct Prob<'a> {
+struct Prob<'a, S> {
     id: usize,
-    b: &'a mut [f64],
+    b: &'a mut [S],
 }
 
 /// Batched blocked transpose solve: overwrite `rhs` with `A^{-T} rhs`.
-pub fn gbtrs_batch_blocked_trans(
+pub fn gbtrs_batch_blocked_trans<S: Scalar>(
     dev: &DeviceSpec,
     l: &BandLayout,
-    factors: &[f64],
+    factors: &[S],
     piv: &PivotBatch,
-    rhs: &mut RhsBatch,
+    rhs: &mut RhsBatch<S>,
     params: SolveParams,
 ) -> Result<TransSolveReport, LaunchError> {
     let n = l.n;
@@ -80,19 +81,20 @@ pub fn gbtrs_batch_blocked_trans(
 
     // ---------------- U^T sweep (ascending) ----------------
     let ut = {
-        let cfg = LaunchConfig::new(threads, ut_smem_bytes(l, nb, nrhs) as u32)
+        let cfg = LaunchConfig::new(threads, ut_smem_bytes::<S>(l, nb, nrhs) as u32)
             .with_parallel(params.parallel)
-            .with_label("gbtrs_trans_ut");
+            .with_label("gbtrs_trans_ut")
+            .with_precision(crate::flop_class::<S>());
         let cache_rows = (nb + kv).min(n);
-        let mut probs: Vec<Prob<'_>> = rhs
+        let mut probs: Vec<Prob<'_, S>> = rhs
             .blocks_mut()
             .enumerate()
             .map(|(id, b)| Prob { id, b })
             .collect();
         launch(dev, &cfg, &mut probs, |p, ctx| {
             let ab = &factors[p.id * stride..(p.id + 1) * stride];
-            let off = ctx.smem.alloc(cache_rows * nrhs);
-            let mut cache = vec![0.0f64; cache_rows * nrhs];
+            let _off = ctx.smem.alloc_scalar(cache_rows * nrhs, S::BYTES);
+            let mut cache = vec![S::ZERO; cache_rows * nrhs];
             // Cache covers absolute rows [lo, abs_end); starts at the top.
             let mut lo = 0usize;
             let mut abs_end = cache_rows.min(n);
@@ -101,7 +103,7 @@ pub fn gbtrs_batch_blocked_trans(
                     cache[c * cache_rows + (r - lo)] = p.b[c * ldb + r];
                 }
             }
-            ctx.gld((abs_end - lo) * nrhs * 8);
+            ctx.gld((abs_end - lo) * nrhs * S::BYTES);
             ctx.sync();
 
             let mut j0 = 0usize;
@@ -110,7 +112,7 @@ pub fn gbtrs_batch_blocked_trans(
                 debug_assert!(lo <= j0.saturating_sub(kv) && abs_end >= j0 + jb);
                 for j in j0..j0 + jb {
                     let reach = kv.min(j);
-                    ctx.gld((reach + 1) * 8); // the U column (register file)
+                    ctx.gld((reach + 1) * S::BYTES); // the U column (register file)
                     let diag = ab[l.idx(kv, j)];
                     let lj = j - lo;
                     for c in 0..nrhs {
@@ -129,7 +131,7 @@ pub fn gbtrs_batch_blocked_trans(
                         p.b[c * ldb + j0 + r] = cache[c * cache_rows + (j0 - lo) + r];
                     }
                 }
-                ctx.gst(jb * nrhs * 8);
+                ctx.gst(jb * nrhs * S::BYTES);
                 let next_j0 = j0 + jb;
                 if next_j0 >= n {
                     break;
@@ -154,24 +156,23 @@ pub fn gbtrs_batch_blocked_trans(
                             cache[c * cache_rows + (r - lo)] = p.b[c * ldb + r];
                         }
                     }
-                    ctx.gld((new_end - abs_end) * nrhs * 8);
+                    ctx.gld((new_end - abs_end) * nrhs * S::BYTES);
                     abs_end = new_end;
                 }
                 ctx.sync();
                 j0 = next_j0;
             }
-            let arena = ctx.smem.slice_mut(off, cache_rows * nrhs);
-            arena.copy_from_slice(&cache);
         })?
     };
 
     // ---------------- L^T sweep (descending) ----------------
     let lt = if kl > 0 && n > 1 {
-        let cfg = LaunchConfig::new(threads, lt_smem_bytes(l, nb, nrhs) as u32)
+        let cfg = LaunchConfig::new(threads, lt_smem_bytes::<S>(l, nb, nrhs) as u32)
             .with_parallel(params.parallel)
-            .with_label("gbtrs_trans_lt");
+            .with_label("gbtrs_trans_lt")
+            .with_precision(crate::flop_class::<S>());
         let cache_rows = (nb + kl).min(n);
-        let mut probs: Vec<Prob<'_>> = rhs
+        let mut probs: Vec<Prob<'_, S>> = rhs
             .blocks_mut()
             .enumerate()
             .map(|(id, b)| Prob { id, b })
@@ -179,8 +180,8 @@ pub fn gbtrs_batch_blocked_trans(
         let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
             let ab = &factors[p.id * stride..(p.id + 1) * stride];
             let ipiv = piv.pivots(p.id);
-            let off = ctx.smem.alloc(cache_rows * nrhs);
-            let mut cache = vec![0.0f64; cache_rows * nrhs];
+            let _off = ctx.smem.alloc_scalar(cache_rows * nrhs, S::BYTES);
+            let mut cache = vec![S::ZERO; cache_rows * nrhs];
             // Cache covers rows [lo, hi); start with the bottom rows.
             let mut lo = n.saturating_sub(cache_rows);
             let hi = n;
@@ -189,7 +190,7 @@ pub fn gbtrs_batch_blocked_trans(
                     cache[c * cache_rows + (r - lo)] = p.b[c * ldb + r];
                 }
             }
-            ctx.gld((hi - lo) * nrhs * 8);
+            ctx.gld((hi - lo) * nrhs * S::BYTES);
             ctx.sync();
 
             // Steps j = n-2 .. 0 in blocks [j0, j1).
@@ -202,9 +203,9 @@ pub fn gbtrs_batch_blocked_trans(
                     debug_assert!(j >= lo && j + lm < lo + cache_rows);
                     if lm > 0 {
                         let base = l.idx(kv, j);
-                        ctx.gld(lm * 8);
+                        ctx.gld(lm * S::BYTES);
                         for c in 0..nrhs {
-                            let mut acc = 0.0;
+                            let mut acc = S::ZERO;
                             for i in 1..=lm {
                                 acc += ab[base + i] * cache[c * cache_rows + (j - lo) + i];
                             }
@@ -230,7 +231,7 @@ pub fn gbtrs_batch_blocked_trans(
                             p.b[c * ldb + r] = cache[c * cache_rows + (r - lo)];
                         }
                     }
-                    ctx.gst((final_end - final_start) * nrhs * 8);
+                    ctx.gst((final_end - final_start) * nrhs * S::BYTES);
                 }
                 if j0 == 0 {
                     // Flush the remaining top rows [0, min(kl, n)).
@@ -241,7 +242,7 @@ pub fn gbtrs_batch_blocked_trans(
                             p.b[c * ldb + r] = cache[c * cache_rows + (r - lo)];
                         }
                     }
-                    ctx.gst(top_end * nrhs * 8);
+                    ctx.gst(top_end * nrhs * S::BYTES);
                     break;
                 }
                 // Slide down: the next block is [j0', j0) with
@@ -276,14 +277,12 @@ pub fn gbtrs_batch_blocked_trans(
                             cache[c * cache_rows + (r - new_lo)] = p.b[c * ldb + r];
                         }
                     }
-                    ctx.gld((lo - new_lo) * nrhs * 8);
+                    ctx.gld((lo - new_lo) * nrhs * S::BYTES);
                     lo = new_lo;
                 }
                 ctx.sync();
                 j1 = j0;
             }
-            let arena = ctx.smem.slice_mut(off, cache_rows * nrhs);
-            arena.copy_from_slice(&cache);
         })?;
         Some(rep)
     } else {
@@ -406,7 +405,7 @@ mod tests {
         )
         .unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).cos()).collect();
-        let mut rhs = RhsBatch::zeros(2, n, 1).unwrap();
+        let mut rhs = RhsBatch::<f64>::zeros(2, n, 1).unwrap();
         for id in 0..2 {
             let mut b = vec![0.0; n];
             gbatch_core::blas2::gbmv_t(1.0, orig.matrix(id), &x_true, 0.0, &mut b);

@@ -53,9 +53,9 @@
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch_core::interleaved::InterleavedBandBatch;
 use gbatch_core::layout::update_bound;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy};
 
-const F64: usize = std::mem::size_of::<f64>();
 const I32: usize = std::mem::size_of::<i32>();
 
 /// Tunable parameters of the interleaved kernels.
@@ -83,15 +83,20 @@ impl Default for InterleavedParams {
 }
 
 /// Shared-memory footprint of the factor kernel's resident lane window:
-/// `kv + 2` columns (capped at `n`) of `ldab` band rows for `lanes` lanes.
-pub fn factor_smem_bytes(l: &gbatch_core::BandLayout, lanes: usize) -> usize {
-    (l.kv() + 2).min(l.n) * l.ldab * lanes * F64
+/// `kv + 2` columns (capped at `n`) of `ldab` band rows for `lanes` lanes
+/// of `S` elements.
+pub fn factor_smem_bytes<S: Scalar>(l: &gbatch_core::BandLayout, lanes: usize) -> usize {
+    (l.kv() + 2).min(l.n) * l.ldab * lanes * S::BYTES
 }
 
 /// Shared-memory footprint of the solve kernel's resident RHS scratch:
-/// the chunk's full `n x nrhs` solution panel.
-pub fn solve_smem_bytes(l: &gbatch_core::BandLayout, nrhs: usize, lanes: usize) -> usize {
-    l.n * nrhs * lanes * F64
+/// the chunk's full `n x nrhs` solution panel of `S` elements.
+pub fn solve_smem_bytes<S: Scalar>(
+    l: &gbatch_core::BandLayout,
+    nrhs: usize,
+    lanes: usize,
+) -> usize {
+    l.n * nrhs * lanes * S::BYTES
 }
 
 /// DRAM traffic mode of an interleaved kernel launch (see the module docs).
@@ -107,8 +112,12 @@ pub enum LaneTrafficMode {
 
 /// Mode [`gbtrf_batch_interleaved`] will run in on `dev` with `lanes`
 /// lanes per block.
-pub fn factor_mode(dev: &DeviceSpec, l: &gbatch_core::BandLayout, lanes: usize) -> LaneTrafficMode {
-    if factor_smem_bytes(l, lanes) <= dev.max_smem_per_block as usize {
+pub fn factor_mode<S: Scalar>(
+    dev: &DeviceSpec,
+    l: &gbatch_core::BandLayout,
+    lanes: usize,
+) -> LaneTrafficMode {
+    if factor_smem_bytes::<S>(l, lanes) <= dev.max_smem_per_block as usize {
         LaneTrafficMode::Windowed
     } else {
         LaneTrafficMode::Streaming
@@ -117,13 +126,13 @@ pub fn factor_mode(dev: &DeviceSpec, l: &gbatch_core::BandLayout, lanes: usize) 
 
 /// Mode [`gbtrs_batch_interleaved`] will run in on `dev` with `lanes`
 /// lanes per block.
-pub fn solve_mode(
+pub fn solve_mode<S: Scalar>(
     dev: &DeviceSpec,
     l: &gbatch_core::BandLayout,
     nrhs: usize,
     lanes: usize,
 ) -> LaneTrafficMode {
-    if solve_smem_bytes(l, nrhs, lanes) <= dev.max_smem_per_block as usize {
+    if solve_smem_bytes::<S>(l, nrhs, lanes) <= dev.max_smem_per_block as usize {
         LaneTrafficMode::Windowed
     } else {
         LaneTrafficMode::Streaming
@@ -138,16 +147,25 @@ impl InterleavedParams {
     /// shared-memory limit the kernels run in [`LaneTrafficMode::Streaming`]
     /// and the chunk goes back to one lane per thread (no window to fit).
     pub fn auto(dev: &DeviceSpec, l: &gbatch_core::BandLayout, nrhs: usize) -> Self {
+        Self::auto_for::<f64>(dev, l, nrhs)
+    }
+
+    /// Precision-aware variant of [`Self::auto`]: the resident windows
+    /// shrink with `S::BYTES`, so f32 fits twice the lanes per block.
+    pub fn auto_for<S: Scalar>(dev: &DeviceSpec, l: &gbatch_core::BandLayout, nrhs: usize) -> Self {
         let threads = 256u32.min(dev.max_threads_per_block).max(dev.warp_size);
         let cap = dev.max_smem_per_block as usize;
         // Only windows that *can* fit one lane constrain the chunk: a
         // kernel whose single-lane window already exceeds the block limit
         // runs in streaming mode whatever the lane count, so its footprint
         // must not drag the sibling kernel out of windowed mode.
-        let per_lane = [factor_smem_bytes(l, 1), solve_smem_bytes(l, nrhs, 1)]
-            .into_iter()
-            .filter(|&b| b > 0 && b <= cap)
-            .max();
+        let per_lane = [
+            factor_smem_bytes::<S>(l, 1),
+            solve_smem_bytes::<S>(l, nrhs, 1),
+        ]
+        .into_iter()
+        .filter(|&b| b > 0 && b <= cap)
+        .max();
         let lanes = match per_lane {
             Some(b) => (cap / b).clamp(1, threads as usize),
             None => threads as usize,
@@ -190,7 +208,7 @@ fn lane_chunks(batch: usize, lanes_per_block: usize) -> Vec<(usize, usize)> {
 ///
 /// Invariants every constructor must uphold (and the accessors rely on):
 ///
-/// 1. `base` points at the first element of a live `[f64]` allocation of at
+/// 1. `base` points at the first element of a live `[S]` allocation of at
 ///    least `elems * batch` elements, obtained from a `&mut` borrow that
 ///    outlives every view into it (the launch holds the borrow of the
 ///    `InterleavedBandBatch` until all workers join).
@@ -198,8 +216,8 @@ fn lane_chunks(batch: usize, lanes_per_block: usize) -> Vec<(usize, usize)> {
 ///    in-range `(e, b)` — no access leaves the allocation.
 /// 3. Concurrently live views cover pairwise-disjoint `[lo, lo + lanes)`
 ///    ranges: no element offset is reachable from two views at once.
-struct LaneView {
-    base: *mut f64,
+struct LaneView<S> {
+    base: *mut S,
     batch: usize,
     lo: usize,
     lanes: usize,
@@ -210,9 +228,9 @@ struct LaneView {
 // `[lo, lo + lanes)` lane range (asserted below); views handed to different
 // executor workers cover disjoint ranges, so sending one to another thread
 // cannot race with its siblings.
-unsafe impl Send for LaneView {}
+unsafe impl<S: Scalar> Send for LaneView<S> {}
 
-impl LaneView {
+impl<S: Scalar> LaneView<S> {
     #[inline(always)]
     fn offset(&self, e: usize, b: usize) -> usize {
         debug_assert!(
@@ -226,7 +244,7 @@ impl LaneView {
 
     /// Lane slice of element `e`, immutable.
     #[inline(always)]
-    fn row(&self, e: usize) -> &[f64] {
+    fn row(&self, e: usize) -> &[S] {
         let off = self.offset(e, 0);
         // SAFETY: `[off, off + lanes)` lies inside this chunk's lane range
         // of element `e`; no other chunk touches it (struct invariant) and
@@ -236,7 +254,7 @@ impl LaneView {
 
     /// Lane slice of element `e`, mutable.
     #[inline(always)]
-    fn row_mut(&mut self, e: usize) -> &mut [f64] {
+    fn row_mut(&mut self, e: usize) -> &mut [S] {
         let off = self.offset(e, 0);
         // SAFETY: as in `row`, plus `&mut self` serializes mutable access
         // within the chunk.
@@ -245,7 +263,7 @@ impl LaneView {
 
     /// Element `e`, lane `b` (lane index local to the chunk).
     #[inline(always)]
-    fn get(&self, e: usize, b: usize) -> f64 {
+    fn get(&self, e: usize, b: usize) -> S {
         let off = self.offset(e, b);
         // SAFETY: single in-range element of this chunk's lane range.
         unsafe { *self.base.add(off) }
@@ -253,7 +271,7 @@ impl LaneView {
 
     /// Store element `e`, lane `b`.
     #[inline(always)]
-    fn set(&mut self, e: usize, b: usize, v: f64) {
+    fn set(&mut self, e: usize, b: usize, v: S) {
         let off = self.offset(e, b);
         // SAFETY: single in-range element of this chunk's lane range.
         unsafe { *self.base.add(off) = v }
@@ -266,9 +284,9 @@ impl LaneView {
 /// `piv` and `info` exactly like [`gbatch_core::gbtf2::gbtf2`] would per
 /// matrix — bitwise-identical pivots, factors and info codes, under every
 /// [`ParallelPolicy`].
-pub fn gbtrf_batch_interleaved(
+pub fn gbtrf_batch_interleaved<S: Scalar>(
     dev: &DeviceSpec,
-    a: &mut InterleavedBandBatch,
+    a: &mut InterleavedBandBatch<S>,
     piv: &mut PivotBatch,
     info: &mut InfoArray,
     params: InterleavedParams,
@@ -285,25 +303,26 @@ pub fn gbtrf_batch_interleaved(
     let per = l.m.min(l.n);
     assert_eq!(piv.per_matrix(), per, "pivot length mismatch");
     let lpb = params.lanes_clamped(batch);
-    let windowed = factor_mode(dev, &l, lpb) == LaneTrafficMode::Windowed;
+    let windowed = factor_mode::<S>(dev, &l, lpb) == LaneTrafficMode::Windowed;
     let smem = if windowed {
-        u32::try_from(factor_smem_bytes(&l, lpb)).unwrap_or(u32::MAX)
+        u32::try_from(factor_smem_bytes::<S>(&l, lpb)).unwrap_or(u32::MAX)
     } else {
         0
     };
     let cfg = LaunchConfig::new(params.threads, smem)
         .with_parallel(params.parallel)
-        .with_label("gbtrf_interleaved");
+        .with_label("gbtrf_interleaved")
+        .with_precision(crate::flop_class::<S>());
 
-    struct Chunk<'a> {
-        view: LaneView,
+    struct Chunk<'a, S> {
+        view: LaneView<S>,
         piv: &'a mut [i32],
         info: &'a mut [i32],
     }
 
     let elems = l.len();
     let base = a.data_mut().as_mut_ptr();
-    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+    let mut chunks: Vec<Chunk<'_, S>> = lane_chunks(batch, lpb)
         .into_iter()
         .zip(piv.as_mut_slice().chunks_mut(per * lpb))
         .zip(info.as_mut_slice().chunks_mut(lpb))
@@ -331,7 +350,7 @@ pub fn gbtrf_batch_interleaved(
         // touch no DRAM. Streaming mode skips the panel stream and pays
         // DRAM per primitive instead.
         if windowed {
-            ctx.gld(l.len() * lanes * F64);
+            ctx.gld(l.len() * lanes * S::BYTES);
             ctx.vec_work(l.len() * lanes, 0);
         }
 
@@ -339,25 +358,25 @@ pub fn gbtrf_batch_interleaved(
         let mut fill_items = 0usize;
         for j in (l.ku + 1)..kv.min(n) {
             for r in (kv - j)..kl {
-                p.view.row_mut(l.idx(r, j)).fill(0.0);
+                p.view.row_mut(l.idx(r, j)).fill(S::ZERO);
                 fill_items += 1;
             }
         }
         ctx.vec_work(fill_items * lanes, 0);
         if !windowed {
-            ctx.gst(fill_items * lanes * F64);
+            ctx.gst(fill_items * lanes * S::BYTES);
         }
 
         // Per-lane factorization state.
         let mut ju = vec![0usize; lanes];
         let mut jp = vec![0usize; lanes];
-        let mut best = vec![0.0f64; lanes];
-        let mut pivval = vec![0.0f64; lanes];
-        let mut inv = vec![0.0f64; lanes];
+        let mut best = vec![S::ZERO; lanes];
+        let mut pivval = vec![S::ZERO; lanes];
+        let mut inv = vec![S::ZERO; lanes];
         let mut lane_info = vec![0i32; lanes];
-        let mut mult = vec![0.0f64; kl * lanes];
-        let mut uvec = vec![0.0f64; lanes];
-        let mut fixed = vec![0.0f64; lanes];
+        let mut mult = vec![S::ZERO; kl * lanes];
+        let mut uvec = vec![S::ZERO; lanes];
+        let mut fixed = vec![S::ZERO; lanes];
 
         for j in 0..per {
             let km = l.km(j);
@@ -366,11 +385,11 @@ pub fn gbtrf_batch_interleaved(
             // SET_FILLIN for the incoming column.
             if j + kv < n {
                 for r in 0..kl {
-                    p.view.row_mut(l.idx(r, j + kv)).fill(0.0);
+                    p.view.row_mut(l.idx(r, j + kv)).fill(S::ZERO);
                 }
                 ctx.vec_work(kl * lanes, 0);
                 if !windowed {
-                    ctx.gst(kl * lanes * F64);
+                    ctx.gst(kl * lanes * S::BYTES);
                 }
             }
 
@@ -378,7 +397,7 @@ pub fn gbtrf_batch_interleaved(
             // first-max scan of `gbtf2::pivot_search` (strict `>` keeps
             // the earliest maximum).
             for b in 0..lanes {
-                best[b] = -1.0;
+                best[b] = S::from_f64(-1.0);
                 jp[b] = 0;
             }
             for k in 0..=km {
@@ -393,7 +412,7 @@ pub fn gbtrf_batch_interleaved(
             }
             ctx.vec_work((km + 1) * lanes, 0);
             if !windowed {
-                ctx.gld((km + 1) * lanes * F64);
+                ctx.gld((km + 1) * lanes * S::BYTES);
             }
 
             // Pivot gather + bookkeeping (singular lanes record info and
@@ -401,7 +420,7 @@ pub fn gbtrf_batch_interleaved(
             for b in 0..lanes {
                 pivval[b] = p.view.get(l.idx(kv + jp[b], j), b);
                 p.piv[b * per + j] = (j + jp[b]) as i32;
-                if pivval[b] != 0.0 {
+                if pivval[b] != S::ZERO {
                     ju[b] = update_bound(ju[b].max(j), j, l.ku, jp[b], n);
                 } else if lane_info[b] == 0 {
                     lane_info[b] = (j + 1) as i32;
@@ -409,7 +428,7 @@ pub fn gbtrf_batch_interleaved(
             }
             ctx.gst(lanes * I32);
             if !windowed {
-                ctx.gld(lanes * F64); // pivot value re-read
+                ctx.gld(lanes * S::BYTES); // pivot value re-read
             }
 
             // SWAP to the right: structural sweep over w + 1 columns;
@@ -420,7 +439,7 @@ pub fn gbtrf_batch_interleaved(
                 let e_lo = l.idx(kv - k, j + k);
                 fixed.copy_from_slice(p.view.row(e_lo));
                 for b in 0..lanes {
-                    if pivval[b] != 0.0 && jp[b] != 0 && k <= ju[b] - j {
+                    if pivval[b] != S::ZERO && jp[b] != 0 && k <= ju[b] - j {
                         let e_hi = l.idx(kv + jp[b] - k, j + k);
                         p.view.set(e_lo, b, p.view.get(e_hi, b));
                         p.view.set(e_hi, b, fixed[b]);
@@ -430,31 +449,31 @@ pub fn gbtrf_batch_interleaved(
             ctx.vec_work((w + 1) * lanes, 0);
             if !windowed {
                 // Both swap rows of each column: read-modify-write.
-                ctx.gld(2 * (w + 1) * lanes * F64);
-                ctx.gst(2 * (w + 1) * lanes * F64);
+                ctx.gld(2 * (w + 1) * lanes * S::BYTES);
+                ctx.gst(2 * (w + 1) * lanes * S::BYTES);
             }
 
             if km > 0 {
                 // SCAL by the reciprocal pivot (masked per lane).
                 for b in 0..lanes {
-                    inv[b] = if pivval[b] != 0.0 {
-                        1.0 / pivval[b]
+                    inv[b] = if pivval[b] != S::ZERO {
+                        S::ONE / pivval[b]
                     } else {
-                        0.0
+                        S::ZERO
                     };
                 }
                 for k in 1..=km {
                     let row = p.view.row_mut(l.idx(kv + k, j));
                     for b in 0..lanes {
-                        if pivval[b] != 0.0 {
+                        if pivval[b] != S::ZERO {
                             row[b] *= inv[b];
                         }
                     }
                 }
                 ctx.vec_work(km * lanes, 1);
                 if !windowed {
-                    ctx.gld(km * lanes * F64);
-                    ctx.gst(km * lanes * F64);
+                    ctx.gld(km * lanes * S::BYTES);
+                    ctx.gst(km * lanes * S::BYTES);
                 }
 
                 // Snapshot the multipliers once; every update column
@@ -473,7 +492,7 @@ pub fn gbtrf_batch_interleaved(
                         let dst = p.view.row_mut(l.idx(kv - c + i, j + c));
                         for b in 0..lanes {
                             let u = uvec[b];
-                            if pivval[b] != 0.0 && u != 0.0 && c <= ju[b] - j {
+                            if pivval[b] != S::ZERO && u != S::ZERO && c <= ju[b] - j {
                                 dst[b] -= mult[(i - 1) * lanes + b] * u;
                             }
                         }
@@ -485,15 +504,15 @@ pub fn gbtrf_batch_interleaved(
                     // Per update column: u row + multiplier re-read + dst
                     // read-modify-write (no register cache of `mult` in
                     // streaming mode — `km` can exceed any register file).
-                    ctx.gld(w * (1 + 2 * km) * lanes * F64);
-                    ctx.gst(w * km * lanes * F64);
+                    ctx.gld(w * (1 + 2 * km) * lanes * S::BYTES);
+                    ctx.gst(w * km * lanes * S::BYTES);
                 }
             }
         }
 
         // Windowed mode streams the factored panel back out.
         if windowed {
-            ctx.gst(l.len() * lanes * F64);
+            ctx.gst(l.len() * lanes * S::BYTES);
             ctx.vec_work(l.len() * lanes, 0);
         }
         p.info.copy_from_slice(&lane_info);
@@ -509,11 +528,11 @@ pub fn gbtrf_batch_interleaved(
 /// normally — no divide-by-zero, no caller-side RHS restore needed. On
 /// every healthy lane the solution is bitwise-identical to
 /// [`gbatch_core::gbtrs::gbtrs`].
-pub fn gbtrs_batch_interleaved(
+pub fn gbtrs_batch_interleaved<S: Scalar>(
     dev: &DeviceSpec,
-    a: &InterleavedBandBatch,
+    a: &InterleavedBandBatch<S>,
     piv: &PivotBatch,
-    rhs: &mut RhsBatch,
+    rhs: &mut RhsBatch<S>,
     info: &InfoArray,
     params: InterleavedParams,
 ) -> Result<LaunchReport, LaunchError> {
@@ -528,26 +547,27 @@ pub fn gbtrs_batch_interleaved(
     let per = n;
     let (ldb, nrhs, bs) = (rhs.ldb(), rhs.nrhs(), rhs.block_stride());
     let lpb = params.lanes_clamped(batch);
-    let windowed = solve_mode(dev, &l, nrhs, lpb) == LaneTrafficMode::Windowed;
+    let windowed = solve_mode::<S>(dev, &l, nrhs, lpb) == LaneTrafficMode::Windowed;
     let smem = if windowed {
-        u32::try_from(solve_smem_bytes(&l, nrhs, lpb)).unwrap_or(u32::MAX)
+        u32::try_from(solve_smem_bytes::<S>(&l, nrhs, lpb)).unwrap_or(u32::MAX)
     } else {
         0
     };
     let cfg = LaunchConfig::new(params.threads, smem)
         .with_parallel(params.parallel)
-        .with_label("gbtrs_interleaved");
+        .with_label("gbtrs_interleaved")
+        .with_precision(crate::flop_class::<S>());
     let fac = a.data();
 
-    struct Chunk<'a> {
+    struct Chunk<'a, S> {
         lo: usize,
         lanes: usize,
         piv: &'a [i32],
         info: &'a [i32],
-        rhs: &'a mut [f64],
+        rhs: &'a mut [S],
     }
 
-    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+    let mut chunks: Vec<Chunk<'_, S>> = lane_chunks(batch, lpb)
         .into_iter()
         .zip(rhs.data_mut().chunks_mut(bs * lpb))
         .zip(piv.as_slice().chunks(per * lpb))
@@ -576,7 +596,7 @@ pub fn gbtrs_batch_interleaved(
         // below touch DRAM only for the factor panel; in streaming mode
         // the scratch models in-place global updates, so every sweep pays
         // its RHS traffic too.
-        let mut x = vec![0.0f64; n * nrhs * lanes];
+        let mut x = vec![S::ZERO; n * nrhs * lanes];
         for b in 0..lanes {
             let blk = &p.rhs[b * bs..(b + 1) * bs];
             for c in 0..nrhs {
@@ -586,7 +606,7 @@ pub fn gbtrs_batch_interleaved(
             }
         }
         if windowed {
-            ctx.gld(n * nrhs * lanes * F64);
+            ctx.gld(n * nrhs * lanes * S::BYTES);
             ctx.vec_work(n * nrhs * lanes, 0);
         }
 
@@ -607,8 +627,8 @@ pub fn gbtrs_batch_interleaved(
                 ctx.vec_work(nrhs * lanes, 0);
                 if !windowed {
                     // Structural swap: both RHS rows, read-modify-write.
-                    ctx.gld(2 * nrhs * lanes * F64);
-                    ctx.gst(2 * nrhs * lanes * F64);
+                    ctx.gld(2 * nrhs * lanes * S::BYTES);
+                    ctx.gst(2 * nrhs * lanes * S::BYTES);
                 }
                 if lm > 0 {
                     for c in 0..nrhs {
@@ -616,18 +636,18 @@ pub fn gbtrs_batch_interleaved(
                             let m = frow(l.idx(kv + i, j));
                             for b in 0..lanes {
                                 let bj = x[(c * n + j) * lanes + b];
-                                if active[b] && bj != 0.0 {
+                                if active[b] && bj != S::ZERO {
                                     x[(c * n + j + i) * lanes + b] -= m[b] * bj;
                                 }
                             }
                         }
                     }
-                    ctx.gld(lm * lanes * F64); // L multipliers of column j
+                    ctx.gld(lm * lanes * S::BYTES); // L multipliers of column j
                     ctx.vec_work(lm * nrhs * lanes, 2);
                     if !windowed {
                         // `b[j]` re-read plus the `lm` updated rows.
-                        ctx.gld((1 + lm) * nrhs * lanes * F64);
-                        ctx.gst(lm * nrhs * lanes * F64);
+                        ctx.gld((1 + lm) * nrhs * lanes * S::BYTES);
+                        ctx.gst(lm * nrhs * lanes * S::BYTES);
                     }
                 }
             }
@@ -645,29 +665,29 @@ pub fn gbtrs_batch_interleaved(
                         x[jrow + b] /= diag[b];
                     }
                 }
-                ctx.gld(lanes * F64); // diagonal of U
+                ctx.gld(lanes * S::BYTES); // diagonal of U
                 ctx.vec_work(lanes, 1);
                 if !windowed {
                     // `x[j]` read-modify-write by the division.
-                    ctx.gld(lanes * F64);
-                    ctx.gst(lanes * F64);
+                    ctx.gld(lanes * S::BYTES);
+                    ctx.gst(lanes * S::BYTES);
                 }
                 if reach > 0 {
                     for i in 1..=reach {
                         let u = frow(l.idx(kv - i, j));
                         for b in 0..lanes {
                             let bj = x[jrow + b];
-                            if active[b] && bj != 0.0 {
+                            if active[b] && bj != S::ZERO {
                                 x[(c * n + j - i) * lanes + b] -= u[b] * bj;
                             }
                         }
                     }
-                    ctx.gld(reach * lanes * F64); // U column above the diagonal
+                    ctx.gld(reach * lanes * S::BYTES); // U column above the diagonal
                     ctx.vec_work(reach * lanes, 2);
                     if !windowed {
                         // The `reach` updated rows, read-modify-write.
-                        ctx.gld(reach * lanes * F64);
-                        ctx.gst(reach * lanes * F64);
+                        ctx.gld(reach * lanes * S::BYTES);
+                        ctx.gst(reach * lanes * S::BYTES);
                     }
                 }
             }
@@ -689,7 +709,7 @@ pub fn gbtrs_batch_interleaved(
             }
         }
         if windowed {
-            ctx.gst(n * nrhs * lanes * F64);
+            ctx.gst(n * nrhs * lanes * S::BYTES);
             ctx.vec_work(n * nrhs * lanes, 0);
         }
     })
@@ -697,11 +717,11 @@ pub fn gbtrs_batch_interleaved(
 
 /// Transpose a column-major batch into interleaved storage as a modeled
 /// kernel launch (the pack pass a dispatch-level layout switch pays).
-pub fn interleave_launch(
+pub fn interleave_launch<S: Scalar>(
     dev: &DeviceSpec,
-    src: &BandBatch,
+    src: &BandBatch<S>,
     params: InterleavedParams,
-) -> Result<(InterleavedBandBatch, LaunchReport), LaunchError> {
+) -> Result<(InterleavedBandBatch<S>, LaunchReport), LaunchError> {
     let l = src.layout();
     let batch = src.batch();
     let elems = l.len();
@@ -710,16 +730,17 @@ pub fn interleave_launch(
     let lpb = params.lanes_clamped(batch);
     let cfg = LaunchConfig::new(params.threads, 0)
         .with_parallel(params.parallel)
-        .with_label("interleave");
+        .with_label("interleave")
+        .with_precision(crate::flop_class::<S>());
 
-    struct Chunk<'a> {
-        view: LaneView,
-        src: &'a [f64],
+    struct Chunk<'a, S> {
+        view: LaneView<S>,
+        src: &'a [S],
     }
 
     let base = dst.data_mut().as_mut_ptr();
     let src_data = src.data();
-    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+    let mut chunks: Vec<Chunk<'_, S>> = lane_chunks(batch, lpb)
         .into_iter()
         .map(|(lo, lanes)| Chunk {
             view: LaneView {
@@ -740,8 +761,8 @@ pub fn interleave_launch(
                 p.view.set(e, b, v);
             }
         }
-        ctx.gld(elems * lanes * F64);
-        ctx.gst(elems * lanes * F64);
+        ctx.gld(elems * lanes * S::BYTES);
+        ctx.gst(elems * lanes * S::BYTES);
         ctx.vec_work(elems * lanes, 0);
     })?;
     Ok((dst, rep))
@@ -749,11 +770,11 @@ pub fn interleave_launch(
 
 /// Transpose interleaved storage back to a column-major batch as a modeled
 /// kernel launch (the unpack pass of a dispatch-level layout switch).
-pub fn deinterleave_launch(
+pub fn deinterleave_launch<S: Scalar>(
     dev: &DeviceSpec,
-    src: &InterleavedBandBatch,
+    src: &InterleavedBandBatch<S>,
     params: InterleavedParams,
-) -> Result<(BandBatch, LaunchReport), LaunchError> {
+) -> Result<(BandBatch<S>, LaunchReport), LaunchError> {
     let l = src.layout();
     let batch = src.batch();
     let elems = l.len();
@@ -761,15 +782,16 @@ pub fn deinterleave_launch(
     let lpb = params.lanes_clamped(batch);
     let cfg = LaunchConfig::new(params.threads, 0)
         .with_parallel(params.parallel)
-        .with_label("deinterleave");
+        .with_label("deinterleave")
+        .with_precision(crate::flop_class::<S>());
     let src_data = src.data();
 
-    struct Chunk<'a> {
+    struct Chunk<'a, S> {
         lo: usize,
-        dst: &'a mut [f64],
+        dst: &'a mut [S],
     }
 
-    let mut chunks: Vec<Chunk<'_>> = lane_chunks(batch, lpb)
+    let mut chunks: Vec<Chunk<'_, S>> = lane_chunks(batch, lpb)
         .into_iter()
         .zip(dst.data_mut().chunks_mut(elems * lpb))
         .map(|((lo, _lanes), dst)| Chunk { lo, dst })
@@ -783,8 +805,8 @@ pub fn deinterleave_launch(
                 *v = src_data[e * batch + b];
             }
         }
-        ctx.gld(elems * lanes * F64);
-        ctx.gst(elems * lanes * F64);
+        ctx.gld(elems * lanes * S::BYTES);
+        ctx.gst(elems * lanes * S::BYTES);
         ctx.vec_work(elems * lanes, 0);
     })?;
     Ok((dst, rep))
@@ -795,6 +817,8 @@ mod tests {
     use super::*;
     use gbatch_core::gbtf2::gbtf2;
     use gbatch_core::gbtrs::{gbtrs, Transpose};
+
+    const F64: usize = std::mem::size_of::<f64>();
 
     fn random_batch(batch: usize, m: usize, n: usize, kl: usize, ku: usize) -> BandBatch {
         let mut v = 0.29f64;
@@ -1071,27 +1095,30 @@ mod tests {
         assert!(pw.lanes_per_block < p.lanes_per_block);
         assert_eq!(
             pw.lanes_per_block,
-            dev.max_smem_per_block as usize / factor_smem_bytes(&wide, 1)
+            dev.max_smem_per_block as usize / factor_smem_bytes::<f64>(&wide, 1)
         );
         // A large solve scratch tightens the clamp further…
         let ps = InterleavedParams::auto(&dev, &wide, 32);
-        assert!(solve_smem_bytes(&wide, 32, 1) <= dev.max_smem_per_block as usize);
+        assert!(solve_smem_bytes::<f64>(&wide, 32, 1) <= dev.max_smem_per_block as usize);
         assert!(ps.lanes_per_block < pw.lanes_per_block);
         // …but one that cannot fit even a single lane streams regardless
         // and must not shrink the factor's windowed chunk.
-        assert!(solve_smem_bytes(&wide, 128, 1) > dev.max_smem_per_block as usize);
+        assert!(solve_smem_bytes::<f64>(&wide, 128, 1) > dev.max_smem_per_block as usize);
         let px = InterleavedParams::auto(&dev, &wide, 128);
         assert_eq!(px.lanes_per_block, pw.lanes_per_block);
         // Absurd bandwidth: even one lane's window exceeds the block limit,
         // so the kernels will run in streaming mode — the chunk goes back
         // to one lane per thread.
         let huge = gbatch_core::BandLayout::factor(4096, 4096, 512, 512).unwrap();
-        assert!(factor_smem_bytes(&huge, 1) > dev.max_smem_per_block as usize);
+        assert!(factor_smem_bytes::<f64>(&huge, 1) > dev.max_smem_per_block as usize);
         let ph = InterleavedParams::auto(&dev, &huge, 0);
         assert_eq!(ph.lanes_per_block, ph.threads as usize);
-        assert_eq!(factor_mode(&dev, &tri, 256), LaneTrafficMode::Windowed);
         assert_eq!(
-            factor_mode(&dev, &huge, ph.lanes_per_block),
+            factor_mode::<f64>(&dev, &tri, 256),
+            LaneTrafficMode::Windowed
+        );
+        assert_eq!(
+            factor_mode::<f64>(&dev, &huge, ph.lanes_per_block),
             LaneTrafficMode::Streaming
         );
         assert_eq!(lane_chunks(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
@@ -1116,8 +1143,8 @@ mod tests {
         // The resident window does not fit, so the launch drops to
         // streaming mode: zero shared memory, per-primitive DRAM traffic,
         // same numerics.
-        assert!(factor_smem_bytes(&l, 4) > dev.max_smem_per_block as usize);
-        assert_eq!(factor_mode(&dev, &l, 4), LaneTrafficMode::Streaming);
+        assert!(factor_smem_bytes::<f64>(&l, 4) > dev.max_smem_per_block as usize);
+        assert_eq!(factor_mode::<f64>(&dev, &l, 4), LaneTrafficMode::Streaming);
         let rep = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, params)
             .expect("streaming mode must not require shared memory");
         // More traffic than the once-through windowed stream…
@@ -1134,7 +1161,10 @@ mod tests {
         // The solve scratch does not fit either: the solve streams too and
         // still matches the reference bitwise.
         let nrhs = 33;
-        assert_eq!(solve_mode(&dev, &l, nrhs, 4), LaneTrafficMode::Streaming);
+        assert_eq!(
+            solve_mode::<f64>(&dev, &l, nrhs, 4),
+            LaneTrafficMode::Streaming
+        );
         let rhs0 = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
             ((id * 31 + c * 7 + i) as f64 * 0.137).sin()
         })

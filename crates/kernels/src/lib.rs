@@ -71,5 +71,17 @@ pub mod vbatch;
 pub mod window;
 
 pub use dispatch::{
-    dgbsv_batch, dgbtrf_batch, dgbtrs_batch, BatchReport, ChosenAlgo, GbsvOptions, MatrixLayout,
+    dgbsv_batch, dgbtrf_batch, dgbtrs_batch, gbsv_batch, gbtrf_batch, gbtrs_batch, sgbsv_batch,
+    sgbtrf_batch, sgbtrs_batch, BatchReport, ChosenAlgo, GbsvOptions, MatrixLayout,
 };
+
+/// gpu-sim throughput class of a core scalar type: every launch in this
+/// crate tags its configuration so the timing model prices fp32 on the
+/// wider lane group.
+#[must_use]
+pub fn flop_class<S: gbatch_core::scalar::Scalar>() -> gbatch_gpu_sim::FlopPrecision {
+    match S::PRECISION {
+        gbatch_core::scalar::Precision::F32 => gbatch_gpu_sim::FlopPrecision::Fp32,
+        gbatch_core::scalar::Precision::F64 => gbatch_gpu_sim::FlopPrecision::Fp64,
+    }
+}

@@ -8,9 +8,15 @@
 //! the original matrix in global memory (one extra read of the `f64` band
 //! per sweep). Systems whose refinement stagnates are flagged so the host
 //! can re-solve them with the `f64` path ([`crate::dispatch::dgbsv_batch`]).
+//!
+//! The `f32` leg runs on the precision-generic core LU
+//! ([`gbatch_core::gbtf2::gbtf2`] / [`gbatch_core::gbtrs::gbtrs`]
+//! instantiated at `f32`) — the same kernels behind
+//! [`crate::dispatch::sgbsv_batch`].
 
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
-use gbatch_core::mixed::{gbtf2_f32, gbtrs_f32};
+use gbatch_core::gbtf2::gbtf2;
+use gbatch_core::gbtrs::{gbtrs, Transpose};
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport};
 
 /// Per-system refinement outcome codes stored in the `status` array.
@@ -27,7 +33,7 @@ pub enum MixedStatus {
 /// Shared bytes of the mixed-precision fused kernel: the band and RHS in
 /// `f32`, plus an `f64` residual buffer of `n` entries.
 pub fn mixed_smem_bytes(l: &gbatch_core::layout::BandLayout, _nrhs: usize) -> usize {
-    l.len() * 4 + l.n * 4 + l.n * 8
+    (l.len() + l.n) * std::mem::size_of::<f32>() + l.n * std::mem::size_of::<f64>()
 }
 
 /// Maximum refinement sweeps inside the kernel.
@@ -98,10 +104,12 @@ pub fn msgbsv_batch_fused(
         ctx.gld(l.len() * 8); // the f64 band is read once to downconvert
         ctx.sync();
 
-        let finfo = gbtf2_f32(&l, &mut ab32, p.piv);
+        let finfo = gbtf2::<f32>(&l, &mut ab32, p.piv);
         // Cost: same column structure as the fused kernel but f32 LDS
         // traffic (half the bytes per element -> half the element groups).
-        let pred = crate::cost::predict_fused(&l, ctx.threads.min(ctx.lds_lanes));
+        // The prediction's smem element counts are precision-independent;
+        // the explicit halving below applies the f32 byte discount.
+        let pred = crate::cost::predict_fused::<f64>(&l, ctx.threads.min(ctx.lds_lanes));
         ctx.smem_work(
             (pred.smem_elems * ctx.threads.min(ctx.lds_lanes) as f64 / 2.0) as usize,
             0,
@@ -118,7 +126,7 @@ pub fn msgbsv_batch_fused(
 
         // Initial f32 solve.
         let mut x32: Vec<f32> = p.b.iter().take(n).map(|&v| v as f32).collect();
-        gbtrs_f32(&l, &ab32, p.piv, &mut x32);
+        gbtrs::<f32>(Transpose::No, &l, &ab32, p.piv, &mut x32, n, 1);
         ctx.smem_work(n * (l.kv() + l.kl + 2) / 2, 2);
         let mut x: Vec<f64> = x32.iter().map(|&v| v as f64).collect();
 
@@ -163,7 +171,7 @@ pub fn msgbsv_batch_fused(
             }
             prev = rnorm;
             let mut d32: Vec<f32> = r.iter().map(|&v| v as f32).collect();
-            gbtrs_f32(&l, &ab32, p.piv, &mut d32);
+            gbtrs::<f32>(Transpose::No, &l, &ab32, p.piv, &mut d32, n, 1);
             ctx.smem_work(n * (l.kv() + l.kl + 2) / 2, 2);
             for (xi, &d) in x.iter_mut().zip(&d32) {
                 *xi += d as f64;
@@ -227,7 +235,7 @@ mod tests {
     #[test]
     fn smem_footprint_halves_vs_f64_fused_gbsv() {
         let l = gbatch_core::layout::BandLayout::factor(256, 256, 2, 3).unwrap();
-        let f64_bytes = crate::gbsv_fused::gbsv_smem_bytes(&l, 1);
+        let f64_bytes = crate::gbsv_fused::gbsv_smem_bytes::<f64>(&l, 1);
         let f32_bytes = mixed_smem_bytes(&l, 1);
         assert!(
             (f32_bytes as f64) < 0.75 * f64_bytes as f64,
@@ -244,7 +252,7 @@ mod tests {
         let occ64 = gbatch_gpu_sim::occupancy::occupancy(
             &dev,
             64,
-            crate::gbsv_fused::gbsv_smem_bytes(&l, 1) as u32,
+            crate::gbsv_fused::gbsv_smem_bytes::<f64>(&l, 1) as u32,
         )
         .unwrap();
         let occ32 =

@@ -21,6 +21,7 @@ use gbatch_core::gbtf2::{
     ColumnStepState,
 };
 use gbatch_core::layout::update_bound;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy};
 
 /// Aggregate result of the multi-launch reference factorization.
@@ -36,9 +37,9 @@ pub struct ReferenceReport {
 ///
 /// `parallel` selects the host-side scheduling of the per-matrix blocks
 /// inside every launch; results are bitwise-identical for every policy.
-pub fn gbtrf_batch_reference(
+pub fn gbtrf_batch_reference<S: Scalar>(
     dev: &DeviceSpec,
-    a: &mut BandBatch,
+    a: &mut BandBatch<S>,
     piv: &mut PivotBatch,
     info: &mut InfoArray,
     parallel: ParallelPolicy,
@@ -50,12 +51,13 @@ pub fn gbtrf_batch_reference(
     let threads = ((l.kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
     let cfg = LaunchConfig::new(threads, 0)
         .with_parallel(parallel)
-        .with_label("gbtrf_reference");
+        .with_label("gbtrf_reference")
+        .with_precision(crate::flop_class::<S>());
 
     // Host-side prologue (LAPACK zeroes these columns before the loop; on
     // the GPU this is one extra batched kernel).
-    struct Prob<'a> {
-        ab: &'a mut [f64],
+    struct Prob<'a, S> {
+        ab: &'a mut [S],
         piv: &'a mut [i32],
         st: &'a mut ColumnStepState,
     }
@@ -64,12 +66,12 @@ pub fn gbtrf_batch_reference(
     let mut launches = 0usize;
 
     {
-        let mut probs: Vec<&mut [f64]> = a.chunks_mut().collect();
+        let mut probs: Vec<&mut [S]> = a.chunks_mut().collect();
         let rep = launch(dev, &cfg, &mut probs, |ab, ctx| {
             set_fillin_prologue(&l, ab);
             let elems =
                 l.kl.saturating_mul(l.kv().min(l.n).saturating_sub(l.ku + 1));
-            ctx.gst(elems * 8);
+            ctx.gst(elems * S::BYTES);
             ctx.par_work(elems, 0);
         })?;
         time += rep.time;
@@ -80,7 +82,7 @@ pub fn gbtrf_batch_reference(
     for j in 0..kmin {
         // Kernel 1: fill-in, IAMAX, pivot write, swap-to-the-right.
         {
-            let mut probs: Vec<Prob<'_>> = a
+            let mut probs: Vec<Prob<'_, S>> = a
                 .chunks_mut()
                 .zip(piv.chunks_mut())
                 .zip(states.iter_mut())
@@ -89,19 +91,19 @@ pub fn gbtrf_batch_reference(
             let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
                 set_fillin_step(&l, p.ab, j);
                 let km = l.km(j);
-                ctx.gld((km + 1) * 8);
+                ctx.gld((km + 1) * S::BYTES);
                 let jp = pivot_search(&l, p.ab, j);
                 ctx.par_work(km + 1, 0);
                 p.piv[j] = (j + jp) as i32;
                 ctx.gst(4);
                 let pv = p.ab[l.idx(l.kv() + jp, j)];
-                if pv != 0.0 {
+                if pv != S::ZERO {
                     p.st.ju = update_bound(p.st.ju.max(j), j, l.ku, jp, l.n);
                     if jp != 0 {
                         swap_step(&l, p.ab, j, jp, p.st.ju);
                         let cols = p.st.ju - j + 1;
-                        ctx.gld(2 * cols * 8);
-                        ctx.gst(2 * cols * 8);
+                        ctx.gld(2 * cols * S::BYTES);
+                        ctx.gst(2 * cols * S::BYTES);
                         ctx.par_work(cols, 0);
                     }
                 } else if p.st.info == 0 {
@@ -113,7 +115,7 @@ pub fn gbtrf_batch_reference(
         }
         // Kernel 2: SCAL + rank-1 update.
         {
-            let mut probs: Vec<Prob<'_>> = a
+            let mut probs: Vec<Prob<'_, S>> = a
                 .chunks_mut()
                 .zip(piv.chunks_mut())
                 .zip(states.iter_mut())
@@ -123,19 +125,19 @@ pub fn gbtrf_batch_reference(
                 let km = l.km(j);
                 let pv = p.ab[l.idx(l.kv(), j)];
                 // A zero pivot was recorded by kernel 1; skip like LAPACK.
-                if pv == 0.0 || km == 0 {
+                if pv == S::ZERO || km == 0 {
                     return;
                 }
                 scal_step(&l, p.ab, j);
-                ctx.gld((km + 1) * 8);
-                ctx.gst(km * 8);
+                ctx.gld((km + 1) * S::BYTES);
+                ctx.gst(km * S::BYTES);
                 ctx.par_work(km, 1);
                 let ju = p.st.ju;
                 if ju > j {
                     rank_one_update(&l, p.ab, j, ju);
                     let cols = ju - j;
-                    ctx.gld((cols * (km + 1) + km) * 8);
-                    ctx.gst(cols * km * 8);
+                    ctx.gld((cols * (km + 1) + km) * S::BYTES);
+                    ctx.gst(cols * km * S::BYTES);
                     ctx.par_work(cols * km, 2);
                 }
             })?;

@@ -10,6 +10,7 @@
 
 use gbatch_core::gbtf2::ColumnStepState;
 use gbatch_core::layout::{update_bound, BandLayout, RowClass};
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::BlockContext;
 
 /// A window of band columns resident in shared memory.
@@ -17,9 +18,9 @@ use gbatch_gpu_sim::BlockContext;
 /// Local column `c - col0` of the buffer holds global band column `c`
 /// (full `ldab` rows, identical row semantics to the global layout).
 #[derive(Debug)]
-pub struct SmemBand<'a> {
+pub struct SmemBand<'a, S: Scalar = f64> {
     /// Shared-memory buffer, column-major `ldab x width`.
-    pub data: &'a mut [f64],
+    pub data: &'a mut [S],
     /// Rows per column (same `ldab` as the global band array).
     pub ldab: usize,
     /// Global column index mapped to local column 0.
@@ -33,7 +34,7 @@ pub struct SmemBand<'a> {
     pub provenance: Option<BandLayout>,
 }
 
-impl<'a> SmemBand<'a> {
+impl<'a, S: Scalar> SmemBand<'a, S> {
     /// Flat index of band row `r` of *global* column `c`.
     #[inline(always)]
     pub fn idx(&self, r: usize, c: usize) -> usize {
@@ -58,13 +59,13 @@ impl<'a> SmemBand<'a> {
 
     /// Band element (band row `r`, global column `c`).
     #[inline(always)]
-    pub fn get(&self, r: usize, c: usize) -> f64 {
+    pub fn get(&self, r: usize, c: usize) -> S {
         self.data[self.idx(r, c)]
     }
 
     /// Set band element.
     #[inline(always)]
-    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
         let k = self.idx(r, c);
         self.data[k] = v;
     }
@@ -73,7 +74,11 @@ impl<'a> SmemBand<'a> {
 /// `DGBTF2` prologue inside shared memory: zero the partially-reachable
 /// fill rows of columns `ku+1 .. min(kv, n)` (global indices). Only valid
 /// while those columns are resident.
-pub fn smem_fillin_prologue(l: &BandLayout, w: &mut SmemBand<'_>, ctx: &mut BlockContext) {
+pub fn smem_fillin_prologue<S: Scalar>(
+    l: &BandLayout,
+    w: &mut SmemBand<'_, S>,
+    ctx: &mut BlockContext,
+) {
     let kv = l.kv();
     let hi = kv.min(l.n);
     let threads = ctx.threads;
@@ -86,7 +91,7 @@ pub fn smem_fillin_prologue(l: &BandLayout, w: &mut SmemBand<'_>, ctx: &mut Bloc
             t.striped_write(w.idx(kv - j, j), l.kl - (kv - j), threads);
         }
         for i in (kv - j)..l.kl {
-            w.set(i, j, 0.0);
+            w.set(i, j, S::ZERO);
             items += 1;
         }
     }
@@ -96,7 +101,12 @@ pub fn smem_fillin_prologue(l: &BandLayout, w: &mut SmemBand<'_>, ctx: &mut Bloc
 /// `SET_FILLIN` for the main loop: zero the `kl` fill rows of column
 /// `j + kv` when it is inside the window.
 #[inline]
-pub fn smem_fillin_step(l: &BandLayout, w: &mut SmemBand<'_>, j: usize, ctx: &mut BlockContext) {
+pub fn smem_fillin_step<S: Scalar>(
+    l: &BandLayout,
+    w: &mut SmemBand<'_, S>,
+    j: usize,
+    ctx: &mut BlockContext,
+) {
     let kv = l.kv();
     if j + kv < l.n && j + kv >= w.col0 && j + kv < w.col0 + w.width {
         if l.kl > 0 {
@@ -105,7 +115,7 @@ pub fn smem_fillin_step(l: &BandLayout, w: &mut SmemBand<'_>, j: usize, ctx: &mu
             }
         }
         for i in 0..l.kl {
-            w.set(i, j + kv, 0.0);
+            w.set(i, j + kv, S::ZERO);
         }
         ctx.smem_work(l.kl, 0);
     }
@@ -114,9 +124,9 @@ pub fn smem_fillin_step(l: &BandLayout, w: &mut SmemBand<'_>, j: usize, ctx: &mu
 /// One column step of the factorization at global column `j`, operating on
 /// the shared-memory window. Identical operation order to
 /// [`gbatch_core::gbtf2::column_step`]. Returns the chosen pivot offset.
-pub fn smem_column_step(
+pub fn smem_column_step<S: Scalar>(
     l: &BandLayout,
-    w: &mut SmemBand<'_>,
+    w: &mut SmemBand<'_, S>,
     ipiv: &mut [i32],
     j: usize,
     state: &mut ColumnStepState,
@@ -132,7 +142,7 @@ pub fn smem_column_step(
     // memory — one strided scan plus a dependent read of the winner.
     let base = w.idx(kv, j);
     let mut jp = 0usize;
-    let mut best = -1.0f64;
+    let mut best = S::from_f64(-1.0);
     for k in 0..=km {
         let a = w.data[base + k].abs();
         if a > best {
@@ -153,7 +163,7 @@ pub fn smem_column_step(
 
     ipiv[j] = (j + jp) as i32;
     let piv = w.data[base + jp];
-    if piv != 0.0 {
+    if piv != S::ZERO {
         state.ju = update_bound(state.ju.max(j), j, l.ku, jp, l.n);
         let ju = state.ju;
         debug_assert!(
@@ -197,7 +207,7 @@ pub fn smem_column_step(
                 t.striped_read(base + 1, km, threads);
                 t.striped_write(base + 1, km, threads);
             }
-            let inv = 1.0 / w.data[base];
+            let inv = S::ONE / w.data[base];
             for k in 1..=km {
                 w.data[base + k] *= inv;
             }
@@ -212,7 +222,7 @@ pub fn smem_column_step(
                         let dst = w.idx(kv - c, j + c);
                         // The row-j multiplier u is read by every lane.
                         t.broadcast_read(dst);
-                        if w.data[dst] != 0.0 {
+                        if w.data[dst] != S::ZERO {
                             t.striped_read(src + 1, km, threads);
                             t.striped_read(dst + 1, km, threads);
                             t.striped_write(dst + 1, km, threads);
@@ -221,7 +231,7 @@ pub fn smem_column_step(
                 }
                 for c in 1..=(ju - j) {
                     let u = w.get(kv - c, j + c);
-                    if u == 0.0 {
+                    if u == S::ZERO {
                         continue;
                     }
                     let dst = w.idx(kv - c, j + c);
@@ -239,10 +249,11 @@ pub fn smem_column_step(
     jp
 }
 
-/// Shared-memory bytes needed to hold `cols` full band columns.
+/// Shared-memory bytes needed to hold `cols` full band columns of `S`
+/// elements — `ldab * cols * size_of::<S>()`.
 #[inline]
-pub fn smem_bytes_for_cols(ldab: usize, cols: usize) -> usize {
-    ldab * cols * std::mem::size_of::<f64>()
+pub fn smem_bytes_for_cols<S: Scalar>(ldab: usize, cols: usize) -> usize {
+    ldab * cols * S::BYTES
 }
 
 #[cfg(test)]
@@ -343,7 +354,12 @@ mod tests {
 
     #[test]
     fn smem_bytes_helper() {
-        assert_eq!(smem_bytes_for_cols(8, 10), 640);
+        assert_eq!(smem_bytes_for_cols::<f64>(8, 10), 640);
+        assert_eq!(
+            smem_bytes_for_cols::<f32>(8, 10),
+            320,
+            "f32 halves the footprint"
+        );
     }
 
     #[test]

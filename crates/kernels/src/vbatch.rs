@@ -28,7 +28,7 @@ pub fn vbatch_config(dev: &DeviceSpec, a: &VarBandBatch, nb: usize) -> LaunchCon
     let smem = a
         .layouts()
         .iter()
-        .map(|l| window_smem_bytes(l, nb))
+        .map(|l| window_smem_bytes::<f64>(l, nb))
         .max()
         .unwrap_or(0);
     LaunchConfig::new(threads, smem as u32).with_label("gbtrf_vbatch")
@@ -292,7 +292,7 @@ mod tests {
         assert!(cfg.threads >= 11);
         // smem must cover the widest band's window: (10,7) -> ldab 28.
         let widest = BandLayout::factor(25, 25, 10, 7).unwrap();
-        assert!(cfg.smem_bytes as usize >= window_smem_bytes(&widest, 8));
+        assert!(cfg.smem_bytes as usize >= window_smem_bytes::<f64>(&widest, 8));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! the current iteration can touch: a *factor window* of `nb` columns plus
 //! the widest possible *update window*, `kv + 1` more columns (`kv = kl +
 //! ku`, the worst case when the pivot sits at offset `kl`). The shared
-//! footprint is therefore `(nb + kv + 1) * ldab * 8` bytes — **constant in
+//! footprint is therefore `(nb + kv + 1) * ldab * size_of::<S>()` bytes
+//! (half as large for `f32` as for `f64`) — **constant in
 //! the matrix size** — which removes the fused kernel's occupancy staircase
 //! and its launch failures.
 //!
@@ -20,6 +21,7 @@ use crate::step::{smem_bytes_for_cols, smem_column_step, smem_fillin_prologue, S
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch};
 use gbatch_core::gbtf2::ColumnStepState;
 use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{
     launch, BlockContext, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy,
 };
@@ -73,22 +75,22 @@ pub fn window_cols(kl: usize, ku: usize, nb: usize) -> usize {
 }
 
 /// Shared-memory bytes of the sliding window — constant in `n`
-/// (`(nb + kv + 1) x ldab` doubles).
-pub fn window_smem_bytes(l: &BandLayout, nb: usize) -> usize {
-    smem_bytes_for_cols(l.ldab, window_cols(l.kl, l.ku, nb).min(l.n))
+/// (`(nb + kv + 1) x ldab` elements of `S`).
+pub fn window_smem_bytes<S: Scalar>(l: &BandLayout, nb: usize) -> usize {
+    smem_bytes_for_cols::<S>(l.ldab, window_cols(l.kl, l.ku, nb).min(l.n))
 }
 
-struct Problem<'a> {
-    ab: &'a mut [f64],
+struct Problem<'a, S> {
+    ab: &'a mut [S],
     piv: &'a mut [i32],
     info: &'a mut i32,
 }
 
-fn make_problems<'a>(
-    a: &'a mut BandBatch,
+fn make_problems<'a, S: Scalar>(
+    a: &'a mut BandBatch<S>,
     piv: &'a mut PivotBatch,
     info: &'a mut InfoArray,
-) -> Vec<Problem<'a>> {
+) -> Vec<Problem<'a, S>> {
     a.chunks_mut()
         .zip(piv.chunks_mut())
         .zip(info.as_mut_slice().iter_mut())
@@ -98,10 +100,10 @@ fn make_problems<'a>(
 
 /// Load global band columns `[c0, c1)` into window-local positions starting
 /// at local offset `dst_local` of `buf`.
-fn load_cols(
+fn load_cols<S: Scalar>(
     l: &BandLayout,
-    ab: &[f64],
-    buf: &mut [f64],
+    ab: &[S],
+    buf: &mut [S],
     dst_local: usize,
     c0: usize,
     c1: usize,
@@ -116,14 +118,14 @@ fn load_cols(
     if let Some(t) = ctx.smem.tracker() {
         t.striped_write(dst_local * ldab, elems, ctx.threads);
     }
-    ctx.gld(elems * std::mem::size_of::<f64>());
+    ctx.gld(elems * S::BYTES);
 }
 
 /// Store window-local columns back to global band columns `[c0, c1)`.
-fn store_cols(
+fn store_cols<S: Scalar>(
     l: &BandLayout,
-    ab: &mut [f64],
-    buf: &[f64],
+    ab: &mut [S],
+    buf: &[S],
     src_local: usize,
     c0: usize,
     c1: usize,
@@ -138,13 +140,18 @@ fn store_cols(
     if let Some(t) = ctx.smem.tracker() {
         t.striped_read(src_local * ldab, elems, ctx.threads);
     }
-    ctx.gst(elems * std::mem::size_of::<f64>());
+    ctx.gst(elems * S::BYTES);
 }
 
 /// The per-matrix sliding-window factorization body (shared by the
 /// single-kernel and multi-launch variants via the `relaunch` flag handled
 /// by the callers).
-fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockContext) {
+fn window_body<S: Scalar>(
+    l: &BandLayout,
+    nb: usize,
+    p: &mut Problem<'_, S>,
+    ctx: &mut BlockContext,
+) {
     let ldab = l.ldab;
     let _kv = l.kv();
     let n = l.n;
@@ -152,8 +159,8 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
     let wcols = window_cols(l.kl, l.ku, nb).min(n);
     let wlen = wcols * ldab;
 
-    let off = ctx.smem.alloc(wlen);
-    let mut buf = vec![0.0f64; wlen];
+    let _off = ctx.smem.alloc_scalar(wlen, S::BYTES);
+    let mut buf = vec![S::ZERO; wlen];
 
     // Initial fill of the window.
     let mut loaded_end = wcols.min(n);
@@ -240,17 +247,13 @@ fn window_body(l: &BandLayout, nb: usize, p: &mut Problem<'_>, ctx: &mut BlockCo
     }
     *p.info = st.info;
     ctx.gst(kmin * std::mem::size_of::<i32>()); // pivot vector write-back
-
-    // Keep the arena allocation honest (capacity was validated at launch).
-    let arena = ctx.smem.slice_mut(off, wlen);
-    arena.copy_from_slice(&buf);
 }
 
 /// Batched sliding-window band LU factorization (single kernel, in-kernel
 /// window shifting — the paper's preferred variant).
-pub fn gbtrf_batch_window(
+pub fn gbtrf_batch_window<S: Scalar>(
     dev: &DeviceSpec,
-    a: &mut BandBatch,
+    a: &mut BandBatch<S>,
     piv: &mut PivotBatch,
     info: &mut InfoArray,
     params: WindowParams,
@@ -259,10 +262,11 @@ pub fn gbtrf_batch_window(
     assert!(params.nb > 0, "nb must be positive");
     assert_eq!(piv.batch(), a.batch());
     assert_eq!(info.len(), a.batch());
-    let smem = window_smem_bytes(&l, params.nb);
+    let smem = window_smem_bytes::<S>(&l, params.nb);
     let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
         .with_parallel(params.parallel)
-        .with_label("gbtrf_window");
+        .with_label("gbtrf_window")
+        .with_precision(crate::flop_class::<S>());
     let mut problems = make_problems(a, piv, info);
     launch(dev, &cfg, &mut problems, |p, ctx| {
         window_body(&l, params.nb, p, ctx)
@@ -273,9 +277,9 @@ pub fn gbtrf_batch_window(
 /// whole window from global memory each time (no in-kernel shift). The
 /// paper reports this is slower due to launch overhead and redundant
 /// traffic; kept for the `ablation_window_shift` benchmark.
-pub fn gbtrf_batch_window_relaunch(
+pub fn gbtrf_batch_window_relaunch<S: Scalar>(
     dev: &DeviceSpec,
-    a: &mut BandBatch,
+    a: &mut BandBatch<S>,
     piv: &mut PivotBatch,
     info: &mut InfoArray,
     params: WindowParams,
@@ -283,10 +287,11 @@ pub fn gbtrf_batch_window_relaunch(
     let l = a.layout();
     assert!(params.nb > 0);
     let batch = a.batch();
-    let smem = window_smem_bytes(&l, params.nb);
+    let smem = window_smem_bytes::<S>(&l, params.nb);
     let cfg = LaunchConfig::new(params.threads.max((l.kl + 1) as u32), smem as u32)
         .with_parallel(params.parallel)
-        .with_label("gbtrf_window_relaunch");
+        .with_label("gbtrf_window_relaunch")
+        .with_precision(crate::flop_class::<S>());
     let kmin = l.m.min(l.n);
     let n_iters = kmin.div_ceil(params.nb);
     let mut reports = Vec::with_capacity(n_iters);
@@ -297,12 +302,12 @@ pub fn gbtrf_batch_window_relaunch(
     let mut j0 = 0usize;
     while j0 < kmin {
         let jb = params.nb.min(kmin - j0);
-        struct Iter<'a> {
-            ab: &'a mut [f64],
+        struct Iter<'a, S> {
+            ab: &'a mut [S],
             piv: &'a mut [i32],
             st: &'a mut ColumnStepState,
         }
-        let mut problems: Vec<Iter<'_>> = a
+        let mut problems: Vec<Iter<'_, S>> = a
             .chunks_mut()
             .zip(piv.chunks_mut())
             .zip(states.iter_mut())
@@ -313,8 +318,8 @@ pub fn gbtrf_batch_window_relaunch(
             let kv = l.kv();
             let wcols = window_cols(l.kl, l.ku, params.nb).min(l.n - j0);
             let wlen = wcols * ldab;
-            let _off = ctx.smem.alloc(wlen);
-            let mut buf = vec![0.0f64; wlen];
+            let _off = ctx.smem.alloc_scalar(wlen, S::BYTES);
+            let mut buf = vec![S::ZERO; wlen];
             let loaded_end = (j0 + wcols).min(l.n);
             load_cols(&l, p.ab, &mut buf, 0, j0, loaded_end, ctx);
             ctx.sync();
@@ -422,10 +427,13 @@ mod tests {
     fn constant_shared_memory_in_matrix_size() {
         let l512 = BandLayout::factor(512, 512, 2, 3).unwrap();
         let l1024 = BandLayout::factor(1024, 1024, 2, 3).unwrap();
-        assert_eq!(window_smem_bytes(&l512, 8), window_smem_bytes(&l1024, 8));
+        assert_eq!(
+            window_smem_bytes::<f64>(&l512, 8),
+            window_smem_bytes::<f64>(&l1024, 8)
+        );
         // And it is dramatically smaller than the fused footprint.
-        let fused = crate::fused::fused_smem_bytes(l1024.ldab, 1024);
-        assert!(window_smem_bytes(&l1024, 8) * 10 < fused);
+        let fused = crate::fused::fused_smem_bytes::<f64>(l1024.ldab, 1024);
+        assert!(window_smem_bytes::<f64>(&l1024, 8) * 10 < fused);
     }
 
     #[test]

@@ -10,10 +10,19 @@
 //! - [`CpuBackend`] — the multicore spill-over path (`cpu_gbsv_batch`),
 //!   used for batches too small or too stale to be worth a device launch.
 //!
+//! Payloads travel in `f64` on the wire regardless of precision; a key
+//! tagged [`Precision::F32`] means the client accepts single-precision
+//! compute, so the flush is narrowed at assembly and runs on the `f32`
+//! instantiation of the batch stack (`sgbsv_batch` on the GPU, the `f32`
+//! core driver on the CPU) — half the shared-memory footprint, twice the
+//! modeled fp32 lane throughput. Because [`ShapeKey`] carries the
+//! precision, f32 and f64 traffic of the same geometry never share a
+//! bucket or a launch.
+//!
 //! Both are behind the [`SolveBackend`] trait so tests can inject faulting
 //! doubles to exercise the server's bisect-retry logic.
 
-use gbatch_core::{BandBatch, InfoArray, PivotBatch, RhsBatch, ShapeKey};
+use gbatch_core::{BandBatch, InfoArray, PivotBatch, Precision, RhsBatch, ShapeKey};
 use gbatch_cpu::{cpu_gbsv_batch, CpuSpec};
 use gbatch_gpu_sim::engine::LaunchError;
 use gbatch_gpu_sim::multi::DeviceGroup;
@@ -113,6 +122,37 @@ fn assemble(
     Ok((a, piv, rhs, info))
 }
 
+/// [`assemble`] for an F32-tagged key: the `f64` wire payloads are
+/// narrowed element-wise into `f32` batch containers.
+fn assemble_f32(
+    shape: &ShapeKey,
+    reqs: &[SolveRequest],
+) -> Result<(BandBatch<f32>, PivotBatch, RhsBatch<f32>, InfoArray), BackendError> {
+    let l = shape
+        .layout()
+        .map_err(|e| BackendError::Fault(format!("invalid shape {shape}: {e}")))?;
+    let batch = reqs.len();
+    let mut a = BandBatch::<f32>::zeros_with_layout(l, batch)
+        .map_err(|e| BackendError::Fault(format!("band allocation failed: {e}")))?;
+    let mut rhs = RhsBatch::<f32>::zeros(batch, l.n, shape.nrhs)
+        .map_err(|e| BackendError::Fault(format!("rhs allocation failed: {e}")))?;
+    let stride = a.matrix_stride();
+    for (k, r) in reqs.iter().enumerate() {
+        for (dst, &src) in a.data_mut()[k * stride..(k + 1) * stride]
+            .iter_mut()
+            .zip(&r.ab)
+        {
+            *dst = src as f32;
+        }
+        for (dst, &src) in rhs.block_mut(k).iter_mut().zip(&r.rhs) {
+            *dst = src as f32;
+        }
+    }
+    let piv = PivotBatch::new(batch, l.m, l.n);
+    let info = InfoArray::new(batch);
+    Ok((a, piv, rhs, info))
+}
+
 /// Simulated-GPU backend: one `dgbsv_batch` dispatch per device partition.
 pub struct GpuBackend {
     group: DeviceGroup,
@@ -176,19 +216,44 @@ impl SolveBackend for GpuBackend {
         let mut x = vec![Vec::new(); batch];
         let mut info_out = vec![0i32; batch];
         let opts = self.options(shape);
-        let time = self.group.run_split(batch, |dev, lo, hi| {
-            let part = &reqs[lo..hi];
-            let (mut a, mut piv, mut rhs, mut info) = assemble(shape, part)?;
-            let rep = gbatch_kernels::dispatch::dgbsv_batch(
-                dev, &mut a, &mut piv, &mut rhs, &mut info, &opts,
-            )
-            .map_err(BackendError::Launch)?;
-            for k in 0..part.len() {
-                x[lo + k] = rhs.block(k).to_vec();
-                info_out[lo + k] = info.get(k);
-            }
-            Ok(rep.time)
-        })?;
+        let time = if shape.precision == Precision::F32 {
+            // Single-precision traffic: narrow at assembly, dispatch the
+            // f32 instantiation, widen the solutions back onto the f64
+            // wire. A singular lane's response is the *original* f64
+            // right-hand side, matching the f64 path's untouched-RHS
+            // contract exactly (no f32 round-trip on the payload).
+            self.group.run_split(batch, |dev, lo, hi| {
+                let part = &reqs[lo..hi];
+                let (mut a, mut piv, mut rhs, mut info) = assemble_f32(shape, part)?;
+                let rep = gbatch_kernels::dispatch::sgbsv_batch(
+                    dev, &mut a, &mut piv, &mut rhs, &mut info, &opts,
+                )
+                .map_err(BackendError::Launch)?;
+                for (k, r) in part.iter().enumerate() {
+                    info_out[lo + k] = info.get(k);
+                    x[lo + k] = if info.get(k) > 0 {
+                        r.rhs.clone()
+                    } else {
+                        rhs.block(k).iter().map(|&v| v as f64).collect()
+                    };
+                }
+                Ok(rep.time)
+            })?
+        } else {
+            self.group.run_split(batch, |dev, lo, hi| {
+                let part = &reqs[lo..hi];
+                let (mut a, mut piv, mut rhs, mut info) = assemble(shape, part)?;
+                let rep = gbatch_kernels::dispatch::dgbsv_batch(
+                    dev, &mut a, &mut piv, &mut rhs, &mut info, &opts,
+                )
+                .map_err(BackendError::Launch)?;
+                for k in 0..part.len() {
+                    x[lo + k] = rhs.block(k).to_vec();
+                    info_out[lo + k] = info.get(k);
+                }
+                Ok(rep.time)
+            })?
+        };
         Ok(BatchSolution {
             x,
             info: info_out,
@@ -214,6 +279,50 @@ impl CpuBackend {
     pub fn spec(&self) -> &CpuSpec {
         &self.cpu
     }
+
+    /// Spill-over path for F32-tagged keys: each lane runs the `f32`
+    /// instantiation of the core driver sequentially (deterministic), and
+    /// the model charges half the `f64` memory traffic — the flop count is
+    /// unchanged, the element bytes halve.
+    fn solve_f32(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<BatchSolution, BackendError> {
+        let (mut a, mut piv, mut rhs, mut info) = assemble_f32(shape, reqs)?;
+        let l = a.layout();
+        let (nrhs, ldb) = (rhs.nrhs(), rhs.ldb());
+        let stride = l.len();
+        for k in 0..reqs.len() {
+            let ab = &mut a.data_mut()[k * stride..(k + 1) * stride];
+            let code = gbatch_core::gbsv::gbsv::<f32>(
+                &l,
+                ab,
+                piv.pivots_mut(k),
+                rhs.block_mut(k),
+                ldb,
+                nrhs,
+            );
+            info.set(k, code);
+        }
+        let flops = gbatch_cpu::model::gbtrf_flops(&l) + gbatch_cpu::model::gbtrs_flops(&l, nrhs);
+        let bytes = gbatch_cpu::model::gbtrf_bytes(&l) + gbatch_cpu::model::gbtrs_bytes(&l, nrhs);
+        let mut x = Vec::with_capacity(reqs.len());
+        let mut info_out = Vec::with_capacity(reqs.len());
+        for (k, r) in reqs.iter().enumerate() {
+            if info.get(k) > 0 {
+                x.push(r.rhs.clone());
+            } else {
+                x.push(rhs.block(k).iter().map(|&v| v as f64).collect());
+            }
+            info_out.push(info.get(k));
+        }
+        Ok(BatchSolution {
+            x,
+            info: info_out,
+            service_s: self.cpu.batch_time(reqs.len(), flops, bytes / 2.0),
+        })
+    }
 }
 
 impl SolveBackend for CpuBackend {
@@ -226,6 +335,9 @@ impl SolveBackend for CpuBackend {
         shape: &ShapeKey,
         reqs: &[SolveRequest],
     ) -> Result<BatchSolution, BackendError> {
+        if shape.precision == Precision::F32 {
+            return self.solve_f32(shape, reqs);
+        }
         let (mut a, mut piv, mut rhs, mut info) = assemble(shape, reqs)?;
         let rep = cpu_gbsv_batch(&self.cpu, &mut a, &mut piv, &mut rhs, &mut info);
         let mut x = Vec::with_capacity(reqs.len());
@@ -349,6 +461,77 @@ mod tests {
                 assert_eq!(sol.info[k], 0);
                 assert_ne!(sol.x[k], reqs[k].rhs, "healthy lane {k} solved");
             }
+        }
+    }
+
+    #[test]
+    fn f32_tagged_shapes_run_the_single_precision_stack() {
+        let shape = ShapeKey::sgbsv(48, 3, 3, 1);
+        let l = shape.layout().unwrap();
+        let reqs: Vec<_> = (0..10)
+            .map(|i| healthy_request(i, shape, 0.01 * i as f64))
+            .collect();
+        let gpu = GpuBackend::new(DeviceGroup::mi250x_full(), ParallelPolicy::Serial);
+        let cpu = CpuBackend::new(CpuSpec::xeon_gold_6140());
+        for backend in [&gpu as &dyn SolveBackend, &cpu as &dyn SolveBackend] {
+            let sol = backend.solve(&shape, &reqs).unwrap();
+            assert_eq!(sol.info, vec![0; 10], "{} backend", backend.kind());
+            for (k, r) in reqs.iter().enumerate() {
+                // Every solution coordinate is an exactly-widened f32 —
+                // proof the lane ran the single-precision stack.
+                for &v in &sol.x[k] {
+                    assert_eq!(v, v as f32 as f64, "{} lane {k}", backend.kind());
+                }
+                // Residual at f32 accuracy against the f64 wire payload.
+                let m = gbatch_core::BandMatrixRef {
+                    layout: l,
+                    data: &r.ab,
+                };
+                let mut worst: f64 = 0.0;
+                for i in 0..l.n {
+                    let lo = i.saturating_sub(l.kl);
+                    let hi = (i + l.ku + 1).min(l.n);
+                    let ax: f64 = sol.x[k][lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(j, xj)| m.get(i, lo + j) * xj)
+                        .sum();
+                    worst = worst.max((ax - r.rhs[i]).abs());
+                }
+                assert!(
+                    worst < 1e-3,
+                    "{} lane {k}: f32 residual {worst:e}",
+                    backend.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_singular_lane_returns_the_original_f64_rhs() {
+        let shape = ShapeKey::sgbsv(24, 2, 2, 1);
+        let l = shape.layout().unwrap();
+        let mut reqs: Vec<_> = (0..5)
+            .map(|i| healthy_request(i, shape, 0.02 * i as f64))
+            .collect();
+        {
+            let req = &mut reqs[2];
+            let mut m = gbatch_core::BandMatrixMut {
+                layout: l,
+                data: &mut req.ab,
+            };
+            let (s, e) = l.col_rows(0);
+            for i in s..e {
+                m.set(i, 0, 0.0);
+            }
+        }
+        let gpu = GpuBackend::new(DeviceGroup::mi250x_full(), ParallelPolicy::Serial);
+        let cpu = CpuBackend::new(CpuSpec::xeon_gold_6140());
+        for backend in [&gpu as &dyn SolveBackend, &cpu as &dyn SolveBackend] {
+            let sol = backend.solve(&shape, &reqs).unwrap();
+            assert_eq!(sol.info[2], 1, "{} backend", backend.kind());
+            // Bitwise the original f64 payload, not an f32 round-trip.
+            assert_eq!(sol.x[2], reqs[2].rhs, "{} backend", backend.kind());
         }
     }
 

@@ -44,15 +44,15 @@ pub fn sweep_band(dev: &DeviceSpec, cfg: &SweepConfig, kl: usize, ku: usize) -> 
     let l = BandLayout::factor(cfg.n, cfg.n, kl, ku).ok()?;
     let mut best: Option<TuneEntry> = None;
     for &nb in &cfg.nb_candidates {
-        let smem = window_smem_bytes(&l, nb) as u32;
-        let per_block_base = predict_window(&l, nb, 1); // threads folded below
+        let smem = window_smem_bytes::<f64>(&l, nb) as u32;
+        let per_block_base = predict_window::<f64>(&l, nb, 1); // threads folded below
         let _ = per_block_base;
         for &t in &cfg.thread_candidates {
             let threads = t.max((kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
             if threads > dev.max_threads_per_block {
                 continue;
             }
-            let per_block = predict_window(&l, nb, threads.min(dev.lds_lanes));
+            let per_block = predict_window::<f64>(&l, nb, threads.min(dev.lds_lanes));
             let lcfg = LaunchConfig::new(threads, smem);
             let Some(time) = predict_time(dev, &lcfg, cfg.batch, &per_block) else {
                 continue;
@@ -88,13 +88,14 @@ pub fn sweep_solve_band(
     let mut best: Option<TuneEntry> = None;
     for &nb in &cfg.nb_candidates {
         // Both sweeps must fit; configuration is sized by the larger cache.
-        let smem = forward_smem_bytes(&l, nb, nrhs).max(backward_smem_bytes(&l, nb, nrhs)) as u32;
+        let smem = forward_smem_bytes::<f64>(&l, nb, nrhs)
+            .max(backward_smem_bytes::<f64>(&l, nb, nrhs)) as u32;
         for &t in &cfg.thread_candidates {
             let threads = t.max((kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size;
             if threads > dev.max_threads_per_block {
                 continue;
             }
-            let per_block = predict_gbtrs_blocked(&l, nb, nrhs, threads.min(dev.lds_lanes));
+            let per_block = predict_gbtrs_blocked::<f64>(&l, nb, nrhs, threads.min(dev.lds_lanes));
             let lcfg = LaunchConfig::new(threads, smem);
             let Some(time) = predict_time(dev, &lcfg, cfg.batch, &per_block) else {
                 continue;
@@ -158,8 +159,8 @@ mod tests {
         for &nb in &cfg.nb_candidates {
             for &t in &cfg.thread_candidates {
                 let threads = t.max((kl + 1) as u32);
-                let per_block = predict_window(&l, nb, threads.min(dev.lds_lanes));
-                let lcfg = LaunchConfig::new(threads, window_smem_bytes(&l, nb) as u32);
+                let per_block = predict_window::<f64>(&l, nb, threads.min(dev.lds_lanes));
+                let lcfg = LaunchConfig::new(threads, window_smem_bytes::<f64>(&l, nb) as u32);
                 if let Some(time) = predict_time(&dev, &lcfg, cfg.batch, &per_block) {
                     worst = worst.max(time.ms());
                 }

@@ -47,8 +47,8 @@ fn bandwidths_must_fit_inside_the_matrix() {
     let err = BandLayout::factor(8, 4, 1, 4).unwrap_err();
     assert!(matches!(err, BandError::BadDimension { arg: "kl/ku", .. }));
     // The container constructors forward the same rejection.
-    assert!(BandBatch::zeros(3, 4, 4, 4, 1).is_err());
-    assert!(BandBatch::zeros(3, 4, 4, 1, 4).is_err());
+    assert!(BandBatch::<f64>::zeros(3, 4, 4, 4, 1).is_err());
+    assert!(BandBatch::<f64>::zeros(3, 4, 4, 1, 4).is_err());
     // Boundary: kl = m - 1, ku = n - 1 is the widest legal band.
     assert!(BandLayout::factor(4, 4, 3, 3).is_ok());
 }
@@ -58,13 +58,13 @@ fn bandwidths_must_fit_inside_the_matrix() {
 #[test]
 fn zero_batch_is_rejected_by_every_container() {
     assert!(matches!(
-        BandBatch::zeros(0, 9, 9, 2, 3).unwrap_err(),
+        BandBatch::<f64>::zeros(0, 9, 9, 2, 3).unwrap_err(),
         BandError::BadDimension { arg: "batch", .. }
     ));
     let layout = BandLayout::factor(9, 9, 2, 3).unwrap();
-    assert!(BandBatch::zeros_with_layout(layout, 0).is_err());
+    assert!(BandBatch::<f64>::zeros_with_layout(layout, 0).is_err());
     assert!(matches!(
-        RhsBatch::zeros(0, 9, 1).unwrap_err(),
+        RhsBatch::<f64>::zeros(0, 9, 1).unwrap_err(),
         BandError::BadDimension { .. }
     ));
 }
@@ -74,12 +74,12 @@ fn zero_batch_is_rejected_by_every_container() {
 #[test]
 fn zero_nrhs_is_rejected_by_the_rhs_container() {
     assert!(matches!(
-        RhsBatch::zeros(4, 9, 0).unwrap_err(),
+        RhsBatch::<f64>::zeros(4, 9, 0).unwrap_err(),
         BandError::BadDimension { .. }
     ));
-    assert!(RhsBatch::zeros_with_ldb(4, 9, 0, 9).is_err());
+    assert!(RhsBatch::<f64>::zeros_with_ldb(4, 9, 0, 9).is_err());
     // n = 0 is rejected by the same gate.
-    assert!(RhsBatch::zeros(4, 0, 1).is_err());
+    assert!(RhsBatch::<f64>::zeros(4, 0, 1).is_err());
 }
 
 // -------------------------------------------------- launch-level gates --

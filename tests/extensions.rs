@@ -213,7 +213,7 @@ fn specialized_on_xgc_band_shape() {
     .unwrap();
     assert_eq!(a1.data(), a2.data());
     assert_eq!(p1, p2);
-    let _ = BandBatch::zeros(1, 2, 2, 1, 1).unwrap();
+    let _ = BandBatch::<f64>::zeros(1, 2, 2, 1, 1).unwrap();
 }
 
 /// RHS blocks with padding (`ldb > n`) flow through the blocked GPU

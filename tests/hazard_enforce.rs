@@ -20,7 +20,7 @@ use gbatch::core::{BandBatch, InfoArray, InterleavedBandBatch, PivotBatch, RhsBa
 use gbatch::gpu_sim::hazard::{set_global_mode, HazardKind, HazardMode};
 use gbatch::gpu_sim::{launch, DeviceSpec, LaunchConfig, ParallelPolicy};
 use gbatch::kernels::dispatch::{
-    dgbsv_batch, dgbtrf_batch, dgbtrs_batch, GbsvOptions, MatrixLayout,
+    dgbsv_batch, dgbtrf_batch, dgbtrs_batch, sgbsv_batch, GbsvOptions, MatrixLayout,
 };
 use gbatch::kernels::fused::{gbtrf_batch_fused, FusedParams};
 use gbatch::kernels::gbsv_fused::gbsv_batch_fused;
@@ -246,6 +246,150 @@ fn enforce_dispatch_grid_both_layouts() {
                     assert!(
                         info.all_ok(),
                         "dgbsv ({kl},{ku}) nrhs {nrhs} {layout:?} {policy:?}"
+                    );
+                    assert!(rhs.data().iter().all(|v| v.is_finite()));
+                }
+            }
+        }
+    }
+}
+
+// =================================================================
+// Enforce-mode grid, f32 instantiations
+// =================================================================
+
+/// The f32 counterpart of [`band_batch`].
+fn band_batch_f32(batch: usize, n: usize, kl: usize, ku: usize) -> BandBatch<f32> {
+    BandBatch::<f32>::from_fn(batch, n, n, kl, ku, |b, m| {
+        for j in 0..n {
+            let lo = j.saturating_sub(ku);
+            let hi = (j + kl).min(n - 1);
+            for i in lo..=hi {
+                let v = if i == j {
+                    (kl + ku + 2) as f32 + (b % 3) as f32
+                } else {
+                    0.3 + 0.1 * ((i * 7 + j * 3 + b) % 5) as f32
+                };
+                m.set(i, j, v);
+            }
+        }
+    })
+    .unwrap()
+}
+
+fn rhs_batch_f32(batch: usize, n: usize, nrhs: usize) -> RhsBatch<f32> {
+    RhsBatch::<f32>::from_fn(batch, n, nrhs, |b, i, c| {
+        1.0 + ((b + 2 * i + 3 * c) % 7) as f32
+    })
+    .unwrap()
+}
+
+/// Every kernel family instantiated at `f32` under Enforce: the halved
+/// shared footprint must not introduce any cross-lane conflict the `f64`
+/// instantiation doesn't have (the access *pattern* is precision-blind;
+/// only the byte widths shrink).
+#[test]
+fn enforce_f32_kernel_instantiations_run_hazard_free() {
+    set_global_mode(HazardMode::Enforce);
+    let dev = dev();
+    for &(kl, ku) in SHAPES {
+        for policy in policies() {
+            // Fused factorization.
+            let mut a = band_batch_f32(BATCH, N, kl, ku);
+            let mut piv = PivotBatch::new(BATCH, N, N);
+            let mut info = InfoArray::new(BATCH);
+            let params = FusedParams {
+                threads: 8,
+                parallel: policy,
+            };
+            let rep = gbtrf_batch_fused(&dev, &mut a, &mut piv, &mut info, params).unwrap();
+            assert!(info.all_ok(), "f32 fused ({kl},{ku}) {policy:?}");
+            assert_eq!(rep.counters.hazards, 0);
+            let l = a.layout();
+
+            // Sliding window.
+            let mut aw = band_batch_f32(BATCH, N, kl, ku);
+            let wparams = WindowParams {
+                nb: 6,
+                threads: 8,
+                parallel: policy,
+            };
+            let rep = gbtrf_batch_window(&dev, &mut aw, &mut piv, &mut info, wparams).unwrap();
+            assert!(info.all_ok(), "f32 window ({kl},{ku}) {policy:?}");
+            assert_eq!(rep.counters.hazards, 0);
+
+            // Solve kernels over the fused factors.
+            for nrhs in [1usize, 10] {
+                let sparams = SolveParams {
+                    nb: 6,
+                    threads: 4,
+                    parallel: policy,
+                };
+                let mut rhs = rhs_batch_f32(BATCH, N, nrhs);
+                let rep = gbtrs_batch_blocked(&dev, &l, a.data(), &piv, &mut rhs, sparams).unwrap();
+                assert!(rhs.data().iter().all(|v| v.is_finite()));
+                if let Some(fwd) = &rep.forward {
+                    assert_eq!(fwd.counters.hazards, 0);
+                }
+                assert_eq!(rep.backward.counters.hazards, 0);
+
+                let mut rhs = rhs_batch_f32(BATCH, N, nrhs);
+                gbtrs_batch_cols(&dev, &l, a.data(), &piv, &mut rhs, policy).unwrap();
+                assert!(rhs.data().iter().all(|v| v.is_finite()));
+
+                let mut rhs = rhs_batch_f32(BATCH, N, nrhs);
+                gbtrs_batch_blocked_trans(&dev, &l, a.data(), &piv, &mut rhs, sparams).unwrap();
+                assert!(rhs.data().iter().all(|v| v.is_finite()));
+            }
+
+            // Fused GBSV driver.
+            let mut af = band_batch_f32(BATCH, N, kl, ku);
+            let mut rhs = rhs_batch_f32(BATCH, N, 1);
+            let rep =
+                gbsv_batch_fused(&dev, &mut af, &mut piv, &mut rhs, &mut info, 8, policy).unwrap();
+            assert!(info.all_ok(), "f32 gbsv ({kl},{ku}) {policy:?}");
+            assert_eq!(rep.counters.hazards, 0);
+
+            // Interleaved factor + solve.
+            let aos = band_batch_f32(BATCH, N, kl, ku);
+            let mut ia = InterleavedBandBatch::from_batch(&aos);
+            let iparams = InterleavedParams {
+                lanes_per_block: 3,
+                threads: 2,
+                parallel: policy,
+            };
+            let _ = gbtrf_batch_interleaved(&dev, &mut ia, &mut piv, &mut info, iparams).unwrap();
+            assert!(info.all_ok(), "f32 igbtrf ({kl},{ku}) {policy:?}");
+            let mut rhs = rhs_batch_f32(BATCH, N, 1);
+            let _ = gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, iparams).unwrap();
+            assert!(rhs.data().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+/// The single-precision dispatch driver under Enforce, both layouts.
+#[test]
+fn enforce_f32_dispatch_grid_both_layouts() {
+    set_global_mode(HazardMode::Enforce);
+    let dev = dev();
+    for &(kl, ku) in SHAPES {
+        for policy in policies() {
+            for layout in [MatrixLayout::ColumnMajor, MatrixLayout::Interleaved] {
+                for nrhs in [1usize, 10] {
+                    let mut a = band_batch_f32(BATCH, N, kl, ku);
+                    let mut piv = PivotBatch::new(BATCH, N, N);
+                    let mut rhs = rhs_batch_f32(BATCH, N, nrhs);
+                    let mut info = InfoArray::new(BATCH);
+                    let opts = GbsvOptions {
+                        parallel: Some(policy),
+                        layout,
+                        ..GbsvOptions::default()
+                    };
+                    let _ =
+                        sgbsv_batch(&dev, &mut a, &mut piv, &mut rhs, &mut info, &opts).unwrap();
+                    assert!(
+                        info.all_ok(),
+                        "sgbsv ({kl},{ku}) nrhs {nrhs} {layout:?} {policy:?}"
                     );
                     assert!(rhs.data().iter().all(|v| v.is_finite()));
                 }
