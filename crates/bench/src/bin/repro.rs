@@ -2,8 +2,12 @@
 //!
 //! Usage:
 //! ```text
-//! repro [fig1|fig3|fig5|table1|fig7|fig8|table2|fig9|table3|tuning|bandwidth|extensions|multigcd|all]
+//! repro [fig1|fig3|fig5|table1|fig7|fig8|table2|fig9|table3|tuning|bandwidth|extensions|multigcd|raw_speed|all]
 //! ```
+//!
+//! `raw_speed` regenerates the checked-in perf trajectory
+//! `BENCH_raw_speed.json` at the repository root (see
+//! [`gbatch_bench::raw_speed`]); the release perf-gate test replays it.
 //!
 //! Times printed for the GPUs come from the simulator's analytic model;
 //! CPU times from the calibrated Skylake model. Every measurement executes
@@ -36,10 +40,38 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
 
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("raw_speed") {
+        eprintln!("running raw_speed trajectory...");
+        let r = gbatch_bench::raw_speed::measure();
+        writeln!(out, "## Raw speed trajectory ({})", r.device).unwrap();
+        for (name, s) in [
+            ("factor", r.factor),
+            ("solve", r.solve),
+            ("interleaved", r.interleaved),
+            ("serve_flush", r.serve_flush),
+        ] {
+            writeln!(
+                out,
+                "  {name:>12}: per-launch {:>9.4} ms | resident {:>9.4} ms | {:.3}x",
+                s.per_launch_ms, s.resident_ms, s.speedup
+            )
+            .unwrap();
+        }
+        writeln!(out, "  one-time serve spin-up: {:.4} ms", r.serve_spinup_ms).unwrap();
+        writeln!(out).unwrap();
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_raw_speed.json");
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        std::fs::write(path, json + "\n").unwrap();
+        eprintln!("wrote {path}");
+        if what == "raw_speed" {
+            return;
+        }
+    }
+
     eprintln!("building platforms (tuning sweep)...");
     let p = Platforms::tuned(12);
-
-    let run = |name: &str| what == "all" || what == name;
 
     if run("bandwidth") {
         writeln!(out, "## Section 8: sustained bandwidth probe (large dgemv)").unwrap();

@@ -22,8 +22,10 @@
 pub mod calibration;
 pub mod experiments;
 pub mod platforms;
+pub mod raw_speed;
 pub mod report;
 
 pub use calibration::{calibrate_layout, LayoutCalibration};
 pub use platforms::Platforms;
+pub use raw_speed::{EngineSample, RawSpeedReport};
 pub use report::{Series, SpeedupSummary};

@@ -1,0 +1,87 @@
+//! The perf gate: replay the checked-in raw-speed trajectory
+//! (`BENCH_raw_speed.json` at the repository root) and fail if the current
+//! tree has drifted from it or fallen below the resident-engine floors.
+//!
+//! Every time in the trajectory comes from the simulator's analytic model,
+//! so a healthy tree reproduces the file *exactly* — the tolerance below
+//! only absorbs the JSON decimal round-trip. A mismatch means a code
+//! change moved the modeled performance: either fix the regression or
+//! regenerate the trajectory deliberately via
+//! `cargo run --release -p gbatch-bench --bin repro -- raw_speed`
+//! and justify the new numbers in the PR.
+
+use gbatch_bench::raw_speed::{self, EngineSample, RawSpeedReport};
+
+const TRAJECTORY: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_raw_speed.json");
+
+/// Relative tolerance for replayed-vs-checked-in times: the model is
+/// deterministic, so this only needs to cover JSON f64 round-trip noise.
+const REL_TOL: f64 = 1e-12;
+
+fn assert_close(name: &str, got: f64, want: f64) {
+    let rel = (got - want).abs() / want.abs().max(f64::MIN_POSITIVE);
+    assert!(
+        rel <= REL_TOL,
+        "{name}: replayed {got:.17e} vs checked-in {want:.17e} (rel {rel:.2e}) — \
+         the perf trajectory drifted; fix the regression or regenerate \
+         BENCH_raw_speed.json deliberately"
+    );
+}
+
+fn assert_sample(name: &str, got: EngineSample, want: EngineSample) {
+    assert_close(
+        &format!("{name}.per_launch_ms"),
+        got.per_launch_ms,
+        want.per_launch_ms,
+    );
+    assert_close(
+        &format!("{name}.resident_ms"),
+        got.resident_ms,
+        want.resident_ms,
+    );
+    assert_close(&format!("{name}.speedup"), got.speedup, want.speedup);
+}
+
+#[test]
+fn checked_in_trajectory_replays_exactly() {
+    let json = std::fs::read_to_string(TRAJECTORY)
+        .expect("BENCH_raw_speed.json missing at repo root — run `repro raw_speed`");
+    let want: RawSpeedReport = serde_json::from_str(&json).expect("trajectory JSON invalid");
+    assert_eq!(want.batch, raw_speed::RAW_BATCH, "trajectory shape drifted");
+    assert_eq!(want.n, raw_speed::RAW_N);
+
+    let got = raw_speed::measure();
+    assert_eq!(got.device, want.device, "trajectory device drifted");
+    assert_sample("factor", got.factor, want.factor);
+    assert_sample("solve", got.solve, want.solve);
+    assert_sample("interleaved", got.interleaved, want.interleaved);
+    assert_sample("serve_flush", got.serve_flush, want.serve_flush);
+    assert_close("serve_spinup_ms", got.serve_spinup_ms, want.serve_spinup_ms);
+}
+
+#[test]
+fn resident_engine_floors_hold() {
+    let json = std::fs::read_to_string(TRAJECTORY)
+        .expect("BENCH_raw_speed.json missing at repo root — run `repro raw_speed`");
+    let want: RawSpeedReport = serde_json::from_str(&json).expect("trajectory JSON invalid");
+    // The headline acceptance floor: a resident serve flush at batch 4096,
+    // n 16 beats per-launch by at least 1.3x.
+    assert!(
+        want.serve_flush.speedup >= 1.3,
+        "serve flush speedup {} below the 1.3x floor",
+        want.serve_flush.speedup
+    );
+    // Resident never loses anywhere on the trajectory.
+    for (name, s) in [
+        ("factor", want.factor),
+        ("solve", want.solve),
+        ("interleaved", want.interleaved),
+        ("serve_flush", want.serve_flush),
+    ] {
+        assert!(s.speedup > 1.0, "{name}: resident slower than per-launch");
+    }
+    // Spin-up is priced honestly: visible, positive, and bounded by the
+    // device's one-time cost (it can never recur per flush).
+    assert!(want.serve_spinup_ms > 0.0);
+    assert!(want.serve_spinup_ms < want.serve_flush.per_launch_ms * 10.0);
+}

@@ -8,7 +8,14 @@
 //! Every routine is generic over the element [`Scalar`] (`f32`/`f64`); the
 //! `f64` instantiations compile to the exact operation sequence of the
 //! original concrete code.
+//!
+//! The per-element maps (`scal`, `axpy`) run through the lane-width
+//! abstraction of [`crate::lanes`] — chunked for autovectorization by
+//! default, bitwise-identical to the scalar loops by construction. The
+//! accumulating routines (`dot`, norms, `iamax`) are deliberately *not*
+//! chunked: vectorizing a reduction reorders its additions/comparisons.
 
+use crate::lanes;
 use crate::scalar::Scalar;
 
 /// Index of the element with the largest absolute value (`idamax`), 0-based.
@@ -50,18 +57,14 @@ pub fn iamax_strided<S: Scalar>(x: &[S], off: usize, inc: usize, n: usize) -> us
 /// `x *= alpha` (`dscal`).
 #[inline]
 pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
-    for v in x {
-        *v *= alpha;
-    }
+    lanes::for_each(x, |v| *v *= alpha);
 }
 
 /// `y += alpha * x` (`daxpy`); slices must have equal length.
 #[inline]
 pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    lanes::zip_each(y, x, |yi, &xi| *yi += alpha * xi);
 }
 
 /// Dot product (`ddot`).

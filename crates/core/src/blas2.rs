@@ -1,7 +1,13 @@
 //! BLAS-2 helpers: band matrix–vector product (`dgbmv`-style) and dense
 //! rank-1 update, used by solves, residual checks and workloads.
+//!
+//! Column updates (`gbmv`, `ger`, `gemv`) are per-element-independent, so
+//! they run through the chunked lane abstraction of [`crate::lanes`];
+//! `gbmv_t` accumulates across elements and stays scalar to preserve its
+//! bitwise addition order.
 
 use crate::band::BandMatrixRef;
+use crate::lanes;
 use crate::scalar::Scalar;
 
 /// `y = alpha * A * x + beta * y` for a band matrix in either storage
@@ -24,9 +30,14 @@ pub fn gbmv<S: Scalar>(alpha: S, a: BandMatrixRef<'_, S>, x: &[S], beta: S, y: &
             continue;
         }
         let (s, e) = l.col_rows(j);
-        for i in s..e {
-            y[i] += a.get(i, j) * xj;
+        if s >= e {
+            continue;
         }
+        // The structural rows s..e of column j are contiguous in the band
+        // array (flat index `j*ldab + row_offset + i - j`).
+        let base = l.idx(l.row_offset + s - j, j);
+        let col = &a.data[base..base + (e - s)];
+        lanes::zip_each(&mut y[s..e], col, |yi, &aij| *yi += aij * xj);
     }
 }
 
@@ -63,9 +74,7 @@ pub fn ger<S: Scalar>(m: usize, n: usize, alpha: S, x: &[S], y: &[S], a: &mut [S
             continue;
         }
         let col = &mut a[j * lda..j * lda + m];
-        for (ai, &xi) in col.iter_mut().zip(&x[..m]) {
-            *ai += xi * yj;
-        }
+        lanes::zip_each(col, &x[..m], |ai, &xi| *ai += xi * yj);
     }
 }
 
@@ -95,9 +104,7 @@ pub fn gemv<S: Scalar>(
             continue;
         }
         let col = &a[j * lda..j * lda + m];
-        for (yi, &aij) in y[..m].iter_mut().zip(col) {
-            *yi += aij * xj;
-        }
+        lanes::zip_each(&mut y[..m], col, |yi, &aij| *yi += aij * xj);
     }
 }
 

@@ -9,6 +9,7 @@
 //! indices are **0-based**: `ipiv[j] = j + jp` means full-matrix rows `j` and
 //! `j + jp` were swapped at step `j`.
 
+use crate::lanes;
 use crate::layout::{update_bound, BandLayout};
 use crate::scalar::Scalar;
 
@@ -89,9 +90,7 @@ pub fn scal_step<S: Scalar>(l: &BandLayout, ab: &mut [S], j: usize) {
     debug_assert!(piv != S::ZERO);
     let inv = S::ONE / piv;
     let base = l.idx(kv, j);
-    for k in 1..=km {
-        ab[base + k] *= inv;
-    }
+    lanes::for_each(&mut ab[base + 1..=base + km], |v| *v *= inv);
 }
 
 /// `RANK_ONE_UPDATE`: trailing update `A[j+1..j+km, j+1..=ju] -= l_j * u_j^T`
@@ -111,9 +110,13 @@ pub fn rank_one_update<S: Scalar>(l: &BandLayout, ab: &mut [S], j: usize, ju: us
         }
         let src = l.idx(kv, j);
         let dst = l.idx(kv - c, j + c);
-        for i in 1..=km {
-            ab[dst + i] -= ab[src + i] * u;
-        }
+        // The multipliers live in column j and the updated entries in
+        // column j + c; `src + km <= j*ldab + kv + kl < (j+1)*ldab <= dst`
+        // (factor storage has `ldab >= kv + kl + 1`), so the two ranges
+        // split cleanly and the update is a chunked axpy.
+        let (lo, hi) = ab.split_at_mut(dst);
+        let muls = &lo[src + 1..=src + km];
+        lanes::zip_each(&mut hi[1..=km], muls, |ai, &li| *ai -= li * u);
     }
 }
 

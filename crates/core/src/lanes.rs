@@ -1,0 +1,206 @@
+//! Lane-width abstraction for vectorized host hot paths.
+//!
+//! `std::simd` is nightly-only, so the portable route to SIMD on stable
+//! is *autovectorization-friendly chunking*: fixed-width inner loops over
+//! `[S; LANE_WIDTH]` chunks (which the compiler unrolls and vectorizes)
+//! plus a scalar remainder loop. Because chunking changes neither the
+//! per-element operation nor the element order, results are **bitwise
+//! identical** to the scalar loops by construction — no reassociation, no
+//! FMA contraction (the [`crate::scalar::Scalar`] contract never exposes
+//! `mul_add`), at both precisions.
+//!
+//! [`LaneMode`] selects between the two code paths per thread (default
+//! [`LaneMode::Chunked`]); [`with_lane_mode`] scopes an override, which is
+//! how the equivalence tests drive both paths over the same inputs.
+//! Cross-element *accumulations* (dot products, norms, `iamax`) stay
+//! scalar everywhere: vectorizing them would reorder additions or
+//! comparisons and break bitwise stability.
+
+use std::cell::Cell;
+
+/// Elements per vector lane group: 8 doubles = one 512-bit vector (two
+/// 256-bit ops on AVX2), 8 floats = one 256-bit vector. Matches the
+/// reporting width `gbatch_gpu_sim::BlockContext::SIMD_WIDTH`.
+pub const LANE_WIDTH: usize = 8;
+
+/// Which loop shape the lane helpers execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LaneMode {
+    /// Plain element-at-a-time loops (the reference semantics).
+    Scalar,
+    /// Fixed-width chunked loops with a scalar remainder (the default):
+    /// same operations in the same order, autovectorizable.
+    #[default]
+    Chunked,
+}
+
+thread_local! {
+    static MODE: Cell<LaneMode> = const { Cell::new(LaneMode::Chunked) };
+}
+
+/// The calling thread's current lane mode.
+#[inline]
+pub fn lane_mode() -> LaneMode {
+    MODE.with(Cell::get)
+}
+
+/// Run `f` with the calling thread's lane mode set to `mode`, restoring
+/// the previous mode afterwards (also on panic). Both modes are bitwise
+/// equivalent, so worker threads inheriting the default while a test
+/// scopes `Scalar` on the main thread cannot skew results.
+pub fn with_lane_mode<R>(mode: LaneMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(LaneMode);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MODE.with(|m| m.set(self.0));
+        }
+    }
+    let prev = MODE.with(|m| {
+        let prev = m.get();
+        m.set(mode);
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Apply `f` to every element of `x` in ascending order. Under
+/// [`LaneMode::Chunked`] the body runs over `[S; LANE_WIDTH]` chunks with
+/// a scalar remainder; element order and operations are unchanged.
+#[inline]
+pub fn for_each<S, F: FnMut(&mut S)>(x: &mut [S], mut f: F) {
+    match lane_mode() {
+        LaneMode::Scalar => {
+            for v in x {
+                f(v);
+            }
+        }
+        LaneMode::Chunked => {
+            let mut chunks = x.chunks_exact_mut(LANE_WIDTH);
+            for chunk in chunks.by_ref() {
+                let lane: &mut [S; LANE_WIDTH] = chunk.try_into().expect("exact chunk");
+                for v in lane {
+                    f(v);
+                }
+            }
+            for v in chunks.into_remainder() {
+                f(v);
+            }
+        }
+    }
+}
+
+/// Apply `f(&mut y[k], &x[k])` for every `k` in ascending order (the
+/// axpy/update shape). Chunked mode pairs `[_; LANE_WIDTH]` chunks of both
+/// slices; the remainder runs scalar. Lengths must match.
+#[inline]
+pub fn zip_each<S, T, F: FnMut(&mut S, &T)>(y: &mut [S], x: &[T], mut f: F) {
+    debug_assert_eq!(y.len(), x.len());
+    match lane_mode() {
+        LaneMode::Scalar => {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                f(yi, xi);
+            }
+        }
+        LaneMode::Chunked => {
+            let mut yc = y.chunks_exact_mut(LANE_WIDTH);
+            let mut xc = x.chunks_exact(LANE_WIDTH);
+            for (ychunk, xchunk) in yc.by_ref().zip(xc.by_ref()) {
+                let yl: &mut [S; LANE_WIDTH] = ychunk.try_into().expect("exact chunk");
+                let xl: &[T; LANE_WIDTH] = xchunk.try_into().expect("exact chunk");
+                for k in 0..LANE_WIDTH {
+                    f(&mut yl[k], &xl[k]);
+                }
+            }
+            for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+                f(yi, xi);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_chunked() {
+        assert_eq!(lane_mode(), LaneMode::Chunked);
+    }
+
+    #[test]
+    fn with_lane_mode_scopes_and_restores() {
+        assert_eq!(lane_mode(), LaneMode::Chunked);
+        let inner = with_lane_mode(LaneMode::Scalar, || {
+            assert_eq!(lane_mode(), LaneMode::Scalar);
+            // Nesting restores to the *enclosing* mode, not the default.
+            with_lane_mode(LaneMode::Chunked, lane_mode)
+        });
+        assert_eq!(inner, LaneMode::Chunked);
+        assert_eq!(lane_mode(), LaneMode::Chunked);
+    }
+
+    #[test]
+    fn with_lane_mode_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_lane_mode(LaneMode::Scalar, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(lane_mode(), LaneMode::Chunked);
+    }
+
+    #[test]
+    fn for_each_covers_remainders_bitwise() {
+        // Lengths straddling the lane width, including 0 and exact
+        // multiples.
+        for n in [0usize, 1, 7, 8, 9, 16, 23] {
+            let init: Vec<f64> = (0..n).map(|k| 0.1 + k as f64).collect();
+            let mut scalar = init.clone();
+            let mut chunked = init.clone();
+            with_lane_mode(LaneMode::Scalar, || {
+                for_each(&mut scalar, |v| *v = *v * 3.0 + 1.0);
+            });
+            with_lane_mode(LaneMode::Chunked, || {
+                for_each(&mut chunked, |v| *v = *v * 3.0 + 1.0);
+            });
+            let sb: Vec<u64> = scalar.iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u64> = chunked.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, cb, "n={n}");
+        }
+    }
+
+    #[test]
+    fn zip_each_covers_remainders_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 16, 23] {
+            let x: Vec<f32> = (0..n).map(|k| 0.3 + k as f32 * 0.7).collect();
+            let init: Vec<f32> = (0..n).map(|k| 1.0 - k as f32 * 0.2).collect();
+            let mut scalar = init.clone();
+            let mut chunked = init.clone();
+            with_lane_mode(LaneMode::Scalar, || {
+                zip_each(&mut scalar, &x, |yi, &xi| *yi += 1.5 * xi);
+            });
+            with_lane_mode(LaneMode::Chunked, || {
+                zip_each(&mut chunked, &x, |yi, &xi| *yi += 1.5 * xi);
+            });
+            let sb: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u32> = chunked.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, cb, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ascending_order_in_both_modes() {
+        for mode in [LaneMode::Scalar, LaneMode::Chunked] {
+            let mut order = Vec::new();
+            let mut x = vec![0u32; 19];
+            with_lane_mode(mode, || {
+                for_each(&mut x, |v| {
+                    order.push(*v);
+                    *v = 1;
+                });
+            });
+            assert_eq!(order.len(), 19, "{mode:?}");
+            assert!(x.iter().all(|&v| v == 1), "{mode:?}");
+        }
+    }
+}

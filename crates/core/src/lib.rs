@@ -74,6 +74,7 @@ pub mod gbtrf;
 pub mod gbtrs;
 pub mod interleaved;
 pub mod io;
+pub mod lanes;
 pub mod layout;
 pub mod mixed;
 pub mod pb;
@@ -86,6 +87,7 @@ pub use band::{BandMatrix, BandMatrixMut, BandMatrixRef};
 pub use batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 pub use error::{BandError, Result};
 pub use interleaved::InterleavedBandBatch;
+pub use lanes::{with_lane_mode, LaneMode, LANE_WIDTH};
 pub use layout::{BandLayout, RowClass};
 pub use scalar::{Precision, Scalar};
 pub use shape::ShapeKey;

@@ -68,6 +68,31 @@ impl BlockContext {
         ctx
     }
 
+    /// [`BlockContext::fork_worker`] recycling a previously released arena
+    /// buffer (see [`BlockContext::into_arena`]): resident-pool workers
+    /// hand their buffer back to the pool between launches, so warm
+    /// launches of the same footprint allocate nothing. State is identical
+    /// to a plain fork — the buffer is cleared, resized, and zeroed.
+    pub fn fork_worker_with_arena(&self, arena: Vec<f64>) -> BlockContext {
+        let smem_bytes = self.smem.capacity() * std::mem::size_of::<f64>();
+        let mut ctx = BlockContext {
+            block_id: 0,
+            threads: self.threads,
+            lds_lanes: self.lds_lanes,
+            smem: SharedMem::with_bytes_reusing(smem_bytes, arena),
+            counters: KernelCounters::default(),
+        };
+        ctx.smem.set_label(self.smem.label());
+        ctx.smem.set_hazard_mode(self.smem.hazard_mode());
+        ctx
+    }
+
+    /// Release this context's arena buffer for later reuse through
+    /// [`BlockContext::fork_worker_with_arena`].
+    pub fn into_arena(self) -> Vec<f64> {
+        self.smem.into_buffer()
+    }
+
     /// Reuse this context for another block (workers recycle arenas).
     pub fn reset_for(&mut self, block_id: usize) {
         self.block_id = block_id;
@@ -252,6 +277,26 @@ mod tests {
         assert_eq!(fresh.smem.capacity(), ctx.smem.capacity());
         assert_eq!(fresh.smem.used(), 0);
         assert_eq!(fresh.counters(), KernelCounters::default());
+    }
+
+    #[test]
+    fn fork_with_arena_matches_plain_fork() {
+        let mut proto = BlockContext::with_lds_lanes(5, 16, 256, 8);
+        proto.smem.set_label("arena_probe");
+        // A dirty recycled buffer must come back zeroed and right-sized.
+        let dirty = vec![3.5; 7];
+        let forked = proto.fork_worker_with_arena(dirty);
+        let plain = proto.fork_worker();
+        assert_eq!(forked.smem.capacity(), plain.smem.capacity());
+        assert_eq!(forked.smem.used(), 0);
+        assert_eq!(forked.smem.label(), "arena_probe");
+        assert_eq!(forked.counters(), KernelCounters::default());
+        // Round trip: a big-enough recycled buffer keeps its allocation.
+        let buf = forked.into_arena();
+        assert_eq!(buf.len(), 256 / 8);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        let again = proto.fork_worker_with_arena(buf);
+        assert_eq!(again.smem.capacity(), 256 / 8);
     }
 
     #[test]

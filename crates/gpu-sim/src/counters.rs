@@ -41,6 +41,20 @@ pub struct KernelCounters {
     /// unless the launch ran with [`crate::hazard::HazardMode::Record`];
     /// `Enforce` aborts the offending block instead). Sums across blocks.
     pub hazards: u64,
+    /// OS threads the host spawned to service this launch — a host
+    /// *provenance* tally, not a device quantity. Set on the aggregate by
+    /// the executor (never recorded by block programs, never touched by
+    /// [`KernelCounters::merge_wave`]): `workers` under a parallel
+    /// [`crate::executor::ParallelPolicy`] in
+    /// [`crate::resident::EngineMode::PerLaunch`] mode (scoped threads are
+    /// re-spawned every launch), the pool size on the launch that first
+    /// spins up a [`crate::resident::ResidentPool`], and `0` for serial
+    /// launches and warm Resident launches. This is deliberately the one
+    /// field *excluded* from the cross-policy bitwise-equality invariant —
+    /// it exists to prove Resident mode spawns exactly once per pool
+    /// lifetime.
+    #[serde(default)]
+    pub threads_spawned: u64,
 }
 
 impl KernelCounters {
@@ -64,6 +78,8 @@ impl KernelCounters {
         self.lane_sweeps += other.lane_sweeps;
         self.lane_elems += other.lane_elems;
         self.hazards += other.hazards;
+        // `threads_spawned` is host provenance set once on the aggregate by
+        // the executor; merging per-block counters must not disturb it.
     }
 
     /// Fraction of vector slots filled by the recorded lane sweeps, given
@@ -161,6 +177,33 @@ mod tests {
         // 4 sweeps of width 8 offer 32 slots; 30 filled.
         assert_eq!(c.lane_utilization(8), Some(30.0 / 32.0));
         assert_eq!(KernelCounters::default().lane_utilization(8), None);
+    }
+
+    #[test]
+    fn merge_never_touches_threads_spawned() {
+        let mut a = KernelCounters {
+            threads_spawned: 8,
+            ..Default::default()
+        };
+        let b = KernelCounters {
+            threads_spawned: 4,
+            flops: 7,
+            ..Default::default()
+        };
+        a.merge_wave(&b);
+        assert_eq!(a.threads_spawned, 8, "provenance field must not merge");
+        assert_eq!(a.flops, 7);
+    }
+
+    #[test]
+    fn threads_spawned_defaults_on_old_serialized_counters() {
+        // Counters serialized before the field existed must still load.
+        let legacy = r#"{"global_read":1,"global_write":2,"flops":3,
+            "smem_trips":4,"syncs":5,"cycles":6.0,"smem_elems":7.0,
+            "lane_sweeps":8,"lane_elems":9,"hazards":0}"#;
+        let c: KernelCounters = serde_json::from_str(legacy).unwrap();
+        assert_eq!(c.threads_spawned, 0);
+        assert_eq!(c.flops, 3);
     }
 
     #[test]

@@ -50,6 +50,21 @@ pub struct DeviceSpec {
     pub clock_hz: f64,
     /// Fixed cost of one kernel launch, in seconds (driver + hardware).
     pub launch_overhead_s: f64,
+    /// Fixed cost of one *warm* launch, in seconds: submission through an
+    /// already-resident worker pool / persistent-kernel queue
+    /// ([`crate::resident::EngineMode::Resident`]). Covers only the
+    /// hardware doorbell and queue pop — the driver/runtime share of
+    /// `launch_overhead_s` is paid once at spin-up. Defaults to `0.0` when
+    /// deserializing specs recorded before the resident engine existed.
+    #[serde(default)]
+    pub warm_launch_overhead_s: f64,
+    /// One-time cost of spinning up the resident engine (allocating the
+    /// persistent pool, priming queues and arenas), in seconds. Charged
+    /// once per pool lifetime by the layers that own a pool (serve, bench)
+    /// — never folded into per-launch times, so launch reports stay
+    /// policy-invariant. Defaults to `0.0` for legacy serialized specs.
+    #[serde(default)]
+    pub engine_spinup_s: f64,
     /// Latency of one dependent shared-memory round trip, in cycles.
     pub smem_latency_cycles: f64,
     /// Cost of a block-wide barrier (`__syncthreads`), in cycles.
@@ -93,6 +108,10 @@ impl DeviceSpec {
             saturation_warps: 12,
             clock_hz: 1.62e9,
             launch_overhead_s: 4.0e-6,
+            // Warm submissions skip the driver stack (CUDA graph / persistent
+            // kernel regime: ~0.5 us doorbell vs ~4 us cudaLaunchKernel).
+            warm_launch_overhead_s: 0.5e-6,
+            engine_spinup_s: 20.0e-6,
             smem_latency_cycles: 63.25,
             sync_cycles: 82.5,
             fp64_lanes_per_sm: 64,
@@ -125,6 +144,8 @@ impl DeviceSpec {
             clock_hz: 1.7e9,
             // ROCm launch overhead is noticeably higher than CUDA's.
             launch_overhead_s: 6.0e-6,
+            warm_launch_overhead_s: 0.75e-6,
+            engine_spinup_s: 30.0e-6,
             smem_latency_cycles: 84.0,
             sync_cycles: 120.0,
             fp64_lanes_per_sm: 64,
@@ -151,6 +172,8 @@ impl DeviceSpec {
             saturation_warps: 4,
             clock_hz: 1.0e9,
             launch_overhead_s: 1.0e-6,
+            warm_launch_overhead_s: 0.125e-6,
+            engine_spinup_s: 5.0e-6,
             smem_latency_cycles: 20.0,
             sync_cycles: 25.0,
             fp64_lanes_per_sm: 8,
@@ -197,6 +220,66 @@ mod tests {
         let m = DeviceSpec::mi250x_gcd();
         assert_eq!(m.warps_per_block(64), 1);
         assert_eq!(m.warps_per_block(65), 2);
+    }
+
+    #[test]
+    fn warm_launch_is_cheaper_than_cold_on_every_device() {
+        for dev in [
+            DeviceSpec::h100_pcie(),
+            DeviceSpec::mi250x_gcd(),
+            DeviceSpec::test_device(),
+        ] {
+            assert!(
+                dev.warm_launch_overhead_s > 0.0
+                    && dev.warm_launch_overhead_s < dev.launch_overhead_s,
+                "{}: warm {} vs cold {}",
+                dev.name,
+                dev.warm_launch_overhead_s,
+                dev.launch_overhead_s
+            );
+            // Spin-up amortizes: a handful of warm launches must repay it
+            // against the per-launch savings, or Resident mode could never
+            // win a serve flush.
+            let saving = dev.launch_overhead_s - dev.warm_launch_overhead_s;
+            assert!(
+                dev.engine_spinup_s < 16.0 * saving,
+                "{}: spin-up {} never amortized by saving {}",
+                dev.name,
+                dev.engine_spinup_s,
+                saving
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_spec_json_deserializes_with_cold_defaults() {
+        // Drop the resident-engine fields from a serialized spec, as specs
+        // recorded before this model revision would lack them. Scalar
+        // values end at the next comma or closing brace, so textual
+        // removal is exact.
+        fn strip_key(json: &str, key: &str) -> String {
+            let pat = format!("\"{key}\":");
+            let start = json.find(&pat).expect("key present");
+            let val_end = start
+                + pat.len()
+                + json[start + pat.len()..]
+                    .find([',', '}'])
+                    .expect("value terminator");
+            if json.as_bytes()[val_end] == b',' {
+                format!("{}{}", &json[..start], &json[val_end + 1..])
+            } else {
+                format!("{}{}", &json[..start - 1], &json[val_end..])
+            }
+        }
+        let full = serde_json::to_string(&DeviceSpec::test_device()).unwrap();
+        let legacy = strip_key(
+            &strip_key(&full, "warm_launch_overhead_s"),
+            "engine_spinup_s",
+        );
+        let back: DeviceSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.warm_launch_overhead_s, 0.0);
+        assert_eq!(back.engine_spinup_s, 0.0);
+        assert_eq!(back.launch_overhead_s, 1.0e-6);
     }
 
     #[test]

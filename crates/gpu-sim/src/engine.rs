@@ -17,7 +17,8 @@ use crate::device::DeviceSpec;
 use crate::executor::{execute_blocks, ParallelPolicy};
 use crate::hazard::{global_mode, HazardMode, HazardReport};
 use crate::occupancy::{occupancy_with_regs, Occupancy};
-use crate::timing::{estimate_aggregate_with_precision, FlopPrecision, SimTime};
+use crate::resident::EngineMode;
+use crate::timing::{estimate_aggregate_with_overhead, FlopPrecision, SimTime};
 
 /// Launch configuration: threads per block, dynamic shared memory,
 /// (for register-blocked kernels) registers per thread, and the host
@@ -48,10 +49,22 @@ pub struct LaunchConfig {
     /// Defaults to fp64 (the paper's evaluation precision); fp32 launches
     /// run on twice the lanes per SM.
     pub precision: FlopPrecision,
+    /// Engine mode: [`EngineMode::PerLaunch`] (the default) re-spawns
+    /// scoped worker threads per launch and pays the cold launch overhead;
+    /// [`EngineMode::Resident`] submits through a persistent worker pool
+    /// and pays the warm overhead (see [`crate::resident`]). Results,
+    /// hazard reports, and every counter except the provenance field
+    /// `threads_spawned` are bitwise-identical across modes.
+    pub engine: EngineMode,
 }
 
 impl LaunchConfig {
-    /// Convenience constructor (no explicit register pressure).
+    /// Convenience constructor (no explicit register pressure). The engine
+    /// mode defaults to the thread's ambient mode
+    /// ([`crate::resident::ambient_engine`]): [`EngineMode::PerLaunch`]
+    /// unless the caller sits inside a [`crate::resident::EngineScope`] —
+    /// which is how backends thread `Resident` through kernel stacks that
+    /// build their configurations internally.
     pub fn new(threads: u32, smem_bytes: u32) -> Self {
         LaunchConfig {
             threads,
@@ -61,6 +74,7 @@ impl LaunchConfig {
             hazard: global_mode(),
             label: "kernel",
             precision: FlopPrecision::Fp64,
+            engine: crate::resident::ambient_engine(),
         }
     }
 
@@ -93,6 +107,12 @@ impl LaunchConfig {
     /// Builder: set the floating-point throughput class.
     pub fn with_precision(mut self, precision: FlopPrecision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Builder: select the engine mode (per-launch vs. resident pool).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -198,7 +218,14 @@ where
     let occ = validate(dev, cfg)?;
     let grid = problems.len();
     let (agg, hazards) = execute_blocks(dev, cfg, problems, &body);
-    let time = estimate_aggregate_with_precision(dev, &occ, grid, &agg, cfg.precision);
+    let time = estimate_aggregate_with_overhead(
+        dev,
+        &occ,
+        grid,
+        &agg,
+        cfg.precision,
+        cfg.engine.launch_overhead_s(dev),
+    );
     Ok(LaunchReport {
         occupancy: occ,
         counters: agg,
@@ -302,6 +329,53 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rep.counters.global_read, (1..=10).sum::<usize>() as u64);
+    }
+
+    #[test]
+    fn resident_mode_prices_warm_overhead_with_identical_results() {
+        let dev = DeviceSpec::test_device();
+        let cold_cfg = LaunchConfig::new(8, 256);
+        let warm_cfg = cold_cfg.with_engine(EngineMode::Resident);
+        let mut a = vec![0u32; 21];
+        let mut b = vec![0u32; 21];
+        let body = |p: &mut u32, ctx: &mut BlockContext| {
+            *p += 3;
+            ctx.gld(64);
+            ctx.seq_cycles(50.0);
+        };
+        let cold = launch(&dev, &cold_cfg, &mut a, body).unwrap();
+        let warm = launch(&dev, &warm_cfg, &mut b, body).unwrap();
+        assert_eq!(a, b);
+        let delta = dev.launch_overhead_s - dev.warm_launch_overhead_s;
+        assert!((cold.time.secs() - warm.time.secs() - delta).abs() < 1e-18);
+        // Serial launches spawn no threads under either mode, so even the
+        // provenance counter agrees.
+        assert_eq!(cold.counters, warm.counters);
+        assert_eq!(warm.counters.threads_spawned, 0);
+    }
+
+    #[test]
+    fn ambient_engine_scope_flows_into_fresh_configs() {
+        let dev = DeviceSpec::test_device();
+        let mut a = vec![0u32; 5];
+        let mut b = vec![0u32; 5];
+        let body = |p: &mut u32, ctx: &mut BlockContext| {
+            *p += 1;
+            ctx.gld(32);
+        };
+        let cold = launch(&dev, &LaunchConfig::new(8, 0), &mut a, body).unwrap();
+        let warm = crate::resident::with_engine_mode(EngineMode::Resident, || {
+            // Config built *inside* the scope inherits Resident — the path
+            // deep kernel stacks take when a backend opens the scope.
+            let cfg = LaunchConfig::new(8, 0);
+            assert_eq!(cfg.engine, EngineMode::Resident);
+            launch(&dev, &cfg, &mut b, body).unwrap()
+        });
+        assert_eq!(a, b);
+        let delta = dev.launch_overhead_s - dev.warm_launch_overhead_s;
+        assert!((cold.time.secs() - warm.time.secs() - delta).abs() < 1e-18);
+        // Outside the scope the default is PerLaunch again.
+        assert_eq!(LaunchConfig::new(8, 0).engine, EngineMode::PerLaunch);
     }
 
     #[test]

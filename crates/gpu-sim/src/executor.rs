@@ -28,6 +28,7 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::deque::{Steal, Stealer, Worker};
 use parking_lot::Mutex;
@@ -37,6 +38,7 @@ use crate::counters::KernelCounters;
 use crate::device::DeviceSpec;
 use crate::engine::LaunchConfig;
 use crate::hazard::HazardReport;
+use crate::resident::EngineMode;
 
 /// How the engine schedules a launch's blocks onto host threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -195,7 +197,10 @@ where
         resume_first(panics);
         return (agg, hazards);
     }
-    execute_parallel(dev, cfg, problems, body, workers)
+    match cfg.engine {
+        EngineMode::PerLaunch => execute_parallel(dev, cfg, problems, body, workers),
+        EngineMode::Resident => execute_resident(dev, cfg, problems, body, workers),
+    }
 }
 
 fn execute_parallel<P, F>(
@@ -298,6 +303,101 @@ where
         agg.merge_wave(&partial);
         hazards.append(&mut chunk_hazards);
     }
+    // Host provenance: the crossbeam scope re-spawned one OS thread per
+    // worker for this launch.
+    agg.threads_spawned = workers as u64;
+    resume_first(panics.into_inner());
+    (agg, hazards)
+}
+
+/// Resident-pool twin of [`execute_parallel`]: same chunk geometry, same
+/// per-chunk execution ([`run_chunk`]) and the same ascending-chunk
+/// stable reduction, but chunks are claimed from an atomic counter by the
+/// persistent workers of a [`crate::resident::ResidentPool`] instead of
+/// being stolen between per-launch scoped threads. Counters (bar the
+/// provenance field `threads_spawned`), hazards, results, and panic
+/// selection are bitwise-identical to the per-launch path because the
+/// reduction is a partition-insensitive fold of `+`/`max` over the same
+/// per-block values.
+fn execute_resident<P, F>(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    problems: &mut [P],
+    body: &F,
+    workers: usize,
+) -> (KernelCounters, Vec<HazardReport>)
+where
+    P: Send,
+    F: Fn(&mut P, &mut BlockContext) + Sync,
+{
+    let grid = problems.len();
+    let chunk = chunk_len(grid, workers);
+    let n_chunks = grid.div_ceil(chunk);
+    // Pool width is the policy's full width (not clamped by this grid) so
+    // one policy maps to one persistent pool for the process lifetime.
+    let pool = crate::resident::global_pool(cfg.parallel.workers());
+
+    let base = ProblemsPtr(problems.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    type ChunkResult = (usize, KernelCounters, Vec<HazardReport>);
+    let results: Mutex<Vec<ChunkResult>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let panics: Mutex<Vec<BlockPanic>> = Mutex::new(Vec::new());
+    let proto = context_for(dev, cfg);
+
+    // Borrow the wrapper (not its raw-pointer field) so the closure's
+    // capture is the `Sync` `ProblemsPtr`, as in `execute_parallel`.
+    let base = &base;
+    pool.run(&|idx| {
+        // Warm launches reuse the worker's cached arena buffer: zero
+        // allocation on the hot path once the pool has run a launch of
+        // this footprint.
+        let mut ctx = proto.fork_worker_with_arena(pool.take_arena(idx));
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(grid);
+            // SAFETY: upholds the `ProblemsPtr` invariants — the atomic
+            // counter hands out each chunk id exactly once, the ranges
+            // `[c*chunk, (c+1)*chunk)` partition `[0, grid)` (no two
+            // workers' slices overlap), `hi <= grid` keeps the slice in
+            // bounds, and the owning `&mut [P]` is held (not used) by the
+            // caller until `pool.run` returns.
+            let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+            let mut partial = KernelCounters::default();
+            let mut local_hazards = Vec::new();
+            let mut local_panics = Vec::new();
+            run_chunk(
+                &mut ctx,
+                slice,
+                lo,
+                &mut partial,
+                &mut local_hazards,
+                &mut local_panics,
+                body,
+            );
+            results.lock().push((c, partial, local_hazards));
+            if !local_panics.is_empty() {
+                panics.lock().append(&mut local_panics);
+            }
+        }
+        pool.store_arena(idx, ctx.into_arena());
+    });
+
+    // Stable reduction, identical to the per-launch path.
+    let mut partials = results.into_inner();
+    partials.sort_by_key(|(c, _, _)| *c);
+    let mut agg = KernelCounters::default();
+    let mut hazards = Vec::new();
+    for (_, partial, mut chunk_hazards) in partials {
+        agg.merge_wave(&partial);
+        hazards.append(&mut chunk_hazards);
+    }
+    // Host provenance: the pool size if this launch is the one that spun
+    // the pool up, zero for every warm launch after it.
+    agg.threads_spawned = pool.take_fresh();
     resume_first(panics.into_inner());
     (agg, hazards)
 }
@@ -356,10 +456,94 @@ mod tests {
                 let mut data = init.clone();
                 let rep = launch(&dev(), &cfg, &mut data, body).unwrap();
                 assert_eq!(data, serial_data, "grid={grid} workers={workers}");
-                assert_eq!(rep.counters, serial.counters);
+                // `threads_spawned` is the one deliberately policy-variant
+                // provenance field: scoped threads re-spawn per launch.
+                let effective = workers.min(grid);
+                let expected_spawned = if effective > 1 { effective as u64 } else { 0 };
+                assert_eq!(rep.counters.threads_spawned, expected_spawned);
+                let mut norm = rep.counters;
+                norm.threads_spawned = serial.counters.threads_spawned;
+                assert_eq!(norm, serial.counters);
                 assert_eq!(rep.time.secs().to_bits(), serial.time.secs().to_bits());
             }
         }
+    }
+
+    #[test]
+    fn resident_matches_per_launch_bitwise() {
+        for &grid in &[1usize, 5, 37, 256] {
+            let init: Vec<f64> = (0..grid).map(|k| k as f64 * 0.25).collect();
+            for workers in [2usize, 3, 8] {
+                let per_launch_cfg =
+                    LaunchConfig::new(8, 1024).with_parallel(ParallelPolicy::threads(workers));
+                let resident_cfg = per_launch_cfg.with_engine(EngineMode::Resident);
+                let mut cold_data = init.clone();
+                let mut warm_data = init.clone();
+                let cold = launch(&dev(), &per_launch_cfg, &mut cold_data, body).unwrap();
+                let warm = launch(&dev(), &resident_cfg, &mut warm_data, body).unwrap();
+                assert_eq!(cold_data, warm_data, "grid={grid} workers={workers}");
+                let mut norm_cold = cold.counters;
+                let mut norm_warm = warm.counters;
+                norm_cold.threads_spawned = 0;
+                norm_warm.threads_spawned = 0;
+                assert_eq!(norm_cold, norm_warm, "grid={grid} workers={workers}");
+                assert_eq!(cold.hazards.len(), warm.hazards.len());
+                // The two modes differ by exactly the overhead constant.
+                let d = dev();
+                let delta = d.launch_overhead_s - d.warm_launch_overhead_s;
+                assert!(
+                    (cold.time.secs() - warm.time.secs() - delta).abs() < 1e-18,
+                    "grid={grid} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resident_spawns_threads_exactly_once_per_pool() {
+        // Width 7 is reserved for this test within the unit-test binary so
+        // no other launch can consume the pool's fresh-spawn tally first.
+        let cfg = LaunchConfig::new(8, 256)
+            .with_parallel(ParallelPolicy::threads(7))
+            .with_engine(EngineMode::Resident);
+        let mut data = vec![1.0f64; 64];
+        let first = launch(&dev(), &cfg, &mut data, body).unwrap();
+        assert_eq!(first.counters.threads_spawned, 7, "spin-up launch");
+        for _ in 0..3 {
+            let warm = launch(&dev(), &cfg, &mut data, body).unwrap();
+            assert_eq!(
+                warm.counters.threads_spawned, 0,
+                "warm launches must not spawn"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_panic_isolation_matches_per_launch() {
+        let cfg = LaunchConfig::new(8, 0)
+            .with_parallel(ParallelPolicy::threads(4))
+            .with_engine(EngineMode::Resident);
+        let mut data: Vec<usize> = (0..64).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _ = launch(&dev(), &cfg, &mut data, |p, _| {
+                if *p % 10 == 3 {
+                    panic!("boom at {}", *p);
+                }
+                *p += 1000;
+            });
+        }))
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap().to_string());
+        assert_eq!(msg, "boom at 3", "earliest block id wins");
+        // Siblings completed; the pool survives for the next launch.
+        assert_eq!(data[4], 1004);
+        let mut again = vec![2.0f64; 16];
+        let rep = launch(&dev(), &cfg, &mut again, body).unwrap();
+        assert_eq!(rep.grid, 16);
+        assert!(again.iter().all(|&v| v == 4.5));
     }
 
     #[test]

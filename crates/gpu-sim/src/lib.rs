@@ -69,6 +69,7 @@ pub mod executor;
 pub mod hazard;
 pub mod multi;
 pub mod occupancy;
+pub mod resident;
 pub mod shared;
 pub mod stream;
 pub mod timing;
@@ -80,4 +81,8 @@ pub use engine::{launch, LaunchConfig, LaunchError, LaunchReport};
 pub use executor::ParallelPolicy;
 pub use hazard::{Hazard, HazardKind, HazardMode, HazardReport};
 pub use occupancy::Occupancy;
+pub use resident::{
+    ambient_engine, global_pool, with_engine_mode, EngineMode, EngineScope, MegabatchQueue,
+    ResidentPool,
+};
 pub use timing::{FlopPrecision, SimTime};

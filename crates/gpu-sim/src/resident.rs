@@ -1,0 +1,479 @@
+//! Persistent resident engine: a long-lived worker pool, arena reuse, and
+//! megabatch pricing.
+//!
+//! The per-launch executor ([`crate::executor`]) re-spawns scoped OS
+//! threads for every parallel launch — the host-side analogue of paying
+//! `cudaLaunchKernel` plus driver setup on every kernel. The resident
+//! engine is the persistent-kernel counterpart:
+//!
+//! - a [`ResidentPool`] spawns its workers **once** and parks them on
+//!   channels between launches; a launch broadcasts one lifetime-erased
+//!   job closure and blocks on a completion latch, so the per-launch host
+//!   cost is a channel send/recv, not a `thread::spawn`;
+//! - workers reuse their shared-memory arena buffers across launches
+//!   (handed back through the pool), so warm launches allocate nothing;
+//! - the timing model prices warm submissions with the device's
+//!   `warm_launch_overhead_s` instead of the cold `launch_overhead_s`,
+//!   and the one-time pool cost is the device's `engine_spinup_s`,
+//!   charged once per pool lifetime by the layer that owns the pool
+//!   (serve backend, bench) — never folded into per-launch reports, so
+//!   launch times stay invariant across [`crate::executor::ParallelPolicy`];
+//! - a [`MegabatchQueue`] coalesces the launches of consecutive flushes:
+//!   a group submitted back-to-back through the persistent queue pays the
+//!   warm overhead once instead of once per launch.
+//!
+//! Determinism: the resident executor path claims chunks through an atomic
+//! counter instead of work-stealing deques, but chunk geometry, per-chunk
+//! merge order, and the final ascending-chunk reduction are identical to
+//! the per-launch path, so results, counters (except the provenance field
+//! [`crate::counters::KernelCounters::threads_spawned`]) and hazard
+//! reports are bitwise-identical across engine modes and policies.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+use crate::timing::SimTime;
+
+/// How the engine sources host threads and prices launch overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Spawn scoped worker threads for each launch and pay the cold
+    /// `launch_overhead_s` (the legacy behavior, and the default).
+    #[default]
+    PerLaunch,
+    /// Submit through a persistent [`ResidentPool`] and pay the warm
+    /// `warm_launch_overhead_s`; the pool's threads are spawned once per
+    /// pool lifetime at an `engine_spinup_s` one-time cost.
+    Resident,
+}
+
+impl EngineMode {
+    /// Fixed overhead one launch pays on `dev` under this mode.
+    #[inline]
+    #[must_use]
+    pub fn launch_overhead_s(self, dev: &DeviceSpec) -> f64 {
+        match self {
+            EngineMode::PerLaunch => dev.launch_overhead_s,
+            EngineMode::Resident => dev.warm_launch_overhead_s,
+        }
+    }
+
+    /// One-time engine cost on `dev`: zero for [`EngineMode::PerLaunch`]
+    /// (there is nothing persistent to build), the pool spin-up for
+    /// [`EngineMode::Resident`].
+    #[inline]
+    #[must_use]
+    pub fn spinup(self, dev: &DeviceSpec) -> SimTime {
+        match self {
+            EngineMode::PerLaunch => SimTime::ZERO,
+            EngineMode::Resident => SimTime(dev.engine_spinup_s),
+        }
+    }
+}
+
+thread_local! {
+    static AMBIENT: std::cell::Cell<EngineMode> =
+        const { std::cell::Cell::new(EngineMode::PerLaunch) };
+}
+
+/// The calling thread's ambient engine mode: the default a fresh
+/// [`crate::engine::LaunchConfig`] picks up. [`EngineMode::PerLaunch`]
+/// unless an [`EngineScope`] is open.
+#[inline]
+pub fn ambient_engine() -> EngineMode {
+    AMBIENT.with(std::cell::Cell::get)
+}
+
+/// RAII scope setting the calling thread's ambient engine mode; the
+/// previous mode is restored on drop (also during unwinding).
+///
+/// This is how an owner of a resident engine (the serve backend, a bench
+/// harness) threads [`EngineMode::Resident`] through deep call stacks —
+/// every `LaunchConfig::new` below the scope defaults to the scoped mode,
+/// while explicit [`crate::engine::LaunchConfig::with_engine`] overrides
+/// still win. Results are bitwise-identical across modes; only pricing
+/// and thread provenance change.
+#[must_use = "the scope ends when this guard drops"]
+#[derive(Debug)]
+pub struct EngineScope {
+    prev: EngineMode,
+}
+
+impl EngineScope {
+    /// Open a scope with the given mode.
+    pub fn enter(mode: EngineMode) -> Self {
+        let prev = AMBIENT.with(|c| {
+            let prev = c.get();
+            c.set(mode);
+            prev
+        });
+        EngineScope { prev }
+    }
+}
+
+impl Drop for EngineScope {
+    fn drop(&mut self) {
+        AMBIENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Run `f` with the ambient engine mode set to `mode` (see
+/// [`EngineScope`]).
+pub fn with_engine_mode<R>(mode: EngineMode, f: impl FnOnce() -> R) -> R {
+    let _scope = EngineScope::enter(mode);
+    f()
+}
+
+/// Lifetime-erased pointer to a launch's job closure.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is dereferenced only between the broadcast in
+// [`ResidentPool::run`] and that call's completion latch; `run` borrows
+// the closure for its whole duration, so the pointee is live for every
+// dereference, and `Sync` on the closure makes the shared concurrent
+// calls sound.
+unsafe impl Send for JobPtr {}
+
+struct PoolInner {
+    job_txs: Vec<Sender<JobPtr>>,
+    done_rx: Receiver<bool>,
+    /// Kept so the worker threads are owned, not leaked handles; dropping
+    /// the senders above is what actually terminates the loops.
+    _handles: Vec<JoinHandle<()>>,
+}
+
+/// A persistent pool of parked worker threads.
+///
+/// Workers are spawned once in [`ResidentPool::new`] and live until the
+/// pool is dropped; [`ResidentPool::run`] broadcasts one job closure to
+/// every worker and returns when all of them finish. The executor drives
+/// this from [`crate::engine::launch`] when the launch configuration
+/// selects [`EngineMode::Resident`].
+pub struct ResidentPool {
+    inner: Mutex<PoolInner>,
+    workers: usize,
+    /// Threads spawned and not yet harvested into a launch report: the
+    /// pool size right after construction, zero after the first
+    /// [`ResidentPool::take_fresh`].
+    fresh: AtomicU64,
+    /// Per-worker cached shared-memory arena buffers, reused across
+    /// launches so warm launches allocate nothing.
+    arenas: Vec<Mutex<Vec<f64>>>,
+}
+
+impl std::fmt::Debug for ResidentPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidentPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl ResidentPool {
+    /// Spawn `workers` (at least 1) parked worker threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (done_tx, done_rx) = channel();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers {
+            let (tx, rx) = channel::<JobPtr>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("gbatch-resident-{idx}"))
+                .spawn(move || worker_loop(idx, rx, done))
+                .expect("spawn resident worker");
+            job_txs.push(tx);
+            handles.push(handle);
+        }
+        ResidentPool {
+            inner: Mutex::new(PoolInner {
+                job_txs,
+                done_rx,
+                _handles: handles,
+            }),
+            workers,
+            fresh: AtomicU64::new(workers as u64),
+            arenas: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of persistent worker threads.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Harvest the threads spawned since the last harvest: the pool size
+    /// on the first call after construction, `0` afterwards. The executor
+    /// folds this into the launch aggregate's `threads_spawned`, which is
+    /// how tests prove Resident mode spawns exactly once per pool
+    /// lifetime.
+    pub fn take_fresh(&self) -> u64 {
+        self.fresh.swap(0, Ordering::Relaxed)
+    }
+
+    /// Run `job(worker_index)` on every worker concurrently; returns when
+    /// all workers finished. Launches through one pool are serialized (the
+    /// broadcast holds the pool lock), matching a single hardware queue.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let inner = self.inner.lock();
+        // SAFETY: pure lifetime erasure (the pointee type is unchanged);
+        // the `JobPtr` invariant — dereferences happen only while this
+        // call's completion latch below holds the borrow live — is what
+        // makes the erased lifetime sound.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job)
+        });
+        for tx in &inner.job_txs {
+            tx.send(ptr).expect("resident worker hung up");
+        }
+        let mut crashed = false;
+        for _ in 0..self.workers {
+            crashed |= inner.done_rx.recv().expect("resident worker hung up");
+        }
+        // Block-program panics are caught per block inside the job (see
+        // `executor::run_chunk`); a worker-level panic is an executor bug,
+        // mirroring the per-launch scope's expectation.
+        assert!(
+            !crashed,
+            "resident executor worker crashed outside a block program"
+        );
+    }
+
+    /// Take worker `idx`'s cached arena buffer (empty on first use).
+    pub(crate) fn take_arena(&self, idx: usize) -> Vec<f64> {
+        std::mem::take(&mut *self.arenas[idx].lock())
+    }
+
+    /// Return worker `idx`'s arena buffer for reuse by the next launch.
+    pub(crate) fn store_arena(&self, idx: usize, buf: Vec<f64>) {
+        *self.arenas[idx].lock() = buf;
+    }
+}
+
+fn worker_loop(idx: usize, rx: Receiver<JobPtr>, done: Sender<bool>) {
+    while let Ok(JobPtr(ptr)) = rx.recv() {
+        // SAFETY: see `JobPtr` — the broadcaster blocks on the completion
+        // latch below, keeping the closure borrow live across this call.
+        let job = unsafe { &*ptr };
+        let crashed = catch_unwind(AssertUnwindSafe(|| job(idx))).is_err();
+        if done.send(crashed).is_err() {
+            break;
+        }
+    }
+}
+
+static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ResidentPool>>>> = OnceLock::new();
+
+/// Process-wide pool registry, keyed by worker count. Launch paths that
+/// only carry a [`crate::engine::LaunchConfig`] (no pool handle) resolve
+/// their pool here, so every Resident launch at a given width shares one
+/// pool for the process lifetime — "threads spawned once per device
+/// group".
+pub fn global_pool(workers: usize) -> Arc<ResidentPool> {
+    let map = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut m = map.lock();
+    m.entry(workers.max(1))
+        .or_insert_with(|| Arc::new(ResidentPool::new(workers)))
+        .clone()
+}
+
+/// Megabatch launch queue: prices groups of consecutive launches submitted
+/// back-to-back through a resident engine.
+///
+/// Each individual [`crate::engine::LaunchReport`] under
+/// [`EngineMode::Resident`] already pays the warm overhead; when a flush
+/// issues several launches consecutively (pack / factor / solve / unpack,
+/// or several shape buckets), the persistent queue overlaps the doorbell
+/// of launch `k+1` with the tail of launch `k`, so the *group* pays the
+/// warm overhead once. The queue tracks how much overhead coalescing
+/// recovered, for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MegabatchQueue {
+    groups: u64,
+    launches: u64,
+    saved_s: f64,
+}
+
+impl MegabatchQueue {
+    /// Fresh queue with zeroed statistics.
+    pub fn new() -> Self {
+        MegabatchQueue::default()
+    }
+
+    /// Price a group of `launches` consecutive warm launches on `dev`
+    /// whose summed individual times are `total` (each summand including
+    /// one warm overhead): the coalesced group keeps one warm overhead and
+    /// recovers the other `launches - 1`.
+    pub fn coalesce(&mut self, total: SimTime, launches: u64, dev: &DeviceSpec) -> SimTime {
+        if launches == 0 {
+            return SimTime::ZERO;
+        }
+        let saved = (launches - 1) as f64 * dev.warm_launch_overhead_s;
+        self.groups += 1;
+        self.launches += launches;
+        self.saved_s += saved;
+        SimTime((total.secs() - saved).max(dev.warm_launch_overhead_s))
+    }
+
+    /// Groups coalesced so far.
+    #[inline]
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// Total launches across all groups.
+    #[inline]
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Launch overhead recovered by coalescing.
+    #[inline]
+    pub fn saved(&self) -> SimTime {
+        SimTime(self.saved_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_jobs_on_every_worker() {
+        let pool = ResidentPool::new(4);
+        let hits = AtomicUsize::new(0);
+        let mask = AtomicUsize::new(0);
+        pool.run(&|idx| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            mask.fetch_or(1 << idx, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+        // A second launch reuses the same threads.
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn fresh_threads_reported_once() {
+        let pool = ResidentPool::new(3);
+        assert_eq!(pool.take_fresh(), 3);
+        assert_eq!(pool.take_fresh(), 0);
+        pool.run(&|_| {});
+        assert_eq!(pool.take_fresh(), 0, "warm launches spawn nothing");
+    }
+
+    #[test]
+    fn arena_cache_round_trips() {
+        let pool = ResidentPool::new(2);
+        assert!(pool.take_arena(0).is_empty());
+        pool.store_arena(0, vec![1.0; 128]);
+        let buf = pool.take_arena(0);
+        assert_eq!(buf.len(), 128);
+        assert!(pool.take_arena(0).is_empty(), "taken, not cloned");
+        assert!(pool.take_arena(1).is_empty(), "slots are per-worker");
+    }
+
+    #[test]
+    fn global_registry_shares_pools_by_width() {
+        let a = global_pool(3);
+        let b = global_pool(3);
+        assert!(Arc::ptr_eq(&a, &b), "same width => same pool");
+        assert_eq!(a.workers(), 3);
+        let c = global_pool(0);
+        assert_eq!(c.workers(), 1, "zero clamps to one worker");
+    }
+
+    #[test]
+    fn engine_mode_overheads() {
+        let dev = DeviceSpec::test_device();
+        assert_eq!(
+            EngineMode::PerLaunch.launch_overhead_s(&dev),
+            dev.launch_overhead_s
+        );
+        assert_eq!(
+            EngineMode::Resident.launch_overhead_s(&dev),
+            dev.warm_launch_overhead_s
+        );
+        assert_eq!(EngineMode::PerLaunch.spinup(&dev), SimTime::ZERO);
+        assert_eq!(
+            EngineMode::Resident.spinup(&dev).secs(),
+            dev.engine_spinup_s
+        );
+        assert_eq!(EngineMode::default(), EngineMode::PerLaunch);
+    }
+
+    #[test]
+    fn megabatch_coalesces_all_but_one_overhead() {
+        let dev = DeviceSpec::test_device();
+        let warm = dev.warm_launch_overhead_s;
+        let mut q = MegabatchQueue::new();
+        // Four launches of 2 us body each: 4 * (warm + 2e-6) summed.
+        let total = SimTime(4.0 * (warm + 2.0e-6));
+        let t = q.coalesce(total, 4, &dev);
+        assert!((t.secs() - (warm + 8.0e-6)).abs() < 1e-18);
+        assert_eq!(q.groups(), 1);
+        assert_eq!(q.launches(), 4);
+        assert!((q.saved().secs() - 3.0 * warm).abs() < 1e-18);
+        // Degenerate groups.
+        assert_eq!(q.coalesce(SimTime::ZERO, 0, &dev), SimTime::ZERO);
+        let one = q.coalesce(SimTime(warm + 1.0e-6), 1, &dev);
+        assert!((one.secs() - (warm + 1.0e-6)).abs() < 1e-18);
+        // Never prices below one warm overhead.
+        let floor = q.coalesce(SimTime(2.0 * warm), 8, &dev);
+        assert_eq!(floor.secs(), warm);
+    }
+
+    #[test]
+    fn engine_scope_sets_and_restores_ambient_mode() {
+        assert_eq!(ambient_engine(), EngineMode::PerLaunch);
+        let inner = with_engine_mode(EngineMode::Resident, || {
+            assert_eq!(ambient_engine(), EngineMode::Resident);
+            // Nesting restores the *enclosing* mode.
+            with_engine_mode(EngineMode::PerLaunch, ambient_engine)
+        });
+        assert_eq!(inner, EngineMode::PerLaunch);
+        assert_eq!(ambient_engine(), EngineMode::PerLaunch);
+        let caught = catch_unwind(|| {
+            with_engine_mode(EngineMode::Resident, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(ambient_engine(), EngineMode::PerLaunch, "restored on panic");
+    }
+
+    #[test]
+    fn pool_survives_job_panics() {
+        let pool = ResidentPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|idx| {
+                if idx == 0 {
+                    panic!("injected worker failure");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker crash must surface");
+        // The pool still works afterwards: workers stay parked, not dead.
+        let hits = AtomicUsize::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+}

@@ -41,6 +41,30 @@ impl SharedMem {
         }
     }
 
+    /// Like [`SharedMem::with_bytes`], but recycling `buf`'s allocation:
+    /// the buffer is cleared and resized to the requested grain count, so
+    /// when its capacity already suffices (a resident worker re-running a
+    /// launch of the same footprint) no heap allocation happens. The
+    /// resulting state is element-for-element identical to a fresh arena.
+    pub fn with_bytes_reusing(bytes: usize, mut buf: Vec<f64>) -> Self {
+        let grains = bytes.div_ceil(std::mem::size_of::<f64>());
+        buf.clear();
+        buf.resize(grains, 0.0);
+        SharedMem {
+            buf,
+            used: 0,
+            label: "kernel",
+            block_id: 0,
+            tracker: None,
+        }
+    }
+
+    /// Take the arena's buffer for reuse by a later
+    /// [`SharedMem::with_bytes_reusing`].
+    pub fn into_buffer(self) -> Vec<f64> {
+        self.buf
+    }
+
     /// Label the arena with the owning kernel (set by the executor from the
     /// launch configuration).
     pub fn set_label(&mut self, label: &'static str) {
@@ -249,6 +273,21 @@ mod tests {
     fn alloc_scalar_rejects_odd_widths() {
         let mut s = SharedMem::with_bytes(64);
         let _ = s.alloc_scalar(1, 3);
+    }
+
+    #[test]
+    fn reused_buffer_is_indistinguishable_from_fresh() {
+        let fresh = SharedMem::with_bytes(60); // rounds up to 8 grains
+        let mut dirty = vec![9.0; 100];
+        dirty.shrink_to(100);
+        let cap_before = dirty.capacity();
+        let reused = SharedMem::with_bytes_reusing(60, dirty);
+        assert_eq!(reused.capacity(), fresh.capacity());
+        assert_eq!(reused.used(), 0);
+        let buf = reused.into_buffer();
+        assert_eq!(buf.len(), 8);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        assert!(buf.capacity() >= 8 && buf.capacity() <= cap_before.max(8));
     }
 
     #[test]

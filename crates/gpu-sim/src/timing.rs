@@ -176,8 +176,26 @@ pub fn estimate_aggregate_with_precision(
     total: &KernelCounters,
     precision: FlopPrecision,
 ) -> SimTime {
+    estimate_aggregate_with_overhead(dev, occ, grid, total, precision, dev.launch_overhead_s)
+}
+
+/// [`estimate_aggregate_with_precision`] with an explicit fixed launch
+/// overhead. The engine passes the cold `launch_overhead_s` for
+/// [`crate::resident::EngineMode::PerLaunch`] (making that path
+/// bitwise-identical to the legacy model) and the warm
+/// `warm_launch_overhead_s` for [`crate::resident::EngineMode::Resident`]
+/// submissions through a persistent pool; the device-time body is shared,
+/// so the two modes differ by exactly the overhead constant.
+pub fn estimate_aggregate_with_overhead(
+    dev: &DeviceSpec,
+    occ: &Occupancy,
+    grid: usize,
+    total: &KernelCounters,
+    precision: FlopPrecision,
+    overhead_s: f64,
+) -> SimTime {
     if grid == 0 {
-        return SimTime(dev.launch_overhead_s);
+        return SimTime(overhead_s);
     }
     let n_waves = waves(grid, occ);
     let eff_bw = effective_bandwidth(dev, occ);
@@ -192,7 +210,7 @@ pub fn estimate_aggregate_with_precision(
     let lane_cycles_per_sm = flops_per_block * resident as f64 / lanes as f64;
     let wave_cycles = latency_cycles.max(lane_cycles_per_sm / 2.0);
     let compute_time = n_waves as f64 * wave_cycles / dev.clock_hz;
-    SimTime(dev.launch_overhead_s + mem_time.max(compute_time))
+    SimTime(overhead_s + mem_time.max(compute_time))
 }
 
 #[cfg(test)]
@@ -287,6 +305,44 @@ mod tests {
         // Fp64 wrapper is the exact legacy model.
         let legacy = estimate(&dev, &occ, 64, &c);
         assert_eq!(t64.secs().to_bits(), legacy.secs().to_bits());
+    }
+
+    #[test]
+    fn warm_overhead_shifts_time_by_exactly_the_overhead_delta() {
+        let dev = DeviceSpec::test_device();
+        let occ = occupancy(&dev, 8, 4096).unwrap();
+        let c = block_counters();
+        let cold = estimate_aggregate_with_precision(&dev, &occ, 12, &c, FlopPrecision::Fp64);
+        let warm = estimate_aggregate_with_overhead(
+            &dev,
+            &occ,
+            12,
+            &c,
+            FlopPrecision::Fp64,
+            dev.warm_launch_overhead_s,
+        );
+        let delta = dev.launch_overhead_s - dev.warm_launch_overhead_s;
+        assert!((cold.secs() - warm.secs() - delta).abs() < 1e-18);
+        // Passing the cold overhead explicitly is the exact legacy model.
+        let explicit = estimate_aggregate_with_overhead(
+            &dev,
+            &occ,
+            12,
+            &c,
+            FlopPrecision::Fp64,
+            dev.launch_overhead_s,
+        );
+        assert_eq!(explicit.secs().to_bits(), cold.secs().to_bits());
+        // Empty grids cost exactly the requested overhead.
+        let empty = estimate_aggregate_with_overhead(
+            &dev,
+            &occ,
+            0,
+            &KernelCounters::default(),
+            FlopPrecision::Fp64,
+            dev.warm_launch_overhead_s,
+        );
+        assert_eq!(empty.secs(), dev.warm_launch_overhead_s);
     }
 
     #[test]

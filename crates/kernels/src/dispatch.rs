@@ -45,7 +45,9 @@ use gbatch_core::gbtrs::Transpose;
 use gbatch_core::layout::BandLayout;
 use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::engine::validate;
-use gbatch_gpu_sim::{DeviceSpec, LaunchConfig, LaunchError, ParallelPolicy, SimTime};
+use gbatch_gpu_sim::{
+    DeviceSpec, EngineMode, EngineScope, LaunchConfig, LaunchError, ParallelPolicy, SimTime,
+};
 
 /// Factorization algorithm selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,11 +136,24 @@ pub struct GbsvOptions {
     pub crossover: Option<CrossoverModel>,
     /// Interleaved-kernel geometry (default: [`InterleavedParams::auto`]).
     pub interleaved: Option<InterleavedParams>,
+    /// Engine mode for every launch this dispatch issues (default: the
+    /// caller's ambient mode, i.e. [`EngineMode::PerLaunch`] unless the
+    /// caller opened an [`EngineScope`]). `Some(Resident)` routes the
+    /// launches through the persistent worker pool and prices them with
+    /// the warm overhead; results stay bitwise-identical either way.
+    pub engine: Option<EngineMode>,
 }
 
 impl GbsvOptions {
     fn cutoff(&self) -> usize {
         self.fused_cutoff.unwrap_or(FUSED_GBSV_MAX_N)
+    }
+
+    /// Ambient engine scope for this dispatch, if the options pin a mode.
+    /// Held across the kernel calls so every internally-built
+    /// `LaunchConfig` (and the crossover pricing) sees one engine mode.
+    fn engine_scope(&self) -> Option<EngineScope> {
+        self.engine.map(EngineScope::enter)
     }
 
     fn parallel_policy(&self) -> ParallelPolicy {
@@ -335,6 +350,7 @@ pub fn gbtrf_batch<S: Scalar>(
     info: &mut InfoArray,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
+    let _engine = opts.engine_scope();
     let l = a.layout();
     let mut fused_params = opts
         .fused_threads
@@ -492,6 +508,7 @@ pub fn gbtrs_batch<S: Scalar>(
     rhs: &mut RhsBatch<S>,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
+    let _engine = opts.engine_scope();
     let mut params = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
     if let Some(p) = opts.parallel {
         params = params.with_parallel(p);
@@ -569,6 +586,7 @@ pub fn gbsv_batch<S: Scalar>(
     info: &mut InfoArray,
     opts: &GbsvOptions,
 ) -> Result<BatchReport, LaunchError> {
+    let _engine = opts.engine_scope();
     let l = a.layout();
     assert_eq!(l.m, l.n, "dgbsv_batch requires square systems");
     let allow_fused = opts.allow_fused_gbsv.unwrap_or(true);
@@ -1028,6 +1046,50 @@ mod tests {
                 best * 1e6
             );
         }
+    }
+
+    #[test]
+    fn resident_engine_option_is_bitwise_identical_and_prices_warm_launches() {
+        let dev = DeviceSpec::h100_pcie();
+        let (n, kl, ku, batch) = (100usize, 2usize, 3usize, 6usize);
+        let (a0, b0) = random_system(batch, n, kl, ku, 1);
+        let mut runs = Vec::new();
+        for engine in [EngineMode::PerLaunch, EngineMode::Resident] {
+            let mut a = a0.clone();
+            let mut b = b0.clone();
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            // Pin layout and algorithm so both modes run the same plan;
+            // the engine dimension must not change the numerics anyway.
+            let opts = GbsvOptions {
+                layout: MatrixLayout::ColumnMajor,
+                allow_fused_gbsv: Some(false),
+                engine: Some(engine),
+                ..Default::default()
+            };
+            let rep = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &opts).unwrap();
+            assert!(info.all_ok());
+            runs.push((a, b, piv, rep));
+        }
+        let (cold, warm) = (&runs[0], &runs[1]);
+        assert_eq!(
+            cold.0.data(),
+            warm.0.data(),
+            "factors differ across engines"
+        );
+        assert_eq!(cold.1.data(), warm.1.data(), "solutions differ");
+        assert_eq!(cold.2, warm.2, "pivots differ");
+        assert_eq!(cold.3.algo, warm.3.algo);
+        assert_eq!(cold.3.launches, warm.3.launches);
+        // Every launch trades the cold overhead for the warm one.
+        let delta = dev.launch_overhead_s - dev.warm_launch_overhead_s;
+        let expect = cold.3.launches as f64 * delta;
+        let got = cold.3.time.secs() - warm.3.time.secs();
+        assert!(
+            (got - expect).abs() < 1e-15,
+            "expected {expect:.3e}s saved, got {got:.3e}s over {} launches",
+            cold.3.launches
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch_core::interleaved::InterleavedBandBatch;
+use gbatch_core::lanes::{LaneMode, LANE_WIDTH};
 use gbatch_core::layout::update_bound;
 use gbatch_core::scalar::Scalar;
 use gbatch_gpu_sim::{launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy};
@@ -70,6 +71,12 @@ pub struct InterleavedParams {
     /// Host scheduling of the lane-chunk blocks (results are
     /// bitwise-identical for every policy).
     pub parallel: ParallelPolicy,
+    /// Loop shape of the batch-innermost lane sweeps (default
+    /// [`LaneMode::Chunked`]). Chunked mode runs every masked sweep over
+    /// fixed [`LANE_WIDTH`] groups with a scalar remainder — same per-lane
+    /// operations, masks and order, so results are bitwise-identical to
+    /// [`LaneMode::Scalar`] by construction.
+    pub lane_mode: LaneMode,
 }
 
 impl Default for InterleavedParams {
@@ -78,6 +85,7 @@ impl Default for InterleavedParams {
             lanes_per_block: 256,
             threads: 256,
             parallel: ParallelPolicy::Serial,
+            lane_mode: LaneMode::default(),
         }
     }
 }
@@ -174,12 +182,19 @@ impl InterleavedParams {
             lanes_per_block: lanes,
             threads,
             parallel: ParallelPolicy::Serial,
+            lane_mode: LaneMode::default(),
         }
     }
 
     /// Builder: set the host scheduling policy.
     pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Builder: set the lane-sweep loop shape.
+    pub fn with_lane_mode(mut self, lane_mode: LaneMode) -> Self {
+        self.lane_mode = lane_mode;
         self
     }
 
@@ -194,6 +209,38 @@ fn lane_chunks(batch: usize, lanes_per_block: usize) -> Vec<(usize, usize)> {
         .step_by(lanes_per_block)
         .map(|lo| (lo, lanes_per_block.min(batch - lo)))
         .collect()
+}
+
+/// Run `f(b)` for every lane `b in 0..lanes`, in ascending order.
+///
+/// The index-driven analogue of `gbatch_core::lanes::zip_each` for the
+/// kernels' masked multi-array sweeps: under [`LaneMode::Chunked`] the body
+/// runs in fixed [`LANE_WIDTH`] groups (a constant-trip inner loop the
+/// compiler can unroll and vectorize around the per-lane masks) plus a
+/// scalar remainder. Lane order, operations and masks are unchanged, so
+/// both modes are bitwise-identical by construction.
+#[inline(always)]
+fn sweep_lanes<F: FnMut(usize)>(mode: LaneMode, lanes: usize, mut f: F) {
+    match mode {
+        LaneMode::Scalar => {
+            for b in 0..lanes {
+                f(b);
+            }
+        }
+        LaneMode::Chunked => {
+            let whole = lanes - lanes % LANE_WIDTH;
+            let mut lo = 0;
+            while lo < whole {
+                for k in 0..LANE_WIDTH {
+                    f(lo + k);
+                }
+                lo += LANE_WIDTH;
+            }
+            for b in whole..lanes {
+                f(b);
+            }
+        }
+    }
 }
 
 /// Strided mutable view of one lane chunk of an interleaved array.
@@ -343,6 +390,7 @@ pub fn gbtrf_batch_interleaved<S: Scalar>(
         let kv = l.kv();
         let (n, kl) = (l.n, l.kl);
         let lanes = p.view.lanes;
+        let mode = params.lane_mode;
 
         // Windowed mode streams the chunk's band panel in once; the
         // `kv + 2`-column working window stays block-resident (the
@@ -402,13 +450,13 @@ pub fn gbtrf_batch_interleaved<S: Scalar>(
             }
             for k in 0..=km {
                 let row = p.view.row(l.idx(kv + k, j));
-                for b in 0..lanes {
+                sweep_lanes(mode, lanes, |b| {
                     let v = row[b].abs();
                     if v > best[b] {
                         best[b] = v;
                         jp[b] = k;
                     }
-                }
+                });
             }
             ctx.vec_work((km + 1) * lanes, 0);
             if !windowed {
@@ -438,13 +486,14 @@ pub fn gbtrf_batch_interleaved<S: Scalar>(
             for k in 0..=w {
                 let e_lo = l.idx(kv - k, j + k);
                 fixed.copy_from_slice(p.view.row(e_lo));
-                for b in 0..lanes {
+                let view = &mut p.view;
+                sweep_lanes(mode, lanes, |b| {
                     if pivval[b] != S::ZERO && jp[b] != 0 && k <= ju[b] - j {
                         let e_hi = l.idx(kv + jp[b] - k, j + k);
-                        p.view.set(e_lo, b, p.view.get(e_hi, b));
-                        p.view.set(e_hi, b, fixed[b]);
+                        view.set(e_lo, b, view.get(e_hi, b));
+                        view.set(e_hi, b, fixed[b]);
                     }
-                }
+                });
             }
             ctx.vec_work((w + 1) * lanes, 0);
             if !windowed {
@@ -464,11 +513,11 @@ pub fn gbtrf_batch_interleaved<S: Scalar>(
                 }
                 for k in 1..=km {
                     let row = p.view.row_mut(l.idx(kv + k, j));
-                    for b in 0..lanes {
+                    sweep_lanes(mode, lanes, |b| {
                         if pivval[b] != S::ZERO {
                             row[b] *= inv[b];
                         }
-                    }
+                    });
                 }
                 ctx.vec_work(km * lanes, 1);
                 if !windowed {
@@ -490,12 +539,13 @@ pub fn gbtrf_batch_interleaved<S: Scalar>(
                     uvec.copy_from_slice(p.view.row(l.idx(kv - c, j + c)));
                     for i in 1..=km {
                         let dst = p.view.row_mut(l.idx(kv - c + i, j + c));
-                        for b in 0..lanes {
+                        let mrow = &mult[(i - 1) * lanes..i * lanes];
+                        sweep_lanes(mode, lanes, |b| {
                             let u = uvec[b];
                             if pivval[b] != S::ZERO && u != S::ZERO && c <= ju[b] - j {
-                                dst[b] -= mult[(i - 1) * lanes + b] * u;
+                                dst[b] -= mrow[b] * u;
                             }
-                        }
+                        });
                     }
                 }
                 ctx.vec_work(w * lanes, 0);
@@ -585,6 +635,7 @@ pub fn gbtrs_batch_interleaved<S: Scalar>(
         let kv = l.kv();
         let kl = l.kl;
         let (lo, lanes) = (p.lo, p.lanes);
+        let mode = params.lane_mode;
         // Read-only lane slice of factor element `e` for this chunk.
         let frow = |e: usize| &fac[e * batch + lo..e * batch + lo + lanes];
         let active: Vec<bool> = p.info.iter().map(|&i| i == 0).collect();
@@ -616,12 +667,12 @@ pub fn gbtrs_batch_interleaved<S: Scalar>(
             for j in 0..n - 1 {
                 let lm = kl.min(n - 1 - j);
                 for c in 0..nrhs {
-                    for b in 0..lanes {
+                    sweep_lanes(mode, lanes, |b| {
                         let pvt = p.piv[b * per + j] as usize;
                         if active[b] && pvt != j {
                             x.swap((c * n + pvt) * lanes + b, (c * n + j) * lanes + b);
                         }
-                    }
+                    });
                 }
                 ctx.gld(lanes * I32); // pivot row
                 ctx.vec_work(nrhs * lanes, 0);
@@ -634,12 +685,12 @@ pub fn gbtrs_batch_interleaved<S: Scalar>(
                     for c in 0..nrhs {
                         for i in 1..=lm {
                             let m = frow(l.idx(kv + i, j));
-                            for b in 0..lanes {
+                            sweep_lanes(mode, lanes, |b| {
                                 let bj = x[(c * n + j) * lanes + b];
                                 if active[b] && bj != S::ZERO {
                                     x[(c * n + j + i) * lanes + b] -= m[b] * bj;
                                 }
-                            }
+                            });
                         }
                     }
                     ctx.gld(lm * lanes * S::BYTES); // L multipliers of column j
@@ -660,11 +711,11 @@ pub fn gbtrs_batch_interleaved<S: Scalar>(
                 let reach = kv.min(j);
                 let diag = frow(l.idx(kv, j));
                 let jrow = (c * n + j) * lanes;
-                for b in 0..lanes {
+                sweep_lanes(mode, lanes, |b| {
                     if active[b] {
                         x[jrow + b] /= diag[b];
                     }
-                }
+                });
                 ctx.gld(lanes * S::BYTES); // diagonal of U
                 ctx.vec_work(lanes, 1);
                 if !windowed {
@@ -675,12 +726,12 @@ pub fn gbtrs_batch_interleaved<S: Scalar>(
                 if reach > 0 {
                     for i in 1..=reach {
                         let u = frow(l.idx(kv - i, j));
-                        for b in 0..lanes {
+                        sweep_lanes(mode, lanes, |b| {
                             let bj = x[jrow + b];
                             if active[b] && bj != S::ZERO {
                                 x[(c * n + j - i) * lanes + b] -= u[b] * bj;
                             }
-                        }
+                        });
                     }
                     ctx.gld(reach * lanes * S::BYTES); // U column above the diagonal
                     ctx.vec_work(reach * lanes, 2);
@@ -963,7 +1014,53 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(serial.3.counters, threaded.3.counters);
+        // `threads_spawned` is deliberately policy-variant provenance
+        // (serial spawns none); everything else must match exactly.
+        assert_eq!(serial.3.counters.threads_spawned, 0);
+        assert_eq!(threaded.3.counters.threads_spawned, 5, "5 chunks of 8");
+        let mut tc = threaded.3.counters;
+        tc.threads_spawned = serial.3.counters.threads_spawned;
+        assert_eq!(serial.3.counters, tc);
+    }
+
+    #[test]
+    fn lane_modes_are_bitwise_identical() {
+        use gbatch_core::lanes::LaneMode;
+        // Chunk sizes straddling LANE_WIDTH (remainder lanes included) and
+        // a mid-batch singular lane: the chunked sweeps must reproduce the
+        // scalar sweeps bit for bit, masks and all.
+        let (batch, n, kl, ku, nrhs) = (37usize, 16usize, 2usize, 3usize, 2usize);
+        let dev = DeviceSpec::h100_pcie();
+        let mut a = random_batch(batch, n, n, kl, ku);
+        {
+            let mut m = a.matrix_mut(13);
+            for i in 0..=kl {
+                m.set(i, 0, 0.0);
+            }
+        }
+        let rhs0 = RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            ((id * 17 + c * 5 + i) as f64 * 0.73).sin()
+        })
+        .unwrap();
+        for lpb in [5usize, 8, 37] {
+            let base = InterleavedParams {
+                lanes_per_block: lpb,
+                ..Default::default()
+            };
+            let runs: Vec<_> = [LaneMode::Scalar, LaneMode::Chunked]
+                .into_iter()
+                .map(|lane_mode| {
+                    let params = base.with_lane_mode(lane_mode);
+                    let (ia, piv, info, rep) = factor_interleaved(&a, params);
+                    let mut rhs = rhs0.clone();
+                    let srep =
+                        gbtrs_batch_interleaved(&dev, &ia, &piv, &mut rhs, &info, params).unwrap();
+                    (ia, piv, info, rhs, rep.counters, srep.counters)
+                })
+                .collect();
+            assert_ne!(runs[0].2.get(13), 0, "lane 13 is singular");
+            assert_eq!(runs[0], runs[1], "lpb={lpb}");
+        }
     }
 
     #[test]

@@ -107,6 +107,18 @@ pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T,
     T::deserialize_content(c).map_err(|e| format!("field `{name}`: {e}"))
 }
 
+/// Like [`field`], but a missing key yields `Default::default()` — the
+/// behavior real serde gives fields annotated `#[serde(default)]`.
+pub fn field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    name: &str,
+) -> Result<T, String> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, c)) => T::deserialize_content(c).map_err(|e| format!("field `{name}`: {e}")),
+        None => Ok(T::default()),
+    }
+}
+
 // ---- primitive impls -------------------------------------------------
 
 impl Serialize for bool {

@@ -14,9 +14,17 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier and whether `#[serde(default)]` was
+/// present (missing keys then fall back to `Default::default()` instead of
+/// erroring, matching real serde).
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// Parsed shape of the deriving type.
 enum Shape {
-    Named { name: String, fields: Vec<String> },
+    Named { name: String, fields: Vec<Field> },
     Tuple { name: String, arity: usize },
     Unit { name: String },
     Enum { name: String, variants: Vec<String> },
@@ -33,6 +41,34 @@ fn skip_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
             iter.next();
         }
     }
+}
+
+/// Consume one attribute like [`skip_attr`], reporting whether it was
+/// `#[serde(default)]` (possibly alongside other serde items).
+fn consume_attr_is_default(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> bool {
+    if let Some(TokenTree::Group(g)) = iter.peek() {
+        if g.delimiter() == Delimiter::Bracket {
+            let mut inner = g.stream().into_iter();
+            let is_serde = matches!(
+                inner.next(),
+                Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+            );
+            let mut found = false;
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    found = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"));
+                }
+            }
+            iter.next();
+            return found;
+        }
+    }
+    false
 }
 
 /// Parse the derive input into a [`Shape`].
@@ -122,14 +158,18 @@ fn count_tuple_fields(ts: TokenStream) -> usize {
 }
 
 /// Extract field names from a named-fields body.
-fn named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+fn named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
     let mut iter = ts.into_iter().peekable();
     let mut fields = Vec::new();
+    let mut default = false;
     loop {
-        // Skip attributes and visibility before the field name.
+        // Skip attributes and visibility before the field name, noting a
+        // `#[serde(default)]` when present.
         let field = loop {
             match iter.next() {
-                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    default |= consume_attr_is_default(&mut iter);
+                }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if let Some(TokenTree::Group(g)) = iter.peek() {
                         if g.delimiter() == Delimiter::Parenthesis {
@@ -159,7 +199,11 @@ fn named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
                 _ => {}
             }
         }
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
+        default = false;
     }
     Ok(fields)
 }
@@ -217,6 +261,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::serialize_content(&self.{f}))"
@@ -292,7 +337,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Named { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::field(m, {f:?})?"))
+                .map(|f| {
+                    let (name, default) = (&f.name, f.default);
+                    if default {
+                        format!("{name}: ::serde::field_or_default(m, {name:?})?")
+                    } else {
+                        format!("{name}: ::serde::field(m, {name:?})?")
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{

@@ -7,7 +7,9 @@
 
 use gbatch::core::gbtrs::Transpose;
 use gbatch::core::{BandBatch, InfoArray, PivotBatch, RhsBatch};
-use gbatch::gpu_sim::{DeviceSpec, KernelCounters, ParallelPolicy, SimTime};
+use gbatch::gpu_sim::{
+    with_engine_mode, DeviceSpec, EngineMode, KernelCounters, ParallelPolicy, SimTime,
+};
 use gbatch::kernels::dispatch::{dgbsv_batch, FactorAlgo, GbsvOptions};
 use gbatch::kernels::fused::{gbtrf_batch_fused, FusedParams};
 use gbatch::kernels::gbsv_fused::gbsv_batch_fused;
@@ -304,6 +306,168 @@ fn dispatch_parallel_option_is_bitwise_invisible() {
         assert_eq!(serial.2, par.2, "{what}: pivots");
         assert_eq!(serial.3, par.3, "{what}: info");
         assert_time_bitwise(serial.4, par.4, &what);
+    }
+}
+
+/// The resident engine against per-launch under 1/2/8 workers: factors,
+/// solutions, pivots, info, counters and hazard reports are bitwise
+/// identical (a singular lane included); the only difference is the
+/// pricing — each launch trades the cold overhead for the warm one.
+#[test]
+fn resident_engine_soak_is_bitwise_identical_to_per_launch() {
+    let dev = DeviceSpec::h100_pcie();
+    let (batch, n, kl, ku) = (41usize, 32usize, 2usize, 3usize);
+    let a0 = {
+        let mut a = random_batch(batch, n, kl, ku);
+        let mut m = a.matrix_mut(11);
+        m.set(0, 0, 0.0);
+        m.set(1, 0, 0.0);
+        m.set(2, 0, 0.0);
+        a
+    };
+    let b0 = random_rhs(batch, n, 1);
+    let run = |engine: EngineMode, policy: ParallelPolicy| {
+        with_engine_mode(engine, || {
+            let mut a = a0.clone();
+            let mut b = b0.clone();
+            let mut piv = PivotBatch::new(batch, n, n);
+            let mut info = InfoArray::new(batch);
+            let rep =
+                gbsv_batch_fused(&dev, &mut a, &mut piv, &mut b, &mut info, 32, policy).unwrap();
+            (a, b, piv, info.as_slice().to_vec(), rep)
+        })
+    };
+    for policy in POLICIES {
+        let cold = run(EngineMode::PerLaunch, policy);
+        let warm = run(EngineMode::Resident, policy);
+        let what = format!("resident soak under {policy:?}");
+        assert_eq!(cold.3[11], 1, "{what}: seeded singular lane flagged");
+        assert_eq!(cold.0.data(), warm.0.data(), "{what}: factors");
+        assert_eq!(cold.1.data(), warm.1.data(), "{what}: solutions");
+        assert_eq!(cold.2, warm.2, "{what}: pivots");
+        assert_eq!(cold.3, warm.3, "{what}: info");
+        assert_counters_bitwise(&cold.4.counters, &warm.4.counters, &what);
+        assert_eq!(cold.4.hazards, warm.4.hazards, "{what}: hazards");
+        // Exactly one fused launch: the warm engine saves one overhead swap.
+        let delta = dev.launch_overhead_s - dev.warm_launch_overhead_s;
+        let diff = cold.4.time.secs() - warm.4.time.secs();
+        assert!(
+            (diff - delta).abs() < 1e-18,
+            "{what}: expected {delta:.3e}s warm saving, got {diff:.3e}s"
+        );
+    }
+}
+
+/// The poisoned-batch bisect-retry through the serving layer, on a *real*
+/// resident [`gbatch::serve::GpuBackend`]: a fault-injecting wrapper
+/// refuses any batch containing one poisoned id, the server bisects until
+/// the healthy halves run on the GPU and the stubborn singleton is rescued
+/// on the CPU — and the whole retry cascade is bitwise identical between
+/// engine modes at every worker count.
+#[test]
+fn resident_serve_bisect_retry_is_bitwise_identical_to_per_launch() {
+    use gbatch::cpu::CpuSpec;
+    use gbatch::gpu_sim::multi::DeviceGroup;
+    use gbatch::serve::{
+        BackendError, BackendKind, BatchSolution, CpuBackend, FlushPolicy, GpuBackend, Server,
+        ServerConfig, ShapeKey, SolveBackend, SolveRequest, SolveStatus,
+    };
+
+    struct FaultOn {
+        inner: GpuBackend,
+        bad: u64,
+    }
+    impl SolveBackend for FaultOn {
+        fn kind(&self) -> BackendKind {
+            self.inner.kind()
+        }
+        fn solve(
+            &self,
+            shape: &ShapeKey,
+            reqs: &[SolveRequest],
+        ) -> Result<BatchSolution, BackendError> {
+            if reqs.iter().any(|r| r.id == self.bad) {
+                return Err(BackendError::Fault("poisoned batch".into()));
+            }
+            self.inner.solve(shape, reqs)
+        }
+    }
+
+    let shape = ShapeKey::gbsv(16, 2, 3, 1);
+    let l = shape.layout().unwrap();
+    let request = |id: u64| {
+        let mut ab = vec![0.0; shape.ab_len()];
+        {
+            let mut m = gbatch::core::BandMatrixMut {
+                layout: l,
+                data: &mut ab,
+            };
+            for j in 0..l.n {
+                let (s, e) = l.col_rows(j);
+                for i in s..e {
+                    m.set(
+                        i,
+                        j,
+                        ((i * 7 + j * 3 + id as usize) % 5) as f64 * 0.1 + 0.05,
+                    );
+                }
+                let sum: f64 = (s..e).filter(|&i| i != j).map(|i| m.get(i, j).abs()).sum();
+                m.set(j, j, sum + 1.0);
+            }
+        }
+        SolveRequest {
+            id,
+            shape,
+            ab,
+            rhs: vec![1.0; shape.rhs_len()],
+            submitted_s: id as f64 * 1e-6,
+            deadline_s: 1.0,
+        }
+    };
+
+    let run = |engine: EngineMode, workers: usize| {
+        let gpu = GpuBackend::new(
+            DeviceGroup::new(vec![DeviceSpec::h100_pcie()]),
+            ParallelPolicy::threads(workers),
+        )
+        .with_engine(engine);
+        let mut s = Server::new(
+            ServerConfig {
+                queue_capacity: 64,
+                policy: FlushPolicy::default().with_target_batch(16),
+            },
+            Box::new(FaultOn { inner: gpu, bad: 9 }),
+            Box::new(CpuBackend::new(CpuSpec::xeon_gold_6140())),
+        );
+        for id in 0..16u64 {
+            s.submit(request(id)).unwrap();
+        }
+        let mut resp = s.take_responses();
+        resp.sort_by_key(|r| r.id);
+        (resp, s.report())
+    };
+    for workers in [1usize, 2, 8] {
+        let cold = run(EngineMode::PerLaunch, workers);
+        let warm = run(EngineMode::Resident, workers);
+        let what = format!("serve bisect under {workers} workers");
+        assert_eq!(cold.0.len(), 16, "{what}: all requests answered");
+        assert!(cold.1.bisect_retries >= 1, "{what}: bisect happened");
+        assert_eq!(cold.1.bisect_retries, warm.1.bisect_retries, "{what}");
+        assert_eq!(cold.1.fallback_singletons, 1, "{what}");
+        assert_eq!(warm.1.fallback_singletons, 1, "{what}");
+        for (c, w) in cold.0.iter().zip(&warm.0) {
+            assert_eq!(c.id, w.id, "{what}");
+            assert_eq!(c.status, SolveStatus::Solved, "{what}: lane {}", c.id);
+            assert_eq!(c.status, w.status, "{what}: lane {}", c.id);
+            assert_eq!(c.backend, w.backend, "{what}: lane {}", c.id);
+            assert_eq!(c.x, w.x, "{what}: lane {} solutions differ", c.id);
+            let expect = if c.id == 9 {
+                BackendKind::Cpu
+            } else {
+                BackendKind::Gpu
+            };
+            assert_eq!(c.backend, expect, "{what}: lane {}", c.id);
+        }
     }
 }
 
