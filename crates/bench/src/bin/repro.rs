@@ -60,6 +60,20 @@ fn main() {
             .unwrap();
         }
         writeln!(out, "  one-time serve spin-up: {:.4} ms", r.serve_spinup_ms).unwrap();
+        writeln!(
+            out,
+            "  factor cache: cold {:.4} ms | warm (GBTRS-only) {:.4} ms | {:.3}x (resident)",
+            r.factor_cache.cold.resident_ms,
+            r.factor_cache.warm.resident_ms,
+            r.factor_cache.warm_speedup
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  repeated-operator mini-soak hit rate: {:.4}",
+            r.factor_cache.soak_hit_rate
+        )
+        .unwrap();
         writeln!(out).unwrap();
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_raw_speed.json");
         let json = serde_json::to_string_pretty(&r).unwrap();

@@ -57,6 +57,26 @@ fn checked_in_trajectory_replays_exactly() {
     assert_sample("interleaved", got.interleaved, want.interleaved);
     assert_sample("serve_flush", got.serve_flush, want.serve_flush);
     assert_close("serve_spinup_ms", got.serve_spinup_ms, want.serve_spinup_ms);
+    assert_sample(
+        "factor_cache.cold",
+        got.factor_cache.cold,
+        want.factor_cache.cold,
+    );
+    assert_sample(
+        "factor_cache.warm",
+        got.factor_cache.warm,
+        want.factor_cache.warm,
+    );
+    assert_close(
+        "factor_cache.warm_speedup",
+        got.factor_cache.warm_speedup,
+        want.factor_cache.warm_speedup,
+    );
+    assert_close(
+        "factor_cache.soak_hit_rate",
+        got.factor_cache.soak_hit_rate,
+        want.factor_cache.soak_hit_rate,
+    );
 }
 
 #[test]
@@ -84,4 +104,32 @@ fn resident_engine_floors_hold() {
     // device's one-time cost (it can never recur per flush).
     assert!(want.serve_spinup_ms > 0.0);
     assert!(want.serve_spinup_ms < want.serve_flush.per_launch_ms * 10.0);
+}
+
+#[test]
+fn factor_cache_floors_hold() {
+    let json = std::fs::read_to_string(TRAJECTORY)
+        .expect("BENCH_raw_speed.json missing at repo root — run `repro raw_speed`");
+    let want: RawSpeedReport = serde_json::from_str(&json).expect("trajectory JSON invalid");
+    // The cold side of the cache comparison is the serve flush itself:
+    // one full factorize-and-solve of the trajectory batch.
+    assert_eq!(want.factor_cache.cold, want.serve_flush);
+    // Acceptance floor: a warm (GBTRS-only) resident flush at batch 4096,
+    // n 16 is at least 1.8x cheaper than the cold flush.
+    assert!(
+        want.factor_cache.warm_speedup >= 1.8,
+        "warm flush speedup {} below the 1.8x floor",
+        want.factor_cache.warm_speedup
+    );
+    assert!(want.factor_cache.warm.resident_ms < want.factor_cache.cold.resident_ms);
+    // Skipping gbtrf helps per-launch too, just less dramatically.
+    assert!(want.factor_cache.warm.per_launch_ms < want.factor_cache.cold.per_launch_ms);
+    // Acceptance floor: the repeated-operator mini-soak keeps the cache
+    // hot through the real admission path.
+    assert!(
+        want.factor_cache.soak_hit_rate >= 0.85,
+        "mini-soak hit rate {} below the 0.85 floor",
+        want.factor_cache.soak_hit_rate
+    );
+    assert!(want.factor_cache.soak_hit_rate <= 1.0);
 }

@@ -1,0 +1,159 @@
+//! Retained factorizations: the container a serving-layer factor cache
+//! stores per operator.
+//!
+//! One [`RetainedFactor`] holds a single lane's `gbtrf` output — the
+//! factored band storage (with fill-in rows) at the precision the lane
+//! ran at, plus its 0-based pivot sequence. Retention is lossless: the
+//! payload is the exact factored band, so a later `gbtrs` over it is
+//! bitwise-identical to the solve that would have followed a fresh
+//! factorization.
+
+use crate::batch::BandBatch;
+use crate::layout::BandLayout;
+use crate::scalar::Precision;
+
+/// Factored band payload at the precision the factorization ran at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorPayload {
+    /// Double-precision factors.
+    F64(Vec<f64>),
+    /// Single-precision factors (F32-tagged serve traffic).
+    F32(Vec<f32>),
+}
+
+/// One lane's retained LU factorization: factored band + pivots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetainedFactor {
+    /// Band layout of the factored storage (factor flavour, with
+    /// fill-in rows).
+    pub layout: BandLayout,
+    /// The factored band payload.
+    pub payload: FactorPayload,
+    /// 0-based pivot indices, one per eliminated column.
+    pub pivots: Vec<i32>,
+}
+
+impl RetainedFactor {
+    /// Harvest one lane out of a factored batch (`f64`).
+    #[must_use]
+    pub fn from_lane_f64(a: &BandBatch<f64>, piv: &[i32], lane: usize) -> Self {
+        let stride = a.matrix_stride();
+        RetainedFactor {
+            layout: a.layout(),
+            payload: FactorPayload::F64(a.data()[lane * stride..(lane + 1) * stride].to_vec()),
+            pivots: piv.to_vec(),
+        }
+    }
+
+    /// Harvest one lane out of a factored batch (`f32`).
+    #[must_use]
+    pub fn from_lane_f32(a: &BandBatch<f32>, piv: &[i32], lane: usize) -> Self {
+        let stride = a.matrix_stride();
+        RetainedFactor {
+            layout: a.layout(),
+            payload: FactorPayload::F32(a.data()[lane * stride..(lane + 1) * stride].to_vec()),
+            pivots: piv.to_vec(),
+        }
+    }
+
+    /// Precision of the retained payload.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        match self.payload {
+            FactorPayload::F64(_) => Precision::F64,
+            FactorPayload::F32(_) => Precision::F32,
+        }
+    }
+
+    /// The `f64` factors, when retained at double precision.
+    #[must_use]
+    pub fn factors_f64(&self) -> Option<&[f64]> {
+        match &self.payload {
+            FactorPayload::F64(v) => Some(v),
+            FactorPayload::F32(_) => None,
+        }
+    }
+
+    /// The `f32` factors, when retained at single precision.
+    #[must_use]
+    pub fn factors_f32(&self) -> Option<&[f32]> {
+        match &self.payload {
+            FactorPayload::F32(v) => Some(v),
+            FactorPayload::F64(_) => None,
+        }
+    }
+
+    /// Retained footprint in bytes (payload + pivots) — what a cache's
+    /// byte budget accounts against.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        let payload = match &self.payload {
+            FactorPayload::F64(v) => v.len() * std::mem::size_of::<f64>(),
+            FactorPayload::F32(v) => v.len() * std::mem::size_of::<f32>(),
+        };
+        payload + self.pivots.len() * std::mem::size_of::<i32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbtf2::gbtf2;
+
+    #[test]
+    fn harvested_lane_round_trips_bitwise() {
+        let batch = 3;
+        let (n, kl, ku) = (8, 1, 2);
+        let mut a = BandBatch::<f64>::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    m.set(i, j, ((i + 2 * j + id) % 4) as f64 * 0.25 + 0.1);
+                }
+                m.set(j, j, 3.0);
+            }
+        })
+        .unwrap();
+        let l = a.layout();
+        let stride = a.matrix_stride();
+        let mut pivots = vec![vec![0i32; n]; batch];
+        for k in 0..batch {
+            let ab = &mut a.data_mut()[k * stride..(k + 1) * stride];
+            assert_eq!(gbtf2(&l, ab, &mut pivots[k]), 0);
+        }
+        let lane = 1;
+        let retained = RetainedFactor::from_lane_f64(&a, &pivots[lane], lane);
+        assert_eq!(retained.precision(), Precision::F64);
+        assert_eq!(
+            retained.factors_f64().unwrap(),
+            &a.data()[lane * stride..(lane + 1) * stride]
+        );
+        assert_eq!(retained.pivots, pivots[lane]);
+        assert!(retained.factors_f32().is_none());
+        assert_eq!(
+            retained.bytes(),
+            stride * std::mem::size_of::<f64>() + n * std::mem::size_of::<i32>()
+        );
+    }
+
+    #[test]
+    fn f32_payload_reports_half_width() {
+        let l = BandLayout::factor(4, 4, 1, 1).unwrap();
+        let f64_side = RetainedFactor {
+            layout: l,
+            payload: FactorPayload::F64(vec![0.0; l.len()]),
+            pivots: vec![0; 4],
+        };
+        let f32_side = RetainedFactor {
+            layout: l,
+            payload: FactorPayload::F32(vec![0.0; l.len()]),
+            pivots: vec![0; 4],
+        };
+        assert_eq!(f32_side.precision(), Precision::F32);
+        assert!(f32_side.factors_f32().is_some());
+        assert_eq!(
+            f64_side.bytes() - f32_side.bytes(),
+            l.len() * std::mem::size_of::<f32>()
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Content fingerprinting for factorization reuse.
+//!
+//! Timestepping and PDE traffic re-solves the *same* banded operator for
+//! thousands of right-hand sides. The serve layer detects that reuse by
+//! fingerprinting each request's operator content — the band payload bytes
+//! plus the geometry that decides which factorization they produce
+//! (`n`, `kl`, `ku`, storage flavour, compute precision). Two requests
+//! with equal fingerprints factor to bitwise-identical `LU` + pivots, so
+//! a cached factorization can stand in for a fresh `gbtrf` run.
+//!
+//! The hash is a 128-bit FNV-1a variant absorbing one 64-bit word per
+//! step (the IEEE-754 bit pattern of each band element, so `-0.0` and
+//! `0.0` — which factor identically but are distinct payload bytes —
+//! hash separately, as do NaN payload bits). 128 bits exist because a
+//! cache hit *replaces* a factorization: a collision would silently
+//! solve against the wrong operator, so the collision probability must
+//! be negligible at any realistic cache size, not merely small.
+//!
+//! The right-hand-side count is deliberately **excluded**: one operator
+//! serves any number of right-hand sides, and the whole point of the
+//! cache is to share factors across solve-only traffic.
+
+use crate::layout::BandStorage;
+use crate::scalar::Precision;
+use crate::shape::ShapeKey;
+
+/// 128-bit FNV offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV prime.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content fingerprint of one banded operator.
+///
+/// Equal fingerprints imply (with overwhelming probability) equal band
+/// payloads *and* equal factorization geometry, hence bitwise-equal
+/// retained factors. Ordered and hashable so it can key deterministic
+/// `BTreeMap` caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fingerprint {
+    /// The two 64-bit halves, for display and diagnostics.
+    #[must_use]
+    pub fn to_words(self) -> (u64, u64) {
+        (self.hi, self.lo)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Incremental 128-bit FNV-1a hasher absorbing 64-bit words.
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    state: u128,
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintHasher {
+    /// Fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        FingerprintHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorb one 64-bit word (FNV-1a step: xor, then multiply).
+    pub fn write_u64(&mut self, v: u64) {
+        self.state ^= u128::from(v);
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Absorb a slice of `f64` payload as IEEE-754 bit patterns.
+    pub fn write_f64s(&mut self, data: &[f64]) {
+        for &v in data {
+            self.write_u64(v.to_bits());
+        }
+    }
+
+    /// Finalize into a [`Fingerprint`].
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint {
+            hi: (self.state >> 64) as u64,
+            lo: self.state as u64,
+        }
+    }
+}
+
+/// Fingerprint one operator: factorization geometry header plus the band
+/// payload in wire (`f64`) form.
+///
+/// `shape.nrhs` does not participate — see the module docs. The
+/// precision *does*: an F32-tagged key narrows at assembly and produces
+/// `f32` factors, which must never be served to an F64 request of the
+/// same band bytes.
+#[must_use]
+pub fn operator_fingerprint(shape: &ShapeKey, ab: &[f64]) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_u64(shape.n as u64);
+    h.write_u64(shape.kl as u64);
+    h.write_u64(shape.ku as u64);
+    h.write_u64(match shape.storage {
+        BandStorage::Pure => 0,
+        BandStorage::Factor => 1,
+    });
+    h.write_u64(match shape.precision {
+        Precision::F32 => 32,
+        Precision::F64 => 64,
+    });
+    h.write_u64(ab.len() as u64);
+    h.write_f64s(ab);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: usize, kl: usize, ku: usize, nrhs: usize) -> ShapeKey {
+        ShapeKey::gbsv(n, kl, ku, nrhs)
+    }
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        let s = key(16, 2, 3, 1);
+        let ab: Vec<f64> = (0..s.ab_len()).map(|i| (i as f64 * 0.37).sin()).collect();
+        assert_eq!(operator_fingerprint(&s, &ab), operator_fingerprint(&s, &ab));
+    }
+
+    #[test]
+    fn nrhs_does_not_participate() {
+        let a = key(16, 2, 3, 1);
+        let b = key(16, 2, 3, 7);
+        let ab = vec![0.5; a.ab_len()];
+        assert_eq!(operator_fingerprint(&a, &ab), operator_fingerprint(&b, &ab));
+    }
+
+    #[test]
+    fn geometry_precision_and_payload_all_discriminate() {
+        let s = key(16, 2, 3, 1);
+        let ab = vec![0.5; s.ab_len()];
+        let base = operator_fingerprint(&s, &ab);
+
+        let mut other = ab.clone();
+        other[3] = 0.5000000000000001;
+        assert_ne!(base, operator_fingerprint(&s, &other), "payload bit flip");
+
+        let f32_key = s.with_precision(Precision::F32);
+        assert_ne!(base, operator_fingerprint(&f32_key, &ab), "precision");
+
+        let wider = key(16, 3, 3, 1);
+        // Same byte count only when lengths happen to match; hash the
+        // header regardless.
+        let ab_w = vec![0.5; ab.len()];
+        assert_ne!(base, operator_fingerprint(&wider, &ab_w), "bandwidth");
+    }
+
+    #[test]
+    fn signed_zero_and_nan_bits_are_distinct_content() {
+        let s = key(8, 1, 1, 1);
+        let mut a = vec![1.0; s.ab_len()];
+        let mut b = a.clone();
+        a[2] = 0.0;
+        b[2] = -0.0;
+        assert_ne!(operator_fingerprint(&s, &a), operator_fingerprint(&s, &b));
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let s = key(8, 1, 1, 1);
+        let fp = operator_fingerprint(&s, &vec![1.0; s.ab_len()]);
+        assert_eq!(format!("{fp}").len(), 32);
+    }
+}

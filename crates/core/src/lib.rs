@@ -64,6 +64,8 @@ pub mod blas2;
 pub mod dense;
 pub mod display;
 pub mod error;
+pub mod factors;
+pub mod fingerprint;
 pub mod gbcon;
 pub mod gbequ;
 pub mod gbrfs;
@@ -86,6 +88,8 @@ pub mod vbatch;
 pub use band::{BandMatrix, BandMatrixMut, BandMatrixRef};
 pub use batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 pub use error::{BandError, Result};
+pub use factors::{FactorPayload, RetainedFactor};
+pub use fingerprint::{operator_fingerprint, Fingerprint, FingerprintHasher};
 pub use interleaved::InterleavedBandBatch;
 pub use lanes::{with_lane_mode, LaneMode, LANE_WIDTH};
 pub use layout::{BandLayout, RowClass};

@@ -548,6 +548,65 @@ pub fn gbtrs_batch<S: Scalar>(
     }
 }
 
+/// [`gbtrs_batch_lanes`] for `f64`.
+pub fn dgbtrs_batch_lanes(
+    dev: &DeviceSpec,
+    trans: Transpose,
+    l: &BandLayout,
+    lanes: &[(&[f64], &[i32])],
+    rhs: &mut RhsBatch,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    gbtrs_batch_lanes::<f64>(dev, trans, l, lanes, rhs, opts)
+}
+
+/// [`gbtrs_batch_lanes`] for `f32`.
+pub fn sgbtrs_batch_lanes(
+    dev: &DeviceSpec,
+    trans: Transpose,
+    l: &BandLayout,
+    lanes: &[(&[f32], &[i32])],
+    rhs: &mut RhsBatch<f32>,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    gbtrs_batch_lanes::<f32>(dev, trans, l, lanes, rhs, opts)
+}
+
+/// Batched band triangular solve over **retained per-lane factors** —
+/// the serving layer's factorization-reuse hot path.
+///
+/// Each lane arrives as `(factored band, 0-based pivots)` harvested from
+/// an earlier `gbtrf_batch` run (e.g. out of a serve-layer factor
+/// cache). The lanes are gathered into one contiguous batch and handed
+/// to the exact same blocked/`gbtrs_cols`/`trans` dispatch as
+/// [`gbtrs_batch`], so a cached-factor solve is bitwise-identical to the
+/// solve that would have followed a fresh factorization of the same
+/// operators. The gather is a host-side assembly pass, unpriced like
+/// every other host-side batch assembly in the workspace — the returned
+/// time is the device solve.
+pub fn gbtrs_batch_lanes<S: Scalar>(
+    dev: &DeviceSpec,
+    trans: Transpose,
+    l: &BandLayout,
+    lanes: &[(&[S], &[i32])],
+    rhs: &mut RhsBatch<S>,
+    opts: &GbsvOptions,
+) -> Result<BatchReport, LaunchError> {
+    let batch = lanes.len();
+    assert_eq!(batch, rhs.batch(), "one RHS block per retained lane");
+    let stride = l.len();
+    let mut factors = vec![S::ZERO; stride * batch];
+    let mut piv = PivotBatch::new(batch, l.m, l.n);
+    let npiv = piv.per_matrix();
+    for (k, (ab, ipiv)) in lanes.iter().enumerate() {
+        assert_eq!(ab.len(), stride, "lane {k}: factored band length");
+        assert_eq!(ipiv.len(), npiv, "lane {k}: pivot length");
+        factors[k * stride..(k + 1) * stride].copy_from_slice(ab);
+        piv.pivots_mut(k).copy_from_slice(ipiv);
+    }
+    gbtrs_batch::<S>(dev, trans, l, &factors, &piv, rhs, opts)
+}
+
 /// Batched band factorize-and-solve (`dgbsv_batch`, paper Section 4 and
 /// Section 7): a single fused kernel for small single-RHS systems,
 /// otherwise `dgbtrf_batch` followed by `dgbtrs_batch`.
@@ -1217,5 +1276,40 @@ mod tests {
         assert_eq!(b.block(1), b_orig.block(1), "failed system's RHS preserved");
         assert_eq!(info.get(0), 0);
         assert_ne!(b.block(0), b_orig.block(0), "healthy systems are solved");
+    }
+
+    #[test]
+    fn lanes_driver_matches_contiguous_gbtrs_bitwise() {
+        let dev = DeviceSpec::h100_pcie();
+        let batch = 6;
+        let (n, kl, ku, nrhs) = (24usize, 2usize, 3usize, 2usize);
+        let (mut a, b0) = random_system(batch, n, kl, ku, nrhs);
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let opts = GbsvOptions::default();
+        let _ = dgbtrf_batch(&dev, &mut a, &mut piv, &mut info, &opts).unwrap();
+        assert!(info.all_ok());
+        let l = a.layout();
+
+        // Contiguous reference solve.
+        let mut b_ref = b0.clone();
+        let ref_rep =
+            dgbtrs_batch(&dev, Transpose::No, &l, a.data(), &piv, &mut b_ref, &opts).unwrap();
+
+        // Same factors scattered into per-lane retained slices (the shape
+        // a serve-layer factor cache hands back), re-gathered by the
+        // lanes driver.
+        let stride = a.matrix_stride();
+        let lanes: Vec<(&[f64], &[i32])> = (0..batch)
+            .map(|k| (&a.data()[k * stride..(k + 1) * stride], piv.pivots(k)))
+            .collect();
+        let mut b_lanes = b0.clone();
+        let lane_rep =
+            dgbtrs_batch_lanes(&dev, Transpose::No, &l, &lanes, &mut b_lanes, &opts).unwrap();
+
+        assert_eq!(b_lanes.data(), b_ref.data(), "solutions must be bitwise");
+        assert_eq!(lane_rep.algo, ref_rep.algo);
+        assert_eq!(lane_rep.time, ref_rep.time);
+        assert_eq!(lane_rep.launches, ref_rep.launches);
     }
 }

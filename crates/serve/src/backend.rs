@@ -23,14 +23,17 @@
 //! doubles to exercise the server's bisect-retry logic.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use gbatch_core::{BandBatch, InfoArray, PivotBatch, Precision, RhsBatch, ShapeKey};
+use gbatch_core::gbtrs::Transpose;
+use gbatch_core::{
+    BandBatch, InfoArray, PivotBatch, Precision, RetainedFactor, RhsBatch, ShapeKey,
+};
 use gbatch_cpu::{cpu_gbsv_batch, CpuSpec};
 use gbatch_gpu_sim::engine::LaunchError;
 use gbatch_gpu_sim::multi::DeviceGroup;
 use gbatch_gpu_sim::{DeviceSpec, EngineMode, MegabatchQueue, ParallelPolicy, SimTime};
-use gbatch_kernels::dispatch::GbsvOptions;
+use gbatch_kernels::dispatch::{GbsvOptions, MatrixLayout};
 use gbatch_kernels::window::WindowParams;
 use gbatch_tuning::TuningTable;
 
@@ -90,6 +93,21 @@ pub struct BatchSolution {
     pub service_s: f64,
 }
 
+/// Per-request retained factors aligned with a batch (`None` for lanes
+/// whose factorization failed or was not harvested).
+pub type RetainedLanes = Vec<Option<Arc<RetainedFactor>>>;
+
+/// Result of a factor-only batch ([`SolveBackend::factorize`]).
+#[derive(Debug, Clone)]
+pub struct FactorOutcome {
+    /// Per-operator retained factors; `None` for singular lanes.
+    pub factors: RetainedLanes,
+    /// Per-operator LAPACK `info` codes.
+    pub info: Vec<i32>,
+    /// Modeled backend busy time for the batch, in seconds.
+    pub service_s: f64,
+}
+
 /// A batch solver the server can route flushes to.
 pub trait SolveBackend {
     /// Which engine this is (stamped on responses).
@@ -100,6 +118,49 @@ pub trait SolveBackend {
     /// solutions and service times.
     fn solve(&self, shape: &ShapeKey, reqs: &[SolveRequest])
         -> Result<BatchSolution, BackendError>;
+
+    /// [`SolveBackend::solve`], additionally harvesting each healthy
+    /// lane's factorization for a factor cache. The default never
+    /// retains (`None` per lane), so simple test doubles keep compiling
+    /// and simply opt out of caching.
+    fn solve_retaining(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<(BatchSolution, RetainedLanes), BackendError> {
+        let sol = self.solve(shape, reqs)?;
+        let lanes = vec![None; sol.x.len()];
+        Ok((sol, lanes))
+    }
+
+    /// Solve a batch over **cached factors** — the GBTRS-only fast path.
+    /// `factors` is aligned with `reqs`. The default falls back to a full
+    /// factorize-and-solve (correct, merely not fast), so test doubles
+    /// and exotic backends need not implement the fast path.
+    fn solve_with(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+        factors: &[Arc<RetainedFactor>],
+    ) -> Result<BatchSolution, BackendError> {
+        let _ = factors;
+        self.solve(shape, reqs)
+    }
+
+    /// Factor a batch of operators without solving (the explicit
+    /// `Factorize` entry point). `operators` are band payloads in wire
+    /// (`f64`) form. Backends that cannot factor standalone return a
+    /// fault; the server treats that as "no factor-ahead support".
+    fn factorize(
+        &self,
+        shape: &ShapeKey,
+        operators: &[&[f64]],
+    ) -> Result<FactorOutcome, BackendError> {
+        let _ = (shape, operators);
+        Err(BackendError::Fault(
+            "factor-only entry point unsupported by this backend".into(),
+        ))
+    }
 }
 
 /// Copy the requests' payloads into freshly-allocated batch containers.
@@ -170,6 +231,7 @@ pub struct GpuBackend {
     parallel: ParallelPolicy,
     tuning: Option<TuningTable>,
     engine: EngineMode,
+    layout: MatrixLayout,
     megabatch: Mutex<MegabatchQueue>,
     spun_up: AtomicBool,
 }
@@ -185,9 +247,18 @@ impl GpuBackend {
             parallel,
             tuning: None,
             engine: EngineMode::PerLaunch,
+            layout: MatrixLayout::Auto,
             megabatch: Mutex::new(MegabatchQueue::new()),
             spun_up: AtomicBool::new(false),
         }
+    }
+
+    /// Builder: pin the storage-layout dimension of every dispatch
+    /// ([`MatrixLayout::Auto`] — price and choose — is the default).
+    #[must_use]
+    pub fn with_layout(mut self, layout: MatrixLayout) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Builder: consult a tuning table for window parameters per shape.
@@ -229,6 +300,7 @@ impl GpuBackend {
         let mut opts = GbsvOptions {
             parallel: Some(self.parallel),
             engine: Some(self.engine),
+            layout: self.layout,
             ..Default::default()
         };
         if let Some(entry) = self.tuning.as_ref().and_then(|t| t.lookup_shape(shape)) {
@@ -267,19 +339,21 @@ impl GpuBackend {
     }
 }
 
-impl SolveBackend for GpuBackend {
-    fn kind(&self) -> BackendKind {
-        BackendKind::Gpu
-    }
-
-    fn solve(
+impl GpuBackend {
+    /// The shared `gbsv` flush body. `retain` additionally harvests every
+    /// healthy lane's factors — a host-side copy that leaves the modeled
+    /// service time untouched, so `solve` and `solve_retaining` price
+    /// identically.
+    fn run_gbsv(
         &self,
         shape: &ShapeKey,
         reqs: &[SolveRequest],
-    ) -> Result<BatchSolution, BackendError> {
+        retain: bool,
+    ) -> Result<(BatchSolution, RetainedLanes), BackendError> {
         let batch = reqs.len();
         let mut x = vec![Vec::new(); batch];
         let mut info_out = vec![0i32; batch];
+        let mut lanes: RetainedLanes = vec![None; batch];
         let opts = self.options(shape);
         let time = if shape.precision == Precision::F32 {
             // Single-precision traffic: narrow at assembly, dispatch the
@@ -301,6 +375,13 @@ impl SolveBackend for GpuBackend {
                     } else {
                         rhs.block(k).iter().map(|&v| v as f64).collect()
                     };
+                    if retain && info.get(k) == 0 {
+                        lanes[lo + k] = Some(Arc::new(RetainedFactor::from_lane_f32(
+                            &a,
+                            piv.pivots(k),
+                            k,
+                        )));
+                    }
                 }
                 Ok(self.flush_time(dev, rep.time, rep.launches))
             })?
@@ -315,12 +396,197 @@ impl SolveBackend for GpuBackend {
                 for k in 0..part.len() {
                     x[lo + k] = rhs.block(k).to_vec();
                     info_out[lo + k] = info.get(k);
+                    if retain && info.get(k) == 0 {
+                        lanes[lo + k] = Some(Arc::new(RetainedFactor::from_lane_f64(
+                            &a,
+                            piv.pivots(k),
+                            k,
+                        )));
+                    }
+                }
+                Ok(self.flush_time(dev, rep.time, rep.launches))
+            })?
+        };
+        Ok((
+            BatchSolution {
+                x,
+                info: info_out,
+                service_s: time.secs(),
+            },
+            lanes,
+        ))
+    }
+}
+
+impl SolveBackend for GpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Gpu
+    }
+
+    fn solve(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<BatchSolution, BackendError> {
+        self.run_gbsv(shape, reqs, false).map(|(sol, _)| sol)
+    }
+
+    fn solve_retaining(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<(BatchSolution, RetainedLanes), BackendError> {
+        self.run_gbsv(shape, reqs, true)
+    }
+
+    /// The GBTRS-only fast path: gather each lane's retained factors and
+    /// dispatch the batched triangular solve — no `gbtrf` launch at all.
+    /// Priced under the backend's engine mode exactly like a full flush
+    /// (megabatch coalescing, one-time spin-up on the first resident
+    /// flush), so the serve layer sees honest warm-flush economics.
+    fn solve_with(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+        factors: &[Arc<RetainedFactor>],
+    ) -> Result<BatchSolution, BackendError> {
+        let batch = reqs.len();
+        assert_eq!(batch, factors.len(), "one retained factor per request");
+        let l = shape
+            .layout()
+            .map_err(|e| BackendError::Fault(format!("invalid shape {shape}: {e}")))?;
+        for (k, f) in factors.iter().enumerate() {
+            if f.layout != l || f.precision() != shape.precision {
+                return Err(BackendError::Fault(format!(
+                    "lane {k}: retained factor does not match shape {shape}"
+                )));
+            }
+        }
+        let mut x = vec![Vec::new(); batch];
+        let opts = self.options(shape);
+        let time = if shape.precision == Precision::F32 {
+            self.group.run_split(batch, |dev, lo, hi| {
+                let part = &reqs[lo..hi];
+                let (_, _, mut rhs, _) = assemble_f32(shape, part)?;
+                let lanes: Vec<(&[f32], &[i32])> = factors[lo..hi]
+                    .iter()
+                    .map(|f| (f.factors_f32().expect("checked above"), &f.pivots[..]))
+                    .collect();
+                let rep = gbatch_kernels::dispatch::sgbtrs_batch_lanes(
+                    dev,
+                    Transpose::No,
+                    &l,
+                    &lanes,
+                    &mut rhs,
+                    &opts,
+                )
+                .map_err(BackendError::Launch)?;
+                for k in 0..part.len() {
+                    x[lo + k] = rhs.block(k).iter().map(|&v| v as f64).collect();
+                }
+                Ok(self.flush_time(dev, rep.time, rep.launches))
+            })?
+        } else {
+            self.group.run_split(batch, |dev, lo, hi| {
+                let part = &reqs[lo..hi];
+                let (_, _, mut rhs, _) = assemble(shape, part)?;
+                let lanes: Vec<(&[f64], &[i32])> = factors[lo..hi]
+                    .iter()
+                    .map(|f| (f.factors_f64().expect("checked above"), &f.pivots[..]))
+                    .collect();
+                let rep = gbatch_kernels::dispatch::dgbtrs_batch_lanes(
+                    dev,
+                    Transpose::No,
+                    &l,
+                    &lanes,
+                    &mut rhs,
+                    &opts,
+                )
+                .map_err(BackendError::Launch)?;
+                for k in 0..part.len() {
+                    x[lo + k] = rhs.block(k).to_vec();
                 }
                 Ok(self.flush_time(dev, rep.time, rep.launches))
             })?
         };
         Ok(BatchSolution {
             x,
+            info: vec![0; batch],
+            service_s: time.secs(),
+        })
+    }
+
+    /// Factor-only dispatch for the explicit `Factorize` entry point.
+    fn factorize(
+        &self,
+        shape: &ShapeKey,
+        operators: &[&[f64]],
+    ) -> Result<FactorOutcome, BackendError> {
+        let l = shape
+            .layout()
+            .map_err(|e| BackendError::Fault(format!("invalid shape {shape}: {e}")))?;
+        let batch = operators.len();
+        let mut factors: RetainedLanes = vec![None; batch];
+        let mut info_out = vec![0i32; batch];
+        let opts = self.options(shape);
+        let time = if shape.precision == Precision::F32 {
+            self.group.run_split(batch, |dev, lo, hi| {
+                let mut a = BandBatch::<f32>::zeros_with_layout(l, hi - lo)
+                    .map_err(|e| BackendError::Fault(format!("band allocation failed: {e}")))?;
+                let stride = a.matrix_stride();
+                for (k, op) in operators[lo..hi].iter().enumerate() {
+                    for (dst, &src) in a.data_mut()[k * stride..(k + 1) * stride]
+                        .iter_mut()
+                        .zip(*op)
+                    {
+                        *dst = src as f32;
+                    }
+                }
+                let mut piv = PivotBatch::new(hi - lo, l.m, l.n);
+                let mut info = InfoArray::new(hi - lo);
+                let rep =
+                    gbatch_kernels::dispatch::sgbtrf_batch(dev, &mut a, &mut piv, &mut info, &opts)
+                        .map_err(BackendError::Launch)?;
+                for k in 0..hi - lo {
+                    info_out[lo + k] = info.get(k);
+                    if info.get(k) == 0 {
+                        factors[lo + k] = Some(Arc::new(RetainedFactor::from_lane_f32(
+                            &a,
+                            piv.pivots(k),
+                            k,
+                        )));
+                    }
+                }
+                Ok(self.flush_time(dev, rep.time, rep.launches))
+            })?
+        } else {
+            self.group.run_split(batch, |dev, lo, hi| {
+                let mut a = BandBatch::<f64>::zeros_with_layout(l, hi - lo)
+                    .map_err(|e| BackendError::Fault(format!("band allocation failed: {e}")))?;
+                let stride = a.matrix_stride();
+                for (k, op) in operators[lo..hi].iter().enumerate() {
+                    a.data_mut()[k * stride..(k + 1) * stride].copy_from_slice(op);
+                }
+                let mut piv = PivotBatch::new(hi - lo, l.m, l.n);
+                let mut info = InfoArray::new(hi - lo);
+                let rep =
+                    gbatch_kernels::dispatch::dgbtrf_batch(dev, &mut a, &mut piv, &mut info, &opts)
+                        .map_err(BackendError::Launch)?;
+                for k in 0..hi - lo {
+                    info_out[lo + k] = info.get(k);
+                    if info.get(k) == 0 {
+                        factors[lo + k] = Some(Arc::new(RetainedFactor::from_lane_f64(
+                            &a,
+                            piv.pivots(k),
+                            k,
+                        )));
+                    }
+                }
+                Ok(self.flush_time(dev, rep.time, rep.launches))
+            })?
+        };
+        Ok(FactorOutcome {
+            factors,
             info: info_out,
             service_s: time.secs(),
         })
@@ -348,12 +614,14 @@ impl CpuBackend {
     /// Spill-over path for F32-tagged keys: each lane runs the `f32`
     /// instantiation of the core driver sequentially (deterministic), and
     /// the model charges half the `f64` memory traffic — the flop count is
-    /// unchanged, the element bytes halve.
-    fn solve_f32(
+    /// unchanged, the element bytes halve. `retain` harvests healthy
+    /// lanes' factors without touching the modeled time.
+    fn run_f32(
         &self,
         shape: &ShapeKey,
         reqs: &[SolveRequest],
-    ) -> Result<BatchSolution, BackendError> {
+        retain: bool,
+    ) -> Result<(BatchSolution, RetainedLanes), BackendError> {
         let (mut a, mut piv, mut rhs, mut info) = assemble_f32(shape, reqs)?;
         let l = a.layout();
         let (nrhs, ldb) = (rhs.nrhs(), rhs.ldb());
@@ -374,19 +642,69 @@ impl CpuBackend {
         let bytes = gbatch_cpu::model::gbtrf_bytes(&l) + gbatch_cpu::model::gbtrs_bytes(&l, nrhs);
         let mut x = Vec::with_capacity(reqs.len());
         let mut info_out = Vec::with_capacity(reqs.len());
+        let mut lanes: RetainedLanes = vec![None; reqs.len()];
         for (k, r) in reqs.iter().enumerate() {
             if info.get(k) > 0 {
                 x.push(r.rhs.clone());
             } else {
                 x.push(rhs.block(k).iter().map(|&v| v as f64).collect());
+                if retain {
+                    lanes[k] = Some(Arc::new(RetainedFactor::from_lane_f32(
+                        &a,
+                        piv.pivots(k),
+                        k,
+                    )));
+                }
             }
             info_out.push(info.get(k));
         }
-        Ok(BatchSolution {
-            x,
-            info: info_out,
-            service_s: self.cpu.batch_time(reqs.len(), flops, bytes / 2.0),
-        })
+        Ok((
+            BatchSolution {
+                x,
+                info: info_out,
+                service_s: self.cpu.batch_time(reqs.len(), flops, bytes / 2.0),
+            },
+            lanes,
+        ))
+    }
+
+    /// The `f64` spill body ([`cpu_gbsv_batch`]), optionally harvesting.
+    fn run_f64(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+        retain: bool,
+    ) -> Result<(BatchSolution, RetainedLanes), BackendError> {
+        let (mut a, mut piv, mut rhs, mut info) = assemble(shape, reqs)?;
+        let rep = cpu_gbsv_batch(&self.cpu, &mut a, &mut piv, &mut rhs, &mut info);
+        let mut x = Vec::with_capacity(reqs.len());
+        let mut info_out = Vec::with_capacity(reqs.len());
+        let mut lanes: RetainedLanes = vec![None; reqs.len()];
+        for (k, r) in reqs.iter().enumerate() {
+            // Uniform contract with the GPU dispatcher: a singular lane
+            // returns its right-hand side untouched.
+            if info.get(k) > 0 {
+                x.push(r.rhs.clone());
+            } else {
+                x.push(rhs.block(k).to_vec());
+                if retain {
+                    lanes[k] = Some(Arc::new(RetainedFactor::from_lane_f64(
+                        &a,
+                        piv.pivots(k),
+                        k,
+                    )));
+                }
+            }
+            info_out.push(info.get(k));
+        }
+        Ok((
+            BatchSolution {
+                x,
+                info: info_out,
+                service_s: rep.model_time_s,
+            },
+            lanes,
+        ))
     }
 }
 
@@ -401,26 +719,139 @@ impl SolveBackend for CpuBackend {
         reqs: &[SolveRequest],
     ) -> Result<BatchSolution, BackendError> {
         if shape.precision == Precision::F32 {
-            return self.solve_f32(shape, reqs);
+            self.run_f32(shape, reqs, false).map(|(sol, _)| sol)
+        } else {
+            self.run_f64(shape, reqs, false).map(|(sol, _)| sol)
         }
-        let (mut a, mut piv, mut rhs, mut info) = assemble(shape, reqs)?;
-        let rep = cpu_gbsv_batch(&self.cpu, &mut a, &mut piv, &mut rhs, &mut info);
-        let mut x = Vec::with_capacity(reqs.len());
-        let mut info_out = Vec::with_capacity(reqs.len());
-        for (k, r) in reqs.iter().enumerate() {
-            // Uniform contract with the GPU dispatcher: a singular lane
-            // returns its right-hand side untouched.
-            if info.get(k) > 0 {
-                x.push(r.rhs.clone());
-            } else {
-                x.push(rhs.block(k).to_vec());
+    }
+
+    fn solve_retaining(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+    ) -> Result<(BatchSolution, RetainedLanes), BackendError> {
+        if shape.precision == Precision::F32 {
+            self.run_f32(shape, reqs, true)
+        } else {
+            self.run_f64(shape, reqs, true)
+        }
+    }
+
+    /// GBTRS-only spill path: each lane is one sequential `gbtrs` over its
+    /// retained factors, priced with triangular-solve flops and bytes only
+    /// — the spilled warm batch skips the factorization cost too.
+    fn solve_with(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+        factors: &[Arc<RetainedFactor>],
+    ) -> Result<BatchSolution, BackendError> {
+        let batch = reqs.len();
+        assert_eq!(batch, factors.len(), "one retained factor per request");
+        let l = shape
+            .layout()
+            .map_err(|e| BackendError::Fault(format!("invalid shape {shape}: {e}")))?;
+        for (k, f) in factors.iter().enumerate() {
+            if f.layout != l || f.precision() != shape.precision {
+                return Err(BackendError::Fault(format!(
+                    "lane {k}: retained factor does not match shape {shape}"
+                )));
             }
-            info_out.push(info.get(k));
+        }
+        let (nrhs, ldb) = (shape.nrhs, l.n);
+        let mut x = Vec::with_capacity(batch);
+        if shape.precision == Precision::F32 {
+            for (r, f) in reqs.iter().zip(factors) {
+                let mut b: Vec<f32> = r.rhs.iter().map(|&v| v as f32).collect();
+                gbatch_core::gbtrs::gbtrs::<f32>(
+                    Transpose::No,
+                    &l,
+                    f.factors_f32().expect("checked above"),
+                    &f.pivots,
+                    &mut b,
+                    ldb,
+                    nrhs,
+                );
+                x.push(b.iter().map(|&v| v as f64).collect());
+            }
+        } else {
+            for (r, f) in reqs.iter().zip(factors) {
+                let mut b = r.rhs.clone();
+                gbatch_core::gbtrs::gbtrs::<f64>(
+                    Transpose::No,
+                    &l,
+                    f.factors_f64().expect("checked above"),
+                    &f.pivots,
+                    &mut b,
+                    ldb,
+                    nrhs,
+                );
+                x.push(b);
+            }
+        }
+        let flops = gbatch_cpu::model::gbtrs_flops(&l, nrhs);
+        let mut bytes = gbatch_cpu::model::gbtrs_bytes(&l, nrhs);
+        if shape.precision == Precision::F32 {
+            bytes /= 2.0;
         }
         Ok(BatchSolution {
             x,
+            info: vec![0; batch],
+            service_s: self.cpu.batch_time(batch, flops, bytes),
+        })
+    }
+
+    /// Factor-only spill path: sequential `gbtrf` per operator, priced
+    /// with factorization flops and bytes only.
+    fn factorize(
+        &self,
+        shape: &ShapeKey,
+        operators: &[&[f64]],
+    ) -> Result<FactorOutcome, BackendError> {
+        let l = shape
+            .layout()
+            .map_err(|e| BackendError::Fault(format!("invalid shape {shape}: {e}")))?;
+        let batch = operators.len();
+        let mut factors: RetainedLanes = vec![None; batch];
+        let mut info_out = vec![0i32; batch];
+        if shape.precision == Precision::F32 {
+            for (k, op) in operators.iter().enumerate() {
+                let mut ab: Vec<f32> = op.iter().map(|&v| v as f32).collect();
+                let mut ipiv = vec![0i32; l.m.min(l.n)];
+                let code = gbatch_core::gbtrf::gbtrf::<f32>(&l, &mut ab, &mut ipiv);
+                info_out[k] = code;
+                if code == 0 {
+                    factors[k] = Some(Arc::new(RetainedFactor {
+                        layout: l,
+                        payload: gbatch_core::FactorPayload::F32(ab),
+                        pivots: ipiv,
+                    }));
+                }
+            }
+        } else {
+            for (k, op) in operators.iter().enumerate() {
+                let mut ab = op.to_vec();
+                let mut ipiv = vec![0i32; l.m.min(l.n)];
+                let code = gbatch_core::gbtrf::gbtrf::<f64>(&l, &mut ab, &mut ipiv);
+                info_out[k] = code;
+                if code == 0 {
+                    factors[k] = Some(Arc::new(RetainedFactor {
+                        layout: l,
+                        payload: gbatch_core::FactorPayload::F64(ab),
+                        pivots: ipiv,
+                    }));
+                }
+            }
+        }
+        let flops = gbatch_cpu::model::gbtrf_flops(&l);
+        let mut bytes = gbatch_cpu::model::gbtrf_bytes(&l);
+        if shape.precision == Precision::F32 {
+            bytes /= 2.0;
+        }
+        Ok(FactorOutcome {
+            factors,
             info: info_out,
-            service_s: rep.model_time_s,
+            service_s: self.cpu.batch_time(batch, flops, bytes),
         })
     }
 }

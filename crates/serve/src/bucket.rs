@@ -2,10 +2,16 @@
 //!
 //! Requests that can share one `dgbsv_batch` dispatch must agree on the
 //! full geometry — order, bandwidths, right-hand-side count, storage — so
-//! the queue is a map from [`ShapeKey`] to a FIFO bucket. The map is a
-//! `BTreeMap` on purpose: `ShapeKey` is `Ord`, so every iteration order
-//! (and therefore every tie-break between buckets with equal deadlines) is
+//! the queue is a map from a bucketing key to a FIFO bucket. The map is a
+//! `BTreeMap` on purpose: keys are `Ord`, so every iteration order (and
+//! therefore every tie-break between buckets with equal deadlines) is
 //! deterministic.
+//!
+//! The queue is generic over the queued item through [`Bucketed`]: the
+//! public serve API buckets plain [`SolveRequest`]s by [`ShapeKey`], while
+//! the server internally buckets admitted records by `(ShapeKey, cache
+//! tier)` so factor-cache hits flush as solve-only batches separate from
+//! cold factorize-and-solve flushes.
 //!
 //! Capacity is bounded *globally* (total pending requests across all
 //! buckets), which is the backpressure contract a caller can reason about:
@@ -17,13 +23,49 @@ use gbatch_core::ShapeKey;
 
 use crate::request::SolveRequest;
 
-/// One FIFO bucket of same-shape requests.
-#[derive(Debug, Default)]
-pub struct Bucket {
-    reqs: VecDeque<SolveRequest>,
+/// An item the queue can bucket: a deterministic key plus the deadline
+/// that drives the head-of-line flush trigger.
+pub trait Bucketed {
+    /// The bucketing key.
+    type Key: Ord + Copy;
+    /// This item's bucket.
+    fn bucket_key(&self) -> Self::Key;
+    /// Absolute response deadline, seconds on the virtual clock.
+    fn deadline_s(&self) -> f64;
 }
 
-impl Bucket {
+impl Bucketed for SolveRequest {
+    type Key = ShapeKey;
+    fn bucket_key(&self) -> ShapeKey {
+        self.shape
+    }
+    fn deadline_s(&self) -> f64 {
+        self.deadline_s
+    }
+}
+
+/// One FIFO bucket of same-key items.
+pub struct Bucket<R = SolveRequest> {
+    reqs: VecDeque<R>,
+}
+
+impl<R> Default for Bucket<R> {
+    fn default() -> Self {
+        Bucket {
+            reqs: VecDeque::new(),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Bucket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bucket")
+            .field("len", &self.reqs.len())
+            .finish()
+    }
+}
+
+impl<R: Bucketed> Bucket<R> {
     /// Requests currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -42,27 +84,36 @@ impl Bucket {
     /// paper's serving analogues use (head-of-line deadline).
     #[must_use]
     pub fn oldest_deadline_s(&self) -> Option<f64> {
-        self.reqs.front().map(|r| r.deadline_s)
+        self.reqs.front().map(Bucketed::deadline_s)
     }
 
-    fn push(&mut self, req: SolveRequest) {
+    fn push(&mut self, req: R) {
         self.reqs.push_back(req);
     }
 
-    fn take_all(&mut self) -> Vec<SolveRequest> {
+    fn take_all(&mut self) -> Vec<R> {
         self.reqs.drain(..).collect()
     }
 }
 
-/// The full admission queue: shape-keyed buckets under one global bound.
-#[derive(Debug)]
-pub struct BucketMap {
-    buckets: BTreeMap<ShapeKey, Bucket>,
+/// The full admission queue: keyed buckets under one global bound.
+pub struct BucketMap<R: Bucketed = SolveRequest> {
+    buckets: BTreeMap<R::Key, Bucket<R>>,
     capacity: usize,
     pending: usize,
 }
 
-impl BucketMap {
+impl<R: Bucketed> std::fmt::Debug for BucketMap<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BucketMap")
+            .field("pending", &self.pending)
+            .field("capacity", &self.capacity)
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+impl<R: Bucketed> BucketMap<R> {
     /// Empty queue with the given total capacity.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
@@ -98,27 +149,27 @@ impl BucketMap {
         self.buckets.values().filter(|b| !b.is_empty()).count()
     }
 
-    /// Queue depth of one shape's bucket.
+    /// Queue depth of one key's bucket.
     #[must_use]
-    pub fn depth(&self, key: &ShapeKey) -> usize {
+    pub fn depth(&self, key: &R::Key) -> usize {
         self.buckets.get(key).map_or(0, Bucket::len)
     }
 
     /// Enqueue a request. Returns the new depth of its bucket, or hands
     /// the request back when the global capacity is reached (backpressure
     /// — the queue is untouched in that case).
-    pub fn push(&mut self, req: SolveRequest) -> Result<usize, SolveRequest> {
+    pub fn push(&mut self, req: R) -> Result<usize, R> {
         if self.pending >= self.capacity {
             return Err(req);
         }
-        let bucket = self.buckets.entry(req.shape).or_default();
+        let bucket = self.buckets.entry(req.bucket_key()).or_default();
         bucket.push(req);
         self.pending += 1;
         Ok(bucket.len())
     }
 
     /// Remove and return every request of one bucket, in FIFO order.
-    pub fn take(&mut self, key: &ShapeKey) -> Vec<SolveRequest> {
+    pub fn take(&mut self, key: &R::Key) -> Vec<R> {
         let Some(bucket) = self.buckets.get_mut(key) else {
             return Vec::new();
         };
@@ -128,11 +179,11 @@ impl BucketMap {
     }
 
     /// The most urgent bucket: smallest head-of-line deadline over all
-    /// non-empty buckets, ties broken by `ShapeKey` order (the `BTreeMap`
+    /// non-empty buckets, ties broken by key order (the `BTreeMap`
     /// iteration order — strictly deterministic).
     #[must_use]
-    pub fn next_deadline(&self) -> Option<(f64, ShapeKey)> {
-        let mut best: Option<(f64, ShapeKey)> = None;
+    pub fn next_deadline(&self) -> Option<(f64, R::Key)> {
+        let mut best: Option<(f64, R::Key)> = None;
         for (key, bucket) in &self.buckets {
             if let Some(dl) = bucket.oldest_deadline_s() {
                 if best.is_none_or(|(b, _)| dl < b) {
@@ -145,7 +196,7 @@ impl BucketMap {
 
     /// Keys of all non-empty buckets, in deterministic (`Ord`) order.
     #[must_use]
-    pub fn occupied_keys(&self) -> Vec<ShapeKey> {
+    pub fn occupied_keys(&self) -> Vec<R::Key> {
         self.buckets
             .iter()
             .filter(|(_, b)| !b.is_empty())

@@ -1,0 +1,449 @@
+//! The factor cache: content-fingerprinted LU reuse across requests.
+//!
+//! Timestepping traffic re-solves one operator for many right-hand
+//! sides. The cache maps each operator's [`Fingerprint`] (band bytes +
+//! factorization geometry + precision, right-hand-side count excluded)
+//! to the [`RetainedFactor`] a previous flush produced, so later
+//! requests of the same operator skip `gbtrf` entirely and flush as
+//! batched GBTRS-only launches.
+//!
+//! Three lookup surfaces:
+//!
+//! - [`FactorCache::lookup`] — the admission-time probe. Counts into the
+//!   hit/miss statistics (`hits + misses == lookups` always) and
+//!   refreshes recency.
+//! - [`FactorCache::fetch`] — the flush-time retrieval. Refreshes
+//!   recency but does **not** count: the hit-rate metric reflects
+//!   admission decisions, not the internal double-check a flush performs
+//!   (an entry can be evicted between admission and flush — the server
+//!   fails closed by re-factorizing).
+//! - [`FactorCache::resolve`] — handle indirection for the explicit
+//!   `Factorize` / `SolveWith` API. A stale handle (its entry was
+//!   evicted) resolves to `None` and the server falls back to the
+//!   ordinary solve path.
+//!
+//! Eviction is strict LRU under two budgets — entry count and retained
+//! bytes — with recency advanced by every insert/lookup/fetch. A
+//! bounded FIFO **negative cache** remembers singular fingerprints so
+//! known-singular re-submissions route straight to CPU spill instead of
+//! wasting a device flush (and are never cached as factors).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use gbatch_core::{Fingerprint, RetainedFactor};
+
+/// Opaque handle to a cached factorization, returned by `Factorize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FactorHandle(u64);
+
+impl std::fmt::Display for FactorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "factor#{}", self.0)
+    }
+}
+
+/// Capacity budgets of the factor cache.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum live entries (LRU beyond it).
+    pub max_entries: usize,
+    /// Maximum retained payload bytes across all entries (LRU beyond it).
+    pub max_bytes: usize,
+    /// Maximum negatively-cached singular fingerprints (FIFO beyond it).
+    pub max_negative: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 256,
+            max_bytes: 64 << 20,
+            max_negative: 1024,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Builder: set the entry budget.
+    #[must_use]
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        assert!(max_entries > 0, "cache needs room for at least one entry");
+        self.max_entries = max_entries;
+        self
+    }
+
+    /// Builder: set the byte budget.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Builder: set the negative-cache budget.
+    #[must_use]
+    pub fn with_max_negative(mut self, max_negative: usize) -> Self {
+        self.max_negative = max_negative;
+        self
+    }
+}
+
+/// Frozen cache statistics. `hits + misses == lookups` by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Admission-time probes ([`FactorCache::lookup`] calls).
+    pub lookups: u64,
+    /// Probes that found a live entry.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// New entries inserted (refreshes of live entries excluded).
+    pub insertions: u64,
+    /// Entries evicted by the LRU/byte budgets.
+    pub evictions: u64,
+    /// Singular fingerprints negatively cached.
+    pub negative_insertions: u64,
+    /// Admission-time probes answered by the negative cache.
+    pub negative_hits: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    handle: FactorHandle,
+    factor: Arc<RetainedFactor>,
+    tick: u64,
+}
+
+/// LRU cache of retained factorizations keyed by operator fingerprint.
+///
+/// Every collection is a `BTreeMap`/`VecDeque` so iteration, eviction
+/// order, and therefore the whole serve layer stay deterministic.
+#[derive(Debug)]
+pub struct FactorCache {
+    cfg: CacheConfig,
+    entries: BTreeMap<Fingerprint, Entry>,
+    /// Recency index: tick → fingerprint, oldest first.
+    lru: BTreeMap<u64, Fingerprint>,
+    handles: BTreeMap<FactorHandle, Fingerprint>,
+    negative: BTreeMap<Fingerprint, i32>,
+    negative_order: VecDeque<Fingerprint>,
+    tick: u64,
+    next_handle: u64,
+    bytes: usize,
+    stats: CacheStats,
+}
+
+impl Default for FactorCache {
+    fn default() -> Self {
+        FactorCache::new(CacheConfig::default())
+    }
+}
+
+impl FactorCache {
+    /// Empty cache under the given budgets.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(
+            cfg.max_entries > 0,
+            "cache needs room for at least one entry"
+        );
+        FactorCache {
+            cfg,
+            entries: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            handles: BTreeMap::new(),
+            negative: BTreeMap::new(),
+            negative_order: VecDeque::new(),
+            tick: 0,
+            next_handle: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no factorization is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Retained payload bytes across all live entries.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Negatively-cached singular fingerprints.
+    #[must_use]
+    pub fn negative_len(&self) -> usize {
+        self.negative.len()
+    }
+
+    /// The configured budgets.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Live fingerprints in recency order, least-recently-used first.
+    #[must_use]
+    pub fn lru_order(&self) -> Vec<Fingerprint> {
+        self.lru.values().copied().collect()
+    }
+
+    fn touch(&mut self, fp: Fingerprint) {
+        let Some(entry) = self.entries.get_mut(&fp) else {
+            return;
+        };
+        self.lru.remove(&entry.tick);
+        entry.tick = self.tick;
+        self.lru.insert(self.tick, fp);
+        self.tick += 1;
+    }
+
+    /// Admission-time probe: counted, recency-refreshing.
+    pub fn lookup(&mut self, fp: Fingerprint) -> Option<Arc<RetainedFactor>> {
+        self.stats.lookups += 1;
+        if self.entries.contains_key(&fp) {
+            self.stats.hits += 1;
+            self.touch(fp);
+            self.entries.get(&fp).map(|e| Arc::clone(&e.factor))
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Flush-time retrieval: recency-refreshing, not counted.
+    pub fn fetch(&mut self, fp: Fingerprint) -> Option<Arc<RetainedFactor>> {
+        if self.entries.contains_key(&fp) {
+            self.touch(fp);
+            self.entries.get(&fp).map(|e| Arc::clone(&e.factor))
+        } else {
+            None
+        }
+    }
+
+    /// Whether a live entry exists, without counting or refreshing.
+    #[must_use]
+    pub fn contains(&self, fp: Fingerprint) -> bool {
+        self.entries.contains_key(&fp)
+    }
+
+    /// The handle of a live entry, if cached.
+    #[must_use]
+    pub fn handle_of(&self, fp: Fingerprint) -> Option<FactorHandle> {
+        self.entries.get(&fp).map(|e| e.handle)
+    }
+
+    /// Resolve a handle to its fingerprint — `None` once evicted (the
+    /// fail-closed contract: stale handles fall back to re-factorization).
+    #[must_use]
+    pub fn resolve(&self, handle: FactorHandle) -> Option<Fingerprint> {
+        self.handles.get(&handle).copied()
+    }
+
+    /// Insert (or refresh) a factorization. Returns the entry's handle —
+    /// stable for as long as the entry stays live. Evicts least-recently
+    /// used entries past either budget; the just-inserted entry is never
+    /// evicted by its own insertion.
+    pub fn insert(&mut self, fp: Fingerprint, factor: Arc<RetainedFactor>) -> FactorHandle {
+        if let Some(e) = self.entries.get(&fp) {
+            let handle = e.handle;
+            self.touch(fp);
+            return handle;
+        }
+        // A fingerprint that factors cannot be singular; clear any stale
+        // negative record (unreachable for honest content, cheap to keep
+        // consistent).
+        if self.negative.remove(&fp).is_some() {
+            self.negative_order.retain(|f| *f != fp);
+        }
+        let handle = FactorHandle(self.next_handle);
+        self.next_handle += 1;
+        self.bytes += factor.bytes();
+        self.entries.insert(
+            fp,
+            Entry {
+                handle,
+                factor,
+                tick: self.tick,
+            },
+        );
+        self.lru.insert(self.tick, fp);
+        self.tick += 1;
+        self.handles.insert(handle, fp);
+        self.stats.insertions += 1;
+        while self.entries.len() > 1
+            && (self.entries.len() > self.cfg.max_entries || self.bytes > self.cfg.max_bytes)
+        {
+            self.evict_lru();
+        }
+        handle
+    }
+
+    /// Negatively cache a singular fingerprint (`column` is the 1-based
+    /// first zero-pivot column). Re-solves of it route straight to CPU
+    /// spill and its factors are never retained.
+    pub fn insert_negative(&mut self, fp: Fingerprint, column: i32) {
+        if self.cfg.max_negative == 0 {
+            return;
+        }
+        if self.negative.insert(fp, column).is_none() {
+            self.negative_order.push_back(fp);
+            self.stats.negative_insertions += 1;
+            while self.negative.len() > self.cfg.max_negative {
+                if let Some(old) = self.negative_order.pop_front() {
+                    self.negative.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Admission-time negative probe: counted as a negative hit when the
+    /// fingerprint is a known-singular operator.
+    pub fn probe_negative(&mut self, fp: Fingerprint) -> Option<i32> {
+        let column = self.negative.get(&fp).copied();
+        if column.is_some() {
+            self.stats.negative_hits += 1;
+        }
+        column
+    }
+
+    fn evict_lru(&mut self) {
+        let Some((&tick, &fp)) = self.lru.iter().next() else {
+            return;
+        };
+        self.lru.remove(&tick);
+        if let Some(entry) = self.entries.remove(&fp) {
+            self.bytes -= entry.factor.bytes();
+            self.handles.remove(&entry.handle);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::{BandLayout, FactorPayload};
+
+    fn fp(seed: u64) -> Fingerprint {
+        let mut h = gbatch_core::FingerprintHasher::new();
+        h.write_u64(seed);
+        h.finish()
+    }
+
+    fn factor(n: usize) -> Arc<RetainedFactor> {
+        let l = BandLayout::factor(n, n, 1, 1).unwrap();
+        Arc::new(RetainedFactor {
+            layout: l,
+            payload: FactorPayload::F64(vec![1.0; l.len()]),
+            pivots: vec![0; n],
+        })
+    }
+
+    #[test]
+    fn lookup_counts_and_refreshes() {
+        let mut c = FactorCache::new(CacheConfig::default().with_max_entries(2));
+        assert!(c.lookup(fp(1)).is_none());
+        let h = c.insert(fp(1), factor(4));
+        assert!(c.lookup(fp(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(c.resolve(h), Some(fp(1)));
+        assert_eq!(c.handle_of(fp(1)), Some(h));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let mut c = FactorCache::new(CacheConfig::default().with_max_entries(2));
+        c.insert(fp(1), factor(4));
+        c.insert(fp(2), factor(4));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.fetch(fp(1)).is_some());
+        let h3 = c.insert(fp(3), factor(4));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(fp(1)));
+        assert!(!c.contains(fp(2)), "least-recently-used entry evicted");
+        assert!(c.contains(fp(3)));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.lru_order(), vec![fp(1), fp(3)]);
+        // The evicted entry's handle is stale; the survivor's resolves.
+        assert_eq!(c.resolve(h3), Some(fp(3)));
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_keeps_the_newest() {
+        let one = factor(8).bytes();
+        let mut c = FactorCache::new(
+            CacheConfig::default()
+                .with_max_entries(100)
+                .with_max_bytes(one * 2),
+        );
+        c.insert(fp(1), factor(8));
+        c.insert(fp(2), factor(8));
+        c.insert(fp(3), factor(8));
+        assert_eq!(c.len(), 2);
+        assert!(c.bytes() <= one * 2);
+        assert!(c.contains(fp(3)), "insertion never evicts itself");
+        // Even a budget smaller than one entry keeps the newest entry.
+        let mut tiny = FactorCache::new(CacheConfig::default().with_max_bytes(1));
+        tiny.insert(fp(1), factor(8));
+        assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn negative_cache_is_bounded_fifo() {
+        let mut c = FactorCache::new(CacheConfig::default().with_max_negative(2));
+        c.insert_negative(fp(1), 1);
+        c.insert_negative(fp(2), 3);
+        assert_eq!(c.probe_negative(fp(1)), Some(1));
+        c.insert_negative(fp(3), 5);
+        assert_eq!(c.negative_len(), 2);
+        assert_eq!(c.probe_negative(fp(1)), None, "oldest negative dropped");
+        assert_eq!(c.probe_negative(fp(3)), Some(5));
+        assert_eq!(c.stats().negative_hits, 2);
+        assert_eq!(c.stats().negative_insertions, 3);
+    }
+
+    #[test]
+    fn stale_handles_resolve_to_none() {
+        let mut c = FactorCache::new(CacheConfig::default().with_max_entries(1));
+        let h1 = c.insert(fp(1), factor(4));
+        let h2 = c.insert(fp(2), factor(4));
+        assert_eq!(c.resolve(h1), None, "evicted handle is stale");
+        assert_eq!(c.resolve(h2), Some(fp(2)));
+        // Reinserting the first operator mints a fresh handle — the old
+        // one stays stale forever (no ABA reuse).
+        let h1b = c.insert(fp(1), factor(4));
+        assert_ne!(h1, h1b);
+        assert_eq!(c.resolve(h1), None);
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let mut c = FactorCache::new(CacheConfig::default().with_max_entries(3));
+        for seed in 0..10u64 {
+            let _ = c.lookup(fp(seed % 5));
+            if seed % 2 == 0 {
+                c.insert(fp(seed % 5), factor(4));
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert!(c.len() <= 3);
+    }
+}

@@ -21,9 +21,13 @@
 //!   and launch-overhead-aware target-batch sizing;
 //! - [`GpuBackend`] / [`CpuBackend`] — the simulated device group (split
 //!   across GCDs) and the multicore spill path, behind [`SolveBackend`];
+//! - [`FactorCache`] — content-fingerprinted LU reuse: repeated operators
+//!   skip `gbtrf` and flush as batched GBTRS-only launches, with an
+//!   explicit [`Server::factorize`] / [`Server::submit_with`] fast path
+//!   and transparent fingerprint matching on ordinary [`Server::submit`];
 //! - [`ServeReport`] — serializable metrics: queue depth, batch-size
 //!   histogram, flush-reason counts, latency quantiles, spill and retry
-//!   counters.
+//!   counters, and cache hit/miss/eviction/amortized-cost accounting.
 //!
 //! ```
 //! use gbatch_core::ShapeKey;
@@ -67,17 +71,22 @@
 
 pub mod backend;
 pub mod bucket;
+pub mod cache;
 pub mod metrics;
 pub mod policy;
 pub mod request;
 pub mod server;
 
-pub use backend::{BackendError, BackendKind, BatchSolution, CpuBackend, GpuBackend, SolveBackend};
-pub use bucket::{Bucket, BucketMap};
+pub use backend::{
+    BackendError, BackendKind, BatchSolution, CpuBackend, FactorOutcome, GpuBackend, RetainedLanes,
+    SolveBackend,
+};
+pub use bucket::{Bucket, BucketMap, Bucketed};
+pub use cache::{CacheConfig, CacheStats, FactorCache, FactorHandle};
 pub use metrics::ServeReport;
 pub use policy::{FlushPolicy, FlushReason};
 pub use request::{AdmitError, SolveRequest, SolveResponse, SolveStatus};
-pub use server::{Server, ServerConfig};
+pub use server::{FactorizeError, Server, ServerConfig};
 
 // Re-exported so examples and tests can name the key without an extra dep.
 pub use gbatch_core::ShapeKey;

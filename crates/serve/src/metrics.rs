@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendKind;
+use crate::cache::CacheStats;
 use crate::policy::FlushReason;
 
 /// Live counters the server mutates as it runs. [`Metrics::report`]
@@ -24,6 +25,11 @@ pub(crate) struct Metrics {
     pub bisect_retries: u64,
     pub fallback_singletons: u64,
     pub deadline_misses: u64,
+    pub warm_requests: u64,
+    pub warm_flushes: u64,
+    pub warm_fallbacks: u64,
+    pub stale_handles: u64,
+    pub factorize_requests: u64,
     pub max_queue_depth: usize,
     pub gpu_busy_s: f64,
     pub cpu_busy_s: f64,
@@ -48,6 +54,26 @@ impl Metrics {
             BackendKind::Gpu => self.gpu_requests += 1,
             BackendKind::Cpu => self.cpu_requests += 1,
         }
+    }
+
+    /// [`Metrics::report`] with the factor-cache dimensions filled in
+    /// from a live cache snapshot.
+    pub(crate) fn report_with_cache(
+        &self,
+        stats: CacheStats,
+        entries: usize,
+        bytes: usize,
+    ) -> ServeReport {
+        let mut r = self.report();
+        r.cache_lookups = stats.lookups;
+        r.cache_hits = stats.hits;
+        r.cache_misses = stats.misses;
+        r.cache_insertions = stats.insertions;
+        r.cache_evictions = stats.evictions;
+        r.cache_negative_hits = stats.negative_hits;
+        r.cache_entries = entries;
+        r.cache_bytes = bytes;
+        r
     }
 
     pub(crate) fn report(&self) -> ServeReport {
@@ -81,6 +107,19 @@ impl Metrics {
             bisect_retries: self.bisect_retries,
             fallback_singletons: self.fallback_singletons,
             deadline_misses: self.deadline_misses,
+            warm_requests: self.warm_requests,
+            warm_flushes: self.warm_flushes,
+            warm_fallbacks: self.warm_fallbacks,
+            stale_handles: self.stale_handles,
+            factorize_requests: self.factorize_requests,
+            cache_lookups: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_insertions: 0,
+            cache_evictions: 0,
+            cache_negative_hits: 0,
+            cache_entries: 0,
+            cache_bytes: 0,
             max_queue_depth: self.max_queue_depth,
             gpu_busy_s: self.gpu_busy_s,
             cpu_busy_s: self.cpu_busy_s,
@@ -131,6 +170,34 @@ pub struct ServeReport {
     pub fallback_singletons: u64,
     /// Responses completed after their deadline.
     pub deadline_misses: u64,
+    /// Requests admitted on the warm (cached-factor, GBTRS-only) tier.
+    pub warm_requests: u64,
+    /// Flushes that ran the GBTRS-only fast path end to end.
+    pub warm_flushes: u64,
+    /// Warm flushes demoted to the cold factorize-and-solve path because
+    /// a retained factor was evicted between admission and flush.
+    pub warm_fallbacks: u64,
+    /// `submit_with` calls whose [`FactorHandle`](crate::FactorHandle)
+    /// no longer resolved (evicted) — served via the ordinary path.
+    pub stale_handles: u64,
+    /// Operators factored through the explicit `factorize` entry point.
+    pub factorize_requests: u64,
+    /// Factor-cache admission probes (`hits + misses`).
+    pub cache_lookups: u64,
+    /// Admission probes that found a live retained factor.
+    pub cache_hits: u64,
+    /// Admission probes that missed.
+    pub cache_misses: u64,
+    /// Factors inserted into the cache.
+    pub cache_insertions: u64,
+    /// Factors evicted under the LRU capacity/byte budget.
+    pub cache_evictions: u64,
+    /// Admission probes answered by the negative (singular) cache.
+    pub cache_negative_hits: u64,
+    /// Live cache entries at report time.
+    pub cache_entries: usize,
+    /// Live cache footprint in bytes at report time.
+    pub cache_bytes: usize,
     /// Peak total queue depth observed at admission.
     pub max_queue_depth: usize,
     /// Total modeled GPU busy time, seconds.
@@ -180,6 +247,28 @@ impl ServeReport {
     #[must_use]
     pub fn is_conserved(&self) -> bool {
         self.submitted - self.rejected == self.completed
+    }
+
+    /// Factor-cache hit rate over admission probes (0 when no probes).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Mean modeled backend busy time per completed request, seconds —
+    /// the amortized service cost a factor cache is supposed to push
+    /// down (0 when nothing completed).
+    #[must_use]
+    pub fn amortized_cost_s(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            (self.gpu_busy_s + self.cpu_busy_s) / self.completed as f64
+        }
     }
 }
 

@@ -144,6 +144,39 @@ impl FlushPolicy {
         let target = (launch_s / (overhead_fraction * per_req_s)).ceil();
         (target as usize).clamp(1, 1024)
     }
+
+    /// [`FlushPolicy::suggested_target_batch`] for warm (cached-factor,
+    /// GBTRS-only) traffic. A warm request streams the retained factors
+    /// once — at the *cache's* element width, so F32-tagged keys count 4
+    /// bytes per factor element — and its right-hand side twice, and it
+    /// skips the factorization entirely. Less work per request means the
+    /// launch cost looms larger, so the warm target is at least the cold
+    /// one: a warm bucket should wait for *more* company before it is
+    /// worth a device launch. Clamped to `[1, 1024]` like the cold
+    /// variant.
+    ///
+    /// # Panics
+    /// Panics when `overhead_fraction` is not in `(0, 1]`.
+    #[must_use]
+    pub fn suggested_warm_target_batch(
+        dev: &DeviceSpec,
+        key: &ShapeKey,
+        overhead_fraction: f64,
+    ) -> usize {
+        assert!(
+            overhead_fraction > 0.0 && overhead_fraction <= 1.0,
+            "overhead fraction must be in (0, 1]"
+        );
+        // Read the factored band, read + write the RHS; no band writeback
+        // and no factorization sweep.
+        let bytes = ((key.ab_len() + 2 * key.rhs_len()) * key.elem_bytes()) as f64;
+        let per_req_s = bytes / dev.mem_bw;
+        let launch_s = dev.launch_overhead_s + DISPATCH_OVERHEAD_S;
+        let target = (launch_s / (overhead_fraction * per_req_s)).ceil();
+        (target as usize)
+            .clamp(1, 1024)
+            .max(Self::suggested_target_batch(dev, key, overhead_fraction))
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +198,20 @@ mod tests {
         // Looser overhead budgets tolerate smaller batches.
         let loose = FlushPolicy::suggested_target_batch(&dev, &tiny, 1.0);
         assert!(loose <= t_tiny);
+    }
+
+    #[test]
+    fn warm_target_is_at_least_cold_and_precision_aware() {
+        let dev = DeviceSpec::h100_pcie();
+        let key = ShapeKey::gbsv(32, 1, 1, 1);
+        let cold = FlushPolicy::suggested_target_batch(&dev, &key, 0.1);
+        let warm = FlushPolicy::suggested_warm_target_batch(&dev, &key, 0.1);
+        assert!(warm >= cold, "warm {warm} must not undercut cold {cold}");
+        // F32-tagged traffic halves the streamed bytes, so the warm
+        // target must grow (or stay at the clamp).
+        let warm32 =
+            FlushPolicy::suggested_warm_target_batch(&dev, &ShapeKey::sgbsv(32, 1, 1, 1), 0.1);
+        assert!(warm32 >= warm, "f32 warm {warm32} vs f64 warm {warm}");
     }
 
     #[test]

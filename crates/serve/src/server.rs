@@ -21,17 +21,100 @@
 //!    other backend;
 //! 5. the routed backend's busy horizon moves forward by the modeled
 //!    service time; every response completes at the new horizon.
+//!
+//! Admission additionally consults the [`FactorCache`]: every request's
+//! operator is content-fingerprinted, and requests whose fingerprint maps
+//! to a live retained factorization are bucketed on a separate **warm
+//! tier** that flushes as a GBTRS-only batch (no `gbtrf` at all).
+//! Known-singular fingerprints ride a **negative tier** that routes
+//! straight to CPU spill. Cold flushes harvest every healthy lane's
+//! factors back into the cache, so steady repeated-operator traffic
+//! converges to solve-only device work.
 
-use gbatch_core::ShapeKey;
+use std::sync::Arc;
+
+use gbatch_core::{operator_fingerprint, Fingerprint, RetainedFactor, ShapeKey};
 use gbatch_cpu::CpuSpec;
 use gbatch_gpu_sim::multi::DeviceGroup;
 use gbatch_gpu_sim::ParallelPolicy;
 
 use crate::backend::{BackendKind, CpuBackend, GpuBackend, SolveBackend};
-use crate::bucket::BucketMap;
+use crate::bucket::{BucketMap, Bucketed};
+use crate::cache::{CacheConfig, FactorCache, FactorHandle};
 use crate::metrics::{Metrics, ServeReport};
 use crate::policy::{FlushPolicy, FlushReason};
 use crate::request::{AdmitError, SolveRequest, SolveResponse, SolveStatus};
+
+/// Cache tier a request was admitted on. Part of the bucketing key, so
+/// warm (solve-only) and cold (factorize-and-solve) work never share a
+/// launch — they run different kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Tier {
+    /// No cached factorization: full `gbsv`, factors harvested after.
+    Cold,
+    /// Live cached factorization: GBTRS-only fast path.
+    Warm,
+    /// Known-singular operator: served on the CPU spill path, never
+    /// worth a device launch and never factor-cached.
+    Negative,
+}
+
+/// Bucketing key of the internal admission queue: exact geometry plus
+/// cache tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct BucketKey {
+    shape: ShapeKey,
+    tier: Tier,
+}
+
+/// An admitted request annotated with its operator fingerprint and tier.
+struct Admitted {
+    req: SolveRequest,
+    fp: Fingerprint,
+    tier: Tier,
+}
+
+impl Bucketed for Admitted {
+    type Key = BucketKey;
+    fn bucket_key(&self) -> BucketKey {
+        BucketKey {
+            shape: self.req.shape,
+            tier: self.tier,
+        }
+    }
+    fn deadline_s(&self) -> f64 {
+        self.req.deadline_s
+    }
+}
+
+/// Why [`Server::factorize`] refused to hand back a handle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorizeError {
+    /// The operator failed admission validation.
+    Admit(AdmitError),
+    /// The operator is exactly singular (first zero pivot at this
+    /// 1-based column). The fingerprint is negatively cached.
+    Singular {
+        /// 1-based first zero-pivot column.
+        column: i32,
+    },
+    /// Both backends refused the factorization batch.
+    Backend(String),
+}
+
+impl std::fmt::Display for FactorizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorizeError::Admit(e) => write!(f, "{e}"),
+            FactorizeError::Singular { column } => {
+                write!(f, "operator is singular at column {column}")
+            }
+            FactorizeError::Backend(why) => write!(f, "factorization failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorizeError {}
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -59,12 +142,16 @@ struct Outcome {
     info: i32,
     kind: BackendKind,
     failed: bool,
+    /// Healthy lane's harvested factorization, when the backend retained
+    /// one — inserted into the cache after the flush.
+    retained: Option<Arc<RetainedFactor>>,
 }
 
 /// The dynamic-batching solve server.
 pub struct Server {
     cfg: ServerConfig,
-    buckets: BucketMap,
+    buckets: BucketMap<Admitted>,
+    cache: FactorCache,
     gpu: Box<dyn SolveBackend>,
     cpu: Box<dyn SolveBackend>,
     clock_s: f64,
@@ -82,6 +169,7 @@ impl Server {
         Server {
             buckets: BucketMap::new(cfg.queue_capacity),
             cfg,
+            cache: FactorCache::default(),
             gpu,
             cpu,
             clock_s: 0.0,
@@ -90,6 +178,19 @@ impl Server {
             responses: Vec::new(),
             metrics: Metrics::default(),
         }
+    }
+
+    /// Builder: replace the factor cache's budgets (empties the cache).
+    #[must_use]
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = FactorCache::new(cache);
+        self
+    }
+
+    /// The live factor cache (inspection only).
+    #[must_use]
+    pub fn cache(&self) -> &FactorCache {
+        &self.cache
     }
 
     /// Convenience constructor over the simulated substrate: a device
@@ -130,9 +231,31 @@ impl Server {
 
     /// Submit one request at its `submitted_s` instant. The clock advances
     /// to that instant first (firing any deadline flushes due before it),
-    /// then the request is validated and enqueued; a bucket reaching the
-    /// target size flushes immediately.
+    /// then the request is validated, fingerprinted against the factor
+    /// cache, and enqueued on its tier; a bucket reaching the target size
+    /// flushes immediately. A fingerprint that matches a live cached
+    /// factorization rides the warm (GBTRS-only) tier transparently — no
+    /// handle needed.
     pub fn submit(&mut self, req: SolveRequest) -> Result<(), AdmitError> {
+        self.admit(req, None)
+    }
+
+    /// [`Server::submit`] pinned to a cached factorization obtained from
+    /// [`Server::factorize`]. The request still carries its full operator
+    /// payload: the handle is an optimization hint, not a correctness
+    /// dependency. A stale handle (evicted) or one whose fingerprint does
+    /// not match the payload **fails closed** — the request is served
+    /// through the ordinary path (re-factorizing if needed) and the
+    /// mismatch is counted, never an error or a wrong answer.
+    pub fn submit_with(
+        &mut self,
+        req: SolveRequest,
+        handle: FactorHandle,
+    ) -> Result<(), AdmitError> {
+        self.admit(req, Some(handle))
+    }
+
+    fn admit(&mut self, req: SolveRequest, handle: Option<FactorHandle>) -> Result<(), AdmitError> {
         if req.submitted_s < self.clock_s {
             return Err(AdmitError::NonMonotonicTime {
                 now_s: req.submitted_s,
@@ -164,8 +287,33 @@ impl Server {
             });
         }
 
-        let shape = req.shape;
-        match self.buckets.push(req) {
+        let fp = operator_fingerprint(&req.shape, &req.ab);
+        let tier = match handle {
+            Some(h) => match self.cache.resolve(h) {
+                // The handle is honest (live, and it names this exact
+                // operator): the lookup below necessarily hits, keeping
+                // the hit-rate metric consistent with handle traffic.
+                Some(hfp) if hfp == fp => {
+                    let _ = self.cache.lookup(fp);
+                    Tier::Warm
+                }
+                // Stale or mismatched: fail closed onto the ordinary
+                // fingerprint path.
+                _ => {
+                    self.metrics.stale_handles += 1;
+                    self.tier_of(fp)
+                }
+            },
+            None => self.tier_of(fp),
+        };
+        if tier == Tier::Warm {
+            self.metrics.warm_requests += 1;
+        }
+        let key = BucketKey {
+            shape: req.shape,
+            tier,
+        };
+        match self.buckets.push(Admitted { req, fp, tier }) {
             Err(_) => {
                 self.metrics.rejected += 1;
                 Err(AdmitError::QueueFull {
@@ -177,11 +325,106 @@ impl Server {
                     self.metrics.max_queue_depth.max(self.buckets.pending());
                 if depth >= self.cfg.policy.target_batch {
                     let t = self.clock_s;
-                    self.flush(&shape, t, FlushReason::SizeReached);
+                    self.flush(&key, t, FlushReason::SizeReached);
                 }
                 Ok(())
             }
         }
+    }
+
+    /// Which tier a fingerprint admits on right now.
+    fn tier_of(&mut self, fp: Fingerprint) -> Tier {
+        if self.cache.probe_negative(fp).is_some() {
+            return Tier::Negative;
+        }
+        if self.cache.lookup(fp).is_some() {
+            Tier::Warm
+        } else {
+            Tier::Cold
+        }
+    }
+
+    /// Factor one operator ahead of its solves — the explicit entry point
+    /// for timestepping clients that know an operator will be reused. The
+    /// factorization runs synchronously on the GPU backend (CPU on a GPU
+    /// fault), advances the clock to `now_s`, occupies the backend's busy
+    /// horizon like any flush, and retains the factors in the cache. The
+    /// returned [`FactorHandle`] can pin later [`Server::submit_with`]
+    /// calls to the cached factors; an already-cached operator returns
+    /// its existing handle without refactoring.
+    pub fn factorize(
+        &mut self,
+        shape: ShapeKey,
+        ab: &[f64],
+        now_s: f64,
+    ) -> Result<FactorHandle, FactorizeError> {
+        if now_s < self.clock_s {
+            return Err(FactorizeError::Admit(AdmitError::NonMonotonicTime {
+                now_s,
+                clock_s: self.clock_s,
+            }));
+        }
+        self.advance(now_s);
+        if shape.nrhs == 0 {
+            return Err(FactorizeError::Admit(AdmitError::UnsupportedShape(
+                "nrhs must be at least 1".into(),
+            )));
+        }
+        if let Err(e) = shape.layout() {
+            return Err(FactorizeError::Admit(AdmitError::UnsupportedShape(
+                e.to_string(),
+            )));
+        }
+        if ab.len() != shape.ab_len() {
+            return Err(FactorizeError::Admit(AdmitError::BadPayload {
+                expected_ab: shape.ab_len(),
+                got_ab: ab.len(),
+                expected_rhs: shape.rhs_len(),
+                got_rhs: shape.rhs_len(),
+            }));
+        }
+        let fp = operator_fingerprint(&shape, ab);
+        if let Some(column) = self.cache.probe_negative(fp) {
+            return Err(FactorizeError::Singular { column });
+        }
+        if let Some(handle) = self.cache.handle_of(fp) {
+            // Already cached: refresh recency, reuse the handle.
+            let _ = self.cache.fetch(fp);
+            return Ok(handle);
+        }
+        self.metrics.factorize_requests += 1;
+        let t = self.clock_s;
+        let (outcome, on_gpu) = match self.gpu.factorize(&shape, &[ab]) {
+            Ok(o) => (o, true),
+            Err(_) => match self.cpu.factorize(&shape, &[ab]) {
+                Ok(o) => (o, false),
+                Err(e) => return Err(FactorizeError::Backend(e.to_string())),
+            },
+        };
+        if on_gpu {
+            let start = self.gpu_free_s.max(t);
+            self.gpu_free_s = start + outcome.service_s;
+            self.metrics.gpu_busy_s += outcome.service_s;
+        } else {
+            let start = self.cpu_free_s.max(t);
+            self.cpu_free_s = start + outcome.service_s;
+            self.metrics.cpu_busy_s += outcome.service_s;
+        }
+        if outcome.info[0] > 0 {
+            self.cache.insert_negative(fp, outcome.info[0]);
+            return Err(FactorizeError::Singular {
+                column: outcome.info[0],
+            });
+        }
+        let factor = outcome
+            .factors
+            .into_iter()
+            .next()
+            .flatten()
+            .ok_or_else(|| {
+                FactorizeError::Backend("backend reported success without factors".into())
+            })?;
+        Ok(self.cache.insert(fp, factor))
     }
 
     /// Advance the virtual clock to `now_s`, firing every deadline flush
@@ -218,31 +461,37 @@ impl Server {
         std::mem::take(&mut self.responses)
     }
 
-    /// Freeze the metrics into a serializable report.
+    /// Freeze the metrics into a serializable report, factor-cache
+    /// dimensions included.
     #[must_use]
     pub fn report(&self) -> ServeReport {
-        self.metrics.report()
+        self.metrics
+            .report_with_cache(self.cache.stats(), self.cache.len(), self.cache.bytes())
     }
 
-    fn flush(&mut self, key: &ShapeKey, t: f64, reason: FlushReason) {
-        let reqs = self.buckets.take(key);
-        let batch = reqs.len();
+    fn flush(&mut self, key: &BucketKey, t: f64, reason: FlushReason) {
+        let admitted = self.buckets.take(key);
+        let batch = admitted.len();
         if batch == 0 {
             return;
         }
         self.metrics.note_flush(reason, batch);
+        let shape = key.shape;
 
         // Route: size-triggered flushes earned the device; deadline and
         // drain flushes spill when too small for a launch or when the
-        // device is saturated past the slack.
+        // device is saturated past the slack. Known-singular (negative
+        // tier) flushes always spill: re-running a singular operator is
+        // pure bookkeeping, never worth a device launch.
         let gpu_start = self.gpu_free_s.max(t);
-        let spill = match reason {
-            FlushReason::SizeReached => false,
-            FlushReason::DeadlineExpired | FlushReason::Drain => {
-                batch < self.cfg.policy.min_gpu_batch
-                    || gpu_start > t + self.cfg.policy.spill_slack_s
-            }
-        };
+        let spill = key.tier == Tier::Negative
+            || match reason {
+                FlushReason::SizeReached => false,
+                FlushReason::DeadlineExpired | FlushReason::Drain => {
+                    batch < self.cfg.policy.min_gpu_batch
+                        || gpu_start > t + self.cfg.policy.spill_slack_s
+                }
+            };
         if spill {
             self.metrics.spills += 1;
         }
@@ -254,13 +503,13 @@ impl Server {
 
         // Per-request timeout: answer hopeless requests without solving.
         let slack = self.cfg.policy.timeout_slack_s;
-        let (live, dead): (Vec<_>, Vec<_>) = reqs
+        let (live, dead): (Vec<_>, Vec<_>) = admitted
             .into_iter()
-            .partition(|r| start <= r.deadline_s + slack);
-        for r in dead {
+            .partition(|a| start <= a.req.deadline_s + slack);
+        for a in dead {
             self.metrics.timed_out += 1;
             self.push_response(
-                r,
+                a.req,
                 SolveStatus::TimedOut,
                 None,
                 t,
@@ -276,22 +525,63 @@ impl Server {
         if live.is_empty() {
             return;
         }
+        let (reqs, fps): (Vec<SolveRequest>, Vec<Fingerprint>) =
+            live.into_iter().map(|a| (a.req, a.fp)).unzip();
 
-        // Execute, bisecting batch-level failures.
-        let (primary, fallback): (&dyn SolveBackend, &dyn SolveBackend) = if spill {
-            (self.cpu.as_ref(), self.cpu.as_ref())
-        } else {
-            (self.gpu.as_ref(), self.cpu.as_ref())
-        };
+        // Warm tier: gather the cached factors and run the GBTRS-only
+        // fast path. Any factor evicted between admission and flush — or
+        // a backend refusal — demotes the whole flush to the cold path
+        // below (fail closed: correctness never depends on the cache).
         let mut service_s = 0.0;
-        let outcomes = run_with_bisect(
-            primary,
-            fallback,
-            key,
-            &live,
-            &mut self.metrics,
-            &mut service_s,
-        );
+        let mut outcomes: Option<Vec<Outcome>> = None;
+        if key.tier == Tier::Warm {
+            let factors: Vec<_> = fps.iter().map_while(|&fp| self.cache.fetch(fp)).collect();
+            if factors.len() == reqs.len() {
+                let primary: &dyn SolveBackend = if spill {
+                    self.cpu.as_ref()
+                } else {
+                    self.gpu.as_ref()
+                };
+                if let Ok(sol) = primary.solve_with(&shape, &reqs, &factors) {
+                    service_s += sol.service_s;
+                    self.metrics.warm_flushes += 1;
+                    outcomes = Some(
+                        sol.x
+                            .into_iter()
+                            .zip(sol.info)
+                            .map(|(x, info)| Outcome {
+                                x,
+                                info,
+                                kind: primary.kind(),
+                                failed: false,
+                                retained: None,
+                            })
+                            .collect(),
+                    );
+                }
+            }
+            if outcomes.is_none() {
+                self.metrics.warm_fallbacks += 1;
+            }
+        }
+
+        // Cold path (and warm demotions): factorize-and-solve with
+        // bisect retry, harvesting factors for the cache.
+        let outcomes = outcomes.unwrap_or_else(|| {
+            let (primary, fallback): (&dyn SolveBackend, &dyn SolveBackend) = if spill {
+                (self.cpu.as_ref(), self.cpu.as_ref())
+            } else {
+                (self.gpu.as_ref(), self.cpu.as_ref())
+            };
+            run_with_bisect(
+                primary,
+                fallback,
+                &shape,
+                &reqs,
+                &mut self.metrics,
+                &mut service_s,
+            )
+        });
 
         // One busy-horizon step per flush: the host blocks on the flush's
         // whole retry sequence, so every response completes together.
@@ -304,7 +594,18 @@ impl Server {
             self.metrics.gpu_busy_s += service_s;
         }
 
-        for (r, o) in live.into_iter().zip(outcomes) {
+        for ((r, fp), mut o) in reqs.into_iter().zip(fps).zip(outcomes) {
+            // Cache maintenance. A lane the bisect retry rescued as
+            // singular is *negatively* cached — its factors are never
+            // retained, so a poisoned batch cannot seed the cache with a
+            // singular factorization.
+            if o.info > 0 {
+                self.cache.insert_negative(fp, o.info);
+            } else if !o.failed {
+                if let Some(f) = o.retained.take() {
+                    self.cache.insert(fp, f);
+                }
+            }
             let status = if o.failed {
                 self.metrics.failed += 1;
                 SolveStatus::Failed
@@ -369,15 +670,18 @@ fn run_with_bisect(
     // left-to-right — a fixed, data-independent order.
     let mut stack = vec![(0usize, n)];
     while let Some((lo, hi)) = stack.pop() {
-        match primary.solve(shape, &reqs[lo..hi]) {
-            Ok(sol) => {
+        match primary.solve_retaining(shape, &reqs[lo..hi]) {
+            Ok((sol, lanes)) => {
                 *service_s += sol.service_s;
-                for (k, (x, info)) in sol.x.into_iter().zip(sol.info).enumerate() {
+                for (k, ((x, info), retained)) in
+                    sol.x.into_iter().zip(sol.info).zip(lanes).enumerate()
+                {
                     out[lo + k] = Some(Outcome {
                         x,
                         info,
                         kind: primary.kind(),
                         failed: false,
+                        retained,
                     });
                 }
             }
@@ -388,16 +692,20 @@ fn run_with_bisect(
                 stack.push((lo, mid));
             }
             Err(_) => {
-                // A single stubborn request: retry on the fallback.
+                // A single stubborn request: retry on the fallback. The
+                // workspace determinism guarantee makes a CPU-harvested
+                // factorization bitwise-identical to the GPU's, so the
+                // rescue can still feed the cache.
                 metrics.fallback_singletons += 1;
-                match fallback.solve(shape, &reqs[lo..hi]) {
-                    Ok(sol) => {
+                match fallback.solve_retaining(shape, &reqs[lo..hi]) {
+                    Ok((sol, lanes)) => {
                         *service_s += sol.service_s;
                         out[lo] = Some(Outcome {
                             x: sol.x.into_iter().next().expect("singleton solution"),
                             info: sol.info[0],
                             kind: fallback.kind(),
                             failed: false,
+                            retained: lanes.into_iter().next().flatten(),
                         });
                     }
                     Err(_) => {
@@ -406,6 +714,7 @@ fn run_with_bisect(
                             info: 0,
                             kind: fallback.kind(),
                             failed: true,
+                            retained: None,
                         });
                     }
                 }

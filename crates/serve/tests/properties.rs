@@ -1,11 +1,17 @@
 //! Property tests over the serving layer's structural invariants:
-//! shape-bucket conservation and FIFO order, admission backpressure, and
-//! bisect-retry isolation under arbitrary poison patterns.
+//! shape-bucket conservation and FIFO order, admission backpressure,
+//! bisect-retry isolation under arbitrary poison patterns, and the
+//! factor cache's eviction-policy contract (budgets, LRU order, counter
+//! conservation) under arbitrary lookup/insert/fetch interleavings.
 
-use gbatch_core::ShapeKey;
+use std::sync::Arc;
+
+use gbatch_core::{
+    BandLayout, FactorPayload, Fingerprint, FingerprintHasher, RetainedFactor, ShapeKey,
+};
 use gbatch_serve::{
-    BackendError, BackendKind, BatchSolution, BucketMap, FlushPolicy, Server, ServerConfig,
-    SolveBackend, SolveRequest, SolveStatus,
+    BackendError, BackendKind, BatchSolution, BucketMap, CacheConfig, FactorCache, FlushPolicy,
+    Server, ServerConfig, SolveBackend, SolveRequest, SolveStatus,
 };
 use proptest::prelude::*;
 
@@ -171,6 +177,195 @@ proptest! {
             prop_assert_eq!(report.bisect_retries, 0);
         } else {
             prop_assert!(report.bisect_retries >= 1);
+        }
+    }
+}
+
+/// A synthetic fingerprint per integer key.
+fn key_fp(seed: u64) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_u64(seed);
+    h.finish()
+}
+
+/// A retained factor whose byte footprint scales with `n`.
+fn sized_factor(n: usize) -> Arc<RetainedFactor> {
+    let l = BandLayout::factor(n, n, 1, 1).unwrap();
+    Arc::new(RetainedFactor {
+        layout: l,
+        payload: FactorPayload::F64(vec![1.0; l.len()]),
+        pivots: vec![0; n],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The eviction-policy contract, checked after every operation of an
+    /// arbitrary lookup/insert/fetch interleaving against a shadow model:
+    ///
+    /// - the entry budget is never exceeded;
+    /// - the byte budget is never exceeded while more than one entry is
+    ///   live (a lone oversized entry is legal — insertion never evicts
+    ///   itself);
+    /// - the cache's recency order is exactly the model's LRU order, so
+    ///   eviction always removes the least-recently-touched entry;
+    /// - `hits + misses == lookups`, and evictions are counted one per
+    ///   removed entry.
+    #[test]
+    fn cache_eviction_policy_matches_lru_model(
+        max_entries in 1usize..6,
+        byte_budget_entries in 1usize..6,
+        ops in proptest::collection::vec((0u8..3, 0u64..8, 2usize..7), 1..160),
+    ) {
+        // Express the byte budget in units of a mid-sized factor so both
+        // budgets bind in practice.
+        let unit = sized_factor(4).bytes();
+        let cfg = CacheConfig::default()
+            .with_max_entries(max_entries)
+            .with_max_bytes(byte_budget_entries * unit);
+        let mut cache = FactorCache::new(cfg);
+
+        // Shadow model: key order (LRU first) and per-key byte size.
+        let mut order: Vec<u64> = Vec::new();
+        let mut size_of: std::collections::BTreeMap<u64, usize> = Default::default();
+        let (mut lookups, mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+
+        for &(op, key, n) in &ops {
+            match op {
+                0 => {
+                    // Counted, recency-refreshing admission probe.
+                    let got = cache.lookup(key_fp(key));
+                    lookups += 1;
+                    if let Some(pos) = order.iter().position(|&k| k == key) {
+                        hits += 1;
+                        prop_assert!(got.is_some());
+                        let k = order.remove(pos);
+                        order.push(k);
+                    } else {
+                        misses += 1;
+                        prop_assert!(got.is_none());
+                    }
+                }
+                1 => {
+                    // Insert: refresh if live, else admit then evict LRU
+                    // past either budget (never the fresh entry itself).
+                    let factor = sized_factor(n);
+                    let bytes = factor.bytes();
+                    cache.insert(key_fp(key), factor);
+                    if let Some(pos) = order.iter().position(|&k| k == key) {
+                        // Refresh keeps the original payload and size.
+                        let k = order.remove(pos);
+                        order.push(k);
+                    } else {
+                        order.push(key);
+                        size_of.insert(key, bytes);
+                        let total =
+                            |o: &[u64], s: &std::collections::BTreeMap<u64, usize>| -> usize {
+                                o.iter().map(|k| s[k]).sum()
+                            };
+                        while order.len() > 1
+                            && (order.len() > max_entries
+                                || total(&order, &size_of) > byte_budget_entries * unit)
+                        {
+                            let victim = order.remove(0);
+                            size_of.remove(&victim);
+                            evictions += 1;
+                        }
+                    }
+                }
+                _ => {
+                    // Flush-time fetch: refreshes recency, not counted.
+                    let got = cache.fetch(key_fp(key));
+                    if let Some(pos) = order.iter().position(|&k| k == key) {
+                        prop_assert!(got.is_some());
+                        let k = order.remove(pos);
+                        order.push(k);
+                    } else {
+                        prop_assert!(got.is_none());
+                    }
+                }
+            }
+
+            // Invariants, after every single operation.
+            prop_assert!(cache.len() <= max_entries, "entry budget exceeded");
+            if cache.len() > 1 {
+                prop_assert!(
+                    cache.bytes() <= byte_budget_entries * unit,
+                    "byte budget exceeded with multiple entries"
+                );
+            }
+            let want: Vec<Fingerprint> = order.iter().map(|&k| key_fp(k)).collect();
+            prop_assert_eq!(cache.lru_order(), want, "recency order diverged");
+            let expect_bytes: usize = order.iter().map(|k| size_of[k]).sum();
+            prop_assert_eq!(cache.bytes(), expect_bytes);
+            let s = cache.stats();
+            prop_assert_eq!(s.lookups, lookups);
+            prop_assert_eq!(s.hits, hits);
+            prop_assert_eq!(s.misses, misses);
+            prop_assert_eq!(s.hits + s.misses, s.lookups, "counter conservation");
+            prop_assert_eq!(s.evictions, evictions);
+        }
+    }
+
+    /// Handle lifecycle: a live entry's handle is stable across touches
+    /// and refreshes; once evicted, the handle resolves to `None` forever
+    /// (handles are minted from a monotonic counter, never reused).
+    #[test]
+    fn cache_handles_are_stable_then_dead(
+        keys in proptest::collection::vec(0u64..6, 2..40),
+    ) {
+        let mut cache = FactorCache::new(CacheConfig::default().with_max_entries(2));
+        let mut live: std::collections::BTreeMap<u64, gbatch_serve::FactorHandle> =
+            Default::default();
+        let mut dead: Vec<gbatch_serve::FactorHandle> = Vec::new();
+        for &key in &keys {
+            let handle = cache.insert(key_fp(key), sized_factor(3));
+            if let Some(&prev) = live.get(&key) {
+                prop_assert_eq!(handle, prev, "refresh keeps the handle");
+            } else {
+                live.insert(key, handle);
+            }
+            // Sync the model with whatever eviction just happened.
+            let gone: Vec<u64> = live
+                .iter()
+                .filter(|(k, _)| !cache.contains(key_fp(**k)))
+                .map(|(k, _)| *k)
+                .collect();
+            for k in gone {
+                dead.push(live.remove(&k).unwrap());
+            }
+            for (k, h) in &live {
+                prop_assert_eq!(cache.resolve(*h), Some(key_fp(*k)));
+                prop_assert_eq!(cache.handle_of(key_fp(*k)), Some(*h));
+            }
+            for h in &dead {
+                prop_assert_eq!(cache.resolve(*h), None, "stale handle stays dead");
+            }
+        }
+    }
+
+    /// The negative cache is a bounded FIFO: its population never exceeds
+    /// the budget, and a successful insertion of the same fingerprint
+    /// clears the stale negative record.
+    #[test]
+    fn negative_cache_is_bounded_and_cleared_by_insertion(
+        max_negative in 1usize..8,
+        keys in proptest::collection::vec(0u64..12, 1..60),
+        promote in 0u64..12,
+    ) {
+        let mut cache =
+            FactorCache::new(CacheConfig::default().with_max_negative(max_negative));
+        for &key in &keys {
+            cache.insert_negative(key_fp(key), 1);
+            prop_assert!(cache.negative_len() <= max_negative);
+        }
+        let was_negative = cache.probe_negative(key_fp(promote)).is_some();
+        cache.insert(key_fp(promote), sized_factor(3));
+        prop_assert!(cache.probe_negative(key_fp(promote)).is_none(),
+            "insertion clears the negative record");
+        if was_negative {
+            prop_assert!(cache.stats().negative_hits >= 1);
         }
     }
 }

@@ -18,7 +18,10 @@
 //! - [`rhs`] — right-hand-side builders (manufactured solutions);
 //! - [`traffic`] — open-loop Poisson request streams for the serving
 //!   layer (weighted shape mix, per-request deadlines, optional singular
-//!   poisoning).
+//!   poisoning);
+//! - [`timestep`] — repeated-operator (timestepping) streams over a
+//!   reused operator pool with configurable churn, the factor cache's
+//!   target traffic.
 //!
 //! ```
 //! use gbatch_workloads::{pele_batch, pele::PeleConfig};
@@ -37,6 +40,7 @@ pub mod pele;
 pub mod random;
 pub mod rhs;
 pub mod sundials;
+pub mod timestep;
 pub mod traffic;
 pub mod xgc;
 
@@ -44,5 +48,6 @@ pub use pele::pele_batch;
 pub use random::{random_band_batch, BandDistribution};
 pub use rhs::{manufactured_rhs, rhs_for_solutions};
 pub use sundials::{react_eval_batch, ReactEvalConfig};
+pub use timestep::{timestep_traffic, TimestepConfig};
 pub use traffic::{poisson_traffic, Arrival, ShapeMix, TrafficConfig};
 pub use xgc::{xgc_batch, XgcConfig};

@@ -1,0 +1,186 @@
+//! Repeated-operator (timestepping) request traffic.
+//!
+//! The factor cache's target consumers solve *the same operator* against
+//! many right-hand sides: an implicit timestepper's system matrix is
+//! frozen across steps until the Jacobian is refreshed, an ADI sweep
+//! re-applies one tridiagonal operator per plane, a SUNDIALS integrator
+//! keeps `I − γJ` until the step size changes. This module generates that
+//! stream: Poisson arrivals over a small **pool** of distinct operators,
+//! each request drawing one operator (band payload reused byte-for-byte,
+//! so its content fingerprint repeats) with a fresh random right-hand
+//! side, plus a configurable **churn** probability that regenerates the
+//! drawn operator first — modeling Jacobian refreshes that retire a
+//! cached factorization.
+//!
+//! Everything is deterministic given the RNG seed, like
+//! [`poisson_traffic`](crate::traffic::poisson_traffic).
+
+use gbatch_core::ShapeKey;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::traffic::{request_payload, Arrival};
+
+/// Timestepping-traffic configuration.
+#[derive(Debug, Clone)]
+pub struct TimestepConfig {
+    /// Mean arrival rate, requests per second.
+    pub rate_hz: f64,
+    /// Deadline budget per request, seconds from arrival.
+    pub deadline_s: f64,
+    /// Geometry of every request (one operator family per stream; mix
+    /// streams for multi-shape traffic).
+    pub shape: ShapeKey,
+    /// Number of distinct live operators in the pool.
+    pub operators: usize,
+    /// Per-request probability that the drawn operator is regenerated
+    /// before use (a Jacobian refresh): its band bytes change, so its
+    /// fingerprint — and any cached factorization — is retired. `0.0`
+    /// freezes the pool forever.
+    pub churn: f64,
+}
+
+impl TimestepConfig {
+    /// An implicit-timestepper profile: a small pool of operators reused
+    /// across many steps with occasional Jacobian refreshes. With `k`
+    /// operators and churn `c`, a long stream's expected fingerprint
+    /// repeat rate is about `1 - c` (first-touch misses wash out).
+    #[must_use]
+    pub fn timestepper(shape: ShapeKey, operators: usize, churn: f64, rate_hz: f64) -> Self {
+        TimestepConfig {
+            rate_hz,
+            deadline_s: 0.05,
+            shape,
+            operators,
+            churn,
+        }
+    }
+}
+
+/// Generate `n` Poisson arrivals over a reused operator pool.
+/// Deterministic for a given seed: pool initialization, inter-arrival
+/// gaps, operator draws, churn decisions, and right-hand sides all come
+/// from `rng` in a fixed order.
+///
+/// # Panics
+/// Panics when the pool is empty, the rate is not positive, or `churn`
+/// is outside `[0, 1]`.
+pub fn timestep_traffic(rng: &mut impl Rng, n: usize, cfg: &TimestepConfig) -> Vec<Arrival> {
+    assert!(cfg.operators > 0, "operator pool must not be empty");
+    assert!(cfg.rate_hz > 0.0, "arrival rate must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.churn),
+        "churn is a probability in [0, 1]"
+    );
+    let uni = Uniform::new(0.0f64, 1.0);
+    // Initialize the pool; right-hand sides drawn here are discarded —
+    // each arrival gets a fresh one below.
+    let mut pool: Vec<Vec<f64>> = (0..cfg.operators)
+        .map(|_| request_payload(rng, &cfg.shape, false).0)
+        .collect();
+    let rhs_uni = Uniform::new_inclusive(-1.0f64, 1.0);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        let u = uni.sample(rng);
+        t += -(1.0 - u).ln() / cfg.rate_hz;
+        let slot = (uni.sample(rng) * cfg.operators as f64) as usize % cfg.operators;
+        if uni.sample(rng) < cfg.churn {
+            pool[slot] = request_payload(rng, &cfg.shape, false).0;
+        }
+        let rhs: Vec<f64> = (0..cfg.shape.rhs_len())
+            .map(|_| rhs_uni.sample(rng))
+            .collect();
+        out.push(Arrival {
+            id,
+            at_s: t,
+            shape: cfg.shape,
+            deadline_s: t + cfg.deadline_s,
+            ab: pool[slot].clone(),
+            rhs,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> TimestepConfig {
+        TimestepConfig::timestepper(ShapeKey::gbsv(16, 2, 3, 1), 8, 0.08, 1e4)
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = timestep_traffic(&mut StdRng::seed_from_u64(5), 300, &cfg());
+        let b = timestep_traffic(&mut StdRng::seed_from_u64(5), 300, &cfg());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_s, y.at_s);
+            assert_eq!(x.ab, y.ab);
+            assert_eq!(x.rhs, y.rhs);
+        }
+    }
+
+    #[test]
+    fn operators_repeat_and_rhs_is_fresh() {
+        let a = timestep_traffic(&mut StdRng::seed_from_u64(9), 2000, &cfg());
+        let mut seen: BTreeMap<Vec<u64>, u64> = BTreeMap::new();
+        let mut repeats = 0u64;
+        for r in &a {
+            let bits: Vec<u64> = r.ab.iter().map(|v| v.to_bits()).collect();
+            let count = seen.entry(bits).or_insert(0);
+            if *count > 0 {
+                repeats += 1;
+            }
+            *count += 1;
+        }
+        // 8 operators, 8 % churn: the overwhelming majority of arrivals
+        // reuse a previously-seen operator byte-for-byte.
+        let rate = repeats as f64 / a.len() as f64;
+        assert!(rate > 0.85, "operator repeat rate {rate:.3}");
+        // Right-hand sides never repeat (fresh randomness per request).
+        let distinct_rhs: std::collections::BTreeSet<Vec<u64>> = a
+            .iter()
+            .map(|r| r.rhs.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(distinct_rhs.len(), a.len());
+    }
+
+    #[test]
+    fn churn_retires_operators() {
+        let mut frozen = cfg();
+        frozen.churn = 0.0;
+        let a = timestep_traffic(&mut StdRng::seed_from_u64(3), 500, &frozen);
+        let distinct: std::collections::BTreeSet<Vec<u64>> = a
+            .iter()
+            .map(|r| r.ab.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(distinct.len(), frozen.operators, "frozen pool never grows");
+
+        let mut churny = cfg();
+        churny.churn = 1.0;
+        let b = timestep_traffic(&mut StdRng::seed_from_u64(3), 500, &churny);
+        let distinct: std::collections::BTreeSet<Vec<u64>> = b
+            .iter()
+            .map(|r| r.ab.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        assert_eq!(distinct.len(), 500, "full churn regenerates every draw");
+    }
+
+    #[test]
+    fn operators_factor_cleanly() {
+        let c = cfg();
+        let a = timestep_traffic(&mut StdRng::seed_from_u64(7), 50, &c);
+        let l = c.shape.layout().unwrap();
+        for r in &a {
+            let mut ab = r.ab.clone();
+            let mut piv = vec![0i32; l.n];
+            assert_eq!(gbatch_core::gbtf2::gbtf2(&l, &mut ab, &mut piv), 0);
+        }
+    }
+}
