@@ -1,0 +1,259 @@
+//! Model-vs-kernel conformance: concretize a model's schedule and match
+//! it against the real kernel's `HazardMode::Trace` footprint.
+//!
+//! The race proof is only as good as the model it runs on. This pass
+//! closes the loop: for a concrete shape, the family's
+//! [`schedule`](crate::model::KernelModel::schedule) lays out the exact
+//! epoch sequence, [`concretize`] expands every template into the
+//! [`AccessRecord`]s the kernel *should* produce, and [`compare_trace`]
+//! checks the prediction against what the kernel *did* produce (the
+//! per-block trace recorded by the `HazardTracker` under
+//! [`HazardMode::Trace`](gbatch_gpu_sim::hazard::HazardMode::Trace)) —
+//! epoch count and per-epoch access multisets must both match exactly.
+
+use crate::expr::Env;
+use crate::model::{AccessKind, KernelModel, Oracle, Pattern, Shape, VarDef};
+use gbatch_gpu_sim::hazard::{AccessRecord, HazardReport, ALL_LANES};
+
+/// Element base offset of each allocation, replicating the kernels'
+/// `SharedMem::alloc_scalar` packing: allocations are rounded up to
+/// 8-byte grains and handed out back to back, with offsets expressed in
+/// scalar elements of width `sbytes`.
+pub fn alloc_bases(model: &KernelModel, env: &Env, sbytes: usize) -> Vec<usize> {
+    let per_grain = 8 / sbytes;
+    let mut bases = Vec::with_capacity(model.allocs.len());
+    let mut grains = 0usize;
+    for al in &model.allocs {
+        bases.push(grains * per_grain);
+        let elems = al.elems.eval(env).max(0) as usize;
+        grains += (elems * sbytes).div_ceil(8);
+    }
+    bases
+}
+
+fn for_each_assignment(vars: &[VarDef], env: &mut Env, f: &mut impl FnMut(&mut Env)) {
+    let Some((v, rest)) = vars.split_first() else {
+        f(env);
+        return;
+    };
+    let lo = v.lo.eval(env);
+    let hi = v.hi.eval(env);
+    for val in lo..=hi {
+        env.insert(v.name, val);
+        for_each_assignment(rest, env, f);
+    }
+    env.remove(v.name);
+}
+
+/// Expand the model's schedule at `shape` into the predicted per-epoch
+/// access records (sorted within each epoch). `sbytes` is the scalar
+/// width of the launch being predicted; `oracle` answers the
+/// data-dependent predicates. Panics if the model has no schedule or a
+/// scheduled epoch violates its template's shape guards — both are
+/// model/harness bugs, not input conditions.
+pub fn concretize(
+    model: &KernelModel,
+    shape: &Shape,
+    oracle: &Oracle,
+    sbytes: usize,
+) -> Vec<Vec<AccessRecord>> {
+    let schedule = model
+        .schedule
+        .unwrap_or_else(|| panic!("model {} has no schedule", model.family));
+    let mut base_env = shape.env();
+    base_env.insert("sbytes", sbytes as i64);
+    let bases = alloc_bases(model, &base_env, sbytes);
+    let threads = shape.threads as u32;
+
+    let mut epochs: Vec<Vec<AccessRecord>> = Vec::new();
+    for inst in schedule(shape, oracle) {
+        let epoch = epochs.len() as u64;
+        let mut records: Vec<AccessRecord> = Vec::new();
+        if let Some(tpl_idx) = inst.template {
+            let tpl = &model.templates[tpl_idx];
+            let mut env = base_env.clone();
+            env.extend(inst.env.iter().map(|(k, v)| (*k, *v)));
+            // Resolve the template variables in declaration order. The
+            // schedule provides the data-dependent ones (checked against
+            // their declared ranges — the race proof quantified over those
+            // ranges, so a value outside them would mean the proof covered
+            // a different kernel than the one running); variables pinned to
+            // a single expression (`lo == hi`) are derived here.
+            for vd in &tpl.vars {
+                let (lo, hi) = (vd.lo.eval(&env), vd.hi.eval(&env));
+                match env.get(vd.name) {
+                    Some(&val) => assert!(
+                        lo <= val && val <= hi,
+                        "model {}: epoch {} template `{}` var `{}` = {} outside [{}, {}]",
+                        model.family,
+                        epoch,
+                        tpl.name,
+                        vd.name,
+                        val,
+                        lo,
+                        hi,
+                    ),
+                    None => {
+                        assert!(
+                            lo == hi,
+                            "model {}: epoch {} template `{}` leaves free var `{}` unset",
+                            model.family,
+                            epoch,
+                            tpl.name,
+                            vd.name,
+                        );
+                        env.insert(vd.name, lo);
+                    }
+                }
+            }
+            for g in &tpl.guards {
+                assert!(
+                    g.eval(&env) >= 0,
+                    "model {}: scheduled epoch {} violates template `{}` guard",
+                    model.family,
+                    epoch,
+                    tpl.name,
+                );
+            }
+            for a in &tpl.accesses {
+                let alloc_base = bases[a.alloc];
+                for_each_assignment(&a.vars, &mut env, &mut |env| {
+                    if !a.guards.iter().all(|g| g.eval(env) >= 0) {
+                        return;
+                    }
+                    let holds = a.preds.iter().all(|p| {
+                        let args: Vec<i64> = p.args.iter().map(|e| e.eval(env)).collect();
+                        oracle.flag(p.name, &args)
+                    });
+                    if !holds {
+                        return;
+                    }
+                    let write = a.kind == AccessKind::Write;
+                    match &a.pattern {
+                        Pattern::Striped { base, len } => {
+                            let b = base.eval(env);
+                            let l = len.eval(env);
+                            for kk in 0..l.max(0) {
+                                records.push(AccessRecord {
+                                    epoch,
+                                    lane: (kk as u64 % u64::from(threads.max(1))) as u32,
+                                    offset: alloc_base + (b + kk) as usize,
+                                    write,
+                                });
+                            }
+                        }
+                        Pattern::Broadcast { off } => {
+                            records.push(AccessRecord {
+                                epoch,
+                                lane: ALL_LANES,
+                                offset: alloc_base + off.eval(env) as usize,
+                                write,
+                            });
+                        }
+                        Pattern::Owned { owner, base, len } => {
+                            let lane = (owner.eval(env) as u64 % u64::from(threads.max(1))) as u32;
+                            let b = base.eval(env);
+                            for kk in 0..len.eval(env).max(0) {
+                                records.push(AccessRecord {
+                                    epoch,
+                                    lane,
+                                    offset: alloc_base + (b + kk) as usize,
+                                    write,
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        records.sort_unstable();
+        epochs.push(records);
+    }
+    epochs
+}
+
+/// Match a predicted footprint against one block's observed trace.
+///
+/// Requires the epoch counts to agree and every epoch's access multiset
+/// (lane, offset, read/write) to agree exactly. Returns a located
+/// mismatch description on failure.
+pub fn compare_trace(predicted: &[Vec<AccessRecord>], report: &HazardReport) -> Result<(), String> {
+    if predicted.len() as u64 != report.epochs {
+        return Err(format!(
+            "block {} ({}): model predicts {} epochs, kernel ran {}",
+            report.block_id,
+            report.label,
+            predicted.len(),
+            report.epochs
+        ));
+    }
+    let mut observed: Vec<Vec<AccessRecord>> = vec![Vec::new(); predicted.len()];
+    for rec in &report.accesses {
+        observed[rec.epoch as usize].push(*rec);
+    }
+    for (epoch, (pred, mut obs)) in predicted.iter().zip(observed).enumerate() {
+        obs.sort_unstable();
+        if pred != &obs {
+            let detail = pred
+                .iter()
+                .zip(&obs)
+                .find(|(p, o)| p != o)
+                .map(|(p, o)| format!("first divergence: predicted {p:?}, observed {o:?}"))
+                .unwrap_or_else(|| "one footprint is a strict prefix of the other".to_string());
+            return Err(format!(
+                "block {} ({}) epoch {}: predicted {} accesses, observed {}; {}",
+                report.block_id,
+                report.label,
+                epoch,
+                pred.len(),
+                obs.len(),
+                detail
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_reports_epoch_count_mismatch() {
+        let report = HazardReport {
+            block_id: 0,
+            label: "t",
+            epochs: 2,
+            reads: 0,
+            writes: 0,
+            hazards: Vec::new(),
+            total_hazards: 0,
+            accesses: Vec::new(),
+        };
+        let err = compare_trace(&[Vec::new()], &report).unwrap_err();
+        assert!(err.contains("predicts 1 epochs"), "{err}");
+    }
+
+    #[test]
+    fn compare_matches_sorted_multisets() {
+        let rec = |lane, offset, write| AccessRecord {
+            epoch: 0,
+            lane,
+            offset,
+            write,
+        };
+        let report = HazardReport {
+            block_id: 0,
+            label: "t",
+            epochs: 1,
+            reads: 1,
+            writes: 1,
+            hazards: Vec::new(),
+            total_hazards: 0,
+            accesses: vec![rec(1, 4, true), rec(0, 3, false)],
+        };
+        assert!(compare_trace(&[vec![rec(0, 3, false), rec(1, 4, true)]], &report).is_ok());
+        let err = compare_trace(&[vec![rec(0, 3, false), rec(1, 5, true)]], &report).unwrap_err();
+        assert!(err.contains("first divergence"), "{err}");
+    }
+}

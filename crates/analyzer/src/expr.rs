@@ -1,0 +1,122 @@
+//! Symbolic integer expressions over named shape parameters.
+//!
+//! Kernel access models describe shared-memory offsets, lengths, bounds
+//! and guards as [`Expr`] trees in symbols like `n`, `kl`, `ku`, `j`.
+//! The trees are small and closed under the four things band-kernel index
+//! arithmetic actually uses: constants, `+`, `-`, `*`, `min` and `max`.
+//! Two consumers walk them: the conformance concretizer evaluates them
+//! under a fully concrete environment ([`Expr::eval`]), and the race
+//! prover lowers them to linear forms with case splits for `min`/`max`
+//! ([`crate::lin::linearize`]).
+
+use std::collections::BTreeMap;
+
+/// Concrete assignment of symbols to integer values.
+pub type Env = BTreeMap<&'static str, i64>;
+
+/// A symbolic integer expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer constant.
+    K(i64),
+    /// Named symbol.
+    V(&'static str),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product (the race prover requires one factor to ground to a
+    /// constant; the concretizer evaluates any product).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Minimum.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum.
+    Max(Box<Expr>, Box<Expr>),
+    /// Round up to a multiple of 8 (the shared-memory arena's allocation
+    /// grain). Only meaningful in shared-memory byte formulas; the race
+    /// prover rejects it in access offsets.
+    Ceil8(Box<Expr>),
+}
+
+/// Constant expression.
+pub fn k(v: i64) -> Expr {
+    Expr::K(v)
+}
+
+/// Symbol expression.
+pub fn v(name: &'static str) -> Expr {
+    Expr::V(name)
+}
+
+/// `min(a, b)`.
+pub fn emin(a: Expr, b: Expr) -> Expr {
+    Expr::Min(Box::new(a), Box::new(b))
+}
+
+/// `max(a, b)`.
+pub fn emax(a: Expr, b: Expr) -> Expr {
+    Expr::Max(Box::new(a), Box::new(b))
+}
+
+/// `e` rounded up to a multiple of 8 bytes (one `SharedMem` grain).
+pub fn ceil8(e: Expr) -> Expr {
+    Expr::Ceil8(Box::new(e))
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl Expr {
+    /// Evaluate under a concrete environment. Panics on an unbound symbol
+    /// — that is a model-authoring error, not an input condition.
+    pub fn eval(&self, env: &Env) -> i64 {
+        match self {
+            Expr::K(c) => *c,
+            Expr::V(name) => *env
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound symbol `{name}` in access model")),
+            Expr::Add(a, b) => a.eval(env) + b.eval(env),
+            Expr::Sub(a, b) => a.eval(env) - b.eval(env),
+            Expr::Mul(a, b) => a.eval(env) * b.eval(env),
+            Expr::Min(a, b) => a.eval(env).min(b.eval(env)),
+            Expr::Max(a, b) => a.eval(env).max(b.eval(env)),
+            Expr::Ceil8(a) => (a.eval(env) + 7).div_euclid(8) * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_walks_the_tree() {
+        let e = emin(v("n"), k(3) * v("kl") + k(1)) - emax(k(0), v("kl") - v("n"));
+        let env = Env::from([("n", 10), ("kl", 2)]);
+        assert_eq!(e.eval(&env), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound symbol `missing`")]
+    fn eval_rejects_unbound_symbols() {
+        v("missing").eval(&Env::new());
+    }
+}

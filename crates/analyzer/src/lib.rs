@@ -1,0 +1,47 @@
+//! Static kernel-schedule verification for the band-LU kernel stack.
+//!
+//! Kernel families declare [`model::KernelModel`]s — a small IR of their
+//! per-barrier-epoch shared-memory accesses as affine index expressions
+//! over the shape symbols, with symbolic bounds. Three passes consume the
+//! same declarations:
+//!
+//! 1. **Race proof** ([`race::prove_model`]): every inter-lane
+//!    write/write and read/write pair within every epoch template is
+//!    proven disjoint across the *whole* supported envelope (grids over
+//!    the band parameters, symbolic unbounded `n`) by Fourier–Motzkin
+//!    reasoning over the lowered linear forms. Failures come back as
+//!    concrete, minimal, replayed counterexample shapes.
+//! 2. **Shared-memory audit** ([`smem::max_feasible_n`]): each family's
+//!    symbolic footprint formula is bisected against device limits into a
+//!    max-feasible-`n` table, which the driver cross-checks against what
+//!    dispatch actually considers feasible.
+//! 3. **Conformance** ([`conformance::concretize`] +
+//!    [`conformance::compare_trace`]): the model's predicted footprint is
+//!    matched, epoch by epoch and access by access, against the real
+//!    kernel's `HazardMode::Trace` recording — so the proved model and
+//!    the shipped kernel cannot drift apart.
+//!
+//! The crate is deliberately independent of the kernels: it knows only
+//! the IR and the `gpu-sim` hazard layer. Model declarations live beside
+//! each kernel family in `gbatch-kernels`, and `cargo xtask
+//! verify-kernels` drives all three passes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod expr;
+pub mod fm;
+pub mod lin;
+pub mod model;
+pub mod race;
+pub mod smem;
+
+pub use conformance::{compare_trace, concretize};
+pub use expr::{ceil8, emax, emin, k, v, Env, Expr};
+pub use model::{
+    Access, AccessKind, AllocModel, Envelope, EpochInstance, EpochTemplate, KernelModel, Oracle,
+    Pattern, Pred, Shape, VarDef,
+};
+pub use race::{prove_model, Counterexample, ProofStats, RaceError};
+pub use smem::{max_feasible_n, MaxN};

@@ -1,0 +1,310 @@
+//! Declarative kernel access models.
+//!
+//! Each kernel family registers a [`KernelModel`]: its shared-memory
+//! allocations, one [`EpochTemplate`] per kind of barrier epoch the kernel
+//! executes (the accesses between two `sync`s), a symbolic shared-memory
+//! formula, and the parameter envelope it supports. Offsets and bounds are
+//! [`Expr`]s over the shape symbols (`n`, `kl`, `ku`, `nrhs`, `nb`, …) and
+//! per-epoch data-dependent symbols (`j`, `jp`, `km`, `ju`, …) with
+//! declared ranges.
+//!
+//! Three consumers share the same declarations, so they cannot drift
+//! apart:
+//!
+//! - the race prover ([`crate::race`]) proves every epoch template free of
+//!   inter-lane read/write and write/write overlap across the whole
+//!   envelope;
+//! - the smem auditor ([`crate::smem`]) evaluates the byte formula against
+//!   device limits;
+//! - the conformance pass ([`crate::conformance`]) concretizes the
+//!   templates along a family-provided [`schedule`](KernelModel::schedule)
+//!   and matches them against the real kernel's `HazardMode::Trace`
+//!   footprint.
+
+use crate::expr::{Env, Expr};
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Shared-memory read.
+    Read,
+    /// Shared-memory write.
+    Write,
+}
+
+/// Lane-attribution pattern of one tracked access, mirroring the
+/// `HazardTracker` tagging calls the kernels make.
+#[derive(Clone, Debug)]
+pub enum Pattern {
+    /// `striped_read`/`striped_write`: element `base + k` is touched by
+    /// lane `k % threads`, for `k in 0..len`.
+    Striped {
+        /// First element offset (within the access's allocation).
+        base: Expr,
+        /// Number of elements.
+        len: Expr,
+    },
+    /// `broadcast_read`: one offset read by every lane.
+    Broadcast {
+        /// Element offset.
+        off: Expr,
+    },
+    /// `range_read`/`range_write` (and per-owner point accesses):
+    /// `[base, base + len)` all touched by lane `owner % threads`.
+    Owned {
+        /// Owning-lane index (taken modulo the block's thread count).
+        owner: Expr,
+        /// First element offset.
+        base: Expr,
+        /// Number of elements.
+        len: Expr,
+    },
+}
+
+/// A bounded symbolic variable.
+#[derive(Clone, Debug)]
+pub struct VarDef {
+    /// Symbol name.
+    pub name: &'static str,
+    /// Inclusive lower bound.
+    pub lo: Expr,
+    /// Inclusive upper bound.
+    pub hi: Expr,
+    /// Whether the race prover enumerates this variable concretely
+    /// instead of treating it symbolically. Required when the variable
+    /// multiplies another symbol (e.g. an RHS column index `c` in
+    /// `c * n`); the bounds must then ground to constants.
+    pub enumerate: bool,
+}
+
+impl VarDef {
+    /// Symbolic variable in `[lo, hi]`.
+    pub fn new(name: &'static str, lo: Expr, hi: Expr) -> VarDef {
+        VarDef {
+            name,
+            lo,
+            hi,
+            enumerate: false,
+        }
+    }
+
+    /// Concretely enumerated variable in `[lo, hi]`.
+    pub fn enumerated(name: &'static str, lo: Expr, hi: Expr) -> VarDef {
+        VarDef {
+            name,
+            lo,
+            hi,
+            enumerate: true,
+        }
+    }
+
+    /// Variable fixed to an exact expression (`lo == hi == e`).
+    pub fn fixed(name: &'static str, e: Expr) -> VarDef {
+        VarDef {
+            name,
+            lo: e.clone(),
+            hi: e,
+            enumerate: false,
+        }
+    }
+}
+
+/// One tracked access inside an epoch template.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Index into [`KernelModel::allocs`] — accesses to different
+    /// allocations are disjoint by construction (`SharedMem` is a bump
+    /// arena of grain-disjoint allocations).
+    pub alloc: usize,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Lane/offset pattern.
+    pub pattern: Pattern,
+    /// Loop variables: one instance of the access exists per assignment,
+    /// and all instances coexist within the epoch (no barrier between
+    /// loop iterations).
+    pub vars: Vec<VarDef>,
+    /// Shape guards (each `>= 0`) gating the access.
+    pub guards: Vec<Expr>,
+    /// Data-dependent predicates gating the access (e.g. "the multiplier
+    /// is nonzero"). The race prover ignores them (assumes they may
+    /// hold); the concretizer asks the [`Oracle`].
+    pub preds: Vec<Pred>,
+}
+
+/// A named data-dependent predicate with expression arguments.
+#[derive(Clone, Debug)]
+pub struct Pred {
+    /// Predicate name (resolved against [`Oracle::flags`]).
+    pub name: &'static str,
+    /// Arguments, evaluated under the epoch environment.
+    pub args: Vec<Expr>,
+}
+
+/// The accesses between two consecutive barriers, parameterized by epoch
+/// variables (fixed for one epoch instance — e.g. the column index `j`,
+/// its pivot offset `jp`).
+#[derive(Clone, Debug)]
+pub struct EpochTemplate {
+    /// Template name (for diagnostics).
+    pub name: &'static str,
+    /// Epoch variables with their declared ranges.
+    pub vars: Vec<VarDef>,
+    /// Shape guards (each `>= 0`) under which the epoch occurs at all.
+    pub guards: Vec<Expr>,
+    /// Tracked accesses.
+    pub accesses: Vec<Access>,
+}
+
+/// One named shared-memory allocation.
+#[derive(Clone, Debug)]
+pub struct AllocModel {
+    /// Allocation name (for diagnostics).
+    pub name: &'static str,
+    /// Element count (in scalar elements), as allocated by the kernel.
+    pub elems: Expr,
+}
+
+/// The enumeration envelope a model is verified over.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Shape symbols enumerated exhaustively over value grids.
+    pub grid: Vec<(&'static str, Vec<i64>)>,
+    /// Derived ground symbols, computed per grid point in order (e.g.
+    /// `ldab = 2·kl + ku + 1`). May reference grid and earlier derived
+    /// symbols.
+    pub derived: Vec<(&'static str, Expr)>,
+    /// Symbols kept symbolic with numeric bounds (typically `n`).
+    pub frees: Vec<(&'static str, i64, i64)>,
+    /// Block thread counts tried when concretizing a counterexample.
+    pub threads: Vec<u32>,
+    /// `n` values tried when concretizing a counterexample (ascending).
+    pub search_n: Vec<i64>,
+}
+
+impl Envelope {
+    /// All ground environments: the cartesian product of the grids, each
+    /// extended with its derived symbols.
+    pub fn groundings(&self) -> Vec<Env> {
+        let mut envs = vec![Env::new()];
+        for (name, values) in &self.grid {
+            let mut next = Vec::with_capacity(envs.len() * values.len());
+            for env in &envs {
+                for val in values {
+                    let mut e = env.clone();
+                    e.insert(name, *val);
+                    next.push(e);
+                }
+            }
+            envs = next;
+        }
+        for env in &mut envs {
+            for (name, expr) in &self.derived {
+                let val = expr.eval(env);
+                env.insert(name, val);
+            }
+        }
+        envs
+    }
+}
+
+/// A concrete kernel launch shape, shared by the conformance pass and the
+/// smem boundary checks. Families ignore the fields they do not use.
+#[derive(Clone, Copy, Debug)]
+pub struct Shape {
+    /// Matrix order (square systems).
+    pub n: usize,
+    /// Subdiagonals.
+    pub kl: usize,
+    /// Superdiagonals.
+    pub ku: usize,
+    /// Right-hand sides.
+    pub nrhs: usize,
+    /// Column-block width (window / blocked-solve families).
+    pub nb: usize,
+    /// Effective block thread count the kernel stripes over.
+    pub threads: usize,
+    /// Interleaved lanes per block.
+    pub lanes: usize,
+}
+
+impl Shape {
+    /// Base environment with the shape symbols plus the derived band
+    /// geometry (`kv = kl + ku`, `ldab = 2·kl + ku + 1`).
+    pub fn env(&self) -> Env {
+        Env::from([
+            ("n", self.n as i64),
+            ("kl", self.kl as i64),
+            ("ku", self.ku as i64),
+            ("nrhs", self.nrhs as i64),
+            ("nb", self.nb as i64),
+            ("lanes", self.lanes as i64),
+            ("kv", (self.kl + self.ku) as i64),
+            ("ldab", (2 * self.kl + self.ku + 1) as i64),
+        ])
+    }
+}
+
+/// Data-dependent facts harvested from a real kernel run, consumed by the
+/// family schedules and access predicates during conformance.
+#[derive(Clone, Debug, Default)]
+pub struct Oracle {
+    /// Pivot offset per column (`ipiv[j] - j`).
+    pub jp: Vec<i64>,
+    /// Named predicate values, keyed by `(name, args)`.
+    pub flags: std::collections::BTreeMap<(&'static str, Vec<i64>), bool>,
+}
+
+impl Oracle {
+    /// Look up a predicate value; missing entries are a harness bug.
+    pub fn flag(&self, name: &'static str, args: &[i64]) -> bool {
+        *self
+            .flags
+            .get(&(name, args.to_vec()))
+            .unwrap_or_else(|| panic!("oracle has no value for predicate {name}{args:?}"))
+    }
+}
+
+/// One epoch of a concretized schedule: which template runs (or `None`
+/// for an epoch with no tracked accesses) and the concrete values of its
+/// epoch variables (plus any shape symbols the template references).
+#[derive(Clone, Debug)]
+pub struct EpochInstance {
+    /// Index into [`KernelModel::templates`], or `None` for an epoch the
+    /// kernel passes through without touching shared memory.
+    pub template: Option<usize>,
+    /// Concrete epoch environment.
+    pub env: Env,
+}
+
+/// A kernel family's complete access model.
+pub struct KernelModel {
+    /// Family name (for reports).
+    pub family: &'static str,
+    /// Kernel label, as tagged on its `LaunchConfig` (matched against
+    /// `HazardReport::label` during conformance).
+    pub label: &'static str,
+    /// Shared-memory allocations, in allocation order.
+    pub allocs: Vec<AllocModel>,
+    /// Barrier-epoch templates.
+    pub templates: Vec<EpochTemplate>,
+    /// Shared-memory bytes as an expression over the shape symbols plus
+    /// `sbytes` (the scalar width).
+    pub smem_bytes: Expr,
+    /// Verified parameter envelope.
+    pub envelope: Envelope,
+    /// Conformance schedule: the exact epoch sequence for a concrete
+    /// shape and oracle. `None` for families that never touch the
+    /// tracker (lane-private kernels), which must observe an empty trace.
+    pub schedule: Option<fn(&Shape, &Oracle) -> Vec<EpochInstance>>,
+}
+
+impl KernelModel {
+    /// Find a template index by name (panics if absent — harness bug).
+    pub fn template_index(&self, name: &str) -> usize {
+        self.templates
+            .iter()
+            .position(|t| t.name == name)
+            .unwrap_or_else(|| panic!("model {} has no template named {name}", self.family))
+    }
+}

@@ -1,0 +1,856 @@
+//! The disjointness prover: race-freedom of every epoch template across
+//! the whole parameter envelope.
+//!
+//! For each ordered pair of accesses in one epoch template (at least one
+//! a write, same allocation), the prover asks: can two instances land on
+//! the same shared offset from different lanes? The question is encoded
+//! as a linear system — variable bounds, epoch/access guards, the range
+//! overlap condition, and the instance-ordering case — and discharged by
+//! Fourier–Motzkin ([`crate::fm`]): an infeasible system is a proof that
+//! the conflict cannot occur for *any* shape in the envelope, including
+//! the symbolic (unbounded) `n` direction.
+//!
+//! Enumerated shape parameters (`kl`, `ku`, `nb`, `nrhs`, loop variables
+//! that multiply other symbols) are grounded over the envelope grids;
+//! everything else stays symbolic. Same-lane access pairs (identical
+//! striping base, identical owner) are recognized structurally and
+//! skipped — they are ordered on real hardware.
+//!
+//! When a system is feasible the prover *concretizes*: it walks shapes in
+//! ascending size, instantiates the suspect template into a real
+//! [`HazardTracker`], and reports the first conflicting shape as a
+//! located counterexample ([`Counterexample`]). A feasible system that
+//! fails to concretize within the search budget is still an error
+//! ([`RaceError::Unproven`]) — the prover is sound, never silent.
+
+use crate::expr::Env;
+use crate::fm::feasible;
+use crate::lin::{linearize, Branch, Lin, VKey};
+use crate::model::{Access, AccessKind, Envelope, EpochTemplate, KernelModel, Pattern, VarDef};
+use gbatch_gpu_sim::hazard::{Hazard, HazardMode, HazardTracker};
+
+/// Proof statistics for one model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProofStats {
+    /// Ground envelope points enumerated.
+    pub groundings: usize,
+    /// Access-pair proof obligations discharged.
+    pub pair_systems: usize,
+    /// Fourier–Motzkin feasibility checks run.
+    pub fm_calls: usize,
+}
+
+/// A concrete, replayed conflict: the minimal shape (in the search order:
+/// ascending parameter sum) on which the template races.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Model family.
+    pub family: &'static str,
+    /// Epoch template that races.
+    pub template: &'static str,
+    /// Concrete shape parameters (grid + derived + free symbols).
+    pub shape: Env,
+    /// Block thread count the conflict manifests under.
+    pub threads: u32,
+    /// Concrete epoch-variable assignment.
+    pub epoch_env: Env,
+    /// The conflict, as detected by a real `HazardTracker` replay.
+    pub hazard: Hazard,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fmt_env = |env: &Env| {
+            env.iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(
+            f,
+            "{}/{}: {} at shape {{{}}} threads={} epoch {{{}}}",
+            self.family,
+            self.template,
+            self.hazard,
+            fmt_env(&self.shape),
+            self.threads,
+            fmt_env(&self.epoch_env),
+        )
+    }
+}
+
+/// Why a model failed verification.
+#[derive(Debug, Clone)]
+pub enum RaceError {
+    /// A replayed, located conflict.
+    Counterexample(Box<Counterexample>),
+    /// A feasible conflict system that did not concretize within the
+    /// search budget (an over-approximation the model should tighten —
+    /// treated as failure because the proof did not close).
+    Unproven {
+        /// Model family.
+        family: &'static str,
+        /// Epoch template.
+        template: &'static str,
+        /// Offending access pair (indices into the template).
+        pair: (usize, usize),
+        /// Ground envelope point of the feasible system.
+        grounding: Env,
+    },
+}
+
+impl std::fmt::Display for RaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceError::Counterexample(ce) => write!(f, "race counterexample: {ce}"),
+            RaceError::Unproven {
+                family,
+                template,
+                pair,
+                grounding,
+            } => write!(
+                f,
+                "{family}/{template}: accesses {} and {} have a feasible conflict \
+                 system at {grounding:?} but no concrete witness was found — \
+                 tighten the model bounds/guards",
+                pair.0, pair.1
+            ),
+        }
+    }
+}
+
+/// Prove every epoch template of `model` race-free over its envelope.
+pub fn prove_model(model: &KernelModel) -> Result<ProofStats, RaceError> {
+    let mut stats = ProofStats::default();
+    let groundings = model.envelope.groundings();
+    stats.groundings = groundings.len();
+    for tpl_idx in 0..model.templates.len() {
+        for ground in &groundings {
+            check_template(model, tpl_idx, ground, &mut stats)?;
+        }
+    }
+    Ok(stats)
+}
+
+fn partition_vars(vars: &[VarDef]) -> (Vec<&VarDef>, Vec<&VarDef>) {
+    let (enu, sym): (Vec<&VarDef>, Vec<&VarDef>) = vars.iter().partition(|v| v.enumerate);
+    (enu, sym)
+}
+
+/// All assignments of enumerated vars (bounds must ground-evaluate).
+fn enum_product(vars: &[&VarDef], ground: &Env) -> Vec<Vec<(&'static str, i64)>> {
+    let mut out: Vec<Vec<(&'static str, i64)>> = vec![Vec::new()];
+    for v in vars {
+        let lo = v.lo.eval(ground);
+        let hi = v.hi.eval(ground);
+        let mut next = Vec::new();
+        for asg in &out {
+            for val in lo..=hi {
+                let mut a = asg.clone();
+                a.push((v.name, val));
+                next.push(a);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn check_template(
+    model: &KernelModel,
+    tpl_idx: usize,
+    ground: &Env,
+    stats: &mut ProofStats,
+) -> Result<(), RaceError> {
+    let tpl = &model.templates[tpl_idx];
+    let (tpl_enum, tpl_sym) = partition_vars(&tpl.vars);
+    for ext in enum_product(&tpl_enum, ground) {
+        let mut g = ground.clone();
+        g.extend(ext.iter().copied());
+        check_pairs(model, tpl_idx, tpl, &tpl_sym, &g, stats)?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_pairs(
+    model: &KernelModel,
+    tpl_idx: usize,
+    tpl: &EpochTemplate,
+    tpl_sym: &[&VarDef],
+    ground: &Env,
+    stats: &mut ProofStats,
+) -> Result<(), RaceError> {
+    for ai in 0..tpl.accesses.len() {
+        for bi in ai..tpl.accesses.len() {
+            let (a, b) = (&tpl.accesses[ai], &tpl.accesses[bi]);
+            if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+                continue;
+            }
+            if a.alloc != b.alloc {
+                continue; // distinct allocations never alias
+            }
+            check_pair(model, tpl_idx, tpl, tpl_sym, ground, (ai, bi), stats)?;
+        }
+    }
+    Ok(())
+}
+
+/// Instance relation of one linked loop variable.
+#[derive(Clone, Copy, PartialEq)]
+enum Rel {
+    Eq,
+    Lt, // B's copy strictly below A's
+    Gt, // B's copy strictly above A's
+}
+
+fn rel_cases(count: usize) -> Vec<Vec<Rel>> {
+    let mut out: Vec<Vec<Rel>> = vec![Vec::new()];
+    for _ in 0..count {
+        let mut next = Vec::with_capacity(out.len() * 3);
+        for case in &out {
+            for rel in [Rel::Eq, Rel::Lt, Rel::Gt] {
+                let mut c = case.clone();
+                c.push(rel);
+                next.push(c);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Lowered pattern: one (base, len, lane) combo per `min`/`max` branch.
+struct PatCombo {
+    lane: LaneDesc,
+    base: Lin,
+    len: Lin,
+    cond: Vec<Lin>,
+}
+
+enum LaneDesc {
+    Striped(Lin),
+    Owner(Lin),
+    Broadcast,
+}
+
+fn lower_pattern(p: &Pattern, ground: &Env) -> Vec<PatCombo> {
+    match p {
+        Pattern::Striped { base, len } => {
+            let mut out = Vec::new();
+            for bb in linearize(base, ground) {
+                for lb in linearize(len, ground) {
+                    let mut cond = bb.cond.clone();
+                    cond.extend(lb.cond.iter().cloned());
+                    out.push(PatCombo {
+                        lane: LaneDesc::Striped(bb.lin.clone()),
+                        base: bb.lin.clone(),
+                        len: lb.lin.clone(),
+                        cond,
+                    });
+                }
+            }
+            out
+        }
+        Pattern::Broadcast { off } => linearize(off, ground)
+            .into_iter()
+            .map(|bb| PatCombo {
+                lane: LaneDesc::Broadcast,
+                base: bb.lin,
+                len: Lin::konst(1),
+                cond: bb.cond,
+            })
+            .collect(),
+        Pattern::Owned { owner, base, len } => {
+            let mut out = Vec::new();
+            for ob in linearize(owner, ground) {
+                for bb in linearize(base, ground) {
+                    for lb in linearize(len, ground) {
+                        let mut cond = ob.cond.clone();
+                        cond.extend(bb.cond.iter().cloned());
+                        cond.extend(lb.cond.iter().cloned());
+                        out.push(PatCombo {
+                            lane: LaneDesc::Owner(ob.lin.clone()),
+                            base: bb.lin.clone(),
+                            len: lb.lin.clone(),
+                            cond,
+                        });
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+fn rename_lin(lin: &Lin, renames: &[(VKey, VKey)]) -> Lin {
+    let mut out = lin.clone();
+    for (from, to) in renames {
+        out = out.rename(*from, *to);
+    }
+    out
+}
+
+fn rename_combo(c: &PatCombo, renames: &[(VKey, VKey)]) -> PatCombo {
+    PatCombo {
+        lane: match &c.lane {
+            LaneDesc::Striped(l) => LaneDesc::Striped(rename_lin(l, renames)),
+            LaneDesc::Owner(l) => LaneDesc::Owner(rename_lin(l, renames)),
+            LaneDesc::Broadcast => LaneDesc::Broadcast,
+        },
+        base: rename_lin(&c.base, renames),
+        len: rename_lin(&c.len, renames),
+        cond: c.cond.iter().map(|l| rename_lin(l, renames)).collect(),
+    }
+}
+
+fn rename_branches(bs: Vec<Branch>, renames: &[(VKey, VKey)]) -> Vec<Branch> {
+    bs.into_iter()
+        .map(|b| Branch {
+            lin: rename_lin(&b.lin, renames),
+            cond: b.cond.iter().map(|l| rename_lin(l, renames)).collect(),
+        })
+        .collect()
+}
+
+/// Accesses guaranteed to come from the same physical lane at every
+/// common offset: identically-striped sweeps, identical owners.
+fn same_lane(a: &PatCombo, b: &PatCombo) -> bool {
+    match (&a.lane, &b.lane) {
+        (LaneDesc::Striped(x), LaneDesc::Striped(y)) => x.sub(y).is_zero(),
+        (LaneDesc::Owner(x), LaneDesc::Owner(y)) => x.sub(y).is_zero(),
+        _ => false,
+    }
+}
+
+/// Bound constraints `v - lo >= 0`, `hi - v >= 0` for a symbolic var.
+fn bound_sets(v: &VarDef, key: VKey, ground: &Env, renames: &[(VKey, VKey)]) -> Vec<Vec<Branch>> {
+    let var = Lin::var(key);
+    let lo = rename_branches(linearize(&v.lo, ground), renames);
+    let hi = rename_branches(linearize(&v.hi, ground), renames);
+    vec![
+        lo.into_iter()
+            .map(|b| Branch {
+                lin: var.sub(&b.lin),
+                cond: b.cond,
+            })
+            .collect(),
+        hi.into_iter()
+            .map(|b| Branch {
+                lin: b.lin.sub(&var),
+                cond: b.cond,
+            })
+            .collect(),
+    ]
+}
+
+/// Guard constraints `g >= 0`.
+fn guard_sets(
+    guards: &[crate::expr::Expr],
+    ground: &Env,
+    renames: &[(VKey, VKey)],
+) -> Vec<Vec<Branch>> {
+    guards
+        .iter()
+        .map(|g| rename_branches(linearize(g, ground), renames))
+        .collect()
+}
+
+/// Is any branch combination of `sets`, together with `base`, feasible?
+fn any_combo_feasible(base: &mut Vec<Lin>, sets: &[Vec<Branch>], fm_calls: &mut usize) -> bool {
+    let Some((first, rest)) = sets.split_first() else {
+        *fm_calls += 1;
+        return feasible(base);
+    };
+    for branch in first {
+        let mark = base.len();
+        base.push(branch.lin.clone());
+        base.extend(branch.cond.iter().cloned());
+        let hit = any_combo_feasible(base, rest, fm_calls);
+        base.truncate(mark);
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_pair(
+    model: &KernelModel,
+    tpl_idx: usize,
+    tpl: &EpochTemplate,
+    tpl_sym: &[&VarDef],
+    ground: &Env,
+    (ai, bi): (usize, usize),
+    stats: &mut ProofStats,
+) -> Result<(), RaceError> {
+    let (a, b) = (&tpl.accesses[ai], &tpl.accesses[bi]);
+    let (a_enum, a_sym) = partition_vars(&a.vars);
+    let (b_enum, b_sym) = partition_vars(&b.vars);
+    // B's symbolic loop vars become copy 1 so the two instances are
+    // independent.
+    let b_renames: Vec<(VKey, VKey)> = b_sym.iter().map(|v| ((v.name, 0), (v.name, 1))).collect();
+    let linked: Vec<&'static str> = a_sym
+        .iter()
+        .map(|v| v.name)
+        .filter(|n| b_sym.iter().any(|w| w.name == *n))
+        .collect();
+
+    for ea in enum_product(&a_enum, ground) {
+        let mut ga = ground.clone();
+        ga.extend(ea.iter().copied());
+        for eb in enum_product(&b_enum, ground) {
+            let mut gb = ground.clone();
+            gb.extend(eb.iter().copied());
+            let self_same = ai == bi && ea == eb;
+            if self_same && a_sym.is_empty() {
+                // A single access instance touches each offset once.
+                continue;
+            }
+            for case in rel_cases(linked.len()) {
+                if self_same && case.iter().all(|r| *r == Rel::Eq) {
+                    continue; // the identical instance
+                }
+                stats.pair_systems += 1;
+                // Eq-related vars fold back onto copy 0 so polynomial
+                // identity (same-lane detection) sees them as shared.
+                let mut renames = b_renames.clone();
+                for (name, rel) in linked.iter().zip(&case) {
+                    if *rel == Rel::Eq {
+                        renames.push(((name, 1), (name, 0)));
+                    }
+                }
+                let combos_a = lower_pattern(&a.pattern, &ga);
+                let combos_b: Vec<PatCombo> = lower_pattern(&b.pattern, &gb)
+                    .iter()
+                    .map(|c| rename_combo(c, &renames))
+                    .collect();
+
+                // Branch-independent constraint sets.
+                let mut sets: Vec<Vec<Branch>> = Vec::new();
+                for v in tpl_sym {
+                    sets.extend(bound_sets(v, (v.name, 0), ground, &[]));
+                }
+                for v in &a_sym {
+                    sets.extend(bound_sets(v, (v.name, 0), &ga, &[]));
+                }
+                for v in &b_sym {
+                    let key = renames.iter().fold(
+                        (v.name, 1),
+                        |k, (from, to)| if k == *from { *to } else { k },
+                    );
+                    sets.extend(bound_sets(v, key, &gb, &renames));
+                }
+                sets.extend(guard_sets(&tpl.guards, ground, &[]));
+                sets.extend(guard_sets(&a.guards, &ga, &[]));
+                sets.extend(guard_sets(&b.guards, &gb, &renames));
+
+                let mut base: Vec<Lin> = Vec::new();
+                for (name, lo, hi) in &model.envelope.frees {
+                    let var = Lin::var((name, 0));
+                    base.push(var.sub(&Lin::konst(i128::from(*lo))));
+                    base.push(Lin::konst(i128::from(*hi)).sub(&var));
+                }
+                for (name, rel) in linked.iter().zip(&case) {
+                    let x = Lin::var((name, 0));
+                    let y = Lin::var((name, 1));
+                    match rel {
+                        Rel::Eq => {}
+                        Rel::Lt => base.push(x.sub(&y).sub(&Lin::konst(1))),
+                        Rel::Gt => base.push(y.sub(&x).sub(&Lin::konst(1))),
+                    }
+                }
+
+                let base_len = base.len();
+                for ca in &combos_a {
+                    for cb in &combos_b {
+                        if same_lane(ca, cb) {
+                            continue; // ordered on real hardware
+                        }
+                        base.truncate(base_len);
+                        // Non-empty ranges.
+                        base.push(ca.len.sub(&Lin::konst(1)));
+                        base.push(cb.len.sub(&Lin::konst(1)));
+                        // Overlap: baseA <= baseB + lenB - 1 and
+                        //          baseB <= baseA + lenA - 1.
+                        base.push(cb.base.add(&cb.len).sub(&Lin::konst(1)).sub(&ca.base));
+                        base.push(ca.base.add(&ca.len).sub(&Lin::konst(1)).sub(&cb.base));
+                        base.extend(ca.cond.iter().cloned());
+                        base.extend(cb.cond.iter().cloned());
+                        if any_combo_feasible(&mut base, &sets, &mut stats.fm_calls) {
+                            return Err(match search_counterexample(model, tpl_idx) {
+                                Some(ce) => RaceError::Counterexample(Box::new(ce)),
+                                None => RaceError::Unproven {
+                                    family: model.family,
+                                    template: tpl.name,
+                                    pair: (ai, bi),
+                                    grounding: ground.clone(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// --- counterexample concretization ---------------------------------------
+
+/// Concrete shape environments in ascending parameter-sum order.
+fn shape_envs_sorted(env: &Envelope) -> Vec<Env> {
+    let mut shapes: Vec<(i64, Env)> = vec![(0, Env::new())];
+    let extend = |shapes: Vec<(i64, Env)>, name: &'static str, vals: &[i64]| {
+        let mut next = Vec::with_capacity(shapes.len() * vals.len());
+        for (key, e) in &shapes {
+            for val in vals {
+                let mut e2 = e.clone();
+                e2.insert(name, *val);
+                next.push((key + val, e2));
+            }
+        }
+        next
+    };
+    for (name, vals) in &env.grid {
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        shapes = extend(shapes, name, &sorted);
+    }
+    for (name, lo, hi) in &env.frees {
+        let vals: Vec<i64> = if *name == "n" && !env.search_n.is_empty() {
+            env.search_n
+                .iter()
+                .copied()
+                .filter(|v| v >= lo && v <= hi)
+                .collect()
+        } else {
+            (*lo..=(*lo + 8).min(*hi)).collect()
+        };
+        shapes = extend(shapes, name, &vals);
+    }
+    shapes.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    shapes
+        .into_iter()
+        .map(|(_, mut e)| {
+            for (name, expr) in &env.derived {
+                let val = expr.eval(&e);
+                e.insert(name, val);
+            }
+            e
+        })
+        .collect()
+}
+
+/// Enumerate assignments of `vars` (bounds evaluated left-to-right under
+/// the growing env); call `f` for each. Returns `false` to stop early.
+fn for_each_assignment(
+    vars: &[VarDef],
+    env: &mut Env,
+    f: &mut impl FnMut(&mut Env) -> bool,
+) -> bool {
+    let Some((v, rest)) = vars.split_first() else {
+        return f(env);
+    };
+    let lo = v.lo.eval(env);
+    let hi = v.hi.eval(env);
+    for val in lo..=hi {
+        env.insert(v.name, val);
+        if !for_each_assignment(rest, env, f) {
+            env.remove(v.name);
+            return false;
+        }
+    }
+    env.remove(v.name);
+    true
+}
+
+fn emit_access(
+    t: &mut HazardTracker,
+    a: &Access,
+    alloc_base: usize,
+    env: &mut Env,
+    threads: u32,
+    budget: &mut i64,
+) {
+    for_each_assignment(&a.vars, env, &mut |env| {
+        if !a.guards.iter().all(|g| g.eval(env) >= 0) {
+            return true;
+        }
+        // Data predicates are assumed true during the search.
+        match &a.pattern {
+            Pattern::Striped { base, len } => {
+                let b = base.eval(env);
+                let l = len.eval(env);
+                if b >= 0 && l > 0 {
+                    *budget -= l;
+                    let off = alloc_base + b as usize;
+                    match a.kind {
+                        AccessKind::Read => t.striped_read(off, l as usize, threads),
+                        AccessKind::Write => t.striped_write(off, l as usize, threads),
+                    }
+                }
+            }
+            Pattern::Broadcast { off } => {
+                let o = off.eval(env);
+                if o >= 0 {
+                    *budget -= 1;
+                    t.broadcast_read(alloc_base + o as usize);
+                }
+            }
+            Pattern::Owned { owner, base, len } => {
+                let ow = owner.eval(env);
+                let b = base.eval(env);
+                let l = len.eval(env);
+                if ow >= 0 && b >= 0 && l > 0 {
+                    *budget -= l;
+                    let lane = (ow as u64 % u64::from(threads.max(1))) as u32;
+                    let off = alloc_base + b as usize;
+                    match a.kind {
+                        AccessKind::Read => t.range_read(lane, off, l as usize),
+                        AccessKind::Write => t.range_write(lane, off, l as usize),
+                    }
+                }
+            }
+        }
+        true
+    });
+}
+
+/// Search the envelope for a concrete shape on which `template` conflicts,
+/// replaying instances through a real `HazardTracker` (Record mode).
+pub fn search_counterexample(model: &KernelModel, tpl_idx: usize) -> Option<Counterexample> {
+    let tpl = &model.templates[tpl_idx];
+    let mut budget: i64 = 4_000_000;
+    let mut tracker = HazardTracker::new(HazardMode::Record);
+    for shape in shape_envs_sorted(&model.envelope) {
+        for &threads in &model.envelope.threads {
+            // Alloc bases: pack allocations back to back with padding so
+            // cross-allocation offsets never collide in the tracker.
+            let mut alloc_bases = Vec::with_capacity(model.allocs.len());
+            let mut cursor = 0usize;
+            for al in &model.allocs {
+                alloc_bases.push(cursor);
+                cursor += al.elems.eval(&shape).max(0) as usize + 64;
+            }
+            let mut found: Option<(Env, Hazard)> = None;
+            let mut env = shape.clone();
+            for_each_assignment(&tpl.vars, &mut env, &mut |env| {
+                if !tpl.guards.iter().all(|g| g.eval(env) >= 0) {
+                    return true;
+                }
+                tracker.reset_for(0, tpl.name);
+                for a in &tpl.accesses {
+                    emit_access(
+                        &mut tracker,
+                        a,
+                        alloc_bases[a.alloc],
+                        env,
+                        threads,
+                        &mut budget,
+                    );
+                }
+                if tracker.total_hazards() > 0 {
+                    let rep = tracker.take_report().expect("touched tracker has a report");
+                    let epoch_env: Env = tpl
+                        .vars
+                        .iter()
+                        .filter_map(|v| env.get(v.name).map(|val| (v.name, *val)))
+                        .collect();
+                    found = Some((epoch_env, rep.hazards[0].clone()));
+                    return false;
+                }
+                budget > 0
+            });
+            if let Some((epoch_env, hazard)) = found {
+                return Some(Counterexample {
+                    family: model.family,
+                    template: tpl.name,
+                    shape,
+                    threads,
+                    epoch_env,
+                    hazard,
+                });
+            }
+            if budget <= 0 {
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{k, v};
+    use crate::model::{AllocModel, EpochTemplate};
+
+    fn envelope() -> Envelope {
+        Envelope {
+            grid: vec![("m", vec![1, 2, 3])],
+            derived: vec![],
+            frees: vec![("n", 1, 1 << 20)],
+            threads: vec![2, 3, 4],
+            search_n: vec![1, 2, 3, 4, 6, 8],
+        }
+    }
+
+    fn model(templates: Vec<EpochTemplate>) -> KernelModel {
+        KernelModel {
+            family: "test",
+            label: "test",
+            allocs: vec![AllocModel {
+                name: "buf",
+                elems: v("n") * k(4),
+            }],
+            templates,
+            smem_bytes: v("n") * k(32),
+            envelope: envelope(),
+            schedule: None,
+        }
+    }
+
+    fn access(kind: AccessKind, pattern: Pattern) -> Access {
+        Access {
+            alloc: 0,
+            kind,
+            pattern,
+            vars: vec![],
+            guards: vec![],
+            preds: vec![],
+        }
+    }
+
+    #[test]
+    fn disjoint_halves_prove_even_with_symbolic_n() {
+        let m = model(vec![EpochTemplate {
+            name: "halves",
+            vars: vec![],
+            guards: vec![],
+            accesses: vec![
+                access(
+                    AccessKind::Write,
+                    Pattern::Striped {
+                        base: k(0),
+                        len: v("n"),
+                    },
+                ),
+                access(
+                    AccessKind::Read,
+                    Pattern::Striped {
+                        base: v("n"),
+                        len: v("n"),
+                    },
+                ),
+            ],
+        }]);
+        let stats = prove_model(&m).expect("disjoint halves must prove");
+        assert!(stats.fm_calls > 0);
+    }
+
+    #[test]
+    fn per_owner_point_writes_prove_via_case_split() {
+        // One write at offset i owned by lane i, i in [0, n-1]: the self
+        // pair needs the i != i' split to see the offsets differ too.
+        let m = model(vec![EpochTemplate {
+            name: "points",
+            vars: vec![],
+            guards: vec![],
+            accesses: vec![Access {
+                alloc: 0,
+                kind: AccessKind::Write,
+                pattern: Pattern::Owned {
+                    owner: v("i"),
+                    base: v("i"),
+                    len: k(1),
+                },
+                vars: vec![VarDef::new("i", k(0), v("n") - k(1))],
+                guards: vec![],
+                preds: vec![],
+            }],
+        }]);
+        prove_model(&m).expect("distinct owners at distinct offsets must prove");
+    }
+
+    #[test]
+    fn enumerated_chunks_prove_despite_nonlinear_offsets() {
+        // Owner c writes [c*m, c*m + m): c*m is nonlinear, so c must be
+        // enumerated; chunks of distinct owners are disjoint.
+        let m = model(vec![EpochTemplate {
+            name: "chunks",
+            vars: vec![],
+            guards: vec![],
+            accesses: vec![Access {
+                alloc: 0,
+                kind: AccessKind::Write,
+                pattern: Pattern::Owned {
+                    owner: v("c"),
+                    base: v("c") * v("m"),
+                    len: v("m"),
+                },
+                vars: vec![VarDef::enumerated("c", k(0), k(3))],
+                guards: vec![],
+                preds: vec![],
+            }],
+        }]);
+        prove_model(&m).expect("disjoint owner chunks must prove");
+    }
+
+    #[test]
+    fn broadcast_under_a_write_yields_a_counterexample() {
+        let m = model(vec![EpochTemplate {
+            name: "bcast_race",
+            vars: vec![],
+            guards: vec![],
+            accesses: vec![
+                access(
+                    AccessKind::Write,
+                    Pattern::Striped {
+                        base: k(0),
+                        len: v("n"),
+                    },
+                ),
+                access(AccessKind::Read, Pattern::Broadcast { off: k(0) }),
+            ],
+        }]);
+        match prove_model(&m) {
+            Err(RaceError::Counterexample(ce)) => {
+                assert_eq!(ce.template, "bcast_race");
+                // Minimal in the search order: the smallest grid point.
+                assert_eq!(ce.shape.get("n"), Some(&1));
+                assert_eq!(ce.shape.get("m"), Some(&1));
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_lane_striping_is_recognized() {
+        // Read and write sweep the same range with the same striping:
+        // every common offset is touched by the same lane — safe.
+        let m = model(vec![EpochTemplate {
+            name: "inplace",
+            vars: vec![],
+            guards: vec![],
+            accesses: vec![
+                access(
+                    AccessKind::Read,
+                    Pattern::Striped {
+                        base: k(0),
+                        len: v("n"),
+                    },
+                ),
+                access(
+                    AccessKind::Write,
+                    Pattern::Striped {
+                        base: k(0),
+                        len: v("n"),
+                    },
+                ),
+            ],
+        }]);
+        prove_model(&m).expect("identically-striped in-place update must prove");
+    }
+}

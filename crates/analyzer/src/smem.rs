@@ -1,0 +1,98 @@
+//! Symbolic shared-memory feasibility: the largest `n` each kernel
+//! family fits on each device.
+//!
+//! Every [`KernelModel`](crate::model::KernelModel) carries its
+//! shared-memory byte formula as an [`Expr`] over the shape symbols plus
+//! `sbytes` (the scalar width). All band-kernel formulas are
+//! nondecreasing in `n` (they are sums/products of `min(n, …)` windows
+//! and `n`-linear terms), so the frontier against a device limit is a
+//! single threshold, found here by bisection.
+
+use crate::expr::{Env, Expr};
+
+/// Cap on the searched `n` range: formulas that still fit at this order
+/// are reported [`MaxN::Unbounded`] (their window terms saturated — `n`
+/// no longer appears in the footprint).
+pub const N_CAP: i64 = 1 << 20;
+
+/// The largest matrix order a family's shared-memory footprint allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxN {
+    /// Fits up to (and including) this `n`; `n + 1` exceeds the limit.
+    Bounded(i64),
+    /// Fits at every order up to [`N_CAP`]: the footprint saturates
+    /// (window-buffered families) before the device limit.
+    Unbounded,
+    /// Does not fit even at `n = 1` on this device.
+    Never,
+}
+
+impl std::fmt::Display for MaxN {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaxN::Bounded(n) => write!(f, "{n}"),
+            MaxN::Unbounded => f.write_str("unbounded"),
+            MaxN::Never => f.write_str("never"),
+        }
+    }
+}
+
+/// Evaluate `smem_bytes` at order `n` under `env` (which must bind every
+/// other symbol the formula uses, including `sbytes`).
+pub fn smem_at(smem_bytes: &Expr, env: &Env, n: i64) -> i64 {
+    let mut e = env.clone();
+    e.insert("n", n);
+    smem_bytes.eval(&e)
+}
+
+/// Largest `n` with `smem_bytes(n) <= limit_bytes`, by bisection.
+///
+/// Soundness rests on the formula being nondecreasing in `n`; all
+/// registered families satisfy this by construction (their `n` terms are
+/// `min(n, window)` factors and nonnegative-coefficient products).
+pub fn max_feasible_n(smem_bytes: &Expr, env: &Env, limit_bytes: usize) -> MaxN {
+    let limit = limit_bytes as i64;
+    if smem_at(smem_bytes, env, 1) > limit {
+        return MaxN::Never;
+    }
+    if smem_at(smem_bytes, env, N_CAP) <= limit {
+        return MaxN::Unbounded;
+    }
+    // Invariant: fits at lo, exceeds at hi.
+    let (mut lo, mut hi) = (1i64, N_CAP);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if smem_at(smem_bytes, env, mid) <= limit {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    MaxN::Bounded(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{emin, k, v};
+
+    #[test]
+    fn bisection_finds_the_exact_threshold() {
+        // ldab * n * sbytes with ldab = 7, sbytes = 8: 56·n <= 4096 → n <= 73.
+        let formula = v("ldab") * v("n") * v("sbytes");
+        let env = Env::from([("ldab", 7), ("sbytes", 8)]);
+        assert_eq!(max_feasible_n(&formula, &env, 4096), MaxN::Bounded(73));
+        assert_eq!(smem_at(&formula, &env, 73), 4088);
+        assert_eq!(smem_at(&formula, &env, 74), 4144);
+    }
+
+    #[test]
+    fn saturating_formulas_are_unbounded() {
+        // ldab * min(n, nb + 4) * sbytes saturates at n = nb + 4.
+        let formula = v("ldab") * emin(v("n"), v("nb") + k(4)) * v("sbytes");
+        let env = Env::from([("ldab", 7), ("nb", 8), ("sbytes", 8)]);
+        assert_eq!(max_feasible_n(&formula, &env, 4096), MaxN::Unbounded);
+        // A limit below even n = 1 is Never.
+        assert_eq!(max_feasible_n(&formula, &env, 32), MaxN::Never);
+    }
+}

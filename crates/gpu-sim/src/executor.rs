@@ -135,7 +135,7 @@ fn run_chunk<P, F>(
             Err(payload) => panics.push((block_id, payload)),
         }
         if let Some(rep) = ctx.smem.tracker().and_then(|t| t.take_report()) {
-            if rep.total_hazards > 0 {
+            if rep.total_hazards > 0 || !rep.accesses.is_empty() {
                 hazards.push(rep);
             }
         }

@@ -46,6 +46,11 @@ pub enum HazardMode {
     Record,
     /// Track accesses and abort the block on the first conflict.
     Enforce,
+    /// Record, plus export the full tagged access footprint (every
+    /// `(epoch, lane, offset, kind)` tuple) on the report. Used by the
+    /// static kernel-schedule verifier's conformance pass; far too
+    /// memory-hungry for production shapes.
+    Trace,
 }
 
 impl HazardMode {
@@ -55,19 +60,31 @@ impl HazardMode {
         self != HazardMode::Off
     }
 
-    /// Parse a mode name (`off` / `record` / `enforce`), case-insensitive.
+    /// Parse a mode name (`off` / `record` / `enforce` / `trace`),
+    /// case-insensitive.
     pub fn parse(s: &str) -> Option<HazardMode> {
         match s.to_ascii_lowercase().as_str() {
             "off" | "0" | "" => Some(HazardMode::Off),
             "record" => Some(HazardMode::Record),
             "enforce" | "1" => Some(HazardMode::Enforce),
+            "trace" => Some(HazardMode::Trace),
             _ => None,
+        }
+    }
+
+    /// Canonical mode name; `HazardMode::parse(m.name()) == Some(m)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            HazardMode::Off => "off",
+            HazardMode::Record => "record",
+            HazardMode::Enforce => "enforce",
+            HazardMode::Trace => "trace",
         }
     }
 }
 
-/// Process-wide default mode: 0 = Off, 1 = Record, 2 = Enforce, 255 = unset
-/// (initialize from `GBATCH_HAZARD` on first use).
+/// Process-wide default mode: 0 = Off, 1 = Record, 2 = Enforce, 3 = Trace,
+/// 255 = unset (initialize from `GBATCH_HAZARD` on first use).
 static GLOBAL_MODE: AtomicU8 = AtomicU8::new(255);
 
 fn encode(mode: HazardMode) -> u8 {
@@ -75,7 +92,16 @@ fn encode(mode: HazardMode) -> u8 {
         HazardMode::Off => 0,
         HazardMode::Record => 1,
         HazardMode::Enforce => 2,
+        HazardMode::Trace => 3,
     }
+}
+
+/// Forget any cached process-wide mode so the next [`global_mode`] call
+/// re-reads `GBATCH_HAZARD`. Exists for the env-handling tests, which need
+/// to observe several environment values in one process.
+#[doc(hidden)]
+pub fn reset_global_mode_for_tests() {
+    GLOBAL_MODE.store(255, Ordering::Relaxed);
 }
 
 /// Set the process-wide default hazard mode picked up by
@@ -94,6 +120,7 @@ pub fn global_mode() -> HazardMode {
         0 => HazardMode::Off,
         1 => HazardMode::Record,
         2 => HazardMode::Enforce,
+        3 => HazardMode::Trace,
         _ => {
             let mode = std::env::var("GBATCH_HAZARD")
                 .ok()
@@ -167,6 +194,21 @@ impl std::fmt::Display for Hazard {
     }
 }
 
+/// One tagged shared-memory access, exported under [`HazardMode::Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AccessRecord {
+    /// Barrier epoch the access fell into.
+    pub epoch: u64,
+    /// Simulated lane ([`ALL_LANES`] = broadcast).
+    pub lane: u32,
+    /// Shared-memory offset (in `f64` elements for f64 launches, in
+    /// scalar elements for narrower precisions — the unit the kernel's
+    /// tracker calls use).
+    pub offset: usize,
+    /// `true` for writes, `false` for reads.
+    pub write: bool,
+}
+
 /// Per-block summary of a tracked launch.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct HazardReport {
@@ -186,6 +228,9 @@ pub struct HazardReport {
     pub hazards: Vec<Hazard>,
     /// Total conflicts detected, including any beyond the recording cap.
     pub total_hazards: u64,
+    /// Full access footprint (only populated under [`HazardMode::Trace`];
+    /// empty in every other mode).
+    pub accesses: Vec<AccessRecord>,
 }
 
 /// Last tagged accesses of one shared cell.
@@ -216,6 +261,7 @@ pub struct HazardTracker {
     total_hazards: u64,
     reads: u64,
     writes: u64,
+    accesses: Vec<AccessRecord>,
 }
 
 impl HazardTracker {
@@ -236,6 +282,7 @@ impl HazardTracker {
             total_hazards: 0,
             reads: 0,
             writes: 0,
+            accesses: Vec::new(),
         }
     }
 
@@ -250,6 +297,7 @@ impl HazardTracker {
         self.total_hazards = 0;
         self.reads = 0;
         self.writes = 0;
+        self.accesses.clear();
     }
 
     /// The tracking mode.
@@ -309,6 +357,14 @@ impl HazardTracker {
         self.touched = true;
         self.reads += 1;
         let epoch = self.epoch;
+        if self.mode == HazardMode::Trace {
+            self.accesses.push(AccessRecord {
+                epoch,
+                lane,
+                offset: off,
+                write: false,
+            });
+        }
         let cell = self.cell(off);
         if let Some((wl, we)) = cell.write {
             if we == epoch && lanes_differ(wl, lane) {
@@ -327,6 +383,14 @@ impl HazardTracker {
         self.touched = true;
         self.writes += 1;
         let epoch = self.epoch;
+        if self.mode == HazardMode::Trace {
+            self.accesses.push(AccessRecord {
+                epoch,
+                lane,
+                offset: off,
+                write: true,
+            });
+        }
         let cell = *self.cell(off);
         if let Some((wl, we)) = cell.write {
             if we == epoch && lanes_differ(wl, lane) {
@@ -392,6 +456,7 @@ impl HazardTracker {
             writes: self.writes,
             hazards: std::mem::take(&mut self.hazards),
             total_hazards: self.total_hazards,
+            accesses: std::mem::take(&mut self.accesses),
         })
     }
 }
@@ -412,6 +477,72 @@ mod tests {
         assert_eq!(HazardMode::parse("bogus"), None);
         assert!(!HazardMode::Off.is_on());
         assert!(HazardMode::Record.is_on());
+    }
+
+    #[test]
+    fn parse_round_trips_every_mode() {
+        for mode in [
+            HazardMode::Off,
+            HazardMode::Record,
+            HazardMode::Enforce,
+            HazardMode::Trace,
+        ] {
+            assert_eq!(HazardMode::parse(mode.name()), Some(mode));
+            // Case-insensitive on the canonical spelling too.
+            assert_eq!(
+                HazardMode::parse(&mode.name().to_ascii_uppercase()),
+                Some(mode)
+            );
+        }
+        // Numeric and empty aliases.
+        assert_eq!(HazardMode::parse("0"), Some(HazardMode::Off));
+        assert_eq!(HazardMode::parse("1"), Some(HazardMode::Enforce));
+        assert_eq!(HazardMode::parse(""), Some(HazardMode::Off));
+        // No trimming, no prefixes: junk is rejected, not defaulted.
+        assert_eq!(HazardMode::parse(" record"), None);
+        assert_eq!(HazardMode::parse("enforced"), None);
+        assert_eq!(HazardMode::parse("2"), None);
+    }
+
+    #[test]
+    fn trace_mode_exports_footprint() {
+        let mut t = HazardTracker::new(HazardMode::Trace);
+        t.write(0, 5);
+        t.advance_epoch();
+        t.broadcast_read(5);
+        let rep = t.take_report().unwrap();
+        assert_eq!(rep.total_hazards, 0);
+        assert_eq!(
+            rep.accesses,
+            vec![
+                AccessRecord {
+                    epoch: 0,
+                    lane: 0,
+                    offset: 5,
+                    write: true
+                },
+                AccessRecord {
+                    epoch: 1,
+                    lane: ALL_LANES,
+                    offset: 5,
+                    write: false
+                },
+            ]
+        );
+        // Record mode keeps the footprint empty.
+        let mut t = tracker();
+        t.write(0, 5);
+        assert!(t.take_report().unwrap().accesses.is_empty());
+    }
+
+    #[test]
+    fn trace_mode_still_detects_conflicts() {
+        let mut t = HazardTracker::new(HazardMode::Trace);
+        t.write(0, 5);
+        t.read(1, 5);
+        let rep = t.take_report().unwrap();
+        assert_eq!(rep.total_hazards, 1);
+        assert_eq!(rep.accesses.len(), 2);
     }
 
     #[test]

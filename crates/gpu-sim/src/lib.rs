@@ -79,7 +79,7 @@ pub use counters::KernelCounters;
 pub use device::{DeviceSpec, Vendor};
 pub use engine::{launch, LaunchConfig, LaunchError, LaunchReport};
 pub use executor::ParallelPolicy;
-pub use hazard::{Hazard, HazardKind, HazardMode, HazardReport};
+pub use hazard::{AccessRecord, Hazard, HazardKind, HazardMode, HazardReport};
 pub use occupancy::Occupancy;
 pub use resident::{
     ambient_engine, global_pool, with_engine_mode, EngineMode, EngineScope, MegabatchQueue,

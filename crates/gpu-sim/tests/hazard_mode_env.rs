@@ -1,0 +1,62 @@
+//! `GBATCH_HAZARD` environment handling for the process-wide default
+//! hazard mode. The cached global is process-wide state, so every scenario
+//! runs inside one test function (integration tests get their own process,
+//! but sibling `#[test]`s would still share the cache and the environment).
+
+use gbatch_gpu_sim::hazard::{global_mode, reset_global_mode_for_tests, set_global_mode};
+use gbatch_gpu_sim::HazardMode;
+
+fn with_env(value: Option<&str>, f: impl FnOnce()) {
+    reset_global_mode_for_tests();
+    match value {
+        Some(v) => std::env::set_var("GBATCH_HAZARD", v),
+        None => std::env::remove_var("GBATCH_HAZARD"),
+    }
+    f();
+    std::env::remove_var("GBATCH_HAZARD");
+    reset_global_mode_for_tests();
+}
+
+#[test]
+fn env_variable_selects_global_mode() {
+    // Unset: Off.
+    with_env(None, || assert_eq!(global_mode(), HazardMode::Off));
+
+    // Every canonical name, lowercase and shouty.
+    for (value, want) in [
+        ("off", HazardMode::Off),
+        ("record", HazardMode::Record),
+        ("enforce", HazardMode::Enforce),
+        ("trace", HazardMode::Trace),
+        ("RECORD", HazardMode::Record),
+        ("Enforce", HazardMode::Enforce),
+        ("TRACE", HazardMode::Trace),
+        // Numeric and empty aliases.
+        ("0", HazardMode::Off),
+        ("1", HazardMode::Enforce),
+        ("", HazardMode::Off),
+    ] {
+        with_env(Some(value), || {
+            assert_eq!(global_mode(), want, "GBATCH_HAZARD={value:?}");
+        });
+    }
+
+    // Invalid values fall back to Off instead of panicking or sticking.
+    for junk in ["bogus", "2", " record", "enforced", "on"] {
+        with_env(Some(junk), || {
+            assert_eq!(global_mode(), HazardMode::Off, "GBATCH_HAZARD={junk:?}");
+        });
+    }
+
+    // The first read caches: a later env change is not picked up...
+    with_env(Some("record"), || {
+        assert_eq!(global_mode(), HazardMode::Record);
+        std::env::set_var("GBATCH_HAZARD", "enforce");
+        assert_eq!(global_mode(), HazardMode::Record);
+        // ...but an explicit set_global_mode always wins over the env.
+        set_global_mode(HazardMode::Enforce);
+        assert_eq!(global_mode(), HazardMode::Enforce);
+        set_global_mode(HazardMode::Off);
+        assert_eq!(global_mode(), HazardMode::Off);
+    });
+}

@@ -51,6 +51,8 @@
 // loops over band rows/columns; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod access_model;
+pub mod conformance;
 pub mod cost;
 pub mod dispatch;
 pub mod fused;

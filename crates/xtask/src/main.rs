@@ -1,40 +1,52 @@
 //! Workspace automation (`cargo xtask <command>`).
 //!
 //! `lint` enforces the unsafe-code policy that rustc cannot express: raw
-//! slice construction (`from_raw_parts*`) and unchecked indexing
-//! (`get_unchecked*`) are confined to the two audited modules that carry
-//! the workspace's `// SAFETY:` contracts — the parallel executor's
-//! pointer plumbing and the interleaved layout's lane views. Everywhere
+//! slice construction (`from_raw_parts*`), unchecked indexing
+//! (`get_unchecked*`), `transmute`, and `static mut` are confined to the
+//! audited modules that carry the workspace's `// SAFETY:` contracts —
+//! the parallel executor's pointer plumbing, the interleaved layout's
+//! lane views, and the resident engine's completion plumbing. Everywhere
 //! else must go through safe slices or the checked `BandLayout` accessors.
+//!
+//! `verify-kernels` runs the static kernel-schedule verifier end to end:
+//! full-envelope race proofs for every registered kernel family, rejection
+//! of the seeded historical-bug fixtures with concrete counterexamples, a
+//! per-device shared-memory feasibility table cross-checked against the
+//! kernels' own byte formulas, and the model-vs-trace conformance grid at
+//! both precisions.
+
+mod verify;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Modules audited for raw-pointer and unchecked-index use. Everything
-/// else in the workspace must not mention the forbidden tokens at all.
+/// Modules audited for unsafe-access tokens. Everything else in the
+/// workspace must not mention the forbidden tokens at all.
 const WHITELIST: &[&str] = &[
     "crates/gpu-sim/src/executor.rs",
+    "crates/gpu-sim/src/resident.rs",
     "crates/kernels/src/interleaved.rs",
 ];
 
 /// Tokens forbidden outside the whitelist (matched on comment- and
 /// string-stripped source, so prose and test fixtures don't trip it).
-const FORBIDDEN: &[&str] = &["from_raw_parts", "get_unchecked"];
+const FORBIDDEN: &[&str] = &["from_raw_parts", "get_unchecked", "transmute", "static mut"];
 
 /// Source roots scanned by the lint. Vendored shims under `shims/` are
 /// third-party API surface and are exempt.
-const ROOTS: &[&str] = &["crates", "src", "tests", "benches"];
+const ROOTS: &[&str] = &["crates", "src", "tests", "benches", "examples"];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("verify-kernels") => verify::verify_kernels(args.next().as_deref()),
         Some(other) => {
-            eprintln!("unknown xtask command `{other}` (expected: lint)");
+            eprintln!("unknown xtask command `{other}` (expected: lint | verify-kernels)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint | verify-kernels [--quick]>");
             ExitCode::FAILURE
         }
     }
@@ -289,6 +301,14 @@ mod tests {
     #[test]
     fn whitelist_names_the_audited_modules() {
         assert!(WHITELIST.contains(&"crates/gpu-sim/src/executor.rs"));
+        assert!(WHITELIST.contains(&"crates/gpu-sim/src/resident.rs"));
         assert!(WHITELIST.contains(&"crates/kernels/src/interleaved.rs"));
+    }
+
+    #[test]
+    fn forbidden_tokens_cover_reinterpretation_and_global_state() {
+        assert!(FORBIDDEN.contains(&"transmute"));
+        assert!(FORBIDDEN.contains(&"static mut"));
+        assert!(ROOTS.contains(&"examples"));
     }
 }

@@ -1,0 +1,219 @@
+//! `cargo xtask verify-kernels` — the static kernel-schedule verifier.
+//!
+//! Four passes, all driven off the same declarative models in
+//! `gbatch_kernels::access_model`:
+//!
+//! 1. **Race proofs**: every registered family's epoch templates are
+//!    proven free of inter-lane read/write and write/write overlap across
+//!    the family's whole parameter envelope (Fourier–Motzkin over the
+//!    lowered index expressions; `n` stays symbolic and unbounded).
+//! 2. **Negative fixtures**: the two historical barrier bugs this stack
+//!    shipped and fixed are re-introduced as standalone models; the
+//!    verifier must reject both with concrete, replayed counterexample
+//!    shapes (a silent pass here means the prover lost its teeth).
+//! 3. **Shared-memory audit**: each family's symbolic byte formula is
+//!    bisected into a max-feasible-`n` per device and precision, and the
+//!    formula is cross-checked value-for-value against the kernel's own
+//!    `*_smem_bytes` helper at and beyond the boundary.
+//! 4. **Conformance**: every family's schedule is concretized and matched
+//!    access-for-access against the real kernels' `HazardMode::Trace`
+//!    footprints, at f32 and f64.
+
+use std::process::ExitCode;
+
+use gbatch_analyzer::{max_feasible_n, prove_model, Env, KernelModel, MaxN, RaceError};
+use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
+use gbatch_gpu_sim::multi::DeviceGroup;
+use gbatch_gpu_sim::DeviceSpec;
+use gbatch_kernels::access_model::{fixtures, registry, Rigor};
+use gbatch_kernels::conformance::run_conformance;
+use gbatch_kernels::fused::fused_smem_bytes;
+use gbatch_kernels::gbsv_fused::gbsv_smem_bytes;
+use gbatch_kernels::gbtrs_blocked::{backward_smem_bytes, forward_smem_bytes};
+use gbatch_kernels::interleaved::{factor_smem_bytes, solve_smem_bytes};
+use gbatch_kernels::window::window_smem_bytes;
+
+/// Representative band parameters for the smem table (chosen inside every
+/// family's envelope: `kl >= 1` for the forward solve).
+const KL: usize = 2;
+const KU: usize = 1;
+const NB: usize = 4;
+const NRHS: usize = 2;
+const LANES: usize = 2;
+
+pub fn verify_kernels(flag: Option<&str>) -> ExitCode {
+    let rigor = match flag {
+        Some("--quick") => Rigor::Quick,
+        None => Rigor::Full,
+        Some(other) => {
+            eprintln!("unknown verify-kernels flag `{other}` (expected: --quick)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+
+    println!("== race proofs ({rigor:?} envelope) ==");
+    for model in registry(rigor) {
+        match prove_model(&model) {
+            Ok(stats) => println!(
+                "  {:<18} OK  ({} groundings, {} pair systems, {} FM checks)",
+                model.family, stats.groundings, stats.pair_systems, stats.fm_calls
+            ),
+            Err(e) => {
+                failed = true;
+                println!("  {:<18} FAILED", model.family);
+                println!("{e}");
+            }
+        }
+    }
+
+    println!("== negative fixtures (must be rejected) ==");
+    for fx in fixtures() {
+        match prove_model(&fx) {
+            Err(RaceError::Counterexample(ce)) => {
+                println!("  {:<32} rejected, counterexample:", fx.family);
+                println!("    {ce}");
+            }
+            Ok(_) => {
+                failed = true;
+                println!(
+                    "  {:<32} WRONGLY PROVED RACE-FREE — the prover lost its teeth",
+                    fx.family
+                );
+            }
+            Err(other) => {
+                failed = true;
+                println!(
+                    "  {:<32} rejected without a concrete counterexample: {other}",
+                    fx.family
+                );
+            }
+        }
+    }
+
+    println!("== shared-memory feasibility (kl={KL} ku={KU} nb={NB} nrhs={NRHS} lanes={LANES}) ==");
+    if !smem_table() {
+        failed = true;
+    }
+
+    println!("== conformance (model footprint vs HazardMode::Trace) ==");
+    for (name, result) in [
+        ("f64", run_conformance::<f64>(rigor)),
+        ("f32", run_conformance::<f32>(rigor)),
+    ] {
+        match result {
+            Ok(checks) => println!("  {name}: OK ({checks} block traces matched)"),
+            Err(e) => {
+                failed = true;
+                println!("  {name}: FAILED\n    {e}");
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("verify-kernels: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("verify-kernels: all passes clean");
+        ExitCode::SUCCESS
+    }
+}
+
+fn devices() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::h100_pcie(),
+        DeviceGroup::mi250x_full().devices[0].clone(),
+        DeviceSpec::test_device(),
+    ]
+}
+
+/// The kernel's own byte formula for `family` at order `n`, as dispatch
+/// computes it. The layout is rebuilt per `n` because `ldab`/`kv` live on
+/// [`BandLayout`].
+fn kernel_smem_bytes<S: Scalar>(family: &str, n: usize) -> usize {
+    let l = BandLayout::factor(n, n, KL, KU).expect("representative layout");
+    match family {
+        "gbtrf_fused" => fused_smem_bytes::<S>(l.ldab, n),
+        "gbtrf_window" => window_smem_bytes::<S>(&l, NB),
+        "gbsv_fused" => gbsv_smem_bytes::<S>(&l, NRHS),
+        "gbtrs_forward" => forward_smem_bytes::<S>(&l, NB, NRHS),
+        "gbtrs_backward" => backward_smem_bytes::<S>(&l, NB, NRHS),
+        "gbtrf_interleaved" => factor_smem_bytes::<S>(&l, LANES),
+        "gbtrs_interleaved" => solve_smem_bytes::<S>(&l, NRHS, LANES),
+        other => panic!("no kernel smem helper for family {other}"),
+    }
+}
+
+fn representative_env(sbytes: usize) -> Env {
+    Env::from([
+        ("kl", KL as i64),
+        ("ku", KU as i64),
+        ("kv", (KL + KU) as i64),
+        ("ldab", (2 * KL + KU + 1) as i64),
+        ("nb", NB as i64),
+        ("nrhs", NRHS as i64),
+        ("lanes", LANES as i64),
+        ("sbytes", sbytes as i64),
+    ])
+}
+
+/// Check the model formula against the kernel helper at `n` (skipping
+/// orders the band layout cannot represent).
+fn cross_check<S: Scalar>(model: &KernelModel, env: &Env, n: i64) -> Result<(), String> {
+    if n < 1 || (n as usize) <= KL.max(KU) {
+        return Ok(());
+    }
+    let mut e = env.clone();
+    e.insert("n", n);
+    let model_bytes = model.smem_bytes.eval(&e);
+    let kernel_bytes = kernel_smem_bytes::<S>(model.family, n as usize) as i64;
+    if model_bytes != kernel_bytes {
+        return Err(format!(
+            "family {} at n = {n}: model formula gives {model_bytes} B, kernel helper {kernel_bytes} B",
+            model.family
+        ));
+    }
+    Ok(())
+}
+
+fn smem_table() -> bool {
+    let mut ok = true;
+    println!(
+        "  {:<18} {:>6} {:>24} {:>24} {:>24}",
+        "family", "prec", "H100-PCIe", "MI250X-GCD", "test-device"
+    );
+    for model in registry(Rigor::Quick) {
+        for (prec, sbytes) in [("f32", 4usize), ("f64", 8usize)] {
+            let env = representative_env(sbytes);
+            let mut cells = Vec::new();
+            for dev in devices() {
+                let limit = dev.max_smem_per_block as usize;
+                let max_n = max_feasible_n(&model.smem_bytes, &env, limit);
+                // Cross-check the symbolic formula against the kernel's
+                // own helper at the boundary (and just past it), plus a
+                // small and a mid-size order.
+                let mut probes = vec![4, 64];
+                if let MaxN::Bounded(n) = max_n {
+                    probes.extend([n, n + 1]);
+                }
+                for n in probes {
+                    let res = match sbytes {
+                        4 => cross_check::<f32>(&model, &env, n),
+                        _ => cross_check::<f64>(&model, &env, n),
+                    };
+                    if let Err(e) = res {
+                        ok = false;
+                        println!("  CROSS-CHECK FAILED: {e}");
+                    }
+                }
+                cells.push(format!("max n = {max_n}"));
+            }
+            println!(
+                "  {:<18} {:>6} {:>24} {:>24} {:>24}",
+                model.family, prec, cells[0], cells[1], cells[2]
+            );
+        }
+    }
+    ok
+}

@@ -1,0 +1,64 @@
+//! Tier-1 slice of `cargo xtask verify-kernels`: race proofs over the
+//! quick envelope, rejection of the seeded historical-bug fixtures, and
+//! the model-vs-kernel conformance grid at both precisions.
+
+use gbatch_analyzer::{prove_model, RaceError};
+use gbatch_kernels::access_model::{fixtures, registry, Rigor};
+use gbatch_kernels::conformance::run_conformance;
+
+#[test]
+fn race_proofs_hold_for_every_registered_family() {
+    let models = registry(Rigor::Quick);
+    assert!(models.len() >= 5, "the registry must cover >= 5 families");
+    for model in &models {
+        match prove_model(model) {
+            Ok(stats) => {
+                if !model.templates.is_empty() {
+                    assert!(
+                        stats.pair_systems > 0,
+                        "family {}: proof discharged no obligations",
+                        model.family
+                    );
+                }
+            }
+            Err(e) => panic!("family {} failed its race proof:\n{e}", model.family),
+        }
+    }
+}
+
+#[test]
+fn historical_bug_fixtures_are_rejected_with_counterexamples() {
+    let fxs = fixtures();
+    assert_eq!(fxs.len(), 2);
+    for fx in &fxs {
+        match prove_model(fx) {
+            Err(RaceError::Counterexample(ce)) => {
+                assert_eq!(ce.family, fx.family);
+                assert!(
+                    ce.shape.contains_key("n"),
+                    "counterexample must pin a concrete shape"
+                );
+            }
+            Ok(stats) => panic!(
+                "fixture {} wrongly proved race-free ({} pair systems)",
+                fx.family, stats.pair_systems
+            ),
+            Err(other) => panic!(
+                "fixture {} must fail with a concrete counterexample, got: {other}",
+                fx.family
+            ),
+        }
+    }
+}
+
+#[test]
+fn conformance_grid_passes_for_f64() {
+    let checks = run_conformance::<f64>(Rigor::Quick).unwrap_or_else(|e| panic!("{e}"));
+    assert!(checks > 0, "conformance ran no checks");
+}
+
+#[test]
+fn conformance_grid_passes_for_f32() {
+    let checks = run_conformance::<f32>(Rigor::Quick).unwrap_or_else(|e| panic!("{e}"));
+    assert!(checks > 0, "conformance ran no checks");
+}
