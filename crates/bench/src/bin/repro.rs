@@ -74,6 +74,26 @@ fn main() {
             r.factor_cache.soak_hit_rate
         )
         .unwrap();
+        writeln!(
+            out,
+            "  spike split regime (n = {}, kl = ku = {}):",
+            r.spike.n, r.spike.kl
+        )
+        .unwrap();
+        for line in &r.spike.lines {
+            writeln!(
+                out,
+                "    {}: unsplit {:>9.4} ms | {}",
+                line.precision,
+                line.unsplit_ms,
+                line.points
+                    .iter()
+                    .map(|p| format!("P={} {:.3}x", p.parts, p.speedup))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            )
+            .unwrap();
+        }
         writeln!(out).unwrap();
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_raw_speed.json");
         let json = serde_json::to_string_pretty(&r).unwrap();

@@ -15,7 +15,12 @@
 //! 5. **factor cache** — the same flush cold (factorize + solve) versus
 //!    warm (GBTRS-only over cached factors through
 //!    [`SolveBackend::solve_with`]), plus the cache hit rate of a
-//!    deterministic repeated-operator mini-soak through the [`Server`].
+//!    deterministic repeated-operator mini-soak through the [`Server`];
+//! 6. **spike** — the large-`n` split regime: one `n = 65536`,
+//!    `kl = ku = 8` system solved by the SPIKE driver at
+//!    `P ∈ {1, 2, 4, 8, 16}` blocks in both precisions under the resident
+//!    engine, against the unsplit window + blocked-solve baseline the
+//!    split competes with. Floor-gated at 3.0x for `P = 8`, f64.
 //!
 //! Every time is the simulator's analytic model, so the report is exactly
 //! reproducible on any machine: the perf gate replays the measurement and
@@ -23,13 +28,15 @@
 //! tolerance, then enforces the resident-vs-per-launch floors.
 
 use gbatch_core::gbtrs::Transpose;
-use gbatch_core::{BandBatch, InfoArray, PivotBatch, RhsBatch, ShapeKey};
+use gbatch_core::{BandBatch, InfoArray, PivotBatch, RhsBatch, Scalar, ShapeKey};
 use gbatch_cpu::CpuSpec;
 use gbatch_gpu_sim::multi::DeviceGroup;
 use gbatch_gpu_sim::{DeviceSpec, EngineMode, ParallelPolicy};
 use gbatch_kernels::dispatch::{
-    dgbsv_batch, dgbtrf_batch, dgbtrs_batch, GbsvOptions, MatrixLayout,
+    dgbsv_batch, dgbtrf_batch, dgbtrs_batch, gbsv_batch, ChosenAlgo, FactorAlgo, GbsvOptions,
+    MatrixLayout,
 };
+use gbatch_kernels::spike::SpikeParams;
 use gbatch_serve::{FlushPolicy, GpuBackend, Server, ServerConfig, SolveBackend, SolveRequest};
 use gbatch_workloads::{timestep_traffic, TimestepConfig};
 use rand::rngs::StdRng;
@@ -87,6 +94,68 @@ pub struct FactorCacheSample {
     pub soak_hit_rate: f64,
 }
 
+/// Matrix order of the spike (large-`n` split) measurement.
+pub const SPIKE_N: usize = 65536;
+/// Sub- and superdiagonals of the spike measurement.
+pub const SPIKE_KL: usize = 8;
+/// Superdiagonals of the spike measurement.
+pub const SPIKE_KU: usize = 8;
+/// Block counts swept by the spike measurement.
+pub const SPIKE_PARTS: [usize; 5] = [1, 2, 4, 8, 16];
+/// Acceptance floor: SPIKE at `P = 8`, f64, beats the unsplit solve by
+/// at least this factor.
+pub const SPIKE_FLOOR: f64 = 3.0;
+
+/// One point of the spike sweep: the split solve at a given block count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikePoint {
+    /// Requested block count `P`.
+    pub parts: usize,
+    /// Split solve, resident engine, in model milliseconds.
+    pub split_ms: f64,
+    /// `unsplit_ms / split_ms` of the owning line.
+    pub speedup: f64,
+}
+
+/// The spike sweep at one precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeLine {
+    /// `"f32"` or `"f64"`.
+    pub precision: String,
+    /// Unsplit window + blocked-solve baseline (the path the split
+    /// competes with), resident engine, in model milliseconds.
+    pub unsplit_ms: f64,
+    /// One point per entry of [`SPIKE_PARTS`].
+    pub points: Vec<SpikePoint>,
+}
+
+/// The large-`n` split-regime section of the trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeSection {
+    /// Matrix order.
+    pub n: usize,
+    /// Subdiagonals.
+    pub kl: usize,
+    /// Superdiagonals.
+    pub ku: usize,
+    /// Right-hand sides.
+    pub nrhs: usize,
+    /// One sweep per precision, f64 first.
+    pub lines: Vec<SpikeLine>,
+}
+
+impl SpikeSection {
+    /// The floor-gated headline number: speedup at `P = 8`, f64.
+    #[must_use]
+    pub fn speedup_at_p8_f64(&self) -> f64 {
+        self.lines
+            .iter()
+            .find(|l| l.precision == "f64")
+            .and_then(|l| l.points.iter().find(|p| p.parts == 8))
+            .map_or(0.0, |p| p.speedup)
+    }
+}
+
 /// Mini-soak request count.
 pub const SOAK_REQUESTS: usize = 2000;
 /// Mini-soak live-operator pool.
@@ -123,6 +192,8 @@ pub struct RawSpeedReport {
     /// Factor-cache economics: cold vs warm (GBTRS-only) flush cost and
     /// the repeated-operator mini-soak hit rate.
     pub factor_cache: FactorCacheSample,
+    /// The large-`n` SPIKE split regime versus the unsplit solve.
+    pub spike: SpikeSection,
 }
 
 fn band(batch: usize) -> BandBatch {
@@ -278,6 +349,14 @@ pub fn measure() -> RawSpeedReport {
         soak_hit_rate: soak_hit_rate(&dev),
     };
 
+    let spike = SpikeSection {
+        n: SPIKE_N,
+        kl: SPIKE_KL,
+        ku: SPIKE_KU,
+        nrhs: 1,
+        lines: vec![spike_line::<f64>(&dev), spike_line::<f32>(&dev)],
+    };
+
     RawSpeedReport {
         device: dev.name.clone(),
         batch: RAW_BATCH,
@@ -291,6 +370,87 @@ pub fn measure() -> RawSpeedReport {
         serve_flush,
         serve_spinup_ms,
         factor_cache,
+        spike,
+    }
+}
+
+/// Sweep the SPIKE block count over one `n = 65536` diagonally dominant
+/// system at precision `S`, resident engine. The baseline is the unsplit
+/// window + blocked-solve path (`FactorAlgo::Window` disables `Auto`'s
+/// split routing) — exactly what a large lone system cost before the
+/// split regime existed. Every split answer is checked against the
+/// unsplit one before its time is recorded.
+fn spike_line<S: Scalar>(dev: &DeviceSpec) -> SpikeLine {
+    let a0 = BandBatch::<S>::from_fn(1, SPIKE_N, SPIKE_N, SPIKE_KL, SPIKE_KU, |_, m| {
+        for j in 0..SPIKE_N {
+            let (s, e) = m.layout.col_rows(j);
+            for i in s..e {
+                m.set(i, j, S::from_f64(((i * 7 + j * 3) % 5) as f64 * 0.1 + 0.05));
+            }
+            let sum = (s..e)
+                .filter(|&i| i != j)
+                .fold(S::ZERO, |acc, i| acc + m.get(i, j).abs());
+            m.set(j, j, sum + S::ONE);
+        }
+    })
+    .unwrap();
+    let b0 = RhsBatch::<S>::from_fn(1, SPIKE_N, 1, |_, i, c| {
+        S::from_f64(((c * 5 + i) as f64 * 0.29).sin())
+    })
+    .unwrap();
+
+    let run = |opts: &GbsvOptions, want: ChosenAlgo| -> (Vec<S>, f64) {
+        let mut a = a0.clone();
+        let mut b = b0.clone();
+        let mut piv = PivotBatch::new(1, SPIKE_N, SPIKE_N);
+        let mut info = InfoArray::new(1);
+        let rep = gbsv_batch::<S>(dev, &mut a, &mut piv, &mut b, &mut info, opts).unwrap();
+        assert!(info.all_ok(), "spike trajectory system is nonsingular");
+        assert_eq!(rep.algo, want);
+        (b.data().to_vec(), rep.time.ms())
+    };
+
+    let base = GbsvOptions {
+        algo: FactorAlgo::Window,
+        engine: Some(EngineMode::Resident),
+        parallel: Some(ParallelPolicy::threads(4)),
+        ..Default::default()
+    };
+    let (x_ref, unsplit_ms) = run(&base, ChosenAlgo::Window);
+
+    let points = SPIKE_PARTS
+        .iter()
+        .map(|&parts| {
+            let opts = GbsvOptions {
+                spike: Some(SpikeParams::auto(dev, SPIKE_KL).with_parts(parts)),
+                engine: Some(EngineMode::Resident),
+                parallel: Some(ParallelPolicy::threads(4)),
+                ..Default::default()
+            };
+            let (x, split_ms) = run(&opts, ChosenAlgo::Spike);
+            // Refined truncated-SPIKE answers agree with the unsplit
+            // solve to a small multiple of working precision.
+            let (mut err, mut scale) = (0.0f64, 0.0f64);
+            for (g, w) in x.iter().zip(&x_ref) {
+                err = err.max((g.to_f64() - w.to_f64()).abs());
+                scale = scale.max(w.to_f64().abs());
+            }
+            assert!(
+                err <= 1e3 * S::EPSILON.to_f64() * scale.max(1.0),
+                "P = {parts} split answer drifted from unsplit: |dx| = {err:.3e}"
+            );
+            SpikePoint {
+                parts,
+                split_ms,
+                speedup: unsplit_ms / split_ms,
+            }
+        })
+        .collect();
+
+    SpikeLine {
+        precision: S::PRECISION.name().to_string(),
+        unsplit_ms,
+        points,
     }
 }
 
@@ -383,6 +543,26 @@ mod tests {
             r.factor_cache.soak_hit_rate >= 0.85,
             "mini-soak hit rate {} below the 0.85 floor",
             r.factor_cache.soak_hit_rate
+        );
+        // The split regime: both precisions swept over every block count,
+        // P = 1 is within noise of the unsplit baseline (the split driver
+        // degenerates to the same kernels), and the headline floor holds.
+        assert_eq!(r.spike.lines.len(), 2);
+        for line in &r.spike.lines {
+            assert_eq!(line.points.len(), SPIKE_PARTS.len());
+            let p1 = &line.points[0];
+            assert_eq!(p1.parts, 1);
+            assert!(
+                (p1.speedup - 1.0).abs() < 0.2,
+                "{}: P = 1 should match the unsplit path, got {:.3}x",
+                line.precision,
+                p1.speedup
+            );
+        }
+        assert!(
+            r.spike.speedup_at_p8_f64() >= SPIKE_FLOOR,
+            "spike P = 8 f64 speedup {:.3} below the {SPIKE_FLOOR}x floor",
+            r.spike.speedup_at_p8_f64()
         );
         // Determinism: a second measurement reproduces every bit.
         assert_eq!(r, measure());

@@ -77,6 +77,33 @@ fn checked_in_trajectory_replays_exactly() {
         got.factor_cache.soak_hit_rate,
         want.factor_cache.soak_hit_rate,
     );
+    assert_eq!(
+        got.spike.lines.len(),
+        want.spike.lines.len(),
+        "spike sweep width drifted"
+    );
+    for (g, w) in got.spike.lines.iter().zip(&want.spike.lines) {
+        assert_eq!(g.precision, w.precision);
+        assert_close(
+            &format!("spike.{}.unsplit_ms", w.precision),
+            g.unsplit_ms,
+            w.unsplit_ms,
+        );
+        assert_eq!(g.points.len(), w.points.len());
+        for (gp, wp) in g.points.iter().zip(&w.points) {
+            assert_eq!(gp.parts, wp.parts);
+            assert_close(
+                &format!("spike.{}.p{}.split_ms", w.precision, wp.parts),
+                gp.split_ms,
+                wp.split_ms,
+            );
+            assert_close(
+                &format!("spike.{}.p{}.speedup", w.precision, wp.parts),
+                gp.speedup,
+                wp.speedup,
+            );
+        }
+    }
 }
 
 #[test]
@@ -132,4 +159,41 @@ fn factor_cache_floors_hold() {
         want.factor_cache.soak_hit_rate
     );
     assert!(want.factor_cache.soak_hit_rate <= 1.0);
+}
+
+#[test]
+fn spike_floors_hold() {
+    let json = std::fs::read_to_string(TRAJECTORY)
+        .expect("BENCH_raw_speed.json missing at repo root — run `repro raw_speed`");
+    let want: RawSpeedReport = serde_json::from_str(&json).expect("trajectory JSON invalid");
+    // The sweep shape is pinned: both precisions over every block count.
+    assert_eq!(want.spike.n, raw_speed::SPIKE_N);
+    assert_eq!(want.spike.kl, raw_speed::SPIKE_KL);
+    assert_eq!(want.spike.ku, raw_speed::SPIKE_KU);
+    assert_eq!(want.spike.lines.len(), 2, "both precisions must be swept");
+    for line in &want.spike.lines {
+        assert_eq!(
+            line.points.iter().map(|p| p.parts).collect::<Vec<_>>(),
+            raw_speed::SPIKE_PARTS.to_vec(),
+            "spike sweep block counts drifted"
+        );
+        // A one-block "split" degenerates to the unsplit kernels, so its
+        // speedup must be within noise of 1.0 — a drift here means the
+        // split driver added overhead to the degenerate path.
+        let p1 = &line.points[0];
+        assert!(
+            (p1.speedup - 1.0).abs() < 0.2,
+            "{}: P = 1 speedup {:.3} should be ~1.0",
+            line.precision,
+            p1.speedup
+        );
+    }
+    // Acceptance floor: the split solve at P = 8, f64, beats the unsplit
+    // window + blocked-solve baseline by at least 3.0x.
+    assert!(
+        want.spike.speedup_at_p8_f64() >= raw_speed::SPIKE_FLOOR,
+        "spike P = 8 f64 speedup {:.3} below the {}x floor",
+        want.spike.speedup_at_p8_f64(),
+        raw_speed::SPIKE_FLOOR
+    );
 }

@@ -11,6 +11,7 @@
 use crate::batch::BandBatch;
 use crate::layout::BandLayout;
 use crate::scalar::Precision;
+use crate::spike::SpikeFactor;
 
 /// Factored band payload at the precision the factorization ran at.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +20,11 @@ pub enum FactorPayload {
     F64(Vec<f64>),
     /// Single-precision factors (F32-tagged serve traffic).
     F32(Vec<f32>),
+    /// Double-precision SPIKE factorization (large-`n` split operators):
+    /// `P` block LUs + spikes + the factored reduced system.
+    SpikeF64(Box<SpikeFactor<f64>>),
+    /// Single-precision SPIKE factorization.
+    SpikeF32(Box<SpikeFactor<f32>>),
 }
 
 /// One lane's retained LU factorization: factored band + pivots.
@@ -60,26 +66,49 @@ impl RetainedFactor {
     #[must_use]
     pub fn precision(&self) -> Precision {
         match self.payload {
-            FactorPayload::F64(_) => Precision::F64,
-            FactorPayload::F32(_) => Precision::F32,
+            FactorPayload::F64(_) | FactorPayload::SpikeF64(_) => Precision::F64,
+            FactorPayload::F32(_) | FactorPayload::SpikeF32(_) => Precision::F32,
         }
     }
 
-    /// The `f64` factors, when retained at double precision.
+    /// The `f64` monolithic band factors, when retained at double
+    /// precision (`None` for SPIKE payloads — those solve through
+    /// [`crate::spike::spike_solve_retained`]).
     #[must_use]
     pub fn factors_f64(&self) -> Option<&[f64]> {
         match &self.payload {
             FactorPayload::F64(v) => Some(v),
-            FactorPayload::F32(_) => None,
+            _ => None,
         }
     }
 
-    /// The `f32` factors, when retained at single precision.
+    /// The `f32` monolithic band factors, when retained at single
+    /// precision.
     #[must_use]
     pub fn factors_f32(&self) -> Option<&[f32]> {
         match &self.payload {
             FactorPayload::F32(v) => Some(v),
-            FactorPayload::F64(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The retained SPIKE factorization, when the operator was split
+    /// (`f64`).
+    #[must_use]
+    pub fn spike_f64(&self) -> Option<&SpikeFactor<f64>> {
+        match &self.payload {
+            FactorPayload::SpikeF64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The retained SPIKE factorization, when the operator was split
+    /// (`f32`).
+    #[must_use]
+    pub fn spike_f32(&self) -> Option<&SpikeFactor<f32>> {
+        match &self.payload {
+            FactorPayload::SpikeF32(f) => Some(f),
+            _ => None,
         }
     }
 
@@ -90,6 +119,8 @@ impl RetainedFactor {
         let payload = match &self.payload {
             FactorPayload::F64(v) => v.len() * std::mem::size_of::<f64>(),
             FactorPayload::F32(v) => v.len() * std::mem::size_of::<f32>(),
+            FactorPayload::SpikeF64(f) => f.bytes(),
+            FactorPayload::SpikeF32(f) => f.bytes(),
         };
         payload + self.pivots.len() * std::mem::size_of::<i32>()
     }

@@ -83,6 +83,7 @@ pub mod pb;
 pub mod residual;
 pub mod scalar;
 pub mod shape;
+pub mod spike;
 pub mod vbatch;
 
 pub use band::{BandMatrix, BandMatrixMut, BandMatrixRef};
@@ -95,6 +96,7 @@ pub use lanes::{with_lane_mode, LaneMode, LANE_WIDTH};
 pub use layout::{BandLayout, RowClass};
 pub use scalar::{Precision, Scalar};
 pub use shape::ShapeKey;
+pub use spike::{spike_factorize, spike_gbsv, spike_solve_retained, SpikeFactor, SpikePartition};
 
 /// Machine epsilon for `f64`, used in residual bounds.
 pub const EPS: f64 = f64::EPSILON;

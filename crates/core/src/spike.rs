@@ -1,0 +1,906 @@
+//! SPIKE-style partitioning of one large band system (Li/Serban/Negrut,
+//! arXiv:1509.07919): the host-side math of the workspace's third dispatch
+//! regime.
+//!
+//! A single `n x n` band system is split into `P` diagonal blocks
+//! `A_0 .. A_{P-1}` plus the off-diagonal *coupling corners* the split cuts
+//! through: a `ku x ku` lower-triangular corner `B_p` coupling block `p` to
+//! the top of block `p+1`, and a `kl x kl` upper-triangular corner `C_p`
+//! coupling block `p+1` back to the bottom of block `p`. Each block is
+//! factored independently (that is the intra-matrix parallelism the device
+//! kernels exploit — all `P` blocks ride one batched launch), the coupling
+//! is condensed into a tiny dense **reduced system** over the interface
+//! unknowns, and the block solutions are recovered by back-substituting the
+//! interface values ("combining" the spikes).
+//!
+//! Notation, with `s_p`/`e_p` the start/end row of block `p` and
+//! `g_p = A_p^{-1} f_p`, `V_p = A_p^{-1} [0; B_p]`, `W_p = A_p^{-1} [C_{p-1}; 0]`:
+//!
+//! ```text
+//!   x_p + V_p t_{p+1} + W_p b_{p-1} = g_p
+//! ```
+//!
+//! where `t_p` is the top `ku` and `b_p` the bottom `kl` entries of `x_p`.
+//! Collecting the top-`ku` rows (blocks `1..P`) and bottom-`kl` rows
+//! (blocks `0..P-1`) of these equations yields a block-tridiagonal dense
+//! system of order `(P-1)(kl + ku)` over the interface unknowns
+//! `[b_0, t_1, b_1, t_2, ...]` — tiny next to `n`, solved on the host by
+//! the self-contained dense LU below. The module is generic over
+//! [`Scalar`] and deliberately free of any device dependency: the
+//! `gbatch-kernels` spike driver reuses exactly these builders around its
+//! batched launches, and the serving layer's factor cache retains a
+//! [`SpikeFactor`] built from the same pieces.
+
+use crate::band::BandMatrixRef;
+use crate::batch::{BandBatch, PivotBatch, RhsBatch};
+use crate::gbtrf::gbtrf;
+use crate::gbtrs::{gbtrs, Transpose};
+use crate::layout::BandLayout;
+use crate::scalar::Scalar;
+
+/// How one band system is split into diagonal blocks.
+///
+/// All blocks share one uniform length ([`SpikePartition::block`]) so they
+/// can ride a uniform [`BandBatch`]; only the last block may cover fewer
+/// true rows and is padded with identity rows/columns (unit diagonal, zero
+/// right-hand side), which factor trivially and never pivot into the true
+/// rows. The constructor clamps the requested part count so every block is
+/// wide enough to hold its coupling corners (`block > kl`, `block > ku`,
+/// and the top-`ku` / bottom-`kl` interface rows of a block never overlap:
+/// `block >= kl + ku`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpikePartition {
+    /// Order of the full system.
+    pub n: usize,
+    /// Sub-diagonal count.
+    pub kl: usize,
+    /// Super-diagonal count.
+    pub ku: usize,
+    /// Effective number of diagonal blocks (`<=` the requested count).
+    pub parts: usize,
+    /// Uniform block length; the last block covers `n - (parts-1)*block`
+    /// true rows and is identity-padded up to `block`.
+    pub block: usize,
+}
+
+impl SpikePartition {
+    /// Partition an `n`-order system with bandwidths `(kl, ku)` into (at
+    /// most) `parts` blocks. The effective count is clamped so every block
+    /// holds at least `kl + ku + 1` rows; `parts <= 1` or a system too
+    /// small to split yields the trivial one-block partition.
+    #[must_use]
+    pub fn new(n: usize, kl: usize, ku: usize, parts: usize) -> Self {
+        assert!(n > 0, "empty system");
+        let min_block = kl + ku + 1;
+        let mut p = parts.clamp(1, (n / min_block).max(1));
+        loop {
+            let block = n.div_ceil(p);
+            let p_eff = n.div_ceil(block);
+            let last = n - (p_eff - 1) * block;
+            if p_eff == 1 || last >= min_block {
+                return SpikePartition {
+                    n,
+                    kl,
+                    ku,
+                    parts: p_eff,
+                    block,
+                };
+            }
+            p -= 1;
+        }
+    }
+
+    /// First global row/column of block `p`.
+    #[inline]
+    #[must_use]
+    pub fn start(&self, p: usize) -> usize {
+        p * self.block
+    }
+
+    /// Number of *true* (unpadded) rows of block `p`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self, p: usize) -> usize {
+        (self.n - p * self.block).min(self.block)
+    }
+
+    /// Number of cut interfaces (`parts - 1`).
+    #[inline]
+    #[must_use]
+    pub fn interfaces(&self) -> usize {
+        self.parts - 1
+    }
+
+    /// Order of the dense reduced system: `(kl + ku)` interface unknowns
+    /// per cut.
+    #[inline]
+    #[must_use]
+    pub fn reduced_order(&self) -> usize {
+        self.interfaces() * (self.kl + self.ku)
+    }
+
+    /// Layout of one diagonal block in factor storage (minimal `ldab` —
+    /// identical to the full system's minimal factor `ldab`, which is what
+    /// lets block factors be written back into the full band array
+    /// column-for-column).
+    pub fn block_layout(&self) -> crate::error::Result<BandLayout> {
+        BandLayout::factor(self.block, self.block, self.kl, self.ku)
+    }
+}
+
+/// The off-diagonal coupling corners a partition cuts through, stored
+/// densely (column-major per corner; entries outside the triangular
+/// structure are zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeCoupling<S: Scalar = f64> {
+    /// Sub-diagonal count (side of every `C` corner).
+    pub kl: usize,
+    /// Super-diagonal count (side of every `B` corner).
+    pub ku: usize,
+    /// Number of interfaces covered.
+    pub interfaces: usize,
+    /// `B` corners, one `ku x ku` column-major block per interface:
+    /// `b[i][r, c] = A[e_i - ku + r, e_i + c]` with `e_i` the end of block
+    /// `i` (lower-triangular: zero for `c > r`).
+    pub b: Vec<S>,
+    /// `C` corners, one `kl x kl` column-major block per interface:
+    /// `c[i][r, c] = A[e_i + r, e_i - kl + c]` (upper-triangular: zero for
+    /// `r > c`).
+    pub c: Vec<S>,
+}
+
+impl<S: Scalar> SpikeCoupling<S> {
+    /// `B` corner of interface `i`.
+    #[must_use]
+    pub fn b_corner(&self, i: usize) -> &[S] {
+        &self.b[i * self.ku * self.ku..(i + 1) * self.ku * self.ku]
+    }
+
+    /// `C` corner of interface `i`.
+    #[must_use]
+    pub fn c_corner(&self, i: usize) -> &[S] {
+        &self.c[i * self.kl * self.kl..(i + 1) * self.kl * self.kl]
+    }
+}
+
+/// Gather the diagonal blocks of `a` into a `parts`-lane factor-storage
+/// [`BandBatch`] (the intra-matrix "batch" every block kernel runs over).
+/// Pad rows/columns of a short last block get a unit diagonal.
+pub fn extract_blocks<S: Scalar>(
+    a: &BandMatrixRef<'_, S>,
+    part: &SpikePartition,
+) -> crate::error::Result<BandBatch<S>> {
+    debug_assert_eq!(a.layout.n, part.n);
+    BandBatch::from_fn(
+        part.parts,
+        part.block,
+        part.block,
+        part.kl,
+        part.ku,
+        |p, m| {
+            let s = part.start(p);
+            let len = part.len(p);
+            for jj in 0..part.block {
+                if jj < len {
+                    let (rs, re) = m.layout.col_rows(jj);
+                    for ii in rs..re.min(len) {
+                        m.set(ii, jj, a.get(s + ii, s + jj));
+                    }
+                } else {
+                    m.set(jj, jj, S::ONE);
+                }
+            }
+        },
+    )
+}
+
+/// Read the coupling corners of `a` under `part` (host-side reference
+/// extraction; the device path stages the same entries through the
+/// `spike_extract` kernel).
+#[must_use]
+pub fn extract_coupling<S: Scalar>(
+    a: &BandMatrixRef<'_, S>,
+    part: &SpikePartition,
+) -> SpikeCoupling<S> {
+    let (kl, ku) = (part.kl, part.ku);
+    let ifaces = part.interfaces();
+    let mut b = vec![S::ZERO; ifaces * ku * ku];
+    let mut c = vec![S::ZERO; ifaces * kl * kl];
+    for i in 0..ifaces {
+        let e = part.start(i + 1);
+        for cc in 0..ku {
+            for r in 0..ku {
+                b[i * ku * ku + cc * ku + r] = a.get(e - ku + r, e + cc);
+            }
+        }
+        for cc in 0..kl {
+            for r in 0..kl {
+                c[i * kl * kl + cc * kl + r] = a.get(e + r, e - kl + cc);
+            }
+        }
+    }
+    SpikeCoupling {
+        kl,
+        ku,
+        interfaces: ifaces,
+        b,
+        c,
+    }
+}
+
+/// Build the per-block **augmented** right-hand side `[f_p | B_p | C_p]`:
+/// `nrhs` true RHS columns, then `ku` columns carrying the `B` corner in
+/// the block's bottom-`ku` true rows (so the solve yields the right spike
+/// `V_p`), then `kl` columns carrying the `C` corner in the top-`kl` rows
+/// (the left spike `W_p`). One batched GBTRS over this produces `g`, `V`
+/// and `W` for every block at once.
+pub fn augmented_rhs<S: Scalar>(
+    part: &SpikePartition,
+    coupling: &SpikeCoupling<S>,
+    rhs: &[S],
+    nrhs: usize,
+) -> crate::error::Result<RhsBatch<S>> {
+    let (kl, ku, n, blk) = (part.kl, part.ku, part.n, part.block);
+    let naug = nrhs + ku + kl;
+    let mut out = RhsBatch::zeros(part.parts, blk, naug)?;
+    for p in 0..part.parts {
+        let s = part.start(p);
+        let len = part.len(p);
+        let dst = out.block_mut(p);
+        for c in 0..nrhs {
+            dst[c * blk..c * blk + len].copy_from_slice(&rhs[c * n + s..c * n + s + len]);
+        }
+        if p + 1 < part.parts {
+            let corner = coupling.b_corner(p);
+            for c in 0..ku {
+                for r in 0..ku {
+                    dst[(nrhs + c) * blk + (len - ku + r)] = corner[c * ku + r];
+                }
+            }
+        }
+        if p > 0 {
+            let corner = coupling.c_corner(p - 1);
+            for c in 0..kl {
+                for r in 0..kl {
+                    dst[(nrhs + ku + c) * blk + r] = corner[c * kl + r];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Assemble the dense reduced-system matrix (column-major, order
+/// [`SpikePartition::reduced_order`]) from the spike tips. `v(p, row, c)`
+/// and `w(p, row, c)` read row `row` of block `p`'s right/left spike.
+///
+/// Unknown ordering per interface `i`: the bottom-`kl` values `b_i` of
+/// block `i`, then the top-`ku` values `t_{i+1}` of block `i+1`. Equation
+/// ordering matches (bottom-`kl` rows of block `i`'s equation, then
+/// top-`ku` rows of block `i+1`'s).
+pub fn assemble_reduced_matrix<S: Scalar>(
+    part: &SpikePartition,
+    v: impl Fn(usize, usize, usize) -> S,
+    w: impl Fn(usize, usize, usize) -> S,
+) -> Vec<S> {
+    let (kl, ku) = (part.kl, part.ku);
+    let kb = kl + ku;
+    let r = part.reduced_order();
+    let mut m = vec![S::ZERO; r * r];
+    let mut set = |row: usize, col: usize, val: S| m[col * r + row] = val;
+    for i in 0..part.interfaces() {
+        let row0 = i * kb;
+        // Bottom-kl rows of block i's equation:
+        //   b_i + V_i^bot t_{i+1} + W_i^bot b_{i-1} = g_i^bot
+        for rr in 0..kl {
+            let req = row0 + rr;
+            let brow = part.len(i) - kl + rr;
+            set(req, i * kb + rr, S::ONE);
+            for c in 0..ku {
+                set(req, i * kb + kl + c, v(i, brow, c));
+            }
+            if i > 0 {
+                for c in 0..kl {
+                    set(req, (i - 1) * kb + c, w(i, brow, c));
+                }
+            }
+        }
+        // Top-ku rows of block i+1's equation:
+        //   t_{i+1} + V_{i+1}^top t_{i+2} + W_{i+1}^top b_i = g_{i+1}^top
+        for rr in 0..ku {
+            let req = row0 + kl + rr;
+            set(req, i * kb + kl + rr, S::ONE);
+            for c in 0..kl {
+                set(req, i * kb + c, w(i + 1, rr, c));
+            }
+            if i + 1 < part.interfaces() {
+                for c in 0..ku {
+                    set(req, (i + 1) * kb + kl + c, v(i + 1, rr, c));
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Assemble the reduced right-hand side (column-major
+/// `reduced_order x nrhs`) from the block solutions' interface rows:
+/// `g(p, row, c)` reads row `row`, RHS column `c` of `g_p = A_p^{-1} f_p`.
+pub fn assemble_reduced_rhs<S: Scalar>(
+    part: &SpikePartition,
+    g: impl Fn(usize, usize, usize) -> S,
+    nrhs: usize,
+) -> Vec<S> {
+    let (kl, ku) = (part.kl, part.ku);
+    let kb = kl + ku;
+    let r = part.reduced_order();
+    let mut out = vec![S::ZERO; r * nrhs];
+    for c in 0..nrhs {
+        for i in 0..part.interfaces() {
+            let row0 = i * kb;
+            for rr in 0..kl {
+                out[c * r + row0 + rr] = g(i, part.len(i) - kl + rr, c);
+            }
+            for rr in 0..ku {
+                out[c * r + row0 + kl + rr] = g(i + 1, rr, c);
+            }
+        }
+    }
+    out
+}
+
+/// Recover the full solution from the block solutions and the solved
+/// interface vector `y` (column-major `reduced_order x nrhs`):
+/// `x_p = g_p - V_p t_{p+1} - W_p b_{p-1}`, written into `x`
+/// (column-major `n x nrhs`). The device path runs the same recurrence in
+/// the `spike_combine` kernel.
+pub fn combine<S: Scalar>(
+    part: &SpikePartition,
+    g: impl Fn(usize, usize, usize) -> S,
+    v: impl Fn(usize, usize, usize) -> S,
+    w: impl Fn(usize, usize, usize) -> S,
+    y: &[S],
+    nrhs: usize,
+    x: &mut [S],
+) {
+    let (kl, ku, n) = (part.kl, part.ku, part.n);
+    let kb = kl + ku;
+    let r = part.reduced_order();
+    for p in 0..part.parts {
+        let s = part.start(p);
+        let len = part.len(p);
+        for c in 0..nrhs {
+            for row in 0..len {
+                let mut val = g(p, row, c);
+                if p + 1 < part.parts {
+                    for cc in 0..ku {
+                        val -= v(p, row, cc) * y[c * r + p * kb + kl + cc];
+                    }
+                }
+                if p > 0 {
+                    for cc in 0..kl {
+                        val -= w(p, row, cc) * y[c * r + (p - 1) * kb + cc];
+                    }
+                }
+                x[c * n + s + row] = val;
+            }
+        }
+    }
+}
+
+/// Dense LU with partial pivoting, column-major `n x n`, `lda = n` —
+/// the [`Scalar`]-generic reduced-system factorization (same pivot rule as
+/// [`crate::dense::getrf`]: first maximal magnitude wins, so the result is
+/// deterministic). Returns the LAPACK info code.
+pub fn dense_getrf<S: Scalar>(n: usize, a: &mut [S], ipiv: &mut [i32]) -> i32 {
+    debug_assert!(a.len() >= n * n && ipiv.len() >= n);
+    let mut info = 0i32;
+    for j in 0..n {
+        let mut jp = j;
+        let mut amax = a[j * n + j].abs();
+        for i in j + 1..n {
+            let v = a[j * n + i].abs();
+            if v > amax {
+                amax = v;
+                jp = i;
+            }
+        }
+        ipiv[j] = jp as i32;
+        if a[j * n + jp] == S::ZERO {
+            if info == 0 {
+                info = j as i32 + 1;
+            }
+            continue;
+        }
+        if jp != j {
+            for c in 0..n {
+                a.swap(c * n + j, c * n + jp);
+            }
+        }
+        let inv = S::ONE / a[j * n + j];
+        for i in j + 1..n {
+            a[j * n + i] *= inv;
+        }
+        for c in j + 1..n {
+            let mult = a[c * n + j];
+            if mult != S::ZERO {
+                for i in j + 1..n {
+                    let l = a[j * n + i];
+                    a[c * n + i] -= l * mult;
+                }
+            }
+        }
+    }
+    info
+}
+
+/// Solve with a [`dense_getrf`] factorization (`b` is column-major
+/// `n x nrhs`).
+pub fn dense_getrs<S: Scalar>(n: usize, nrhs: usize, lu: &[S], ipiv: &[i32], b: &mut [S]) {
+    debug_assert!(lu.len() >= n * n && ipiv.len() >= n && b.len() >= n * nrhs);
+    for c in 0..nrhs {
+        let col = &mut b[c * n..(c + 1) * n];
+        for j in 0..n {
+            let jp = ipiv[j] as usize;
+            if jp != j {
+                col.swap(j, jp);
+            }
+        }
+        for j in 0..n {
+            let xj = col[j];
+            if xj != S::ZERO {
+                for i in j + 1..n {
+                    col[i] -= lu[j * n + i] * xj;
+                }
+            }
+        }
+        for j in (0..n).rev() {
+            let xj = col[j] / lu[j * n + j];
+            col[j] = xj;
+            if xj != S::ZERO {
+                for i in 0..j {
+                    col[i] -= lu[j * n + i] * xj;
+                }
+            }
+        }
+    }
+}
+
+/// A retained SPIKE factorization: everything a warm (factor-reusing)
+/// solve needs — the `P` block LUs, the full spikes, and the factored
+/// reduced system. This is what the serving layer's factor cache stores
+/// for a large-`n` operator instead of one monolithic band LU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeFactor<S: Scalar = f64> {
+    /// How the operator was split.
+    pub partition: SpikePartition,
+    /// Factored diagonal blocks (one lane per block, factor storage).
+    pub blocks: BandBatch<S>,
+    /// Block-local 0-based pivots, one vector per block.
+    pub pivots: PivotBatch,
+    /// Full spikes, per block: `ku` right-spike (`V_p`) columns then `kl`
+    /// left-spike (`W_p`) columns, column-major with leading dimension
+    /// [`SpikePartition::block`]. Lane stride `block * (ku + kl)`.
+    pub spikes: Vec<S>,
+    /// Dense LU of the reduced system (column-major,
+    /// [`SpikePartition::reduced_order`] squared).
+    pub reduced_lu: Vec<S>,
+    /// Pivots of the reduced LU.
+    pub reduced_piv: Vec<i32>,
+}
+
+impl<S: Scalar> SpikeFactor<S> {
+    /// Right-spike entry `V_p[row, c]` (`c < ku`).
+    #[inline]
+    #[must_use]
+    pub fn v(&self, p: usize, row: usize, c: usize) -> S {
+        let blk = self.partition.block;
+        self.spikes[p * blk * (self.partition.ku + self.partition.kl) + c * blk + row]
+    }
+
+    /// Left-spike entry `W_p[row, c]` (`c < kl`).
+    #[inline]
+    #[must_use]
+    pub fn w(&self, p: usize, row: usize, c: usize) -> S {
+        let blk = self.partition.block;
+        let ku = self.partition.ku;
+        self.spikes[p * blk * (ku + self.partition.kl) + (ku + c) * blk + row]
+    }
+
+    /// Retained footprint in bytes (what a cache's byte budget accounts
+    /// against).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.blocks.bytes()
+            + (self.spikes.len() + self.reduced_lu.len()) * S::BYTES
+            + (self.pivots.as_slice().len() + self.reduced_piv.len()) * std::mem::size_of::<i32>()
+    }
+}
+
+/// Host-side SPIKE factorization of one band operator. Errors with the
+/// first failing block's LAPACK info code (mapped to a global 1-based
+/// column) when a block factors singular, or with `-1` when the reduced
+/// system is singular — callers fall back to the sequential path on `Err`.
+pub fn spike_factorize<S: Scalar>(
+    a: &BandMatrixRef<'_, S>,
+    parts: usize,
+) -> std::result::Result<SpikeFactor<S>, i32> {
+    let l = a.layout;
+    assert_eq!(l.m, l.n, "spike requires a square system");
+    let part = SpikePartition::new(l.n, l.kl, l.ku, parts);
+    let coupling = extract_coupling(a, &part);
+    let mut blocks = extract_blocks(a, &part).expect("partition produces a valid block layout");
+    let bl = blocks.layout();
+    let mut pivots = PivotBatch::new(part.parts, part.block, part.block);
+    for p in 0..part.parts {
+        let info = gbtrf(&bl, blocks.matrix_mut(p).data, pivots.pivots_mut(p));
+        if info != 0 {
+            return Err(info + part.start(p) as i32);
+        }
+    }
+    // Spikes: one batched-shape solve of the corner columns per block.
+    let (kl, ku, blk) = (part.kl, part.ku, part.block);
+    let width = ku + kl;
+    let mut spikes = vec![S::ZERO; part.parts * blk * width];
+    for p in 0..part.parts {
+        let lane = &mut spikes[p * blk * width..(p + 1) * blk * width];
+        if p + 1 < part.parts {
+            let corner = coupling.b_corner(p);
+            let len = part.len(p);
+            for c in 0..ku {
+                for r in 0..ku {
+                    lane[c * blk + (len - ku + r)] = corner[c * ku + r];
+                }
+            }
+        }
+        if p > 0 {
+            let corner = coupling.c_corner(p - 1);
+            for c in 0..kl {
+                for r in 0..kl {
+                    lane[(ku + c) * blk + r] = corner[c * kl + r];
+                }
+            }
+        }
+        gbtrs(
+            Transpose::No,
+            &bl,
+            blocks.matrix(p).data,
+            pivots.pivots(p),
+            lane,
+            blk,
+            width,
+        );
+    }
+    let f = SpikeFactor {
+        partition: part,
+        blocks,
+        pivots,
+        spikes,
+        reduced_lu: Vec::new(),
+        reduced_piv: Vec::new(),
+    };
+    let r = part.reduced_order();
+    let mut reduced = assemble_reduced_matrix(
+        &part,
+        |p, row, c| f.v(p, row, c),
+        |p, row, c| f.w(p, row, c),
+    );
+    let mut rpiv = vec![0i32; r];
+    if dense_getrf(r, &mut reduced, &mut rpiv) != 0 {
+        return Err(-1);
+    }
+    Ok(SpikeFactor {
+        reduced_lu: reduced,
+        reduced_piv: rpiv,
+        ..f
+    })
+}
+
+/// Warm (factor-reusing) solve over a retained [`SpikeFactor`]: block
+/// forward/backward solves for `g`, reduced back-substitution, combine.
+/// `rhs` is column-major `n x nrhs`, overwritten with the solution.
+pub fn spike_solve_retained<S: Scalar>(f: &SpikeFactor<S>, rhs: &mut [S], nrhs: usize) {
+    let part = f.partition;
+    let (n, blk) = (part.n, part.block);
+    let bl = f.blocks.layout();
+    // g_p = A_p^{-1} f_p, per block.
+    let mut g = vec![S::ZERO; part.parts * blk * nrhs];
+    for p in 0..part.parts {
+        let s = part.start(p);
+        let len = part.len(p);
+        let lane = &mut g[p * blk * nrhs..(p + 1) * blk * nrhs];
+        for c in 0..nrhs {
+            lane[c * blk..c * blk + len].copy_from_slice(&rhs[c * n + s..c * n + s + len]);
+        }
+        gbtrs(
+            Transpose::No,
+            &bl,
+            f.blocks.matrix(p).data,
+            f.pivots.pivots(p),
+            lane,
+            blk,
+            nrhs,
+        );
+    }
+    let g_at = |p: usize, row: usize, c: usize| g[p * blk * nrhs + c * blk + row];
+    let r = part.reduced_order();
+    let mut y = assemble_reduced_rhs(&part, g_at, nrhs);
+    if r > 0 {
+        dense_getrs(r, nrhs, &f.reduced_lu, &f.reduced_piv, &mut y);
+    }
+    combine(
+        &part,
+        g_at,
+        |p, row, c| f.v(p, row, c),
+        |p, row, c| f.w(p, row, c),
+        &y,
+        nrhs,
+        rhs,
+    );
+}
+
+/// Host-side exact SPIKE factorize-and-solve: the sequential oracle for the
+/// device driver and the CPU-backend path for large systems. `rhs` is
+/// column-major `n x nrhs`, overwritten with the solution. Falls back to
+/// the sequential one-block path (bitwise [`crate::gbsv::gbsv`]) when the
+/// partition degenerates to one block or any block factors singular;
+/// returns the LAPACK info code of whichever path answered.
+pub fn spike_gbsv<S: Scalar>(
+    a: &BandMatrixRef<'_, S>,
+    rhs: &mut [S],
+    nrhs: usize,
+    parts: usize,
+) -> i32 {
+    let l = a.layout;
+    assert_eq!(l.m, l.n, "spike requires a square system");
+    let part = SpikePartition::new(l.n, l.kl, l.ku, parts);
+    if part.parts > 1 {
+        if let Ok(f) = spike_factorize(a, parts) {
+            spike_solve_retained(&f, rhs, nrhs);
+            return 0;
+        }
+    }
+    // One-block partition or singular block/reduced system: sequential gbsv.
+    let fl = BandLayout::factor(l.n, l.n, l.kl, l.ku).expect("valid square layout");
+    let mut ab = vec![S::ZERO; fl.len()];
+    for j in 0..l.n {
+        let (rs, re) = fl.col_rows(j);
+        for i in rs..re {
+            ab[fl.idx(fl.row_offset + i - j, j)] = a.get(i, j);
+        }
+    }
+    let mut ipiv = vec![0i32; l.n];
+    crate::gbsv::gbsv(&fl, &mut ab, &mut ipiv, rhs, l.n, nrhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::BandMatrix;
+    use crate::blas2::gbmv;
+    use crate::residual::backward_error;
+
+    fn random_band(n: usize, kl: usize, ku: usize, seed: f64, dominant: bool) -> BandMatrix {
+        let mut a = BandMatrix::zeros_factor(n, n, kl, ku).unwrap();
+        let mut v = seed;
+        for j in 0..n {
+            let (s, e) = a.layout().col_rows(j);
+            for i in s..e {
+                v = (v * 1.7 + 0.137).fract();
+                let boost = if i == j && dominant { 4.0 } else { 0.0 };
+                a.set(i, j, v - 0.5 + boost);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn partition_clamps_and_covers() {
+        let p = SpikePartition::new(100, 2, 3, 4);
+        assert_eq!(p.parts, 4);
+        assert_eq!(p.block, 25);
+        assert_eq!((0..p.parts).map(|i| p.len(i)).sum::<usize>(), 100);
+        // Too many parts for the bandwidth: clamped.
+        let p = SpikePartition::new(20, 4, 4, 64);
+        assert!(p.parts <= 20 / 9);
+        for i in 0..p.parts {
+            assert!(p.len(i) >= 9 || p.parts == 1);
+        }
+        // Degenerate: one part.
+        let p = SpikePartition::new(10, 4, 4, 8);
+        assert_eq!(p.parts, 1);
+        assert_eq!(p.block, 10);
+        assert_eq!(p.reduced_order(), 0);
+    }
+
+    #[test]
+    fn partition_last_block_holds_its_corners() {
+        // Uneven split whose naive last block would be tiny.
+        for (n, kl, ku, parts) in [(101, 2, 3, 8), (67, 1, 1, 8), (129, 5, 2, 4)] {
+            let p = SpikePartition::new(n, kl, ku, parts);
+            let last = p.len(p.parts - 1);
+            assert!(
+                p.parts == 1 || last > kl + ku,
+                "n={n} parts={} last={last}",
+                p.parts
+            );
+        }
+    }
+
+    #[test]
+    fn extracted_blocks_and_corners_tile_the_operator() {
+        let (n, kl, ku) = (37, 2, 3);
+        let a = random_band(n, kl, ku, 0.21, true);
+        let part = SpikePartition::new(n, kl, ku, 3);
+        assert_eq!(part.parts, 3);
+        let blocks = extract_blocks(&a.as_ref(), &part).unwrap();
+        let coupling = extract_coupling(&a.as_ref(), &part);
+        // Every in-band entry of A appears exactly once: in its diagonal
+        // block or in a coupling corner.
+        for j in 0..n {
+            let (rs, re) = a.layout().col_rows(j);
+            for i in rs..re {
+                let (pi, pj) = (i / part.block, j / part.block);
+                let got = if pi == pj {
+                    blocks
+                        .matrix(pi)
+                        .get(i - part.start(pi), j - part.start(pj))
+                } else if pj == pi + 1 {
+                    let e = part.start(pj);
+                    coupling.b_corner(pi)[(j - e) * ku + (i - (e - ku))]
+                } else {
+                    assert_eq!(pi, pj + 1, "band cut wider than one interface");
+                    let e = part.start(pi);
+                    coupling.c_corner(pj)[(j - (e - kl)) * kl + (i - e)]
+                };
+                assert_eq!(got, a.get(i, j), "({i}, {j})");
+            }
+        }
+        // Pad diagonal of the short last block is identity.
+        let last = part.parts - 1;
+        for jj in part.len(last)..part.block {
+            assert_eq!(blocks.matrix(last).get(jj, jj), 1.0);
+        }
+    }
+
+    #[test]
+    fn dense_lu_matches_f64_oracle() {
+        let n = 12;
+        let mut a: Vec<f64> = (0..n * n)
+            .map(|k| ((k * 37 % 19) as f64 - 9.0) * 0.3)
+            .collect();
+        for j in 0..n {
+            a[j * n + j] += 7.0;
+        }
+        let b0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        // Reference through crate::dense (f64-only).
+        let mut lu_ref = a.clone();
+        let mut piv_ref = vec![0i32; n];
+        assert_eq!(crate::dense::getrf(n, n, &mut lu_ref, n, &mut piv_ref), 0);
+        let mut x_ref = b0.clone();
+        crate::dense::getrs(n, 1, &lu_ref, n, &piv_ref, &mut x_ref, n);
+        // Generic path.
+        let mut lu = a.clone();
+        let mut piv = vec![0i32; n];
+        assert_eq!(dense_getrf(n, &mut lu, &mut piv), 0);
+        assert_eq!(lu, lu_ref, "identical pivot rule gives identical factors");
+        assert_eq!(piv, piv_ref);
+        let mut x = b0.clone();
+        dense_getrs(n, 1, &lu, &piv, &mut x);
+        assert_eq!(x, x_ref);
+    }
+
+    #[test]
+    fn dense_lu_flags_singular() {
+        let n = 3;
+        let mut a = vec![0.0f64; n * n]; // all-zero matrix
+        let mut piv = vec![0i32; n];
+        assert_eq!(dense_getrf(n, &mut a, &mut piv), 1);
+    }
+
+    #[test]
+    fn exact_spike_matches_gbsv_residual() {
+        for (n, kl, ku, parts, nrhs) in [
+            (64, 1, 1, 2, 1),
+            (100, 2, 3, 4, 2),
+            (129, 3, 2, 8, 1),
+            (200, 5, 5, 3, 3),
+        ] {
+            let a = random_band(n, kl, ku, 0.11 + n as f64 * 1e-3, true);
+            let mut rhs = vec![0.0; n * nrhs];
+            for (k, v) in rhs.iter_mut().enumerate() {
+                *v = ((k * 13 % 29) as f64 - 14.0) * 0.1;
+            }
+            let rhs0 = rhs.clone();
+            let info = spike_gbsv(&a.as_ref(), &mut rhs, nrhs, parts);
+            assert_eq!(info, 0);
+            for c in 0..nrhs {
+                let berr = backward_error(
+                    a.as_ref(),
+                    &rhs[c * n..(c + 1) * n],
+                    &rhs0[c * n..(c + 1) * n],
+                );
+                assert!(
+                    berr < 1e-12,
+                    "n={n} kl={kl} ku={ku} P={parts} c={c}: berr {berr:.2e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_part_is_bitwise_gbsv() {
+        let (n, kl, ku) = (40, 2, 3);
+        let a = random_band(n, kl, ku, 0.4, false);
+        let l = a.layout();
+        let mut b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        let mut b_ref = b.clone();
+        let mut ab = a.data().to_vec();
+        let mut ipiv = vec![0i32; n];
+        let info_ref = crate::gbsv::gbsv(&l, &mut ab, &mut ipiv, &mut b_ref, n, 1);
+        let info = spike_gbsv(&a.as_ref(), &mut b, 1, 1);
+        assert_eq!(info, info_ref);
+        assert_eq!(b, b_ref, "P=1 must be the sequential driver bit-for-bit");
+    }
+
+    #[test]
+    fn singular_block_falls_back_to_sequential() {
+        // Block 1's diagonal block is singular (zero column), but the full
+        // operator is fine thanks to its off-diagonal coupling.
+        let (n, kl, ku) = (32, 1, 1);
+        let mut a = random_band(n, kl, ku, 0.77, true);
+        let part = SpikePartition::new(n, kl, ku, 2);
+        let s = part.start(1);
+        a.set(s, s, 0.0);
+        a.set(s + 1, s, 0.0);
+        // a[s-1][s] stays nonzero, so the unsplit matrix is nonsingular.
+        assert!(spike_factorize::<f64>(&a.as_ref(), 2).is_err());
+        let mut b = vec![1.0; n];
+        let b0 = b.clone();
+        let info = spike_gbsv(&a.as_ref(), &mut b, 1, 2);
+        assert_eq!(info, 0, "fallback path must answer");
+        let berr = backward_error(a.as_ref(), &b, &b0);
+        assert!(berr < 1e-12, "berr {berr:.2e}");
+    }
+
+    #[test]
+    fn retained_factor_warm_solve_matches_cold() {
+        let (n, kl, ku, parts, nrhs) = (96, 2, 2, 4, 2);
+        let a = random_band(n, kl, ku, 0.5, true);
+        let f = spike_factorize(&a.as_ref(), parts).unwrap();
+        assert!(f.bytes() > 0);
+        let mut rhs = vec![0.0; n * nrhs];
+        for (k, v) in rhs.iter_mut().enumerate() {
+            *v = ((k % 17) as f64 - 8.0) * 0.2;
+        }
+        let mut cold = rhs.clone();
+        assert_eq!(spike_gbsv(&a.as_ref(), &mut cold, nrhs, parts), 0);
+        spike_solve_retained(&f, &mut rhs, nrhs);
+        assert_eq!(rhs, cold, "warm solve re-runs the identical arithmetic");
+    }
+
+    #[test]
+    fn f32_instantiation_solves() {
+        let (n, kl, ku) = (80, 2, 1);
+        let mut a = BandMatrix::<f32>::zeros_factor(n, n, kl, ku).unwrap();
+        let mut v = 0.3f32;
+        for j in 0..n {
+            let (s, e) = a.layout().col_rows(j);
+            for i in s..e {
+                v = (v * 1.9 + 0.171).fract();
+                a.set(i, j, v - 0.5 + if i == j { 3.0 } else { 0.0 });
+            }
+        }
+        let mut b = vec![1.0f32; n];
+        let b0 = b.clone();
+        assert_eq!(spike_gbsv(&a.as_ref(), &mut b, 1, 4), 0);
+        let mut r = vec![0.0f32; n];
+        gbmv(1.0, a.as_ref(), &b, 0.0, &mut r);
+        let err = r
+            .iter()
+            .zip(&b0)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(err < 1e-4, "f32 residual {err}");
+    }
+}

@@ -1243,6 +1243,153 @@ pub fn interleaved_solve_model() -> KernelModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// SPIKE coupling kernels
+// ---------------------------------------------------------------------------
+
+const X_STAGE: usize = 0;
+const X_DRAIN: usize = 1;
+
+/// Elements of the staged coupling corners: the `ku x ku` `B` corner plus
+/// the `kl x kl` `C` corner (mirrors
+/// [`crate::spike::extract_smem_bytes`]).
+fn spike_corner_elems() -> Expr {
+    v("kl") * v("kl") + v("ku") * v("ku")
+}
+
+fn spike_extract_schedule(_shape: &Shape, _oracle: &Oracle) -> Vec<EpochInstance> {
+    vec![inst(X_STAGE, &[]), inst(X_DRAIN, &[]), empty()]
+}
+
+/// Model of the SPIKE coupling-corner extraction
+/// ([`crate::spike`]'s `spike_extract_launch`): one block per cut
+/// interface stages both corners through shared memory — the `B` and `C`
+/// corners are disjoint striped sweeps within one write epoch, then a
+/// barrier, then the matching striped drain epoch. The schedule is
+/// data-independent (no pivoting happens here).
+pub fn spike_extract_model(rigor: Rigor) -> KernelModel {
+    let elems = spike_corner_elems();
+    KernelModel {
+        family: "spike_extract",
+        label: "spike_extract",
+        allocs: vec![AllocModel {
+            name: "corners",
+            elems: elems.clone(),
+        }],
+        templates: vec![
+            EpochTemplate {
+                name: "stage",
+                vars: Vec::new(),
+                guards: Vec::new(),
+                accesses: vec![
+                    striped(0, AccessKind::Write, k(0), v("ku") * v("ku")),
+                    striped(0, AccessKind::Write, v("ku") * v("ku"), v("kl") * v("kl")),
+                ],
+            },
+            EpochTemplate {
+                name: "drain",
+                vars: Vec::new(),
+                guards: Vec::new(),
+                accesses: vec![
+                    striped(0, AccessKind::Read, k(0), v("ku") * v("ku")),
+                    striped(0, AccessKind::Read, v("ku") * v("ku"), v("kl") * v("kl")),
+                ],
+            },
+        ],
+        smem_bytes: elems * v("sbytes"),
+        envelope: envelope(vec![
+            ("kl", rigor.pick(&[0, 2], &[0, 1, 2, 3, 8])),
+            ("ku", rigor.pick(&[1, 3], &[1, 3, 7])),
+        ]),
+        schedule: Some(spike_extract_schedule),
+    }
+}
+
+const C_STAGE: usize = 0;
+const C_CONSUME: usize = 1;
+
+fn spike_combine_schedule(_shape: &Shape, _oracle: &Oracle) -> Vec<EpochInstance> {
+    vec![inst(C_STAGE, &[]), inst(C_CONSUME, &[]), empty()]
+}
+
+/// Model of the SPIKE back-substitution
+/// ([`crate::spike`]'s `spike_combine_launch`): one block per partition
+/// stages its `(kl + ku) x nrhs` interface slice of the solved reduced
+/// vector (one striped sweep per RHS column, disjoint across columns),
+/// barriers, then broadcast-reads each staged element exactly once before
+/// the lane-private row sweep.
+pub fn spike_combine_model(rigor: Rigor) -> KernelModel {
+    let slice = v("kv") * v("nrhs");
+    KernelModel {
+        family: "spike_combine",
+        label: "spike_combine",
+        allocs: vec![AllocModel {
+            name: "slice",
+            elems: slice.clone(),
+        }],
+        templates: vec![
+            EpochTemplate {
+                name: "stage",
+                vars: Vec::new(),
+                guards: Vec::new(),
+                accesses: vec![Access {
+                    alloc: 0,
+                    kind: AccessKind::Write,
+                    pattern: Pattern::Striped {
+                        base: v("cc") * v("kv"),
+                        len: v("kv"),
+                    },
+                    vars: vec![VarDef::enumerated("cc", k(0), v("nrhs") - k(1))],
+                    guards: Vec::new(),
+                    preds: Vec::new(),
+                }],
+            },
+            EpochTemplate {
+                name: "consume",
+                vars: Vec::new(),
+                guards: Vec::new(),
+                accesses: vec![Access {
+                    alloc: 0,
+                    kind: AccessKind::Read,
+                    pattern: Pattern::Broadcast { off: v("q") },
+                    vars: vec![VarDef::enumerated("q", k(0), slice.clone() - k(1))],
+                    guards: Vec::new(),
+                    preds: Vec::new(),
+                }],
+            },
+        ],
+        smem_bytes: slice * v("sbytes"),
+        envelope: envelope(vec![
+            ("kl", rigor.pick(&[0, 2], &[0, 1, 2, 3])),
+            ("ku", rigor.pick(&[1], &[1, 3])),
+            ("nrhs", rigor.pick(&[2], &[1, 2, 3])),
+        ]),
+        schedule: Some(spike_combine_schedule),
+    }
+}
+
+/// Model of the SPIKE residual sweep ([`crate::spike`]'s
+/// `spike_residual_launch`) — entirely lane-private like the interleaved
+/// kernels: no shared memory, no barriers, so the model has no templates
+/// and conformance asserts the observed trace is empty.
+pub fn spike_residual_model() -> KernelModel {
+    KernelModel {
+        family: "spike_residual",
+        label: "spike_residual",
+        allocs: Vec::new(),
+        templates: Vec::new(),
+        smem_bytes: k(0),
+        envelope: Envelope {
+            grid: vec![("kl", vec![0, 2]), ("ku", vec![1, 3]), ("nrhs", vec![1, 2])],
+            derived: derived_band(),
+            frees: vec![("n", 1, 1 << 20)],
+            threads: vec![4],
+            search_n: vec![1],
+        },
+        schedule: None,
+    }
+}
+
 /// Every registered kernel model, at the requested rigor.
 pub fn registry(rigor: Rigor) -> Vec<KernelModel> {
     vec![
@@ -1253,6 +1400,9 @@ pub fn registry(rigor: Rigor) -> Vec<KernelModel> {
         gbtrs_backward_model(rigor),
         interleaved_factor_model(),
         interleaved_solve_model(),
+        spike_extract_model(rigor),
+        spike_combine_model(rigor),
+        spike_residual_model(),
     ]
 }
 
@@ -1432,5 +1582,11 @@ mod tests {
         assert_eq!(fwd.template_index("tail_last"), S_TAIL_LAST);
         let bwd = gbtrs_backward_model(Rigor::Quick);
         assert_eq!(bwd.template_index("tail"), S_TAIL);
+        let ext = spike_extract_model(Rigor::Quick);
+        assert_eq!(ext.template_index("stage"), X_STAGE);
+        assert_eq!(ext.template_index("drain"), X_DRAIN);
+        let cmb = spike_combine_model(Rigor::Quick);
+        assert_eq!(cmb.template_index("stage"), C_STAGE);
+        assert_eq!(cmb.template_index("consume"), C_CONSUME);
     }
 }

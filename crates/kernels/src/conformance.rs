@@ -488,6 +488,76 @@ fn conform_interleaved<S: Scalar>(dev: &DeviceSpec, shape: &Shape) -> Result<usi
     Ok(3)
 }
 
+/// Conform the SPIKE coupling kernels: run extract / combine / residual
+/// over a 3-way partition of a single matrix under `Trace` and match the
+/// staged-slice epochs against the models. The residual kernel is
+/// lane-private and must leave an empty trace. Shapes with an empty band
+/// (`kl + ku == 0`) are outside the split driver's domain and are
+/// skipped.
+fn conform_spike<S: Scalar>(
+    dev: &DeviceSpec,
+    extract: &KernelModel,
+    combine: &KernelModel,
+    shape: &Shape,
+) -> Result<usize, String> {
+    use crate::spike::{
+        spike_combine_launch, spike_extract_launch, spike_residual_launch, SpikeMode, SpikeParams,
+    };
+    use gbatch_core::spike::SpikePartition;
+    let (kl, ku, nrhs) = (shape.kl, shape.ku, shape.nrhs);
+    if kl + ku == 0 {
+        return Ok(0);
+    }
+    // Three blocks, with the shape's own `n` perturbing the remainder so
+    // the identity-padded last block is exercised too.
+    let n = 3 * (kl + ku + 1) + shape.n;
+    let sshape = Shape { n, ..*shape };
+    let part = SpikePartition::new(n, kl, ku, 3);
+    if part.interfaces() == 0 {
+        return Ok(0);
+    }
+    let a = factor_batch::<S>(&sshape, 1);
+    let params = SpikeParams {
+        parts: part.parts,
+        mode: SpikeMode::Exact,
+        max_refine: 0,
+        nb: shape.nb,
+        threads: shape.threads as u32,
+        parallel: ParallelPolicy::Serial,
+    };
+    let _guard = trace_mode();
+    let (_, rep) = spike_extract_launch(dev, &a, 0, &part, &params)
+        .map_err(|e| format!("spike_extract at {shape:?}: launch failed: {e}"))?;
+    let oracles = vec![Oracle::default(); part.interfaces()];
+    let mut checks = check_blocks(extract, &sshape, S::BYTES, &rep.hazards, &oracles)?;
+
+    let aug = RhsBatch::<S>::from_fn(part.parts, part.block, nrhs + ku + kl, seed_rhs::<S>)
+        .expect("valid augmented rhs shape");
+    let y: Vec<S> = (0..part.reduced_order() * nrhs)
+        .map(|i| seed_rhs::<S>(0, i % 7, i / 7))
+        .collect();
+    let (_, rep) = spike_combine_launch(dev, &part, &aug, &aug, nrhs, nrhs, &y, &params)
+        .map_err(|e| format!("spike_combine at {shape:?}: launch failed: {e}"))?;
+    let oracles = vec![Oracle::default(); part.parts];
+    checks += check_blocks(combine, &sshape, S::BYTES, &rep.hazards, &oracles)?;
+
+    let x: Vec<S> = (0..n * nrhs)
+        .map(|i| seed_rhs::<S>(1, i % 9, i / 9))
+        .collect();
+    let f: Vec<S> = (0..n * nrhs)
+        .map(|i| seed_rhs::<S>(2, i % 8, i / 8))
+        .collect();
+    let (_, rep) = spike_residual_launch(dev, &a, 0, &part, &x, &f, nrhs, &params)
+        .map_err(|e| format!("spike_residual at {shape:?}: launch failed: {e}"))?;
+    if !rep.hazards.is_empty() {
+        return Err(format!(
+            "spike_residual at {shape:?}: lane-private kernel produced {} trace reports",
+            rep.hazards.len()
+        ));
+    }
+    Ok(checks + 1)
+}
+
 /// The conformance shape grid. Every shape keeps `threads >= kl + 1` so
 /// the requested thread count is also the effective one the models stripe
 /// over. The grid covers both window shift paths (`keep <= jb` merged,
@@ -557,6 +627,12 @@ pub fn run_conformance<S: Scalar>(rigor: Rigor) -> Result<usize, String> {
             &shape,
         )?;
         checks += conform_interleaved::<S>(&dev, &shape)?;
+        checks += conform_spike::<S>(
+            &dev,
+            by_family("spike_extract"),
+            by_family("spike_combine"),
+            &shape,
+        )?;
     }
     Ok(checks)
 }

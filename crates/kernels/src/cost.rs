@@ -486,6 +486,207 @@ impl CrossoverModel {
     pub fn interleaved_wins(&self, interleaved: SimTime, column_major: SimTime) -> bool {
         interleaved.secs() < column_major.secs() * self.column_scale
     }
+
+    /// Predicted cost of solving `batch` lanes through the SPIKE split
+    /// driver (lanes run sequentially, so the per-lane price scales
+    /// linearly). `None` when the split degenerates or cannot launch.
+    pub fn spike_time<S: Scalar>(
+        &self,
+        dev: &DeviceSpec,
+        l: &BandLayout,
+        batch: usize,
+        nrhs: usize,
+        params: &crate::spike::SpikeParams,
+    ) -> Option<SimTime> {
+        let lane = predict_spike_time::<S>(dev, l, nrhs, params)?;
+        Some(SimTime(lane.secs() * batch as f64))
+    }
+
+    /// Decide whether the SPIKE split wins against the unsplit
+    /// column-major window + blocked-solve price. Both sides are priced
+    /// by the same column family, so `column_scale` cancels; a 10%
+    /// safety margin keeps marginal splits on the proven unsplit path.
+    pub fn spike_wins(&self, spike: SimTime, column_major: SimTime) -> bool {
+        spike.secs() < 0.9 * column_major.secs()
+    }
+
+    /// Predicted cost of a **warm** (factor-reusing) SPIKE solve of
+    /// `batch` lanes: the block triangular solves over the true RHS
+    /// columns plus the combine sweep — no extraction, no factorization,
+    /// no refinement. This is what a serve-layer warm flush over a
+    /// retained [`gbatch_core::spike::SpikeFactor`] pays.
+    pub fn spike_warm_time<S: Scalar>(
+        &self,
+        dev: &DeviceSpec,
+        l: &BandLayout,
+        batch: usize,
+        nrhs: usize,
+        params: &crate::spike::SpikeParams,
+    ) -> Option<SimTime> {
+        let lane = predict_spike_warm_time::<S>(dev, l, nrhs, params)?;
+        Some(SimTime(lane.secs() * batch as f64))
+    }
+}
+
+/// Predicted modeled time of the SPIKE split solve of **one** lane
+/// ([`crate::spike::spike_gbsv_batch`]): the extract launch, the window
+/// factorization of the `P` diagonal blocks (riding one batched launch),
+/// the blocked solve over the augmented RHS (`nrhs + kl + ku` columns),
+/// the combine launch and the residual guard. Truncated mode adds two
+/// assumed refinement rounds (residual + block solve + combine) — a
+/// conservative stand-in for the data-dependent iteration count. `None`
+/// when the partition degenerates to one block or a launch cannot fit.
+pub fn predict_spike_time<S: Scalar>(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    nrhs: usize,
+    params: &crate::spike::SpikeParams,
+) -> Option<SimTime> {
+    use gbatch_core::spike::SpikePartition;
+    let part = SpikePartition::new(l.n, l.kl, l.ku, params.parts);
+    if part.parts < 2 {
+        return None;
+    }
+    let bl = part.block_layout().ok()?;
+    let (kl, ku, blk) = (l.kl, l.ku, part.block);
+    let t = params.threads;
+    let prec = crate::flop_class::<S>();
+    let mut total = SimTime::ZERO;
+
+    // Coupling extraction: one block per interface, corners staged through
+    // shared memory.
+    {
+        let elems = kl * kl + ku * ku;
+        let mut c = KernelCounters::default();
+        c.global_read += (elems * S::BYTES) as u64;
+        c.global_write += (elems * S::BYTES) as u64;
+        c.smem_elems += 2.0 * frac(elems, t as usize);
+        c.syncs += 2;
+        let cfg = LaunchConfig::new(t, crate::spike::extract_smem_bytes::<S>(kl, ku) as u32)
+            .with_precision(prec);
+        total += predict_time(dev, &cfg, part.interfaces(), &c)?;
+    }
+
+    // All P diagonal blocks factor concurrently as one window launch.
+    {
+        let cfg = LaunchConfig::new(
+            t,
+            crate::window::window_smem_bytes::<S>(&bl, params.nb) as u32,
+        )
+        .with_precision(prec);
+        total += predict_time(
+            dev,
+            &cfg,
+            part.parts,
+            &predict_window::<S>(&bl, params.nb, t),
+        )?;
+    }
+
+    // Blocked solve over the augmented RHS (true columns + both spikes).
+    let solve_time = |cols: usize| -> Option<SimTime> {
+        let smem = crate::gbtrs_blocked::forward_smem_bytes::<S>(&bl, params.nb, cols).max(
+            crate::gbtrs_blocked::backward_smem_bytes::<S>(&bl, params.nb, cols),
+        );
+        let cfg = LaunchConfig::new(t, smem as u32).with_precision(prec);
+        predict_time(
+            dev,
+            &cfg,
+            part.parts,
+            &predict_gbtrs_blocked::<S>(&bl, params.nb, cols, t),
+        )
+    };
+    total += solve_time(nrhs + kl + ku)?;
+
+    // Combine: stage the interface slice, broadcast it, sweep owned rows.
+    let combine = |c: &mut KernelCounters| {
+        let slice = (kl + ku) * nrhs;
+        c.global_read += ((slice + blk * (nrhs + ku + kl)) * S::BYTES) as u64;
+        c.global_write += (blk * nrhs * S::BYTES) as u64;
+        c.smem_elems += 2.0 * frac(slice, t as usize);
+        c.syncs += 2;
+        c.flops += (2 * blk * nrhs * (ku + kl)) as u64;
+        c.cycles += frac(blk * nrhs * (ku + kl), t as usize);
+    };
+    let combine_time = |dev: &DeviceSpec| -> Option<SimTime> {
+        let mut c = KernelCounters::default();
+        combine(&mut c);
+        let cfg = LaunchConfig::new(
+            t,
+            crate::spike::combine_smem_bytes::<S>(kl, ku, nrhs) as u32,
+        )
+        .with_precision(prec);
+        predict_time(dev, &cfg, part.parts, &c)
+    };
+    // Residual: lane-private row sweep over the block rows.
+    let residual_time = |dev: &DeviceSpec| -> Option<SimTime> {
+        let w = kl + ku + 1;
+        let mut c = KernelCounters::default();
+        c.global_read += (blk * (w * (1 + nrhs) + nrhs) * S::BYTES) as u64;
+        c.global_write += (blk * nrhs * S::BYTES) as u64;
+        c.flops += (2 * blk * w * nrhs) as u64;
+        c.cycles += frac(blk * w * nrhs, t as usize);
+        let cfg = LaunchConfig::new(t, 0).with_precision(prec);
+        predict_time(dev, &cfg, part.parts, &c)
+    };
+    total += combine_time(dev)?;
+    total += residual_time(dev)?; // residual guard / first refinement check
+    if params.mode == crate::spike::SpikeMode::Truncated {
+        // Two assumed refinement rounds.
+        for _ in 0..2 {
+            total += residual_time(dev)?;
+            total += solve_time(nrhs)?;
+            total += combine_time(dev)?;
+        }
+    }
+    Some(total)
+}
+
+/// Predicted modeled time of one lane's warm SPIKE solve over retained
+/// factors: the blocked triangular solve of the `P` diagonal blocks over
+/// the true RHS columns, then the combine sweep. `None` when the
+/// partition degenerates to one block or a launch cannot fit.
+pub fn predict_spike_warm_time<S: Scalar>(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    nrhs: usize,
+    params: &crate::spike::SpikeParams,
+) -> Option<SimTime> {
+    use gbatch_core::spike::SpikePartition;
+    let part = SpikePartition::new(l.n, l.kl, l.ku, params.parts);
+    if part.parts < 2 {
+        return None;
+    }
+    let bl = part.block_layout().ok()?;
+    let (kl, ku, blk) = (l.kl, l.ku, part.block);
+    let t = params.threads;
+    let prec = crate::flop_class::<S>();
+
+    let smem = crate::gbtrs_blocked::forward_smem_bytes::<S>(&bl, params.nb, nrhs).max(
+        crate::gbtrs_blocked::backward_smem_bytes::<S>(&bl, params.nb, nrhs),
+    );
+    let cfg = LaunchConfig::new(t, smem as u32).with_precision(prec);
+    let mut total = predict_time(
+        dev,
+        &cfg,
+        part.parts,
+        &predict_gbtrs_blocked::<S>(&bl, params.nb, nrhs, t),
+    )?;
+
+    let slice = (kl + ku) * nrhs;
+    let mut c = KernelCounters::default();
+    c.global_read += ((slice + blk * (nrhs + ku + kl)) * S::BYTES) as u64;
+    c.global_write += (blk * nrhs * S::BYTES) as u64;
+    c.smem_elems += 2.0 * frac(slice, t as usize);
+    c.syncs += 2;
+    c.flops += (2 * blk * nrhs * (ku + kl)) as u64;
+    c.cycles += frac(blk * nrhs * (ku + kl), t as usize);
+    let ccfg = LaunchConfig::new(
+        t,
+        crate::spike::combine_smem_bytes::<S>(kl, ku, nrhs) as u32,
+    )
+    .with_precision(prec);
+    total += predict_time(dev, &ccfg, part.parts, &c)?;
+    Some(total)
 }
 
 /// Lower bound on the §5.1 fork–join reference factorization:

@@ -39,6 +39,7 @@ use crate::interleaved::{
     InterleavedParams,
 };
 use crate::reference::gbtrf_batch_reference;
+use crate::spike::{spike_gbsv_batch, SpikeParams};
 use crate::window::{gbtrf_batch_window, window_smem_bytes, WindowParams};
 use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
 use gbatch_core::gbtrs::Transpose;
@@ -80,6 +81,10 @@ pub enum ChosenAlgo {
     /// Batch-major interleaved kernels behind pack/unpack conversion
     /// passes ([`crate::interleaved`]).
     Interleaved,
+    /// SPIKE-style split solve for large single systems
+    /// ([`crate::spike`]): `P` diagonal blocks factored as an
+    /// intra-matrix batch plus a small reduced coupling system.
+    Spike,
 }
 
 /// Storage-layout selection for the batched routines.
@@ -136,6 +141,13 @@ pub struct GbsvOptions {
     pub crossover: Option<CrossoverModel>,
     /// Interleaved-kernel geometry (default: [`InterleavedParams::auto`]).
     pub interleaved: Option<InterleavedParams>,
+    /// SPIKE split-solve parameters. `Some(_)` *forces* the split driver
+    /// for `gbsv` calls whose band storage it supports (square, LAPACK
+    /// factor layout, `kl + ku >= 1`), regardless of matrix size or
+    /// pricing; `None` (the default) lets the `Auto` policy route
+    /// large-`n` systems (`n >= SPIKE_MIN_N`) through the split when the
+    /// crossover model predicts a win.
+    pub spike: Option<SpikeParams>,
     /// Engine mode for every launch this dispatch issues (default: the
     /// caller's ambient mode, i.e. [`EngineMode::PerLaunch`] unless the
     /// caller opened an [`EngineScope`]). `Some(Resident)` routes the
@@ -278,6 +290,83 @@ fn choose_layout<S: Scalar>(
         MatrixLayout::Interleaved
     } else {
         MatrixLayout::ColumnMajor
+    }
+}
+
+/// Minimum matrix order for the SPIKE split regime under `Auto` routing.
+/// Below this the per-matrix parallelism a split exposes cannot amortize
+/// its extra launches (extract, combine, residual guard); an explicit
+/// [`GbsvOptions::spike`] bypasses the floor.
+pub const SPIKE_MIN_N: usize = 4096;
+
+/// Decide whether a `gbsv` call routes through the SPIKE split driver,
+/// returning the parameters to run it with. Structural requirements
+/// (square LAPACK factor storage, a nonempty band) gate both the forced
+/// and the `Auto` path; under `Auto` the split must additionally clear
+/// the size floor and beat the unsplit window + blocked-solve price by
+/// the [`CrossoverModel::spike_wins`] margin.
+fn spike_choice<S: Scalar>(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    batch: usize,
+    nrhs: usize,
+    opts: &GbsvOptions,
+) -> Option<SpikeParams> {
+    if batch == 0 || nrhs == 0 {
+        return None;
+    }
+    // Structural requirements of the split driver.
+    if l.m != l.n || l.row_offset != l.kv() || l.kl + l.ku == 0 {
+        return None;
+    }
+    let minimal = BandLayout::factor(l.n, l.n, l.kl, l.ku).ok()?;
+    if l.ldab != minimal.ldab {
+        return None;
+    }
+    // A forced column-major algorithm or interleaved layout overrides
+    // the split regime entirely.
+    if opts.algo != FactorAlgo::Auto || opts.layout == MatrixLayout::Interleaved {
+        return None;
+    }
+    let mut params = opts.spike.unwrap_or_else(|| SpikeParams::auto(dev, l.kl));
+    if let Some(p) = opts.parallel {
+        params = params.with_parallel(p);
+    }
+    if opts.spike.is_some() {
+        return Some(params);
+    }
+    if l.n < SPIKE_MIN_N {
+        return None;
+    }
+    let model = opts.crossover.unwrap_or_default();
+    let spike = model.spike_time::<S>(dev, l, batch, nrhs, &params)?;
+    // Unsplit column price: window factorization + blocked solve (large
+    // `n` is far above the fused cutoff). If either side cannot be
+    // priced, stay on the proven unsplit path.
+    let wp = opts.window.unwrap_or_else(|| WindowParams::auto(dev, l.kl));
+    let wcfg = LaunchConfig::new(wp.threads, window_smem_bytes::<S>(l, wp.nb) as u32)
+        .with_precision(crate::flop_class::<S>());
+    let mut column = predict_time(
+        dev,
+        &wcfg,
+        batch,
+        &predict_window::<S>(l, wp.nb, wp.threads),
+    )?;
+    let sp = opts.solve.unwrap_or_else(|| SolveParams::auto(dev, l.kl));
+    let smem = crate::gbtrs_blocked::forward_smem_bytes::<S>(l, sp.nb, nrhs).max(
+        crate::gbtrs_blocked::backward_smem_bytes::<S>(l, sp.nb, nrhs),
+    );
+    let scfg = LaunchConfig::new(sp.threads, smem as u32).with_precision(crate::flop_class::<S>());
+    column += predict_time(
+        dev,
+        &scfg,
+        batch,
+        &predict_gbtrs_blocked::<S>(l, sp.nb, nrhs, sp.threads),
+    )?;
+    if model.spike_wins(spike, column) {
+        Some(params)
+    } else {
+        None
     }
 }
 
@@ -455,7 +544,8 @@ pub fn gbtrf_batch<S: Scalar>(
         ChosenAlgo::Reference
         | ChosenAlgo::FusedGbsv
         | ChosenAlgo::Specialized
-        | ChosenAlgo::Interleaved => {
+        | ChosenAlgo::Interleaved
+        | ChosenAlgo::Spike => {
             let rep = gbtrf_batch_reference(dev, a, piv, info, opts.parallel_policy())?;
             Ok(BatchReport {
                 algo: ChosenAlgo::Reference,
@@ -685,6 +775,20 @@ pub fn gbsv_batch<S: Scalar>(
         });
     }
 
+    // Third regime: SPIKE split for large single systems (forced via
+    // `opts.spike`, or priced in under `Auto` for `n >= SPIKE_MIN_N`).
+    // The split driver handles singular blocks itself (per-lane unsplit
+    // fallback) and leaves failed lanes' RHS untouched.
+    if let Some(params) = spike_choice::<S>(dev, &l, a.batch(), rhs.nrhs(), opts) {
+        let rep = spike_gbsv_batch(dev, a, piv, rhs, info, params)?;
+        return Ok(BatchReport {
+            algo: ChosenAlgo::Spike,
+            time: rep.time,
+            launches: rep.launches,
+            singular: info.failures(),
+        });
+    }
+
     // Layout dimension, priced over the whole factor+solve call. The
     // native interleaved solve masks singular lanes itself (their RHS
     // blocks stay untouched), so no save/restore pass is needed.
@@ -891,6 +995,49 @@ mod tests {
             let algo = solve_and_check(48, 2, 3, 1, &opts);
             assert_eq!(algo, expect);
         }
+    }
+
+    #[test]
+    fn forced_spike_routes_through_split_driver() {
+        // Explicit `spike` bypasses the size floor and pricing; the split
+        // driver must still deliver the dispatcher's accuracy contract.
+        let opts = GbsvOptions {
+            spike: Some(crate::spike::SpikeParams::default().with_parts(4)),
+            ..Default::default()
+        };
+        let algo = solve_and_check(120, 2, 3, 2, &opts);
+        assert_eq!(algo, ChosenAlgo::Spike);
+    }
+
+    #[test]
+    fn auto_routes_large_systems_through_spike() {
+        let dev = DeviceSpec::h100_pcie();
+        let batch = 2;
+        let (n, kl, ku, nrhs) = (4096, 8, 8, 1);
+        let (mut a, mut b) = random_system(batch, n, kl, ku, nrhs);
+        let orig_a = a.clone();
+        let orig_b = b.clone();
+        let mut piv = PivotBatch::new(batch, n, n);
+        let mut info = InfoArray::new(batch);
+        let opts = GbsvOptions::default();
+        let rep = dgbsv_batch(&dev, &mut a, &mut piv, &mut b, &mut info, &opts).unwrap();
+        assert_eq!(rep.algo, ChosenAlgo::Spike);
+        assert!(info.all_ok());
+        for id in 0..batch {
+            let x = &b.block(id)[..n];
+            let berr = backward_error(orig_a.matrix(id), x, &orig_b.block(id)[..n]);
+            assert!(berr < 1e-11, "id={id}: berr {berr:.2e}");
+        }
+    }
+
+    #[test]
+    fn auto_stays_unsplit_below_spike_floor() {
+        let opts = GbsvOptions {
+            layout: MatrixLayout::ColumnMajor,
+            ..Default::default()
+        };
+        let algo = solve_and_check(1024, 4, 4, 1, &opts);
+        assert_eq!(algo, ChosenAlgo::Window);
     }
 
     #[test]

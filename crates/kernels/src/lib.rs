@@ -33,6 +33,11 @@
 //! - [`tridiag`] — parallel cyclic reduction for tridiagonal batches: the
 //!   `O(log n)` critical-path counterpoint to §8's "not enough parallelism
 //!   within a single problem".
+//! - [`mod@spike`] — SPIKE-style split solver for *large* single systems
+//!   (Li/Serban/Negrut, arXiv:1509.07919): P diagonal blocks factor
+//!   concurrently as an intra-matrix batch, a tiny dense reduced system
+//!   couples the cuts, and a truncated mode trades coupling for
+//!   iterative refinement; the third regime of the dispatch crossover.
 //! - [`mod@interleaved`] — batch-major (interleaved) GBTRF/GBTRS whose
 //!   column-step primitives sweep contiguous batch lanes innermost: no
 //!   shared memory, no barriers, bitwise-identical numerics per lane, and
@@ -67,6 +72,7 @@ pub mod mixed;
 pub mod pbtrf;
 pub mod reference;
 pub mod specialized;
+pub mod spike;
 pub mod step;
 pub mod tridiag;
 pub mod vbatch;

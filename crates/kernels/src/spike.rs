@@ -1,0 +1,1233 @@
+//! SPIKE-style split solve of one large band system on the device
+//! (Li/Serban/Negrut, arXiv:1509.07919) — the workspace's third dispatch
+//! regime, parallelizing *inside* a matrix instead of across the batch.
+//!
+//! The host-side math (partitioning, reduced-system assembly, dense
+//! reduced LU) lives in [`gbatch_core::spike`]; this module adds the
+//! device choreography:
+//!
+//! 1. the `P` diagonal blocks of one operator ride a single
+//!    [`gbtrf_batch_window`] launch as an intra-matrix batch, so the
+//!    existing window kernel factors all blocks concurrently;
+//! 2. one [`gbtrs_batch_blocked`] launch over the **augmented** RHS
+//!    (`nrhs` true columns + the coupling corners) produces every block
+//!    solution `g_p` and both spikes `V_p`, `W_p` at once;
+//! 3. two small coupling kernels — `spike_extract` (stages the cut
+//!    corners through shared memory) and `spike_combine` (broadcasts the
+//!    solved interface values and back-substitutes) — carry the new
+//!    communication pattern, with lane annotations for the runtime
+//!    hazard detector and declarative access models for
+//!    `cargo xtask verify-kernels`;
+//! 4. a lane-private `spike_residual` kernel prices the refinement
+//!    residuals of the truncated mode.
+//!
+//! **Truncated mode** drops the interface-to-interface coupling of the
+//! reduced system (keeping only each cut's own `kl + ku` square block —
+//! the classic truncated-SPIKE `DS` approximation, accurate when the
+//! spikes decay, i.e. for diagonally dominant operators) and wraps the
+//! approximate solve in iterative refinement. A residual-based guarantee
+//! makes the API never worse than the sequential driver: refinement that
+//! stalls falls back to the exact reduced system (reusing the factored
+//! blocks and spikes), and any remaining failure falls back to the
+//! unsplit window+blocked path that dispatch would have run anyway.
+//! `P = 1` *is* that unsplit path, bit for bit.
+
+use crate::gbtrs_blocked::{gbtrs_batch_blocked, SolveParams};
+use crate::window::{gbtrf_batch_window, WindowParams};
+use gbatch_core::batch::{BandBatch, InfoArray, PivotBatch, RhsBatch};
+use gbatch_core::layout::BandLayout;
+use gbatch_core::scalar::Scalar;
+use gbatch_core::spike::{
+    augmented_rhs, dense_getrf, dense_getrs, extract_blocks, SpikeCoupling, SpikePartition,
+};
+use gbatch_gpu_sim::{
+    launch, DeviceSpec, LaunchConfig, LaunchError, LaunchReport, ParallelPolicy, SimTime,
+};
+
+/// Whether the reduced system keeps the full interface coupling or the
+/// truncated block-diagonal approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpikeMode {
+    /// Solve the exact reduced system: the answer matches the sequential
+    /// driver to working accuracy.
+    Exact,
+    /// Truncated-SPIKE preconditioner + iterative refinement, with
+    /// fallback to [`SpikeMode::Exact`] (and then to the unsplit path)
+    /// when refinement stalls.
+    Truncated,
+}
+
+/// Tunables of the split solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpikeParams {
+    /// Requested number of diagonal blocks (clamped by
+    /// [`SpikePartition::new`]).
+    pub parts: usize,
+    /// Reduced-system treatment.
+    pub mode: SpikeMode,
+    /// Refinement-iteration cap of the truncated mode.
+    pub max_refine: usize,
+    /// Window/solve block size forwarded to the per-block kernels.
+    pub nb: usize,
+    /// Threads per block for every launch.
+    pub threads: u32,
+    /// Host scheduling of the per-block lanes (results are
+    /// bitwise-identical for every policy).
+    pub parallel: ParallelPolicy,
+}
+
+impl Default for SpikeParams {
+    fn default() -> Self {
+        SpikeParams {
+            parts: 8,
+            mode: SpikeMode::Truncated,
+            max_refine: 8,
+            nb: 8,
+            threads: 32,
+            parallel: ParallelPolicy::Serial,
+        }
+    }
+}
+
+impl SpikeParams {
+    /// Untuned defaults for a bandwidth: one warp (or enough to cover
+    /// `kl + 1` threads), eight blocks, truncated mode with refinement.
+    pub fn auto(dev: &DeviceSpec, kl: usize) -> Self {
+        SpikeParams {
+            threads: ((kl + 1) as u32).div_ceil(dev.warp_size) * dev.warp_size,
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set the block count.
+    pub fn with_parts(mut self, parts: usize) -> Self {
+        self.parts = parts;
+        self
+    }
+
+    /// Builder: set the reduced-system mode.
+    pub fn with_mode(mut self, mode: SpikeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder: set the host scheduling policy.
+    pub fn with_parallel(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    fn window(&self) -> WindowParams {
+        WindowParams {
+            nb: self.nb,
+            threads: self.threads,
+            parallel: self.parallel,
+        }
+    }
+
+    fn solve(&self) -> SolveParams {
+        SolveParams {
+            nb: self.nb,
+            threads: self.threads,
+            parallel: self.parallel,
+        }
+    }
+}
+
+/// Which path answered for one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpikeOutcome {
+    /// Exact reduced system, split solve.
+    Exact,
+    /// Truncated preconditioner converged after this many refinement
+    /// iterations.
+    Truncated {
+        /// Refinement iterations taken.
+        refine_iters: usize,
+    },
+    /// Truncated refinement stalled; the exact reduced system answered.
+    ExactFallback {
+        /// Refinement iterations spent before falling back.
+        refine_iters: usize,
+    },
+    /// Split solve unavailable (one-block partition, a singular block, or
+    /// a singular reduced system): the unsplit window+blocked path
+    /// answered — bitwise what dispatch runs today.
+    Unsplit,
+}
+
+/// Aggregate report of a [`spike_gbsv_batch`] call.
+#[derive(Debug, Clone)]
+pub struct SpikeReport {
+    /// Effective block count after partition clamping.
+    pub parts: usize,
+    /// Per-lane outcome.
+    pub outcomes: Vec<SpikeOutcome>,
+    /// Total modeled time across every launch of every lane.
+    pub time: SimTime,
+    /// Number of device launches issued.
+    pub launches: usize,
+}
+
+/// Shared bytes of the `spike_extract` kernel: both coupling corners of
+/// one interface (`kl^2 + ku^2` elements of `S`).
+pub fn extract_smem_bytes<S: Scalar>(kl: usize, ku: usize) -> usize {
+    (kl * kl + ku * ku) * S::BYTES
+}
+
+/// Shared bytes of the `spike_combine` kernel: the interface slice one
+/// block consumes (`(kl + ku) * nrhs` elements of `S`).
+pub fn combine_smem_bytes<S: Scalar>(kl: usize, ku: usize, nrhs: usize) -> usize {
+    (kl + ku) * nrhs * S::BYTES
+}
+
+struct ExtractProb<'a, S> {
+    iface: usize,
+    b: &'a mut [S],
+    c: &'a mut [S],
+}
+
+/// Split a corner array into one chunk per interface, tolerating the
+/// zero-width side of a one-sided band (`kl == 0` or `ku == 0`).
+fn corner_chunks<S>(v: &mut [S], size: usize, count: usize) -> Vec<&mut [S]> {
+    if size == 0 {
+        (0..count).map(|_| -> &mut [S] { &mut [] }).collect()
+    } else {
+        v.chunks_mut(size).take(count).collect()
+    }
+}
+
+/// Device extraction of the coupling corners: one block per interface
+/// stages its `B`/`C` corner entries through shared memory (a
+/// striped-write / barrier / striped-read echo of the real kernel's
+/// gather-then-scatter) and writes them to the corner arrays.
+pub(crate) fn spike_extract_launch<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &BandBatch<S>,
+    lane: usize,
+    part: &SpikePartition,
+    params: &SpikeParams,
+) -> Result<(SpikeCoupling<S>, LaunchReport), LaunchError> {
+    let (kl, ku) = (part.kl, part.ku);
+    let ifaces = part.interfaces();
+    let mut b = vec![S::ZERO; ifaces * ku * ku];
+    let mut c = vec![S::ZERO; ifaces * kl * kl];
+    let aref = a.matrix(lane);
+    let elems = kl * kl + ku * ku;
+    let cfg = LaunchConfig::new(params.threads, extract_smem_bytes::<S>(kl, ku) as u32)
+        .with_parallel(params.parallel)
+        .with_label("spike_extract")
+        .with_precision(crate::flop_class::<S>());
+    let mut probs: Vec<ExtractProb<'_, S>> = corner_chunks(&mut b, ku * ku, ifaces)
+        .into_iter()
+        .zip(corner_chunks(&mut c, kl * kl, ifaces))
+        .enumerate()
+        .map(|(iface, (b, c))| ExtractProb { iface, b, c })
+        .collect();
+    let rep = launch(dev, &cfg, &mut probs, |p, ctx| {
+        let e = part.start(p.iface + 1);
+        // Gather the cut corners from the global band and stage them.
+        for cc in 0..ku {
+            for r in 0..ku {
+                p.b[cc * ku + r] = aref.get(e - ku + r, e + cc);
+            }
+        }
+        for cc in 0..kl {
+            for r in 0..kl {
+                p.c[cc * kl + r] = aref.get(e + r, e - kl + cc);
+            }
+        }
+        let _off = ctx.smem.alloc_scalar(elems, S::BYTES);
+        ctx.gld(elems * S::BYTES);
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_write(0, ku * ku, ctx.threads);
+            t.striped_write(ku * ku, kl * kl, ctx.threads);
+        }
+        ctx.smem_work(elems, 0);
+        ctx.sync();
+        // Drain the staged corners to the coupling arrays.
+        if let Some(t) = ctx.smem.tracker() {
+            t.striped_read(0, ku * ku, ctx.threads);
+            t.striped_read(ku * ku, kl * kl, ctx.threads);
+        }
+        ctx.smem_work(elems, 0);
+        ctx.gst(elems * S::BYTES);
+        ctx.sync();
+    })?;
+    Ok((
+        SpikeCoupling {
+            kl,
+            ku,
+            interfaces: ifaces,
+            b,
+            c,
+        },
+        rep,
+    ))
+}
+
+struct CombineProb<'a, S> {
+    p: usize,
+    x: &'a mut [S],
+}
+
+/// Device back-substitution `x_p = g_p - V_p t_{p+1} - W_p b_{p-1}`: one
+/// block per partition stages its interface slice of the solved reduced
+/// vector in shared memory (each element broadcast-read once into
+/// registers), then runs the owned global row work. `g` supplies the
+/// block solutions (columns `0..nrhs`); `spikes` supplies the spike
+/// columns starting at `spike_off` (`ku` right then `kl` left). Returns
+/// the block solutions as one contiguous `block * nrhs` lane per
+/// partition.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spike_combine_launch<S: Scalar>(
+    dev: &DeviceSpec,
+    part: &SpikePartition,
+    g: &RhsBatch<S>,
+    spikes: &RhsBatch<S>,
+    spike_off: usize,
+    nrhs: usize,
+    y: &[S],
+    params: &SpikeParams,
+) -> Result<(Vec<S>, LaunchReport), LaunchError> {
+    let (kl, ku, blk) = (part.kl, part.ku, part.block);
+    let kb = kl + ku;
+    let r = part.reduced_order();
+    let slice_elems = kb * nrhs;
+    let mut x = vec![S::ZERO; part.parts * blk * nrhs];
+    let cfg = LaunchConfig::new(params.threads, combine_smem_bytes::<S>(kl, ku, nrhs) as u32)
+        .with_parallel(params.parallel)
+        .with_label("spike_combine")
+        .with_precision(crate::flop_class::<S>());
+    let mut probs: Vec<CombineProb<'_, S>> = x
+        .chunks_mut(blk * nrhs)
+        .enumerate()
+        .map(|(p, x)| CombineProb { p, x })
+        .collect();
+    let rep = launch(dev, &cfg, &mut probs, |pr, ctx| {
+        let p = pr.p;
+        let len = part.len(p);
+        let gb = g.block(p);
+        let gl = g.ldb();
+        let sb = spikes.block(p);
+        let sl = spikes.ldb();
+        // Stage the interface values this block consumes — `b_{p-1}` then
+        // `t_{p+1}` per RHS column, zero-padded at the outer blocks so
+        // every lane stages the same uniform slice.
+        let mut slice = vec![S::ZERO; slice_elems];
+        for cc in 0..nrhs {
+            if p > 0 {
+                for e in 0..kl {
+                    slice[cc * kb + e] = y[cc * r + (p - 1) * kb + e];
+                }
+            }
+            if p + 1 < part.parts {
+                for e in 0..ku {
+                    slice[cc * kb + kl + e] = y[cc * r + p * kb + kl + e];
+                }
+            }
+        }
+        let _off = ctx.smem.alloc_scalar(slice_elems, S::BYTES);
+        ctx.gld(slice_elems * S::BYTES);
+        if let Some(t) = ctx.smem.tracker() {
+            for cc in 0..nrhs {
+                t.striped_write(cc * kb, kb, ctx.threads);
+            }
+        }
+        ctx.smem_work(slice_elems, 0);
+        ctx.sync();
+        // Every thread broadcast-reads each staged element once into
+        // registers, then sweeps its owned rows against the spikes.
+        if let Some(t) = ctx.smem.tracker() {
+            for off in 0..slice_elems {
+                t.broadcast_read(off);
+            }
+        }
+        ctx.smem_work(slice_elems, 0);
+        for row in 0..len {
+            for cc in 0..nrhs {
+                let mut val = gb[cc * gl + row];
+                if p + 1 < part.parts {
+                    for e in 0..ku {
+                        val -= sb[(spike_off + e) * sl + row] * slice[cc * kb + kl + e];
+                    }
+                }
+                if p > 0 {
+                    for e in 0..kl {
+                        val -= sb[(spike_off + ku + e) * sl + row] * slice[cc * kb + e];
+                    }
+                }
+                pr.x[cc * blk + row] = val;
+            }
+        }
+        ctx.gld(len * (nrhs + ku + kl) * S::BYTES);
+        ctx.par_work(len * nrhs * (ku + kl), 2);
+        ctx.gst(len * nrhs * S::BYTES);
+        ctx.sync();
+    })?;
+    Ok((x, rep))
+}
+
+struct ResidProb<'a, S> {
+    p: usize,
+    r: &'a mut [S],
+}
+
+/// Device residual `r = f - A x` over the block rows: one block per
+/// partition, entirely lane-private (no shared memory, no barriers — the
+/// access-model registry records it template-free). `x` and `f` are
+/// column-major `n x nrhs`; the residual comes back as one contiguous
+/// `block * nrhs` lane per partition.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spike_residual_launch<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &BandBatch<S>,
+    lane: usize,
+    part: &SpikePartition,
+    x: &[S],
+    f: &[S],
+    nrhs: usize,
+    params: &SpikeParams,
+) -> Result<(Vec<S>, LaunchReport), LaunchError> {
+    let (kl, ku, blk, n) = (part.kl, part.ku, part.block, part.n);
+    let aref = a.matrix(lane);
+    let mut res = vec![S::ZERO; part.parts * blk * nrhs];
+    let cfg = LaunchConfig::new(params.threads, 0)
+        .with_parallel(params.parallel)
+        .with_label("spike_residual")
+        .with_precision(crate::flop_class::<S>());
+    let mut probs: Vec<ResidProb<'_, S>> = res
+        .chunks_mut(blk * nrhs)
+        .enumerate()
+        .map(|(p, r)| ResidProb { p, r })
+        .collect();
+    let rep = launch(dev, &cfg, &mut probs, |pr, ctx| {
+        let s = part.start(pr.p);
+        let len = part.len(pr.p);
+        for row in 0..len {
+            let i = s + row;
+            let j0 = i.saturating_sub(kl);
+            let j1 = (i + ku + 1).min(n);
+            for cc in 0..nrhs {
+                let mut acc = f[cc * n + i];
+                for j in j0..j1 {
+                    acc -= aref.get(i, j) * x[cc * n + j];
+                }
+                pr.r[cc * blk + row] = acc;
+            }
+            ctx.gld(((j1 - j0) * (1 + nrhs) + nrhs) * S::BYTES);
+            ctx.par_work((j1 - j0) * nrhs, 2);
+        }
+        ctx.gst(len * nrhs * S::BYTES);
+    })?;
+    Ok((res, rep))
+}
+
+/// Truncated reduced solve: per interface `i`, solve the `(kl + ku)`
+/// square diagonal block `[I, V_i^bot; W_{i+1}^top, I]` against that
+/// interface's rows of `rhs`, ignoring the coupling to neighbouring
+/// interfaces (the `DS` approximation). `lus`/`pivs` hold one factored
+/// block per interface.
+fn truncated_reduced_solve<S: Scalar>(
+    part: &SpikePartition,
+    lus: &[S],
+    pivs: &[i32],
+    rhs: &mut [S],
+    nrhs: usize,
+) {
+    let kb = part.kl + part.ku;
+    let r = part.reduced_order();
+    let mut col = vec![S::ZERO; kb];
+    for i in 0..part.interfaces() {
+        for c in 0..nrhs {
+            col.copy_from_slice(&rhs[c * r + i * kb..c * r + (i + 1) * kb]);
+            dense_getrs(
+                kb,
+                1,
+                &lus[i * kb * kb..(i + 1) * kb * kb],
+                &pivs[i * kb..(i + 1) * kb],
+                &mut col,
+            );
+            rhs[c * r + i * kb..c * r + (i + 1) * kb].copy_from_slice(&col);
+        }
+    }
+}
+
+/// Assemble and factor the truncated (block-diagonal) reduced system.
+/// `Err(())` when an interface block is singular.
+fn factor_truncated<S: Scalar>(
+    part: &SpikePartition,
+    v: impl Fn(usize, usize, usize) -> S,
+    w: impl Fn(usize, usize, usize) -> S,
+) -> Result<(Vec<S>, Vec<i32>), ()> {
+    let (kl, ku) = (part.kl, part.ku);
+    let kb = kl + ku;
+    let ifaces = part.interfaces();
+    let mut lus = vec![S::ZERO; ifaces * kb * kb];
+    let mut pivs = vec![0i32; ifaces * kb];
+    for i in 0..ifaces {
+        let m = &mut lus[i * kb * kb..(i + 1) * kb * kb];
+        for d in 0..kb {
+            m[d * kb + d] = S::ONE;
+        }
+        for rr in 0..kl {
+            let brow = part.len(i) - kl + rr;
+            for c in 0..ku {
+                m[(kl + c) * kb + rr] = v(i, brow, c);
+            }
+        }
+        for rr in 0..ku {
+            for c in 0..kl {
+                m[c * kb + kl + rr] = w(i + 1, rr, c);
+            }
+        }
+        if dense_getrf(kb, m, &mut pivs[i * kb..(i + 1) * kb]) != 0 {
+            return Err(());
+        }
+    }
+    Ok((lus, pivs))
+}
+
+/// One lane's bookkeeping shared by the split paths.
+struct LaneState<S: Scalar> {
+    part: SpikePartition,
+    blocks: BandBatch<S>,
+    bpiv: PivotBatch,
+    /// Augmented solve output: columns `0..nrhs` hold `g_p`, then `ku`
+    /// right-spike and `kl` left-spike columns.
+    aug: RhsBatch<S>,
+    nrhs: usize,
+}
+
+impl<S: Scalar> LaneState<S> {
+    fn g(&self, p: usize, row: usize, c: usize) -> S {
+        self.aug.get(p, row, c)
+    }
+    fn v(&self, p: usize, row: usize, c: usize) -> S {
+        self.aug.get(p, row, self.nrhs + c)
+    }
+    fn w(&self, p: usize, row: usize, c: usize) -> S {
+        self.aug.get(p, row, self.nrhs + self.part.ku + c)
+    }
+}
+
+/// Infinity norm of a column-major panel.
+fn inf_norm<S: Scalar>(v: &[S]) -> S {
+    v.iter().fold(S::ZERO, |m, &x| m.max(x.abs()))
+}
+
+/// Split-solve driver: factor and solve every lane of `a` against `rhs`
+/// through the SPIKE decomposition, falling back per lane to the unsplit
+/// window+blocked path whenever the split cannot answer (so the result is
+/// never worse than dispatch's column-major path — and `P = 1` *is* that
+/// path, bitwise). On success each lane's band storage holds its block
+/// factors column-for-column (block-partitioned, same minimal `ldab`) and
+/// `piv` holds globally-indexed block-local pivots; `info` follows the
+/// `gbsv` convention per lane.
+pub fn spike_gbsv_batch<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &mut BandBatch<S>,
+    piv: &mut PivotBatch,
+    rhs: &mut RhsBatch<S>,
+    info: &mut InfoArray,
+    params: SpikeParams,
+) -> Result<SpikeReport, LaunchError> {
+    let l = a.layout();
+    assert_eq!(l.m, l.n, "spike requires square systems");
+    assert_eq!(
+        l.row_offset,
+        l.kv(),
+        "spike requires factor band storage (fill-in rows present)"
+    );
+    assert!(
+        l.kl + l.ku >= 1,
+        "diagonal systems have no coupling to split"
+    );
+    assert!(rhs.nrhs() >= 1, "spike solve needs at least one RHS column");
+    let batch = a.batch();
+    assert_eq!(piv.batch(), batch);
+    assert_eq!(info.len(), batch);
+    assert_eq!(rhs.batch(), batch);
+    let nrhs = rhs.nrhs();
+    let part = SpikePartition::new(l.n, l.kl, l.ku, params.parts);
+    let bl = part.block_layout().expect("valid block layout");
+    assert_eq!(
+        bl.ldab, l.ldab,
+        "spike requires the minimal factor ldab (block columns must tile the band)"
+    );
+
+    let mut outcomes = Vec::with_capacity(batch);
+    let mut time = SimTime::ZERO;
+    let mut launches = 0usize;
+    for lane in 0..batch {
+        let outcome = solve_lane(
+            dev,
+            a,
+            piv,
+            rhs,
+            info,
+            lane,
+            &part,
+            &bl,
+            nrhs,
+            &params,
+            &mut time,
+            &mut launches,
+        )?;
+        outcomes.push(outcome);
+    }
+    Ok(SpikeReport {
+        parts: part.parts,
+        outcomes,
+        time,
+        launches,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_lane<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &mut BandBatch<S>,
+    piv: &mut PivotBatch,
+    rhs: &mut RhsBatch<S>,
+    info: &mut InfoArray,
+    lane: usize,
+    part: &SpikePartition,
+    bl: &BandLayout,
+    nrhs: usize,
+    params: &SpikeParams,
+    time: &mut SimTime,
+    launches: &mut usize,
+) -> Result<SpikeOutcome, LaunchError> {
+    let l = a.layout();
+    let n = l.n;
+    if part.parts == 1 {
+        unsplit_lane(dev, a, piv, rhs, info, lane, params, time, launches)?;
+        return Ok(SpikeOutcome::Unsplit);
+    }
+
+    // Gather the lane's RHS as a dense column-major n x nrhs panel (host
+    // assembly pass, unpriced — same convention as the serve lane gather).
+    let mut f = vec![S::ZERO; n * nrhs];
+    {
+        let b = rhs.block(lane);
+        let ldb = rhs.ldb();
+        for c in 0..nrhs {
+            f[c * n..(c + 1) * n].copy_from_slice(&b[c * ldb..c * ldb + n]);
+        }
+    }
+
+    // (1) Coupling corners through the extract kernel.
+    let (coupling, t) = spike_extract_launch(dev, a, lane, part, params)?;
+    let t = t.time;
+    *time += t;
+    *launches += 1;
+
+    // (2) All P diagonal blocks factor concurrently as one batched
+    // window launch.
+    let mut blocks = extract_blocks(&a.matrix(lane), part).expect("valid block batch");
+    let mut bpiv = PivotBatch::new(part.parts, part.block, part.block);
+    let mut binfo = InfoArray::new(part.parts);
+    let rep = gbtrf_batch_window(dev, &mut blocks, &mut bpiv, &mut binfo, params.window())?;
+    *time += rep.time;
+    *launches += 1;
+    if !binfo.all_ok() {
+        unsplit_lane(dev, a, piv, rhs, info, lane, params, time, launches)?;
+        return Ok(SpikeOutcome::Unsplit);
+    }
+
+    // (3) One blocked solve over the augmented RHS yields g, V and W.
+    let mut aug = augmented_rhs(part, &coupling, &f, nrhs).expect("valid augmented rhs");
+    let srep = gbtrs_batch_blocked(dev, bl, blocks.data(), &bpiv, &mut aug, params.solve())?;
+    *time += srep.time();
+    *launches += 2;
+
+    let st = LaneState {
+        part: *part,
+        blocks,
+        bpiv,
+        aug,
+        nrhs,
+    };
+
+    let outcome = match params.mode {
+        SpikeMode::Exact => exact_solve(dev, a, rhs, lane, &st, &f, params, time, launches)?,
+        SpikeMode::Truncated => {
+            truncated_solve(dev, a, rhs, lane, &st, &f, params, time, launches)?
+        }
+    };
+    match outcome {
+        Some(oc) => {
+            write_back(a, piv, info, lane, part, &st);
+            Ok(oc)
+        }
+        None => {
+            unsplit_lane(dev, a, piv, rhs, info, lane, params, time, launches)?;
+            Ok(SpikeOutcome::Unsplit)
+        }
+    }
+}
+
+/// Exact reduced solve + combine; `None` when the reduced system is
+/// singular or the answer fails the residual guard.
+#[allow(clippy::too_many_arguments)]
+fn exact_solve<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &BandBatch<S>,
+    rhs: &mut RhsBatch<S>,
+    lane: usize,
+    st: &LaneState<S>,
+    f: &[S],
+    params: &SpikeParams,
+    time: &mut SimTime,
+    launches: &mut usize,
+) -> Result<Option<SpikeOutcome>, LaunchError> {
+    let part = &st.part;
+    let r = part.reduced_order();
+    let mut reduced = gbatch_core::spike::assemble_reduced_matrix(
+        part,
+        |p, row, c| st.v(p, row, c),
+        |p, row, c| st.w(p, row, c),
+    );
+    let mut rpiv = vec![0i32; r];
+    if dense_getrf(r, &mut reduced, &mut rpiv) != 0 {
+        return Ok(None);
+    }
+    let mut y =
+        gbatch_core::spike::assemble_reduced_rhs(part, |p, row, c| st.g(p, row, c), st.nrhs);
+    dense_getrs(r, st.nrhs, &reduced, &rpiv, &mut y);
+    let (x, t) = spike_combine_launch(dev, part, &st.aug, &st.aug, st.nrhs, st.nrhs, &y, params)?;
+    let t = t.time;
+    *time += t;
+    *launches += 1;
+    scatter_solution(rhs, lane, part, st.nrhs, &x);
+    // Residual guard: the exact split answer must be as good as a direct
+    // solve before we commit to it.
+    let xcol = gather_lane(rhs, lane, st.nrhs);
+    let (res, t) = spike_residual_launch(dev, a, lane, part, &xcol, f, st.nrhs, params)?;
+    let t = t.time;
+    *time += t;
+    *launches += 1;
+    let tol = S::EPSILON.sqrt() * inf_norm(f).max(S::ONE);
+    if inf_norm(&res) > tol {
+        return Ok(None);
+    }
+    Ok(Some(SpikeOutcome::Exact))
+}
+
+/// Truncated preconditioner + iterative refinement; falls back to the
+/// exact reduced system on stall, `None` when that fails too.
+#[allow(clippy::too_many_arguments)]
+fn truncated_solve<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &BandBatch<S>,
+    rhs: &mut RhsBatch<S>,
+    lane: usize,
+    st: &LaneState<S>,
+    f: &[S],
+    params: &SpikeParams,
+    time: &mut SimTime,
+    launches: &mut usize,
+) -> Result<Option<SpikeOutcome>, LaunchError> {
+    let part = &st.part;
+    let (n, blk) = (part.n, part.block);
+    let nrhs = st.nrhs;
+    let Ok((lus, pivs)) = factor_truncated(
+        part,
+        |p, row, c| st.v(p, row, c),
+        |p, row, c| st.w(p, row, c),
+    ) else {
+        return exact_solve(dev, a, rhs, lane, st, f, params, time, launches)
+            .map(|oc| oc.map(|_| SpikeOutcome::ExactFallback { refine_iters: 0 }));
+    };
+
+    // Initial truncated solve from the already-computed g.
+    let mut y = gbatch_core::spike::assemble_reduced_rhs(part, |p, row, c| st.g(p, row, c), nrhs);
+    truncated_reduced_solve(part, &lus, &pivs, &mut y, nrhs);
+    let (xb, t) = spike_combine_launch(dev, part, &st.aug, &st.aug, nrhs, nrhs, &y, params)?;
+    let t = t.time;
+    *time += t;
+    *launches += 1;
+    let mut x = vec![S::ZERO; n * nrhs];
+    for p in 0..part.parts {
+        let s = part.start(p);
+        let len = part.len(p);
+        for c in 0..nrhs {
+            x[c * n + s..c * n + s + len]
+                .copy_from_slice(&xb[p * blk * nrhs + c * blk..p * blk * nrhs + c * blk + len]);
+        }
+    }
+
+    let bnorm = inf_norm(f);
+    let bnorm = if bnorm == S::ZERO { S::ONE } else { bnorm };
+    let tol = S::from_f64(10.0) * S::EPSILON * bnorm;
+    let mut prev = S::from_f64(f64::INFINITY);
+    for iter in 0..=params.max_refine {
+        let (res, t) = spike_residual_launch(dev, a, lane, part, &x, f, nrhs, params)?;
+        let t = t.time;
+        *time += t;
+        *launches += 1;
+        let rnorm = inf_norm(&res);
+        if rnorm <= tol {
+            write_lane(rhs, lane, nrhs, &x);
+            return Ok(Some(SpikeOutcome::Truncated { refine_iters: iter }));
+        }
+        // Stall detection: refinement must keep contracting or we bail to
+        // the exact reduced system. The negated comparison is deliberate:
+        // a NaN residual must read as "stalled" and take the fallback.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if iter == params.max_refine || !(rnorm.to_f64() < 0.5 * prev.to_f64()) {
+            let oc = exact_solve(dev, a, rhs, lane, st, f, params, time, launches)?;
+            return Ok(oc.map(|_| SpikeOutcome::ExactFallback { refine_iters: iter }));
+        }
+        prev = rnorm;
+        // Preconditioner application: dx = M^{-1} r.
+        let mut rb = RhsBatch::zeros(part.parts, blk, nrhs).expect("valid refinement rhs");
+        for p in 0..part.parts {
+            let len = part.len(p);
+            let dst = rb.block_mut(p);
+            for c in 0..nrhs {
+                dst[c * blk..c * blk + len].copy_from_slice(
+                    &res[p * blk * nrhs + c * blk..p * blk * nrhs + c * blk + len],
+                );
+            }
+        }
+        let bl = st.blocks.layout();
+        let srep = gbtrs_batch_blocked(
+            dev,
+            &bl,
+            st.blocks.data(),
+            &st.bpiv,
+            &mut rb,
+            params.solve(),
+        )?;
+        *time += srep.time();
+        *launches += 2;
+        let mut yr =
+            gbatch_core::spike::assemble_reduced_rhs(part, |p, row, c| rb.get(p, row, c), nrhs);
+        truncated_reduced_solve(part, &lus, &pivs, &mut yr, nrhs);
+        let (dxb, t) = spike_combine_launch(dev, part, &rb, &st.aug, nrhs, nrhs, &yr, params)?;
+        let t = t.time;
+        *time += t;
+        *launches += 1;
+        for p in 0..part.parts {
+            let s = part.start(p);
+            let len = part.len(p);
+            for c in 0..nrhs {
+                for row in 0..len {
+                    x[c * n + s + row] += dxb[p * blk * nrhs + c * blk + row];
+                }
+            }
+        }
+    }
+    unreachable!("loop exits via convergence or fallback");
+}
+
+/// Unsplit fallback: the window factorization + blocked solve dispatch
+/// runs today, on this lane alone — copied out so the lane's numerics are
+/// untouched by any partial split state.
+#[allow(clippy::too_many_arguments)]
+fn unsplit_lane<S: Scalar>(
+    dev: &DeviceSpec,
+    a: &mut BandBatch<S>,
+    piv: &mut PivotBatch,
+    rhs: &mut RhsBatch<S>,
+    info: &mut InfoArray,
+    lane: usize,
+    params: &SpikeParams,
+    time: &mut SimTime,
+    launches: &mut usize,
+) -> Result<(), LaunchError> {
+    let l = a.layout();
+    let n = l.n;
+    let nrhs = rhs.nrhs();
+    let stride = a.matrix_stride();
+    let mut one = BandBatch::zeros_with_layout(l, 1).expect("valid lane batch");
+    one.data_mut()
+        .copy_from_slice(&a.data()[lane * stride..(lane + 1) * stride]);
+    let mut opiv = PivotBatch::new(1, n, n);
+    let mut oinfo = InfoArray::new(1);
+    let rep = gbtrf_batch_window(dev, &mut one, &mut opiv, &mut oinfo, params.window())?;
+    *time += rep.time;
+    *launches += 1;
+    a.data_mut()[lane * stride..(lane + 1) * stride].copy_from_slice(one.data());
+    piv.pivots_mut(lane).copy_from_slice(opiv.pivots(0));
+    info.set(lane, oinfo.get(0));
+    if oinfo.get(0) != 0 {
+        return Ok(()); // gbsv convention: no solve over singular factors
+    }
+    let mut orhs = RhsBatch::zeros(1, n, nrhs).expect("valid lane rhs");
+    {
+        let src = rhs.block(lane);
+        let ldb = rhs.ldb();
+        let dst = orhs.block_mut(0);
+        for c in 0..nrhs {
+            dst[c * n..(c + 1) * n].copy_from_slice(&src[c * ldb..c * ldb + n]);
+        }
+    }
+    let srep = gbtrs_batch_blocked(dev, &l, one.data(), &opiv, &mut orhs, params.solve())?;
+    *time += srep.time();
+    *launches += 2;
+    let ldb = rhs.ldb();
+    let dst = rhs.block_mut(lane);
+    let src = orhs.block(0);
+    for c in 0..nrhs {
+        dst[c * ldb..c * ldb + n].copy_from_slice(&src[c * n..(c + 1) * n]);
+    }
+    Ok(())
+}
+
+/// Scatter per-block combine output into the lane's RHS columns.
+fn scatter_solution<S: Scalar>(
+    rhs: &mut RhsBatch<S>,
+    lane: usize,
+    part: &SpikePartition,
+    nrhs: usize,
+    x: &[S],
+) {
+    let blk = part.block;
+    let ldb = rhs.ldb();
+    let dst = rhs.block_mut(lane);
+    for p in 0..part.parts {
+        let s = part.start(p);
+        let len = part.len(p);
+        for c in 0..nrhs {
+            dst[c * ldb + s..c * ldb + s + len]
+                .copy_from_slice(&x[p * blk * nrhs + c * blk..p * blk * nrhs + c * blk + len]);
+        }
+    }
+}
+
+/// Dense copy of a lane's RHS columns (stride `n`).
+fn gather_lane<S: Scalar>(rhs: &RhsBatch<S>, lane: usize, nrhs: usize) -> Vec<S> {
+    let n = rhs.n();
+    let ldb = rhs.ldb();
+    let src = rhs.block(lane);
+    let mut out = vec![S::ZERO; n * nrhs];
+    for c in 0..nrhs {
+        out[c * n..(c + 1) * n].copy_from_slice(&src[c * ldb..c * ldb + n]);
+    }
+    out
+}
+
+/// Write a dense column-major panel into a lane's RHS columns.
+fn write_lane<S: Scalar>(rhs: &mut RhsBatch<S>, lane: usize, nrhs: usize, x: &[S]) {
+    let n = rhs.n();
+    let ldb = rhs.ldb();
+    let dst = rhs.block_mut(lane);
+    for c in 0..nrhs {
+        dst[c * ldb..c * ldb + n].copy_from_slice(&x[c * n..(c + 1) * n]);
+    }
+}
+
+/// Write block factors back into the lane's band storage column for
+/// column (identical minimal `ldab`, pad columns dropped) and the
+/// block-local pivots as global row indices.
+fn write_back<S: Scalar>(
+    a: &mut BandBatch<S>,
+    piv: &mut PivotBatch,
+    info: &mut InfoArray,
+    lane: usize,
+    part: &SpikePartition,
+    st: &LaneState<S>,
+) {
+    let ldab = a.layout().ldab;
+    let stride = a.matrix_stride();
+    let dst = &mut a.data_mut()[lane * stride..(lane + 1) * stride];
+    let bdata = st.blocks.data();
+    let bstride = part.block * ldab;
+    for p in 0..part.parts {
+        let s = part.start(p);
+        let len = part.len(p);
+        dst[s * ldab..(s + len) * ldab]
+            .copy_from_slice(&bdata[p * bstride..p * bstride + len * ldab]);
+    }
+    let pv = piv.pivots_mut(lane);
+    for p in 0..part.parts {
+        let s = part.start(p);
+        let len = part.len(p);
+        let bp = st.bpiv.pivots(p);
+        for j in 0..len {
+            pv[s + j] = s as i32 + bp[j];
+        }
+    }
+    info.set(lane, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbatch_core::residual::backward_error;
+
+    fn random_batch(batch: usize, n: usize, kl: usize, ku: usize, dominant: bool) -> BandBatch {
+        let mut v = 0.29f64;
+        BandBatch::from_fn(batch, n, n, kl, ku, |id, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 1.9 + 0.113 + id as f64 * 2e-4).fract();
+                    let boost = if i == j && dominant { 4.0 } else { 0.0 };
+                    m.set(i, j, v - 0.5 + boost);
+                }
+            }
+        })
+        .unwrap()
+    }
+
+    fn random_rhs(batch: usize, n: usize, nrhs: usize) -> RhsBatch {
+        RhsBatch::from_fn(batch, n, nrhs, |id, i, c| {
+            ((id * 31 + i * 7 + c * 13) % 23) as f64 * 0.1 - 1.0
+        })
+        .unwrap()
+    }
+
+    fn run_spike(
+        a: &BandBatch,
+        rhs: &RhsBatch,
+        params: SpikeParams,
+    ) -> (BandBatch, PivotBatch, RhsBatch, InfoArray, SpikeReport) {
+        let dev = DeviceSpec::h100_pcie();
+        let mut a = a.clone();
+        let n = a.layout().n;
+        let mut piv = PivotBatch::new(a.batch(), n, n);
+        let mut rhs = rhs.clone();
+        let mut info = InfoArray::new(a.batch());
+        let rep = spike_gbsv_batch(&dev, &mut a, &mut piv, &mut rhs, &mut info, params).unwrap();
+        (a, piv, rhs, info, rep)
+    }
+
+    fn check_residuals(a: &BandBatch, rhs0: &RhsBatch, x: &RhsBatch, tol: f64) {
+        let n = a.layout().n;
+        for id in 0..a.batch() {
+            for c in 0..x.nrhs() {
+                let xs: Vec<f64> = (0..n).map(|i| x.get(id, i, c)).collect();
+                let bs: Vec<f64> = (0..n).map(|i| rhs0.get(id, i, c)).collect();
+                let berr = backward_error(a.matrix(id), &xs, &bs);
+                assert!(berr < tol, "lane {id} col {c}: berr {berr:.2e}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_mode_matches_direct_solve() {
+        for (n, kl, ku, parts, nrhs) in [(96, 2, 3, 4, 2), (129, 3, 2, 8, 1), (200, 5, 5, 3, 3)] {
+            let a = random_batch(2, n, kl, ku, true);
+            let rhs = random_rhs(2, n, nrhs);
+            let params = SpikeParams {
+                parts,
+                mode: SpikeMode::Exact,
+                ..Default::default()
+            };
+            let (_, _, x, info, rep) = run_spike(&a, &rhs, params);
+            assert!(info.all_ok());
+            assert!(rep
+                .outcomes
+                .iter()
+                .all(|o| matches!(o, SpikeOutcome::Exact)));
+            check_residuals(&a, &rhs, &x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_part_is_bitwise_unsplit() {
+        let (n, kl, ku, nrhs) = (64, 2, 3, 2);
+        let dev = DeviceSpec::h100_pcie();
+        let a0 = random_batch(3, n, kl, ku, false);
+        let rhs0 = random_rhs(3, n, nrhs);
+        // Reference: plain window factor + blocked solve over the batch.
+        let mut ar = a0.clone();
+        let mut pr = PivotBatch::new(3, n, n);
+        let mut ir = InfoArray::new(3);
+        let wp = WindowParams {
+            nb: 8,
+            threads: 32,
+            ..Default::default()
+        };
+        let _ = gbtrf_batch_window(&dev, &mut ar, &mut pr, &mut ir, wp).unwrap();
+        let mut xr = rhs0.clone();
+        gbtrs_batch_blocked(
+            &dev,
+            &ar.layout(),
+            ar.data(),
+            &pr,
+            &mut xr,
+            SolveParams {
+                nb: 8,
+                threads: 32,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Spike at P=1 (clamped by a tiny n/parts ratio would also do it).
+        let params = SpikeParams {
+            parts: 1,
+            ..Default::default()
+        };
+        let (a1, p1, x1, i1, rep) = run_spike(&a0, &rhs0, params);
+        assert_eq!(rep.parts, 1);
+        assert!(rep
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, SpikeOutcome::Unsplit)));
+        assert!(i1.all_ok() && ir.all_ok());
+        assert_eq!(a1.data(), ar.data(), "factors bitwise");
+        assert_eq!(p1.as_slice(), pr.as_slice(), "pivots bitwise");
+        assert_eq!(x1.data(), xr.data(), "solutions bitwise");
+    }
+
+    #[test]
+    fn truncated_mode_converges_on_dominant_operators() {
+        let (n, kl, ku, nrhs) = (160, 2, 2, 2);
+        let a = random_batch(2, n, kl, ku, true);
+        let rhs = random_rhs(2, n, nrhs);
+        let params = SpikeParams {
+            parts: 4,
+            mode: SpikeMode::Truncated,
+            ..Default::default()
+        };
+        let (_, _, x, info, rep) = run_spike(&a, &rhs, params);
+        assert!(info.all_ok());
+        for o in &rep.outcomes {
+            assert!(
+                matches!(o, SpikeOutcome::Truncated { .. }),
+                "expected truncated convergence, got {o:?}"
+            );
+        }
+        check_residuals(&a, &rhs, &x, 1e-13);
+    }
+
+    #[test]
+    fn truncated_mode_falls_back_on_non_dominant_operators() {
+        // Without dominance the spikes do not decay; refinement may stall
+        // and the driver must still answer exactly.
+        let (n, kl, ku, nrhs) = (120, 3, 3, 1);
+        let a = random_batch(2, n, kl, ku, false);
+        let rhs = random_rhs(2, n, nrhs);
+        let params = SpikeParams {
+            parts: 4,
+            mode: SpikeMode::Truncated,
+            max_refine: 2,
+            ..Default::default()
+        };
+        let (_, _, x, info, _rep) = run_spike(&a, &rhs, params);
+        assert!(info.all_ok());
+        check_residuals(&a, &rhs, &x, 1e-10);
+    }
+
+    #[test]
+    fn singular_block_falls_back_to_unsplit() {
+        let (n, kl, ku) = (64, 1, 1);
+        let mut a = random_batch(1, n, kl, ku, true);
+        let part = SpikePartition::new(n, kl, ku, 2);
+        let s = part.start(1);
+        {
+            let mut m = a.matrix_mut(0);
+            m.set(s, s, 0.0);
+            m.set(s + 1, s, 0.0);
+        }
+        let rhs = random_rhs(1, n, 1);
+        let params = SpikeParams {
+            parts: 2,
+            mode: SpikeMode::Exact,
+            ..Default::default()
+        };
+        let (_, _, x, info, rep) = run_spike(&a, &rhs, params);
+        assert!(info.all_ok(), "unsplit fallback must answer");
+        assert!(matches!(rep.outcomes[0], SpikeOutcome::Unsplit));
+        check_residuals(&a, &rhs, &x, 1e-12);
+    }
+
+    #[test]
+    fn factors_and_pivots_write_back_block_partitioned() {
+        let (n, kl, ku, parts) = (96, 2, 3, 4);
+        let a0 = random_batch(1, n, kl, ku, true);
+        let rhs = random_rhs(1, n, 1);
+        let params = SpikeParams {
+            parts,
+            mode: SpikeMode::Exact,
+            ..Default::default()
+        };
+        let (a1, p1, _, info, rep) = run_spike(&a0, &rhs, params);
+        assert!(info.all_ok());
+        assert_eq!(rep.parts, parts);
+        // Factors must equal an independent per-block factorization.
+        let part = SpikePartition::new(n, kl, ku, parts);
+        let mut blocks = extract_blocks(&a0.matrix(0), &part).unwrap();
+        let bl = blocks.layout();
+        let mut bp = PivotBatch::new(part.parts, part.block, part.block);
+        for p in 0..part.parts {
+            let info = gbatch_core::gbtrf::gbtrf(&bl, blocks.matrix_mut(p).data, bp.pivots_mut(p));
+            assert_eq!(info, 0);
+        }
+        let ldab = a1.layout().ldab;
+        for p in 0..part.parts {
+            let s = part.start(p);
+            let len = part.len(p);
+            let lane = &a1.data()[s * ldab..(s + len) * ldab];
+            let blk = &blocks.data()[p * part.block * ldab..p * part.block * ldab + len * ldab];
+            assert_eq!(lane, blk, "block {p} factors");
+            for j in 0..len {
+                assert_eq!(p1.pivots(0)[s + j], s as i32 + bp.pivots(p)[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_lanes_solve() {
+        let (n, kl, ku, nrhs) = (128usize, 2usize, 2usize, 1usize);
+        let mut v = 0.41f32;
+        let a0 = BandBatch::<f32>::from_fn(2, n, n, kl, ku, |_, m| {
+            for j in 0..n {
+                let (s, e) = m.layout.col_rows(j);
+                for i in s..e {
+                    v = (v * 1.7 + 0.219).fract();
+                    m.set(i, j, v - 0.5 + if i == j { 4.0 } else { 0.0 });
+                }
+            }
+        })
+        .unwrap();
+        let mut a = a0.clone();
+        let mut rhs = RhsBatch::<f32>::from_fn(2, n, nrhs, |id, i, c| {
+            ((id + i * 3 + c) % 11) as f32 * 0.2 - 1.0
+        })
+        .unwrap();
+        let rhs0 = rhs.clone();
+        let dev = DeviceSpec::h100_pcie();
+        let mut piv = PivotBatch::new(2, n, n);
+        let mut info = InfoArray::new(2);
+        let params = SpikeParams {
+            parts: 4,
+            ..Default::default()
+        };
+        let rep = spike_gbsv_batch(&dev, &mut a, &mut piv, &mut rhs, &mut info, params).unwrap();
+        assert!(info.all_ok());
+        assert!(rep.time.secs() > 0.0);
+        for id in 0..2 {
+            for c in 0..nrhs {
+                let x: Vec<f32> = (0..n).map(|i| rhs.get(id, i, c)).collect();
+                let mut ax = vec![0.0f32; n];
+                gbatch_core::blas2::gbmv(1.0, a0.matrix(id), &x, 0.0, &mut ax);
+                let err = (0..n)
+                    .map(|i| (ax[i] - rhs0.get(id, i, c)).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(err < 1e-4, "lane {id} col {c}: residual {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_accounts_time_and_launches() {
+        let (n, kl, ku) = (96, 2, 2);
+        let a = random_batch(1, n, kl, ku, true);
+        let rhs = random_rhs(1, n, 1);
+        let params = SpikeParams {
+            parts: 4,
+            mode: SpikeMode::Exact,
+            ..Default::default()
+        };
+        let (_, _, _, _, rep) = run_spike(&a, &rhs, params);
+        // extract + factor + fwd/bwd solve + combine + residual = 6.
+        assert_eq!(rep.launches, 6);
+        assert!(rep.time.secs() > 0.0);
+    }
+}

@@ -26,14 +26,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gbatch_core::gbtrs::Transpose;
+use gbatch_core::layout::BandLayout;
+use gbatch_core::spike::{spike_factorize, spike_solve_retained};
 use gbatch_core::{
-    BandBatch, InfoArray, PivotBatch, Precision, RetainedFactor, RhsBatch, ShapeKey,
+    BandBatch, BandMatrixRef, FactorPayload, InfoArray, PivotBatch, Precision, RetainedFactor,
+    RhsBatch, ShapeKey,
 };
 use gbatch_cpu::{cpu_gbsv_batch, CpuSpec};
 use gbatch_gpu_sim::engine::LaunchError;
 use gbatch_gpu_sim::multi::DeviceGroup;
 use gbatch_gpu_sim::{DeviceSpec, EngineMode, MegabatchQueue, ParallelPolicy, SimTime};
-use gbatch_kernels::dispatch::{GbsvOptions, MatrixLayout};
+use gbatch_kernels::cost::{predict_spike_time, CrossoverModel};
+use gbatch_kernels::dispatch::{ChosenAlgo, GbsvOptions, MatrixLayout, SPIKE_MIN_N};
+use gbatch_kernels::spike::SpikeParams;
 use gbatch_kernels::window::WindowParams;
 use gbatch_tuning::TuningTable;
 
@@ -217,6 +222,49 @@ fn assemble_f32(
     Ok((a, piv, rhs, info))
 }
 
+/// Whether a shape is served by the SPIKE split regime on the device: at
+/// or past the dispatch floor, with a band to actually split.
+fn spike_worthy(shape: &ShapeKey) -> bool {
+    shape.n >= SPIKE_MIN_N && shape.kl + shape.ku > 0
+}
+
+/// Harvest a large-`n` operator as a retained SPIKE factorization
+/// (`f64`). `None` when any block or the reduced system factors singular
+/// — callers skip retention and stay correct.
+fn spike_retain_f64(dev: &DeviceSpec, l: &BandLayout, ab: &[f64]) -> Option<Arc<RetainedFactor>> {
+    let parts = SpikeParams::auto(dev, l.kl).parts;
+    let aref = BandMatrixRef {
+        layout: *l,
+        data: ab,
+    };
+    spike_factorize(&aref, parts).ok().map(|f| {
+        Arc::new(RetainedFactor {
+            layout: *l,
+            payload: FactorPayload::SpikeF64(Box::new(f)),
+            pivots: Vec::new(),
+        })
+    })
+}
+
+/// [`spike_retain_f64`] for F32-tagged traffic: the wire payload is
+/// narrowed before the split factorization, matching the precision the
+/// device solve ran at.
+fn spike_retain_f32(dev: &DeviceSpec, l: &BandLayout, ab: &[f64]) -> Option<Arc<RetainedFactor>> {
+    let parts = SpikeParams::auto(dev, l.kl).parts;
+    let narrowed: Vec<f32> = ab.iter().map(|&v| v as f32).collect();
+    let aref = BandMatrixRef {
+        layout: *l,
+        data: &narrowed[..],
+    };
+    spike_factorize(&aref, parts).ok().map(|f| {
+        Arc::new(RetainedFactor {
+            layout: *l,
+            payload: FactorPayload::SpikeF32(Box::new(f)),
+            pivots: Vec::new(),
+        })
+    })
+}
+
 /// Simulated-GPU backend: one `dgbsv_batch` dispatch per device partition.
 ///
 /// With [`EngineMode::Resident`] (see [`GpuBackend::with_engine`]) the
@@ -376,11 +424,19 @@ impl GpuBackend {
                         rhs.block(k).iter().map(|&v| v as f64).collect()
                     };
                     if retain && info.get(k) == 0 {
-                        lanes[lo + k] = Some(Arc::new(RetainedFactor::from_lane_f32(
-                            &a,
-                            piv.pivots(k),
-                            k,
-                        )));
+                        // A SPIKE dispatch wrote *block-partitioned*
+                        // factors back — harvest the split factorization
+                        // itself, not a band that no monolithic GBTRS
+                        // can consume.
+                        lanes[lo + k] = if rep.algo == ChosenAlgo::Spike {
+                            spike_retain_f32(dev, &a.layout(), &r.ab)
+                        } else {
+                            Some(Arc::new(RetainedFactor::from_lane_f32(
+                                &a,
+                                piv.pivots(k),
+                                k,
+                            )))
+                        };
                     }
                 }
                 Ok(self.flush_time(dev, rep.time, rep.launches))
@@ -393,15 +449,19 @@ impl GpuBackend {
                     dev, &mut a, &mut piv, &mut rhs, &mut info, &opts,
                 )
                 .map_err(BackendError::Launch)?;
-                for k in 0..part.len() {
+                for (k, r) in part.iter().enumerate() {
                     x[lo + k] = rhs.block(k).to_vec();
                     info_out[lo + k] = info.get(k);
                     if retain && info.get(k) == 0 {
-                        lanes[lo + k] = Some(Arc::new(RetainedFactor::from_lane_f64(
-                            &a,
-                            piv.pivots(k),
-                            k,
-                        )));
+                        lanes[lo + k] = if rep.algo == ChosenAlgo::Spike {
+                            spike_retain_f64(dev, &a.layout(), &r.ab)
+                        } else {
+                            Some(Arc::new(RetainedFactor::from_lane_f64(
+                                &a,
+                                piv.pivots(k),
+                                k,
+                            )))
+                        };
                     }
                 }
                 Ok(self.flush_time(dev, rep.time, rep.launches))
@@ -415,6 +475,142 @@ impl GpuBackend {
             },
             lanes,
         ))
+    }
+
+    /// The warm SPIKE solve body: every lane rides its retained split
+    /// factorization ([`spike_solve_retained`] — block triangular solves,
+    /// reduced back-substitution, combine), priced with the split cost
+    /// model's solve-only terms and the backend's engine mode.
+    fn solve_with_spike(
+        &self,
+        shape: &ShapeKey,
+        reqs: &[SolveRequest],
+        factors: &[Arc<RetainedFactor>],
+        l: &BandLayout,
+    ) -> Result<BatchSolution, BackendError> {
+        let batch = reqs.len();
+        let nrhs = shape.nrhs;
+        let mut x = vec![Vec::new(); batch];
+        let time = self.group.run_split(batch, |dev, lo, hi| {
+            for k in lo..hi {
+                let r = &reqs[k];
+                let f = &factors[k];
+                if shape.precision == Precision::F32 {
+                    let sf = f.spike_f32().expect("all lanes SPIKE at shape precision");
+                    let mut b: Vec<f32> = r.rhs.iter().map(|&v| v as f32).collect();
+                    spike_solve_retained(sf, &mut b, nrhs);
+                    x[k] = b.iter().map(|&v| v as f64).collect();
+                } else {
+                    let sf = f.spike_f64().expect("all lanes SPIKE at shape precision");
+                    let mut b = r.rhs.clone();
+                    spike_solve_retained(sf, &mut b, nrhs);
+                    x[k] = b;
+                }
+            }
+            let parts = match &factors[lo].payload {
+                FactorPayload::SpikeF64(f) => f.partition.parts,
+                FactorPayload::SpikeF32(f) => f.partition.parts,
+                _ => unreachable!("all lanes checked SPIKE above"),
+            };
+            let params = SpikeParams::auto(dev, l.kl).with_parts(parts);
+            let model = CrossoverModel::default();
+            let t = if shape.precision == Precision::F32 {
+                model.spike_warm_time::<f32>(dev, l, hi - lo, nrhs, &params)
+            } else {
+                model.spike_warm_time::<f64>(dev, l, hi - lo, nrhs, &params)
+            }
+            .ok_or_else(|| BackendError::Fault("warm SPIKE solve cannot be priced".into()))?;
+            Ok(self.flush_time(dev, t, 2 * (hi - lo)))
+        })?;
+        Ok(BatchSolution {
+            x,
+            info: vec![0; batch],
+            service_s: time.secs(),
+        })
+    }
+
+    /// Factor-ahead body for large-`n` operators: each lane is split,
+    /// block-factored and retained as a [`gbatch_core::spike::SpikeFactor`]
+    /// payload, priced as the split driver's factor-phase launches.
+    /// `Ok(None)` when the split cannot be priced on some group member —
+    /// the caller falls back to the monolithic path.
+    fn factorize_spike(
+        &self,
+        shape: &ShapeKey,
+        operators: &[&[f64]],
+        l: &BandLayout,
+    ) -> Result<Option<FactorOutcome>, BackendError> {
+        let f32_tagged = shape.precision == Precision::F32;
+        let priceable = self.group.devices.iter().all(|dev| {
+            let params = SpikeParams::auto(dev, l.kl);
+            if f32_tagged {
+                predict_spike_time::<f32>(dev, l, 0, &params).is_some()
+            } else {
+                predict_spike_time::<f64>(dev, l, 0, &params).is_some()
+            }
+        });
+        if !priceable {
+            return Ok(None);
+        }
+        let batch = operators.len();
+        let mut factors: RetainedLanes = vec![None; batch];
+        let mut info_out = vec![0i32; batch];
+        let time = self.group.run_split(batch, |dev, lo, hi| {
+            for (k, op) in operators[lo..hi].iter().enumerate() {
+                if f32_tagged {
+                    match spike_retain_f32(dev, l, op) {
+                        Some(f) => factors[lo + k] = Some(f),
+                        None => {
+                            // A singular block (or reduced system): fall
+                            // back to the monolithic host factorization
+                            // for the honest info code.
+                            let mut ab: Vec<f32> = op.iter().map(|&v| v as f32).collect();
+                            let mut ipiv = vec![0i32; l.m.min(l.n)];
+                            let code = gbatch_core::gbtrf::gbtrf::<f32>(l, &mut ab, &mut ipiv);
+                            info_out[lo + k] = code;
+                            if code == 0 {
+                                factors[lo + k] = Some(Arc::new(RetainedFactor {
+                                    layout: *l,
+                                    payload: FactorPayload::F32(ab),
+                                    pivots: ipiv,
+                                }));
+                            }
+                        }
+                    }
+                } else {
+                    match spike_retain_f64(dev, l, op) {
+                        Some(f) => factors[lo + k] = Some(f),
+                        None => {
+                            let mut ab = op.to_vec();
+                            let mut ipiv = vec![0i32; l.m.min(l.n)];
+                            let code = gbatch_core::gbtrf::gbtrf::<f64>(l, &mut ab, &mut ipiv);
+                            info_out[lo + k] = code;
+                            if code == 0 {
+                                factors[lo + k] = Some(Arc::new(RetainedFactor {
+                                    layout: *l,
+                                    payload: FactorPayload::F64(ab),
+                                    pivots: ipiv,
+                                }));
+                            }
+                        }
+                    }
+                }
+            }
+            let params = SpikeParams::auto(dev, l.kl);
+            let per = if f32_tagged {
+                predict_spike_time::<f32>(dev, l, 0, &params)
+            } else {
+                predict_spike_time::<f64>(dev, l, 0, &params)
+            }
+            .expect("priceability checked above");
+            let t = SimTime(per.secs() * (hi - lo) as f64);
+            Ok(self.flush_time(dev, t, 3 * (hi - lo)))
+        })?;
+        Ok(Some(FactorOutcome {
+            factors,
+            info: info_out,
+            service_s: time.secs(),
+        }))
     }
 }
 
@@ -461,6 +657,24 @@ impl SolveBackend for GpuBackend {
                     "lane {k}: retained factor does not match shape {shape}"
                 )));
             }
+        }
+        // Retained SPIKE factorizations (large-n split operators) solve
+        // through the split warm path: block triangular solves + reduced
+        // back-substitution + combine, host math priced with the split
+        // cost model. A mixed monolithic/SPIKE batch fails closed — the
+        // server demotes the flush to the cold path, which is always
+        // correct.
+        let spike_lanes = factors
+            .iter()
+            .filter(|f| f.spike_f64().is_some() || f.spike_f32().is_some())
+            .count();
+        if spike_lanes > 0 {
+            if spike_lanes != batch {
+                return Err(BackendError::Fault(
+                    "mixed monolithic/SPIKE warm batch".into(),
+                ));
+            }
+            return self.solve_with_spike(shape, reqs, factors, &l);
         }
         let mut x = vec![Vec::new(); batch];
         let opts = self.options(shape);
@@ -517,6 +731,9 @@ impl SolveBackend for GpuBackend {
     }
 
     /// Factor-only dispatch for the explicit `Factorize` entry point.
+    /// Large-`n` operators are retained as SPIKE split factorizations, so
+    /// their warm solves ride the split path instead of a monolithic
+    /// triangular solve the device could not batch.
     fn factorize(
         &self,
         shape: &ShapeKey,
@@ -525,6 +742,11 @@ impl SolveBackend for GpuBackend {
         let l = shape
             .layout()
             .map_err(|e| BackendError::Fault(format!("invalid shape {shape}: {e}")))?;
+        if spike_worthy(shape) {
+            if let Some(out) = self.factorize_spike(shape, operators, &l)? {
+                return Ok(out);
+            }
+        }
         let batch = operators.len();
         let mut factors: RetainedLanes = vec![None; batch];
         let mut info_out = vec![0i32; batch];
@@ -763,29 +985,40 @@ impl SolveBackend for CpuBackend {
         if shape.precision == Precision::F32 {
             for (r, f) in reqs.iter().zip(factors) {
                 let mut b: Vec<f32> = r.rhs.iter().map(|&v| v as f32).collect();
-                gbatch_core::gbtrs::gbtrs::<f32>(
-                    Transpose::No,
-                    &l,
-                    f.factors_f32().expect("checked above"),
-                    &f.pivots,
-                    &mut b,
-                    ldb,
-                    nrhs,
-                );
+                // A retained SPIKE factorization (large-n split operator)
+                // solves through the split warm path; monolithic factors
+                // through the band triangular solve.
+                if let Some(sf) = f.spike_f32() {
+                    spike_solve_retained(sf, &mut b, nrhs);
+                } else {
+                    gbatch_core::gbtrs::gbtrs::<f32>(
+                        Transpose::No,
+                        &l,
+                        f.factors_f32().expect("checked above"),
+                        &f.pivots,
+                        &mut b,
+                        ldb,
+                        nrhs,
+                    );
+                }
                 x.push(b.iter().map(|&v| v as f64).collect());
             }
         } else {
             for (r, f) in reqs.iter().zip(factors) {
                 let mut b = r.rhs.clone();
-                gbatch_core::gbtrs::gbtrs::<f64>(
-                    Transpose::No,
-                    &l,
-                    f.factors_f64().expect("checked above"),
-                    &f.pivots,
-                    &mut b,
-                    ldb,
-                    nrhs,
-                );
+                if let Some(sf) = f.spike_f64() {
+                    spike_solve_retained(sf, &mut b, nrhs);
+                } else {
+                    gbatch_core::gbtrs::gbtrs::<f64>(
+                        Transpose::No,
+                        &l,
+                        f.factors_f64().expect("checked above"),
+                        &f.pivots,
+                        &mut b,
+                        ldb,
+                        nrhs,
+                    );
+                }
                 x.push(b);
             }
         }
@@ -1029,6 +1262,62 @@ mod tests {
             // Bitwise the original f64 payload, not an f32 round-trip.
             assert_eq!(sol.x[2], reqs[2].rhs, "{} backend", backend.kind());
         }
+    }
+
+    #[test]
+    fn large_n_factorize_retains_spike_payloads_and_warm_solves_match() {
+        let shape = ShapeKey::gbsv(4096, 2, 2, 1);
+        let l = shape.layout().unwrap();
+        let gpu = GpuBackend::new(DeviceGroup::mi250x_full(), ParallelPolicy::Serial);
+        let r = healthy_request(0, shape, 0.01);
+        let out = gpu.factorize(&shape, &[&r.ab]).unwrap();
+        assert_eq!(out.info, vec![0]);
+        assert!(out.service_s > 0.0);
+        let f = out.factors[0].clone().expect("healthy operator retained");
+        assert!(
+            f.spike_f64().is_some(),
+            "large-n operator retained as a SPIKE split factorization"
+        );
+        let sol = gpu
+            .solve_with(&shape, std::slice::from_ref(&r), std::slice::from_ref(&f))
+            .unwrap();
+        assert_eq!(sol.info, vec![0]);
+        let m = gbatch_core::BandMatrixRef {
+            layout: l,
+            data: &r.ab,
+        };
+        let mut worst: f64 = 0.0;
+        for i in 0..l.n {
+            let lo = i.saturating_sub(l.kl);
+            let hi = (i + l.ku + 1).min(l.n);
+            let ax: f64 = sol.x[0][lo..hi]
+                .iter()
+                .enumerate()
+                .map(|(j, xj)| m.get(i, lo + j) * xj)
+                .sum();
+            worst = worst.max((ax - r.rhs[i]).abs());
+        }
+        assert!(worst < 1e-9, "warm SPIKE residual {worst:e}");
+        // The spilled warm path runs the identical host math: bitwise.
+        let cpu = CpuBackend::new(CpuSpec::xeon_gold_6140());
+        let cs = cpu
+            .solve_with(&shape, std::slice::from_ref(&r), std::slice::from_ref(&f))
+            .unwrap();
+        assert_eq!(cs.x, sol.x, "GPU and CPU warm SPIKE paths agree bitwise");
+        // A mixed monolithic/SPIKE warm batch fails closed on the GPU.
+        let mono = {
+            let mut ab = r.ab.clone();
+            let mut ipiv = vec![0i32; l.n];
+            assert_eq!(gbatch_core::gbtrf::gbtrf::<f64>(&l, &mut ab, &mut ipiv), 0);
+            Arc::new(RetainedFactor {
+                layout: l,
+                payload: FactorPayload::F64(ab),
+                pivots: ipiv,
+            })
+        };
+        assert!(gpu
+            .solve_with(&shape, &[r.clone(), r.clone()], &[f, mono])
+            .is_err());
     }
 
     #[test]

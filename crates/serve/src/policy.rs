@@ -138,7 +138,10 @@ impl FlushPolicy {
             overhead_fraction > 0.0 && overhead_fraction <= 1.0,
             "overhead fraction must be in (0, 1]"
         );
-        let bytes = ((key.ab_len() + 2 * key.rhs_len()) * 8) as f64;
+        // Read + write the band payload, read + write the RHS — at the
+        // key's own element width (F32-tagged keys stream half the bytes
+        // of F64 ones, so they need proportionally deeper batching).
+        let bytes = ((key.ab_len() + 2 * key.rhs_len()) * key.elem_bytes()) as f64;
         let per_req_s = bytes / dev.mem_bw;
         let launch_s = dev.launch_overhead_s + DISPATCH_OVERHEAD_S;
         let target = (launch_s / (overhead_fraction * per_req_s)).ceil();
@@ -198,6 +201,19 @@ mod tests {
         // Looser overhead budgets tolerate smaller batches.
         let loose = FlushPolicy::suggested_target_batch(&dev, &tiny, 1.0);
         assert!(loose <= t_tiny);
+    }
+
+    #[test]
+    fn cold_target_is_precision_aware() {
+        // Regression: the cold estimate used to hardcode 8-byte elements,
+        // so F32-tagged keys under-batched by 2x.
+        let dev = DeviceSpec::h100_pcie();
+        let t64 = FlushPolicy::suggested_target_batch(&dev, &ShapeKey::gbsv(512, 30, 30, 4), 0.1);
+        let t32 = FlushPolicy::suggested_target_batch(&dev, &ShapeKey::sgbsv(512, 30, 30, 4), 0.1);
+        assert!(
+            t32 >= 2 * t64 - 1,
+            "f32 requests stream half the bytes and need ~2x the batch: {t32} vs {t64}"
+        );
     }
 
     #[test]

@@ -482,13 +482,18 @@ impl Server {
         // drain flushes spill when too small for a launch or when the
         // device is saturated past the slack. Known-singular (negative
         // tier) flushes always spill: re-running a singular operator is
-        // pure bookkeeping, never worth a device launch.
+        // pure bookkeeping, never worth a device launch. Large-`n`
+        // operators are exempt from the min-batch spill: a single such
+        // system splits into `P` intra-matrix blocks on the device (the
+        // SPIKE dispatch regime), so even a lone request amortizes its
+        // launch.
         let gpu_start = self.gpu_free_s.max(t);
+        let large_n = shape.n >= gbatch_kernels::dispatch::SPIKE_MIN_N && shape.kl + shape.ku > 0;
         let spill = key.tier == Tier::Negative
             || match reason {
                 FlushReason::SizeReached => false,
                 FlushReason::DeadlineExpired | FlushReason::Drain => {
-                    batch < self.cfg.policy.min_gpu_batch
+                    (batch < self.cfg.policy.min_gpu_batch && !large_n)
                         || gpu_start > t + self.cfg.policy.spill_slack_s
                 }
             };
@@ -1046,6 +1051,31 @@ mod tests {
         }
         assert_eq!(s.report().failed, 2);
         assert!(s.report().is_conserved());
+    }
+
+    #[test]
+    fn large_systems_route_to_the_device_instead_of_spilling() {
+        // A lone large-n request used to spill to the CPU (batch 1 <
+        // min_gpu_batch); the SPIKE dispatch regime makes it GPU-worthy.
+        let shape = ShapeKey::gbsv(4096, 2, 2, 1);
+        let cfg = ServerConfig {
+            queue_capacity: 8,
+            policy: FlushPolicy::default()
+                .with_target_batch(100)
+                .with_min_gpu_batch(8),
+        };
+        let mut s = sim_server(cfg);
+        s.submit(req(0, shape, 0.0, 0.5)).unwrap();
+        s.advance(1.0);
+        let resp = s.take_responses();
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].status, SolveStatus::Solved);
+        assert_eq!(
+            resp[0].backend,
+            BackendKind::Gpu,
+            "large-n single request earns the device"
+        );
+        assert_eq!(s.report().spills, 0);
     }
 
     #[test]

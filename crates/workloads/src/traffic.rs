@@ -78,6 +78,31 @@ impl TrafficConfig {
             poison_every: None,
         }
     }
+
+    /// The Section-2 mix sprinkled with rare **single large systems**:
+    /// `n ∈ {10^4, 10^5, 10^6}` at a `(8, 8)` band, one RHS, arriving as
+    /// lone requests (they never share a bucket with the small shapes).
+    /// These are the streamed circulation/field solves that motivate the
+    /// SPIKE split regime: each request is far too large to wait for
+    /// same-shape company, yet splits into enough diagonal blocks to keep
+    /// a device busy on its own. Weights put the large tail at roughly 1%
+    /// of arrivals, heaviest at the smallest order.
+    pub fn few_large(rate_hz: f64, deadline_s: f64) -> Self {
+        let mut cfg = Self::section2_mix(rate_hz, deadline_s);
+        cfg.mix.push(ShapeMix {
+            shape: ShapeKey::gbsv(10_000, 8, 8, 1),
+            weight: 0.06,
+        });
+        cfg.mix.push(ShapeMix {
+            shape: ShapeKey::gbsv(100_000, 8, 8, 1),
+            weight: 0.03,
+        });
+        cfg.mix.push(ShapeMix {
+            shape: ShapeKey::gbsv(1_000_000, 8, 8, 1),
+            weight: 0.01,
+        });
+        cfg
+    }
 }
 
 /// One request of the stream: arrival time, geometry, payload, deadline.
@@ -232,6 +257,40 @@ mod tests {
         // Weights are respected roughly: the heaviest bucket dominates.
         let pele = a.iter().filter(|r| r.shape.n == 50).count();
         assert!(pele > 2000 * 3 / 10, "weight-4 of 9 bucket got {pele}");
+    }
+
+    #[test]
+    fn few_large_extends_the_mix_with_lone_large_systems() {
+        let cfg = TrafficConfig::few_large(1e4, 0.05);
+        let small = TrafficConfig::section2_mix(1e4, 0.05);
+        // The small mix rides along unchanged.
+        for (a, b) in cfg.mix.iter().zip(&small.mix) {
+            assert_eq!(a.shape, b.shape);
+            assert_eq!(a.weight, b.weight);
+        }
+        // Three large single-matrix buckets, one per decade, valid
+        // layouts, rare relative to the small traffic.
+        let large: Vec<_> = cfg.mix[small.mix.len()..].to_vec();
+        assert_eq!(large.len(), 3);
+        let small_w: f64 = small.mix.iter().map(|m| m.weight).sum();
+        for (decade, m) in large.iter().enumerate() {
+            assert_eq!(m.shape.n, 10_000 * 10usize.pow(decade as u32));
+            assert_eq!((m.shape.kl, m.shape.ku, m.shape.nrhs), (8, 8, 1));
+            assert!(m.shape.layout().is_ok());
+            assert!(m.weight > 0.0 && m.weight < small_w / 50.0);
+        }
+        // Drawing from the mix stays well-formed; any large arrival
+        // carries a full payload at its shape's minimal storage. Keep the
+        // draw small — a 10^6-order payload is ~200 MB.
+        let mut trimmed = cfg.clone();
+        trimmed.mix.retain(|m| m.shape.n <= 10_000);
+        let a = poisson_traffic(&mut StdRng::seed_from_u64(17), 400, &trimmed);
+        let big = a.iter().filter(|r| r.shape.n == 10_000).count();
+        assert!(big >= 1, "the large bucket must actually be drawn");
+        for r in a.iter().filter(|r| r.shape.n == 10_000) {
+            assert_eq!(r.ab.len(), r.shape.ab_len());
+            assert_eq!(r.rhs.len(), r.shape.rhs_len());
+        }
     }
 
     #[test]

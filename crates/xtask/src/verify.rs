@@ -32,6 +32,7 @@ use gbatch_kernels::fused::fused_smem_bytes;
 use gbatch_kernels::gbsv_fused::gbsv_smem_bytes;
 use gbatch_kernels::gbtrs_blocked::{backward_smem_bytes, forward_smem_bytes};
 use gbatch_kernels::interleaved::{factor_smem_bytes, solve_smem_bytes};
+use gbatch_kernels::spike::{combine_smem_bytes, extract_smem_bytes};
 use gbatch_kernels::window::window_smem_bytes;
 
 /// Representative band parameters for the smem table (chosen inside every
@@ -141,6 +142,9 @@ fn kernel_smem_bytes<S: Scalar>(family: &str, n: usize) -> usize {
         "gbtrs_backward" => backward_smem_bytes::<S>(&l, NB, NRHS),
         "gbtrf_interleaved" => factor_smem_bytes::<S>(&l, LANES),
         "gbtrs_interleaved" => solve_smem_bytes::<S>(&l, NRHS, LANES),
+        "spike_extract" => extract_smem_bytes::<S>(KL, KU),
+        "spike_combine" => combine_smem_bytes::<S>(KL, KU, NRHS),
+        "spike_residual" => 0,
         other => panic!("no kernel smem helper for family {other}"),
     }
 }

@@ -31,6 +31,7 @@ use gbatch::kernels::interleaved::{
     gbtrf_batch_interleaved, gbtrs_batch_interleaved, InterleavedParams,
 };
 use gbatch::kernels::reference::gbtrf_batch_reference;
+use gbatch::kernels::spike::{spike_gbsv_batch, SpikeMode, SpikeParams};
 use gbatch::kernels::step::SmemBand;
 use gbatch::kernels::window::{gbtrf_batch_window, gbtrf_batch_window_relaunch, WindowParams};
 
@@ -173,6 +174,35 @@ fn enforce_solve_kernels_run_hazard_free() {
                     let _ = dgbtrs_batch(&dev, trans, &l, a.data(), &piv, &mut rhs, &opts).unwrap();
                     assert!(rhs.data().iter().all(|v| v.is_finite()));
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn enforce_spike_coupling_kernels_run_hazard_free() {
+    set_global_mode(HazardMode::Enforce);
+    let dev = dev();
+    // Large enough that a 3-way partition survives the clamp for the wide
+    // (10, 7) band; both reduced-system modes exercise every coupling
+    // kernel (extract, combine, residual) under the enforcing tracker.
+    let n = 192;
+    for &(kl, ku) in SHAPES {
+        for policy in policies() {
+            for mode in [SpikeMode::Exact, SpikeMode::Truncated] {
+                let mut a = band_batch(BATCH, n, kl, ku);
+                let mut piv = PivotBatch::new(BATCH, n, n);
+                let mut rhs = rhs_batch(BATCH, n, 2);
+                let mut info = InfoArray::new(BATCH);
+                let params = SpikeParams::auto(&dev, kl)
+                    .with_parts(3)
+                    .with_mode(mode)
+                    .with_parallel(policy);
+                let rep =
+                    spike_gbsv_batch(&dev, &mut a, &mut piv, &mut rhs, &mut info, params).unwrap();
+                assert!(info.all_ok(), "spike ({kl},{ku}) {mode:?} {policy:?}");
+                assert!(rep.parts > 1, "partition must actually split");
+                assert!(rhs.data().iter().all(|v| v.is_finite()));
             }
         }
     }
