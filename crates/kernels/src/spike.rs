@@ -696,15 +696,16 @@ fn exact_solve<S: Scalar>(
     let mut y =
         gbatch_core::spike::assemble_reduced_rhs(part, |p, row, c| st.g(p, row, c), st.nrhs);
     dense_getrs(r, st.nrhs, &reduced, &rpiv, &mut y);
-    let (x, t) = spike_combine_launch(dev, part, &st.aug, &st.aug, st.nrhs, st.nrhs, &y, params)?;
+    let (xb, t) = spike_combine_launch(dev, part, &st.aug, &st.aug, st.nrhs, st.nrhs, &y, params)?;
     let t = t.time;
     *time += t;
     *launches += 1;
-    scatter_solution(rhs, lane, part, st.nrhs, &x);
-    // Residual guard: the exact split answer must be as good as a direct
-    // solve before we commit to it.
-    let xcol = gather_lane(rhs, lane, st.nrhs);
-    let (res, t) = spike_residual_launch(dev, a, lane, part, &xcol, f, st.nrhs, params)?;
+    // Residual guard on a scratch panel: the exact split answer must be
+    // as good as a direct solve before it is committed. The lane's RHS
+    // still holds the original right-hand side on the `None` path, which
+    // the unsplit fallback consumes verbatim.
+    let x = unpack_block_solution(part, st.nrhs, &xb);
+    let (res, t) = spike_residual_launch(dev, a, lane, part, &x, f, st.nrhs, params)?;
     let t = t.time;
     *time += t;
     *launches += 1;
@@ -712,6 +713,7 @@ fn exact_solve<S: Scalar>(
     if inf_norm(&res) > tol {
         return Ok(None);
     }
+    write_lane(rhs, lane, st.nrhs, &x);
     Ok(Some(SpikeOutcome::Exact))
 }
 
@@ -748,15 +750,7 @@ fn truncated_solve<S: Scalar>(
     let t = t.time;
     *time += t;
     *launches += 1;
-    let mut x = vec![S::ZERO; n * nrhs];
-    for p in 0..part.parts {
-        let s = part.start(p);
-        let len = part.len(p);
-        for c in 0..nrhs {
-            x[c * n + s..c * n + s + len]
-                .copy_from_slice(&xb[p * blk * nrhs + c * blk..p * blk * nrhs + c * blk + len]);
-        }
-    }
+    let mut x = unpack_block_solution(part, nrhs, &xb);
 
     let bnorm = inf_norm(f);
     let bnorm = if bnorm == S::ZERO { S::ONE } else { bnorm };
@@ -877,37 +871,20 @@ fn unsplit_lane<S: Scalar>(
     Ok(())
 }
 
-/// Scatter per-block combine output into the lane's RHS columns.
-fn scatter_solution<S: Scalar>(
-    rhs: &mut RhsBatch<S>,
-    lane: usize,
-    part: &SpikePartition,
-    nrhs: usize,
-    x: &[S],
-) {
-    let blk = part.block;
-    let ldb = rhs.ldb();
-    let dst = rhs.block_mut(lane);
+/// Unpack per-block combine output (stride `block` per part) into a
+/// dense column-major `n x nrhs` panel.
+fn unpack_block_solution<S: Scalar>(part: &SpikePartition, nrhs: usize, xb: &[S]) -> Vec<S> {
+    let (n, blk) = (part.n, part.block);
+    let mut x = vec![S::ZERO; n * nrhs];
     for p in 0..part.parts {
         let s = part.start(p);
         let len = part.len(p);
         for c in 0..nrhs {
-            dst[c * ldb + s..c * ldb + s + len]
-                .copy_from_slice(&x[p * blk * nrhs + c * blk..p * blk * nrhs + c * blk + len]);
+            x[c * n + s..c * n + s + len]
+                .copy_from_slice(&xb[p * blk * nrhs + c * blk..p * blk * nrhs + c * blk + len]);
         }
     }
-}
-
-/// Dense copy of a lane's RHS columns (stride `n`).
-fn gather_lane<S: Scalar>(rhs: &RhsBatch<S>, lane: usize, nrhs: usize) -> Vec<S> {
-    let n = rhs.n();
-    let ldb = rhs.ldb();
-    let src = rhs.block(lane);
-    let mut out = vec![S::ZERO; n * nrhs];
-    for c in 0..nrhs {
-        out[c * n..(c + 1) * n].copy_from_slice(&src[c * ldb..c * ldb + n]);
-    }
-    out
+    x
 }
 
 /// Write a dense column-major panel into a lane's RHS columns.

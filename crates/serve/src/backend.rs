@@ -265,6 +265,27 @@ fn spike_retain_f32(dev: &DeviceSpec, l: &BandLayout, ab: &[f64]) -> Option<Arc<
     })
 }
 
+/// Price the host-side split refactorization that retention runs when a
+/// SPIKE-dispatched lane's factors are harvested ([`spike_retain_f64`] /
+/// [`spike_retain_f32`] re-run `spike_factorize` from the original band),
+/// using the same factor-phase cost terms as [`GpuBackend::factorize_spike`].
+fn spike_retention_time(
+    dev: &DeviceSpec,
+    l: &BandLayout,
+    precision: Precision,
+    lanes: usize,
+) -> SimTime {
+    if lanes == 0 {
+        return SimTime(0.0);
+    }
+    let params = SpikeParams::auto(dev, l.kl);
+    let per = match precision {
+        Precision::F32 => predict_spike_time::<f32>(dev, l, 0, &params),
+        Precision::F64 => predict_spike_time::<f64>(dev, l, 0, &params),
+    };
+    per.map_or(SimTime(0.0), |p| SimTime(p.secs() * lanes as f64))
+}
+
 /// Simulated-GPU backend: one `dgbsv_batch` dispatch per device partition.
 ///
 /// With [`EngineMode::Resident`] (see [`GpuBackend::with_engine`]) the
@@ -389,9 +410,11 @@ impl GpuBackend {
 
 impl GpuBackend {
     /// The shared `gbsv` flush body. `retain` additionally harvests every
-    /// healthy lane's factors — a host-side copy that leaves the modeled
-    /// service time untouched, so `solve` and `solve_retaining` price
-    /// identically.
+    /// healthy lane's factors. For monolithic lanes that is a host-side
+    /// copy that leaves the modeled service time untouched, so `solve` and
+    /// `solve_retaining` price identically; SPIKE-dispatched lanes refactor
+    /// on the host during the harvest, and that work is priced into the
+    /// flush via [`spike_retention_time`].
     fn run_gbsv(
         &self,
         shape: &ShapeKey,
@@ -416,6 +439,7 @@ impl GpuBackend {
                     dev, &mut a, &mut piv, &mut rhs, &mut info, &opts,
                 )
                 .map_err(BackendError::Launch)?;
+                let mut spike_retained = 0usize;
                 for (k, r) in part.iter().enumerate() {
                     info_out[lo + k] = info.get(k);
                     x[lo + k] = if info.get(k) > 0 {
@@ -429,6 +453,7 @@ impl GpuBackend {
                         // itself, not a band that no monolithic GBTRS
                         // can consume.
                         lanes[lo + k] = if rep.algo == ChosenAlgo::Spike {
+                            spike_retained += 1;
                             spike_retain_f32(dev, &a.layout(), &r.ab)
                         } else {
                             Some(Arc::new(RetainedFactor::from_lane_f32(
@@ -439,7 +464,11 @@ impl GpuBackend {
                         };
                     }
                 }
-                Ok(self.flush_time(dev, rep.time, rep.launches))
+                // The SPIKE retention harvest refactors each lane on the
+                // host — priced into the flush, not hidden.
+                let t = rep.time
+                    + spike_retention_time(dev, &a.layout(), Precision::F32, spike_retained);
+                Ok(self.flush_time(dev, t, rep.launches))
             })?
         } else {
             self.group.run_split(batch, |dev, lo, hi| {
@@ -449,11 +478,13 @@ impl GpuBackend {
                     dev, &mut a, &mut piv, &mut rhs, &mut info, &opts,
                 )
                 .map_err(BackendError::Launch)?;
+                let mut spike_retained = 0usize;
                 for (k, r) in part.iter().enumerate() {
                     x[lo + k] = rhs.block(k).to_vec();
                     info_out[lo + k] = info.get(k);
                     if retain && info.get(k) == 0 {
                         lanes[lo + k] = if rep.algo == ChosenAlgo::Spike {
+                            spike_retained += 1;
                             spike_retain_f64(dev, &a.layout(), &r.ab)
                         } else {
                             Some(Arc::new(RetainedFactor::from_lane_f64(
@@ -464,7 +495,9 @@ impl GpuBackend {
                         };
                     }
                 }
-                Ok(self.flush_time(dev, rep.time, rep.launches))
+                let t = rep.time
+                    + spike_retention_time(dev, &a.layout(), Precision::F64, spike_retained);
+                Ok(self.flush_time(dev, t, rep.launches))
             })?
         };
         Ok((
@@ -661,17 +694,22 @@ impl SolveBackend for GpuBackend {
         // Retained SPIKE factorizations (large-n split operators) solve
         // through the split warm path: block triangular solves + reduced
         // back-substitution + combine, host math priced with the split
-        // cost model. A mixed monolithic/SPIKE batch fails closed — the
-        // server demotes the flush to the cold path, which is always
+        // cost model. A mixed monolithic/SPIKE batch — or a SPIKE payload
+        // whose precision disagrees with the shape tag — fails closed;
+        // the server demotes the flush to the cold path, which is always
         // correct.
-        let spike_lanes = factors
+        let spike_any = factors
             .iter()
             .filter(|f| f.spike_f64().is_some() || f.spike_f32().is_some())
             .count();
-        if spike_lanes > 0 {
-            if spike_lanes != batch {
+        if spike_any > 0 {
+            let spike_at_precision = match shape.precision {
+                Precision::F32 => factors.iter().filter(|f| f.spike_f32().is_some()).count(),
+                Precision::F64 => factors.iter().filter(|f| f.spike_f64().is_some()).count(),
+            };
+            if spike_at_precision != batch {
                 return Err(BackendError::Fault(
-                    "mixed monolithic/SPIKE warm batch".into(),
+                    "mixed monolithic/SPIKE warm batch or SPIKE precision mismatch".into(),
                 ));
             }
             return self.solve_with_spike(shape, reqs, factors, &l);

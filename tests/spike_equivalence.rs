@@ -293,6 +293,55 @@ fn truncated_refinement_meets_advertised_bound_f32() {
     truncated_meets_bound::<f32>();
 }
 
+/// Exact-mode residual-guard rejection: a nearly singular operator (the
+/// Neumann Laplacian plus a tiny corner perturbation) whose diagonal
+/// blocks are all well conditioned, so the split solve runs to completion
+/// and only the residual guard rejects it. The driver must then fall back
+/// to the unsplit path *on the original right-hand side* — a fallback that
+/// consumed a clobbered RHS would return a wildly wrong answer with
+/// `info = 0`, exactly in the ill-conditioned case the guard exists for.
+#[test]
+fn exact_guard_rejection_falls_back_on_pristine_rhs() {
+    let dev = dev();
+    let (n, kl, ku, nrhs) = (512, 1, 1, 1);
+    let a0 = BandBatch::<f64>::from_fn(1, n, n, kl, ku, |_, m| {
+        for j in 0..n {
+            let (s, e) = m.layout.col_rows(j);
+            for i in s..e {
+                m.set(i, j, if i == j { 2.0 } else { -1.0 });
+            }
+        }
+        m.set(0, 0, 1.0 + 1e-12);
+        m.set(n - 1, n - 1, 1.0);
+    })
+    .unwrap();
+    let b0 = rhs::<f64>(1, n, nrhs);
+    let mut a = a0.clone();
+    let mut b = b0.clone();
+    let mut piv = PivotBatch::new(1, n, n);
+    let mut info = InfoArray::new(1);
+    let params = SpikeParams::auto(&dev, kl)
+        .with_parts(4)
+        .with_mode(SpikeMode::Exact);
+    let rep = spike_gbsv_batch::<f64>(&dev, &mut a, &mut piv, &mut b, &mut info, params).unwrap();
+    assert!(info.all_ok(), "fallback must still answer");
+    assert!(
+        matches!(rep.outcomes[0], SpikeOutcome::Unsplit),
+        "near-singular operator should trip the residual guard, got {:?}",
+        rep.outcomes[0]
+    );
+    // "Never worse than the sequential driver": the fallback's residual is
+    // comparable to the sequential one only if it solved the original b.
+    let seq = sequential(&a0, &b0, 0);
+    let x: Vec<f64> = (0..n).map(|i| b.get(0, i, 0)).collect();
+    let r_split = rel_residual(&a0, 0, &x, b0.block(0));
+    let r_seq = rel_residual(&a0, 0, &seq, b0.block(0)).max(f64::EPSILON);
+    assert!(
+        r_split <= 100.0 * r_seq,
+        "fallback residual {r_split:.3e} vs sequential {r_seq:.3e}"
+    );
+}
+
 /// Truncated mode on non-dominant operators: refinement stalls, the
 /// driver falls back (exact reduced system or unsplit), and the answer is
 /// still as good as the sequential driver's.
