@@ -10,6 +10,7 @@
 
 use gbatch_bench::experiments::{gbtrf_cpu_ms, gbtrf_gpu_ms};
 use gbatch_cpu::CpuSpec;
+use gbatch_gpu_sim::registry;
 use gbatch_gpu_sim::DeviceSpec;
 use gbatch_kernels::dispatch::FactorAlgo;
 use gbatch_kernels::window::WindowParams;
@@ -68,13 +69,15 @@ fn fit(base: &DeviceSpec, cpu: &CpuSpec, target23: f64, target107: f64) -> (f64,
 fn main() {
     let cpu = CpuSpec::xeon_gold_6140();
     println!("fitting H100 (targets 3.07x / 3.56x)...");
-    let h = fit(&DeviceSpec::h100_pcie(), &cpu, 3.07, 3.56);
+    let h100 = registry::device(registry::H100_PCIE).expect("catalog entry");
+    let h = fit(&h100, &cpu, 3.07, 3.56);
     println!(
         "H100 best: lat_scale {:.2}, work_scale {:.1}, err {:.4}",
         h.0, h.1, h.2
     );
     println!("fitting MI250x (targets 1.88x / 1.16x)...");
-    let m = fit(&DeviceSpec::mi250x_gcd(), &cpu, 1.88, 1.16);
+    let mi250x = registry::device(registry::MI250X_GCD).expect("catalog entry");
+    let m = fit(&mi250x, &cpu, 1.88, 1.16);
     println!(
         "MI250x best: lat_scale {:.2}, work_scale {:.1}, err {:.4}",
         m.0, m.1, m.2

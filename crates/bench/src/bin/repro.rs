@@ -94,6 +94,29 @@ fn main() {
             )
             .unwrap();
         }
+        writeln!(
+            out,
+            "  fleet ({} vs {}, {} adversarial requests):",
+            r.fleet.composition, r.fleet.baseline, r.fleet.requests
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "    makespan {:.3} ms vs {:.3} ms | throughput {:.0} vs {:.0} req/s | {:.3}x",
+            r.fleet.fleet_makespan_ms,
+            r.fleet.baseline_makespan_ms,
+            r.fleet.fleet_throughput_rps,
+            r.fleet.baseline_throughput_rps,
+            r.fleet.speedup
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "    utilization spread {:.1}% | {} sheds",
+            r.fleet.utilization_spread * 100.0,
+            r.fleet.sheds
+        )
+        .unwrap();
         writeln!(out).unwrap();
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_raw_speed.json");
         let json = serde_json::to_string_pretty(&r).unwrap();

@@ -10,6 +10,7 @@
 
 use gbatch_core::batch::{InfoArray, PivotBatch};
 use gbatch_core::{BandBatch, BandLayout};
+use gbatch_gpu_sim::registry;
 use gbatch_gpu_sim::DeviceSpec;
 use gbatch_kernels::cost::CrossoverModel;
 use gbatch_kernels::dispatch::{dgbtrf_batch, GbsvOptions, MatrixLayout};
@@ -138,7 +139,10 @@ fn predicted_interleaved_ms(dev: &DeviceSpec, l: &BandLayout, batch: usize) -> f
 
 /// Run the calibration grid on both paper devices and fit the scales.
 pub fn calibrate_layout() -> LayoutCalibration {
-    let devices = [DeviceSpec::h100_pcie(), DeviceSpec::mi250x_gcd()];
+    let devices = [
+        registry::device(registry::H100_PCIE).expect("catalog entry"),
+        registry::device(registry::MI250X_GCD).expect("catalog entry"),
+    ];
     let mut points = Vec::new();
     let mut log_ratio_sum = 0.0;
     let mut log_ratio_count = 0usize;

@@ -2,6 +2,7 @@
 //! tables.
 
 use gbatch_cpu::CpuSpec;
+use gbatch_gpu_sim::registry;
 use gbatch_gpu_sim::DeviceSpec;
 use gbatch_tuning::{sweep_device, SweepConfig, TuningTable};
 
@@ -24,8 +25,8 @@ impl Platforms {
     /// Build the trio, running the model-cost tuning sweeps for the band
     /// shapes of interest (fast: pure arithmetic, no numerics).
     pub fn tuned(max_band: usize) -> Self {
-        let h100 = DeviceSpec::h100_pcie();
-        let mi250x = DeviceSpec::mi250x_gcd();
+        let h100 = registry::device(registry::H100_PCIE).expect("catalog entry");
+        let mi250x = registry::device(registry::MI250X_GCD).expect("catalog entry");
         let cfg = SweepConfig {
             max_band,
             ..Default::default()

@@ -31,14 +31,18 @@ use gbatch_core::gbtrs::Transpose;
 use gbatch_core::{BandBatch, InfoArray, PivotBatch, RhsBatch, Scalar, ShapeKey};
 use gbatch_cpu::CpuSpec;
 use gbatch_gpu_sim::multi::DeviceGroup;
+use gbatch_gpu_sim::registry;
 use gbatch_gpu_sim::{DeviceSpec, EngineMode, ParallelPolicy};
 use gbatch_kernels::dispatch::{
     dgbsv_batch, dgbtrf_batch, dgbtrs_batch, gbsv_batch, ChosenAlgo, FactorAlgo, GbsvOptions,
     MatrixLayout,
 };
 use gbatch_kernels::spike::SpikeParams;
-use gbatch_serve::{FlushPolicy, GpuBackend, Server, ServerConfig, SolveBackend, SolveRequest};
-use gbatch_workloads::{timestep_traffic, TimestepConfig};
+use gbatch_serve::{
+    FleetSpec, FlushPolicy, GpuBackend, ServeReport, Server, ServerConfig, SolveBackend,
+    SolveRequest,
+};
+use gbatch_workloads::{adversarial_traffic, timestep_traffic, AdversarialConfig, TimestepConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -163,6 +167,53 @@ pub const SOAK_POOL: usize = 8;
 /// Mini-soak per-request operator-refresh probability.
 pub const SOAK_CHURN: f64 = 0.02;
 
+/// Requests of the fleet-versus-single-device comparison.
+pub const FLEET_REQUESTS: usize = 4000;
+/// Base arrival rate of the adversarial mix (Hz) — chosen so the best
+/// single device saturates during bursts and the comparison measures
+/// real parallel capacity, not idle-time absorption.
+pub const FLEET_RATE_HZ: f64 = 1.0e7;
+/// Per-request deadline budget of the fleet comparison.
+pub const FLEET_DEADLINE_S: f64 = 2.0e-3;
+/// The heterogeneous fleet of the comparison.
+pub const FLEET_COMPOSITION: &str = "h100_pcie:1,mi250x_gcd:2";
+/// The best single device of the composition, run alone as the baseline.
+pub const FLEET_BASELINE: &str = "h100_pcie:1";
+/// Acceptance floor: fleet throughput over best-single-device throughput
+/// on the adversarial mix.
+pub const FLEET_FLOOR: f64 = 1.5;
+
+/// Fleet versus best-single-device throughput on the adversarial mix.
+///
+/// Both runs drain the *same* seeded arrival trace; the makespan is the
+/// completion instant of the last response, so the ratio measures how
+/// much of the fleet's aggregate capacity the router actually converts
+/// into finished work under bursts, churn and poison storms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSample {
+    /// Fleet composition string (registry catalog names).
+    pub composition: String,
+    /// Baseline composition (the best single device, alone).
+    pub baseline: String,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Baseline drained-schedule makespan, model milliseconds.
+    pub baseline_makespan_ms: f64,
+    /// Fleet drained-schedule makespan, model milliseconds.
+    pub fleet_makespan_ms: f64,
+    /// Baseline throughput, requests per model second.
+    pub baseline_throughput_rps: f64,
+    /// Fleet throughput, requests per model second.
+    pub fleet_throughput_rps: f64,
+    /// `fleet_throughput_rps / baseline_throughput_rps`. Floor-gated at
+    /// [`FLEET_FLOOR`].
+    pub speedup: f64,
+    /// Max−min utilization over the fleet's GPU workers.
+    pub utilization_spread: f64,
+    /// Load-shed routing decisions in the fleet run.
+    pub sheds: u64,
+}
+
 /// The checked-in trajectory (`BENCH_raw_speed.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RawSpeedReport {
@@ -194,6 +245,9 @@ pub struct RawSpeedReport {
     pub factor_cache: FactorCacheSample,
     /// The large-`n` SPIKE split regime versus the unsplit solve.
     pub spike: SpikeSection,
+    /// Fleet scheduler versus the best single device on the adversarial
+    /// mix.
+    pub fleet: FleetSample,
 }
 
 fn band(batch: usize) -> BandBatch {
@@ -228,7 +282,7 @@ fn opts(engine: EngineMode) -> GbsvOptions {
 
 /// Run the full trajectory on the paper's flagship device.
 pub fn measure() -> RawSpeedReport {
-    let dev = DeviceSpec::h100_pcie();
+    let dev = registry::device(registry::H100_PCIE).expect("catalog entry");
     let a0 = band(RAW_BATCH);
     let b0 = rhs(RAW_BATCH);
 
@@ -371,6 +425,70 @@ pub fn measure() -> RawSpeedReport {
         serve_spinup_ms,
         factor_cache,
         spike,
+        fleet: fleet_sample(),
+    }
+}
+
+/// Drain the fleet comparison's adversarial trace through a fleet
+/// composed from the registry; returns the drained-schedule makespan
+/// (completion instant of the last response) and the report.
+fn fleet_run(composition: &str) -> (f64, ServeReport) {
+    let cfg = AdversarialConfig::fleet_mix(FLEET_RATE_HZ, FLEET_DEADLINE_S);
+    let arrivals = adversarial_traffic(&mut StdRng::seed_from_u64(7), FLEET_REQUESTS, &cfg);
+    let mut server = Server::simulated_fleet(
+        &FleetSpec::parse(composition).expect("catalog names"),
+        CpuSpec::xeon_gold_6140(),
+        ParallelPolicy::threads(4),
+        ServerConfig {
+            queue_capacity: 8192,
+            policy: FlushPolicy::default()
+                .with_target_batch(64)
+                .with_min_gpu_batch(16),
+        },
+    )
+    .expect("fleet composition resolves");
+    for a in arrivals {
+        server
+            .submit(SolveRequest {
+                id: a.id,
+                shape: a.shape,
+                ab: a.ab,
+                rhs: a.rhs,
+                submitted_s: a.at_s,
+                deadline_s: a.deadline_s,
+            })
+            .expect("fleet trace fits the admission queue");
+    }
+    server.drain();
+    let makespan_s = server
+        .take_responses()
+        .iter()
+        .map(|r| r.completed_s)
+        .fold(0.0, f64::max);
+    let report = server.report();
+    assert!(report.is_conserved());
+    assert_eq!(report.completed, FLEET_REQUESTS as u64);
+    (makespan_s, report)
+}
+
+/// The fleet comparison: the same adversarial trace through the best
+/// single device alone and through the heterogeneous fleet. Fully
+/// deterministic (seeded trace, virtual-time scheduling), so the perf
+/// gate replays it exactly.
+fn fleet_sample() -> FleetSample {
+    let (base_s, _) = fleet_run(FLEET_BASELINE);
+    let (fleet_s, fleet_report) = fleet_run(FLEET_COMPOSITION);
+    FleetSample {
+        composition: FLEET_COMPOSITION.to_string(),
+        baseline: FLEET_BASELINE.to_string(),
+        requests: FLEET_REQUESTS,
+        baseline_makespan_ms: base_s * 1e3,
+        fleet_makespan_ms: fleet_s * 1e3,
+        baseline_throughput_rps: FLEET_REQUESTS as f64 / base_s,
+        fleet_throughput_rps: FLEET_REQUESTS as f64 / fleet_s,
+        speedup: base_s / fleet_s,
+        utilization_spread: fleet_report.utilization_spread(),
+        sheds: fleet_report.sheds(),
     }
 }
 
@@ -564,6 +682,16 @@ mod tests {
             "spike P = 8 f64 speedup {:.3} below the {SPIKE_FLOOR}x floor",
             r.spike.speedup_at_p8_f64()
         );
+        // The fleet comparison: the heterogeneous fleet converts its
+        // aggregate capacity into throughput the single device cannot
+        // match, and its utilization accounting stays physical.
+        assert!(
+            r.fleet.speedup >= FLEET_FLOOR,
+            "fleet speedup {:.3} below the {FLEET_FLOOR}x floor",
+            r.fleet.speedup
+        );
+        assert!(r.fleet.fleet_makespan_ms < r.fleet.baseline_makespan_ms);
+        assert!(r.fleet.utilization_spread >= 0.0 && r.fleet.utilization_spread <= 1.0);
         // Determinism: a second measurement reproduces every bit.
         assert_eq!(r, measure());
     }

@@ -82,6 +82,26 @@ fn checked_in_trajectory_replays_exactly() {
         want.spike.lines.len(),
         "spike sweep width drifted"
     );
+    assert_eq!(got.fleet.composition, want.fleet.composition);
+    assert_eq!(got.fleet.baseline, want.fleet.baseline);
+    assert_eq!(got.fleet.requests, want.fleet.requests);
+    assert_close(
+        "fleet.baseline_makespan_ms",
+        got.fleet.baseline_makespan_ms,
+        want.fleet.baseline_makespan_ms,
+    );
+    assert_close(
+        "fleet.fleet_makespan_ms",
+        got.fleet.fleet_makespan_ms,
+        want.fleet.fleet_makespan_ms,
+    );
+    assert_close("fleet.speedup", got.fleet.speedup, want.fleet.speedup);
+    assert_close(
+        "fleet.utilization_spread",
+        got.fleet.utilization_spread,
+        want.fleet.utilization_spread,
+    );
+    assert_eq!(got.fleet.sheds, want.fleet.sheds, "fleet routing drifted");
     for (g, w) in got.spike.lines.iter().zip(&want.spike.lines) {
         assert_eq!(g.precision, w.precision);
         assert_close(
@@ -196,4 +216,29 @@ fn spike_floors_hold() {
         want.spike.speedup_at_p8_f64(),
         raw_speed::SPIKE_FLOOR
     );
+}
+
+#[test]
+fn fleet_floors_hold() {
+    let json = std::fs::read_to_string(TRAJECTORY)
+        .expect("BENCH_raw_speed.json missing at repo root — run `repro raw_speed`");
+    let want: RawSpeedReport = serde_json::from_str(&json).expect("trajectory JSON invalid");
+    // The comparison runs the compositions the trajectory promises.
+    assert_eq!(want.fleet.composition, raw_speed::FLEET_COMPOSITION);
+    assert_eq!(want.fleet.baseline, raw_speed::FLEET_BASELINE);
+    assert_eq!(want.fleet.requests, raw_speed::FLEET_REQUESTS);
+    // Acceptance floor: the heterogeneous fleet beats the best single
+    // device on the adversarial mix by at least FLEET_FLOOR.
+    assert!(
+        want.fleet.speedup >= raw_speed::FLEET_FLOOR,
+        "fleet speedup {:.3} below the {}x floor",
+        want.fleet.speedup,
+        raw_speed::FLEET_FLOOR
+    );
+    // The throughput numbers are the makespan ratio, self-consistently.
+    let tp_ratio = want.fleet.fleet_throughput_rps / want.fleet.baseline_throughput_rps;
+    assert!((tp_ratio - want.fleet.speedup).abs() < 1e-9 * want.fleet.speedup);
+    assert!(want.fleet.fleet_makespan_ms < want.fleet.baseline_makespan_ms);
+    // Utilization accounting stays physical over the drained schedule.
+    assert!(want.fleet.utilization_spread >= 0.0 && want.fleet.utilization_spread <= 1.0);
 }

@@ -69,6 +69,7 @@ pub mod executor;
 pub mod hazard;
 pub mod multi;
 pub mod occupancy;
+pub mod registry;
 pub mod resident;
 pub mod shared;
 pub mod stream;
@@ -81,6 +82,7 @@ pub use engine::{launch, LaunchConfig, LaunchError, LaunchReport};
 pub use executor::ParallelPolicy;
 pub use hazard::{AccessRecord, Hazard, HazardKind, HazardMode, HazardReport};
 pub use occupancy::Occupancy;
+pub use registry::FleetSpec;
 pub use resident::{
     ambient_engine, global_pool, with_engine_mode, EngineMode, EngineScope, MegabatchQueue,
     ResidentPool,

@@ -24,14 +24,11 @@ impl DeviceGroup {
         DeviceGroup { devices }
     }
 
-    /// The full MI250x card: two GCDs.
+    /// The full MI250x card: two GCDs, resolved through the device
+    /// registry ([`crate::registry::MI250X_FULL`]) — the single source of
+    /// truth for catalog hardware.
     pub fn mi250x_full() -> Self {
-        let gcd = DeviceSpec::mi250x_gcd();
-        let mut a = gcd.clone();
-        a.name = "MI250x-GCD0 (simulated)".into();
-        let mut b = gcd;
-        b.name = "MI250x-GCD1 (simulated)".into();
-        DeviceGroup::new(vec![a, b])
+        crate::registry::group(crate::registry::MI250X_FULL).expect("mi250x_full is in the catalog")
     }
 
     /// Split `batch` across the devices proportionally to a simple

@@ -1,0 +1,227 @@
+//! The device registry: every simulated accelerator the workspace knows,
+//! constructed from one source of truth.
+//!
+//! Before the fleet scheduler, each consumer hand-rolled its own specs —
+//! bench's `Platforms` called the [`DeviceSpec`] constructors directly,
+//! `DeviceGroup::mi250x_full` lived as an ad-hoc helper, and tests pinned
+//! their own copies. The registry centralizes the catalog behind stable
+//! string names so serving fleets, benches and tests all resolve hardware
+//! the same way:
+//!
+//! - [`device`] — look up a single device by catalog name;
+//! - [`group`] — look up a device group (one-device groups for every
+//!   catalog entry, plus composites like `"mi250x_full"`);
+//! - [`FleetSpec`] — compose a heterogeneous fleet (`"h100_pcie:1,
+//!   mi250x_gcd:4"`) into per-worker [`DeviceSpec`]s with stable,
+//!   per-instance names.
+//!
+//! Names are lowercase snake case and never change once shipped; the
+//! serving layer persists them in reports.
+
+use crate::device::DeviceSpec;
+use crate::multi::DeviceGroup;
+
+/// Catalog name of the NVIDIA H100-PCIe spec ([`DeviceSpec::h100_pcie`]).
+pub const H100_PCIE: &str = "h100_pcie";
+/// Catalog name of one AMD MI250x GCD ([`DeviceSpec::mi250x_gcd`]).
+pub const MI250X_GCD: &str = "mi250x_gcd";
+/// Catalog name of the tiny deterministic test device
+/// ([`DeviceSpec::test_device`]).
+pub const TEST_DEVICE: &str = "test";
+/// Catalog name of the full two-GCD MI250x package ([`group`]).
+pub const MI250X_FULL: &str = "mi250x_full";
+
+/// Every single-device catalog name, in registry order.
+#[must_use]
+pub fn device_names() -> &'static [&'static str] {
+    &[H100_PCIE, MI250X_GCD, TEST_DEVICE]
+}
+
+/// Look up a single device by catalog name.
+#[must_use]
+pub fn device(name: &str) -> Option<DeviceSpec> {
+    match name {
+        H100_PCIE => Some(DeviceSpec::h100_pcie()),
+        MI250X_GCD => Some(DeviceSpec::mi250x_gcd()),
+        TEST_DEVICE => Some(DeviceSpec::test_device()),
+        _ => None,
+    }
+}
+
+/// Look up a device group by catalog name: every single-device entry
+/// resolves to a one-device group, and `"mi250x_full"` to the two-GCD
+/// MI250x package the paper benchmarks (§8).
+#[must_use]
+pub fn group(name: &str) -> Option<DeviceGroup> {
+    match name {
+        MI250X_FULL => {
+            let mut a = DeviceSpec::mi250x_gcd();
+            let mut b = DeviceSpec::mi250x_gcd();
+            a.name = "MI250x-GCD0 (simulated)".to_string();
+            b.name = "MI250x-GCD1 (simulated)".to_string();
+            Some(DeviceGroup::new(vec![a, b]))
+        }
+        _ => device(name).map(|d| DeviceGroup::new(vec![d])),
+    }
+}
+
+/// One entry of a fleet composition: `count` instances of a catalog
+/// device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEntry {
+    /// Catalog device name ([`device_names`]).
+    pub device: String,
+    /// Number of instances.
+    pub count: usize,
+}
+
+/// A heterogeneous fleet composition over the registry catalog.
+///
+/// ```
+/// use gbatch_gpu_sim::registry::FleetSpec;
+///
+/// let fleet = FleetSpec::parse("h100_pcie:1,mi250x_gcd:4").unwrap();
+/// let devices = fleet.devices().unwrap();
+/// assert_eq!(devices.len(), 5);
+/// assert_eq!(devices[0].name, "h100_pcie:0");
+/// assert_eq!(devices[4].name, "mi250x_gcd:3");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Ordered fleet entries; instance order is composition order.
+    pub entries: Vec<FleetEntry>,
+}
+
+impl FleetSpec {
+    /// An empty fleet.
+    #[must_use]
+    pub fn new() -> Self {
+        FleetSpec::default()
+    }
+
+    /// Builder: append `count` instances of a catalog device.
+    #[must_use]
+    pub fn with(mut self, device: &str, count: usize) -> Self {
+        self.entries.push(FleetEntry {
+            device: device.to_string(),
+            count,
+        });
+        self
+    }
+
+    /// Parse a `"name:count,name:count"` composition string. A bare name
+    /// means one instance.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut spec = FleetSpec::new();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, count) = match part.split_once(':') {
+                Some((n, c)) => (
+                    n.trim(),
+                    c.trim()
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad count in {part:?}: {e}"))?,
+                ),
+                None => (part, 1),
+            };
+            if device(name).is_none() {
+                return Err(format!(
+                    "unknown device {name:?} (catalog: {})",
+                    device_names().join(", ")
+                ));
+            }
+            spec.entries.push(FleetEntry {
+                device: name.to_string(),
+                count,
+            });
+        }
+        if spec.entries.is_empty() {
+            return Err("empty fleet spec".to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Total instance count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Whether the composition is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolve the composition into per-instance device specs. Each
+    /// instance is renamed `"<catalog_name>:<k>"` (`k` counted per
+    /// catalog entry) so fleet reports distinguish identical hardware.
+    pub fn devices(&self) -> Result<Vec<DeviceSpec>, String> {
+        let mut out = Vec::with_capacity(self.len());
+        for e in &self.entries {
+            let base = device(&e.device).ok_or_else(|| {
+                format!(
+                    "unknown device {:?} (catalog: {})",
+                    e.device,
+                    device_names().join(", ")
+                )
+            })?;
+            for k in 0..e.count {
+                let mut d = base.clone();
+                d.name = format!("{}:{k}", e.device);
+                out.push(d);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_resolves_every_name() {
+        for name in device_names() {
+            let d = device(name).expect("catalog entry resolves");
+            assert!(!d.name.is_empty());
+            let g = group(name).expect("one-device group resolves");
+            assert_eq!(g.devices.len(), 1);
+        }
+        assert!(device("mi300x").is_none());
+    }
+
+    #[test]
+    fn registry_specs_match_the_constructors() {
+        assert_eq!(device(H100_PCIE).unwrap(), DeviceSpec::h100_pcie());
+        assert_eq!(device(MI250X_GCD).unwrap(), DeviceSpec::mi250x_gcd());
+        assert_eq!(device(TEST_DEVICE).unwrap(), DeviceSpec::test_device());
+    }
+
+    #[test]
+    fn mi250x_full_is_two_renamed_gcds() {
+        let g = group(MI250X_FULL).unwrap();
+        assert_eq!(g.devices.len(), 2);
+        assert_eq!(g.devices[0].name, "MI250x-GCD0 (simulated)");
+        assert_eq!(g.devices[1].name, "MI250x-GCD1 (simulated)");
+        let gcd = DeviceSpec::mi250x_gcd();
+        for d in &g.devices {
+            let mut renamed = d.clone();
+            renamed.name = gcd.name.clone();
+            assert_eq!(renamed, gcd, "GCD differs from the catalog spec");
+        }
+    }
+
+    #[test]
+    fn fleet_spec_parses_and_numbers_instances() {
+        let fleet = FleetSpec::parse("h100_pcie:1, mi250x_gcd:2, test").unwrap();
+        assert_eq!(fleet.len(), 4);
+        let devs = fleet.devices().unwrap();
+        assert_eq!(
+            devs.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+            ["h100_pcie:0", "mi250x_gcd:0", "mi250x_gcd:1", "test:0"]
+        );
+        assert!(FleetSpec::parse("").is_err());
+        assert!(FleetSpec::parse("mi300x:2").is_err());
+        assert!(FleetSpec::parse("h100_pcie:x").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Drive the adversarial fleet mix through a heterogeneous 1×H100 +
+//! 4×GCD + CPU fleet and print the per-device utilization table.
+//!
+//! ```text
+//! cargo run --release -p gbatch-serve --example fleet_demo
+//! ```
+
+use gbatch_cpu::CpuSpec;
+use gbatch_gpu_sim::ParallelPolicy;
+use gbatch_serve::{FleetSpec, FlushPolicy, Server, ServerConfig, SolveRequest};
+use gbatch_workloads::{adversarial_traffic, AdversarialConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 20k adversarial requests: MMPP bursts at 8x the 200 kHz base rate,
+    // shape churn, poison storms, interleaved f32/f64, and a rare
+    // large-n SPIKE lane — the traffic the fleet router exists for.
+    let cfg = AdversarialConfig::fleet_mix(2.0e5, 2.0e-3);
+    let arrivals = adversarial_traffic(&mut StdRng::seed_from_u64(42), 20_000, &cfg);
+
+    let fleet = FleetSpec::parse("h100_pcie:1,mi250x_gcd:4").expect("catalog names");
+    let mut server = Server::simulated_fleet(
+        &fleet,
+        CpuSpec::xeon_gold_6140(),
+        ParallelPolicy::threads(8),
+        ServerConfig {
+            queue_capacity: 8192,
+            policy: FlushPolicy::default()
+                .with_target_batch(64)
+                .with_min_gpu_batch(16),
+        },
+    )
+    .expect("fleet resolves");
+
+    let mut rejected = 0usize;
+    for a in arrivals {
+        let req = SolveRequest {
+            id: a.id,
+            shape: a.shape,
+            ab: a.ab,
+            rhs: a.rhs,
+            submitted_s: a.at_s,
+            deadline_s: a.deadline_s,
+        };
+        if server.submit(req).is_err() {
+            rejected += 1;
+        }
+    }
+    server.drain();
+    let responses = server.take_responses();
+    let report = server.report();
+
+    println!(
+        "fleet: {} device workers + cpu, {} responses, {} rejected",
+        server.fleet_size(),
+        responses.len(),
+        rejected
+    );
+    println!(
+        "flushes: {} (size {}, deadline {}, drain {}), mean batch {:.1}, spills {}",
+        report.flushes(),
+        report.flush_size,
+        report.flush_deadline,
+        report.flush_drain,
+        report.mean_batch(),
+        report.spills
+    );
+    println!(
+        "latency: p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+        report.p50_latency_s * 1e6,
+        report.p99_latency_s * 1e6,
+        report.max_latency_s * 1e6
+    );
+    println!();
+    println!(
+        "{:<16} {:>5} {:>9} {:>8} {:>11} {:>12} {:>6} {:>9}",
+        "device", "kind", "requests", "flushes", "busy (ms)", "utilization", "sheds", "inflight"
+    );
+    for d in &report.devices {
+        println!(
+            "{:<16} {:>5} {:>9} {:>8} {:>11.3} {:>11.1}% {:>6} {:>9}",
+            d.name,
+            d.kind,
+            d.requests,
+            d.flushes,
+            d.busy_s * 1e3,
+            d.utilization * 100.0,
+            d.sheds,
+            d.peak_inflight
+        );
+    }
+    println!();
+    println!(
+        "utilization spread (max-min over GPU workers): {:.1}%, total sheds {}",
+        report.utilization_spread() * 100.0,
+        report.sheds()
+    );
+    assert!(report.is_conserved(), "every admitted request was answered");
+}

@@ -166,6 +166,17 @@ pub trait SolveBackend {
             "factor-only entry point unsupported by this backend".into(),
         ))
     }
+
+    /// The simulated device this backend launches on, when it has one.
+    /// The fleet router prices each bucket against this spec (shared
+    /// memory decides fused eligibility, bandwidth and launch overhead
+    /// decide the service-time estimate). `None` — the default, kept by
+    /// CPU pools and test doubles — means "no device model": the router
+    /// can still route there but estimates zero device time, which is
+    /// exactly the pre-fleet behavior for the CPU spill path.
+    fn device(&self) -> Option<&DeviceSpec> {
+        None
+    }
 }
 
 /// Copy the requests' payloads into freshly-allocated batch containers.
@@ -650,6 +661,15 @@ impl GpuBackend {
 impl SolveBackend for GpuBackend {
     fn kind(&self) -> BackendKind {
         BackendKind::Gpu
+    }
+
+    /// The group's lead device. Fleet workers wrap one-device groups, so
+    /// this is *the* device; for multi-device groups (`mi250x_full` run
+    /// as a single worker) the lead device is the pricing representative
+    /// — members of a group are identical-spec in every shipped catalog
+    /// composite.
+    fn device(&self) -> Option<&DeviceSpec> {
+        self.group.devices.first()
     }
 
     fn solve(

@@ -1,11 +1,20 @@
-//! Shape-bucketed admission queue.
+//! Shape-bucketed admission queue, sharded by key hash.
 //!
 //! Requests that can share one `dgbsv_batch` dispatch must agree on the
 //! full geometry — order, bandwidths, right-hand-side count, storage — so
-//! the queue is a map from a bucketing key to a FIFO bucket. The map is a
-//! `BTreeMap` on purpose: keys are `Ord`, so every iteration order (and
+//! the queue is a map from a bucketing key to a FIFO bucket. Each shard is
+//! a `BTreeMap` on purpose: keys are `Ord`, so every iteration order (and
 //! therefore every tie-break between buckets with equal deadlines) is
 //! deterministic.
+//!
+//! The map is split into independently locked **shards** selected by a
+//! deterministic hash of the bucketing key, so concurrent admission
+//! ([`BucketMap::push_shared`]) of different shapes contends only on the
+//! global pending counter (one atomic), not on one big lock — admission
+//! scales with cores while the drain side stays exactly as deterministic
+//! as the unsharded queue: every cross-shard query ([`next_deadline`],
+//! [`occupied_keys`]) merges shard results in key order, so sharding is
+//! invisible to scheduling decisions.
 //!
 //! The queue is generic over the queued item through [`Bucketed`]: the
 //! public serve API buckets plain [`SolveRequest`]s by [`ShapeKey`], while
@@ -16,18 +25,30 @@
 //! Capacity is bounded *globally* (total pending requests across all
 //! buckets), which is the backpressure contract a caller can reason about:
 //! a full service refuses work no matter which shape it is.
+//!
+//! [`next_deadline`]: BucketMap::next_deadline
+//! [`occupied_keys`]: BucketMap::occupied_keys
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use gbatch_core::ShapeKey;
 
 use crate::request::SolveRequest;
 
+/// Default shard count: enough lock granularity for every host core this
+/// workspace targets, small enough that cross-shard merges stay cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
 /// An item the queue can bucket: a deterministic key plus the deadline
 /// that drives the head-of-line flush trigger.
 pub trait Bucketed {
-    /// The bucketing key.
-    type Key: Ord + Copy;
+    /// The bucketing key. `Hash` selects the shard; `Ord` keeps every
+    /// cross-bucket tie-break deterministic.
+    type Key: Ord + Copy + Hash;
     /// This item's bucket.
     fn bucket_key(&self) -> Self::Key;
     /// Absolute response deadline, seconds on the virtual clock.
@@ -96,39 +117,58 @@ impl<R: Bucketed> Bucket<R> {
     }
 }
 
-/// The full admission queue: keyed buckets under one global bound.
+/// The full admission queue: keyed buckets under one global bound, split
+/// into hash-selected shards with independent locks.
 pub struct BucketMap<R: Bucketed = SolveRequest> {
-    buckets: BTreeMap<R::Key, Bucket<R>>,
+    shards: Vec<Mutex<BTreeMap<R::Key, Bucket<R>>>>,
     capacity: usize,
-    pending: usize,
+    pending: AtomicUsize,
 }
 
 impl<R: Bucketed> std::fmt::Debug for BucketMap<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BucketMap")
-            .field("pending", &self.pending)
+            .field("pending", &self.pending())
             .field("capacity", &self.capacity)
-            .field("buckets", &self.buckets.len())
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
 
 impl<R: Bucketed> BucketMap<R> {
-    /// Empty queue with the given total capacity.
+    /// Empty queue with the given total capacity and [`DEFAULT_SHARDS`]
+    /// shards.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Empty queue with an explicit shard count. Shard count changes lock
+    /// granularity only — every scheduling-visible query merges shards in
+    /// key order, so behavior is identical for any count.
+    #[must_use]
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
+        assert!(shards > 0, "need at least one shard");
         BucketMap {
-            buckets: BTreeMap::new(),
+            shards: (0..shards).map(|_| Mutex::new(BTreeMap::new())).collect(),
             capacity,
-            pending: 0,
+            pending: AtomicUsize::new(0),
         }
+    }
+
+    /// Which shard a key lives in: a deterministic hash (fixed-key
+    /// SipHash), stable for the life of the process.
+    fn shard_of(&self, key: &R::Key) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
     }
 
     /// Total pending requests across all buckets.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.pending
+        self.pending.load(Ordering::SeqCst)
     }
 
     /// Configured global capacity.
@@ -137,71 +177,117 @@ impl<R: Bucketed> BucketMap<R> {
         self.capacity
     }
 
+    /// Number of shards (lock granularity).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Whether no request is queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.pending == 0
+        self.pending() == 0
     }
 
     /// Number of non-empty buckets.
     #[must_use]
     pub fn bucket_count(&self) -> usize {
-        self.buckets.values().filter(|b| !b.is_empty()).count()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().values().filter(|b| !b.is_empty()).count())
+            .sum()
     }
 
     /// Queue depth of one key's bucket.
     #[must_use]
     pub fn depth(&self, key: &R::Key) -> usize {
-        self.buckets.get(key).map_or(0, Bucket::len)
+        self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap()
+            .get(key)
+            .map_or(0, Bucket::len)
     }
 
     /// Enqueue a request. Returns the new depth of its bucket, or hands
     /// the request back when the global capacity is reached (backpressure
     /// — the queue is untouched in that case).
     pub fn push(&mut self, req: R) -> Result<usize, R> {
-        if self.pending >= self.capacity {
+        self.push_shared(req)
+    }
+
+    /// [`BucketMap::push`] through a shared reference: the concurrent
+    /// admission path. Capacity is reserved on the global atomic first
+    /// (exact — a rejected request never touches a shard lock), then only
+    /// the key's own shard is locked, so admissions of different shapes
+    /// from different threads proceed in parallel.
+    pub fn push_shared(&self, req: R) -> Result<usize, R> {
+        if self
+            .pending
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |p| {
+                (p < self.capacity).then_some(p + 1)
+            })
+            .is_err()
+        {
             return Err(req);
         }
-        let bucket = self.buckets.entry(req.bucket_key()).or_default();
+        let mut shard = self.shards[self.shard_of(&req.bucket_key())]
+            .lock()
+            .unwrap();
+        let bucket = shard.entry(req.bucket_key()).or_default();
         bucket.push(req);
-        self.pending += 1;
         Ok(bucket.len())
     }
 
     /// Remove and return every request of one bucket, in FIFO order.
     pub fn take(&mut self, key: &R::Key) -> Vec<R> {
-        let Some(bucket) = self.buckets.get_mut(key) else {
+        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        let Some(bucket) = shard.get_mut(key) else {
             return Vec::new();
         };
         let reqs = bucket.take_all();
-        self.pending -= reqs.len();
+        drop(shard);
+        self.pending.fetch_sub(reqs.len(), Ordering::SeqCst);
         reqs
     }
 
     /// The most urgent bucket: smallest head-of-line deadline over all
-    /// non-empty buckets, ties broken by key order (the `BTreeMap`
-    /// iteration order — strictly deterministic).
+    /// non-empty buckets, ties broken by key order. Shard-local minima
+    /// (each deterministic by `BTreeMap` iteration) merge under the same
+    /// `(deadline, key)` order, so the answer is independent of the shard
+    /// count and bitwise-stable.
     #[must_use]
     pub fn next_deadline(&self) -> Option<(f64, R::Key)> {
         let mut best: Option<(f64, R::Key)> = None;
-        for (key, bucket) in &self.buckets {
-            if let Some(dl) = bucket.oldest_deadline_s() {
-                if best.is_none_or(|(b, _)| dl < b) {
-                    best = Some((dl, *key));
+        for s in &self.shards {
+            for (key, bucket) in s.lock().unwrap().iter() {
+                if let Some(dl) = bucket.oldest_deadline_s() {
+                    if best.is_none_or(|(bd, bk)| dl < bd || (dl == bd && *key < bk)) {
+                        best = Some((dl, *key));
+                    }
                 }
             }
         }
         best
     }
 
-    /// Keys of all non-empty buckets, in deterministic (`Ord`) order.
+    /// Keys of all non-empty buckets, in deterministic (`Ord`) order —
+    /// shard placement never leaks into the result.
     #[must_use]
     pub fn occupied_keys(&self) -> Vec<R::Key> {
-        self.buckets
+        let mut keys: Vec<R::Key> = self
+            .shards
             .iter()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(k, _)| *k)
-            .collect()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap()
+                    .iter()
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(k, _)| *k)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 }
 
@@ -265,5 +351,55 @@ mod tests {
         assert_eq!(q.depth(&b), 1);
         assert_eq!(q.bucket_count(), 2);
         assert_eq!(q.occupied_keys(), vec![a.min(b), a.max(b)]);
+    }
+
+    #[test]
+    fn behavior_is_invariant_under_shard_count() {
+        // The same push sequence through 1, 3 and 16 shards yields
+        // identical scheduling-visible state: sharding is lock
+        // granularity, nothing else.
+        type VisibleState = (Vec<ShapeKey>, Option<(f64, ShapeKey)>);
+        let shapes: Vec<ShapeKey> = (1..8).map(|k| ShapeKey::gbsv(8 * k, 1, 1, 1)).collect();
+        let runs: Vec<VisibleState> = [1usize, 3, 16]
+            .into_iter()
+            .map(|shards| {
+                let mut q = BucketMap::with_shards(64, shards);
+                for (i, s) in shapes.iter().cycle().take(21).enumerate() {
+                    q.push(req(i as u64, *s, 0.0, 1.0 + (i % 5) as f64 * 0.1))
+                        .unwrap();
+                }
+                assert_eq!(q.pending(), 21);
+                (q.occupied_keys(), q.next_deadline())
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn concurrent_admission_conserves_and_respects_capacity() {
+        let q = BucketMap::<SolveRequest>::with_shards(500, 8);
+        let shapes: Vec<ShapeKey> = (1..9).map(|k| ShapeKey::gbsv(8 * k, 1, 1, 1)).collect();
+        std::thread::scope(|scope| {
+            for (t, &shape) in shapes.iter().enumerate() {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut rejected = 0usize;
+                    for i in 0..100u64 {
+                        if q.push_shared(req(t as u64 * 1000 + i, shape, 0.0, 1.0))
+                            .is_err()
+                        {
+                            rejected += 1;
+                        }
+                    }
+                    rejected
+                });
+            }
+        });
+        // 8 threads x 100 requests against capacity 500: exactly 500
+        // admitted, the rest bounced, no lost updates.
+        assert_eq!(q.pending(), 500);
+        let total: usize = shapes.iter().map(|s| q.depth(s)).sum();
+        assert_eq!(total, 500);
     }
 }

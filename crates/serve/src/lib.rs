@@ -21,6 +21,10 @@
 //!   and launch-overhead-aware target-batch sizing;
 //! - [`GpuBackend`] / [`CpuBackend`] — the simulated device group (split
 //!   across GCDs) and the multicore spill path, behind [`SolveBackend`];
+//! - the **fleet** — [`Server::fleet`] / [`Server::simulated_fleet`] run
+//!   a heterogeneous set of device workers (composed by [`FleetSpec`]
+//!   from the gpu-sim registry), each with its own busy horizon and
+//!   resident state, behind a deterministic affinity-aware router;
 //! - [`FactorCache`] — content-fingerprinted LU reuse: repeated operators
 //!   skip `gbtrf` and flush as batched GBTRS-only launches, with an
 //!   explicit [`Server::factorize`] / [`Server::submit_with`] fast path
@@ -83,10 +87,13 @@ pub use backend::{
 };
 pub use bucket::{Bucket, BucketMap, Bucketed};
 pub use cache::{CacheConfig, CacheStats, FactorCache, FactorHandle};
-pub use metrics::ServeReport;
+pub use metrics::{DeviceReport, ServeReport};
 pub use policy::{FlushPolicy, FlushReason};
 pub use request::{AdmitError, SolveRequest, SolveResponse, SolveStatus};
 pub use server::{FactorizeError, Server, ServerConfig};
 
 // Re-exported so examples and tests can name the key without an extra dep.
 pub use gbatch_core::ShapeKey;
+// Re-exported so fleet consumers can compose a fleet without naming the
+// gpu-sim crate.
+pub use gbatch_gpu_sim::registry::FleetSpec;

@@ -130,6 +130,7 @@ impl Metrics {
             p99_latency_s: quantile(0.99),
             max_latency_s: sorted.last().copied().unwrap_or(0.0),
             mean_latency_s: mean,
+            devices: Vec::new(),
         }
     }
 }
@@ -218,6 +219,38 @@ pub struct ServeReport {
     pub max_latency_s: f64,
     /// Mean end-to-end latency, seconds.
     pub mean_latency_s: f64,
+    /// Per-device breakdown, in worker order (GPU workers first, CPU
+    /// pool last). Empty on reports frozen before the fleet refactor;
+    /// `serde(default)` keeps those old JSON snapshots loadable.
+    #[serde(default)]
+    pub devices: Vec<DeviceReport>,
+}
+
+/// One fleet worker's slice of a [`ServeReport`]. All numbers live on
+/// the virtual clock, so they are exactly reproducible run to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Worker name (registry instance name, e.g. `"h100_pcie:0"`, or the
+    /// device spec's own name for hand-built servers; `"cpu"` for the
+    /// spill pool).
+    pub name: String,
+    /// Engine class: `"gpu"` or `"cpu"`.
+    pub kind: String,
+    /// Requests answered by this worker.
+    pub requests: u64,
+    /// Batches flushed to this worker.
+    pub flushes: u64,
+    /// Total modeled busy time, seconds.
+    pub busy_s: f64,
+    /// `busy_s` over the virtual-clock horizon at report time (0 when
+    /// the clock never advanced).
+    pub utilization: f64,
+    /// Batches this worker would have owned by affinity but that the
+    /// router shed elsewhere because the worker was saturated.
+    pub sheds: u64,
+    /// Peak number of flushed batches simultaneously in flight on this
+    /// worker's virtual timeline.
+    pub peak_inflight: usize,
 }
 
 impl ServeReport {
@@ -269,6 +302,32 @@ impl ServeReport {
         } else {
             (self.gpu_busy_s + self.cpu_busy_s) / self.completed as f64
         }
+    }
+
+    /// Spread of GPU-worker utilization (`max − min`; 0 with fewer than
+    /// two GPU workers). A router that load-balances well keeps this
+    /// small on a homogeneous fleet; on a heterogeneous fleet it tracks
+    /// how much the affinity policy concentrates work.
+    #[must_use]
+    pub fn utilization_spread(&self) -> f64 {
+        let utils: Vec<f64> = self
+            .devices
+            .iter()
+            .filter(|d| d.kind == "gpu")
+            .map(|d| d.utilization)
+            .collect();
+        if utils.len() < 2 {
+            return 0.0;
+        }
+        let max = utils.iter().copied().fold(f64::MIN, f64::max);
+        let min = utils.iter().copied().fold(f64::MAX, f64::min);
+        max - min
+    }
+
+    /// Total batches shed away from their affinity-preferred worker.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.devices.iter().map(|d| d.sheds).sum()
     }
 }
 

@@ -30,18 +30,38 @@
 //! straight to CPU spill. Cold flushes harvest every healthy lane's
 //! factors back into the cache, so steady repeated-operator traffic
 //! converges to solve-only device work.
+//!
+//! ## The fleet
+//!
+//! The primary route is a **fleet** of device workers, each wrapping one
+//! [`SolveBackend`] with its own busy horizon, resident-engine state and
+//! per-worker statistics. Every flush is priced against every worker by a
+//! deterministic router (see [`Server::route`]): the bucket's estimated
+//! service time on each device (bandwidth + launch-overhead floor from
+//! the kernel cost model) is adjusted for fused-kernel shared-memory fit
+//! (small-`n` buckets prefer devices whose smem holds the fused working
+//! set) and factor-cache affinity (warm buckets prefer the worker that
+//! harvested their factors), then added to the worker's earliest start.
+//! Work sheds away from its affinity-preferred worker only when that
+//! worker is loaded — counted per worker — and the existing CPU spill
+//! rule applies against the *chosen* worker's horizon, so a one-worker
+//! fleet reproduces the pre-fleet server bit for bit.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use gbatch_core::{operator_fingerprint, Fingerprint, RetainedFactor, ShapeKey};
+use gbatch_core::{operator_fingerprint, Fingerprint, Precision, RetainedFactor, ShapeKey};
 use gbatch_cpu::CpuSpec;
 use gbatch_gpu_sim::multi::DeviceGroup;
-use gbatch_gpu_sim::ParallelPolicy;
+use gbatch_gpu_sim::registry::FleetSpec;
+use gbatch_gpu_sim::{DeviceSpec, ParallelPolicy};
+use gbatch_kernels::cost::predict_reference_floor;
+use gbatch_kernels::gbsv_fused::gbsv_smem_bytes;
 
 use crate::backend::{BackendKind, CpuBackend, GpuBackend, SolveBackend};
 use crate::bucket::{BucketMap, Bucketed};
 use crate::cache::{CacheConfig, FactorCache, FactorHandle};
-use crate::metrics::{Metrics, ServeReport};
+use crate::metrics::{DeviceReport, Metrics, ServeReport};
 use crate::policy::{FlushPolicy, FlushReason};
 use crate::request::{AdmitError, SolveRequest, SolveResponse, SolveStatus};
 
@@ -61,7 +81,7 @@ enum Tier {
 
 /// Bucketing key of the internal admission queue: exact geometry plus
 /// cache tier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct BucketKey {
     shape: ShapeKey,
     tier: Tier,
@@ -147,34 +167,133 @@ struct Outcome {
     retained: Option<Arc<RetainedFactor>>,
 }
 
+/// One fleet worker: a backend plus its own virtual timeline and stats.
+/// A worker's busy horizon serializes its flushes, so per-worker service
+/// is sequential exactly like the pre-fleet single device.
+struct Worker {
+    /// Report name: the device spec's name when the backend has one,
+    /// otherwise a positional fallback (`"gpu:0"`, `"cpu"`).
+    name: String,
+    backend: Box<dyn SolveBackend>,
+    /// Instant this worker's timeline is free, seconds.
+    free_s: f64,
+    requests: u64,
+    flushes: u64,
+    busy_s: f64,
+    /// Batches this worker would have owned by affinity but the router
+    /// placed elsewhere because this worker was loaded.
+    sheds: u64,
+    /// End instants of batches still running at the last assignment —
+    /// nondecreasing, since the horizon serializes the worker.
+    inflight_ends: VecDeque<f64>,
+    peak_inflight: usize,
+}
+
+impl Worker {
+    fn new(backend: Box<dyn SolveBackend>, fallback_name: String) -> Self {
+        Worker {
+            name: backend.device().map_or(fallback_name, |d| d.name.clone()),
+            backend,
+            free_s: 0.0,
+            requests: 0,
+            flushes: 0,
+            busy_s: 0.0,
+            sheds: 0,
+            inflight_ends: VecDeque::new(),
+            peak_inflight: 0,
+        }
+    }
+
+    /// Record a batch assigned at `t` finishing at `end`; the live count
+    /// of unfinished batches is this worker's queue depth.
+    fn note_inflight(&mut self, t: f64, end: f64) {
+        while self.inflight_ends.front().is_some_and(|&e| e <= t) {
+            self.inflight_ends.pop_front();
+        }
+        self.inflight_ends.push_back(end);
+        self.peak_inflight = self.peak_inflight.max(self.inflight_ends.len());
+    }
+
+    fn report(&self, horizon_s: f64) -> DeviceReport {
+        DeviceReport {
+            name: self.name.clone(),
+            kind: self.backend.kind().to_string(),
+            requests: self.requests,
+            flushes: self.flushes,
+            busy_s: self.busy_s,
+            utilization: if horizon_s > 0.0 {
+                self.busy_s / horizon_s
+            } else {
+                0.0
+            },
+            sheds: self.sheds,
+            peak_inflight: self.peak_inflight,
+        }
+    }
+}
+
+/// Router pricing: estimated-service multiplier for a fused-eligible
+/// bucket on a device whose shared memory cannot hold the fused working
+/// set (the dispatcher would fall back to the slower window path there).
+const FUSED_SMEM_PENALTY: f64 = 1.5;
+/// Router pricing: multiplier for a warm bucket on a worker that did not
+/// harvest its factors (no resident-state or cache-locality benefit).
+const WARM_AFFINITY_PENALTY: f64 = 2.0;
+/// Largest `n` the fused single-launch kernel targets; buckets at or
+/// under it are "fused-eligible" for routing purposes.
+const FUSED_MAX_N: usize = 64;
+
 /// The dynamic-batching solve server.
 pub struct Server {
     cfg: ServerConfig,
     buckets: BucketMap<Admitted>,
     cache: FactorCache,
-    gpu: Box<dyn SolveBackend>,
-    cpu: Box<dyn SolveBackend>,
+    /// Device workers, the primary route. Never empty.
+    gpus: Vec<Worker>,
+    /// The spill pool and singleton-rescue route.
+    cpu: Worker,
+    /// Fingerprint → GPU-worker index that factored/harvested it last;
+    /// warm buckets prefer that worker (its cache-resident factors).
+    affinity: BTreeMap<Fingerprint, usize>,
     clock_s: f64,
-    gpu_free_s: f64,
-    cpu_free_s: f64,
     responses: Vec<SolveResponse>,
     metrics: Metrics,
 }
 
 impl Server {
     /// Server over explicit backends. `gpu` is the primary route; `cpu`
-    /// receives spilled flushes and singleton retries.
+    /// receives spilled flushes and singleton retries. Equivalent to a
+    /// one-worker [`Server::fleet`].
     #[must_use]
     pub fn new(cfg: ServerConfig, gpu: Box<dyn SolveBackend>, cpu: Box<dyn SolveBackend>) -> Self {
+        Server::fleet(cfg, vec![gpu], cpu)
+    }
+
+    /// Server over a fleet of device workers plus one CPU spill pool.
+    /// Every worker keeps its own busy horizon, resident-engine state and
+    /// statistics; the router prices each flush against all of them.
+    ///
+    /// # Panics
+    /// With an empty worker list — a fleet needs at least one device.
+    #[must_use]
+    pub fn fleet(
+        cfg: ServerConfig,
+        gpus: Vec<Box<dyn SolveBackend>>,
+        cpu: Box<dyn SolveBackend>,
+    ) -> Self {
+        assert!(!gpus.is_empty(), "a fleet needs at least one device worker");
         Server {
             buckets: BucketMap::new(cfg.queue_capacity),
             cfg,
             cache: FactorCache::default(),
-            gpu,
-            cpu,
+            gpus: gpus
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| Worker::new(b, format!("gpu:{i}")))
+                .collect(),
+            cpu: Worker::new(cpu, "cpu".to_string()),
+            affinity: BTreeMap::new(),
             clock_s: 0.0,
-            gpu_free_s: 0.0,
-            cpu_free_s: 0.0,
             responses: Vec::new(),
             metrics: Metrics::default(),
         }
@@ -209,6 +328,37 @@ impl Server {
             Box::new(GpuBackend::new(group, parallel)),
             Box::new(CpuBackend::new(cpu)),
         )
+    }
+
+    /// [`Server::simulated`] over a heterogeneous fleet composition: one
+    /// worker per [`FleetSpec`] device instance (each a one-device group,
+    /// so resident-engine state and megabatch queues are per worker),
+    /// plus the CPU spill pool. Errors on an unknown catalog name or an
+    /// empty composition.
+    pub fn simulated_fleet(
+        fleet: &FleetSpec,
+        cpu: CpuSpec,
+        parallel: ParallelPolicy,
+        cfg: ServerConfig,
+    ) -> Result<Self, String> {
+        let devices = fleet.devices()?;
+        if devices.is_empty() {
+            return Err("empty fleet composition".to_string());
+        }
+        let gpus = devices
+            .into_iter()
+            .map(|d| {
+                Box::new(GpuBackend::new(DeviceGroup::new(vec![d]), parallel))
+                    as Box<dyn SolveBackend>
+            })
+            .collect();
+        Ok(Server::fleet(cfg, gpus, Box::new(CpuBackend::new(cpu))))
+    }
+
+    /// Number of device workers in the fleet.
+    #[must_use]
+    pub fn fleet_size(&self) -> usize {
+        self.gpus.len()
     }
 
     /// The virtual clock, seconds.
@@ -394,20 +544,29 @@ impl Server {
         }
         self.metrics.factorize_requests += 1;
         let t = self.clock_s;
-        let (outcome, on_gpu) = match self.gpu.factorize(&shape, &[ab]) {
+        // Route the factorization to the cheapest-to-start worker (the
+        // sole worker on a one-device fleet), CPU on a device fault.
+        let wi = self.cheapest_worker(&shape, 1, t);
+        let (outcome, on_gpu) = match self.gpus[wi].backend.factorize(&shape, &[ab]) {
             Ok(o) => (o, true),
-            Err(_) => match self.cpu.factorize(&shape, &[ab]) {
+            Err(_) => match self.cpu.backend.factorize(&shape, &[ab]) {
                 Ok(o) => (o, false),
                 Err(e) => return Err(FactorizeError::Backend(e.to_string())),
             },
         };
+        let w = if on_gpu {
+            &mut self.gpus[wi]
+        } else {
+            &mut self.cpu
+        };
+        let start = w.free_s.max(t);
+        let end = start + outcome.service_s;
+        w.free_s = end;
+        w.busy_s += outcome.service_s;
+        w.note_inflight(t, end);
         if on_gpu {
-            let start = self.gpu_free_s.max(t);
-            self.gpu_free_s = start + outcome.service_s;
             self.metrics.gpu_busy_s += outcome.service_s;
         } else {
-            let start = self.cpu_free_s.max(t);
-            self.cpu_free_s = start + outcome.service_s;
             self.metrics.cpu_busy_s += outcome.service_s;
         }
         if outcome.info[0] > 0 {
@@ -424,6 +583,9 @@ impl Server {
             .ok_or_else(|| {
                 FactorizeError::Backend("backend reported success without factors".into())
             })?;
+        if on_gpu {
+            self.affinity.insert(fp, wi);
+        }
         Ok(self.cache.insert(fp, factor))
     }
 
@@ -465,8 +627,149 @@ impl Server {
     /// dimensions included.
     #[must_use]
     pub fn report(&self) -> ServeReport {
-        self.metrics
-            .report_with_cache(self.cache.stats(), self.cache.len(), self.cache.bytes())
+        let mut r = self.metrics.report_with_cache(
+            self.cache.stats(),
+            self.cache.len(),
+            self.cache.bytes(),
+        );
+        // The utilization horizon is the drained-schedule end: service
+        // assigned by the last flush extends past the caller's clock, so
+        // dividing by `clock_s` alone would over-report saturated fleets.
+        let horizon = self
+            .gpus
+            .iter()
+            .chain(std::iter::once(&self.cpu))
+            .map(|w| w.free_s)
+            .fold(self.clock_s, f64::max);
+        r.devices = self
+            .gpus
+            .iter()
+            .chain(std::iter::once(&self.cpu))
+            .map(|w| w.report(horizon))
+            .collect();
+        r
+    }
+
+    /// Estimated service time of a `batch`-problem bucket on a worker's
+    /// device: the memory-bound reference floor (launch overhead +
+    /// bytes over sustained bandwidth) — exactly the relative quantity
+    /// the cross-device routing decision needs. Workers without a device
+    /// model (CPU pools, test doubles) price as zero, which reproduces
+    /// the pre-fleet behavior of routing to them unconditionally.
+    fn price_on(dev: &DeviceSpec, shape: &ShapeKey, batch: usize) -> f64 {
+        let Ok(l) = shape.layout() else {
+            return 0.0;
+        };
+        match shape.precision {
+            Precision::F32 => predict_reference_floor::<f32>(dev, &l, batch).secs(),
+            Precision::F64 => predict_reference_floor::<f64>(dev, &l, batch).secs(),
+        }
+    }
+
+    /// Whether the fused single-launch kernel's working set for this
+    /// shape fits the device's per-block shared memory — the §8 effect
+    /// the router exploits: small-`n` fused buckets belong on smem-rich
+    /// devices.
+    fn fused_fits(dev: &DeviceSpec, shape: &ShapeKey) -> bool {
+        let Ok(l) = shape.layout() else {
+            return true;
+        };
+        let bytes = match shape.precision {
+            Precision::F32 => gbsv_smem_bytes::<f32>(&l, shape.nrhs),
+            Precision::F64 => gbsv_smem_bytes::<f64>(&l, shape.nrhs),
+        };
+        bytes <= dev.max_smem_per_block as usize
+    }
+
+    /// Affinity-adjusted service estimate of this bucket on worker `i`.
+    fn worker_estimate(
+        &self,
+        i: usize,
+        key: &BucketKey,
+        batch: usize,
+        affine: Option<usize>,
+    ) -> f64 {
+        let w = &self.gpus[i];
+        let Some(dev) = w.backend.device() else {
+            return 0.0;
+        };
+        let mut est = Self::price_on(dev, &key.shape, batch);
+        if key.shape.n <= FUSED_MAX_N && !Self::fused_fits(dev, &key.shape) {
+            est *= FUSED_SMEM_PENALTY;
+        }
+        if key.tier == Tier::Warm && affine.is_some_and(|a| a != i) {
+            est *= WARM_AFFINITY_PENALTY;
+        }
+        est
+    }
+
+    /// The deterministic fleet router: pick the GPU worker minimizing
+    /// `earliest_start + affinity_adjusted_estimate` for this bucket.
+    /// Ties break to the lowest worker index; every input is virtual-time
+    /// state, so the choice replays bitwise. When load steers the bucket
+    /// away from the worker the load-blind policy prefers (the affinity
+    /// holder, or the cheapest device), that preferred worker's shed
+    /// count is incremented — the "cold overflow sheds to less-loaded
+    /// devices" path of the fleet design.
+    fn route(&mut self, key: &BucketKey, batch: usize, t: f64, fps: &[Fingerprint]) -> usize {
+        if self.gpus.len() == 1 {
+            return 0;
+        }
+        // Majority affinity vote over the bucket's fingerprints (ties to
+        // the lowest worker index via ascending map order + strict >).
+        let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+        for fp in fps {
+            if let Some(&w) = self.affinity.get(fp) {
+                *votes.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut affine: Option<usize> = None;
+        let mut most = 0usize;
+        for (&w, &v) in &votes {
+            if v > most {
+                most = v;
+                affine = Some(w);
+            }
+        }
+        let mut chosen = 0usize;
+        let mut chosen_score = f64::INFINITY;
+        let mut preferred = 0usize;
+        let mut preferred_score = f64::INFINITY;
+        for i in 0..self.gpus.len() {
+            let est = self.worker_estimate(i, key, batch, affine);
+            let score = self.gpus[i].free_s.max(t) + est;
+            if score < chosen_score {
+                chosen_score = score;
+                chosen = i;
+            }
+            // The load-blind preference: where the bucket *belongs*.
+            if est < preferred_score {
+                preferred_score = est;
+                preferred = i;
+            }
+        }
+        if chosen != preferred {
+            self.gpus[preferred].sheds += 1;
+        }
+        chosen
+    }
+
+    /// Worker with the earliest priced start for a single factorization.
+    fn cheapest_worker(&self, shape: &ShapeKey, batch: usize, t: f64) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (i, w) in self.gpus.iter().enumerate() {
+            let est = w
+                .backend
+                .device()
+                .map_or(0.0, |d| Self::price_on(d, shape, batch));
+            let score = w.free_s.max(t) + est;
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
     }
 
     fn flush(&mut self, key: &BucketKey, t: f64, reason: FlushReason) {
@@ -478,16 +781,20 @@ impl Server {
         self.metrics.note_flush(reason, batch);
         let shape = key.shape;
 
-        // Route: size-triggered flushes earned the device; deadline and
-        // drain flushes spill when too small for a launch or when the
-        // device is saturated past the slack. Known-singular (negative
-        // tier) flushes always spill: re-running a singular operator is
-        // pure bookkeeping, never worth a device launch. Large-`n`
-        // operators are exempt from the min-batch spill: a single such
-        // system splits into `P` intra-matrix blocks on the device (the
-        // SPIKE dispatch regime), so even a lone request amortizes its
-        // launch.
-        let gpu_start = self.gpu_free_s.max(t);
+        // Fleet routing first: price the bucket against every device
+        // worker (affinity-adjusted), then apply the spill rule against
+        // the chosen worker's horizon. Route: size-triggered flushes
+        // earned the device; deadline and drain flushes spill when too
+        // small for a launch or when the device is saturated past the
+        // slack. Known-singular (negative tier) flushes always spill:
+        // re-running a singular operator is pure bookkeeping, never worth
+        // a device launch. Large-`n` operators are exempt from the
+        // min-batch spill: a single such system splits into `P`
+        // intra-matrix blocks on the device (the SPIKE dispatch regime),
+        // so even a lone request amortizes its launch.
+        let fps_all: Vec<Fingerprint> = admitted.iter().map(|a| a.fp).collect();
+        let wi = self.route(key, batch, t, &fps_all);
+        let gpu_start = self.gpus[wi].free_s.max(t);
         let large_n = shape.n >= gbatch_kernels::dispatch::SPIKE_MIN_N && shape.kl + shape.ku > 0;
         let spill = key.tier == Tier::Negative
             || match reason {
@@ -501,7 +808,7 @@ impl Server {
             self.metrics.spills += 1;
         }
         let start = if spill {
-            self.cpu_free_s.max(t)
+            self.cpu.free_s.max(t)
         } else {
             gpu_start
         };
@@ -543,9 +850,9 @@ impl Server {
             let factors: Vec<_> = fps.iter().map_while(|&fp| self.cache.fetch(fp)).collect();
             if factors.len() == reqs.len() {
                 let primary: &dyn SolveBackend = if spill {
-                    self.cpu.as_ref()
+                    self.cpu.backend.as_ref()
                 } else {
-                    self.gpu.as_ref()
+                    self.gpus[wi].backend.as_ref()
                 };
                 if let Ok(sol) = primary.solve_with(&shape, &reqs, &factors) {
                     service_s += sol.service_s;
@@ -563,6 +870,13 @@ impl Server {
                             })
                             .collect(),
                     );
+                    // The factors (SPIKE payloads included) just ran on
+                    // this worker: refresh warm affinity there.
+                    if !spill {
+                        for &fp in &fps {
+                            self.affinity.insert(fp, wi);
+                        }
+                    }
                 }
             }
             if outcomes.is_none() {
@@ -574,9 +888,9 @@ impl Server {
         // bisect retry, harvesting factors for the cache.
         let outcomes = outcomes.unwrap_or_else(|| {
             let (primary, fallback): (&dyn SolveBackend, &dyn SolveBackend) = if spill {
-                (self.cpu.as_ref(), self.cpu.as_ref())
+                (self.cpu.backend.as_ref(), self.cpu.backend.as_ref())
             } else {
-                (self.gpu.as_ref(), self.cpu.as_ref())
+                (self.gpus[wi].backend.as_ref(), self.cpu.backend.as_ref())
             };
             run_with_bisect(
                 primary,
@@ -591,11 +905,20 @@ impl Server {
         // One busy-horizon step per flush: the host blocks on the flush's
         // whole retry sequence, so every response completes together.
         let end = start + service_s;
+        {
+            let w = if spill {
+                &mut self.cpu
+            } else {
+                &mut self.gpus[wi]
+            };
+            w.free_s = end;
+            w.busy_s += service_s;
+            w.flushes += 1;
+            w.note_inflight(t, end);
+        }
         if spill {
-            self.cpu_free_s = end;
             self.metrics.cpu_busy_s += service_s;
         } else {
-            self.gpu_free_s = end;
             self.metrics.gpu_busy_s += service_s;
         }
 
@@ -609,6 +932,9 @@ impl Server {
             } else if !o.failed {
                 if let Some(f) = o.retained.take() {
                     self.cache.insert(fp, f);
+                    if !spill {
+                        self.affinity.insert(fp, wi);
+                    }
                 }
             }
             let status = if o.failed {
@@ -621,6 +947,13 @@ impl Server {
                 self.metrics.solved += 1;
                 SolveStatus::Solved
             };
+            // Attribute the request to the worker that answered it: the
+            // chosen device worker for its own kind, the CPU pool for
+            // spills and singleton rescues.
+            match o.kind {
+                BackendKind::Gpu => self.gpus[wi].requests += 1,
+                BackendKind::Cpu => self.cpu.requests += 1,
+            }
             self.metrics.note_served(o.kind);
             self.push_response(r, status, Some(o.x), end, batch, reason, o.kind);
         }
@@ -1090,7 +1423,7 @@ mod tests {
         };
         let mut s = sim_server(cfg);
         // Occupy the GPU far into the future.
-        s.gpu_free_s = 100.0;
+        s.gpus[0].free_s = 100.0;
         for i in 0..10u64 {
             s.submit(req(i, shape, i as f64 * 1e-6, 0.01)).unwrap();
         }

@@ -49,5 +49,8 @@ pub use random::{random_band_batch, BandDistribution};
 pub use rhs::{manufactured_rhs, rhs_for_solutions};
 pub use sundials::{react_eval_batch, ReactEvalConfig};
 pub use timestep::{timestep_traffic, TimestepConfig};
-pub use traffic::{poisson_traffic, Arrival, ShapeMix, TrafficConfig};
+pub use traffic::{
+    adversarial_traffic, poisson_traffic, AdversarialConfig, Arrival, PoisonStorm, ShapeMix,
+    TrafficConfig,
+};
 pub use xgc::{xgc_batch, XgcConfig};

@@ -16,7 +16,7 @@
 //! Everything is deterministic given the RNG seed.
 
 use gbatch_core::band::BandMatrixMut;
-use gbatch_core::ShapeKey;
+use gbatch_core::{Precision, ShapeKey};
 use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
 
@@ -170,6 +170,166 @@ pub fn poisson_traffic(rng: &mut impl Rng, n: usize, cfg: &TrafficConfig) -> Vec
     out
 }
 
+/// A poison storm: every `every` requests, `len` *consecutive* arrivals
+/// carry exactly singular operators. Bisect isolation handles a lone
+/// poisoned lane cheaply; a storm forces repeated splits in one flush —
+/// the adversarial case for the retry machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct PoisonStorm {
+    /// Storm period in requests (ids `p, 2p, ...` start storms; a period
+    /// of 0 disables storms).
+    pub every: usize,
+    /// Consecutive poisoned requests per storm.
+    pub len: usize,
+}
+
+/// Adversarial traffic for fleet soak tests: everything the plain
+/// Poisson stream is *not*. Each dimension is independently seeded and
+/// deterministic:
+///
+/// - **bursty arrivals** — a two-state Markov-modulated Poisson process
+///   (calm/burst), sojourn lengths geometric-ish from the stream RNG, the
+///   burst state multiplying the arrival rate;
+/// - **shape churn** — only a rotating window of the mix is active at a
+///   time, so the server's working set of buckets (and the factor
+///   cache's) keeps shifting instead of converging;
+/// - **poison storms** — runs of consecutive singular operators
+///   ([`PoisonStorm`]);
+/// - **interleaved precision** — every `k`-th request is re-tagged
+///   `f32`, so single- and double-precision streams share the queue but
+///   never a bucket.
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    /// Base rate/deadline/mix (the calm-state parameters).
+    pub base: TrafficConfig,
+    /// Burst-state arrival-rate multiplier (1.0 disables bursts).
+    pub burst_multiplier: f64,
+    /// Mean burst sojourn, in requests.
+    pub mean_burst: usize,
+    /// Mean calm sojourn, in requests.
+    pub mean_calm: usize,
+    /// Requests per churn phase (0 disables churn).
+    pub churn_period: usize,
+    /// Active mix entries per churn phase (clamped to `[1, mix.len()]`).
+    pub churn_width: usize,
+    /// Poison storms, if any.
+    pub poison_storm: Option<PoisonStorm>,
+    /// Re-tag every `k`-th request as `f32` (`None` disables).
+    pub f32_every: Option<usize>,
+}
+
+impl AdversarialConfig {
+    /// The canonical adversarial fleet mix used by the fleet soak, the
+    /// bench's fleet section and the `fleet_demo` example: the Section-2
+    /// small-shape mix plus a rare large-`n` SPIKE lane, 8× bursts,
+    /// 3-wide shape churn every 1000 requests, 8-request poison storms,
+    /// and an f32 stream interleaved at one request in seven.
+    pub fn fleet_mix(rate_hz: f64, deadline_s: f64) -> Self {
+        let mut base = TrafficConfig::section2_mix(rate_hz, deadline_s);
+        // A lone-request SPIKE lane: large enough for the split regime,
+        // small enough for debug-build soaks.
+        base.mix.push(ShapeMix {
+            shape: ShapeKey::gbsv(4096, 2, 2, 1),
+            weight: 0.05,
+        });
+        AdversarialConfig {
+            base,
+            burst_multiplier: 8.0,
+            mean_burst: 64,
+            mean_calm: 256,
+            churn_period: 1000,
+            churn_width: 3,
+            poison_storm: Some(PoisonStorm {
+                every: 1500,
+                len: 8,
+            }),
+            f32_every: Some(7),
+        }
+    }
+}
+
+/// Generate `n` adversarial arrivals per [`AdversarialConfig`]. Like
+/// [`poisson_traffic`], the stream is a pure function of the RNG seed:
+/// state transitions, gaps, shape draws and payloads consume `rng` in a
+/// fixed order.
+///
+/// # Panics
+/// Panics when the mix is empty, a weight is not positive, the rate is
+/// not positive, or the burst multiplier is not positive.
+pub fn adversarial_traffic(rng: &mut impl Rng, n: usize, cfg: &AdversarialConfig) -> Vec<Arrival> {
+    assert!(!cfg.base.mix.is_empty(), "traffic mix must not be empty");
+    assert!(cfg.base.rate_hz > 0.0, "arrival rate must be positive");
+    assert!(
+        cfg.burst_multiplier > 0.0,
+        "burst multiplier must be positive"
+    );
+    assert!(
+        cfg.base.mix.iter().all(|m| m.weight > 0.0),
+        "mix weights must be positive"
+    );
+    let uni = Uniform::new(0.0f64, 1.0);
+    let mix_len = cfg.base.mix.len();
+    let width = cfg.churn_width.clamp(1, mix_len);
+    let mut t = 0.0f64;
+    // MMPP state: start calm; sojourn lengths drawn at state entry.
+    let mut bursting = false;
+    let mut sojourn = 0usize;
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        if sojourn == 0 {
+            bursting = !bursting;
+            let mean = if bursting {
+                cfg.mean_burst
+            } else {
+                cfg.mean_calm
+            }
+            .max(1);
+            let u = uni.sample(rng);
+            sojourn = ((-(1.0 - u).ln() * mean as f64).round() as usize).max(1);
+        }
+        sojourn -= 1;
+        let rate = cfg.base.rate_hz * if bursting { cfg.burst_multiplier } else { 1.0 };
+        let u = uni.sample(rng);
+        t += -(1.0 - u).ln() / rate;
+        // Shape churn: a rotating window of the mix is active this phase.
+        let phase = (id as usize)
+            .checked_div(cfg.churn_period)
+            .map_or(0, |p| p % mix_len);
+        let total_w: f64 = (0..width)
+            .map(|j| cfg.base.mix[(phase + j) % mix_len].weight)
+            .sum();
+        let mut pick = uni.sample(rng) * total_w;
+        let mut shape = cfg.base.mix[phase].shape;
+        for j in 0..width {
+            let m = &cfg.base.mix[(phase + j) % mix_len];
+            if pick < m.weight {
+                shape = m.shape;
+                break;
+            }
+            pick -= m.weight;
+        }
+        if cfg
+            .f32_every
+            .is_some_and(|k| k > 0 && (id + 1) % k as u64 == 0)
+        {
+            shape = shape.with_precision(Precision::F32);
+        }
+        let poisoned = cfg.poison_storm.is_some_and(|s| {
+            s.every > 0 && (id as usize % s.every) < s.len && id as usize >= s.every
+        });
+        let (ab, rhs) = request_payload(rng, &shape, poisoned);
+        out.push(Arrival {
+            id,
+            at_s: t,
+            shape,
+            deadline_s: t + cfg.base.deadline_s,
+            ab,
+            rhs,
+        });
+    }
+    out
+}
+
 /// Build one request's payload: a diagonally-dominant band matrix in the
 /// shape's minimal storage plus a bounded random RHS. `poisoned` zeroes
 /// the whole first column, making the system exactly singular at the
@@ -304,6 +464,62 @@ mod tests {
 
         let (mut bad, _) = request_payload(&mut rng, &shape, true);
         assert_eq!(gbatch_core::gbtf2::gbtf2(&l, &mut bad, &mut piv), 1);
+    }
+
+    #[test]
+    fn adversarial_stream_is_deterministic_and_bursty() {
+        let cfg = AdversarialConfig::fleet_mix(1e4, 0.05);
+        let a = adversarial_traffic(&mut StdRng::seed_from_u64(21), 3000, &cfg);
+        let b = adversarial_traffic(&mut StdRng::seed_from_u64(21), 3000, &cfg);
+        assert_eq!(a.len(), 3000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.id, x.at_s, x.shape), (y.id, y.at_s, y.shape));
+            assert_eq!(x.ab, y.ab);
+        }
+        for w in a.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s);
+        }
+        // Burstiness: the squared coefficient of variation of the gaps of
+        // an MMPP is strictly above a plain Poisson's 1.0.
+        let gaps: Vec<f64> = a.windows(2).map(|w| w[1].at_s - w[0].at_s).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv2 = var / (mean * mean);
+        assert!(cv2 > 1.2, "MMPP gaps should overdisperse: cv² = {cv2:.2}");
+    }
+
+    #[test]
+    fn adversarial_churn_storms_and_precision_interleave() {
+        let cfg = AdversarialConfig::fleet_mix(1e4, 0.05);
+        let a = adversarial_traffic(&mut StdRng::seed_from_u64(23), 6000, &cfg);
+        // Precision interleave: exactly every 7th request is f32.
+        for r in &a {
+            let want_f32 = (r.id + 1) % 7 == 0;
+            assert_eq!(r.shape.precision == Precision::F32, want_f32, "id {}", r.id);
+        }
+        // Poison storms: 8 consecutive singular operators per period of
+        // 1500, none before the first period elapses.
+        let storm = cfg.poison_storm.unwrap();
+        for r in &a {
+            let id = r.id as usize;
+            let in_storm = id >= storm.every && id % storm.every < storm.len;
+            let l = r.shape.layout().unwrap();
+            let mut ab = r.ab.clone();
+            let mut piv = vec![0i32; l.n];
+            let info = gbatch_core::gbtf2::gbtf2(&l, &mut ab, &mut piv);
+            assert_eq!(info > 0, in_storm, "id {} poison mismatch", r.id);
+        }
+        // Shape churn: different phases activate different mix windows,
+        // so consecutive phases draw measurably different shape sets.
+        let shapes_in = |lo: usize, hi: usize| -> std::collections::BTreeSet<ShapeKey> {
+            a.iter()
+                .filter(|r| (lo..hi).contains(&(r.id as usize)))
+                .map(|r| r.shape.with_precision(Precision::F64))
+                .collect()
+        };
+        let p0 = shapes_in(0, 1000);
+        let p3 = shapes_in(3000, 4000);
+        assert_ne!(p0, p3, "churn phases must rotate the active shapes");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use gbatch::core::gbtrs::Transpose;
 use gbatch::core::layout::BandLayout;
 use gbatch::core::{BandBatch, InfoArray, InterleavedBandBatch, PivotBatch, RhsBatch};
 use gbatch::gpu_sim::hazard::{set_global_mode, HazardKind, HazardMode};
-use gbatch::gpu_sim::{launch, DeviceSpec, LaunchConfig, ParallelPolicy};
+use gbatch::gpu_sim::{launch, registry, DeviceSpec, LaunchConfig, ParallelPolicy};
 use gbatch::kernels::dispatch::{
     dgbsv_batch, dgbtrf_batch, dgbtrs_batch, sgbsv_batch, GbsvOptions, MatrixLayout,
 };
@@ -41,7 +41,7 @@ const N: usize = 24;
 const BATCH: usize = 6;
 
 fn dev() -> DeviceSpec {
-    DeviceSpec::h100_pcie()
+    registry::device(registry::H100_PCIE).expect("catalog entry")
 }
 
 fn policies() -> [ParallelPolicy; 2] {

@@ -12,7 +12,7 @@
 
 use gbatch::core::gbsv::gbsv;
 use gbatch::core::{BandBatch, InfoArray, PivotBatch, RhsBatch, Scalar};
-use gbatch::gpu_sim::{DeviceSpec, ParallelPolicy};
+use gbatch::gpu_sim::{registry, DeviceSpec, ParallelPolicy};
 use gbatch::kernels::dispatch::{gbsv_batch, ChosenAlgo, FactorAlgo, GbsvOptions};
 use gbatch::kernels::gbtrs_blocked::SolveParams;
 use gbatch::kernels::spike::{spike_gbsv_batch, SpikeMode, SpikeOutcome, SpikeParams};
@@ -24,7 +24,7 @@ const WORKERS: [usize; 3] = [1, 2, 8];
 const PARTS: [usize; 4] = [1, 2, 3, 8];
 
 fn dev() -> DeviceSpec {
-    DeviceSpec::h100_pcie()
+    registry::device(registry::H100_PCIE).expect("catalog entry")
 }
 
 /// Deterministic diagonally dominant band batch (LU never pivots a zero,
